@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Ablation (paper Section V-B "Choice of ADC resolution"): sweep the
+ * ADC width. More bits slow each analog run (more decades to settle)
+ * and also force the equal-precision digital comparison to iterate
+ * longer — the trade the paper describes when moving the projections
+ * from the prototype's 8 bits to 12 bits.
+ */
+
+#include "aa/analog/solver.hh"
+#include "aa/cost/digital.hh"
+#include "aa/cost/model.hh"
+#include "aa/la/direct.hh"
+#include "aa/pde/poisson.hh"
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace aa;
+    bool tsv = bench::tsvMode(argc, argv);
+    bench::quietLogs();
+
+    auto problem = pde::assemblePoisson(
+        2, 3, [](double x, double y, double) { return x + y; });
+    la::DenseMatrix a = problem.a.toDense();
+    la::Vector exact = la::solveDense(a, problem.b);
+
+    cost::CpuModel cpu;
+    TextTable table("ADC resolution sweep: single-run accuracy, "
+                    "analog settle time, and the digital "
+                    "equal-precision cost (2D Poisson)");
+    table.setHeader({"ADC bits", "1-run max error",
+                     "analog settle model (s, N=625)",
+                     "CG iters (N=625)", "CG model time (s)"});
+
+    for (std::size_t bits : {6u, 8u, 10u, 12u}) {
+        analog::AnalogSolverOptions opts;
+        opts.spec.adc_bits = bits;
+        opts.die_seed = 17;
+        analog::AnalogLinearSolver solver(opts);
+        auto out = solver.solve(a, problem.b);
+        double err = la::maxAbsDiff(out.u, exact);
+
+        cost::AcceleratorDesign design(20e3, bits);
+        cost::PoissonShape shape{2, 25};
+        auto m = cost::measureCgPoisson(2, 25, bits, cpu, 1);
+
+        table.addRow({std::to_string(bits), TextTable::sci(err, 3),
+                      TextTable::sci(
+                          design.solveTimeSeconds(shape), 3),
+                      std::to_string(m.iterations),
+                      TextTable::sci(m.model_seconds, 3)});
+    }
+    bench::emit(table, tsv);
+    return 0;
+}

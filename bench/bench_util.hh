@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared helpers for the figure/table regeneration binaries: a
+ * --tsv flag so outputs are machine-readable, and the common quiet
+ * solver options.
+ */
+
+#ifndef AA_BENCH_BENCH_UTIL_HH
+#define AA_BENCH_BENCH_UTIL_HH
+
+#include <cstring>
+#include <iostream>
+
+#include "aa/common/logging.hh"
+#include "aa/common/table.hh"
+
+namespace aa::bench {
+
+/** True when the binary was invoked with --tsv. */
+inline bool
+tsvMode(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--tsv") == 0)
+            return true;
+    return false;
+}
+
+/** Print a table in the selected format. */
+inline void
+emit(const TextTable &table, bool tsv)
+{
+    if (tsv)
+        table.printTsv(std::cout);
+    else
+        table.print(std::cout);
+}
+
+/** Quiet the info chatter for clean bench output. */
+inline void
+quietLogs()
+{
+    setLogLevel(LogLevel::Quiet);
+}
+
+} // namespace aa::bench
+
+#endif // AA_BENCH_BENCH_UTIL_HH

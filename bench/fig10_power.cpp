@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 10: maximum-activity power of the analog accelerator designs
+ * as a function of the number of grid points they simultaneously
+ * solve. The paper's anchor: the 20 KHz design draws ~0.7 W at 2048
+ * points, well below the TDP of clocked digital designs of equal
+ * area.
+ */
+
+#include "aa/cost/model.hh"
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace aa;
+    bool tsv = bench::tsvMode(argc, argv);
+    bench::quietLogs();
+
+    cost::AcceleratorDesign designs[] = {
+        cost::prototypeDesign(), cost::design80kHz(),
+        cost::design320kHz(), cost::design1300kHz()};
+
+    TextTable fig("Figure 10: maximum-activity power (W) vs grid "
+                  "points (2D Poisson inventory)");
+    fig.setHeader({"grid points", "20KHz", "80KHz", "320KHz",
+                   "1.3MHz"});
+    for (std::size_t l :
+         {8u, 12u, 16u, 20u, 25u, 29u, 33u, 37u, 40u, 43u, 45u}) {
+        cost::PoissonShape shape{2, l};
+        std::vector<std::string> row{
+            std::to_string(shape.gridPoints())};
+        for (auto &d : designs) {
+            row.push_back(TextTable::num(
+                d.powerWatts(d.unitsFor(shape)), 4));
+        }
+        fig.addRow(row);
+    }
+    bench::emit(fig, tsv);
+
+    cost::PoissonShape anchor{2, 45}; // 2025 points
+    TextTable note("Figure 10 anchor");
+    note.setHeader({"claim", "paper", "this model"});
+    note.addRow({"20KHz power at ~2048 points (W)", "~0.7",
+                 TextTable::num(
+                     designs[0].powerWatts(
+                         designs[0].unitsFor(anchor)),
+                     3)});
+    bench::emit(note, tsv);
+    return 0;
+}

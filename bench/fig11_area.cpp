@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 11: silicon area of the analog accelerator designs as a
+ * function of the grid points they hold, from Table II unit areas
+ * with the core fraction scaled by bandwidth. High-bandwidth designs
+ * blow through the 600 mm^2 ceiling at small problem sizes.
+ */
+
+#include "aa/cost/model.hh"
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace aa;
+    bool tsv = bench::tsvMode(argc, argv);
+    bench::quietLogs();
+
+    cost::AcceleratorDesign designs[] = {
+        cost::prototypeDesign(), cost::design80kHz(),
+        cost::design320kHz(), cost::design1300kHz()};
+
+    TextTable fig("Figure 11: area (mm^2) vs grid points (2D "
+                  "Poisson inventory); ceiling = 600 mm^2");
+    fig.setHeader({"grid points", "20KHz", "80KHz", "320KHz",
+                   "1.3MHz"});
+    for (std::size_t l :
+         {8u, 12u, 16u, 20u, 25u, 29u, 33u, 37u, 40u, 43u, 45u}) {
+        cost::PoissonShape shape{2, l};
+        std::vector<std::string> row{
+            std::to_string(shape.gridPoints())};
+        for (auto &d : designs) {
+            row.push_back(TextTable::num(
+                d.areaMm2(d.unitsFor(shape)), 4));
+        }
+        fig.addRow(row);
+    }
+    bench::emit(fig, tsv);
+
+    TextTable note("Figure 11/Section V-A anchor");
+    note.setHeader({"claim", "paper", "this model"});
+    cost::PoissonShape p650{2, 25}; // 625 ~ the 650-integrator point
+    note.addRow(
+        {"area of a ~650-integrator 20KHz accelerator (mm^2)",
+         "~150",
+         TextTable::num(designs[0].areaMm2(
+                            designs[0].unitsFor(p650)),
+                        4)});
+    bench::emit(note, tsv);
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figure 12: energy to solution vs grid points — GPU running CG
+ * (225 pJ/FMA model, iterations measured from the real solver)
+ * against the four analog designs (power x solve time). The paper's
+ * readings: the 80 KHz design saves roughly a third of the GPU
+ * energy in its feasible range; gains saturate past 80 KHz; high-
+ * bandwidth designs are area-capped early.
+ */
+
+#include "aa/cost/digital.hh"
+#include "aa/cost/model.hh"
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace aa;
+    bool tsv = bench::tsvMode(argc, argv);
+    bench::quietLogs();
+
+    cost::AcceleratorDesign designs[] = {
+        cost::prototypeDesign(), cost::design80kHz(),
+        cost::design320kHz(), cost::design1300kHz()};
+    std::size_t caps[4];
+    for (int d = 0; d < 4; ++d)
+        caps[d] = designs[d].maxGridPoints(2);
+
+    cost::GpuModel gpu;
+    cost::CpuModel cpu;
+
+    TextTable fig("Figure 12: solution energy (J) vs grid points; "
+                  "'-' = beyond 600 mm^2");
+    fig.setHeader({"grid points", "GPU CG", "20KHz", "80KHz",
+                   "320KHz", "1.3MHz"});
+    double ratio_at_625 = 0.0;
+    for (std::size_t l : {6u, 10u, 14u, 18u, 22u, 25u, 28u, 31u}) {
+        cost::PoissonShape shape{2, l};
+        std::size_t n = shape.gridPoints();
+        // GPU runs to each design's precision; use the prototype's
+        // 8-bit equivalence as in Figure 8.
+        auto m = cost::measureCgPoisson(2, l, 8, cpu, 1);
+        double gpu_energy = gpu.energyJoules(n, m.iterations);
+        std::vector<std::string> row{std::to_string(n),
+                                     TextTable::sci(gpu_energy, 3)};
+        for (int d = 0; d < 4; ++d) {
+            if (n > caps[d]) {
+                row.push_back("-");
+                continue;
+            }
+            cost::AcceleratorDesign iso(
+                designs[d].bandwidthHz(), 8,
+                32.0); // iso-precision comparison at 8 bits
+            double e = iso.solveEnergyJoules(shape);
+            row.push_back(TextTable::sci(e, 3));
+            if (l == 25 && d == 1)
+                ratio_at_625 = e / gpu_energy;
+        }
+        fig.addRow(row);
+    }
+    bench::emit(fig, tsv);
+
+    TextTable summary("Figure 12 reading");
+    summary.setHeader({"claim", "paper", "this reproduction"});
+    summary.addRow(
+        {"80KHz energy vs GPU at ~625 points", "~2/3 (1/3 saved)",
+         TextTable::num(ratio_at_625, 3)});
+    {
+        cost::PoissonShape shape{2, 20};
+        double e20 =
+            cost::AcceleratorDesign(20e3, 8).solveEnergyJoules(shape);
+        double e80 =
+            cost::AcceleratorDesign(80e3, 8).solveEnergyJoules(shape);
+        double e320 = cost::AcceleratorDesign(320e3, 8)
+                          .solveEnergyJoules(shape);
+        summary.addRow({"energy gain 20->80 KHz", "noticeable",
+                        TextTable::num(e20 / e80, 3)});
+        summary.addRow({"energy gain 80->320 KHz",
+                        "~none (saturated)",
+                        TextTable::num(e80 / e320, 3)});
+    }
+    bench::emit(summary, tsv);
+    return 0;
+}

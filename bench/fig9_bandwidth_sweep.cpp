@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 9: convergence time vs grid points for the 20/80/320 KHz
+ * and 1.3 MHz analog designs against digital CG, with the high-
+ * bandwidth projections cut short where they hit the 600 mm^2 die
+ * ceiling (the size of the largest GPUs) — the paper's area-limits-
+ * performance story.
+ */
+
+#include "aa/cost/digital.hh"
+#include "aa/cost/model.hh"
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace aa;
+    bool tsv = bench::tsvMode(argc, argv);
+    bench::quietLogs();
+
+    cost::AcceleratorDesign designs[] = {
+        cost::prototypeDesign(), cost::design80kHz(),
+        cost::design320kHz(), cost::design1300kHz()};
+    const char *names[] = {"20KHz", "80KHz", "320KHz", "1.3MHz"};
+
+    std::size_t caps[4];
+    for (int d = 0; d < 4; ++d)
+        caps[d] = designs[d].maxGridPoints(2);
+
+    cost::CpuModel cpu;
+    TextTable fig("Figure 9: convergence time (s) vs grid points; "
+                  "'-' = design exceeds 600 mm^2");
+    fig.setHeader({"grid points", "digital CG", "analog 20KHz",
+                   "analog 80KHz", "analog 320KHz", "analog 1.3MHz"});
+
+    for (std::size_t l : {4u, 6u, 8u, 10u, 13u, 16u, 19u, 22u, 25u}) {
+        cost::PoissonShape shape{2, l};
+        std::size_t n = shape.gridPoints();
+        // Each design is compared at its own ADC precision.
+        auto m8 = cost::measureCgPoisson(2, l, 8, cpu, 1);
+        std::vector<std::string> row{std::to_string(n),
+                                     TextTable::sci(
+                                         m8.model_seconds, 3)};
+        for (int d = 0; d < 4; ++d) {
+            if (n > caps[d]) {
+                row.push_back("-");
+            } else {
+                row.push_back(TextTable::sci(
+                    designs[d].solveTimeSeconds(shape), 3));
+            }
+        }
+        fig.addRow(row);
+    }
+    bench::emit(fig, tsv);
+
+    TextTable cuts("Figure 9 cut-offs: largest 2D problem within "
+                   "600 mm^2");
+    cuts.setHeader({"design", "max grid points"});
+    for (int d = 0; d < 4; ++d)
+        cuts.addRow({names[d], std::to_string(caps[d])});
+    bench::emit(cuts, tsv);
+    return 0;
+}

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the hot kernels: the stencil
+ * and CSR operator applies behind every digital baseline, one CG
+ * iteration, one multigrid V-cycle, and the analog circuit
+ * simulator's right-hand-side evaluation (the cost driver of the
+ * "Cadence-equivalent" measurements).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "aa/circuit/simulator.hh"
+#include "aa/common/logging.hh"
+#include "aa/pde/poisson.hh"
+#include "aa/solver/iterative.hh"
+#include "aa/solver/multigrid.hh"
+
+namespace {
+
+using namespace aa;
+
+void
+BM_StencilApply2D(benchmark::State &state)
+{
+    std::size_t l = static_cast<std::size_t>(state.range(0));
+    pde::PoissonStencil stencil(2, l);
+    la::Vector x(stencil.size(), 1.0), y;
+    for (auto _ : state) {
+        stencil.apply(x, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(stencil.applyFlops()));
+}
+BENCHMARK(BM_StencilApply2D)->Arg(16)->Arg(32)->Arg(64);
+
+void
+BM_CsrApply2D(benchmark::State &state)
+{
+    std::size_t l = static_cast<std::size_t>(state.range(0));
+    auto prob = pde::assemblePoisson(2, l);
+    la::Vector x(prob.a.rows(), 1.0);
+    for (auto _ : state) {
+        la::Vector y = prob.a.apply(x);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(prob.a.nnz()));
+}
+BENCHMARK(BM_CsrApply2D)->Arg(16)->Arg(32)->Arg(64);
+
+void
+BM_CgSolve2D(benchmark::State &state)
+{
+    std::size_t l = static_cast<std::size_t>(state.range(0));
+    pde::PoissonStencil stencil(2, l);
+    la::Vector b(stencil.size(), 1.0);
+    solver::IterOptions opts;
+    opts.criterion = solver::Criterion::MaxChange;
+    opts.tol = 1.0 / 256.0;
+    for (auto _ : state) {
+        auto res = solver::conjugateGradient(stencil, b, opts);
+        benchmark::DoNotOptimize(res.x.data());
+    }
+}
+BENCHMARK(BM_CgSolve2D)->Arg(16)->Arg(32);
+
+void
+BM_MultigridVcycle2D(benchmark::State &state)
+{
+    std::size_t l = static_cast<std::size_t>(state.range(0));
+    solver::Multigrid mg(2, l);
+    la::Vector b(mg.fineSize(), 1.0);
+    la::Vector x(mg.fineSize());
+    for (auto _ : state) {
+        x = mg.vcycleOnce(std::move(x), b);
+        benchmark::DoNotOptimize(x.data());
+    }
+}
+BENCHMARK(BM_MultigridVcycle2D)->Arg(15)->Arg(31);
+
+/** One Dopri5 step's worth of circuit RHS evaluations. */
+void
+BM_CircuitRhs(benchmark::State &state)
+{
+    setLogLevel(LogLevel::Quiet);
+    // A representative gradient-flow netlist: n integrators with
+    // tridiagonal coupling.
+    std::size_t n = static_cast<std::size_t>(state.range(0));
+    circuit::Netlist net;
+    circuit::AnalogSpec spec;
+    spec.variation.enabled = false;
+
+    std::vector<circuit::BlockId> integ(n), fan(n);
+    for (std::size_t i = 0; i < n; ++i)
+        integ[i] = net.add(circuit::BlockKind::Integrator);
+    circuit::BlockParams fp;
+    fp.copies = 4;
+    for (std::size_t i = 0; i < n; ++i) {
+        fan[i] = net.add(circuit::BlockKind::Fanout, fp);
+        net.connect(net.out(integ[i]), net.in(fan[i]));
+    }
+    auto add_mul = [&](double g, circuit::PortRef from,
+                       circuit::BlockId to) {
+        circuit::BlockParams mp;
+        mp.gain = g;
+        auto m = net.add(circuit::BlockKind::MulGain, mp);
+        net.connect(from, net.in(m));
+        net.connect(net.out(m), net.in(to));
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+        add_mul(-2.0, net.out(fan[i], 0), integ[i]);
+        if (i > 0)
+            add_mul(0.5, net.out(fan[i], 1), integ[i - 1]);
+        if (i + 1 < n)
+            add_mul(0.5, net.out(fan[i], 2), integ[i + 1]);
+    }
+
+    circuit::Simulator sim(net, spec, 1);
+    circuit::RunOptions opts;
+    opts.timeout = 20.0 / spec.lagRate();
+    for (auto _ : state) {
+        auto res = sim.run(opts);
+        benchmark::DoNotOptimize(res.rhs_evals);
+    }
+}
+BENCHMARK(BM_CircuitRhs)->Arg(4)->Arg(16)->Arg(64);
+
+} // namespace

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Table I: the accelerator instruction set. Prints the table, then
+ * exercises every instruction in one real host/device session (the
+ * Figure 5 two-variable problem) and reports the command trace with
+ * its wire cost over the SPI link.
+ */
+
+#include <map>
+
+#include "aa/compiler/mapper.hh"
+#include "aa/isa/driver.hh"
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace aa;
+    bool tsv = bench::tsvMode(argc, argv);
+    bench::quietLogs();
+
+    TextTable table("Table I: analog accelerator instruction set");
+    table.setHeader({"type", "instruction", "description"});
+    table.addRow({"Control", "init",
+                  "find calibration codes for all function units"});
+    table.addRow({"Config", "setConn",
+                  "create an analog connection between two units"});
+    table.addRow({"Config", "setIntInitial",
+                  "set integrator ODE initial condition"});
+    table.addRow({"Config", "setMulGain", "set multiplier gain"});
+    table.addRow({"Config", "setFunction",
+                  "load nonlinear function into lookup table"});
+    table.addRow({"Config", "setDacConstant",
+                  "set DAC constant additive bias"});
+    table.addRow({"Config", "setTimeout",
+                  "stop computation after a time budget"});
+    table.addRow({"Config", "cfgCommit",
+                  "write configuration changes to chip registers"});
+    table.addRow({"Control", "execStart",
+                  "release integrators from initial conditions"});
+    table.addRow({"Control", "execStop",
+                  "hold integrators at their present value"});
+    table.addRow({"Data in", "setAnaInputEn",
+                  "open the chip's analog input channel"});
+    table.addRow({"Data in", "writeParallel",
+                  "write the 8-bit digital input bus"});
+    table.addRow({"Data out", "readSerial", "read all ADC outputs"});
+    table.addRow({"Data out", "analogAvg",
+                  "averaged multi-sample ADC read"});
+    table.addRow({"Exception", "readExp",
+                  "read the per-unit overflow exception vector"});
+    bench::emit(table, tsv);
+
+    // One full session: Figure 5's 2x2 system through every
+    // instruction class.
+    chip::ChipConfig cfg;
+    cfg.die_seed = 99;
+    chip::Chip chip(cfg);
+    isa::AcceleratorDriver driver(chip);
+
+    driver.init();
+    driver.writeParallel(0x2a);
+    driver.setFunction(chip.luts()[0],
+                       [](double x) { return x * x; });
+
+    la::DenseMatrix a =
+        la::DenseMatrix::fromRows({{0.8, 0.2}, {0.2, 0.6}});
+    la::Vector b{0.4, 0.4};
+    auto sys = compiler::scaleSystem(a, b, {}, cfg.spec);
+    compiler::SleMapping mapping(sys, chip);
+    mapping.configure(driver);
+    auto exec = driver.execStart();
+    driver.execStop();
+    auto exp = driver.readExp();
+    auto serial = driver.readSerial();
+    la::Vector u = mapping.readSolution(driver, 8);
+
+    TextTable session("Table I exercised: one host/device session "
+                      "(Figure 5 system)");
+    session.setHeader({"metric", "value"});
+    session.addRow({"commands sent",
+                    std::to_string(driver.trace().size())});
+    session.addRow({"bytes host->device",
+                    std::to_string(driver.link().bytesDown())});
+    session.addRow({"bytes device->host",
+                    std::to_string(driver.link().bytesUp())});
+    session.addRow({"SPI transfer time (ms)",
+                    TextTable::num(
+                        driver.link().transferSeconds() * 1e3, 3)});
+    session.addRow({"analog compute time (us)",
+                    TextTable::num(exec.analog_time * 1e6, 3)});
+    session.addRow({"exceptions", chip.anyException() ? "yes" : "no"});
+    session.addRow({"u0 (expect 0.364)", TextTable::num(u[0], 4)});
+    session.addRow({"u1 (expect 0.545)", TextTable::num(u[1], 4)});
+    session.addRow({"ADC codes read back",
+                    std::to_string(serial.size())});
+    bench::emit(session, tsv);
+
+    // Per-opcode appearance counts in the trace.
+    TextTable counts("instruction mix of the session");
+    counts.setHeader({"instruction", "count"});
+    std::map<isa::Opcode, std::size_t> mix;
+    for (const auto &cmd : driver.trace())
+        ++mix[cmd.op];
+    for (const auto &[op, count] : mix)
+        counts.addRow({isa::opcodeName(op), std::to_string(count)});
+    bench::emit(counts, tsv);
+    return 0;
+}

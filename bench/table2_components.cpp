@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Table II: the per-unit power/area measurements of the prototype
+ * chip with their analog-core fractions, plus the bandwidth-scaled
+ * values the projections are built from (core scales with alpha,
+ * non-core fixed).
+ */
+
+#include "aa/cost/model.hh"
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace aa;
+    bool tsv = bench::tsvMode(argc, argv);
+    bench::quietLogs();
+
+    cost::ComponentTable t;
+    struct Row {
+        const char *name;
+        const cost::UnitCost *unit;
+    } rows[] = {
+        {"integrator", &t.integrator}, {"fanout", &t.fanout},
+        {"multiplier", &t.multiplier}, {"ADC", &t.adc},
+        {"DAC", &t.dac},
+    };
+
+    TextTable table("Table II: prototype component measurements "
+                    "(Guo et al., 65nm, 20 KHz)");
+    table.setHeader({"unit", "power (uW)", "core power frac",
+                     "area (mm^2)", "core area frac"});
+    for (const auto &r : rows) {
+        table.addRow({r.name,
+                      TextTable::num(r.unit->power_w * 1e6, 3),
+                      TextTable::num(r.unit->core_power_fraction, 2),
+                      TextTable::num(r.unit->area_mm2, 3),
+                      TextTable::num(r.unit->core_area_fraction, 2)});
+    }
+    bench::emit(table, tsv);
+
+    TextTable scaled("Table II scaled: per-unit power (uW) at each "
+                     "design bandwidth (core x alpha)");
+    scaled.setHeader({"unit", "20KHz (a=1)", "80KHz (a=4)",
+                      "320KHz (a=16)", "1.3MHz (a=65)"});
+    for (const auto &r : rows) {
+        scaled.addRow({r.name,
+                       TextTable::num(r.unit->powerAt(1) * 1e6, 4),
+                       TextTable::num(r.unit->powerAt(4) * 1e6, 4),
+                       TextTable::num(r.unit->powerAt(16) * 1e6, 4),
+                       TextTable::num(r.unit->powerAt(65) * 1e6, 4)});
+    }
+    bench::emit(scaled, tsv);
+
+    TextTable area("Table II scaled: per-unit area (mm^2) at each "
+                   "design bandwidth");
+    area.setHeader({"unit", "20KHz", "80KHz", "320KHz", "1.3MHz"});
+    for (const auto &r : rows) {
+        area.addRow({r.name,
+                     TextTable::num(r.unit->areaAt(1), 4),
+                     TextTable::num(r.unit->areaAt(4), 4),
+                     TextTable::num(r.unit->areaAt(16), 4),
+                     TextTable::num(r.unit->areaAt(65), 4)});
+    }
+    bench::emit(area, tsv);
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Domain decomposition mechanics (paper Section IV-B): how block size
+ * trades accelerator size against outer-iteration count.
+ *
+ * The same 2D Poisson problem is solved with strips of different
+ * widths on correspondingly sized dies. Bigger blocks mean more of
+ * the problem is handled by the strongly convergent inner solver, so
+ * the weakly convergent outer iteration needs fewer sweeps — "it is
+ * still desirable to ensure the block matrices are large".
+ *
+ * Build & run:   ./build/examples/domain_decomposition
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "aa/analog/decompose.hh"
+#include "aa/common/table.hh"
+#include "aa/la/direct.hh"
+#include "aa/pde/poisson.hh"
+
+int
+main()
+{
+    using namespace aa;
+
+    const std::size_t l = 10; // 100 unknowns
+    auto problem = pde::assemblePoisson(
+        2, l, [](double x, double y, double) {
+            return 10.0 * x * (1.0 - y);
+        });
+    la::Vector exact =
+        la::solveDense(problem.a.toDense(), problem.b);
+
+    TextTable table("block size vs outer iterations (2D Poisson, "
+                    "100 unknowns, tol 1/256)");
+    table.setHeader({"block vars", "strips", "outer sweeps",
+                     "chip runs", "max error", "die integrators"});
+
+    for (std::size_t rows_per_block : {1u, 2u, 5u}) {
+        std::size_t block_vars = rows_per_block * l;
+        analog::AnalogSolverOptions sopts;
+        sopts.die_seed = 3;
+        analog::AnalogLinearSolver solver(sopts);
+
+        analog::DecomposeOptions dopts;
+        dopts.max_block_vars = block_vars;
+        dopts.tol = 1.0 / 256.0;
+        dopts.max_outer_iters = 500;
+
+        auto partition =
+            pde::stripPartition(problem.grid, block_vars);
+        auto out = analog::solveDecomposed(
+            problem.a, problem.b, partition,
+            analog::analogBlockSolver(solver), dopts);
+
+        table.addRow(
+            {std::to_string(block_vars),
+             std::to_string(out.blocks),
+             std::to_string(out.outer_iterations),
+             std::to_string(out.block_solves),
+             TextTable::num(la::maxAbsDiff(out.u, exact), 3),
+             std::to_string(solver.chipRef()
+                                .config()
+                                .geometry.integrators())});
+    }
+    table.print(std::cout);
+
+    std::printf("\nThe digital reference (exact Cholesky blocks) "
+                "shows the same outer-iteration\ncounts — the outer "
+                "convergence is a property of the decomposition, not "
+                "of the\nanalog inner solver:\n\n");
+
+    TextTable ref("same sweep with exact digital block solves");
+    ref.setHeader({"block vars", "outer sweeps"});
+    for (std::size_t rows_per_block : {1u, 2u, 5u}) {
+        analog::DecomposeOptions dopts;
+        dopts.max_block_vars = rows_per_block * l;
+        dopts.tol = 1.0 / 256.0;
+        dopts.max_outer_iters = 500;
+        auto partition =
+            pde::stripPartition(problem.grid, rows_per_block * l);
+        auto out = analog::solveDecomposed(
+            problem.a, problem.b, partition,
+            analog::choleskyBlockSolver(), dopts);
+        ref.addRow({std::to_string(rows_per_block * l),
+                    std::to_string(out.outer_iterations)});
+    }
+    ref.print(std::cout);
+    return 0;
+}

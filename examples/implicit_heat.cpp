@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The Figure 4 pipeline, end to end: a time-DEPENDENT PDE solved by
+ * IMPLICIT time stepping, where every step requires a sparse linear
+ * solve — and that solve goes to the analog accelerator.
+ *
+ * Backward Euler on the 1D heat equation du/dt = u_xx + f:
+ *     (I + dt A) u_{n+1} = u_n + dt b
+ * with A the discrete -laplacian. Implicit stepping is what makes
+ * large dt stable; its price is one SLE per step — precisely the
+ * kernel the paper proposes to accelerate.
+ *
+ * Build & run:   ./build/examples/implicit_heat
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "aa/analog/solver.hh"
+#include "aa/la/direct.hh"
+#include "aa/pde/manufactured.hh"
+#include "aa/pde/poisson.hh"
+
+int
+main()
+{
+    using namespace aa;
+
+    const std::size_t l = 7;
+    const double dt = 0.02; // far beyond the explicit limit h^2/2
+    const std::size_t steps = 12;
+
+    auto prob = pde::manufacturedProblem(1, l);
+    la::DenseMatrix a = prob.a.toDense();
+
+    // Backward-Euler system matrix M = I + dt A (SPD).
+    la::DenseMatrix m = a;
+    m *= dt;
+    for (std::size_t i = 0; i < l; ++i)
+        m(i, i) += 1.0;
+
+    analog::AnalogSolverOptions opts;
+    opts.die_seed = 3;
+    analog::AnalogLinearSolver accel(opts);
+
+    la::Vector u_analog(l);  // starts cold
+    la::Vector u_digital(l); // exact reference stepping
+
+    double explicit_limit =
+        2.0 / (4.0 / (prob.grid.spacing() * prob.grid.spacing()));
+    std::printf("backward Euler on du/dt = u_xx + f, dt = %.3f "
+                "(explicit stability limit: %.5f)\n\n",
+                dt, explicit_limit);
+    std::printf("%-6s %-14s %-14s %-12s\n", "step",
+                "u_mid (analog)", "u_mid (exact)", "diff");
+
+    for (std::size_t n = 0; n < steps; ++n) {
+        la::Vector rhs_a = u_analog;
+        la::axpy(dt, prob.b, rhs_a);
+        u_analog = accel.solve(m, rhs_a).u;
+
+        la::Vector rhs_d = u_digital;
+        la::axpy(dt, prob.b, rhs_d);
+        u_digital = la::solveDense(m, rhs_d);
+
+        std::printf("%-6zu %-14.6f %-14.6f %-12.2e\n", n + 1,
+                    u_analog[l / 2], u_digital[l / 2],
+                    u_analog[l / 2] - u_digital[l / 2]);
+    }
+
+    // The trajectory approaches the elliptic steady state.
+    la::Vector steady = la::solveDense(a, prob.b);
+    std::printf("\nsteady state (elliptic solve) u_mid = %.6f\n",
+                steady[l / 2]);
+    std::printf("analog after %zu steps        u_mid = %.6f\n",
+                steps, u_analog[l / 2]);
+    std::printf("\n%zu implicit steps used %zu accelerator runs and "
+                "%.3g ms of analog time.\n",
+                steps, steps, accel.totalAnalogSeconds() * 1e3);
+    std::printf("Per-step ~8-bit solves do not accumulate: backward "
+                "Euler is self-correcting,\nso the analog trajectory "
+                "tracks the exact one within readout precision.\n");
+    return 0;
+}

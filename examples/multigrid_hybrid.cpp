@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Hybrid multigrid: the analog accelerator as the coarse-grid solver
+ * inside a digital V-cycle (paper Section IV-A: imprecise analog
+ * solves "may also be used to support multigrid" because perfect
+ * convergence is not required of the inner solver).
+ *
+ * Build & run:   ./build/examples/multigrid_hybrid
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "aa/analog/hybrid_mg.hh"
+#include "aa/common/table.hh"
+#include "aa/la/direct.hh"
+#include "aa/pde/poisson.hh"
+
+int
+main()
+{
+    using namespace aa;
+
+    const std::size_t l = 31; // 961 unknowns, 4 grid levels
+    auto problem = pde::assemblePoisson(
+        2, l, [](double x, double y, double) {
+            return 25.0 * x * y;
+        });
+
+    // Pure digital multigrid: exact Cholesky on the coarsest grid.
+    solver::MgOptions digital_opts;
+    digital_opts.tol = 1e-9;
+    digital_opts.record_residuals = true;
+    solver::Multigrid digital(2, l, digital_opts);
+    auto dres = digital.solve(problem.b);
+
+    // Hybrid: the 7x7 coarse level (49 unknowns) goes to the
+    // accelerator, solved at ~8-bit precision per visit.
+    analog::AnalogSolverOptions sopts;
+    sopts.die_seed = 5;
+    analog::AnalogLinearSolver accel(sopts);
+    solver::MgOptions hybrid_opts;
+    hybrid_opts.tol = 1e-9;
+    hybrid_opts.record_residuals = true;
+    auto hybrid =
+        analog::makeHybridMultigrid(accel, 2, l, 7, hybrid_opts);
+    auto hres = hybrid.solve(problem.b);
+
+    TextTable table("digital vs hybrid multigrid (961 unknowns, "
+                    "tol 1e-9)");
+    table.setHeader({"", "cycles", "final residual", "converged"});
+    table.addRow({"digital (exact coarse)", std::to_string(dres.cycles),
+                  TextTable::sci(dres.final_residual),
+                  dres.converged ? "yes" : "no"});
+    table.addRow({"hybrid (analog coarse)", std::to_string(hres.cycles),
+                  TextTable::sci(hres.final_residual),
+                  hres.converged ? "yes" : "no"});
+    table.print(std::cout);
+
+    std::printf("\nper-cycle residuals:\n%-8s %-14s %-14s\n", "cycle",
+                "digital", "hybrid");
+    std::size_t n = std::max(dres.residual_history.size(),
+                             hres.residual_history.size());
+    for (std::size_t k = 0; k < n; ++k) {
+        std::printf("%-8zu ", k + 1);
+        if (k < dres.residual_history.size())
+            std::printf("%-14.3e ", dres.residual_history[k]);
+        else
+            std::printf("%-14s ", "-");
+        if (k < hres.residual_history.size())
+            std::printf("%-14.3e\n", hres.residual_history[k]);
+        else
+            std::printf("%-14s\n", "-");
+    }
+
+    la::Vector exact =
+        la::solveDense(problem.a.toDense(), problem.b);
+    std::printf("\nhybrid max error vs direct solve: %.2e\n",
+                la::maxAbsDiff(hres.x, exact));
+    std::printf("accelerator visits to the coarse grid cost %.3g ms "
+                "of analog time in total\n",
+                accel.totalAnalogSeconds() * 1e3);
+    std::printf("\nThe 8-bit coarse solves cost a few extra V-cycles "
+                "but do not break\nconvergence: the fine digital "
+                "levels absorb the analog imprecision.\n");
+    return 0;
+}

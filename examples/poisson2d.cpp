@@ -1,0 +1,115 @@
+/**
+ * @file
+ * An elliptic PDE solved with analog acceleration (paper Figure 6).
+ *
+ * A 2D Poisson problem with a hot boundary edge and a point-like
+ * source is too large for the die, so it is cut into strips (domain
+ * decomposition, Section IV-B), each strip solved on the accelerator,
+ * with an outer block iteration for global convergence. The field is
+ * rendered as an ASCII heat map next to the exact digital solve.
+ *
+ * Build & run:   ./build/examples/poisson2d
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "aa/analog/decompose.hh"
+#include "aa/la/direct.hh"
+#include "aa/pde/poisson.hh"
+
+namespace {
+
+void
+render(const aa::pde::StructuredGrid &grid, const aa::la::Vector &u,
+       const char *title)
+{
+    const char shades[] = " .:-=+*#%@";
+    double peak = aa::la::normInf(u);
+    if (peak == 0.0)
+        peak = 1.0;
+    std::printf("\n%s (peak %.4f)\n", title, peak);
+    std::size_t l = grid.pointsPerSide();
+    for (std::size_t j = l; j-- > 0;) {
+        std::printf("    ");
+        for (std::size_t i = 0; i < l; ++i) {
+            double v = u[grid.index(i, j)] / peak;
+            int s = static_cast<int>(std::round(v * 9.0));
+            s = std::max(0, std::min(9, s));
+            std::printf("%c%c", shades[s], shades[s]);
+        }
+        std::printf("\n");
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace aa;
+
+    // 12x12 interior grid (144 unknowns): hot edge at y = 1 plus a
+    // source bump near (0.3, 0.3).
+    const std::size_t l = 12;
+    auto problem = pde::assemblePoisson(
+        2, l,
+        [](double x, double y, double) {
+            double dx = x - 0.3, dy = y - 0.3;
+            return 60.0 * std::exp(-40.0 * (dx * dx + dy * dy));
+        },
+        [](double, double y, double) {
+            return y == 1.0 ? 1.0 : 0.0;
+        });
+
+    la::Vector exact =
+        la::solveDense(problem.a.toDense(), problem.b);
+
+    // One accelerator die sized for a 12-variable strip; the 144-
+    // variable problem runs as 12 strip subproblems per sweep.
+    analog::AnalogSolverOptions sopts;
+    sopts.die_seed = 7;
+    analog::AnalogLinearSolver solver(sopts);
+
+    analog::DecomposeOptions dopts;
+    dopts.max_block_vars = 2 * l; // two grid rows per block
+    // A single accelerator run per block would floor the outer
+    // iteration at the ADC readout quantization (sigma * LSB). The
+    // Figure 6 pipeline therefore layers Algorithm 2 accuracy
+    // boosting onto every block solve, which makes the paper's 1/256
+    // stopping rule reachable.
+    dopts.tol = 1.0 / 256.0;
+    dopts.max_outer_iters = 200;
+    dopts.record_history = true;
+
+    auto partition = pde::stripPartition(problem.grid, 2 * l);
+    auto out = analog::solveDecomposed(
+        problem.a, problem.b, partition,
+        analog::refinedAnalogBlockSolver(solver, 3), dopts);
+
+    std::printf("grid: %zux%zu (%zu unknowns), %zu blocks of up to %zu\n",
+                l, l, problem.grid.totalPoints(), out.blocks, dopts.max_block_vars);
+    std::printf("outer sweeps: %zu, accelerator runs: %zu, "
+                "converged: %s\n",
+                out.outer_iterations, out.block_solves,
+                out.converged ? "yes" : "no");
+    std::printf("max error vs digital direct solve: %.4f "
+                "(full scale %.4f)\n",
+                la::maxAbsDiff(out.u, exact), la::normInf(exact));
+    std::printf("total analog compute time: %.3g ms\n",
+                solver.totalAnalogSeconds() * 1e3);
+
+    render(problem.grid, exact, "digital direct solve");
+    render(problem.grid, out.u,
+           "analog accelerator (strips + outer iteration)");
+
+    std::printf("\nouter-iteration convergence (max change per "
+                "sweep):\n    ");
+    for (std::size_t k = 0; k < out.change_history.size(); ++k) {
+        if (k % 8 == 0 && k)
+            std::printf("\n    ");
+        std::printf("%.4f ", out.change_history[k]);
+    }
+    std::printf("\n");
+    return 0;
+}

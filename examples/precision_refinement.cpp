@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Algorithm 2 in detail: building arbitrary precision from an 8-bit
+ * ADC. Each accelerator pass solves A u = residual; the digital host
+ * accumulates the partial solutions and recomputes the residual in
+ * double precision. The bits of precision grow roughly linearly with
+ * passes — "irrespective of the resolution of the analog-to-digital
+ * converter" (Section I).
+ *
+ * Build & run:   ./build/examples/precision_refinement
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "aa/analog/solver.hh"
+#include "aa/la/direct.hh"
+#include "aa/pde/poisson.hh"
+
+int
+main()
+{
+    using namespace aa;
+
+    // A 2D Poisson block small enough to map whole.
+    auto problem = pde::assemblePoisson(
+        2, 3, [](double x, double y, double) { return x + 2.0 * y; });
+    la::DenseMatrix a = problem.a.toDense();
+    const la::Vector &b = problem.b;
+    la::Vector exact = la::solveDense(a, b);
+    double bnorm = la::norm2(b);
+
+    for (std::size_t adc_bits : {8u, 12u}) {
+        analog::AnalogSolverOptions opts;
+        opts.spec.adc_bits = adc_bits;
+        opts.die_seed = 11;
+        analog::AnalogLinearSolver solver(opts);
+
+        std::printf("\n=== %zu-bit ADC ===\n", adc_bits);
+        std::printf("%-6s %-14s %-14s %-10s\n", "pass",
+                    "rel residual", "max error", "bits");
+
+        // Algorithm 2, unrolled so every pass can be reported.
+        la::Vector u(b.size());
+        la::Vector residual = b;
+        for (std::size_t pass = 0; pass <= 6; ++pass) {
+            double rel = la::norm2(residual) / bnorm;
+            double err = la::maxAbsDiff(u, exact);
+            double bits =
+                err > 0.0 ? -std::log2(err / la::normInf(exact))
+                          : 52.0;
+            std::printf("%-6zu %-14.3e %-14.3e %-10.1f\n", pass, rel,
+                        err, bits);
+            if (rel < 1e-12)
+                break;
+
+            double peak = la::normInf(residual);
+            if (peak > 0.0)
+                solver.setSolutionScaleHint(
+                    peak / std::max(a.maxAbs(), 1e-12));
+            auto out = solver.solve(a, residual);
+            la::axpy(1.0, out.u, u);
+            residual = b - a.apply(u);
+        }
+        std::printf("analog time spent: %.3g us\n",
+                    solver.totalAnalogSeconds() * 1e6);
+    }
+
+    std::printf("\nNote how the 12-bit ADC gains ~4 extra bits per "
+                "pass over the 8-bit one,\nand either reaches any "
+                "requested precision — the ADC resolution sets the\n"
+                "per-pass rate, not the ceiling.\n");
+    return 0;
+}

@@ -1,0 +1,140 @@
+#include "aa/analog/decompose.hh"
+
+#include <cmath>
+
+#include "aa/analog/refine.hh"
+#include "aa/common/logging.hh"
+#include "aa/la/direct.hh"
+
+namespace aa::analog {
+
+BlockSolverFn
+choleskyBlockSolver()
+{
+    return [](const la::DenseMatrix &a, const la::Vector &rhs) {
+        auto chol = la::Cholesky::factor(a);
+        fatalIf(!chol, "choleskyBlockSolver: block not SPD");
+        return chol->solve(rhs);
+    };
+}
+
+BlockSolverFn
+analogBlockSolver(AnalogLinearSolver &solver)
+{
+    return [&solver](const la::DenseMatrix &a, const la::Vector &rhs) {
+        return solver.solve(a, rhs).u;
+    };
+}
+
+BlockSolverFn
+refinedAnalogBlockSolver(AnalogLinearSolver &solver,
+                         std::size_t refine_passes, double tolerance)
+{
+    fatalIf(refine_passes == 0,
+            "refinedAnalogBlockSolver: need at least one pass");
+    return [&solver, refine_passes,
+            tolerance](const la::DenseMatrix &a,
+                       const la::Vector &rhs) {
+        RefineOptions opts;
+        opts.tolerance = tolerance;
+        opts.max_passes = refine_passes;
+        opts.record_history = false;
+        return refineSolve(solver, a, rhs, opts).u;
+    };
+}
+
+DecomposeOutcome
+solveDecomposed(const la::CsrMatrix &a, const la::Vector &b,
+                const std::vector<pde::IndexSet> &partition,
+                const BlockSolverFn &block_solver,
+                const DecomposeOptions &opts)
+{
+    fatalIf(a.rows() != a.cols() || a.rows() != b.size(),
+            "solveDecomposed: dimension mismatch");
+    fatalIf(!block_solver, "solveDecomposed: no block solver");
+
+    std::size_t n = a.rows();
+
+    // Coverage check: each row in exactly one block.
+    std::vector<std::uint8_t> seen(n, 0);
+    for (const auto &blk : partition) {
+        for (std::size_t g : blk) {
+            fatalIf(g >= n, "solveDecomposed: index out of range");
+            fatalIf(seen[g], "solveDecomposed: row ", g,
+                    " appears in two blocks");
+            seen[g] = 1;
+        }
+    }
+    for (std::size_t g = 0; g < n; ++g)
+        fatalIf(!seen[g], "solveDecomposed: row ", g, " uncovered");
+
+    // Pre-extract each block's dense principal submatrix once: the
+    // accelerator is reconfigured per block, but the coefficients do
+    // not change between outer sweeps.
+    std::vector<la::DenseMatrix> block_a;
+    block_a.reserve(partition.size());
+    for (const auto &blk : partition)
+        block_a.push_back(a.principalSubmatrix(blk).toDense());
+
+    DecomposeOutcome out;
+    out.blocks = partition.size();
+    out.u = la::Vector(n);
+    la::Vector u_next(n);
+
+    for (std::size_t it = 0; it < opts.max_outer_iters; ++it) {
+        double max_change = 0.0;
+        // Block-Jacobi: every block's rhs is gathered against the
+        // previous sweep's solution, so block solves are independent
+        // ("solved separately on multiple accelerators, or multiple
+        // runs of the same accelerator").
+        for (std::size_t p = 0; p < partition.size(); ++p) {
+            const auto &blk = partition[p];
+            la::Vector rhs(blk.size());
+            for (std::size_t k = 0; k < blk.size(); ++k) {
+                std::size_t g = blk[k];
+                double acc = b[g];
+                auto cols = a.rowCols(g);
+                auto vals = a.rowVals(g);
+                for (std::size_t e = 0; e < cols.size(); ++e) {
+                    // Subtract couplings that leave the block.
+                    std::size_t j = cols[e];
+                    bool inside =
+                        std::binary_search(blk.begin(), blk.end(), j);
+                    if (!inside)
+                        acc -= vals[e] * out.u[j];
+                }
+                rhs[k] = acc;
+            }
+            la::Vector x = block_solver(block_a[p], rhs);
+            ++out.block_solves;
+            fatalIf(x.size() != blk.size(),
+                    "solveDecomposed: block solver size mismatch");
+            for (std::size_t k = 0; k < blk.size(); ++k) {
+                std::size_t g = blk[k];
+                max_change = std::max(max_change,
+                                      std::fabs(x[k] - out.u[g]));
+                u_next[g] = x[k];
+            }
+        }
+        out.u = u_next;
+        ++out.outer_iterations;
+        if (opts.record_history)
+            out.change_history.push_back(max_change);
+        if (max_change <= opts.tol) {
+            out.converged = true;
+            break;
+        }
+    }
+    return out;
+}
+
+DecomposeOutcome
+solveDecomposedAnalog(AnalogLinearSolver &solver, const la::CsrMatrix &a,
+                      const la::Vector &b, const DecomposeOptions &opts)
+{
+    auto partition = pde::rangePartition(a.rows(), opts.max_block_vars);
+    return solveDecomposed(a, b, partition, analogBlockSolver(solver),
+                           opts);
+}
+
+} // namespace aa::analog

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Domain decomposition — Section IV-B of the paper.
+ *
+ * Problems with more variables than the accelerator has integrators
+ * are cut into blocks (e.g. a 2D grid into 1D strips). Each block's
+ * principal submatrix is solved on the accelerator; an outer
+ * block-Jacobi iteration across the subproblems recovers global
+ * convergence: "the set of subproblems would be solved several times,
+ * using a larger iteration across the subproblems".
+ */
+
+#ifndef AA_ANALOG_DECOMPOSE_HH
+#define AA_ANALOG_DECOMPOSE_HH
+
+#include <functional>
+#include <vector>
+
+#include "aa/analog/solver.hh"
+#include "aa/la/csr_matrix.hh"
+#include "aa/pde/partition.hh"
+
+namespace aa::analog {
+
+/** Pluggable block solver: x_block = A_bb^-1 rhs_block. */
+using BlockSolverFn = std::function<la::Vector(
+    const la::DenseMatrix &a_block, const la::Vector &rhs_block)>;
+
+/** Options for the decomposition driver. */
+struct DecomposeOptions {
+    /** Largest block mapped onto the accelerator at once. */
+    std::size_t max_block_vars = 16;
+    /** Outer iteration stop: max element change below this. */
+    double tol = 1.0 / 256.0;
+    std::size_t max_outer_iters = 500;
+    bool record_history = false;
+};
+
+/** Outcome of a decomposed solve. */
+struct DecomposeOutcome {
+    la::Vector u;
+    bool converged = false;
+    std::size_t outer_iterations = 0;
+    std::size_t blocks = 0;
+    std::size_t block_solves = 0;
+    std::vector<double> change_history; ///< max change per sweep
+};
+
+/**
+ * Block-Jacobi outer iteration with an arbitrary inner solver.
+ * `partition` entries must cover every row exactly once.
+ */
+DecomposeOutcome solveDecomposed(
+    const la::CsrMatrix &a, const la::Vector &b,
+    const std::vector<pde::IndexSet> &partition,
+    const BlockSolverFn &block_solver, const DecomposeOptions &opts);
+
+/**
+ * Convenience: decompose with the analog accelerator as the block
+ * solver, partitioning 1D-range style into blocks of at most
+ * opts.max_block_vars.
+ */
+DecomposeOutcome solveDecomposedAnalog(AnalogLinearSolver &solver,
+                                       const la::CsrMatrix &a,
+                                       const la::Vector &b,
+                                       const DecomposeOptions &opts);
+
+/** The exact digital reference block solver (dense Cholesky). */
+BlockSolverFn choleskyBlockSolver();
+
+/** Analog accelerator block solver over an existing die. */
+BlockSolverFn analogBlockSolver(AnalogLinearSolver &solver);
+
+/**
+ * Analog block solver with Algorithm 2 accuracy boosting: each block
+ * solve runs up to `refine_passes` residual passes, so the block
+ * error drops below the single-run ADC floor and the outer iteration
+ * can reach the paper's 1/256 rule. This is the Figure 6 pipeline:
+ * "domain decomposition ... in conjunction to accuracy boosting".
+ */
+BlockSolverFn refinedAnalogBlockSolver(AnalogLinearSolver &solver,
+                                       std::size_t refine_passes = 2,
+                                       double tolerance = 1e-6);
+
+} // namespace aa::analog
+
+#endif // AA_ANALOG_DECOMPOSE_HH

@@ -1,0 +1,73 @@
+#include "aa/analog/die_pool.hh"
+
+#include "aa/analog/refine.hh"
+#include "aa/common/logging.hh"
+
+namespace aa::analog {
+
+DiePool::DiePool(std::size_t dies, AnalogSolverOptions base)
+{
+    fatalIf(dies == 0, "DiePool: need at least one die");
+    solvers.reserve(dies);
+    for (std::size_t k = 0; k < dies; ++k) {
+        AnalogSolverOptions opts = base;
+        // Distinct fabrication corners per die, derived
+        // deterministically from the base seed.
+        opts.die_seed =
+            base.die_seed * 1000003ull + 7919ull * (k + 1);
+        solvers.push_back(
+            std::make_unique<AnalogLinearSolver>(opts));
+    }
+}
+
+AnalogLinearSolver &
+DiePool::die(std::size_t k)
+{
+    fatalIf(k >= solvers.size(), "DiePool: die ", k, " of ",
+            solvers.size());
+    return *solvers[k];
+}
+
+AnalogLinearSolver &
+DiePool::nextDie()
+{
+    AnalogLinearSolver &s = *solvers[cursor];
+    cursor = (cursor + 1) % solvers.size();
+    return s;
+}
+
+BlockSolverFn
+DiePool::blockSolver()
+{
+    return [this](const la::DenseMatrix &a, const la::Vector &rhs) {
+        return nextDie().solve(a, rhs).u;
+    };
+}
+
+BlockSolverFn
+DiePool::refinedBlockSolver(std::size_t refine_passes,
+                            double tolerance)
+{
+    fatalIf(refine_passes == 0,
+            "DiePool: need at least one refinement pass");
+    return [this, refine_passes,
+            tolerance](const la::DenseMatrix &a,
+                       const la::Vector &rhs) {
+        RefineOptions opts;
+        opts.tolerance = tolerance;
+        opts.max_passes = refine_passes;
+        opts.record_history = false;
+        return refineSolve(nextDie(), a, rhs, opts).u;
+    };
+}
+
+double
+DiePool::totalAnalogSeconds() const
+{
+    double total = 0.0;
+    for (const auto &s : solvers)
+        total += s->totalAnalogSeconds();
+    return total;
+}
+
+} // namespace aa::analog

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * A pool of accelerator dies. The paper's decomposition story says
+ * subproblems "can be solved separately on multiple accelerators, or
+ * multiple runs of the same accelerator" — this is the multiple-
+ * accelerators variant. Each die in the pool is an independent
+ * process-variation corner with its own calibration; block solves
+ * round-robin across them, so heterogeneity across chips is part of
+ * the experiment rather than averaged away.
+ */
+
+#ifndef AA_ANALOG_DIE_POOL_HH
+#define AA_ANALOG_DIE_POOL_HH
+
+#include <memory>
+#include <vector>
+
+#include "aa/analog/decompose.hh"
+#include "aa/analog/solver.hh"
+
+namespace aa::analog {
+
+/** A round-robin pool of independently fabricated dies. */
+class DiePool
+{
+  public:
+    /**
+     * Create `dies` solvers sharing the electrical spec of `base`
+     * but with distinct die seeds derived from base.die_seed.
+     */
+    DiePool(std::size_t dies, AnalogSolverOptions base = {});
+
+    std::size_t size() const { return solvers.size(); }
+    AnalogLinearSolver &die(std::size_t k);
+
+    /** Next die in round-robin order. */
+    AnalogLinearSolver &nextDie();
+
+    /** Block solver that dispatches each call to the next die. */
+    BlockSolverFn blockSolver();
+
+    /** Block solver with Algorithm-2 boosting on each die. */
+    BlockSolverFn refinedBlockSolver(std::size_t refine_passes = 2,
+                                     double tolerance = 1e-6);
+
+    /** Total analog compute time across the pool. */
+    double totalAnalogSeconds() const;
+
+  private:
+    std::vector<std::unique_ptr<AnalogLinearSolver>> solvers;
+    std::size_t cursor = 0;
+};
+
+} // namespace aa::analog
+
+#endif // AA_ANALOG_DIE_POOL_HH

@@ -1,0 +1,23 @@
+#include "aa/analog/hybrid_mg.hh"
+
+namespace aa::analog {
+
+solver::CoarseSolverFn
+analogCoarseSolver(AnalogLinearSolver &solver)
+{
+    return [&solver](const la::CsrMatrix &a, const la::Vector &b) {
+        return solver.solve(a.toDense(), b).u;
+    };
+}
+
+solver::Multigrid
+makeHybridMultigrid(AnalogLinearSolver &solver, std::size_t dim,
+                    std::size_t l_finest, std::size_t coarse_side,
+                    solver::MgOptions opts)
+{
+    opts.min_points_per_side = coarse_side;
+    opts.coarse_solver = analogCoarseSolver(solver);
+    return solver::Multigrid(dim, l_finest, std::move(opts));
+}
+
+} // namespace aa::analog

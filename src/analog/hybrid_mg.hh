@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Hybrid multigrid: analog accelerator inside a digital V-cycle.
+ *
+ * "Because perfect convergence is not required, less stable,
+ * inaccurate, low precision techniques, such as analog acceleration,
+ * may also be used to support multigrid" (Section IV-A). The coarsest
+ * level of the geometric multigrid solver is handed to the analog
+ * accelerator; the outer digital cycles absorb its limited precision.
+ */
+
+#ifndef AA_ANALOG_HYBRID_MG_HH
+#define AA_ANALOG_HYBRID_MG_HH
+
+#include "aa/analog/solver.hh"
+#include "aa/solver/multigrid.hh"
+
+namespace aa::analog {
+
+/** A coarse-solver hook backed by the analog accelerator. */
+solver::CoarseSolverFn analogCoarseSolver(AnalogLinearSolver &solver);
+
+/**
+ * Build a Multigrid whose coarsest level is solved on the analog
+ * accelerator. `coarse_side` picks how many points per side remain
+ * when the accelerator takes over (larger = more analog work).
+ */
+solver::Multigrid makeHybridMultigrid(AnalogLinearSolver &solver,
+                                      std::size_t dim,
+                                      std::size_t l_finest,
+                                      std::size_t coarse_side = 7,
+                                      solver::MgOptions opts = {});
+
+} // namespace aa::analog
+
+#endif // AA_ANALOG_HYBRID_MG_HH

@@ -1,0 +1,295 @@
+#include "aa/analog/nonlinear.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "aa/common/logging.hh"
+#include "aa/compiler/scaling.hh"
+#include "aa/la/direct.hh"
+#include "aa/la/eigen.hh"
+
+namespace aa::analog {
+
+using chip::BlockId;
+using chip::PortRef;
+
+namespace {
+
+/** Demand of a nonlinear mapping: linear demand + one LUT per
+ *  variable and one extra fanout leaf per tree. */
+compiler::ResourceDemand
+nonlinearDemand(const la::DenseMatrix &a, const la::Vector &b,
+                std::size_t fanout_copies = 2)
+{
+    compiler::ResourceDemand d;
+    std::size_t n = b.size();
+    d.integrators = n;
+    d.adcs = n;
+    d.dacs = n;
+    d.luts = n;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t col_nnz = 0;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (a(j, i) != 0.0) {
+                ++col_nnz;
+                ++d.multipliers;
+            }
+        }
+        // Leaves: column multipliers + ADC + LUT input.
+        std::size_t leaves = col_nnz + 2;
+        d.fanout_blocks += (leaves - 2) / (fanout_copies - 1) + 1;
+    }
+    return d;
+}
+
+/** Peak of |phi| over the input interval [-m, m] (sampled). */
+double
+phiPeak(const std::function<double(double)> &phi, double m)
+{
+    double peak = 0.0;
+    for (int k = -64; k <= 64; ++k) {
+        double x = m * static_cast<double>(k) / 64.0;
+        peak = std::max(peak, std::fabs(phi(x)));
+    }
+    return peak;
+}
+
+} // namespace
+
+AnalogNonlinearSolver::AnalogNonlinearSolver(AnalogSolverOptions o)
+    : opts(std::move(o))
+{}
+
+AnalogNonlinearSolver::~AnalogNonlinearSolver() = default;
+
+chip::Chip &
+AnalogNonlinearSolver::chipRef()
+{
+    fatalIf(!chip_, "chipRef: no die built yet (solve first)");
+    return *chip_;
+}
+
+void
+AnalogNonlinearSolver::ensureCapacity(
+    const compiler::ResourceDemand &demand)
+{
+    if (chip_ && demand.fitsOn(chip_->config().geometry))
+        return;
+    fatalIf(chip_ && !opts.allow_regrow,
+            "AnalogNonlinearSolver: problem exceeds the die");
+    chip::ChipConfig cfg;
+    cfg.geometry = compiler::geometryFor(demand);
+    cfg.spec = opts.spec;
+    cfg.die_seed = opts.die_seed;
+    inform("analog nonlinear solver: building a ",
+           cfg.geometry.macroblocks, "-macroblock die");
+    chip_ = std::make_unique<chip::Chip>(cfg);
+    driver_ = std::make_unique<isa::AcceleratorDriver>(*chip_);
+    if (opts.auto_calibrate)
+        driver_->init();
+}
+
+NonlinearFlowOutcome
+AnalogNonlinearSolver::solve(const solver::NonlinearSystem &sys,
+                             const NonlinearFlowOptions &flow)
+{
+    std::size_t n = sys.size();
+    fatalIf(sys.a.rows() != n || sys.a.cols() != n,
+            "AnalogNonlinearSolver: dimension mismatch");
+    fatalIf(!sys.phi, "AnalogNonlinearSolver: no nonlinearity; use "
+                      "AnalogLinearSolver");
+
+    ensureCapacity(nonlinearDemand(sys.a, sys.b));
+    const auto &net = chip_->netlist();
+    const auto &spec = chip_->config().spec;
+
+    NonlinearFlowOutcome out;
+    double sigma = flow.initial_solution_scale;
+    double growth = 2.0;
+
+    for (std::size_t attempt = 0; attempt < flow.max_attempts;
+         ++attempt) {
+        ++out.attempts;
+
+        // Scaling: the usual gain/bias constraints plus the LUT
+        // output range: |phi(sigma x)| / (s sigma) <= 0.95.
+        constexpr double headroom = 0.95;
+        double s = 1.0;
+        if (sys.a.maxAbs() > 0.0)
+            s = std::max(s, sys.a.maxAbs() /
+                                (headroom * spec.max_gain));
+        double b_peak = la::normInf(sys.b) / sigma;
+        if (b_peak > 0.0)
+            s = std::max(s, b_peak / headroom);
+        double p_peak = phiPeak(sys.phi, sigma) / sigma;
+        if (p_peak > 0.0)
+            s = std::max(s, p_peak / headroom);
+
+        // Configure: per variable an integrator, a fanout tree with
+        // column multipliers + ADC + LUT leaves, DAC bias, and the
+        // LUT carrying -phi(sigma x)/(s sigma).
+        driver_->clearConfig();
+        std::size_t next_mul = 0, next_fan = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            BlockId integ = chip_->integrators()[i];
+            driver_->setIntInitial(integ, 0.0);
+            driver_->setDacConstant(chip_->dacs()[i],
+                                    sys.b[i] / (s * sigma));
+            driver_->setFunction(
+                chip_->luts()[i], [&, s, sigma](double x) {
+                    return -sys.phi(sigma * x) / (s * sigma);
+                });
+
+            std::vector<PortRef> consumers;
+            for (std::size_t j = 0; j < n; ++j) {
+                if (sys.a(j, i) == 0.0)
+                    continue;
+                panicIf(next_mul >= chip_->multipliers().size(),
+                        "nonlinear mapper: multiplier pool");
+                BlockId m = chip_->multipliers()[next_mul++];
+                driver_->setMulGain(m, -sys.a(j, i) / s);
+                consumers.push_back(net.in(m, 0));
+                driver_->setConn(net.out(m, 0),
+                                 net.in(chip_->integrators()[j], 0));
+            }
+            consumers.push_back(net.in(chip_->adcs()[i], 0));
+            consumers.push_back(net.in(chip_->luts()[i], 0));
+            driver_->setConn(net.out(chip_->luts()[i], 0),
+                             net.in(integ, 0));
+            driver_->setConn(net.out(chip_->dacs()[i], 0),
+                             net.in(integ, 0));
+
+            std::deque<PortRef> available;
+            available.push_back(net.out(integ, 0));
+            while (available.size() < consumers.size()) {
+                panicIf(next_fan >= chip_->fanouts().size(),
+                        "nonlinear mapper: fanout pool");
+                BlockId f = chip_->fanouts()[next_fan++];
+                PortRef feed = available.front();
+                available.pop_front();
+                driver_->setConn(feed, net.in(f, 0));
+                for (std::size_t o = 0; o < net.outputCount(f); ++o)
+                    available.push_back(net.out(f, o));
+            }
+            for (std::size_t k = 0; k < consumers.size(); ++k)
+                driver_->setConn(available[k], consumers[k]);
+        }
+
+        // Convergence rate bound from the linear part alone (phi
+        // monotone only speeds the flow up).
+        la::DenseMatrix a_s = sys.a;
+        a_s *= 1.0 / s;
+        double lambda_min = 1e-6;
+        if (la::Cholesky::factor(a_s).has_value())
+            lambda_min = la::smallestEigenvalueSpd(a_s).value;
+
+        double lsb = spec.linear_range /
+                     static_cast<double>(1 << spec.adc_bits);
+        double decades =
+            std::log(2.0 * spec.linear_range / (0.5 * lsb));
+        double timeout_s =
+            1.5 * decades /
+            (spec.integratorRate() * std::max(lambda_min, 1e-9));
+        auto cycles = static_cast<std::uint32_t>(std::ceil(
+            timeout_s * chip_->config().ctrl_clock_hz));
+        driver_->setTimeout(std::max<std::uint32_t>(cycles, 1));
+        driver_->cfgCommit();
+
+        chip_->setSteadyDetect(0.5 * lsb * spec.integratorRate() *
+                               std::max(lambda_min, 1e-9));
+        chip_->clearExceptions();
+        chip::ExecResult er = driver_->execStart();
+        driver_->execStop();
+        out.analog_seconds += er.analog_time;
+        total_analog_s += er.analog_time;
+
+        auto exceptions = driver_->readExp();
+        bool overflow = std::any_of(exceptions.begin(),
+                                    exceptions.end(),
+                                    [](auto v) { return v != 0; });
+        if (overflow) {
+            sigma *= growth;
+            growth *= 2.0;
+            debugLog("nonlinear flow: overflow, sigma -> ", sigma);
+            continue;
+        }
+
+        la::Vector u_hat(n);
+        for (std::size_t i = 0; i < n; ++i)
+            u_hat[i] = driver_->analogAvg(chip_->adcs()[i],
+                                          flow.adc_samples);
+        la::scale(sigma, u_hat, out.u);
+        out.converged = er.steady;
+        out.solution_scale = sigma;
+        out.gain_scale = s;
+        out.final_residual = la::norm2(sys.residual(out.u));
+        return out;
+    }
+    fatal("AnalogNonlinearSolver: every attempt overflowed; is A SPD "
+          "and phi monotone non-decreasing?");
+}
+
+HybridNewtonOutcome
+hybridNewtonSolve(AnalogLinearSolver &linear,
+                  const solver::NonlinearSystem &sys,
+                  const HybridNewtonOptions &opts)
+{
+    fatalIf(bool(sys.phi) != bool(sys.phi_prime),
+            "hybridNewtonSolve: phi and phi_prime must come together");
+
+    HybridNewtonOutcome out;
+    out.u = la::Vector(sys.size());
+    double scale = la::norm2(sys.b);
+    if (scale == 0.0)
+        scale = 1.0;
+
+    la::Vector f = sys.residual(out.u);
+    double fnorm = la::norm2(f);
+    for (std::size_t it = 0; it < opts.max_iters; ++it) {
+        if (opts.record_history)
+            out.residual_history.push_back(fnorm);
+        if (fnorm <= opts.tol * scale) {
+            out.converged = true;
+            break;
+        }
+        la::DenseMatrix j = sys.jacobian(out.u);
+        la::Vector minus_f = f;
+        minus_f *= -1.0;
+        // The inexact Newton step: solved on the accelerator at
+        // ~ADC precision.
+        linear.setSolutionScaleHint(
+            std::max(la::normInf(minus_f) /
+                         std::max(j.maxAbs(), 1e-12),
+                     1e-9));
+        la::Vector delta = linear.solve(j, minus_f).u;
+        ++out.analog_linear_solves;
+
+        // Digital backtracking over the analog step.
+        double step = 1.0;
+        la::Vector u_try;
+        la::Vector f_try;
+        double fnorm_try = fnorm;
+        for (std::size_t bt = 0; bt <= opts.max_backtracks; ++bt) {
+            u_try = out.u;
+            la::axpy(step, delta, u_try);
+            f_try = sys.residual(u_try);
+            fnorm_try = la::norm2(f_try);
+            if (fnorm_try < fnorm || opts.max_backtracks == 0)
+                break;
+            step *= 0.5;
+        }
+        out.u = std::move(u_try);
+        f = std::move(f_try);
+        fnorm = fnorm_try;
+        out.iterations = it + 1;
+    }
+    out.final_residual = fnorm;
+    if (!out.converged)
+        out.converged = fnorm <= opts.tol * scale;
+    if (opts.record_history)
+        out.residual_history.push_back(fnorm);
+    return out;
+}
+
+} // namespace aa::analog

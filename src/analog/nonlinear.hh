@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Nonlinear systems on the analog accelerator — the paper's closing
+ * conjecture (Section VI-F): "Other numerical subroutines, such as
+ * those used in finding solutions to nonlinear systems of equations
+ * ... may show promise for analog computing."
+ *
+ * Two routes are implemented for F(u) = A u + phi(u) - b = 0 with an
+ * elementwise monotone nonlinearity phi:
+ *
+ *  1. The direct continuous-time flow du/dt = b - A u - phi(u),
+ *     realized in hardware with one SRAM lookup table per variable
+ *     (the chip's "arbitrary nonlinear functions" units). One analog
+ *     run replaces the entire Newton iteration.
+ *
+ *  2. Hybrid Newton: the digital host iterates Newton-Raphson and
+ *     offloads each Jacobian solve J delta = -F to the analog LINEAR
+ *     solver — the paper's "implicit solvers that require solving
+ *     systems of algebraic equations at each time step".
+ */
+
+#ifndef AA_ANALOG_NONLINEAR_HH
+#define AA_ANALOG_NONLINEAR_HH
+
+#include "aa/analog/solver.hh"
+#include "aa/solver/newton.hh"
+
+namespace aa::analog {
+
+/** Options for the direct nonlinear flow. */
+struct NonlinearFlowOptions {
+    /** Expected bound on max |u| at the root (sigma start). */
+    double initial_solution_scale = 1.0;
+    std::size_t max_attempts = 8;
+    std::size_t adc_samples = 4;
+};
+
+/** Outcome of a nonlinear flow solve. */
+struct NonlinearFlowOutcome {
+    la::Vector u;
+    bool converged = false;
+    std::size_t attempts = 0;
+    double analog_seconds = 0.0;
+    double solution_scale = 1.0;
+    double gain_scale = 1.0;
+    double final_residual = 0.0; ///< ||F(u)||_2, digitally checked
+};
+
+/**
+ * Solves F(u) = A u + phi(u) - b = 0 by running the continuous-time
+ * flow on the accelerator: per variable one integrator, one LUT leaf
+ * carrying -phi, plus the usual linear mapping. Convergence requires
+ * A SPD and phi monotone non-decreasing (the flow's Jacobian is then
+ * negative definite everywhere).
+ */
+class AnalogNonlinearSolver
+{
+  public:
+    explicit AnalogNonlinearSolver(AnalogSolverOptions opts = {});
+    ~AnalogNonlinearSolver();
+
+    NonlinearFlowOutcome solve(const solver::NonlinearSystem &sys,
+                               const NonlinearFlowOptions &flow = {});
+
+    double totalAnalogSeconds() const { return total_analog_s; }
+    chip::Chip &chipRef();
+
+  private:
+    void ensureCapacity(const compiler::ResourceDemand &demand);
+
+    AnalogSolverOptions opts;
+    std::unique_ptr<chip::Chip> chip_;
+    std::unique_ptr<isa::AcceleratorDriver> driver_;
+    double total_analog_s = 0.0;
+};
+
+/** Options for hybrid Newton. */
+struct HybridNewtonOptions {
+    std::size_t max_iters = 30;
+    double tol = 1e-6; ///< on ||F||_2 relative to ||b||_2 (or 1)
+    /** Digital backtracking line search on the analog step (residual
+     *  evaluations are digital and cheap; the step is reused). */
+    std::size_t max_backtracks = 8;
+    bool record_history = false;
+};
+
+/** Outcome of a hybrid Newton solve. */
+struct HybridNewtonOutcome {
+    la::Vector u;
+    bool converged = false;
+    std::size_t iterations = 0;
+    std::size_t analog_linear_solves = 0;
+    double final_residual = 0.0;
+    std::vector<double> residual_history;
+};
+
+/**
+ * Newton-Raphson with every Jacobian solve offloaded to the analog
+ * linear solver. The ~8-bit accuracy of each analog delta acts like
+ * an inexact Newton step: convergence degrades from quadratic to
+ * linear but proceeds as long as the step error stays contractive.
+ */
+HybridNewtonOutcome hybridNewtonSolve(AnalogLinearSolver &linear,
+                                      const solver::NonlinearSystem &sys,
+                                      const HybridNewtonOptions &opts =
+                                          {});
+
+} // namespace aa::analog
+
+#endif // AA_ANALOG_NONLINEAR_HH

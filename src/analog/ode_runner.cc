@@ -1,0 +1,162 @@
+#include "aa/analog/ode_runner.hh"
+
+#include <cmath>
+
+#include "aa/common/logging.hh"
+#include "aa/compiler/scaling.hh"
+#include "aa/ode/trajectory.hh"
+
+namespace aa::analog {
+
+std::vector<double>
+OdeWaveform::component(std::size_t i) const
+{
+    std::vector<double> w;
+    w.reserve(states.size());
+    for (const auto &s : states) {
+        panicIf(i >= s.size(), "OdeWaveform::component out of range");
+        w.push_back(s[i]);
+    }
+    return w;
+}
+
+AnalogOdeSolver::AnalogOdeSolver(AnalogSolverOptions options)
+    : opts(std::move(options))
+{}
+
+AnalogOdeSolver::~AnalogOdeSolver() = default;
+
+void
+AnalogOdeSolver::ensureCapacity(const compiler::ResourceDemand &demand)
+{
+    if (chip_ && demand.fitsOn(chip_->config().geometry))
+        return;
+    fatalIf(chip_ && !opts.allow_regrow,
+            "AnalogOdeSolver: system exceeds the die");
+    chip::ChipConfig cfg;
+    cfg.geometry = compiler::geometryFor(demand);
+    cfg.spec = opts.spec;
+    cfg.die_seed = opts.die_seed;
+    chip_ = std::make_unique<chip::Chip>(cfg);
+    driver_ = std::make_unique<isa::AcceleratorDriver>(*chip_);
+    if (opts.auto_calibrate)
+        driver_->init();
+}
+
+OdeWaveform
+AnalogOdeSolver::simulate(const la::DenseMatrix &a, const la::Vector &b,
+                          const la::Vector &u0, double t_end,
+                          const OdeRunOptions &run_opts)
+{
+    fatalIf(a.rows() != a.cols() || a.rows() != b.size() ||
+                (!u0.empty() && u0.size() != b.size()),
+            "AnalogOdeSolver::simulate: dimension mismatch");
+    fatalIf(t_end <= 0.0, "AnalogOdeSolver: t_end must be positive");
+
+    ensureCapacity(compiler::demandOf(a, b));
+
+    // The SLE mapping realizes du/dt = rate*(b_s - A_s u); feeding it
+    // -A keeps the ODE's natural sign: du/dt = rate*(b_s + (A/s) u).
+    la::DenseMatrix neg_a = a;
+    neg_a *= -1.0;
+
+    OdeWaveform wave;
+    double sigma = run_opts.solution_bound;
+    for (std::size_t attempt = 0; attempt < run_opts.max_attempts;
+         ++attempt) {
+        ++wave.attempts;
+        compiler::ScaledSystem scaled =
+            compiler::scaleSystem(neg_a, b, u0, opts.spec, sigma);
+        compiler::SleMapping mapping(scaled, *chip_,
+                                     /*expect_spd=*/false);
+        mapping.configure(*driver_);
+
+        // t_problem = (rate / s) * t_analog.
+        double s = scaled.plan.gain_scale;
+        double time_scale = opts.spec.integratorRate() / s;
+        double t_analog_end = t_end / time_scale;
+
+        const auto &cfg = chip_->config();
+        auto cycles = static_cast<std::uint32_t>(
+            std::ceil(t_analog_end * cfg.ctrl_clock_hz));
+        driver_->setTimeout(std::max<std::uint32_t>(cycles, 1));
+        chip_->setSteadyDetect(-1.0); // run the full span
+        chip_->clearExceptions();
+
+        // Readout path: either the modelling scope over integrator
+        // states, or the chip's own ADCs sampling at the rate the
+        // requested output density implies (Section II-B trade-off).
+        std::vector<std::size_t> probe(b.size());
+        auto &sim = chip_->simulator();
+        const auto &net = chip_->netlist();
+        for (std::size_t i = 0; i < b.size(); ++i) {
+            probe[i] = sim.stateIndexOf(
+                net.out(mapping.integratorOf(i), 0));
+            panicIf(probe[i] == static_cast<std::size_t>(-1),
+                    "ode_runner: integrator not a state");
+        }
+        ode::Trajectory traj;
+        if (run_opts.read_via_adc) {
+            double rate = static_cast<double>(run_opts.samples) /
+                          t_analog_end;
+            std::vector<chip::BlockId> adcs;
+            for (std::size_t i = 0; i < b.size(); ++i)
+                adcs.push_back(mapping.adcOf(i));
+            chip_->enableWaveformCapture(rate, std::move(adcs));
+        } else {
+            auto record = traj.observer();
+            chip_->setExecObserver(
+                [&](double t, const la::Vector &y) {
+                    record(t, y);
+                });
+        }
+
+        chip::ExecResult er = driver_->execStart();
+        driver_->execStop();
+        chip_->setExecObserver(nullptr);
+        chip_->disableWaveformCapture();
+        wave.analog_seconds += er.analog_time;
+
+        if (chip_->anyException()) {
+            sigma *= 2.0;
+            debugLog("ode run: overflow, solution bound -> ", sigma);
+            continue;
+        }
+
+        wave.time_scale = time_scale;
+        wave.times.clear();
+        wave.states.clear();
+
+        if (run_opts.read_via_adc) {
+            const auto &cap = chip_->capturedWaveform();
+            wave.effective_adc_bits = cap.effective_bits;
+            for (std::size_t k = 0; k < cap.times.size(); ++k) {
+                la::Vector u(b.size());
+                for (std::size_t i = 0; i < b.size(); ++i)
+                    u[i] = scaled.plan.solution_scale *
+                           cap.samples[k][i];
+                wave.times.push_back(cap.times[k] * time_scale);
+                wave.states.push_back(std::move(u));
+            }
+            return wave;
+        }
+
+        // Resample the scope capture uniformly in problem time.
+        double span = std::min(t_analog_end, er.analog_time);
+        for (std::size_t k = 0; k < run_opts.samples; ++k) {
+            double ta = span * static_cast<double>(k) /
+                        static_cast<double>(run_opts.samples - 1);
+            la::Vector y = traj.sampleAt(ta);
+            la::Vector u(b.size());
+            for (std::size_t i = 0; i < b.size(); ++i)
+                u[i] = scaled.plan.solution_scale * y[probe[i]];
+            wave.times.push_back(ta * time_scale);
+            wave.states.push_back(std::move(u));
+        }
+        return wave;
+    }
+    fatal("AnalogOdeSolver: dynamics kept overflowing; the system may "
+          "be unstable (positive eigenvalues)");
+}
+
+} // namespace aa::analog

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The accelerator as an ODE-dynamics solver — its native role
+ * (Sections II and VI-F: "the analog accelerator is fundamentally an
+ * ODE dynamics simulator, meaning useful computational results are in
+ * the dynamic output waveform").
+ *
+ * Runs du/dt = A u + b from u(0) = u0 and captures the time-varying
+ * waveform, with the compiler's value/time scaling mapping problem
+ * time onto analog time: programming A/s stretches analog time by s,
+ * and the integrator rate (2*pi*bandwidth) converts between the two.
+ */
+
+#ifndef AA_ANALOG_ODE_RUNNER_HH
+#define AA_ANALOG_ODE_RUNNER_HH
+
+#include <memory>
+#include <vector>
+
+#include "aa/analog/solver.hh"
+
+namespace aa::analog {
+
+/** A captured waveform in problem time units. */
+struct OdeWaveform {
+    std::vector<double> times;       ///< problem-time sample points
+    std::vector<la::Vector> states;  ///< u at each sample
+    double analog_seconds = 0.0;     ///< physical chip time used
+    double time_scale = 1.0;  ///< t_problem = time_scale * t_analog
+    std::size_t attempts = 0; ///< overflow-driven rescale retries
+    /** Conversion width of the readout path (ADC reads only; the
+     *  scope probe reports 0 = unquantized). */
+    std::size_t effective_adc_bits = 0;
+
+    /** One variable's waveform. */
+    std::vector<double> component(std::size_t i) const;
+};
+
+/** Options for a dynamics run. */
+struct OdeRunOptions {
+    /** Expected bound on max |u(t)| over the run; overflow exceptions
+     *  raise it automatically. */
+    double solution_bound = 1.0;
+    /** Number of uniform output samples of the waveform. */
+    std::size_t samples = 200;
+    std::size_t max_attempts = 6;
+
+    /**
+     * Read the waveform through the chip's ADCs (with the Section
+     * II-B rate/resolution trade-off) instead of the ideal scope
+     * probe. The effective resolution then depends on how fast the
+     * requested samples force the ADCs to convert.
+     */
+    bool read_via_adc = false;
+};
+
+/** Owns a die and runs linear ODE systems on it. */
+class AnalogOdeSolver
+{
+  public:
+    explicit AnalogOdeSolver(AnalogSolverOptions opts = {});
+    ~AnalogOdeSolver();
+
+    /**
+     * Simulate du/dt = A u + b, u(0) = u0, over problem time
+     * [0, t_end], returning the sampled waveform.
+     */
+    OdeWaveform simulate(const la::DenseMatrix &a, const la::Vector &b,
+                         const la::Vector &u0, double t_end,
+                         const OdeRunOptions &run_opts = {});
+
+  private:
+    void ensureCapacity(const compiler::ResourceDemand &demand);
+
+    AnalogSolverOptions opts;
+    std::unique_ptr<chip::Chip> chip_;
+    std::unique_ptr<isa::AcceleratorDriver> driver_;
+};
+
+} // namespace aa::analog
+
+#endif // AA_ANALOG_ODE_RUNNER_HH

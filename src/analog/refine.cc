@@ -1,0 +1,55 @@
+#include "aa/analog/refine.hh"
+
+#include "aa/common/logging.hh"
+
+namespace aa::analog {
+
+RefineOutcome
+refineSolve(AnalogLinearSolver &solver, const la::DenseMatrix &a,
+            const la::Vector &b, const RefineOptions &opts)
+{
+    fatalIf(a.rows() != a.cols() || a.rows() != b.size(),
+            "refineSolve: dimension mismatch");
+
+    RefineOutcome out;
+    out.u = la::Vector(b.size());
+    la::Vector residual = b;
+    double bnorm = la::norm2(b);
+    if (bnorm == 0.0)
+        bnorm = 1.0;
+
+    double analog_before = solver.totalAnalogSeconds();
+    for (std::size_t pass = 0; pass < opts.max_passes; ++pass) {
+        out.final_residual = la::norm2(residual);
+        if (opts.record_history && pass > 0)
+            out.residual_history.push_back(out.final_residual);
+        if (out.final_residual <= opts.tolerance * bnorm) {
+            out.converged = true;
+            break;
+        }
+
+        // Each pass solves A u_final = residual with the dynamic
+        // range re-centred on the residual's magnitude.
+        double peak = la::normInf(residual);
+        if (peak > 0.0) {
+            // Rough range estimate: |u_final| <~ |A^-1| * peak; let
+            // the solver's retry loop correct it from there.
+            solver.setSolutionScaleHint(
+                std::max(peak / std::max(a.maxAbs(), 1e-12), 1e-9));
+        }
+        AnalogSolveOutcome pass_out = solver.solve(a, residual);
+        la::axpy(1.0, pass_out.u, out.u);
+        ++out.passes;
+
+        // Digital double-precision residual update.
+        residual = b - a.apply(out.u);
+    }
+    out.final_residual = la::norm2(b - a.apply(out.u));
+    if (opts.record_history)
+        out.residual_history.push_back(out.final_residual);
+    out.converged = out.final_residual <= opts.tolerance * bnorm;
+    out.analog_seconds = solver.totalAnalogSeconds() - analog_before;
+    return out;
+}
+
+} // namespace aa::analog

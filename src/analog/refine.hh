@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Precision refinement — Algorithm 2 of the paper.
+ *
+ * One accelerator run yields only as many solution bits as the ADC
+ * converts. Refinement builds arbitrary precision from low-precision
+ * runs: solve A u_final = residual, accumulate u_precise += u_final,
+ * recompute residual = b - A u_precise digitally in double precision,
+ * and repeat — rescaling each pass so the shrinking residual keeps
+ * using the full dynamic range. "Precision of the results obtained
+ * from analog computing can be increased arbitrarily irrespective of
+ * the resolution of the analog-to-digital converter" (Section I).
+ */
+
+#ifndef AA_ANALOG_REFINE_HH
+#define AA_ANALOG_REFINE_HH
+
+#include <vector>
+
+#include "aa/analog/solver.hh"
+
+namespace aa::analog {
+
+/** Options for the refinement loop. */
+struct RefineOptions {
+    /** Stop when ||b - A u||_2 <= tolerance * ||b||_2. */
+    double tolerance = 1e-10;
+    std::size_t max_passes = 20;
+    /** Record per-pass residual norms. */
+    bool record_history = true;
+};
+
+/** Outcome of a refined solve. */
+struct RefineOutcome {
+    la::Vector u;
+    bool converged = false;
+    std::size_t passes = 0;
+    double final_residual = 0.0;       ///< ||b - A u||_2
+    std::vector<double> residual_history; ///< after each pass
+    double analog_seconds = 0.0;
+};
+
+/**
+ * Algorithm 2: accumulate accelerator solves of the residual system
+ * until the digitally computed residual is below tolerance.
+ */
+RefineOutcome refineSolve(AnalogLinearSolver &solver,
+                          const la::DenseMatrix &a, const la::Vector &b,
+                          const RefineOptions &opts = {});
+
+} // namespace aa::analog
+
+#endif // AA_ANALOG_REFINE_HH

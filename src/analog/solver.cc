@@ -1,0 +1,161 @@
+#include "aa/analog/solver.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "aa/common/logging.hh"
+#include "aa/compiler/scaling.hh"
+
+namespace aa::analog {
+
+AnalogLinearSolver::AnalogLinearSolver(AnalogSolverOptions options)
+    : opts(std::move(options))
+{}
+
+AnalogLinearSolver::~AnalogLinearSolver() = default;
+AnalogLinearSolver::AnalogLinearSolver(AnalogLinearSolver &&) noexcept =
+    default;
+AnalogLinearSolver &
+AnalogLinearSolver::operator=(AnalogLinearSolver &&) noexcept = default;
+
+void
+AnalogLinearSolver::ensureCapacity(
+    const compiler::ResourceDemand &demand)
+{
+    if (chip_ && demand.fitsOn(chip_->config().geometry))
+        return;
+    fatalIf(chip_ && !opts.allow_regrow,
+            "AnalogLinearSolver: problem exceeds the die and regrow "
+            "is disabled; decompose the problem (Section IV-B)");
+
+    chip::ChipConfig cfg;
+    cfg.geometry = compiler::geometryFor(demand);
+    cfg.spec = opts.spec;
+    cfg.die_seed = opts.die_seed;
+    inform("analog solver: building a ", cfg.geometry.macroblocks,
+           "-macroblock die (", cfg.geometry.integrators(),
+           " integrators)");
+    chip_ = std::make_unique<chip::Chip>(cfg);
+    driver_ = std::make_unique<isa::AcceleratorDriver>(*chip_);
+    if (opts.auto_calibrate)
+        driver_->init();
+}
+
+AnalogSolveOutcome
+AnalogLinearSolver::solve(const la::DenseMatrix &a, const la::Vector &b,
+                          const la::Vector &u0)
+{
+    fatalIf(a.rows() != a.cols() || a.rows() != b.size(),
+            "AnalogLinearSolver::solve: dimension mismatch");
+    fatalIf(b.empty(), "AnalogLinearSolver::solve: empty system");
+
+    ensureCapacity(compiler::demandOf(a, b));
+
+    AnalogSolveOutcome out;
+    // A scale hint (set by refinement) is consumed once; block
+    // sequences with wildly different magnitudes (domain
+    // decomposition strips) must each rediscover their own range.
+    double sigma = sticky_solution_scale > 0.0
+                       ? sticky_solution_scale
+                       : opts.initial_solution_scale;
+    sticky_solution_scale = 0.0;
+    bool saw_overflow = false;
+    double overflow_growth = 2.0;
+
+    la::Vector u_hat;
+    compiler::ScalingPlan plan;
+    for (std::size_t attempt = 0; attempt < opts.max_attempts;
+         ++attempt) {
+        ++out.attempts;
+        compiler::ScaledSystem scaled =
+            compiler::scaleSystem(a, b, u0, opts.spec, sigma);
+        compiler::SleMapping mapping(scaled, *chip_);
+        mapping.configure(*driver_);
+
+        // Stop when every element's drift implies a residual error
+        // below half an ADC LSB (the readout cannot see more).
+        double lsb = opts.spec.linear_range /
+                     static_cast<double>(1 << opts.spec.adc_bits);
+        double rate_tol = 0.5 * lsb * opts.spec.integratorRate() *
+                          std::max(mapping.lambdaMin(), 1e-9);
+        chip_->setSteadyDetect(rate_tol);
+        chip_->clearExceptions();
+
+        chip::ExecResult er = driver_->execStart();
+        driver_->execStop();
+        out.analog_seconds += er.analog_time;
+        total_analog_s += er.analog_time;
+
+        auto exceptions = driver_->readExp();
+        bool overflow = std::any_of(exceptions.begin(),
+                                    exceptions.end(),
+                                    [](auto v) { return v != 0; });
+        if (overflow) {
+            // A unit left its linear range: the problem does not fit
+            // the dynamic range at this sigma. Scale the solution
+            // down (sigma up) and reattempt (Section III-B).
+            saw_overflow = true;
+            ++out.overflow_retries;
+            // Escalate on consecutive overflows: while the bias range
+            // bounds the scaling, b_s is pinned at full scale and
+            // modest sigma increases change nothing, so the step size
+            // itself must grow.
+            sigma *= overflow_growth;
+            overflow_growth *= 2.0;
+            debugLog("analog solve: overflow, sigma -> ", sigma);
+            continue;
+        }
+
+        u_hat = mapping.readSolution(*driver_, opts.adc_samples);
+        plan = mapping.plan();
+        out.converged = er.steady;
+
+        double peak = la::normInf(u_hat);
+        bool can_tighten = !saw_overflow &&
+                           opts.underrange_threshold > 0.0 &&
+                           attempt + 1 < opts.max_attempts;
+        overflow_growth = 2.0; // a clean run resets the escalation
+        if (can_tighten && peak > 0.0 &&
+            peak < opts.underrange_threshold) {
+            // Dynamic range underused: most ADC codes are wasted.
+            // Scale the solution up toward ~0.7 of full scale.
+            ++out.underrange_retries;
+            sigma *= std::max(peak / 0.7, 1.0 / 64.0);
+            debugLog("analog solve: underrange peak ", peak,
+                     ", sigma -> ", sigma);
+            continue;
+        }
+        break;
+    }
+
+    fatalIf(u_hat.empty(),
+            "AnalogLinearSolver: every attempt overflowed; matrix may "
+            "not be positive definite");
+
+    out.u = compiler::unscaleSolution(u_hat, plan);
+    out.solution_scale = plan.solution_scale;
+    out.gain_scale = plan.gain_scale;
+    return out;
+}
+
+std::size_t
+AnalogLinearSolver::configBytes() const
+{
+    return driver_ ? driver_->link().bytesDown() : 0;
+}
+
+chip::Chip &
+AnalogLinearSolver::chipRef()
+{
+    fatalIf(!chip_, "chipRef: no die built yet (solve first)");
+    return *chip_;
+}
+
+isa::AcceleratorDriver &
+AnalogLinearSolver::driverRef()
+{
+    fatalIf(!driver_, "driverRef: no die built yet (solve first)");
+    return *driver_;
+}
+
+} // namespace aa::analog

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The analog linear-equation solver — the paper's core contribution.
+ *
+ * Hosts hand it A u = b; it scales the system into the hardware's
+ * dynamic range, compiles a chip configuration, calibrates the die
+ * once, runs the continuous-time gradient flow du/dt = b - A u to
+ * steady state, reads the solution through the ADCs, and — centrally
+ * to the paper's architecture story — reacts to range-overflow
+ * exceptions by re-scaling and retrying, and to underused dynamic
+ * range by scaling back up (Section III-B "Exceptions").
+ */
+
+#ifndef AA_ANALOG_SOLVER_HH
+#define AA_ANALOG_SOLVER_HH
+
+#include <memory>
+
+#include "aa/chip/chip.hh"
+#include "aa/compiler/mapper.hh"
+#include "aa/isa/driver.hh"
+#include "aa/la/dense_matrix.hh"
+#include "aa/la/vector.hh"
+
+namespace aa::analog {
+
+/** Solver configuration. */
+struct AnalogSolverOptions {
+    circuit::AnalogSpec spec; ///< design point (defaults: prototype)
+    std::uint64_t die_seed = 1;
+
+    /** Exception-driven retry budget (scale up/down attempts). */
+    std::size_t max_attempts = 8;
+    /** ADC conversions averaged per variable at readout. */
+    std::size_t adc_samples = 4;
+    /** Starting estimate of max|u| (sigma); 1.0 = trust the range. */
+    double initial_solution_scale = 1.0;
+    /** Readout peaks below this fraction of full scale trigger a
+     *  scale-up retry for precision (<= 0 disables). */
+    double underrange_threshold = 0.25;
+    /** Run `init` (calibration) when a die is first built. */
+    bool auto_calibrate = true;
+    /** Build a larger die when a problem does not fit (the paper's
+     *  projected accelerators); false = fatal on overflow of the
+     *  current geometry. */
+    bool allow_regrow = true;
+};
+
+/** Outcome of one analog solve. */
+struct AnalogSolveOutcome {
+    la::Vector u;            ///< solution in problem units
+    bool converged = false;  ///< integrators settled before timeout
+    std::size_t attempts = 0; ///< configuration+run attempts
+    std::size_t overflow_retries = 0;
+    std::size_t underrange_retries = 0;
+    double analog_seconds = 0.0; ///< total analog compute time
+    double solution_scale = 1.0; ///< final sigma used
+    double gain_scale = 1.0;     ///< final s used
+};
+
+/**
+ * Owns one accelerator die (chip + driver) and solves systems on it.
+ * The die persists across solves: calibration happens once, and
+ * domain decomposition reuses the same hardware for every block —
+ * "multiple runs of the same accelerator" (Section IV-B).
+ */
+class AnalogLinearSolver
+{
+  public:
+    explicit AnalogLinearSolver(AnalogSolverOptions opts = {});
+    ~AnalogLinearSolver();
+    AnalogLinearSolver(AnalogLinearSolver &&) noexcept;
+    AnalogLinearSolver &operator=(AnalogLinearSolver &&) noexcept;
+
+    /** Solve A u = b (A must be SPD for convergence). */
+    AnalogSolveOutcome solve(const la::DenseMatrix &a,
+                             const la::Vector &b,
+                             const la::Vector &u0 = {});
+
+    /**
+     * Seed the next solve's solution scale (sigma); consumed by that
+     * one solve. Precision refinement passes the expected residual
+     * magnitude here so each pass starts near the right range instead
+     * of rediscovering it through underrange retries.
+     */
+    void
+    setSolutionScaleHint(double sigma)
+    {
+        sticky_solution_scale = sigma;
+    }
+
+    /** Cumulative analog compute time across all solves. */
+    double totalAnalogSeconds() const { return total_analog_s; }
+    /** Cumulative configuration traffic (bytes over the SPI link). */
+    std::size_t configBytes() const;
+
+    const AnalogSolverOptions &options() const { return opts; }
+    chip::Chip &chipRef();
+    isa::AcceleratorDriver &driverRef();
+
+  private:
+    void ensureCapacity(const compiler::ResourceDemand &demand);
+
+    AnalogSolverOptions opts;
+    std::unique_ptr<chip::Chip> chip_;
+    std::unique_ptr<isa::AcceleratorDriver> driver_;
+    double total_analog_s = 0.0;
+    double sticky_solution_scale = 0.0; ///< reuse across solves
+};
+
+} // namespace aa::analog
+
+#endif // AA_ANALOG_SOLVER_HH

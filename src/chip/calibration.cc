@@ -1,0 +1,177 @@
+#include "aa/chip/calibration.hh"
+
+#include <cmath>
+
+#include "aa/circuit/nonideal.hh"
+#include "aa/common/logging.hh"
+
+namespace aa::chip {
+
+using circuit::BlockId;
+using circuit::BlockKind;
+using circuit::PortRef;
+
+namespace {
+
+/** One calibration context: the host's view of measurements. */
+struct Calibrator {
+    circuit::Netlist &net;
+    circuit::Simulator &sim;
+    Rng rng;
+    CalibrationReport report;
+
+    /**
+     * Measure a unit's DC output through the shared ADC: true value
+     * plus sampling noise, quantized to adc_bits. Averaged over a few
+     * samples as the host would with analogAvg.
+     */
+    double
+    measure(BlockId block, double in0, double in1, std::size_t port)
+    {
+        constexpr std::size_t samples = 4;
+        double acc = 0.0;
+        for (std::size_t s = 0; s < samples; ++s) {
+            double v = sim.dcTransfer(block, in0, in1, port) +
+                       rng.gaussian(0.0, sim.spec().adc_noise_sigma);
+            acc += circuit::quantizeValue(v, sim.spec().adc_bits);
+            ++report.measurements;
+        }
+        return acc / samples;
+    }
+
+    /**
+     * Binary search the trim code whose measured response is closest
+     * to `target`; the response is monotone increasing in the code.
+     */
+    int
+    searchCode(const std::function<void(int)> &apply,
+               const std::function<double()> &respond, double target)
+    {
+        int lo = circuit::trimCodeMin(sim.spec());
+        int hi = circuit::trimCodeMax(sim.spec());
+        while (hi - lo > 1) {
+            int mid = lo + (hi - lo) / 2;
+            apply(mid);
+            if (respond() < target)
+                lo = mid;
+            else
+                hi = mid;
+        }
+        // Pick the better of the two bracketing codes.
+        apply(lo);
+        double err_lo = std::fabs(respond() - target);
+        apply(hi);
+        double err_hi = std::fabs(respond() - target);
+        int best = err_lo <= err_hi ? lo : hi;
+        apply(best);
+        return best;
+    }
+
+    /**
+     * Trim one output port: zero the offset at a zero-input test
+     * point, then fix the gain at a mid-scale test point.
+     */
+    void
+    trimPort(BlockId block, std::size_t port, double zin0, double zin1,
+             double gin0, double gin1, double gain_target)
+    {
+        PortRef out = net.out(block, port);
+        TrimRecord rec;
+        rec.port = out;
+
+        int gain_code = 0; // neutral while trimming offset
+        auto apply_offset = [&](int code) {
+            sim.setTrimCodes(out, code, gain_code);
+        };
+        rec.offset_code = searchCode(
+            apply_offset,
+            [&] { return measure(block, zin0, zin1, port); }, 0.0);
+        rec.offset_residual =
+            std::fabs(measure(block, zin0, zin1, port));
+
+        auto apply_gain = [&](int code) {
+            gain_code = code;
+            sim.setTrimCodes(out, rec.offset_code, code);
+        };
+        rec.gain_code = searchCode(
+            apply_gain,
+            [&] { return measure(block, gin0, gin1, port); },
+            gain_target);
+        rec.gain_residual =
+            std::fabs(measure(block, gin0, gin1, port) - gain_target);
+
+        report.trims.push_back(rec);
+    }
+};
+
+} // namespace
+
+CalibrationReport
+calibrate(circuit::Netlist &net, circuit::Simulator &sim,
+          std::uint64_t seed)
+{
+    Calibrator cal{net, sim, Rng(seed), {}};
+
+    for (std::size_t b = 0; b < net.numBlocks(); ++b) {
+        BlockId id{b};
+        switch (net.kind(id)) {
+          case BlockKind::Integrator:
+            // Input-stage drift: zero drift at zero input, unity
+            // transfer at mid scale.
+            cal.trimPort(id, 0, 0.0, 0.0, 0.5, 0.0, 0.5);
+            break;
+          case BlockKind::MulGain: {
+            // Calibrate at unity gain; the configured gain multiplies
+            // the trimmed stage later.
+            double saved = net.params(id).gain;
+            net.params(id).gain = 1.0;
+            cal.trimPort(id, 0, 0.0, 0.0, 0.5, 0.0, 0.5);
+            net.params(id).gain = saved;
+            break;
+          }
+          case BlockKind::MulVar:
+            // Zero either input to test offset; quarter-scale product
+            // to test gain.
+            cal.trimPort(id, 0, 0.0, 0.0, 0.5, 0.5, 0.25);
+            break;
+          case BlockKind::Fanout:
+            for (std::size_t o = 0; o < net.outputCount(id); ++o)
+                cal.trimPort(id, o, 0.0, 0.0, 0.5, 0.0, 0.5);
+            break;
+          case BlockKind::Dac: {
+            // Drive the level register directly as the test input.
+            double saved = net.params(id).level;
+            PortRef out = net.out(id, 0);
+            TrimRecord rec;
+            rec.port = out;
+            int gain_code = 0;
+            net.params(id).level = 0.0;
+            rec.offset_code = cal.searchCode(
+                [&](int code) {
+                    sim.setTrimCodes(out, code, gain_code);
+                },
+                [&] { return cal.measure(id, 0.0, 0.0, 0); }, 0.0);
+            net.params(id).level = 0.5;
+            rec.gain_code = cal.searchCode(
+                [&](int code) {
+                    gain_code = code;
+                    sim.setTrimCodes(out, rec.offset_code, code);
+                },
+                [&] { return cal.measure(id, 0.0, 0.0, 0); }, 0.5);
+            net.params(id).level = saved;
+            cal.report.trims.push_back(rec);
+            break;
+          }
+          case BlockKind::Lut:
+          case BlockKind::Adc:
+          case BlockKind::ExtIn:
+          case BlockKind::ExtOut:
+            // LUT contents are digital (no analog trim); ADC and the
+            // pads have no output stage to trim.
+            break;
+        }
+    }
+    return cal.report;
+}
+
+} // namespace aa::chip

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Host-driven calibration (the `init` instruction, Section III-B).
+ *
+ * "When an analog unit is calibrated, its inputs and outputs are
+ * connected to DACs and ADCs; then, the digital processor uses
+ * binary search to find the settings that give the most ideal
+ * behavior." We reproduce that loop: every measurement the search
+ * sees is quantized by the chip's ADC (plus sampling noise), so the
+ * achievable trim quality is genuinely resolution-limited.
+ */
+
+#ifndef AA_CHIP_CALIBRATION_HH
+#define AA_CHIP_CALIBRATION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "aa/circuit/netlist.hh"
+#include "aa/circuit/simulator.hh"
+#include "aa/common/rng.hh"
+
+namespace aa::chip {
+
+/** Trim decision for one output port. */
+struct TrimRecord {
+    circuit::PortRef port;
+    int offset_code = 0;
+    int gain_code = 0;
+    /** |measured - ideal| after trimming, at the test points. */
+    double offset_residual = 0.0;
+    double gain_residual = 0.0;
+};
+
+/** Outcome of calibrating a whole chip. */
+struct CalibrationReport {
+    std::vector<TrimRecord> trims;
+    std::size_t measurements = 0; ///< ADC reads the host performed
+};
+
+/**
+ * Calibrate every trimmable output port of the netlist attached to
+ * `sim`, writing the chosen codes into the simulator's trim
+ * registers. `seed` drives the measurement-noise stream.
+ */
+CalibrationReport calibrate(circuit::Netlist &net,
+                            circuit::Simulator &sim,
+                            std::uint64_t seed);
+
+} // namespace aa::chip
+
+#endif // AA_CHIP_CALIBRATION_HH

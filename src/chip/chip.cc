@@ -1,0 +1,370 @@
+#include "aa/chip/chip.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "aa/chip/calibration.hh"
+#include "aa/circuit/nonideal.hh"
+#include "aa/common/logging.hh"
+
+namespace aa::chip {
+
+using circuit::BlockKind;
+using circuit::BlockParams;
+
+std::size_t
+ChipGeometry::integrators() const
+{
+    return macroblocks * integrators_per_mb;
+}
+
+std::size_t
+ChipGeometry::multipliers() const
+{
+    return macroblocks * multipliers_per_mb;
+}
+
+std::size_t
+ChipGeometry::fanouts() const
+{
+    return macroblocks * fanouts_per_mb;
+}
+
+std::size_t
+ChipGeometry::extIns() const
+{
+    return macroblocks * ext_in_per_mb;
+}
+
+std::size_t
+ChipGeometry::extOuts() const
+{
+    return macroblocks * ext_out_per_mb;
+}
+
+std::size_t
+ChipGeometry::adcs() const
+{
+    return (macroblocks + mb_per_shared - 1) / mb_per_shared;
+}
+
+std::size_t
+ChipGeometry::dacs() const
+{
+    return adcs();
+}
+
+std::size_t
+ChipGeometry::luts() const
+{
+    return adcs();
+}
+
+namespace {
+
+circuit::Netlist
+makeNetlist(const ChipConfig &cfg)
+{
+    circuit::Netlist net;
+    const ChipGeometry &g = cfg.geometry;
+    fatalIf(g.macroblocks == 0, "Chip: need at least one macroblock");
+
+    for (std::size_t i = 0; i < g.integrators(); ++i)
+        net.add(BlockKind::Integrator);
+    for (std::size_t i = 0; i < g.multipliers(); ++i)
+        net.add(BlockKind::MulGain);
+    for (std::size_t i = 0; i < g.fanouts(); ++i) {
+        BlockParams p;
+        p.copies = g.fanout_copies;
+        net.add(BlockKind::Fanout, p);
+    }
+    for (std::size_t i = 0; i < g.adcs(); ++i)
+        net.add(BlockKind::Adc);
+    for (std::size_t i = 0; i < g.dacs(); ++i)
+        net.add(BlockKind::Dac);
+    for (std::size_t i = 0; i < g.luts(); ++i)
+        net.add(BlockKind::Lut);
+    for (std::size_t i = 0; i < g.extIns(); ++i)
+        net.add(BlockKind::ExtIn);
+    for (std::size_t i = 0; i < g.extOuts(); ++i)
+        net.add(BlockKind::ExtOut);
+    return net;
+}
+
+} // namespace
+
+Chip::Chip(const ChipConfig &config)
+    : cfg(config), net(makeNetlist(config)),
+      sim(net, config.spec, config.die_seed)
+{
+    integ = net.blocksOfKind(BlockKind::Integrator);
+    muls = net.blocksOfKind(BlockKind::MulGain);
+    fans = net.blocksOfKind(BlockKind::Fanout);
+    adc = net.blocksOfKind(BlockKind::Adc);
+    dac = net.blocksOfKind(BlockKind::Dac);
+    lut = net.blocksOfKind(BlockKind::Lut);
+    ext_in = net.blocksOfKind(BlockKind::ExtIn);
+    ext_out = net.blocksOfKind(BlockKind::ExtOut);
+}
+
+void
+Chip::checkKind(BlockId id, BlockKind kind, const char *what) const
+{
+    fatalIf(!id.valid() || id.v >= net.numBlocks() ||
+                net.kind(id) != kind,
+            "Chip: block #", id.v, " is not a ", what);
+}
+
+void
+Chip::init()
+{
+    CalibrationReport report =
+        calibrate(net, sim, cfg.die_seed ^ 0xCA11B8A7Eull);
+    inform("chip init: calibrated ", report.trims.size(),
+           " output stages with ", report.measurements,
+           " ADC measurements");
+    calibrated_ = true;
+}
+
+void
+Chip::setConn(PortRef from, PortRef to)
+{
+    net.connect(from, to);
+    committed = false;
+}
+
+void
+Chip::clearConnections()
+{
+    // Dropping every connection is how a new problem mapping starts;
+    // the blocks themselves (and their calibration) stay.
+    for (std::size_t b = net.numBlocks(); b-- > 0;)
+        net.disconnectAll(BlockId{b});
+    committed = false;
+}
+
+void
+Chip::setIntInitial(BlockId integrator, double value)
+{
+    checkKind(integrator, BlockKind::Integrator, "integrator");
+    fatalIf(std::fabs(value) > cfg.spec.linear_range,
+            "setIntInitial: |", value, "| exceeds full scale");
+    net.params(integrator).ic = value;
+}
+
+void
+Chip::setMulGain(BlockId multiplier, double gain)
+{
+    checkKind(multiplier, BlockKind::MulGain, "multiplier");
+    fatalIf(std::fabs(gain) > cfg.spec.max_gain,
+            "setMulGain: |", gain, "| exceeds the multiplier range ",
+            cfg.spec.max_gain, "; scale the problem (Section VI-D)");
+    net.params(multiplier).gain = gain;
+}
+
+void
+Chip::setFunction(BlockId lut_id,
+                  const std::function<double(double)> &fn)
+{
+    checkKind(lut_id, BlockKind::Lut, "lookup table");
+    fatalIf(!fn, "setFunction: empty function");
+    std::vector<double> table(cfg.spec.lut_depth);
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        double x = -1.0 + 2.0 * static_cast<double>(i) /
+                              static_cast<double>(table.size() - 1);
+        table[i] = circuit::quantizeValue(fn(x), cfg.spec.lut_bits);
+    }
+    net.params(lut_id).table = std::move(table);
+}
+
+void
+Chip::setFunctionCodes(BlockId lut_id,
+                       const std::vector<std::uint8_t> &codes)
+{
+    checkKind(lut_id, BlockKind::Lut, "lookup table");
+    fatalIf(codes.size() != cfg.spec.lut_depth,
+            "setFunctionCodes: expected ", cfg.spec.lut_depth,
+            " codes, got ", codes.size());
+    std::vector<double> table(codes.size());
+    for (std::size_t i = 0; i < codes.size(); ++i)
+        table[i] = circuit::codeToValue(codes[i], cfg.spec.lut_bits);
+    net.params(lut_id).table = std::move(table);
+}
+
+void
+Chip::setDacConstant(BlockId dac_id, double value)
+{
+    checkKind(dac_id, BlockKind::Dac, "DAC");
+    fatalIf(std::fabs(value) > 1.0,
+            "setDacConstant: |", value, "| exceeds the DAC range");
+    net.params(dac_id).level = value;
+}
+
+void
+Chip::setTimeout(std::uint64_t ctrl_clock_cycles)
+{
+    timeout_cycles = ctrl_clock_cycles;
+}
+
+double
+Chip::timeoutSeconds() const
+{
+    return static_cast<double>(timeout_cycles) / cfg.ctrl_clock_hz;
+}
+
+void
+Chip::cfgCommit()
+{
+    net.validate();
+    sim.refreshWiring();
+    committed = true;
+}
+
+ExecResult
+Chip::execStart()
+{
+    fatalIf(!committed, "execStart before cfgCommit");
+    fatalIf(timeout_cycles == 0 && steady_tol <= 0.0,
+            "execStart: no timeout set and steady detection off; "
+            "computation would never stop");
+
+    circuit::RunOptions opts;
+    opts.timeout = timeout_cycles > 0
+                       ? timeoutSeconds()
+                       : std::numeric_limits<double>::infinity();
+    opts.steady_rate_tol = steady_tol;
+
+    if (capture_rate_hz > 0.0) {
+        capture_result = CapturedWaveform{};
+        capture_result.sample_rate_hz = capture_rate_hz;
+        capture_result.effective_bits =
+            cfg.spec.effectiveAdcBits(capture_rate_hz);
+        double next_sample = 0.0;
+        double period = 1.0 / capture_rate_hz;
+        opts.observer = [this, next_sample, period](
+                            double t, const la::Vector &y) mutable {
+            while (t >= next_sample) {
+                std::vector<double> row;
+                row.reserve(capture_adcs.size());
+                for (BlockId adc_id : capture_adcs) {
+                    double v = sim.inputValueAt(
+                        net.in(adc_id, 0), t, y);
+                    row.push_back(circuit::quantizeValue(
+                        v, capture_result.effective_bits));
+                }
+                capture_result.times.push_back(t);
+                capture_result.samples.push_back(std::move(row));
+                next_sample += period;
+            }
+            if (exec_observer)
+                exec_observer(t, y);
+        };
+    } else {
+        opts.observer = exec_observer;
+    }
+
+    circuit::RunResult r = sim.run(opts);
+    ran = true;
+
+    ExecResult res;
+    res.analog_time = r.analog_time;
+    res.timed_out = r.reason == ode::StopReason::ReachedTEnd;
+    res.steady = r.reason == ode::StopReason::SteadyState;
+    res.any_exception = r.any_exception;
+    res.sim_steps = r.steps;
+    return res;
+}
+
+void
+Chip::execStop()
+{
+    // Integration already halted when execStart returned (timeout or
+    // steady); the instruction exists so host code can express the
+    // protocol of Table I.
+}
+
+void
+Chip::enableWaveformCapture(double sample_rate_hz,
+                            std::vector<BlockId> adc_blocks)
+{
+    fatalIf(sample_rate_hz <= 0.0,
+            "enableWaveformCapture: rate must be positive");
+    fatalIf(adc_blocks.empty(),
+            "enableWaveformCapture: no ADCs selected");
+    for (BlockId id : adc_blocks)
+        checkKind(id, BlockKind::Adc, "ADC");
+    capture_rate_hz = sample_rate_hz;
+    capture_adcs = std::move(adc_blocks);
+}
+
+void
+Chip::disableWaveformCapture()
+{
+    capture_rate_hz = 0.0;
+    capture_adcs.clear();
+}
+
+void
+Chip::setAnaInputEn(BlockId ext_in_block,
+                    std::function<double(double)> stimulus)
+{
+    checkKind(ext_in_block, BlockKind::ExtIn, "analog input");
+    net.params(ext_in_block).ext_in = std::move(stimulus);
+}
+
+void
+Chip::writeParallel(std::uint8_t data)
+{
+    parallel_reg = data;
+}
+
+std::vector<std::uint8_t>
+Chip::readSerial()
+{
+    fatalIf(!ran, "readSerial before any execStart");
+    std::vector<std::uint8_t> bytes;
+    std::size_t per_code = (cfg.spec.adc_bits + 7) / 8;
+    for (BlockId a : adc) {
+        std::int64_t code = sim.adcReadCode(a);
+        for (std::size_t k = 0; k < per_code; ++k)
+            bytes.push_back(
+                static_cast<std::uint8_t>((code >> (8 * k)) & 0xff));
+    }
+    return bytes;
+}
+
+double
+Chip::analogAvg(BlockId adc_block, std::size_t samples)
+{
+    checkKind(adc_block, BlockKind::Adc, "ADC");
+    fatalIf(!ran, "analogAvg before any execStart");
+    return sim.adcReadAveraged(adc_block, samples);
+}
+
+double
+Chip::readAdc(BlockId adc_block)
+{
+    checkKind(adc_block, BlockKind::Adc, "ADC");
+    fatalIf(!ran, "readAdc before any execStart");
+    return sim.adcRead(adc_block);
+}
+
+std::vector<std::uint8_t>
+Chip::readExp() const
+{
+    return sim.exceptionLatches();
+}
+
+bool
+Chip::anyException() const
+{
+    return sim.anyException();
+}
+
+void
+Chip::clearExceptions()
+{
+    sim.clearExceptions();
+}
+
+} // namespace aa::chip

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * The analog accelerator chip.
+ *
+ * Models the prototype of Guo et al. the paper evaluates (Figures 2
+ * and 3): four macroblocks — each with one integrator, two
+ * multipliers, two current-copying fanout blocks, one analog input
+ * and one analog output — where every two macroblocks share an 8-bit
+ * ADC, an 8-bit DAC, and a 256-deep nonlinear-function SRAM LUT, all
+ * interconnected by a full crossbar. Configuration lives in digital
+ * registers ("only static configuration, akin to the program, and no
+ * dynamic computational data").
+ *
+ * Larger design points (more macroblocks, higher bandwidth, 12-bit
+ * ADCs) are the same class with a different ChipGeometry/AnalogSpec —
+ * how the paper's projections are built.
+ */
+
+#ifndef AA_CHIP_CHIP_HH
+#define AA_CHIP_CHIP_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "aa/circuit/netlist.hh"
+#include "aa/circuit/simulator.hh"
+#include "aa/circuit/spec.hh"
+
+namespace aa::chip {
+
+using circuit::BlockId;
+using circuit::PortRef;
+
+/** Physical unit inventory of a chip design point. */
+struct ChipGeometry {
+    std::size_t macroblocks = 4; ///< the prototype has four
+    std::size_t integrators_per_mb = 1;
+    std::size_t multipliers_per_mb = 2;
+    std::size_t fanouts_per_mb = 2;
+    std::size_t fanout_copies = 2;
+    std::size_t ext_in_per_mb = 1;
+    std::size_t ext_out_per_mb = 1;
+    /** ADC/DAC/LUT are shared between this many macroblocks. */
+    std::size_t mb_per_shared = 2;
+
+    std::size_t integrators() const;
+    std::size_t multipliers() const;
+    std::size_t fanouts() const;
+    std::size_t extIns() const;
+    std::size_t extOuts() const;
+    std::size_t adcs() const;
+    std::size_t dacs() const;
+    std::size_t luts() const;
+};
+
+/** Full configuration of one chip instance. */
+struct ChipConfig {
+    ChipGeometry geometry;
+    circuit::AnalogSpec spec;
+    std::uint64_t die_seed = 1; ///< process-variation corner
+    /** Digital control/SPI clock used to convert timeout cycles. */
+    double ctrl_clock_hz = 1e6;
+};
+
+/** How an execStart run ended. */
+struct ExecResult {
+    double analog_time = 0.0; ///< seconds of analog computation
+    bool timed_out = false;   ///< hit the setTimeout budget
+    bool steady = false;      ///< converged before the timeout
+    bool any_exception = false;
+    std::size_t sim_steps = 0; ///< host-simulator effort (not chip)
+};
+
+/**
+ * A chip instance: fixed hardware inventory, reconfigurable crossbar
+ * and registers. The mutating methods below are the device-side
+ * semantics of the Table I instructions; the host-facing typed API
+ * (with SPI framing) is aa::isa::AcceleratorDriver.
+ */
+class Chip
+{
+  public:
+    explicit Chip(const ChipConfig &config);
+
+    // --- resource discovery -------------------------------------
+    const std::vector<BlockId> &integrators() const { return integ; }
+    const std::vector<BlockId> &multipliers() const { return muls; }
+    const std::vector<BlockId> &fanouts() const { return fans; }
+    const std::vector<BlockId> &adcs() const { return adc; }
+    const std::vector<BlockId> &dacs() const { return dac; }
+    const std::vector<BlockId> &luts() const { return lut; }
+    const std::vector<BlockId> &extIns() const { return ext_in; }
+    const std::vector<BlockId> &extOuts() const { return ext_out; }
+
+    const ChipConfig &config() const { return cfg; }
+    circuit::Netlist &netlist() { return net; }
+    const circuit::Netlist &netlist() const { return net; }
+
+    // --- Table I: control ----------------------------------------
+    /** `init`: calibrate all function units (binary-searched trims). */
+    void init();
+    bool calibrated() const { return calibrated_; }
+
+    /** `execStart` .. automatic stop at timeout (or steady state). */
+    ExecResult execStart();
+    /** `execStop`: freeze integrators (idempotent bookkeeping). */
+    void execStop();
+
+    // --- Table I: configuration ----------------------------------
+    void setConn(PortRef from, PortRef to);
+    void setIntInitial(BlockId integrator, double value);
+    void setMulGain(BlockId multiplier, double gain);
+    void setFunction(BlockId lut,
+                     const std::function<double(double)> &fn);
+    /** Load raw quantized LUT codes (what the SPI link carries). */
+    void setFunctionCodes(BlockId lut,
+                          const std::vector<std::uint8_t> &codes);
+    void setDacConstant(BlockId dac, double value);
+    void setTimeout(std::uint64_t ctrl_clock_cycles);
+    double timeoutSeconds() const;
+    /** Clear all crossbar connections (start of a new mapping). */
+    void clearConnections();
+    /** `cfgCommit`: validate and latch configuration for execution. */
+    void cfgCommit();
+
+    // --- Table I: data -------------------------------------------
+    void setAnaInputEn(BlockId ext_in_block,
+                       std::function<double(double)> stimulus);
+    void writeParallel(std::uint8_t data);
+    std::uint8_t parallelRegister() const { return parallel_reg; }
+    /** `readSerial`: latest codes of all ADCs, in resource order. */
+    std::vector<std::uint8_t> readSerial();
+    /** `analogAvg`: averaged multi-sample read of one ADC. */
+    double analogAvg(BlockId adc_block, std::size_t samples);
+    /** Single-sample full-scale value of one ADC. */
+    double readAdc(BlockId adc_block);
+
+    // --- Table I: exceptions -------------------------------------
+    /** `readExp`: sticky per-unit overflow latch vector. */
+    std::vector<std::uint8_t> readExp() const;
+    bool anyException() const;
+    void clearExceptions();
+
+    /** Host knob: let execStart stop early once integrators settle
+     *  (rate threshold in full-scale units per second; <=0 off). */
+    void setSteadyDetect(double rate_tol) { steady_tol = rate_tol; }
+
+    // --- waveform sampling (Section II-B) -------------------------
+    /**
+     * Sample selected ADCs during the next execStart at the given
+     * rate. Resolution follows the spec's rate/resolution trade-off:
+     * fast sampling costs effective bits
+     * (AnalogSpec::effectiveAdcBits), which is why the linear-algebra
+     * flow reads only the steady state at full resolution.
+     */
+    void enableWaveformCapture(double sample_rate_hz,
+                               std::vector<BlockId> adc_blocks);
+    void disableWaveformCapture();
+
+    /** A digitized waveform from the last captured run. */
+    struct CapturedWaveform {
+        double sample_rate_hz = 0.0;
+        std::size_t effective_bits = 0;
+        std::vector<double> times;
+        /** Per sample, one decoded value per captured ADC. */
+        std::vector<std::vector<double>> samples;
+    };
+    const CapturedWaveform &capturedWaveform() const
+    {
+        return capture_result;
+    }
+
+    /**
+     * Attach a scope probe over the whole simulation state during
+     * execStart — a modelling instrument (the physical equivalent is
+     * an oscilloscope on the analog output pads). Pass nullptr to
+     * detach.
+     */
+    void
+    setExecObserver(
+        std::function<void(double, const la::Vector &)> observer)
+    {
+        exec_observer = std::move(observer);
+    }
+
+    /** Direct access for tests and the calibration engine. */
+    circuit::Simulator &simulator() { return sim; }
+    const circuit::Simulator &simulator() const { return sim; }
+
+  private:
+    void buildNetlist();
+    void checkKind(BlockId id, circuit::BlockKind kind,
+                   const char *what) const;
+
+    ChipConfig cfg;
+    circuit::Netlist net;
+    circuit::Simulator sim;
+
+    std::vector<BlockId> integ, muls, fans, adc, dac, lut, ext_in,
+        ext_out;
+
+    std::uint64_t timeout_cycles = 0;
+    double steady_tol = -1.0;
+    std::function<void(double, const la::Vector &)> exec_observer;
+
+    double capture_rate_hz = 0.0; ///< 0 = capture disabled
+    std::vector<BlockId> capture_adcs;
+    CapturedWaveform capture_result;
+    bool committed = false;
+    bool calibrated_ = false;
+    bool ran = false;
+    std::uint8_t parallel_reg = 0;
+};
+
+} // namespace aa::chip
+
+#endif // AA_CHIP_CHIP_HH

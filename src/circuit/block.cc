@@ -1,0 +1,66 @@
+#include "aa/circuit/block.hh"
+
+#include "aa/common/logging.hh"
+
+namespace aa::circuit {
+
+const char *
+blockKindName(BlockKind k)
+{
+    switch (k) {
+      case BlockKind::Integrator: return "integrator";
+      case BlockKind::MulGain: return "mul_gain";
+      case BlockKind::MulVar: return "mul_var";
+      case BlockKind::Fanout: return "fanout";
+      case BlockKind::Dac: return "dac";
+      case BlockKind::Adc: return "adc";
+      case BlockKind::Lut: return "lut";
+      case BlockKind::ExtIn: return "ext_in";
+      case BlockKind::ExtOut: return "ext_out";
+    }
+    panic("blockKindName: bad enum");
+}
+
+std::size_t
+numInputs(BlockKind kind)
+{
+    switch (kind) {
+      case BlockKind::Integrator:
+      case BlockKind::MulGain:
+      case BlockKind::Fanout:
+      case BlockKind::Adc:
+      case BlockKind::Lut:
+      case BlockKind::ExtOut:
+        return 1;
+      case BlockKind::MulVar:
+        return 2;
+      case BlockKind::Dac:
+      case BlockKind::ExtIn:
+        return 0;
+    }
+    panic("numInputs: bad enum");
+}
+
+std::size_t
+numOutputs(BlockKind kind, const BlockParams &params)
+{
+    switch (kind) {
+      case BlockKind::Integrator:
+      case BlockKind::MulGain:
+      case BlockKind::MulVar:
+      case BlockKind::Dac:
+      case BlockKind::Lut:
+      case BlockKind::ExtIn:
+        return 1;
+      case BlockKind::Fanout:
+        fatalIf(params.copies < 1 || params.copies > 4,
+                "fanout copies must be 1..4, got ", params.copies);
+        return params.copies;
+      case BlockKind::Adc:
+      case BlockKind::ExtOut:
+        return 0;
+    }
+    panic("numOutputs: bad enum");
+}
+
+} // namespace aa::circuit

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Analog functional-unit descriptions.
+ *
+ * Mirrors the prototype chip's unit inventory (paper Figures 2/3):
+ * integrators, multipliers (constant-gain VGA mode and four-quadrant
+ * variable mode), current-copying fanouts, DACs for constant biases,
+ * ADCs for readout, SRAM lookup tables for nonlinear functions, and
+ * external analog input/output pads.
+ *
+ * Signals are currents: joining branches sums values for free, but a
+ * current cannot feed two places — copying requires a fanout block.
+ * The Netlist enforces that discipline.
+ */
+
+#ifndef AA_CIRCUIT_BLOCK_HH
+#define AA_CIRCUIT_BLOCK_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace aa::circuit {
+
+/** Kinds of analog functional units. */
+enum class BlockKind {
+    Integrator, ///< du/dt = rate * input; 1 in, 1 out
+    MulGain,    ///< out = gain * in (VGA); 1 in, 1 out
+    MulVar,     ///< out = in0 * in1 (four-quadrant); 2 in, 1 out
+    Fanout,     ///< current mirror; 1 in, `copies` outs
+    Dac,        ///< constant bias source; 0 in, 1 out
+    Adc,        ///< readout sampler; 1 in, 0 out
+    Lut,        ///< nonlinear function table; 1 in, 1 out
+    ExtIn,      ///< off-chip analog input; 0 in, 1 out
+    ExtOut      ///< off-chip analog output; 1 in, 0 out
+};
+
+const char *blockKindName(BlockKind k);
+
+/** Per-instance configuration of a block. */
+struct BlockParams {
+    double ic = 0.0;   ///< Integrator initial condition
+    double gain = 1.0; ///< MulGain coefficient
+    double level = 0.0; ///< Dac constant output
+    std::size_t copies = 2; ///< Fanout output count (1..4)
+    /**
+     * Lut contents: samples of f over the input range [-1, 1],
+     * evaluated with linear interpolation. Quantization to the spec's
+     * lut_bits happens when the table is loaded.
+     */
+    std::vector<double> table;
+    /** ExtIn stimulus as a function of time (empty = 0). */
+    std::function<double(double)> ext_in;
+    std::string name; ///< optional debug label
+};
+
+/** Number of input ports for a block kind/params combination. */
+std::size_t numInputs(BlockKind kind);
+
+/** Number of output ports (depends on copies for Fanout). */
+std::size_t numOutputs(BlockKind kind, const BlockParams &params);
+
+} // namespace aa::circuit
+
+#endif // AA_CIRCUIT_BLOCK_HH

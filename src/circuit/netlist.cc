@@ -1,0 +1,160 @@
+#include "aa/circuit/netlist.hh"
+
+#include <algorithm>
+
+#include "aa/common/logging.hh"
+
+namespace aa::circuit {
+
+BlockId
+Netlist::add(BlockKind kind, BlockParams params)
+{
+    // Validate fanout copies eagerly (numOutputs fatals on bad count).
+    numOutputs(kind, params);
+    kinds.push_back(kind);
+    parms.push_back(std::move(params));
+    return BlockId{kinds.size() - 1};
+}
+
+void
+Netlist::checkId(BlockId id) const
+{
+    fatalIf(!id.valid() || id.v >= kinds.size(),
+            "Netlist: invalid block id ", id.v);
+}
+
+PortRef
+Netlist::out(BlockId id, std::size_t port) const
+{
+    checkId(id);
+    fatalIf(port >= outputCount(id), "Netlist::out: port ", port,
+            " out of range for ", blockKindName(kinds[id.v]));
+    return PortRef{id, port};
+}
+
+PortRef
+Netlist::in(BlockId id, std::size_t port) const
+{
+    checkId(id);
+    fatalIf(port >= inputCount(id), "Netlist::in: port ", port,
+            " out of range for ", blockKindName(kinds[id.v]));
+    return PortRef{id, port};
+}
+
+void
+Netlist::connect(PortRef from, PortRef to)
+{
+    checkId(from.block);
+    checkId(to.block);
+    fatalIf(from.port >= outputCount(from.block),
+            "Netlist::connect: source port out of range");
+    fatalIf(to.port >= inputCount(to.block),
+            "Netlist::connect: destination port out of range");
+    fatalIf(outputInUse(from),
+            "Netlist::connect: output of ",
+            blockKindName(kinds[from.block.v]), " #", from.block.v,
+            " port ", from.port,
+            " already drives a node; currents cannot be copied "
+            "without a fanout block");
+    conns.push_back({from, to});
+}
+
+void
+Netlist::disconnectAll(BlockId id)
+{
+    checkId(id);
+    std::erase_if(conns, [id](const Connection &c) {
+        return c.from.block == id || c.to.block == id;
+    });
+}
+
+BlockKind
+Netlist::kind(BlockId id) const
+{
+    checkId(id);
+    return kinds[id.v];
+}
+
+const BlockParams &
+Netlist::params(BlockId id) const
+{
+    checkId(id);
+    return parms[id.v];
+}
+
+BlockParams &
+Netlist::params(BlockId id)
+{
+    checkId(id);
+    return parms[id.v];
+}
+
+std::size_t
+Netlist::inputCount(BlockId id) const
+{
+    checkId(id);
+    return numInputs(kinds[id.v]);
+}
+
+std::size_t
+Netlist::outputCount(BlockId id) const
+{
+    checkId(id);
+    return numOutputs(kinds[id.v], parms[id.v]);
+}
+
+std::vector<PortRef>
+Netlist::driversOf(PortRef input) const
+{
+    std::vector<PortRef> drivers;
+    for (const auto &c : conns)
+        if (c.to == input)
+            drivers.push_back(c.from);
+    return drivers;
+}
+
+bool
+Netlist::outputInUse(PortRef output) const
+{
+    return std::any_of(conns.begin(), conns.end(),
+                       [&](const Connection &c) {
+                           return c.from == output;
+                       });
+}
+
+std::vector<BlockId>
+Netlist::blocksOfKind(BlockKind kind) const
+{
+    std::vector<BlockId> ids;
+    for (std::size_t i = 0; i < kinds.size(); ++i)
+        if (kinds[i] == kind)
+            ids.push_back(BlockId{i});
+    return ids;
+}
+
+void
+Netlist::validate() const
+{
+    for (std::size_t i = 0; i < kinds.size(); ++i) {
+        BlockId id{i};
+        // Only blocks that are actually wired into the datapath are
+        // checked: a chip's unused units sit unconnected.
+        if (kinds[i] == BlockKind::MulVar &&
+            outputInUse(PortRef{id, 0})) {
+            for (std::size_t p = 0; p < 2; ++p) {
+                fatalIf(driversOf(PortRef{id, p}).empty(),
+                        "Netlist::validate: variable multiplier #", i,
+                        " drives a node but has floating input ", p);
+            }
+        }
+        if (kinds[i] == BlockKind::Lut &&
+            (outputInUse(PortRef{id, 0}) ||
+             !driversOf(PortRef{id, 0}).empty())) {
+            fatalIf(parms[i].table.size() < 2,
+                    "Netlist::validate: LUT #", i,
+                    " is wired but has no function loaded");
+        }
+    }
+}
+
+} // namespace aa::circuit

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Netlist of analog blocks and current connections.
+ *
+ * Connections join a source output port to a destination input port.
+ * Many sources may drive one input (currents sum at the node — the
+ * paper's "analog crossbars can sum values by simply joining
+ * branches"), but each output may drive only ONE input: duplicating a
+ * current requires a Fanout block, and the compiler must build fanout
+ * trees. connect() enforces this.
+ */
+
+#ifndef AA_CIRCUIT_NETLIST_HH
+#define AA_CIRCUIT_NETLIST_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "aa/circuit/block.hh"
+
+namespace aa::circuit {
+
+/** Opaque block handle. */
+struct BlockId {
+    std::size_t v = static_cast<std::size_t>(-1);
+    bool valid() const { return v != static_cast<std::size_t>(-1); }
+    bool operator==(const BlockId &o) const = default;
+};
+
+/** One port of one block (an output or an input by context). */
+struct PortRef {
+    BlockId block;
+    std::size_t port = 0;
+    bool operator==(const PortRef &o) const = default;
+};
+
+/** A directed current connection. */
+struct Connection {
+    PortRef from; ///< source output port
+    PortRef to;   ///< destination input port
+};
+
+/** Container for blocks and connections; validated before simulation. */
+class Netlist
+{
+  public:
+    /** Add a block; returns its handle. */
+    BlockId add(BlockKind kind, BlockParams params = {});
+
+    /** Convenience single-output port of a block. */
+    PortRef out(BlockId id, std::size_t port = 0) const;
+    /** Convenience input port of a block. */
+    PortRef in(BlockId id, std::size_t port = 0) const;
+
+    /**
+     * Connect an output to an input. fatal()s if either port is out
+     * of range or the output already drives something.
+     */
+    void connect(PortRef from, PortRef to);
+
+    /** Remove all connections touching the block (reconfiguration). */
+    void disconnectAll(BlockId id);
+
+    std::size_t numBlocks() const { return kinds.size(); }
+    BlockKind kind(BlockId id) const;
+    const BlockParams &params(BlockId id) const;
+    BlockParams &params(BlockId id);
+
+    std::size_t inputCount(BlockId id) const;
+    std::size_t outputCount(BlockId id) const;
+
+    const std::vector<Connection> &connections() const { return conns; }
+
+    /** All source ports feeding one input port. */
+    std::vector<PortRef> driversOf(PortRef input) const;
+
+    /** True if the given output port already drives an input. */
+    bool outputInUse(PortRef output) const;
+
+    /** All blocks of a kind, in insertion order. */
+    std::vector<BlockId> blocksOfKind(BlockKind kind) const;
+
+    /**
+     * Structural checks before simulation: port ranges valid and
+     * every MulVar has both inputs driven (a floating multiplier
+     * input would silently compute 0). Floating single inputs are
+     * legal (zero current). fatal()s on violation.
+     */
+    void validate() const;
+
+  private:
+    void checkId(BlockId id) const;
+
+    std::vector<BlockKind> kinds;
+    std::vector<BlockParams> parms;
+    std::vector<Connection> conns;
+};
+
+} // namespace aa::circuit
+
+#endif // AA_CIRCUIT_NETLIST_HH

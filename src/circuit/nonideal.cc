@@ -1,0 +1,99 @@
+#include "aa/circuit/nonideal.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "aa/common/logging.hh"
+
+namespace aa::circuit {
+
+OutputStage
+OutputStage::sample(const VariationModel &vm, Rng &rng)
+{
+    OutputStage s;
+    if (!vm.enabled)
+        return s;
+    s.offset = rng.gaussian(0.0, vm.offset_sigma);
+    s.gain_err = rng.gaussian(0.0, vm.gain_err_sigma);
+    s.cubic = std::fabs(rng.gaussian(0.0, vm.cubic));
+    return s;
+}
+
+double
+applyStage(const OutputStage &stage, const AnalogSpec &spec, double raw,
+           bool &overflow, bool monitored)
+{
+    double v = raw * (1.0 + stage.gain_err) * stage.trim_gain +
+               stage.offset + stage.trim_offset;
+    // Odd-order compression models the bending DC transfer
+    // characteristic near the range edges (expressed relative to the
+    // stage's own full scale so wide branches aren't over-bent).
+    v = v - stage.cubic * v * v * v /
+                (monitored ? 1.0
+                           : spec.branch_clip_range *
+                                 spec.branch_clip_range);
+    if (!monitored)
+        return std::clamp(v, -spec.branch_clip_range,
+                          spec.branch_clip_range);
+    if (std::fabs(v) > spec.linear_range)
+        overflow = true;
+    return std::clamp(v, -spec.clip_range, spec.clip_range);
+}
+
+int
+trimCodeMin(const AnalogSpec &spec)
+{
+    return -(1 << (spec.trim_bits - 1));
+}
+
+int
+trimCodeMax(const AnalogSpec &spec)
+{
+    return (1 << (spec.trim_bits - 1)) - 1;
+}
+
+double
+trimOffsetFromCode(const AnalogSpec &spec, int code)
+{
+    fatalIf(code < trimCodeMin(spec) || code > trimCodeMax(spec),
+            "trim offset code ", code, " out of range");
+    double step = spec.trim_range /
+                  static_cast<double>(1 << (spec.trim_bits - 1));
+    return static_cast<double>(code) * step;
+}
+
+double
+trimGainFromCode(const AnalogSpec &spec, int code)
+{
+    fatalIf(code < trimCodeMin(spec) || code > trimCodeMax(spec),
+            "trim gain code ", code, " out of range");
+    double step = spec.trim_range /
+                  static_cast<double>(1 << (spec.trim_bits - 1));
+    return 1.0 + static_cast<double>(code) * step;
+}
+
+std::int64_t
+quantizeCode(double v, std::size_t bits)
+{
+    panicIf(bits == 0 || bits > 24, "quantizeCode: bad bit width");
+    auto levels = static_cast<double>((1 << bits) - 1);
+    double x = (std::clamp(v, -1.0, 1.0) + 1.0) / 2.0 * levels;
+    auto code = static_cast<std::int64_t>(std::llround(x));
+    return std::clamp<std::int64_t>(code, 0, (1 << bits) - 1);
+}
+
+double
+codeToValue(std::int64_t code, std::size_t bits)
+{
+    panicIf(bits == 0 || bits > 24, "codeToValue: bad bit width");
+    auto levels = static_cast<double>((1 << bits) - 1);
+    return static_cast<double>(code) / levels * 2.0 - 1.0;
+}
+
+double
+quantizeValue(double v, std::size_t bits)
+{
+    return codeToValue(quantizeCode(v, bits), bits);
+}
+
+} // namespace aa::circuit

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Non-ideal analog behavior: the three error sources the paper's
+ * calibration flow targets (Section III-B) — offset bias, gain error,
+ * nonlinearity — plus saturation and the trim DACs that compensate
+ * the first two.
+ *
+ * Errors are sampled per OUTPUT PORT (each fanout copy mismatches
+ * independently, as real current mirrors do) from a per-chip seeded
+ * RNG, so every simulated die is a distinct but reproducible process
+ * corner.
+ */
+
+#ifndef AA_CIRCUIT_NONIDEAL_HH
+#define AA_CIRCUIT_NONIDEAL_HH
+
+#include <cstdint>
+
+#include "aa/circuit/spec.hh"
+#include "aa/common/rng.hh"
+
+namespace aa::circuit {
+
+/** Error state and trim settings of one output port. */
+struct OutputStage {
+    // Process variation (fixed at die "fabrication").
+    double offset = 0.0;   ///< additive output shift
+    double gain_err = 0.0; ///< relative gain error
+    double cubic = 0.0;    ///< compression y = v - cubic * v^3
+
+    // Calibration trims (set by the host; quantized codes).
+    double trim_offset = 0.0;
+    double trim_gain = 1.0;
+
+    /** Sample fresh variation values from the model. */
+    static OutputStage sample(const VariationModel &vm, Rng &rng);
+};
+
+/**
+ * Push an ideal value through one output stage: gain error and trim,
+ * offset and trim, cubic compression, hard clip.
+ *
+ * `monitored` selects the range model: monitored stages (integrator
+ * signal paths, ADC inputs) clip at the spec's clip_range and set
+ * `overflow` past the linear range — the on-chip comparators of
+ * Section III-B. Unmonitored stages (current-mode branches through
+ * multipliers, fanouts, DACs, LUTs) clip only at the branch
+ * compliance and never flag.
+ */
+double applyStage(const OutputStage &stage, const AnalogSpec &spec,
+                  double raw, bool &overflow, bool monitored = true);
+
+/** Map a signed trim code to its additive offset trim value. */
+double trimOffsetFromCode(const AnalogSpec &spec, int code);
+
+/** Map a signed trim code to its multiplicative gain trim value. */
+double trimGainFromCode(const AnalogSpec &spec, int code);
+
+/** Inclusive trim-code range implied by trim_bits. */
+int trimCodeMin(const AnalogSpec &spec);
+int trimCodeMax(const AnalogSpec &spec);
+
+/** Quantize v in [-1, 1] to a bits-wide code (clamped). */
+std::int64_t quantizeCode(double v, std::size_t bits);
+
+/** Reconstruct the value a code represents. */
+double codeToValue(std::int64_t code, std::size_t bits);
+
+/** Round-trip quantization v -> code -> value. */
+double quantizeValue(double v, std::size_t bits);
+
+} // namespace aa::circuit
+
+#endif // AA_CIRCUIT_NONIDEAL_HH

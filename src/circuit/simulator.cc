@@ -1,0 +1,552 @@
+#include "aa/circuit/simulator.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "aa/common/logging.hh"
+
+namespace aa::circuit {
+
+namespace {
+
+/** Piecewise-linear evaluation of a LUT over the input range [-1,1]. */
+double
+lutEval(const std::vector<double> &table, std::size_t lut_bits,
+        double x)
+{
+    panicIf(table.size() < 2, "lutEval: table not loaded");
+    double clamped = std::clamp(x, -1.0, 1.0);
+    double pos = (clamped + 1.0) / 2.0 *
+                 static_cast<double>(table.size() - 1);
+    auto i0 = static_cast<std::size_t>(pos);
+    if (i0 >= table.size() - 1)
+        i0 = table.size() - 2;
+    double w = pos - static_cast<double>(i0);
+    double lo = quantizeValue(table[i0], lut_bits);
+    double hi = quantizeValue(table[i0 + 1], lut_bits);
+    return (1.0 - w) * lo + w * hi;
+}
+
+} // namespace
+
+/** The OdeSystem the netlist becomes. */
+class Simulator::Dynamics : public ode::OdeSystem
+{
+  public:
+    Dynamics(Simulator &sim) : sim(sim) {}
+
+    std::size_t
+    size() const override
+    {
+        return sim.stateCount();
+    }
+
+    void
+    rhs(double t, const la::Vector &y, la::Vector &dydt) const override
+    {
+        if (sim.spec_.mode == SimMode::Bandwidth)
+            rhsBandwidth(t, y, dydt);
+        else
+            rhsIdeal(t, y, dydt);
+    }
+
+    /** All flat output-port values implied by a state vector. */
+    la::Vector
+    portValues(double t, const la::Vector &y) const
+    {
+        if (sim.spec_.mode == SimMode::Bandwidth)
+            return y; // states are the port values
+        la::Vector vals(sim.out_ports.size());
+        evalIdealPorts(t, y, vals);
+        return vals;
+    }
+
+  private:
+    /** Summed current into (block b, input port p) from `vals`. */
+    double
+    inputOf(std::size_t b, std::size_t p, const la::Vector &vals) const
+    {
+        double acc = 0.0;
+        for (std::size_t src : sim.inputs[b][p])
+            acc += vals[src];
+        return acc;
+    }
+
+    /** Raw (pre-output-stage) value of one combinational output. */
+    double
+    rawOutput(std::size_t b, double t, const la::Vector &vals) const
+    {
+        BlockId id{b};
+        const BlockParams &bp = sim.net.params(id);
+        switch (sim.net.kind(id)) {
+          case BlockKind::MulGain:
+            return bp.gain * inputOf(b, 0, vals);
+          case BlockKind::MulVar:
+            return inputOf(b, 0, vals) * inputOf(b, 1, vals);
+          case BlockKind::Fanout:
+            return inputOf(b, 0, vals);
+          case BlockKind::Dac:
+            return quantizeValue(bp.level, sim.spec_.dac_bits);
+          case BlockKind::Lut:
+            // Unconfigured LUTs sit unwired (validate() enforces it)
+            // and contribute nothing.
+            if (bp.table.size() < 2)
+                return 0.0;
+            return lutEval(bp.table, sim.spec_.lut_bits,
+                           inputOf(b, 0, vals));
+          case BlockKind::ExtIn:
+            return bp.ext_in ? bp.ext_in(t) : 0.0;
+          default:
+            panic("rawOutput: block kind has no combinational output");
+        }
+    }
+
+    /** Integrator derivative with input-stage errors + anti-windup. */
+    double
+    integratorDeriv(std::size_t b, std::size_t flat, double state,
+                    const la::Vector &vals) const
+    {
+        bool ovf = false;
+        double drive = applyStage(sim.stages[flat], sim.spec_,
+                                  inputOf(b, 0, vals), ovf);
+        if (ovf)
+            sim.latches[b] = 1;
+        if (std::fabs(state) > sim.spec_.linear_range)
+            sim.latches[b] = 1;
+        double d = sim.spec_.integratorRate() * drive;
+        // Saturated integrators stop accumulating outward.
+        if ((state >= sim.spec_.clip_range && d > 0.0) ||
+            (state <= -sim.spec_.clip_range && d < 0.0)) {
+            d = 0.0;
+        }
+        return d;
+    }
+
+    void
+    checkSinkOverflow(const la::Vector &vals) const
+    {
+        for (std::size_t b : sim.sink_blocks) {
+            double v = inputOf(b, 0, vals);
+            if (std::fabs(v) > sim.spec_.linear_range)
+                sim.latches[b] = 1;
+        }
+    }
+
+    void
+    rhsBandwidth(double t, const la::Vector &y,
+                 la::Vector &dydt) const
+    {
+        double lag = sim.spec_.lagRate();
+        for (std::size_t b = 0; b < sim.net.numBlocks(); ++b) {
+            BlockId id{b};
+            BlockKind kind = sim.net.kind(id);
+            std::size_t base = sim.out_base[b];
+            std::size_t nout = sim.net.outputCount(id);
+            if (kind == BlockKind::Integrator) {
+                dydt[base] = integratorDeriv(b, base, y[base], y);
+                continue;
+            }
+            for (std::size_t o = 0; o < nout; ++o) {
+                std::size_t f = base + o;
+                bool ovf = false;
+                // Branch stages are unmonitored (only integrators
+                // and ADCs carry comparators, Section III-B).
+                double target =
+                    applyStage(sim.stages[f], sim.spec_,
+                               rawOutput(b, t, y), ovf,
+                               /*monitored=*/false);
+                dydt[f] = lag * (target - y[f]);
+            }
+        }
+        checkSinkOverflow(y);
+    }
+
+    /** Fill `vals` for all ports given integrator states (Ideal). */
+    void
+    evalIdealPorts(double t, const la::Vector &y,
+                   la::Vector &vals) const
+    {
+        // Integrator outputs come straight from the state vector.
+        for (std::size_t k = 0; k < sim.integ_flats.size(); ++k)
+            vals[sim.integ_flats[k]] = y[k];
+
+        // Source blocks (DACs, external inputs) are input-free and
+        // evaluate directly.
+        for (std::size_t b = 0; b < sim.net.numBlocks(); ++b) {
+            BlockKind kind = sim.net.kind(BlockId{b});
+            if (kind != BlockKind::Dac && kind != BlockKind::ExtIn)
+                continue;
+            std::size_t f = sim.out_base[b];
+            bool ovf = false;
+            vals[f] = applyStage(sim.stages[f], sim.spec_,
+                                 rawOutput(b, t, vals), ovf,
+                                 /*monitored=*/false);
+        }
+
+        for (std::size_t b : sim.topo) {
+            BlockId id{b};
+            std::size_t base = sim.out_base[b];
+            std::size_t nout = sim.net.outputCount(id);
+            for (std::size_t o = 0; o < nout; ++o) {
+                std::size_t f = base + o;
+                bool ovf = false;
+                vals[f] = applyStage(sim.stages[f], sim.spec_,
+                                     rawOutput(b, t, vals), ovf,
+                                     /*monitored=*/false);
+            }
+        }
+    }
+
+    void
+    rhsIdeal(double t, const la::Vector &y, la::Vector &dydt) const
+    {
+        la::Vector vals(sim.out_ports.size());
+        evalIdealPorts(t, y, vals);
+        for (std::size_t k = 0; k < sim.integ_flats.size(); ++k) {
+            std::size_t f = sim.integ_flats[k];
+            std::size_t b = sim.out_ports[f].block.v;
+            dydt[k] = integratorDeriv(b, f, y[k], vals);
+        }
+        checkSinkOverflow(vals);
+    }
+
+    Simulator &sim;
+
+    friend class Simulator;
+};
+
+Simulator::Simulator(const Netlist &netlist, const AnalogSpec &spec,
+                     std::uint64_t die_seed)
+    : net(netlist), spec_(spec), rng(die_seed)
+{
+    net.validate();
+    buildIndex();
+    if (spec_.mode == SimMode::Ideal)
+        buildTopoOrder();
+    latches.assign(net.numBlocks(), 0);
+}
+
+void
+Simulator::buildIndex()
+{
+    out_base.assign(net.numBlocks(), 0);
+    for (std::size_t b = 0; b < net.numBlocks(); ++b) {
+        BlockId id{b};
+        out_base[b] = out_ports.size();
+        std::size_t nout = net.outputCount(id);
+        for (std::size_t o = 0; o < nout; ++o) {
+            out_ports.push_back(PortRef{id, o});
+            stages.push_back(
+                OutputStage::sample(spec_.variation, rng));
+            if (net.kind(id) == BlockKind::Integrator)
+                integ_flats.push_back(out_ports.size() - 1);
+        }
+        if (net.inputCount(id) >= 1 && nout == 0)
+            sink_blocks.push_back(b);
+    }
+
+    // Wire input lookup tables.
+    inputs.resize(net.numBlocks());
+    for (std::size_t b = 0; b < net.numBlocks(); ++b)
+        inputs[b].resize(net.inputCount(BlockId{b}));
+    for (const auto &c : net.connections()) {
+        std::size_t flat = flatOutput(c.from);
+        inputs[c.to.block.v][c.to.port].push_back(flat);
+    }
+}
+
+void
+Simulator::buildTopoOrder()
+{
+    // Kahn's algorithm over combinational blocks only; integrators,
+    // DACs and external inputs are sources whose values are known.
+    auto is_comb = [&](std::size_t b) {
+        switch (net.kind(BlockId{b})) {
+          case BlockKind::MulGain:
+          case BlockKind::MulVar:
+          case BlockKind::Fanout:
+          case BlockKind::Lut:
+            return true;
+          default:
+            return false;
+        }
+    };
+
+    std::vector<std::size_t> indeg(net.numBlocks(), 0);
+    for (const auto &c : net.connections()) {
+        std::size_t src = c.from.block.v;
+        std::size_t dst = c.to.block.v;
+        if (is_comb(src) && is_comb(dst))
+            ++indeg[dst];
+    }
+
+    std::deque<std::size_t> ready;
+    std::size_t comb_count = 0;
+    for (std::size_t b = 0; b < net.numBlocks(); ++b) {
+        if (!is_comb(b))
+            continue;
+        ++comb_count;
+        if (indeg[b] == 0)
+            ready.push_back(b);
+    }
+
+    topo.clear();
+    while (!ready.empty()) {
+        std::size_t b = ready.front();
+        ready.pop_front();
+        topo.push_back(b);
+        for (const auto &c : net.connections()) {
+            if (c.from.block.v != b)
+                continue;
+            std::size_t dst = c.to.block.v;
+            if (is_comb(dst) && --indeg[dst] == 0)
+                ready.push_back(dst);
+        }
+    }
+    fatalIf(topo.size() != comb_count,
+            "Simulator: algebraic loop through combinational blocks; "
+            "SimMode::Ideal cannot evaluate it, use SimMode::Bandwidth");
+}
+
+std::size_t
+Simulator::flatOutput(PortRef out) const
+{
+    return out_base[out.block.v] + out.port;
+}
+
+std::size_t
+Simulator::stateCount() const
+{
+    return spec_.mode == SimMode::Bandwidth ? out_ports.size()
+                                            : integ_flats.size();
+}
+
+std::size_t
+Simulator::stateIndexOf(PortRef out) const
+{
+    std::size_t flat = flatOutput(out);
+    if (spec_.mode == SimMode::Bandwidth)
+        return flat;
+    for (std::size_t k = 0; k < integ_flats.size(); ++k)
+        if (integ_flats[k] == flat)
+            return k;
+    return static_cast<std::size_t>(-1);
+}
+
+la::Vector
+Simulator::initialState() const
+{
+    if (spec_.mode == SimMode::Ideal) {
+        la::Vector y(integ_flats.size());
+        for (std::size_t k = 0; k < integ_flats.size(); ++k) {
+            const auto &p =
+                net.params(out_ports[integ_flats[k]].block);
+            y[k] = p.ic;
+        }
+        return y;
+    }
+    // Bandwidth mode: integrators at their ICs, lag states start at 0
+    // (the configuration phase holds signal paths quiescent).
+    la::Vector y(out_ports.size());
+    for (std::size_t f : integ_flats)
+        y[f] = net.params(out_ports[f].block).ic;
+    return y;
+}
+
+RunResult
+Simulator::run(const RunOptions &opts)
+{
+    Dynamics dyn(*this);
+
+    ode::IntegrateOptions iopts;
+    iopts.method = opts.method;
+    double fastest = spec_.mode == SimMode::Bandwidth
+                         ? spec_.lagRate()
+                         : spec_.integratorRate();
+    iopts.dt = 0.01 / fastest;
+    iopts.abs_tol = opts.abs_tol;
+    iopts.rel_tol = opts.rel_tol;
+    iopts.max_steps = opts.max_steps;
+    iopts.steady_tol = opts.steady_rate_tol;
+    iopts.observer = opts.observer;
+    if (spec_.mode == SimMode::Bandwidth) {
+        // Only integrator drift is monitored for steady state; lag
+        // states carry derivative noise scaled by the branch poles.
+        // And no steady verdict before the branch lags have charged:
+        // at t = 0 every lag output is zero and integrators are
+        // spuriously quiet.
+        iopts.steady_indices = integ_flats;
+        iopts.steady_min_time = 20.0 / spec_.lagRate();
+    }
+
+    auto r = ode::integrate(dyn, initialState(), 0.0, opts.timeout,
+                            iopts);
+
+    last_state = std::move(r.y);
+    last_time = r.t;
+    last_port_values = dyn.portValues(last_time, last_state);
+    has_run = true;
+
+    RunResult res;
+    res.analog_time = r.t;
+    res.steps = r.steps;
+    res.rhs_evals = r.rhs_evals;
+    res.reason = r.reason;
+    res.any_exception = anyException();
+    return res;
+}
+
+double
+Simulator::outputValue(PortRef out) const
+{
+    panicIf(!has_run, "Simulator::outputValue before run()");
+    return last_port_values[flatOutput(out)];
+}
+
+double
+Simulator::inputValue(PortRef in) const
+{
+    panicIf(!has_run, "Simulator::inputValue before run()");
+    double acc = 0.0;
+    for (std::size_t src : inputs[in.block.v][in.port])
+        acc += last_port_values[src];
+    return acc;
+}
+
+double
+Simulator::inputValueAt(PortRef in, double t, const la::Vector &y)
+{
+    Dynamics dyn(*this);
+    la::Vector vals = dyn.portValues(t, y);
+    double acc = 0.0;
+    for (std::size_t src : inputs[in.block.v][in.port])
+        acc += vals[src];
+    return acc;
+}
+
+std::int64_t
+Simulator::adcReadCode(BlockId adc)
+{
+    fatalIf(net.kind(adc) != BlockKind::Adc,
+            "adcReadCode: block is not an ADC");
+    double v = inputValue(net.in(adc, 0));
+    if (std::fabs(v) > spec_.linear_range)
+        latches[adc.v] = 1;
+    v += rng.gaussian(0.0, spec_.adc_noise_sigma);
+    return quantizeCode(v, spec_.adc_bits);
+}
+
+double
+Simulator::adcRead(BlockId adc)
+{
+    return codeToValue(adcReadCode(adc), spec_.adc_bits);
+}
+
+double
+Simulator::adcReadAveraged(BlockId adc, std::size_t samples)
+{
+    fatalIf(samples == 0, "adcReadAveraged: need at least one sample");
+    double acc = 0.0;
+    for (std::size_t s = 0; s < samples; ++s)
+        acc += adcRead(adc);
+    return acc / static_cast<double>(samples);
+}
+
+bool
+Simulator::anyException() const
+{
+    return std::any_of(latches.begin(), latches.end(),
+                       [](std::uint8_t v) { return v != 0; });
+}
+
+void
+Simulator::clearExceptions()
+{
+    std::fill(latches.begin(), latches.end(), 0);
+}
+
+double
+Simulator::dcTransfer(BlockId block, double in0, double in1,
+                      std::size_t out_port)
+{
+    BlockKind kind = net.kind(block);
+    double raw = 0.0;
+    switch (kind) {
+      case BlockKind::MulGain:
+        raw = net.params(block).gain * in0;
+        break;
+      case BlockKind::MulVar:
+        raw = in0 * in1;
+        break;
+      case BlockKind::Fanout:
+      case BlockKind::Integrator:
+        raw = in0;
+        break;
+      case BlockKind::Dac:
+        raw = quantizeValue(net.params(block).level, spec_.dac_bits);
+        break;
+      case BlockKind::Lut:
+        raw = net.params(block).table.size() < 2
+                  ? 0.0
+                  : lutEval(net.params(block).table, spec_.lut_bits,
+                            in0);
+        break;
+      case BlockKind::ExtIn:
+        raw = net.params(block).ext_in
+                  ? net.params(block).ext_in(0.0)
+                  : 0.0;
+        break;
+      case BlockKind::Adc:
+      case BlockKind::ExtOut:
+        return in0; // sinks have no output stage
+    }
+    bool ovf = false;
+    std::size_t f = out_base[block.v] + out_port;
+    panicIf(out_port >= net.outputCount(block),
+            "dcTransfer: output port out of range");
+    // Calibration probes must see the unclipped transfer; latches
+    // are not exercised on the measurement path.
+    return applyStage(stages[f], spec_, raw, ovf,
+                      /*monitored=*/false);
+}
+
+OutputStage &
+Simulator::stage(PortRef out)
+{
+    return stages[flatOutput(out)];
+}
+
+const OutputStage &
+Simulator::stage(PortRef out) const
+{
+    return stages[flatOutput(out)];
+}
+
+void
+Simulator::refreshWiring()
+{
+    panicIf(net.numBlocks() != out_base.size(),
+            "refreshWiring: block set changed; the die is fixed");
+    net.validate();
+    for (auto &per_block : inputs)
+        for (auto &per_port : per_block)
+            per_port.clear();
+    for (const auto &c : net.connections()) {
+        std::size_t flat = flatOutput(c.from);
+        inputs[c.to.block.v][c.to.port].push_back(flat);
+    }
+    if (spec_.mode == SimMode::Ideal)
+        buildTopoOrder();
+    has_run = false;
+}
+
+void
+Simulator::setTrimCodes(PortRef out, int offset_code, int gain_code)
+{
+    OutputStage &s = stages[flatOutput(out)];
+    s.trim_offset = trimOffsetFromCode(spec_, offset_code);
+    s.trim_gain = trimGainFromCode(spec_, gain_code);
+}
+
+} // namespace aa::circuit

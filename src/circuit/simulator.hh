@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Continuous-time simulation of a configured analog netlist.
+ *
+ * The whole circuit becomes one OdeSystem. In SimMode::Bandwidth every
+ * output port is a first-order state driven toward its ideal value at
+ * the block's cutoff (integrators integrate their input); convergence
+ * rate is then genuinely limited by the design's analog bandwidth, as
+ * in the paper. SimMode::Ideal keeps state only in integrators and
+ * evaluates combinational blocks in topological order — faster, and
+ * the paper's idealized-analog ablation.
+ *
+ * This plays the role of the authors' Cadence Virtuoso circuit
+ * simulations: small configurations run here to validate and
+ * calibrate the analytical large-N model in aa_cost.
+ */
+
+#ifndef AA_CIRCUIT_SIMULATOR_HH
+#define AA_CIRCUIT_SIMULATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "aa/circuit/netlist.hh"
+#include "aa/circuit/nonideal.hh"
+#include "aa/circuit/spec.hh"
+#include "aa/ode/integrator.hh"
+#include "aa/ode/system.hh"
+
+namespace aa::circuit {
+
+/** Options for one computation run (execStart .. execStop). */
+struct RunOptions {
+    /** Wall-clock budget in seconds of *analog* time (the chip's
+     *  setTimeout). Infinite is allowed with a steady stop. */
+    double timeout = 1.0;
+
+    /**
+     * Steady-state stop: halt when every integrator's |du/dt| falls
+     * below this rate (in full-scale units per second). <= 0 runs to
+     * the timeout.
+     */
+    double steady_rate_tol = -1.0;
+
+    /** ODE method used to simulate the analog dynamics. */
+    ode::Method method = ode::Method::Dopri5;
+    double abs_tol = 1e-9;
+    double rel_tol = 1e-7;
+    std::size_t max_steps = 20'000'000;
+
+    /** Observer over (analog time, full state vector). */
+    std::function<void(double, const la::Vector &)> observer;
+};
+
+/** Outcome of one run. */
+struct RunResult {
+    double analog_time = 0.0; ///< seconds of simulated analog time
+    std::size_t steps = 0;
+    std::size_t rhs_evals = 0;
+    ode::StopReason reason = ode::StopReason::ReachedTEnd;
+    bool any_exception = false;
+};
+
+/** Simulates one configured netlist on one (seeded) die. */
+class Simulator
+{
+  public:
+    /**
+     * Build the simulation. The netlist is referenced, not copied:
+     * reconfiguring params between runs is allowed (gain/level/ic
+     * changes), but adding blocks or connections requires a new
+     * Simulator. `die_seed` fixes the process-variation corner.
+     */
+    Simulator(const Netlist &netlist, const AnalogSpec &spec,
+              std::uint64_t die_seed);
+
+    /** Run the dynamics from the configured initial conditions. */
+    RunResult run(const RunOptions &opts);
+
+    /** Number of ODE states in the current mode. */
+    std::size_t stateCount() const;
+
+    /**
+     * Index of an output port's value inside the run's state vector
+     * (for scope probes attached via RunOptions::observer), or -1 if
+     * the port is not a state in the current mode (combinational
+     * outputs under SimMode::Ideal).
+     */
+    std::size_t stateIndexOf(PortRef out) const;
+
+    /** Value of an output port at the end of the last run. */
+    double outputValue(PortRef out) const;
+    /** Summed current into an input port at the end of the last run. */
+    double inputValue(PortRef in) const;
+
+    /**
+     * Summed current into an input port implied by a mid-run state
+     * snapshot (as delivered to RunOptions::observer) — the probe
+     * behind waveform-sampling ADCs.
+     */
+    double inputValueAt(PortRef in, double t, const la::Vector &y);
+
+    /**
+     * Read an ADC: quantizes the sampled node (plus per-sample input
+     * noise) to the spec's adc_bits. Returns the digital code.
+     */
+    std::int64_t adcReadCode(BlockId adc);
+    /** Code mapped back to a full-scale value. */
+    double adcRead(BlockId adc);
+    /** Average of n samples (the ISA's analogAvg instruction). */
+    double adcReadAveraged(BlockId adc, std::size_t samples);
+
+    /** Sticky per-block overflow latches (the exception vector). */
+    const std::vector<std::uint8_t> &exceptionLatches() const
+    {
+        return latches;
+    }
+    bool anyException() const;
+    void clearExceptions();
+
+    /**
+     * DC transfer of one block's output stage including its errors
+     * and trims (used by the host calibration loop, which wires the
+     * unit between a DAC and an ADC). Not defined for integrators'
+     * accumulation — for them this returns the input-stage drift
+     * contribution (what multiplies the integrator rate).
+     */
+    double dcTransfer(BlockId block, double in0, double in1 = 0.0,
+                      std::size_t out_port = 0);
+
+    /** Access an output port's stage (tests and calibration). */
+    OutputStage &stage(PortRef out);
+    const OutputStage &stage(PortRef out) const;
+
+    /** Set trims from quantized host codes (trim DAC registers). */
+    void setTrimCodes(PortRef out, int offset_code, int gain_code);
+
+    /**
+     * Re-derive wiring after the referenced netlist's *connections*
+     * changed (the chip reconfiguring its crossbar between problems).
+     * The block set must be unchanged — the die and its process
+     * variation are fixed; panics otherwise.
+     */
+    void refreshWiring();
+
+    const AnalogSpec &spec() const { return spec_; }
+
+  private:
+    class Dynamics; ///< the OdeSystem implementation
+
+    std::size_t flatOutput(PortRef out) const;
+    void buildIndex();
+    void buildTopoOrder();
+    la::Vector initialState() const;
+
+    const Netlist &net;
+    AnalogSpec spec_;
+    Rng rng;
+
+    /** Flat output-port table. */
+    std::vector<PortRef> out_ports;          ///< flat -> port
+    std::vector<std::size_t> out_base;       ///< block -> first flat
+    std::vector<OutputStage> stages;         ///< flat -> errors
+    /** Input wiring: for each block, per input port, driver flats. */
+    std::vector<std::vector<std::vector<std::size_t>>> inputs;
+
+    /** Integrator flats (state layout in Ideal mode). */
+    std::vector<std::size_t> integ_flats;
+    /** Topological order of non-source blocks (Ideal mode). */
+    std::vector<std::size_t> topo;
+    /** Blocks with inputs but no outputs (ADC, ExtOut): overflow
+     *  checks watch their input nodes. */
+    std::vector<std::size_t> sink_blocks;
+
+    mutable std::vector<std::uint8_t> latches; ///< per block
+    la::Vector last_state;
+    la::Vector last_port_values; ///< per flat output, at run end
+    double last_time = 0.0;
+    bool has_run = false;
+};
+
+} // namespace aa::circuit
+
+#endif // AA_CIRCUIT_SIMULATOR_HH

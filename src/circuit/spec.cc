@@ -1,0 +1,20 @@
+#include "aa/circuit/spec.hh"
+
+namespace aa::circuit {
+
+AnalogSpec
+prototypeSpec()
+{
+    return AnalogSpec{};
+}
+
+AnalogSpec
+projectedSpec(double bandwidth_hz, std::size_t adc_bits)
+{
+    AnalogSpec spec;
+    spec.bandwidth_hz = bandwidth_hz;
+    spec.adc_bits = adc_bits;
+    return spec;
+}
+
+} // namespace aa::circuit

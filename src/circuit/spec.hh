@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Electrical specification of an analog accelerator design.
+ *
+ * Values default to the prototype chip of Guo et al. (65 nm, 20 KHz
+ * analog bandwidth, 8-bit ADC/DAC) that the paper's evaluation is
+ * seeded from. Higher-bandwidth design points (80 KHz, 320 KHz,
+ * 1.3 MHz) reuse this spec with bandwidth_hz scaled; aa_cost owns the
+ * corresponding area/power scaling.
+ */
+
+#ifndef AA_CIRCUIT_SPEC_HH
+#define AA_CIRCUIT_SPEC_HH
+
+#include <cmath>
+#include <cstddef>
+#include <numbers>
+
+namespace aa::circuit {
+
+/**
+ * Process-variation magnitudes for the per-block non-ideal behaviors
+ * the paper's calibration targets (Section III-B): offset bias, gain
+ * error, and nonlinearity. All in full-scale-normalized units.
+ */
+struct VariationModel {
+    double offset_sigma = 2e-3;   ///< additive output shift
+    double gain_err_sigma = 2e-2; ///< multiplicative error sigma
+    double cubic = 5e-3;  ///< odd-order compression y = v - cubic*v^3
+    /** Zero disables stochastic variation (ideal process corner). */
+    bool enabled = true;
+};
+
+/** Dynamics fidelity of the simulation. */
+enum class SimMode {
+    /**
+     * Only integrators hold state; all other blocks respond
+     * instantaneously (topologically ordered evaluation). Fast, and
+     * an ablation against the bandwidth-limited truth.
+     */
+    Ideal,
+    /**
+     * Every block output is a first-order lag toward its ideal value
+     * with cutoff = bandwidth_hz — the physical behavior that makes
+     * convergence rate bandwidth-limited (paper Section VI-A/B).
+     */
+    Bandwidth
+};
+
+/** Full electrical spec of one accelerator design point. */
+struct AnalogSpec {
+    /** Analog unit bandwidth; prototype is 20 KHz. */
+    double bandwidth_hz = 20e3;
+
+    /**
+     * Integrator unity-gain rate: du/dt = rate * input. Tied to the
+     * unit bandwidth (omega = 2*pi*f) so that raising the design
+     * bandwidth proportionally shortens solve time (Section V-B).
+     */
+    double integratorRate() const
+    {
+        return 2.0 * std::numbers::pi * bandwidth_hz;
+    }
+
+    /** First-order lag cutoff of non-integrator blocks. */
+    double lagRate() const
+    {
+        // The parasitic poles of combinational blocks sit well above
+        // the integrator's unity-gain bandwidth in the prototype.
+        return 2.0 * std::numbers::pi * bandwidth_hz * lag_margin;
+    }
+
+    /**
+     * Ratio of combinational-block parasitic poles to the unit
+     * bandwidth. Stability rule: a gradient-flow loop with gain g has
+     * its crossover at g * integratorRate(); two branch poles sit at
+     * lag_margin * integratorRate(), so lag_margin must comfortably
+     * exceed ~3 * max_gain or fast modes ring and can limit-cycle —
+     * the paper's "high bandwidth designs are more sensitive to
+     * parasitic effects" in circuit form. 100 keeps ~60 degrees of
+     * phase margin at max_gain = 32.
+     */
+    double lag_margin = 100.0;
+
+    /** Signals are normalized so the linear range is [-1, 1]. */
+    double linear_range = 1.0;
+    /** Hard clip just past the linear range. */
+    double clip_range = 1.2;
+
+    /**
+     * Compliance of current-mode branches (multiplier, fanout, DAC
+     * and LUT outputs). The paper's exception model monitors only
+     * integrators and ADCs ("the integrators and ADCs detect when
+     * their inputs exceed the linear input range"), and its projected
+     * speedups implicitly assume branch currents a_ij*u_j may exceed
+     * unit full scale; we follow that model with a generous branch
+     * headroom. A per-branch unit-range constraint would cap the
+     * effective gain near 1 and erode the projected speedups ~20x —
+     * a real tension documented in DESIGN.md.
+     */
+    double branch_clip_range = 100.0;
+
+    /**
+     * Largest constant gain a multiplier can realize. The prototype's
+     * exact gain range is unpublished; 32 is a plausible VGA range
+     * and is the calibration constant that lands the paper's
+     * speed-parity point near 650 grid points (see EXPERIMENTS.md).
+     */
+    double max_gain = 32.0;
+
+    std::size_t adc_bits = 8;
+    std::size_t dac_bits = 8;
+    /** Per-sample ADC input-referred noise (full-scale units). */
+    double adc_noise_sigma = 1e-3;
+
+    /**
+     * The ADC's rate/resolution trade-off (Section II-B: "there is a
+     * trade-off between ADC sampling frequency and resolution, so in
+     * this work we use only the steady-state result"). Sampling at
+     * up to adc_full_res_rate_hz keeps the full adc_bits; each
+     * doubling beyond it costs one effective bit, floored at
+     * adc_min_bits.
+     */
+    double adc_full_res_rate_hz = 1e3;
+    std::size_t adc_min_bits = 4;
+
+    /** Effective conversion width at a given sampling rate. */
+    std::size_t
+    effectiveAdcBits(double sample_rate_hz) const
+    {
+        if (sample_rate_hz <= adc_full_res_rate_hz)
+            return adc_bits;
+        double lost = std::log2(sample_rate_hz /
+                                adc_full_res_rate_hz);
+        double bits = static_cast<double>(adc_bits) - lost;
+        return bits <= static_cast<double>(adc_min_bits)
+                   ? adc_min_bits
+                   : static_cast<std::size_t>(bits);
+    }
+    std::size_t lut_depth = 256;
+    std::size_t lut_bits = 8;
+
+    /** Calibration trim DAC range and resolution (Section III-B). */
+    double trim_range = 0.05; ///< trims cover +/- this much
+    std::size_t trim_bits = 6;
+
+    VariationModel variation;
+    SimMode mode = SimMode::Bandwidth;
+};
+
+/** The prototype design point (Guo et al., ESSCIRC'15 / JSSC'16). */
+AnalogSpec prototypeSpec();
+
+/** A projected design point with scaled bandwidth and a 12-bit ADC. */
+AnalogSpec projectedSpec(double bandwidth_hz, std::size_t adc_bits = 12);
+
+} // namespace aa::circuit
+
+#endif // AA_CIRCUIT_SPEC_HH

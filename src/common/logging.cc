@@ -1,0 +1,48 @@
+#include "aa/common/logging.hh"
+
+#include <cstdio>
+
+namespace aa {
+
+namespace {
+
+LogLevel global_level = LogLevel::Normal;
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return global_level;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    global_level = level;
+}
+
+namespace detail {
+
+void
+emitLog(const char *prefix, const std::string &message)
+{
+    std::fprintf(stderr, "%s: %s\n", prefix, message.c_str());
+    std::fflush(stderr);
+}
+
+void
+exitFatal()
+{
+    std::exit(1);
+}
+
+void
+abortPanic()
+{
+    std::abort();
+}
+
+} // namespace detail
+
+} // namespace aa

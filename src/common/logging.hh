@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Status and error reporting in the gem5 idiom.
+ *
+ * fatal() terminates with exit(1) for user errors (bad configuration,
+ * unsatisfiable resource request); panic() aborts for internal
+ * simulator bugs. inform()/warn() report status without stopping.
+ */
+
+#ifndef AA_COMMON_LOGGING_HH
+#define AA_COMMON_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace aa {
+
+/** Verbosity levels for status messages. */
+enum class LogLevel {
+    Quiet,   ///< suppress inform(); warnings still shown
+    Normal,  ///< default: inform() and warn()
+    Debug    ///< additionally show debugLog() messages
+};
+
+/** Global log level; benches lower it, tests usually set Quiet. */
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+
+namespace detail {
+
+/** Emit one formatted line with a severity prefix to stderr. */
+void emitLog(const char *prefix, const std::string &message);
+
+[[noreturn]] void exitFatal();
+[[noreturn]] void abortPanic();
+
+/** Fold a parameter pack into one string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Informative message the user should see but not worry about. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (logLevel() != LogLevel::Quiet)
+        detail::emitLog("info", detail::concat(args...));
+}
+
+/** Something may be wrong but simulation can continue. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emitLog("warn", detail::concat(args...));
+}
+
+/** Debug-level chatter, visible only at LogLevel::Debug. */
+template <typename... Args>
+void
+debugLog(Args &&...args)
+{
+    if (logLevel() == LogLevel::Debug)
+        detail::emitLog("debug", detail::concat(args...));
+}
+
+/**
+ * The simulation cannot continue because of a user-level error
+ * (invalid argument, resource limit). Exits with status 1.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::emitLog("fatal", detail::concat(args...));
+    detail::exitFatal();
+}
+
+/**
+ * Something happened that should never happen regardless of user
+ * input: an aasim bug. Aborts so a core dump / debugger can attach.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::emitLog("panic", detail::concat(args...));
+    detail::abortPanic();
+}
+
+/** panic() unless the invariant holds. */
+template <typename... Args>
+void
+panicIf(bool condition, Args &&...args)
+{
+    if (condition)
+        panic(args...);
+}
+
+/** fatal() unless the user-facing precondition holds. */
+template <typename... Args>
+void
+fatalIf(bool condition, Args &&...args)
+{
+    if (condition)
+        fatal(args...);
+}
+
+} // namespace aa
+
+#endif // AA_COMMON_LOGGING_HH

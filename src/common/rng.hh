@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * Every stochastic element in the simulator (process variation, noise)
+ * draws from an explicitly seeded Rng so runs are reproducible. Chips
+ * derive per-instance streams from a die seed; see chip/chip.hh.
+ */
+
+#ifndef AA_COMMON_RNG_HH
+#define AA_COMMON_RNG_HH
+
+#include <cstdint>
+#include <random>
+
+namespace aa {
+
+/**
+ * A seeded mt19937-64 wrapper with the distributions the simulator
+ * needs. Copyable so a consumer can fork an independent stream via
+ * fork().
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) : engine(seed) {}
+
+    /** Uniform in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return std::uniform_real_distribution<double>(lo, hi)(engine);
+    }
+
+    /** Standard normal scaled to the given sigma and mean. */
+    double
+    gaussian(double mean, double sigma)
+    {
+        return std::normal_distribution<double>(mean, sigma)(engine);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    uniformInt(std::int64_t lo, std::int64_t hi)
+    {
+        return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine);
+    }
+
+    /** Raw 64-bit draw. */
+    std::uint64_t draw() { return engine(); }
+
+    /**
+     * Derive an independent child stream. The child seed mixes the
+     * parent's next draw with a caller-supplied stream id so that the
+     * same parent seed always yields the same family of children.
+     */
+    Rng
+    fork(std::uint64_t stream_id)
+    {
+        std::uint64_t mix = draw() ^ (stream_id * 0x9e3779b97f4a7c15ull);
+        return Rng(mix);
+    }
+
+  private:
+    std::mt19937_64 engine;
+};
+
+} // namespace aa
+
+#endif // AA_COMMON_RNG_HH

@@ -1,0 +1,87 @@
+#include "aa/common/stats.hh"
+
+#include <cmath>
+
+#include "aa/common/logging.hh"
+
+namespace aa {
+
+void
+RunningStats::add(double x)
+{
+    if (n == 0) {
+        lo = hi = x;
+    } else {
+        if (x < lo) lo = x;
+        if (x > hi) hi = x;
+    }
+    ++n;
+    double delta = x - mu;
+    mu += delta / static_cast<double>(n);
+    m2 += delta * (x - mu);
+}
+
+double
+RunningStats::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    return m2 / static_cast<double>(n - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+LineFit
+fitLine(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    panicIf(xs.size() != ys.size(), "fitLine: size mismatch");
+    panicIf(xs.size() < 2, "fitLine: need at least two samples");
+
+    double n = static_cast<double>(xs.size());
+    double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+        sxx += xs[i] * xs[i];
+        sxy += xs[i] * ys[i];
+        syy += ys[i] * ys[i];
+    }
+    double denom = n * sxx - sx * sx;
+    LineFit fit;
+    if (denom == 0.0) {
+        fit.slope = 0.0;
+        fit.intercept = sy / n;
+        fit.r2 = 0.0;
+        return fit;
+    }
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+
+    double ss_tot = syy - sy * sy / n;
+    double ss_res = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        double r = ys[i] - (fit.slope * xs[i] + fit.intercept);
+        ss_res += r * r;
+    }
+    fit.r2 = (ss_tot > 0) ? 1.0 - ss_res / ss_tot : 1.0;
+    return fit;
+}
+
+LineFit
+fitPowerLaw(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    std::vector<double> lx(xs.size()), ly(ys.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        panicIf(xs[i] <= 0 || ys[i] <= 0,
+                "fitPowerLaw: samples must be positive");
+        lx[i] = std::log(xs[i]);
+        ly[i] = std::log(ys[i]);
+    }
+    return fitLine(lx, ly);
+}
+
+} // namespace aa

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Lightweight statistics helpers used by tests and benches: running
+ * mean/variance, min/max tracking, and least-squares fits for the
+ * scaling-exponent measurements in Table III.
+ */
+
+#ifndef AA_COMMON_STATS_HH
+#define AA_COMMON_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace aa {
+
+/** Welford running mean / variance / extrema accumulator. */
+class RunningStats
+{
+  public:
+    void add(double x);
+
+    std::size_t count() const { return n; }
+    double mean() const { return n ? mu : 0.0; }
+    /** Unbiased sample variance (0 for fewer than two samples). */
+    double variance() const;
+    double stddev() const;
+    double min() const { return lo; }
+    double max() const { return hi; }
+
+  private:
+    std::size_t n = 0;
+    double mu = 0.0;
+    double m2 = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+/** Result of an ordinary least-squares line fit y = slope*x + icept. */
+struct LineFit {
+    double slope = 0.0;
+    double intercept = 0.0;
+    double r2 = 0.0; ///< coefficient of determination
+};
+
+/** Least-squares fit of y against x; requires xs.size() >= 2. */
+LineFit fitLine(const std::vector<double> &xs,
+                const std::vector<double> &ys);
+
+/**
+ * Fit y = c * x^p by regressing log y on log x; returns {p, log c, r2}
+ * in LineFit{slope, intercept, r2}. All samples must be positive.
+ * Used to verify the empirical scaling exponents of Table III.
+ */
+LineFit fitPowerLaw(const std::vector<double> &xs,
+                    const std::vector<double> &ys);
+
+} // namespace aa
+
+#endif // AA_COMMON_STATS_HH

@@ -1,0 +1,84 @@
+#include "aa/common/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "aa/common/logging.hh"
+
+namespace aa {
+
+void
+TextTable::setHeader(std::vector<std::string> names)
+{
+    panicIf(!header.empty(), "TextTable: header already set");
+    header = std::move(names);
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    panicIf(header.empty(), "TextTable: set header before adding rows");
+    panicIf(cells.size() != header.size(),
+            "TextTable: row width ", cells.size(), " != header width ",
+            header.size());
+    body.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+TextTable::sci(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::scientific << std::setprecision(precision) << v;
+    return os.str();
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(header.size(), 0);
+    for (std::size_t c = 0; c < header.size(); ++c)
+        width[c] = header[c].size();
+    for (const auto &row : body)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    os << "== " << title_ << " ==\n";
+    auto put_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::setw(static_cast<int>(width[c])) << row[c];
+            os << (c + 1 == row.size() ? "\n" : "  ");
+        }
+    };
+    put_row(header);
+    std::size_t total = 0;
+    for (auto w : width)
+        total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+    for (const auto &row : body)
+        put_row(row);
+    os.flush();
+}
+
+void
+TextTable::printTsv(std::ostream &os) const
+{
+    auto put_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << row[c] << (c + 1 == row.size() ? "\n" : "\t");
+    };
+    put_row(header);
+    for (const auto &row : body)
+        put_row(row);
+    os.flush();
+}
+
+} // namespace aa

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Aligned text-table printer. Every bench binary regenerating one of
+ * the paper's figures or tables prints its series through this so the
+ * output is uniform and machine-parsable (TSV mode).
+ */
+
+#ifndef AA_COMMON_TABLE_HH
+#define AA_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace aa {
+
+/** A simple column-aligned table with a title and column headers. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+    /** Set column headers; fixes the column count. */
+    void setHeader(std::vector<std::string> names);
+
+    /** Append one row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format doubles with the given precision. */
+    static std::string num(double v, int precision = 6);
+    /** Convenience: format with scientific notation. */
+    static std::string sci(double v, int precision = 3);
+
+    /** Render column-aligned with a rule under the header. */
+    void print(std::ostream &os) const;
+    /** Render as tab-separated values (no title, header row first). */
+    void printTsv(std::ostream &os) const;
+
+    std::size_t rows() const { return body.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> body;
+};
+
+} // namespace aa
+
+#endif // AA_COMMON_TABLE_HH

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Mapping systems of linear equations onto chip resources.
+ *
+ * For A u = b (A already scaled into the gain range), each variable i
+ * gets an integrator computing du_i/dt = b_i - sum_j a_ij u_j
+ * (paper Figure 5): one constant-gain multiplier per nonzero a_ij
+ * (gain -a_ij), a DAC for b_i, and a fanout tree that copies u_i to
+ * every consumer (the multipliers of column i, plus one ADC leaf for
+ * readout). Currents sum by joining at the integrator's input node.
+ *
+ * The mapper is "a predefined way to convert a system of linear
+ * equations under study into an analog accelerator configuration"
+ * (Section VII) — no training, no prior knowledge of the solution.
+ */
+
+#ifndef AA_COMPILER_MAPPER_HH
+#define AA_COMPILER_MAPPER_HH
+
+#include <vector>
+
+#include "aa/chip/chip.hh"
+#include "aa/compiler/scaling.hh"
+#include "aa/isa/driver.hh"
+
+namespace aa::compiler {
+
+/** Hardware demand of one mapped system. */
+struct ResourceDemand {
+    std::size_t integrators = 0;
+    std::size_t multipliers = 0;
+    std::size_t fanout_blocks = 0;
+    std::size_t dacs = 0;
+    std::size_t adcs = 0;
+    std::size_t luts = 0; ///< nonlinear mappings only
+
+    /** True when a chip geometry satisfies this demand. */
+    bool fitsOn(const chip::ChipGeometry &g) const;
+};
+
+/** Compute the demand of a (scaled) system without mapping it. */
+ResourceDemand demandOf(const la::DenseMatrix &a, const la::Vector &b,
+                        std::size_t fanout_copies = 2);
+
+/** Smallest prototype-shaped geometry satisfying a demand. */
+chip::ChipGeometry geometryFor(const ResourceDemand &demand);
+
+/**
+ * A compiled mapping: which physical unit serves which role, plus
+ * everything the host needs to run and read back the problem.
+ */
+class SleMapping
+{
+  public:
+    /**
+     * Map the scaled system onto the chip's units. fatal()s when the
+     * chip is too small (use demandOf/geometryFor to size one).
+     * The mapping is resource assignment only — nothing is written
+     * to the device until configure() is called.
+     *
+     * `expect_spd` = false skips the positive-definiteness analysis:
+     * ODE-dynamics mappings (du/dt = A u + b with the sign kept) are
+     * legitimately non-SPD and set their own timeouts.
+     */
+    SleMapping(const ScaledSystem &sys, const chip::Chip &chip,
+               bool expect_spd = true);
+
+    /** Push the whole configuration through the driver (Table I
+     *  config instructions), ending with cfgCommit. */
+    void configure(isa::AcceleratorDriver &driver) const;
+
+    /** Update only the DAC biases (Algorithm 2 re-runs with a new
+     *  residual b without remapping). Caller must cfgCommit after. */
+    void updateBiases(isa::AcceleratorDriver &driver,
+                      const la::Vector &scaled_b) const;
+
+    /** Update only the integrator initial conditions. */
+    void updateInitialState(isa::AcceleratorDriver &driver,
+                            const la::Vector &scaled_u0) const;
+
+    /**
+     * Read the scaled steady-state solution through the ADCs
+     * (averaging `samples` conversions per variable).
+     */
+    la::Vector readSolution(isa::AcceleratorDriver &driver,
+                            std::size_t samples = 4) const;
+
+    /** Recommended analog-time budget: the scaled system's expected
+     *  convergence time to ADC precision, with margin. */
+    double recommendedTimeout(const circuit::AnalogSpec &spec) const;
+
+    const ScalingPlan &plan() const { return scaling; }
+    std::size_t numVars() const { return n; }
+    const ResourceDemand &demand() const { return used; }
+
+    /** Smallest eigenvalue of the scaled A: the gradient flow decays
+     *  as exp(-rate * lambdaMin * t), so hosts derive steady-state
+     *  thresholds and timeouts from it. */
+    double lambdaMin() const { return lambda_min; }
+
+    /** Physical units serving variable i (exposed for tests). */
+    chip::BlockId integratorOf(std::size_t i) const;
+    chip::BlockId adcOf(std::size_t i) const;
+
+  private:
+    std::size_t n = 0;
+    ScalingPlan scaling;
+    la::DenseMatrix a_scaled;
+    la::Vector b_scaled;
+    la::Vector u0_scaled;
+    ResourceDemand used;
+
+    std::vector<chip::BlockId> var_integrator;
+    std::vector<chip::BlockId> var_adc;
+    std::vector<chip::BlockId> var_dac; ///< invalid when b_i == 0
+
+    /** Crossbar connections to program, in order. */
+    std::vector<std::pair<chip::PortRef, chip::PortRef>> conns;
+    /** (multiplier, gain) assignments. */
+    std::vector<std::pair<chip::BlockId, double>> gains;
+
+    double lambda_min = 0.0; ///< of the scaled A (for the timeout)
+};
+
+} // namespace aa::compiler
+
+#endif // AA_COMPILER_MAPPER_HH

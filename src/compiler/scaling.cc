@@ -1,0 +1,62 @@
+#include "aa/compiler/scaling.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "aa/common/logging.hh"
+
+namespace aa::compiler {
+
+ScaledSystem
+scaleSystem(const la::DenseMatrix &a, const la::Vector &b,
+            const la::Vector &u0, const circuit::AnalogSpec &spec,
+            double solution_scale)
+{
+    fatalIf(a.rows() != a.cols() || a.rows() != b.size(),
+            "scaleSystem: dimension mismatch");
+    fatalIf(!u0.empty() && u0.size() != b.size(),
+            "scaleSystem: u0 size mismatch");
+    fatalIf(solution_scale <= 0.0,
+            "scaleSystem: solution scale must be positive");
+
+    ScaledSystem out;
+    out.plan.solution_scale = solution_scale;
+
+    // s must pull every |a_ij| under the gain range and every
+    // |b_i / sigma| under the DAC range. Keep a small headroom so
+    // quantized gains do not land exactly on the rail.
+    constexpr double headroom = 0.95;
+    double s = 1.0;
+    if (a.maxAbs() > 0.0)
+        s = std::max(s, a.maxAbs() / (headroom * spec.max_gain));
+    double b_peak = la::normInf(b) / solution_scale;
+    if (b_peak > 0.0)
+        s = std::max(s, b_peak / headroom);
+    out.plan.gain_scale = s;
+
+    out.a = a;
+    out.a *= 1.0 / s;
+    la::scale(1.0 / (s * solution_scale), b, out.b);
+
+    if (u0.empty()) {
+        out.u0 = la::Vector(b.size());
+    } else {
+        la::scale(1.0 / solution_scale, u0, out.u0);
+        // The integrator IC DAC clamps at full scale; a guess outside
+        // the range is clipped (the run will still converge).
+        for (std::size_t i = 0; i < out.u0.size(); ++i)
+            out.u0[i] = std::clamp(out.u0[i], -spec.linear_range,
+                                   spec.linear_range);
+    }
+    return out;
+}
+
+la::Vector
+unscaleSolution(const la::Vector &u_hat, const ScalingPlan &plan)
+{
+    la::Vector u;
+    la::scale(plan.solution_scale, u_hat, u);
+    return u;
+}
+
+} // namespace aa::compiler

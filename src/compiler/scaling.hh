@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Value and time scaling (paper Section VI-D inset).
+ *
+ * A system A u = b with coefficients outside the multipliers' gain
+ * range (or biases outside the DAC range) is programmed as
+ * A_s = A / s, b_s = b / (s * sigma), where
+ *  - s ("gain scale") compresses coefficients into the usable gain
+ *    range at the price of stretching solve time by s, and
+ *  - sigma ("solution scale") shrinks the computed solution
+ *    u_hat = u / sigma into the +/-1 signal range; the host multiplies
+ *    the readout by sigma.
+ *
+ * The closed form u(t) = A^-1 b + c e^(-At) is invariant under this
+ * transformation, which is what makes the trick sound.
+ */
+
+#ifndef AA_COMPILER_SCALING_HH
+#define AA_COMPILER_SCALING_HH
+
+#include "aa/circuit/spec.hh"
+#include "aa/la/dense_matrix.hh"
+#include "aa/la/vector.hh"
+
+namespace aa::compiler {
+
+/** The chosen scaling of one problem instance. */
+struct ScalingPlan {
+    double gain_scale = 1.0;     ///< s: divides A (and stretches time)
+    double solution_scale = 1.0; ///< sigma: u = sigma * u_hat
+
+    /** Factor by which convergence time stretches relative to the
+     *  unscaled system. */
+    double timeFactor() const { return gain_scale; }
+};
+
+/** A scaled, mappable system plus its plan. */
+struct ScaledSystem {
+    la::DenseMatrix a; ///< A / s — every entry within max_gain
+    la::Vector b;      ///< b / (s * sigma) — within DAC range
+    la::Vector u0;     ///< initial guess / sigma — within +/-1
+    ScalingPlan plan;
+};
+
+/**
+ * Choose s (and fold in a caller-provided sigma) so the system fits
+ * the hardware ranges, then apply it. `solution_scale` starts at the
+ * caller's estimate of max|u| (>= 1 keeps the solution in range); the
+ * exception-driven retry loop in aa_analog raises it when overflow
+ * latches fire and lowers it when the dynamic range is underused.
+ */
+ScaledSystem scaleSystem(const la::DenseMatrix &a, const la::Vector &b,
+                         const la::Vector &u0,
+                         const circuit::AnalogSpec &spec,
+                         double solution_scale = 1.0);
+
+/** Map a scaled readout back to problem units: u = sigma * u_hat. */
+la::Vector unscaleSolution(const la::Vector &u_hat,
+                           const ScalingPlan &plan);
+
+} // namespace aa::compiler
+
+#endif // AA_COMPILER_SCALING_HH

@@ -1,0 +1,56 @@
+#include "aa/cost/digital.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "aa/common/logging.hh"
+#include "aa/pde/manufactured.hh"
+#include "aa/pde/poisson.hh"
+#include "aa/solver/iterative.hh"
+
+namespace aa::cost {
+
+DigitalMeasurement
+measureCgPoisson(std::size_t dim, std::size_t l, std::size_t adc_bits,
+                 const CpuModel &cpu, std::size_t repeats)
+{
+    fatalIf(repeats == 0, "measureCgPoisson: need at least one run");
+
+    // Boundary-driven workload (u = 1 on the x = 0 face, as in the
+    // paper's Figure 7 problem). NOTE: a smooth sine source is an
+    // exact eigenvector of the discrete Laplacian and would let CG
+    // converge in one step, understating the digital cost.
+    pde::PoissonStencil stencil(dim, l);
+    la::Vector b = pde::assemblePoisson(
+                       dim, l, pde::zeroSource(),
+                       [](double x, double, double) {
+                           return x == 0.0 ? 1.0 : 0.0;
+                       })
+                       .b;
+
+    solver::IterOptions opts;
+    opts.criterion = solver::Criterion::MaxChange;
+    opts.tol = 1.0 / static_cast<double>(1ull << adc_bits);
+
+    DigitalMeasurement m;
+    std::vector<double> times;
+    times.reserve(repeats);
+    for (std::size_t r = 0; r < repeats; ++r) {
+        auto t0 = std::chrono::steady_clock::now();
+        auto res = solver::conjugateGradient(stencil, b, opts);
+        auto t1 = std::chrono::steady_clock::now();
+        times.push_back(
+            std::chrono::duration<double>(t1 - t0).count());
+        m.iterations = res.iterations;
+        m.converged = res.converged;
+        m.flops = res.flops;
+    }
+    std::sort(times.begin(), times.end());
+    m.wall_seconds = times[times.size() / 2];
+    m.model_seconds =
+        cpu.timeSeconds(stencil.size(), m.iterations);
+    return m;
+}
+
+} // namespace aa::cost

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Measured digital baselines for the figure benches: run the real
+ * stencil CG to the paper's stopping rule and report iterations,
+ * wall-clock time on the host CPU, and the model-projected time on
+ * the paper's Xeon (so both "measured" and "modelled" digital series
+ * can be printed side by side).
+ */
+
+#ifndef AA_COST_DIGITAL_HH
+#define AA_COST_DIGITAL_HH
+
+#include <cstddef>
+
+#include "aa/cost/model.hh"
+
+namespace aa::cost {
+
+/** One measured digital CG run. */
+struct DigitalMeasurement {
+    std::size_t iterations = 0;
+    bool converged = false;
+    double wall_seconds = 0.0;  ///< host wall clock (this machine)
+    double model_seconds = 0.0; ///< CpuModel projection (paper Xeon)
+    std::size_t flops = 0;      ///< actual multiply-add count
+};
+
+/**
+ * Solve the d-dimensional manufactured Poisson problem with stencil
+ * CG, stopping when no element changes by more than 2^-adc_bits of
+ * full scale — the paper's "equivalent precision to one accelerator
+ * run" criterion. Wall time is the median of `repeats` runs.
+ */
+DigitalMeasurement measureCgPoisson(std::size_t dim, std::size_t l,
+                                    std::size_t adc_bits,
+                                    const CpuModel &cpu = {},
+                                    std::size_t repeats = 3);
+
+} // namespace aa::cost
+
+#endif // AA_COST_DIGITAL_HH

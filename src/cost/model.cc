@@ -1,0 +1,183 @@
+#include "aa/cost/model.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "aa/common/logging.hh"
+
+namespace aa::cost {
+
+std::size_t
+PoissonShape::gridPoints() const
+{
+    std::size_t n = 1;
+    for (std::size_t a = 0; a < dim; ++a)
+        n *= l;
+    return n;
+}
+
+std::size_t
+PoissonShape::offDiagonalNnz() const
+{
+    // Each axis contributes (l-1) * l^(d-1) grid edges, two
+    // off-diagonal entries each.
+    std::size_t per_axis = l - 1;
+    for (std::size_t a = 1; a < dim; ++a)
+        per_axis *= l;
+    return 2 * dim * per_axis;
+}
+
+std::size_t
+PoissonShape::nnz() const
+{
+    return gridPoints() + offDiagonalNnz();
+}
+
+double
+PoissonShape::lambdaMinScaled(double max_gain, double headroom) const
+{
+    fatalIf(dim < 1 || dim > 3 || l < 1, "PoissonShape: bad shape");
+    double h = 1.0 / static_cast<double>(l + 1);
+    double s_min = std::sin(std::numbers::pi * h / 2.0);
+    // lambda_min(A) = 4*dim*sin^2(pi*h/2)/h^2; maxAbs(A) = 2*dim/h^2;
+    // s = maxAbs/(headroom*g)  =>  lambda_min(A/s) =
+    //     2*headroom*g*sin^2(pi*h/2).
+    return 2.0 * headroom * max_gain * s_min * s_min;
+}
+
+double
+PoissonShape::conditionNumber() const
+{
+    double h = 1.0 / static_cast<double>(l + 1);
+    double s_min = std::sin(std::numbers::pi * h / 2.0);
+    double s_max = std::cos(std::numbers::pi * h / 2.0);
+    return (s_max * s_max) / (s_min * s_min);
+}
+
+AcceleratorDesign::AcceleratorDesign(double bandwidth_hz,
+                                     std::size_t adc_bits,
+                                     double max_gain,
+                                     CostAssumptions assumptions,
+                                     ComponentTable table)
+    : bandwidth_hz(bandwidth_hz), adc_bits(adc_bits),
+      max_gain(max_gain), assume(assumptions), table(table)
+{
+    fatalIf(bandwidth_hz <= 0.0, "AcceleratorDesign: bad bandwidth");
+    fatalIf(adc_bits < 4 || adc_bits > 16,
+            "AcceleratorDesign: adc_bits out of range");
+}
+
+double
+AcceleratorDesign::alpha() const
+{
+    return bandwidth_hz / kPrototypeBandwidthHz;
+}
+
+UnitCounts
+AcceleratorDesign::unitsFor(const PoissonShape &shape) const
+{
+    UnitCounts u;
+    std::size_t n = shape.gridPoints();
+    u.integrators = n;
+    u.multipliers = assume.fold_diagonal_into_integrator
+                        ? shape.offDiagonalNnz()
+                        : shape.nnz();
+    // Every variable's fanout tree needs (consumers - 1) two-copy
+    // blocks; consumers = its column's multipliers + one ADC leaf.
+    u.fanouts = u.multipliers;
+    u.adcs = (n + assume.vars_per_adc - 1) / assume.vars_per_adc;
+    u.dacs = (n + assume.vars_per_dac - 1) / assume.vars_per_dac;
+    return u;
+}
+
+double
+AcceleratorDesign::powerWatts(const UnitCounts &u) const
+{
+    double a = alpha();
+    return table.integrator.powerAt(a) *
+               static_cast<double>(u.integrators) +
+           table.multiplier.powerAt(a) *
+               static_cast<double>(u.multipliers) +
+           table.fanout.powerAt(a) * static_cast<double>(u.fanouts) +
+           table.adc.powerAt(a) * static_cast<double>(u.adcs) +
+           table.dac.powerAt(a) * static_cast<double>(u.dacs);
+}
+
+double
+AcceleratorDesign::areaMm2(const UnitCounts &u) const
+{
+    double a = alpha();
+    return table.integrator.areaAt(a) *
+               static_cast<double>(u.integrators) +
+           table.multiplier.areaAt(a) *
+               static_cast<double>(u.multipliers) +
+           table.fanout.areaAt(a) * static_cast<double>(u.fanouts) +
+           table.adc.areaAt(a) * static_cast<double>(u.adcs) +
+           table.dac.areaAt(a) * static_cast<double>(u.dacs);
+}
+
+double
+AcceleratorDesign::solveTimeSeconds(const PoissonShape &shape) const
+{
+    double decades =
+        static_cast<double>(adc_bits + 1) * std::numbers::ln2;
+    double rate = 2.0 * std::numbers::pi * bandwidth_hz *
+                  shape.lambdaMinScaled(max_gain);
+    return decades / rate;
+}
+
+double
+AcceleratorDesign::solveEnergyJoules(const PoissonShape &shape) const
+{
+    return powerWatts(unitsFor(shape)) * solveTimeSeconds(shape);
+}
+
+std::size_t
+AcceleratorDesign::maxGridPoints(std::size_t dim,
+                                 double area_budget_mm2) const
+{
+    std::size_t lo = 0;
+    std::size_t hi = 2;
+    // Exponential search on l, then bisect.
+    while (areaMm2(unitsFor({dim, hi})) <= area_budget_mm2)
+        hi *= 2;
+    lo = hi / 2;
+    if (areaMm2(unitsFor({dim, 1})) > area_budget_mm2)
+        return 0;
+    if (lo < 1)
+        lo = 1;
+    while (hi - lo > 1) {
+        std::size_t mid = lo + (hi - lo) / 2;
+        if (areaMm2(unitsFor({dim, mid})) <= area_budget_mm2)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return PoissonShape{dim, lo}.gridPoints();
+}
+
+AcceleratorDesign
+prototypeDesign()
+{
+    return AcceleratorDesign(20e3, 8);
+}
+
+AcceleratorDesign
+design80kHz()
+{
+    return AcceleratorDesign(80e3, 12);
+}
+
+AcceleratorDesign
+design320kHz()
+{
+    return AcceleratorDesign(320e3, 12);
+}
+
+AcceleratorDesign
+design1300kHz()
+{
+    return AcceleratorDesign(1.3e6, 12);
+}
+
+} // namespace aa::cost

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The large-N accelerator model (the paper's Section V methodology):
+ * seeded with Table II measurements, scaled with bandwidth, validated
+ * against aa_circuit simulations at small N, and extrapolated to the
+ * grid sizes of Figures 8-12.
+ */
+
+#ifndef AA_COST_MODEL_HH
+#define AA_COST_MODEL_HH
+
+#include <cstddef>
+
+#include "aa/cost/table2.hh"
+
+namespace aa::cost {
+
+/** Unit inventory of one mapped Poisson problem. */
+struct UnitCounts {
+    std::size_t integrators = 0;
+    std::size_t multipliers = 0;
+    std::size_t fanouts = 0;
+    std::size_t adcs = 0;
+    std::size_t dacs = 0;
+};
+
+/**
+ * Inventory-accounting assumptions. Defaults follow the prototype's
+ * organization: the diagonal coefficient folds into the integrator's
+ * input VGA (the die photo's "VGAs"), so multipliers and fanout
+ * blocks are charged per off-diagonal nonzero, and ADC/DAC are shared
+ * between two variables as in the prototype's macroblock grouping.
+ */
+struct CostAssumptions {
+    bool fold_diagonal_into_integrator = true;
+    std::size_t vars_per_adc = 2;
+    std::size_t vars_per_dac = 2;
+};
+
+/** Static facts about a d-dimensional Poisson grid problem. */
+struct PoissonShape {
+    std::size_t dim;
+    std::size_t l; ///< grid points per side
+
+    std::size_t gridPoints() const;
+    /** Nonzeros of the (2d+1)-point stencil matrix, exact. */
+    std::size_t nnz() const;
+    std::size_t offDiagonalNnz() const;
+
+    /**
+     * Smallest eigenvalue of the gain-scaled matrix A/s where
+     * s = maxAbs(A)/(headroom * g): closed form
+     * lambda_min(A_s) = 2 * headroom * g * sin^2(pi*h/2), h = 1/(l+1).
+     * This sets the continuous-time convergence rate.
+     */
+    double lambdaMinScaled(double max_gain,
+                           double headroom = 0.95) const;
+
+    /** Condition number of the discrete operator (exact). */
+    double conditionNumber() const;
+};
+
+/** One analog accelerator design point for the evaluation. */
+class AcceleratorDesign
+{
+  public:
+    AcceleratorDesign(double bandwidth_hz, std::size_t adc_bits = 12,
+                      double max_gain = 32.0,
+                      CostAssumptions assumptions = {},
+                      ComponentTable table = {});
+
+    double bandwidthHz() const { return bandwidth_hz; }
+    std::size_t adcBits() const { return adc_bits; }
+    /** Bandwidth multiple over the 20 KHz prototype. */
+    double alpha() const;
+
+    /** Unit inventory for a Poisson problem. */
+    UnitCounts unitsFor(const PoissonShape &shape) const;
+
+    /** Max-activity power of an inventory (Figure 10's metric). */
+    double powerWatts(const UnitCounts &units) const;
+    /** Silicon area of an inventory (Figure 11). */
+    double areaMm2(const UnitCounts &units) const;
+
+    /**
+     * Continuous-time solve time to ADC precision: the gradient flow
+     * decays as exp(-2*pi*BW*lambda_min(A_s)*t); converging a
+     * full-scale error below half an LSB takes
+     * (adc_bits + 1) * ln 2 decades.
+     */
+    double solveTimeSeconds(const PoissonShape &shape) const;
+
+    /** power * time (Figure 12's analog series). */
+    double solveEnergyJoules(const PoissonShape &shape) const;
+
+    /** Largest grid (points) fitting the area budget (Figure 9/11's
+     *  600 mm^2 cut-offs). */
+    std::size_t maxGridPoints(std::size_t dim,
+                              double area_budget_mm2 =
+                                  kDieCeilingMm2) const;
+
+    const ComponentTable &componentTable() const { return table; }
+    const CostAssumptions &assumptions() const { return assume; }
+
+  private:
+    double bandwidth_hz;
+    std::size_t adc_bits;
+    double max_gain;
+    CostAssumptions assume;
+    ComponentTable table;
+};
+
+/** The paper's four design points (20/80/320 KHz, 1.3 MHz). */
+AcceleratorDesign prototypeDesign(); ///< 20 KHz, 8-bit ADC
+AcceleratorDesign design80kHz();
+AcceleratorDesign design320kHz();
+AcceleratorDesign design1300kHz();
+
+/** The paper's single-core CPU timing model: a sustained 20 clock
+ *  cycles per numerical iteration per row, at 2.67 GHz (Xeon X5550). */
+struct CpuModel {
+    double clock_hz = 2.67e9;
+    double cycles_per_row_iter = 20.0;
+
+    double
+    timeSeconds(std::size_t rows, std::size_t iterations) const
+    {
+        return cycles_per_row_iter * static_cast<double>(rows) *
+               static_cast<double>(iterations) / clock_hz;
+    }
+};
+
+/** The paper's GPU energy model: 225 pJ per floating-point
+ *  multiply-add (Keckler et al.), with CG charged ~10 FMA per row
+ *  per iteration (5-point stencil apply plus vector updates). */
+struct GpuModel {
+    double energy_per_fma_j = 225e-12;
+    double fma_per_row_iter = 10.0;
+
+    double
+    energyJoules(std::size_t rows, std::size_t iterations) const
+    {
+        return energy_per_fma_j * fma_per_row_iter *
+               static_cast<double>(rows) *
+               static_cast<double>(iterations);
+    }
+};
+
+} // namespace aa::cost
+
+#endif // AA_COST_MODEL_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Paper Table II: measured power and area of the prototype chip's
+ * components, with the fraction of each that belongs to the analog
+ * signal path ("core"). Core power and area scale linearly with the
+ * design bandwidth (Section V-B's derivation); the non-core remainder
+ * (calibration, testing, registers) stays fixed.
+ */
+
+#ifndef AA_COST_TABLE2_HH
+#define AA_COST_TABLE2_HH
+
+#include <cstddef>
+
+namespace aa::cost {
+
+/** One row of Table II. */
+struct UnitCost {
+    double power_w;       ///< total unit power at 20 KHz
+    double core_power_fraction;
+    double area_mm2;      ///< total unit area at 20 KHz
+    double core_area_fraction;
+
+    /** Power at bandwidth multiple alpha (core scales, rest fixed). */
+    double
+    powerAt(double alpha) const
+    {
+        return power_w *
+               (core_power_fraction * alpha +
+                (1.0 - core_power_fraction));
+    }
+
+    /** Area at bandwidth multiple alpha. */
+    double
+    areaAt(double alpha) const
+    {
+        return area_mm2 *
+               (core_area_fraction * alpha +
+                (1.0 - core_area_fraction));
+    }
+};
+
+/** The measured component table (Guo et al., 65 nm, 20 KHz). */
+struct ComponentTable {
+    UnitCost integrator{28e-6, 0.80, 0.040, 0.40};
+    UnitCost fanout{37e-6, 0.80, 0.015, 0.33};
+    UnitCost multiplier{49e-6, 0.80, 0.050, 0.47};
+    UnitCost adc{54e-6, 0.50, 0.054, 0.83};
+    UnitCost dac{4.6e-6, 1.00, 0.022, 0.61};
+};
+
+/** The prototype's analog bandwidth that Table II was measured at. */
+inline constexpr double kPrototypeBandwidthHz = 20e3;
+
+/** The largest GPU die the paper uses as the area ceiling. */
+inline constexpr double kDieCeilingMm2 = 600.0;
+
+} // namespace aa::cost
+
+#endif // AA_COST_TABLE2_HH

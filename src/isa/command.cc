@@ -1,0 +1,231 @@
+#include "aa/isa/command.hh"
+
+#include <bit>
+
+#include "aa/common/logging.hh"
+
+namespace aa::isa {
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Init: return "init";
+      case Opcode::SetConn: return "setConn";
+      case Opcode::SetIntInitial: return "setIntInitial";
+      case Opcode::SetMulGain: return "setMulGain";
+      case Opcode::SetFunction: return "setFunction";
+      case Opcode::SetDacConstant: return "setDacConstant";
+      case Opcode::SetTimeout: return "setTimeout";
+      case Opcode::CfgCommit: return "cfgCommit";
+      case Opcode::ExecStart: return "execStart";
+      case Opcode::ExecStop: return "execStop";
+      case Opcode::SetAnaInputEn: return "setAnaInputEn";
+      case Opcode::WriteParallel: return "writeParallel";
+      case Opcode::ReadSerial: return "readSerial";
+      case Opcode::AnalogAvg: return "analogAvg";
+      case Opcode::ReadExp: return "readExp";
+      case Opcode::ClearConfig: return "clearConfig";
+    }
+    panic("opcodeName: bad enum");
+}
+
+namespace {
+
+void
+putU16(std::vector<std::uint8_t> &out, std::uint16_t v)
+{
+    out.push_back(v & 0xff);
+    out.push_back((v >> 8) & 0xff);
+}
+
+void
+putU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    for (int k = 0; k < 4; ++k)
+        out.push_back((v >> (8 * k)) & 0xff);
+}
+
+void
+putF32(std::vector<std::uint8_t> &out, float v)
+{
+    putU32(out, std::bit_cast<std::uint32_t>(v));
+}
+
+/** Byte-stream reader with bounds checking. */
+struct Reader {
+    const std::vector<std::uint8_t> &buf;
+    std::size_t pos = 0;
+
+    std::uint8_t
+    u8()
+    {
+        fatalIf(pos + 1 > buf.size(), "frame underrun");
+        return buf[pos++];
+    }
+
+    std::uint16_t
+    u16()
+    {
+        std::uint16_t lo = u8();
+        return lo | (static_cast<std::uint16_t>(u8()) << 8);
+    }
+
+    std::uint32_t
+    u32()
+    {
+        std::uint32_t v = 0;
+        for (int k = 0; k < 4; ++k)
+            v |= static_cast<std::uint32_t>(u8()) << (8 * k);
+        return v;
+    }
+
+    float
+    f32()
+    {
+        return std::bit_cast<float>(u32());
+    }
+};
+
+} // namespace
+
+std::vector<std::uint8_t>
+encodeCommand(const Command &cmd)
+{
+    std::vector<std::uint8_t> payload;
+    switch (cmd.op) {
+      case Opcode::Init:
+      case Opcode::CfgCommit:
+      case Opcode::ExecStart:
+      case Opcode::ExecStop:
+      case Opcode::ReadSerial:
+      case Opcode::ReadExp:
+      case Opcode::ClearConfig:
+        break;
+      case Opcode::SetConn:
+        putU16(payload, cmd.block);
+        payload.push_back(cmd.port);
+        putU16(payload, cmd.block2);
+        payload.push_back(cmd.port2);
+        break;
+      case Opcode::SetIntInitial:
+      case Opcode::SetMulGain:
+      case Opcode::SetDacConstant:
+        putU16(payload, cmd.block);
+        putF32(payload, cmd.value);
+        break;
+      case Opcode::SetFunction:
+        putU16(payload, cmd.block);
+        putU16(payload,
+               static_cast<std::uint16_t>(cmd.table.size()));
+        payload.insert(payload.end(), cmd.table.begin(),
+                       cmd.table.end());
+        break;
+      case Opcode::SetTimeout:
+        putU32(payload, cmd.count);
+        break;
+      case Opcode::SetAnaInputEn:
+        putU16(payload, cmd.block);
+        payload.push_back(cmd.byte);
+        break;
+      case Opcode::WriteParallel:
+        payload.push_back(cmd.byte);
+        break;
+      case Opcode::AnalogAvg:
+        putU16(payload, cmd.block);
+        putU32(payload, cmd.count);
+        break;
+    }
+
+    std::vector<std::uint8_t> frame;
+    frame.push_back(static_cast<std::uint8_t>(cmd.op));
+    putU16(frame, static_cast<std::uint16_t>(payload.size()));
+    frame.insert(frame.end(), payload.begin(), payload.end());
+    return frame;
+}
+
+Command
+decodeCommand(const std::vector<std::uint8_t> &frame)
+{
+    fatalIf(frame.size() < 3, "decodeCommand: short frame");
+    Reader r{frame};
+    Command cmd;
+    cmd.op = static_cast<Opcode>(r.u8());
+    std::uint16_t len = r.u16();
+    fatalIf(frame.size() != 3u + len,
+            "decodeCommand: frame length mismatch");
+
+    switch (cmd.op) {
+      case Opcode::Init:
+      case Opcode::CfgCommit:
+      case Opcode::ExecStart:
+      case Opcode::ExecStop:
+      case Opcode::ReadSerial:
+      case Opcode::ReadExp:
+      case Opcode::ClearConfig:
+        break;
+      case Opcode::SetConn:
+        cmd.block = r.u16();
+        cmd.port = r.u8();
+        cmd.block2 = r.u16();
+        cmd.port2 = r.u8();
+        break;
+      case Opcode::SetIntInitial:
+      case Opcode::SetMulGain:
+      case Opcode::SetDacConstant:
+        cmd.block = r.u16();
+        cmd.value = r.f32();
+        break;
+      case Opcode::SetFunction: {
+        cmd.block = r.u16();
+        std::uint16_t n = r.u16();
+        cmd.table.reserve(n);
+        for (std::uint16_t i = 0; i < n; ++i)
+            cmd.table.push_back(r.u8());
+        break;
+      }
+      case Opcode::SetTimeout:
+        cmd.count = r.u32();
+        break;
+      case Opcode::SetAnaInputEn:
+        cmd.block = r.u16();
+        cmd.byte = r.u8();
+        break;
+      case Opcode::WriteParallel:
+        cmd.byte = r.u8();
+        break;
+      case Opcode::AnalogAvg:
+        cmd.block = r.u16();
+        cmd.count = r.u32();
+        break;
+    }
+    fatalIf(r.pos != frame.size(),
+            "decodeCommand: trailing bytes in frame");
+    return cmd;
+}
+
+std::vector<std::uint8_t>
+encodeResponse(const Response &resp)
+{
+    std::vector<std::uint8_t> frame;
+    frame.push_back(resp.status);
+    putU16(frame, static_cast<std::uint16_t>(resp.data.size()));
+    frame.insert(frame.end(), resp.data.begin(), resp.data.end());
+    return frame;
+}
+
+Response
+decodeResponse(const std::vector<std::uint8_t> &frame)
+{
+    fatalIf(frame.size() < 3, "decodeResponse: short frame");
+    Reader r{frame};
+    Response resp;
+    resp.status = r.u8();
+    std::uint16_t len = r.u16();
+    fatalIf(frame.size() != 3u + len,
+            "decodeResponse: frame length mismatch");
+    resp.data.assign(frame.begin() + 3, frame.end());
+    return resp;
+}
+
+} // namespace aa::isa

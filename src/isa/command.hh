@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The analog accelerator instruction set (paper Table I) as wire
+ * commands.
+ *
+ * The digital host talks to the accelerator over a byte-oriented SPI
+ * link; every instruction is one framed command, every reply one
+ * framed response. Frames: [opcode:1][length:2 LE][payload...].
+ * Floats travel as IEEE-754 binary32. LUT functions travel as their
+ * quantized sample codes — function pointers cannot cross a wire.
+ */
+
+#ifndef AA_ISA_COMMAND_HH
+#define AA_ISA_COMMAND_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace aa::isa {
+
+/** Table I instruction opcodes (plus ClearConfig housekeeping). */
+enum class Opcode : std::uint8_t {
+    Init = 0x01,          ///< control: calibrate all function units
+    SetConn = 0x02,       ///< config: crossbar connection
+    SetIntInitial = 0x03, ///< config: integrator initial condition
+    SetMulGain = 0x04,    ///< config: multiplier gain
+    SetFunction = 0x05,   ///< config: LUT contents (sample codes)
+    SetDacConstant = 0x06, ///< config: DAC bias level
+    SetTimeout = 0x07,    ///< config: computation time budget
+    CfgCommit = 0x08,     ///< config: latch configuration registers
+    ExecStart = 0x09,     ///< control: release integrators
+    ExecStop = 0x0a,      ///< control: hold integrators
+    SetAnaInputEn = 0x0b, ///< data in: open an analog input channel
+    WriteParallel = 0x0c, ///< data in: 8-bit digital input bus
+    ReadSerial = 0x0d,    ///< data out: all ADC codes
+    AnalogAvg = 0x0e,     ///< data out: averaged ADC read
+    ReadExp = 0x0f,       ///< exception: overflow latch vector
+    /** Extension: drop all crossbar connections before remapping a
+     *  new problem (the paper reconfigures between problems but does
+     *  not name the instruction). */
+    ClearConfig = 0x10
+};
+
+const char *opcodeName(Opcode op);
+
+/** A decoded command: opcode plus typed fields (unused ones zero). */
+struct Command {
+    Opcode op = Opcode::Init;
+    std::uint16_t block = 0;  ///< primary unit index
+    std::uint8_t port = 0;    ///< primary port
+    std::uint16_t block2 = 0; ///< secondary unit (SetConn dst)
+    std::uint8_t port2 = 0;   ///< secondary port
+    float value = 0.0f;       ///< float operand
+    std::uint32_t count = 0;  ///< cycles / sample count
+    std::uint8_t byte = 0;    ///< WriteParallel data / enable flag
+    std::vector<std::uint8_t> table; ///< LUT sample codes
+
+    bool operator==(const Command &o) const = default;
+};
+
+/** Device reply. Status 0 = OK. */
+struct Response {
+    std::uint8_t status = 0;
+    std::vector<std::uint8_t> data;
+
+    bool operator==(const Response &o) const = default;
+};
+
+/** Serialize a command into one SPI frame. */
+std::vector<std::uint8_t> encodeCommand(const Command &cmd);
+
+/** Parse one SPI frame back into a command; fatal() on bad frames. */
+Command decodeCommand(const std::vector<std::uint8_t> &frame);
+
+/** Serialize / parse a response frame: [status:1][len:2 LE][data]. */
+std::vector<std::uint8_t> encodeResponse(const Response &resp);
+Response decodeResponse(const std::vector<std::uint8_t> &frame);
+
+} // namespace aa::isa
+
+#endif // AA_ISA_COMMAND_HH

@@ -1,0 +1,295 @@
+#include "aa/isa/driver.hh"
+
+#include <bit>
+
+#include "aa/circuit/nonideal.hh"
+#include "aa/common/logging.hh"
+
+namespace aa::isa {
+
+namespace {
+
+void
+putF32(std::vector<std::uint8_t> &out, float v)
+{
+    auto bits = std::bit_cast<std::uint32_t>(v);
+    for (int k = 0; k < 4; ++k)
+        out.push_back((bits >> (8 * k)) & 0xff);
+}
+
+void
+putU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    for (int k = 0; k < 4; ++k)
+        out.push_back((v >> (8 * k)) & 0xff);
+}
+
+Command
+make(Opcode op)
+{
+    Command cmd;
+    cmd.op = op;
+    return cmd;
+}
+
+float
+getF32(const std::vector<std::uint8_t> &in, std::size_t at)
+{
+    panicIf(at + 4 > in.size(), "getF32: short response");
+    std::uint32_t bits = 0;
+    for (int k = 0; k < 4; ++k)
+        bits |= static_cast<std::uint32_t>(in[at + k]) << (8 * k);
+    return std::bit_cast<float>(bits);
+}
+
+std::uint32_t
+getU32(const std::vector<std::uint8_t> &in, std::size_t at)
+{
+    panicIf(at + 4 > in.size(), "getU32: short response");
+    std::uint32_t v = 0;
+    for (int k = 0; k < 4; ++k)
+        v |= static_cast<std::uint32_t>(in[at + k]) << (8 * k);
+    return v;
+}
+
+} // namespace
+
+Response
+DeviceEndpoint::execute(const Command &cmd)
+{
+    Response resp;
+    switch (cmd.op) {
+      case Opcode::Init:
+        chip_.init();
+        break;
+      case Opcode::SetConn:
+        chip_.setConn(PortRef{BlockId{cmd.block}, cmd.port},
+                      PortRef{BlockId{cmd.block2}, cmd.port2});
+        break;
+      case Opcode::SetIntInitial:
+        chip_.setIntInitial(BlockId{cmd.block}, cmd.value);
+        break;
+      case Opcode::SetMulGain:
+        chip_.setMulGain(BlockId{cmd.block}, cmd.value);
+        break;
+      case Opcode::SetFunction:
+        chip_.setFunctionCodes(BlockId{cmd.block}, cmd.table);
+        break;
+      case Opcode::SetDacConstant:
+        chip_.setDacConstant(BlockId{cmd.block}, cmd.value);
+        break;
+      case Opcode::SetTimeout:
+        chip_.setTimeout(cmd.count);
+        break;
+      case Opcode::CfgCommit:
+        chip_.cfgCommit();
+        break;
+      case Opcode::ExecStart: {
+        chip::ExecResult r = chip_.execStart();
+        putF32(resp.data, static_cast<float>(r.analog_time));
+        std::uint8_t flags = 0;
+        if (r.timed_out)
+            flags |= 1;
+        if (r.steady)
+            flags |= 2;
+        if (r.any_exception)
+            flags |= 4;
+        resp.data.push_back(flags);
+        putU32(resp.data,
+               static_cast<std::uint32_t>(r.sim_steps & 0xffffffff));
+        break;
+      }
+      case Opcode::ExecStop:
+        chip_.execStop();
+        break;
+      case Opcode::SetAnaInputEn:
+        // The stimulus itself is a physical analog signal the driver
+        // attaches out of band; the command opens the channel.
+        if (!cmd.byte)
+            chip_.setAnaInputEn(BlockId{cmd.block}, nullptr);
+        break;
+      case Opcode::WriteParallel:
+        chip_.writeParallel(cmd.byte);
+        break;
+      case Opcode::ReadSerial:
+        resp.data = chip_.readSerial();
+        break;
+      case Opcode::AnalogAvg: {
+        double avg = chip_.analogAvg(BlockId{cmd.block}, cmd.count);
+        putF32(resp.data, static_cast<float>(avg));
+        break;
+      }
+      case Opcode::ReadExp:
+        resp.data = chip_.readExp();
+        break;
+      case Opcode::ClearConfig:
+        chip_.clearConnections();
+        break;
+    }
+    return resp;
+}
+
+AcceleratorDriver::AcceleratorDriver(chip::Chip &chip)
+    : chip_(chip), endpoint(chip),
+      link_(chip.config().ctrl_clock_hz)
+{}
+
+Response
+AcceleratorDriver::transact(Command cmd)
+{
+    trace_.push_back(cmd);
+    auto frame = link_.hostToDevice(encodeCommand(cmd));
+    Command decoded = decodeCommand(frame);
+    Response resp = endpoint.execute(decoded);
+    auto back = link_.deviceToHost(encodeResponse(resp));
+    return decodeResponse(back);
+}
+
+void
+AcceleratorDriver::init()
+{
+    transact(make(Opcode::Init));
+}
+
+chip::ExecResult
+AcceleratorDriver::execStart()
+{
+    Response resp = transact(make(Opcode::ExecStart));
+    panicIf(resp.data.size() != 9, "execStart: bad response size");
+    chip::ExecResult r;
+    r.analog_time = getF32(resp.data, 0);
+    std::uint8_t flags = resp.data[4];
+    r.timed_out = flags & 1;
+    r.steady = flags & 2;
+    r.any_exception = flags & 4;
+    r.sim_steps = getU32(resp.data, 5);
+    return r;
+}
+
+void
+AcceleratorDriver::execStop()
+{
+    transact(make(Opcode::ExecStop));
+}
+
+void
+AcceleratorDriver::setConn(PortRef from, PortRef to)
+{
+    Command cmd = make(Opcode::SetConn);
+    cmd.block = static_cast<std::uint16_t>(from.block.v);
+    cmd.port = static_cast<std::uint8_t>(from.port);
+    cmd.block2 = static_cast<std::uint16_t>(to.block.v);
+    cmd.port2 = static_cast<std::uint8_t>(to.port);
+    transact(cmd);
+}
+
+void
+AcceleratorDriver::setIntInitial(BlockId integrator, double value)
+{
+    Command cmd = make(Opcode::SetIntInitial);
+    cmd.block = static_cast<std::uint16_t>(integrator.v);
+    cmd.value = static_cast<float>(value);
+    transact(cmd);
+}
+
+void
+AcceleratorDriver::setMulGain(BlockId multiplier, double gain)
+{
+    Command cmd = make(Opcode::SetMulGain);
+    cmd.block = static_cast<std::uint16_t>(multiplier.v);
+    cmd.value = static_cast<float>(gain);
+    transact(cmd);
+}
+
+void
+AcceleratorDriver::setFunction(BlockId lut,
+                               const std::function<double(double)> &fn)
+{
+    fatalIf(!fn, "setFunction: empty function");
+    const auto &spec = chip_.config().spec;
+    Command cmd = make(Opcode::SetFunction);
+    cmd.block = static_cast<std::uint16_t>(lut.v);
+    cmd.table.resize(spec.lut_depth);
+    for (std::size_t i = 0; i < cmd.table.size(); ++i) {
+        double x =
+            -1.0 + 2.0 * static_cast<double>(i) /
+                       static_cast<double>(cmd.table.size() - 1);
+        cmd.table[i] = static_cast<std::uint8_t>(
+            circuit::quantizeCode(fn(x), spec.lut_bits));
+    }
+    transact(cmd);
+}
+
+void
+AcceleratorDriver::setDacConstant(BlockId dac, double value)
+{
+    Command cmd = make(Opcode::SetDacConstant);
+    cmd.block = static_cast<std::uint16_t>(dac.v);
+    cmd.value = static_cast<float>(value);
+    transact(cmd);
+}
+
+void
+AcceleratorDriver::setTimeout(std::uint32_t ctrl_clock_cycles)
+{
+    Command cmd = make(Opcode::SetTimeout);
+    cmd.count = ctrl_clock_cycles;
+    transact(cmd);
+}
+
+void
+AcceleratorDriver::cfgCommit()
+{
+    transact(make(Opcode::CfgCommit));
+}
+
+void
+AcceleratorDriver::clearConfig()
+{
+    transact(make(Opcode::ClearConfig));
+}
+
+void
+AcceleratorDriver::setAnaInputEn(BlockId ext_in,
+                                 std::function<double(double)> stimulus)
+{
+    // Physical hookup first, then the protocol command enabling it.
+    chip_.setAnaInputEn(ext_in, std::move(stimulus));
+    Command cmd = make(Opcode::SetAnaInputEn);
+    cmd.block = static_cast<std::uint16_t>(ext_in.v);
+    cmd.byte = 1;
+    transact(cmd);
+}
+
+void
+AcceleratorDriver::writeParallel(std::uint8_t data)
+{
+    Command cmd = make(Opcode::WriteParallel);
+    cmd.byte = data;
+    transact(cmd);
+}
+
+std::vector<std::uint8_t>
+AcceleratorDriver::readSerial()
+{
+    return transact(make(Opcode::ReadSerial)).data;
+}
+
+double
+AcceleratorDriver::analogAvg(BlockId adc, std::size_t samples)
+{
+    Command cmd = make(Opcode::AnalogAvg);
+    cmd.block = static_cast<std::uint16_t>(adc.v);
+    cmd.count = static_cast<std::uint32_t>(samples);
+    Response resp = transact(cmd);
+    panicIf(resp.data.size() != 4, "analogAvg: bad response size");
+    return getF32(resp.data, 0);
+}
+
+std::vector<std::uint8_t>
+AcceleratorDriver::readExp()
+{
+    return transact(make(Opcode::ReadExp)).data;
+}
+
+} // namespace aa::isa

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Host-side driver for the analog accelerator.
+ *
+ * Exposes the Table I instructions as typed calls. Every call is
+ * genuinely round-tripped: encoded to a wire frame, shipped over the
+ * modelled SPI link, decoded by the device endpoint, executed on the
+ * chip, and the response decoded back — so tests exercise the whole
+ * host/accelerator protocol, and the link statistics price the
+ * configuration traffic.
+ */
+
+#ifndef AA_ISA_DRIVER_HH
+#define AA_ISA_DRIVER_HH
+
+#include <functional>
+
+#include "aa/chip/chip.hh"
+#include "aa/isa/command.hh"
+#include "aa/isa/spi.hh"
+
+namespace aa::isa {
+
+using chip::BlockId;
+using chip::PortRef;
+
+/** Device-side command dispatcher (the chip's digital front end). */
+class DeviceEndpoint
+{
+  public:
+    explicit DeviceEndpoint(chip::Chip &chip) : chip_(chip) {}
+
+    /** Execute one decoded command against the chip. */
+    Response execute(const Command &cmd);
+
+  private:
+    chip::Chip &chip_;
+};
+
+/** Host-side typed API over the SPI link. */
+class AcceleratorDriver
+{
+  public:
+    explicit AcceleratorDriver(chip::Chip &chip);
+
+    // --- control --------------------------------------------------
+    void init();
+    chip::ExecResult execStart();
+    void execStop();
+
+    // --- configuration ---------------------------------------------
+    void setConn(PortRef from, PortRef to);
+    void setIntInitial(BlockId integrator, double value);
+    void setMulGain(BlockId multiplier, double gain);
+    void setFunction(BlockId lut,
+                     const std::function<double(double)> &fn);
+    void setDacConstant(BlockId dac, double value);
+    void setTimeout(std::uint32_t ctrl_clock_cycles);
+    void cfgCommit();
+    void clearConfig();
+
+    // --- data -----------------------------------------------------
+    void setAnaInputEn(BlockId ext_in,
+                       std::function<double(double)> stimulus);
+    void writeParallel(std::uint8_t data);
+    std::vector<std::uint8_t> readSerial();
+    double analogAvg(BlockId adc, std::size_t samples);
+
+    // --- exceptions -------------------------------------------------
+    std::vector<std::uint8_t> readExp();
+
+    /** The chip (resource discovery stays host-visible). */
+    chip::Chip &chip() { return chip_; }
+    const chip::Chip &chip() const { return chip_; }
+
+    SpiLink &link() { return link_; }
+    const std::vector<Command> &trace() const { return trace_; }
+
+  private:
+    Response transact(Command cmd);
+
+    chip::Chip &chip_;
+    DeviceEndpoint endpoint;
+    SpiLink link_;
+    std::vector<Command> trace_;
+};
+
+} // namespace aa::isa
+
+#endif // AA_ISA_DRIVER_HH

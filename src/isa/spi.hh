@@ -1,0 +1,70 @@
+/**
+ * @file
+ * SPI-style transport between the digital host and the accelerator.
+ *
+ * The prototype receives its commands "over an interface implementing
+ * an SPI protocol" (Section III-A). We model the link as a
+ * synchronous byte pipe with accounting, so configuration cost
+ * (bytes, transactions, wall time at a given clock) can be measured
+ * and charged by the cost model.
+ */
+
+#ifndef AA_ISA_SPI_HH
+#define AA_ISA_SPI_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace aa::isa {
+
+/** Byte-pipe link with transfer accounting. */
+class SpiLink
+{
+  public:
+    explicit SpiLink(double clock_hz = 1e6) : clock_hz(clock_hz) {}
+
+    /** Ship one frame host -> device; returns it (synchronous). */
+    const std::vector<std::uint8_t> &
+    hostToDevice(const std::vector<std::uint8_t> &frame)
+    {
+        bytes_down += frame.size();
+        ++transactions;
+        return frame;
+    }
+
+    /** Ship one frame device -> host. */
+    const std::vector<std::uint8_t> &
+    deviceToHost(const std::vector<std::uint8_t> &frame)
+    {
+        bytes_up += frame.size();
+        return frame;
+    }
+
+    std::size_t bytesDown() const { return bytes_down; }
+    std::size_t bytesUp() const { return bytes_up; }
+    std::size_t transactionCount() const { return transactions; }
+
+    /** Wall time the transfers took at 8 clocks per byte. */
+    double
+    transferSeconds() const
+    {
+        return 8.0 *
+               static_cast<double>(bytes_down + bytes_up) / clock_hz;
+    }
+
+    void
+    resetStats()
+    {
+        bytes_down = bytes_up = transactions = 0;
+    }
+
+  private:
+    double clock_hz;
+    std::size_t bytes_down = 0;
+    std::size_t bytes_up = 0;
+    std::size_t transactions = 0;
+};
+
+} // namespace aa::isa
+
+#endif // AA_ISA_SPI_HH

@@ -1,0 +1,221 @@
+#include "aa/la/csr_matrix.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "aa/common/logging.hh"
+
+namespace aa::la {
+
+CsrMatrix
+CsrMatrix::fromTriplets(std::size_t rows, std::size_t cols,
+                        std::vector<Triplet> triplets)
+{
+    for (const auto &t : triplets) {
+        fatalIf(t.row >= rows || t.col >= cols,
+                "CsrMatrix::fromTriplets: entry (", t.row, ",", t.col,
+                ") outside ", rows, "x", cols);
+    }
+    std::sort(triplets.begin(), triplets.end(),
+              [](const Triplet &a, const Triplet &b) {
+                  return a.row != b.row ? a.row < b.row : a.col < b.col;
+              });
+
+    CsrMatrix m;
+    m.nrows = rows;
+    m.ncols = cols;
+    m.rowptr.assign(rows + 1, 0);
+    m.colidx.reserve(triplets.size());
+    m.vals.reserve(triplets.size());
+
+    std::size_t i = 0;
+    for (std::size_t r = 0; r < rows; ++r) {
+        m.rowptr[r] = m.vals.size();
+        while (i < triplets.size() && triplets[i].row == r) {
+            std::size_t col = triplets[i].col;
+            double acc = 0.0;
+            while (i < triplets.size() && triplets[i].row == r &&
+                   triplets[i].col == col) {
+                acc += triplets[i].value;
+                ++i;
+            }
+            m.colidx.push_back(col);
+            m.vals.push_back(acc);
+        }
+    }
+    m.rowptr[rows] = m.vals.size();
+    return m;
+}
+
+CsrMatrix
+CsrMatrix::fromDense(const DenseMatrix &dense, double drop_tol)
+{
+    std::vector<Triplet> t;
+    for (std::size_t i = 0; i < dense.rows(); ++i)
+        for (std::size_t j = 0; j < dense.cols(); ++j)
+            if (std::fabs(dense(i, j)) > drop_tol)
+                t.push_back({i, j, dense(i, j)});
+    return fromTriplets(dense.rows(), dense.cols(), std::move(t));
+}
+
+CsrMatrix
+CsrMatrix::identity(std::size_t n)
+{
+    std::vector<Triplet> t;
+    t.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        t.push_back({i, i, 1.0});
+    return fromTriplets(n, n, std::move(t));
+}
+
+Vector
+CsrMatrix::apply(const Vector &x) const
+{
+    panicIf(x.size() != ncols, "CsrMatrix::apply: size mismatch");
+    Vector y(nrows);
+    for (std::size_t i = 0; i < nrows; ++i) {
+        double acc = 0.0;
+        for (std::size_t k = rowptr[i]; k < rowptr[i + 1]; ++k)
+            acc += vals[k] * x[colidx[k]];
+        y[i] = acc;
+    }
+    return y;
+}
+
+void
+CsrMatrix::applyAdd(double alpha, const Vector &x, Vector &y) const
+{
+    panicIf(x.size() != ncols || y.size() != nrows,
+            "CsrMatrix::applyAdd: size mismatch");
+    for (std::size_t i = 0; i < nrows; ++i) {
+        double acc = 0.0;
+        for (std::size_t k = rowptr[i]; k < rowptr[i + 1]; ++k)
+            acc += vals[k] * x[colidx[k]];
+        y[i] += alpha * acc;
+    }
+}
+
+std::span<const std::size_t>
+CsrMatrix::rowCols(std::size_t i) const
+{
+    panicIf(i >= nrows, "rowCols: row out of range");
+    return {colidx.data() + rowptr[i], rowptr[i + 1] - rowptr[i]};
+}
+
+std::span<const double>
+CsrMatrix::rowVals(std::size_t i) const
+{
+    panicIf(i >= nrows, "rowVals: row out of range");
+    return {vals.data() + rowptr[i], rowptr[i + 1] - rowptr[i]};
+}
+
+double
+CsrMatrix::at(std::size_t i, std::size_t j) const
+{
+    panicIf(i >= nrows || j >= ncols, "CsrMatrix::at out of range");
+    for (std::size_t k = rowptr[i]; k < rowptr[i + 1]; ++k)
+        if (colidx[k] == j)
+            return vals[k];
+    return 0.0;
+}
+
+Vector
+CsrMatrix::diagonal() const
+{
+    Vector d(std::min(nrows, ncols));
+    for (std::size_t i = 0; i < d.size(); ++i)
+        d[i] = at(i, i);
+    return d;
+}
+
+double
+CsrMatrix::maxAbs() const
+{
+    double m = 0.0;
+    for (double v : vals)
+        m = std::max(m, std::fabs(v));
+    return m;
+}
+
+void
+CsrMatrix::scaleValues(double s)
+{
+    for (auto &v : vals)
+        v *= s;
+}
+
+bool
+CsrMatrix::isSymmetric(double tol) const
+{
+    if (nrows != ncols)
+        return false;
+    for (std::size_t i = 0; i < nrows; ++i)
+        for (std::size_t k = rowptr[i]; k < rowptr[i + 1]; ++k) {
+            std::size_t j = colidx[k];
+            if (std::fabs(vals[k] - at(j, i)) > tol)
+                return false;
+        }
+    return true;
+}
+
+bool
+CsrMatrix::isDiagonallyDominant() const
+{
+    if (nrows != ncols)
+        return false;
+    for (std::size_t i = 0; i < nrows; ++i) {
+        double diag = 0.0;
+        double off = 0.0;
+        for (std::size_t k = rowptr[i]; k < rowptr[i + 1]; ++k) {
+            if (colidx[k] == i)
+                diag = std::fabs(vals[k]);
+            else
+                off += std::fabs(vals[k]);
+        }
+        if (diag < off)
+            return false;
+    }
+    return true;
+}
+
+DenseMatrix
+CsrMatrix::toDense() const
+{
+    DenseMatrix d(nrows, ncols);
+    for (std::size_t i = 0; i < nrows; ++i)
+        for (std::size_t k = rowptr[i]; k < rowptr[i + 1]; ++k)
+            d(i, colidx[k]) += vals[k];
+    return d;
+}
+
+CsrMatrix
+CsrMatrix::principalSubmatrix(
+    const std::vector<std::size_t> &indices) const
+{
+    panicIf(nrows != ncols, "principalSubmatrix: matrix not square");
+    for (std::size_t k = 1; k < indices.size(); ++k)
+        panicIf(indices[k - 1] >= indices[k],
+                "principalSubmatrix: indices must be sorted unique");
+
+    // Map global index -> local position.
+    std::vector<std::size_t> local(nrows, static_cast<std::size_t>(-1));
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+        panicIf(indices[k] >= nrows, "principalSubmatrix: out of range");
+        local[indices[k]] = k;
+    }
+
+    std::vector<Triplet> t;
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+        std::size_t gi = indices[k];
+        auto cols = rowCols(gi);
+        auto vs = rowVals(gi);
+        for (std::size_t e = 0; e < cols.size(); ++e) {
+            std::size_t lj = local[cols[e]];
+            if (lj != static_cast<std::size_t>(-1))
+                t.push_back({k, lj, vs[e]});
+        }
+    }
+    return fromTriplets(indices.size(), indices.size(), std::move(t));
+}
+
+} // namespace aa::la

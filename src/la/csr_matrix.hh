@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Compressed sparse row matrix.
+ *
+ * The paper's workloads are sparse pentadiagonal (2D) and heptadiagonal
+ * (3D) Poisson systems. The digital baselines run either matrix-free
+ * (stencil) or on this CSR form; the compiler consumes CSR to count
+ * nonzeros, allocate multipliers, and emit per-edge gains.
+ */
+
+#ifndef AA_LA_CSR_MATRIX_HH
+#define AA_LA_CSR_MATRIX_HH
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "aa/la/dense_matrix.hh"
+#include "aa/la/vector.hh"
+
+namespace aa::la {
+
+/** One (row, col, value) entry used while assembling. */
+struct Triplet {
+    std::size_t row;
+    std::size_t col;
+    double value;
+};
+
+/** CSR sparse matrix; duplicate triplets are summed on build. */
+class CsrMatrix
+{
+  public:
+    CsrMatrix() = default;
+
+    /**
+     * Build from triplets. Duplicates are coalesced by summation;
+     * explicit zeros are kept (they still cost a multiplier on the
+     * accelerator unless pruned).
+     */
+    static CsrMatrix fromTriplets(std::size_t rows, std::size_t cols,
+                                  std::vector<Triplet> triplets);
+
+    static CsrMatrix fromDense(const DenseMatrix &dense,
+                               double drop_tol = 0.0);
+    static CsrMatrix identity(std::size_t n);
+
+    std::size_t rows() const { return nrows; }
+    std::size_t cols() const { return ncols; }
+    std::size_t nnz() const { return vals.size(); }
+
+    /** y = A x. */
+    Vector apply(const Vector &x) const;
+    /** y += alpha * A x (no temporary). */
+    void applyAdd(double alpha, const Vector &x, Vector &y) const;
+
+    /** Column indices of row i. */
+    std::span<const std::size_t> rowCols(std::size_t i) const;
+    /** Values of row i. */
+    std::span<const double> rowVals(std::size_t i) const;
+
+    /** Entry lookup (O(row nnz)); returns 0 for structural zeros. */
+    double at(std::size_t i, std::size_t j) const;
+
+    /** Main diagonal as a vector; zero where structurally absent. */
+    Vector diagonal() const;
+
+    /** Largest |a_ij| over stored entries. */
+    double maxAbs() const;
+
+    /** Scale all values by s (the compiler's value scaling). */
+    void scaleValues(double s);
+
+    bool isSymmetric(double tol = 1e-12) const;
+
+    /**
+     * True when the matrix is strictly or irreducibly diagonally
+     * dominant in every row (a cheap sufficient check some tests use).
+     */
+    bool isDiagonallyDominant() const;
+
+    DenseMatrix toDense() const;
+
+    /**
+     * Extract the principal submatrix for the given index set, plus
+     * the coupling entries that leave the set (needed by the domain
+     * decomposition's outer iteration). indices must be sorted and
+     * unique.
+     */
+    CsrMatrix principalSubmatrix(const std::vector<std::size_t> &indices)
+        const;
+
+  private:
+    std::size_t nrows = 0;
+    std::size_t ncols = 0;
+    std::vector<std::size_t> rowptr; ///< size nrows + 1
+    std::vector<std::size_t> colidx;
+    std::vector<double> vals;
+};
+
+} // namespace aa::la
+
+#endif // AA_LA_CSR_MATRIX_HH

@@ -1,0 +1,146 @@
+#include "aa/la/dense_matrix.hh"
+
+#include <cmath>
+
+#include "aa/common/logging.hh"
+
+namespace aa::la {
+
+DenseMatrix
+DenseMatrix::fromRows(
+    std::initializer_list<std::initializer_list<double>> rows)
+{
+    DenseMatrix m(rows.size(), rows.size() ? rows.begin()->size() : 0);
+    std::size_t i = 0;
+    for (const auto &row : rows) {
+        panicIf(row.size() != m.cols(), "fromRows: ragged rows");
+        std::size_t j = 0;
+        for (double x : row)
+            m(i, j++) = x;
+        ++i;
+    }
+    return m;
+}
+
+DenseMatrix
+DenseMatrix::identity(std::size_t n)
+{
+    DenseMatrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        m(i, i) = 1.0;
+    return m;
+}
+
+Vector
+DenseMatrix::apply(const Vector &x) const
+{
+    panicIf(x.size() != c, "DenseMatrix::apply: size mismatch");
+    Vector y(r);
+    for (std::size_t i = 0; i < r; ++i) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < c; ++j)
+            acc += a[i * c + j] * x[j];
+        y[i] = acc;
+    }
+    return y;
+}
+
+Vector
+DenseMatrix::applyTranspose(const Vector &x) const
+{
+    panicIf(x.size() != r, "applyTranspose: size mismatch");
+    Vector y(c);
+    for (std::size_t i = 0; i < r; ++i)
+        for (std::size_t j = 0; j < c; ++j)
+            y[j] += a[i * c + j] * x[i];
+    return y;
+}
+
+DenseMatrix
+DenseMatrix::transpose() const
+{
+    DenseMatrix t(c, r);
+    for (std::size_t i = 0; i < r; ++i)
+        for (std::size_t j = 0; j < c; ++j)
+            t(j, i) = (*this)(i, j);
+    return t;
+}
+
+DenseMatrix
+DenseMatrix::operator*(const DenseMatrix &rhs) const
+{
+    panicIf(c != rhs.r, "DenseMatrix *: inner dims mismatch");
+    DenseMatrix p(r, rhs.c);
+    for (std::size_t i = 0; i < r; ++i)
+        for (std::size_t k = 0; k < c; ++k) {
+            double aik = a[i * c + k];
+            if (aik == 0.0)
+                continue;
+            for (std::size_t j = 0; j < rhs.c; ++j)
+                p(i, j) += aik * rhs(k, j);
+        }
+    return p;
+}
+
+DenseMatrix
+DenseMatrix::operator+(const DenseMatrix &rhs) const
+{
+    panicIf(r != rhs.r || c != rhs.c, "DenseMatrix +: dims mismatch");
+    DenseMatrix s = *this;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        s.a[i] += rhs.a[i];
+    return s;
+}
+
+DenseMatrix
+DenseMatrix::operator-(const DenseMatrix &rhs) const
+{
+    panicIf(r != rhs.r || c != rhs.c, "DenseMatrix -: dims mismatch");
+    DenseMatrix s = *this;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        s.a[i] -= rhs.a[i];
+    return s;
+}
+
+DenseMatrix &
+DenseMatrix::operator*=(double s)
+{
+    for (auto &x : a)
+        x *= s;
+    return *this;
+}
+
+double
+DenseMatrix::maxAbs() const
+{
+    double m = 0.0;
+    for (double x : a)
+        m = std::max(m, std::fabs(x));
+    return m;
+}
+
+bool
+DenseMatrix::isSymmetric(double tol) const
+{
+    if (r != c)
+        return false;
+    for (std::size_t i = 0; i < r; ++i)
+        for (std::size_t j = i + 1; j < c; ++j)
+            if (std::fabs((*this)(i, j) - (*this)(j, i)) > tol)
+                return false;
+    return true;
+}
+
+double
+DenseMatrix::frobeniusDiff(const DenseMatrix &rhs) const
+{
+    panicIf(r != rhs.r || c != rhs.c, "frobeniusDiff: dims mismatch");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        double d = a[i] - rhs.a[i];
+        acc += d * d;
+    }
+    return std::sqrt(acc);
+}
+
+} // namespace aa::la

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Row-major dense matrix. Used for small systems mapped whole onto the
+ * accelerator, for the direct (Cholesky/LU) validation solvers, and as
+ * the exchange format of the compiler's scaling analysis.
+ */
+
+#ifndef AA_LA_DENSE_MATRIX_HH
+#define AA_LA_DENSE_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "aa/la/vector.hh"
+
+namespace aa::la {
+
+/** Row-major dense matrix of doubles. */
+class DenseMatrix
+{
+  public:
+    DenseMatrix() = default;
+    DenseMatrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+        : r(rows), c(cols), a(rows * cols, fill)
+    {}
+
+    /** Build from nested initializer rows; all rows must be equal. */
+    static DenseMatrix
+    fromRows(std::initializer_list<std::initializer_list<double>> rows);
+
+    /** n-by-n identity. */
+    static DenseMatrix identity(std::size_t n);
+
+    std::size_t rows() const { return r; }
+    std::size_t cols() const { return c; }
+
+    double operator()(std::size_t i, std::size_t j) const
+    {
+        return a[i * c + j];
+    }
+    double &operator()(std::size_t i, std::size_t j)
+    {
+        return a[i * c + j];
+    }
+
+    /** y = A x. */
+    Vector apply(const Vector &x) const;
+    /** y = A^T x. */
+    Vector applyTranspose(const Vector &x) const;
+
+    DenseMatrix transpose() const;
+    DenseMatrix operator*(const DenseMatrix &rhs) const;
+    DenseMatrix operator+(const DenseMatrix &rhs) const;
+    DenseMatrix operator-(const DenseMatrix &rhs) const;
+    DenseMatrix &operator*=(double s);
+
+    /** Largest |a_ij|; the compiler's gain-range analysis uses this. */
+    double maxAbs() const;
+
+    /** True when the matrix equals its transpose within tol. */
+    bool isSymmetric(double tol = 1e-12) const;
+
+    /** Frobenius norm of (this - rhs). */
+    double frobeniusDiff(const DenseMatrix &rhs) const;
+
+  private:
+    std::size_t r = 0;
+    std::size_t c = 0;
+    std::vector<double> a;
+};
+
+} // namespace aa::la
+
+#endif // AA_LA_DENSE_MATRIX_HH

@@ -1,0 +1,161 @@
+#include "aa/la/direct.hh"
+
+#include <cmath>
+
+#include "aa/common/logging.hh"
+
+namespace aa::la {
+
+std::optional<Cholesky>
+Cholesky::factor(const DenseMatrix &a)
+{
+    panicIf(a.rows() != a.cols(), "Cholesky: matrix not square");
+    std::size_t n = a.rows();
+    DenseMatrix l(n, n);
+    for (std::size_t j = 0; j < n; ++j) {
+        double diag = a(j, j);
+        for (std::size_t k = 0; k < j; ++k)
+            diag -= l(j, k) * l(j, k);
+        if (diag <= 0.0 || !std::isfinite(diag))
+            return std::nullopt;
+        l(j, j) = std::sqrt(diag);
+        for (std::size_t i = j + 1; i < n; ++i) {
+            double acc = a(i, j);
+            for (std::size_t k = 0; k < j; ++k)
+                acc -= l(i, k) * l(j, k);
+            l(i, j) = acc / l(j, j);
+        }
+    }
+    return Cholesky(std::move(l));
+}
+
+Vector
+Cholesky::solve(const Vector &b) const
+{
+    std::size_t n = l.rows();
+    panicIf(b.size() != n, "Cholesky::solve: size mismatch");
+
+    // Forward substitution L y = b.
+    Vector y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double acc = b[i];
+        for (std::size_t k = 0; k < i; ++k)
+            acc -= l(i, k) * y[k];
+        y[i] = acc / l(i, i);
+    }
+    // Back substitution L^T x = y.
+    Vector x(n);
+    for (std::size_t ii = n; ii-- > 0;) {
+        double acc = y[ii];
+        for (std::size_t k = ii + 1; k < n; ++k)
+            acc -= l(k, ii) * x[k];
+        x[ii] = acc / l(ii, ii);
+    }
+    return x;
+}
+
+double
+Cholesky::logDet() const
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < l.rows(); ++i)
+        acc += std::log(l(i, i));
+    return 2.0 * acc;
+}
+
+std::optional<Lu>
+Lu::factor(const DenseMatrix &a)
+{
+    panicIf(a.rows() != a.cols(), "Lu: matrix not square");
+    std::size_t n = a.rows();
+    DenseMatrix lu = a;
+    std::vector<std::size_t> piv(n);
+    int sign = 1;
+
+    for (std::size_t k = 0; k < n; ++k) {
+        // Partial pivot: largest magnitude in column k at/below k.
+        std::size_t p = k;
+        double best = std::fabs(lu(k, k));
+        for (std::size_t i = k + 1; i < n; ++i) {
+            if (std::fabs(lu(i, k)) > best) {
+                best = std::fabs(lu(i, k));
+                p = i;
+            }
+        }
+        if (best == 0.0 || !std::isfinite(best))
+            return std::nullopt;
+        piv[k] = p;
+        if (p != k) {
+            sign = -sign;
+            for (std::size_t j = 0; j < n; ++j)
+                std::swap(lu(k, j), lu(p, j));
+        }
+        for (std::size_t i = k + 1; i < n; ++i) {
+            lu(i, k) /= lu(k, k);
+            double lik = lu(i, k);
+            for (std::size_t j = k + 1; j < n; ++j)
+                lu(i, j) -= lik * lu(k, j);
+        }
+    }
+    return Lu(std::move(lu), std::move(piv), sign);
+}
+
+Vector
+Lu::solve(const Vector &b) const
+{
+    std::size_t n = lu.rows();
+    panicIf(b.size() != n, "Lu::solve: size mismatch");
+
+    Vector x = b;
+    // The factorization swapped whole rows (L part included), so the
+    // full permutation applies before substitution begins.
+    for (std::size_t k = 0; k < n; ++k)
+        std::swap(x[k], x[piv[k]]);
+    // Forward substitution (unit lower).
+    for (std::size_t k = 0; k < n; ++k)
+        for (std::size_t i = k + 1; i < n; ++i)
+            x[i] -= lu(i, k) * x[k];
+    // Back substitution (upper).
+    for (std::size_t ii = n; ii-- > 0;) {
+        for (std::size_t j = ii + 1; j < n; ++j)
+            x[ii] -= lu(ii, j) * x[j];
+        x[ii] /= lu(ii, ii);
+    }
+    return x;
+}
+
+double
+Lu::determinant() const
+{
+    double det = sign;
+    for (std::size_t i = 0; i < lu.rows(); ++i)
+        det *= lu(i, i);
+    return det;
+}
+
+Vector
+solveDense(const DenseMatrix &a, const Vector &b)
+{
+    auto lu = Lu::factor(a);
+    fatalIf(!lu, "solveDense: singular matrix");
+    return lu->solve(b);
+}
+
+DenseMatrix
+inverse(const DenseMatrix &a)
+{
+    auto lu = Lu::factor(a);
+    fatalIf(!lu, "inverse: singular matrix");
+    std::size_t n = a.rows();
+    DenseMatrix inv(n, n);
+    for (std::size_t j = 0; j < n; ++j) {
+        Vector e(n);
+        e[j] = 1.0;
+        Vector col = lu->solve(e);
+        for (std::size_t i = 0; i < n; ++i)
+            inv(i, j) = col[i];
+    }
+    return inv;
+}
+
+} // namespace aa::la

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Dense direct solvers: Cholesky and partially pivoted LU.
+ *
+ * The paper notes analog computers are unsuitable for direct methods
+ * (§IV-A); we implement them digitally as ground truth for tests and
+ * for the eigenvalue estimation (inverse power iteration) the analog
+ * convergence-time model needs.
+ */
+
+#ifndef AA_LA_DIRECT_HH
+#define AA_LA_DIRECT_HH
+
+#include <optional>
+
+#include "aa/la/dense_matrix.hh"
+#include "aa/la/vector.hh"
+
+namespace aa::la {
+
+/**
+ * Cholesky factorization A = L L^T of an SPD matrix.
+ * Construction fails (returns nullopt) when A is not positive
+ * definite — which is also how tests check positive definiteness.
+ */
+class Cholesky
+{
+  public:
+    /** Factor; nullopt when a non-positive pivot is met. */
+    static std::optional<Cholesky> factor(const DenseMatrix &a);
+
+    /** Solve A x = b via forward/back substitution. */
+    Vector solve(const Vector &b) const;
+
+    /** log(det A) = 2 * sum log l_ii (A is SPD so det > 0). */
+    double logDet() const;
+
+    const DenseMatrix &lower() const { return l; }
+
+  private:
+    explicit Cholesky(DenseMatrix lower) : l(std::move(lower)) {}
+    DenseMatrix l;
+};
+
+/** LU factorization with partial pivoting, P A = L U. */
+class Lu
+{
+  public:
+    /** Factor; nullopt when the matrix is numerically singular. */
+    static std::optional<Lu> factor(const DenseMatrix &a);
+
+    Vector solve(const Vector &b) const;
+    double determinant() const;
+
+  private:
+    Lu(DenseMatrix lu_packed, std::vector<std::size_t> pivots,
+       int pivot_sign)
+        : lu(std::move(lu_packed)), piv(std::move(pivots)),
+          sign(pivot_sign)
+    {}
+
+    DenseMatrix lu; ///< L (unit diag, below) and U (on/above) packed
+    std::vector<std::size_t> piv;
+    int sign;
+};
+
+/** One-shot dense solve via LU; fatal() on singular input. */
+Vector solveDense(const DenseMatrix &a, const Vector &b);
+
+/** Dense inverse via LU column solves; fatal() on singular input. */
+DenseMatrix inverse(const DenseMatrix &a);
+
+} // namespace aa::la
+
+#endif // AA_LA_DIRECT_HH

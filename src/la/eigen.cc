@@ -1,0 +1,103 @@
+#include "aa/la/eigen.hh"
+
+#include <cmath>
+
+#include "aa/common/logging.hh"
+#include "aa/common/rng.hh"
+#include "aa/la/direct.hh"
+
+namespace aa::la {
+
+namespace {
+
+/** Random unit start vector. */
+Vector
+randomUnit(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Vector v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = rng.gaussian(0.0, 1.0);
+    double nrm = norm2(v);
+    panicIf(nrm == 0.0, "randomUnit: zero draw");
+    v *= 1.0 / nrm;
+    return v;
+}
+
+} // namespace
+
+EigenEstimate
+largestEigenvalue(const LinearOperator &op, const EigenOptions &opts)
+{
+    EigenEstimate est;
+    Vector v = randomUnit(op.size(), opts.seed);
+    Vector av;
+    double prev = 0.0;
+    for (std::size_t it = 0; it < opts.max_iters; ++it) {
+        op.apply(v, av);
+        double lambda = dot(v, av); // Rayleigh quotient
+        double nrm = norm2(av);
+        est.iterations = it + 1;
+        if (nrm == 0.0) {
+            // v is in the null space; lambda_max >= 0 trivially.
+            est.value = 0.0;
+            est.converged = true;
+            return est;
+        }
+        av *= 1.0 / nrm;
+        v = av;
+        if (it > 0 &&
+            std::fabs(lambda - prev) <=
+                opts.tol * std::max(1.0, std::fabs(lambda))) {
+            est.value = lambda;
+            est.converged = true;
+            return est;
+        }
+        prev = lambda;
+        est.value = lambda;
+    }
+    return est;
+}
+
+EigenEstimate
+smallestEigenvalueSpd(const DenseMatrix &a, const EigenOptions &opts)
+{
+    EigenEstimate est;
+    auto chol = Cholesky::factor(a);
+    fatalIf(!chol, "smallestEigenvalueSpd: matrix not SPD");
+
+    Vector v = randomUnit(a.rows(), opts.seed);
+    double prev = 0.0;
+    for (std::size_t it = 0; it < opts.max_iters; ++it) {
+        Vector w = chol->solve(v); // w = A^-1 v
+        double mu = dot(v, w);     // Rayleigh quotient of A^-1
+        double nrm = norm2(w);
+        panicIf(nrm == 0.0, "inverse power iteration: zero vector");
+        w *= 1.0 / nrm;
+        v = w;
+        est.iterations = it + 1;
+        double lambda = 1.0 / mu;
+        if (it > 0 && std::fabs(mu - prev) <=
+                          opts.tol * std::max(1.0, std::fabs(mu))) {
+            est.value = lambda;
+            est.converged = true;
+            return est;
+        }
+        prev = mu;
+        est.value = lambda;
+    }
+    return est;
+}
+
+double
+conditionNumberSpd(const DenseMatrix &a, const EigenOptions &opts)
+{
+    DenseOperator op(a);
+    auto lmax = largestEigenvalue(op, opts);
+    auto lmin = smallestEigenvalueSpd(a, opts);
+    fatalIf(lmin.value <= 0.0,
+            "conditionNumberSpd: nonpositive lambda_min");
+    return lmax.value / lmin.value;
+}
+
+} // namespace aa::la

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Eigenvalue extremes of symmetric operators.
+ *
+ * The analog solve-time model depends on lambda_min of the (scaled)
+ * coefficient matrix: the continuous-time gradient flow converges as
+ * exp(-lambda_min * t). Condition number kappa = lmax/lmin likewise
+ * drives the digital CG iteration-count model (~sqrt(kappa)).
+ */
+
+#ifndef AA_LA_EIGEN_HH
+#define AA_LA_EIGEN_HH
+
+#include <cstdint>
+
+#include "aa/la/operator.hh"
+#include "aa/la/vector.hh"
+
+namespace aa::la {
+
+/** Options for the power-iteration routines. */
+struct EigenOptions {
+    std::size_t max_iters = 2000;
+    double tol = 1e-10;   ///< relative eigenvalue change to stop
+    std::uint64_t seed = 12345; ///< start-vector seed
+};
+
+/** Result of an extremal-eigenvalue estimate. */
+struct EigenEstimate {
+    double value = 0.0;
+    std::size_t iterations = 0;
+    bool converged = false;
+};
+
+/** Largest eigenvalue of a symmetric operator via power iteration. */
+EigenEstimate largestEigenvalue(const LinearOperator &op,
+                                const EigenOptions &opts = {});
+
+/**
+ * Smallest eigenvalue of a symmetric positive definite dense matrix
+ * via inverse power iteration on a Cholesky factorization.
+ */
+EigenEstimate smallestEigenvalueSpd(const DenseMatrix &a,
+                                    const EigenOptions &opts = {});
+
+/** kappa = lmax / lmin of an SPD dense matrix. */
+double conditionNumberSpd(const DenseMatrix &a,
+                          const EigenOptions &opts = {});
+
+} // namespace aa::la
+
+#endif // AA_LA_EIGEN_HH

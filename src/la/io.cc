@@ -1,0 +1,148 @@
+#include "aa/la/io.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "aa/common/logging.hh"
+
+namespace aa::la {
+
+namespace {
+
+/** Read the banner + skip comments; returns the banner tokens. */
+std::vector<std::string>
+readBanner(std::istream &in, std::string &first_data_line)
+{
+    std::string line;
+    fatalIf(!std::getline(in, line),
+            "matrix market: empty stream");
+    fatalIf(line.rfind("%%MatrixMarket", 0) != 0,
+            "matrix market: missing %%MatrixMarket banner");
+    std::istringstream banner(line);
+    std::vector<std::string> tokens;
+    std::string tok;
+    while (banner >> tok) {
+        std::transform(tok.begin(), tok.end(), tok.begin(),
+                       [](unsigned char c) {
+                           return static_cast<char>(
+                               std::tolower(c));
+                       });
+        tokens.push_back(tok);
+    }
+    while (std::getline(in, line)) {
+        if (!line.empty() && line[0] != '%') {
+            first_data_line = line;
+            return tokens;
+        }
+    }
+    fatal("matrix market: no size line");
+}
+
+} // namespace
+
+CsrMatrix
+readMatrixMarket(std::istream &in)
+{
+    std::string size_line;
+    auto banner = readBanner(in, size_line);
+    fatalIf(banner.size() < 5, "matrix market: short banner");
+    fatalIf(banner[1] != "matrix" || banner[2] != "coordinate",
+            "matrix market: expected 'matrix coordinate'");
+    fatalIf(banner[3] != "real" && banner[3] != "integer",
+            "matrix market: only real/integer entries supported");
+    bool symmetric = banner[4] == "symmetric";
+    fatalIf(!symmetric && banner[4] != "general",
+            "matrix market: only general/symmetric supported");
+
+    std::istringstream size(size_line);
+    std::size_t rows = 0, cols = 0, entries = 0;
+    fatalIf(!(size >> rows >> cols >> entries),
+            "matrix market: bad size line '", size_line, "'");
+
+    std::vector<Triplet> trip;
+    trip.reserve(symmetric ? 2 * entries : entries);
+    for (std::size_t k = 0; k < entries; ++k) {
+        std::size_t i = 0, j = 0;
+        double v = 0.0;
+        fatalIf(!(in >> i >> j >> v),
+                "matrix market: truncated at entry ", k + 1, " of ",
+                entries);
+        fatalIf(i < 1 || j < 1 || i > rows || j > cols,
+                "matrix market: entry (", i, ",", j,
+                ") outside ", rows, "x", cols);
+        trip.push_back({i - 1, j - 1, v});
+        if (symmetric && i != j)
+            trip.push_back({j - 1, i - 1, v});
+    }
+    return CsrMatrix::fromTriplets(rows, cols, std::move(trip));
+}
+
+CsrMatrix
+readMatrixMarketFile(const std::string &path)
+{
+    std::ifstream in(path);
+    fatalIf(!in, "matrix market: cannot open ", path);
+    return readMatrixMarket(in);
+}
+
+Vector
+readVectorMarket(std::istream &in)
+{
+    std::string size_line;
+    auto banner = readBanner(in, size_line);
+    fatalIf(banner.size() < 4, "matrix market: short banner");
+    fatalIf(banner[1] != "matrix" || banner[2] != "array",
+            "vector market: expected 'matrix array'");
+
+    std::istringstream size(size_line);
+    std::size_t rows = 0, cols = 0;
+    fatalIf(!(size >> rows >> cols),
+            "vector market: bad size line");
+    fatalIf(cols != 1, "vector market: expected a single column, got ",
+            cols);
+
+    Vector v(rows);
+    for (std::size_t k = 0; k < rows; ++k)
+        fatalIf(!(in >> v[k]), "vector market: truncated at row ",
+                k + 1);
+    return v;
+}
+
+Vector
+readVectorMarketFile(const std::string &path)
+{
+    std::ifstream in(path);
+    fatalIf(!in, "vector market: cannot open ", path);
+    return readVectorMarket(in);
+}
+
+void
+writeMatrixMarket(const CsrMatrix &m, std::ostream &out)
+{
+    out << "%%MatrixMarket matrix coordinate real general\n";
+    out << m.rows() << " " << m.cols() << " " << m.nnz() << "\n";
+    out << std::setprecision(17);
+    for (std::size_t i = 0; i < m.rows(); ++i) {
+        auto cols = m.rowCols(i);
+        auto vals = m.rowVals(i);
+        for (std::size_t k = 0; k < cols.size(); ++k)
+            out << i + 1 << " " << cols[k] + 1 << " " << vals[k]
+                << "\n";
+    }
+    out.flush();
+}
+
+void
+writeVectorMarket(const Vector &v, std::ostream &out)
+{
+    out << "%%MatrixMarket matrix array real general\n";
+    out << v.size() << " 1\n";
+    out << std::setprecision(17);
+    for (std::size_t i = 0; i < v.size(); ++i)
+        out << v[i] << "\n";
+    out.flush();
+}
+
+} // namespace aa::la

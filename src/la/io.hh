@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Matrix Market I/O — the interchange format the scientific-computing
+ * ecosystem the paper targets actually uses. Supports the coordinate
+ * format with `real` entries and `general` or `symmetric` storage
+ * (symmetric files are expanded on read), plus dense vector ("array")
+ * files for right-hand sides.
+ */
+
+#ifndef AA_LA_IO_HH
+#define AA_LA_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "aa/la/csr_matrix.hh"
+#include "aa/la/vector.hh"
+
+namespace aa::la {
+
+/** Parse a Matrix Market coordinate stream into CSR.
+ *  fatal()s on malformed input (user error). */
+CsrMatrix readMatrixMarket(std::istream &in);
+
+/** Parse a Matrix Market file by path. */
+CsrMatrix readMatrixMarketFile(const std::string &path);
+
+/** Parse a Matrix Market dense array stream as a vector. */
+Vector readVectorMarket(std::istream &in);
+Vector readVectorMarketFile(const std::string &path);
+
+/** Write a CSR matrix as Matrix Market coordinate/general. */
+void writeMatrixMarket(const CsrMatrix &m, std::ostream &out);
+
+/** Write a vector as a Matrix Market dense array. */
+void writeVectorMarket(const Vector &v, std::ostream &out);
+
+} // namespace aa::la
+
+#endif // AA_LA_IO_HH

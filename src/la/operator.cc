@@ -1,0 +1,43 @@
+#include "aa/la/operator.hh"
+
+#include "aa/common/logging.hh"
+
+namespace aa::la {
+
+CsrOperator::CsrOperator(const CsrMatrix &m) : mat(m)
+{
+    fatalIf(m.rows() != m.cols(),
+            "CsrOperator: operator must be square, got ", m.rows(), "x",
+            m.cols());
+}
+
+void
+CsrOperator::apply(const Vector &x, Vector &y) const
+{
+    y.assign(mat.rows(), 0.0);
+    mat.applyAdd(1.0, x, y);
+}
+
+DenseOperator::DenseOperator(const DenseMatrix &m) : mat(m)
+{
+    fatalIf(m.rows() != m.cols(),
+            "DenseOperator: operator must be square, got ", m.rows(),
+            "x", m.cols());
+}
+
+void
+DenseOperator::apply(const Vector &x, Vector &y) const
+{
+    y = mat.apply(x);
+}
+
+Vector
+DenseOperator::diagonal() const
+{
+    Vector d(mat.rows());
+    for (std::size_t i = 0; i < mat.rows(); ++i)
+        d[i] = mat(i, i);
+    return d;
+}
+
+} // namespace aa::la

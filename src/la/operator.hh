@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Abstract linear operator.
+ *
+ * The digital iterative solvers only need y = A x, so they are written
+ * against this interface. Concrete implementations: CsrOperator,
+ * DenseOperator here; matrix-free Poisson stencils in aa_pde (the
+ * paper's CG "implemented using stencils ... without having to
+ * allocate memory for the full matrix").
+ */
+
+#ifndef AA_LA_OPERATOR_HH
+#define AA_LA_OPERATOR_HH
+
+#include <cstddef>
+
+#include "aa/la/csr_matrix.hh"
+#include "aa/la/dense_matrix.hh"
+#include "aa/la/vector.hh"
+
+namespace aa::la {
+
+/** Square linear operator interface used by the iterative solvers. */
+class LinearOperator
+{
+  public:
+    virtual ~LinearOperator() = default;
+
+    /** Number of rows (== cols; operators here are square). */
+    virtual std::size_t size() const = 0;
+
+    /** y <- A x; y is resized as needed. */
+    virtual void apply(const Vector &x, Vector &y) const = 0;
+
+    /** Main diagonal, needed by Jacobi/GS/SOR smoothers. */
+    virtual Vector diagonal() const = 0;
+
+    /** Convenience allocation form of apply. */
+    Vector
+    applyCopy(const Vector &x) const
+    {
+        Vector y;
+        apply(x, y);
+        return y;
+    }
+
+    /**
+     * Rough flop weight of one apply: number of scalar multiply-adds.
+     * The energy models (aa_cost) charge per-apply work with this.
+     */
+    virtual std::size_t applyFlops() const = 0;
+};
+
+/** LinearOperator view over a CsrMatrix (not owning). */
+class CsrOperator : public LinearOperator
+{
+  public:
+    explicit CsrOperator(const CsrMatrix &m);
+
+    std::size_t size() const override { return mat.rows(); }
+    void apply(const Vector &x, Vector &y) const override;
+    Vector diagonal() const override { return mat.diagonal(); }
+    std::size_t applyFlops() const override { return mat.nnz(); }
+
+    const CsrMatrix &matrix() const { return mat; }
+
+  private:
+    const CsrMatrix &mat;
+};
+
+/** LinearOperator view over a DenseMatrix (not owning). */
+class DenseOperator : public LinearOperator
+{
+  public:
+    explicit DenseOperator(const DenseMatrix &m);
+
+    std::size_t size() const override { return mat.rows(); }
+    void apply(const Vector &x, Vector &y) const override;
+    Vector diagonal() const override;
+    std::size_t applyFlops() const override
+    {
+        return mat.rows() * mat.cols();
+    }
+
+  private:
+    const DenseMatrix &mat;
+};
+
+} // namespace aa::la
+
+#endif // AA_LA_OPERATOR_HH

@@ -1,0 +1,138 @@
+#include "aa/la/vector.hh"
+
+#include <cmath>
+
+#include "aa/common/logging.hh"
+
+namespace aa::la {
+
+double
+Vector::at(std::size_t i) const
+{
+    panicIf(i >= v.size(), "Vector::at(", i, ") size ", v.size());
+    return v[i];
+}
+
+double &
+Vector::at(std::size_t i)
+{
+    panicIf(i >= v.size(), "Vector::at(", i, ") size ", v.size());
+    return v[i];
+}
+
+Vector &
+Vector::operator+=(const Vector &rhs)
+{
+    panicIf(v.size() != rhs.size(), "Vector +=: size mismatch");
+    for (std::size_t i = 0; i < v.size(); ++i)
+        v[i] += rhs[i];
+    return *this;
+}
+
+Vector &
+Vector::operator-=(const Vector &rhs)
+{
+    panicIf(v.size() != rhs.size(), "Vector -=: size mismatch");
+    for (std::size_t i = 0; i < v.size(); ++i)
+        v[i] -= rhs[i];
+    return *this;
+}
+
+Vector &
+Vector::operator*=(double s)
+{
+    for (auto &x : v)
+        x *= s;
+    return *this;
+}
+
+Vector
+operator+(Vector lhs, const Vector &rhs)
+{
+    lhs += rhs;
+    return lhs;
+}
+
+Vector
+operator-(Vector lhs, const Vector &rhs)
+{
+    lhs -= rhs;
+    return lhs;
+}
+
+Vector
+operator*(double s, Vector rhs)
+{
+    rhs *= s;
+    return rhs;
+}
+
+double
+dot(const Vector &x, const Vector &y)
+{
+    panicIf(x.size() != y.size(), "dot: size mismatch");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i)
+        acc += x[i] * y[i];
+    return acc;
+}
+
+double
+norm2(const Vector &x)
+{
+    return std::sqrt(dot(x, x));
+}
+
+double
+normInf(const Vector &x)
+{
+    double m = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i)
+        m = std::max(m, std::fabs(x[i]));
+    return m;
+}
+
+double
+norm1(const Vector &x)
+{
+    double s = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i)
+        s += std::fabs(x[i]);
+    return s;
+}
+
+void
+axpy(double a, const Vector &x, Vector &y)
+{
+    panicIf(x.size() != y.size(), "axpy: size mismatch");
+    for (std::size_t i = 0; i < x.size(); ++i)
+        y[i] += a * x[i];
+}
+
+void
+xpby(const Vector &x, double b, Vector &y)
+{
+    panicIf(x.size() != y.size(), "xpby: size mismatch");
+    for (std::size_t i = 0; i < x.size(); ++i)
+        y[i] = x[i] + b * y[i];
+}
+
+void
+scale(double a, const Vector &x, Vector &y)
+{
+    y.resize(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        y[i] = a * x[i];
+}
+
+double
+maxAbsDiff(const Vector &x, const Vector &y)
+{
+    panicIf(x.size() != y.size(), "maxAbsDiff: size mismatch");
+    double m = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i)
+        m = std::max(m, std::fabs(x[i] - y[i]));
+    return m;
+}
+
+} // namespace aa::la

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Dense real vector and the BLAS-1 style kernels the solvers use.
+ *
+ * A thin value type over contiguous doubles. Iterative solvers in
+ * aa_solver and the circuit simulator state in aa_circuit are all
+ * expressed against these kernels.
+ */
+
+#ifndef AA_LA_VECTOR_HH
+#define AA_LA_VECTOR_HH
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace aa::la {
+
+/** Dense vector of doubles with arithmetic helpers. */
+class Vector
+{
+  public:
+    Vector() = default;
+    explicit Vector(std::size_t n, double fill = 0.0) : v(n, fill) {}
+    Vector(std::initializer_list<double> init) : v(init) {}
+    explicit Vector(std::vector<double> data) : v(std::move(data)) {}
+
+    std::size_t size() const { return v.size(); }
+    bool empty() const { return v.empty(); }
+    void resize(std::size_t n, double fill = 0.0) { v.resize(n, fill); }
+    void assign(std::size_t n, double fill) { v.assign(n, fill); }
+
+    double operator[](std::size_t i) const { return v[i]; }
+    double &operator[](std::size_t i) { return v[i]; }
+    /** Bounds-checked access; panics on out-of-range (simulator bug). */
+    double at(std::size_t i) const;
+    double &at(std::size_t i);
+
+    double *data() { return v.data(); }
+    const double *data() const { return v.data(); }
+    auto begin() { return v.begin(); }
+    auto end() { return v.end(); }
+    auto begin() const { return v.begin(); }
+    auto end() const { return v.end(); }
+
+    const std::vector<double> &raw() const { return v; }
+
+    Vector &operator+=(const Vector &rhs);
+    Vector &operator-=(const Vector &rhs);
+    Vector &operator*=(double s);
+
+    bool operator==(const Vector &rhs) const { return v == rhs.v; }
+
+  private:
+    std::vector<double> v;
+};
+
+Vector operator+(Vector lhs, const Vector &rhs);
+Vector operator-(Vector lhs, const Vector &rhs);
+Vector operator*(double s, Vector rhs);
+
+/** Inner product <x, y>; sizes must match. */
+double dot(const Vector &x, const Vector &y);
+
+/** Euclidean norm. */
+double norm2(const Vector &x);
+
+/** Max-abs norm. */
+double normInf(const Vector &x);
+
+/** L1 norm. */
+double norm1(const Vector &x);
+
+/** y <- a*x + y. */
+void axpy(double a, const Vector &x, Vector &y);
+
+/** y <- x + b*y (BLAS xpby, used by CG's direction update). */
+void xpby(const Vector &x, double b, Vector &y);
+
+/** Elementwise scale: y <- a*x. */
+void scale(double a, const Vector &x, Vector &y);
+
+/** Largest absolute element difference between two vectors. */
+double maxAbsDiff(const Vector &x, const Vector &y);
+
+} // namespace aa::la
+
+#endif // AA_LA_VECTOR_HH

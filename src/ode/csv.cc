@@ -1,0 +1,51 @@
+#include "aa/ode/csv.hh"
+
+#include <fstream>
+#include <iomanip>
+
+#include "aa/common/logging.hh"
+
+namespace aa::ode {
+
+void
+writeCsv(const Trajectory &trajectory, std::ostream &os,
+         const std::vector<std::string> &names)
+{
+    fatalIf(trajectory.samples() == 0, "writeCsv: empty trajectory");
+    std::size_t width = trajectory.state(0).size();
+    fatalIf(!names.empty() && names.size() != width,
+            "writeCsv: ", names.size(), " names for ", width,
+            " states");
+
+    os << "t";
+    for (std::size_t i = 0; i < width; ++i) {
+        os << ",";
+        if (names.empty())
+            os << "s" << i;
+        else
+            os << names[i];
+    }
+    os << "\n";
+
+    os << std::setprecision(12);
+    for (std::size_t k = 0; k < trajectory.samples(); ++k) {
+        os << trajectory.time(k);
+        const auto &y = trajectory.state(k);
+        panicIf(y.size() != width, "writeCsv: ragged trajectory");
+        for (std::size_t i = 0; i < width; ++i)
+            os << "," << y[i];
+        os << "\n";
+    }
+    os.flush();
+}
+
+void
+writeCsvFile(const Trajectory &trajectory, const std::string &path,
+             const std::vector<std::string> &names)
+{
+    std::ofstream file(path);
+    fatalIf(!file, "writeCsvFile: cannot open ", path);
+    writeCsv(trajectory, file, names);
+}
+
+} // namespace aa::ode

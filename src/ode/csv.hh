@@ -1,0 +1,33 @@
+/**
+ * @file
+ * CSV export of recorded trajectories — the scope-capture utility
+ * for inspecting analog waveforms offline (plot with any tool).
+ */
+
+#ifndef AA_ODE_CSV_HH
+#define AA_ODE_CSV_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "aa/ode/trajectory.hh"
+
+namespace aa::ode {
+
+/**
+ * Write a trajectory as CSV: header "t,<name0>,<name1>,..." then one
+ * row per sample. Column names default to s0..sN-1 when empty;
+ * when given, their count must match the state width.
+ */
+void writeCsv(const Trajectory &trajectory, std::ostream &os,
+              const std::vector<std::string> &names = {});
+
+/** Convenience overload creating/truncating the file at `path`. */
+void writeCsvFile(const Trajectory &trajectory,
+                  const std::string &path,
+                  const std::vector<std::string> &names = {});
+
+} // namespace aa::ode
+
+#endif // AA_ODE_CSV_HH

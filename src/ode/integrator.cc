@@ -1,0 +1,326 @@
+#include "aa/ode/integrator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "aa/common/logging.hh"
+
+namespace aa::ode {
+
+const char *
+methodName(Method m)
+{
+    switch (m) {
+      case Method::Euler: return "euler";
+      case Method::Heun: return "heun";
+      case Method::Rk4: return "rk4";
+      case Method::Rkf45: return "rkf45";
+      case Method::Dopri5: return "dopri5";
+    }
+    panic("methodName: bad enum");
+}
+
+bool
+isAdaptive(Method m)
+{
+    return m == Method::Rkf45 || m == Method::Dopri5;
+}
+
+const char *
+stopReasonName(StopReason r)
+{
+    switch (r) {
+      case StopReason::ReachedTEnd: return "reached_t_end";
+      case StopReason::SteadyState: return "steady_state";
+      case StopReason::Event: return "event";
+      case StopReason::HitStepLimit: return "hit_step_limit";
+      case StopReason::StepUnderflow: return "step_underflow";
+    }
+    panic("stopReasonName: bad enum");
+}
+
+namespace {
+
+/** Workspace of stage vectors shared across steps. */
+struct Stages {
+    explicit Stages(std::size_t n)
+    {
+        for (auto &k : ks)
+            k.resize(n);
+        ytmp.resize(n);
+    }
+    Vector ks[7];
+    Vector ytmp;
+};
+
+/** y_next = y + dt * sum(w_i * k_i); stages already filled. */
+void
+combine(const Vector &y, double dt, const Vector *ks, const double *w,
+        std::size_t nstage, Vector &out)
+{
+    out = y;
+    for (std::size_t s = 0; s < nstage; ++s) {
+        if (w[s] == 0.0)
+            continue;
+        la::axpy(dt * w[s], ks[s], out);
+    }
+}
+
+/** ytmp = y + dt * sum(a_i * k_i) for the first `ns` stages. */
+void
+stagePoint(const Vector &y, double dt, const Vector *ks,
+           const double *a, std::size_t ns, Vector &ytmp)
+{
+    ytmp = y;
+    for (std::size_t s = 0; s < ns; ++s) {
+        if (a[s] == 0.0)
+            continue;
+        la::axpy(dt * a[s], ks[s], ytmp);
+    }
+}
+
+/**
+ * One fixed step; k1 must hold f(t, y) on entry. Returns number of
+ * extra RHS evaluations performed.
+ */
+std::size_t
+fixedStep(const OdeSystem &sys, Method method, double t,
+          const Vector &y, double dt, Stages &w, Vector &y_next)
+{
+    auto &k = w.ks;
+    switch (method) {
+      case Method::Euler: {
+        const double b[] = {1.0};
+        combine(y, dt, k, b, 1, y_next);
+        return 0;
+      }
+      case Method::Heun: {
+        const double a1[] = {1.0};
+        stagePoint(y, dt, k, a1, 1, w.ytmp);
+        sys.rhs(t + dt, w.ytmp, k[1]);
+        const double b[] = {0.5, 0.5};
+        combine(y, dt, k, b, 2, y_next);
+        return 1;
+      }
+      case Method::Rk4: {
+        const double a1[] = {0.5};
+        stagePoint(y, dt, k, a1, 1, w.ytmp);
+        sys.rhs(t + 0.5 * dt, w.ytmp, k[1]);
+        const double a2[] = {0.0, 0.5};
+        stagePoint(y, dt, k, a2, 2, w.ytmp);
+        sys.rhs(t + 0.5 * dt, w.ytmp, k[2]);
+        const double a3[] = {0.0, 0.0, 1.0};
+        stagePoint(y, dt, k, a3, 3, w.ytmp);
+        sys.rhs(t + dt, w.ytmp, k[3]);
+        const double b[] = {1.0 / 6, 1.0 / 3, 1.0 / 3, 1.0 / 6};
+        combine(y, dt, k, b, 4, y_next);
+        return 3;
+      }
+      default:
+        panic("fixedStep: adaptive method routed to fixed path");
+    }
+}
+
+/** Embedded pair tableau. */
+struct Tableau {
+    std::size_t stages;
+    const double *c;
+    const double *a[6]; ///< a[i] has i+1 entries, for stage i+1
+    const double *b_high;
+    const double *b_low;
+    int order_high; ///< used for step-size exponent
+};
+
+// Runge-Kutta-Fehlberg 4(5).
+namespace rkf {
+const double c[] = {0, 1.0 / 4, 3.0 / 8, 12.0 / 13, 1.0, 1.0 / 2};
+const double a1[] = {1.0 / 4};
+const double a2[] = {3.0 / 32, 9.0 / 32};
+const double a3[] = {1932.0 / 2197, -7200.0 / 2197, 7296.0 / 2197};
+const double a4[] = {439.0 / 216, -8.0, 3680.0 / 513, -845.0 / 4104};
+const double a5[] = {-8.0 / 27, 2.0, -3544.0 / 2565, 1859.0 / 4104,
+                     -11.0 / 40};
+const double b5[] = {16.0 / 135, 0.0, 6656.0 / 12825, 28561.0 / 56430,
+                     -9.0 / 50, 2.0 / 55};
+const double b4[] = {25.0 / 216, 0.0, 1408.0 / 2565, 2197.0 / 4104,
+                     -1.0 / 5, 0.0};
+const Tableau tab = {6, c, {a1, a2, a3, a4, a5, nullptr}, b5, b4, 5};
+} // namespace rkf
+
+// Dormand-Prince 5(4).
+namespace dp {
+const double c[] = {0, 1.0 / 5, 3.0 / 10, 4.0 / 5, 8.0 / 9, 1.0, 1.0};
+const double a1[] = {1.0 / 5};
+const double a2[] = {3.0 / 40, 9.0 / 40};
+const double a3[] = {44.0 / 45, -56.0 / 15, 32.0 / 9};
+const double a4[] = {19372.0 / 6561, -25360.0 / 2187, 64448.0 / 6561,
+                     -212.0 / 729};
+const double a5[] = {9017.0 / 3168, -355.0 / 33, 46732.0 / 5247,
+                     49.0 / 176, -5103.0 / 18656};
+const double a6[] = {35.0 / 384, 0.0, 500.0 / 1113, 125.0 / 192,
+                     -2187.0 / 6784, 11.0 / 84};
+const double b5[] = {35.0 / 384, 0.0, 500.0 / 1113, 125.0 / 192,
+                     -2187.0 / 6784, 11.0 / 84, 0.0};
+const double b4[] = {5179.0 / 57600, 0.0, 7571.0 / 16695, 393.0 / 640,
+                     -92097.0 / 339200, 187.0 / 2100, 1.0 / 40};
+const Tableau tab = {7, c, {a1, a2, a3, a4, a5, a6}, b5, b4, 5};
+} // namespace dp
+
+/**
+ * One attempted adaptive step. k[0] must hold f(t, y). Fills y_next
+ * and the scaled error norm; returns RHS evaluations performed.
+ */
+std::size_t
+adaptiveAttempt(const OdeSystem &sys, const Tableau &tab, double t,
+                const Vector &y, double dt, Stages &w, Vector &y_next,
+                double &err_norm, const IntegrateOptions &opts)
+{
+    auto &k = w.ks;
+    std::size_t evals = 0;
+    for (std::size_t s = 1; s < tab.stages; ++s) {
+        stagePoint(y, dt, k, tab.a[s - 1], s, w.ytmp);
+        sys.rhs(t + tab.c[s] * dt, w.ytmp, k[s]);
+        ++evals;
+    }
+    combine(y, dt, k, tab.b_high, tab.stages, y_next);
+
+    // Scaled RMS error between orders.
+    double acc = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        double e = 0.0;
+        for (std::size_t s = 0; s < tab.stages; ++s)
+            e += (tab.b_high[s] - tab.b_low[s]) * k[s][i];
+        e *= dt;
+        double scale =
+            opts.abs_tol +
+            opts.rel_tol * std::max(std::fabs(y[i]),
+                                    std::fabs(y_next[i]));
+        double r = e / scale;
+        acc += r * r;
+    }
+    err_norm = std::sqrt(acc / static_cast<double>(
+                                   std::max<std::size_t>(1, y.size())));
+    return evals;
+}
+
+} // namespace
+
+IntegrateResult
+integrate(const OdeSystem &sys, Vector y0, double t0, double t_end,
+          const IntegrateOptions &opts)
+{
+    fatalIf(y0.size() != sys.size(),
+            "integrate: y0 size ", y0.size(), " != system size ",
+            sys.size());
+    fatalIf(opts.dt <= 0.0, "integrate: dt must be positive");
+    fatalIf(t_end < t0, "integrate: t_end before t0");
+    bool unbounded = std::isinf(t_end);
+    fatalIf(unbounded && opts.steady_tol <= 0.0 && !opts.stop_when,
+            "integrate: infinite t_end needs a steady or event stop");
+
+    IntegrateResult res;
+    res.y = std::move(y0);
+    res.t = t0;
+
+    Stages work(sys.size());
+    Vector y_next(sys.size());
+    const Tableau *tab = nullptr;
+    if (opts.method == Method::Rkf45)
+        tab = &rkf::tab;
+    else if (opts.method == Method::Dopri5)
+        tab = &dp::tab;
+
+    if (opts.observer)
+        opts.observer(res.t, res.y);
+    if (opts.stop_when && opts.stop_when(res.t, res.y)) {
+        res.reason = StopReason::Event;
+        return res;
+    }
+
+    double dt = std::min(opts.dt, opts.max_dt);
+    std::size_t steady_run = 0;
+
+    while (true) {
+        if (!unbounded && res.t >= t_end) {
+            res.reason = StopReason::ReachedTEnd;
+            return res;
+        }
+        if (res.steps >= opts.max_steps) {
+            res.reason = StopReason::HitStepLimit;
+            return res;
+        }
+
+        double dt_eff = dt;
+        if (!unbounded)
+            dt_eff = std::min(dt_eff, t_end - res.t);
+
+        // f(t, y) is needed by every method's first stage and by the
+        // steady-state monitor.
+        sys.rhs(res.t, res.y, work.ks[0]);
+        ++res.rhs_evals;
+
+        if (opts.steady_tol > 0.0 && res.t >= opts.steady_min_time) {
+            double drift;
+            if (opts.steady_indices.empty()) {
+                drift = la::normInf(work.ks[0]);
+            } else {
+                drift = 0.0;
+                for (std::size_t i : opts.steady_indices) {
+                    panicIf(i >= work.ks[0].size(),
+                            "steady_indices out of range");
+                    drift = std::max(drift,
+                                     std::fabs(work.ks[0][i]));
+                }
+            }
+            if (drift < opts.steady_tol) {
+                if (++steady_run >= opts.steady_hold) {
+                    res.reason = StopReason::SteadyState;
+                    return res;
+                }
+            } else {
+                steady_run = 0;
+            }
+        }
+
+        if (tab) {
+            double err = 0.0;
+            res.rhs_evals += adaptiveAttempt(sys, *tab, res.t, res.y,
+                                             dt_eff, work, y_next, err,
+                                             opts);
+            if (err > 1.0) {
+                ++res.rejected;
+                double shrink = 0.9 * std::pow(err, -1.0 / tab->order_high);
+                dt = dt_eff * std::clamp(shrink, 0.2, 1.0);
+                if (dt < opts.min_dt) {
+                    res.reason = StopReason::StepUnderflow;
+                    return res;
+                }
+                continue;
+            }
+            // Accept and grow.
+            double grow =
+                err > 0.0
+                    ? 0.9 * std::pow(err, -1.0 / tab->order_high)
+                    : 5.0;
+            dt = std::min(dt_eff * std::clamp(grow, 0.2, 5.0),
+                          opts.max_dt);
+            dt = std::max(dt, opts.min_dt);
+        } else {
+            res.rhs_evals += fixedStep(sys, opts.method, res.t, res.y,
+                                       dt_eff, work, y_next);
+        }
+
+        res.t += dt_eff;
+        std::swap(res.y, y_next);
+        ++res.steps;
+
+        if (opts.observer)
+            opts.observer(res.t, res.y);
+        if (opts.stop_when && opts.stop_when(res.t, res.y)) {
+            res.reason = StopReason::Event;
+            return res;
+        }
+    }
+}
+
+} // namespace aa::ode

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Explicit ODE integration driver.
+ *
+ * Fixed-step Euler (paper Algorithm 1), Heun, classic RK4, and the
+ * adaptive embedded pairs RKF45 and Dormand-Prince 5(4). One driver
+ * handles stop conditions: final time, steady state (the analog
+ * accelerator's "solution stops changing" criterion), and user events
+ * (overflow exceptions in the circuit simulator).
+ */
+
+#ifndef AA_ODE_INTEGRATOR_HH
+#define AA_ODE_INTEGRATOR_HH
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "aa/ode/system.hh"
+
+namespace aa::ode {
+
+/** Integration method selector. */
+enum class Method {
+    Euler,  ///< forward Euler, order 1 (Algorithm 1 of the paper)
+    Heun,   ///< explicit trapezoid, order 2
+    Rk4,    ///< classic Runge-Kutta, order 4
+    Rkf45,  ///< Runge-Kutta-Fehlberg 4(5), adaptive
+    Dopri5  ///< Dormand-Prince 5(4), adaptive
+};
+
+const char *methodName(Method m);
+bool isAdaptive(Method m);
+
+/** Options controlling one integrate() run. */
+struct IntegrateOptions {
+    Method method = Method::Rk4;
+
+    /** Fixed step size, or initial step for adaptive methods. */
+    double dt = 1e-3;
+
+    /** Adaptive error control: |err_i| <= abs_tol + rel_tol*|y_i|. */
+    double abs_tol = 1e-9;
+    double rel_tol = 1e-7;
+    double min_dt = 1e-15;
+    double max_dt = std::numeric_limits<double>::infinity();
+
+    /** Hard cap on steps; exceeding it stops with hit_step_limit. */
+    std::size_t max_steps = 50'000'000;
+
+    /**
+     * Steady-state stop: when > 0, stop once ||dy/dt||_inf stays below
+     * this for steady_hold consecutive accepted steps. This is how the
+     * analog solver decides u(t) reached u_final.
+     */
+    double steady_tol = -1.0;
+    std::size_t steady_hold = 3;
+
+    /**
+     * Earliest time the steady check may fire. Guards against false
+     * steady detection during circuit warm-up, when lag states still
+     * sit at zero and integrator drift is momentarily tiny.
+     */
+    double steady_min_time = 0.0;
+
+    /**
+     * Restrict the steady check to these state indices (empty = all).
+     * The circuit simulator monitors only integrator states: the
+     * chip's comparators watch du/dt signals, not parasitic lag
+     * states whose derivatives are scaled by the (much faster) branch
+     * pole frequency.
+     */
+    std::vector<std::size_t> steady_indices;
+
+    /** Event: integration stops when this returns true. */
+    std::function<bool(double t, const Vector &y)> stop_when;
+
+    /** Observer called after each accepted step (and at t0). */
+    std::function<void(double t, const Vector &y)> observer;
+};
+
+/** Why integrate() returned. */
+enum class StopReason {
+    ReachedTEnd,
+    SteadyState,
+    Event,
+    HitStepLimit,
+    StepUnderflow ///< adaptive step fell below min_dt
+};
+
+const char *stopReasonName(StopReason r);
+
+/** Outcome of one integrate() run. */
+struct IntegrateResult {
+    Vector y;              ///< state at the stop time
+    double t = 0.0;        ///< stop time
+    std::size_t steps = 0; ///< accepted steps
+    std::size_t rejected = 0;  ///< rejected adaptive steps
+    std::size_t rhs_evals = 0; ///< RHS evaluations
+    StopReason reason = StopReason::ReachedTEnd;
+};
+
+/**
+ * Integrate sys from (t0, y0) toward t_end under the given options.
+ * t_end may be +infinity when a steady-state or event stop is set.
+ */
+IntegrateResult integrate(const OdeSystem &sys, Vector y0, double t0,
+                          double t_end, const IntegrateOptions &opts);
+
+} // namespace aa::ode
+
+#endif // AA_ODE_INTEGRATOR_HH

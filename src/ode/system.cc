@@ -1,0 +1,24 @@
+#include "aa/ode/system.hh"
+
+#include "aa/common/logging.hh"
+#include "aa/la/dense_matrix.hh"
+
+namespace aa::ode {
+
+GradientFlowOde::GradientFlowOde(const la::DenseMatrix &a, Vector b,
+                                 double rate)
+    : a_(a), b_(std::move(b)), rate_(rate)
+{
+    fatalIf(a.rows() != a.cols() || a.rows() != b_.size(),
+            "GradientFlowOde: dimension mismatch");
+}
+
+void
+GradientFlowOde::rhs(double, const Vector &y, Vector &dydt) const
+{
+    Vector au = a_.apply(y);
+    for (std::size_t i = 0; i < y.size(); ++i)
+        dydt[i] = rate_ * (b_[i] - au[i]);
+}
+
+} // namespace aa::ode

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * ODE system interface dy/dt = f(t, y).
+ *
+ * The analog circuit simulator exposes a whole chip configuration as
+ * one OdeSystem (integrator states plus per-block bandwidth lags), and
+ * aa_ode integrates it. Algorithm 1 of the paper (Euler's method) is
+ * the Method::Euler path over a one-variable system.
+ */
+
+#ifndef AA_ODE_SYSTEM_HH
+#define AA_ODE_SYSTEM_HH
+
+#include <functional>
+
+#include "aa/la/vector.hh"
+
+namespace aa::la {
+class DenseMatrix;
+} // namespace aa::la
+
+namespace aa::ode {
+
+using la::Vector;
+
+/** Right-hand side of an explicit first-order ODE system. */
+class OdeSystem
+{
+  public:
+    virtual ~OdeSystem() = default;
+
+    /** Number of state variables. */
+    virtual std::size_t size() const = 0;
+
+    /** dydt <- f(t, y); dydt is pre-sized to size(). */
+    virtual void rhs(double t, const Vector &y, Vector &dydt) const = 0;
+};
+
+/** OdeSystem over a std::function, for tests and small examples. */
+class CallbackOde : public OdeSystem
+{
+  public:
+    using RhsFn =
+        std::function<void(double, const Vector &, Vector &)>;
+
+    CallbackOde(std::size_t n, RhsFn fn) : n(n), fn(std::move(fn)) {}
+
+    std::size_t size() const override { return n; }
+
+    void
+    rhs(double t, const Vector &y, Vector &dydt) const override
+    {
+        fn(t, y, dydt);
+    }
+
+  private:
+    std::size_t n;
+    RhsFn fn;
+};
+
+/**
+ * The linear gradient-flow system du/dt = b - A u the accelerator
+ * implements for linear algebra (paper Eq. 2 generalized), with an
+ * optional rate factor k modelling integrator bandwidth:
+ * du/dt = k (b - A u).
+ */
+class GradientFlowOde : public OdeSystem
+{
+  public:
+    GradientFlowOde(const la::DenseMatrix &a, Vector b, double rate = 1.0);
+
+    std::size_t size() const override { return b_.size(); }
+    void rhs(double t, const Vector &y, Vector &dydt) const override;
+
+  private:
+    const la::DenseMatrix &a_;
+    Vector b_;
+    double rate_;
+};
+
+} // namespace aa::ode
+
+#endif // AA_ODE_SYSTEM_HH

@@ -1,0 +1,51 @@
+#include "aa/ode/trajectory.hh"
+
+#include <algorithm>
+
+#include "aa/common/logging.hh"
+
+namespace aa::ode {
+
+std::function<void(double, const la::Vector &)>
+Trajectory::observer()
+{
+    return [this](double t, const la::Vector &y) {
+        if (seen++ % stride == 0) {
+            times.push_back(t);
+            states.push_back(y);
+        }
+    };
+}
+
+std::vector<double>
+Trajectory::component(std::size_t i) const
+{
+    std::vector<double> w;
+    w.reserve(states.size());
+    for (const auto &s : states) {
+        panicIf(i >= s.size(), "Trajectory::component out of range");
+        w.push_back(s[i]);
+    }
+    return w;
+}
+
+la::Vector
+Trajectory::sampleAt(double t) const
+{
+    panicIf(times.empty(), "Trajectory::sampleAt: no samples");
+    if (t <= times.front())
+        return states.front();
+    if (t >= times.back())
+        return states.back();
+    auto it = std::lower_bound(times.begin(), times.end(), t);
+    std::size_t hi = static_cast<std::size_t>(it - times.begin());
+    std::size_t lo = hi - 1;
+    double span = times[hi] - times[lo];
+    double w = span > 0.0 ? (t - times[lo]) / span : 0.0;
+    la::Vector y(states[lo].size());
+    for (std::size_t i = 0; i < y.size(); ++i)
+        y[i] = (1.0 - w) * states[lo][i] + w * states[hi][i];
+    return y;
+}
+
+} // namespace aa::ode

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Trajectory recording: an observer that stores (t, y) samples so a
+ * run's waveform can be inspected — the analog accelerator's
+ * "time-varying waveform for the variable is the ODE solution".
+ */
+
+#ifndef AA_ODE_TRAJECTORY_HH
+#define AA_ODE_TRAJECTORY_HH
+
+#include <functional>
+#include <vector>
+
+#include "aa/la/vector.hh"
+
+namespace aa::ode {
+
+/** Stores sampled states of an integration run. */
+class Trajectory
+{
+  public:
+    /** Record every `stride`-th accepted step (1 = all). */
+    explicit Trajectory(std::size_t stride = 1) : stride(stride) {}
+
+    /** Observer to plug into IntegrateOptions::observer. */
+    std::function<void(double, const la::Vector &)> observer();
+
+    std::size_t samples() const { return times.size(); }
+    double time(std::size_t k) const { return times[k]; }
+    const la::Vector &state(std::size_t k) const { return states[k]; }
+
+    /** One variable's waveform across all samples. */
+    std::vector<double> component(std::size_t i) const;
+
+    /**
+     * Linear interpolation of the state at time t; clamps to the
+     * recorded range. Needs at least one sample.
+     */
+    la::Vector sampleAt(double t) const;
+
+  private:
+    std::size_t stride;
+    std::size_t seen = 0;
+    std::vector<double> times;
+    std::vector<la::Vector> states;
+};
+
+} // namespace aa::ode
+
+#endif // AA_ODE_TRAJECTORY_HH

@@ -1,0 +1,86 @@
+#include "aa/pde/grid.hh"
+
+#include <cmath>
+
+#include "aa/common/logging.hh"
+
+namespace aa::pde {
+
+StructuredGrid::StructuredGrid(std::size_t dim, std::size_t l)
+    : d(dim), l_(l)
+{
+    fatalIf(dim < 1 || dim > 3, "StructuredGrid: dim must be 1..3");
+    fatalIf(l < 1, "StructuredGrid: need at least one interior point");
+    n = 1;
+    for (std::size_t k = 0; k < dim; ++k)
+        n *= l;
+    h = 1.0 / static_cast<double>(l + 1);
+}
+
+std::size_t
+StructuredGrid::index(std::size_t i, std::size_t j, std::size_t k) const
+{
+    panicIf(i >= l_ || (d < 2 && j) || (d < 3 && k) ||
+                (d >= 2 && j >= l_) || (d >= 3 && k >= l_),
+            "StructuredGrid::index out of range");
+    return i + l_ * (j + l_ * k);
+}
+
+std::array<std::size_t, 3>
+StructuredGrid::coords(std::size_t idx) const
+{
+    panicIf(idx >= n, "StructuredGrid::coords out of range");
+    std::array<std::size_t, 3> c = {0, 0, 0};
+    c[0] = idx % l_;
+    if (d >= 2)
+        c[1] = (idx / l_) % l_;
+    if (d >= 3)
+        c[2] = idx / (l_ * l_);
+    return c;
+}
+
+std::array<double, 3>
+StructuredGrid::position(std::size_t idx) const
+{
+    auto c = coords(idx);
+    std::array<double, 3> p = {0.0, 0.0, 0.0};
+    for (std::size_t a = 0; a < d; ++a)
+        p[a] = static_cast<double>(c[a] + 1) * h;
+    return p;
+}
+
+void
+StructuredGrid::forEachNeighbor(
+    std::size_t idx,
+    const std::function<void(std::size_t)> &on_interior,
+    const std::function<void(double, double, double)> &on_boundary)
+    const
+{
+    auto c = coords(idx);
+    for (std::size_t axis = 0; axis < d; ++axis) {
+        for (int dir : {-1, +1}) {
+            auto nb = c;
+            bool outside;
+            if (dir < 0) {
+                outside = (nb[axis] == 0);
+                if (!outside)
+                    --nb[axis];
+            } else {
+                outside = (nb[axis] + 1 == l_);
+                if (!outside)
+                    ++nb[axis];
+            }
+            if (!outside) {
+                on_interior(index(nb[0], nb[1], nb[2]));
+            } else if (on_boundary) {
+                std::array<double, 3> p = {0.0, 0.0, 0.0};
+                for (std::size_t a = 0; a < d; ++a)
+                    p[a] = static_cast<double>(c[a] + 1) * h;
+                p[axis] = dir < 0 ? 0.0 : 1.0;
+                on_boundary(p[0], p[1], p[2]);
+            }
+        }
+    }
+}
+
+} // namespace aa::pde

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Structured grids over the unit line/square/cube.
+ *
+ * The paper's workloads discretize the unit domain with L increments
+ * per side (N = L^d interior node variables) using second-order
+ * central finite differences. This class owns the index arithmetic:
+ * linearization, neighbor walks, and physical coordinates.
+ */
+
+#ifndef AA_PDE_GRID_HH
+#define AA_PDE_GRID_HH
+
+#include <array>
+#include <cstddef>
+#include <functional>
+
+namespace aa::pde {
+
+/**
+ * Interior points of a uniform grid on the unit domain. With l points
+ * per side the spacing is h = 1/(l+1); interior point i sits at
+ * (i+1)*h, and the domain boundary carries Dirichlet data.
+ */
+class StructuredGrid
+{
+  public:
+    /** dim in {1, 2, 3}; l >= 1 interior points per side. */
+    StructuredGrid(std::size_t dim, std::size_t l);
+
+    std::size_t dim() const { return d; }
+    std::size_t pointsPerSide() const { return l_; }
+    std::size_t totalPoints() const { return n; }
+    double spacing() const { return h; }
+
+    /** Linear index of (i[, j[, k]]); unused coords must be 0. */
+    std::size_t index(std::size_t i, std::size_t j = 0,
+                      std::size_t k = 0) const;
+
+    /** Inverse of index(). */
+    std::array<std::size_t, 3> coords(std::size_t idx) const;
+
+    /** Physical position of an interior point. */
+    std::array<double, 3> position(std::size_t idx) const;
+
+    /**
+     * Visit the 2*dim stencil neighbors of interior point idx.
+     * Interior neighbors invoke on_interior with their linear index;
+     * neighbors that fall on the domain boundary invoke on_boundary
+     * with the boundary point's physical position.
+     */
+    void forEachNeighbor(
+        std::size_t idx,
+        const std::function<void(std::size_t)> &on_interior,
+        const std::function<void(double, double, double)> &on_boundary)
+        const;
+
+  private:
+    std::size_t d;
+    std::size_t l_;
+    std::size_t n;
+    double h;
+};
+
+} // namespace aa::pde
+
+#endif // AA_PDE_GRID_HH

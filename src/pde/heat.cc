@@ -1,0 +1,28 @@
+#include "aa/pde/heat.hh"
+
+namespace aa::pde {
+
+HeatEquationOde::HeatEquationOde(std::size_t dim, std::size_t l,
+                                 const SourceFn &f, const BoundaryFn &g)
+    : stencil(dim, l)
+{
+    // The assembly's b already folds f and the boundary data together.
+    b = assemblePoisson(dim, l, f, g).b;
+}
+
+std::size_t
+HeatEquationOde::size() const
+{
+    return stencil.size();
+}
+
+void
+HeatEquationOde::rhs(double, const la::Vector &y,
+                     la::Vector &dydt) const
+{
+    stencil.apply(y, dydt);
+    for (std::size_t i = 0; i < dydt.size(); ++i)
+        dydt[i] = b[i] - dydt[i];
+}
+
+} // namespace aa::pde

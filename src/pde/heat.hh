@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Time-dependent heat equation du/dt = laplacian(u) + f as an
+ * OdeSystem — the paper's embedded-systems use case where the analog
+ * accelerator is the *explicit* time stepper and the time-varying
+ * waveform itself is the useful output (Section II, Figure 4's
+ * "explicit time stepping (e.g., RK4, analog)" path).
+ */
+
+#ifndef AA_PDE_HEAT_HH
+#define AA_PDE_HEAT_HH
+
+#include "aa/ode/system.hh"
+#include "aa/pde/poisson.hh"
+
+namespace aa::pde {
+
+/**
+ * Semi-discretized parabolic PDE: du/dt = -A u + b where A is the
+ * (positive definite) discrete -laplacian and b carries source and
+ * boundary data. Reuses the Poisson assembly.
+ */
+class HeatEquationOde : public ode::OdeSystem
+{
+  public:
+    HeatEquationOde(std::size_t dim, std::size_t l,
+                    const SourceFn &f = zeroSource(),
+                    const BoundaryFn &g = zeroBoundary());
+
+    std::size_t size() const override;
+    void rhs(double t, const la::Vector &y,
+             la::Vector &dydt) const override;
+
+    const StructuredGrid &grid() const { return stencil.gridRef(); }
+    /** Steady state solves A u = b: the elliptic limit. */
+    const la::Vector &forcing() const { return b; }
+
+  private:
+    PoissonStencil stencil;
+    la::Vector b;
+};
+
+} // namespace aa::pde
+
+#endif // AA_PDE_HEAT_HH

@@ -1,0 +1,46 @@
+#include "aa/pde/manufactured.hh"
+
+#include <cmath>
+#include <numbers>
+
+namespace aa::pde {
+
+SourceFn
+sineProductField(std::size_t dim)
+{
+    return [dim](double x, double y, double z) {
+        double u = std::sin(std::numbers::pi * x);
+        if (dim >= 2)
+            u *= std::sin(std::numbers::pi * y);
+        if (dim >= 3)
+            u *= std::sin(std::numbers::pi * z);
+        return u;
+    };
+}
+
+SourceFn
+sineProductSource(std::size_t dim)
+{
+    SourceFn u = sineProductField(dim);
+    double k = static_cast<double>(dim) * std::numbers::pi *
+               std::numbers::pi;
+    return [u, k](double x, double y, double z) {
+        return k * u(x, y, z);
+    };
+}
+
+PoissonProblem
+manufacturedProblem(std::size_t dim, std::size_t l)
+{
+    return assemblePoisson(dim, l, sineProductSource(dim),
+                           zeroBoundary());
+}
+
+la::Vector
+manufacturedExact(const PoissonProblem &problem)
+{
+    return sampleOnGrid(problem.grid, sineProductField(
+                                          problem.grid.dim()));
+}
+
+} // namespace aa::pde

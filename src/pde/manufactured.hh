@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Manufactured solutions for convergence testing.
+ *
+ * u(x) = prod_a sin(pi x_a) vanishes on the unit-domain boundary and
+ * satisfies -laplacian(u) = d * pi^2 * u, so the discrete solve can be
+ * checked against the analytic field and must converge at O(h^2).
+ */
+
+#ifndef AA_PDE_MANUFACTURED_HH
+#define AA_PDE_MANUFACTURED_HH
+
+#include "aa/pde/poisson.hh"
+
+namespace aa::pde {
+
+/** The analytic field u(x) = prod_a sin(pi x_a) for dim axes. */
+SourceFn sineProductField(std::size_t dim);
+
+/** Its Poisson source f = dim * pi^2 * u. */
+SourceFn sineProductSource(std::size_t dim);
+
+/** A Poisson problem whose exact solution is sineProductField. */
+PoissonProblem manufacturedProblem(std::size_t dim, std::size_t l);
+
+/** The exact solution sampled on the problem's grid. */
+la::Vector manufacturedExact(const PoissonProblem &problem);
+
+} // namespace aa::pde
+
+#endif // AA_PDE_MANUFACTURED_HH

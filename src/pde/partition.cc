@@ -1,0 +1,50 @@
+#include "aa/pde/partition.hh"
+
+#include "aa/common/logging.hh"
+
+namespace aa::pde {
+
+std::vector<IndexSet>
+rangePartition(std::size_t n, std::size_t max_points)
+{
+    fatalIf(max_points == 0, "rangePartition: max_points must be > 0");
+    std::vector<IndexSet> blocks;
+    for (std::size_t start = 0; start < n; start += max_points) {
+        std::size_t stop = std::min(n, start + max_points);
+        IndexSet set;
+        set.reserve(stop - start);
+        for (std::size_t i = start; i < stop; ++i)
+            set.push_back(i);
+        blocks.push_back(std::move(set));
+    }
+    return blocks;
+}
+
+std::vector<IndexSet>
+stripPartition(const StructuredGrid &grid, std::size_t max_points)
+{
+    fatalIf(max_points == 0, "stripPartition: max_points must be > 0");
+    std::size_t l = grid.pointsPerSide();
+    std::size_t slice = grid.totalPoints() / l; // points per top slice
+
+    if (slice > max_points) {
+        // Even one slice does not fit; fall back to flat ranges
+        // (the linearized order keeps lower-dimension locality).
+        return rangePartition(grid.totalPoints(), max_points);
+    }
+
+    std::size_t slices_per_block = std::max<std::size_t>(
+        1, max_points / slice);
+    std::vector<IndexSet> blocks;
+    for (std::size_t s0 = 0; s0 < l; s0 += slices_per_block) {
+        std::size_t s1 = std::min(l, s0 + slices_per_block);
+        IndexSet set;
+        set.reserve((s1 - s0) * slice);
+        for (std::size_t idx = s0 * slice; idx < s1 * slice; ++idx)
+            set.push_back(idx);
+        blocks.push_back(std::move(set));
+    }
+    return blocks;
+}
+
+} // namespace aa::pde

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Grid partitioning for domain decomposition.
+ *
+ * The paper (Section IV-B) splits a 2D problem into 1D strips that fit
+ * the accelerator, solves the strips independently, and recovers
+ * global convergence with an outer iteration across the subproblems.
+ * This header produces those index sets.
+ */
+
+#ifndef AA_PDE_PARTITION_HH
+#define AA_PDE_PARTITION_HH
+
+#include <vector>
+
+#include "aa/pde/grid.hh"
+
+namespace aa::pde {
+
+/** One subdomain: sorted global indices of its interior points. */
+using IndexSet = std::vector<std::size_t>;
+
+/**
+ * Partition the grid into contiguous blocks of at most max_points
+ * variables each, cutting along the highest-order dimension so each
+ * block is a bundle of full lower-dimensional slices (rows/planes).
+ * Every point appears in exactly one block.
+ */
+std::vector<IndexSet> stripPartition(const StructuredGrid &grid,
+                                     std::size_t max_points);
+
+/**
+ * Simple 1D range partition of n unknowns into blocks of at most
+ * max_points (for non-grid matrices).
+ */
+std::vector<IndexSet> rangePartition(std::size_t n,
+                                     std::size_t max_points);
+
+} // namespace aa::pde
+
+#endif // AA_PDE_PARTITION_HH

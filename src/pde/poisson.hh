@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Poisson equation discretization: -laplacian(u) = f with Dirichlet
+ * boundary data, discretized with the second-order central stencil on
+ * a StructuredGrid. Produces A u = b with A symmetric positive
+ * definite (the sign convention makes A = -laplacian_h, so the
+ * accelerator's gradient flow du/dt = b - A u converges).
+ *
+ * Includes the paper's two named instances:
+ *  - the 3x3 unit-square example of Section IV-B, and
+ *  - the Figure 7 problem (3D, 16 points/side, u = 1 on the x = 0
+ *    plane, zero elsewhere).
+ */
+
+#ifndef AA_PDE_POISSON_HH
+#define AA_PDE_POISSON_HH
+
+#include <functional>
+
+#include "aa/la/csr_matrix.hh"
+#include "aa/la/operator.hh"
+#include "aa/la/vector.hh"
+#include "aa/pde/grid.hh"
+
+namespace aa::pde {
+
+/** Dirichlet boundary data g(x, y, z) on the unit-domain boundary. */
+using BoundaryFn = std::function<double(double, double, double)>;
+
+/** Source term f(x, y, z). */
+using SourceFn = std::function<double(double, double, double)>;
+
+/** Zero boundary / zero source defaults. */
+BoundaryFn zeroBoundary();
+SourceFn zeroSource();
+
+/** A discretized Poisson problem: A u = b on a structured grid. */
+struct PoissonProblem {
+    StructuredGrid grid;
+    la::CsrMatrix a;
+    la::Vector b;
+};
+
+/**
+ * Assemble A and b for -laplacian(u) = f on the grid with Dirichlet
+ * data g. A has 2*dim/h^2 on the diagonal and -1/h^2 for interior
+ * neighbors; boundary neighbors contribute g/h^2 to b.
+ */
+PoissonProblem assemblePoisson(std::size_t dim, std::size_t l,
+                               const SourceFn &f = zeroSource(),
+                               const BoundaryFn &g = zeroBoundary());
+
+/** The Figure 7 workload: 3D, l per side, u = 1 on the x = 0 plane. */
+PoissonProblem figure7Problem(std::size_t l = 16);
+
+/**
+ * Matrix-free Poisson operator — the paper's "implemented using
+ * stencils to capture the sparse structure of the matrix, without
+ * having to allocate memory for the full matrix".
+ */
+class PoissonStencil : public la::LinearOperator
+{
+  public:
+    PoissonStencil(std::size_t dim, std::size_t l);
+
+    std::size_t size() const override { return grid.totalPoints(); }
+    void apply(const la::Vector &x, la::Vector &y) const override;
+    la::Vector diagonal() const override;
+    std::size_t applyFlops() const override;
+
+    const StructuredGrid &gridRef() const { return grid; }
+
+  private:
+    StructuredGrid grid;
+    double inv_h2;
+};
+
+/**
+ * Evaluate a smooth function on every interior grid point (used for
+ * manufactured-solution convergence tests and for rendering fields).
+ */
+la::Vector sampleOnGrid(const StructuredGrid &grid, const SourceFn &f);
+
+} // namespace aa::pde
+
+#endif // AA_PDE_POISSON_HH

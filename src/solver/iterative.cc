@@ -1,0 +1,309 @@
+#include "aa/solver/iterative.hh"
+
+#include <cmath>
+
+#include "aa/common/logging.hh"
+
+namespace aa::solver {
+
+namespace {
+
+/** Shared convergence bookkeeping for all the solvers below. */
+struct Tracker {
+    const IterOptions &opts;
+    double bnorm;
+    IterResult res;
+
+    Tracker(const IterOptions &opts, const Vector &b)
+        : opts(opts), bnorm(la::norm2(b))
+    {
+        if (bnorm == 0.0)
+            bnorm = 1.0;
+    }
+
+    /** Record history entries after an iteration. */
+    void
+    record(double rnorm, const Vector &x)
+    {
+        if (opts.record_residuals)
+            res.residual_history.push_back(rnorm);
+        if (opts.exact) {
+            panicIf(opts.exact->size() != x.size(),
+                    "IterOptions::exact size mismatch");
+            res.error_history.push_back(
+                la::norm2(x - *opts.exact));
+            res.flops += 2 * x.size();
+        }
+    }
+
+    /** True when the configured criterion is met. */
+    bool
+    done(double rnorm, double max_change) const
+    {
+        if (opts.criterion == Criterion::RelativeResidual)
+            return rnorm <= opts.tol * bnorm;
+        return max_change <= opts.tol;
+    }
+};
+
+Vector
+startVector(const IterOptions &opts, std::size_t n)
+{
+    if (opts.x0.empty())
+        return Vector(n);
+    fatalIf(opts.x0.size() != n, "IterOptions::x0 size mismatch");
+    return opts.x0;
+}
+
+} // namespace
+
+IterResult
+jacobi(const LinearOperator &a, const Vector &b, const IterOptions &opts)
+{
+    std::size_t n = a.size();
+    fatalIf(b.size() != n, "jacobi: rhs size mismatch");
+    Tracker trk(opts, b);
+    Vector x = startVector(opts, n);
+    Vector d = a.diagonal();
+    for (std::size_t i = 0; i < n; ++i)
+        fatalIf(d[i] == 0.0, "jacobi: zero diagonal at row ", i);
+
+    Vector ax, r(n);
+    for (std::size_t it = 0; it < opts.max_iters; ++it) {
+        a.apply(x, ax);
+        trk.res.flops += a.applyFlops();
+        double max_change = 0.0;
+        double r2 = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            double ri = b[i] - ax[i];
+            r2 += ri * ri;
+            double dx = ri / d[i];
+            x[i] += dx;
+            max_change = std::max(max_change, std::fabs(dx));
+        }
+        trk.res.flops += 4 * n;
+        double rnorm = std::sqrt(r2);
+        trk.res.iterations = it + 1;
+        trk.record(rnorm, x);
+        if (trk.done(rnorm, max_change)) {
+            trk.res.converged = true;
+            trk.res.final_residual = rnorm;
+            break;
+        }
+        trk.res.final_residual = rnorm;
+    }
+    trk.res.x = std::move(x);
+    return trk.res;
+}
+
+namespace {
+
+/** One forward GS/SOR sweep; returns max |delta x|. */
+double
+sweep(const CsrMatrix &a, const Vector &b, double omega, Vector &x)
+{
+    double max_change = 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        auto cols = a.rowCols(i);
+        auto vals = a.rowVals(i);
+        double diag = 0.0;
+        double acc = b[i];
+        for (std::size_t k = 0; k < cols.size(); ++k) {
+            if (cols[k] == i)
+                diag = vals[k];
+            else
+                acc -= vals[k] * x[cols[k]];
+        }
+        fatalIf(diag == 0.0, "gs/sor: zero diagonal at row ", i);
+        double x_new = (1.0 - omega) * x[i] + omega * acc / diag;
+        max_change = std::max(max_change, std::fabs(x_new - x[i]));
+        x[i] = x_new;
+    }
+    return max_change;
+}
+
+IterResult
+relaxationSolve(const CsrMatrix &a, const Vector &b, double omega,
+                const IterOptions &opts)
+{
+    fatalIf(a.rows() != a.cols(), "gs/sor: matrix not square");
+    fatalIf(b.size() != a.rows(), "gs/sor: rhs size mismatch");
+    Tracker trk(opts, b);
+    Vector x = startVector(opts, a.rows());
+
+    for (std::size_t it = 0; it < opts.max_iters; ++it) {
+        double max_change = sweep(a, b, omega, x);
+        trk.res.flops += a.nnz() + 3 * a.rows();
+
+        Vector r = b;
+        a.applyAdd(-1.0, x, r);
+        trk.res.flops += a.nnz() + b.size();
+        double rnorm = la::norm2(r);
+
+        trk.res.iterations = it + 1;
+        trk.record(rnorm, x);
+        trk.res.final_residual = rnorm;
+        if (trk.done(rnorm, max_change)) {
+            trk.res.converged = true;
+            break;
+        }
+    }
+    trk.res.x = std::move(x);
+    return trk.res;
+}
+
+} // namespace
+
+IterResult
+gaussSeidel(const CsrMatrix &a, const Vector &b, const IterOptions &opts)
+{
+    return relaxationSolve(a, b, 1.0, opts);
+}
+
+IterResult
+sor(const CsrMatrix &a, const Vector &b, const IterOptions &opts)
+{
+    fatalIf(opts.omega <= 0.0 || opts.omega >= 2.0,
+            "sor: omega must be in (0, 2), got ", opts.omega);
+    return relaxationSolve(a, b, opts.omega, opts);
+}
+
+IterResult
+steepestDescent(const LinearOperator &a, const Vector &b,
+                const IterOptions &opts)
+{
+    std::size_t n = a.size();
+    fatalIf(b.size() != n, "steepestDescent: rhs size mismatch");
+    Tracker trk(opts, b);
+    Vector x = startVector(opts, n);
+
+    Vector r, q;
+    a.apply(x, r);
+    trk.res.flops += a.applyFlops();
+    for (std::size_t i = 0; i < n; ++i)
+        r[i] = b[i] - r[i];
+
+    for (std::size_t it = 0; it < opts.max_iters; ++it) {
+        double rr = la::dot(r, r);
+        double rnorm = std::sqrt(rr);
+        if (rnorm == 0.0) {
+            trk.res.converged = true;
+            trk.res.iterations = it;
+            break;
+        }
+        a.apply(r, q);
+        double rq = la::dot(r, q);
+        trk.res.flops += a.applyFlops() + 4 * n;
+        fatalIf(rq <= 0.0,
+                "steepestDescent: operator not positive definite");
+        double alpha = rr / rq;
+        la::axpy(alpha, r, x);
+        la::axpy(-alpha, q, r);
+        trk.res.flops += 4 * n;
+
+        double max_change = alpha * la::normInf(r + alpha * q);
+        double new_rnorm = la::norm2(r);
+        trk.res.iterations = it + 1;
+        trk.record(new_rnorm, x);
+        trk.res.final_residual = new_rnorm;
+        if (trk.done(new_rnorm, max_change)) {
+            trk.res.converged = true;
+            break;
+        }
+    }
+    trk.res.x = std::move(x);
+    return trk.res;
+}
+
+namespace {
+
+/** CG with an optional diagonal preconditioner (empty = identity). */
+IterResult
+cgImpl(const LinearOperator &a, const Vector &b, const Vector &precond,
+       const IterOptions &opts)
+{
+    std::size_t n = a.size();
+    fatalIf(b.size() != n, "cg: rhs size mismatch");
+    Tracker trk(opts, b);
+    Vector x = startVector(opts, n);
+
+    Vector r, q;
+    a.apply(x, r);
+    trk.res.flops += a.applyFlops();
+    for (std::size_t i = 0; i < n; ++i)
+        r[i] = b[i] - r[i];
+
+    auto apply_precond = [&](const Vector &v) {
+        if (precond.empty())
+            return v;
+        Vector z(n);
+        for (std::size_t i = 0; i < n; ++i)
+            z[i] = v[i] * precond[i];
+        return z;
+    };
+
+    Vector z = apply_precond(r);
+    Vector p = z;
+    double rz = la::dot(r, z);
+
+    for (std::size_t it = 0; it < opts.max_iters; ++it) {
+        double rnorm = la::norm2(r);
+        if (rnorm == 0.0) {
+            trk.res.converged = true;
+            trk.res.iterations = it;
+            break;
+        }
+        a.apply(p, q);
+        double pq = la::dot(p, q);
+        trk.res.flops += a.applyFlops() + 2 * n;
+        fatalIf(pq <= 0.0, "cg: operator not positive definite");
+        double alpha = rz / pq;
+        la::axpy(alpha, p, x);
+        la::axpy(-alpha, q, r);
+        trk.res.flops += 4 * n;
+
+        double max_change = alpha * la::normInf(p);
+        double new_rnorm = la::norm2(r);
+        trk.res.iterations = it + 1;
+        trk.record(new_rnorm, x);
+        trk.res.final_residual = new_rnorm;
+        if (trk.done(new_rnorm, max_change)) {
+            trk.res.converged = true;
+            break;
+        }
+
+        z = apply_precond(r);
+        double rz_new = la::dot(r, z);
+        trk.res.flops += precond.empty() ? 2 * n : 3 * n;
+        double beta = rz_new / rz;
+        rz = rz_new;
+        la::xpby(z, beta, p);
+        trk.res.flops += 2 * n;
+    }
+    trk.res.x = std::move(x);
+    return trk.res;
+}
+
+} // namespace
+
+IterResult
+conjugateGradient(const LinearOperator &a, const Vector &b,
+                  const IterOptions &opts)
+{
+    return cgImpl(a, b, Vector(), opts);
+}
+
+IterResult
+preconditionedCg(const LinearOperator &a, const Vector &b,
+                 const IterOptions &opts)
+{
+    Vector d = a.diagonal();
+    Vector inv(d.size());
+    for (std::size_t i = 0; i < d.size(); ++i) {
+        fatalIf(d[i] == 0.0, "pcg: zero diagonal at row ", i);
+        inv[i] = 1.0 / d[i];
+    }
+    return cgImpl(a, b, inv, opts);
+}
+
+} // namespace aa::solver

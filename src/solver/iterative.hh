@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Classical iterative linear solvers with convergence-history
+ * recording: Jacobi, Gauss-Seidel, SOR, steepest descent, and
+ * conjugate gradients — exactly the lineup of the paper's Figure 7.
+ *
+ * CG and steepest descent run against any LinearOperator (so the
+ * matrix-free Poisson stencil works); Jacobi/GS/SOR need row access
+ * and take a CsrMatrix.
+ */
+
+#ifndef AA_SOLVER_ITERATIVE_HH
+#define AA_SOLVER_ITERATIVE_HH
+
+#include <string>
+#include <vector>
+
+#include "aa/la/csr_matrix.hh"
+#include "aa/la/operator.hh"
+#include "aa/la/vector.hh"
+
+namespace aa::solver {
+
+using la::CsrMatrix;
+using la::LinearOperator;
+using la::Vector;
+
+/** When to declare convergence. */
+enum class Criterion {
+    /** ||r||_2 <= tol * ||b||_2 (classic relative residual). */
+    RelativeResidual,
+    /**
+     * No solution element changed by more than tol in the last
+     * iteration — the paper's stopping rule with tol = 1/256 of full
+     * scale, chosen to match one analog-accelerator run's precision.
+     */
+    MaxChange
+};
+
+/** Options shared by all iterative solvers. */
+struct IterOptions {
+    std::size_t max_iters = 100000;
+    Criterion criterion = Criterion::RelativeResidual;
+    double tol = 1e-10;
+
+    /** SOR relaxation factor (ignored elsewhere). */
+    double omega = 1.5;
+
+    /** Record ||r||_2 after every iteration. */
+    bool record_residuals = false;
+
+    /**
+     * When set, record ||x_k - exact||_2 after every iteration — the
+     * L2-norm error axis of Figure 7.
+     */
+    const Vector *exact = nullptr;
+
+    /** Starting guess; zero vector when empty. */
+    Vector x0;
+};
+
+/** Outcome of an iterative solve. */
+struct IterResult {
+    Vector x;
+    std::size_t iterations = 0;
+    bool converged = false;
+    double final_residual = 0.0; ///< ||b - A x||_2 at exit
+
+    std::vector<double> residual_history;
+    std::vector<double> error_history;
+
+    /**
+     * Total scalar multiply-add work performed, for the energy
+     * models: operator applies are charged via applyFlops(), vector
+     * kernels at one flop per element.
+     */
+    std::size_t flops = 0;
+};
+
+/** x_{k+1} = x_k + D^{-1} (b - A x_k). */
+IterResult jacobi(const LinearOperator &a, const Vector &b,
+                  const IterOptions &opts = {});
+
+/** Forward Gauss-Seidel sweeps. */
+IterResult gaussSeidel(const CsrMatrix &a, const Vector &b,
+                       const IterOptions &opts = {});
+
+/** Successive over-relaxation with factor opts.omega. */
+IterResult sor(const CsrMatrix &a, const Vector &b,
+               const IterOptions &opts = {});
+
+/** Steepest (gradient) descent with exact line search. */
+IterResult steepestDescent(const LinearOperator &a, const Vector &b,
+                           const IterOptions &opts = {});
+
+/** Conjugate gradients (Hestenes-Stiefel). Requires SPD a. */
+IterResult conjugateGradient(const LinearOperator &a, const Vector &b,
+                             const IterOptions &opts = {});
+
+/** Jacobi (diagonal) preconditioned conjugate gradients. */
+IterResult preconditionedCg(const LinearOperator &a, const Vector &b,
+                            const IterOptions &opts = {});
+
+} // namespace aa::solver
+
+#endif // AA_SOLVER_ITERATIVE_HH

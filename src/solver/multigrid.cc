@@ -1,0 +1,327 @@
+#include "aa/solver/multigrid.hh"
+
+#include <cmath>
+
+#include "aa/common/logging.hh"
+#include "aa/la/direct.hh"
+
+namespace aa::solver {
+
+namespace {
+
+/** Tiny n-d array view over a Vector with cubic shape per level. */
+struct Shape {
+    std::size_t dim;
+    std::size_t l[3];
+
+    std::size_t
+    total() const
+    {
+        std::size_t n = 1;
+        for (std::size_t a = 0; a < dim; ++a)
+            n *= l[a];
+        return n;
+    }
+
+    std::size_t
+    stride(std::size_t axis) const
+    {
+        std::size_t s = 1;
+        for (std::size_t a = 0; a < axis; ++a)
+            s *= l[a];
+        return s;
+    }
+};
+
+/**
+ * Apply 1D full weighting along one axis: out length (l-1)/2 per
+ * line, out[c] = (in[2c] + 2 in[2c+1] + in[2c+2]) / 4.
+ */
+la::Vector
+restrictAxis(const la::Vector &in, Shape &shape, std::size_t axis)
+{
+    std::size_t lf = shape.l[axis];
+    panicIf(lf < 3 || lf % 2 == 0,
+            "restrictAxis: fine side must be odd >= 3");
+    std::size_t lc = (lf - 1) / 2;
+
+    Shape out_shape = shape;
+    out_shape.l[axis] = lc;
+    la::Vector out(out_shape.total());
+
+    std::size_t stride = shape.stride(axis);
+    std::size_t lines = shape.total() / lf;
+
+    // Enumerate line origins: every index whose axis coordinate is 0.
+    std::size_t line = 0;
+    for (std::size_t base = 0; line < lines; ++base) {
+        // Skip bases that are not line origins.
+        if ((base / stride) % lf != 0)
+            continue;
+        ++line;
+        std::size_t out_base =
+            (base / (stride * lf)) * (stride * lc) + (base % stride);
+        for (std::size_t c = 0; c < lc; ++c) {
+            std::size_t f = 2 * c + 1;
+            out[out_base + c * stride] =
+                0.25 * in[base + (f - 1) * stride] +
+                0.50 * in[base + f * stride] +
+                0.25 * in[base + (f + 1) * stride];
+        }
+    }
+    shape = out_shape;
+    return out;
+}
+
+/**
+ * Apply 1D linear interpolation along one axis: coarse l -> fine
+ * 2l+1. Odd fine points copy the coarse value; even points average
+ * their coarse neighbors, with zero Dirichlet data outside.
+ */
+la::Vector
+prolongAxis(const la::Vector &in, Shape &shape, std::size_t axis)
+{
+    std::size_t lc = shape.l[axis];
+    std::size_t lf = 2 * lc + 1;
+
+    Shape out_shape = shape;
+    out_shape.l[axis] = lf;
+    la::Vector out(out_shape.total());
+
+    std::size_t stride = shape.stride(axis);
+    std::size_t lines = shape.total() / lc;
+
+    std::size_t line = 0;
+    for (std::size_t base = 0; line < lines; ++base) {
+        if ((base / stride) % lc != 0)
+            continue;
+        ++line;
+        std::size_t out_base =
+            (base / (stride * lc)) * (stride * lf) + (base % stride);
+        for (std::size_t f = 0; f < lf; ++f) {
+            double v;
+            if (f % 2 == 1) {
+                v = in[base + ((f - 1) / 2) * stride];
+            } else {
+                double left =
+                    f == 0 ? 0.0 : in[base + (f / 2 - 1) * stride];
+                double right =
+                    f == lf - 1 ? 0.0 : in[base + (f / 2) * stride];
+                v = 0.5 * (left + right);
+            }
+            out[out_base + f * stride] = v;
+        }
+    }
+    shape = out_shape;
+    return out;
+}
+
+} // namespace
+
+namespace transfer {
+
+la::Vector
+restrictFullWeighting(std::size_t dim, std::size_t l_fine,
+                      const la::Vector &fine)
+{
+    Shape shape{dim, {l_fine, dim >= 2 ? l_fine : 1,
+                      dim >= 3 ? l_fine : 1}};
+    shape.dim = 3; // treat missing axes as length-1 (strides stay valid)
+    shape.l[0] = l_fine;
+    shape.l[1] = dim >= 2 ? l_fine : 1;
+    shape.l[2] = dim >= 3 ? l_fine : 1;
+    panicIf(fine.size() != shape.total(),
+            "restrictFullWeighting: size mismatch");
+    la::Vector v = fine;
+    for (std::size_t a = 0; a < dim; ++a)
+        v = restrictAxis(v, shape, a);
+    return v;
+}
+
+la::Vector
+prolongLinear(std::size_t dim, std::size_t l_coarse,
+              const la::Vector &coarse)
+{
+    Shape shape{3, {l_coarse, dim >= 2 ? l_coarse : 1,
+                    dim >= 3 ? l_coarse : 1}};
+    panicIf(coarse.size() != shape.total(),
+            "prolongLinear: size mismatch");
+    la::Vector v = coarse;
+    for (std::size_t a = 0; a < dim; ++a)
+        v = prolongAxis(v, shape, a);
+    return v;
+}
+
+} // namespace transfer
+
+struct Multigrid::Impl {
+    std::size_t dim;
+    MgOptions opts;
+
+    struct Level {
+        std::size_t l;
+        pde::PoissonStencil op;
+        Level(std::size_t dim, std::size_t l) : l(l), op(dim, l) {}
+    };
+    std::vector<Level> levels; ///< [0] = finest
+
+    la::CsrMatrix coarse_a;
+    /** Dense Cholesky of the coarsest operator (default path). */
+    std::optional<la::Cholesky> coarse_chol;
+
+    mutable std::size_t flops = 0;
+
+    Impl(std::size_t dim, std::size_t l_finest, MgOptions o)
+        : dim(dim), opts(std::move(o))
+    {
+        fatalIf(dim < 1 || dim > 3, "Multigrid: dim must be 1..3");
+        std::size_t l = l_finest;
+        levels.emplace_back(dim, l);
+        while (l > opts.min_points_per_side && l % 2 == 1 && l >= 3) {
+            std::size_t lc = (l - 1) / 2;
+            if (lc < 1)
+                break;
+            l = lc;
+            levels.emplace_back(dim, l);
+            if (l <= opts.min_points_per_side)
+                break;
+        }
+        fatalIf(levels.size() < 2,
+                "Multigrid: l_finest = ", l_finest,
+                " leaves no coarse level; use 2^k - 1");
+
+        coarse_a = pde::assemblePoisson(dim, levels.back().l).a;
+        if (!opts.coarse_solver) {
+            coarse_chol =
+                la::Cholesky::factor(coarse_a.toDense());
+            panicIf(!coarse_chol,
+                    "Multigrid: coarse Poisson operator not SPD");
+        }
+    }
+
+    void
+    smooth(const Level &lvl, la::Vector &u, const la::Vector &b,
+           std::size_t sweeps) const
+    {
+        la::Vector au;
+        la::Vector d = lvl.op.diagonal();
+        for (std::size_t s = 0; s < sweeps; ++s) {
+            lvl.op.apply(u, au);
+            flops += lvl.op.applyFlops();
+            for (std::size_t i = 0; i < u.size(); ++i)
+                u[i] += opts.jacobi_weight * (b[i] - au[i]) / d[i];
+            flops += 3 * u.size();
+        }
+    }
+
+    la::Vector
+    coarseSolve(const la::Vector &b) const
+    {
+        if (opts.coarse_solver)
+            return opts.coarse_solver(coarse_a, b);
+        return coarse_chol->solve(b);
+    }
+
+    void
+    vcycle(std::size_t k, la::Vector &u, const la::Vector &b) const
+    {
+        if (k + 1 == levels.size()) {
+            u = coarseSolve(b);
+            return;
+        }
+        const Level &lvl = levels[k];
+        smooth(lvl, u, b, opts.pre_smooth);
+
+        la::Vector r;
+        lvl.op.apply(u, r);
+        flops += lvl.op.applyFlops() + r.size();
+        for (std::size_t i = 0; i < r.size(); ++i)
+            r[i] = b[i] - r[i];
+
+        la::Vector rc =
+            transfer::restrictFullWeighting(dim, lvl.l, r);
+        la::Vector ec(rc.size());
+        vcycle(k + 1, ec, rc);
+
+        la::Vector ef =
+            transfer::prolongLinear(dim, levels[k + 1].l, ec);
+        la::axpy(1.0, ef, u);
+        flops += u.size();
+
+        smooth(lvl, u, b, opts.post_smooth);
+    }
+};
+
+Multigrid::Multigrid(std::size_t dim, std::size_t l_finest,
+                     MgOptions opts)
+    : impl(std::make_unique<Impl>(dim, l_finest, std::move(opts)))
+{}
+
+Multigrid::~Multigrid() = default;
+Multigrid::Multigrid(Multigrid &&) noexcept = default;
+Multigrid &Multigrid::operator=(Multigrid &&) noexcept = default;
+
+std::size_t
+Multigrid::levels() const
+{
+    return impl->levels.size();
+}
+
+std::size_t
+Multigrid::fineSize() const
+{
+    return impl->levels.front().op.size();
+}
+
+la::Vector
+Multigrid::vcycleOnce(la::Vector x, const la::Vector &b) const
+{
+    fatalIf(b.size() != fineSize(), "vcycleOnce: rhs size mismatch");
+    fatalIf(x.size() != fineSize(), "vcycleOnce: x size mismatch");
+    impl->vcycle(0, x, b);
+    return x;
+}
+
+MgResult
+Multigrid::solve(const la::Vector &b) const
+{
+    return solve(b, la::Vector(fineSize()));
+}
+
+MgResult
+Multigrid::solve(const la::Vector &b, la::Vector x0) const
+{
+    fatalIf(b.size() != fineSize(), "Multigrid::solve: rhs mismatch");
+    fatalIf(x0.size() != fineSize(), "Multigrid::solve: x0 mismatch");
+
+    MgResult res;
+    res.x = std::move(x0);
+    impl->flops = 0;
+
+    double bnorm = la::norm2(b);
+    if (bnorm == 0.0)
+        bnorm = 1.0;
+    const auto &fine = impl->levels.front();
+
+    la::Vector r;
+    for (std::size_t c = 0; c < impl->opts.max_cycles; ++c) {
+        impl->vcycle(0, res.x, b);
+        res.cycles = c + 1;
+
+        fine.op.apply(res.x, r);
+        impl->flops += fine.op.applyFlops() + r.size();
+        for (std::size_t i = 0; i < r.size(); ++i)
+            r[i] = b[i] - r[i];
+        res.final_residual = la::norm2(r);
+        if (impl->opts.record_residuals)
+            res.residual_history.push_back(res.final_residual);
+        if (res.final_residual <= impl->opts.tol * bnorm) {
+            res.converged = true;
+            break;
+        }
+    }
+    res.flops = impl->flops;
+    return res;
+}
+
+} // namespace aa::solver

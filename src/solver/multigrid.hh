@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Geometric multigrid for the Poisson problem.
+ *
+ * The paper leans on multigrid twice: as the digital state of the art
+ * (Section VI-B) and as the context where imprecise analog solves
+ * remain useful — "less stable, inaccurate, low precision techniques,
+ * such as analog acceleration, may also be used to support multigrid"
+ * (Section IV-A). The coarse-level solver is therefore pluggable;
+ * aa_analog installs the analog accelerator there (HybridMultigrid).
+ */
+
+#ifndef AA_SOLVER_MULTIGRID_HH
+#define AA_SOLVER_MULTIGRID_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "aa/la/csr_matrix.hh"
+#include "aa/la/vector.hh"
+#include "aa/pde/poisson.hh"
+
+namespace aa::solver {
+
+/**
+ * Coarsest-grid solver hook. Receives the assembled coarse operator
+ * and right-hand side; returns the (possibly approximate) solution.
+ */
+using CoarseSolverFn =
+    std::function<la::Vector(const la::CsrMatrix &, const la::Vector &)>;
+
+/** Options for the multigrid driver. */
+struct MgOptions {
+    std::size_t pre_smooth = 2;
+    std::size_t post_smooth = 2;
+    double jacobi_weight = 2.0 / 3.0; ///< damped-Jacobi smoother weight
+    std::size_t min_points_per_side = 3; ///< coarsest level size
+    std::size_t max_cycles = 200;
+    double tol = 1e-10; ///< relative residual target
+    bool record_residuals = false;
+    /** Empty = exact dense Cholesky on the coarsest level. */
+    CoarseSolverFn coarse_solver;
+};
+
+/** Outcome of a multigrid solve. */
+struct MgResult {
+    la::Vector x;
+    std::size_t cycles = 0;
+    bool converged = false;
+    double final_residual = 0.0;
+    std::vector<double> residual_history;
+    std::size_t flops = 0;
+};
+
+/** Inter-grid transfers (exposed for tests and the hybrid solver). */
+namespace transfer {
+
+/** Full-weighting restriction, fine l -> coarse (l-1)/2, per dim. */
+la::Vector restrictFullWeighting(std::size_t dim, std::size_t l_fine,
+                                 const la::Vector &fine);
+
+/** (Multi)linear interpolation, coarse l -> fine 2l+1, per dim. */
+la::Vector prolongLinear(std::size_t dim, std::size_t l_coarse,
+                         const la::Vector &coarse);
+
+} // namespace transfer
+
+/**
+ * Geometric V-cycle multigrid on the unit-domain Poisson operator.
+ * Requires l_finest of the form 2^k - 1 so grids nest down to the
+ * configured coarsest size.
+ */
+class Multigrid
+{
+  public:
+    Multigrid(std::size_t dim, std::size_t l_finest,
+              MgOptions opts = {});
+    ~Multigrid();
+    Multigrid(Multigrid &&) noexcept;
+    Multigrid &operator=(Multigrid &&) noexcept;
+
+    /** Solve A x = b from the zero initial guess. */
+    MgResult solve(const la::Vector &b) const;
+    /** Solve with an explicit starting guess. */
+    MgResult solve(const la::Vector &b, la::Vector x0) const;
+
+    /** Apply exactly one V-cycle to (x, b); returns updated x. */
+    la::Vector vcycleOnce(la::Vector x, const la::Vector &b) const;
+
+    std::size_t levels() const;
+    std::size_t fineSize() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl;
+};
+
+} // namespace aa::solver
+
+#endif // AA_SOLVER_MULTIGRID_HH

@@ -1,0 +1,96 @@
+#include "aa/solver/newton.hh"
+
+#include <cmath>
+
+#include "aa/common/logging.hh"
+#include "aa/la/direct.hh"
+
+namespace aa::solver {
+
+la::Vector
+NonlinearSystem::residual(const la::Vector &u) const
+{
+    panicIf(u.size() != b.size(), "NonlinearSystem: size mismatch");
+    la::Vector f = a.apply(u);
+    for (std::size_t i = 0; i < f.size(); ++i)
+        f[i] += (phi ? phi(u[i]) : 0.0) - b[i];
+    return f;
+}
+
+la::DenseMatrix
+NonlinearSystem::jacobian(const la::Vector &u) const
+{
+    la::DenseMatrix j = a;
+    if (phi_prime) {
+        for (std::size_t i = 0; i < u.size(); ++i)
+            j(i, i) += phi_prime(u[i]);
+    }
+    return j;
+}
+
+NewtonResult
+newtonSolve(const NonlinearSystem &sys, const NewtonOptions &opts)
+{
+    fatalIf(sys.a.rows() != sys.a.cols() ||
+                sys.a.rows() != sys.b.size(),
+            "newtonSolve: dimension mismatch");
+    fatalIf(bool(sys.phi) != bool(sys.phi_prime),
+            "newtonSolve: phi and phi_prime must come together");
+
+    NewtonResult res;
+    res.x = opts.x0.empty() ? la::Vector(sys.size()) : opts.x0;
+    fatalIf(res.x.size() != sys.size(),
+            "newtonSolve: x0 size mismatch");
+
+    double scale = la::norm2(sys.b);
+    if (scale == 0.0)
+        scale = 1.0;
+
+    la::Vector f = sys.residual(res.x);
+    double fnorm = la::norm2(f);
+    for (std::size_t it = 0; it < opts.max_iters; ++it) {
+        if (opts.record_history)
+            res.residual_history.push_back(fnorm);
+        if (fnorm <= opts.tol * scale) {
+            res.converged = true;
+            break;
+        }
+
+        la::DenseMatrix j = sys.jacobian(res.x);
+        auto lu = la::Lu::factor(j);
+        fatalIf(!lu, "newtonSolve: singular Jacobian at iteration ",
+                it);
+        la::Vector minus_f = f;
+        minus_f *= -1.0;
+        la::Vector delta = lu->solve(minus_f);
+        ++res.jacobian_solves;
+
+        // Backtracking: accept the longest step in {1, 1/2, ...}
+        // that reduces ||F||.
+        double step = 1.0;
+        la::Vector x_try;
+        la::Vector f_try;
+        double fnorm_try = fnorm;
+        for (std::size_t bt = 0; bt <= opts.max_backtracks; ++bt) {
+            x_try = res.x;
+            la::axpy(step, delta, x_try);
+            f_try = sys.residual(x_try);
+            fnorm_try = la::norm2(f_try);
+            if (fnorm_try < fnorm || opts.max_backtracks == 0)
+                break;
+            step *= 0.5;
+        }
+        res.x = std::move(x_try);
+        f = std::move(f_try);
+        fnorm = fnorm_try;
+        res.iterations = it + 1;
+    }
+    res.final_residual = fnorm;
+    if (!res.converged)
+        res.converged = fnorm <= opts.tol * scale;
+    if (opts.record_history)
+        res.residual_history.push_back(fnorm);
+    return res;
+}
+
+} // namespace aa::solver

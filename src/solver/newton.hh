@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Digital Newton-Raphson solver for nonlinear systems of the form
+ *
+ *     F(u) = A u + phi(u) - b = 0
+ *
+ * with an elementwise nonlinearity phi — the class of systems the
+ * paper's Section VI-F points to as analog computing's more promising
+ * target ("these iterative solvers have continuous time formulations,
+ * which again involve solving ODEs"). This digital solver is the
+ * baseline the analog nonlinear flow (aa_analog) is compared against.
+ */
+
+#ifndef AA_SOLVER_NEWTON_HH
+#define AA_SOLVER_NEWTON_HH
+
+#include <functional>
+#include <vector>
+
+#include "aa/la/dense_matrix.hh"
+#include "aa/la/vector.hh"
+
+namespace aa::solver {
+
+/** F(u) = A u + phi(u) - b with elementwise phi. */
+struct NonlinearSystem {
+    la::DenseMatrix a;
+    la::Vector b;
+    /** Elementwise nonlinearity and its derivative. */
+    std::function<double(double)> phi;
+    std::function<double(double)> phi_prime;
+
+    std::size_t size() const { return b.size(); }
+
+    /** F(u). */
+    la::Vector residual(const la::Vector &u) const;
+
+    /** Jacobian A + diag(phi'(u)). */
+    la::DenseMatrix jacobian(const la::Vector &u) const;
+};
+
+/** Options for the damped Newton iteration. */
+struct NewtonOptions {
+    std::size_t max_iters = 50;
+    double tol = 1e-12; ///< on ||F(u)||_2 relative to ||b||_2 (or 1)
+    /** Backtracking line search: halve the step until the residual
+     *  norm decreases (up to this many halvings; 0 = full steps). */
+    std::size_t max_backtracks = 8;
+    la::Vector x0;
+    bool record_history = false;
+};
+
+/** Outcome of a Newton solve. */
+struct NewtonResult {
+    la::Vector x;
+    std::size_t iterations = 0;
+    bool converged = false;
+    double final_residual = 0.0;
+    std::vector<double> residual_history;
+    /** Linear (Jacobian) solves performed — each is the unit of work
+     *  the paper's implicit-stepping cost discussion counts. */
+    std::size_t jacobian_solves = 0;
+};
+
+/** Damped Newton-Raphson with dense Jacobian solves. */
+NewtonResult newtonSolve(const NonlinearSystem &sys,
+                         const NewtonOptions &opts = {});
+
+} // namespace aa::solver
+
+#endif // AA_SOLVER_NEWTON_HH

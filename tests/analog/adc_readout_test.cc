@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aa/analog/ode_runner.hh"
+
+namespace aa::analog {
+namespace {
+
+AnalogSolverOptions
+quietOptions()
+{
+    AnalogSolverOptions opts;
+    opts.spec.variation.enabled = false;
+    opts.spec.adc_noise_sigma = 0.0;
+    opts.auto_calibrate = false;
+    return opts;
+}
+
+TEST(AdcReadout, WaveformThroughAdcTracksScope)
+{
+    la::DenseMatrix a = la::DenseMatrix::fromRows({{-1.0}});
+    la::Vector b{0.5};
+
+    AnalogSolverOptions opts = quietOptions();
+    opts.spec.adc_full_res_rate_hz = 1e6; // keep resolution high
+    AnalogOdeSolver runner(opts);
+
+    OdeRunOptions scope_opts;
+    scope_opts.samples = 32;
+    auto scope = runner.simulate(a, b, la::Vector{0.0}, 2.0,
+                                 scope_opts);
+
+    OdeRunOptions adc_opts;
+    adc_opts.samples = 32;
+    adc_opts.read_via_adc = true;
+    auto adc = runner.simulate(a, b, la::Vector{0.0}, 2.0, adc_opts);
+
+    EXPECT_EQ(scope.effective_adc_bits, 0u); // unquantized probe
+    EXPECT_GE(adc.effective_adc_bits, 6u);
+    ASSERT_GT(adc.times.size(), 8u);
+
+    double lsb =
+        2.0 /
+        static_cast<double>((1 << adc.effective_adc_bits) - 1);
+    for (std::size_t k = 0; k < adc.times.size(); k += 3) {
+        double t = adc.times[k];
+        double closed = 0.5 * (1.0 - std::exp(-t));
+        EXPECT_NEAR(adc.states[k][0], closed, lsb + 0.01)
+            << "t=" << t;
+    }
+}
+
+TEST(AdcReadout, DenseSamplingDegradesResolution)
+{
+    la::DenseMatrix a = la::DenseMatrix::fromRows({{-1.0}});
+    la::Vector b{0.5};
+
+    AnalogSolverOptions opts = quietOptions();
+    opts.spec.adc_full_res_rate_hz = 2e5;
+    AnalogOdeSolver runner(opts);
+
+    auto bits_at = [&](std::size_t samples) {
+        OdeRunOptions ropts;
+        ropts.samples = samples;
+        ropts.read_via_adc = true;
+        return runner
+            .simulate(a, b, la::Vector{0.0}, 2.0, ropts)
+            .effective_adc_bits;
+    };
+    EXPECT_GT(bits_at(4), bits_at(256));
+}
+
+TEST(AdcReadout, MultiVariableCaptureKeepsColumns)
+{
+    la::DenseMatrix a =
+        la::DenseMatrix::fromRows({{-1.0, 0.0}, {0.0, -3.0}});
+    la::Vector b{0.5, 0.9};
+
+    AnalogSolverOptions opts = quietOptions();
+    opts.spec.adc_full_res_rate_hz = 1e6;
+    AnalogOdeSolver runner(opts);
+    OdeRunOptions ropts;
+    ropts.samples = 24;
+    ropts.read_via_adc = true;
+    auto wave = runner.simulate(a, b, la::Vector(2), 2.0, ropts);
+    ASSERT_GT(wave.times.size(), 4u);
+    // Faster pole on variable 1: it gets closer to its asymptote.
+    double t = wave.times.back();
+    EXPECT_NEAR(wave.states.back()[0],
+                0.5 * (1.0 - std::exp(-t)), 0.05);
+    EXPECT_NEAR(wave.states.back()[1],
+                0.3 * (1.0 - std::exp(-3.0 * t)), 0.05);
+}
+
+} // namespace
+} // namespace aa::analog

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "aa/analog/decompose.hh"
+#include "aa/la/direct.hh"
+#include "aa/pde/poisson.hh"
+
+namespace aa::analog {
+namespace {
+
+AnalogSolverOptions
+quietOptions()
+{
+    AnalogSolverOptions opts;
+    opts.spec.variation.enabled = false;
+    opts.spec.adc_noise_sigma = 0.0;
+    opts.auto_calibrate = false;
+    return opts;
+}
+
+TEST(Decompose, BlockJacobiWithExactBlocksConverges)
+{
+    auto prob = pde::assemblePoisson(
+        2, 4, [](double x, double y, double) { return x + y; });
+    la::Vector exact = la::solveDense(prob.a.toDense(), prob.b);
+
+    auto partition = pde::stripPartition(prob.grid, 4);
+    DecomposeOptions opts;
+    opts.tol = 1e-10;
+    auto out = solveDecomposed(prob.a, prob.b, partition,
+                               choleskyBlockSolver(), opts);
+    EXPECT_TRUE(out.converged);
+    EXPECT_EQ(out.blocks, 4u);
+    EXPECT_LT(la::maxAbsDiff(out.u, exact), 1e-8);
+}
+
+TEST(Decompose, PaperExampleThreeStrips)
+{
+    // Section IV-B: the 3x3 problem as three 1D subproblems.
+    auto prob = pde::assemblePoisson(
+        2, 3, [](double, double, double) { return 1.0; });
+    auto partition = pde::stripPartition(prob.grid, 3);
+    ASSERT_EQ(partition.size(), 3u);
+    DecomposeOptions opts;
+    opts.tol = 1e-10;
+    auto out = solveDecomposed(prob.a, prob.b, partition,
+                               choleskyBlockSolver(), opts);
+    EXPECT_TRUE(out.converged);
+    la::Vector exact = la::solveDense(prob.a.toDense(), prob.b);
+    EXPECT_LT(la::maxAbsDiff(out.u, exact), 1e-8);
+}
+
+TEST(Decompose, ChangeHistoryDecaysMonotonically)
+{
+    auto prob = pde::assemblePoisson(
+        2, 4, [](double, double, double) { return 1.0; });
+    DecomposeOptions opts;
+    opts.tol = 1e-9;
+    opts.record_history = true;
+    auto out =
+        solveDecomposed(prob.a, prob.b, pde::stripPartition(prob.grid, 4),
+                        choleskyBlockSolver(), opts);
+    ASSERT_GE(out.change_history.size(), 3u);
+    for (std::size_t k = 2; k < out.change_history.size(); ++k)
+        EXPECT_LT(out.change_history[k], out.change_history[k - 1]);
+}
+
+TEST(Decompose, LargerBlocksConvergeInFewerSweeps)
+{
+    // "It is still desirable to ensure the block matrices are large"
+    // (Section IV-B): fewer cuts, faster outer convergence.
+    auto prob = pde::assemblePoisson(
+        2, 6, [](double, double, double) { return 1.0; });
+    DecomposeOptions opts;
+    opts.tol = 1e-8;
+    auto small = solveDecomposed(
+        prob.a, prob.b, pde::stripPartition(prob.grid, 6),
+        choleskyBlockSolver(), opts);
+    auto large = solveDecomposed(
+        prob.a, prob.b, pde::stripPartition(prob.grid, 18),
+        choleskyBlockSolver(), opts);
+    EXPECT_TRUE(small.converged && large.converged);
+    EXPECT_LT(large.outer_iterations, small.outer_iterations);
+}
+
+TEST(Decompose, AnalogBlockSolverMatchesPaperPrecision)
+{
+    // Full story: a 2D Poisson problem too big for the die is cut
+    // into strips solved on ONE accelerator, reaching the paper's
+    // 1/256 stopping rule.
+    auto prob = pde::assemblePoisson(
+        2, 4, [](double x, double, double) { return 4.0 * x; });
+    la::Vector exact = la::solveDense(prob.a.toDense(), prob.b);
+
+    AnalogLinearSolver solver(quietOptions());
+    DecomposeOptions opts;
+    opts.max_block_vars = 4;
+    opts.tol = 1.0 / 256.0;
+    opts.max_outer_iters = 100;
+    auto out = solveDecomposedAnalog(solver, prob.a, prob.b, opts);
+    EXPECT_TRUE(out.converged);
+    EXPECT_GT(out.block_solves, 4u);
+    double scale = std::max(1.0, la::normInf(exact));
+    EXPECT_LT(la::maxAbsDiff(out.u, exact), 0.02 * scale);
+}
+
+TEST(DecomposeDeath, OverlappingPartitionFatal)
+{
+    auto prob = pde::assemblePoisson(1, 4);
+    std::vector<pde::IndexSet> bad = {{0, 1}, {1, 2, 3}};
+    EXPECT_EXIT(solveDecomposed(prob.a, prob.b, bad,
+                                choleskyBlockSolver(), {}),
+                ::testing::ExitedWithCode(1), "two blocks");
+}
+
+TEST(DecomposeDeath, UncoveredRowFatal)
+{
+    auto prob = pde::assemblePoisson(1, 4);
+    std::vector<pde::IndexSet> bad = {{0, 1}, {3}};
+    EXPECT_EXIT(solveDecomposed(prob.a, prob.b, bad,
+                                choleskyBlockSolver(), {}),
+                ::testing::ExitedWithCode(1), "uncovered");
+}
+
+} // namespace
+} // namespace aa::analog

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "aa/analog/die_pool.hh"
+#include "aa/la/direct.hh"
+#include "aa/pde/poisson.hh"
+
+namespace aa::analog {
+namespace {
+
+AnalogSolverOptions
+realisticOptions()
+{
+    AnalogSolverOptions opts; // variation + calibration on
+    opts.die_seed = 40;
+    return opts;
+}
+
+TEST(DiePool, DiesAreDistinctCorners)
+{
+    DiePool pool(3, realisticOptions());
+    ASSERT_EQ(pool.size(), 3u);
+
+    la::DenseMatrix a =
+        la::DenseMatrix::fromRows({{4.0, -1.0}, {-1.0, 3.0}});
+    la::Vector b{1.0, 2.0};
+    la::Vector u0 = pool.die(0).solve(a, b).u;
+    la::Vector u1 = pool.die(1).solve(a, b).u;
+    la::Vector u2 = pool.die(2).solve(a, b).u;
+
+    // Different dies give (slightly) different answers...
+    bool any_diff = la::maxAbsDiff(u0, u1) > 0.0 ||
+                    la::maxAbsDiff(u1, u2) > 0.0;
+    EXPECT_TRUE(any_diff);
+    // ...but all within the calibrated accuracy envelope.
+    la::Vector exact = la::solveDense(a, b);
+    EXPECT_LT(la::maxAbsDiff(u0, exact), 0.03);
+    EXPECT_LT(la::maxAbsDiff(u1, exact), 0.03);
+    EXPECT_LT(la::maxAbsDiff(u2, exact), 0.03);
+}
+
+TEST(DiePool, RoundRobinCycles)
+{
+    DiePool pool(2, realisticOptions());
+    auto &first = pool.nextDie();
+    auto &second = pool.nextDie();
+    auto &third = pool.nextDie();
+    EXPECT_NE(&first, &second);
+    EXPECT_EQ(&first, &third);
+}
+
+TEST(DiePool, DecompositionAcrossHeterogeneousDies)
+{
+    // The paper's "solved separately on multiple accelerators":
+    // strips of a 2D problem distributed over three different chips
+    // still converge globally.
+    auto prob = pde::assemblePoisson(
+        2, 4, [](double x, double y, double) { return x + y; });
+    la::Vector exact = la::solveDense(prob.a.toDense(), prob.b);
+
+    DiePool pool(3, realisticOptions());
+    DecomposeOptions dopts;
+    dopts.max_block_vars = 4;
+    dopts.tol = 1.0 / 256.0;
+    dopts.max_outer_iters = 200;
+    auto out = solveDecomposed(prob.a, prob.b,
+                               pde::stripPartition(prob.grid, 4),
+                               pool.refinedBlockSolver(2), dopts);
+    EXPECT_TRUE(out.converged);
+    double scale = std::max(1.0, la::normInf(exact));
+    EXPECT_LT(la::maxAbsDiff(out.u, exact), 0.03 * scale);
+    EXPECT_GT(pool.totalAnalogSeconds(), 0.0);
+}
+
+TEST(DiePool, PoolIsDeterministicPerBaseSeed)
+{
+    la::DenseMatrix a =
+        la::DenseMatrix::fromRows({{4.0, -1.0}, {-1.0, 3.0}});
+    la::Vector b{1.0, 2.0};
+
+    DiePool pool1(2, realisticOptions());
+    DiePool pool2(2, realisticOptions());
+    EXPECT_EQ(pool1.die(1).solve(a, b).u.raw(),
+              pool2.die(1).solve(a, b).u.raw());
+}
+
+TEST(DiePoolDeath, EmptyPoolFatal)
+{
+    EXPECT_EXIT(DiePool(0), ::testing::ExitedWithCode(1),
+                "at least one die");
+}
+
+TEST(DiePoolDeath, DieIndexRangeChecked)
+{
+    DiePool pool(2, realisticOptions());
+    EXPECT_EXIT(pool.die(2), ::testing::ExitedWithCode(1), "die 2");
+}
+
+} // namespace
+} // namespace aa::analog

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "aa/analog/hybrid_mg.hh"
+#include "aa/la/direct.hh"
+#include "aa/pde/manufactured.hh"
+
+namespace aa::analog {
+namespace {
+
+AnalogSolverOptions
+quietOptions()
+{
+    AnalogSolverOptions opts;
+    opts.spec.variation.enabled = false;
+    opts.spec.adc_noise_sigma = 0.0;
+    opts.auto_calibrate = false;
+    return opts;
+}
+
+TEST(HybridMg, AnalogCoarseSolverReturnsUsableSolution)
+{
+    AnalogLinearSolver solver(quietOptions());
+    auto coarse = analogCoarseSolver(solver);
+    auto prob = pde::manufacturedProblem(1, 3);
+    la::Vector x = coarse(prob.a, prob.b);
+    la::Vector exact = la::solveDense(prob.a.toDense(), prob.b);
+    EXPECT_LT(la::maxAbsDiff(x, exact),
+              0.02 * std::max(1.0, la::normInf(exact)));
+}
+
+TEST(HybridMg, ConvergesDespiteLowPrecisionCoarseSolves)
+{
+    // Section IV-A's claim: multigrid absorbs inaccurate, low
+    // precision coarse solutions.
+    AnalogLinearSolver solver(quietOptions());
+    solver::MgOptions mg_opts;
+    mg_opts.tol = 1e-8;
+    auto mg = makeHybridMultigrid(solver, 1, 15, 3, mg_opts);
+
+    auto prob = pde::manufacturedProblem(1, 15);
+    auto res = mg.solve(prob.b);
+    EXPECT_TRUE(res.converged);
+    la::Vector exact = la::solveDense(prob.a.toDense(), prob.b);
+    EXPECT_LT(la::maxAbsDiff(res.x, exact), 1e-6);
+}
+
+TEST(HybridMg, TwoDimensionalHybridSolve)
+{
+    AnalogLinearSolver solver(quietOptions());
+    solver::MgOptions mg_opts;
+    mg_opts.tol = 1e-7;
+    auto mg = makeHybridMultigrid(solver, 2, 7, 3, mg_opts);
+
+    auto prob = pde::manufacturedProblem(2, 7);
+    auto res = mg.solve(prob.b);
+    EXPECT_TRUE(res.converged);
+    la::Vector exact = la::solveDense(prob.a.toDense(), prob.b);
+    EXPECT_LT(la::maxAbsDiff(res.x, exact), 1e-5);
+}
+
+TEST(HybridMg, NeedsModestlyMoreCyclesThanExact)
+{
+    auto prob = pde::manufacturedProblem(1, 15);
+    solver::MgOptions exact_opts;
+    exact_opts.tol = 1e-8;
+    solver::Multigrid exact_mg(1, 15, exact_opts);
+    auto exact_res = exact_mg.solve(prob.b);
+
+    AnalogLinearSolver solver(quietOptions());
+    solver::MgOptions hyb_opts;
+    hyb_opts.tol = 1e-8;
+    auto hybrid = makeHybridMultigrid(solver, 1, 15, 3, hyb_opts);
+    auto hyb_res = hybrid.solve(prob.b);
+
+    EXPECT_TRUE(exact_res.converged && hyb_res.converged);
+    // The 8-bit coarse solve costs at most a handful of extra
+    // V-cycles.
+    EXPECT_LE(hyb_res.cycles, exact_res.cycles + 6);
+}
+
+} // namespace
+} // namespace aa::analog

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aa/analog/nonlinear.hh"
+#include "aa/pde/poisson.hh"
+
+namespace aa::analog {
+namespace {
+
+AnalogSolverOptions
+quietOptions()
+{
+    AnalogSolverOptions opts;
+    opts.spec.variation.enabled = false;
+    opts.spec.adc_noise_sigma = 0.0;
+    opts.auto_calibrate = false;
+    return opts;
+}
+
+solver::NonlinearSystem
+scalarCubic()
+{
+    // u + u^3 = 1.2: root ~0.7705.
+    solver::NonlinearSystem sys;
+    sys.a = la::DenseMatrix::fromRows({{1.0}});
+    sys.b = la::Vector{1.2};
+    sys.phi = [](double u) { return u * u * u; };
+    sys.phi_prime = [](double u) { return 3.0 * u * u; };
+    return sys;
+}
+
+solver::NonlinearSystem
+cubicPoisson1D(std::size_t l, double c, double f_value)
+{
+    auto prob = pde::assemblePoisson(
+        1, l, [f_value](double, double, double) { return f_value; });
+    solver::NonlinearSystem sys;
+    sys.a = prob.a.toDense();
+    sys.b = prob.b;
+    sys.phi = [c](double u) { return c * u * u * u; };
+    sys.phi_prime = [c](double u) { return 3.0 * c * u * u; };
+    return sys;
+}
+
+TEST(NonlinearFlow, ScalarCubicRoot)
+{
+    auto sys = scalarCubic();
+    la::Vector exact = solver::newtonSolve(sys).x;
+
+    AnalogNonlinearSolver solver(quietOptions());
+    auto out = solver.solve(sys);
+    EXPECT_TRUE(out.converged);
+    // LUT quantization (8-bit) plus ADC: a few LSB of error.
+    EXPECT_NEAR(out.u[0], exact[0], 0.03);
+}
+
+TEST(NonlinearFlow, CubicPoissonMatchesNewton)
+{
+    auto sys = cubicPoisson1D(3, 30.0, 25.0);
+    la::Vector exact = solver::newtonSolve(sys).x;
+
+    AnalogNonlinearSolver solver(quietOptions());
+    auto out = solver.solve(sys);
+    EXPECT_TRUE(out.converged);
+    EXPECT_LT(la::maxAbsDiff(out.u, exact),
+              0.05 * std::max(1.0, la::normInf(exact)));
+    // Digitally checked residual is small relative to b.
+    EXPECT_LT(out.final_residual, 0.1 * la::norm2(sys.b));
+}
+
+TEST(NonlinearFlow, NonlinearityActuallyEngaged)
+{
+    // The flow must land on the nonlinear root, not the linear one.
+    auto sys = cubicPoisson1D(3, 30.0, 25.0);
+    la::Vector linear_root =
+        solver::newtonSolve(
+            {sys.a, sys.b, nullptr, nullptr})
+            .x;
+    la::Vector nonlinear_root = solver::newtonSolve(sys).x;
+    ASSERT_GT(la::maxAbsDiff(linear_root, nonlinear_root), 0.05);
+
+    AnalogNonlinearSolver solver(quietOptions());
+    auto out = solver.solve(sys);
+    double to_nonlinear = la::maxAbsDiff(out.u, nonlinear_root);
+    double to_linear = la::maxAbsDiff(out.u, linear_root);
+    EXPECT_LT(to_nonlinear, to_linear);
+}
+
+TEST(NonlinearFlow, OverflowRetryRaisesSigma)
+{
+    // Root near 2.1: overflows at sigma = 1.
+    solver::NonlinearSystem sys;
+    sys.a = la::DenseMatrix::fromRows({{1.0}});
+    sys.b = la::Vector{2.5};
+    sys.phi = [](double u) { return 0.04 * u * u * u; };
+    sys.phi_prime = [](double u) { return 0.12 * u * u; };
+    la::Vector exact = solver::newtonSolve(sys).x;
+
+    AnalogNonlinearSolver solver(quietOptions());
+    auto out = solver.solve(sys);
+    EXPECT_GT(out.attempts, 1u);
+    EXPECT_GT(out.solution_scale, 1.0);
+    EXPECT_NEAR(out.u[0], exact[0], 0.1);
+}
+
+TEST(NonlinearFlow, CalibratedNoisyDieWorks)
+{
+    AnalogSolverOptions opts; // realistic defaults
+    opts.die_seed = 21;
+    AnalogNonlinearSolver solver(opts);
+    auto sys = scalarCubic();
+    la::Vector exact = solver::newtonSolve(sys).x;
+    auto out = solver.solve(sys);
+    EXPECT_NEAR(out.u[0], exact[0], 0.05);
+}
+
+TEST(HybridNewton, MatchesDigitalNewton)
+{
+    auto sys = cubicPoisson1D(3, 30.0, 25.0);
+    la::Vector exact = solver::newtonSolve(sys).x;
+
+    AnalogLinearSolver linear(quietOptions());
+    HybridNewtonOptions opts;
+    opts.tol = 1e-4;
+    auto out = hybridNewtonSolve(linear, sys, opts);
+    EXPECT_TRUE(out.converged);
+    EXPECT_LT(la::maxAbsDiff(out.u, exact),
+              0.01 * std::max(1.0, la::normInf(exact)));
+    EXPECT_GT(out.analog_linear_solves, 1u);
+}
+
+TEST(HybridNewton, InexactStepsConvergeLinearly)
+{
+    auto sys = cubicPoisson1D(3, 30.0, 25.0);
+    AnalogLinearSolver linear(quietOptions());
+    HybridNewtonOptions opts;
+    opts.tol = 1e-4;
+    opts.record_history = true;
+    opts.max_iters = 40;
+    auto out = hybridNewtonSolve(linear, sys, opts);
+    ASSERT_TRUE(out.converged);
+    // Residual decreases monotonically despite ~8-bit steps.
+    for (std::size_t k = 1; k < out.residual_history.size(); ++k)
+        EXPECT_LT(out.residual_history[k],
+                  out.residual_history[k - 1] * 1.05);
+}
+
+TEST(HybridNewton, PureLinearSystemOneIteration)
+{
+    solver::NonlinearSystem sys;
+    sys.a = la::DenseMatrix::fromRows({{4, -1}, {-1, 3}});
+    sys.b = la::Vector{1, 2};
+    AnalogLinearSolver linear(quietOptions());
+    HybridNewtonOptions opts;
+    opts.tol = 0.05;
+    auto out = hybridNewtonSolve(linear, sys, opts);
+    EXPECT_TRUE(out.converged);
+    EXPECT_LE(out.iterations, 2u);
+}
+
+TEST(NonlinearFlowDeath, MissingPhiFatal)
+{
+    solver::NonlinearSystem sys;
+    sys.a = la::DenseMatrix::identity(1);
+    sys.b = la::Vector{0.5};
+    AnalogNonlinearSolver solver(quietOptions());
+    EXPECT_EXIT(solver.solve(sys), ::testing::ExitedWithCode(1),
+                "no nonlinearity");
+}
+
+} // namespace
+} // namespace aa::analog

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aa/analog/ode_runner.hh"
+
+namespace aa::analog {
+namespace {
+
+AnalogSolverOptions
+quietOptions()
+{
+    AnalogSolverOptions opts;
+    opts.spec.variation.enabled = false;
+    opts.spec.adc_noise_sigma = 0.0;
+    opts.auto_calibrate = false;
+    return opts;
+}
+
+TEST(OdeRunner, ScalarDecayMatchesClosedForm)
+{
+    // Equation 1 with a = -1, b = 0: u(t) = uinit * e^-t.
+    AnalogOdeSolver runner(quietOptions());
+    la::DenseMatrix a = la::DenseMatrix::fromRows({{-1.0}});
+    auto wave = runner.simulate(a, la::Vector{0.0},
+                                la::Vector{0.8}, 3.0);
+    ASSERT_GE(wave.times.size(), 10u);
+    for (std::size_t k = 0; k < wave.times.size(); k += 20) {
+        double t = wave.times[k];
+        EXPECT_NEAR(wave.states[k][0], 0.8 * std::exp(-t), 0.02)
+            << "t=" << t;
+    }
+}
+
+TEST(OdeRunner, ForcedSystemApproachesEquilibrium)
+{
+    // du/dt = -2u + 1: u(inf) = 0.5 from u(0) = 0.
+    AnalogOdeSolver runner(quietOptions());
+    la::DenseMatrix a = la::DenseMatrix::fromRows({{-2.0}});
+    auto wave = runner.simulate(a, la::Vector{1.0},
+                                la::Vector{0.0}, 4.0);
+    EXPECT_NEAR(wave.states.back()[0], 0.5, 0.02);
+    // Monotone rise.
+    EXPECT_LT(wave.states.front()[0], wave.states.back()[0]);
+}
+
+TEST(OdeRunner, CoupledOscillatorKeepsPhase)
+{
+    // u0' = u1, u1' = -u0: a circle. Check quadrature relationship
+    // at a quarter period.
+    AnalogOdeSolver runner(quietOptions());
+    la::DenseMatrix a =
+        la::DenseMatrix::fromRows({{0.0, 1.0}, {-1.0, 0.0}});
+    double quarter = M_PI / 2.0;
+    auto wave = runner.simulate(a, la::Vector(2),
+                                la::Vector{0.8, 0.0}, quarter);
+    EXPECT_NEAR(wave.states.back()[0], 0.0, 0.05);
+    EXPECT_NEAR(wave.states.back()[1], -0.8, 0.05);
+}
+
+TEST(OdeRunner, TimeScaleReflectsGainScaling)
+{
+    // Coefficients beyond the gain range stretch analog time by s
+    // (Section VI-D): the waveform still matches problem time.
+    AnalogOdeSolver runner(quietOptions());
+    la::DenseMatrix a = la::DenseMatrix::fromRows({{-100.0}});
+    auto wave = runner.simulate(a, la::Vector{0.0},
+                                la::Vector{0.9}, 0.05);
+    // 100 > max_gain = 32 forces s > 1, so the problem-per-analog
+    // time ratio drops below the raw integrator rate.
+    circuit::AnalogSpec spec = quietOptions().spec;
+    EXPECT_LT(wave.time_scale, spec.integratorRate() * 0.99);
+    EXPECT_NEAR(wave.states.back()[0], 0.9 * std::exp(-5.0), 0.02);
+}
+
+TEST(OdeRunner, OverflowRaisesSolutionBound)
+{
+    // Dynamics that swing past full scale: u' = 2.5 - u from 0
+    // approaches 2.5, overflowing at bound 1; the retry loop must
+    // rescale.
+    AnalogOdeSolver runner(quietOptions());
+    la::DenseMatrix a = la::DenseMatrix::fromRows({{-1.0}});
+    OdeRunOptions ropts;
+    ropts.solution_bound = 1.0;
+    auto wave = runner.simulate(a, la::Vector{2.5}, la::Vector{0.0},
+                                4.0, ropts);
+    EXPECT_GT(wave.attempts, 1u);
+    EXPECT_NEAR(wave.states.back()[0], 2.5 * (1 - std::exp(-4.0)),
+                0.08);
+}
+
+TEST(OdeRunner, SampleCountHonored)
+{
+    AnalogOdeSolver runner(quietOptions());
+    la::DenseMatrix a = la::DenseMatrix::fromRows({{-1.0}});
+    OdeRunOptions ropts;
+    ropts.samples = 33;
+    auto wave = runner.simulate(a, la::Vector{0.0}, la::Vector{0.5},
+                                1.0, ropts);
+    EXPECT_EQ(wave.times.size(), 33u);
+    EXPECT_EQ(wave.states.size(), 33u);
+    EXPECT_DOUBLE_EQ(wave.times.front(), 0.0);
+    EXPECT_NEAR(wave.times.back(), 1.0, 1e-6);
+}
+
+TEST(OdeRunner, ComponentExtraction)
+{
+    AnalogOdeSolver runner(quietOptions());
+    la::DenseMatrix a =
+        la::DenseMatrix::fromRows({{-1.0, 0.0}, {0.0, -2.0}});
+    auto wave = runner.simulate(a, la::Vector(2),
+                                la::Vector{0.5, 0.5}, 1.0);
+    auto u1 = wave.component(1);
+    EXPECT_EQ(u1.size(), wave.times.size());
+    EXPECT_NEAR(u1.back(), 0.5 * std::exp(-2.0), 0.02);
+}
+
+} // namespace
+} // namespace aa::analog

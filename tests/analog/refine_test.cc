@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aa/analog/refine.hh"
+#include "aa/la/direct.hh"
+
+namespace aa::analog {
+namespace {
+
+AnalogSolverOptions
+quietOptions()
+{
+    AnalogSolverOptions opts;
+    opts.spec.variation.enabled = false;
+    opts.spec.adc_noise_sigma = 0.0;
+    opts.auto_calibrate = false;
+    return opts;
+}
+
+TEST(Refine, BuildsPrecisionBeyondAdc)
+{
+    // Algorithm 2's claim: arbitrary precision from an 8-bit ADC.
+    la::DenseMatrix a =
+        la::DenseMatrix::fromRows({{4.0, -1.0}, {-1.0, 3.0}});
+    la::Vector b{1.0, 2.0};
+    la::Vector exact = la::solveDense(a, b);
+
+    AnalogLinearSolver solver(quietOptions());
+    RefineOptions opts;
+    opts.tolerance = 1e-8;
+    auto out = refineSolve(solver, a, b, opts);
+    EXPECT_TRUE(out.converged);
+    EXPECT_LT(la::maxAbsDiff(out.u, exact), 1e-7);
+    // Far beyond a single 8-bit run.
+    EXPECT_GT(out.passes, 1u);
+}
+
+TEST(Refine, ResidualDropsEveryPass)
+{
+    la::DenseMatrix a =
+        la::DenseMatrix::fromRows({{4.0, -1.0}, {-1.0, 3.0}});
+    la::Vector b{1.0, 2.0};
+    AnalogLinearSolver solver(quietOptions());
+    RefineOptions opts;
+    opts.tolerance = 1e-9;
+    auto out = refineSolve(solver, a, b, opts);
+    ASSERT_GE(out.residual_history.size(), 2u);
+    for (std::size_t k = 1; k < out.residual_history.size(); ++k) {
+        EXPECT_LE(out.residual_history[k],
+                  out.residual_history[k - 1] * 1.01);
+    }
+    // Each pass is worth several bits: total reduction is orders of
+    // magnitude.
+    EXPECT_LT(out.final_residual, 1e-8 * la::norm2(b));
+}
+
+TEST(Refine, PassBudgetRespected)
+{
+    la::DenseMatrix a =
+        la::DenseMatrix::fromRows({{4.0, -1.0}, {-1.0, 3.0}});
+    la::Vector b{1.0, 2.0};
+    AnalogLinearSolver solver(quietOptions());
+    RefineOptions opts;
+    opts.tolerance = 1e-15; // unreachable
+    opts.max_passes = 3;
+    auto out = refineSolve(solver, a, b, opts);
+    EXPECT_EQ(out.passes, 3u);
+    EXPECT_FALSE(out.converged);
+}
+
+TEST(Refine, TwelveBitAdcNeedsFewerPasses)
+{
+    la::DenseMatrix a =
+        la::DenseMatrix::fromRows({{4.0, -1.0}, {-1.0, 3.0}});
+    la::Vector b{1.0, 2.0};
+
+    auto passes_for = [&](std::size_t bits) {
+        AnalogSolverOptions sopts = quietOptions();
+        sopts.spec.adc_bits = bits;
+        AnalogLinearSolver solver(sopts);
+        RefineOptions opts;
+        opts.tolerance = 1e-8;
+        return refineSolve(solver, a, b, opts).passes;
+    };
+    EXPECT_LE(passes_for(12), passes_for(8));
+}
+
+TEST(Refine, ZeroRhsConvergesImmediately)
+{
+    la::DenseMatrix a = la::DenseMatrix::identity(2);
+    AnalogLinearSolver solver(quietOptions());
+    auto out = refineSolve(solver, a, la::Vector(2), {});
+    EXPECT_TRUE(out.converged);
+    EXPECT_EQ(out.passes, 0u);
+    EXPECT_LT(la::norm2(out.u), 1e-12);
+}
+
+TEST(Refine, TracksAnalogTimeSpent)
+{
+    la::DenseMatrix a =
+        la::DenseMatrix::fromRows({{4.0, -1.0}, {-1.0, 3.0}});
+    la::Vector b{1.0, 2.0};
+    AnalogLinearSolver solver(quietOptions());
+    auto out = refineSolve(solver, a, b, {});
+    EXPECT_GT(out.analog_seconds, 0.0);
+    EXPECT_LE(out.analog_seconds, solver.totalAnalogSeconds());
+}
+
+TEST(Refine, WorksWithNoisyCalibratedDie)
+{
+    AnalogSolverOptions sopts;
+    sopts.die_seed = 9;
+    AnalogLinearSolver solver(sopts);
+    la::DenseMatrix a =
+        la::DenseMatrix::fromRows({{4.0, -1.0}, {-1.0, 3.0}});
+    la::Vector b{1.0, 2.0};
+    la::Vector exact = la::solveDense(a, b);
+    RefineOptions opts;
+    // Residual gain errors on a real die floor the achievable
+    // refinement; a modest tolerance must still be reachable.
+    opts.tolerance = 1e-3;
+    opts.max_passes = 30;
+    auto out = refineSolve(solver, a, b, opts);
+    EXPECT_TRUE(out.converged);
+    EXPECT_LT(la::maxAbsDiff(out.u, exact), 1e-2);
+}
+
+} // namespace
+} // namespace aa::analog

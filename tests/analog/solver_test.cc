@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aa/analog/solver.hh"
+#include "aa/la/direct.hh"
+
+namespace aa::analog {
+namespace {
+
+AnalogSolverOptions
+quietOptions()
+{
+    AnalogSolverOptions opts;
+    opts.spec.variation.enabled = false;
+    opts.spec.adc_noise_sigma = 0.0;
+    opts.auto_calibrate = false; // nothing to calibrate when ideal
+    return opts;
+}
+
+TEST(AnalogSolver, SolvesSmallSpdSystemToAdcPrecision)
+{
+    la::DenseMatrix a =
+        la::DenseMatrix::fromRows({{4.0, -1.0}, {-1.0, 3.0}});
+    la::Vector b{1.0, 2.0};
+    la::Vector exact = la::solveDense(a, b);
+
+    AnalogLinearSolver solver(quietOptions());
+    auto out = solver.solve(a, b);
+    EXPECT_TRUE(out.converged);
+    // One run is worth ~8 bits.
+    EXPECT_LT(la::maxAbsDiff(out.u, exact), 2.0 / 255.0 * 1.5);
+}
+
+TEST(AnalogSolver, HandlesCoefficientsBeyondGainRange)
+{
+    // Value/time scaling path: entries far beyond max_gain.
+    la::DenseMatrix a =
+        la::DenseMatrix::fromRows({{400.0, -100.0}, {-100.0, 300.0}});
+    la::Vector b{100.0, 50.0};
+    la::Vector exact = la::solveDense(a, b);
+
+    AnalogLinearSolver solver(quietOptions());
+    auto out = solver.solve(a, b);
+    EXPECT_GT(out.gain_scale, 1.0);
+    EXPECT_LT(la::maxAbsDiff(out.u, exact),
+              0.02 * std::max(1.0, la::normInf(exact)));
+}
+
+TEST(AnalogSolver, OverflowRetryScalesSolutionDown)
+{
+    // Solution peak 2.5 overflows at sigma = 1; the exception loop
+    // must raise sigma and succeed.
+    la::DenseMatrix a = la::DenseMatrix::fromRows({{1.0, 0.0},
+                                                   {0.0, 1.0}});
+    la::Vector b{2.5, 1.0};
+    AnalogLinearSolver solver(quietOptions());
+    auto out = solver.solve(a, b);
+    EXPECT_GT(out.overflow_retries, 0u);
+    EXPECT_GE(out.solution_scale, 2.0);
+    EXPECT_NEAR(out.u[0], 2.5, 0.05);
+    EXPECT_NEAR(out.u[1], 1.0, 0.05);
+}
+
+TEST(AnalogSolver, UnderrangeRetryRecoversPrecision)
+{
+    // A tiny solution (~0.01) wastes the ADC range at sigma = 1; the
+    // host scales up and the absolute error shrinks accordingly.
+    la::DenseMatrix a = la::DenseMatrix::fromRows({{1.0, 0.0},
+                                                   {0.0, 1.0}});
+    la::Vector b{0.012, -0.008};
+    AnalogLinearSolver solver(quietOptions());
+    auto out = solver.solve(a, b);
+    EXPECT_GT(out.underrange_retries, 0u);
+    EXPECT_LT(out.solution_scale, 0.1);
+    // Error now bounded by sigma * LSB rather than 1 * LSB.
+    EXPECT_LT(std::fabs(out.u[0] - 0.012), 0.001);
+}
+
+TEST(AnalogSolver, SolveTimeScalesWithBandwidth)
+{
+    la::DenseMatrix a =
+        la::DenseMatrix::fromRows({{4.0, -1.0}, {-1.0, 3.0}});
+    la::Vector b{1.0, 2.0};
+
+    auto time_at = [&](double bw) {
+        AnalogSolverOptions opts = quietOptions();
+        opts.spec.bandwidth_hz = bw;
+        AnalogLinearSolver solver(opts);
+        return solver.solve(a, b).analog_seconds;
+    };
+    double t20 = time_at(20e3);
+    double t80 = time_at(80e3);
+    EXPECT_NEAR(t20 / t80, 4.0, 1.0);
+}
+
+TEST(AnalogSolver, DiePersistsAcrossSolves)
+{
+    AnalogLinearSolver solver(quietOptions());
+    la::DenseMatrix a =
+        la::DenseMatrix::fromRows({{4.0, -1.0}, {-1.0, 3.0}});
+    solver.solve(a, {1.0, 2.0});
+    auto &chip1 = solver.chipRef();
+    solver.solve(a, {0.5, -0.5});
+    auto &chip2 = solver.chipRef();
+    EXPECT_EQ(&chip1, &chip2);
+    EXPECT_GT(solver.totalAnalogSeconds(), 0.0);
+    EXPECT_GT(solver.configBytes(), 0u);
+}
+
+TEST(AnalogSolver, RegrowsForLargerProblems)
+{
+    AnalogLinearSolver solver(quietOptions());
+    la::DenseMatrix small =
+        la::DenseMatrix::fromRows({{2.0, 0.0}, {0.0, 2.0}});
+    solver.solve(small, {0.5, 0.5});
+    std::size_t mb_before =
+        solver.chipRef().config().geometry.macroblocks;
+
+    la::DenseMatrix big(6, 6);
+    for (std::size_t i = 0; i < 6; ++i)
+        big(i, i) = 2.0;
+    la::Vector b6(6, 0.5);
+    auto out = solver.solve(big, b6);
+    EXPECT_GT(solver.chipRef().config().geometry.macroblocks,
+              mb_before);
+    la::Vector exact = la::solveDense(big, b6);
+    EXPECT_LT(la::maxAbsDiff(out.u, exact), 0.01);
+}
+
+TEST(AnalogSolver, CalibratedNoisyDieStaysAccurate)
+{
+    // The realistic path: process variation + calibration + noise.
+    AnalogSolverOptions opts;
+    opts.die_seed = 33;
+    opts.auto_calibrate = true;
+    AnalogLinearSolver solver(opts);
+    la::DenseMatrix a =
+        la::DenseMatrix::fromRows({{4.0, -1.0}, {-1.0, 3.0}});
+    la::Vector b{1.0, 2.0};
+    la::Vector exact = la::solveDense(a, b);
+    auto out = solver.solve(a, b);
+    // Calibration residue + ADC keeps this within a couple percent.
+    EXPECT_LT(la::maxAbsDiff(out.u, exact), 0.03);
+}
+
+TEST(AnalogSolver, InitialGuessDoesNotChangeAnswer)
+{
+    AnalogLinearSolver solver(quietOptions());
+    la::DenseMatrix a =
+        la::DenseMatrix::fromRows({{4.0, -1.0}, {-1.0, 3.0}});
+    la::Vector b{1.0, 2.0};
+    auto cold = solver.solve(a, b);
+    auto warm = solver.solve(a, b, cold.u);
+    EXPECT_LT(la::maxAbsDiff(cold.u, warm.u), 0.02);
+}
+
+TEST(AnalogSolverDeath, DimensionMismatchFatal)
+{
+    AnalogLinearSolver solver(quietOptions());
+    la::DenseMatrix a = la::DenseMatrix::identity(2);
+    EXPECT_EXIT(solver.solve(a, la::Vector(3)),
+                ::testing::ExitedWithCode(1), "dimension");
+}
+
+} // namespace
+} // namespace aa::analog

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aa/chip/calibration.hh"
+#include "aa/chip/chip.hh"
+
+namespace aa::chip {
+namespace {
+
+ChipConfig
+noisyConfig(std::uint64_t seed)
+{
+    ChipConfig cfg;
+    cfg.die_seed = seed;
+    cfg.spec.adc_noise_sigma = 5e-4;
+    // Realistic variation: the whole point of calibrating.
+    cfg.spec.variation.enabled = true;
+    return cfg;
+}
+
+TEST(Calibration, TrimsEveryTrimmablePort)
+{
+    Chip chip(noisyConfig(3));
+    auto report = calibrate(chip.netlist(), chip.simulator(),
+                            0xfeed);
+    // 4 integrators + 8 multipliers + 8 fanouts x 2 copies + 2 DACs.
+    EXPECT_EQ(report.trims.size(), 4u + 8u + 16u + 2u);
+    EXPECT_GT(report.measurements, 0u);
+}
+
+TEST(Calibration, ReducesDcErrorOnMultipliers)
+{
+    Chip chip(noisyConfig(7));
+    auto &sim = chip.simulator();
+    auto &net = chip.netlist();
+
+    // Uncalibrated DC error at mid scale, across multipliers.
+    double before = 0.0;
+    for (auto m : chip.multipliers()) {
+        net.params(m).gain = 1.0;
+        before += std::fabs(sim.dcTransfer(m, 0.5) - 0.5);
+    }
+    calibrate(net, sim, 0xfeed);
+    double after = 0.0;
+    for (auto m : chip.multipliers()) {
+        net.params(m).gain = 1.0;
+        after += std::fabs(sim.dcTransfer(m, 0.5) - 0.5);
+    }
+    EXPECT_LT(after, before);
+}
+
+TEST(Calibration, ResidualsBoundedByAdcResolution)
+{
+    Chip chip(noisyConfig(5));
+    auto report =
+        calibrate(chip.netlist(), chip.simulator(), 0xfeed);
+    double lsb = 2.0 / 255.0;
+    for (const auto &rec : report.trims) {
+        // Binary search through the ADC cannot do better than ~1
+        // LSB; it must get within a few.
+        EXPECT_LT(rec.offset_residual, 4.0 * lsb);
+        EXPECT_LT(rec.gain_residual, 4.0 * lsb);
+    }
+}
+
+TEST(Calibration, DifferentDiesGetDifferentTrims)
+{
+    Chip chip1(noisyConfig(100));
+    Chip chip2(noisyConfig(200));
+    auto r1 = calibrate(chip1.netlist(), chip1.simulator(), 1);
+    auto r2 = calibrate(chip2.netlist(), chip2.simulator(), 1);
+    ASSERT_EQ(r1.trims.size(), r2.trims.size());
+    bool any_diff = false;
+    for (std::size_t i = 0; i < r1.trims.size(); ++i) {
+        any_diff |= r1.trims[i].offset_code != r2.trims[i].offset_code;
+        any_diff |= r1.trims[i].gain_code != r2.trims[i].gain_code;
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Calibration, ImprovesComputationAccuracy)
+{
+    // The paper's motivation: an uncalibrated die solves less
+    // accurately than a calibrated one. Solve u = 0.25 both ways.
+    auto solve_error = [](bool do_init) {
+        ChipConfig cfg = noisyConfig(17);
+        Chip chip(cfg);
+        if (do_init)
+            chip.init();
+        auto integ = chip.integrators()[0];
+        auto fan = chip.fanouts()[0];
+        auto mul = chip.multipliers()[0];
+        auto dac = chip.dacs()[0];
+        auto adc = chip.adcs()[0];
+        const auto &net = chip.netlist();
+        chip.setConn(net.out(integ), net.in(fan));
+        chip.setConn(net.out(fan, 0), net.in(adc));
+        chip.setConn(net.out(fan, 1), net.in(mul));
+        chip.setConn(net.out(mul), net.in(integ));
+        chip.setConn(net.out(dac), net.in(integ));
+        chip.setMulGain(mul, -2.0);
+        chip.setDacConstant(dac, 0.5);
+        chip.setTimeout(2000);
+        chip.cfgCommit();
+        chip.execStart();
+        return std::fabs(chip.analogAvg(adc, 16) - 0.25);
+    };
+    double uncal = solve_error(false);
+    double cal = solve_error(true);
+    EXPECT_LT(cal, uncal + 1e-9);
+    EXPECT_LT(cal, 0.02);
+}
+
+TEST(Calibration, MarksChipCalibrated)
+{
+    Chip chip(noisyConfig(1));
+    EXPECT_FALSE(chip.calibrated());
+    chip.init();
+    EXPECT_TRUE(chip.calibrated());
+}
+
+} // namespace
+} // namespace aa::chip

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aa/chip/chip.hh"
+
+namespace aa::chip {
+namespace {
+
+ChipConfig
+testConfig()
+{
+    ChipConfig cfg;
+    cfg.spec.variation.enabled = false;
+    cfg.spec.adc_noise_sigma = 0.0;
+    return cfg;
+}
+
+/** Figure-1 loop with the ADC watching u(t). */
+void
+configureLoop(Chip &chip)
+{
+    auto integ = chip.integrators()[0];
+    auto fan = chip.fanouts()[0];
+    auto mul = chip.multipliers()[0];
+    auto dac = chip.dacs()[0];
+    auto adc = chip.adcs()[0];
+    const auto &net = chip.netlist();
+    chip.setConn(net.out(integ), net.in(fan));
+    chip.setConn(net.out(fan, 0), net.in(adc));
+    chip.setConn(net.out(fan, 1), net.in(mul));
+    chip.setConn(net.out(mul), net.in(integ));
+    chip.setConn(net.out(dac), net.in(integ));
+    chip.setMulGain(mul, -2.0);
+    chip.setDacConstant(dac, 0.5);
+    chip.setTimeout(200); // 200 us
+    chip.cfgCommit();
+}
+
+TEST(EffectiveAdcBits, FullResolutionAtLowRates)
+{
+    circuit::AnalogSpec spec;
+    EXPECT_EQ(spec.effectiveAdcBits(10.0), spec.adc_bits);
+    EXPECT_EQ(spec.effectiveAdcBits(spec.adc_full_res_rate_hz),
+              spec.adc_bits);
+}
+
+TEST(EffectiveAdcBits, OneBitPerOctaveBeyondFullRes)
+{
+    circuit::AnalogSpec spec; // 8 bits, full res to 1 kHz
+    EXPECT_EQ(spec.effectiveAdcBits(2e3), 7u);
+    EXPECT_EQ(spec.effectiveAdcBits(4e3), 6u);
+    EXPECT_EQ(spec.effectiveAdcBits(16e3), 4u);
+}
+
+TEST(EffectiveAdcBits, FlooredAtMinBits)
+{
+    circuit::AnalogSpec spec;
+    EXPECT_EQ(spec.effectiveAdcBits(1e9), spec.adc_min_bits);
+}
+
+TEST(Capture, DigitizesTheTransient)
+{
+    Chip chip(testConfig());
+    configureLoop(chip);
+    chip.enableWaveformCapture(1e6, {chip.adcs()[0]});
+    chip.execStart();
+    const auto &wave = chip.capturedWaveform();
+    ASSERT_GT(wave.times.size(), 20u);
+    ASSERT_EQ(wave.samples.size(), wave.times.size());
+    // The waveform rises from ~0 toward 0.25 — within the coarse
+    // resolution fast sampling leaves (1 MS/s floors the ADC at 4
+    // effective bits, LSB = 2/15: the paper's Section II-B trade).
+    EXPECT_EQ(wave.effective_bits, 4u);
+    double half_lsb = 1.0 / 15.0;
+    EXPECT_NEAR(wave.samples.front()[0], 0.0, half_lsb + 1e-9);
+    EXPECT_NEAR(wave.samples.back()[0], 0.25, half_lsb + 1e-9);
+    // Samples are monotone in time.
+    for (std::size_t k = 1; k < wave.times.size(); ++k)
+        EXPECT_GT(wave.times[k], wave.times[k - 1]);
+}
+
+TEST(Capture, FastSamplingCostsResolution)
+{
+    Chip chip(testConfig());
+    configureLoop(chip);
+
+    chip.enableWaveformCapture(1e3, {chip.adcs()[0]});
+    chip.execStart();
+    auto slow_bits = chip.capturedWaveform().effective_bits;
+
+    chip.enableWaveformCapture(1e6, {chip.adcs()[0]});
+    chip.execStart();
+    auto fast_bits = chip.capturedWaveform().effective_bits;
+
+    EXPECT_EQ(slow_bits, chip.config().spec.adc_bits);
+    EXPECT_LT(fast_bits, slow_bits);
+
+    // Quantization visibly coarsens: the fast capture's distinct
+    // levels are limited by its bit width.
+    const auto &wave = chip.capturedWaveform();
+    std::set<double> levels;
+    for (const auto &row : wave.samples)
+        levels.insert(row[0]);
+    EXPECT_LE(levels.size(),
+              static_cast<std::size_t>(1) << fast_bits);
+}
+
+TEST(Capture, MatchesScopeAtModerateRate)
+{
+    Chip chip(testConfig());
+    configureLoop(chip);
+
+    // Scope probe of the exact integrator state for reference.
+    std::vector<std::pair<double, double>> scope;
+    auto &sim = chip.simulator();
+    std::size_t idx = sim.stateIndexOf(
+        chip.netlist().out(chip.integrators()[0], 0));
+    chip.setExecObserver(
+        [&](double t, const la::Vector &y) {
+            scope.emplace_back(t, y[idx]);
+        });
+    chip.enableWaveformCapture(2e5, {chip.adcs()[0]});
+    chip.execStart();
+    chip.setExecObserver(nullptr);
+
+    const auto &wave = chip.capturedWaveform();
+    ASSERT_FALSE(wave.times.empty());
+    // Each captured sample is close to the nearest scope point
+    // (quantization at the effective bits + fanout copy).
+    double lsb = 2.0 / static_cast<double>(
+                           (1 << wave.effective_bits) - 1);
+    for (std::size_t k = 0; k < wave.times.size(); k += 7) {
+        double t = wave.times[k];
+        auto it = std::lower_bound(
+            scope.begin(), scope.end(), t,
+            [](const auto &p, double tt) { return p.first < tt; });
+        if (it == scope.end())
+            break;
+        EXPECT_NEAR(wave.samples[k][0], it->second, lsb + 0.01);
+    }
+}
+
+TEST(Capture, DisableStopsCapturing)
+{
+    Chip chip(testConfig());
+    configureLoop(chip);
+    chip.enableWaveformCapture(1e5, {chip.adcs()[0]});
+    chip.execStart();
+    ASSERT_FALSE(chip.capturedWaveform().times.empty());
+    chip.disableWaveformCapture();
+    chip.execStart();
+    // The result from the earlier capture is preserved, not grown.
+    auto n = chip.capturedWaveform().times.size();
+    chip.execStart();
+    EXPECT_EQ(chip.capturedWaveform().times.size(), n);
+}
+
+TEST(CaptureDeath, NonAdcBlockFatal)
+{
+    Chip chip(testConfig());
+    EXPECT_EXIT(chip.enableWaveformCapture(
+                    1e3, {chip.integrators()[0]}),
+                ::testing::ExitedWithCode(1), "not a");
+}
+
+TEST(CaptureDeath, BadRateFatal)
+{
+    Chip chip(testConfig());
+    EXPECT_EXIT(chip.enableWaveformCapture(0.0, {chip.adcs()[0]}),
+                ::testing::ExitedWithCode(1), "positive");
+}
+
+} // namespace
+} // namespace aa::chip

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "aa/chip/chip.hh"
+
+namespace aa::chip {
+namespace {
+
+ChipConfig
+testConfig()
+{
+    ChipConfig cfg;
+    cfg.spec.variation.enabled = false;
+    cfg.spec.adc_noise_sigma = 0.0;
+    return cfg;
+}
+
+TEST(ChipGeometry, PrototypeInventory)
+{
+    ChipGeometry g; // defaults = the prototype
+    EXPECT_EQ(g.macroblocks, 4u);
+    EXPECT_EQ(g.integrators(), 4u);
+    EXPECT_EQ(g.multipliers(), 8u);
+    EXPECT_EQ(g.fanouts(), 8u);
+    EXPECT_EQ(g.adcs(), 2u);
+    EXPECT_EQ(g.dacs(), 2u);
+    EXPECT_EQ(g.luts(), 2u);
+    EXPECT_EQ(g.extIns(), 4u);
+    EXPECT_EQ(g.extOuts(), 4u);
+}
+
+TEST(ChipGeometry, SharedUnitsRoundUp)
+{
+    ChipGeometry g;
+    g.macroblocks = 5;
+    EXPECT_EQ(g.adcs(), 3u);
+}
+
+TEST(Chip, ResourceVectorsMatchGeometry)
+{
+    Chip chip(testConfig());
+    EXPECT_EQ(chip.integrators().size(), 4u);
+    EXPECT_EQ(chip.multipliers().size(), 8u);
+    EXPECT_EQ(chip.fanouts().size(), 8u);
+    EXPECT_EQ(chip.adcs().size(), 2u);
+    EXPECT_EQ(chip.dacs().size(), 2u);
+    EXPECT_EQ(chip.luts().size(), 2u);
+}
+
+TEST(Chip, SolvesOneVariableProblemEndToEnd)
+{
+    // du/dt = b - a*u via direct chip configuration: u -> 0.25.
+    Chip chip(testConfig());
+    auto integ = chip.integrators()[0];
+    auto fan = chip.fanouts()[0];
+    auto mul = chip.multipliers()[0];
+    auto dac = chip.dacs()[0];
+    auto adc = chip.adcs()[0];
+    const auto &net = chip.netlist();
+
+    chip.setConn(net.out(integ), net.in(fan));
+    chip.setConn(net.out(fan, 0), net.in(adc));
+    chip.setConn(net.out(fan, 1), net.in(mul));
+    chip.setConn(net.out(mul), net.in(integ));
+    chip.setConn(net.out(dac), net.in(integ));
+    chip.setMulGain(mul, -2.0);
+    chip.setDacConstant(dac, 0.5);
+    chip.setIntInitial(integ, 0.0);
+    chip.setTimeout(1000); // 1 ms at the 1 MHz control clock
+    chip.cfgCommit();
+
+    auto res = chip.execStart();
+    chip.execStop();
+    EXPECT_FALSE(res.any_exception);
+    EXPECT_NEAR(chip.readAdc(adc), 0.25, 0.01);
+}
+
+TEST(Chip, TimeoutSecondsUsesControlClock)
+{
+    ChipConfig cfg = testConfig();
+    cfg.ctrl_clock_hz = 2e6;
+    Chip chip(cfg);
+    chip.setTimeout(1000);
+    EXPECT_DOUBLE_EQ(chip.timeoutSeconds(), 5e-4);
+}
+
+TEST(Chip, SteadyDetectStopsBeforeTimeout)
+{
+    Chip chip(testConfig());
+    auto integ = chip.integrators()[0];
+    auto mul = chip.multipliers()[0];
+    auto fan = chip.fanouts()[0];
+    auto dac = chip.dacs()[0];
+    const auto &net = chip.netlist();
+    chip.setConn(net.out(integ), net.in(fan));
+    chip.setConn(net.out(fan, 0), net.in(mul));
+    chip.setConn(net.out(mul), net.in(integ));
+    chip.setConn(net.out(dac), net.in(integ));
+    chip.setMulGain(mul, -2.0);
+    chip.setDacConstant(dac, 0.5);
+    chip.setTimeout(1'000'000); // a whole second
+    chip.setSteadyDetect(1.0);
+    chip.cfgCommit();
+    auto res = chip.execStart();
+    EXPECT_TRUE(res.steady);
+    EXPECT_FALSE(res.timed_out);
+    EXPECT_LT(res.analog_time, 1.0);
+}
+
+TEST(Chip, WriteParallelRegisterHolds)
+{
+    Chip chip(testConfig());
+    chip.writeParallel(0xa5);
+    EXPECT_EQ(chip.parallelRegister(), 0xa5);
+}
+
+TEST(Chip, ReadSerialReturnsAllAdcCodes)
+{
+    Chip chip(testConfig());
+    auto dac = chip.dacs()[0];
+    auto adc0 = chip.adcs()[0];
+    const auto &net = chip.netlist();
+    chip.setConn(net.out(dac), net.in(adc0));
+    chip.setDacConstant(dac, 0.5);
+    chip.setTimeout(10);
+    chip.cfgCommit();
+    chip.execStart();
+    auto bytes = chip.readSerial();
+    ASSERT_EQ(bytes.size(), 2u); // two 8-bit ADCs
+    EXPECT_NEAR(static_cast<double>(bytes[0]), 191.0, 2.0);
+    // The second ADC floats at 0 current -> mid-scale code.
+    EXPECT_NEAR(static_cast<double>(bytes[1]), 128.0, 2.0);
+}
+
+TEST(Chip, ClearConnectionsAllowsRemapping)
+{
+    Chip chip(testConfig());
+    auto dac = chip.dacs()[0];
+    auto adc = chip.adcs()[0];
+    const auto &net = chip.netlist();
+    chip.setConn(net.out(dac), net.in(adc));
+    chip.clearConnections();
+    // The same output can be reconnected after clearing.
+    chip.setConn(net.out(dac), net.in(adc));
+    chip.setDacConstant(dac, -0.5);
+    chip.setTimeout(10);
+    chip.cfgCommit();
+    chip.execStart();
+    EXPECT_NEAR(chip.readAdc(adc), -0.5, 0.02);
+}
+
+TEST(Chip, SetFunctionLoadsQuantizedTable)
+{
+    Chip chip(testConfig());
+    auto lut = chip.luts()[0];
+    chip.setFunction(lut, [](double x) { return x * x; });
+    const auto &table = chip.netlist().params(lut).table;
+    ASSERT_EQ(table.size(), chip.config().spec.lut_depth);
+    EXPECT_NEAR(table.front(), 1.0, 0.01); // (-1)^2
+    EXPECT_NEAR(table.back(), 1.0, 0.01);
+    EXPECT_NEAR(table[table.size() / 2], 0.0, 0.01);
+}
+
+TEST(ChipDeath, ExecBeforeCommitFatal)
+{
+    Chip chip(testConfig());
+    chip.setTimeout(10);
+    EXPECT_EXIT(chip.execStart(), ::testing::ExitedWithCode(1),
+                "cfgCommit");
+}
+
+TEST(ChipDeath, ExecWithoutAnyStopFatal)
+{
+    Chip chip(testConfig());
+    chip.cfgCommit();
+    EXPECT_EXIT(chip.execStart(), ::testing::ExitedWithCode(1),
+                "never stop");
+}
+
+TEST(ChipDeath, GainBeyondRangeFatal)
+{
+    Chip chip(testConfig());
+    double over = chip.config().spec.max_gain * 1.01;
+    EXPECT_EXIT(chip.setMulGain(chip.multipliers()[0], over),
+                ::testing::ExitedWithCode(1), "scale the problem");
+}
+
+TEST(ChipDeath, WrongKindHandleFatal)
+{
+    Chip chip(testConfig());
+    EXPECT_EXIT(chip.setMulGain(chip.integrators()[0], 1.0),
+                ::testing::ExitedWithCode(1), "not a");
+}
+
+TEST(ChipDeath, InitialConditionBeyondFullScaleFatal)
+{
+    Chip chip(testConfig());
+    EXPECT_EXIT(chip.setIntInitial(chip.integrators()[0], 1.5),
+                ::testing::ExitedWithCode(1), "full scale");
+}
+
+} // namespace
+} // namespace aa::chip

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "aa/chip/chip.hh"
+
+namespace aa::chip {
+namespace {
+
+ChipConfig
+testConfig()
+{
+    ChipConfig cfg;
+    cfg.spec.variation.enabled = false;
+    cfg.spec.adc_noise_sigma = 0.0;
+    return cfg;
+}
+
+/** Configure a loop whose steady state is `target` (may overflow). */
+void
+configureLoop(Chip &chip, double gain, double bias)
+{
+    auto integ = chip.integrators()[0];
+    auto fan = chip.fanouts()[0];
+    auto mul = chip.multipliers()[0];
+    auto dac = chip.dacs()[0];
+    auto adc = chip.adcs()[0];
+    const auto &net = chip.netlist();
+    chip.setConn(net.out(integ), net.in(fan));
+    chip.setConn(net.out(fan, 0), net.in(adc));
+    chip.setConn(net.out(fan, 1), net.in(mul));
+    chip.setConn(net.out(mul), net.in(integ));
+    chip.setConn(net.out(dac), net.in(integ));
+    chip.setMulGain(mul, gain);
+    chip.setDacConstant(dac, bias);
+    chip.setTimeout(2000);
+    chip.cfgCommit();
+}
+
+TEST(Exceptions, CleanRunReportsNone)
+{
+    Chip chip(testConfig());
+    configureLoop(chip, -2.0, 0.5); // steady 0.25: in range
+    chip.execStart();
+    auto exp = chip.readExp();
+    for (auto v : exp)
+        EXPECT_EQ(v, 0);
+    EXPECT_FALSE(chip.anyException());
+}
+
+TEST(Exceptions, OverflowingSteadyStateLatches)
+{
+    Chip chip(testConfig());
+    // Steady state would be 0.5/0.4 = 1.25 > full scale.
+    configureLoop(chip, -0.4, 0.5);
+    auto res = chip.execStart();
+    EXPECT_TRUE(res.any_exception);
+    EXPECT_TRUE(chip.anyException());
+}
+
+TEST(Exceptions, VectorIdentifiesTheOffendingUnit)
+{
+    Chip chip(testConfig());
+    configureLoop(chip, -0.4, 0.5);
+    chip.execStart();
+    auto exp = chip.readExp();
+    // The integrator that saturated is flagged.
+    EXPECT_NE(exp[chip.integrators()[0].v], 0);
+    // An uninvolved integrator is not.
+    EXPECT_EQ(exp[chip.integrators()[3].v], 0);
+}
+
+TEST(Exceptions, ClearThenHealthyRunStaysClean)
+{
+    Chip chip(testConfig());
+    configureLoop(chip, -0.4, 0.5);
+    chip.execStart();
+    ASSERT_TRUE(chip.anyException());
+
+    // Host reaction (Section III-B): scale the problem down, clear,
+    // retry. Halving the bias halves the steady state into range.
+    chip.clearExceptions();
+    chip.setDacConstant(chip.dacs()[0], 0.25);
+    chip.cfgCommit();
+    auto res = chip.execStart();
+    EXPECT_FALSE(res.any_exception);
+    EXPECT_NEAR(chip.readAdc(chip.adcs()[0]), 0.625, 0.02);
+}
+
+TEST(Exceptions, LatchesAreStickyAcrossReads)
+{
+    Chip chip(testConfig());
+    configureLoop(chip, -0.4, 0.5);
+    chip.execStart();
+    EXPECT_TRUE(chip.anyException());
+    (void)chip.readExp();
+    // Reading does not clear.
+    EXPECT_TRUE(chip.anyException());
+}
+
+} // namespace
+} // namespace aa::chip

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aa/circuit/simulator.hh"
+
+namespace aa::circuit {
+namespace {
+
+AnalogSpec
+cleanSpec(SimMode mode = SimMode::Ideal)
+{
+    AnalogSpec spec;
+    spec.variation.enabled = false;
+    spec.adc_noise_sigma = 0.0;
+    spec.mode = mode;
+    return spec;
+}
+
+RunOptions
+shortRun(double t = 1e-4)
+{
+    RunOptions o;
+    o.timeout = t;
+    return o;
+}
+
+TEST(Blocks, DacDrivesQuantizedConstant)
+{
+    Netlist net;
+    BlockParams dp;
+    dp.level = 0.5;
+    BlockId d = net.add(BlockKind::Dac, dp);
+    BlockId a = net.add(BlockKind::Adc);
+    net.connect(net.out(d), net.in(a));
+    Simulator sim(net, cleanSpec(), 1);
+    sim.run(shortRun());
+    EXPECT_NEAR(sim.inputValue(net.in(a)), 0.5, 2.0 / 255.0);
+}
+
+TEST(Blocks, MulGainScalesSignal)
+{
+    Netlist net;
+    BlockParams dp;
+    dp.level = 0.25;
+    BlockId d = net.add(BlockKind::Dac, dp);
+    BlockParams mp;
+    mp.gain = 3.0;
+    BlockId m = net.add(BlockKind::MulGain, mp);
+    BlockId a = net.add(BlockKind::Adc);
+    net.connect(net.out(d), net.in(m));
+    net.connect(net.out(m), net.in(a));
+    Simulator sim(net, cleanSpec(), 1);
+    sim.run(shortRun());
+    EXPECT_NEAR(sim.inputValue(net.in(a)), 0.75, 0.02);
+}
+
+TEST(Blocks, NegativeGainInverts)
+{
+    Netlist net;
+    BlockParams dp;
+    dp.level = 0.5;
+    BlockId d = net.add(BlockKind::Dac, dp);
+    BlockParams mp;
+    mp.gain = -1.0;
+    BlockId m = net.add(BlockKind::MulGain, mp);
+    BlockId a = net.add(BlockKind::Adc);
+    net.connect(net.out(d), net.in(m));
+    net.connect(net.out(m), net.in(a));
+    Simulator sim(net, cleanSpec(), 1);
+    sim.run(shortRun());
+    EXPECT_NEAR(sim.inputValue(net.in(a)), -0.5, 0.02);
+}
+
+TEST(Blocks, MulVarMultipliesTwoSignals)
+{
+    Netlist net;
+    BlockParams d1p, d2p;
+    d1p.level = 0.5;
+    d2p.level = -0.4;
+    BlockId d1 = net.add(BlockKind::Dac, d1p);
+    BlockId d2 = net.add(BlockKind::Dac, d2p);
+    BlockId m = net.add(BlockKind::MulVar);
+    BlockId a = net.add(BlockKind::Adc);
+    net.connect(net.out(d1), net.in(m, 0));
+    net.connect(net.out(d2), net.in(m, 1));
+    net.connect(net.out(m), net.in(a));
+    Simulator sim(net, cleanSpec(), 1);
+    sim.run(shortRun());
+    EXPECT_NEAR(sim.inputValue(net.in(a)), -0.2, 0.02);
+}
+
+TEST(Blocks, FanoutCopiesToEachBranch)
+{
+    Netlist net;
+    BlockParams dp;
+    dp.level = 0.3;
+    BlockId d = net.add(BlockKind::Dac, dp);
+    BlockId f = net.add(BlockKind::Fanout);
+    BlockId a0 = net.add(BlockKind::Adc);
+    BlockId a1 = net.add(BlockKind::Adc);
+    net.connect(net.out(d), net.in(f));
+    net.connect(net.out(f, 0), net.in(a0));
+    net.connect(net.out(f, 1), net.in(a1));
+    Simulator sim(net, cleanSpec(), 1);
+    sim.run(shortRun());
+    EXPECT_NEAR(sim.inputValue(net.in(a0)), 0.3, 0.02);
+    EXPECT_NEAR(sim.inputValue(net.in(a1)), 0.3, 0.02);
+}
+
+TEST(Blocks, JoiningBranchesSumsCurrents)
+{
+    Netlist net;
+    BlockParams d1p, d2p;
+    d1p.level = 0.3;
+    d2p.level = 0.25;
+    BlockId d1 = net.add(BlockKind::Dac, d1p);
+    BlockId d2 = net.add(BlockKind::Dac, d2p);
+    BlockId a = net.add(BlockKind::Adc);
+    net.connect(net.out(d1), net.in(a));
+    net.connect(net.out(d2), net.in(a));
+    Simulator sim(net, cleanSpec(), 1);
+    sim.run(shortRun());
+    EXPECT_NEAR(sim.inputValue(net.in(a)), 0.55, 0.02);
+}
+
+TEST(Blocks, LutAppliesNonlinearFunction)
+{
+    Netlist net;
+    BlockParams dp;
+    dp.level = 0.5;
+    BlockId d = net.add(BlockKind::Dac, dp);
+    BlockParams lp;
+    // Load sin(pi x / 2) over [-1, 1].
+    for (std::size_t i = 0; i < 256; ++i) {
+        double x = -1.0 + 2.0 * static_cast<double>(i) / 255.0;
+        lp.table.push_back(std::sin(M_PI * x / 2.0));
+    }
+    BlockId l = net.add(BlockKind::Lut, lp);
+    BlockId a = net.add(BlockKind::Adc);
+    net.connect(net.out(d), net.in(l));
+    net.connect(net.out(l), net.in(a));
+    Simulator sim(net, cleanSpec(), 1);
+    sim.run(shortRun());
+    EXPECT_NEAR(sim.inputValue(net.in(a)),
+                std::sin(M_PI * 0.25), 0.02);
+}
+
+TEST(Blocks, ExtInStimulusReachesAdc)
+{
+    Netlist net;
+    BlockParams ep;
+    ep.ext_in = [](double) { return 0.6; };
+    BlockId e = net.add(BlockKind::ExtIn, ep);
+    BlockId a = net.add(BlockKind::Adc);
+    net.connect(net.out(e), net.in(a));
+    Simulator sim(net, cleanSpec(), 1);
+    sim.run(shortRun());
+    EXPECT_NEAR(sim.inputValue(net.in(a)), 0.6, 0.02);
+}
+
+TEST(Blocks, IntegratorRampsAtUnitRate)
+{
+    // Constant input c makes the integrator ramp at rate * c.
+    Netlist net;
+    BlockParams dp;
+    dp.level = 0.1;
+    BlockId d = net.add(BlockKind::Dac, dp);
+    BlockId i = net.add(BlockKind::Integrator);
+    BlockId a = net.add(BlockKind::Adc);
+    net.connect(net.out(d), net.in(i));
+    net.connect(net.out(i), net.in(a));
+    AnalogSpec spec = cleanSpec();
+    Simulator sim(net, spec, 1);
+    double t = 0.05 / spec.integratorRate() / 0.1;
+    sim.run(shortRun(t));
+    EXPECT_NEAR(sim.outputValue(net.out(i)), 0.05, 0.002);
+}
+
+TEST(Blocks, IntegratorHoldsInitialCondition)
+{
+    Netlist net;
+    BlockParams ip;
+    ip.ic = 0.42;
+    BlockId i = net.add(BlockKind::Integrator, ip);
+    BlockId a = net.add(BlockKind::Adc);
+    net.connect(net.out(i), net.in(a));
+    Simulator sim(net, cleanSpec(), 1);
+    sim.run(shortRun(1e-6));
+    EXPECT_NEAR(sim.outputValue(net.out(i)), 0.42, 1e-6);
+}
+
+TEST(Blocks, AdcCodesQuantize)
+{
+    Netlist net;
+    BlockParams dp;
+    dp.level = 0.5;
+    BlockId d = net.add(BlockKind::Dac, dp);
+    BlockId a = net.add(BlockKind::Adc);
+    net.connect(net.out(d), net.in(a));
+    Simulator sim(net, cleanSpec(), 1);
+    sim.run(shortRun());
+    auto code = sim.adcReadCode(a);
+    EXPECT_NEAR(static_cast<double>(code), 0.75 * 255.0, 2.0);
+    EXPECT_NEAR(sim.adcRead(a), 0.5, 0.02);
+}
+
+TEST(Blocks, AdcAveragingSuppressesNoise)
+{
+    Netlist net;
+    BlockParams dp;
+    dp.level = 0.5;
+    BlockId d = net.add(BlockKind::Dac, dp);
+    BlockId a = net.add(BlockKind::Adc);
+    net.connect(net.out(d), net.in(a));
+    AnalogSpec spec = cleanSpec();
+    spec.adc_noise_sigma = 0.02; // > 2 LSB of noise
+    Simulator sim(net, spec, 7);
+    sim.run(shortRun());
+    double avg = sim.adcReadAveraged(a, 64);
+    EXPECT_NEAR(avg, 0.5, 0.01);
+}
+
+TEST(Blocks, KindNamesStable)
+{
+    EXPECT_STREQ(blockKindName(BlockKind::Integrator), "integrator");
+    EXPECT_STREQ(blockKindName(BlockKind::Fanout), "fanout");
+    EXPECT_STREQ(blockKindName(BlockKind::ExtOut), "ext_out");
+}
+
+} // namespace
+} // namespace aa::circuit

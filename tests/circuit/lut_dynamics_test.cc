@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "aa/circuit/simulator.hh"
+
+namespace aa::circuit {
+namespace {
+
+AnalogSpec
+cleanSpec(SimMode mode = SimMode::Ideal)
+{
+    AnalogSpec spec;
+    spec.variation.enabled = false;
+    spec.adc_noise_sigma = 0.0;
+    spec.mode = mode;
+    return spec;
+}
+
+std::vector<double>
+tabulate(const std::function<double(double)> &fn, std::size_t depth)
+{
+    std::vector<double> table(depth);
+    for (std::size_t i = 0; i < depth; ++i) {
+        double x = -1.0 + 2.0 * static_cast<double>(i) /
+                              static_cast<double>(depth - 1);
+        table[i] = fn(x);
+    }
+    return table;
+}
+
+TEST(LutDynamics, NonlinearFeedbackFindsRoot)
+{
+    // du/dt = 0.5 - u - lut(u) with lut = 0.5 u^3: steady state
+    // solves u + 0.5 u^3 = 0.5 (root ~0.4746).
+    Netlist net;
+    BlockId integ = net.add(BlockKind::Integrator);
+    BlockParams fp;
+    fp.copies = 2;
+    BlockId fan = net.add(BlockKind::Fanout, fp);
+    BlockParams mp;
+    mp.gain = -1.0;
+    BlockId mul = net.add(BlockKind::MulGain, mp);
+    BlockParams lp;
+    lp.table = tabulate(
+        [](double x) { return -0.5 * x * x * x; }, 256);
+    BlockId lut = net.add(BlockKind::Lut, lp);
+    BlockParams dp;
+    dp.level = 0.5;
+    BlockId dac = net.add(BlockKind::Dac, dp);
+
+    net.connect(net.out(integ), net.in(fan));
+    net.connect(net.out(fan, 0), net.in(mul));
+    net.connect(net.out(fan, 1), net.in(lut));
+    net.connect(net.out(mul), net.in(integ));
+    net.connect(net.out(lut), net.in(integ));
+    net.connect(net.out(dac), net.in(integ));
+
+    AnalogSpec spec = cleanSpec();
+    Simulator sim(net, spec, 1);
+    RunOptions opts;
+    opts.timeout = std::numeric_limits<double>::infinity();
+    opts.steady_rate_tol = 1e-4 * spec.integratorRate();
+    auto res = sim.run(opts);
+    EXPECT_EQ(res.reason, ode::StopReason::SteadyState);
+    // Root of u + 0.5u^3 = 0.5.
+    double u = sim.outputValue(net.out(integ));
+    EXPECT_NEAR(u + 0.5 * u * u * u, 0.5, 0.01);
+}
+
+TEST(LutDynamics, TableQuantizationLimitsAccuracy)
+{
+    // A LUT loaded with identity deviates from perfect pass-through
+    // by at most half an 8-bit step plus interpolation error.
+    Netlist net;
+    BlockParams dp;
+    dp.level = 0.3123;
+    BlockId dac = net.add(BlockKind::Dac, dp);
+    BlockParams lp;
+    lp.table = tabulate([](double x) { return x; }, 256);
+    BlockId lut = net.add(BlockKind::Lut, lp);
+    BlockId adc = net.add(BlockKind::Adc);
+    net.connect(net.out(dac), net.in(lut));
+    net.connect(net.out(lut), net.in(adc));
+
+    Simulator sim(net, cleanSpec(), 1);
+    RunOptions opts;
+    opts.timeout = 1e-4;
+    sim.run(opts);
+    double in = sim.inputValue(net.in(lut));
+    double out = sim.outputValue(net.out(lut));
+    EXPECT_NEAR(out, in, 2.0 / 255.0);
+    EXPECT_GT(std::fabs(out), 0.0);
+}
+
+TEST(MulVarDynamics, QuadraticFeedbackSteadyState)
+{
+    // du/dt = b - u - u^2 via a variable-variable multiplier fed by
+    // two fanout copies of u. Steady state: u^2 + u = b.
+    Netlist net;
+    BlockId integ = net.add(BlockKind::Integrator);
+    BlockParams fp;
+    fp.copies = 3;
+    BlockId fan = net.add(BlockKind::Fanout, fp);
+    BlockId mulvar = net.add(BlockKind::MulVar);
+    BlockParams neg;
+    neg.gain = -1.0;
+    BlockId m_lin = net.add(BlockKind::MulGain, neg);
+    BlockId m_sq = net.add(BlockKind::MulGain, neg);
+    BlockParams dp;
+    dp.level = 0.6;
+    BlockId dac = net.add(BlockKind::Dac, dp);
+
+    net.connect(net.out(integ), net.in(fan));
+    net.connect(net.out(fan, 0), net.in(mulvar, 0));
+    net.connect(net.out(fan, 1), net.in(mulvar, 1));
+    net.connect(net.out(fan, 2), net.in(m_lin));
+    net.connect(net.out(mulvar), net.in(m_sq));
+    net.connect(net.out(m_sq), net.in(integ));
+    net.connect(net.out(m_lin), net.in(integ));
+    net.connect(net.out(dac), net.in(integ));
+
+    AnalogSpec spec = cleanSpec();
+    Simulator sim(net, spec, 1);
+    RunOptions opts;
+    opts.timeout = std::numeric_limits<double>::infinity();
+    opts.steady_rate_tol = 1e-4 * spec.integratorRate();
+    auto res = sim.run(opts);
+    EXPECT_EQ(res.reason, ode::StopReason::SteadyState);
+    double u = sim.outputValue(net.out(integ));
+    // u^2 + u = 0.6 -> u = (-1 + sqrt(3.4)) / 2 ~ 0.4220.
+    EXPECT_NEAR(u, (-1.0 + std::sqrt(3.4)) / 2.0, 5e-3);
+}
+
+TEST(ExtInDynamics, ForcedIntegratorTracksRamp)
+{
+    // du/dt = rate * ext(t) with ext = step of 0.2: u ramps.
+    Netlist net;
+    BlockParams ep;
+    ep.ext_in = [](double) { return 0.2; };
+    BlockId ext = net.add(BlockKind::ExtIn, ep);
+    BlockId integ = net.add(BlockKind::Integrator);
+    net.connect(net.out(ext), net.in(integ));
+
+    AnalogSpec spec = cleanSpec();
+    Simulator sim(net, spec, 1);
+    RunOptions opts;
+    opts.timeout = 1.0 / spec.integratorRate();
+    sim.run(opts);
+    EXPECT_NEAR(sim.outputValue(net.out(integ)), 0.2, 5e-3);
+}
+
+TEST(ExtInDynamics, SinusoidalForcingFollowsLowPass)
+{
+    // First-order loop driven by a slow sinusoid: the output follows
+    // with the analytic single-pole amplitude.
+    Netlist net;
+    AnalogSpec spec = cleanSpec(SimMode::Bandwidth);
+    double w = 0.2 * spec.integratorRate(); // well below the pole
+    BlockParams ep;
+    ep.ext_in = [w](double t) { return 0.5 * std::sin(w * t); };
+    BlockId ext = net.add(BlockKind::ExtIn, ep);
+    BlockId integ = net.add(BlockKind::Integrator);
+    BlockId fan = net.add(BlockKind::Fanout);
+    BlockParams mp;
+    mp.gain = -1.0;
+    BlockId mul = net.add(BlockKind::MulGain, mp);
+    BlockId adc = net.add(BlockKind::Adc);
+    net.connect(net.out(ext), net.in(integ));
+    net.connect(net.out(integ), net.in(fan));
+    net.connect(net.out(fan, 0), net.in(mul));
+    net.connect(net.out(fan, 1), net.in(adc));
+    net.connect(net.out(mul), net.in(integ));
+
+    // Run several forcing periods, then check the output amplitude
+    // against |H| = 1/sqrt(1 + (w/rate)^2) ~ 0.98.
+    Simulator sim(net, spec, 1);
+    double peak = 0.0;
+    RunOptions opts;
+    opts.timeout = 6.0 * 2.0 * M_PI / w;
+    std::size_t ii = sim.stateIndexOf(net.out(integ));
+    opts.observer = [&](double t, const la::Vector &y) {
+        if (t > 3.0 * 2.0 * M_PI / w)
+            peak = std::max(peak, std::fabs(y[ii]));
+    };
+    sim.run(opts);
+    double expected = 0.5 / std::sqrt(1.0 + 0.2 * 0.2);
+    EXPECT_NEAR(peak, expected, 0.03);
+}
+
+} // namespace
+} // namespace aa::circuit

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "aa/circuit/simulator.hh"
+
+namespace aa::circuit {
+namespace {
+
+AnalogSpec
+cleanSpec(SimMode mode)
+{
+    AnalogSpec spec;
+    spec.variation.enabled = false;
+    spec.adc_noise_sigma = 0.0;
+    spec.mode = mode;
+    return spec;
+}
+
+/** Feedback loop solving u = 0.25 as in Figure 1. */
+struct Loop {
+    Netlist net;
+    BlockId integ, fan, mul, dac;
+
+    Loop()
+    {
+        integ = net.add(BlockKind::Integrator);
+        fan = net.add(BlockKind::Fanout);
+        BlockParams mp;
+        mp.gain = -2.0;
+        mul = net.add(BlockKind::MulGain, mp);
+        BlockParams dp;
+        dp.level = 0.5;
+        dac = net.add(BlockKind::Dac, dp);
+        net.connect(net.out(integ), net.in(fan));
+        net.connect(net.out(fan, 0), net.in(mul));
+        net.connect(net.out(mul), net.in(integ));
+        net.connect(net.out(dac), net.in(integ));
+    }
+};
+
+TEST(Modes, SteadyStatesAgreeAcrossModes)
+{
+    double results[2];
+    int k = 0;
+    for (SimMode mode : {SimMode::Ideal, SimMode::Bandwidth}) {
+        Loop loop;
+        Simulator sim(loop.net, cleanSpec(mode), 1);
+        RunOptions opts;
+        opts.timeout = std::numeric_limits<double>::infinity();
+        opts.steady_rate_tol = 1e-5 * AnalogSpec{}.integratorRate();
+        auto res = sim.run(opts);
+        EXPECT_EQ(res.reason, ode::StopReason::SteadyState);
+        results[k++] = sim.outputValue(loop.net.out(loop.integ));
+    }
+    EXPECT_NEAR(results[0], 0.25, 2e-3);
+    EXPECT_NEAR(results[0], results[1], 2e-3);
+}
+
+TEST(Modes, BandwidthModeHasMoreStates)
+{
+    Loop loop;
+    Simulator ideal(loop.net, cleanSpec(SimMode::Ideal), 1);
+    Simulator bw(loop.net, cleanSpec(SimMode::Bandwidth), 1);
+    EXPECT_EQ(ideal.stateCount(), 1u); // just the integrator
+    // integrator + fanout x2 + mul + dac outputs.
+    EXPECT_EQ(bw.stateCount(), 5u);
+}
+
+TEST(Modes, BandwidthLagSlowsTransient)
+{
+    // At t = one ideal time constant, the bandwidth-limited circuit
+    // lags behind the ideal one (extra poles in the loop).
+    double values[2];
+    int k = 0;
+    for (SimMode mode : {SimMode::Ideal, SimMode::Bandwidth}) {
+        Loop loop;
+        AnalogSpec spec = cleanSpec(mode);
+        spec.lag_margin = 2.0; // pronounced lag for the test
+        Simulator sim(loop.net, spec, 1);
+        RunOptions opts;
+        opts.timeout = 0.5 / (2.0 * spec.integratorRate());
+        sim.run(opts);
+        values[k++] = sim.outputValue(loop.net.out(loop.integ));
+    }
+    EXPECT_GT(values[0], values[1]);
+}
+
+TEST(Modes, HigherBandwidthConvergesFasterInRealTime)
+{
+    // The paper's core performance lever: scaling the design
+    // bandwidth proportionally shrinks solution time.
+    auto settle_time = [&](double bw) {
+        Loop loop;
+        AnalogSpec spec = cleanSpec(SimMode::Bandwidth);
+        spec.bandwidth_hz = bw;
+        Simulator sim(loop.net, spec, 1);
+        RunOptions opts;
+        opts.timeout = std::numeric_limits<double>::infinity();
+        opts.steady_rate_tol = 1e-2 * spec.integratorRate();
+        auto res = sim.run(opts);
+        return res.analog_time;
+    };
+    double t20k = settle_time(20e3);
+    double t80k = settle_time(80e3);
+    EXPECT_NEAR(t20k / t80k, 4.0, 0.8);
+}
+
+TEST(ModesDeath, AlgebraicLoopFatalInIdealMode)
+{
+    // A loop through combinational blocks only (fanout -> mul ->
+    // fanout) has no integrator: ideal mode cannot evaluate it.
+    Netlist net;
+    BlockId f = net.add(BlockKind::Fanout);
+    BlockParams mp;
+    mp.gain = 0.5;
+    BlockId m = net.add(BlockKind::MulGain, mp);
+    BlockId a = net.add(BlockKind::Adc);
+    net.connect(net.out(f, 0), net.in(m));
+    net.connect(net.out(m), net.in(f));
+    net.connect(net.out(f, 1), net.in(a));
+    EXPECT_EXIT(Simulator(net, cleanSpec(SimMode::Ideal), 1),
+                ::testing::ExitedWithCode(1), "algebraic loop");
+}
+
+TEST(Modes, AlgebraicLoopRunsInBandwidthMode)
+{
+    // The same loop is fine with physical lags: it settles to zero
+    // (loop gain < 1, no source).
+    Netlist net;
+    BlockId f = net.add(BlockKind::Fanout);
+    BlockParams mp;
+    mp.gain = 0.5;
+    BlockId m = net.add(BlockKind::MulGain, mp);
+    BlockId a = net.add(BlockKind::Adc);
+    net.connect(net.out(f, 0), net.in(m));
+    net.connect(net.out(m), net.in(f));
+    net.connect(net.out(f, 1), net.in(a));
+    Simulator sim(net, cleanSpec(SimMode::Bandwidth), 1);
+    RunOptions opts;
+    opts.timeout = 1e-4;
+    sim.run(opts);
+    EXPECT_NEAR(sim.inputValue(net.in(a)), 0.0, 1e-6);
+}
+
+} // namespace
+} // namespace aa::circuit

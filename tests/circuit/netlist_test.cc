@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "aa/circuit/netlist.hh"
+
+namespace aa::circuit {
+namespace {
+
+TEST(Netlist, AddAndQueryBlocks)
+{
+    Netlist net;
+    BlockId i = net.add(BlockKind::Integrator);
+    BlockId m = net.add(BlockKind::MulGain);
+    EXPECT_EQ(net.numBlocks(), 2u);
+    EXPECT_EQ(net.kind(i), BlockKind::Integrator);
+    EXPECT_EQ(net.kind(m), BlockKind::MulGain);
+    EXPECT_EQ(net.inputCount(i), 1u);
+    EXPECT_EQ(net.outputCount(i), 1u);
+}
+
+TEST(Netlist, FanoutOutputCountFollowsCopies)
+{
+    Netlist net;
+    BlockParams p;
+    p.copies = 3;
+    BlockId f = net.add(BlockKind::Fanout, p);
+    EXPECT_EQ(net.outputCount(f), 3u);
+}
+
+TEST(Netlist, CurrentsSumManyToOneInput)
+{
+    Netlist net;
+    BlockId d1 = net.add(BlockKind::Dac);
+    BlockId d2 = net.add(BlockKind::Dac);
+    BlockId i = net.add(BlockKind::Integrator);
+    net.connect(net.out(d1), net.in(i));
+    net.connect(net.out(d2), net.in(i));
+    EXPECT_EQ(net.driversOf(net.in(i)).size(), 2u);
+}
+
+TEST(Netlist, BlocksOfKindInInsertionOrder)
+{
+    Netlist net;
+    BlockId a = net.add(BlockKind::Adc);
+    net.add(BlockKind::Dac);
+    BlockId b = net.add(BlockKind::Adc);
+    auto adcs = net.blocksOfKind(BlockKind::Adc);
+    ASSERT_EQ(adcs.size(), 2u);
+    EXPECT_EQ(adcs[0], a);
+    EXPECT_EQ(adcs[1], b);
+}
+
+TEST(Netlist, DisconnectAllRemovesBothDirections)
+{
+    Netlist net;
+    BlockId d = net.add(BlockKind::Dac);
+    BlockId m = net.add(BlockKind::MulGain);
+    BlockId a = net.add(BlockKind::Adc);
+    net.connect(net.out(d), net.in(m));
+    net.connect(net.out(m), net.in(a));
+    net.disconnectAll(m);
+    EXPECT_TRUE(net.connections().empty());
+}
+
+TEST(Netlist, OutputInUseTracking)
+{
+    Netlist net;
+    BlockId d = net.add(BlockKind::Dac);
+    BlockId i = net.add(BlockKind::Integrator);
+    EXPECT_FALSE(net.outputInUse(net.out(d)));
+    net.connect(net.out(d), net.in(i));
+    EXPECT_TRUE(net.outputInUse(net.out(d)));
+}
+
+TEST(NetlistDeath, OutputCannotDriveTwoInputs)
+{
+    // The key current-mode constraint: copying needs a fanout.
+    Netlist net;
+    BlockId d = net.add(BlockKind::Dac);
+    BlockId i1 = net.add(BlockKind::Integrator);
+    BlockId i2 = net.add(BlockKind::Integrator);
+    net.connect(net.out(d), net.in(i1));
+    EXPECT_EXIT(net.connect(net.out(d), net.in(i2)),
+                ::testing::ExitedWithCode(1), "fanout");
+}
+
+TEST(NetlistDeath, PortRangeChecked)
+{
+    Netlist net;
+    BlockId m = net.add(BlockKind::MulVar);
+    EXPECT_EXIT(net.in(m, 2), ::testing::ExitedWithCode(1),
+                "out of range");
+    EXPECT_EXIT(net.out(m, 1), ::testing::ExitedWithCode(1),
+                "out of range");
+}
+
+TEST(NetlistDeath, ValidateCatchesFloatingMulVarInput)
+{
+    Netlist net;
+    BlockId m = net.add(BlockKind::MulVar);
+    BlockId d = net.add(BlockKind::Dac);
+    BlockId a = net.add(BlockKind::Adc);
+    net.connect(net.out(d), net.in(m, 0));
+    net.connect(net.out(m), net.in(a));
+    // Input 1 floats while the multiplier drives a node.
+    EXPECT_EXIT(net.validate(), ::testing::ExitedWithCode(1),
+                "floating input");
+}
+
+TEST(Netlist, ValidateAllowsUnusedMulVar)
+{
+    Netlist net;
+    net.add(BlockKind::MulVar); // fully unconnected: fine
+    net.validate();
+}
+
+TEST(NetlistDeath, WiredLutWithoutTableFatal)
+{
+    Netlist net;
+    BlockId l = net.add(BlockKind::Lut);
+    BlockId a = net.add(BlockKind::Adc);
+    net.connect(net.out(l), net.in(a));
+    EXPECT_EXIT(net.validate(), ::testing::ExitedWithCode(1),
+                "no function");
+}
+
+TEST(NetlistDeath, BadFanoutCopiesFatal)
+{
+    Netlist net;
+    BlockParams p;
+    p.copies = 9;
+    EXPECT_EXIT(net.add(BlockKind::Fanout, p),
+                ::testing::ExitedWithCode(1), "copies");
+}
+
+} // namespace
+} // namespace aa::circuit

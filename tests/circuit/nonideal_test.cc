@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aa/circuit/nonideal.hh"
+#include "aa/common/stats.hh"
+
+namespace aa::circuit {
+namespace {
+
+TEST(Quantize, CodeRangeAndMidpoints)
+{
+    EXPECT_EQ(quantizeCode(-1.0, 8), 0);
+    EXPECT_EQ(quantizeCode(1.0, 8), 255);
+    EXPECT_EQ(quantizeCode(0.0, 8), 128); // rounds up from 127.5
+}
+
+TEST(Quantize, ClampsOutOfRange)
+{
+    EXPECT_EQ(quantizeCode(-5.0, 8), 0);
+    EXPECT_EQ(quantizeCode(5.0, 8), 255);
+}
+
+TEST(Quantize, RoundTripErrorBoundedByLsb)
+{
+    for (std::size_t bits : {8u, 12u}) {
+        double lsb = 2.0 / static_cast<double>((1 << bits) - 1);
+        for (double v = -1.0; v <= 1.0; v += 0.00917) {
+            double q = quantizeValue(v, bits);
+            EXPECT_LE(std::fabs(q - v), 0.5 * lsb + 1e-12)
+                << "bits " << bits << " v " << v;
+        }
+    }
+}
+
+TEST(Quantize, TwelveBitFinerThanEight)
+{
+    double v = 0.123456;
+    EXPECT_LT(std::fabs(quantizeValue(v, 12) - v),
+              std::fabs(quantizeValue(v, 8) - v) + 1e-12);
+}
+
+TEST(TrimCodes, RangeMatchesBits)
+{
+    AnalogSpec spec;
+    spec.trim_bits = 6;
+    EXPECT_EQ(trimCodeMin(spec), -32);
+    EXPECT_EQ(trimCodeMax(spec), 31);
+}
+
+TEST(TrimCodes, OffsetMappingLinear)
+{
+    AnalogSpec spec;
+    double step = spec.trim_range / 32.0;
+    EXPECT_DOUBLE_EQ(trimOffsetFromCode(spec, 0), 0.0);
+    EXPECT_DOUBLE_EQ(trimOffsetFromCode(spec, 1), step);
+    EXPECT_DOUBLE_EQ(trimOffsetFromCode(spec, -32),
+                     -spec.trim_range);
+}
+
+TEST(TrimCodes, GainMappingAroundUnity)
+{
+    AnalogSpec spec;
+    EXPECT_DOUBLE_EQ(trimGainFromCode(spec, 0), 1.0);
+    EXPECT_GT(trimGainFromCode(spec, 10), 1.0);
+    EXPECT_LT(trimGainFromCode(spec, -10), 1.0);
+}
+
+TEST(OutputStage, IdealStagePassesThrough)
+{
+    AnalogSpec spec;
+    OutputStage s; // all errors zero
+    bool ovf = false;
+    EXPECT_DOUBLE_EQ(applyStage(s, spec, 0.5, ovf), 0.5);
+    EXPECT_FALSE(ovf);
+}
+
+TEST(OutputStage, OffsetAndGainApplied)
+{
+    AnalogSpec spec;
+    OutputStage s;
+    s.offset = 0.01;
+    s.gain_err = 0.1;
+    bool ovf = false;
+    EXPECT_NEAR(applyStage(s, spec, 0.5, ovf), 0.5 * 1.1 + 0.01,
+                1e-12);
+}
+
+TEST(OutputStage, TrimCancelsErrors)
+{
+    AnalogSpec spec;
+    OutputStage s;
+    s.offset = 0.02;
+    s.trim_offset = -0.02;
+    s.gain_err = 0.05;
+    s.trim_gain = 1.0 / 1.05;
+    bool ovf = false;
+    EXPECT_NEAR(applyStage(s, spec, 0.7, ovf), 0.7, 1e-12);
+}
+
+TEST(OutputStage, CubicCompressionBendsNearRails)
+{
+    AnalogSpec spec;
+    OutputStage s;
+    s.cubic = 0.05;
+    bool ovf = false;
+    double near_rail = applyStage(s, spec, 0.9, ovf);
+    EXPECT_LT(near_rail, 0.9);
+    double small = applyStage(s, spec, 0.05, ovf);
+    EXPECT_NEAR(small, 0.05, 1e-4); // negligible at small signals
+}
+
+TEST(OutputStage, OverflowFlagAndHardClip)
+{
+    AnalogSpec spec;
+    OutputStage s;
+    bool ovf = false;
+    double v = applyStage(s, spec, 1.05, ovf);
+    EXPECT_TRUE(ovf);
+    EXPECT_LE(v, spec.clip_range);
+    ovf = false;
+    v = applyStage(s, spec, -2.0, ovf);
+    EXPECT_TRUE(ovf);
+    EXPECT_DOUBLE_EQ(v, -spec.clip_range);
+}
+
+TEST(OutputStage, SampleStatisticsFollowModel)
+{
+    VariationModel vm;
+    vm.offset_sigma = 0.01;
+    vm.gain_err_sigma = 0.05;
+    Rng rng(42);
+    aa::RunningStats off, gain;
+    for (int i = 0; i < 5000; ++i) {
+        auto s = OutputStage::sample(vm, rng);
+        off.add(s.offset);
+        gain.add(s.gain_err);
+    }
+    EXPECT_NEAR(off.mean(), 0.0, 0.001);
+    EXPECT_NEAR(off.stddev(), 0.01, 0.001);
+    EXPECT_NEAR(gain.stddev(), 0.05, 0.005);
+}
+
+TEST(OutputStage, DisabledVariationIsIdeal)
+{
+    VariationModel vm;
+    vm.enabled = false;
+    Rng rng(1);
+    auto s = OutputStage::sample(vm, rng);
+    EXPECT_DOUBLE_EQ(s.offset, 0.0);
+    EXPECT_DOUBLE_EQ(s.gain_err, 0.0);
+    EXPECT_DOUBLE_EQ(s.cubic, 0.0);
+}
+
+TEST(NonIdealDeath, TrimCodeOutOfRangeFatal)
+{
+    AnalogSpec spec;
+    EXPECT_EXIT(trimOffsetFromCode(spec, 99),
+                ::testing::ExitedWithCode(1), "out of range");
+}
+
+} // namespace
+} // namespace aa::circuit

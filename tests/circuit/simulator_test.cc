@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "aa/circuit/simulator.hh"
+
+namespace aa::circuit {
+namespace {
+
+AnalogSpec
+cleanSpec(SimMode mode = SimMode::Ideal)
+{
+    AnalogSpec spec;
+    spec.variation.enabled = false;
+    spec.adc_noise_sigma = 0.0;
+    spec.mode = mode;
+    return spec;
+}
+
+/**
+ * The Figure 1 circuit: one integrator solving du/dt = a*u + b with
+ * a = -gain fed back through a fanout and multiplier, bias from the
+ * DAC. Steady state: u = -b/a.
+ */
+struct Fig1Circuit {
+    Netlist net;
+    BlockId integ, fan, mul, dac, adc;
+
+    Fig1Circuit(double a_coeff, double b_coeff, double uinit)
+    {
+        BlockParams ip;
+        ip.ic = uinit;
+        integ = net.add(BlockKind::Integrator, ip);
+        fan = net.add(BlockKind::Fanout);
+        BlockParams mp;
+        mp.gain = a_coeff;
+        mul = net.add(BlockKind::MulGain, mp);
+        BlockParams dp;
+        dp.level = b_coeff;
+        dac = net.add(BlockKind::Dac, dp);
+        adc = net.add(BlockKind::Adc);
+
+        net.connect(net.out(integ), net.in(fan));
+        net.connect(net.out(fan, 0), net.in(adc));
+        net.connect(net.out(fan, 1), net.in(mul));
+        net.connect(net.out(mul), net.in(integ));
+        net.connect(net.out(dac), net.in(integ));
+    }
+};
+
+TEST(Simulator, Figure1SteadyStateIsMinusBOverA)
+{
+    Fig1Circuit c(-2.0, 0.5, 0.0);
+    Simulator sim(c.net, cleanSpec(), 1);
+    RunOptions opts;
+    opts.timeout = std::numeric_limits<double>::infinity();
+    opts.steady_rate_tol = 1e-5 * AnalogSpec{}.integratorRate();
+    auto res = sim.run(opts);
+    EXPECT_EQ(res.reason, ode::StopReason::SteadyState);
+    EXPECT_NEAR(sim.outputValue(c.net.out(c.integ)), 0.25, 2e-3);
+}
+
+TEST(Simulator, Figure1ExponentialApproach)
+{
+    // u(t) = 0.25 (1 - e^(a * rate * t)) for uinit = 0, a = -2:
+    // check the waveform at one time constant.
+    Fig1Circuit c(-2.0, 0.5, 0.0);
+    AnalogSpec spec = cleanSpec();
+    Simulator sim(c.net, spec, 1);
+    double tau = 1.0 / (2.0 * spec.integratorRate());
+    RunOptions opts;
+    opts.timeout = tau;
+    sim.run(opts);
+    double expected = 0.25 * (1.0 - std::exp(-1.0));
+    EXPECT_NEAR(sim.outputValue(c.net.out(c.integ)), expected, 5e-3);
+}
+
+TEST(Simulator, Figure1FromNonzeroInitialCondition)
+{
+    Fig1Circuit c(-1.0, 0.0, 0.8);
+    AnalogSpec spec = cleanSpec();
+    Simulator sim(c.net, spec, 1);
+    double tau = 1.0 / spec.integratorRate();
+    RunOptions opts;
+    opts.timeout = 2.0 * tau;
+    sim.run(opts);
+    EXPECT_NEAR(sim.outputValue(c.net.out(c.integ)),
+                0.8 * std::exp(-2.0), 5e-3);
+}
+
+TEST(Simulator, TwoVariableGradientFlowSolvesLinearSystem)
+{
+    // Figure 5: du0/dt = b0 - a00 u0 - a01 u1, etc. for
+    // A = [[0.8, 0.2], [0.2, 0.6]], b = [0.4, 0.4].
+    // Exact: u = A^-1 b = [0.3636..., 0.5454...].
+    Netlist net;
+    BlockId i0 = net.add(BlockKind::Integrator);
+    BlockId i1 = net.add(BlockKind::Integrator);
+    BlockParams f3;
+    f3.copies = 3;
+    BlockId f0 = net.add(BlockKind::Fanout, f3);
+    BlockId f1 = net.add(BlockKind::Fanout, f3);
+
+    auto mul = [&](double g) {
+        BlockParams p;
+        p.gain = g;
+        return net.add(BlockKind::MulGain, p);
+    };
+    BlockId m00 = mul(-0.8), m01 = mul(-0.2);
+    BlockId m10 = mul(-0.2), m11 = mul(-0.6);
+    BlockParams dp;
+    dp.level = 0.4;
+    BlockId d0 = net.add(BlockKind::Dac, dp);
+    BlockId d1 = net.add(BlockKind::Dac, dp);
+    BlockId a0 = net.add(BlockKind::Adc);
+    BlockId a1 = net.add(BlockKind::Adc);
+
+    net.connect(net.out(i0), net.in(f0));
+    net.connect(net.out(i1), net.in(f1));
+    net.connect(net.out(f0, 0), net.in(m00));
+    net.connect(net.out(f0, 1), net.in(m10));
+    net.connect(net.out(f0, 2), net.in(a0));
+    net.connect(net.out(f1, 0), net.in(m01));
+    net.connect(net.out(f1, 1), net.in(m11));
+    net.connect(net.out(f1, 2), net.in(a1));
+    net.connect(net.out(m00), net.in(i0));
+    net.connect(net.out(m01), net.in(i0));
+    net.connect(net.out(d0), net.in(i0));
+    net.connect(net.out(m10), net.in(i1));
+    net.connect(net.out(m11), net.in(i1));
+    net.connect(net.out(d1), net.in(i1));
+
+    Simulator sim(net, cleanSpec(), 1);
+    RunOptions opts;
+    opts.timeout = std::numeric_limits<double>::infinity();
+    opts.steady_rate_tol = 1e-5 * AnalogSpec{}.integratorRate();
+    auto res = sim.run(opts);
+    EXPECT_EQ(res.reason, ode::StopReason::SteadyState);
+    // Tolerance: the 8-bit DAC quantizes b = 0.4 to ~0.40392, and
+    // A^-1 maps that bias error to up to ~0.0053 in u.
+    EXPECT_NEAR(sim.outputValue(net.out(i0)), 4.0 / 11.0, 1e-2);
+    EXPECT_NEAR(sim.outputValue(net.out(i1)), 6.0 / 11.0, 1e-2);
+}
+
+TEST(Simulator, OverflowLatchesStickyException)
+{
+    // An unstable loop (positive feedback) must clip and latch.
+    Fig1Circuit c(+2.0, 0.5, 0.1);
+    AnalogSpec spec = cleanSpec();
+    Simulator sim(c.net, spec, 1);
+    RunOptions opts;
+    opts.timeout = 10.0 / spec.integratorRate();
+    auto res = sim.run(opts);
+    EXPECT_TRUE(res.any_exception);
+    EXPECT_TRUE(sim.anyException());
+    // The integrator's latch specifically is set.
+    EXPECT_NE(sim.exceptionLatches()[c.integ.v], 0);
+    sim.clearExceptions();
+    EXPECT_FALSE(sim.anyException());
+}
+
+TEST(Simulator, IntegratorSaturatesAtClipRange)
+{
+    Fig1Circuit c(+2.0, 0.5, 0.1);
+    AnalogSpec spec = cleanSpec();
+    Simulator sim(c.net, spec, 1);
+    RunOptions opts;
+    opts.timeout = 50.0 / spec.integratorRate();
+    sim.run(opts);
+    EXPECT_LE(sim.outputValue(c.net.out(c.integ)),
+              spec.clip_range + 5e-3);
+}
+
+TEST(Simulator, NoExceptionOnHealthyRun)
+{
+    Fig1Circuit c(-2.0, 0.5, 0.0);
+    Simulator sim(c.net, cleanSpec(), 1);
+    RunOptions opts;
+    opts.timeout = 1e-4;
+    auto res = sim.run(opts);
+    EXPECT_FALSE(res.any_exception);
+}
+
+TEST(Simulator, ProcessVariationShiftsResultReproducibly)
+{
+    AnalogSpec spec = cleanSpec();
+    spec.variation.enabled = true;
+
+    auto result_for = [&](std::uint64_t seed) {
+        Fig1Circuit c(-2.0, 0.5, 0.0);
+        Simulator sim(c.net, spec, seed);
+        RunOptions opts;
+        opts.timeout = std::numeric_limits<double>::infinity();
+        opts.steady_rate_tol = 1e-5 * AnalogSpec{}.integratorRate();
+        sim.run(opts);
+        return sim.outputValue(c.net.out(c.integ));
+    };
+    double die1 = result_for(11);
+    double die1_again = result_for(11);
+    double die2 = result_for(22);
+    EXPECT_DOUBLE_EQ(die1, die1_again); // deterministic per die
+    EXPECT_NE(die1, die2);              // dies differ
+    // Uncalibrated error stays small but visible.
+    EXPECT_NEAR(die1, 0.25, 0.05);
+    EXPECT_NE(die1, 0.25);
+}
+
+TEST(Simulator, TrimCodesAdjustDcTransfer)
+{
+    Netlist net;
+    BlockParams mp;
+    mp.gain = 1.0;
+    BlockId m = net.add(BlockKind::MulGain, mp);
+    AnalogSpec spec = cleanSpec();
+    Simulator sim(net, spec, 1);
+    double before = sim.dcTransfer(m, 0.5);
+    sim.setTrimCodes(net.out(m), 8, 0);
+    double after = sim.dcTransfer(m, 0.5);
+    EXPECT_NEAR(after - before, trimOffsetFromCode(spec, 8), 1e-12);
+}
+
+TEST(Simulator, ObserverStreamsStates)
+{
+    Fig1Circuit c(-2.0, 0.5, 0.0);
+    Simulator sim(c.net, cleanSpec(), 1);
+    std::size_t calls = 0;
+    RunOptions opts;
+    opts.timeout = 1e-4;
+    opts.observer = [&](double, const la::Vector &) { ++calls; };
+    auto res = sim.run(opts);
+    EXPECT_EQ(calls, res.steps + 1);
+}
+
+TEST(Simulator, StateIndexOfIntegrator)
+{
+    Fig1Circuit c(-2.0, 0.5, 0.0);
+    Simulator sim(c.net, cleanSpec(SimMode::Ideal), 1);
+    // In ideal mode the single integrator is state 0.
+    EXPECT_EQ(sim.stateIndexOf(c.net.out(c.integ)), 0u);
+    // A combinational output is not a state in ideal mode.
+    EXPECT_EQ(sim.stateIndexOf(c.net.out(c.mul)),
+              static_cast<std::size_t>(-1));
+}
+
+TEST(Simulator, RefreshWiringFollowsReconfiguration)
+{
+    Netlist net;
+    BlockParams dp;
+    dp.level = 0.5;
+    BlockId d = net.add(BlockKind::Dac, dp);
+    BlockParams dp2;
+    dp2.level = -0.25;
+    BlockId d2 = net.add(BlockKind::Dac, dp2);
+    BlockId a = net.add(BlockKind::Adc);
+    net.connect(net.out(d), net.in(a));
+
+    Simulator sim(net, cleanSpec(), 1);
+    RunOptions opts;
+    opts.timeout = 1e-5;
+    sim.run(opts);
+    EXPECT_NEAR(sim.inputValue(net.in(a)), 0.5, 0.02);
+
+    net.disconnectAll(d);
+    net.connect(net.out(d2), net.in(a));
+    sim.refreshWiring();
+    sim.run(opts);
+    EXPECT_NEAR(sim.inputValue(net.in(a)), -0.25, 0.02);
+}
+
+} // namespace
+} // namespace aa::circuit

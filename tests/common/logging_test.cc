@@ -1,0 +1,49 @@
+#include <gtest/gtest.h>
+
+#include "aa/common/logging.hh"
+
+namespace aa {
+namespace {
+
+TEST(Logging, LevelRoundTrips)
+{
+    LogLevel before = logLevel();
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_EQ(logLevel(), LogLevel::Quiet);
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(before);
+}
+
+TEST(Logging, ConcatFormatsMixedTypes)
+{
+    EXPECT_EQ(detail::concat("x=", 42, " y=", 1.5), "x=42 y=1.5");
+    EXPECT_EQ(detail::concat(), "");
+}
+
+TEST(LoggingDeath, FatalExitsWithStatusOne)
+{
+    EXPECT_EXIT(fatal("user error: ", 7),
+                ::testing::ExitedWithCode(1), "user error: 7");
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("internal bug"), "internal bug");
+}
+
+TEST(LoggingDeath, PanicIfHonorsCondition)
+{
+    panicIf(false, "must not fire");
+    EXPECT_DEATH(panicIf(true, "fires"), "fires");
+}
+
+TEST(LoggingDeath, FatalIfHonorsCondition)
+{
+    fatalIf(false, "must not fire");
+    EXPECT_EXIT(fatalIf(true, "fires"), ::testing::ExitedWithCode(1),
+                "fires");
+}
+
+} // namespace
+} // namespace aa

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "aa/common/rng.hh"
+#include "aa/common/stats.hh"
+
+namespace aa {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.draw(), b.draw());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    bool any_diff = false;
+    for (int i = 0; i < 16; ++i)
+        any_diff |= (a.draw() != b.draw());
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        double x = rng.uniform(-2.0, 3.0);
+        EXPECT_GE(x, -2.0);
+        EXPECT_LT(x, 3.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversBoundsInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        auto v = rng.uniformInt(0, 3);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 3);
+        saw_lo |= (v == 0);
+        saw_hi |= (v == 3);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMomentsRoughlyRight)
+{
+    Rng rng(11);
+    RunningStats s;
+    for (int i = 0; i < 20000; ++i)
+        s.add(rng.gaussian(1.0, 2.0));
+    EXPECT_NEAR(s.mean(), 1.0, 0.05);
+    EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ForkIsDeterministicPerStreamId)
+{
+    Rng parent1(5), parent2(5);
+    Rng childa = parent1.fork(3);
+    Rng childb = parent2.fork(3);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(childa.draw(), childb.draw());
+}
+
+TEST(Rng, ForkedStreamsIndependent)
+{
+    Rng parent(5);
+    Rng child1 = parent.fork(1);
+    Rng child2 = parent.fork(2);
+    bool any_diff = false;
+    for (int i = 0; i < 16; ++i)
+        any_diff |= (child1.draw() != child2.draw());
+    EXPECT_TRUE(any_diff);
+}
+
+} // namespace
+} // namespace aa

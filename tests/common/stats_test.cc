@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aa/common/stats.hh"
+
+namespace aa {
+namespace {
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleSample)
+{
+    RunningStats s;
+    s.add(3.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 3.5);
+    EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, KnownMoments)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance of this classic set is 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, NegativeValuesTrackExtrema)
+{
+    RunningStats s;
+    s.add(-10.0);
+    s.add(10.0);
+    s.add(0.0);
+    EXPECT_DOUBLE_EQ(s.min(), -10.0);
+    EXPECT_DOUBLE_EQ(s.max(), 10.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(FitLine, ExactLine)
+{
+    std::vector<double> xs = {1, 2, 3, 4, 5};
+    std::vector<double> ys;
+    for (double x : xs)
+        ys.push_back(2.5 * x - 1.0);
+    auto fit = fitLine(xs, ys);
+    EXPECT_NEAR(fit.slope, 2.5, 1e-12);
+    EXPECT_NEAR(fit.intercept, -1.0, 1e-12);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(FitLine, NoisyLineHasLowerR2)
+{
+    std::vector<double> xs = {1, 2, 3, 4, 5, 6};
+    std::vector<double> ys = {1.2, 1.9, 3.4, 3.6, 5.3, 5.8};
+    auto fit = fitLine(xs, ys);
+    EXPECT_GT(fit.slope, 0.8);
+    EXPECT_LT(fit.slope, 1.2);
+    EXPECT_LT(fit.r2, 1.0);
+    EXPECT_GT(fit.r2, 0.9);
+}
+
+TEST(FitLine, ConstantXDegenerates)
+{
+    std::vector<double> xs = {2, 2, 2};
+    std::vector<double> ys = {1, 2, 3};
+    auto fit = fitLine(xs, ys);
+    EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+    EXPECT_DOUBLE_EQ(fit.intercept, 2.0);
+}
+
+TEST(FitPowerLaw, RecoversExponent)
+{
+    // y = 3 x^1.5: the Table III scaling-fit machinery must recover
+    // the exponent from samples spanning decades.
+    std::vector<double> xs, ys;
+    for (double x : {1.0, 4.0, 16.0, 64.0, 256.0}) {
+        xs.push_back(x);
+        ys.push_back(3.0 * std::pow(x, 1.5));
+    }
+    auto fit = fitPowerLaw(xs, ys);
+    EXPECT_NEAR(fit.slope, 1.5, 1e-9);
+    EXPECT_NEAR(std::exp(fit.intercept), 3.0, 1e-9);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(FitPowerLaw, LinearScalingExponentOne)
+{
+    std::vector<double> xs, ys;
+    for (double x = 10.0; x <= 1e4; x *= 10.0) {
+        xs.push_back(x);
+        ys.push_back(0.02 * x);
+    }
+    auto fit = fitPowerLaw(xs, ys);
+    EXPECT_NEAR(fit.slope, 1.0, 1e-9);
+}
+
+} // namespace
+} // namespace aa

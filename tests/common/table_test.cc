@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "aa/common/table.hh"
+
+namespace aa {
+namespace {
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t("demo");
+    t.setHeader({"N", "time"});
+    t.addRow({"10", "1.5"});
+    t.addRow({"1000", "2.25"});
+    std::ostringstream os;
+    t.print(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("== demo =="), std::string::npos);
+    EXPECT_NE(s.find("   N"), std::string::npos);
+    EXPECT_NE(s.find("1000"), std::string::npos);
+}
+
+TEST(TextTable, TsvOutput)
+{
+    TextTable t("demo");
+    t.setHeader({"a", "b", "c"});
+    t.addRow({"1", "2", "3"});
+    std::ostringstream os;
+    t.printTsv(os);
+    EXPECT_EQ(os.str(), "a\tb\tc\n1\t2\t3\n");
+}
+
+TEST(TextTable, RowCountTracksRows)
+{
+    TextTable t("demo");
+    t.setHeader({"x"});
+    EXPECT_EQ(t.rows(), 0u);
+    t.addRow({"1"});
+    t.addRow({"2"});
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, NumberFormatters)
+{
+    EXPECT_EQ(TextTable::num(1.5), "1.5");
+    EXPECT_EQ(TextTable::num(2.0 / 3.0, 3), "0.667");
+    EXPECT_EQ(TextTable::sci(12345.0, 2), "1.23e+04");
+}
+
+TEST(TextTableDeath, RowWidthMismatchPanics)
+{
+    TextTable t("demo");
+    t.setHeader({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row width");
+}
+
+TEST(TextTableDeath, RowsBeforeHeaderPanic)
+{
+    TextTable t("demo");
+    EXPECT_DEATH(t.addRow({"x"}), "set header");
+}
+
+} // namespace
+} // namespace aa

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "aa/compiler/mapper.hh"
+#include "aa/la/eigen.hh"
+#include "aa/la/direct.hh"
+
+namespace aa::compiler {
+namespace {
+
+chip::ChipConfig
+testConfig(std::size_t macroblocks = 4)
+{
+    chip::ChipConfig cfg;
+    cfg.geometry.macroblocks = macroblocks;
+    cfg.spec.variation.enabled = false;
+    cfg.spec.adc_noise_sigma = 0.0;
+    return cfg;
+}
+
+ScaledSystem
+scaled2x2()
+{
+    auto a = la::DenseMatrix::fromRows({{0.8, 0.2}, {0.2, 0.6}});
+    la::Vector b{0.4, 0.4};
+    chip::ChipConfig cfg = testConfig();
+    return scaleSystem(a, b, {}, cfg.spec);
+}
+
+TEST(Demand, CountsUnitsOfDenseSystem)
+{
+    auto a = la::DenseMatrix::fromRows({{0.8, 0.2}, {0.2, 0.6}});
+    la::Vector b{0.4, 0.4};
+    auto d = demandOf(a, b);
+    EXPECT_EQ(d.integrators, 2u);
+    EXPECT_EQ(d.multipliers, 4u); // all entries nonzero
+    EXPECT_EQ(d.adcs, 2u);
+    EXPECT_EQ(d.dacs, 2u);
+    // Each variable feeds 2 multipliers + 1 ADC = 3 leaves -> 2
+    // two-copy fanouts each.
+    EXPECT_EQ(d.fanout_blocks, 4u);
+}
+
+TEST(Demand, SparsityReducesMultipliers)
+{
+    auto a = la::DenseMatrix::fromRows(
+        {{1.0, 0.0, 0.0}, {0.0, 1.0, 0.0}, {0.0, 0.0, 1.0}});
+    la::Vector b{0.1, 0.1, 0.1};
+    auto d = demandOf(a, b);
+    EXPECT_EQ(d.multipliers, 3u);
+    // Each variable feeds 1 multiplier + 1 ADC = 2 leaves -> 1
+    // fanout block.
+    EXPECT_EQ(d.fanout_blocks, 3u);
+}
+
+TEST(Demand, WiderFanoutsNeedFewerBlocks)
+{
+    auto a = la::DenseMatrix::fromRows({{0.8, 0.2}, {0.2, 0.6}});
+    la::Vector b{0.4, 0.4};
+    auto two = demandOf(a, b, 2);
+    auto four = demandOf(a, b, 4);
+    EXPECT_LT(four.fanout_blocks, two.fanout_blocks);
+}
+
+TEST(Demand, FitsOnChecksEveryResource)
+{
+    ResourceDemand d;
+    d.integrators = 4;
+    d.multipliers = 8;
+    d.fanout_blocks = 8;
+    d.adcs = 2;
+    d.dacs = 2;
+    chip::ChipGeometry proto;
+    EXPECT_TRUE(d.fitsOn(proto));
+    d.adcs = 3;
+    EXPECT_FALSE(d.fitsOn(proto));
+}
+
+TEST(GeometryFor, CoversTheDemand)
+{
+    auto a = la::DenseMatrix::fromRows({{0.8, 0.2}, {0.2, 0.6}});
+    la::Vector b{0.4, 0.4};
+    auto d = demandOf(a, b);
+    auto g = geometryFor(d);
+    EXPECT_TRUE(d.fitsOn(g));
+}
+
+TEST(GeometryFor, AdcSharingDominatesSmallSystems)
+{
+    // n variables need n ADCs => 2n macroblocks at the prototype's
+    // 2-mb sharing.
+    ResourceDemand d;
+    d.integrators = 3;
+    d.adcs = 3;
+    d.dacs = 3;
+    auto g = geometryFor(d);
+    EXPECT_GE(g.macroblocks, 6u);
+}
+
+TEST(Mapping, AssignsDistinctUnitsPerVariable)
+{
+    chip::Chip chip(testConfig());
+    SleMapping mapping(scaled2x2(), chip);
+    EXPECT_EQ(mapping.numVars(), 2u);
+    EXPECT_NE(mapping.integratorOf(0).v, mapping.integratorOf(1).v);
+    EXPECT_NE(mapping.adcOf(0).v, mapping.adcOf(1).v);
+}
+
+TEST(Mapping, LambdaMinMatchesEigenSolve)
+{
+    auto sys = scaled2x2();
+    chip::Chip chip(testConfig());
+    SleMapping mapping(sys, chip);
+    double expected = la::smallestEigenvalueSpd(sys.a).value;
+    EXPECT_NEAR(mapping.lambdaMin(), expected, 1e-8);
+}
+
+TEST(Mapping, RecommendedTimeoutCoversConvergence)
+{
+    auto sys = scaled2x2();
+    chip::Chip chip(testConfig());
+    SleMapping mapping(sys, chip);
+    const auto &spec = chip.config().spec;
+    double t = mapping.recommendedTimeout(spec);
+    // At least a few decay constants of the slowest mode.
+    double tau =
+        1.0 / (spec.integratorRate() * mapping.lambdaMin());
+    EXPECT_GT(t, 3.0 * tau);
+    EXPECT_LT(t, 100.0 * tau);
+}
+
+TEST(Mapping, ConfiguredChipSolvesTheSystem)
+{
+    auto sys = scaled2x2();
+    chip::Chip chip(testConfig());
+    isa::AcceleratorDriver driver(chip);
+    SleMapping mapping(sys, chip);
+    mapping.configure(driver);
+    auto res = driver.execStart();
+    EXPECT_FALSE(res.any_exception);
+    la::Vector u_hat = mapping.readSolution(driver, 4);
+    la::Vector expected = la::solveDense(sys.a, sys.b);
+    EXPECT_LT(la::maxAbsDiff(u_hat, expected), 0.02);
+}
+
+TEST(Mapping, UpdateBiasesRerunsWithoutRemap)
+{
+    auto sys = scaled2x2();
+    chip::Chip chip(testConfig());
+    isa::AcceleratorDriver driver(chip);
+    SleMapping mapping(sys, chip);
+    mapping.configure(driver);
+    driver.execStart();
+
+    la::Vector new_b{0.1, 0.0};
+    mapping.updateBiases(driver, new_b);
+    driver.cfgCommit();
+    driver.execStart();
+    la::Vector u_hat = mapping.readSolution(driver, 4);
+    la::Vector expected = la::solveDense(sys.a, new_b);
+    EXPECT_LT(la::maxAbsDiff(u_hat, expected), 0.02);
+}
+
+TEST(Mapping, UpdateInitialStateTakesEffect)
+{
+    auto sys = scaled2x2();
+    chip::Chip chip(testConfig());
+    isa::AcceleratorDriver driver(chip);
+    SleMapping mapping(sys, chip);
+    mapping.configure(driver);
+    mapping.updateInitialState(driver, la::Vector{0.5, 0.5});
+    // A tiny timeout: the state barely moves from the new ICs.
+    driver.setTimeout(1);
+    driver.cfgCommit();
+    driver.execStart();
+    la::Vector u_hat = mapping.readSolution(driver, 4);
+    EXPECT_NEAR(u_hat[0], 0.5, 0.05);
+    EXPECT_NEAR(u_hat[1], 0.5, 0.05);
+}
+
+TEST(MappingDeath, TooSmallChipFatal)
+{
+    // A 3-variable dense system needs 3 ADCs: the 4-macroblock
+    // prototype has 2.
+    auto a = la::DenseMatrix::fromRows(
+        {{1.0, 0.1, 0.1}, {0.1, 1.0, 0.1}, {0.1, 0.1, 1.0}});
+    la::Vector b{0.1, 0.2, 0.3};
+    chip::ChipConfig cfg = testConfig();
+    chip::Chip chip(cfg);
+    auto sys = scaleSystem(a, b, {}, cfg.spec);
+    EXPECT_EXIT(SleMapping(sys, chip), ::testing::ExitedWithCode(1),
+                "chip has");
+}
+
+TEST(Mapping, LargerGeometryFitsBiggerProblem)
+{
+    auto a = la::DenseMatrix::fromRows(
+        {{1.0, 0.1, 0.1}, {0.1, 1.0, 0.1}, {0.1, 0.1, 1.0}});
+    la::Vector b{0.1, 0.2, 0.3};
+    auto g = geometryFor(demandOf(a, b));
+    chip::ChipConfig cfg = testConfig(g.macroblocks);
+    chip::Chip chip(cfg);
+    isa::AcceleratorDriver driver(chip);
+    auto sys = scaleSystem(a, b, {}, cfg.spec);
+    SleMapping mapping(sys, chip);
+    mapping.configure(driver);
+    driver.execStart();
+    la::Vector u_hat = mapping.readSolution(driver, 4);
+    la::Vector expected = la::solveDense(sys.a, sys.b);
+    EXPECT_LT(la::maxAbsDiff(u_hat, expected), 0.02);
+}
+
+} // namespace
+} // namespace aa::compiler

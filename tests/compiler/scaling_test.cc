@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "aa/compiler/scaling.hh"
+#include "aa/la/direct.hh"
+
+namespace aa::compiler {
+namespace {
+
+circuit::AnalogSpec
+spec()
+{
+    circuit::AnalogSpec s;
+    s.max_gain = 10.0;
+    return s;
+}
+
+TEST(Scaling, InRangeSystemUntouched)
+{
+    auto a = la::DenseMatrix::fromRows({{2, -1}, {-1, 2}});
+    la::Vector b{0.5, 0.5};
+    auto out = scaleSystem(a, b, {}, spec());
+    EXPECT_DOUBLE_EQ(out.plan.gain_scale, 1.0);
+    EXPECT_DOUBLE_EQ(out.a.maxAbs(), 2.0);
+    EXPECT_DOUBLE_EQ(out.b[0], 0.5);
+}
+
+TEST(Scaling, LargeCoefficientsCompressed)
+{
+    // The paper's inset: A with entries beyond the gain range is
+    // programmed as A/s.
+    auto a = la::DenseMatrix::fromRows({{100, -25}, {-25, 80}});
+    la::Vector b{50, 10};
+    auto out = scaleSystem(a, b, {}, spec());
+    EXPECT_GT(out.plan.gain_scale, 1.0);
+    EXPECT_LE(out.a.maxAbs(), 10.0);
+    EXPECT_LE(la::normInf(out.b), 1.0);
+}
+
+TEST(Scaling, SolutionInvariantUnderGainScale)
+{
+    // Core soundness claim: u = A^-1 b = A_s^-1 b_s.
+    auto a = la::DenseMatrix::fromRows({{40, -10}, {-10, 30}});
+    la::Vector b{20, 5};
+    la::Vector exact = la::solveDense(a, b);
+    auto out = scaleSystem(a, b, {}, spec());
+    la::Vector scaled_solution = la::solveDense(out.a, out.b);
+    la::Vector recovered = unscaleSolution(scaled_solution, out.plan);
+    EXPECT_LT(la::maxAbsDiff(recovered, exact), 1e-12);
+}
+
+TEST(Scaling, SolutionScaleShrinksReadback)
+{
+    // With sigma = 4, the mapped problem solves u/4.
+    auto a = la::DenseMatrix::fromRows({{1.0, 0.0}, {0.0, 1.0}});
+    la::Vector b{3.2, -2.0}; // |u| up to 3.2 > full scale
+    auto out = scaleSystem(a, b, {}, spec(), 4.0);
+    la::Vector u_hat = la::solveDense(out.a, out.b);
+    EXPECT_LE(la::normInf(u_hat), 1.0);
+    la::Vector u = unscaleSolution(u_hat, out.plan);
+    EXPECT_NEAR(u[0], 3.2, 1e-12);
+    EXPECT_NEAR(u[1], -2.0, 1e-12);
+}
+
+TEST(Scaling, TimeFactorEqualsGainScale)
+{
+    auto a = la::DenseMatrix::fromRows({{100, 0}, {0, 100}});
+    la::Vector b{1, 1};
+    auto out = scaleSystem(a, b, {}, spec());
+    EXPECT_DOUBLE_EQ(out.plan.timeFactor(), out.plan.gain_scale);
+    // s must pull 100 under 0.95 * 10.
+    EXPECT_NEAR(out.plan.gain_scale, 100.0 / 9.5, 1e-12);
+}
+
+TEST(Scaling, BiasAloneCanForceScaling)
+{
+    auto a = la::DenseMatrix::fromRows({{1, 0}, {0, 1}});
+    la::Vector b{5.0, 0.0}; // bias beyond the DAC range
+    auto out = scaleSystem(a, b, {}, spec());
+    EXPECT_GT(out.plan.gain_scale, 1.0);
+    EXPECT_LE(la::normInf(out.b), 1.0);
+}
+
+TEST(Scaling, InitialGuessScaledAndClipped)
+{
+    auto a = la::DenseMatrix::fromRows({{1, 0}, {0, 1}});
+    la::Vector b{0.1, 0.1};
+    la::Vector u0{4.0, 0.5};
+    auto out = scaleSystem(a, b, u0, spec(), 2.0);
+    // 4.0 / 2.0 = 2.0 clips to full scale; 0.5 / 2 = 0.25 passes.
+    EXPECT_DOUBLE_EQ(out.u0[0], 1.0);
+    EXPECT_DOUBLE_EQ(out.u0[1], 0.25);
+}
+
+TEST(Scaling, EmptyGuessBecomesZeros)
+{
+    auto a = la::DenseMatrix::fromRows({{1, 0}, {0, 1}});
+    la::Vector b{0.1, 0.1};
+    auto out = scaleSystem(a, b, {}, spec());
+    EXPECT_EQ(out.u0.size(), 2u);
+    EXPECT_DOUBLE_EQ(out.u0[0], 0.0);
+}
+
+TEST(ScalingDeath, DimensionMismatchFatal)
+{
+    auto a = la::DenseMatrix::fromRows({{1, 0}, {0, 1}});
+    EXPECT_EXIT(scaleSystem(a, la::Vector(3), {}, spec()),
+                ::testing::ExitedWithCode(1), "dimension");
+}
+
+TEST(ScalingDeath, NonPositiveSigmaFatal)
+{
+    auto a = la::DenseMatrix::fromRows({{1}});
+    EXPECT_EXIT(scaleSystem(a, la::Vector(1), {}, spec(), 0.0),
+                ::testing::ExitedWithCode(1), "positive");
+}
+
+} // namespace
+} // namespace aa::compiler

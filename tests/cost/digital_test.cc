@@ -1,0 +1,49 @@
+#include <gtest/gtest.h>
+
+#include "aa/cost/digital.hh"
+
+namespace aa::cost {
+namespace {
+
+TEST(MeasureCg, ConvergesAndTimes)
+{
+    auto m = measureCgPoisson(2, 10, 8);
+    EXPECT_TRUE(m.converged);
+    EXPECT_GT(m.iterations, 3u);
+    EXPECT_GT(m.wall_seconds, 0.0);
+    EXPECT_GT(m.model_seconds, 0.0);
+    EXPECT_GT(m.flops, 0u);
+}
+
+TEST(MeasureCg, ModelTimeUsesCycleFormula)
+{
+    CpuModel cpu;
+    auto m = measureCgPoisson(2, 8, 8, cpu, 1);
+    double expected =
+        cpu.timeSeconds(64, m.iterations);
+    EXPECT_DOUBLE_EQ(m.model_seconds, expected);
+}
+
+TEST(MeasureCg, TighterPrecisionNeedsMoreIterations)
+{
+    auto m8 = measureCgPoisson(2, 12, 8, {}, 1);
+    auto m12 = measureCgPoisson(2, 12, 12, {}, 1);
+    EXPECT_GE(m12.iterations, m8.iterations);
+}
+
+TEST(MeasureCg, IterationsGrowWithGridSize)
+{
+    auto small = measureCgPoisson(2, 8, 8, {}, 1);
+    auto large = measureCgPoisson(2, 24, 8, {}, 1);
+    EXPECT_GT(large.iterations, small.iterations);
+}
+
+TEST(MeasureCg, ThreeDimensionalProblemsWork)
+{
+    auto m = measureCgPoisson(3, 6, 8, {}, 1);
+    EXPECT_TRUE(m.converged);
+    EXPECT_GT(m.iterations, 1u);
+}
+
+} // namespace
+} // namespace aa::cost

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aa/cost/model.hh"
+
+namespace aa::cost {
+namespace {
+
+TEST(Table2, PrototypeValuesMatchThePaper)
+{
+    ComponentTable t;
+    EXPECT_DOUBLE_EQ(t.integrator.power_w, 28e-6);
+    EXPECT_DOUBLE_EQ(t.integrator.area_mm2, 0.040);
+    EXPECT_DOUBLE_EQ(t.fanout.power_w, 37e-6);
+    EXPECT_DOUBLE_EQ(t.multiplier.area_mm2, 0.050);
+    EXPECT_DOUBLE_EQ(t.adc.core_area_fraction, 0.83);
+    EXPECT_DOUBLE_EQ(t.dac.core_power_fraction, 1.00);
+}
+
+TEST(Table2, ScalingAtAlphaOneIsIdentity)
+{
+    ComponentTable t;
+    EXPECT_DOUBLE_EQ(t.integrator.powerAt(1.0),
+                     t.integrator.power_w);
+    EXPECT_DOUBLE_EQ(t.adc.areaAt(1.0), t.adc.area_mm2);
+}
+
+TEST(Table2, OnlyCoreFractionScales)
+{
+    ComponentTable t;
+    // Integrator: 80% core power. At alpha = 4:
+    // 28u * (0.8*4 + 0.2) = 28u * 3.4.
+    EXPECT_NEAR(t.integrator.powerAt(4.0), 28e-6 * 3.4, 1e-12);
+    // DAC is 100% core power: scales fully.
+    EXPECT_NEAR(t.dac.powerAt(4.0), 4.6e-6 * 4.0, 1e-12);
+}
+
+TEST(PoissonShape, CountsExact)
+{
+    PoissonShape s2{2, 4};
+    EXPECT_EQ(s2.gridPoints(), 16u);
+    EXPECT_EQ(s2.offDiagonalNnz(), 2u * 2u * 3u * 4u); // 48
+    EXPECT_EQ(s2.nnz(), 64u);
+
+    PoissonShape s3{3, 3};
+    EXPECT_EQ(s3.gridPoints(), 27u);
+    EXPECT_EQ(s3.offDiagonalNnz(), 2u * 3u * 2u * 9u); // 108
+}
+
+TEST(PoissonShape, LambdaMinScaledShrinksWithGridSize)
+{
+    PoissonShape small{2, 8};
+    PoissonShape big{2, 32};
+    double g = 32.0;
+    EXPECT_GT(small.lambdaMinScaled(g), big.lambdaMinScaled(g));
+    // Asymptotically proportional to 1/L^2.
+    double ratio =
+        small.lambdaMinScaled(g) / big.lambdaMinScaled(g);
+    double expected = std::pow(33.0 / 9.0, 2);
+    EXPECT_NEAR(ratio, expected, 0.05 * expected);
+}
+
+TEST(PoissonShape, ConditionNumberGrowsAsLSquared)
+{
+    PoissonShape s{2, 15};
+    PoissonShape s2{2, 31};
+    double ratio = s2.conditionNumber() / s.conditionNumber();
+    EXPECT_NEAR(ratio, 4.0, 0.5);
+}
+
+TEST(Design, AlphaAgainstPrototype)
+{
+    EXPECT_DOUBLE_EQ(prototypeDesign().alpha(), 1.0);
+    EXPECT_DOUBLE_EQ(design80kHz().alpha(), 4.0);
+    EXPECT_DOUBLE_EQ(design320kHz().alpha(), 16.0);
+    EXPECT_DOUBLE_EQ(design1300kHz().alpha(), 65.0);
+}
+
+TEST(Design, PowerMatchesFigure10Anchor)
+{
+    // Figure 10: the 20 KHz design uses ~0.7 W at 2048 grid points.
+    auto design = prototypeDesign();
+    PoissonShape shape{2, 45}; // 2025 points
+    double p = design.powerWatts(design.unitsFor(shape));
+    EXPECT_GT(p, 0.5);
+    EXPECT_LT(p, 1.0);
+}
+
+TEST(Design, SolveTimeLinearInGridPoints)
+{
+    auto design = prototypeDesign();
+    double t1 = design.solveTimeSeconds({2, 16});
+    double t2 = design.solveTimeSeconds({2, 32});
+    // N quadruples (ish); solve time must scale ~(L+1)^2.
+    EXPECT_NEAR(t2 / t1, std::pow(33.0 / 17.0, 2), 0.2);
+}
+
+TEST(Design, BandwidthSpeedsSolvesProportionally)
+{
+    PoissonShape shape{2, 20};
+    double t20 = prototypeDesign().solveTimeSeconds(shape);
+    double t80 = design80kHz().solveTimeSeconds(shape);
+    // 80 KHz also has a 12-bit ADC: 13/9 more decades to converge.
+    EXPECT_NEAR(t20 / t80, 4.0 * 9.0 / 13.0, 0.05);
+}
+
+TEST(Design, HighBandwidthHitsDieCeilingSooner)
+{
+    std::size_t cap20 = prototypeDesign().maxGridPoints(2);
+    std::size_t cap80 = design80kHz().maxGridPoints(2);
+    std::size_t cap320 = design320kHz().maxGridPoints(2);
+    std::size_t cap1300 = design1300kHz().maxGridPoints(2);
+    EXPECT_GT(cap20, cap80);
+    EXPECT_GT(cap80, cap320);
+    EXPECT_GT(cap320, cap1300);
+    // Figure 9's story: the fast designs cut off in the hundreds.
+    EXPECT_LT(cap320, 650u);
+    EXPECT_GT(cap80, 650u);
+}
+
+TEST(Design, ParityNearPaperCrossover)
+{
+    // The headline anchor: at ~650 grid points the 20 KHz design's
+    // solve time is within ~2x of the modelled Xeon CG time.
+    PoissonShape shape{2, 25}; // 625 points
+    double analog = prototypeDesign().solveTimeSeconds(shape);
+    // CG iterations to the 1/256 rule at this size: ~sqrt(kappa).
+    CpuModel cpu;
+    double kappa = shape.conditionNumber();
+    auto iters = static_cast<std::size_t>(
+        0.5 * std::sqrt(kappa) * std::log(2.0 * 256.0));
+    double digital = cpu.timeSeconds(shape.gridPoints(), iters);
+    EXPECT_GT(analog / digital, 0.3);
+    EXPECT_LT(analog / digital, 3.0);
+}
+
+TEST(Design, EnergyEfficiencySaturatesPast80kHz)
+{
+    // Figure 12: "efficiency gains cease after bandwidth reaches
+    // 80 KHz". Energy = power x time; past the point where core
+    // power dominates, both scale reciprocally.
+    // Compare iso-precision designs (12-bit ADCs throughout) so the
+    // bandwidth effect is isolated.
+    PoissonShape shape{2, 20};
+    double e20 = AcceleratorDesign(20e3, 12).solveEnergyJoules(shape);
+    double e80 = AcceleratorDesign(80e3, 12).solveEnergyJoules(shape);
+    double e320 =
+        AcceleratorDesign(320e3, 12).solveEnergyJoules(shape);
+    double gain_20_80 = e20 / e80;
+    double gain_80_320 = e80 / e320;
+    EXPECT_GT(gain_20_80, gain_80_320);
+    EXPECT_LT(gain_80_320, 1.2);
+}
+
+TEST(Design, UnitAccountingFollowsAssumptions)
+{
+    CostAssumptions keep_diag;
+    keep_diag.fold_diagonal_into_integrator = false;
+    AcceleratorDesign folded(20e3, 8);
+    AcceleratorDesign unfolded(20e3, 8, 32.0, keep_diag);
+    PoissonShape shape{2, 10};
+    EXPECT_LT(folded.unitsFor(shape).multipliers,
+              unfolded.unitsFor(shape).multipliers);
+}
+
+TEST(CpuModel, TwentyCyclesPerRowIteration)
+{
+    CpuModel cpu;
+    // 1000 rows, 100 iterations: 2e6 cycles at 2.67 GHz.
+    EXPECT_NEAR(cpu.timeSeconds(1000, 100), 2e6 / 2.67e9, 1e-12);
+}
+
+TEST(GpuModel, EnergyPerFma)
+{
+    GpuModel gpu;
+    EXPECT_NEAR(gpu.energyJoules(1000, 100),
+                225e-12 * 10.0 * 1000 * 100, 1e-15);
+}
+
+TEST(DesignDeath, BadBandwidthFatal)
+{
+    EXPECT_EXIT(AcceleratorDesign(0.0), ::testing::ExitedWithCode(1),
+                "bandwidth");
+}
+
+} // namespace
+} // namespace aa::cost

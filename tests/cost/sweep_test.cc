@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aa/cost/model.hh"
+
+namespace aa::cost {
+namespace {
+
+/** Property: power, area, and solve time vary monotonically with
+ *  problem size for every design point and dimension. */
+class MonotoneInN
+    : public ::testing::TestWithParam<std::tuple<double, std::size_t>>
+{};
+
+TEST_P(MonotoneInN, PowerAreaTimeGrowWithGrid)
+{
+    auto [bandwidth, dim] = GetParam();
+    AcceleratorDesign design(bandwidth, 12);
+    double prev_power = 0.0, prev_area = 0.0, prev_time = 0.0;
+    for (std::size_t l = 3; l <= 24; l += 3) {
+        PoissonShape shape{dim, l};
+        auto units = design.unitsFor(shape);
+        double p = design.powerWatts(units);
+        double a = design.areaMm2(units);
+        double t = design.solveTimeSeconds(shape);
+        EXPECT_GT(p, prev_power) << "l=" << l;
+        EXPECT_GT(a, prev_area) << "l=" << l;
+        EXPECT_GT(t, prev_time) << "l=" << l;
+        prev_power = p;
+        prev_area = a;
+        prev_time = t;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Designs, MonotoneInN,
+    ::testing::Combine(::testing::Values(20e3, 80e3, 1.3e6),
+                       ::testing::Values<std::size_t>(1, 2, 3)));
+
+/** Property: at fixed problem, higher bandwidth means more power,
+ *  more area, less time; energy is bounded between the extremes. */
+class MonotoneInBandwidth
+    : public ::testing::TestWithParam<std::size_t>
+{};
+
+TEST_P(MonotoneInBandwidth, TradeoffsOrdered)
+{
+    std::size_t l = GetParam();
+    PoissonShape shape{2, l};
+    double prev_power = 0.0, prev_area = 0.0;
+    double prev_time = 1e9;
+    for (double bw : {20e3, 80e3, 320e3, 1.3e6}) {
+        AcceleratorDesign design(bw, 12);
+        auto units = design.unitsFor(shape);
+        double p = design.powerWatts(units);
+        double a = design.areaMm2(units);
+        double t = design.solveTimeSeconds(shape);
+        EXPECT_GT(p, prev_power);
+        EXPECT_GT(a, prev_area);
+        EXPECT_LT(t, prev_time);
+        prev_power = p;
+        prev_area = a;
+        prev_time = t;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MonotoneInBandwidth,
+                         ::testing::Values<std::size_t>(5, 10, 20));
+
+TEST(CapacityInverse, MaxGridPointsConsistentWithArea)
+{
+    for (double bw : {20e3, 80e3, 320e3}) {
+        AcceleratorDesign design(bw, 12);
+        std::size_t cap = design.maxGridPoints(2);
+        ASSERT_GT(cap, 0u);
+        // The capacity's side length fits; one more side does not.
+        auto side = static_cast<std::size_t>(std::sqrt(
+            static_cast<double>(cap)));
+        EXPECT_LE(design.areaMm2(design.unitsFor(PoissonShape{2, side})),
+                  kDieCeilingMm2);
+        EXPECT_GT(design.areaMm2(design.unitsFor(PoissonShape{2, side + 1})),
+                  kDieCeilingMm2);
+    }
+}
+
+TEST(CapacityInverse, TinyBudgetGivesZero)
+{
+    AcceleratorDesign design(1.3e6, 12);
+    EXPECT_EQ(design.maxGridPoints(2, 0.01), 0u);
+}
+
+TEST(LambdaMin, HigherGainConvergesFaster)
+{
+    PoissonShape shape{2, 16};
+    EXPECT_GT(shape.lambdaMinScaled(32.0),
+              shape.lambdaMinScaled(8.0));
+    // And exactly linearly.
+    EXPECT_NEAR(shape.lambdaMinScaled(32.0) /
+                    shape.lambdaMinScaled(8.0),
+                4.0, 1e-12);
+}
+
+TEST(SolveTime, MoreAdcBitsTakeLonger)
+{
+    PoissonShape shape{2, 16};
+    AcceleratorDesign bits8(20e3, 8);
+    AcceleratorDesign bits12(20e3, 12);
+    EXPECT_NEAR(bits12.solveTimeSeconds(shape) /
+                    bits8.solveTimeSeconds(shape),
+                13.0 / 9.0, 1e-12);
+}
+
+TEST(Energy, EqualsPowerTimesTime)
+{
+    AcceleratorDesign design(80e3, 12);
+    PoissonShape shape{2, 12};
+    EXPECT_DOUBLE_EQ(design.solveEnergyJoules(shape),
+                     design.powerWatts(design.unitsFor(shape)) *
+                         design.solveTimeSeconds(shape));
+}
+
+TEST(Units, HigherDimensionCostsMorePerPoint)
+{
+    AcceleratorDesign design(20e3, 8);
+    // Same N = 64: 1D (l=64) vs 2D (l=8) vs 3D (l=4).
+    auto u1 = design.unitsFor({1, 64});
+    auto u2 = design.unitsFor({2, 8});
+    auto u3 = design.unitsFor({3, 4});
+    EXPECT_LT(u1.multipliers, u2.multipliers);
+    EXPECT_LT(u2.multipliers, u3.multipliers);
+    EXPECT_EQ(u1.integrators, u2.integrators);
+    EXPECT_EQ(u2.integrators, u3.integrators);
+}
+
+} // namespace
+} // namespace aa::cost

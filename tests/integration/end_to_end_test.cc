@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "aa/analog/decompose.hh"
+#include "aa/analog/refine.hh"
+#include "aa/analog/solver.hh"
+#include "aa/cost/model.hh"
+#include "aa/la/direct.hh"
+#include "aa/pde/manufactured.hh"
+#include "aa/solver/iterative.hh"
+
+namespace aa {
+namespace {
+
+analog::AnalogSolverOptions
+quietOptions()
+{
+    analog::AnalogSolverOptions opts;
+    opts.spec.variation.enabled = false;
+    opts.spec.adc_noise_sigma = 0.0;
+    opts.auto_calibrate = false;
+    return opts;
+}
+
+TEST(EndToEnd, PoissonViaAnalogMatchesDigitalCgAtEqualPrecision)
+{
+    // The paper's core comparison at small scale: both solvers run
+    // to the 1/256 rule and must agree with the exact solution to
+    // that precision.
+    auto prob = pde::manufacturedProblem(2, 3);
+    la::Vector exact_sol =
+        la::solveDense(prob.a.toDense(), prob.b);
+
+    // Digital CG with the paper's stopping rule.
+    la::CsrOperator op(prob.a);
+    solver::IterOptions copts;
+    copts.criterion = solver::Criterion::MaxChange;
+    copts.tol = la::normInf(exact_sol) / 256.0;
+    auto cg = solver::conjugateGradient(op, prob.b, copts);
+    EXPECT_TRUE(cg.converged);
+
+    // Analog accelerator.
+    analog::AnalogLinearSolver asolver(quietOptions());
+    auto analog_out = asolver.solve(prob.a.toDense(), prob.b);
+
+    double tol = la::normInf(exact_sol) / 256.0 * 4.0;
+    EXPECT_LT(la::maxAbsDiff(cg.x, exact_sol), tol);
+    EXPECT_LT(la::maxAbsDiff(analog_out.u, exact_sol), tol);
+}
+
+TEST(EndToEnd, RefinedAnalogReachesDigitalPrecision)
+{
+    auto prob = pde::manufacturedProblem(2, 3);
+    la::Vector exact_sol =
+        la::solveDense(prob.a.toDense(), prob.b);
+    analog::AnalogLinearSolver asolver(quietOptions());
+    analog::RefineOptions ropts;
+    ropts.tolerance = 1e-9;
+    auto out =
+        analog::refineSolve(asolver, prob.a.toDense(), prob.b, ropts);
+    EXPECT_TRUE(out.converged);
+    EXPECT_LT(la::maxAbsDiff(out.u, exact_sol), 1e-7);
+}
+
+TEST(EndToEnd, DecomposedAnalogSolveOfOversizedProblem)
+{
+    // 5x5 grid = 25 vars on blocks of 5: the full Section IV-B
+    // pipeline (scale -> map -> run -> outer iteration).
+    auto prob = pde::manufacturedProblem(2, 5);
+    la::Vector exact_sol =
+        la::solveDense(prob.a.toDense(), prob.b);
+
+    analog::AnalogLinearSolver asolver(quietOptions());
+    analog::DecomposeOptions dopts;
+    dopts.max_block_vars = 5;
+    dopts.tol = 1.0 / 512.0;
+    dopts.max_outer_iters = 200;
+    auto out = analog::solveDecomposedAnalog(asolver, prob.a,
+                                             prob.b, dopts);
+    EXPECT_TRUE(out.converged);
+    double scale = std::max(1.0, la::normInf(exact_sol));
+    EXPECT_LT(la::maxAbsDiff(out.u, exact_sol), 0.03 * scale);
+}
+
+TEST(EndToEnd, CostModelAgreesWithCircuitSimulationTrend)
+{
+    // The methodology check: measured circuit-simulation solve
+    // times for growing N scale like the analytical model. The model
+    // assumes gain-range-driven scaling (s = maxAbs(A)/(0.95 g)), so
+    // the workload's b is kept small enough that the bias range
+    // never dominates s, and range retries are disabled.
+    analog::AnalogSolverOptions opts = quietOptions();
+    opts.underrange_threshold = -1.0;
+    analog::AnalogLinearSolver solver(opts);
+
+    cost::AcceleratorDesign design(opts.spec.bandwidth_hz,
+                                   opts.spec.adc_bits,
+                                   opts.spec.max_gain);
+    std::vector<double> measured, modeled;
+    for (std::size_t l : {2u, 3u, 4u}) {
+        auto prob = pde::manufacturedProblem(1, l);
+        la::Vector b;
+        double cap =
+            0.5 * prob.a.maxAbs() / opts.spec.max_gain;
+        la::scale(cap / la::normInf(prob.b), prob.b, b);
+        auto out = solver.solve(prob.a.toDense(), b);
+        ASSERT_EQ(out.attempts, 1u) << "l=" << l;
+        measured.push_back(out.analog_seconds);
+        modeled.push_back(
+            design.solveTimeSeconds(cost::PoissonShape{1, l}));
+    }
+    // Ratios between consecutive sizes agree within ~50%: the model
+    // captures the trend the circuit simulation exhibits.
+    for (std::size_t k = 1; k < measured.size(); ++k) {
+        double measured_ratio = measured[k] / measured[k - 1];
+        double model_ratio = modeled[k] / modeled[k - 1];
+        EXPECT_NEAR(measured_ratio / model_ratio, 1.0, 0.5);
+    }
+}
+
+TEST(EndToEnd, AnalogWaveformFeedsDigitalPostprocessing)
+{
+    // The "outputs processed further digitally" scenario: solve on
+    // the accelerator, compute the residual digitally, confirm the
+    // digital host can certify the solution.
+    auto prob = pde::manufacturedProblem(2, 3);
+    analog::AnalogLinearSolver asolver(quietOptions());
+    auto out = asolver.solve(prob.a.toDense(), prob.b);
+    la::Vector r = prob.b - prob.a.apply(out.u);
+    double rel = la::norm2(r) / la::norm2(prob.b);
+    EXPECT_LT(rel, 0.05);
+}
+
+} // namespace
+} // namespace aa

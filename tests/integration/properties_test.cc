@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aa/analog/solver.hh"
+#include "aa/common/rng.hh"
+#include "aa/la/direct.hh"
+
+namespace aa {
+namespace {
+
+/** Random diagonally dominant SPD system with unit-scale solution. */
+struct RandomCase {
+    la::DenseMatrix a;
+    la::Vector b;
+    la::Vector exact;
+};
+
+RandomCase
+makeCase(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    la::DenseMatrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double row_sum = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (i == j)
+                continue;
+            double v = rng.uniform(-0.3, 0.3);
+            a(i, j) = v;
+        }
+    }
+    // Symmetrize, then dominate the diagonal.
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < i; ++j) {
+            double v = 0.5 * (a(i, j) + a(j, i));
+            a(i, j) = a(j, i) = v;
+        }
+    for (std::size_t i = 0; i < n; ++i) {
+        double off = 0.0;
+        for (std::size_t j = 0; j < n; ++j)
+            if (j != i)
+                off += std::fabs(a(i, j));
+        a(i, i) = off + rng.uniform(0.5, 1.5);
+    }
+
+    RandomCase c;
+    c.exact = la::Vector(n);
+    for (std::size_t i = 0; i < n; ++i)
+        c.exact[i] = rng.uniform(-0.8, 0.8);
+    c.b = a.apply(c.exact);
+    c.a = std::move(a);
+    return c;
+}
+
+/**
+ * Property sweep: the analog solver handles random SPD systems of
+ * several sizes and seeds, always landing within ADC precision of
+ * the true solution (scaled by sigma).
+ */
+class AnalogSolverProperty
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::uint64_t>>
+{};
+
+TEST_P(AnalogSolverProperty, SolvesWithinAdcPrecision)
+{
+    auto [n, seed] = GetParam();
+    RandomCase c = makeCase(n, seed);
+
+    analog::AnalogSolverOptions opts;
+    opts.spec.variation.enabled = false;
+    opts.spec.adc_noise_sigma = 0.0;
+    opts.auto_calibrate = false;
+    analog::AnalogLinearSolver solver(opts);
+    auto out = solver.solve(c.a, c.b);
+
+    double lsb = 2.0 / 255.0;
+    double budget =
+        out.solution_scale * lsb * 2.0 + 1e-6;
+    EXPECT_LT(la::maxAbsDiff(out.u, c.exact), budget)
+        << "n=" << n << " seed=" << seed
+        << " sigma=" << out.solution_scale;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AnalogSolverProperty,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 3, 5),
+                       ::testing::Values<std::uint64_t>(11, 29, 47)));
+
+/**
+ * Property: scaling invariance. Multiplying A and b by any positive
+ * factor must leave the recovered solution unchanged (the value/time
+ * scaling soundness argument of Section VI-D).
+ */
+class ScalingInvariance : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(ScalingInvariance, SolutionUnchangedUnderSystemScaling)
+{
+    double factor = GetParam();
+    RandomCase c = makeCase(3, 123);
+
+    analog::AnalogSolverOptions opts;
+    opts.spec.variation.enabled = false;
+    opts.spec.adc_noise_sigma = 0.0;
+    opts.auto_calibrate = false;
+
+    analog::AnalogLinearSolver s1(opts);
+    auto base = s1.solve(c.a, c.b);
+
+    la::DenseMatrix a2 = c.a;
+    a2 *= factor;
+    la::Vector b2;
+    la::scale(factor, c.b, b2);
+    analog::AnalogLinearSolver s2(opts);
+    auto scaled = s2.solve(a2, b2);
+
+    EXPECT_LT(la::maxAbsDiff(base.u, scaled.u), 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, ScalingInvariance,
+                         ::testing::Values(0.5, 10.0, 1000.0));
+
+/**
+ * Property: die-to-die reproducibility. The same seed yields the
+ * same answer bit-for-bit; different dies differ but both stay
+ * within the accuracy envelope after calibration.
+ */
+TEST(DieVariation, ReproduciblePerSeedAndBoundedAcrossDies)
+{
+    RandomCase c = makeCase(2, 5);
+
+    auto run = [&](std::uint64_t die) {
+        analog::AnalogSolverOptions opts;
+        opts.die_seed = die;
+        analog::AnalogLinearSolver solver(opts);
+        return solver.solve(c.a, c.b).u;
+    };
+    la::Vector u1 = run(77);
+    la::Vector u1_again = run(77);
+    la::Vector u2 = run(78);
+    EXPECT_EQ(u1.raw(), u1_again.raw());
+    EXPECT_LT(la::maxAbsDiff(u1, c.exact), 0.05);
+    EXPECT_LT(la::maxAbsDiff(u2, c.exact), 0.05);
+}
+
+} // namespace
+} // namespace aa

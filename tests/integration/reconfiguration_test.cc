@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "aa/analog/refine.hh"
+#include "aa/analog/solver.hh"
+#include "aa/common/rng.hh"
+#include "aa/la/direct.hh"
+
+namespace aa {
+namespace {
+
+/**
+ * The chip's register-file story: configuration is "akin to the
+ * program"; one die runs many different problems back to back with
+ * nothing but crossbar/register rewrites in between. These tests
+ * stress that reconfiguration path.
+ */
+
+la::DenseMatrix
+randomSpd(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    la::DenseMatrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < i; ++j)
+            a(i, j) = a(j, i) = rng.uniform(-0.3, 0.3);
+    for (std::size_t i = 0; i < n; ++i) {
+        double off = 0.0;
+        for (std::size_t j = 0; j < n; ++j)
+            if (j != i)
+                off += std::fabs(a(i, j));
+        a(i, i) = off + rng.uniform(0.5, 1.5);
+    }
+    return a;
+}
+
+TEST(Reconfiguration, ManyProblemsOnOneDie)
+{
+    analog::AnalogSolverOptions opts;
+    opts.spec.variation.enabled = false;
+    opts.spec.adc_noise_sigma = 0.0;
+    opts.auto_calibrate = false;
+    analog::AnalogLinearSolver solver(opts);
+
+    // Ten different systems, alternating sizes, one physical die
+    // (regrown once for the larger size, then stable).
+    for (std::uint64_t k = 0; k < 10; ++k) {
+        std::size_t n = (k % 2) ? 4 : 2;
+        la::DenseMatrix a = randomSpd(n, 500 + k);
+        Rng rng(900 + k);
+        la::Vector exact(n);
+        for (auto &v : exact)
+            v = rng.uniform(-0.7, 0.7);
+        la::Vector b = a.apply(exact);
+
+        auto out = solver.solve(a, b);
+        EXPECT_LT(la::maxAbsDiff(out.u, exact),
+                  out.solution_scale * 3.0 / 255.0 + 1e-6)
+            << "problem " << k;
+    }
+}
+
+TEST(Reconfiguration, CalibrationSurvivesReconfiguration)
+{
+    // Calibrate once; the trims must keep paying off across many
+    // remappings ("remain constant ... between solving different
+    // problems", Section III-B).
+    analog::AnalogSolverOptions opts;
+    opts.die_seed = 71; // realistic variation + calibration
+    analog::AnalogLinearSolver solver(opts);
+
+    for (std::uint64_t k = 0; k < 5; ++k) {
+        la::DenseMatrix a = randomSpd(3, 600 + k);
+        Rng rng(700 + k);
+        la::Vector exact(3);
+        for (auto &v : exact)
+            v = rng.uniform(-0.6, 0.6);
+        la::Vector b = a.apply(exact);
+        auto out = solver.solve(a, b);
+        EXPECT_LT(la::maxAbsDiff(out.u, exact), 0.05)
+            << "problem " << k;
+    }
+    // The die was calibrated exactly once.
+    EXPECT_TRUE(solver.chipRef().calibrated());
+}
+
+TEST(Reconfiguration, RefinementInterleavedWithFreshProblems)
+{
+    // Algorithm 2 on problem A, a different problem B in between,
+    // then more refinement on A: per-solve configuration must not
+    // leak across.
+    analog::AnalogSolverOptions opts;
+    opts.spec.variation.enabled = false;
+    opts.spec.adc_noise_sigma = 0.0;
+    opts.auto_calibrate = false;
+    analog::AnalogLinearSolver solver(opts);
+
+    la::DenseMatrix a1 = randomSpd(3, 11);
+    la::Vector b1 = a1.apply(la::Vector{0.3, -0.4, 0.5});
+    la::DenseMatrix a2 = randomSpd(3, 22);
+    la::Vector b2 = a2.apply(la::Vector{0.1, 0.6, -0.2});
+
+    analog::RefineOptions ropts;
+    ropts.tolerance = 1e-8;
+    auto r1 = analog::refineSolve(solver, a1, b1, ropts);
+    auto other = solver.solve(a2, b2);
+    auto r1_again = analog::refineSolve(solver, a1, b1, ropts);
+
+    EXPECT_TRUE(r1.converged);
+    EXPECT_TRUE(r1_again.converged);
+    EXPECT_LT(la::maxAbsDiff(r1.u, r1_again.u), 1e-6);
+    EXPECT_LT(la::maxAbsDiff(other.u,
+                             la::Vector{0.1, 0.6, -0.2}),
+              0.02);
+}
+
+} // namespace
+} // namespace aa

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aa/isa/command.hh"
+
+namespace aa::isa {
+namespace {
+
+Command
+roundTrip(const Command &cmd)
+{
+    return decodeCommand(encodeCommand(cmd));
+}
+
+TEST(Command, NoPayloadOpcodesRoundTrip)
+{
+    for (Opcode op : {Opcode::Init, Opcode::CfgCommit,
+                      Opcode::ExecStart, Opcode::ExecStop,
+                      Opcode::ReadSerial, Opcode::ReadExp,
+                      Opcode::ClearConfig}) {
+        Command cmd;
+        cmd.op = op;
+        EXPECT_EQ(roundTrip(cmd), cmd) << opcodeName(op);
+        EXPECT_EQ(encodeCommand(cmd).size(), 3u);
+    }
+}
+
+TEST(Command, SetConnCarriesBothPorts)
+{
+    Command cmd;
+    cmd.op = Opcode::SetConn;
+    cmd.block = 513;
+    cmd.port = 2;
+    cmd.block2 = 77;
+    cmd.port2 = 1;
+    EXPECT_EQ(roundTrip(cmd), cmd);
+}
+
+TEST(Command, FloatOperandsExact)
+{
+    for (Opcode op : {Opcode::SetIntInitial, Opcode::SetMulGain,
+                      Opcode::SetDacConstant}) {
+        Command cmd;
+        cmd.op = op;
+        cmd.block = 3;
+        cmd.value = -0.123456f;
+        Command back = roundTrip(cmd);
+        EXPECT_EQ(back.value, cmd.value) << opcodeName(op);
+        EXPECT_EQ(back.block, cmd.block);
+    }
+}
+
+TEST(Command, NegativeZeroAndExtremesSurvive)
+{
+    Command cmd;
+    cmd.op = Opcode::SetMulGain;
+    cmd.value = -0.0f;
+    EXPECT_EQ(std::signbit(roundTrip(cmd).value), true);
+    cmd.value = 3.4e38f;
+    EXPECT_EQ(roundTrip(cmd).value, cmd.value);
+}
+
+TEST(Command, SetFunctionCarriesTable)
+{
+    Command cmd;
+    cmd.op = Opcode::SetFunction;
+    cmd.block = 9;
+    for (int i = 0; i < 256; ++i)
+        cmd.table.push_back(static_cast<std::uint8_t>(i));
+    Command back = roundTrip(cmd);
+    EXPECT_EQ(back.table, cmd.table);
+    // Frame: header 3 + block 2 + count 2 + 256 codes.
+    EXPECT_EQ(encodeCommand(cmd).size(), 263u);
+}
+
+TEST(Command, TimeoutCycles32Bit)
+{
+    Command cmd;
+    cmd.op = Opcode::SetTimeout;
+    cmd.count = 0xdeadbeef;
+    EXPECT_EQ(roundTrip(cmd).count, 0xdeadbeefu);
+}
+
+TEST(Command, AnalogAvgCarriesBlockAndCount)
+{
+    Command cmd;
+    cmd.op = Opcode::AnalogAvg;
+    cmd.block = 12;
+    cmd.count = 64;
+    Command back = roundTrip(cmd);
+    EXPECT_EQ(back.block, 12u);
+    EXPECT_EQ(back.count, 64u);
+}
+
+TEST(Command, WriteParallelByte)
+{
+    Command cmd;
+    cmd.op = Opcode::WriteParallel;
+    cmd.byte = 0x5a;
+    EXPECT_EQ(roundTrip(cmd).byte, 0x5a);
+}
+
+TEST(Response, RoundTripWithData)
+{
+    Response resp;
+    resp.status = 0;
+    resp.data = {1, 2, 3, 254};
+    EXPECT_EQ(decodeResponse(encodeResponse(resp)), resp);
+}
+
+TEST(Response, EmptyData)
+{
+    Response resp;
+    EXPECT_EQ(decodeResponse(encodeResponse(resp)), resp);
+}
+
+TEST(CommandDeath, ShortFrameFatal)
+{
+    EXPECT_EXIT(decodeCommand({0x01}), ::testing::ExitedWithCode(1),
+                "short frame");
+}
+
+TEST(CommandDeath, LengthMismatchFatal)
+{
+    auto frame = encodeCommand(
+        [] {
+            Command c;
+            c.op = Opcode::SetTimeout;
+            c.count = 5;
+            return c;
+        }());
+    frame.pop_back();
+    EXPECT_EXIT(decodeCommand(frame), ::testing::ExitedWithCode(1),
+                "length mismatch");
+}
+
+TEST(Command, OpcodeNamesMatchTableOne)
+{
+    EXPECT_STREQ(opcodeName(Opcode::Init), "init");
+    EXPECT_STREQ(opcodeName(Opcode::SetConn), "setConn");
+    EXPECT_STREQ(opcodeName(Opcode::AnalogAvg), "analogAvg");
+    EXPECT_STREQ(opcodeName(Opcode::ReadExp), "readExp");
+}
+
+} // namespace
+} // namespace aa::isa

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "aa/isa/driver.hh"
+
+namespace aa::isa {
+namespace {
+
+chip::ChipConfig
+testConfig()
+{
+    chip::ChipConfig cfg;
+    cfg.spec.variation.enabled = false;
+    cfg.spec.adc_noise_sigma = 0.0;
+    return cfg;
+}
+
+/** Drive the Figure 1 problem wholly through the ISA. */
+struct DriverFixture : ::testing::Test {
+    chip::Chip chip{testConfig()};
+    AcceleratorDriver driver{chip};
+
+    void
+    configureLoop(double gain, double bias)
+    {
+        auto integ = chip.integrators()[0];
+        auto fan = chip.fanouts()[0];
+        auto mul = chip.multipliers()[0];
+        auto dac = chip.dacs()[0];
+        auto adc = chip.adcs()[0];
+        const auto &net = chip.netlist();
+        driver.setConn(net.out(integ), net.in(fan));
+        driver.setConn(net.out(fan, 0), net.in(adc));
+        driver.setConn(net.out(fan, 1), net.in(mul));
+        driver.setConn(net.out(mul), net.in(integ));
+        driver.setConn(net.out(dac), net.in(integ));
+        driver.setMulGain(mul, gain);
+        driver.setDacConstant(dac, bias);
+        driver.setIntInitial(integ, 0.0);
+        driver.setTimeout(2000);
+        driver.cfgCommit();
+    }
+};
+
+TEST_F(DriverFixture, FullTableOneFlowSolves)
+{
+    configureLoop(-2.0, 0.5);
+    auto res = driver.execStart();
+    driver.execStop();
+    EXPECT_FALSE(res.any_exception);
+    EXPECT_GT(res.analog_time, 0.0);
+    EXPECT_NEAR(driver.analogAvg(chip.adcs()[0], 8), 0.25, 0.01);
+}
+
+TEST_F(DriverFixture, ReadSerialThroughTheWire)
+{
+    configureLoop(-2.0, 0.5);
+    driver.execStart();
+    auto bytes = driver.readSerial();
+    ASSERT_EQ(bytes.size(), 2u);
+    EXPECT_NEAR(static_cast<double>(bytes[0]),
+                (0.25 + 1.0) / 2.0 * 255.0, 3.0);
+}
+
+TEST_F(DriverFixture, ReadExpReflectsOverflow)
+{
+    configureLoop(-0.4, 0.5); // steady state 1.25: overflow
+    auto res = driver.execStart();
+    EXPECT_TRUE(res.any_exception);
+    auto exp = driver.readExp();
+    EXPECT_NE(exp[chip.integrators()[0].v], 0);
+}
+
+TEST_F(DriverFixture, TraceRecordsEveryInstruction)
+{
+    configureLoop(-2.0, 0.5);
+    // 5 setConn + setMulGain + setDacConstant + setIntInitial +
+    // setTimeout + cfgCommit = 10 commands so far.
+    EXPECT_EQ(driver.trace().size(), 10u);
+    EXPECT_EQ(driver.trace()[0].op, Opcode::SetConn);
+    driver.execStart();
+    EXPECT_EQ(driver.trace().back().op, Opcode::ExecStart);
+}
+
+TEST_F(DriverFixture, LinkAccountsBytes)
+{
+    configureLoop(-2.0, 0.5);
+    EXPECT_GT(driver.link().bytesDown(), 0u);
+    EXPECT_GT(driver.link().transactionCount(), 9u);
+    EXPECT_GT(driver.link().transferSeconds(), 0.0);
+    std::size_t before_up = driver.link().bytesUp();
+    driver.execStart();
+    driver.readSerial();
+    EXPECT_GT(driver.link().bytesUp(), before_up);
+}
+
+TEST_F(DriverFixture, SetFunctionShipsQuantizedCodes)
+{
+    driver.setFunction(chip.luts()[0],
+                       [](double x) { return 0.5 * x; });
+    const auto &table = chip.netlist().params(chip.luts()[0]).table;
+    ASSERT_EQ(table.size(), chip.config().spec.lut_depth);
+    EXPECT_NEAR(table.front(), -0.5, 0.01);
+    EXPECT_NEAR(table.back(), 0.5, 0.01);
+    // The wire command carried exactly lut_depth code bytes.
+    EXPECT_EQ(driver.trace().back().table.size(),
+              chip.config().spec.lut_depth);
+}
+
+TEST_F(DriverFixture, InitRunsCalibration)
+{
+    EXPECT_FALSE(chip.calibrated());
+    driver.init();
+    EXPECT_TRUE(chip.calibrated());
+}
+
+TEST_F(DriverFixture, WriteParallelLandsInRegister)
+{
+    driver.writeParallel(0x3c);
+    EXPECT_EQ(chip.parallelRegister(), 0x3c);
+}
+
+TEST_F(DriverFixture, ClearConfigDropsConnections)
+{
+    configureLoop(-2.0, 0.5);
+    driver.clearConfig();
+    EXPECT_TRUE(chip.netlist().connections().empty());
+}
+
+TEST_F(DriverFixture, ExtInStimulusDrivesComputation)
+{
+    // Feed an external 0.5 bias instead of the DAC.
+    auto ext = chip.extIns()[0];
+    auto adc = chip.adcs()[0];
+    const auto &net = chip.netlist();
+    driver.setAnaInputEn(ext, [](double) { return 0.5; });
+    driver.setConn(net.out(ext), net.in(adc));
+    driver.setTimeout(100);
+    driver.cfgCommit();
+    driver.execStart();
+    EXPECT_NEAR(driver.analogAvg(adc, 4), 0.5, 0.02);
+}
+
+} // namespace
+} // namespace aa::isa

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "aa/common/rng.hh"
+#include "aa/isa/command.hh"
+
+namespace aa::isa {
+namespace {
+
+/** Draw a random, structurally valid command. */
+Command
+randomCommand(Rng &rng)
+{
+    static const Opcode all[] = {
+        Opcode::Init,          Opcode::SetConn,
+        Opcode::SetIntInitial, Opcode::SetMulGain,
+        Opcode::SetFunction,   Opcode::SetDacConstant,
+        Opcode::SetTimeout,    Opcode::CfgCommit,
+        Opcode::ExecStart,     Opcode::ExecStop,
+        Opcode::SetAnaInputEn, Opcode::WriteParallel,
+        Opcode::ReadSerial,    Opcode::AnalogAvg,
+        Opcode::ReadExp,       Opcode::ClearConfig};
+    Command cmd;
+    cmd.op = all[rng.uniformInt(0, 15)];
+    switch (cmd.op) {
+      case Opcode::SetConn:
+        cmd.block = static_cast<std::uint16_t>(
+            rng.uniformInt(0, 0xffff));
+        cmd.port = static_cast<std::uint8_t>(rng.uniformInt(0, 3));
+        cmd.block2 = static_cast<std::uint16_t>(
+            rng.uniformInt(0, 0xffff));
+        cmd.port2 = static_cast<std::uint8_t>(rng.uniformInt(0, 3));
+        break;
+      case Opcode::SetIntInitial:
+      case Opcode::SetMulGain:
+      case Opcode::SetDacConstant:
+        cmd.block = static_cast<std::uint16_t>(
+            rng.uniformInt(0, 0xffff));
+        cmd.value = static_cast<float>(rng.uniform(-1e6, 1e6));
+        break;
+      case Opcode::SetFunction: {
+        cmd.block = static_cast<std::uint16_t>(
+            rng.uniformInt(0, 0xffff));
+        auto n = static_cast<std::size_t>(rng.uniformInt(0, 256));
+        for (std::size_t i = 0; i < n; ++i)
+            cmd.table.push_back(static_cast<std::uint8_t>(
+                rng.uniformInt(0, 255)));
+        break;
+      }
+      case Opcode::SetTimeout:
+        cmd.count = static_cast<std::uint32_t>(
+            rng.uniformInt(0, 0xffffffffll));
+        break;
+      case Opcode::SetAnaInputEn:
+        cmd.block = static_cast<std::uint16_t>(
+            rng.uniformInt(0, 0xffff));
+        cmd.byte = static_cast<std::uint8_t>(rng.uniformInt(0, 1));
+        break;
+      case Opcode::WriteParallel:
+        cmd.byte = static_cast<std::uint8_t>(
+            rng.uniformInt(0, 255));
+        break;
+      case Opcode::AnalogAvg:
+        cmd.block = static_cast<std::uint16_t>(
+            rng.uniformInt(0, 0xffff));
+        cmd.count = static_cast<std::uint32_t>(
+            rng.uniformInt(1, 1024));
+        break;
+      default:
+        break;
+    }
+    return cmd;
+}
+
+/** Property: encode/decode is the identity on valid commands. */
+class CommandRoundTrip
+    : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(CommandRoundTrip, EncodeDecodeIdentity)
+{
+    Rng rng(GetParam());
+    for (int i = 0; i < 500; ++i) {
+        Command cmd = randomCommand(rng);
+        Command back = decodeCommand(encodeCommand(cmd));
+        EXPECT_EQ(back, cmd) << "iteration " << i << " op "
+                             << opcodeName(cmd.op);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CommandRoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+/** Property: responses round-trip for arbitrary payloads. */
+class ResponseRoundTrip
+    : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(ResponseRoundTrip, EncodeDecodeIdentity)
+{
+    Rng rng(GetParam());
+    for (int i = 0; i < 500; ++i) {
+        Response resp;
+        resp.status = static_cast<std::uint8_t>(
+            rng.uniformInt(0, 255));
+        auto n = static_cast<std::size_t>(rng.uniformInt(0, 512));
+        for (std::size_t k = 0; k < n; ++k)
+            resp.data.push_back(static_cast<std::uint8_t>(
+                rng.uniformInt(0, 255)));
+        EXPECT_EQ(decodeResponse(encodeResponse(resp)), resp);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ResponseRoundTrip,
+                         ::testing::Values(7u, 8u));
+
+TEST(FrameLength, EncodedSizeMatchesHeader)
+{
+    Rng rng(99);
+    for (int i = 0; i < 200; ++i) {
+        auto frame = encodeCommand(randomCommand(rng));
+        ASSERT_GE(frame.size(), 3u);
+        std::size_t declared =
+            frame[1] | (static_cast<std::size_t>(frame[2]) << 8);
+        EXPECT_EQ(frame.size(), declared + 3u);
+    }
+}
+
+} // namespace
+} // namespace aa::isa

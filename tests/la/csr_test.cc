@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "aa/la/csr_matrix.hh"
+
+namespace aa::la {
+namespace {
+
+CsrMatrix
+sample3x3()
+{
+    // [ 4 -1  0]
+    // [-1  4 -1]
+    // [ 0 -1  4]
+    return CsrMatrix::fromTriplets(3, 3,
+                                   {{0, 0, 4},
+                                    {0, 1, -1},
+                                    {1, 0, -1},
+                                    {1, 1, 4},
+                                    {1, 2, -1},
+                                    {2, 1, -1},
+                                    {2, 2, 4}});
+}
+
+TEST(CsrMatrix, BuildAndDims)
+{
+    auto m = sample3x3();
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_EQ(m.nnz(), 7u);
+}
+
+TEST(CsrMatrix, DuplicateTripletsCoalesce)
+{
+    auto m = CsrMatrix::fromTriplets(
+        2, 2, {{0, 0, 1.0}, {0, 0, 2.0}, {1, 1, 5.0}});
+    EXPECT_EQ(m.nnz(), 2u);
+    EXPECT_DOUBLE_EQ(m.at(0, 0), 3.0);
+}
+
+TEST(CsrMatrix, UnsortedTripletsSort)
+{
+    auto m = CsrMatrix::fromTriplets(
+        2, 2, {{1, 1, 4.0}, {0, 1, 2.0}, {0, 0, 1.0}});
+    EXPECT_DOUBLE_EQ(m.at(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(m.at(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(m.at(1, 1), 4.0);
+}
+
+TEST(CsrMatrix, ApplyMatchesDense)
+{
+    auto m = sample3x3();
+    Vector x{1, 2, 3};
+    Vector via_dense = m.toDense().apply(x);
+    Vector direct = m.apply(x);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_DOUBLE_EQ(direct[i], via_dense[i]);
+}
+
+TEST(CsrMatrix, ApplyAddAccumulates)
+{
+    auto m = CsrMatrix::identity(3);
+    Vector x{1, 2, 3};
+    Vector y{10, 10, 10};
+    m.applyAdd(2.0, x, y);
+    EXPECT_EQ(y, (Vector{12, 14, 16}));
+}
+
+TEST(CsrMatrix, StructuralZeroLookup)
+{
+    auto m = sample3x3();
+    EXPECT_DOUBLE_EQ(m.at(0, 2), 0.0);
+    EXPECT_DOUBLE_EQ(m.at(2, 0), 0.0);
+}
+
+TEST(CsrMatrix, DiagonalExtraction)
+{
+    auto m = sample3x3();
+    EXPECT_EQ(m.diagonal(), (Vector{4, 4, 4}));
+}
+
+TEST(CsrMatrix, RowSpans)
+{
+    auto m = sample3x3();
+    auto cols = m.rowCols(1);
+    auto vals = m.rowVals(1);
+    ASSERT_EQ(cols.size(), 3u);
+    EXPECT_EQ(cols[0], 0u);
+    EXPECT_EQ(cols[1], 1u);
+    EXPECT_EQ(cols[2], 2u);
+    EXPECT_DOUBLE_EQ(vals[1], 4.0);
+}
+
+TEST(CsrMatrix, MaxAbsAndScale)
+{
+    auto m = sample3x3();
+    EXPECT_DOUBLE_EQ(m.maxAbs(), 4.0);
+    m.scaleValues(0.5);
+    EXPECT_DOUBLE_EQ(m.maxAbs(), 2.0);
+    EXPECT_DOUBLE_EQ(m.at(0, 1), -0.5);
+}
+
+TEST(CsrMatrix, SymmetryChecks)
+{
+    EXPECT_TRUE(sample3x3().isSymmetric());
+    auto asym = CsrMatrix::fromTriplets(2, 2,
+                                        {{0, 1, 1.0}, {1, 1, 2.0}});
+    EXPECT_FALSE(asym.isSymmetric());
+}
+
+TEST(CsrMatrix, DiagonalDominance)
+{
+    EXPECT_TRUE(sample3x3().isDiagonallyDominant());
+    auto weak = CsrMatrix::fromTriplets(
+        2, 2, {{0, 0, 1.0}, {0, 1, 5.0}, {1, 1, 2.0}});
+    EXPECT_FALSE(weak.isDiagonallyDominant());
+}
+
+TEST(CsrMatrix, FromDenseDropsZeros)
+{
+    auto d = DenseMatrix::fromRows({{1, 0}, {0, 2}});
+    auto m = CsrMatrix::fromDense(d);
+    EXPECT_EQ(m.nnz(), 2u);
+}
+
+TEST(CsrMatrix, PrincipalSubmatrix)
+{
+    auto m = sample3x3();
+    auto sub = m.principalSubmatrix({0, 2});
+    EXPECT_EQ(sub.rows(), 2u);
+    EXPECT_DOUBLE_EQ(sub.at(0, 0), 4.0);
+    EXPECT_DOUBLE_EQ(sub.at(1, 1), 4.0);
+    // (0,2) is a structural zero in the parent: no coupling survives.
+    EXPECT_DOUBLE_EQ(sub.at(0, 1), 0.0);
+
+    auto mid = m.principalSubmatrix({1, 2});
+    EXPECT_DOUBLE_EQ(mid.at(0, 1), -1.0);
+}
+
+TEST(CsrMatrixDeath, OutOfRangeTripletFatal)
+{
+    EXPECT_EXIT(CsrMatrix::fromTriplets(2, 2, {{2, 0, 1.0}}),
+                ::testing::ExitedWithCode(1), "outside");
+}
+
+TEST(CsrMatrixDeath, UnsortedSubmatrixIndicesPanic)
+{
+    auto m = sample3x3();
+    EXPECT_DEATH(m.principalSubmatrix({2, 0}), "sorted");
+}
+
+} // namespace
+} // namespace aa::la

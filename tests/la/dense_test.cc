@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "aa/la/dense_matrix.hh"
+
+namespace aa::la {
+namespace {
+
+TEST(DenseMatrix, FromRowsAndAccess)
+{
+    auto m = DenseMatrix::fromRows({{1, 2}, {3, 4}});
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 2u);
+    EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(DenseMatrix, IdentityApply)
+{
+    auto id = DenseMatrix::identity(3);
+    Vector x{1, 2, 3};
+    EXPECT_EQ(id.apply(x), x);
+}
+
+TEST(DenseMatrix, ApplyKnownResult)
+{
+    auto m = DenseMatrix::fromRows({{1, 2}, {3, 4}});
+    Vector x{1, 1};
+    EXPECT_EQ(m.apply(x), (Vector{3, 7}));
+}
+
+TEST(DenseMatrix, ApplyTransposeMatchesTransposedApply)
+{
+    auto m = DenseMatrix::fromRows({{1, 2, 0}, {0, 3, 4}});
+    Vector y{1, 2};
+    Vector via_t = m.transpose().apply(y);
+    Vector direct = m.applyTranspose(y);
+    EXPECT_EQ(via_t.size(), direct.size());
+    for (std::size_t i = 0; i < direct.size(); ++i)
+        EXPECT_DOUBLE_EQ(direct[i], via_t[i]);
+}
+
+TEST(DenseMatrix, MultiplyAgainstIdentity)
+{
+    auto m = DenseMatrix::fromRows({{1, 2}, {3, 4}});
+    auto p = m * DenseMatrix::identity(2);
+    EXPECT_DOUBLE_EQ(p.frobeniusDiff(m), 0.0);
+}
+
+TEST(DenseMatrix, MultiplyKnownProduct)
+{
+    auto a = DenseMatrix::fromRows({{1, 2}, {3, 4}});
+    auto b = DenseMatrix::fromRows({{0, 1}, {1, 0}});
+    auto p = a * b;
+    auto expect = DenseMatrix::fromRows({{2, 1}, {4, 3}});
+    EXPECT_DOUBLE_EQ(p.frobeniusDiff(expect), 0.0);
+}
+
+TEST(DenseMatrix, AddSubScale)
+{
+    auto a = DenseMatrix::fromRows({{1, 2}, {3, 4}});
+    auto sum = a + a;
+    auto diff = sum - a;
+    EXPECT_DOUBLE_EQ(diff.frobeniusDiff(a), 0.0);
+    auto scaled = a;
+    scaled *= 2.0;
+    EXPECT_DOUBLE_EQ(scaled.frobeniusDiff(sum), 0.0);
+}
+
+TEST(DenseMatrix, MaxAbs)
+{
+    auto m = DenseMatrix::fromRows({{1, -9}, {3, 4}});
+    EXPECT_DOUBLE_EQ(m.maxAbs(), 9.0);
+}
+
+TEST(DenseMatrix, SymmetryCheck)
+{
+    auto sym = DenseMatrix::fromRows({{2, 1}, {1, 2}});
+    auto asym = DenseMatrix::fromRows({{2, 1}, {0, 2}});
+    EXPECT_TRUE(sym.isSymmetric());
+    EXPECT_FALSE(asym.isSymmetric());
+    auto rect = DenseMatrix(2, 3);
+    EXPECT_FALSE(rect.isSymmetric());
+}
+
+TEST(DenseMatrixDeath, RaggedRowsPanic)
+{
+    EXPECT_DEATH(DenseMatrix::fromRows({{1, 2}, {3}}), "ragged");
+}
+
+TEST(DenseMatrixDeath, ApplySizeMismatchPanics)
+{
+    auto m = DenseMatrix::identity(2);
+    Vector x(3);
+    EXPECT_DEATH(m.apply(x), "size mismatch");
+}
+
+} // namespace
+} // namespace aa::la

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aa/common/rng.hh"
+#include "aa/la/direct.hh"
+
+namespace aa::la {
+namespace {
+
+DenseMatrix
+randomSpd(std::size_t n, std::uint64_t seed)
+{
+    // A = B^T B + n*I is comfortably SPD.
+    aa::Rng rng(seed);
+    DenseMatrix b(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            b(i, j) = rng.uniform(-1.0, 1.0);
+    DenseMatrix a = b.transpose() * b;
+    for (std::size_t i = 0; i < n; ++i)
+        a(i, i) += static_cast<double>(n);
+    return a;
+}
+
+TEST(Cholesky, FactorsAndSolves2x2)
+{
+    auto a = DenseMatrix::fromRows({{4, 2}, {2, 3}});
+    auto chol = Cholesky::factor(a);
+    ASSERT_TRUE(chol.has_value());
+    Vector x = chol->solve({2, 3});
+    // Check A x = b.
+    Vector ax = a.apply(x);
+    EXPECT_NEAR(ax[0], 2.0, 1e-12);
+    EXPECT_NEAR(ax[1], 3.0, 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefinite)
+{
+    auto a = DenseMatrix::fromRows({{1, 2}, {2, 1}});
+    EXPECT_FALSE(Cholesky::factor(a).has_value());
+}
+
+TEST(Cholesky, RejectsSingular)
+{
+    auto a = DenseMatrix::fromRows({{1, 1}, {1, 1}});
+    EXPECT_FALSE(Cholesky::factor(a).has_value());
+}
+
+TEST(Cholesky, LowerTimesTransposeReconstructs)
+{
+    auto a = randomSpd(6, 101);
+    auto chol = Cholesky::factor(a);
+    ASSERT_TRUE(chol.has_value());
+    const auto &l = chol->lower();
+    auto recon = l * l.transpose();
+    EXPECT_LT(recon.frobeniusDiff(a), 1e-10);
+}
+
+TEST(Cholesky, LogDetMatchesLu)
+{
+    auto a = randomSpd(5, 55);
+    auto chol = Cholesky::factor(a);
+    auto lu = Lu::factor(a);
+    ASSERT_TRUE(chol && lu);
+    EXPECT_NEAR(chol->logDet(), std::log(lu->determinant()), 1e-9);
+}
+
+TEST(Lu, SolvesNonsymmetric)
+{
+    auto a = DenseMatrix::fromRows({{0, 2, 1}, {1, 1, 0}, {3, 0, 1}});
+    Vector b{5, 3, 7};
+    auto lu = Lu::factor(a);
+    ASSERT_TRUE(lu.has_value());
+    Vector x = lu->solve(b);
+    Vector ax = a.apply(x);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_NEAR(ax[i], b[i], 1e-12);
+}
+
+TEST(Lu, PivotingHandlesZeroLeadingEntry)
+{
+    auto a = DenseMatrix::fromRows({{0, 1}, {1, 0}});
+    auto lu = Lu::factor(a);
+    ASSERT_TRUE(lu.has_value());
+    EXPECT_NEAR(lu->determinant(), -1.0, 1e-12);
+}
+
+TEST(Lu, DetectsSingular)
+{
+    auto a = DenseMatrix::fromRows({{1, 2}, {2, 4}});
+    EXPECT_FALSE(Lu::factor(a).has_value());
+}
+
+TEST(Lu, DeterminantOfDiagonal)
+{
+    auto a = DenseMatrix::fromRows({{2, 0}, {0, 5}});
+    auto lu = Lu::factor(a);
+    ASSERT_TRUE(lu.has_value());
+    EXPECT_NEAR(lu->determinant(), 10.0, 1e-12);
+}
+
+TEST(SolveDense, RandomSystemsRoundTrip)
+{
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+        auto a = randomSpd(8, seed);
+        aa::Rng rng(seed + 100);
+        Vector x_true(8);
+        for (auto &v : x_true)
+            v = rng.uniform(-5.0, 5.0);
+        Vector b = a.apply(x_true);
+        Vector x = solveDense(a, b);
+        EXPECT_LT(maxAbsDiff(x, x_true), 1e-9);
+    }
+}
+
+TEST(Inverse, TimesOriginalIsIdentity)
+{
+    auto a = randomSpd(5, 77);
+    auto inv = inverse(a);
+    auto prod = a * inv;
+    EXPECT_LT(prod.frobeniusDiff(DenseMatrix::identity(5)), 1e-9);
+}
+
+TEST(SolveDenseDeath, SingularIsFatal)
+{
+    auto a = DenseMatrix::fromRows({{1, 1}, {1, 1}});
+    EXPECT_EXIT(solveDense(a, {1, 1}), ::testing::ExitedWithCode(1),
+                "singular");
+}
+
+} // namespace
+} // namespace aa::la

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "aa/la/eigen.hh"
+
+namespace aa::la {
+namespace {
+
+TEST(Eigen, DiagonalMatrixExtremes)
+{
+    auto a = DenseMatrix::fromRows(
+        {{1, 0, 0}, {0, 5, 0}, {0, 0, 3}});
+    DenseOperator op(a);
+    auto lmax = largestEigenvalue(op);
+    EXPECT_TRUE(lmax.converged);
+    EXPECT_NEAR(lmax.value, 5.0, 1e-7);
+    auto lmin = smallestEigenvalueSpd(a);
+    EXPECT_TRUE(lmin.converged);
+    EXPECT_NEAR(lmin.value, 1.0, 1e-7);
+}
+
+TEST(Eigen, TridiagonalLaplacianAnalytic)
+{
+    // Eigenvalues of the n-point 1D Laplacian (h = 1) are
+    // 2 - 2 cos(k*pi/(n+1)).
+    std::size_t n = 9;
+    DenseMatrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        a(i, i) = 2.0;
+        if (i > 0)
+            a(i, i - 1) = -1.0;
+        if (i + 1 < n)
+            a(i, i + 1) = -1.0;
+    }
+    double expected_min =
+        2.0 - 2.0 * std::cos(std::numbers::pi / (double)(n + 1));
+    double expected_max =
+        2.0 - 2.0 * std::cos((double)n * std::numbers::pi /
+                             (double)(n + 1));
+    DenseOperator op(a);
+    EXPECT_NEAR(largestEigenvalue(op).value, expected_max, 1e-6);
+    EXPECT_NEAR(smallestEigenvalueSpd(a).value, expected_min, 1e-6);
+}
+
+TEST(Eigen, ConditionNumberIdentityIsOne)
+{
+    auto id = DenseMatrix::identity(4);
+    EXPECT_NEAR(conditionNumberSpd(id), 1.0, 1e-8);
+}
+
+TEST(Eigen, ConditionNumberDiagonal)
+{
+    auto a = DenseMatrix::fromRows({{10, 0}, {0, 0.1}});
+    EXPECT_NEAR(conditionNumberSpd(a), 100.0, 1e-5);
+}
+
+TEST(Eigen, ConvergesFromFixedSeeds)
+{
+    auto a = DenseMatrix::fromRows({{4, 1}, {1, 3}});
+    for (std::uint64_t seed : {1u, 7u, 99u}) {
+        EigenOptions opts;
+        opts.seed = seed;
+        auto est = smallestEigenvalueSpd(a, opts);
+        EXPECT_TRUE(est.converged);
+        // Exact: (7 - sqrt(5)) / 2.
+        EXPECT_NEAR(est.value, (7.0 - std::sqrt(5.0)) / 2.0, 1e-7);
+    }
+}
+
+TEST(EigenDeath, SmallestOnIndefiniteIsFatal)
+{
+    auto a = DenseMatrix::fromRows({{1, 2}, {2, 1}});
+    EXPECT_EXIT(smallestEigenvalueSpd(a),
+                ::testing::ExitedWithCode(1), "not SPD");
+}
+
+} // namespace
+} // namespace aa::la

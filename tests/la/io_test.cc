@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "aa/la/io.hh"
+
+namespace aa::la {
+namespace {
+
+TEST(MatrixMarket, ReadsGeneralCoordinate)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "% a comment line\n"
+        "2 3 3\n"
+        "1 1 1.5\n"
+        "2 3 -2.0\n"
+        "1 2 0.25\n");
+    CsrMatrix m = readMatrixMarket(in);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_EQ(m.nnz(), 3u);
+    EXPECT_DOUBLE_EQ(m.at(0, 0), 1.5);
+    EXPECT_DOUBLE_EQ(m.at(0, 1), 0.25);
+    EXPECT_DOUBLE_EQ(m.at(1, 2), -2.0);
+}
+
+TEST(MatrixMarket, ExpandsSymmetricStorage)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "3 3 4\n"
+        "1 1 4.0\n"
+        "2 1 -1.0\n"
+        "3 2 -1.0\n"
+        "3 3 4.0\n");
+    CsrMatrix m = readMatrixMarket(in);
+    EXPECT_EQ(m.nnz(), 6u);
+    EXPECT_DOUBLE_EQ(m.at(0, 1), -1.0);
+    EXPECT_DOUBLE_EQ(m.at(1, 0), -1.0);
+    EXPECT_TRUE(m.isSymmetric());
+}
+
+TEST(MatrixMarket, DiagonalNotDuplicatedInSymmetric)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "2 2 2\n"
+        "1 1 3.0\n"
+        "2 2 5.0\n");
+    CsrMatrix m = readMatrixMarket(in);
+    EXPECT_DOUBLE_EQ(m.at(0, 0), 3.0);
+    EXPECT_DOUBLE_EQ(m.at(1, 1), 5.0);
+    EXPECT_EQ(m.nnz(), 2u);
+}
+
+TEST(MatrixMarket, RoundTripWritesAndReads)
+{
+    auto m = CsrMatrix::fromTriplets(
+        3, 3,
+        {{0, 0, 1.0}, {0, 2, 0.125}, {1, 1, -3.5}, {2, 0, 7.0}});
+    std::stringstream buf;
+    writeMatrixMarket(m, buf);
+    CsrMatrix back = readMatrixMarket(buf);
+    EXPECT_EQ(back.rows(), 3u);
+    EXPECT_EQ(back.nnz(), 4u);
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 3; ++j)
+            EXPECT_DOUBLE_EQ(back.at(i, j), m.at(i, j));
+}
+
+TEST(MatrixMarket, CaseInsensitiveBanner)
+{
+    std::istringstream in(
+        "%%MatrixMarket MATRIX Coordinate REAL General\n"
+        "1 1 1\n"
+        "1 1 2.0\n");
+    CsrMatrix m = readMatrixMarket(in);
+    EXPECT_DOUBLE_EQ(m.at(0, 0), 2.0);
+}
+
+TEST(VectorMarket, ReadsArrayFormat)
+{
+    std::istringstream in("%%MatrixMarket matrix array real general\n"
+                          "% rhs\n"
+                          "3 1\n"
+                          "1.0\n"
+                          "-0.5\n"
+                          "2.25\n");
+    Vector v = readVectorMarket(in);
+    EXPECT_EQ(v, (Vector{1.0, -0.5, 2.25}));
+}
+
+TEST(VectorMarket, RoundTrip)
+{
+    Vector v{0.1, -0.2, 1.0 / 3.0};
+    std::stringstream buf;
+    writeVectorMarket(v, buf);
+    Vector back = readVectorMarket(buf);
+    ASSERT_EQ(back.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_DOUBLE_EQ(back[i], v[i]);
+}
+
+TEST(MatrixMarketDeath, MissingBannerFatal)
+{
+    std::istringstream in("2 2 1\n1 1 1.0\n");
+    EXPECT_EXIT(readMatrixMarket(in), ::testing::ExitedWithCode(1),
+                "banner");
+}
+
+TEST(MatrixMarketDeath, TruncatedEntriesFatal)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 3\n"
+        "1 1 1.0\n");
+    EXPECT_EXIT(readMatrixMarket(in), ::testing::ExitedWithCode(1),
+                "truncated");
+}
+
+TEST(MatrixMarketDeath, OutOfRangeEntryFatal)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "3 1 1.0\n");
+    EXPECT_EXIT(readMatrixMarket(in), ::testing::ExitedWithCode(1),
+                "outside");
+}
+
+TEST(MatrixMarketDeath, PatternFormatRejected)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "1 1 1\n"
+        "1 1\n");
+    EXPECT_EXIT(readMatrixMarket(in), ::testing::ExitedWithCode(1),
+                "real");
+}
+
+TEST(VectorMarketDeath, MultiColumnRejected)
+{
+    std::istringstream in("%%MatrixMarket matrix array real general\n"
+                          "2 2\n"
+                          "1\n1\n1\n1\n");
+    EXPECT_EXIT(readVectorMarket(in), ::testing::ExitedWithCode(1),
+                "single column");
+}
+
+TEST(IoDeath, MissingFileFatal)
+{
+    EXPECT_EXIT(readMatrixMarketFile("/nonexistent/x.mtx"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace aa::la

@@ -1,0 +1,43 @@
+#include <gtest/gtest.h>
+
+#include "aa/la/operator.hh"
+
+namespace aa::la {
+namespace {
+
+TEST(CsrOperator, ApplyAndDiagonal)
+{
+    auto m = CsrMatrix::fromTriplets(
+        2, 2, {{0, 0, 2.0}, {0, 1, 1.0}, {1, 1, 3.0}});
+    CsrOperator op(m);
+    EXPECT_EQ(op.size(), 2u);
+    EXPECT_EQ(op.applyCopy({1, 1}), (Vector{3, 3}));
+    EXPECT_EQ(op.diagonal(), (Vector{2, 3}));
+    EXPECT_EQ(op.applyFlops(), 3u);
+}
+
+TEST(DenseOperator, ApplyAndDiagonal)
+{
+    auto m = DenseMatrix::fromRows({{1, 2}, {3, 4}});
+    DenseOperator op(m);
+    EXPECT_EQ(op.applyCopy({1, 0}), (Vector{1, 3}));
+    EXPECT_EQ(op.diagonal(), (Vector{1, 4}));
+    EXPECT_EQ(op.applyFlops(), 4u);
+}
+
+TEST(OperatorDeath, NonSquareCsrIsFatal)
+{
+    auto m = CsrMatrix::fromTriplets(2, 3, {{0, 0, 1.0}});
+    EXPECT_EXIT(CsrOperator{m}, ::testing::ExitedWithCode(1),
+                "square");
+}
+
+TEST(OperatorDeath, NonSquareDenseIsFatal)
+{
+    DenseMatrix m(2, 3);
+    EXPECT_EXIT(DenseOperator{m}, ::testing::ExitedWithCode(1),
+                "square");
+}
+
+} // namespace
+} // namespace aa::la

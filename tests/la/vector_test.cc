@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aa/la/vector.hh"
+
+namespace aa::la {
+namespace {
+
+TEST(Vector, ConstructionAndFill)
+{
+    Vector v(4, 2.5);
+    EXPECT_EQ(v.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_DOUBLE_EQ(v[i], 2.5);
+}
+
+TEST(Vector, InitializerList)
+{
+    Vector v{1.0, 2.0, 3.0};
+    EXPECT_EQ(v.size(), 3u);
+    EXPECT_DOUBLE_EQ(v[1], 2.0);
+}
+
+TEST(Vector, ArithmeticOperators)
+{
+    Vector a{1, 2, 3};
+    Vector b{4, 5, 6};
+    Vector sum = a + b;
+    Vector diff = b - a;
+    Vector scaled = 2.0 * a;
+    EXPECT_EQ(sum, (Vector{5, 7, 9}));
+    EXPECT_EQ(diff, (Vector{3, 3, 3}));
+    EXPECT_EQ(scaled, (Vector{2, 4, 6}));
+}
+
+TEST(Vector, DotAndNorms)
+{
+    Vector a{3, 4};
+    EXPECT_DOUBLE_EQ(dot(a, a), 25.0);
+    EXPECT_DOUBLE_EQ(norm2(a), 5.0);
+    EXPECT_DOUBLE_EQ(normInf(a), 4.0);
+    EXPECT_DOUBLE_EQ(norm1(a), 7.0);
+}
+
+TEST(Vector, NormsOfNegativeEntries)
+{
+    Vector a{-3, 1, -2};
+    EXPECT_DOUBLE_EQ(normInf(a), 3.0);
+    EXPECT_DOUBLE_EQ(norm1(a), 6.0);
+}
+
+TEST(Vector, Axpy)
+{
+    Vector x{1, 1, 1};
+    Vector y{0, 1, 2};
+    axpy(3.0, x, y);
+    EXPECT_EQ(y, (Vector{3, 4, 5}));
+}
+
+TEST(Vector, Xpby)
+{
+    Vector x{1, 2};
+    Vector y{10, 20};
+    xpby(x, 0.5, y);
+    EXPECT_EQ(y, (Vector{6, 12}));
+}
+
+TEST(Vector, ScaleIntoDestination)
+{
+    Vector x{2, 4};
+    Vector y;
+    scale(0.5, x, y);
+    EXPECT_EQ(y, (Vector{1, 2}));
+}
+
+TEST(Vector, MaxAbsDiff)
+{
+    Vector a{1, 2, 3};
+    Vector b{1, 2.5, 2};
+    EXPECT_DOUBLE_EQ(maxAbsDiff(a, b), 1.0);
+}
+
+TEST(Vector, EmptyNormsAreZero)
+{
+    Vector e;
+    EXPECT_DOUBLE_EQ(norm2(e), 0.0);
+    EXPECT_DOUBLE_EQ(normInf(e), 0.0);
+}
+
+TEST(VectorDeath, AtOutOfRangePanics)
+{
+    Vector v(2);
+    EXPECT_DEATH(v.at(2), "Vector::at");
+}
+
+TEST(VectorDeath, MismatchedSizesPanic)
+{
+    Vector a(2), b(3);
+    EXPECT_DEATH(dot(a, b), "size mismatch");
+    EXPECT_DEATH(axpy(1.0, a, b), "size mismatch");
+}
+
+} // namespace
+} // namespace aa::la

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aa/common/stats.hh"
+#include "aa/ode/integrator.hh"
+
+namespace aa::ode {
+namespace {
+
+/**
+ * Property: each fixed-step method converges at its theoretical
+ * order. Measured by halving dt on u' = -u over [0,1] and fitting the
+ * error power law.
+ */
+struct OrderCase {
+    Method method;
+    double expected_order;
+};
+
+class FixedStepOrder : public ::testing::TestWithParam<OrderCase>
+{};
+
+TEST_P(FixedStepOrder, ErrorScalesAtTheoreticalOrder)
+{
+    auto [method, expected] = GetParam();
+    CallbackOde sys(1, [](double, const Vector &y, Vector &d) {
+        d[0] = -y[0];
+    });
+    double exact = std::exp(-1.0);
+
+    std::vector<double> hs, errs;
+    for (double dt : {0.1, 0.05, 0.025, 0.0125}) {
+        IntegrateOptions opts;
+        opts.method = method;
+        opts.dt = dt;
+        auto res = integrate(sys, Vector{1.0}, 0.0, 1.0, opts);
+        hs.push_back(dt);
+        errs.push_back(std::fabs(res.y[0] - exact));
+    }
+    auto fit = aa::fitPowerLaw(hs, errs);
+    EXPECT_NEAR(fit.slope, expected, 0.25)
+        << methodName(method);
+    EXPECT_GT(fit.r2, 0.99);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Orders, FixedStepOrder,
+    ::testing::Values(OrderCase{Method::Euler, 1.0},
+                      OrderCase{Method::Heun, 2.0},
+                      OrderCase{Method::Rk4, 4.0}),
+    [](const auto &info) {
+        return methodName(info.param.method);
+    });
+
+/**
+ * Property: adaptive methods meet tighter tolerances with more work
+ * but never exceed them grossly.
+ */
+class AdaptiveTolerance
+    : public ::testing::TestWithParam<std::tuple<Method, double>>
+{};
+
+TEST_P(AdaptiveTolerance, FinalErrorTracksTolerance)
+{
+    auto [method, tol] = GetParam();
+    CallbackOde sys(2, [](double, const Vector &y, Vector &d) {
+        d[0] = y[1];
+        d[1] = -y[0];
+    });
+    IntegrateOptions opts;
+    opts.method = method;
+    opts.dt = 0.5;
+    opts.abs_tol = tol;
+    opts.rel_tol = tol;
+    auto res = integrate(sys, Vector{1.0, 0.0}, 0.0, 1.0, opts);
+    double err0 = std::fabs(res.y[0] - std::cos(1.0));
+    double err1 = std::fabs(res.y[1] + std::sin(1.0));
+    // Global error may exceed per-step tolerance, but not by orders
+    // of magnitude on this short smooth run.
+    EXPECT_LT(err0 + err1, 1000.0 * tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tols, AdaptiveTolerance,
+    ::testing::Combine(::testing::Values(Method::Rkf45,
+                                         Method::Dopri5),
+                       ::testing::Values(1e-6, 1e-9, 1e-12)));
+
+TEST(AdaptiveEffort, TighterToleranceCostsMoreEvals)
+{
+    CallbackOde sys(1, [](double t, const Vector &y, Vector &d) {
+        d[0] = std::sin(10.0 * t) - 0.5 * y[0];
+    });
+    auto run = [&](double tol) {
+        IntegrateOptions opts;
+        opts.method = Method::Dopri5;
+        opts.dt = 0.1;
+        opts.abs_tol = tol;
+        opts.rel_tol = tol;
+        return integrate(sys, Vector{0.0}, 0.0, 5.0, opts).rhs_evals;
+    };
+    EXPECT_LT(run(1e-4), run(1e-10));
+}
+
+} // namespace
+} // namespace aa::ode

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "aa/ode/csv.hh"
+
+namespace aa::ode {
+namespace {
+
+Trajectory
+sampleTrajectory()
+{
+    Trajectory traj;
+    auto obs = traj.observer();
+    obs(0.0, la::Vector{1.0, -2.0});
+    obs(0.5, la::Vector{0.5, -1.0});
+    obs(1.0, la::Vector{0.25, 0.0});
+    return traj;
+}
+
+TEST(Csv, DefaultHeaderAndRows)
+{
+    std::ostringstream os;
+    writeCsv(sampleTrajectory(), os);
+    std::istringstream in(os.str());
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "t,s0,s1");
+    std::getline(in, line);
+    EXPECT_EQ(line, "0,1,-2");
+    std::getline(in, line);
+    EXPECT_EQ(line, "0.5,0.5,-1");
+    std::getline(in, line);
+    EXPECT_EQ(line, "1,0.25,0");
+    EXPECT_FALSE(std::getline(in, line));
+}
+
+TEST(Csv, CustomNames)
+{
+    std::ostringstream os;
+    writeCsv(sampleTrajectory(), os, {"u", "du"});
+    EXPECT_EQ(os.str().substr(0, 7), "t,u,du\n");
+}
+
+TEST(Csv, FileRoundTrip)
+{
+    std::string path = ::testing::TempDir() + "aa_csv_test.csv";
+    writeCsvFile(sampleTrajectory(), path);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string header;
+    std::getline(in, header);
+    EXPECT_EQ(header, "t,s0,s1");
+    std::remove(path.c_str());
+}
+
+TEST(Csv, HighPrecisionValuesSurvive)
+{
+    Trajectory traj;
+    auto obs = traj.observer();
+    obs(1.0 / 3.0, la::Vector{2.0 / 3.0});
+    std::ostringstream os;
+    writeCsv(traj, os);
+    EXPECT_NE(os.str().find("0.333333333333"), std::string::npos);
+    EXPECT_NE(os.str().find("0.666666666667"), std::string::npos);
+}
+
+TEST(CsvDeath, EmptyTrajectoryFatal)
+{
+    Trajectory traj;
+    std::ostringstream os;
+    EXPECT_EXIT(writeCsv(traj, os), ::testing::ExitedWithCode(1),
+                "empty");
+}
+
+TEST(CsvDeath, WrongNameCountFatal)
+{
+    std::ostringstream os;
+    EXPECT_EXIT(writeCsv(sampleTrajectory(), os, {"only-one"}),
+                ::testing::ExitedWithCode(1), "names");
+}
+
+} // namespace
+} // namespace aa::ode

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "aa/la/dense_matrix.hh"
+#include "aa/ode/integrator.hh"
+
+namespace aa::ode {
+namespace {
+
+/** du/dt = -u, u(0) = 1 -> u(t) = e^-t. */
+CallbackOde
+decayOde()
+{
+    return CallbackOde(1, [](double, const Vector &y, Vector &d) {
+        d[0] = -y[0];
+    });
+}
+
+TEST(Integrate, EulerMatchesAlgorithmOne)
+{
+    // Paper Algorithm 1: explicit Euler over du/dt = a*u + b.
+    double a = -2.0, b = 1.0, uinit = 0.0;
+    double time = 1.0;
+    std::size_t steps = 1000;
+
+    // Hand-rolled Algorithm 1 exactly as printed.
+    double step_size = time / static_cast<double>(steps);
+    double u = uinit;
+    for (std::size_t s = 0; s < steps; ++s) {
+        double delta = a * u + b;
+        u = u + step_size * delta;
+    }
+
+    CallbackOde sys(1, [&](double, const Vector &y, Vector &d) {
+        d[0] = a * y[0] + b;
+    });
+    IntegrateOptions opts;
+    opts.method = Method::Euler;
+    opts.dt = step_size;
+    auto res = integrate(sys, Vector{uinit}, 0.0, time, opts);
+    EXPECT_EQ(res.reason, StopReason::ReachedTEnd);
+    EXPECT_EQ(res.steps, steps);
+    EXPECT_NEAR(res.y[0], u, 1e-12);
+}
+
+TEST(Integrate, Rk4AccurateOnDecay)
+{
+    IntegrateOptions opts;
+    opts.method = Method::Rk4;
+    opts.dt = 0.01;
+    auto res = integrate(decayOde(), Vector{1.0}, 0.0, 1.0, opts);
+    EXPECT_NEAR(res.y[0], std::exp(-1.0), 1e-9);
+}
+
+TEST(Integrate, AdaptiveMethodsHitTolerance)
+{
+    for (Method m : {Method::Rkf45, Method::Dopri5}) {
+        IntegrateOptions opts;
+        opts.method = m;
+        opts.dt = 0.5;
+        opts.abs_tol = 1e-10;
+        opts.rel_tol = 1e-10;
+        auto res = integrate(decayOde(), Vector{1.0}, 0.0, 2.0, opts);
+        EXPECT_NEAR(res.y[0], std::exp(-2.0), 1e-8)
+            << methodName(m);
+    }
+}
+
+TEST(Integrate, AdaptiveRejectsOversizedSteps)
+{
+    // A stiff-ish system forces rejections with a huge initial dt.
+    CallbackOde sys(1, [](double, const Vector &y, Vector &d) {
+        d[0] = -50.0 * y[0];
+    });
+    IntegrateOptions opts;
+    opts.method = Method::Dopri5;
+    opts.dt = 1.0;
+    auto res = integrate(sys, Vector{1.0}, 0.0, 1.0, opts);
+    EXPECT_GT(res.rejected, 0u);
+    EXPECT_NEAR(res.y[0], std::exp(-50.0), 1e-6);
+}
+
+TEST(Integrate, SteadyStateStopsEarly)
+{
+    IntegrateOptions opts;
+    opts.method = Method::Rk4;
+    opts.dt = 0.01;
+    opts.steady_tol = 1e-6;
+    auto res =
+        integrate(decayOde(), Vector{1.0}, 0.0,
+                  std::numeric_limits<double>::infinity(), opts);
+    EXPECT_EQ(res.reason, StopReason::SteadyState);
+    // |du/dt| = |u| < 1e-6 at the stop.
+    EXPECT_LT(std::fabs(res.y[0]), 1e-5);
+}
+
+TEST(Integrate, EventStopFires)
+{
+    CallbackOde sys(1, [](double, const Vector &, Vector &d) {
+        d[0] = 1.0; // u = t
+    });
+    IntegrateOptions opts;
+    opts.method = Method::Euler;
+    opts.dt = 0.001;
+    opts.stop_when = [](double, const Vector &y) {
+        return y[0] >= 0.5;
+    };
+    auto res = integrate(sys, Vector{0.0}, 0.0, 10.0, opts);
+    EXPECT_EQ(res.reason, StopReason::Event);
+    EXPECT_NEAR(res.y[0], 0.5, 0.01);
+}
+
+TEST(Integrate, StepLimitReported)
+{
+    IntegrateOptions opts;
+    opts.method = Method::Euler;
+    opts.dt = 1e-6;
+    opts.max_steps = 10;
+    auto res = integrate(decayOde(), Vector{1.0}, 0.0, 1.0, opts);
+    EXPECT_EQ(res.reason, StopReason::HitStepLimit);
+    EXPECT_EQ(res.steps, 10u);
+}
+
+TEST(Integrate, ObserverSeesInitialAndEachStep)
+{
+    std::size_t calls = 0;
+    IntegrateOptions opts;
+    opts.method = Method::Euler;
+    opts.dt = 0.25;
+    opts.observer = [&](double, const Vector &) { ++calls; };
+    auto res = integrate(decayOde(), Vector{1.0}, 0.0, 1.0, opts);
+    EXPECT_EQ(calls, res.steps + 1);
+}
+
+TEST(Integrate, MultiVariableCoupledSystem)
+{
+    // Harmonic oscillator: x'' = -x as a 2-state system; after a
+    // full period the state returns.
+    CallbackOde sys(2, [](double, const Vector &y, Vector &d) {
+        d[0] = y[1];
+        d[1] = -y[0];
+    });
+    IntegrateOptions opts;
+    opts.method = Method::Dopri5;
+    opts.abs_tol = 1e-12;
+    opts.rel_tol = 1e-10;
+    opts.dt = 0.1;
+    double period = 2.0 * 3.14159265358979323846;
+    auto res = integrate(sys, Vector{1.0, 0.0}, 0.0, period, opts);
+    EXPECT_NEAR(res.y[0], 1.0, 1e-6);
+    EXPECT_NEAR(res.y[1], 0.0, 1e-6);
+}
+
+TEST(Integrate, GradientFlowReachesLinearSolution)
+{
+    la::DenseMatrix a = la::DenseMatrix::fromRows({{3, 1}, {1, 2}});
+    Vector b{1, 1};
+    GradientFlowOde sys(a, b);
+    IntegrateOptions opts;
+    opts.method = Method::Rk4;
+    opts.dt = 0.01;
+    opts.steady_tol = 1e-10;
+    auto res =
+        integrate(sys, Vector(2), 0.0,
+                  std::numeric_limits<double>::infinity(), opts);
+    // Exact solution of A u = b: u = (0.2, 0.4).
+    EXPECT_NEAR(res.y[0], 0.2, 1e-8);
+    EXPECT_NEAR(res.y[1], 0.4, 1e-8);
+}
+
+TEST(Integrate, NamesAreStable)
+{
+    EXPECT_STREQ(methodName(Method::Euler), "euler");
+    EXPECT_STREQ(methodName(Method::Dopri5), "dopri5");
+    EXPECT_STREQ(stopReasonName(StopReason::SteadyState),
+                 "steady_state");
+    EXPECT_TRUE(isAdaptive(Method::Rkf45));
+    EXPECT_FALSE(isAdaptive(Method::Rk4));
+}
+
+TEST(IntegrateDeath, InfiniteHorizonWithoutStopIsFatal)
+{
+    IntegrateOptions opts;
+    EXPECT_EXIT(integrate(decayOde(), Vector{1.0}, 0.0,
+                          std::numeric_limits<double>::infinity(),
+                          opts),
+                ::testing::ExitedWithCode(1), "steady or event");
+}
+
+TEST(IntegrateDeath, WrongStateSizeIsFatal)
+{
+    IntegrateOptions opts;
+    EXPECT_EXIT(integrate(decayOde(), Vector(2), 0.0, 1.0, opts),
+                ::testing::ExitedWithCode(1), "size");
+}
+
+} // namespace
+} // namespace aa::ode

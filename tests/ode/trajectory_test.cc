@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aa/ode/integrator.hh"
+#include "aa/ode/trajectory.hh"
+
+namespace aa::ode {
+namespace {
+
+TEST(Trajectory, RecordsAllSamplesAtStrideOne)
+{
+    Trajectory traj;
+    CallbackOde sys(1, [](double, const Vector &, Vector &d) {
+        d[0] = 1.0;
+    });
+    IntegrateOptions opts;
+    opts.method = Method::Euler;
+    opts.dt = 0.25;
+    opts.observer = traj.observer();
+    auto res = integrate(sys, Vector{0.0}, 0.0, 1.0, opts);
+    EXPECT_EQ(traj.samples(), res.steps + 1);
+    EXPECT_DOUBLE_EQ(traj.time(0), 0.0);
+    EXPECT_DOUBLE_EQ(traj.state(0)[0], 0.0);
+}
+
+TEST(Trajectory, StrideSkipsSamples)
+{
+    Trajectory traj(2);
+    auto obs = traj.observer();
+    Vector y{1.0};
+    for (int i = 0; i < 6; ++i)
+        obs(static_cast<double>(i), y);
+    EXPECT_EQ(traj.samples(), 3u); // t = 0, 2, 4
+    EXPECT_DOUBLE_EQ(traj.time(2), 4.0);
+}
+
+TEST(Trajectory, ComponentExtractsWaveform)
+{
+    Trajectory traj;
+    auto obs = traj.observer();
+    obs(0.0, Vector{1.0, 10.0});
+    obs(1.0, Vector{2.0, 20.0});
+    auto w = traj.component(1);
+    ASSERT_EQ(w.size(), 2u);
+    EXPECT_DOUBLE_EQ(w[0], 10.0);
+    EXPECT_DOUBLE_EQ(w[1], 20.0);
+}
+
+TEST(Trajectory, SampleAtInterpolatesLinearly)
+{
+    Trajectory traj;
+    auto obs = traj.observer();
+    obs(0.0, Vector{0.0});
+    obs(2.0, Vector{4.0});
+    EXPECT_DOUBLE_EQ(traj.sampleAt(1.0)[0], 2.0);
+    // Clamping outside the range.
+    EXPECT_DOUBLE_EQ(traj.sampleAt(-1.0)[0], 0.0);
+    EXPECT_DOUBLE_EQ(traj.sampleAt(9.0)[0], 4.0);
+}
+
+TEST(Trajectory, WaveformMatchesAnalyticDecay)
+{
+    Trajectory traj;
+    CallbackOde sys(1, [](double, const Vector &y, Vector &d) {
+        d[0] = -y[0];
+    });
+    IntegrateOptions opts;
+    opts.method = Method::Dopri5;
+    opts.dt = 0.05;
+    opts.abs_tol = 1e-10;
+    opts.rel_tol = 1e-10;
+    opts.observer = traj.observer();
+    integrate(sys, Vector{1.0}, 0.0, 2.0, opts);
+    for (double t : {0.3, 0.9, 1.7}) {
+        EXPECT_NEAR(traj.sampleAt(t)[0], std::exp(-t), 1e-3);
+    }
+}
+
+TEST(TrajectoryDeath, SampleWithoutSamplesPanics)
+{
+    Trajectory traj;
+    EXPECT_DEATH(traj.sampleAt(0.0), "no samples");
+}
+
+} // namespace
+} // namespace aa::ode

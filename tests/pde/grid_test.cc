@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "aa/pde/grid.hh"
+
+namespace aa::pde {
+namespace {
+
+TEST(Grid, SizesPerDimension)
+{
+    EXPECT_EQ(StructuredGrid(1, 5).totalPoints(), 5u);
+    EXPECT_EQ(StructuredGrid(2, 5).totalPoints(), 25u);
+    EXPECT_EQ(StructuredGrid(3, 5).totalPoints(), 125u);
+}
+
+TEST(Grid, SpacingCountsBoundaries)
+{
+    StructuredGrid g(1, 3);
+    EXPECT_DOUBLE_EQ(g.spacing(), 0.25);
+}
+
+TEST(Grid, IndexCoordsRoundTrip2D)
+{
+    StructuredGrid g(2, 4);
+    for (std::size_t j = 0; j < 4; ++j) {
+        for (std::size_t i = 0; i < 4; ++i) {
+            auto idx = g.index(i, j);
+            auto c = g.coords(idx);
+            EXPECT_EQ(c[0], i);
+            EXPECT_EQ(c[1], j);
+            EXPECT_EQ(c[2], 0u);
+        }
+    }
+}
+
+TEST(Grid, IndexCoordsRoundTrip3D)
+{
+    StructuredGrid g(3, 3);
+    for (std::size_t idx = 0; idx < g.totalPoints(); ++idx) {
+        auto c = g.coords(idx);
+        EXPECT_EQ(g.index(c[0], c[1], c[2]), idx);
+    }
+}
+
+TEST(Grid, PositionsInteriorOfUnitDomain)
+{
+    StructuredGrid g(2, 3);
+    auto p = g.position(g.index(0, 0));
+    EXPECT_DOUBLE_EQ(p[0], 0.25);
+    EXPECT_DOUBLE_EQ(p[1], 0.25);
+    p = g.position(g.index(2, 2));
+    EXPECT_DOUBLE_EQ(p[0], 0.75);
+    EXPECT_DOUBLE_EQ(p[1], 0.75);
+}
+
+TEST(Grid, InteriorPointHasAllInteriorNeighbors2D)
+{
+    StructuredGrid g(2, 3);
+    std::size_t center = g.index(1, 1);
+    std::size_t interior = 0, boundary = 0;
+    g.forEachNeighbor(
+        center, [&](std::size_t) { ++interior; },
+        [&](double, double, double) { ++boundary; });
+    EXPECT_EQ(interior, 4u);
+    EXPECT_EQ(boundary, 0u);
+}
+
+TEST(Grid, CornerTouchesBoundaryTwice2D)
+{
+    StructuredGrid g(2, 3);
+    std::size_t corner = g.index(0, 0);
+    std::size_t interior = 0, boundary = 0;
+    g.forEachNeighbor(
+        corner, [&](std::size_t) { ++interior; },
+        [&](double x, double y, double) {
+            ++boundary;
+            // Boundary neighbors of the low corner sit on x=0 or y=0.
+            EXPECT_TRUE(x == 0.0 || y == 0.0);
+        });
+    EXPECT_EQ(interior, 2u);
+    EXPECT_EQ(boundary, 2u);
+}
+
+TEST(Grid, Corner3DTouchesThreeBoundaries)
+{
+    StructuredGrid g(3, 2);
+    std::size_t interior = 0, boundary = 0;
+    g.forEachNeighbor(
+        g.index(0, 0, 0), [&](std::size_t) { ++interior; },
+        [&](double, double, double) { ++boundary; });
+    EXPECT_EQ(interior, 3u);
+    EXPECT_EQ(boundary, 3u);
+}
+
+TEST(Grid, BoundaryPositionsLandOnFaces)
+{
+    StructuredGrid g(1, 3);
+    std::vector<double> faces;
+    g.forEachNeighbor(
+        g.index(0), [](std::size_t) {},
+        [&](double x, double, double) { faces.push_back(x); });
+    ASSERT_EQ(faces.size(), 1u);
+    EXPECT_DOUBLE_EQ(faces[0], 0.0);
+}
+
+TEST(GridDeath, BadDimensionIsFatal)
+{
+    EXPECT_EXIT(StructuredGrid(4, 3), ::testing::ExitedWithCode(1),
+                "dim");
+    EXPECT_EXIT(StructuredGrid(0, 3), ::testing::ExitedWithCode(1),
+                "dim");
+}
+
+TEST(GridDeath, IndexOutOfRangePanics)
+{
+    StructuredGrid g(2, 3);
+    EXPECT_DEATH(g.index(3, 0), "out of range");
+    EXPECT_DEATH(g.index(0, 0, 1), "out of range");
+}
+
+} // namespace
+} // namespace aa::pde

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "aa/la/direct.hh"
+#include "aa/ode/integrator.hh"
+#include "aa/pde/heat.hh"
+#include "aa/pde/manufactured.hh"
+
+namespace aa::pde {
+namespace {
+
+TEST(Heat, SteadyStateIsEllipticSolution)
+{
+    // Integrating the heat equation long enough reaches the Poisson
+    // solution (Figure 4's parabolic -> elliptic relationship).
+    HeatEquationOde heat(1, 7, sineProductSource(1));
+    ode::IntegrateOptions opts;
+    opts.method = ode::Method::Dopri5;
+    opts.dt = 1e-4;
+    opts.abs_tol = 1e-12;
+    opts.rel_tol = 1e-10;
+    // The steady threshold must sit above the integrator's own error
+    // floor, which scales with the stiffness |A| ~ 1/h^2.
+    opts.steady_tol = 1e-5;
+    auto res = ode::integrate(heat, la::Vector(heat.size()), 0.0,
+                              std::numeric_limits<double>::infinity(),
+                              opts);
+    EXPECT_EQ(res.reason, ode::StopReason::SteadyState);
+
+    auto prob = manufacturedProblem(1, 7);
+    la::Vector elliptic = la::solveDense(prob.a.toDense(), prob.b);
+    EXPECT_LT(la::maxAbsDiff(res.y, elliptic), 1e-5);
+}
+
+TEST(Heat, FundamentalModeDecayRate)
+{
+    // With zero forcing, the slowest mode decays at lambda_min =
+    // (4/h^2) sin^2(pi h / 2).
+    std::size_t l = 7;
+    HeatEquationOde heat(1, l);
+    double h = heat.grid().spacing();
+    double lambda =
+        4.0 / (h * h) *
+        std::pow(std::sin(std::numbers::pi * h / 2.0), 2);
+
+    // Start in the fundamental mode.
+    la::Vector u0(l);
+    for (std::size_t i = 0; i < l; ++i)
+        u0[i] = std::sin(std::numbers::pi *
+                         static_cast<double>(i + 1) * h);
+
+    double t_end = 0.5 / lambda;
+    ode::IntegrateOptions opts;
+    opts.method = ode::Method::Dopri5;
+    opts.dt = 1e-4;
+    opts.abs_tol = 1e-12;
+    opts.rel_tol = 1e-10;
+    auto res = ode::integrate(heat, u0, 0.0, t_end, opts);
+    double expected = std::exp(-lambda * t_end);
+    for (std::size_t i = 0; i < l; ++i)
+        EXPECT_NEAR(res.y[i], expected * u0[i], 1e-6);
+}
+
+TEST(Heat, ForcingVectorMatchesPoissonAssembly)
+{
+    HeatEquationOde heat(2, 3, sineProductSource(2));
+    auto prob = manufacturedProblem(2, 3);
+    EXPECT_LT(la::maxAbsDiff(heat.forcing(), prob.b), 1e-15);
+}
+
+TEST(Heat, RhsIsForcingMinusStiffness)
+{
+    HeatEquationOde heat(1, 3);
+    la::Vector y{0.1, 0.2, 0.3};
+    la::Vector dydt(3);
+    heat.rhs(0.0, y, dydt);
+    PoissonStencil stencil(1, 3);
+    la::Vector au;
+    stencil.apply(y, au);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_DOUBLE_EQ(dydt[i], heat.forcing()[i] - au[i]);
+}
+
+} // namespace
+} // namespace aa::pde

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aa/common/stats.hh"
+#include "aa/la/direct.hh"
+#include "aa/pde/manufactured.hh"
+
+namespace aa::pde {
+namespace {
+
+TEST(Manufactured, FieldVanishesOnBoundary)
+{
+    auto u = sineProductField(2);
+    EXPECT_NEAR(u(0.0, 0.5, 0.0), 0.0, 1e-15);
+    EXPECT_NEAR(u(1.0, 0.5, 0.0), 0.0, 1e-12);
+    EXPECT_NEAR(u(0.5, 0.5, 0.0), 1.0, 1e-15);
+}
+
+TEST(Manufactured, SourceIsScaledField)
+{
+    auto u = sineProductField(2);
+    auto f = sineProductSource(2);
+    double k = 2.0 * M_PI * M_PI;
+    EXPECT_NEAR(f(0.3, 0.7, 0.0), k * u(0.3, 0.7, 0.0), 1e-12);
+}
+
+/** The discrete solve must converge to the analytic field at O(h^2). */
+class ManufacturedConvergence
+    : public ::testing::TestWithParam<std::size_t>
+{};
+
+TEST_P(ManufacturedConvergence, SecondOrderAccuracy)
+{
+    std::size_t dim = GetParam();
+    std::vector<double> hs, errs;
+    std::vector<std::size_t> sides =
+        dim == 3 ? std::vector<std::size_t>{3, 5, 7}
+                 : std::vector<std::size_t>{7, 15, 31};
+    for (std::size_t l : sides) {
+        auto prob = manufacturedProblem(dim, l);
+        la::Vector u = la::solveDense(prob.a.toDense(), prob.b);
+        la::Vector exact = manufacturedExact(prob);
+        hs.push_back(prob.grid.spacing());
+        errs.push_back(la::maxAbsDiff(u, exact));
+    }
+    auto fit = aa::fitPowerLaw(hs, errs);
+    EXPECT_NEAR(fit.slope, 2.0, 0.4) << "dim " << dim;
+    // Error must also actually be small on the finest grid.
+    EXPECT_LT(errs.back(), 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, ManufacturedConvergence,
+                         ::testing::Values(1u, 2u, 3u));
+
+TEST(Manufactured, ExactSamplesMatchField)
+{
+    auto prob = manufacturedProblem(2, 3);
+    la::Vector exact = manufacturedExact(prob);
+    auto u = sineProductField(2);
+    auto p = prob.grid.position(4); // center point (0.5, 0.5)
+    EXPECT_NEAR(exact[4], u(p[0], p[1], 0.0), 1e-15);
+}
+
+} // namespace
+} // namespace aa::pde

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "aa/pde/partition.hh"
+
+namespace aa::pde {
+namespace {
+
+void
+expectExactCover(const std::vector<IndexSet> &blocks, std::size_t n)
+{
+    std::set<std::size_t> seen;
+    for (const auto &blk : blocks)
+        for (std::size_t g : blk) {
+            EXPECT_TRUE(seen.insert(g).second)
+                << "duplicate index " << g;
+            EXPECT_LT(g, n);
+        }
+    EXPECT_EQ(seen.size(), n);
+}
+
+TEST(RangePartition, ExactCoverAndBlockSizes)
+{
+    auto blocks = rangePartition(10, 4);
+    ASSERT_EQ(blocks.size(), 3u);
+    EXPECT_EQ(blocks[0].size(), 4u);
+    EXPECT_EQ(blocks[2].size(), 2u);
+    expectExactCover(blocks, 10);
+}
+
+TEST(RangePartition, SingleBlockWhenLarge)
+{
+    auto blocks = rangePartition(5, 100);
+    ASSERT_EQ(blocks.size(), 1u);
+    EXPECT_EQ(blocks[0].size(), 5u);
+}
+
+TEST(RangePartition, BlocksAreSorted)
+{
+    auto blocks = rangePartition(9, 3);
+    for (const auto &blk : blocks)
+        for (std::size_t k = 1; k < blk.size(); ++k)
+            EXPECT_LT(blk[k - 1], blk[k]);
+}
+
+TEST(StripPartition, CutsAlongHighestDimension)
+{
+    // The paper's example: the 3x3 2D problem becomes three 1D
+    // subproblems (rows of 3).
+    StructuredGrid g(2, 3);
+    auto blocks = stripPartition(g, 3);
+    ASSERT_EQ(blocks.size(), 3u);
+    for (const auto &blk : blocks)
+        EXPECT_EQ(blk.size(), 3u);
+    expectExactCover(blocks, 9);
+    // Each strip is one contiguous row.
+    EXPECT_EQ(blocks[0][0], 0u);
+    EXPECT_EQ(blocks[0][2], 2u);
+    EXPECT_EQ(blocks[1][0], 3u);
+}
+
+TEST(StripPartition, BundlesMultipleSlicesWhenTheyFit)
+{
+    StructuredGrid g(2, 4); // slices of 4
+    auto blocks = stripPartition(g, 8);
+    ASSERT_EQ(blocks.size(), 2u);
+    EXPECT_EQ(blocks[0].size(), 8u);
+    expectExactCover(blocks, 16);
+}
+
+TEST(StripPartition, FallsBackWhenSliceTooBig)
+{
+    StructuredGrid g(2, 4); // slice of 4 > cap of 3
+    auto blocks = stripPartition(g, 3);
+    expectExactCover(blocks, 16);
+    for (const auto &blk : blocks)
+        EXPECT_LE(blk.size(), 3u);
+}
+
+TEST(StripPartition, ThreeDimensionalPlanes)
+{
+    StructuredGrid g(3, 3); // planes of 9
+    auto blocks = stripPartition(g, 9);
+    ASSERT_EQ(blocks.size(), 3u);
+    expectExactCover(blocks, 27);
+}
+
+TEST(PartitionDeath, ZeroCapIsFatal)
+{
+    EXPECT_EXIT(rangePartition(4, 0), ::testing::ExitedWithCode(1),
+                "max_points");
+}
+
+} // namespace
+} // namespace aa::pde

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aa/la/direct.hh"
+#include "aa/pde/poisson.hh"
+
+namespace aa::pde {
+namespace {
+
+TEST(Poisson, PaperSectionIVBMatrixStructure)
+{
+    // The paper's 3x3 unit-square example: A is pentadiagonal with 4
+    // on the (normalized) diagonal and -1 for neighbors, scaled by
+    // 1/h^2. With our interior-point convention h = 1/4, so the
+    // scale is 16.
+    auto prob = assemblePoisson(2, 3);
+    const auto &a = prob.a;
+    double inv_h2 = 16.0;
+
+    EXPECT_EQ(a.rows(), 9u);
+    EXPECT_DOUBLE_EQ(a.at(4, 4), 4.0 * inv_h2); // center
+    EXPECT_DOUBLE_EQ(a.at(4, 1), -inv_h2);
+    EXPECT_DOUBLE_EQ(a.at(4, 3), -inv_h2);
+    EXPECT_DOUBLE_EQ(a.at(4, 5), -inv_h2);
+    EXPECT_DOUBLE_EQ(a.at(4, 7), -inv_h2);
+    // No diagonal-corner coupling in the 5-point stencil.
+    EXPECT_DOUBLE_EQ(a.at(4, 0), 0.0);
+    // Row 0 (corner) couples right and up only.
+    EXPECT_DOUBLE_EQ(a.at(0, 1), -inv_h2);
+    EXPECT_DOUBLE_EQ(a.at(0, 3), -inv_h2);
+    EXPECT_DOUBLE_EQ(a.at(0, 2), 0.0);
+}
+
+TEST(Poisson, MatrixIsSymmetricPositiveDefinite)
+{
+    for (std::size_t dim : {1u, 2u, 3u}) {
+        auto prob = assemblePoisson(dim, 3);
+        EXPECT_TRUE(prob.a.isSymmetric()) << "dim " << dim;
+        EXPECT_TRUE(
+            la::Cholesky::factor(prob.a.toDense()).has_value())
+            << "dim " << dim;
+    }
+}
+
+TEST(Poisson, NnzMatchesStencil)
+{
+    auto prob = assemblePoisson(2, 4);
+    // N=16; edges = 2 axes * 3*4; nnz = 16 + 2*24 = 64.
+    EXPECT_EQ(prob.a.nnz(), 64u);
+}
+
+TEST(Poisson, DirichletDataEntersRhs)
+{
+    BoundaryFn g = [](double x, double, double) {
+        return x == 0.0 ? 1.0 : 0.0;
+    };
+    auto prob = assemblePoisson(2, 3, zeroSource(), g);
+    double inv_h2 = 16.0;
+    // Left-column nodes see the x=0 boundary.
+    EXPECT_DOUBLE_EQ(prob.b[prob.grid.index(0, 0)], inv_h2);
+    EXPECT_DOUBLE_EQ(prob.b[prob.grid.index(0, 1)], inv_h2);
+    // Interior columns see nothing.
+    EXPECT_DOUBLE_EQ(prob.b[prob.grid.index(1, 1)], 0.0);
+}
+
+TEST(Poisson, SourceTermSampledAtNodes)
+{
+    SourceFn f = [](double x, double y, double) { return x + y; };
+    auto prob = assemblePoisson(2, 3, f);
+    auto p = prob.grid.position(prob.grid.index(1, 2));
+    EXPECT_DOUBLE_EQ(prob.b[prob.grid.index(1, 2)], p[0] + p[1]);
+}
+
+TEST(Poisson, StencilMatchesAssembledMatrix)
+{
+    for (std::size_t dim : {1u, 2u, 3u}) {
+        std::size_t l = dim == 3 ? 4 : 6;
+        auto prob = assemblePoisson(dim, l);
+        PoissonStencil stencil(dim, l);
+        ASSERT_EQ(stencil.size(), prob.a.rows());
+
+        la::Vector x(stencil.size());
+        for (std::size_t i = 0; i < x.size(); ++i)
+            x[i] = std::sin(static_cast<double>(i) * 0.7);
+        la::Vector via_stencil;
+        stencil.apply(x, via_stencil);
+        la::Vector via_csr = prob.a.apply(x);
+        EXPECT_LT(la::maxAbsDiff(via_stencil, via_csr), 1e-9)
+            << "dim " << dim;
+    }
+}
+
+TEST(Poisson, StencilDiagonalAndFlops)
+{
+    PoissonStencil s(2, 3);
+    la::Vector d = s.diagonal();
+    EXPECT_DOUBLE_EQ(d[0], 4.0 * 16.0);
+    EXPECT_EQ(s.applyFlops(), 9u * 5u);
+}
+
+TEST(Poisson, Figure7ProblemShape)
+{
+    auto prob = figure7Problem(4);
+    EXPECT_EQ(prob.grid.dim(), 3u);
+    EXPECT_EQ(prob.a.rows(), 64u);
+    // Nodes adjacent to the x = 0 plane get the unit boundary value.
+    double inv_h2 = 25.0;
+    EXPECT_DOUBLE_EQ(prob.b[prob.grid.index(0, 1, 1)], inv_h2);
+    EXPECT_DOUBLE_EQ(prob.b[prob.grid.index(1, 1, 1)], 0.0);
+}
+
+TEST(Poisson, SolutionBoundedByBoundaryData)
+{
+    // Discrete maximum principle: with f = 0 and boundary in [0, 1],
+    // the solution stays in [0, 1].
+    auto prob = figure7Problem(4);
+    la::Vector u = la::solveDense(prob.a.toDense(), prob.b);
+    for (std::size_t i = 0; i < u.size(); ++i) {
+        EXPECT_GE(u[i], -1e-12);
+        EXPECT_LE(u[i], 1.0 + 1e-12);
+    }
+}
+
+TEST(Poisson, SampleOnGridEvaluatesPositions)
+{
+    StructuredGrid g(1, 3);
+    la::Vector v = sampleOnGrid(g, [](double x, double, double) {
+        return 2.0 * x;
+    });
+    EXPECT_DOUBLE_EQ(v[0], 0.5);
+    EXPECT_DOUBLE_EQ(v[1], 1.0);
+    EXPECT_DOUBLE_EQ(v[2], 1.5);
+}
+
+} // namespace
+} // namespace aa::pde

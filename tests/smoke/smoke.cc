@@ -1,0 +1,26 @@
+#include <cstdio>
+#include "aa/analog/solver.hh"
+#include "aa/analog/refine.hh"
+#include "aa/la/direct.hh"
+
+using namespace aa;
+
+int main()
+{
+    la::DenseMatrix a = la::DenseMatrix::fromRows({{4.0, -1.0}, {-1.0, 3.0}});
+    la::Vector b{1.0, 2.0};
+    la::Vector exact = la::solveDense(a, b);
+
+    analog::AnalogLinearSolver solver;
+    auto out = solver.solve(a, b);
+    std::printf("exact  = [%f, %f]\n", exact[0], exact[1]);
+    std::printf("analog = [%f, %f] attempts=%zu conv=%d t=%g s\n",
+                out.u[0], out.u[1], out.attempts, (int)out.converged,
+                out.analog_seconds);
+
+    auto ref = analog::refineSolve(solver, a, b, {.tolerance = 1e-8, .max_passes = 12, .record_history = true});
+    std::printf("refined = [%.10f, %.10f] passes=%zu resid=%.3e conv=%d\n",
+                ref.u[0], ref.u[1], ref.passes, ref.final_residual, (int)ref.converged);
+    for (double r : ref.residual_history) std::printf("  resid %.3e\n", r);
+    return 0;
+}

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aa/common/rng.hh"
+#include "aa/la/direct.hh"
+#include "aa/pde/poisson.hh"
+#include "aa/solver/iterative.hh"
+
+namespace aa::solver {
+namespace {
+
+TEST(Cg, ExactInNStepsInExactArithmetic)
+{
+    // CG's finite-termination property: n iterations suffice for an
+    // n-dimensional SPD system (up to rounding).
+    auto a = la::DenseMatrix::fromRows(
+        {{6, 1, 0, 0}, {1, 5, 1, 0}, {0, 1, 4, 1}, {0, 0, 1, 3}});
+    la::DenseOperator op(a);
+    la::Vector b{1, 0, 2, -1};
+    IterOptions opts;
+    opts.tol = 1e-12;
+    auto res = conjugateGradient(op, b, opts);
+    EXPECT_TRUE(res.converged);
+    EXPECT_LE(res.iterations, 4u);
+}
+
+TEST(Cg, MatchesFigure7Ranking)
+{
+    // Figure 7: on the 3D Poisson problem, the convergence-rate
+    // ranking is CG > steepest > SOR(1.5) > GS > Jacobi, measured as
+    // iterations to a fixed residual. A small instance preserves it.
+    auto prob = pde::figure7Problem(5);
+    la::CsrOperator op(prob.a);
+    IterOptions opts;
+    opts.tol = 1e-8;
+    opts.max_iters = 200000;
+
+    auto cg = conjugateGradient(op, prob.b, opts);
+    auto st = steepestDescent(op, prob.b, opts);
+    auto so = sor(prob.a, prob.b, opts);
+    auto gs = gaussSeidel(prob.a, prob.b, opts);
+    auto ja = jacobi(op, prob.b, opts);
+
+    EXPECT_TRUE(cg.converged && st.converged && so.converged &&
+                gs.converged && ja.converged);
+    EXPECT_LT(cg.iterations, st.iterations);
+    EXPECT_LT(so.iterations, gs.iterations);
+    EXPECT_LT(gs.iterations, ja.iterations);
+}
+
+TEST(Cg, IterationsScaleWithSqrtCondition)
+{
+    // Theory (and the paper's Table III 2D row): CG steps grow like
+    // sqrt(kappa) ~ L for 2D Poisson, i.e. iterations roughly double
+    // when L doubles.
+    IterOptions opts;
+    opts.tol = 1e-8;
+    std::vector<std::size_t> iters;
+    for (std::size_t l : {8u, 16u, 32u}) {
+        pde::PoissonStencil stencil(2, l);
+        la::Vector b(stencil.size(), 1.0);
+        iters.push_back(
+            conjugateGradient(stencil, b, opts).iterations);
+    }
+    double r1 = static_cast<double>(iters[1]) /
+                static_cast<double>(iters[0]);
+    double r2 = static_cast<double>(iters[2]) /
+                static_cast<double>(iters[1]);
+    EXPECT_GT(r1, 1.5);
+    EXPECT_LT(r1, 3.0);
+    EXPECT_GT(r2, 1.5);
+    EXPECT_LT(r2, 3.0);
+}
+
+TEST(Cg, StencilAndCsrPathsAgree)
+{
+    auto prob = pde::assemblePoisson(2, 7);
+    pde::PoissonStencil stencil(2, 7);
+    la::Vector b(prob.a.rows());
+    Rng rng(3);
+    for (auto &v : b)
+        v = rng.uniform(-1.0, 1.0);
+
+    IterOptions opts;
+    opts.tol = 1e-12;
+    la::CsrOperator op(prob.a);
+    auto via_csr = conjugateGradient(op, b, opts);
+    auto via_stencil = conjugateGradient(stencil, b, opts);
+    EXPECT_LT(la::maxAbsDiff(via_csr.x, via_stencil.x), 1e-9);
+}
+
+TEST(Cg, PreconditioningHelpsOnScaledSystem)
+{
+    // A badly scaled SPD system A = D T D (T tridiagonal SPD, D a
+    // wildly varying diagonal): Jacobi preconditioning undoes D.
+    std::size_t n = 40;
+    la::DenseMatrix a(n, n);
+    auto d = [](std::size_t i) {
+        return std::pow(10.0, (double)(i % 4) / 2.0);
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+        a(i, i) = 2.0 * d(i) * d(i);
+        if (i > 0)
+            a(i, i - 1) = -0.5 * d(i) * d(i - 1);
+        if (i + 1 < n)
+            a(i, i + 1) = -0.5 * d(i) * d(i + 1);
+    }
+    la::DenseOperator op(a);
+    la::Vector b(n, 1.0);
+    IterOptions opts;
+    opts.tol = 1e-10;
+    opts.max_iters = 100000;
+    auto plain = conjugateGradient(op, b, opts);
+    auto pre = preconditionedCg(op, b, opts);
+    EXPECT_TRUE(plain.converged && pre.converged);
+    EXPECT_LE(pre.iterations, plain.iterations);
+}
+
+TEST(Cg, ZeroRhsReturnsZero)
+{
+    auto prob = pde::assemblePoisson(1, 5);
+    la::CsrOperator op(prob.a);
+    auto res = conjugateGradient(op, la::Vector(5), {});
+    EXPECT_TRUE(res.converged);
+    EXPECT_LT(la::norm2(res.x), 1e-14);
+}
+
+} // namespace
+} // namespace aa::solver

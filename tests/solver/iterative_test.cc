@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "aa/la/direct.hh"
+#include "aa/pde/poisson.hh"
+#include "aa/solver/iterative.hh"
+
+namespace aa::solver {
+namespace {
+
+struct Fixture2D {
+    pde::PoissonProblem prob = pde::assemblePoisson(
+        2, 5,
+        [](double x, double y, double) { return x * y + 1.0; });
+    la::Vector exact =
+        la::solveDense(prob.a.toDense(), prob.b);
+};
+
+TEST(Jacobi, ConvergesOnPoisson)
+{
+    Fixture2D f;
+    la::CsrOperator op(f.prob.a);
+    IterOptions opts;
+    opts.tol = 1e-12;
+    auto res = jacobi(op, f.prob.b, opts);
+    EXPECT_TRUE(res.converged);
+    EXPECT_LT(la::maxAbsDiff(res.x, f.exact), 1e-8);
+}
+
+TEST(GaussSeidel, ConvergesFasterThanJacobi)
+{
+    Fixture2D f;
+    la::CsrOperator op(f.prob.a);
+    IterOptions opts;
+    opts.tol = 1e-10;
+    auto jac = jacobi(op, f.prob.b, opts);
+    auto gs = gaussSeidel(f.prob.a, f.prob.b, opts);
+    EXPECT_TRUE(gs.converged);
+    EXPECT_LT(gs.iterations, jac.iterations);
+    EXPECT_LT(la::maxAbsDiff(gs.x, f.exact), 1e-7);
+}
+
+TEST(Sor, OptimalOmegaBeatsGaussSeidel)
+{
+    Fixture2D f;
+    IterOptions opts;
+    opts.tol = 1e-10;
+    auto gs = gaussSeidel(f.prob.a, f.prob.b, opts);
+    opts.omega = 1.6; // near-optimal for this grid
+    auto s = sor(f.prob.a, f.prob.b, opts);
+    EXPECT_TRUE(s.converged);
+    EXPECT_LT(s.iterations, gs.iterations);
+}
+
+TEST(SteepestDescent, ConvergesOnPoisson)
+{
+    Fixture2D f;
+    la::CsrOperator op(f.prob.a);
+    IterOptions opts;
+    opts.tol = 1e-10;
+    opts.max_iters = 20000;
+    auto res = steepestDescent(op, f.prob.b, opts);
+    EXPECT_TRUE(res.converged);
+    EXPECT_LT(la::maxAbsDiff(res.x, f.exact), 1e-7);
+}
+
+TEST(AllSolvers, AgreeOnSmallSpdSystem)
+{
+    auto a_dense = la::DenseMatrix::fromRows(
+        {{5, 1, 0}, {1, 4, 1}, {0, 1, 3}});
+    auto a = la::CsrMatrix::fromDense(a_dense);
+    la::Vector b{1, 2, 3};
+    la::Vector exact = la::solveDense(a_dense, b);
+
+    la::CsrOperator op(a);
+    IterOptions opts;
+    opts.tol = 1e-13;
+    opts.max_iters = 100000;
+    for (auto res :
+         {jacobi(op, b, opts), gaussSeidel(a, b, opts),
+          sor(a, b, opts), steepestDescent(op, b, opts),
+          conjugateGradient(op, b, opts),
+          preconditionedCg(op, b, opts)}) {
+        EXPECT_TRUE(res.converged);
+        EXPECT_LT(la::maxAbsDiff(res.x, exact), 1e-9);
+    }
+}
+
+TEST(IterOptions, MaxChangeCriterionStopsAtPaperRule)
+{
+    // The paper's rule: stop when no element changes by more than
+    // 1/256 of full scale.
+    Fixture2D f;
+    la::CsrOperator op(f.prob.a);
+    IterOptions opts;
+    opts.criterion = Criterion::MaxChange;
+    opts.tol = 1.0 / 256.0;
+    auto res = conjugateGradient(op, f.prob.b, opts);
+    EXPECT_TRUE(res.converged);
+    // Far fewer iterations than a 1e-10 residual solve.
+    IterOptions tight;
+    tight.tol = 1e-10;
+    auto full = conjugateGradient(op, f.prob.b, tight);
+    EXPECT_LT(res.iterations, full.iterations);
+}
+
+TEST(IterOptions, InitialGuessShortensSolve)
+{
+    Fixture2D f;
+    la::CsrOperator op(f.prob.a);
+    IterOptions cold;
+    cold.tol = 1e-10;
+    auto from_zero = conjugateGradient(op, f.prob.b, cold);
+
+    IterOptions warm = cold;
+    warm.x0 = f.exact;
+    auto from_exact = conjugateGradient(op, f.prob.b, warm);
+    EXPECT_LE(from_exact.iterations, 1u);
+}
+
+TEST(IterResult, ResidualHistoryMonotoneForCg)
+{
+    Fixture2D f;
+    la::CsrOperator op(f.prob.a);
+    IterOptions opts;
+    opts.tol = 1e-10;
+    opts.record_residuals = true;
+    auto res = conjugateGradient(op, f.prob.b, opts);
+    ASSERT_GT(res.residual_history.size(), 2u);
+    // CG's residual is not strictly monotone in general, but on this
+    // well-conditioned SPD system it must trend down by orders.
+    EXPECT_LT(res.residual_history.back(),
+              res.residual_history.front() * 1e-6);
+}
+
+TEST(IterResult, ErrorHistoryAgainstExact)
+{
+    Fixture2D f;
+    la::CsrOperator op(f.prob.a);
+    IterOptions opts;
+    opts.tol = 1e-10;
+    opts.exact = &f.exact;
+    auto res = conjugateGradient(op, f.prob.b, opts);
+    ASSERT_FALSE(res.error_history.empty());
+    EXPECT_LT(res.error_history.back(),
+              res.error_history.front());
+}
+
+TEST(IterResult, FlopsAccumulate)
+{
+    Fixture2D f;
+    la::CsrOperator op(f.prob.a);
+    IterOptions opts;
+    opts.tol = 1e-10;
+    auto res = conjugateGradient(op, f.prob.b, opts);
+    EXPECT_GT(res.flops, res.iterations * f.prob.a.nnz());
+}
+
+TEST(IterDeath, SorOmegaOutOfRangeIsFatal)
+{
+    Fixture2D f;
+    IterOptions opts;
+    opts.omega = 2.5;
+    EXPECT_EXIT(sor(f.prob.a, f.prob.b, opts),
+                ::testing::ExitedWithCode(1), "omega");
+}
+
+TEST(IterDeath, CgOnIndefiniteIsFatal)
+{
+    auto a_dense =
+        la::DenseMatrix::fromRows({{1, 2}, {2, 1}}); // indefinite
+    la::DenseOperator op(a_dense);
+    IterOptions opts;
+    // b excites the negative eigenvector (1, -1) so the curvature
+    // check p^T A p < 0 trips on the first iteration.
+    EXPECT_EXIT(conjugateGradient(op, {1, -1}, opts),
+                ::testing::ExitedWithCode(1), "positive definite");
+}
+
+TEST(IterDeath, ZeroDiagonalIsFatal)
+{
+    auto a = la::CsrMatrix::fromTriplets(2, 2,
+                                         {{0, 1, 1.0}, {1, 0, 1.0}});
+    la::CsrOperator op(a);
+    EXPECT_EXIT(jacobi(op, {1, 1}, {}),
+                ::testing::ExitedWithCode(1), "diagonal");
+}
+
+} // namespace
+} // namespace aa::solver

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aa/la/direct.hh"
+#include "aa/pde/poisson.hh"
+#include "aa/solver/newton.hh"
+
+namespace aa::solver {
+namespace {
+
+/** -laplacian(u) + c u^3 = f on a small 1D grid. */
+NonlinearSystem
+cubicPoisson(std::size_t l, double c, double f_value)
+{
+    auto prob = pde::assemblePoisson(
+        1, l, [f_value](double, double, double) { return f_value; });
+    NonlinearSystem sys;
+    sys.a = prob.a.toDense();
+    sys.b = prob.b;
+    sys.phi = [c](double u) { return c * u * u * u; };
+    sys.phi_prime = [c](double u) { return 3.0 * c * u * u; };
+    return sys;
+}
+
+TEST(Newton, ScalarCubicRoot)
+{
+    // u + u^3 = 2 has the root u = 1.
+    NonlinearSystem sys;
+    sys.a = la::DenseMatrix::fromRows({{1.0}});
+    sys.b = la::Vector{2.0};
+    sys.phi = [](double u) { return u * u * u; };
+    sys.phi_prime = [](double u) { return 3.0 * u * u; };
+    auto res = newtonSolve(sys);
+    EXPECT_TRUE(res.converged);
+    EXPECT_NEAR(res.x[0], 1.0, 1e-12);
+}
+
+TEST(Newton, LinearSystemInOneStep)
+{
+    // With phi = 0 Newton is a single exact linear solve.
+    NonlinearSystem sys;
+    sys.a = la::DenseMatrix::fromRows({{4, -1}, {-1, 3}});
+    sys.b = la::Vector{1, 2};
+    auto res = newtonSolve(sys);
+    EXPECT_TRUE(res.converged);
+    EXPECT_LE(res.iterations, 2u);
+    la::Vector exact = la::solveDense(sys.a, sys.b);
+    EXPECT_LT(la::maxAbsDiff(res.x, exact), 1e-12);
+}
+
+TEST(Newton, CubicPoissonResidualVanishes)
+{
+    auto sys = cubicPoisson(7, 50.0, 40.0);
+    auto res = newtonSolve(sys);
+    EXPECT_TRUE(res.converged);
+    EXPECT_LT(res.final_residual, 1e-10 * la::norm2(sys.b));
+    // The cubic term must actually matter: compare with the pure
+    // linear solution.
+    la::Vector linear = la::solveDense(sys.a, sys.b);
+    EXPECT_GT(la::maxAbsDiff(res.x, linear), 1e-3);
+    // And it pushes the solution down (phi > 0 for u > 0).
+    EXPECT_LT(la::normInf(res.x), la::normInf(linear));
+}
+
+TEST(Newton, QuadraticConvergence)
+{
+    auto sys = cubicPoisson(5, 10.0, 30.0);
+    NewtonOptions opts;
+    opts.record_history = true;
+    opts.tol = 1e-14;
+    auto res = newtonSolve(sys, opts);
+    ASSERT_TRUE(res.converged);
+    // Once in the basin, the residual roughly squares each step:
+    // successive log-residual differences grow.
+    const auto &h = res.residual_history;
+    ASSERT_GE(h.size(), 4u);
+    double drop1 = h[h.size() - 3] / h[h.size() - 2];
+    double drop0 = h[1] / h[2];
+    EXPECT_GT(drop1, drop0);
+}
+
+TEST(Newton, BacktrackingRescuesOvershoot)
+{
+    // A stiff nonlinearity from a far-off start needs damping.
+    NonlinearSystem sys;
+    sys.a = la::DenseMatrix::fromRows({{1.0}});
+    sys.b = la::Vector{0.5};
+    sys.phi = [](double u) { return std::sinh(4.0 * u); };
+    sys.phi_prime = [](double u) { return 4.0 * std::cosh(4.0 * u); };
+    NewtonOptions opts;
+    opts.x0 = la::Vector{3.0};
+    opts.max_iters = 100;
+    auto res = newtonSolve(sys, opts);
+    EXPECT_TRUE(res.converged);
+    // Root of u + sinh(4u) = 0.5 is near 0.117.
+    EXPECT_NEAR(res.x[0] + std::sinh(4.0 * res.x[0]), 0.5, 1e-9);
+}
+
+TEST(Newton, JacobianSolveCountTracksIterations)
+{
+    auto sys = cubicPoisson(5, 10.0, 30.0);
+    auto res = newtonSolve(sys);
+    EXPECT_EQ(res.jacobian_solves, res.iterations);
+}
+
+TEST(Newton, ResidualAndJacobianShapes)
+{
+    auto sys = cubicPoisson(4, 2.0, 1.0);
+    la::Vector u(4, 0.5);
+    la::Vector f = sys.residual(u);
+    EXPECT_EQ(f.size(), 4u);
+    auto j = sys.jacobian(u);
+    // diag(A) + 3 c u^2 on the diagonal.
+    EXPECT_NEAR(j(1, 1), sys.a(1, 1) + 3.0 * 2.0 * 0.25, 1e-12);
+    EXPECT_DOUBLE_EQ(j(0, 1), sys.a(0, 1));
+}
+
+TEST(NewtonDeath, MismatchedPhiPairFatal)
+{
+    NonlinearSystem sys;
+    sys.a = la::DenseMatrix::identity(2);
+    sys.b = la::Vector(2);
+    sys.phi = [](double u) { return u; };
+    EXPECT_EXIT(newtonSolve(sys), ::testing::ExitedWithCode(1),
+                "come together");
+}
+
+} // namespace
+} // namespace aa::solver

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aa/solver/multigrid.hh"
+
+namespace aa::solver {
+namespace {
+
+using transfer::prolongLinear;
+using transfer::restrictFullWeighting;
+
+TEST(Transfer, Restrict1DConstantStaysConstant)
+{
+    la::Vector fine(7, 1.0);
+    la::Vector coarse = restrictFullWeighting(1, 7, fine);
+    ASSERT_EQ(coarse.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_DOUBLE_EQ(coarse[i], 1.0);
+}
+
+TEST(Transfer, Restrict1DWeights)
+{
+    la::Vector fine{0, 0, 4, 0, 0, 0, 0};
+    la::Vector coarse = restrictFullWeighting(1, 7, fine);
+    // Fine node 2 contributes 1/4 to coarse 0 (fine 1) via its right
+    // neighbor weight and 1/4 to coarse 1 (fine 3).
+    EXPECT_DOUBLE_EQ(coarse[0], 1.0);
+    EXPECT_DOUBLE_EQ(coarse[1], 1.0);
+    EXPECT_DOUBLE_EQ(coarse[2], 0.0);
+}
+
+TEST(Transfer, Prolong1DLinearInterpolation)
+{
+    la::Vector coarse{1.0, 3.0, 5.0};
+    la::Vector fine = prolongLinear(1, 3, coarse);
+    ASSERT_EQ(fine.size(), 7u);
+    EXPECT_DOUBLE_EQ(fine[0], 0.5); // halfway to boundary zero
+    EXPECT_DOUBLE_EQ(fine[1], 1.0);
+    EXPECT_DOUBLE_EQ(fine[2], 2.0);
+    EXPECT_DOUBLE_EQ(fine[3], 3.0);
+    EXPECT_DOUBLE_EQ(fine[4], 4.0);
+    EXPECT_DOUBLE_EQ(fine[5], 5.0);
+    EXPECT_DOUBLE_EQ(fine[6], 2.5);
+}
+
+TEST(Transfer, Restrict2DConstant)
+{
+    la::Vector fine(49, 2.0); // 7x7
+    la::Vector coarse = restrictFullWeighting(2, 7, fine);
+    ASSERT_EQ(coarse.size(), 9u);
+    for (std::size_t i = 0; i < coarse.size(); ++i)
+        EXPECT_NEAR(coarse[i], 2.0, 1e-14);
+}
+
+TEST(Transfer, Prolong2DConstantInteriorExact)
+{
+    la::Vector coarse(9, 1.0); // 3x3
+    la::Vector fine = prolongLinear(2, 3, coarse);
+    ASSERT_EQ(fine.size(), 49u);
+    // The center of the fine grid interpolates interior values only.
+    EXPECT_DOUBLE_EQ(fine[3 * 7 + 3], 1.0);
+    // Fine corners average toward the zero boundary.
+    EXPECT_DOUBLE_EQ(fine[0], 0.25);
+}
+
+TEST(Transfer, RestrictThenProlongPreservesSmoothMass)
+{
+    // Transfer operators are (up to scaling) adjoint: for a smooth
+    // field, <R v, R v> stays within a constant of <v, v>/2^d.
+    la::Vector fine(15);
+    for (std::size_t i = 0; i < 15; ++i)
+        fine[i] =
+            std::sin(M_PI * static_cast<double>(i + 1) / 16.0);
+    la::Vector coarse = restrictFullWeighting(1, 15, fine);
+    ASSERT_EQ(coarse.size(), 7u);
+    la::Vector back = prolongLinear(1, 7, coarse);
+    // The smooth field survives the round trip closely.
+    EXPECT_LT(la::maxAbsDiff(back, fine), 0.05);
+}
+
+TEST(Transfer, ThreeDimensionalShapes)
+{
+    la::Vector fine(343, 1.0); // 7^3
+    la::Vector coarse = restrictFullWeighting(3, 7, fine);
+    EXPECT_EQ(coarse.size(), 27u);
+    la::Vector up = prolongLinear(3, 3, coarse);
+    EXPECT_EQ(up.size(), 343u);
+    // Center value exact for the constant field.
+    EXPECT_NEAR(coarse[13], 1.0, 1e-14);
+}
+
+TEST(TransferDeath, EvenGridPanics)
+{
+    la::Vector fine(6, 1.0);
+    EXPECT_DEATH(restrictFullWeighting(1, 6, fine), "odd");
+}
+
+} // namespace
+} // namespace aa::solver
