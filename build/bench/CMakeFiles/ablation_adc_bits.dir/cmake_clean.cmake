@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_adc_bits.dir/ablation_adc_bits.cpp.o"
+  "CMakeFiles/ablation_adc_bits.dir/ablation_adc_bits.cpp.o.d"
+  "ablation_adc_bits"
+  "ablation_adc_bits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adc_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nonideal.dir/ablation_nonideal.cpp.o"
+  "CMakeFiles/ablation_nonideal.dir/ablation_nonideal.cpp.o.d"
+  "ablation_nonideal"
+  "ablation_nonideal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nonideal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

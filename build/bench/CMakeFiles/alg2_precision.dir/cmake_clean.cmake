@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alg2_precision.dir/alg2_precision.cpp.o"
+  "CMakeFiles/alg2_precision.dir/alg2_precision.cpp.o.d"
+  "alg2_precision"
+  "alg2_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alg2_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_nonlinear.dir/ext_nonlinear.cpp.o"
+  "CMakeFiles/ext_nonlinear.dir/ext_nonlinear.cpp.o.d"
+  "ext_nonlinear"
+  "ext_nonlinear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_nonlinear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_ode_waveform.dir/fig1_ode_waveform.cpp.o"
+  "CMakeFiles/fig1_ode_waveform.dir/fig1_ode_waveform.cpp.o.d"
+  "fig1_ode_waveform"
+  "fig1_ode_waveform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_ode_waveform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

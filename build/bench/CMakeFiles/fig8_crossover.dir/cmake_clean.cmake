@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_crossover.dir/fig8_crossover.cpp.o"
+  "CMakeFiles/fig8_crossover.dir/fig8_crossover.cpp.o.d"
+  "fig8_crossover"
+  "fig8_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

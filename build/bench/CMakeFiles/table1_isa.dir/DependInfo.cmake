@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_isa.cpp" "bench/CMakeFiles/table1_isa.dir/table1_isa.cpp.o" "gcc" "bench/CMakeFiles/table1_isa.dir/table1_isa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analog/CMakeFiles/aa_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/aa_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/aa_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/aa_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/chip/CMakeFiles/aa_chip.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/aa_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/aa_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/pde/CMakeFiles/aa_pde.dir/DependInfo.cmake"
+  "/root/repo/build/src/ode/CMakeFiles/aa_ode.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/aa_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

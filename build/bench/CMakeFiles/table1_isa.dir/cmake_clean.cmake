@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_isa.dir/table1_isa.cpp.o"
+  "CMakeFiles/table1_isa.dir/table1_isa.cpp.o.d"
+  "table1_isa"
+  "table1_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

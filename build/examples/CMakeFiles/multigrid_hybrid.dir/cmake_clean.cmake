@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multigrid_hybrid.dir/multigrid_hybrid.cpp.o"
+  "CMakeFiles/multigrid_hybrid.dir/multigrid_hybrid.cpp.o.d"
+  "multigrid_hybrid"
+  "multigrid_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multigrid_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

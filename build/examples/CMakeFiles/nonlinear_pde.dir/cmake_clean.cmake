@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nonlinear_pde.dir/nonlinear_pde.cpp.o"
+  "CMakeFiles/nonlinear_pde.dir/nonlinear_pde.cpp.o.d"
+  "nonlinear_pde"
+  "nonlinear_pde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nonlinear_pde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

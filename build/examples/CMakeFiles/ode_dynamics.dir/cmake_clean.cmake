@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ode_dynamics.dir/ode_dynamics.cpp.o"
+  "CMakeFiles/ode_dynamics.dir/ode_dynamics.cpp.o.d"
+  "ode_dynamics"
+  "ode_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ode_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

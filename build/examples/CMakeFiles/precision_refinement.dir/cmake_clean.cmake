@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precision_refinement.dir/precision_refinement.cpp.o"
+  "CMakeFiles/precision_refinement.dir/precision_refinement.cpp.o.d"
+  "precision_refinement"
+  "precision_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precision_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analog/decompose.cc" "src/analog/CMakeFiles/aa_analog.dir/decompose.cc.o" "gcc" "src/analog/CMakeFiles/aa_analog.dir/decompose.cc.o.d"
+  "/root/repo/src/analog/die_pool.cc" "src/analog/CMakeFiles/aa_analog.dir/die_pool.cc.o" "gcc" "src/analog/CMakeFiles/aa_analog.dir/die_pool.cc.o.d"
+  "/root/repo/src/analog/hybrid_mg.cc" "src/analog/CMakeFiles/aa_analog.dir/hybrid_mg.cc.o" "gcc" "src/analog/CMakeFiles/aa_analog.dir/hybrid_mg.cc.o.d"
+  "/root/repo/src/analog/nonlinear.cc" "src/analog/CMakeFiles/aa_analog.dir/nonlinear.cc.o" "gcc" "src/analog/CMakeFiles/aa_analog.dir/nonlinear.cc.o.d"
+  "/root/repo/src/analog/ode_runner.cc" "src/analog/CMakeFiles/aa_analog.dir/ode_runner.cc.o" "gcc" "src/analog/CMakeFiles/aa_analog.dir/ode_runner.cc.o.d"
+  "/root/repo/src/analog/refine.cc" "src/analog/CMakeFiles/aa_analog.dir/refine.cc.o" "gcc" "src/analog/CMakeFiles/aa_analog.dir/refine.cc.o.d"
+  "/root/repo/src/analog/solver.cc" "src/analog/CMakeFiles/aa_analog.dir/solver.cc.o" "gcc" "src/analog/CMakeFiles/aa_analog.dir/solver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compiler/CMakeFiles/aa_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/aa_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/pde/CMakeFiles/aa_pde.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/aa_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/chip/CMakeFiles/aa_chip.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/aa_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/ode/CMakeFiles/aa_ode.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/aa_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

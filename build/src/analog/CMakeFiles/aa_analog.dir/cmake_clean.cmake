@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aa_analog.dir/decompose.cc.o"
+  "CMakeFiles/aa_analog.dir/decompose.cc.o.d"
+  "CMakeFiles/aa_analog.dir/die_pool.cc.o"
+  "CMakeFiles/aa_analog.dir/die_pool.cc.o.d"
+  "CMakeFiles/aa_analog.dir/hybrid_mg.cc.o"
+  "CMakeFiles/aa_analog.dir/hybrid_mg.cc.o.d"
+  "CMakeFiles/aa_analog.dir/nonlinear.cc.o"
+  "CMakeFiles/aa_analog.dir/nonlinear.cc.o.d"
+  "CMakeFiles/aa_analog.dir/ode_runner.cc.o"
+  "CMakeFiles/aa_analog.dir/ode_runner.cc.o.d"
+  "CMakeFiles/aa_analog.dir/refine.cc.o"
+  "CMakeFiles/aa_analog.dir/refine.cc.o.d"
+  "CMakeFiles/aa_analog.dir/solver.cc.o"
+  "CMakeFiles/aa_analog.dir/solver.cc.o.d"
+  "libaa_analog.a"
+  "libaa_analog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aa_analog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aa_chip.dir/calibration.cc.o"
+  "CMakeFiles/aa_chip.dir/calibration.cc.o.d"
+  "CMakeFiles/aa_chip.dir/chip.cc.o"
+  "CMakeFiles/aa_chip.dir/chip.cc.o.d"
+  "libaa_chip.a"
+  "libaa_chip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aa_chip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

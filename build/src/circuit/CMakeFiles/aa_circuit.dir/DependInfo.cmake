@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/block.cc" "src/circuit/CMakeFiles/aa_circuit.dir/block.cc.o" "gcc" "src/circuit/CMakeFiles/aa_circuit.dir/block.cc.o.d"
+  "/root/repo/src/circuit/netlist.cc" "src/circuit/CMakeFiles/aa_circuit.dir/netlist.cc.o" "gcc" "src/circuit/CMakeFiles/aa_circuit.dir/netlist.cc.o.d"
+  "/root/repo/src/circuit/nonideal.cc" "src/circuit/CMakeFiles/aa_circuit.dir/nonideal.cc.o" "gcc" "src/circuit/CMakeFiles/aa_circuit.dir/nonideal.cc.o.d"
+  "/root/repo/src/circuit/simulator.cc" "src/circuit/CMakeFiles/aa_circuit.dir/simulator.cc.o" "gcc" "src/circuit/CMakeFiles/aa_circuit.dir/simulator.cc.o.d"
+  "/root/repo/src/circuit/spec.cc" "src/circuit/CMakeFiles/aa_circuit.dir/spec.cc.o" "gcc" "src/circuit/CMakeFiles/aa_circuit.dir/spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ode/CMakeFiles/aa_ode.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/aa_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aa_circuit.dir/block.cc.o"
+  "CMakeFiles/aa_circuit.dir/block.cc.o.d"
+  "CMakeFiles/aa_circuit.dir/netlist.cc.o"
+  "CMakeFiles/aa_circuit.dir/netlist.cc.o.d"
+  "CMakeFiles/aa_circuit.dir/nonideal.cc.o"
+  "CMakeFiles/aa_circuit.dir/nonideal.cc.o.d"
+  "CMakeFiles/aa_circuit.dir/simulator.cc.o"
+  "CMakeFiles/aa_circuit.dir/simulator.cc.o.d"
+  "CMakeFiles/aa_circuit.dir/spec.cc.o"
+  "CMakeFiles/aa_circuit.dir/spec.cc.o.d"
+  "libaa_circuit.a"
+  "libaa_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aa_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

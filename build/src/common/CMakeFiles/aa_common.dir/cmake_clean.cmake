@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aa_common.dir/logging.cc.o"
+  "CMakeFiles/aa_common.dir/logging.cc.o.d"
+  "CMakeFiles/aa_common.dir/stats.cc.o"
+  "CMakeFiles/aa_common.dir/stats.cc.o.d"
+  "CMakeFiles/aa_common.dir/table.cc.o"
+  "CMakeFiles/aa_common.dir/table.cc.o.d"
+  "libaa_common.a"
+  "libaa_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aa_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aa_compiler.dir/mapper.cc.o"
+  "CMakeFiles/aa_compiler.dir/mapper.cc.o.d"
+  "CMakeFiles/aa_compiler.dir/scaling.cc.o"
+  "CMakeFiles/aa_compiler.dir/scaling.cc.o.d"
+  "libaa_compiler.a"
+  "libaa_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aa_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for aa_compiler.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cost/digital.cc" "src/cost/CMakeFiles/aa_cost.dir/digital.cc.o" "gcc" "src/cost/CMakeFiles/aa_cost.dir/digital.cc.o.d"
+  "/root/repo/src/cost/model.cc" "src/cost/CMakeFiles/aa_cost.dir/model.cc.o" "gcc" "src/cost/CMakeFiles/aa_cost.dir/model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/aa_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/pde/CMakeFiles/aa_pde.dir/DependInfo.cmake"
+  "/root/repo/build/src/ode/CMakeFiles/aa_ode.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/aa_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

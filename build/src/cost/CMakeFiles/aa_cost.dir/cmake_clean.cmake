@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aa_cost.dir/digital.cc.o"
+  "CMakeFiles/aa_cost.dir/digital.cc.o.d"
+  "CMakeFiles/aa_cost.dir/model.cc.o"
+  "CMakeFiles/aa_cost.dir/model.cc.o.d"
+  "libaa_cost.a"
+  "libaa_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aa_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

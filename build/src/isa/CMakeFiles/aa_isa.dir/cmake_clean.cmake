@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aa_isa.dir/command.cc.o"
+  "CMakeFiles/aa_isa.dir/command.cc.o.d"
+  "CMakeFiles/aa_isa.dir/driver.cc.o"
+  "CMakeFiles/aa_isa.dir/driver.cc.o.d"
+  "libaa_isa.a"
+  "libaa_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aa_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/la/csr_matrix.cc" "src/la/CMakeFiles/aa_la.dir/csr_matrix.cc.o" "gcc" "src/la/CMakeFiles/aa_la.dir/csr_matrix.cc.o.d"
+  "/root/repo/src/la/dense_matrix.cc" "src/la/CMakeFiles/aa_la.dir/dense_matrix.cc.o" "gcc" "src/la/CMakeFiles/aa_la.dir/dense_matrix.cc.o.d"
+  "/root/repo/src/la/direct.cc" "src/la/CMakeFiles/aa_la.dir/direct.cc.o" "gcc" "src/la/CMakeFiles/aa_la.dir/direct.cc.o.d"
+  "/root/repo/src/la/eigen.cc" "src/la/CMakeFiles/aa_la.dir/eigen.cc.o" "gcc" "src/la/CMakeFiles/aa_la.dir/eigen.cc.o.d"
+  "/root/repo/src/la/io.cc" "src/la/CMakeFiles/aa_la.dir/io.cc.o" "gcc" "src/la/CMakeFiles/aa_la.dir/io.cc.o.d"
+  "/root/repo/src/la/operator.cc" "src/la/CMakeFiles/aa_la.dir/operator.cc.o" "gcc" "src/la/CMakeFiles/aa_la.dir/operator.cc.o.d"
+  "/root/repo/src/la/vector.cc" "src/la/CMakeFiles/aa_la.dir/vector.cc.o" "gcc" "src/la/CMakeFiles/aa_la.dir/vector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aa_la.dir/csr_matrix.cc.o"
+  "CMakeFiles/aa_la.dir/csr_matrix.cc.o.d"
+  "CMakeFiles/aa_la.dir/dense_matrix.cc.o"
+  "CMakeFiles/aa_la.dir/dense_matrix.cc.o.d"
+  "CMakeFiles/aa_la.dir/direct.cc.o"
+  "CMakeFiles/aa_la.dir/direct.cc.o.d"
+  "CMakeFiles/aa_la.dir/eigen.cc.o"
+  "CMakeFiles/aa_la.dir/eigen.cc.o.d"
+  "CMakeFiles/aa_la.dir/io.cc.o"
+  "CMakeFiles/aa_la.dir/io.cc.o.d"
+  "CMakeFiles/aa_la.dir/operator.cc.o"
+  "CMakeFiles/aa_la.dir/operator.cc.o.d"
+  "CMakeFiles/aa_la.dir/vector.cc.o"
+  "CMakeFiles/aa_la.dir/vector.cc.o.d"
+  "libaa_la.a"
+  "libaa_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aa_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

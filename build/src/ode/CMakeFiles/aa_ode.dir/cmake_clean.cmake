@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aa_ode.dir/csv.cc.o"
+  "CMakeFiles/aa_ode.dir/csv.cc.o.d"
+  "CMakeFiles/aa_ode.dir/integrator.cc.o"
+  "CMakeFiles/aa_ode.dir/integrator.cc.o.d"
+  "CMakeFiles/aa_ode.dir/system.cc.o"
+  "CMakeFiles/aa_ode.dir/system.cc.o.d"
+  "CMakeFiles/aa_ode.dir/trajectory.cc.o"
+  "CMakeFiles/aa_ode.dir/trajectory.cc.o.d"
+  "libaa_ode.a"
+  "libaa_ode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aa_ode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

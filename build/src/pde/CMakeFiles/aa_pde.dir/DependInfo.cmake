@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pde/grid.cc" "src/pde/CMakeFiles/aa_pde.dir/grid.cc.o" "gcc" "src/pde/CMakeFiles/aa_pde.dir/grid.cc.o.d"
+  "/root/repo/src/pde/heat.cc" "src/pde/CMakeFiles/aa_pde.dir/heat.cc.o" "gcc" "src/pde/CMakeFiles/aa_pde.dir/heat.cc.o.d"
+  "/root/repo/src/pde/manufactured.cc" "src/pde/CMakeFiles/aa_pde.dir/manufactured.cc.o" "gcc" "src/pde/CMakeFiles/aa_pde.dir/manufactured.cc.o.d"
+  "/root/repo/src/pde/partition.cc" "src/pde/CMakeFiles/aa_pde.dir/partition.cc.o" "gcc" "src/pde/CMakeFiles/aa_pde.dir/partition.cc.o.d"
+  "/root/repo/src/pde/poisson.cc" "src/pde/CMakeFiles/aa_pde.dir/poisson.cc.o" "gcc" "src/pde/CMakeFiles/aa_pde.dir/poisson.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/aa_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/ode/CMakeFiles/aa_ode.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

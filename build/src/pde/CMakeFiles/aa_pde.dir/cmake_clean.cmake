@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aa_pde.dir/grid.cc.o"
+  "CMakeFiles/aa_pde.dir/grid.cc.o.d"
+  "CMakeFiles/aa_pde.dir/heat.cc.o"
+  "CMakeFiles/aa_pde.dir/heat.cc.o.d"
+  "CMakeFiles/aa_pde.dir/manufactured.cc.o"
+  "CMakeFiles/aa_pde.dir/manufactured.cc.o.d"
+  "CMakeFiles/aa_pde.dir/partition.cc.o"
+  "CMakeFiles/aa_pde.dir/partition.cc.o.d"
+  "CMakeFiles/aa_pde.dir/poisson.cc.o"
+  "CMakeFiles/aa_pde.dir/poisson.cc.o.d"
+  "libaa_pde.a"
+  "libaa_pde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aa_pde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

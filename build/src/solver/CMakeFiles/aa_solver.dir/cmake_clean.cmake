@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aa_solver.dir/iterative.cc.o"
+  "CMakeFiles/aa_solver.dir/iterative.cc.o.d"
+  "CMakeFiles/aa_solver.dir/multigrid.cc.o"
+  "CMakeFiles/aa_solver.dir/multigrid.cc.o.d"
+  "CMakeFiles/aa_solver.dir/newton.cc.o"
+  "CMakeFiles/aa_solver.dir/newton.cc.o.d"
+  "libaa_solver.a"
+  "libaa_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aa_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

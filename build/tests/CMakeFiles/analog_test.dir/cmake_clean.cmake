@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analog_test.dir/analog/adc_readout_test.cc.o"
+  "CMakeFiles/analog_test.dir/analog/adc_readout_test.cc.o.d"
+  "CMakeFiles/analog_test.dir/analog/decompose_test.cc.o"
+  "CMakeFiles/analog_test.dir/analog/decompose_test.cc.o.d"
+  "CMakeFiles/analog_test.dir/analog/die_pool_test.cc.o"
+  "CMakeFiles/analog_test.dir/analog/die_pool_test.cc.o.d"
+  "CMakeFiles/analog_test.dir/analog/hybrid_test.cc.o"
+  "CMakeFiles/analog_test.dir/analog/hybrid_test.cc.o.d"
+  "CMakeFiles/analog_test.dir/analog/nonlinear_test.cc.o"
+  "CMakeFiles/analog_test.dir/analog/nonlinear_test.cc.o.d"
+  "CMakeFiles/analog_test.dir/analog/ode_runner_test.cc.o"
+  "CMakeFiles/analog_test.dir/analog/ode_runner_test.cc.o.d"
+  "CMakeFiles/analog_test.dir/analog/refine_test.cc.o"
+  "CMakeFiles/analog_test.dir/analog/refine_test.cc.o.d"
+  "CMakeFiles/analog_test.dir/analog/solver_test.cc.o"
+  "CMakeFiles/analog_test.dir/analog/solver_test.cc.o.d"
+  "analog_test"
+  "analog_test.pdb"
+  "analog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chip_test.dir/chip/calibration_test.cc.o"
+  "CMakeFiles/chip_test.dir/chip/calibration_test.cc.o.d"
+  "CMakeFiles/chip_test.dir/chip/capture_test.cc.o"
+  "CMakeFiles/chip_test.dir/chip/capture_test.cc.o.d"
+  "CMakeFiles/chip_test.dir/chip/chip_test.cc.o"
+  "CMakeFiles/chip_test.dir/chip/chip_test.cc.o.d"
+  "CMakeFiles/chip_test.dir/chip/exceptions_test.cc.o"
+  "CMakeFiles/chip_test.dir/chip/exceptions_test.cc.o.d"
+  "chip_test"
+  "chip_test.pdb"
+  "chip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/circuit/blocks_test.cc" "tests/CMakeFiles/circuit_test.dir/circuit/blocks_test.cc.o" "gcc" "tests/CMakeFiles/circuit_test.dir/circuit/blocks_test.cc.o.d"
+  "/root/repo/tests/circuit/lut_dynamics_test.cc" "tests/CMakeFiles/circuit_test.dir/circuit/lut_dynamics_test.cc.o" "gcc" "tests/CMakeFiles/circuit_test.dir/circuit/lut_dynamics_test.cc.o.d"
+  "/root/repo/tests/circuit/modes_test.cc" "tests/CMakeFiles/circuit_test.dir/circuit/modes_test.cc.o" "gcc" "tests/CMakeFiles/circuit_test.dir/circuit/modes_test.cc.o.d"
+  "/root/repo/tests/circuit/netlist_test.cc" "tests/CMakeFiles/circuit_test.dir/circuit/netlist_test.cc.o" "gcc" "tests/CMakeFiles/circuit_test.dir/circuit/netlist_test.cc.o.d"
+  "/root/repo/tests/circuit/nonideal_test.cc" "tests/CMakeFiles/circuit_test.dir/circuit/nonideal_test.cc.o" "gcc" "tests/CMakeFiles/circuit_test.dir/circuit/nonideal_test.cc.o.d"
+  "/root/repo/tests/circuit/simulator_test.cc" "tests/CMakeFiles/circuit_test.dir/circuit/simulator_test.cc.o" "gcc" "tests/CMakeFiles/circuit_test.dir/circuit/simulator_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/aa_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/ode/CMakeFiles/aa_ode.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/aa_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_test.dir/circuit/blocks_test.cc.o"
+  "CMakeFiles/circuit_test.dir/circuit/blocks_test.cc.o.d"
+  "CMakeFiles/circuit_test.dir/circuit/lut_dynamics_test.cc.o"
+  "CMakeFiles/circuit_test.dir/circuit/lut_dynamics_test.cc.o.d"
+  "CMakeFiles/circuit_test.dir/circuit/modes_test.cc.o"
+  "CMakeFiles/circuit_test.dir/circuit/modes_test.cc.o.d"
+  "CMakeFiles/circuit_test.dir/circuit/netlist_test.cc.o"
+  "CMakeFiles/circuit_test.dir/circuit/netlist_test.cc.o.d"
+  "CMakeFiles/circuit_test.dir/circuit/nonideal_test.cc.o"
+  "CMakeFiles/circuit_test.dir/circuit/nonideal_test.cc.o.d"
+  "CMakeFiles/circuit_test.dir/circuit/simulator_test.cc.o"
+  "CMakeFiles/circuit_test.dir/circuit/simulator_test.cc.o.d"
+  "circuit_test"
+  "circuit_test.pdb"
+  "circuit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

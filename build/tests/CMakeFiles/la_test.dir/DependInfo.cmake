@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/la/csr_test.cc" "tests/CMakeFiles/la_test.dir/la/csr_test.cc.o" "gcc" "tests/CMakeFiles/la_test.dir/la/csr_test.cc.o.d"
+  "/root/repo/tests/la/dense_test.cc" "tests/CMakeFiles/la_test.dir/la/dense_test.cc.o" "gcc" "tests/CMakeFiles/la_test.dir/la/dense_test.cc.o.d"
+  "/root/repo/tests/la/direct_test.cc" "tests/CMakeFiles/la_test.dir/la/direct_test.cc.o" "gcc" "tests/CMakeFiles/la_test.dir/la/direct_test.cc.o.d"
+  "/root/repo/tests/la/eigen_test.cc" "tests/CMakeFiles/la_test.dir/la/eigen_test.cc.o" "gcc" "tests/CMakeFiles/la_test.dir/la/eigen_test.cc.o.d"
+  "/root/repo/tests/la/io_test.cc" "tests/CMakeFiles/la_test.dir/la/io_test.cc.o" "gcc" "tests/CMakeFiles/la_test.dir/la/io_test.cc.o.d"
+  "/root/repo/tests/la/operator_test.cc" "tests/CMakeFiles/la_test.dir/la/operator_test.cc.o" "gcc" "tests/CMakeFiles/la_test.dir/la/operator_test.cc.o.d"
+  "/root/repo/tests/la/vector_test.cc" "tests/CMakeFiles/la_test.dir/la/vector_test.cc.o" "gcc" "tests/CMakeFiles/la_test.dir/la/vector_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/aa_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

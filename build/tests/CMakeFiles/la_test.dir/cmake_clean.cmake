@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_test.dir/la/csr_test.cc.o"
+  "CMakeFiles/la_test.dir/la/csr_test.cc.o.d"
+  "CMakeFiles/la_test.dir/la/dense_test.cc.o"
+  "CMakeFiles/la_test.dir/la/dense_test.cc.o.d"
+  "CMakeFiles/la_test.dir/la/direct_test.cc.o"
+  "CMakeFiles/la_test.dir/la/direct_test.cc.o.d"
+  "CMakeFiles/la_test.dir/la/eigen_test.cc.o"
+  "CMakeFiles/la_test.dir/la/eigen_test.cc.o.d"
+  "CMakeFiles/la_test.dir/la/io_test.cc.o"
+  "CMakeFiles/la_test.dir/la/io_test.cc.o.d"
+  "CMakeFiles/la_test.dir/la/operator_test.cc.o"
+  "CMakeFiles/la_test.dir/la/operator_test.cc.o.d"
+  "CMakeFiles/la_test.dir/la/vector_test.cc.o"
+  "CMakeFiles/la_test.dir/la/vector_test.cc.o.d"
+  "la_test"
+  "la_test.pdb"
+  "la_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

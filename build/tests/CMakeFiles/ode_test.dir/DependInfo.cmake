@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ode/convergence_test.cc" "tests/CMakeFiles/ode_test.dir/ode/convergence_test.cc.o" "gcc" "tests/CMakeFiles/ode_test.dir/ode/convergence_test.cc.o.d"
+  "/root/repo/tests/ode/csv_test.cc" "tests/CMakeFiles/ode_test.dir/ode/csv_test.cc.o" "gcc" "tests/CMakeFiles/ode_test.dir/ode/csv_test.cc.o.d"
+  "/root/repo/tests/ode/integrator_test.cc" "tests/CMakeFiles/ode_test.dir/ode/integrator_test.cc.o" "gcc" "tests/CMakeFiles/ode_test.dir/ode/integrator_test.cc.o.d"
+  "/root/repo/tests/ode/trajectory_test.cc" "tests/CMakeFiles/ode_test.dir/ode/trajectory_test.cc.o" "gcc" "tests/CMakeFiles/ode_test.dir/ode/trajectory_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ode/CMakeFiles/aa_ode.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/aa_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ode_test.dir/ode/convergence_test.cc.o"
+  "CMakeFiles/ode_test.dir/ode/convergence_test.cc.o.d"
+  "CMakeFiles/ode_test.dir/ode/csv_test.cc.o"
+  "CMakeFiles/ode_test.dir/ode/csv_test.cc.o.d"
+  "CMakeFiles/ode_test.dir/ode/integrator_test.cc.o"
+  "CMakeFiles/ode_test.dir/ode/integrator_test.cc.o.d"
+  "CMakeFiles/ode_test.dir/ode/trajectory_test.cc.o"
+  "CMakeFiles/ode_test.dir/ode/trajectory_test.cc.o.d"
+  "ode_test"
+  "ode_test.pdb"
+  "ode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

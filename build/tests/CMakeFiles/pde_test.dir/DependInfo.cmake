@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pde/grid_test.cc" "tests/CMakeFiles/pde_test.dir/pde/grid_test.cc.o" "gcc" "tests/CMakeFiles/pde_test.dir/pde/grid_test.cc.o.d"
+  "/root/repo/tests/pde/heat_test.cc" "tests/CMakeFiles/pde_test.dir/pde/heat_test.cc.o" "gcc" "tests/CMakeFiles/pde_test.dir/pde/heat_test.cc.o.d"
+  "/root/repo/tests/pde/manufactured_test.cc" "tests/CMakeFiles/pde_test.dir/pde/manufactured_test.cc.o" "gcc" "tests/CMakeFiles/pde_test.dir/pde/manufactured_test.cc.o.d"
+  "/root/repo/tests/pde/partition_test.cc" "tests/CMakeFiles/pde_test.dir/pde/partition_test.cc.o" "gcc" "tests/CMakeFiles/pde_test.dir/pde/partition_test.cc.o.d"
+  "/root/repo/tests/pde/poisson_test.cc" "tests/CMakeFiles/pde_test.dir/pde/poisson_test.cc.o" "gcc" "tests/CMakeFiles/pde_test.dir/pde/poisson_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pde/CMakeFiles/aa_pde.dir/DependInfo.cmake"
+  "/root/repo/build/src/ode/CMakeFiles/aa_ode.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/aa_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pde_test.dir/pde/grid_test.cc.o"
+  "CMakeFiles/pde_test.dir/pde/grid_test.cc.o.d"
+  "CMakeFiles/pde_test.dir/pde/heat_test.cc.o"
+  "CMakeFiles/pde_test.dir/pde/heat_test.cc.o.d"
+  "CMakeFiles/pde_test.dir/pde/manufactured_test.cc.o"
+  "CMakeFiles/pde_test.dir/pde/manufactured_test.cc.o.d"
+  "CMakeFiles/pde_test.dir/pde/partition_test.cc.o"
+  "CMakeFiles/pde_test.dir/pde/partition_test.cc.o.d"
+  "CMakeFiles/pde_test.dir/pde/poisson_test.cc.o"
+  "CMakeFiles/pde_test.dir/pde/poisson_test.cc.o.d"
+  "pde_test"
+  "pde_test.pdb"
+  "pde_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pde_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_test.dir/solver/cg_test.cc.o"
+  "CMakeFiles/solver_test.dir/solver/cg_test.cc.o.d"
+  "CMakeFiles/solver_test.dir/solver/iterative_test.cc.o"
+  "CMakeFiles/solver_test.dir/solver/iterative_test.cc.o.d"
+  "CMakeFiles/solver_test.dir/solver/multigrid_test.cc.o"
+  "CMakeFiles/solver_test.dir/solver/multigrid_test.cc.o.d"
+  "CMakeFiles/solver_test.dir/solver/newton_test.cc.o"
+  "CMakeFiles/solver_test.dir/solver/newton_test.cc.o.d"
+  "CMakeFiles/solver_test.dir/solver/transfer_test.cc.o"
+  "CMakeFiles/solver_test.dir/solver/transfer_test.cc.o.d"
+  "solver_test"
+  "solver_test.pdb"
+  "solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aasim_solve.dir/aasim_solve.cpp.o"
+  "CMakeFiles/aasim_solve.dir/aasim_solve.cpp.o.d"
+  "aasim_solve"
+  "aasim_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aasim_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(aasim_solve_single "/root/repo/build/tools/aasim_solve" "--matrix" "/root/repo/tools/testdata/spd3.mtx" "--quiet")
+set_tests_properties(aasim_solve_single PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(aasim_solve_refined "/root/repo/build/tools/aasim_solve" "--matrix" "/root/repo/tools/testdata/spd3.mtx" "--refine" "1e-6" "--quiet")
+set_tests_properties(aasim_solve_refined PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(aasim_solve_decomposed "/root/repo/build/tools/aasim_solve" "--matrix" "/root/repo/tools/testdata/spd3.mtx" "--block-vars" "2" "--quiet")
+set_tests_properties(aasim_solve_decomposed PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
