@@ -1,17 +1,21 @@
 /**
  * @file
  * Shared helpers for the figure/table regeneration binaries: a
- * --tsv flag so outputs are machine-readable, and the common quiet
- * solver options.
+ * --tsv flag so outputs are machine-readable, the common quiet
+ * solver options, and a parallel sweep driver for the independent
+ * per-row solves.
  */
 
 #ifndef AA_BENCH_BENCH_UTIL_HH
 #define AA_BENCH_BENCH_UTIL_HH
 
+#include <cstddef>
 #include <cstring>
 #include <iostream>
+#include <vector>
 
 #include "aa/common/logging.hh"
+#include "aa/common/parallel.hh"
 #include "aa/common/table.hh"
 
 namespace aa::bench {
@@ -41,6 +45,24 @@ inline void
 quietLogs()
 {
     setLogLevel(LogLevel::Quiet);
+}
+
+/**
+ * Parallel sweep: results[i] = fn(i) with one independent task per
+ * index, fanned across defaultThreadCount() workers (AASIM_THREADS
+ * overrides; 1 runs inline). Each task must own all mutable solver
+ * state — one Simulator/die per task, netlists shared read-only —
+ * and results merge by index, so the emitted tables are identical
+ * whatever the thread count.
+ */
+template <typename Fn>
+auto
+sweep(std::size_t n, Fn &&fn)
+{
+    using T = decltype(fn(std::size_t{0}));
+    std::vector<T> out(n);
+    parallelFor(n, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
 }
 
 } // namespace aa::bench

@@ -14,6 +14,7 @@
  */
 
 #include <cmath>
+#include <vector>
 
 #include "aa/analog/solver.hh"
 #include "aa/cost/digital.hh"
@@ -33,19 +34,25 @@ main(int argc, char **argv)
     cost::CpuModel cpu;
 
     // --- Part 1: circuit-simulation measurements at small N -------
-    analog::AnalogSolverOptions sopts;
-    sopts.spec.variation.enabled = false;
-    sopts.spec.adc_noise_sigma = 0.0;
-    sopts.auto_calibrate = false;
-    sopts.underrange_threshold = -1.0;
-    analog::AnalogLinearSolver solver(sopts);
-
-    TextTable measured(
-        "Figure 8a: measured analog solve time (full circuit "
-        "simulation, 20 KHz die)");
-    measured.setHeader({"grid points", "circuit-sim time (s)",
-                        "model time (s)", "ratio"});
-    for (std::size_t l : {2u, 3u, 4u, 5u}) {
+    // One independent solve per worker: each task builds its own die
+    // (solver), so the sweep fans across AASIM_THREADS workers while
+    // the merged rows stay identical to a serial run (variation and
+    // ADC noise are off; the solves are deterministic).
+    const std::vector<std::size_t> meas_levels{2, 3, 4, 5};
+    struct MeasuredRow {
+        std::size_t points;
+        double sim_s;
+        double model_s;
+    };
+    auto meas_rows = bench::sweep(meas_levels.size(), [&](
+                                      std::size_t i) {
+        std::size_t l = meas_levels[i];
+        analog::AnalogSolverOptions sopts;
+        sopts.spec.variation.enabled = false;
+        sopts.spec.adc_noise_sigma = 0.0;
+        sopts.auto_calibrate = false;
+        sopts.underrange_threshold = -1.0;
+        analog::AnalogLinearSolver solver(sopts);
         auto prob = pde::assemblePoisson(
             2, l, pde::zeroSource(),
             [](double x, double, double) {
@@ -54,41 +61,69 @@ main(int argc, char **argv)
         la::Vector b = prob.b;
         // Keep the bias range from dominating the scaling so the
         // measurement matches the model's gain-driven regime.
-        double cap = 0.5 * prob.a.maxAbs() /
-                     sopts.spec.max_gain;
+        double cap = 0.5 * prob.a.maxAbs() / sopts.spec.max_gain;
         la::scale(cap / la::normInf(b), b, b);
         auto out = solver.solve(prob.a.toDense(), b);
         double model =
             proto.solveTimeSeconds(cost::PoissonShape{2, l});
-        measured.addRow(
-            {std::to_string(l * l),
-             TextTable::sci(out.analog_seconds, 3),
-             TextTable::sci(model, 3),
-             TextTable::num(out.analog_seconds / model, 3)});
-    }
+        return MeasuredRow{l * l, out.analog_seconds, model};
+    });
+
+    TextTable measured(
+        "Figure 8a: measured analog solve time (full circuit "
+        "simulation, 20 KHz die)");
+    measured.setHeader({"grid points", "circuit-sim time (s)",
+                        "model time (s)", "ratio"});
+    for (const MeasuredRow &r : meas_rows)
+        measured.addRow({std::to_string(r.points),
+                         TextTable::sci(r.sim_s, 3),
+                         TextTable::sci(r.model_s, 3),
+                         TextTable::num(r.sim_s / r.model_s, 3)});
     bench::emit(measured, tsv);
 
     // --- Part 2: the figure's series ------------------------------
+    // The deterministic columns (CG iterations, model times, analog
+    // projections) sweep in parallel; host wall clocks are re-measured
+    // serially afterwards so concurrent workers don't distort them.
+    const std::vector<std::size_t> sides{4,  6,  8,  11, 16, 20, 23,
+                                         26, 28, 30, 32, 34, 36, 38,
+                                         40};
+    struct FigRow {
+        std::size_t points;
+        double cg_model_s;
+        double analog20_s;
+        double analog80_s;
+        std::size_t iters;
+    };
+    auto fig_rows = bench::sweep(sides.size(), [&](std::size_t i) {
+        std::size_t l = sides[i];
+        auto m = cost::measureCgPoisson(2, l, 8, cpu, 1);
+        cost::PoissonShape shape{2, l};
+        return FigRow{shape.gridPoints(), m.model_seconds,
+                      proto.solveTimeSeconds(shape),
+                      proj80.solveTimeSeconds(shape), m.iterations};
+    });
+    std::vector<double> wall_s(sides.size());
+    for (std::size_t i = 0; i < sides.size(); ++i)
+        wall_s[i] =
+            cost::measureCgPoisson(2, sides[i], 8, cpu, 3).wall_seconds;
+
     TextTable fig("Figure 8b: convergence time vs total grid points "
                   "(2D Poisson, equivalent precision 1/256)");
     fig.setHeader({"grid points", "digital CG model (s)",
                    "digital CG wall (s)", "analog 20KHz (s)",
                    "analog 80KHz proj (s)", "CG iters"});
     std::size_t crossover = 0;
-    for (std::size_t l : {4u,  6u,  8u,  11u, 16u, 20u, 23u, 26u,
-                          28u, 30u, 32u, 34u, 36u, 38u, 40u}) {
-        auto m = cost::measureCgPoisson(2, l, 8, cpu, 3);
-        cost::PoissonShape shape{2, l};
-        double analog20 = proto.solveTimeSeconds(shape);
-        double analog80 = proj80.solveTimeSeconds(shape);
-        if (crossover == 0 && analog20 <= m.model_seconds)
-            crossover = shape.gridPoints();
-        fig.addRow({std::to_string(shape.gridPoints()),
-                    TextTable::sci(m.model_seconds, 3),
-                    TextTable::sci(m.wall_seconds, 3),
-                    TextTable::sci(analog20, 3),
-                    TextTable::sci(analog80, 3),
-                    std::to_string(m.iterations)});
+    for (std::size_t i = 0; i < fig_rows.size(); ++i) {
+        const FigRow &r = fig_rows[i];
+        if (crossover == 0 && r.analog20_s <= r.cg_model_s)
+            crossover = r.points;
+        fig.addRow({std::to_string(r.points),
+                    TextTable::sci(r.cg_model_s, 3),
+                    TextTable::sci(wall_s[i], 3),
+                    TextTable::sci(r.analog20_s, 3),
+                    TextTable::sci(r.analog80_s, 3),
+                    std::to_string(r.iters)});
     }
     bench::emit(fig, tsv);
 

@@ -33,7 +33,13 @@ main(int argc, char **argv)
     fig.setHeader({"grid points", "digital CG", "analog 20KHz",
                    "analog 80KHz", "analog 320KHz", "analog 1.3MHz"});
 
-    for (std::size_t l : {4u, 6u, 8u, 10u, 13u, 16u, 19u, 22u, 25u}) {
+    // Every printed value is deterministic (CG iteration counts and
+    // model projections), so the rows sweep one-per-worker and merge
+    // by index into the same table a serial run prints.
+    const std::vector<std::size_t> sides{4,  6,  8,  10, 13,
+                                         16, 19, 22, 25};
+    auto rows = bench::sweep(sides.size(), [&](std::size_t i) {
+        std::size_t l = sides[i];
         cost::PoissonShape shape{2, l};
         std::size_t n = shape.gridPoints();
         // Each design is compared at its own ADC precision.
@@ -49,8 +55,10 @@ main(int argc, char **argv)
                     designs[d].solveTimeSeconds(shape), 3));
             }
         }
+        return row;
+    });
+    for (const auto &row : rows)
         fig.addRow(row);
-    }
     bench::emit(fig, tsv);
 
     TextTable cuts("Figure 9 cut-offs: largest 2D problem within "

@@ -5,19 +5,98 @@
  * iteration, one multigrid V-cycle, and the analog circuit
  * simulator's right-hand-side evaluation (the cost driver of the
  * "Cadence-equivalent" measurements).
+ *
+ * The BM_Rhs* fixtures also count global operator new calls per RHS
+ * evaluation (reported as the allocs_per_eval counter): the compiled
+ * EvalPlan promises zero allocations on the hot path, and the JSON
+ * artifact (BENCH_kernels.json) records it.
  */
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
 
 #include <benchmark/benchmark.h>
 
+#include "aa/circuit/plan.hh"
 #include "aa/circuit/simulator.hh"
 #include "aa/common/logging.hh"
 #include "aa/pde/poisson.hh"
 #include "aa/solver/iterative.hh"
 #include "aa/solver/multigrid.hh"
 
+/** Global allocation counter behind the allocs_per_eval metric. */
+static std::atomic<std::int64_t> g_alloc_count{0};
+
+// The replaced operator new allocates with malloc, so pairing the
+// replaced delete with free is correct; GCC can't see the pairing.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void *
+operator new(std::size_t size)
+{
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+#pragma GCC diagnostic pop
+
 namespace {
 
 using namespace aa;
+
+/**
+ * Pre-plan (per-block-walk) RHS costs on the 32x32 Poisson grid
+ * netlist, measured on this machine before the EvalPlan rewrite.
+ * Recorded into the JSON context so BENCH_kernels.json carries the
+ * before/after speedup alongside the live BM_Rhs* numbers.
+ */
+const bool g_baseline_context = [] {
+    benchmark::AddCustomContext("preplan_rhs_ideal_32_ns_per_eval",
+                                "260641");
+    benchmark::AddCustomContext(
+        "preplan_rhs_bandwidth_32_ns_per_eval", "217718");
+    benchmark::AddCustomContext("preplan_sim_ctor_32_ideal_ms",
+                                "32.88");
+    return true;
+}();
 
 void
 BM_StencilApply2D(benchmark::State &state)
@@ -127,5 +206,143 @@ BM_CircuitRhs(benchmark::State &state)
     }
 }
 BENCHMARK(BM_CircuitRhs)->Arg(4)->Arg(16)->Arg(64);
+
+/** Deliver `want` copies of one output via a chained fanout tree. */
+std::vector<circuit::PortRef>
+fanTree(circuit::Netlist &net, circuit::PortRef src, std::size_t want)
+{
+    std::vector<circuit::PortRef> leaves{src};
+    std::size_t next = 0;
+    while (leaves.size() - next < want) {
+        circuit::PortRef take = leaves[next++];
+        circuit::BlockParams fp;
+        fp.copies = 4;
+        circuit::BlockId f = net.add(circuit::BlockKind::Fanout, fp);
+        net.connect(take, net.in(f));
+        for (std::size_t o = 0; o < 4; ++o)
+            leaves.push_back(net.out(f, o));
+    }
+    return {leaves.begin() + static_cast<std::ptrdiff_t>(next),
+            leaves.end()};
+}
+
+/**
+ * The side x side 2D Poisson gradient-flow netlist the analog solver
+ * compiles: one integrator per grid point, a 5-point stencil of
+ * gained couplings through fanout trees, and a DAC bias per node.
+ */
+circuit::Netlist
+poissonGridNetlist(std::size_t side)
+{
+    circuit::Netlist net;
+    std::vector<circuit::BlockId> integ(side * side);
+    for (auto &b : integ)
+        b = net.add(circuit::BlockKind::Integrator);
+    auto idx = [&](std::size_t i, std::size_t j) {
+        return i * side + j;
+    };
+    for (std::size_t i = 0; i < side; ++i) {
+        for (std::size_t j = 0; j < side; ++j) {
+            std::size_t n = idx(i, j);
+            std::size_t need = 1; // center tap
+            need += (i > 0) + (i + 1 < side) + (j > 0) +
+                    (j + 1 < side);
+            auto copies = fanTree(net, net.out(integ[n]), need);
+            std::size_t c = 0;
+            auto mul = [&](double g, std::size_t to) {
+                circuit::BlockParams mp;
+                mp.gain = g;
+                circuit::BlockId m =
+                    net.add(circuit::BlockKind::MulGain, mp);
+                net.connect(copies[c++], net.in(m));
+                net.connect(net.out(m), net.in(integ[to]));
+            };
+            mul(-4.0 / 32.0, n);
+            if (i > 0)
+                mul(1.0 / 32.0, idx(i - 1, j));
+            if (i + 1 < side)
+                mul(1.0 / 32.0, idx(i + 1, j));
+            if (j > 0)
+                mul(1.0 / 32.0, idx(i, j - 1));
+            if (j + 1 < side)
+                mul(1.0 / 32.0, idx(i, j + 1));
+            circuit::BlockParams dp;
+            dp.level = 0.01;
+            circuit::BlockId d = net.add(circuit::BlockKind::Dac, dp);
+            net.connect(net.out(d), net.in(integ[n]));
+        }
+    }
+    return net;
+}
+
+/**
+ * Single compiled-plan RHS evaluations on the Poisson grid netlist;
+ * allocs_per_eval must report 0 (the plan's zero-allocation
+ * contract).
+ */
+void
+rhsBenchmark(benchmark::State &state, circuit::SimMode mode)
+{
+    setLogLevel(LogLevel::Quiet);
+    std::size_t side = static_cast<std::size_t>(state.range(0));
+    circuit::Netlist net = poissonGridNetlist(side);
+    circuit::AnalogSpec spec;
+    spec.variation.enabled = false;
+    spec.mode = mode;
+
+    circuit::Simulator sim(net, spec, 1);
+    la::Vector y(sim.stateCount(), 0.1), dydt(sim.stateCount());
+    double t = 0.0;
+    for (auto _ : state) {
+        sim.evalRhs(t, y, dydt);
+        benchmark::DoNotOptimize(dydt.data());
+    }
+
+    const int probes = 64;
+    std::int64_t before = g_alloc_count.load();
+    for (int i = 0; i < probes; ++i)
+        sim.evalRhs(t, y, dydt);
+    std::int64_t delta = g_alloc_count.load() - before;
+    state.counters["allocs_per_eval"] =
+        static_cast<double>(delta) / probes;
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(side * side));
+}
+
+void
+BM_RhsIdeal(benchmark::State &state)
+{
+    rhsBenchmark(state, circuit::SimMode::Ideal);
+}
+BENCHMARK(BM_RhsIdeal)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void
+BM_RhsBandwidth(benchmark::State &state)
+{
+    rhsBenchmark(state, circuit::SimMode::Bandwidth);
+}
+BENCHMARK(BM_RhsBandwidth)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+/** Lowering the netlist into an EvalPlan (per-Simulator/refreshWiring
+ *  cost; one-shot adjacency keeps it near-linear in blocks+edges). */
+void
+BM_PlanBuild(benchmark::State &state)
+{
+    setLogLevel(LogLevel::Quiet);
+    std::size_t side = static_cast<std::size_t>(state.range(0));
+    circuit::Netlist net = poissonGridNetlist(side);
+    circuit::AnalogSpec spec;
+    spec.variation.enabled = false;
+    spec.mode = circuit::SimMode::Ideal;
+    for (auto _ : state) {
+        circuit::EvalPlan plan(net, spec);
+        benchmark::DoNotOptimize(plan.outPortCount());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(net.numBlocks()));
+}
+BENCHMARK(BM_PlanBuild)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 
 } // namespace

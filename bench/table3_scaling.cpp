@@ -33,6 +33,14 @@ main(int argc, char **argv)
     };
     Fit fits[3];
 
+    // Flatten every (dim, side) pair into one task list so the sweep
+    // keeps all workers busy across dimensions (the CG runs dominate
+    // and their cost varies widely). Fits stay serial: they need the
+    // whole per-dimension series.
+    struct Task {
+        std::size_t dim, l;
+    };
+    std::vector<Task> tasks;
     for (std::size_t dim : {1u, 2u, 3u}) {
         std::vector<std::size_t> sides;
         if (dim == 1)
@@ -41,21 +49,39 @@ main(int argc, char **argv)
             sides = {8, 12, 16, 24};
         else
             sides = {4, 6, 8, 10};
+        for (std::size_t l : sides)
+            tasks.push_back({dim, l});
+    }
 
+    struct Meas {
+        double n, hw, time, energy, steps, cg_time;
+    };
+    auto meas = bench::sweep(tasks.size(), [&](std::size_t i) {
+        cost::PoissonShape shape{tasks[i].dim, tasks[i].l};
+        auto units = design.unitsFor(shape);
+        auto m = cost::measureCgPoisson(tasks[i].dim, tasks[i].l, 8,
+                                        cpu, 1);
+        return Meas{static_cast<double>(shape.gridPoints()),
+                    static_cast<double>(
+                        units.integrators + units.multipliers +
+                        units.fanouts + units.adcs + units.dacs),
+                    design.solveTimeSeconds(shape),
+                    design.solveEnergyJoules(shape),
+                    static_cast<double>(m.iterations),
+                    m.model_seconds};
+    });
+
+    for (std::size_t dim : {1u, 2u, 3u}) {
         std::vector<double> ns, hw, time, energy, steps, cg_time;
-        for (std::size_t l : sides) {
-            cost::PoissonShape shape{dim, l};
-            auto units = design.unitsFor(shape);
-            ns.push_back(
-                static_cast<double>(shape.gridPoints()));
-            hw.push_back(static_cast<double>(
-                units.integrators + units.multipliers +
-                units.fanouts + units.adcs + units.dacs));
-            time.push_back(design.solveTimeSeconds(shape));
-            energy.push_back(design.solveEnergyJoules(shape));
-            auto m = cost::measureCgPoisson(dim, l, 8, cpu, 1);
-            steps.push_back(static_cast<double>(m.iterations));
-            cg_time.push_back(m.model_seconds);
+        for (std::size_t i = 0; i < tasks.size(); ++i) {
+            if (tasks[i].dim != dim)
+                continue;
+            ns.push_back(meas[i].n);
+            hw.push_back(meas[i].hw);
+            time.push_back(meas[i].time);
+            energy.push_back(meas[i].energy);
+            steps.push_back(meas[i].steps);
+            cg_time.push_back(meas[i].cg_time);
         }
         Fit &f = fits[dim - 1];
         f.hw = fitPowerLaw(ns, hw).slope;

@@ -239,6 +239,9 @@ bench/CMakeFiles/ablation_sampling.dir/ablation_sampling.cpp.o: \
  /usr/include/c++/12/cstddef /root/repo/build/include/aa/circuit/block.hh \
  /root/repo/build/include/aa/circuit/simulator.hh \
  /root/repo/build/include/aa/circuit/nonideal.hh \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/build/include/aa/circuit/spec.hh \
  /root/repo/build/include/aa/common/rng.hh /usr/include/c++/12/random \
  /usr/include/c++/12/bits/random.h \
@@ -246,9 +249,10 @@ bench/CMakeFiles/ablation_sampling.dir/ablation_sampling.cpp.o: \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /root/repo/build/include/aa/circuit/plan.hh \
+ /root/repo/build/include/aa/la/vector.hh \
  /root/repo/build/include/aa/ode/integrator.hh \
  /root/repo/build/include/aa/ode/system.hh \
- /root/repo/build/include/aa/la/vector.hh \
  /root/repo/build/include/aa/compiler/mapper.hh \
  /root/repo/build/include/aa/compiler/scaling.hh \
  /root/repo/build/include/aa/la/dense_matrix.hh \
@@ -260,4 +264,15 @@ bench/CMakeFiles/ablation_sampling.dir/ablation_sampling.cpp.o: \
  /usr/include/c++/12/bits/istream.tcc \
  /root/repo/build/include/aa/common/logging.hh \
  /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
- /root/repo/build/include/aa/common/table.hh
+ /root/repo/build/include/aa/common/parallel.hh \
+ /usr/include/c++/12/atomic /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/build/include/aa/common/table.hh

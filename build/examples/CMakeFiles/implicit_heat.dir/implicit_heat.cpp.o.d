@@ -238,6 +238,9 @@ examples/CMakeFiles/implicit_heat.dir/implicit_heat.cpp.o: \
  /usr/include/c++/12/cstddef /root/repo/build/include/aa/circuit/block.hh \
  /root/repo/build/include/aa/circuit/simulator.hh \
  /root/repo/build/include/aa/circuit/nonideal.hh \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/build/include/aa/circuit/spec.hh \
  /root/repo/build/include/aa/common/rng.hh /usr/include/c++/12/random \
  /usr/include/c++/12/bits/random.h \
@@ -245,9 +248,10 @@ examples/CMakeFiles/implicit_heat.dir/implicit_heat.cpp.o: \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /root/repo/build/include/aa/circuit/plan.hh \
+ /root/repo/build/include/aa/la/vector.hh \
  /root/repo/build/include/aa/ode/integrator.hh \
  /root/repo/build/include/aa/ode/system.hh \
- /root/repo/build/include/aa/la/vector.hh \
  /root/repo/build/include/aa/compiler/mapper.hh \
  /root/repo/build/include/aa/compiler/scaling.hh \
  /root/repo/build/include/aa/la/dense_matrix.hh \

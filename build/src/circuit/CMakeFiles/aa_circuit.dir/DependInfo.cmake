@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/circuit/block.cc" "src/circuit/CMakeFiles/aa_circuit.dir/block.cc.o" "gcc" "src/circuit/CMakeFiles/aa_circuit.dir/block.cc.o.d"
   "/root/repo/src/circuit/netlist.cc" "src/circuit/CMakeFiles/aa_circuit.dir/netlist.cc.o" "gcc" "src/circuit/CMakeFiles/aa_circuit.dir/netlist.cc.o.d"
   "/root/repo/src/circuit/nonideal.cc" "src/circuit/CMakeFiles/aa_circuit.dir/nonideal.cc.o" "gcc" "src/circuit/CMakeFiles/aa_circuit.dir/nonideal.cc.o.d"
+  "/root/repo/src/circuit/plan.cc" "src/circuit/CMakeFiles/aa_circuit.dir/plan.cc.o" "gcc" "src/circuit/CMakeFiles/aa_circuit.dir/plan.cc.o.d"
   "/root/repo/src/circuit/simulator.cc" "src/circuit/CMakeFiles/aa_circuit.dir/simulator.cc.o" "gcc" "src/circuit/CMakeFiles/aa_circuit.dir/simulator.cc.o.d"
   "/root/repo/src/circuit/spec.cc" "src/circuit/CMakeFiles/aa_circuit.dir/spec.cc.o" "gcc" "src/circuit/CMakeFiles/aa_circuit.dir/spec.cc.o.d"
   )

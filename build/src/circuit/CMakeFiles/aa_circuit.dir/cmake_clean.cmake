@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/aa_circuit.dir/netlist.cc.o.d"
   "CMakeFiles/aa_circuit.dir/nonideal.cc.o"
   "CMakeFiles/aa_circuit.dir/nonideal.cc.o.d"
+  "CMakeFiles/aa_circuit.dir/plan.cc.o"
+  "CMakeFiles/aa_circuit.dir/plan.cc.o.d"
   "CMakeFiles/aa_circuit.dir/simulator.cc.o"
   "CMakeFiles/aa_circuit.dir/simulator.cc.o.d"
   "CMakeFiles/aa_circuit.dir/spec.cc.o"

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/aa_common.dir/logging.cc.o"
   "CMakeFiles/aa_common.dir/logging.cc.o.d"
+  "CMakeFiles/aa_common.dir/parallel.cc.o"
+  "CMakeFiles/aa_common.dir/parallel.cc.o.d"
   "CMakeFiles/aa_common.dir/stats.cc.o"
   "CMakeFiles/aa_common.dir/stats.cc.o.d"
   "CMakeFiles/aa_common.dir/table.cc.o"

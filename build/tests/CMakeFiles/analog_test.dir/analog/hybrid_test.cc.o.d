@@ -300,7 +300,9 @@ tests/CMakeFiles/analog_test.dir/analog/hybrid_test.cc.o: \
  /root/repo/build/include/aa/circuit/block.hh \
  /root/repo/build/include/aa/circuit/simulator.hh \
  /root/repo/build/include/aa/circuit/nonideal.hh \
- /root/repo/build/include/aa/circuit/spec.hh /usr/include/c++/12/cmath \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -322,15 +324,17 @@ tests/CMakeFiles/analog_test.dir/analog/hybrid_test.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/build/include/aa/circuit/spec.hh \
  /root/repo/build/include/aa/common/rng.hh /usr/include/c++/12/random \
  /usr/include/c++/12/bits/random.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /root/repo/build/include/aa/circuit/plan.hh \
+ /root/repo/build/include/aa/la/vector.hh \
  /root/repo/build/include/aa/ode/integrator.hh \
  /root/repo/build/include/aa/ode/system.hh \
- /root/repo/build/include/aa/la/vector.hh \
  /root/repo/build/include/aa/compiler/mapper.hh \
  /root/repo/build/include/aa/compiler/scaling.hh \
  /root/repo/build/include/aa/la/dense_matrix.hh \

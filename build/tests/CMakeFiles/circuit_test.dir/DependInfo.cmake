@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/circuit/modes_test.cc" "tests/CMakeFiles/circuit_test.dir/circuit/modes_test.cc.o" "gcc" "tests/CMakeFiles/circuit_test.dir/circuit/modes_test.cc.o.d"
   "/root/repo/tests/circuit/netlist_test.cc" "tests/CMakeFiles/circuit_test.dir/circuit/netlist_test.cc.o" "gcc" "tests/CMakeFiles/circuit_test.dir/circuit/netlist_test.cc.o.d"
   "/root/repo/tests/circuit/nonideal_test.cc" "tests/CMakeFiles/circuit_test.dir/circuit/nonideal_test.cc.o" "gcc" "tests/CMakeFiles/circuit_test.dir/circuit/nonideal_test.cc.o.d"
+  "/root/repo/tests/circuit/plan_equivalence_test.cc" "tests/CMakeFiles/circuit_test.dir/circuit/plan_equivalence_test.cc.o" "gcc" "tests/CMakeFiles/circuit_test.dir/circuit/plan_equivalence_test.cc.o.d"
   "/root/repo/tests/circuit/simulator_test.cc" "tests/CMakeFiles/circuit_test.dir/circuit/simulator_test.cc.o" "gcc" "tests/CMakeFiles/circuit_test.dir/circuit/simulator_test.cc.o.d"
   )
 

@@ -319,6 +319,9 @@ tests/CMakeFiles/circuit_test.dir/circuit/blocks_test.cc.o: \
  /root/repo/build/include/aa/circuit/netlist.hh \
  /root/repo/build/include/aa/circuit/block.hh \
  /root/repo/build/include/aa/circuit/nonideal.hh \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/build/include/aa/circuit/spec.hh \
  /root/repo/build/include/aa/common/rng.hh /usr/include/c++/12/random \
  /usr/include/c++/12/bits/random.h \
@@ -326,6 +329,7 @@ tests/CMakeFiles/circuit_test.dir/circuit/blocks_test.cc.o: \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /root/repo/build/include/aa/circuit/plan.hh \
+ /root/repo/build/include/aa/la/vector.hh \
  /root/repo/build/include/aa/ode/integrator.hh \
- /root/repo/build/include/aa/ode/system.hh \
- /root/repo/build/include/aa/la/vector.hh
+ /root/repo/build/include/aa/ode/system.hh

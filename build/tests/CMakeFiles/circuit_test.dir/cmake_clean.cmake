@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/circuit_test.dir/circuit/netlist_test.cc.o.d"
   "CMakeFiles/circuit_test.dir/circuit/nonideal_test.cc.o"
   "CMakeFiles/circuit_test.dir/circuit/nonideal_test.cc.o.d"
+  "CMakeFiles/circuit_test.dir/circuit/plan_equivalence_test.cc.o"
+  "CMakeFiles/circuit_test.dir/circuit/plan_equivalence_test.cc.o.d"
   "CMakeFiles/circuit_test.dir/circuit/simulator_test.cc.o"
   "CMakeFiles/circuit_test.dir/circuit/simulator_test.cc.o.d"
   "circuit_test"

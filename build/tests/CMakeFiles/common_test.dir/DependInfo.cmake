@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/common/logging_test.cc" "tests/CMakeFiles/common_test.dir/common/logging_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/logging_test.cc.o.d"
+  "/root/repo/tests/common/parallel_test.cc" "tests/CMakeFiles/common_test.dir/common/parallel_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/parallel_test.cc.o.d"
   "/root/repo/tests/common/rng_test.cc" "tests/CMakeFiles/common_test.dir/common/rng_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/rng_test.cc.o.d"
   "/root/repo/tests/common/stats_test.cc" "tests/CMakeFiles/common_test.dir/common/stats_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/stats_test.cc.o.d"
   "/root/repo/tests/common/table_test.cc" "tests/CMakeFiles/common_test.dir/common/table_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/table_test.cc.o.d"

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/common_test.dir/common/logging_test.cc.o"
   "CMakeFiles/common_test.dir/common/logging_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/parallel_test.cc.o"
+  "CMakeFiles/common_test.dir/common/parallel_test.cc.o.d"
   "CMakeFiles/common_test.dir/common/rng_test.cc.o"
   "CMakeFiles/common_test.dir/common/rng_test.cc.o.d"
   "CMakeFiles/common_test.dir/common/stats_test.cc.o"

@@ -19,27 +19,6 @@ OutputStage::sample(const VariationModel &vm, Rng &rng)
     return s;
 }
 
-double
-applyStage(const OutputStage &stage, const AnalogSpec &spec, double raw,
-           bool &overflow, bool monitored)
-{
-    double v = raw * (1.0 + stage.gain_err) * stage.trim_gain +
-               stage.offset + stage.trim_offset;
-    // Odd-order compression models the bending DC transfer
-    // characteristic near the range edges (expressed relative to the
-    // stage's own full scale so wide branches aren't over-bent).
-    v = v - stage.cubic * v * v * v /
-                (monitored ? 1.0
-                           : spec.branch_clip_range *
-                                 spec.branch_clip_range);
-    if (!monitored)
-        return std::clamp(v, -spec.branch_clip_range,
-                          spec.branch_clip_range);
-    if (std::fabs(v) > spec.linear_range)
-        overflow = true;
-    return std::clamp(v, -spec.clip_range, spec.clip_range);
-}
-
 int
 trimCodeMin(const AnalogSpec &spec)
 {

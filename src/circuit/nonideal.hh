@@ -14,6 +14,8 @@
 #ifndef AA_CIRCUIT_NONIDEAL_HH
 #define AA_CIRCUIT_NONIDEAL_HH
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 
 #include "aa/circuit/spec.hh"
@@ -46,9 +48,30 @@ struct OutputStage {
  * Section III-B. Unmonitored stages (current-mode branches through
  * multipliers, fanouts, DACs, LUTs) clip only at the branch
  * compliance and never flag.
+ *
+ * Defined inline: this is applied once per output port per RHS
+ * evaluation, the innermost loop of the whole reproduction.
  */
-double applyStage(const OutputStage &stage, const AnalogSpec &spec,
-                  double raw, bool &overflow, bool monitored = true);
+inline double
+applyStage(const OutputStage &stage, const AnalogSpec &spec, double raw,
+           bool &overflow, bool monitored = true)
+{
+    double v = raw * (1.0 + stage.gain_err) * stage.trim_gain +
+               stage.offset + stage.trim_offset;
+    // Odd-order compression models the bending DC transfer
+    // characteristic near the range edges (expressed relative to the
+    // stage's own full scale so wide branches aren't over-bent).
+    v = v - stage.cubic * v * v * v /
+                (monitored ? 1.0
+                           : spec.branch_clip_range *
+                                 spec.branch_clip_range);
+    if (!monitored)
+        return std::clamp(v, -spec.branch_clip_range,
+                          spec.branch_clip_range);
+    if (std::fabs(v) > spec.linear_range)
+        overflow = true;
+    return std::clamp(v, -spec.clip_range, spec.clip_range);
+}
 
 /** Map a signed trim code to its additive offset trim value. */
 double trimOffsetFromCode(const AnalogSpec &spec, int code);

@@ -1,0 +1,444 @@
+#include "aa/circuit/plan.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "aa/common/logging.hh"
+
+namespace aa::circuit {
+
+namespace {
+
+/** Piecewise-linear LUT evaluation over a pre-quantized table. */
+double
+lutEvalQuantized(const std::vector<double> &table, double x)
+{
+    double clamped = std::clamp(x, -1.0, 1.0);
+    double pos = (clamped + 1.0) / 2.0 *
+                 static_cast<double>(table.size() - 1);
+    auto i0 = static_cast<std::size_t>(pos);
+    if (i0 >= table.size() - 1)
+        i0 = table.size() - 2;
+    double w = pos - static_cast<double>(i0);
+    return (1.0 - w) * table[i0] + w * table[i0 + 1];
+}
+
+bool
+isComb(BlockKind kind)
+{
+    switch (kind) {
+      case BlockKind::MulGain:
+      case BlockKind::MulVar:
+      case BlockKind::Fanout:
+      case BlockKind::Lut:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+EvalPlan::EvalPlan(const Netlist &net, const AnalogSpec &spec)
+{
+    num_blocks = net.numBlocks();
+
+    // ---- Port layout (block-major, legacy-identical) -------------
+    out_base.assign(num_blocks, 0);
+    in_base.assign(num_blocks, 0);
+    std::size_t num_in_ports = 0;
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+        BlockId id{b};
+        out_base[b] = out_ports.size();
+        in_base[b] = num_in_ports;
+        num_in_ports += net.inputCount(id);
+        std::size_t nout = net.outputCount(id);
+        for (std::size_t o = 0; o < nout; ++o) {
+            out_ports.push_back(PortRef{id, o});
+            if (net.kind(id) == BlockKind::Integrator)
+                integ_flats.push_back(out_ports.size() - 1);
+        }
+    }
+    panicIf(out_ports.size() >
+                    std::numeric_limits<PlanIdx>::max() ||
+                num_in_ports > std::numeric_limits<PlanIdx>::max(),
+            "EvalPlan: netlist exceeds 2^32 ports");
+
+    // ---- CSR fan-in from the connection list ---------------------
+    // Two passes: count, then fill with per-row cursors so the source
+    // order within one input node matches the connection order (and
+    // therefore the legacy nested-vector summation order exactly).
+    const auto &conns = net.connections();
+    in_offsets.assign(num_in_ports + 1, 0);
+    for (const auto &c : conns)
+        ++in_offsets[flatInput(c.to) + 1];
+    for (std::size_t i = 1; i <= num_in_ports; ++i)
+        in_offsets[i] += in_offsets[i - 1];
+    in_srcs.resize(conns.size());
+    std::vector<std::size_t> cursor(in_offsets.begin(),
+                                    in_offsets.end() - 1);
+    for (const auto &c : conns)
+        in_srcs[cursor[flatInput(c.to)]++] = flatOutput(c.from);
+
+    // ---- One-shot block adjacency + Kahn with levels -------------
+    // The from-block -> to-blocks index kills the O(blocks x
+    // connections) rescan the legacy topo sort performed per ready
+    // block.
+    std::vector<std::size_t> adj_off(num_blocks + 1, 0), adj_dst;
+    for (const auto &c : conns)
+        ++adj_off[c.from.block.v + 1];
+    for (std::size_t b = 1; b <= num_blocks; ++b)
+        adj_off[b] += adj_off[b - 1];
+    adj_dst.resize(conns.size());
+    {
+        std::vector<std::size_t> acur(adj_off.begin(),
+                                      adj_off.end() - 1);
+        for (const auto &c : conns)
+            adj_dst[acur[c.from.block.v]++] = c.to.block.v;
+    }
+
+    std::vector<std::size_t> indeg(num_blocks, 0);
+    for (const auto &c : conns) {
+        if (isComb(net.kind(c.from.block)) &&
+            isComb(net.kind(c.to.block)))
+            ++indeg[c.to.block.v];
+    }
+
+    constexpr std::size_t kUnleveled =
+        std::numeric_limits<std::size_t>::max();
+    std::vector<std::size_t> level(num_blocks, kUnleveled);
+    std::deque<std::size_t> ready;
+    std::size_t comb_count = 0;
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+        if (!isComb(net.kind(BlockId{b})))
+            continue;
+        ++comb_count;
+        if (indeg[b] == 0) {
+            level[b] = 0;
+            ready.push_back(b);
+        }
+    }
+    std::size_t sorted = 0, max_level = 0;
+    while (!ready.empty()) {
+        std::size_t b = ready.front();
+        ready.pop_front();
+        ++sorted;
+        max_level = std::max(max_level, level[b]);
+        for (std::size_t e = adj_off[b]; e < adj_off[b + 1]; ++e) {
+            std::size_t dst = adj_dst[e];
+            if (!isComb(net.kind(BlockId{dst})))
+                continue;
+            level[dst] = level[dst] == kUnleveled
+                             ? level[b] + 1
+                             : std::max(level[dst], level[b] + 1);
+            if (--indeg[dst] == 0)
+                ready.push_back(dst);
+        }
+    }
+    has_comb_cycle = sorted != comb_count;
+    fatalIf(has_comb_cycle && spec.mode == SimMode::Ideal,
+            "EvalPlan: algebraic loop through combinational blocks; "
+            "SimMode::Ideal cannot evaluate it, use "
+            "SimMode::Bandwidth");
+
+    // Bucket combinational blocks by level (block-id order inside a
+    // level keeps emission deterministic); blocks left on a cycle
+    // (Bandwidth mode only) land in one extra trailing level.
+    std::size_t num_levels = comb_count == 0 ? 0 : max_level + 1;
+    std::vector<std::vector<std::size_t>> buckets(num_levels +
+                                                  (has_comb_cycle ? 1
+                                                                  : 0));
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+        if (!isComb(net.kind(BlockId{b})))
+            continue;
+        if (level[b] == kUnleveled)
+            buckets[num_levels].push_back(b);
+        else
+            buckets[level[b]].push_back(b);
+    }
+
+    // ---- Emit typed op lists -------------------------------------
+    auto u32 = [](std::size_t v) { return static_cast<PlanIdx>(v); };
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+        BlockId id{b};
+        switch (net.kind(id)) {
+          case BlockKind::Integrator:
+            integ_ops.push_back({u32(out_base[b]), u32(in_base[b]),
+                                 u32(b)});
+            break;
+          case BlockKind::Dac:
+            dac_ops.push_back({u32(out_base[b]), u32(b)});
+            break;
+          case BlockKind::ExtIn:
+            extin_ops.push_back({u32(out_base[b]), u32(b)});
+            break;
+          case BlockKind::Adc:
+          case BlockKind::ExtOut:
+            sink_ops.push_back({u32(in_base[b]), u32(b)});
+            break;
+          default:
+            break; // combinational: emitted level by level below
+        }
+    }
+    for (const auto &bucket : buckets) {
+        LevelSlice lv;
+        lv.gain_begin = u32(gain_ops.size());
+        lv.var_begin = u32(var_ops.size());
+        lv.fan_begin = u32(fan_ops.size());
+        lv.lut_begin = u32(lut_ops.size());
+        for (std::size_t b : bucket) {
+            BlockId id{b};
+            switch (net.kind(id)) {
+              case BlockKind::MulGain:
+                gain_ops.push_back({u32(out_base[b]), u32(in_base[b]),
+                                    u32(b)});
+                break;
+              case BlockKind::MulVar:
+                var_ops.push_back({u32(out_base[b]), u32(in_base[b]),
+                                   u32(in_base[b] + 1)});
+                break;
+              case BlockKind::Fanout:
+                for (std::size_t o = 0; o < net.outputCount(id); ++o)
+                    fan_ops.push_back({u32(out_base[b] + o),
+                                       u32(in_base[b])});
+                break;
+              case BlockKind::Lut:
+                lut_ops.push_back({u32(out_base[b]), u32(in_base[b]),
+                                   u32(b)});
+                break;
+              default:
+                panic("EvalPlan: non-combinational block in level");
+            }
+        }
+        lv.gain_end = u32(gain_ops.size());
+        lv.var_end = u32(var_ops.size());
+        lv.fan_end = u32(fan_ops.size());
+        lv.lut_end = u32(lut_ops.size());
+        levels.push_back(lv);
+    }
+}
+
+void
+EvalPlan::initWorkspace(const Netlist &net, const AnalogSpec &spec,
+                        PlanWorkspace &ws) const
+{
+    ws.vals.resize(out_ports.size());
+    ws.gain.resize(gain_ops.size());
+    ws.dac.resize(dac_ops.size());
+    ws.lut.resize(lut_ops.size());
+    ws.ext.resize(extin_ops.size());
+    refreshParams(net, spec, ws);
+}
+
+void
+EvalPlan::refreshParams(const Netlist &net, const AnalogSpec &spec,
+                        PlanWorkspace &ws) const
+{
+    for (std::size_t i = 0; i < gain_ops.size(); ++i)
+        ws.gain[i] = net.params(BlockId{gain_ops[i].blk}).gain;
+    for (std::size_t i = 0; i < dac_ops.size(); ++i)
+        ws.dac[i] = quantizeValue(
+            net.params(BlockId{dac_ops[i].blk}).level, spec.dac_bits);
+    for (std::size_t i = 0; i < lut_ops.size(); ++i) {
+        const auto &table = net.params(BlockId{lut_ops[i].blk}).table;
+        // Unconfigured LUTs sit unwired (validate() enforces it) and
+        // contribute a raw 0 like the legacy walk.
+        if (table.size() < 2) {
+            ws.lut[i].clear();
+            continue;
+        }
+        ws.lut[i].resize(table.size());
+        for (std::size_t j = 0; j < table.size(); ++j)
+            ws.lut[i][j] = quantizeValue(table[j], spec.lut_bits);
+    }
+    for (std::size_t i = 0; i < extin_ops.size(); ++i) {
+        const auto &fn = net.params(BlockId{extin_ops[i].blk}).ext_in;
+        ws.ext[i] = fn ? &fn : nullptr;
+    }
+}
+
+double
+EvalPlan::integDeriv(const IntegOp &op, double state,
+                     const la::Vector &vals,
+                     const std::vector<OutputStage> &stages,
+                     const AnalogSpec &spec,
+                     std::vector<std::uint8_t> &latches) const
+{
+    bool ovf = false;
+    double drive = applyStage(stages[op.out], spec,
+                              inputSum(op.in, vals), ovf);
+    if (ovf)
+        latches[op.blk] = 1;
+    if (std::fabs(state) > spec.linear_range)
+        latches[op.blk] = 1;
+    double d = spec.integratorRate() * drive;
+    // Saturated integrators stop accumulating outward.
+    if ((state >= spec.clip_range && d > 0.0) ||
+        (state <= -spec.clip_range && d < 0.0)) {
+        d = 0.0;
+    }
+    return d;
+}
+
+void
+EvalPlan::evalSources(double t, la::Vector &vals,
+                      const std::vector<OutputStage> &stages,
+                      const AnalogSpec &spec,
+                      const PlanWorkspace &ws) const
+{
+    // Branch stages are unmonitored (only integrators and ADCs carry
+    // comparators, Section III-B) — overflow flags are ignored here.
+    bool ovf = false;
+    for (std::size_t i = 0; i < dac_ops.size(); ++i)
+        vals[dac_ops[i].out] = applyStage(stages[dac_ops[i].out],
+                                          spec, ws.dac[i], ovf,
+                                          /*monitored=*/false);
+    for (std::size_t i = 0; i < extin_ops.size(); ++i) {
+        double raw = ws.ext[i] ? (*ws.ext[i])(t) : 0.0;
+        vals[extin_ops[i].out] = applyStage(stages[extin_ops[i].out],
+                                            spec, raw, ovf,
+                                            /*monitored=*/false);
+    }
+}
+
+void
+EvalPlan::evalCombLevel(const LevelSlice &lv, double,
+                        la::Vector &vals,
+                        const std::vector<OutputStage> &stages,
+                        const AnalogSpec &spec,
+                        const PlanWorkspace &ws) const
+{
+    bool ovf = false;
+    for (std::size_t k = lv.gain_begin; k < lv.gain_end; ++k) {
+        const GainOp &op = gain_ops[k];
+        vals[op.out] = applyStage(stages[op.out], spec,
+                                  ws.gain[k] * inputSum(op.in, vals),
+                                  ovf, /*monitored=*/false);
+    }
+    for (std::size_t k = lv.var_begin; k < lv.var_end; ++k) {
+        const MulVarOp &op = var_ops[k];
+        vals[op.out] = applyStage(stages[op.out], spec,
+                                  inputSum(op.in0, vals) *
+                                      inputSum(op.in1, vals),
+                                  ovf, /*monitored=*/false);
+    }
+    for (std::size_t k = lv.fan_begin; k < lv.fan_end; ++k) {
+        const FanOp &op = fan_ops[k];
+        vals[op.out] = applyStage(stages[op.out], spec,
+                                  inputSum(op.in, vals), ovf,
+                                  /*monitored=*/false);
+    }
+    for (std::size_t k = lv.lut_begin; k < lv.lut_end; ++k) {
+        const LutOp &op = lut_ops[k];
+        double raw = ws.lut[k].empty()
+                         ? 0.0
+                         : lutEvalQuantized(ws.lut[k],
+                                            inputSum(op.in, vals));
+        vals[op.out] = applyStage(stages[op.out], spec, raw, ovf,
+                                  /*monitored=*/false);
+    }
+}
+
+void
+EvalPlan::checkSinks(const la::Vector &vals, const AnalogSpec &spec,
+                     std::vector<std::uint8_t> &latches) const
+{
+    for (const SinkOp &op : sink_ops) {
+        if (std::fabs(inputSum(op.in, vals)) > spec.linear_range)
+            latches[op.blk] = 1;
+    }
+}
+
+void
+EvalPlan::evalIdealPorts(double t, const la::Vector &y,
+                         const std::vector<OutputStage> &stages,
+                         const AnalogSpec &spec,
+                         PlanWorkspace &ws) const
+{
+    // Integrator outputs come straight from the state vector.
+    for (std::size_t k = 0; k < integ_flats.size(); ++k)
+        ws.vals[integ_flats[k]] = y[k];
+    evalSources(t, ws.vals, stages, spec, ws);
+    for (const LevelSlice &lv : levels)
+        evalCombLevel(lv, t, ws.vals, stages, spec, ws);
+}
+
+void
+EvalPlan::rhsIdeal(double t, const la::Vector &y, la::Vector &dydt,
+                   const std::vector<OutputStage> &stages,
+                   const AnalogSpec &spec,
+                   std::vector<std::uint8_t> &latches,
+                   PlanWorkspace &ws) const
+{
+    evalIdealPorts(t, y, stages, spec, ws);
+    for (std::size_t k = 0; k < integ_ops.size(); ++k)
+        dydt[k] = integDeriv(integ_ops[k], y[k], ws.vals, stages,
+                             spec, latches);
+    checkSinks(ws.vals, spec, latches);
+}
+
+void
+EvalPlan::rhsBandwidth(double t, const la::Vector &y,
+                       la::Vector &dydt,
+                       const std::vector<OutputStage> &stages,
+                       const AnalogSpec &spec,
+                       std::vector<std::uint8_t> &latches,
+                       PlanWorkspace &ws) const
+{
+    double lag = spec.lagRate();
+    for (const IntegOp &op : integ_ops)
+        dydt[op.out] = integDeriv(op, y[op.out], y, stages, spec,
+                                  latches);
+    bool ovf = false;
+    for (std::size_t i = 0; i < dac_ops.size(); ++i) {
+        std::size_t f = dac_ops[i].out;
+        double target = applyStage(stages[f], spec, ws.dac[i], ovf,
+                                   /*monitored=*/false);
+        dydt[f] = lag * (target - y[f]);
+    }
+    for (std::size_t i = 0; i < extin_ops.size(); ++i) {
+        std::size_t f = extin_ops[i].out;
+        double raw = ws.ext[i] ? (*ws.ext[i])(t) : 0.0;
+        double target = applyStage(stages[f], spec, raw, ovf,
+                                   /*monitored=*/false);
+        dydt[f] = lag * (target - y[f]);
+    }
+    // In bandwidth mode every port is a state, so combinational ops
+    // read their inputs from y directly and level order is moot; the
+    // whole op arrays are swept flat.
+    for (std::size_t k = 0; k < gain_ops.size(); ++k) {
+        const GainOp &op = gain_ops[k];
+        double target = applyStage(stages[op.out], spec,
+                                   ws.gain[k] * inputSum(op.in, y),
+                                   ovf, /*monitored=*/false);
+        dydt[op.out] = lag * (target - y[op.out]);
+    }
+    for (const MulVarOp &op : var_ops) {
+        double target = applyStage(stages[op.out], spec,
+                                   inputSum(op.in0, y) *
+                                       inputSum(op.in1, y),
+                                   ovf, /*monitored=*/false);
+        dydt[op.out] = lag * (target - y[op.out]);
+    }
+    for (const FanOp &op : fan_ops) {
+        double target = applyStage(stages[op.out], spec,
+                                   inputSum(op.in, y), ovf,
+                                   /*monitored=*/false);
+        dydt[op.out] = lag * (target - y[op.out]);
+    }
+    for (std::size_t k = 0; k < lut_ops.size(); ++k) {
+        const LutOp &op = lut_ops[k];
+        double raw = ws.lut[k].empty()
+                         ? 0.0
+                         : lutEvalQuantized(ws.lut[k],
+                                            inputSum(op.in, y));
+        double target = applyStage(stages[op.out], spec, raw, ovf,
+                                   /*monitored=*/false);
+        dydt[op.out] = lag * (target - y[op.out]);
+    }
+    checkSinks(y, spec, latches);
+}
+
+} // namespace aa::circuit

@@ -28,9 +28,238 @@ lutEval(const std::vector<double> &table, std::size_t lut_bits,
     return (1.0 - w) * lo + w * hi;
 }
 
+/**
+ * The pre-plan block-walk evaluator, preserved verbatim as the oracle
+ * for tests/circuit/plan_equivalence_test: nested fan-in vectors, a
+ * per-port kind switch, and an O(blocks x connections) Kahn topo
+ * sort, all rebuilt from the netlist on every construction. Heavy on
+ * purpose — it shares no wiring tables with EvalPlan.
+ */
+struct ReferenceEval {
+    const Netlist &net;
+    const AnalogSpec &spec;
+    const std::vector<OutputStage> &stages;
+    std::vector<std::uint8_t> &latches;
+
+    std::vector<PortRef> out_ports;
+    std::vector<std::size_t> out_base;
+    std::vector<std::vector<std::vector<std::size_t>>> inputs;
+    std::vector<std::size_t> integ_flats;
+    std::vector<std::size_t> topo;
+    std::vector<std::size_t> sink_blocks;
+
+    ReferenceEval(const Netlist &net, const AnalogSpec &spec,
+                  const std::vector<OutputStage> &stages,
+                  std::vector<std::uint8_t> &latches)
+        : net(net), spec(spec), stages(stages), latches(latches)
+    {
+        out_base.assign(net.numBlocks(), 0);
+        for (std::size_t b = 0; b < net.numBlocks(); ++b) {
+            BlockId id{b};
+            out_base[b] = out_ports.size();
+            std::size_t nout = net.outputCount(id);
+            for (std::size_t o = 0; o < nout; ++o) {
+                out_ports.push_back(PortRef{id, o});
+                if (net.kind(id) == BlockKind::Integrator)
+                    integ_flats.push_back(out_ports.size() - 1);
+            }
+            if (net.inputCount(id) >= 1 && nout == 0)
+                sink_blocks.push_back(b);
+        }
+        inputs.resize(net.numBlocks());
+        for (std::size_t b = 0; b < net.numBlocks(); ++b)
+            inputs[b].resize(net.inputCount(BlockId{b}));
+        for (const auto &c : net.connections()) {
+            std::size_t flat = out_base[c.from.block.v] + c.from.port;
+            inputs[c.to.block.v][c.to.port].push_back(flat);
+        }
+        if (spec.mode == SimMode::Ideal)
+            buildTopoOrder();
+    }
+
+    void
+    buildTopoOrder()
+    {
+        auto is_comb = [&](std::size_t b) {
+            switch (net.kind(BlockId{b})) {
+              case BlockKind::MulGain:
+              case BlockKind::MulVar:
+              case BlockKind::Fanout:
+              case BlockKind::Lut:
+                return true;
+              default:
+                return false;
+            }
+        };
+        std::vector<std::size_t> indeg(net.numBlocks(), 0);
+        for (const auto &c : net.connections()) {
+            if (is_comb(c.from.block.v) && is_comb(c.to.block.v))
+                ++indeg[c.to.block.v];
+        }
+        std::deque<std::size_t> ready;
+        std::size_t comb_count = 0;
+        for (std::size_t b = 0; b < net.numBlocks(); ++b) {
+            if (!is_comb(b))
+                continue;
+            ++comb_count;
+            if (indeg[b] == 0)
+                ready.push_back(b);
+        }
+        while (!ready.empty()) {
+            std::size_t b = ready.front();
+            ready.pop_front();
+            topo.push_back(b);
+            for (const auto &c : net.connections()) {
+                if (c.from.block.v != b)
+                    continue;
+                std::size_t dst = c.to.block.v;
+                if (is_comb(dst) && --indeg[dst] == 0)
+                    ready.push_back(dst);
+            }
+        }
+        fatalIf(topo.size() != comb_count,
+                "ReferenceEval: algebraic loop through combinational "
+                "blocks; SimMode::Ideal cannot evaluate it");
+    }
+
+    double
+    inputOf(std::size_t b, std::size_t p, const la::Vector &vals) const
+    {
+        double acc = 0.0;
+        for (std::size_t src : inputs[b][p])
+            acc += vals[src];
+        return acc;
+    }
+
+    double
+    rawOutput(std::size_t b, double t, const la::Vector &vals) const
+    {
+        BlockId id{b};
+        const BlockParams &bp = net.params(id);
+        switch (net.kind(id)) {
+          case BlockKind::MulGain:
+            return bp.gain * inputOf(b, 0, vals);
+          case BlockKind::MulVar:
+            return inputOf(b, 0, vals) * inputOf(b, 1, vals);
+          case BlockKind::Fanout:
+            return inputOf(b, 0, vals);
+          case BlockKind::Dac:
+            return quantizeValue(bp.level, spec.dac_bits);
+          case BlockKind::Lut:
+            if (bp.table.size() < 2)
+                return 0.0;
+            return lutEval(bp.table, spec.lut_bits,
+                           inputOf(b, 0, vals));
+          case BlockKind::ExtIn:
+            return bp.ext_in ? bp.ext_in(t) : 0.0;
+          default:
+            panic("rawOutput: block kind has no combinational output");
+        }
+    }
+
+    double
+    integratorDeriv(std::size_t b, std::size_t flat, double state,
+                    const la::Vector &vals) const
+    {
+        bool ovf = false;
+        double drive = applyStage(stages[flat], spec,
+                                  inputOf(b, 0, vals), ovf);
+        if (ovf)
+            latches[b] = 1;
+        if (std::fabs(state) > spec.linear_range)
+            latches[b] = 1;
+        double d = spec.integratorRate() * drive;
+        if ((state >= spec.clip_range && d > 0.0) ||
+            (state <= -spec.clip_range && d < 0.0)) {
+            d = 0.0;
+        }
+        return d;
+    }
+
+    void
+    checkSinkOverflow(const la::Vector &vals) const
+    {
+        for (std::size_t b : sink_blocks) {
+            double v = inputOf(b, 0, vals);
+            if (std::fabs(v) > spec.linear_range)
+                latches[b] = 1;
+        }
+    }
+
+    void
+    evalIdealPorts(double t, const la::Vector &y,
+                   la::Vector &vals) const
+    {
+        for (std::size_t k = 0; k < integ_flats.size(); ++k)
+            vals[integ_flats[k]] = y[k];
+        for (std::size_t b = 0; b < net.numBlocks(); ++b) {
+            BlockKind kind = net.kind(BlockId{b});
+            if (kind != BlockKind::Dac && kind != BlockKind::ExtIn)
+                continue;
+            std::size_t f = out_base[b];
+            bool ovf = false;
+            vals[f] = applyStage(stages[f], spec,
+                                 rawOutput(b, t, vals), ovf,
+                                 /*monitored=*/false);
+        }
+        for (std::size_t b : topo) {
+            BlockId id{b};
+            std::size_t base = out_base[b];
+            std::size_t nout = net.outputCount(id);
+            for (std::size_t o = 0; o < nout; ++o) {
+                std::size_t f = base + o;
+                bool ovf = false;
+                vals[f] = applyStage(stages[f], spec,
+                                     rawOutput(b, t, vals), ovf,
+                                     /*monitored=*/false);
+            }
+        }
+    }
+
+    void
+    rhsIdeal(double t, const la::Vector &y, la::Vector &dydt) const
+    {
+        la::Vector vals(out_ports.size());
+        evalIdealPorts(t, y, vals);
+        for (std::size_t k = 0; k < integ_flats.size(); ++k) {
+            std::size_t f = integ_flats[k];
+            std::size_t b = out_ports[f].block.v;
+            dydt[k] = integratorDeriv(b, f, y[k], vals);
+        }
+        checkSinkOverflow(vals);
+    }
+
+    void
+    rhsBandwidth(double t, const la::Vector &y,
+                 la::Vector &dydt) const
+    {
+        double lag = spec.lagRate();
+        for (std::size_t b = 0; b < net.numBlocks(); ++b) {
+            BlockId id{b};
+            BlockKind kind = net.kind(id);
+            std::size_t base = out_base[b];
+            std::size_t nout = net.outputCount(id);
+            if (kind == BlockKind::Integrator) {
+                dydt[base] = integratorDeriv(b, base, y[base], y);
+                continue;
+            }
+            for (std::size_t o = 0; o < nout; ++o) {
+                std::size_t f = base + o;
+                bool ovf = false;
+                double target =
+                    applyStage(stages[f], spec,
+                               rawOutput(b, t, y), ovf,
+                               /*monitored=*/false);
+                dydt[f] = lag * (target - y[f]);
+            }
+        }
+        checkSinkOverflow(y);
+    }
+};
+
 } // namespace
 
-/** The OdeSystem the netlist becomes. */
+/** OdeSystem bridge: run() integrates the compiled plan. */
 class Simulator::Dynamics : public ode::OdeSystem
 {
   public:
@@ -45,175 +274,11 @@ class Simulator::Dynamics : public ode::OdeSystem
     void
     rhs(double t, const la::Vector &y, la::Vector &dydt) const override
     {
-        if (sim.spec_.mode == SimMode::Bandwidth)
-            rhsBandwidth(t, y, dydt);
-        else
-            rhsIdeal(t, y, dydt);
-    }
-
-    /** All flat output-port values implied by a state vector. */
-    la::Vector
-    portValues(double t, const la::Vector &y) const
-    {
-        if (sim.spec_.mode == SimMode::Bandwidth)
-            return y; // states are the port values
-        la::Vector vals(sim.out_ports.size());
-        evalIdealPorts(t, y, vals);
-        return vals;
+        sim.evalRhs(t, y, dydt);
     }
 
   private:
-    /** Summed current into (block b, input port p) from `vals`. */
-    double
-    inputOf(std::size_t b, std::size_t p, const la::Vector &vals) const
-    {
-        double acc = 0.0;
-        for (std::size_t src : sim.inputs[b][p])
-            acc += vals[src];
-        return acc;
-    }
-
-    /** Raw (pre-output-stage) value of one combinational output. */
-    double
-    rawOutput(std::size_t b, double t, const la::Vector &vals) const
-    {
-        BlockId id{b};
-        const BlockParams &bp = sim.net.params(id);
-        switch (sim.net.kind(id)) {
-          case BlockKind::MulGain:
-            return bp.gain * inputOf(b, 0, vals);
-          case BlockKind::MulVar:
-            return inputOf(b, 0, vals) * inputOf(b, 1, vals);
-          case BlockKind::Fanout:
-            return inputOf(b, 0, vals);
-          case BlockKind::Dac:
-            return quantizeValue(bp.level, sim.spec_.dac_bits);
-          case BlockKind::Lut:
-            // Unconfigured LUTs sit unwired (validate() enforces it)
-            // and contribute nothing.
-            if (bp.table.size() < 2)
-                return 0.0;
-            return lutEval(bp.table, sim.spec_.lut_bits,
-                           inputOf(b, 0, vals));
-          case BlockKind::ExtIn:
-            return bp.ext_in ? bp.ext_in(t) : 0.0;
-          default:
-            panic("rawOutput: block kind has no combinational output");
-        }
-    }
-
-    /** Integrator derivative with input-stage errors + anti-windup. */
-    double
-    integratorDeriv(std::size_t b, std::size_t flat, double state,
-                    const la::Vector &vals) const
-    {
-        bool ovf = false;
-        double drive = applyStage(sim.stages[flat], sim.spec_,
-                                  inputOf(b, 0, vals), ovf);
-        if (ovf)
-            sim.latches[b] = 1;
-        if (std::fabs(state) > sim.spec_.linear_range)
-            sim.latches[b] = 1;
-        double d = sim.spec_.integratorRate() * drive;
-        // Saturated integrators stop accumulating outward.
-        if ((state >= sim.spec_.clip_range && d > 0.0) ||
-            (state <= -sim.spec_.clip_range && d < 0.0)) {
-            d = 0.0;
-        }
-        return d;
-    }
-
-    void
-    checkSinkOverflow(const la::Vector &vals) const
-    {
-        for (std::size_t b : sim.sink_blocks) {
-            double v = inputOf(b, 0, vals);
-            if (std::fabs(v) > sim.spec_.linear_range)
-                sim.latches[b] = 1;
-        }
-    }
-
-    void
-    rhsBandwidth(double t, const la::Vector &y,
-                 la::Vector &dydt) const
-    {
-        double lag = sim.spec_.lagRate();
-        for (std::size_t b = 0; b < sim.net.numBlocks(); ++b) {
-            BlockId id{b};
-            BlockKind kind = sim.net.kind(id);
-            std::size_t base = sim.out_base[b];
-            std::size_t nout = sim.net.outputCount(id);
-            if (kind == BlockKind::Integrator) {
-                dydt[base] = integratorDeriv(b, base, y[base], y);
-                continue;
-            }
-            for (std::size_t o = 0; o < nout; ++o) {
-                std::size_t f = base + o;
-                bool ovf = false;
-                // Branch stages are unmonitored (only integrators
-                // and ADCs carry comparators, Section III-B).
-                double target =
-                    applyStage(sim.stages[f], sim.spec_,
-                               rawOutput(b, t, y), ovf,
-                               /*monitored=*/false);
-                dydt[f] = lag * (target - y[f]);
-            }
-        }
-        checkSinkOverflow(y);
-    }
-
-    /** Fill `vals` for all ports given integrator states (Ideal). */
-    void
-    evalIdealPorts(double t, const la::Vector &y,
-                   la::Vector &vals) const
-    {
-        // Integrator outputs come straight from the state vector.
-        for (std::size_t k = 0; k < sim.integ_flats.size(); ++k)
-            vals[sim.integ_flats[k]] = y[k];
-
-        // Source blocks (DACs, external inputs) are input-free and
-        // evaluate directly.
-        for (std::size_t b = 0; b < sim.net.numBlocks(); ++b) {
-            BlockKind kind = sim.net.kind(BlockId{b});
-            if (kind != BlockKind::Dac && kind != BlockKind::ExtIn)
-                continue;
-            std::size_t f = sim.out_base[b];
-            bool ovf = false;
-            vals[f] = applyStage(sim.stages[f], sim.spec_,
-                                 rawOutput(b, t, vals), ovf,
-                                 /*monitored=*/false);
-        }
-
-        for (std::size_t b : sim.topo) {
-            BlockId id{b};
-            std::size_t base = sim.out_base[b];
-            std::size_t nout = sim.net.outputCount(id);
-            for (std::size_t o = 0; o < nout; ++o) {
-                std::size_t f = base + o;
-                bool ovf = false;
-                vals[f] = applyStage(sim.stages[f], sim.spec_,
-                                     rawOutput(b, t, vals), ovf,
-                                     /*monitored=*/false);
-            }
-        }
-    }
-
-    void
-    rhsIdeal(double t, const la::Vector &y, la::Vector &dydt) const
-    {
-        la::Vector vals(sim.out_ports.size());
-        evalIdealPorts(t, y, vals);
-        for (std::size_t k = 0; k < sim.integ_flats.size(); ++k) {
-            std::size_t f = sim.integ_flats[k];
-            std::size_t b = sim.out_ports[f].block.v;
-            dydt[k] = integratorDeriv(b, f, y[k], vals);
-        }
-        checkSinkOverflow(vals);
-    }
-
     Simulator &sim;
-
-    friend class Simulator;
 };
 
 Simulator::Simulator(const Netlist &netlist, const AnalogSpec &spec,
@@ -221,105 +286,28 @@ Simulator::Simulator(const Netlist &netlist, const AnalogSpec &spec,
     : net(netlist), spec_(spec), rng(die_seed)
 {
     net.validate();
-    buildIndex();
-    if (spec_.mode == SimMode::Ideal)
-        buildTopoOrder();
+    plan_ = EvalPlan(net, spec_);
+    // Stage sampling order equals the flat output-port order, so a
+    // die seed keeps producing the same process corner it always has.
+    stages.reserve(plan_.outPortCount());
+    for (std::size_t f = 0; f < plan_.outPortCount(); ++f)
+        stages.push_back(OutputStage::sample(spec_.variation, rng));
+    plan_.initWorkspace(net, spec_, ws_);
     latches.assign(net.numBlocks(), 0);
-}
-
-void
-Simulator::buildIndex()
-{
-    out_base.assign(net.numBlocks(), 0);
-    for (std::size_t b = 0; b < net.numBlocks(); ++b) {
-        BlockId id{b};
-        out_base[b] = out_ports.size();
-        std::size_t nout = net.outputCount(id);
-        for (std::size_t o = 0; o < nout; ++o) {
-            out_ports.push_back(PortRef{id, o});
-            stages.push_back(
-                OutputStage::sample(spec_.variation, rng));
-            if (net.kind(id) == BlockKind::Integrator)
-                integ_flats.push_back(out_ports.size() - 1);
-        }
-        if (net.inputCount(id) >= 1 && nout == 0)
-            sink_blocks.push_back(b);
-    }
-
-    // Wire input lookup tables.
-    inputs.resize(net.numBlocks());
-    for (std::size_t b = 0; b < net.numBlocks(); ++b)
-        inputs[b].resize(net.inputCount(BlockId{b}));
-    for (const auto &c : net.connections()) {
-        std::size_t flat = flatOutput(c.from);
-        inputs[c.to.block.v][c.to.port].push_back(flat);
-    }
-}
-
-void
-Simulator::buildTopoOrder()
-{
-    // Kahn's algorithm over combinational blocks only; integrators,
-    // DACs and external inputs are sources whose values are known.
-    auto is_comb = [&](std::size_t b) {
-        switch (net.kind(BlockId{b})) {
-          case BlockKind::MulGain:
-          case BlockKind::MulVar:
-          case BlockKind::Fanout:
-          case BlockKind::Lut:
-            return true;
-          default:
-            return false;
-        }
-    };
-
-    std::vector<std::size_t> indeg(net.numBlocks(), 0);
-    for (const auto &c : net.connections()) {
-        std::size_t src = c.from.block.v;
-        std::size_t dst = c.to.block.v;
-        if (is_comb(src) && is_comb(dst))
-            ++indeg[dst];
-    }
-
-    std::deque<std::size_t> ready;
-    std::size_t comb_count = 0;
-    for (std::size_t b = 0; b < net.numBlocks(); ++b) {
-        if (!is_comb(b))
-            continue;
-        ++comb_count;
-        if (indeg[b] == 0)
-            ready.push_back(b);
-    }
-
-    topo.clear();
-    while (!ready.empty()) {
-        std::size_t b = ready.front();
-        ready.pop_front();
-        topo.push_back(b);
-        for (const auto &c : net.connections()) {
-            if (c.from.block.v != b)
-                continue;
-            std::size_t dst = c.to.block.v;
-            if (is_comb(dst) && --indeg[dst] == 0)
-                ready.push_back(dst);
-        }
-    }
-    fatalIf(topo.size() != comb_count,
-            "Simulator: algebraic loop through combinational blocks; "
-            "SimMode::Ideal cannot evaluate it, use SimMode::Bandwidth");
 }
 
 std::size_t
 Simulator::flatOutput(PortRef out) const
 {
-    return out_base[out.block.v] + out.port;
+    return plan_.flatOutput(out);
 }
 
 std::size_t
 Simulator::stateCount() const
 {
-    return spec_.mode == SimMode::Bandwidth ? out_ports.size()
-                                            : integ_flats.size();
+    return spec_.mode == SimMode::Bandwidth
+               ? plan_.outPortCount()
+               : plan_.integFlats().size();
 }
 
 std::size_t
@@ -328,8 +316,9 @@ Simulator::stateIndexOf(PortRef out) const
     std::size_t flat = flatOutput(out);
     if (spec_.mode == SimMode::Bandwidth)
         return flat;
-    for (std::size_t k = 0; k < integ_flats.size(); ++k)
-        if (integ_flats[k] == flat)
+    const auto &integ = plan_.integFlats();
+    for (std::size_t k = 0; k < integ.size(); ++k)
+        if (integ[k] == flat)
             return k;
     return static_cast<std::size_t>(-1);
 }
@@ -337,26 +326,49 @@ Simulator::stateIndexOf(PortRef out) const
 la::Vector
 Simulator::initialState() const
 {
+    const auto &ports = plan_.outPorts();
+    const auto &integ = plan_.integFlats();
     if (spec_.mode == SimMode::Ideal) {
-        la::Vector y(integ_flats.size());
-        for (std::size_t k = 0; k < integ_flats.size(); ++k) {
-            const auto &p =
-                net.params(out_ports[integ_flats[k]].block);
-            y[k] = p.ic;
-        }
+        la::Vector y(integ.size());
+        for (std::size_t k = 0; k < integ.size(); ++k)
+            y[k] = net.params(ports[integ[k]].block).ic;
         return y;
     }
     // Bandwidth mode: integrators at their ICs, lag states start at 0
     // (the configuration phase holds signal paths quiescent).
-    la::Vector y(out_ports.size());
-    for (std::size_t f : integ_flats)
-        y[f] = net.params(out_ports[f].block).ic;
+    la::Vector y(plan_.outPortCount());
+    for (std::size_t f : integ)
+        y[f] = net.params(ports[f].block).ic;
     return y;
+}
+
+void
+Simulator::evalRhs(double t, const la::Vector &y, la::Vector &dydt)
+{
+    if (spec_.mode == SimMode::Bandwidth)
+        plan_.rhsBandwidth(t, y, dydt, stages, spec_, latches, ws_);
+    else
+        plan_.rhsIdeal(t, y, dydt, stages, spec_, latches, ws_);
+}
+
+void
+Simulator::evalRhsReference(double t, const la::Vector &y,
+                            la::Vector &dydt)
+{
+    ReferenceEval ref(net, spec_, stages, latches);
+    if (spec_.mode == SimMode::Bandwidth)
+        ref.rhsBandwidth(t, y, dydt);
+    else
+        ref.rhsIdeal(t, y, dydt);
 }
 
 RunResult
 Simulator::run(const RunOptions &opts)
 {
+    // Snapshot reconfigurable parameters (gain/level/table edits
+    // since the last run) into the plan workspace.
+    plan_.refreshParams(net, spec_, ws_);
+
     Dynamics dyn(*this);
 
     ode::IntegrateOptions iopts;
@@ -376,7 +388,7 @@ Simulator::run(const RunOptions &opts)
         // And no steady verdict before the branch lags have charged:
         // at t = 0 every lag output is zero and integrators are
         // spuriously quiet.
-        iopts.steady_indices = integ_flats;
+        iopts.steady_indices = plan_.integFlats();
         iopts.steady_min_time = 20.0 / spec_.lagRate();
     }
 
@@ -385,7 +397,7 @@ Simulator::run(const RunOptions &opts)
 
     last_state = std::move(r.y);
     last_time = r.t;
-    last_port_values = dyn.portValues(last_time, last_state);
+    portValuesInto(last_time, last_state, last_port_values);
     has_run = true;
 
     RunResult res;
@@ -395,6 +407,19 @@ Simulator::run(const RunOptions &opts)
     res.reason = r.reason;
     res.any_exception = anyException();
     return res;
+}
+
+void
+Simulator::portValuesInto(double t, const la::Vector &y,
+                          la::Vector &vals)
+{
+    vals.resize(plan_.outPortCount());
+    if (spec_.mode == SimMode::Bandwidth) {
+        std::copy(y.begin(), y.end(), vals.begin());
+        return;
+    }
+    plan_.evalIdealPorts(t, y, stages, spec_, ws_);
+    std::copy(ws_.vals.begin(), ws_.vals.end(), vals.begin());
 }
 
 double
@@ -408,21 +433,19 @@ double
 Simulator::inputValue(PortRef in) const
 {
     panicIf(!has_run, "Simulator::inputValue before run()");
-    double acc = 0.0;
-    for (std::size_t src : inputs[in.block.v][in.port])
-        acc += last_port_values[src];
-    return acc;
+    return plan_.inputSum(plan_.flatInput(in), last_port_values);
 }
 
 double
 Simulator::inputValueAt(PortRef in, double t, const la::Vector &y)
 {
-    Dynamics dyn(*this);
-    la::Vector vals = dyn.portValues(t, y);
-    double acc = 0.0;
-    for (std::size_t src : inputs[in.block.v][in.port])
-        acc += vals[src];
-    return acc;
+    // Probes may fire before any run(); pick up parameter edits.
+    plan_.refreshParams(net, spec_, ws_);
+    std::size_t row = plan_.flatInput(in);
+    if (spec_.mode == SimMode::Bandwidth)
+        return plan_.inputSum(row, y);
+    plan_.evalIdealPorts(t, y, stages, spec_, ws_);
+    return plan_.inputSum(row, ws_.vals);
 }
 
 std::int64_t
@@ -502,7 +525,7 @@ Simulator::dcTransfer(BlockId block, double in0, double in1,
         return in0; // sinks have no output stage
     }
     bool ovf = false;
-    std::size_t f = out_base[block.v] + out_port;
+    std::size_t f = plan_.flatOutput(PortRef{block, out_port});
     panicIf(out_port >= net.outputCount(block),
             "dcTransfer: output port out of range");
     // Calibration probes must see the unclipped transfer; latches
@@ -526,18 +549,13 @@ Simulator::stage(PortRef out) const
 void
 Simulator::refreshWiring()
 {
-    panicIf(net.numBlocks() != out_base.size(),
+    panicIf(net.numBlocks() != plan_.numBlocks(),
             "refreshWiring: block set changed; the die is fixed");
     net.validate();
-    for (auto &per_block : inputs)
-        for (auto &per_port : per_block)
-            per_port.clear();
-    for (const auto &c : net.connections()) {
-        std::size_t flat = flatOutput(c.from);
-        inputs[c.to.block.v][c.to.port].push_back(flat);
-    }
-    if (spec_.mode == SimMode::Ideal)
-        buildTopoOrder();
+    plan_ = EvalPlan(net, spec_);
+    panicIf(plan_.outPortCount() != stages.size(),
+            "refreshWiring: output ports changed; the die is fixed");
+    plan_.initWorkspace(net, spec_, ws_);
     has_run = false;
 }
 

@@ -10,9 +10,18 @@
  * evaluates combinational blocks in topological order — faster, and
  * the paper's idealized-analog ablation.
  *
+ * The netlist is lowered once into an EvalPlan (see plan.hh): CSR
+ * fan-in adjacency and typed per-kind op lists that the RHS sweeps
+ * with zero allocations. Reconfigurable parameters (gains, DAC
+ * levels, LUT tables) are snapshotted into the plan workspace at the
+ * start of every run; mutating them mid-run is not supported.
+ *
  * This plays the role of the authors' Cadence Virtuoso circuit
  * simulations: small configurations run here to validate and
  * calibrate the analytical large-N model in aa_cost.
+ *
+ * Thread-safety: a Simulator is single-threaded; parallel sweeps run
+ * one Simulator (one die) per thread over a shared immutable Netlist.
  */
 
 #ifndef AA_CIRCUIT_SIMULATOR_HH
@@ -23,6 +32,7 @@
 
 #include "aa/circuit/netlist.hh"
 #include "aa/circuit/nonideal.hh"
+#include "aa/circuit/plan.hh"
 #include "aa/circuit/spec.hh"
 #include "aa/ode/integrator.hh"
 #include "aa/ode/system.hh"
@@ -96,9 +106,34 @@ class Simulator
     /**
      * Summed current into an input port implied by a mid-run state
      * snapshot (as delivered to RunOptions::observer) — the probe
-     * behind waveform-sampling ADCs.
+     * behind waveform-sampling ADCs. Allocation-free: evaluates into
+     * the simulator's internal plan workspace.
      */
     double inputValueAt(PortRef in, double t, const la::Vector &y);
+
+    /**
+     * All flat output-port values implied by a state snapshot,
+     * written into caller storage (resized once; no per-call heap
+     * traffic after that).
+     */
+    void portValuesInto(double t, const la::Vector &y,
+                        la::Vector &vals);
+
+    /**
+     * Production right-hand side dydt <- f(t, y) through the compiled
+     * plan (what run() integrates). Public so equivalence tests and
+     * benchmarks can drive single evaluations; zero allocations.
+     */
+    void evalRhs(double t, const la::Vector &y, la::Vector &dydt);
+
+    /**
+     * The pre-plan block-walk RHS, kept as an independent oracle: it
+     * rebuilds its own wiring tables from the netlist on every call
+     * and dispatches per block kind. Slow and allocation-heavy; only
+     * for validating the plan (tests/circuit/plan_equivalence_test).
+     */
+    void evalRhsReference(double t, const la::Vector &y,
+                          la::Vector &dydt);
 
     /**
      * Read an ADC: quantizes the sampled node (plus per-sample input
@@ -138,39 +173,31 @@ class Simulator
     /**
      * Re-derive wiring after the referenced netlist's *connections*
      * changed (the chip reconfiguring its crossbar between problems).
-     * The block set must be unchanged — the die and its process
-     * variation are fixed; panics otherwise.
+     * Recompiles the evaluation plan; the block set must be unchanged
+     * — the die and its process variation are fixed; panics
+     * otherwise.
      */
     void refreshWiring();
 
     const AnalogSpec &spec() const { return spec_; }
 
+    /** The compiled evaluation plan (tests and diagnostics). */
+    const EvalPlan &plan() const { return plan_; }
+
   private:
-    class Dynamics; ///< the OdeSystem implementation
+    class Dynamics; ///< the OdeSystem bridge onto the plan
 
     std::size_t flatOutput(PortRef out) const;
-    void buildIndex();
-    void buildTopoOrder();
     la::Vector initialState() const;
 
     const Netlist &net;
     AnalogSpec spec_;
     Rng rng;
 
-    /** Flat output-port table. */
-    std::vector<PortRef> out_ports;          ///< flat -> port
-    std::vector<std::size_t> out_base;       ///< block -> first flat
-    std::vector<OutputStage> stages;         ///< flat -> errors
-    /** Input wiring: for each block, per input port, driver flats. */
-    std::vector<std::vector<std::vector<std::size_t>>> inputs;
+    EvalPlan plan_;   ///< compiled structure (rebuilt on refreshWiring)
+    PlanWorkspace ws_; ///< param snapshot + port-value scratch
 
-    /** Integrator flats (state layout in Ideal mode). */
-    std::vector<std::size_t> integ_flats;
-    /** Topological order of non-source blocks (Ideal mode). */
-    std::vector<std::size_t> topo;
-    /** Blocks with inputs but no outputs (ADC, ExtOut): overflow
-     *  checks watch their input nodes. */
-    std::vector<std::size_t> sink_blocks;
+    std::vector<OutputStage> stages; ///< flat output port -> errors
 
     mutable std::vector<std::uint8_t> latches; ///< per block
     la::Vector last_state;

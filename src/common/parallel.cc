@@ -1,0 +1,122 @@
+#include "aa/common/parallel.hh"
+
+#include <cstdlib>
+
+namespace aa {
+
+std::size_t
+defaultThreadCount()
+{
+    if (const char *env = std::getenv("AASIM_THREADS")) {
+        char *end = nullptr;
+        unsigned long v = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0)
+            return static_cast<std::size_t>(v);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    if (threads == 0)
+        threads = defaultThreadCount();
+    for (std::size_t i = 0; i + 1 < threads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        shutdown = true;
+    }
+    cv_work.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::runBatch()
+{
+    for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+         i < batch_n;
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+        try {
+            (*batch_fn)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mu);
+            if (!first_error)
+                first_error = std::current_exception();
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            cv_work.wait(lock, [&] {
+                return shutdown || generation != seen;
+            });
+            if (shutdown)
+                return;
+            seen = generation;
+        }
+        runBatch();
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            --busy;
+        }
+        cv_done.notify_one();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (workers.empty() || n == 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        batch_fn = &fn;
+        batch_n = n;
+        next.store(0, std::memory_order_relaxed);
+        first_error = nullptr;
+        busy = workers.size();
+        ++generation;
+    }
+    cv_work.notify_all();
+    runBatch(); // the caller is a worker too
+    std::unique_lock<std::mutex> lock(mu);
+    cv_done.wait(lock, [&] { return busy == 0; });
+    batch_fn = nullptr;
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+void
+parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn,
+            std::size_t threads)
+{
+    if (threads == 0)
+        threads = defaultThreadCount();
+    if (threads <= 1 || n < 2) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    ThreadPool pool(threads);
+    pool.parallelFor(n, fn);
+}
+
+} // namespace aa

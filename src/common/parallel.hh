@@ -1,0 +1,98 @@
+/**
+ * @file
+ * A small work-queue thread pool for embarrassingly parallel sweeps.
+ *
+ * The figure/table benches run one independent solve per grid size and
+ * die seed; parallelFor() fans those out across a persistent worker
+ * pool while the caller thread participates too. Results must be
+ * written by index into caller-owned storage, which keeps the merged
+ * output deterministic regardless of scheduling.
+ *
+ * Worker count comes from the AASIM_THREADS environment variable when
+ * set (0 or unset = one worker per hardware thread). With one thread
+ * the loop runs inline, so single-core runs pay no synchronization.
+ */
+
+#ifndef AA_COMMON_PARALLEL_HH
+#define AA_COMMON_PARALLEL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aa {
+
+/**
+ * Number of concurrent workers a pool defaults to: AASIM_THREADS if
+ * set to a positive integer, else std::thread::hardware_concurrency()
+ * (never less than 1).
+ */
+std::size_t defaultThreadCount();
+
+/**
+ * Fixed-size pool of workers executing index-chunked loops.
+ *
+ * One pool may be reused for many parallelFor() calls; workers sleep
+ * between batches. parallelFor() itself is not reentrant and must be
+ * called from one thread at a time (the benches' sweep driver).
+ */
+class ThreadPool
+{
+  public:
+    /** threads = total concurrency including the caller; 0 = default. */
+    explicit ThreadPool(std::size_t threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total concurrency (worker threads + the participating caller). */
+    std::size_t threadCount() const { return workers.size() + 1; }
+
+    /**
+     * Run fn(i) for every i in [0, n), distributing indices across the
+     * pool; blocks until all complete. The first exception thrown by
+     * fn is rethrown here after the batch drains. fn must synchronize
+     * any shared state itself; writing result[i] per index needs no
+     * locking.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+  private:
+    void workerLoop();
+    void runBatch();
+
+    std::vector<std::thread> workers;
+
+    std::mutex mu;
+    std::condition_variable cv_work;
+    std::condition_variable cv_done;
+    std::uint64_t generation = 0; ///< batch counter, guarded by mu
+    std::size_t busy = 0;         ///< workers inside current batch
+    bool shutdown = false;
+
+    // Current batch (valid while generation is live).
+    const std::function<void(std::size_t)> *batch_fn = nullptr;
+    std::size_t batch_n = 0;
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr first_error;
+};
+
+/**
+ * One-shot helper: run fn(i) for i in [0, n) with `threads` total
+ * workers (0 = default). Serial (no threads spawned) when the count
+ * is 1 or n < 2.
+ */
+void parallelFor(std::size_t n,
+                 const std::function<void(std::size_t)> &fn,
+                 std::size_t threads = 0);
+
+} // namespace aa
+
+#endif // AA_COMMON_PARALLEL_HH
