@@ -29,13 +29,19 @@ main(int argc, char **argv)
     double bnorm = la::norm2(b);
     double uscale = la::normInf(exact);
 
-    TextTable table("Algorithm 2: relative residual and solution "
-                    "bits per refinement pass");
+    TextTable table("Algorithm 2: relative residual, solution bits "
+                    "and config traffic per refinement pass");
     table.setHeader({"pass", "8-bit resid", "8-bit bits",
-                     "12-bit resid", "12-bit bits"});
+                     "12-bit resid", "12-bit bits", "8-bit cfg B",
+                     "12-bit cfg B"});
 
     constexpr std::size_t passes = 7;
     std::vector<std::string> cells[passes + 1];
+    // Config bytes each pass shipped (row p = traffic of the solve
+    // that produced that row's state; row 0 = nothing yet). With the
+    // program cache + shadow registers, every pass after the first
+    // rebinds DAC biases only.
+    std::size_t traffic[2][passes + 1] = {};
 
     for (std::size_t col = 0; col < 2; ++col) {
         analog::AnalogSolverOptions opts;
@@ -59,14 +65,16 @@ main(int argc, char **argv)
                 solver.setSolutionScaleHint(
                     peak / std::max(a.maxAbs(), 1e-12));
             auto out = solver.solve(a, residual);
+            traffic[col][pass + 1] = out.phases.config_bytes;
             la::axpy(1.0, out.u, u);
             residual = b - a.apply(u);
         }
     }
     for (std::size_t pass = 0; pass <= passes; ++pass) {
         table.addRow({std::to_string(pass), cells[pass][0],
-                      cells[pass][1], cells[pass][2],
-                      cells[pass][3]});
+                      cells[pass][1], cells[pass][2], cells[pass][3],
+                      std::to_string(traffic[0][pass]),
+                      std::to_string(traffic[1][pass])});
     }
     bench::emit(table, tsv);
 

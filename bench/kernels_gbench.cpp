@@ -15,13 +15,18 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
+#include <memory>
 #include <new>
 
 #include <benchmark/benchmark.h>
 
+#include "aa/chip/chip.hh"
 #include "aa/circuit/plan.hh"
 #include "aa/circuit/simulator.hh"
 #include "aa/common/logging.hh"
+#include "aa/compiler/program.hh"
+#include "aa/compiler/scaling.hh"
+#include "aa/isa/driver.hh"
 #include "aa/pde/poisson.hh"
 #include "aa/solver/iterative.hh"
 #include "aa/solver/multigrid.hh"
@@ -95,6 +100,17 @@ const bool g_baseline_context = [] {
         "preplan_rhs_bandwidth_32_ns_per_eval", "217718");
     benchmark::AddCustomContext("preplan_sim_ctor_32_ideal_ms",
                                 "32.88");
+    // Pre-refactor full-reconfigure path (SleMapping rebuilt and the
+    // whole configuration re-shipped every pass), measured on this
+    // machine before the structure/binding split: per-pass downstream
+    // bytes of the alg2_precision 12-bit column (n = 9), and one
+    // map+configure rebuild.
+    benchmark::AddCustomContext(
+        "prerefactor_alg2_12bit_first_pass_bytes_down", "4686");
+    benchmark::AddCustomContext(
+        "prerefactor_alg2_12bit_steady_pass_bytes_down", "3149");
+    benchmark::AddCustomContext(
+        "prerefactor_map_configure_n9_ns_per_iter", "99898");
     return true;
 }();
 
@@ -344,5 +360,96 @@ BM_PlanBuild(benchmark::State &state)
         static_cast<std::int64_t>(net.numBlocks()));
 }
 BENCHMARK(BM_PlanBuild)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+/** Shared fixture state for the configuration-path benchmarks: a
+ *  Poisson system compiled for a die that exactly fits it. */
+struct ConfigureSetup {
+    la::DenseMatrix a;
+    compiler::ScaledSystem scaled;
+    std::unique_ptr<chip::Chip> chip;
+    std::unique_ptr<isa::AcceleratorDriver> driver;
+    std::unique_ptr<compiler::CompiledStructure> structure;
+
+    explicit ConfigureSetup(std::size_t level)
+    {
+        // Nonzero forcing so the bindings carry real DAC biases (the
+        // delta path would otherwise ship nothing at all).
+        auto prob = pde::assemblePoisson(
+            2, level,
+            [](double x, double y, double) { return x + 2.0 * y; });
+        a = prob.a.toDense();
+        chip::ChipConfig cfg;
+        cfg.spec.variation.enabled = false;
+        cfg.geometry =
+            compiler::geometryFor(compiler::demandOf(a, prob.b));
+        chip = std::make_unique<chip::Chip>(cfg);
+        driver = std::make_unique<isa::AcceleratorDriver>(*chip);
+        scaled =
+            compiler::scaleSystem(a, prob.b, {}, cfg.spec, 1.0);
+        structure = std::make_unique<compiler::CompiledStructure>(
+            scaled.a, *chip);
+    }
+};
+
+/**
+ * The cold path: ship the whole program — clearConfig, every crossbar
+ * connection, every value, commit — as the pre-refactor solve loop
+ * did on every attempt. resetShadow() forgets the register file so
+ * nothing is suppressed.
+ */
+void
+BM_ConfigureFull(benchmark::State &state)
+{
+    setLogLevel(LogLevel::Quiet);
+    ConfigureSetup s(static_cast<std::size_t>(state.range(0)));
+    double lambda =
+        compiler::estimateConvergenceRate(s.scaled.a, true);
+    compiler::ParameterBinding binding(*s.structure, s.scaled,
+                                       lambda);
+    std::size_t bytes0 = s.driver->configBytes();
+    for (auto _ : state) {
+        s.driver->resetShadow();
+        s.structure->configureStructure(*s.driver);
+        binding.apply(*s.structure, *s.driver);
+    }
+    state.counters["config_bytes"] = benchmark::Counter(
+        static_cast<double>(s.driver->configBytes() - bytes0) /
+        static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_ConfigureFull)->Arg(2)->Arg(3);
+
+/**
+ * The hot path: the structure is live on the die and only the DAC
+ * biases change (a refinement pass, an implicit timestep); the shadow
+ * registers reduce the reconfiguration to the delta.
+ */
+void
+BM_ConfigureDelta(benchmark::State &state)
+{
+    setLogLevel(LogLevel::Quiet);
+    ConfigureSetup s(static_cast<std::size_t>(state.range(0)));
+    double lambda =
+        compiler::estimateConvergenceRate(s.scaled.a, true);
+    compiler::ParameterBinding binding_a(*s.structure, s.scaled,
+                                         lambda);
+    // A second RHS with the same structure and gain scale: only the
+    // biases differ between the two bindings.
+    compiler::ScaledSystem half = s.scaled;
+    la::scale(0.5, s.scaled.b, half.b);
+    compiler::ParameterBinding binding_b(*s.structure, half, lambda);
+
+    s.structure->configureStructure(*s.driver);
+    binding_a.apply(*s.structure, *s.driver);
+    std::size_t bytes0 = s.driver->configBytes();
+    bool flip = false;
+    for (auto _ : state) {
+        (flip ? binding_a : binding_b).apply(*s.structure, *s.driver);
+        flip = !flip;
+    }
+    state.counters["config_bytes"] = benchmark::Counter(
+        static_cast<double>(s.driver->configBytes() - bytes0) /
+        static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_ConfigureDelta)->Arg(2)->Arg(3);
 
 } // namespace

@@ -54,10 +54,17 @@ main()
     std::printf("%-6s %-14s %-14s %-12s\n", "step",
                 "u_mid (analog)", "u_mid (exact)", "diff");
 
+    std::size_t first_step_bytes = 0;
+    std::size_t later_step_bytes = 0;
     for (std::size_t n = 0; n < steps; ++n) {
         la::Vector rhs_a = u_analog;
         la::axpy(dt, prob.b, rhs_a);
-        u_analog = accel.solve(m, rhs_a).u;
+        auto out = accel.solve(m, rhs_a);
+        u_analog = out.u;
+        if (n == 0)
+            first_step_bytes = out.phases.config_bytes;
+        else
+            later_step_bytes += out.phases.config_bytes;
 
         la::Vector rhs_d = u_digital;
         la::axpy(dt, prob.b, rhs_d);
@@ -77,6 +84,14 @@ main()
     std::printf("\n%zu implicit steps used %zu accelerator runs and "
                 "%.3g ms of analog time.\n",
                 steps, steps, accel.totalAnalogSeconds() * 1e3);
+    std::printf("Every step solves the same matrix M: the program "
+                "cache compiled %zu structure(s)\nfor %zu solves, so "
+                "step 1 shipped %zu config bytes and steps 2..%zu "
+                "averaged %zu\n(only the DAC biases change).\n",
+                accel.cacheStats().misses,
+                accel.cacheStats().hits + accel.cacheStats().misses,
+                first_step_bytes, steps,
+                later_step_bytes / (steps - 1));
     std::printf("Per-step ~8-bit solves do not accumulate: backward "
                 "Euler is self-correcting,\nso the analog trajectory "
                 "tracks the exact one within readout precision.\n");

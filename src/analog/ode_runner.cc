@@ -39,6 +39,7 @@ AnalogOdeSolver::ensureCapacity(const compiler::ResourceDemand &demand)
     cfg.die_seed = opts.die_seed;
     chip_ = std::make_unique<chip::Chip>(cfg);
     driver_ = std::make_unique<isa::AcceleratorDriver>(*chip_);
+    last_structure_.reset();
     if (opts.auto_calibrate)
         driver_->init();
 }
@@ -60,6 +61,11 @@ AnalogOdeSolver::simulate(const la::DenseMatrix &a, const la::Vector &b,
     la::DenseMatrix neg_a = a;
     neg_a *= -1.0;
 
+    // Overflow retries rescale values only — compile the structure
+    // once (cached across simulate() calls of the same pattern).
+    std::shared_ptr<const compiler::CompiledStructure> structure =
+        cache_.fetch(neg_a, *chip_);
+
     OdeWaveform wave;
     double sigma = run_opts.solution_bound;
     for (std::size_t attempt = 0; attempt < run_opts.max_attempts;
@@ -67,9 +73,17 @@ AnalogOdeSolver::simulate(const la::DenseMatrix &a, const la::Vector &b,
         ++wave.attempts;
         compiler::ScaledSystem scaled =
             compiler::scaleSystem(neg_a, b, u0, opts.spec, sigma);
-        compiler::SleMapping mapping(scaled, *chip_,
-                                     /*expect_spd=*/false);
-        mapping.configure(*driver_);
+        // Dynamics runs are legitimately non-SPD; the diagonal rate
+        // bound (expect_spd = false) is O(n) per attempt.
+        compiler::ParameterBinding binding(
+            *structure, scaled,
+            compiler::estimateConvergenceRate(scaled.a,
+                                              /*expect_spd=*/false));
+        if (structure.get() != last_structure_.get()) {
+            structure->configureStructure(*driver_);
+            last_structure_ = structure;
+        }
+        binding.apply(*structure, *driver_);
 
         // t_problem = (rate / s) * t_analog.
         double s = scaled.plan.gain_scale;
@@ -91,7 +105,7 @@ AnalogOdeSolver::simulate(const la::DenseMatrix &a, const la::Vector &b,
         const auto &net = chip_->netlist();
         for (std::size_t i = 0; i < b.size(); ++i) {
             probe[i] = sim.stateIndexOf(
-                net.out(mapping.integratorOf(i), 0));
+                net.out(structure->integratorOf(i), 0));
             panicIf(probe[i] == static_cast<std::size_t>(-1),
                     "ode_runner: integrator not a state");
         }
@@ -101,14 +115,13 @@ AnalogOdeSolver::simulate(const la::DenseMatrix &a, const la::Vector &b,
                           t_analog_end;
             std::vector<chip::BlockId> adcs;
             for (std::size_t i = 0; i < b.size(); ++i)
-                adcs.push_back(mapping.adcOf(i));
+                adcs.push_back(structure->adcOf(i));
             chip_->enableWaveformCapture(rate, std::move(adcs));
         } else {
-            auto record = traj.observer();
-            chip_->setExecObserver(
-                [&](double t, const la::Vector &y) {
-                    record(t, y);
-                });
+            // traj outlives the run; its observer captures only the
+            // Trajectory pointer, so hand it over whole (wrapping it
+            // in a ref-capturing lambda would dangle past this block).
+            chip_->setExecObserver(traj.observer());
         }
 
         chip::ExecResult er = driver_->execStart();

@@ -75,6 +75,8 @@ class AnalogOdeSolver
     AnalogSolverOptions opts;
     std::unique_ptr<chip::Chip> chip_;
     std::unique_ptr<isa::AcceleratorDriver> driver_;
+    compiler::ProgramCache cache_;
+    std::shared_ptr<const compiler::CompiledStructure> last_structure_;
 };
 
 } // namespace aa::analog

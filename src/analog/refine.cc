@@ -39,6 +39,9 @@ refineSolve(AnalogLinearSolver &solver, const la::DenseMatrix &a,
         }
         AnalogSolveOutcome pass_out = solver.solve(a, residual);
         la::axpy(1.0, pass_out.u, out.u);
+        if (opts.record_history)
+            out.config_bytes_history.push_back(
+                pass_out.phases.config_bytes);
         ++out.passes;
 
         // Digital double-precision residual update.

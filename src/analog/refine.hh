@@ -37,6 +37,11 @@ struct RefineOutcome {
     std::size_t passes = 0;
     double final_residual = 0.0;       ///< ||b - A u||_2
     std::vector<double> residual_history; ///< after each pass
+    /** Config traffic each pass shipped (record_history only). The
+     *  first pass compiles and ships the structure; later passes
+     *  rebind DAC biases on the cached program, so entries past the
+     *  first collapse to the delta. */
+    std::vector<std::size_t> config_bytes_history;
     double analog_seconds = 0.0;
 };
 

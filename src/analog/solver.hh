@@ -15,9 +15,11 @@
 #define AA_ANALOG_SOLVER_HH
 
 #include <memory>
+#include <unordered_map>
 
 #include "aa/chip/chip.hh"
 #include "aa/compiler/mapper.hh"
+#include "aa/compiler/program.hh"
 #include "aa/isa/driver.hh"
 #include "aa/la/dense_matrix.hh"
 #include "aa/la/vector.hh"
@@ -46,6 +48,18 @@ struct AnalogSolverOptions {
     bool allow_regrow = true;
 };
 
+/** Where one solve's host time and traffic went, phase by phase. */
+struct SolvePhaseReport {
+    double compile_seconds = 0.0;   ///< structure + eigen analysis
+    double configure_seconds = 0.0; ///< binding + shipping config
+    double run_seconds = 0.0;       ///< execStart..readExp (host wall)
+    double readout_seconds = 0.0;   ///< ADC averaging reads
+    std::size_t config_bytes = 0;   ///< config traffic this solve
+    std::size_t cache_hits = 0;     ///< program-cache hits this solve
+    std::size_t cache_misses = 0;   ///< program-cache compiles
+    bool structure_reused = false;  ///< crossbar left as-is
+};
+
 /** Outcome of one analog solve. */
 struct AnalogSolveOutcome {
     la::Vector u;            ///< solution in problem units
@@ -56,6 +70,7 @@ struct AnalogSolveOutcome {
     double analog_seconds = 0.0; ///< total analog compute time
     double solution_scale = 1.0; ///< final sigma used
     double gain_scale = 1.0;     ///< final s used
+    SolvePhaseReport phases;     ///< per-phase time/traffic breakdown
 };
 
 /**
@@ -91,8 +106,15 @@ class AnalogLinearSolver
 
     /** Cumulative analog compute time across all solves. */
     double totalAnalogSeconds() const { return total_analog_s; }
-    /** Cumulative configuration traffic (bytes over the SPI link). */
+    /** Cumulative configuration traffic actually shipped (bytes of
+     *  config-class commands over the SPI link — delta traffic, since
+     *  the driver's shadow registers suppress unchanged writes). */
     std::size_t configBytes() const;
+    /** Program-cache counters (structure compiles vs reuses). */
+    const compiler::CacheStats &cacheStats() const
+    {
+        return cache_.stats();
+    }
 
     const AnalogSolverOptions &options() const { return opts; }
     chip::Chip &chipRef();
@@ -104,6 +126,16 @@ class AnalogLinearSolver
     AnalogSolverOptions opts;
     std::unique_ptr<chip::Chip> chip_;
     std::unique_ptr<isa::AcceleratorDriver> driver_;
+    compiler::ProgramCache cache_;
+    /** Structure whose connections are live on the die (null after a
+     *  regrow rebuilds chip + driver). */
+    std::shared_ptr<const compiler::CompiledStructure> last_structure_;
+    /** Range memory: per (pattern, geometry), the sigma growth the
+     *  last hinted solve realized (final sigma / hint). A recorded
+     *  single doubling lets the next hinted solve fast-start at
+     *  2 x hint — skipping the attempt the hint always loses — with
+     *  the skip validated from the readout peak (see solve()). */
+    std::unordered_map<std::uint64_t, double> range_memory_;
     double total_analog_s = 0.0;
     double sticky_solution_scale = 0.0; ///< reuse across solves
 };

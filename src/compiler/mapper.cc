@@ -1,245 +1,65 @@
 #include "aa/compiler/mapper.hh"
 
-#include <cmath>
-#include <deque>
-
 #include "aa/common/logging.hh"
-#include "aa/la/direct.hh"
-#include "aa/la/eigen.hh"
 
 namespace aa::compiler {
 
-using chip::BlockId;
-using chip::PortRef;
-
-bool
-ResourceDemand::fitsOn(const chip::ChipGeometry &g) const
-{
-    return integrators <= g.integrators() &&
-           multipliers <= g.multipliers() &&
-           fanout_blocks <= g.fanouts() && dacs <= g.dacs() &&
-           adcs <= g.adcs() && luts <= g.luts();
-}
-
-ResourceDemand
-demandOf(const la::DenseMatrix &a, const la::Vector &b,
-         std::size_t fanout_copies)
-{
-    fatalIf(a.rows() != a.cols() || a.rows() != b.size(),
-            "demandOf: dimension mismatch");
-    fatalIf(fanout_copies < 2, "demandOf: fanout must copy >= 2");
-
-    ResourceDemand d;
-    std::size_t n = b.size();
-    d.integrators = n;
-    d.adcs = n;
-    // One DAC per row: Algorithm 2 re-runs the same mapping with a
-    // fresh residual b whose zero pattern differs, so every row keeps
-    // a bias source even when its initial b_i is zero.
-    d.dacs = n;
-
-    for (std::size_t i = 0; i < n; ++i) {
-        std::size_t col_nnz = 0;
-        for (std::size_t j = 0; j < n; ++j) {
-            if (a(j, i) != 0.0) {
-                ++col_nnz;
-                ++d.multipliers;
-            }
-        }
-        // u_i feeds its column's multipliers plus one ADC leaf.
-        std::size_t leaves = col_nnz + 1;
-        if (leaves > 1) {
-            d.fanout_blocks +=
-                (leaves - 2) / (fanout_copies - 1) + 1;
-        }
-    }
-    return d;
-}
-
-chip::ChipGeometry
-geometryFor(const ResourceDemand &demand)
-{
-    chip::ChipGeometry g; // prototype ratios
-    auto ceil_div = [](std::size_t a, std::size_t b) {
-        return (a + b - 1) / b;
-    };
-    std::size_t mb = 1;
-    mb = std::max(mb, ceil_div(demand.integrators,
-                               g.integrators_per_mb));
-    mb = std::max(mb, ceil_div(demand.multipliers,
-                               g.multipliers_per_mb));
-    mb = std::max(mb,
-                  ceil_div(demand.fanout_blocks, g.fanouts_per_mb));
-    mb = std::max(mb, demand.dacs * g.mb_per_shared);
-    mb = std::max(mb, demand.adcs * g.mb_per_shared);
-    mb = std::max(mb, demand.luts * g.mb_per_shared);
-    g.macroblocks = mb;
-    return g;
-}
-
 SleMapping::SleMapping(const ScaledSystem &sys, const chip::Chip &chip,
                        bool expect_spd)
-    : n(sys.b.size()), scaling(sys.plan), a_scaled(sys.a),
-      b_scaled(sys.b), u0_scaled(sys.u0)
+    : structure_(std::make_shared<const CompiledStructure>(sys.a, chip)),
+      binding_(*structure_, sys,
+               estimateConvergenceRate(sys.a, expect_spd))
+{}
+
+SleMapping::SleMapping(
+    std::shared_ptr<const CompiledStructure> structure,
+    const ScaledSystem &sys, bool expect_spd)
+    : structure_(std::move(structure)),
+      binding_(*structure_, sys,
+               estimateConvergenceRate(sys.a, expect_spd))
 {
-    const auto &geom = chip.config().geometry;
-    const auto &spec = chip.config().spec;
-    used = demandOf(a_scaled, b_scaled, geom.fanout_copies);
-    fatalIf(!used.fitsOn(geom),
-            "SleMapping: problem needs ", used.integrators,
-            " integrators / ", used.multipliers, " multipliers / ",
-            used.fanout_blocks, " fanouts / ", used.adcs,
-            " ADCs; chip has ", geom.integrators(), " / ",
-            geom.multipliers(), " / ", geom.fanouts(), " / ",
-            geom.adcs());
-    fatalIf(a_scaled.maxAbs() > spec.max_gain,
-            "SleMapping: scaled coefficient ", a_scaled.maxAbs(),
-            " still exceeds the gain range; scaleSystem first");
-
-    var_integrator.resize(n);
-    var_adc.resize(n);
-    var_dac.resize(n);
-    const auto &net = chip.netlist();
-
-    std::size_t next_mul = 0;
-    std::size_t next_fan = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-        var_integrator[i] = chip.integrators()[i];
-        var_adc[i] = chip.adcs()[i];
-        var_dac[i] = chip.dacs()[i];
-    }
-
-    for (std::size_t i = 0; i < n; ++i) {
-        // Consumers of u_i: the multipliers of column i, then the
-        // readout ADC.
-        std::vector<PortRef> consumer_inputs;
-        for (std::size_t j = 0; j < n; ++j) {
-            if (a_scaled(j, i) == 0.0)
-                continue;
-            panicIf(next_mul >= chip.multipliers().size(),
-                    "mapper: multiplier pool exhausted");
-            BlockId m = chip.multipliers()[next_mul++];
-            gains.emplace_back(m, -a_scaled(j, i));
-            consumer_inputs.push_back(net.in(m, 0));
-            conns.emplace_back(net.out(m, 0),
-                               net.in(var_integrator[j], 0));
-        }
-        consumer_inputs.push_back(net.in(var_adc[i], 0));
-
-        // Grow a fanout tree from the integrator output until there
-        // are enough copies; then hand the leaves to the consumers.
-        std::deque<PortRef> available;
-        available.push_back(net.out(var_integrator[i], 0));
-        while (available.size() < consumer_inputs.size()) {
-            panicIf(next_fan >= chip.fanouts().size(),
-                    "mapper: fanout pool exhausted");
-            BlockId f = chip.fanouts()[next_fan++];
-            PortRef feed = available.front();
-            available.pop_front();
-            conns.emplace_back(feed, net.in(f, 0));
-            for (std::size_t o = 0; o < net.outputCount(f); ++o)
-                available.push_back(net.out(f, o));
-        }
-        for (std::size_t k = 0; k < consumer_inputs.size(); ++k) {
-            conns.emplace_back(available[k], consumer_inputs[k]);
-        }
-
-        // Bias source.
-        conns.emplace_back(net.out(var_dac[i], 0),
-                           net.in(var_integrator[i], 0));
-    }
-
-    // Convergence-rate estimate for the timeout recommendation.
-    if (expect_spd && la::Cholesky::factor(a_scaled).has_value()) {
-        lambda_min = la::smallestEigenvalueSpd(a_scaled).value;
-    } else {
-        if (expect_spd) {
-            warn("SleMapping: scaled matrix is not SPD; the gradient "
-                 "flow may not converge. Using a diagonal rate bound.");
-        }
-        double dmin = a_scaled(0, 0);
-        for (std::size_t i = 1; i < n; ++i)
-            dmin = std::min(dmin, a_scaled(i, i));
-        lambda_min = std::max(dmin, 1e-6);
-    }
+    fatalIf(!structure_, "SleMapping: null structure");
 }
 
 void
 SleMapping::configure(isa::AcceleratorDriver &driver) const
 {
-    driver.clearConfig();
-    for (std::size_t i = 0; i < n; ++i) {
-        driver.setIntInitial(var_integrator[i], u0_scaled[i]);
-        driver.setDacConstant(var_dac[i], b_scaled[i]);
-    }
-    for (const auto &[mul, gain] : gains)
-        driver.setMulGain(mul, gain);
-    for (const auto &[from, to] : conns)
-        driver.setConn(from, to);
-
-    const auto &cfg = driver.chip().config();
-    double timeout_s = recommendedTimeout(cfg.spec);
-    auto cycles = static_cast<std::uint32_t>(
-        std::ceil(timeout_s * cfg.ctrl_clock_hz));
-    driver.setTimeout(std::max<std::uint32_t>(cycles, 1));
-    driver.cfgCommit();
+    structure_->configureStructure(driver);
+    binding_.apply(*structure_, driver);
 }
 
 void
 SleMapping::updateBiases(isa::AcceleratorDriver &driver,
                          const la::Vector &scaled_b) const
 {
-    fatalIf(scaled_b.size() != n, "updateBiases: size mismatch");
-    for (std::size_t i = 0; i < n; ++i)
-        driver.setDacConstant(var_dac[i], scaled_b[i]);
+    fatalIf(scaled_b.size() != numVars(),
+            "updateBiases: size mismatch");
+    for (std::size_t i = 0; i < numVars(); ++i)
+        driver.setDacConstant(structure_->dacOf(i), scaled_b[i]);
 }
 
 void
 SleMapping::updateInitialState(isa::AcceleratorDriver &driver,
                                const la::Vector &scaled_u0) const
 {
-    fatalIf(scaled_u0.size() != n,
+    fatalIf(scaled_u0.size() != numVars(),
             "updateInitialState: size mismatch");
-    for (std::size_t i = 0; i < n; ++i)
-        driver.setIntInitial(var_integrator[i], scaled_u0[i]);
+    for (std::size_t i = 0; i < numVars(); ++i)
+        driver.setIntInitial(structure_->integratorOf(i),
+                             scaled_u0[i]);
 }
 
 la::Vector
 SleMapping::readSolution(isa::AcceleratorDriver &driver,
                          std::size_t samples) const
 {
-    la::Vector u_hat(n);
-    for (std::size_t i = 0; i < n; ++i)
-        u_hat[i] = driver.analogAvg(var_adc[i], samples);
-    return u_hat;
+    return structure_->readSolution(driver, samples);
 }
 
 double
 SleMapping::recommendedTimeout(const circuit::AnalogSpec &spec) const
 {
-    // Error decays as exp(-rate * lambda_min * t); budget enough time
-    // to pull a full-scale error under half an ADC LSB, with margin.
-    double initial_err = 2.0 * spec.linear_range;
-    double target =
-        spec.linear_range / static_cast<double>(1 << spec.adc_bits);
-    double decades = std::log(initial_err / (0.5 * target));
-    double t =
-        decades / (spec.integratorRate() * std::max(lambda_min, 1e-9));
-    return 1.5 * t;
-}
-
-chip::BlockId
-SleMapping::integratorOf(std::size_t i) const
-{
-    fatalIf(i >= n, "integratorOf: out of range");
-    return var_integrator[i];
-}
-
-chip::BlockId
-SleMapping::adcOf(std::size_t i) const
-{
-    fatalIf(i >= n, "adcOf: out of range");
-    return var_adc[i];
+    return binding_.recommendedTimeout(spec);
 }
 
 } // namespace aa::compiler

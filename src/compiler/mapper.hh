@@ -12,38 +12,27 @@
  * The mapper is "a predefined way to convert a system of linear
  * equations under study into an analog accelerator configuration"
  * (Section VII) — no training, no prior knowledge of the solution.
+ *
+ * SleMapping is the one-shot facade over the split program layer
+ * (aa/compiler/program.hh): an immutable CompiledStructure (pattern +
+ * geometry -> units and connections) plus a ParameterBinding (scaled
+ * values). Hosts that re-run one structure with new values — the
+ * solver's retry loop, refinement, implicit stepping — hold the
+ * structure and rebind instead of rebuilding a mapping.
  */
 
 #ifndef AA_COMPILER_MAPPER_HH
 #define AA_COMPILER_MAPPER_HH
 
+#include <memory>
 #include <vector>
 
 #include "aa/chip/chip.hh"
+#include "aa/compiler/program.hh"
 #include "aa/compiler/scaling.hh"
 #include "aa/isa/driver.hh"
 
 namespace aa::compiler {
-
-/** Hardware demand of one mapped system. */
-struct ResourceDemand {
-    std::size_t integrators = 0;
-    std::size_t multipliers = 0;
-    std::size_t fanout_blocks = 0;
-    std::size_t dacs = 0;
-    std::size_t adcs = 0;
-    std::size_t luts = 0; ///< nonlinear mappings only
-
-    /** True when a chip geometry satisfies this demand. */
-    bool fitsOn(const chip::ChipGeometry &g) const;
-};
-
-/** Compute the demand of a (scaled) system without mapping it. */
-ResourceDemand demandOf(const la::DenseMatrix &a, const la::Vector &b,
-                        std::size_t fanout_copies = 2);
-
-/** Smallest prototype-shaped geometry satisfying a demand. */
-chip::ChipGeometry geometryFor(const ResourceDemand &demand);
 
 /**
  * A compiled mapping: which physical unit serves which role, plus
@@ -64,6 +53,11 @@ class SleMapping
      */
     SleMapping(const ScaledSystem &sys, const chip::Chip &chip,
                bool expect_spd = true);
+
+    /** Bind new values to an already-compiled (possibly cached)
+     *  structure, skipping placement entirely. */
+    SleMapping(std::shared_ptr<const CompiledStructure> structure,
+               const ScaledSystem &sys, bool expect_spd = true);
 
     /** Push the whole configuration through the driver (Table I
      *  config instructions), ending with cfgCommit. */
@@ -89,37 +83,39 @@ class SleMapping
      *  convergence time to ADC precision, with margin. */
     double recommendedTimeout(const circuit::AnalogSpec &spec) const;
 
-    const ScalingPlan &plan() const { return scaling; }
-    std::size_t numVars() const { return n; }
-    const ResourceDemand &demand() const { return used; }
+    const ScalingPlan &plan() const { return binding_.plan(); }
+    std::size_t numVars() const { return structure_->numVars(); }
+    const ResourceDemand &demand() const
+    {
+        return structure_->demand();
+    }
 
     /** Smallest eigenvalue of the scaled A: the gradient flow decays
      *  as exp(-rate * lambdaMin * t), so hosts derive steady-state
      *  thresholds and timeouts from it. */
-    double lambdaMin() const { return lambda_min; }
+    double lambdaMin() const { return binding_.lambdaMin(); }
 
     /** Physical units serving variable i (exposed for tests). */
-    chip::BlockId integratorOf(std::size_t i) const;
-    chip::BlockId adcOf(std::size_t i) const;
+    chip::BlockId integratorOf(std::size_t i) const
+    {
+        return structure_->integratorOf(i);
+    }
+    chip::BlockId adcOf(std::size_t i) const
+    {
+        return structure_->adcOf(i);
+    }
+
+    /** The two halves, for hosts that cache/rebind directly. */
+    const CompiledStructure &structure() const { return *structure_; }
+    std::shared_ptr<const CompiledStructure> sharedStructure() const
+    {
+        return structure_;
+    }
+    const ParameterBinding &binding() const { return binding_; }
 
   private:
-    std::size_t n = 0;
-    ScalingPlan scaling;
-    la::DenseMatrix a_scaled;
-    la::Vector b_scaled;
-    la::Vector u0_scaled;
-    ResourceDemand used;
-
-    std::vector<chip::BlockId> var_integrator;
-    std::vector<chip::BlockId> var_adc;
-    std::vector<chip::BlockId> var_dac; ///< invalid when b_i == 0
-
-    /** Crossbar connections to program, in order. */
-    std::vector<std::pair<chip::PortRef, chip::PortRef>> conns;
-    /** (multiplier, gain) assignments. */
-    std::vector<std::pair<chip::BlockId, double>> gains;
-
-    double lambda_min = 0.0; ///< of the scaled A (for the timeout)
+    std::shared_ptr<const CompiledStructure> structure_;
+    ParameterBinding binding_;
 };
 
 } // namespace aa::compiler

@@ -1,0 +1,353 @@
+#include "aa/compiler/program.hh"
+
+#include <cmath>
+#include <deque>
+
+#include "aa/common/logging.hh"
+#include "aa/la/direct.hh"
+#include "aa/la/eigen.hh"
+
+namespace aa::compiler {
+
+using chip::BlockId;
+using chip::PortRef;
+
+bool
+ResourceDemand::fitsOn(const chip::ChipGeometry &g) const
+{
+    return integrators <= g.integrators() &&
+           multipliers <= g.multipliers() &&
+           fanout_blocks <= g.fanouts() && dacs <= g.dacs() &&
+           adcs <= g.adcs() && luts <= g.luts();
+}
+
+ResourceDemand
+demandOf(const la::DenseMatrix &a, const la::Vector &b,
+         std::size_t fanout_copies)
+{
+    fatalIf(a.rows() != a.cols() || a.rows() != b.size(),
+            "demandOf: dimension mismatch");
+    fatalIf(fanout_copies < 2, "demandOf: fanout must copy >= 2");
+
+    ResourceDemand d;
+    std::size_t n = b.size();
+    d.integrators = n;
+    d.adcs = n;
+    // One DAC per row: Algorithm 2 re-runs the same mapping with a
+    // fresh residual b whose zero pattern differs, so every row keeps
+    // a bias source even when its initial b_i is zero.
+    d.dacs = n;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t col_nnz = 0;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (a(j, i) != 0.0) {
+                ++col_nnz;
+                ++d.multipliers;
+            }
+        }
+        // u_i feeds its column's multipliers plus one ADC leaf.
+        std::size_t leaves = col_nnz + 1;
+        if (leaves > 1) {
+            d.fanout_blocks +=
+                (leaves - 2) / (fanout_copies - 1) + 1;
+        }
+    }
+    return d;
+}
+
+chip::ChipGeometry
+geometryFor(const ResourceDemand &demand)
+{
+    chip::ChipGeometry g; // prototype ratios
+    auto ceil_div = [](std::size_t a, std::size_t b) {
+        return (a + b - 1) / b;
+    };
+    std::size_t mb = 1;
+    mb = std::max(mb, ceil_div(demand.integrators,
+                               g.integrators_per_mb));
+    mb = std::max(mb, ceil_div(demand.multipliers,
+                               g.multipliers_per_mb));
+    mb = std::max(mb,
+                  ceil_div(demand.fanout_blocks, g.fanouts_per_mb));
+    mb = std::max(mb, demand.dacs * g.mb_per_shared);
+    mb = std::max(mb, demand.adcs * g.mb_per_shared);
+    mb = std::max(mb, demand.luts * g.mb_per_shared);
+    g.macroblocks = mb;
+    return g;
+}
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+void
+fnvMix(std::uint64_t &h, std::uint64_t v)
+{
+    for (int k = 0; k < 8; ++k) {
+        h ^= (v >> (8 * k)) & 0xff;
+        h *= kFnvPrime;
+    }
+}
+
+} // namespace
+
+std::uint64_t
+sparsityHash(const la::DenseMatrix &a)
+{
+    std::uint64_t h = kFnvOffset;
+    fnvMix(h, a.rows());
+    fnvMix(h, a.cols());
+    for (std::size_t r = 0; r < a.rows(); ++r)
+        for (std::size_t c = 0; c < a.cols(); ++c)
+            if (a(r, c) != 0.0)
+                fnvMix(h, r * a.cols() + c + 1);
+    return h;
+}
+
+std::uint64_t
+geometryKeyOf(const chip::ChipGeometry &g)
+{
+    std::uint64_t h = kFnvOffset;
+    fnvMix(h, g.macroblocks);
+    fnvMix(h, g.integrators_per_mb);
+    fnvMix(h, g.multipliers_per_mb);
+    fnvMix(h, g.fanouts_per_mb);
+    fnvMix(h, g.fanout_copies);
+    fnvMix(h, g.mb_per_shared);
+    return h;
+}
+
+double
+estimateConvergenceRate(const la::DenseMatrix &a_scaled,
+                        bool expect_spd)
+{
+    if (expect_spd && la::Cholesky::factor(a_scaled).has_value())
+        return la::smallestEigenvalueSpd(a_scaled).value;
+    if (expect_spd) {
+        warn("SleMapping: scaled matrix is not SPD; the gradient "
+             "flow may not converge. Using a diagonal rate bound.");
+    }
+    double dmin = a_scaled(0, 0);
+    for (std::size_t i = 1; i < a_scaled.rows(); ++i)
+        dmin = std::min(dmin, a_scaled(i, i));
+    return std::max(dmin, 1e-6);
+}
+
+CompiledStructure::CompiledStructure(const la::DenseMatrix &a,
+                                     const chip::Chip &chip)
+    : n(a.rows())
+{
+    fatalIf(a.rows() != a.cols(),
+            "CompiledStructure: matrix must be square");
+    const auto &geom = chip.config().geometry;
+    pattern_hash = sparsityHash(a);
+    geometry_key = geometryKeyOf(geom);
+    max_gain = chip.config().spec.max_gain;
+
+    // Demand counts positions only, so any b of matching size works.
+    used = demandOf(a, la::Vector(n), geom.fanout_copies);
+    fatalIf(!used.fitsOn(geom),
+            "SleMapping: problem needs ", used.integrators,
+            " integrators / ", used.multipliers, " multipliers / ",
+            used.fanout_blocks, " fanouts / ", used.adcs,
+            " ADCs; chip has ", geom.integrators(), " / ",
+            geom.multipliers(), " / ", geom.fanouts(), " / ",
+            geom.adcs());
+
+    var_integrator.resize(n);
+    var_adc.resize(n);
+    var_dac.resize(n);
+    const auto &net = chip.netlist();
+
+    std::size_t next_mul = 0;
+    std::size_t next_fan = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        var_integrator[i] = chip.integrators()[i];
+        var_adc[i] = chip.adcs()[i];
+        var_dac[i] = chip.dacs()[i];
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+        // Consumers of u_i: the multipliers of column i, then the
+        // readout ADC.
+        std::vector<PortRef> consumer_inputs;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (a(j, i) == 0.0)
+                continue;
+            panicIf(next_mul >= chip.multipliers().size(),
+                    "mapper: multiplier pool exhausted");
+            BlockId m = chip.multipliers()[next_mul++];
+            mul_unit.push_back(m);
+            mul_row.push_back(j);
+            mul_col.push_back(i);
+            consumer_inputs.push_back(net.in(m, 0));
+            conns.emplace_back(net.out(m, 0),
+                               net.in(var_integrator[j], 0));
+        }
+        consumer_inputs.push_back(net.in(var_adc[i], 0));
+
+        // Grow a fanout tree from the integrator output until there
+        // are enough copies; then hand the leaves to the consumers.
+        std::deque<PortRef> available;
+        available.push_back(net.out(var_integrator[i], 0));
+        while (available.size() < consumer_inputs.size()) {
+            panicIf(next_fan >= chip.fanouts().size(),
+                    "mapper: fanout pool exhausted");
+            BlockId f = chip.fanouts()[next_fan++];
+            PortRef feed = available.front();
+            available.pop_front();
+            conns.emplace_back(feed, net.in(f, 0));
+            for (std::size_t o = 0; o < net.outputCount(f); ++o)
+                available.push_back(net.out(f, o));
+        }
+        for (std::size_t k = 0; k < consumer_inputs.size(); ++k) {
+            conns.emplace_back(available[k], consumer_inputs[k]);
+        }
+
+        // Bias source.
+        conns.emplace_back(net.out(var_dac[i], 0),
+                           net.in(var_integrator[i], 0));
+    }
+}
+
+void
+CompiledStructure::configureStructure(
+    isa::AcceleratorDriver &driver) const
+{
+    driver.clearConfig();
+    for (const auto &[from, to] : conns)
+        driver.setConn(from, to);
+}
+
+la::Vector
+CompiledStructure::readSolution(isa::AcceleratorDriver &driver,
+                                std::size_t samples) const
+{
+    la::Vector u_hat(n);
+    for (std::size_t i = 0; i < n; ++i)
+        u_hat[i] = driver.analogAvg(var_adc[i], samples);
+    return u_hat;
+}
+
+chip::BlockId
+CompiledStructure::integratorOf(std::size_t i) const
+{
+    fatalIf(i >= n, "integratorOf: out of range");
+    return var_integrator[i];
+}
+
+chip::BlockId
+CompiledStructure::adcOf(std::size_t i) const
+{
+    fatalIf(i >= n, "adcOf: out of range");
+    return var_adc[i];
+}
+
+chip::BlockId
+CompiledStructure::dacOf(std::size_t i) const
+{
+    fatalIf(i >= n, "dacOf: out of range");
+    return var_dac[i];
+}
+
+ParameterBinding::ParameterBinding(const CompiledStructure &cs,
+                                   const ScaledSystem &sys,
+                                   double lambda_min_scaled)
+    : scaling(sys.plan), b_scaled(sys.b), u0_scaled(sys.u0),
+      lambda_min(lambda_min_scaled)
+{
+    fatalIf(sys.b.size() != cs.numVars() ||
+                sys.a.rows() != cs.numVars() ||
+                sys.u0.size() != cs.numVars(),
+            "ParameterBinding: size mismatch with structure");
+    fatalIf(sys.a.maxAbs() > cs.maxGain(),
+            "SleMapping: scaled coefficient ", sys.a.maxAbs(),
+            " still exceeds the gain range; scaleSystem first");
+    gains.resize(cs.numGains());
+    for (std::size_t k = 0; k < gains.size(); ++k)
+        gains[k] = -sys.a(cs.gainRow(k), cs.gainCol(k));
+}
+
+void
+ParameterBinding::apply(const CompiledStructure &cs,
+                        isa::AcceleratorDriver &driver) const
+{
+    fatalIf(gains.size() != cs.numGains(),
+            "ParameterBinding: bound to a different structure");
+    for (std::size_t i = 0; i < cs.numVars(); ++i) {
+        driver.setIntInitial(cs.integratorOf(i), u0_scaled[i]);
+        driver.setDacConstant(cs.dacOf(i), b_scaled[i]);
+    }
+    for (std::size_t k = 0; k < gains.size(); ++k)
+        driver.setMulGain(cs.mulOf(k), gains[k]);
+
+    const auto &cfg = driver.chip().config();
+    double timeout_s = recommendedTimeout(cfg.spec);
+    auto cycles = static_cast<std::uint32_t>(
+        std::ceil(timeout_s * cfg.ctrl_clock_hz));
+    driver.setTimeout(std::max<std::uint32_t>(cycles, 1));
+    driver.cfgCommit();
+}
+
+double
+ParameterBinding::recommendedTimeout(
+    const circuit::AnalogSpec &spec) const
+{
+    // Error decays as exp(-rate * lambda_min * t); budget enough time
+    // to pull a full-scale error under half an ADC LSB, with margin.
+    double initial_err = 2.0 * spec.linear_range;
+    double target =
+        spec.linear_range / static_cast<double>(1 << spec.adc_bits);
+    double decades = std::log(initial_err / (0.5 * target));
+    double t =
+        decades / (spec.integratorRate() * std::max(lambda_min, 1e-9));
+    return 1.5 * t;
+}
+
+ProgramCache::ProgramCache(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1))
+{}
+
+std::size_t
+ProgramCache::KeyHash::operator()(const Key &k) const
+{
+    std::uint64_t h = kFnvOffset;
+    fnvMix(h, k.pattern);
+    fnvMix(h, k.geometry);
+    fnvMix(h, k.n);
+    return static_cast<std::size_t>(h);
+}
+
+std::shared_ptr<const CompiledStructure>
+ProgramCache::fetch(const la::DenseMatrix &a, const chip::Chip &chip)
+{
+    Key key{sparsityHash(a), geometryKeyOf(chip.config().geometry),
+            a.rows()};
+    auto it = index.find(key);
+    if (it != index.end()) {
+        ++stats_.hits;
+        lru.splice(lru.begin(), lru, it->second);
+        return lru.front().second;
+    }
+    ++stats_.misses;
+    auto structure = std::make_shared<const CompiledStructure>(a, chip);
+    lru.emplace_front(key, structure);
+    index[key] = lru.begin();
+    if (lru.size() > capacity_) {
+        index.erase(lru.back().first);
+        lru.pop_back();
+        ++stats_.evictions;
+    }
+    return structure;
+}
+
+void
+ProgramCache::clear()
+{
+    lru.clear();
+    index.clear();
+}
+
+} // namespace aa::compiler

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * The compiled-program layer of the mapper: structure vs values.
+ *
+ * A solve's chip configuration splits cleanly in two. The *structure*
+ * — which units serve which variable, the fanout trees, the crossbar
+ * connection list — depends only on the sparsity pattern of A and the
+ * chip geometry; scaling (s, sigma) multiplies values but never
+ * creates or destroys a nonzero. The *values* — multiplier gains, DAC
+ * biases, integrator initial conditions, the timeout — change on
+ * every rescale attempt and every refinement pass.
+ *
+ * CompiledStructure captures the former (immutable, content-hashable,
+ * shareable); ParameterBinding the latter (cheap to rebuild and to
+ * re-ship, since the driver's shadow registers suppress unchanged
+ * writes). ProgramCache memoizes structures by (pattern, n, geometry)
+ * so "multiple runs of the same accelerator" (paper Section IV-B:
+ * refinement, decomposition, multigrid, implicit stepping) compile
+ * once and only rebind.
+ */
+
+#ifndef AA_COMPILER_PROGRAM_HH
+#define AA_COMPILER_PROGRAM_HH
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "aa/chip/chip.hh"
+#include "aa/compiler/scaling.hh"
+#include "aa/isa/driver.hh"
+
+namespace aa::compiler {
+
+/** Hardware demand of one mapped system. */
+struct ResourceDemand {
+    std::size_t integrators = 0;
+    std::size_t multipliers = 0;
+    std::size_t fanout_blocks = 0;
+    std::size_t dacs = 0;
+    std::size_t adcs = 0;
+    std::size_t luts = 0; ///< nonlinear mappings only
+
+    /** True when a chip geometry satisfies this demand. */
+    bool fitsOn(const chip::ChipGeometry &g) const;
+};
+
+/** Compute the demand of a (scaled) system without mapping it. */
+ResourceDemand demandOf(const la::DenseMatrix &a, const la::Vector &b,
+                        std::size_t fanout_copies = 2);
+
+/** Smallest prototype-shaped geometry satisfying a demand. */
+chip::ChipGeometry geometryFor(const ResourceDemand &demand);
+
+/** FNV-1a hash of a matrix's sparsity pattern (n + nonzero
+ *  positions); values do not contribute, so every rescale of the
+ *  same system hashes identically. */
+std::uint64_t sparsityHash(const la::DenseMatrix &a);
+
+/** Hash of the geometry fields that determine unit inventories and
+ *  (through the deterministic netlist build) block ids. */
+std::uint64_t geometryKeyOf(const chip::ChipGeometry &g);
+
+/**
+ * Convergence-rate estimate of a scaled system: lambda_min of A_s
+ * when it is SPD (Cholesky probe + power iteration), else a diagonal
+ * bound. Since A_s = A / s, callers can compute this once per
+ * structure and rescale by s_ref / s for every retry instead of
+ * re-running the power iteration.
+ */
+double estimateConvergenceRate(const la::DenseMatrix &a_scaled,
+                               bool expect_spd);
+
+/**
+ * The value-independent half of a mapping: unit assignment and the
+ * crossbar connection list for one sparsity pattern on one chip
+ * geometry. Immutable after construction; shared (and cached) across
+ * solves, attempts and passes.
+ */
+class CompiledStructure
+{
+  public:
+    /**
+     * Compile the pattern of `a` onto the chip's units. fatal()s when
+     * the chip is too small (use demandOf/geometryFor to size one).
+     * Only positions of nonzeros are read — pass the scaled or the
+     * unscaled matrix interchangeably.
+     */
+    CompiledStructure(const la::DenseMatrix &a,
+                      const chip::Chip &chip);
+
+    /** Ship the structure: clearConfig + every crossbar connection.
+     *  Values and the commit are the binding's job. */
+    void configureStructure(isa::AcceleratorDriver &driver) const;
+
+    /** Read the scaled steady state through the ADCs. */
+    la::Vector readSolution(isa::AcceleratorDriver &driver,
+                            std::size_t samples = 4) const;
+
+    std::size_t numVars() const { return n; }
+    const ResourceDemand &demand() const { return used; }
+    std::uint64_t patternHash() const { return pattern_hash; }
+    std::uint64_t geometryKey() const { return geometry_key; }
+
+    /** Number of programmed multipliers (= nnz of the pattern). */
+    std::size_t numGains() const { return mul_unit.size(); }
+    /** The (row, col) of A that gain slot k multiplies. */
+    std::size_t gainRow(std::size_t k) const { return mul_row[k]; }
+    std::size_t gainCol(std::size_t k) const { return mul_col[k]; }
+    chip::BlockId mulOf(std::size_t k) const { return mul_unit[k]; }
+
+    chip::BlockId integratorOf(std::size_t i) const;
+    chip::BlockId adcOf(std::size_t i) const;
+    chip::BlockId dacOf(std::size_t i) const;
+
+    /** Gain magnitude ceiling of the compiled-for chip (the binding
+     *  validates values against it). */
+    double maxGain() const { return max_gain; }
+
+  private:
+    std::size_t n = 0;
+    std::uint64_t pattern_hash = 0;
+    std::uint64_t geometry_key = 0;
+    double max_gain = 0.0;
+    ResourceDemand used;
+
+    std::vector<chip::BlockId> var_integrator;
+    std::vector<chip::BlockId> var_adc;
+    std::vector<chip::BlockId> var_dac;
+
+    /** Multiplier serving nonzero k, with its (row, col), in the
+     *  column-major traversal order the mapper has always used. */
+    std::vector<chip::BlockId> mul_unit;
+    std::vector<std::size_t> mul_row;
+    std::vector<std::size_t> mul_col;
+
+    /** Crossbar connections to program, in order. */
+    std::vector<std::pair<chip::PortRef, chip::PortRef>> conns;
+};
+
+/**
+ * The value half of a mapping: scaled gains, DAC biases, initial
+ * state and the timeout for one attempt. Rebuilding one is O(nnz)
+ * with no placement work; applying one through a shadowed driver
+ * ships only the registers that actually changed.
+ */
+class ParameterBinding
+{
+  public:
+    ParameterBinding() = default;
+
+    /** Bind the scaled values of `sys` to the structure's slots.
+     *  `lambda_min_scaled` is the convergence-rate estimate of the
+     *  scaled system (see estimateConvergenceRate). */
+    ParameterBinding(const CompiledStructure &cs,
+                     const ScaledSystem &sys,
+                     double lambda_min_scaled);
+
+    /** Ship values + timeout, ending with cfgCommit. The structure
+     *  must already be configured on the device. */
+    void apply(const CompiledStructure &cs,
+               isa::AcceleratorDriver &driver) const;
+
+    /** Recommended analog-time budget: the scaled system's expected
+     *  convergence time to ADC precision, with margin. */
+    double recommendedTimeout(const circuit::AnalogSpec &spec) const;
+
+    const ScalingPlan &plan() const { return scaling; }
+    double lambdaMin() const { return lambda_min; }
+    const la::Vector &scaledB() const { return b_scaled; }
+
+  private:
+    ScalingPlan scaling;
+    std::vector<double> gains; ///< aligned with the structure's slots
+    la::Vector b_scaled;
+    la::Vector u0_scaled;
+    double lambda_min = 0.0; ///< of the scaled A (for the timeout)
+};
+
+/** Hit/miss/eviction counters of a ProgramCache. */
+struct CacheStats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t evictions = 0;
+};
+
+/**
+ * LRU cache of compiled structures keyed by (pattern hash, n,
+ * geometry). Block ids are deterministic per geometry, so a cached
+ * structure stays valid for any chip instance of equal geometry —
+ * including a rebuilt die after regrow shrinks back.
+ */
+class ProgramCache
+{
+  public:
+    explicit ProgramCache(std::size_t capacity = 16);
+
+    /** Return the cached structure for (pattern of a, chip geometry),
+     *  compiling and inserting it on a miss. */
+    std::shared_ptr<const CompiledStructure>
+    fetch(const la::DenseMatrix &a, const chip::Chip &chip);
+
+    const CacheStats &stats() const { return stats_; }
+    std::size_t size() const { return lru.size(); }
+    std::size_t capacity() const { return capacity_; }
+    void clear();
+
+  private:
+    struct Key {
+        std::uint64_t pattern;
+        std::uint64_t geometry;
+        std::size_t n;
+        bool operator==(const Key &o) const = default;
+    };
+    struct KeyHash {
+        std::size_t operator()(const Key &k) const;
+    };
+    using Entry =
+        std::pair<Key, std::shared_ptr<const CompiledStructure>>;
+
+    std::size_t capacity_;
+    std::list<Entry> lru; ///< front = most recently used
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index;
+    CacheStats stats_;
+};
+
+} // namespace aa::compiler
+
+#endif // AA_COMPILER_PROGRAM_HH

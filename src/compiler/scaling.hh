@@ -48,6 +48,11 @@ struct ScaledSystem {
  * caller's estimate of max|u| (>= 1 keeps the solution in range); the
  * exception-driven retry loop in aa_analog raises it when overflow
  * latches fire and lowers it when the dynamic range is underused.
+ *
+ * s is not a free parameter: the 0.95 headroom deliberately puts b_s
+ * near full DAC scale, so any s above the range-derived minimum
+ * wastes DAC codes and costs readout precision. The retry loop must
+ * therefore re-derive s per sigma rather than holding it monotone.
  */
 ScaledSystem scaleSystem(const la::DenseMatrix &a, const la::Vector &b,
                          const la::Vector &u0,

@@ -52,6 +52,33 @@ getU32(const std::vector<std::uint8_t> &in, std::size_t at)
     return v;
 }
 
+bool
+isConfigOpcode(Opcode op)
+{
+    switch (op) {
+      case Opcode::SetConn:
+      case Opcode::SetIntInitial:
+      case Opcode::SetMulGain:
+      case Opcode::SetFunction:
+      case Opcode::SetDacConstant:
+      case Opcode::SetTimeout:
+      case Opcode::CfgCommit:
+      case Opcode::ClearConfig:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::uint64_t
+connKey(PortRef from, PortRef to)
+{
+    return (static_cast<std::uint64_t>(from.block.v) << 40) |
+           (static_cast<std::uint64_t>(from.port) << 32) |
+           (static_cast<std::uint64_t>(to.block.v) << 8) |
+           static_cast<std::uint64_t>(to.port);
+}
+
 } // namespace
 
 Response
@@ -139,10 +166,43 @@ AcceleratorDriver::transact(Command cmd)
 {
     trace_.push_back(cmd);
     auto frame = link_.hostToDevice(encodeCommand(cmd));
+    if (isConfigOpcode(cmd.op)) {
+        config_bytes_ += frame.size();
+        ++shadow_stats_.shipped;
+    }
     Command decoded = decodeCommand(frame);
     Response resp = endpoint.execute(decoded);
     auto back = link_.deviceToHost(encodeResponse(resp));
     return decodeResponse(back);
+}
+
+bool
+AcceleratorDriver::shadowMatches(
+    std::unordered_map<std::uint32_t, std::uint32_t> &regs,
+    std::uint32_t block, float value)
+{
+    auto bits = std::bit_cast<std::uint32_t>(value);
+    auto [it, inserted] = regs.try_emplace(block, bits);
+    if (!inserted && it->second == bits) {
+        ++shadow_stats_.skipped;
+        return true;
+    }
+    it->second = bits;
+    cfg_dirty_ = true;
+    return false;
+}
+
+void
+AcceleratorDriver::resetShadow()
+{
+    conn_shadow_.clear();
+    ic_shadow_.clear();
+    gain_shadow_.clear();
+    dac_shadow_.clear();
+    lut_shadow_.clear();
+    have_timeout_ = false;
+    timeout_shadow_ = 0;
+    cfg_dirty_ = true;
 }
 
 void
@@ -175,6 +235,11 @@ AcceleratorDriver::execStop()
 void
 AcceleratorDriver::setConn(PortRef from, PortRef to)
 {
+    if (!conn_shadow_.insert(connKey(from, to)).second) {
+        ++shadow_stats_.skipped;
+        return;
+    }
+    cfg_dirty_ = true;
     Command cmd = make(Opcode::SetConn);
     cmd.block = static_cast<std::uint16_t>(from.block.v);
     cmd.port = static_cast<std::uint8_t>(from.port);
@@ -189,6 +254,8 @@ AcceleratorDriver::setIntInitial(BlockId integrator, double value)
     Command cmd = make(Opcode::SetIntInitial);
     cmd.block = static_cast<std::uint16_t>(integrator.v);
     cmd.value = static_cast<float>(value);
+    if (shadowMatches(ic_shadow_, cmd.block, cmd.value))
+        return;
     transact(cmd);
 }
 
@@ -198,6 +265,8 @@ AcceleratorDriver::setMulGain(BlockId multiplier, double gain)
     Command cmd = make(Opcode::SetMulGain);
     cmd.block = static_cast<std::uint16_t>(multiplier.v);
     cmd.value = static_cast<float>(gain);
+    if (shadowMatches(gain_shadow_, cmd.block, cmd.value))
+        return;
     transact(cmd);
 }
 
@@ -217,6 +286,13 @@ AcceleratorDriver::setFunction(BlockId lut,
         cmd.table[i] = static_cast<std::uint8_t>(
             circuit::quantizeCode(fn(x), spec.lut_bits));
     }
+    auto [it, inserted] = lut_shadow_.try_emplace(cmd.block, cmd.table);
+    if (!inserted && it->second == cmd.table) {
+        ++shadow_stats_.skipped;
+        return;
+    }
+    it->second = cmd.table;
+    cfg_dirty_ = true;
     transact(cmd);
 }
 
@@ -226,12 +302,21 @@ AcceleratorDriver::setDacConstant(BlockId dac, double value)
     Command cmd = make(Opcode::SetDacConstant);
     cmd.block = static_cast<std::uint16_t>(dac.v);
     cmd.value = static_cast<float>(value);
+    if (shadowMatches(dac_shadow_, cmd.block, cmd.value))
+        return;
     transact(cmd);
 }
 
 void
 AcceleratorDriver::setTimeout(std::uint32_t ctrl_clock_cycles)
 {
+    if (have_timeout_ && timeout_shadow_ == ctrl_clock_cycles) {
+        ++shadow_stats_.skipped;
+        return;
+    }
+    have_timeout_ = true;
+    timeout_shadow_ = ctrl_clock_cycles;
+    cfg_dirty_ = true;
     Command cmd = make(Opcode::SetTimeout);
     cmd.count = ctrl_clock_cycles;
     transact(cmd);
@@ -240,12 +325,22 @@ AcceleratorDriver::setTimeout(std::uint32_t ctrl_clock_cycles)
 void
 AcceleratorDriver::cfgCommit()
 {
+    // Nothing changed since the last commit: the latched device
+    // configuration is already current, so skip the (expensive)
+    // re-latch round trip entirely.
+    if (!cfg_dirty_) {
+        ++shadow_stats_.skipped;
+        return;
+    }
     transact(make(Opcode::CfgCommit));
+    cfg_dirty_ = false;
 }
 
 void
 AcceleratorDriver::clearConfig()
 {
+    conn_shadow_.clear();
+    cfg_dirty_ = true;
     transact(make(Opcode::ClearConfig));
 }
 

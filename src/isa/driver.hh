@@ -8,12 +8,21 @@
  * chip, and the response decoded back — so tests exercise the whole
  * host/accelerator protocol, and the link statistics price the
  * configuration traffic.
+ *
+ * The driver keeps a shadow copy of every configuration register it
+ * has shipped. A set* call whose value matches the shadow is a no-op
+ * (nothing framed, nothing on the wire), and cfgCommit is suppressed
+ * when no register changed since the last commit — so repeated
+ * configuration of the same program costs only its delta, and
+ * configBytes() prices the real configuration traffic.
  */
 
 #ifndef AA_ISA_DRIVER_HH
 #define AA_ISA_DRIVER_HH
 
 #include <functional>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "aa/chip/chip.hh"
 #include "aa/isa/command.hh"
@@ -35,6 +44,12 @@ class DeviceEndpoint
 
   private:
     chip::Chip &chip_;
+};
+
+/** Shipped-vs-suppressed counters of the shadow register file. */
+struct ShadowStats {
+    std::size_t shipped = 0; ///< config commands that hit the wire
+    std::size_t skipped = 0; ///< suppressed as already-programmed
 };
 
 /** Host-side typed API over the SPI link. */
@@ -76,13 +91,44 @@ class AcceleratorDriver
     SpiLink &link() { return link_; }
     const std::vector<Command> &trace() const { return trace_; }
 
+    /** Downstream bytes of configuration-class commands actually
+     *  shipped (SetConn..CfgCommit plus ClearConfig) — the delta
+     *  traffic once the shadow registers suppress rewrites. */
+    std::size_t configBytes() const { return config_bytes_; }
+    const ShadowStats &shadowStats() const { return shadow_stats_; }
+
+    /** Forget everything the shadow knows, so the next configuration
+     *  ships in full (benchmarking the cold path; the device state is
+     *  untouched). */
+    void resetShadow();
+
   private:
     Response transact(Command cmd);
+
+    /** True when (block -> f32 bits of value) is already programmed;
+     *  records the value otherwise. */
+    bool shadowMatches(
+        std::unordered_map<std::uint32_t, std::uint32_t> &regs,
+        std::uint32_t block, float value);
 
     chip::Chip &chip_;
     DeviceEndpoint endpoint;
     SpiLink link_;
     std::vector<Command> trace_;
+
+    // Shadow register file. Values survive ClearConfig (the device
+    // drops only connections); everything resets with resetShadow().
+    std::unordered_set<std::uint64_t> conn_shadow_;
+    std::unordered_map<std::uint32_t, std::uint32_t> ic_shadow_;
+    std::unordered_map<std::uint32_t, std::uint32_t> gain_shadow_;
+    std::unordered_map<std::uint32_t, std::uint32_t> dac_shadow_;
+    std::unordered_map<std::uint32_t, std::vector<std::uint8_t>>
+        lut_shadow_;
+    bool have_timeout_ = false;
+    std::uint32_t timeout_shadow_ = 0;
+    bool cfg_dirty_ = true; ///< something to latch at cfgCommit
+    std::size_t config_bytes_ = 0;
+    ShadowStats shadow_stats_;
 };
 
 } // namespace aa::isa

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "aa/compiler/mapper.hh"
+#include "aa/compiler/program.hh"
+#include "aa/la/direct.hh"
+
+namespace aa::compiler {
+namespace {
+
+chip::ChipConfig
+testConfig(std::size_t macroblocks = 4)
+{
+    chip::ChipConfig cfg;
+    cfg.geometry.macroblocks = macroblocks;
+    cfg.spec.variation.enabled = false;
+    cfg.spec.adc_noise_sigma = 0.0;
+    return cfg;
+}
+
+la::DenseMatrix
+spd2x2()
+{
+    return la::DenseMatrix::fromRows({{0.8, 0.2}, {0.2, 0.6}});
+}
+
+TEST(SparsityHash, IgnoresValuesButNotPattern)
+{
+    auto a = spd2x2();
+    auto half = a;
+    half *= 0.5;
+    // Same pattern, different values: structure key unchanged.
+    EXPECT_EQ(sparsityHash(a), sparsityHash(half));
+
+    auto sparse = a;
+    sparse(0, 1) = 0.0;
+    EXPECT_NE(sparsityHash(a), sparsityHash(sparse));
+}
+
+TEST(SparsityHash, DistinguishesTransposedPatterns)
+{
+    auto upper =
+        la::DenseMatrix::fromRows({{1.0, 0.3}, {0.0, 1.0}});
+    auto lower =
+        la::DenseMatrix::fromRows({{1.0, 0.0}, {0.3, 1.0}});
+    EXPECT_NE(sparsityHash(upper), sparsityHash(lower));
+}
+
+TEST(GeometryKey, TracksUnitInventories)
+{
+    chip::ChipGeometry g;
+    chip::ChipGeometry bigger = g;
+    bigger.macroblocks = g.macroblocks * 2;
+    EXPECT_EQ(geometryKeyOf(g), geometryKeyOf(g));
+    EXPECT_NE(geometryKeyOf(g), geometryKeyOf(bigger));
+
+    chip::ChipGeometry wider = g;
+    wider.fanout_copies = g.fanout_copies + 2;
+    EXPECT_NE(geometryKeyOf(g), geometryKeyOf(wider));
+}
+
+TEST(Structure, MatchesSleMappingAssignments)
+{
+    auto a = spd2x2();
+    la::Vector b{0.4, 0.4};
+    chip::ChipConfig cfg = testConfig();
+    chip::Chip chip(cfg);
+    auto sys = scaleSystem(a, b, {}, cfg.spec);
+
+    CompiledStructure cs(a, chip);
+    SleMapping mapping(sys, chip);
+    ASSERT_EQ(cs.numVars(), mapping.numVars());
+    for (std::size_t i = 0; i < cs.numVars(); ++i) {
+        EXPECT_EQ(cs.integratorOf(i).v, mapping.integratorOf(i).v);
+        EXPECT_EQ(cs.adcOf(i).v, mapping.adcOf(i).v);
+    }
+    EXPECT_EQ(cs.numGains(), 4u); // dense 2x2
+}
+
+TEST(Structure, BindingSolvesLikeMonolithicMapping)
+{
+    auto a = spd2x2();
+    la::Vector b{0.4, 0.4};
+    chip::ChipConfig cfg = testConfig();
+    chip::Chip chip(cfg);
+    isa::AcceleratorDriver driver(chip);
+    auto sys = scaleSystem(a, b, {}, cfg.spec);
+
+    CompiledStructure cs(a, chip);
+    ParameterBinding binding(cs, sys,
+                             estimateConvergenceRate(sys.a, true));
+    cs.configureStructure(driver);
+    binding.apply(cs, driver);
+    auto res = driver.execStart();
+    EXPECT_FALSE(res.any_exception);
+    la::Vector u_hat = cs.readSolution(driver, 4);
+    la::Vector expected = la::solveDense(sys.a, sys.b);
+    EXPECT_LT(la::maxAbsDiff(u_hat, expected), 0.02);
+}
+
+TEST(Structure, RebindShipsOnlyValues)
+{
+    auto a = spd2x2();
+    la::Vector b{0.4, 0.4};
+    chip::ChipConfig cfg = testConfig();
+    chip::Chip chip(cfg);
+    isa::AcceleratorDriver driver(chip);
+    auto sys = scaleSystem(a, b, {}, cfg.spec);
+
+    CompiledStructure cs(a, chip);
+    double lambda = estimateConvergenceRate(sys.a, true);
+    ParameterBinding binding(cs, sys, lambda);
+    cs.configureStructure(driver);
+    binding.apply(cs, driver);
+    std::size_t after_full = driver.configBytes();
+
+    // New right-hand side, same structure: only the DAC biases (and
+    // the commit) travel.
+    la::Vector b2{0.1, 0.3};
+    auto sys2 = scaleSystem(a, b2, {}, cfg.spec);
+    ParameterBinding binding2(cs, sys2, lambda);
+    binding2.apply(cs, driver);
+    std::size_t delta = driver.configBytes() - after_full;
+    EXPECT_GT(delta, 0u);
+    EXPECT_LT(delta * 4, after_full);
+
+    driver.execStart();
+    la::Vector u_hat = cs.readSolution(driver, 4);
+    la::Vector expected = la::solveDense(sys2.a, sys2.b);
+    EXPECT_LT(la::maxAbsDiff(u_hat, expected), 0.02);
+}
+
+TEST(Cache, CountsHitsAndMisses)
+{
+    chip::Chip chip(testConfig());
+    ProgramCache cache;
+    auto a = spd2x2();
+
+    auto s1 = cache.fetch(a, chip);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+
+    auto half = a;
+    half *= 0.5; // same pattern: must hit
+    auto s2 = cache.fetch(half, chip);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(s1.get(), s2.get());
+
+    auto sparse = a;
+    sparse(0, 1) = 0.0; // new pattern: miss
+    auto s3 = cache.fetch(sparse, chip);
+    EXPECT_EQ(cache.stats().misses, 2u);
+    EXPECT_NE(s1.get(), s3.get());
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(Cache, EvictsLeastRecentlyUsed)
+{
+    chip::Chip chip(testConfig());
+    ProgramCache cache(2);
+
+    auto dense = spd2x2();
+    auto diag =
+        la::DenseMatrix::fromRows({{1.0, 0.0}, {0.0, 1.0}});
+    auto tri =
+        la::DenseMatrix::fromRows({{1.0, 0.2}, {0.0, 1.0}});
+
+    auto s_dense = cache.fetch(dense, chip);
+    cache.fetch(diag, chip);
+    cache.fetch(dense, chip); // refresh: diag is now LRU
+    cache.fetch(tri, chip);   // evicts diag
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.size(), 2u);
+
+    auto s_dense2 = cache.fetch(dense, chip);
+    EXPECT_EQ(s_dense.get(), s_dense2.get()); // survived
+    std::size_t misses = cache.stats().misses;
+    cache.fetch(diag, chip); // was evicted: recompile
+    EXPECT_EQ(cache.stats().misses, misses + 1);
+}
+
+TEST(Cache, ClearDropsEntriesAndKeepsCounting)
+{
+    chip::Chip chip(testConfig());
+    ProgramCache cache;
+    auto a = spd2x2();
+    cache.fetch(a, chip);
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    cache.fetch(a, chip);
+    EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(Cache, GeometryIsPartOfTheKey)
+{
+    chip::Chip small(testConfig(4));
+    chip::Chip big(testConfig(8));
+    ProgramCache cache;
+    auto a = spd2x2();
+    cache.fetch(a, small);
+    cache.fetch(a, big);
+    EXPECT_EQ(cache.stats().misses, 2u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+} // namespace
+} // namespace aa::compiler

@@ -126,6 +126,68 @@ TEST_F(DriverFixture, ClearConfigDropsConnections)
     EXPECT_TRUE(chip.netlist().connections().empty());
 }
 
+TEST_F(DriverFixture, ShadowSkipsRedundantWrites)
+{
+    configureLoop(-2.0, 0.5);
+    std::size_t traced = driver.trace().size();
+    std::size_t bytes = driver.link().bytesDown();
+    // Re-shipping identical values touches neither the trace nor the
+    // wire; the clean cfgCommit is suppressed too.
+    configureLoop(-2.0, 0.5);
+    EXPECT_EQ(driver.trace().size(), traced);
+    EXPECT_EQ(driver.link().bytesDown(), bytes);
+    EXPECT_GT(driver.shadowStats().skipped, 0u);
+}
+
+TEST_F(DriverFixture, ChangedValueShipsAndDirtiesCommit)
+{
+    configureLoop(-2.0, 0.5);
+    std::size_t traced = driver.trace().size();
+    driver.setDacConstant(chip.dacs()[0], 0.25);
+    driver.cfgCommit();
+    // Exactly the changed register plus its commit travelled.
+    EXPECT_EQ(driver.trace().size(), traced + 2);
+}
+
+TEST_F(DriverFixture, ConfigBytesCountsConfigTrafficOnly)
+{
+    configureLoop(-2.0, 0.5);
+    std::size_t cfg = driver.configBytes();
+    EXPECT_GT(cfg, 0u);
+    EXPECT_EQ(cfg, driver.link().bytesDown());
+    driver.execStart();
+    driver.readSerial();
+    // Exec and readout traffic is not configuration traffic.
+    EXPECT_EQ(driver.configBytes(), cfg);
+    EXPECT_GT(driver.link().bytesDown(), cfg);
+}
+
+TEST_F(DriverFixture, ResetShadowForcesReship)
+{
+    configureLoop(-2.0, 0.5);
+    std::size_t traced = driver.trace().size();
+    // resetShadow restores full-reconfigure accounting. It must pair
+    // with clearConfig: re-shipping a live connection would otherwise
+    // double-drive the netlist. clearConfig itself is one extra
+    // traced command; everything else re-ships verbatim.
+    driver.clearConfig();
+    driver.resetShadow();
+    configureLoop(-2.0, 0.5);
+    EXPECT_EQ(driver.trace().size(), 2 * traced + 1);
+}
+
+TEST_F(DriverFixture, ClearConfigForgetsConnectionsOnly)
+{
+    configureLoop(-2.0, 0.5);
+    driver.clearConfig();
+    std::size_t traced = driver.trace().size();
+    // Connections must re-ship after a clear; the value registers
+    // were untouched by it, so they stay shadowed.
+    configureLoop(-2.0, 0.5);
+    // 5 setConn + cfgCommit (clearConfig dirtied the config).
+    EXPECT_EQ(driver.trace().size(), traced + 6);
+}
+
 TEST_F(DriverFixture, ExtInStimulusDrivesComputation)
 {
     // Feed an external 0.5 bias instead of the DAC.

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# The whole verify recipe in one command:
+#   1. tier-1: configure + build + ctest -L tier1 (must stay green)
+#   2. sanitize: ASan/UBSan build of the suites most likely to hide
+#      lifetime/UB bugs after pipeline work (compiler + analog, plus
+#      the circuit plan-equivalence oracle).
+# Usage: tools/check.sh [--tier1-only]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1 =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$(nproc)"
+ctest --test-dir build -L tier1 --output-on-failure -j"$(nproc)"
+
+if [[ "${1:-}" == "--tier1-only" ]]; then
+    exit 0
+fi
+
+echo "== sanitize (ASan/UBSan) =="
+cmake --preset sanitize >/dev/null
+cmake --build build-sanitize -j"$(nproc)" \
+    --target compiler_test analog_test circuit_test
+for t in compiler_test analog_test circuit_test; do
+    ./build-sanitize/tests/"$t" --gtest_brief=1
+done
+echo "check.sh: all green"
