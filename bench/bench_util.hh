@@ -48,21 +48,17 @@ quietLogs()
 }
 
 /**
- * Parallel sweep: results[i] = fn(i) with one independent task per
- * index, fanned across defaultThreadCount() workers (AASIM_THREADS
- * overrides; 1 runs inline). Each task must own all mutable solver
- * state — one Simulator/die per task, netlists shared read-only —
- * and results merge by index, so the emitted tables are identical
- * whatever the thread count.
+ * Parallel sweep: results[i] = fn(i), fanned across AASIM_THREADS
+ * workers. A thin alias for aa::parallelMap so the benches and the
+ * library's multi-die scheduler share one pool/merge implementation
+ * and one thread-count knob; see common/parallel.hh for the ownership
+ * and determinism contract.
  */
 template <typename Fn>
 auto
 sweep(std::size_t n, Fn &&fn)
 {
-    using T = decltype(fn(std::size_t{0}));
-    std::vector<T> out(n);
-    parallelFor(n, [&](std::size_t i) { out[i] = fn(i); });
-    return out;
+    return parallelMap(n, std::forward<Fn>(fn));
 }
 
 } // namespace aa::bench

@@ -17,9 +17,13 @@
 #include <cstdlib>
 #include <memory>
 #include <new>
+#include <string>
+#include <thread>
 
 #include <benchmark/benchmark.h>
 
+#include "aa/analog/decompose.hh"
+#include "aa/analog/die_pool.hh"
 #include "aa/chip/chip.hh"
 #include "aa/circuit/plan.hh"
 #include "aa/circuit/simulator.hh"
@@ -27,6 +31,7 @@
 #include "aa/compiler/program.hh"
 #include "aa/compiler/scaling.hh"
 #include "aa/isa/driver.hh"
+#include "aa/pde/partition.hh"
 #include "aa/pde/poisson.hh"
 #include "aa/solver/iterative.hh"
 #include "aa/solver/multigrid.hh"
@@ -111,6 +116,13 @@ const bool g_baseline_context = [] {
         "prerefactor_alg2_12bit_steady_pass_bytes_down", "3149");
     benchmark::AddCustomContext(
         "prerefactor_map_configure_n9_ns_per_iter", "99898");
+    // The BM_DecomposeSweep* pair compares the same deterministic
+    // multi-die sweep dispatched serially vs. on the shared thread
+    // pool; wall-clock speedup requires as many hardware cores as
+    // dies, so record the core count the numbers were taken on.
+    benchmark::AddCustomContext(
+        "decompose_sweep_hardware_threads",
+        std::to_string(std::thread::hardware_concurrency()));
     return true;
 }();
 
@@ -451,5 +463,64 @@ BM_ConfigureDelta(benchmark::State &state)
         static_cast<double>(state.iterations()));
 }
 BENCHMARK(BM_ConfigureDelta)->Arg(2)->Arg(3);
+
+/**
+ * One full decomposed solve per iteration through a pre-compiled
+ * BlockJacobiScheduler: a 2D Poisson problem cut into strips, one
+ * strip block per sweep task, four dies with a fixed seed. The
+ * Serial/Pool pair differs only in DecomposeOptions::threads, and by
+ * the determinism contract both run the identical solve (same sweep
+ * count, same per-die programs) — the delta is pure dispatch.
+ */
+void
+decomposeSweepBenchmark(benchmark::State &state, std::size_t threads)
+{
+    setLogLevel(LogLevel::Quiet);
+    std::size_t l = static_cast<std::size_t>(state.range(0));
+    auto prob = pde::assemblePoisson(
+        2, l, [](double x, double y, double) { return x + y; });
+    analog::AnalogSolverOptions die_opts;
+    die_opts.die_seed = 40;
+    analog::DiePool pool(4, die_opts);
+    analog::DecomposeOptions opts;
+    opts.tol = 1.0 / 256.0;
+    opts.max_outer_iters = 50;
+    opts.threads = threads;
+    analog::BlockJacobiScheduler sched(
+        prob.a, pde::stripPartition(prob.grid, l),
+        pool.blockSolvers(), opts);
+    // Warm-up: compiles (and caches) every per-die program so the
+    // timed loop measures steady-state sweeps, not first-touch
+    // calibration/compilation.
+    auto warm = sched.solve(prob.b);
+    std::size_t sweeps = 0, solves = 0;
+    for (auto _ : state) {
+        auto out = sched.solve(prob.b);
+        sweeps += out.outer_iterations;
+        solves += out.block_solves;
+        benchmark::DoNotOptimize(out.u.data());
+    }
+    double iters = static_cast<double>(state.iterations());
+    state.counters["outer_sweeps"] =
+        static_cast<double>(sweeps) / iters;
+    state.counters["block_solves"] =
+        static_cast<double>(solves) / iters;
+    state.counters["blocks"] = static_cast<double>(sched.blocks());
+    state.counters["dies"] = static_cast<double>(sched.dies());
+}
+
+void
+BM_DecomposeSweepSerial(benchmark::State &state)
+{
+    decomposeSweepBenchmark(state, 1);
+}
+BENCHMARK(BM_DecomposeSweepSerial)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void
+BM_DecomposeSweepPool(benchmark::State &state)
+{
+    decomposeSweepBenchmark(state, 4);
+}
+BENCHMARK(BM_DecomposeSweepPool)->Arg(8)->Unit(benchmark::kMillisecond);
 
 } // namespace

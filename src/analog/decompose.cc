@@ -1,5 +1,6 @@
 #include "aa/analog/decompose.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "aa/analog/refine.hh"
@@ -43,89 +44,245 @@ refinedAnalogBlockSolver(AnalogLinearSolver &solver,
     };
 }
 
+/**
+ * The compiled sweep. Everything the steady gather/scatter path needs
+ * is built once here; solve() re-walks it without allocating.
+ */
+struct BlockJacobiScheduler::Impl {
+    /** Per-block state: owned submatrix and reused workspaces. */
+    struct BlockWork {
+        la::DenseMatrix a;  ///< dense principal submatrix
+        la::Vector rhs;     ///< gathered right-hand side
+        la::Vector x;       ///< inner solve result
+        double change = 0.0; ///< max |x - u_prev| this sweep
+    };
+
+    la::CsrMatrix a; ///< owned: the scheduler may outlive the caller's
+    std::vector<pde::IndexSet> partition;
+    std::vector<BlockSolverFn> die_solvers;
+    DecomposeOptions opts;
+
+    std::vector<BlockWork> work;
+    /** die_blocks[d] = blocks owned by die d (i mod dies), ascending. */
+    std::vector<std::vector<std::size_t>> die_blocks;
+    /** Workers actually worth running (<= dies with work). */
+    std::unique_ptr<ThreadPool> pool;
+
+    la::Vector u, u_next;
+
+    Impl(const la::CsrMatrix &a_in,
+         std::vector<pde::IndexSet> partition_in,
+         std::vector<BlockSolverFn> die_solvers_in,
+         DecomposeOptions opts_in)
+        : a(a_in), partition(std::move(partition_in)),
+          die_solvers(std::move(die_solvers_in)),
+          opts(std::move(opts_in))
+    {
+        fatalIf(a.rows() != a.cols(),
+                "solveDecomposed: matrix not square");
+        fatalIf(die_solvers.empty(),
+                "solveDecomposed: no block solver");
+        for (const auto &s : die_solvers)
+            fatalIf(!s, "solveDecomposed: no block solver");
+
+        std::size_t n = a.rows();
+
+        // Coverage check: each row in exactly one block.
+        std::vector<std::uint8_t> seen(n, 0);
+        for (const auto &blk : partition) {
+            for (std::size_t g : blk) {
+                fatalIf(g >= n,
+                        "solveDecomposed: index out of range");
+                fatalIf(seen[g], "solveDecomposed: row ", g,
+                        " appears in two blocks");
+                seen[g] = 1;
+            }
+        }
+        for (std::size_t g = 0; g < n; ++g)
+            fatalIf(!seen[g], "solveDecomposed: row ", g,
+                    " uncovered");
+
+        // Pre-extract each block's dense principal submatrix and its
+        // workspaces once: the accelerator is reconfigured per block,
+        // but the coefficients do not change between outer sweeps,
+        // and the gather/scatter buffers are reused by every sweep.
+        work.reserve(partition.size());
+        for (const auto &blk : partition) {
+            BlockWork w;
+            w.a = a.principalSubmatrix(blk).toDense();
+            w.rhs = la::Vector(blk.size());
+            w.x = la::Vector(blk.size());
+            work.push_back(std::move(w));
+        }
+
+        // Deterministic ownership: block i belongs to die (i mod
+        // dies) for the scheduler's whole lifetime, never to whichever
+        // die finishes first.
+        die_blocks.resize(die_solvers.size());
+        for (std::size_t i = 0; i < partition.size(); ++i)
+            die_blocks[i % die_solvers.size()].push_back(i);
+
+        std::size_t busy_dies = 0;
+        for (const auto &blks : die_blocks)
+            busy_dies += !blks.empty();
+        std::size_t threads = opts.threads == 0
+                                  ? defaultThreadCount()
+                                  : opts.threads;
+        threads = std::min(threads, busy_dies);
+        if (threads > 1)
+            pool = std::make_unique<ThreadPool>(threads);
+
+        u = la::Vector(n);
+        u_next = la::Vector(n);
+    }
+
+    DecomposeOutcome
+    solve(const la::Vector &b, const la::Vector &u0)
+    {
+        std::size_t n = a.rows();
+        fatalIf(n != b.size(), "solveDecomposed: dimension mismatch");
+        fatalIf(!u0.empty() && u0.size() != n,
+                "solveDecomposed: initial guess size mismatch");
+
+        if (u0.empty())
+            u.assign(n, 0.0);
+        else
+            u = u0;
+
+        DecomposeOutcome out;
+        out.blocks = partition.size();
+        out.dies = die_solvers.size();
+        out.per_die_solves.assign(die_solvers.size(), 0);
+
+        auto sweep_die = [&](std::size_t d) {
+            for (std::size_t i : die_blocks[d]) {
+                const auto &blk = partition[i];
+                BlockWork &w = work[i];
+                // Block-Jacobi: every block's rhs is gathered against
+                // the previous sweep's solution, so block solves are
+                // independent ("solved separately on multiple
+                // accelerators, or multiple runs of the same
+                // accelerator").
+                for (std::size_t k = 0; k < blk.size(); ++k) {
+                    std::size_t g = blk[k];
+                    double acc = b[g];
+                    auto cols = a.rowCols(g);
+                    auto vals = a.rowVals(g);
+                    for (std::size_t e = 0; e < cols.size(); ++e) {
+                        // Subtract couplings that leave the block.
+                        std::size_t j = cols[e];
+                        bool inside = std::binary_search(
+                            blk.begin(), blk.end(), j);
+                        if (!inside)
+                            acc -= vals[e] * u[j];
+                    }
+                    w.rhs[k] = acc;
+                }
+                w.x = die_solvers[d](w.a, w.rhs);
+                fatalIf(w.x.size() != blk.size(),
+                        "solveDecomposed: block solver size mismatch");
+                double change = 0.0;
+                for (std::size_t k = 0; k < blk.size(); ++k) {
+                    std::size_t g = blk[k];
+                    change = std::max(change,
+                                      std::fabs(w.x[k] - u[g]));
+                    u_next[g] = w.x[k];
+                }
+                w.change = change;
+            }
+        };
+
+        for (std::size_t it = 0; it < opts.max_outer_iters; ++it) {
+            if (pool)
+                pool->parallelForWorkers(
+                    die_blocks.size(),
+                    [&](std::size_t, std::size_t d) {
+                        sweep_die(d);
+                    });
+            else
+                for (std::size_t d = 0; d < die_blocks.size(); ++d)
+                    sweep_die(d);
+
+            // Merge by index: counters per die, change per block —
+            // never in completion order.
+            double max_change = 0.0;
+            for (const BlockWork &w : work)
+                max_change = std::max(max_change, w.change);
+            for (std::size_t d = 0; d < die_blocks.size(); ++d)
+                out.per_die_solves[d] += die_blocks[d].size();
+            out.block_solves += partition.size();
+
+            std::swap(u, u_next);
+            ++out.outer_iterations;
+            if (opts.record_history)
+                out.change_history.push_back(max_change);
+            if (max_change <= opts.tol) {
+                out.converged = true;
+                break;
+            }
+        }
+        out.u = u;
+        return out;
+    }
+};
+
+BlockJacobiScheduler::BlockJacobiScheduler(
+    const la::CsrMatrix &a, std::vector<pde::IndexSet> partition,
+    std::vector<BlockSolverFn> die_solvers, DecomposeOptions opts)
+    : impl(std::make_unique<Impl>(a, std::move(partition),
+                                  std::move(die_solvers),
+                                  std::move(opts)))
+{}
+
+BlockJacobiScheduler::~BlockJacobiScheduler() = default;
+BlockJacobiScheduler::BlockJacobiScheduler(
+    BlockJacobiScheduler &&) noexcept = default;
+BlockJacobiScheduler &
+BlockJacobiScheduler::operator=(BlockJacobiScheduler &&) noexcept =
+    default;
+
+DecomposeOutcome
+BlockJacobiScheduler::solve(const la::Vector &b, const la::Vector &u0)
+{
+    return impl->solve(b, u0);
+}
+
+std::size_t
+BlockJacobiScheduler::blocks() const
+{
+    return impl->partition.size();
+}
+
+std::size_t
+BlockJacobiScheduler::dies() const
+{
+    return impl->die_solvers.size();
+}
+
 DecomposeOutcome
 solveDecomposed(const la::CsrMatrix &a, const la::Vector &b,
                 const std::vector<pde::IndexSet> &partition,
                 const BlockSolverFn &block_solver,
                 const DecomposeOptions &opts)
 {
-    fatalIf(a.rows() != a.cols() || a.rows() != b.size(),
-            "solveDecomposed: dimension mismatch");
     fatalIf(!block_solver, "solveDecomposed: no block solver");
+    // A single shared solver is one logical die: serial by
+    // construction, identical to the historical sequential path.
+    DecomposeOptions serial = opts;
+    serial.threads = 1;
+    BlockJacobiScheduler sched(a, partition, {block_solver}, serial);
+    return sched.solve(b);
+}
 
-    std::size_t n = a.rows();
-
-    // Coverage check: each row in exactly one block.
-    std::vector<std::uint8_t> seen(n, 0);
-    for (const auto &blk : partition) {
-        for (std::size_t g : blk) {
-            fatalIf(g >= n, "solveDecomposed: index out of range");
-            fatalIf(seen[g], "solveDecomposed: row ", g,
-                    " appears in two blocks");
-            seen[g] = 1;
-        }
-    }
-    for (std::size_t g = 0; g < n; ++g)
-        fatalIf(!seen[g], "solveDecomposed: row ", g, " uncovered");
-
-    // Pre-extract each block's dense principal submatrix once: the
-    // accelerator is reconfigured per block, but the coefficients do
-    // not change between outer sweeps.
-    std::vector<la::DenseMatrix> block_a;
-    block_a.reserve(partition.size());
-    for (const auto &blk : partition)
-        block_a.push_back(a.principalSubmatrix(blk).toDense());
-
-    DecomposeOutcome out;
-    out.blocks = partition.size();
-    out.u = la::Vector(n);
-    la::Vector u_next(n);
-
-    for (std::size_t it = 0; it < opts.max_outer_iters; ++it) {
-        double max_change = 0.0;
-        // Block-Jacobi: every block's rhs is gathered against the
-        // previous sweep's solution, so block solves are independent
-        // ("solved separately on multiple accelerators, or multiple
-        // runs of the same accelerator").
-        for (std::size_t p = 0; p < partition.size(); ++p) {
-            const auto &blk = partition[p];
-            la::Vector rhs(blk.size());
-            for (std::size_t k = 0; k < blk.size(); ++k) {
-                std::size_t g = blk[k];
-                double acc = b[g];
-                auto cols = a.rowCols(g);
-                auto vals = a.rowVals(g);
-                for (std::size_t e = 0; e < cols.size(); ++e) {
-                    // Subtract couplings that leave the block.
-                    std::size_t j = cols[e];
-                    bool inside =
-                        std::binary_search(blk.begin(), blk.end(), j);
-                    if (!inside)
-                        acc -= vals[e] * out.u[j];
-                }
-                rhs[k] = acc;
-            }
-            la::Vector x = block_solver(block_a[p], rhs);
-            ++out.block_solves;
-            fatalIf(x.size() != blk.size(),
-                    "solveDecomposed: block solver size mismatch");
-            for (std::size_t k = 0; k < blk.size(); ++k) {
-                std::size_t g = blk[k];
-                max_change = std::max(max_change,
-                                      std::fabs(x[k] - out.u[g]));
-                u_next[g] = x[k];
-            }
-        }
-        out.u = u_next;
-        ++out.outer_iterations;
-        if (opts.record_history)
-            out.change_history.push_back(max_change);
-        if (max_change <= opts.tol) {
-            out.converged = true;
-            break;
-        }
-    }
-    return out;
+DecomposeOutcome
+solveDecomposed(const la::CsrMatrix &a, const la::Vector &b,
+                const std::vector<pde::IndexSet> &partition,
+                std::vector<BlockSolverFn> die_solvers,
+                const DecomposeOptions &opts)
+{
+    BlockJacobiScheduler sched(a, partition, std::move(die_solvers),
+                               opts);
+    return sched.solve(b);
 }
 
 DecomposeOutcome

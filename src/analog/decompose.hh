@@ -8,15 +8,30 @@
  * block-Jacobi iteration across the subproblems recovers global
  * convergence: "the set of subproblems would be solved several times,
  * using a larger iteration across the subproblems".
+ *
+ * Within one sweep the block solves are independent ("solved
+ * separately on multiple accelerators, or multiple runs of the same
+ * accelerator"); BlockJacobiScheduler exploits that by fanning a
+ * sweep across a bank of per-die solvers on a common::ThreadPool.
+ *
+ * Determinism contract: block i is always solved by die (i mod bank
+ * size), and a die executes its blocks in increasing block order, so
+ * every die sees the same solve sequence — and its calibration, RNG
+ * stream, and program cache evolve identically — at any thread count.
+ * Sweep results (solution, change history, counters) are merged by
+ * block/die index, never by completion order, so a DecomposeOutcome
+ * is bit-identical whatever AASIM_THREADS says.
  */
 
 #ifndef AA_ANALOG_DECOMPOSE_HH
 #define AA_ANALOG_DECOMPOSE_HH
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "aa/analog/solver.hh"
+#include "aa/common/parallel.hh"
 #include "aa/la/csr_matrix.hh"
 #include "aa/pde/partition.hh"
 
@@ -34,6 +49,12 @@ struct DecomposeOptions {
     double tol = 1.0 / 256.0;
     std::size_t max_outer_iters = 500;
     bool record_history = false;
+    /**
+     * Total sweep concurrency: 0 = AASIM_THREADS default, 1 = run
+     * inline on the caller. Never affects the emitted numbers — only
+     * how many dies solve their block queues at the same time.
+     */
+    std::size_t threads = 1;
 };
 
 /** Outcome of a decomposed solve. */
@@ -43,7 +64,52 @@ struct DecomposeOutcome {
     std::size_t outer_iterations = 0;
     std::size_t blocks = 0;
     std::size_t block_solves = 0;
+    /** Solver-bank size the sweep was scheduled over (1 = serial). */
+    std::size_t dies = 0;
+    /** Block solves issued to each die, merged by die index. */
+    std::vector<std::size_t> per_die_solves;
     std::vector<double> change_history; ///< max change per sweep
+};
+
+/**
+ * The multi-die sweep scheduler. Construction compiles the sweep:
+ * it validates the partition, pre-extracts every block's dense
+ * principal submatrix, builds per-block RHS/solution workspaces
+ * (the steady-sweep gather/scatter path allocates nothing), assigns
+ * block i to die (i mod die_solvers.size()), and sizes a ThreadPool
+ * to min(opts.threads, dies). solve() may then be called many times
+ * — one implicit timestep or multigrid coarse visit per call —
+ * reusing every workspace and each die's warm program cache.
+ *
+ * Each entry of `die_solvers` must own disjoint mutable state (its
+ * own die); the scheduler guarantees a die's solver is only ever
+ * invoked from one task at a time.
+ */
+class BlockJacobiScheduler
+{
+  public:
+    BlockJacobiScheduler(const la::CsrMatrix &a,
+                         std::vector<pde::IndexSet> partition,
+                         std::vector<BlockSolverFn> die_solvers,
+                         DecomposeOptions opts = {});
+    ~BlockJacobiScheduler();
+    BlockJacobiScheduler(BlockJacobiScheduler &&) noexcept;
+    BlockJacobiScheduler &operator=(BlockJacobiScheduler &&) noexcept;
+
+    /**
+     * Run the outer block-Jacobi iteration for right-hand side b,
+     * starting from u0 (empty = zero). Deterministic at any thread
+     * count; see the file comment for the contract.
+     */
+    DecomposeOutcome solve(const la::Vector &b,
+                           const la::Vector &u0 = {});
+
+    std::size_t blocks() const;
+    std::size_t dies() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl;
 };
 
 /**
@@ -54,6 +120,18 @@ DecomposeOutcome solveDecomposed(
     const la::CsrMatrix &a, const la::Vector &b,
     const std::vector<pde::IndexSet> &partition,
     const BlockSolverFn &block_solver, const DecomposeOptions &opts);
+
+/**
+ * Multi-die form: block i goes to die_solvers[i mod dies], sweeps
+ * fan out across opts.threads workers, and the outcome is
+ * bit-identical at any thread count. One-shot wrapper over
+ * BlockJacobiScheduler.
+ */
+DecomposeOutcome solveDecomposed(
+    const la::CsrMatrix &a, const la::Vector &b,
+    const std::vector<pde::IndexSet> &partition,
+    std::vector<BlockSolverFn> die_solvers,
+    const DecomposeOptions &opts);
 
 /**
  * Convenience: decompose with the analog accelerator as the block

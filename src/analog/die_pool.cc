@@ -5,6 +5,20 @@
 
 namespace aa::analog {
 
+DieUsage
+PoolReport::total() const
+{
+    DieUsage t;
+    for (const DieUsage &d : dies) {
+        t.solves += d.solves;
+        t.analog_seconds += d.analog_seconds;
+        t.phases.add(d.phases);
+        t.cache_hits += d.cache_hits;
+        t.cache_misses += d.cache_misses;
+    }
+    return t;
+}
+
 DiePool::DiePool(std::size_t dies, AnalogSolverOptions base)
 {
     fatalIf(dies == 0, "DiePool: need at least one die");
@@ -18,6 +32,7 @@ DiePool::DiePool(std::size_t dies, AnalogSolverOptions base)
         solvers.push_back(
             std::make_unique<AnalogLinearSolver>(opts));
     }
+    usage_.resize(dies);
 }
 
 AnalogLinearSolver &
@@ -59,6 +74,87 @@ DiePool::refinedBlockSolver(std::size_t refine_passes,
         opts.record_history = false;
         return refineSolve(nextDie(), a, rhs, opts).u;
     };
+}
+
+BlockSolverFn
+DiePool::dieSolver(std::size_t k)
+{
+    fatalIf(k >= solvers.size(), "DiePool: die ", k, " of ",
+            solvers.size());
+    // Touches only die k's solver and usage slot: concurrent calls
+    // for *different* k never share state.
+    return [this, k](const la::DenseMatrix &a, const la::Vector &rhs) {
+        AnalogSolveOutcome out = solvers[k]->solve(a, rhs);
+        DieUsage &u = usage_[k];
+        ++u.solves;
+        u.analog_seconds += out.analog_seconds;
+        u.phases.add(out.phases);
+        return std::move(out.u);
+    };
+}
+
+BlockSolverFn
+DiePool::refinedDieSolver(std::size_t k, std::size_t refine_passes,
+                          double tolerance)
+{
+    fatalIf(k >= solvers.size(), "DiePool: die ", k, " of ",
+            solvers.size());
+    fatalIf(refine_passes == 0,
+            "DiePool: need at least one refinement pass");
+    return [this, k, refine_passes,
+            tolerance](const la::DenseMatrix &a,
+                       const la::Vector &rhs) {
+        RefineOptions opts;
+        opts.tolerance = tolerance;
+        opts.max_passes = refine_passes;
+        opts.record_history = false;
+        RefineOutcome out = refineSolve(*solvers[k], a, rhs, opts);
+        DieUsage &u = usage_[k];
+        u.solves += out.passes;
+        u.analog_seconds += out.analog_seconds;
+        u.phases.add(out.phases);
+        return std::move(out.u);
+    };
+}
+
+std::vector<BlockSolverFn>
+DiePool::blockSolvers()
+{
+    std::vector<BlockSolverFn> bank;
+    bank.reserve(solvers.size());
+    for (std::size_t k = 0; k < solvers.size(); ++k)
+        bank.push_back(dieSolver(k));
+    return bank;
+}
+
+std::vector<BlockSolverFn>
+DiePool::refinedBlockSolvers(std::size_t refine_passes,
+                             double tolerance)
+{
+    std::vector<BlockSolverFn> bank;
+    bank.reserve(solvers.size());
+    for (std::size_t k = 0; k < solvers.size(); ++k)
+        bank.push_back(refinedDieSolver(k, refine_passes, tolerance));
+    return bank;
+}
+
+PoolReport
+DiePool::report() const
+{
+    PoolReport rep;
+    rep.dies = usage_;
+    for (std::size_t k = 0; k < solvers.size(); ++k) {
+        const compiler::CacheStats &cs = solvers[k]->cacheStats();
+        rep.dies[k].cache_hits = cs.hits;
+        rep.dies[k].cache_misses = cs.misses;
+    }
+    return rep;
+}
+
+void
+DiePool::resetUsage()
+{
+    usage_.assign(solvers.size(), DieUsage{});
 }
 
 double

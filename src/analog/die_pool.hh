@@ -4,9 +4,18 @@
  * subproblems "can be solved separately on multiple accelerators, or
  * multiple runs of the same accelerator" — this is the multiple-
  * accelerators variant. Each die in the pool is an independent
- * process-variation corner with its own calibration; block solves
- * round-robin across them, so heterogeneity across chips is part of
- * the experiment rather than averaged away.
+ * process-variation corner with its own calibration, RNG stream, and
+ * program cache, so heterogeneity across chips is part of the
+ * experiment rather than averaged away.
+ *
+ * Die ownership rules (the parallel-dispatch contract): the per-die
+ * solvers returned by dieSolver()/blockSolvers() each touch only
+ * their own die's state, so BlockJacobiScheduler may run them on
+ * different threads concurrently — as long as each die's solver is
+ * invoked from one task at a time, which the scheduler's static
+ * block-to-die assignment guarantees. The legacy round-robin
+ * nextDie()/blockSolver() path mutates the shared cursor and remains
+ * single-threaded only.
  */
 
 #ifndef AA_ANALOG_DIE_POOL_HH
@@ -20,7 +29,23 @@
 
 namespace aa::analog {
 
-/** A round-robin pool of independently fabricated dies. */
+/** What one die did since construction (or the last resetUsage()). */
+struct DieUsage {
+    std::size_t solves = 0;        ///< accelerator runs issued
+    double analog_seconds = 0.0;   ///< analog compute time
+    SolvePhaseReport phases;       ///< per-phase host time/traffic
+    /** Program-cache counters (lifetime totals, from the die). */
+    std::size_t cache_hits = 0;
+    std::size_t cache_misses = 0;
+};
+
+/** Pool-level aggregation of every die's usage. */
+struct PoolReport {
+    std::vector<DieUsage> dies; ///< by die index
+    DieUsage total() const;     ///< summed over dies
+};
+
+/** A pool of independently fabricated dies. */
 class DiePool
 {
   public:
@@ -33,21 +58,47 @@ class DiePool
     std::size_t size() const { return solvers.size(); }
     AnalogLinearSolver &die(std::size_t k);
 
-    /** Next die in round-robin order. */
+    /** Next die in round-robin order (single-threaded use only). */
     AnalogLinearSolver &nextDie();
 
-    /** Block solver that dispatches each call to the next die. */
+    /** Block solver that dispatches each call to the next die
+     *  (single-threaded use only; kept for the legacy path). */
     BlockSolverFn blockSolver();
 
-    /** Block solver with Algorithm-2 boosting on each die. */
+    /** Block solver with Algorithm-2 boosting on each die
+     *  (single-threaded use only; kept for the legacy path). */
     BlockSolverFn refinedBlockSolver(std::size_t refine_passes = 2,
                                      double tolerance = 1e-6);
+
+    /** Block solver pinned to die k; accumulates that die's usage.
+     *  Safe to run concurrently with other dies' solvers. */
+    BlockSolverFn dieSolver(std::size_t k);
+
+    /** Algorithm-2 boosted solver pinned to die k. */
+    BlockSolverFn refinedDieSolver(std::size_t k,
+                                   std::size_t refine_passes = 2,
+                                   double tolerance = 1e-6);
+
+    /** One pinned solver per die — the BlockJacobiScheduler bank. */
+    std::vector<BlockSolverFn> blockSolvers();
+
+    /** One boosted pinned solver per die. */
+    std::vector<BlockSolverFn>
+    refinedBlockSolvers(std::size_t refine_passes = 2,
+                        double tolerance = 1e-6);
+
+    /** Per-die and pool-level usage/cache report. */
+    PoolReport report() const;
+
+    /** Zero the usage counters (cache stats stay with the dies). */
+    void resetUsage();
 
     /** Total analog compute time across the pool. */
     double totalAnalogSeconds() const;
 
   private:
     std::vector<std::unique_ptr<AnalogLinearSolver>> solvers;
+    std::vector<DieUsage> usage_;
     std::size_t cursor = 0;
 };
 

@@ -10,6 +10,37 @@ analogCoarseSolver(AnalogLinearSolver &solver)
     };
 }
 
+solver::CoarseSolverFn
+poolCoarseSolver(DiePool &pool, DecomposeOptions decompose)
+{
+    // The coarsest operator is fixed for a Multigrid's lifetime, so
+    // the compiled sweep is cached across visits; a size change
+    // (another Multigrid reusing the hook) rebuilds it.
+    struct State {
+        std::unique_ptr<BlockJacobiScheduler> sched;
+        std::size_t n = 0;
+    };
+    auto state = std::make_shared<State>();
+    return [&pool, decompose, state](const la::CsrMatrix &a,
+                                     const la::Vector &b) {
+        if (a.rows() <= decompose.max_block_vars) {
+            // Fits one die: a single run, exactly like the
+            // single-die hook (but counted in the pool report).
+            return pool.dieSolver(0)(a.toDense(), b);
+        }
+        if (!state->sched || state->n != a.rows()) {
+            auto partition =
+                pde::rangePartition(a.rows(),
+                                    decompose.max_block_vars);
+            state->sched = std::make_unique<BlockJacobiScheduler>(
+                a, std::move(partition), pool.blockSolvers(),
+                decompose);
+            state->n = a.rows();
+        }
+        return state->sched->solve(b).u;
+    };
+}
+
 solver::Multigrid
 makeHybridMultigrid(AnalogLinearSolver &solver, std::size_t dim,
                     std::size_t l_finest, std::size_t coarse_side,
@@ -17,6 +48,16 @@ makeHybridMultigrid(AnalogLinearSolver &solver, std::size_t dim,
 {
     opts.min_points_per_side = coarse_side;
     opts.coarse_solver = analogCoarseSolver(solver);
+    return solver::Multigrid(dim, l_finest, std::move(opts));
+}
+
+solver::Multigrid
+makeHybridMultigrid(DiePool &pool, std::size_t dim,
+                    std::size_t l_finest, std::size_t coarse_side,
+                    solver::MgOptions opts, DecomposeOptions decompose)
+{
+    opts.min_points_per_side = coarse_side;
+    opts.coarse_solver = poolCoarseSolver(pool, std::move(decompose));
     return solver::Multigrid(dim, l_finest, std::move(opts));
 }
 

@@ -12,6 +12,7 @@
 #ifndef AA_ANALOG_HYBRID_MG_HH
 #define AA_ANALOG_HYBRID_MG_HH
 
+#include "aa/analog/die_pool.hh"
 #include "aa/analog/solver.hh"
 #include "aa/solver/multigrid.hh"
 
@@ -19,6 +20,20 @@ namespace aa::analog {
 
 /** A coarse-solver hook backed by the analog accelerator. */
 solver::CoarseSolverFn analogCoarseSolver(AnalogLinearSolver &solver);
+
+/**
+ * A coarse-solver hook backed by a whole DiePool: when the coarse
+ * system exceeds one die (decompose.max_block_vars), it is cut into
+ * blocks and swept through the multi-die BlockJacobiScheduler —
+ * every V-cycle's coarse visit becomes a bank of concurrent block
+ * solves. The compiled sweep (submatrices, workspaces, per-die
+ * program caches) is built on the first visit and reused by every
+ * later cycle, since the coarsest operator never changes. Systems
+ * that fit one die go straight to die 0, as the single-die hook
+ * does. Deterministic at any decompose.threads setting.
+ */
+solver::CoarseSolverFn
+poolCoarseSolver(DiePool &pool, DecomposeOptions decompose = {});
 
 /**
  * Build a Multigrid whose coarsest level is solved on the analog
@@ -30,6 +45,16 @@ solver::Multigrid makeHybridMultigrid(AnalogLinearSolver &solver,
                                       std::size_t l_finest,
                                       std::size_t coarse_side = 7,
                                       solver::MgOptions opts = {});
+
+/**
+ * Pool-backed hybrid multigrid: the coarsest level is decomposed
+ * across every die in `pool` via poolCoarseSolver().
+ */
+solver::Multigrid makeHybridMultigrid(DiePool &pool, std::size_t dim,
+                                      std::size_t l_finest,
+                                      std::size_t coarse_side = 7,
+                                      solver::MgOptions opts = {},
+                                      DecomposeOptions decompose = {});
 
 } // namespace aa::analog
 

@@ -1,0 +1,81 @@
+#include "aa/analog/implicit_step.hh"
+
+#include "aa/common/logging.hh"
+
+namespace aa::analog {
+
+namespace {
+
+/** M = I + dt A (SPD whenever A is). */
+la::CsrMatrix
+backwardEulerMatrix(const la::CsrMatrix &a, double dt)
+{
+    std::vector<la::Triplet> trips;
+    trips.reserve(a.nnz() + a.rows());
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        auto cols = a.rowCols(i);
+        auto vals = a.rowVals(i);
+        for (std::size_t e = 0; e < cols.size(); ++e)
+            trips.push_back({i, cols[e], dt * vals[e]});
+        trips.push_back({i, i, 1.0});
+    }
+    return la::CsrMatrix::fromTriplets(a.rows(), a.cols(),
+                                       std::move(trips));
+}
+
+} // namespace
+
+ImplicitStepOutcome
+backwardEulerDecomposed(const la::CsrMatrix &a, const la::Vector &b,
+                        const la::Vector &u0,
+                        const std::vector<pde::IndexSet> &partition,
+                        std::vector<BlockSolverFn> die_solvers,
+                        const ImplicitStepOptions &opts)
+{
+    fatalIf(a.rows() != a.cols() || a.rows() != b.size(),
+            "backwardEulerDecomposed: dimension mismatch");
+    fatalIf(opts.dt <= 0.0, "backwardEulerDecomposed: dt must be > 0");
+
+    // One compiled sweep for the whole march: M never changes, so
+    // per-block submatrices, workspaces, and each die's program stay
+    // valid from the first step to the last.
+    la::CsrMatrix m = backwardEulerMatrix(a, opts.dt);
+    BlockJacobiScheduler sched(m, partition, std::move(die_solvers),
+                               opts.decompose);
+
+    ImplicitStepOutcome out;
+    out.u = u0.empty() ? la::Vector(a.rows()) : u0;
+    out.per_die_solves.assign(sched.dies(), 0);
+
+    la::Vector rhs(a.rows());
+    for (std::size_t n = 0; n < opts.steps; ++n) {
+        rhs = out.u;
+        la::axpy(opts.dt, b, rhs);
+        // Warm start from u_n: the outer iteration only has to move
+        // the solution by one step's worth of dynamics.
+        DecomposeOutcome step = sched.solve(rhs, out.u);
+        out.u = std::move(step.u);
+        ++out.steps;
+        out.block_solves += step.block_solves;
+        out.outer_sweeps += step.outer_iterations;
+        out.all_converged = out.all_converged && step.converged;
+        for (std::size_t d = 0; d < step.per_die_solves.size(); ++d)
+            out.per_die_solves[d] += step.per_die_solves[d];
+        if (opts.record_trajectory)
+            out.trajectory.push_back(out.u);
+    }
+    return out;
+}
+
+ImplicitStepOutcome
+backwardEulerPool(DiePool &pool, const la::CsrMatrix &a,
+                  const la::Vector &b, const la::Vector &u0,
+                  const ImplicitStepOptions &opts)
+{
+    auto partition =
+        pde::rangePartition(a.rows(), opts.decompose.max_block_vars);
+    return backwardEulerDecomposed(a, b, u0, partition,
+                                   pool.blockSolvers(), opts);
+}
+
+} // namespace aa::analog

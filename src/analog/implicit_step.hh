@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Implicit time stepping on the accelerator — the Figure 4 pipeline
+ * at pool scale. Backward Euler on du/dt = -A u + b solves
+ *     (I + dt A) u_{n+1} = u_n + dt b
+ * once per step: the same matrix M every time, only the right-hand
+ * side moves. That makes it the repo's archetypal "many independent
+ * analog solves per outer iteration" workload: each step's block
+ * solves fan out across a DiePool through one BlockJacobiScheduler
+ * compiled once for the whole trajectory, so every die keeps its
+ * program for M hot (delta reconfiguration ships only the DAC
+ * biases) and each step's sweep runs concurrently across dies.
+ *
+ * Determinism: steps are sequential (u_{n+1} depends on u_n), but
+ * within a step the scheduler's contract applies — the trajectory is
+ * bit-identical at any thread count.
+ */
+
+#ifndef AA_ANALOG_IMPLICIT_STEP_HH
+#define AA_ANALOG_IMPLICIT_STEP_HH
+
+#include "aa/analog/decompose.hh"
+#include "aa/analog/die_pool.hh"
+
+namespace aa::analog {
+
+/** Options for the decomposed backward-Euler driver. */
+struct ImplicitStepOptions {
+    double dt = 0.01;        ///< implicit step (beyond explicit limit)
+    std::size_t steps = 10;  ///< steps to march
+    /** Inner solve controls: block size, outer tolerance, threads. */
+    DecomposeOptions decompose;
+    /** Keep u after every step (waveform output), not just the last. */
+    bool record_trajectory = false;
+};
+
+/** Outcome of a decomposed implicit march. */
+struct ImplicitStepOutcome {
+    la::Vector u;                 ///< state after the last step
+    std::size_t steps = 0;
+    std::size_t block_solves = 0; ///< accelerator runs, all steps
+    std::size_t outer_sweeps = 0; ///< block-Jacobi sweeps, all steps
+    bool all_converged = true;    ///< every step met decompose.tol
+    /** Block solves per die, merged by die index across steps. */
+    std::vector<std::size_t> per_die_solves;
+    std::vector<la::Vector> trajectory; ///< record_trajectory only
+};
+
+/**
+ * March `steps` backward-Euler steps of du/dt = -A u + b from u0
+ * (empty = zero), solving each step's system over the given solver
+ * bank with block i on die (i mod dies). The step matrix
+ * M = I + dt A is assembled and the sweep compiled once up front.
+ */
+ImplicitStepOutcome backwardEulerDecomposed(
+    const la::CsrMatrix &a, const la::Vector &b, const la::Vector &u0,
+    const std::vector<pde::IndexSet> &partition,
+    std::vector<BlockSolverFn> die_solvers,
+    const ImplicitStepOptions &opts);
+
+/**
+ * Convenience: decompose 1D-range style into blocks of at most
+ * opts.decompose.max_block_vars and march across every die in the
+ * pool.
+ */
+ImplicitStepOutcome backwardEulerPool(DiePool &pool,
+                                      const la::CsrMatrix &a,
+                                      const la::Vector &b,
+                                      const la::Vector &u0,
+                                      const ImplicitStepOptions &opts);
+
+} // namespace aa::analog
+
+#endif // AA_ANALOG_IMPLICIT_STEP_HH

@@ -38,6 +38,7 @@ refineSolve(AnalogLinearSolver &solver, const la::DenseMatrix &a,
                 std::max(peak / std::max(a.maxAbs(), 1e-12), 1e-9));
         }
         AnalogSolveOutcome pass_out = solver.solve(a, residual);
+        out.phases.add(pass_out.phases);
         la::axpy(1.0, pass_out.u, out.u);
         if (opts.record_history)
             out.config_bytes_history.push_back(

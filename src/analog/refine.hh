@@ -43,6 +43,8 @@ struct RefineOutcome {
      *  first collapse to the delta. */
     std::vector<std::size_t> config_bytes_history;
     double analog_seconds = 0.0;
+    /** Per-phase totals accumulated across all passes. */
+    SolvePhaseReport phases;
 };
 
 /**

@@ -58,6 +58,20 @@ struct SolvePhaseReport {
     std::size_t cache_hits = 0;     ///< program-cache hits this solve
     std::size_t cache_misses = 0;   ///< program-cache compiles
     bool structure_reused = false;  ///< crossbar left as-is
+
+    /** Fold another solve's breakdown in (die-usage aggregation). */
+    void
+    add(const SolvePhaseReport &o)
+    {
+        compile_seconds += o.compile_seconds;
+        configure_seconds += o.configure_seconds;
+        run_seconds += o.run_seconds;
+        readout_seconds += o.readout_seconds;
+        config_bytes += o.config_bytes;
+        cache_hits += o.cache_hits;
+        cache_misses += o.cache_misses;
+        structure_reused = structure_reused || o.structure_reused;
+    }
 };
 
 /** Outcome of one analog solve. */

@@ -1,25 +1,28 @@
 #include "aa/common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 
 namespace aa {
 
 namespace {
 
-LogLevel global_level = LogLevel::Normal;
+// Atomic so parallel sweep workers can read the level while a driver
+// thread (re)sets it, without a TSan-visible race.
+std::atomic<LogLevel> global_level{LogLevel::Normal};
 
 } // namespace
 
 LogLevel
 logLevel()
 {
-    return global_level;
+    return global_level.load(std::memory_order_relaxed);
 }
 
 void
 setLogLevel(LogLevel level)
 {
-    global_level = level;
+    global_level.store(level, std::memory_order_relaxed);
 }
 
 namespace detail {

@@ -22,7 +22,7 @@ ThreadPool::ThreadPool(std::size_t threads)
     if (threads == 0)
         threads = defaultThreadCount();
     for (std::size_t i = 0; i + 1 < threads; ++i)
-        workers.emplace_back([this] { workerLoop(); });
+        workers.emplace_back([this, i] { workerLoop(i + 1); });
 }
 
 ThreadPool::~ThreadPool()
@@ -37,13 +37,13 @@ ThreadPool::~ThreadPool()
 }
 
 void
-ThreadPool::runBatch()
+ThreadPool::runBatch(std::size_t worker)
 {
     for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
          i < batch_n;
          i = next.fetch_add(1, std::memory_order_relaxed)) {
         try {
-            (*batch_fn)(i);
+            (*batch_fn)(worker, i);
         } catch (...) {
             std::lock_guard<std::mutex> lock(mu);
             if (!first_error)
@@ -53,7 +53,7 @@ ThreadPool::runBatch()
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(std::size_t worker)
 {
     std::uint64_t seen = 0;
     for (;;) {
@@ -66,7 +66,7 @@ ThreadPool::workerLoop()
                 return;
             seen = generation;
         }
-        runBatch();
+        runBatch(worker);
         {
             std::lock_guard<std::mutex> lock(mu);
             --busy;
@@ -76,14 +76,13 @@ ThreadPool::workerLoop()
 }
 
 void
-ThreadPool::parallelFor(std::size_t n,
-                        const std::function<void(std::size_t)> &fn)
+ThreadPool::parallelForWorkers(std::size_t n, const WorkerIndexedFn &fn)
 {
     if (n == 0)
         return;
     if (workers.empty() || n == 1) {
         for (std::size_t i = 0; i < n; ++i)
-            fn(i);
+            fn(0, i);
         return;
     }
     {
@@ -96,7 +95,7 @@ ThreadPool::parallelFor(std::size_t n,
         ++generation;
     }
     cv_work.notify_all();
-    runBatch(); // the caller is a worker too
+    runBatch(0); // the caller is worker 0
     std::unique_lock<std::mutex> lock(mu);
     cv_done.wait(lock, [&] { return busy == 0; });
     batch_fn = nullptr;
@@ -105,18 +104,34 @@ ThreadPool::parallelFor(std::size_t n,
 }
 
 void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &fn)
+{
+    parallelForWorkers(n,
+                       [&fn](std::size_t, std::size_t i) { fn(i); });
+}
+
+void
 parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn,
             std::size_t threads)
+{
+    parallelForWorkers(
+        n, [&fn](std::size_t, std::size_t i) { fn(i); }, threads);
+}
+
+void
+parallelForWorkers(std::size_t n, const WorkerIndexedFn &fn,
+                   std::size_t threads)
 {
     if (threads == 0)
         threads = defaultThreadCount();
     if (threads <= 1 || n < 2) {
         for (std::size_t i = 0; i < n; ++i)
-            fn(i);
+            fn(0, i);
         return;
     }
     ThreadPool pool(threads);
-    pool.parallelFor(n, fn);
+    pool.parallelForWorkers(n, fn);
 }
 
 } // namespace aa

@@ -3,10 +3,16 @@
  * A small work-queue thread pool for embarrassingly parallel sweeps.
  *
  * The figure/table benches run one independent solve per grid size and
- * die seed; parallelFor() fans those out across a persistent worker
+ * die seed, and the analog scheduler runs one independent block solve
+ * per die; parallelFor() fans those out across a persistent worker
  * pool while the caller thread participates too. Results must be
  * written by index into caller-owned storage, which keeps the merged
  * output deterministic regardless of scheduling.
+ *
+ * Tasks that own per-thread resources (a die, a scratch buffer) use
+ * the worker-indexed form: every concurrently running invocation gets
+ * a distinct worker id in [0, threadCount()), stable for the thread's
+ * lifetime, so resources indexed by worker are never shared.
  *
  * Worker count comes from the AASIM_THREADS environment variable when
  * set (0 or unset = one worker per hardware thread). With one thread
@@ -34,12 +40,17 @@ namespace aa {
  */
 std::size_t defaultThreadCount();
 
+/** A loop body receiving (worker id, loop index). */
+using WorkerIndexedFn =
+    std::function<void(std::size_t worker, std::size_t i)>;
+
 /**
  * Fixed-size pool of workers executing index-chunked loops.
  *
  * One pool may be reused for many parallelFor() calls; workers sleep
  * between batches. parallelFor() itself is not reentrant and must be
- * called from one thread at a time (the benches' sweep driver).
+ * called from one thread at a time (the benches' sweep driver, the
+ * analog multi-die scheduler).
  */
 class ThreadPool
 {
@@ -64,9 +75,18 @@ class ThreadPool
     void parallelFor(std::size_t n,
                      const std::function<void(std::size_t)> &fn);
 
+    /**
+     * Worker-indexed form: run fn(worker, i) for every i in [0, n).
+     * The caller participates as worker 0; pool threads are workers
+     * 1..threadCount()-1. Two invocations with the same worker id
+     * never overlap, so state indexed by worker (one die per worker,
+     * one scratch arena per worker) needs no locking.
+     */
+    void parallelForWorkers(std::size_t n, const WorkerIndexedFn &fn);
+
   private:
-    void workerLoop();
-    void runBatch();
+    void workerLoop(std::size_t worker);
+    void runBatch(std::size_t worker);
 
     std::vector<std::thread> workers;
 
@@ -78,7 +98,7 @@ class ThreadPool
     bool shutdown = false;
 
     // Current batch (valid while generation is live).
-    const std::function<void(std::size_t)> *batch_fn = nullptr;
+    const WorkerIndexedFn *batch_fn = nullptr;
     std::size_t batch_n = 0;
     std::atomic<std::size_t> next{0};
     std::exception_ptr first_error;
@@ -92,6 +112,30 @@ class ThreadPool
 void parallelFor(std::size_t n,
                  const std::function<void(std::size_t)> &fn,
                  std::size_t threads = 0);
+
+/** One-shot worker-indexed helper; see ThreadPool::parallelForWorkers. */
+void parallelForWorkers(std::size_t n, const WorkerIndexedFn &fn,
+                        std::size_t threads = 0);
+
+/**
+ * Parallel sweep: results[i] = fn(i) with one independent task per
+ * index, fanned across `threads` workers (0 = AASIM_THREADS default;
+ * 1 runs inline). Each task must own all mutable solver state — one
+ * Simulator/die per task, netlists shared read-only — and results
+ * merge by index, so emitted tables are identical whatever the thread
+ * count. This is the single pool/merge implementation shared by the
+ * bench sweeps and the library schedulers.
+ */
+template <typename Fn>
+auto
+parallelMap(std::size_t n, Fn &&fn, std::size_t threads = 0)
+{
+    using T = decltype(fn(std::size_t{0}));
+    std::vector<T> out(n);
+    parallelFor(
+        n, [&](std::size_t i) { out[i] = fn(i); }, threads);
+    return out;
+}
 
 } // namespace aa
 

@@ -88,6 +88,67 @@ TEST(Parallel, FirstExceptionPropagates)
     EXPECT_EQ(count.load(), 10);
 }
 
+TEST(Parallel, WorkerIndexedCoversEveryIndexOnce)
+{
+    ThreadPool pool(4);
+    const std::size_t n = 500;
+    std::vector<std::atomic<int>> hits(n);
+    std::vector<std::atomic<int>> by_worker(pool.threadCount());
+    pool.parallelForWorkers(n, [&](std::size_t worker, std::size_t i) {
+        ASSERT_LT(worker, pool.threadCount());
+        by_worker[worker].fetch_add(1);
+        hits[i].fetch_add(1);
+    });
+    int total = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    for (auto &w : by_worker)
+        total += w.load();
+    EXPECT_EQ(total, static_cast<int>(n));
+}
+
+TEST(Parallel, WorkerIdsNeverOverlap)
+{
+    // Two invocations with the same worker id must never run
+    // concurrently: per-worker counters need no synchronization.
+    // (TSan verifies the absence of racing increments.)
+    ThreadPool pool(4);
+    std::vector<int> per_worker(pool.threadCount(), 0);
+    pool.parallelForWorkers(200, [&](std::size_t worker, std::size_t) {
+        ++per_worker[worker]; // intentionally non-atomic
+    });
+    int total = 0;
+    for (int c : per_worker)
+        total += c;
+    EXPECT_EQ(total, 200);
+}
+
+TEST(Parallel, WorkerIndexedSerialRunsAsWorkerZero)
+{
+    std::vector<std::size_t> workers(5, 99);
+    parallelForWorkers(
+        workers.size(),
+        [&](std::size_t worker, std::size_t i) {
+            workers[i] = worker;
+        },
+        1);
+    for (std::size_t w : workers)
+        EXPECT_EQ(w, 0u);
+}
+
+TEST(Parallel, ParallelMapMergesByIndex)
+{
+    auto serial = parallelMap(
+        32, [](std::size_t i) { return 3.0 * static_cast<double>(i); },
+        1);
+    auto threaded = parallelMap(
+        32, [](std::size_t i) { return 3.0 * static_cast<double>(i); },
+        4);
+    EXPECT_EQ(serial, threaded);
+    EXPECT_EQ(serial.size(), 32u);
+    EXPECT_EQ(serial[7], 21.0);
+}
+
 TEST(Parallel, DefaultThreadCountHonorsEnv)
 {
     EXPECT_GE(defaultThreadCount(), 1u);

@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
 # The whole verify recipe in one command:
-#   1. tier-1: configure + build + ctest -L tier1 (must stay green)
+#   1. tier-1: configure + build + ctest -L tier1 (must stay green),
+#      re-run at AASIM_THREADS=1 and =4 — the multi-die scheduler's
+#      tables must be bit-identical at any thread count.
 #   2. sanitize: ASan/UBSan build of the suites most likely to hide
 #      lifetime/UB bugs after pipeline work (compiler + analog, plus
 #      the circuit plan-equivalence oracle).
+#   3. tsan: ThreadSanitizer build of the thread pool and multi-die
+#      scheduler suites (common + analog + decompose_parallel).
 # Usage: tools/check.sh [--tier1-only]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -11,7 +15,11 @@ cd "$(dirname "$0")/.."
 echo "== tier-1 =="
 cmake -B build -S . >/dev/null
 cmake --build build -j"$(nproc)"
-ctest --test-dir build -L tier1 --output-on-failure -j"$(nproc)"
+for threads in 1 4; do
+    echo "-- tier-1 @ AASIM_THREADS=$threads"
+    AASIM_THREADS=$threads \
+        ctest --test-dir build -L tier1 --output-on-failure -j"$(nproc)"
+done
 
 if [[ "${1:-}" == "--tier1-only" ]]; then
     exit 0
@@ -23,5 +31,16 @@ cmake --build build-sanitize -j"$(nproc)" \
     --target compiler_test analog_test circuit_test
 for t in compiler_test analog_test circuit_test; do
     ./build-sanitize/tests/"$t" --gtest_brief=1
+done
+
+echo "== sanitize (TSan) =="
+cmake --preset tsan >/dev/null
+cmake --build build-tsan -j"$(nproc)" \
+    --target common_test analog_test decompose_parallel_test
+for t in common_test analog_test decompose_parallel_test; do
+    for threads in 1 4; do
+        AASIM_THREADS=$threads \
+            ./build-tsan/tests/"$t" --gtest_brief=1
+    done
 done
 echo "check.sh: all green"
