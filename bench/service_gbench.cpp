@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Solve-request service throughput: the cache-affine scheduler vs the
+ * round-robin baseline on a mixed two-pattern workload over a
+ * three-die pool. Both benchmarks push identical request bursts
+ * through an identical pool; the only difference is
+ * ServiceOptions::cache_affinity. The die count is deliberately odd:
+ * with an even pool a strictly alternating two-pattern trace would
+ * make round-robin accidentally affine (die k always sees the same
+ * pattern), hiding exactly the effect under test.
+ *
+ * Each die's program cache is capped at one resident structure
+ * (program_cache_capacity = 1 — the contended on-die program memory
+ * regime), and a warm-up burst runs before the timed loop so the
+ * counters measure steady state: the affine scheduler holds the
+ * ProgramCache hit ratio at 1.0 (every pattern stays resident on its
+ * home die) while round-robin keeps evicting and recompiling as the
+ * two patterns alternate across every die. The JSON artifact
+ * (BENCH_service.json) records steady_cache_hit_ratio,
+ * config_bytes_per_req, and affinity_ratio alongside the solves/sec
+ * items_per_second rate.
+ */
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "aa/analog/die_pool.hh"
+#include "aa/common/logging.hh"
+#include "aa/pde/poisson.hh"
+#include "aa/service/service.hh"
+
+namespace {
+
+using namespace aa;
+
+constexpr std::size_t kDies = 3;
+constexpr std::size_t kBurst = 24; ///< requests per timed iteration
+
+/** The two-pattern workload: a dense 2D Poisson operator (n = 9) and
+ *  a tridiagonal 1D operator (n = 8) with nonzero forcings. */
+struct Workload {
+    std::shared_ptr<const la::DenseMatrix> a2d, a1d;
+    la::Vector b2d, b1d;
+
+    Workload()
+    {
+        auto p2 = pde::assemblePoisson(
+            2, 3, [](double x, double y, double) { return x + y; });
+        auto p1 = pde::assemblePoisson(
+            1, 8, [](double x, double, double) { return 1.0 + x; });
+        a2d = std::make_shared<const la::DenseMatrix>(
+            p2.a.toDense());
+        a1d = std::make_shared<const la::DenseMatrix>(
+            p1.a.toDense());
+        b2d = p2.b;
+        b1d = p1.b;
+    }
+
+    /** Request i of a burst: alternate patterns, vary the RHS so the
+     *  delta-reconfiguration path has real bias updates to ship. */
+    service::SolveRequest
+    request(std::size_t i) const
+    {
+        service::SolveRequest r;
+        double f = 1.0 + 0.0625 * static_cast<double>(i % 7);
+        if (i % 2 == 0) {
+            r.a = a2d;
+            r.b = b2d;
+        } else {
+            r.a = a1d;
+            r.b = b1d;
+        }
+        la::scale(f, r.b, r.b);
+        return r;
+    }
+};
+
+void
+submitBurstAndDrain(service::SolveService &svc, const Workload &work)
+{
+    std::vector<std::future<service::SolveResponse>> futures;
+    futures.reserve(kBurst);
+    for (std::size_t i = 0; i < kBurst; ++i)
+        futures.push_back(svc.submit(work.request(i)));
+    svc.drain();
+    for (auto &f : futures)
+        benchmark::DoNotOptimize(f.get().u.data());
+}
+
+void
+serviceThroughputBenchmark(benchmark::State &state, bool affinity)
+{
+    setLogLevel(LogLevel::Quiet);
+    Workload work;
+
+    analog::AnalogSolverOptions die_opts;
+    die_opts.spec.variation.enabled = false;
+    die_opts.spec.adc_noise_sigma = 0.0;
+    die_opts.auto_calibrate = false;
+    die_opts.die_seed = 40;
+    die_opts.program_cache_capacity = 1;
+    analog::DiePool pool(kDies, die_opts);
+
+    service::ServiceOptions sopts;
+    sopts.cache_affinity = affinity;
+    sopts.queue_capacity = kBurst * 2;
+    service::SolveService svc(pool, sopts);
+
+    // Warm-up: first-touch compiles and calibration happen here, so
+    // the timed loop (and the counters below) see steady state.
+    submitBurstAndDrain(svc, work);
+    service::ServiceMetrics base = svc.metrics();
+
+    for (auto _ : state)
+        submitBurstAndDrain(svc, work);
+
+    service::ServiceMetrics m = svc.metrics();
+    std::size_t hits = m.cache_hits - base.cache_hits;
+    std::size_t misses = m.cache_misses - base.cache_misses;
+    std::size_t lookups = hits + misses;
+    std::size_t requests = m.ok - base.ok;
+    state.counters["steady_cache_hit_ratio"] =
+        static_cast<double>(hits) /
+        static_cast<double>(lookups ? lookups : 1);
+    state.counters["steady_cache_misses"] =
+        static_cast<double>(misses);
+    state.counters["config_bytes_per_req"] =
+        static_cast<double>(m.config_bytes - base.config_bytes) /
+        static_cast<double>(requests ? requests : 1);
+    state.counters["affinity_ratio"] =
+        static_cast<double>(m.affinity_hits - base.affinity_hits) /
+        static_cast<double>(requests ? requests : 1);
+    state.counters["latency_p95_us"] = m.latency_p95 * 1e6;
+    state.counters["dies"] = static_cast<double>(kDies);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(kBurst));
+    svc.stop();
+}
+
+void
+BM_ServiceThroughputAffine(benchmark::State &state)
+{
+    serviceThroughputBenchmark(state, true);
+}
+// UseRealTime: the submitting thread blocks in drain() while the
+// dies work, so wall clock — not this thread's CPU time — is the
+// number solves/sec must come from.
+BENCHMARK(BM_ServiceThroughputAffine)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void
+BM_ServiceThroughputRoundRobin(benchmark::State &state)
+{
+    serviceThroughputBenchmark(state, false);
+}
+BENCHMARK(BM_ServiceThroughputRoundRobin)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+} // namespace

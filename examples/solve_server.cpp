@@ -1,0 +1,187 @@
+/**
+ * @file
+ * The solve-request service, end to end: a host front door over a
+ * pool of accelerator dies. Clients submit asynchronous SolveRequests
+ * (matrix, RHS, tolerance, deadline, priority) and get futures back;
+ * the service batches compatible requests by sparsity pattern and
+ * routes each pattern to the die whose ProgramCache already holds its
+ * compiled structure, so steady-state traffic stays on the
+ * delta-reconfiguration fast path. This is the serving story of the
+ * paper's accelerator: analog arrays win on sustained request
+ * streams, and the scheduler's job is keeping every die busy — and
+ * warm.
+ *
+ * The demo pushes a mixed two-pattern Poisson workload through a
+ * three-die pool twice — once cache-affine, once round-robin — and
+ * prints both metric snapshots side by side, then shows priorities,
+ * deadlines, and queue-full backpressure on the affine service.
+ *
+ * Build & run:   ./build/examples/solve_server
+ */
+
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "aa/analog/die_pool.hh"
+#include "aa/la/direct.hh"
+#include "aa/pde/poisson.hh"
+#include "aa/service/service.hh"
+
+namespace {
+
+using namespace aa;
+
+const char *
+statusName(service::RequestStatus s)
+{
+    switch (s) {
+    case service::RequestStatus::Ok:
+        return "ok";
+    case service::RequestStatus::RejectedQueueFull:
+        return "rejected-queue-full";
+    case service::RequestStatus::RejectedShutdown:
+        return "rejected-shutdown";
+    case service::RequestStatus::RejectedInvalid:
+        return "rejected-invalid";
+    case service::RequestStatus::DeadlineExpired:
+        return "deadline-expired";
+    case service::RequestStatus::Failed:
+        return "failed";
+    }
+    return "?";
+}
+
+analog::AnalogSolverOptions
+dieOptions()
+{
+    analog::AnalogSolverOptions opts;
+    opts.die_seed = 11;
+    // One resident structure per die: the contended program-memory
+    // regime where routing policy decides the hit ratio.
+    opts.program_cache_capacity = 1;
+    return opts;
+}
+
+/** Run `count` mixed-pattern requests; return the final metrics. */
+service::ServiceMetrics
+runMixedStream(bool affinity, std::size_t count)
+{
+    analog::DiePool pool(3, dieOptions());
+    service::ServiceOptions sopts;
+    sopts.cache_affinity = affinity;
+    sopts.queue_capacity = count;
+    service::SolveService svc(pool, sopts);
+
+    auto p2 = pde::assemblePoisson(
+        2, 3, [](double x, double y, double) { return x + y; });
+    auto p1 = pde::assemblePoisson(
+        1, 8, [](double x, double, double) { return 1.0 + x; });
+    auto a2d = std::make_shared<const la::DenseMatrix>(p2.a.toDense());
+    auto a1d = std::make_shared<const la::DenseMatrix>(p1.a.toDense());
+
+    // Warm-up wave: one request per pattern compiles the structures
+    // (and, affine, pins each pattern to its home die) before the
+    // steady stream arrives.
+    std::vector<std::future<service::SolveResponse>> futures;
+    auto push = [&](std::size_t i) {
+        service::SolveRequest r;
+        r.a = (i % 2 == 0) ? a2d : a1d;
+        r.b = (i % 2 == 0) ? p2.b : p1.b;
+        la::scale(1.0 + 0.0625 * static_cast<double>(i % 5), r.b,
+                  r.b);
+        futures.push_back(svc.submit(std::move(r)));
+    };
+    push(0);
+    push(1);
+    svc.drain();
+    for (std::size_t i = 2; i < count; ++i)
+        push(i);
+    svc.drain();
+    for (auto &f : futures)
+        f.get();
+    svc.stop();
+    return svc.metrics();
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace aa;
+
+    const std::size_t stream = 48;
+    std::printf("mixed 2-pattern stream (%zu requests, 3 dies, "
+                "1-slot program caches):\n\n",
+                stream);
+    service::ServiceMetrics affine = runMixedStream(true, stream);
+    service::ServiceMetrics rr = runMixedStream(false, stream);
+
+    std::printf("%-26s %-12s %-12s\n", "", "affine", "round-robin");
+    std::printf("%-26s %-12zu %-12zu\n", "structure compiles",
+                affine.cache_misses, rr.cache_misses);
+    std::printf("%-26s %-12.3f %-12.3f\n", "cache hit ratio",
+                affine.cacheHitRatio(), rr.cacheHitRatio());
+    std::printf("%-26s %-12.3f %-12.3f\n", "affinity hit ratio",
+                affine.affinityHitRatio(), rr.affinityHitRatio());
+    std::printf("%-26s %-12zu %-12zu\n", "config bytes shipped",
+                affine.config_bytes, rr.config_bytes);
+    std::printf("%-26s %-12.2f %-12.2f\n", "latency p95 (us)",
+                affine.latency_p95 * 1e6, rr.latency_p95 * 1e6);
+    std::printf("\nAffine routing pins each pattern to a home die: "
+                "after the cold\ncompiles, every request reuses the "
+                "live crossbar and ships only\nDAC-bias deltas. "
+                "Round-robin alternates patterns across every die,\n"
+                "evicting the one-slot cache on each turn.\n");
+
+    // Admission control, priorities, and deadlines on one service.
+    analog::DiePool pool(2, dieOptions());
+    service::ServiceOptions sopts;
+    sopts.queue_capacity = 4;
+    sopts.start_paused = true; // stage one deterministic round
+    service::SolveService svc(pool, sopts);
+
+    auto a = std::make_shared<const la::DenseMatrix>(
+        la::DenseMatrix::fromRows({{4.0, -1.0}, {-1.0, 3.0}}));
+    std::vector<std::future<service::SolveResponse>> futures;
+    for (int i = 0; i < 6; ++i) {
+        service::SolveRequest r;
+        r.a = a;
+        r.b = la::Vector{1.0 + i, 2.0};
+        r.priority = (i == 3) ? 10 : 0; // one urgent request
+        if (i == 2)
+            r.deadline_seconds = 1e-9; // expires while queued
+        futures.push_back(svc.submit(std::move(r)));
+    }
+    svc.resume();
+    svc.drain();
+
+    std::printf("\nbounded queue (capacity 4), one urgent, one "
+                "hopeless deadline:\n\n");
+    std::printf("%-4s %-22s %-6s %-6s\n", "req", "status", "die",
+                "slot");
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        auto res = futures[i].get();
+        if (res.status == service::RequestStatus::Ok)
+            std::printf("%-4zu %-22s %-6zu %-6zu\n", i,
+                        statusName(res.status), res.die,
+                        res.exec_order);
+        else
+            std::printf("%-4zu %-22s (%s)\n", i,
+                        statusName(res.status), res.reason.c_str());
+    }
+    svc.stop();
+
+    service::ServiceMetrics m = svc.metrics();
+    std::printf("\nservice counters: %zu submitted, %zu ok, %zu "
+                "rejected (queue full),\n%zu deadline-expired, "
+                "queue peak %zu, %zu scheduling round(s)\n",
+                m.submitted, m.ok, m.rejected_full,
+                m.deadline_expired, m.queue_peak, m.batches);
+    std::printf("The urgent request ran first in its round; the "
+                "overflow requests were\nbounced at submit() with a "
+                "reason instead of queueing unboundedly.\n");
+    return 0;
+}

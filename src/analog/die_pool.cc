@@ -46,6 +46,7 @@ DiePool::die(std::size_t k)
 AnalogLinearSolver &
 DiePool::nextDie()
 {
+    std::lock_guard<std::mutex> lock(cursor_mu);
     AnalogLinearSolver &s = *solvers[cursor];
     cursor = (cursor + 1) % solvers.size();
     return s;
@@ -136,6 +137,39 @@ DiePool::refinedBlockSolvers(std::size_t refine_passes,
     for (std::size_t k = 0; k < solvers.size(); ++k)
         bank.push_back(refinedDieSolver(k, refine_passes, tolerance));
     return bank;
+}
+
+bool
+DiePool::dieHasPattern(std::size_t k, std::uint64_t pattern_hash,
+                       std::size_t n) const
+{
+    fatalIf(k >= solvers.size(), "DiePool: die ", k, " of ",
+            solvers.size());
+    return solvers[k]->programCache().contains(pattern_hash, n);
+}
+
+std::vector<std::size_t>
+DiePool::diesWithPattern(std::uint64_t pattern_hash,
+                         std::size_t n) const
+{
+    std::vector<std::size_t> out;
+    for (std::size_t k = 0; k < solvers.size(); ++k)
+        if (solvers[k]->programCache().contains(pattern_hash, n))
+            out.push_back(k);
+    return out;
+}
+
+void
+DiePool::recordUsage(std::size_t k, std::size_t solves,
+                     double analog_seconds,
+                     const SolvePhaseReport &phases)
+{
+    fatalIf(k >= solvers.size(), "DiePool: die ", k, " of ",
+            solvers.size());
+    DieUsage &u = usage_[k];
+    u.solves += solves;
+    u.analog_seconds += analog_seconds;
+    u.phases.add(phases);
 }
 
 PoolReport

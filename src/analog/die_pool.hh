@@ -14,14 +14,18 @@
  * different threads concurrently — as long as each die's solver is
  * invoked from one task at a time, which the scheduler's static
  * block-to-die assignment guarantees. The legacy round-robin
- * nextDie()/blockSolver() path mutates the shared cursor and remains
- * single-threaded only.
+ * nextDie()/blockSolver() path guards its shared cursor with a mutex,
+ * so *handing out* dies is thread-safe; callers that run more
+ * concurrent solves than there are dies can still alias a die and
+ * must serialize those solves themselves.
  */
 
 #ifndef AA_ANALOG_DIE_POOL_HH
 #define AA_ANALOG_DIE_POOL_HH
 
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "aa/analog/decompose.hh"
@@ -58,11 +62,13 @@ class DiePool
     std::size_t size() const { return solvers.size(); }
     AnalogLinearSolver &die(std::size_t k);
 
-    /** Next die in round-robin order (single-threaded use only). */
+    /** Next die in round-robin order. The cursor is mutex-guarded,
+     *  so concurrent handout is safe; see the file comment for the
+     *  aliasing caveat. */
     AnalogLinearSolver &nextDie();
 
     /** Block solver that dispatches each call to the next die
-     *  (single-threaded use only; kept for the legacy path). */
+     *  (kept for the legacy path). */
     BlockSolverFn blockSolver();
 
     /** Block solver with Algorithm-2 boosting on each die
@@ -87,6 +93,29 @@ class DiePool
     refinedBlockSolvers(std::size_t refine_passes = 2,
                         double tolerance = 1e-6);
 
+    /**
+     * True when die k's program cache holds a compiled structure for
+     * (pattern_hash, n) under any geometry. Read-only (LRU order and
+     * counters untouched); call only while die k is not mid-solve —
+     * the solve service queries between dispatch rounds.
+     */
+    bool dieHasPattern(std::size_t k, std::uint64_t pattern_hash,
+                       std::size_t n) const;
+
+    /** Dies whose cache holds (pattern_hash, n), ascending index. */
+    std::vector<std::size_t>
+    diesWithPattern(std::uint64_t pattern_hash, std::size_t n) const;
+
+    /**
+     * Account solves run directly on die(k) — the solve service calls
+     * die(k).solve()/refineSolve() itself to keep the full outcome,
+     * then records the usage here so report() stays authoritative.
+     * Same contract as dieSolver(): one task per die at a time.
+     */
+    void recordUsage(std::size_t k, std::size_t solves,
+                     double analog_seconds,
+                     const SolvePhaseReport &phases);
+
     /** Per-die and pool-level usage/cache report. */
     PoolReport report() const;
 
@@ -99,6 +128,7 @@ class DiePool
   private:
     std::vector<std::unique_ptr<AnalogLinearSolver>> solvers;
     std::vector<DieUsage> usage_;
+    std::mutex cursor_mu; ///< guards the round-robin cursor
     std::size_t cursor = 0;
 };
 

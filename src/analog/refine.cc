@@ -27,6 +27,8 @@ refineSolve(AnalogLinearSolver &solver, const la::DenseMatrix &a,
             out.converged = true;
             break;
         }
+        if (pass > 0 && opts.keep_going && !opts.keep_going())
+            break; // deadline: keep what has accumulated so far
 
         // Each pass solves A u_final = residual with the dynamic
         // range re-centred on the residual's magnitude.

@@ -15,6 +15,7 @@
 #ifndef AA_ANALOG_REFINE_HH
 #define AA_ANALOG_REFINE_HH
 
+#include <functional>
 #include <vector>
 
 #include "aa/analog/solver.hh"
@@ -28,6 +29,14 @@ struct RefineOptions {
     std::size_t max_passes = 20;
     /** Record per-pass residual norms. */
     bool record_history = true;
+    /**
+     * Checked before every pass after the first; returning false stops
+     * the loop with whatever precision has accumulated. The solve
+     * service uses this to cap a request's wall-clock by its deadline
+     * without forking the re-scaling/refinement path. Unset = run to
+     * tolerance or max_passes (fully deterministic).
+     */
+    std::function<bool()> keep_going;
 };
 
 /** Outcome of a refined solve. */

@@ -22,7 +22,7 @@ secondsSince(Clock::time_point t0)
 namespace aa::analog {
 
 AnalogLinearSolver::AnalogLinearSolver(AnalogSolverOptions options)
-    : opts(std::move(options))
+    : opts(std::move(options)), cache_(opts.program_cache_capacity)
 {}
 
 AnalogLinearSolver::~AnalogLinearSolver() = default;

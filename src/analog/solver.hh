@@ -46,6 +46,10 @@ struct AnalogSolverOptions {
      *  projected accelerators); false = fatal on overflow of the
      *  current geometry. */
     bool allow_regrow = true;
+    /** Compiled structures the die's program cache retains (the
+     *  on-die program memory budget). Small values make the cache
+     *  contended — the regime where scheduler affinity matters. */
+    std::size_t program_cache_capacity = 16;
 };
 
 /** Where one solve's host time and traffic went, phase by phase. */
@@ -128,6 +132,12 @@ class AnalogLinearSolver
     const compiler::CacheStats &cacheStats() const
     {
         return cache_.stats();
+    }
+    /** Read-only view of the die's program cache; contains()/keys()
+     *  let a scheduler query residency without touching LRU order. */
+    const compiler::ProgramCache &programCache() const
+    {
+        return cache_;
     }
 
     const AnalogSolverOptions &options() const { return opts; }

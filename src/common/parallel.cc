@@ -27,6 +27,12 @@ ThreadPool::ThreadPool(std::size_t threads)
 
 ThreadPool::~ThreadPool()
 {
+    shutdownWorkers();
+}
+
+void
+ThreadPool::shutdownWorkers()
+{
     {
         std::lock_guard<std::mutex> lock(mu);
         shutdown = true;
@@ -34,6 +40,7 @@ ThreadPool::~ThreadPool()
     cv_work.notify_all();
     for (auto &w : workers)
         w.join();
+    workers.clear();
 }
 
 void

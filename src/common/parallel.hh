@@ -66,6 +66,16 @@ class ThreadPool
     std::size_t threadCount() const { return workers.size() + 1; }
 
     /**
+     * Join and discard the worker threads. Batches submitted after
+     * shutdown run inline on the caller instead of deadlocking on
+     * workers that no longer exist — the degrade path a draining
+     * service relies on when late work races its teardown. Idempotent;
+     * the destructor calls it. Must not be called while a batch is in
+     * flight.
+     */
+    void shutdownWorkers();
+
+    /**
      * Run fn(i) for every i in [0, n), distributing indices across the
      * pool; blocks until all complete. The first exception thrown by
      * fn is rethrown here after the batch drains. fn must synchronize

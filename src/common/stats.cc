@@ -1,5 +1,6 @@
 #include "aa/common/stats.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "aa/common/logging.hh"
@@ -33,6 +34,51 @@ double
 RunningStats::stddev() const
 {
     return std::sqrt(variance());
+}
+
+QuantileTracker::QuantileTracker(std::size_t window)
+    : window_(window)
+{
+    panicIf(window_ == 0, "QuantileTracker: window must be positive");
+}
+
+void
+QuantileTracker::add(double x)
+{
+    if (ring.size() < window_) {
+        ring.push_back(x);
+    } else {
+        ring[next] = x;
+        next = (next + 1) % window_;
+    }
+    ++total;
+}
+
+double
+QuantileTracker::quantile(double q) const
+{
+    if (ring.empty())
+        return 0.0;
+    panicIf(q < 0.0 || q > 1.0, "quantile: q out of [0, 1]");
+    std::vector<double> sorted = ring;
+    // Nearest-rank: the smallest value with at least ceil(q * n)
+    // samples at or below it.
+    std::size_t rank =
+        static_cast<std::size_t>(std::ceil(
+            q * static_cast<double>(sorted.size())));
+    std::size_t k = rank > 0 ? rank - 1 : 0;
+    std::nth_element(sorted.begin(),
+                     sorted.begin() + static_cast<std::ptrdiff_t>(k),
+                     sorted.end());
+    return sorted[k];
+}
+
+double
+QuantileTracker::max() const
+{
+    if (ring.empty())
+        return 0.0;
+    return *std::max_element(ring.begin(), ring.end());
 }
 
 LineFit

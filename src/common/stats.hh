@@ -35,6 +35,40 @@ class RunningStats
     double hi = 0.0;
 };
 
+/**
+ * Nearest-rank quantile estimator over a sliding window of the most
+ * recent samples. The solve-request service records per-request
+ * latencies here and reports p50/p95/p99; a bounded window keeps the
+ * memory of a long-running service constant while still tracking the
+ * current traffic mix.
+ */
+class QuantileTracker
+{
+  public:
+    explicit QuantileTracker(std::size_t window = 4096);
+
+    void add(double x);
+
+    /** Samples ever added (not just those retained). */
+    std::size_t count() const { return total; }
+    /** Samples currently retained (min(count, window)). */
+    std::size_t retained() const { return ring.size(); }
+
+    /**
+     * Nearest-rank quantile of the retained window, q in [0, 1]
+     * (q = 0.5 is the median, 1.0 the max). 0 when empty.
+     */
+    double quantile(double q) const;
+
+    double max() const;
+
+  private:
+    std::size_t window_;
+    std::vector<double> ring; ///< grows to window_, then wraps
+    std::size_t next = 0;     ///< ring write cursor
+    std::size_t total = 0;
+};
+
 /** Result of an ordinary least-squares line fit y = slope*x + icept. */
 struct LineFit {
     double slope = 0.0;

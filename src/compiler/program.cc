@@ -343,6 +343,25 @@ ProgramCache::fetch(const la::DenseMatrix &a, const chip::Chip &chip)
     return structure;
 }
 
+bool
+ProgramCache::contains(std::uint64_t pattern_hash, std::size_t n) const
+{
+    for (const Entry &e : lru)
+        if (e.first.pattern == pattern_hash && e.first.n == n)
+            return true;
+    return false;
+}
+
+std::vector<CacheKeyView>
+ProgramCache::keys() const
+{
+    std::vector<CacheKeyView> out;
+    out.reserve(lru.size());
+    for (const Entry &e : lru)
+        out.push_back({e.first.pattern, e.first.geometry, e.first.n});
+    return out;
+}
+
 void
 ProgramCache::clear()
 {

@@ -187,6 +187,13 @@ struct CacheStats {
     std::size_t evictions = 0;
 };
 
+/** One resident cache entry's key, exposed for affinity queries. */
+struct CacheKeyView {
+    std::uint64_t pattern = 0;
+    std::uint64_t geometry = 0;
+    std::size_t n = 0;
+};
+
 /**
  * LRU cache of compiled structures keyed by (pattern hash, n,
  * geometry). Block ids are deterministic per geometry, so a cached
@@ -202,6 +209,19 @@ class ProgramCache
      *  compiling and inserting it on a miss. */
     std::shared_ptr<const CompiledStructure>
     fetch(const la::DenseMatrix &a, const chip::Chip &chip);
+
+    /**
+     * True when a structure for (pattern_hash, n) is resident under
+     * any geometry. Purely observational: unlike fetch(), it touches
+     * neither the LRU order nor the hit/miss counters, so a scheduler
+     * may probe many dies' caches without perturbing their eviction
+     * behavior.
+     */
+    bool contains(std::uint64_t pattern_hash, std::size_t n) const;
+
+    /** Resident keys, most recently used first; read-only like
+     *  contains(). */
+    std::vector<CacheKeyView> keys() const;
 
     const CacheStats &stats() const { return stats_; }
     std::size_t size() const { return lru.size(); }

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Observability surface of the solve-request service. A production
+ * deployment is steered by exactly these numbers: queue depth and
+ * rejects tell the admission controller story, latency percentiles
+ * tell the user story, and the cache/affinity counters tell whether
+ * the scheduler is actually keeping steady-state traffic on the
+ * delta-reconfiguration fast path (DESIGN.md 5c).
+ *
+ * A ServiceMetrics is a consistent snapshot taken under the service's
+ * metrics lock; fields are plain values so callers can diff two
+ * snapshots to measure an interval.
+ */
+
+#ifndef AA_SERVICE_METRICS_HH
+#define AA_SERVICE_METRICS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace aa::service {
+
+/** What one die did on behalf of the service. */
+struct DieServiceStats {
+    std::size_t requests = 0;      ///< requests executed on this die
+    std::size_t solves = 0;        ///< accelerator runs (incl. passes)
+    std::size_t affine_routed = 0; ///< requests routed by residency
+    double busy_seconds = 0.0;     ///< wall time executing requests
+    std::size_t cache_hits = 0;    ///< ProgramCache hits (this die)
+    std::size_t cache_misses = 0;  ///< ProgramCache compiles
+};
+
+/** Snapshot of the service's counters and latency distribution. */
+struct ServiceMetrics {
+    // Admission.
+    std::size_t submitted = 0;         ///< accepted into the queue
+    std::size_t rejected_full = 0;     ///< bounced: queue at capacity
+    std::size_t rejected_shutdown = 0; ///< bounced: service stopping
+    std::size_t rejected_invalid = 0;  ///< bounced: malformed request
+    std::size_t queue_depth = 0;       ///< waiting right now
+    std::size_t queue_peak = 0;        ///< high-water mark
+
+    // Completion.
+    std::size_t completed = 0;        ///< futures fulfilled
+    std::size_t ok = 0;               ///< status Ok
+    std::size_t deadline_expired = 0; ///< gave up on the deadline
+    std::size_t failed = 0;           ///< execution threw
+    std::size_t retries = 0;          ///< refinement passes beyond
+                                      ///< each request's first solve
+
+    // Scheduling.
+    std::size_t batches = 0;        ///< scheduling rounds dispatched
+    std::size_t affinity_hits = 0;  ///< requests landing on a die with
+                                    ///< their structure resident
+    std::size_t affinity_misses = 0;
+
+    // Aggregated ProgramCache traffic of executed requests.
+    std::size_t cache_hits = 0;
+    std::size_t cache_misses = 0;
+    std::size_t config_bytes = 0; ///< config traffic shipped
+
+    // Submit-to-completion latency over the recent window (seconds).
+    double latency_p50 = 0.0;
+    double latency_p95 = 0.0;
+    double latency_p99 = 0.0;
+    double latency_max = 0.0;
+    double latency_mean = 0.0;
+
+    std::vector<DieServiceStats> dies; ///< by die index
+
+    /** Hits / (hits + misses); 1.0 when the cache saw no traffic. */
+    double
+    cacheHitRatio() const
+    {
+        std::size_t total = cache_hits + cache_misses;
+        return total ? static_cast<double>(cache_hits) /
+                           static_cast<double>(total)
+                     : 1.0;
+    }
+
+    /** Affine routings / executed requests (1.0 when idle). */
+    double
+    affinityHitRatio() const
+    {
+        std::size_t total = affinity_hits + affinity_misses;
+        return total ? static_cast<double>(affinity_hits) /
+                           static_cast<double>(total)
+                     : 1.0;
+    }
+};
+
+} // namespace aa::service
+
+#endif // AA_SERVICE_METRICS_HH

@@ -1,0 +1,432 @@
+#include "aa/service/service.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "aa/analog/refine.hh"
+#include "aa/common/logging.hh"
+#include "aa/compiler/program.hh"
+
+namespace aa::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+} // namespace
+
+SolveService::SolveService(analog::DiePool &pool, ServiceOptions opts)
+    : pool_(pool), opts_(opts),
+      workers_(std::min(opts.threads ? opts.threads
+                                     : defaultThreadCount(),
+                        pool.size())),
+      die_lifetime_requests_(pool.size(), 0),
+      latency_(std::max<std::size_t>(opts.latency_window, 1))
+{
+    fatalIf(opts_.queue_capacity == 0,
+            "SolveService: queue capacity must be positive");
+    counters_.dies.resize(pool_.size());
+    paused_ = opts_.start_paused;
+    scheduler_ = std::thread([this] { schedulerLoop(); });
+}
+
+SolveService::~SolveService()
+{
+    stop();
+}
+
+std::future<SolveResponse>
+SolveService::rejectNow(RequestStatus status, std::string reason)
+{
+    SolveResponse r;
+    r.status = status;
+    r.reason = std::move(reason);
+    std::promise<SolveResponse> p;
+    auto fut = p.get_future();
+    p.set_value(std::move(r));
+    return fut;
+}
+
+std::future<SolveResponse>
+SolveService::submit(SolveRequest req)
+{
+    if (!req.a || req.a->rows() == 0 ||
+        req.a->rows() != req.a->cols() ||
+        req.a->rows() != req.b.size() ||
+        (!req.u0.empty() && req.u0.size() != req.b.size())) {
+        std::lock_guard<std::mutex> mlock(metrics_mu_);
+        ++counters_.rejected_invalid;
+        return rejectNow(RequestStatus::RejectedInvalid,
+                         "malformed request (null/non-square matrix "
+                         "or dimension mismatch)");
+    }
+
+    Pending p;
+    p.pattern = compiler::sparsityHash(*req.a);
+    p.n = req.a->rows();
+    p.submitted_at = Clock::now();
+    if (req.deadline_seconds > 0.0) {
+        p.has_deadline = true;
+        p.deadline_at =
+            p.submitted_at +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(req.deadline_seconds));
+    }
+    p.req = std::move(req);
+    auto fut = p.promise.get_future();
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!accepting_) {
+            std::lock_guard<std::mutex> mlock(metrics_mu_);
+            ++counters_.rejected_shutdown;
+            return rejectNow(RequestStatus::RejectedShutdown,
+                             "service is shutting down");
+        }
+        if (queue_.size() >= opts_.queue_capacity) {
+            std::lock_guard<std::mutex> mlock(metrics_mu_);
+            ++counters_.rejected_full;
+            return rejectNow(
+                RequestStatus::RejectedQueueFull,
+                detail::concat("queue full (capacity ",
+                               opts_.queue_capacity, ")"));
+        }
+        p.seq = next_seq_++;
+        queue_.push_back(std::move(p));
+        std::lock_guard<std::mutex> mlock(metrics_mu_);
+        ++counters_.submitted;
+        counters_.queue_depth = queue_.size();
+        counters_.queue_peak =
+            std::max(counters_.queue_peak, queue_.size());
+    }
+    cv_.notify_all();
+    return fut;
+}
+
+void
+SolveService::schedulerLoop()
+{
+    for (;;) {
+        std::vector<Pending> round;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [&] {
+                return stopping_ || (!paused_ && !queue_.empty());
+            });
+            if (queue_.empty()) {
+                if (stopping_)
+                    return;
+                continue;
+            }
+            std::size_t take = opts_.max_batch
+                                   ? std::min(opts_.max_batch,
+                                              queue_.size())
+                                   : queue_.size();
+            round.reserve(take);
+            for (std::size_t i = 0; i < take; ++i) {
+                round.push_back(std::move(queue_.front()));
+                queue_.pop_front();
+            }
+            round_in_flight_ = true;
+            std::lock_guard<std::mutex> mlock(metrics_mu_);
+            counters_.queue_depth = queue_.size();
+            ++counters_.batches;
+        }
+
+        dispatchRound(routeRound(std::move(round)));
+
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            round_in_flight_ = false;
+        }
+        cv_idle_.notify_all();
+    }
+}
+
+std::vector<std::vector<SolveService::Pending>>
+SolveService::routeRound(std::vector<Pending> round)
+{
+    // Deterministic round order: priority first, submission order
+    // within a priority. Everything downstream (grouping, routing,
+    // exec_order stamps) derives from this ordering and from cache
+    // residency — never from timing.
+    std::stable_sort(round.begin(), round.end(),
+                     [](const Pending &x, const Pending &y) {
+                         if (x.req.priority != y.req.priority)
+                             return x.req.priority > y.req.priority;
+                         return x.seq < y.seq;
+                     });
+
+    std::vector<std::vector<Pending>> by_die(pool_.size());
+    std::vector<std::size_t> round_load(pool_.size(), 0);
+
+    auto assign = [&](Pending &&p, std::size_t die) {
+        p.die = die;
+        p.affine_hit = pool_.dieHasPattern(die, p.pattern, p.n);
+        ++round_load[die];
+        ++die_lifetime_requests_[die];
+        by_die[die].push_back(std::move(p));
+    };
+
+    if (!opts_.cache_affinity) {
+        // Affinity-blind baseline: spray requests die by die.
+        for (Pending &p : round)
+            assign(std::move(p),
+                   static_cast<std::size_t>(rr_cursor_++ %
+                                            pool_.size()));
+        return by_die;
+    }
+
+    // Group compatible requests (same sparsity pattern and size) so
+    // one die runs the whole group back to back on one live
+    // configuration.
+    struct Group {
+        std::uint64_t pattern;
+        std::size_t n;
+        std::vector<Pending> members;
+    };
+    std::vector<Group> groups;
+    std::unordered_map<std::uint64_t, std::size_t> group_of;
+    for (Pending &p : round) {
+        std::uint64_t key = p.pattern * 1099511628211ULL ^ p.n;
+        auto it = group_of.find(key);
+        if (it == group_of.end()) {
+            group_of.emplace(key, groups.size());
+            groups.push_back({p.pattern, p.n, {}});
+            groups.back().members.push_back(std::move(p));
+        } else {
+            groups[it->second].members.push_back(std::move(p));
+        }
+    }
+
+    for (Group &g : groups) {
+        // Prefer a die that already holds the compiled structure;
+        // among those (or among all dies on a cold pattern), pick the
+        // least-loaded, breaking ties toward the lowest index.
+        std::vector<std::size_t> candidates =
+            pool_.diesWithPattern(g.pattern, g.n);
+        bool cold = candidates.empty();
+        if (cold) {
+            candidates.resize(pool_.size());
+            for (std::size_t k = 0; k < pool_.size(); ++k)
+                candidates[k] = k;
+        }
+        std::size_t best = candidates.front();
+        auto load = [&](std::size_t k) {
+            // Cold patterns also weigh lifetime traffic so repeated
+            // cold misses spread across the pool instead of piling
+            // onto die 0.
+            return round_load[k] +
+                   (cold ? die_lifetime_requests_[k] : 0);
+        };
+        for (std::size_t k : candidates)
+            if (load(k) < load(best))
+                best = k;
+        for (Pending &p : g.members)
+            assign(std::move(p), best);
+    }
+    return by_die;
+}
+
+void
+SolveService::dispatchRound(std::vector<std::vector<Pending>> by_die)
+{
+    // Stamp global execution slots in die-index order — deterministic
+    // at any thread count — and collect the active dies.
+    std::vector<std::size_t> active;
+    for (std::size_t k = 0; k < by_die.size(); ++k) {
+        if (by_die[k].empty())
+            continue;
+        active.push_back(k);
+        for (Pending &p : by_die[k])
+            p.exec_order = exec_counter_++;
+    }
+    if (active.empty())
+        return;
+
+    // One task per active die; a die's requests run sequentially in
+    // stamped order, so per-die state (solver, usage slot) is never
+    // shared across threads.
+    workers_.parallelForWorkers(
+        active.size(), [&](std::size_t, std::size_t i) {
+            for (Pending &p : by_die[active[i]])
+                executeRequest(p);
+        });
+}
+
+void
+SolveService::executeRequest(Pending &p)
+{
+    auto t_start = Clock::now();
+    SolveResponse r;
+    r.die = p.die;
+    r.affine_hit = p.affine_hit;
+    r.exec_order = p.exec_order;
+    r.queue_seconds =
+        std::chrono::duration<double>(t_start - p.submitted_at)
+            .count();
+
+    std::size_t solves = 0;
+    if (p.has_deadline && Clock::now() >= p.deadline_at) {
+        r.status = RequestStatus::DeadlineExpired;
+        r.reason = "deadline expired while queued";
+    } else {
+        analog::AnalogLinearSolver &die = pool_.die(p.die);
+        try {
+            if (p.req.tolerance > 0.0) {
+                analog::RefineOptions ro;
+                ro.tolerance = p.req.tolerance;
+                ro.max_passes = 1 + p.req.max_refine_passes;
+                ro.record_history = false;
+                if (p.has_deadline) {
+                    auto deadline = p.deadline_at;
+                    ro.keep_going = [deadline] {
+                        return Clock::now() < deadline;
+                    };
+                }
+                analog::RefineOutcome out =
+                    analog::refineSolve(die, *p.req.a, p.req.b, ro);
+                double bnorm = la::norm2(p.req.b);
+                r.u = std::move(out.u);
+                r.converged = out.converged;
+                r.residual = out.final_residual /
+                             (bnorm > 0.0 ? bnorm : 1.0);
+                r.refine_passes = out.passes;
+                r.analog_seconds = out.analog_seconds;
+                r.phases = out.phases;
+                solves = out.passes;
+                if (!out.converged && p.has_deadline &&
+                    Clock::now() >= p.deadline_at) {
+                    r.status = RequestStatus::DeadlineExpired;
+                    r.reason = "deadline expired mid-refinement";
+                }
+            } else {
+                analog::AnalogSolveOutcome out =
+                    die.solve(*p.req.a, p.req.b, p.req.u0);
+                r.u = std::move(out.u);
+                r.converged = out.converged;
+                r.attempts = out.attempts;
+                r.refine_passes = 1;
+                r.analog_seconds = out.analog_seconds;
+                r.phases = out.phases;
+                solves = 1;
+            }
+            pool_.recordUsage(p.die, solves, r.analog_seconds,
+                              r.phases);
+        } catch (const std::exception &e) {
+            r.status = RequestStatus::Failed;
+            r.reason = e.what();
+        } catch (...) {
+            r.status = RequestStatus::Failed;
+            r.reason = "unknown exception";
+        }
+    }
+
+    r.service_seconds = secondsSince(p.submitted_at);
+    double busy = secondsSince(t_start);
+
+    {
+        std::lock_guard<std::mutex> mlock(metrics_mu_);
+        ++counters_.completed;
+        switch (r.status) {
+        case RequestStatus::Ok:
+            ++counters_.ok;
+            break;
+        case RequestStatus::DeadlineExpired:
+            ++counters_.deadline_expired;
+            break;
+        case RequestStatus::Failed:
+            ++counters_.failed;
+            break;
+        default:
+            break;
+        }
+        if (r.refine_passes > 1)
+            counters_.retries += r.refine_passes - 1;
+        if (r.affine_hit)
+            ++counters_.affinity_hits;
+        else
+            ++counters_.affinity_misses;
+        counters_.cache_hits += r.phases.cache_hits;
+        counters_.cache_misses += r.phases.cache_misses;
+        counters_.config_bytes += r.phases.config_bytes;
+        DieServiceStats &d = counters_.dies[p.die];
+        ++d.requests;
+        d.solves += solves;
+        d.affine_routed += r.affine_hit ? 1 : 0;
+        d.busy_seconds += busy;
+        d.cache_hits += r.phases.cache_hits;
+        d.cache_misses += r.phases.cache_misses;
+        latency_.add(r.service_seconds);
+        latency_running_.add(r.service_seconds);
+    }
+
+    p.promise.set_value(std::move(r));
+}
+
+void
+SolveService::drain()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_idle_.wait(lock, [&] {
+        return (queue_.empty() || paused_) && !round_in_flight_;
+    });
+}
+
+void
+SolveService::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_ && !accepting_) {
+            // Already stopped (idempotent).
+            if (!scheduler_.joinable())
+                return;
+        }
+        accepting_ = false;
+        stopping_ = true;
+        paused_ = false; // stop always drains what was admitted
+    }
+    cv_.notify_all();
+    if (scheduler_.joinable())
+        scheduler_.join();
+    workers_.shutdownWorkers();
+}
+
+void
+SolveService::pause()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = true;
+}
+
+void
+SolveService::resume()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        paused_ = false;
+    }
+    cv_.notify_all();
+}
+
+ServiceMetrics
+SolveService::metrics() const
+{
+    std::lock_guard<std::mutex> mlock(metrics_mu_);
+    ServiceMetrics m = counters_;
+    m.latency_p50 = latency_.quantile(0.50);
+    m.latency_p95 = latency_.quantile(0.95);
+    m.latency_p99 = latency_.quantile(0.99);
+    m.latency_max = latency_running_.max();
+    m.latency_mean = latency_running_.mean();
+    return m;
+}
+
+} // namespace aa::service

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * The solve-request service: the host-side front door the paper's
+ * Table I ISA implies. Clients submit asynchronous SolveRequests;
+ * the service admits them into a bounded queue (rejecting with a
+ * reason when full — backpressure, not unbounded memory), groups
+ * compatible requests by sparsity-pattern hash, and schedules the
+ * groups across a DiePool with **cache affinity**: a pattern whose
+ * CompiledStructure is already resident in some die's ProgramCache is
+ * routed back to that die, so steady-state traffic reuses the live
+ * crossbar configuration and pays only delta-reconfiguration bytes
+ * (DESIGN.md 5c). Routing is the throughput story of the related
+ * in-memory work: analog arrays win on sustained request streams, not
+ * single solves, which makes keeping every die busy — and warm — the
+ * scheduler's whole job.
+ *
+ * Determinism contract: scheduling decisions are pure functions of
+ * the drained batch (priority, submission order, cache residency) —
+ * never of timing. With one die and AASIM_THREADS=1 a request trace
+ * executes exactly like calling AnalogLinearSolver directly in the
+ * stamped execution order, bit for bit. At higher thread counts each
+ * die still executes its requests sequentially in the stamped order;
+ * only cross-die overlap changes.
+ *
+ * Threading: submit() may be called from any thread. One scheduler
+ * thread drains the queue in rounds and fans each round across the
+ * pool's dies via ThreadPool::parallelForWorkers — one task per die,
+ * so a die's solver is never entered concurrently. metrics() may be
+ * called any time; PoolReport should be read after drain()/stop().
+ */
+
+#ifndef AA_SERVICE_SERVICE_HH
+#define AA_SERVICE_SERVICE_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "aa/analog/die_pool.hh"
+#include "aa/common/parallel.hh"
+#include "aa/common/stats.hh"
+#include "aa/la/dense_matrix.hh"
+#include "aa/la/vector.hh"
+#include "aa/service/metrics.hh"
+
+namespace aa::service {
+
+/** Why a response ended the way it did. */
+enum class RequestStatus {
+    Ok,               ///< solved (check `converged` for tolerance)
+    RejectedQueueFull, ///< bounced at admission: queue at capacity
+    RejectedShutdown,  ///< bounced at admission: service stopping
+    RejectedInvalid,   ///< bounced at admission: malformed request
+    DeadlineExpired,   ///< deadline passed before/while solving
+    Failed,            ///< execution threw; see `reason`
+};
+
+/** One asynchronous solve job. */
+struct SolveRequest {
+    /** System matrix (SPD for convergence); shared so many requests
+     *  of the same operator carry one copy. Must be non-null. */
+    std::shared_ptr<const la::DenseMatrix> a;
+    la::Vector b;
+    la::Vector u0; ///< optional warm start (tolerance == 0 path only)
+
+    /** Relative residual target ||b - A u||_2 <= tolerance * ||b||_2.
+     *  0 = single accelerator solve, no digital residual check — the
+     *  raw ADC-precision path. */
+    double tolerance = 0.0;
+    /** Extra Algorithm-2 refinement passes allowed beyond the first
+     *  solve when chasing `tolerance`. */
+    std::size_t max_refine_passes = 4;
+    /** Wall-clock budget in seconds from submission; 0 = none. The
+     *  re-scaling retry loop inside one accelerator run is never
+     *  interrupted; the deadline gates between refinement passes. */
+    double deadline_seconds = 0.0;
+    /** Higher runs earlier within a scheduling round. */
+    int priority = 0;
+};
+
+/** Completion of one request, delivered through its future. */
+struct SolveResponse {
+    RequestStatus status = RequestStatus::Ok;
+    std::string reason; ///< human-readable detail for non-Ok statuses
+
+    la::Vector u;           ///< best solution (may be partial)
+    bool converged = false; ///< tolerance met (or solver settled)
+    double residual = 0.0;  ///< relative L2 residual (tolerance > 0)
+
+    std::size_t die = SIZE_MAX;     ///< die that executed the request
+    bool affine_hit = false;        ///< structure was resident there
+    std::size_t exec_order = SIZE_MAX; ///< global execution slot
+    std::size_t attempts = 0;       ///< solver re-scaling attempts
+    std::size_t refine_passes = 0;  ///< accelerator passes run
+    double analog_seconds = 0.0;
+    analog::SolvePhaseReport phases;
+
+    double queue_seconds = 0.0;   ///< submit -> execution start
+    double service_seconds = 0.0; ///< submit -> completion
+};
+
+/** Service configuration. */
+struct ServiceOptions {
+    /** Bounded admission queue; submit() rejects beyond this. */
+    std::size_t queue_capacity = 64;
+    /** Most requests drained per scheduling round; 0 = whole queue. */
+    std::size_t max_batch = 0;
+    /** Route by ProgramCache residency (false = round-robin, the
+     *  affinity-blind baseline the bench compares against). */
+    bool cache_affinity = true;
+    /** Dispatch concurrency across dies: 0 = AASIM_THREADS default;
+     *  always capped to the pool size. */
+    std::size_t threads = 0;
+    /** Construct with the scheduler paused; tests and benches build a
+     *  full queue, then resume() to dispatch it as one round. */
+    bool start_paused = false;
+    /** Latency samples retained for the percentile window. */
+    std::size_t latency_window = 4096;
+};
+
+/**
+ * The service. Owns a scheduler thread and a dispatch ThreadPool;
+ * borrows the DiePool (caller keeps it alive and refrains from
+ * running its dies concurrently with the service).
+ */
+class SolveService
+{
+  public:
+    SolveService(analog::DiePool &pool, ServiceOptions opts = {});
+    ~SolveService(); ///< stop(): drains the queue, joins the thread
+
+    SolveService(const SolveService &) = delete;
+    SolveService &operator=(const SolveService &) = delete;
+
+    /**
+     * Admit a request. Always returns a valid future: rejected
+     * requests (queue full, shutdown, invalid) complete immediately
+     * with the matching status and a reason string.
+     */
+    std::future<SolveResponse> submit(SolveRequest req);
+
+    /** Block until the queue is empty and no round is in flight. */
+    void drain();
+
+    /** Stop admitting, drain what is queued, join the scheduler.
+     *  Idempotent. */
+    void stop();
+
+    /** Hold/resume dispatch; requests queue up while paused. */
+    void pause();
+    void resume();
+
+    /** Consistent snapshot of the counters and latency window. */
+    ServiceMetrics metrics() const;
+
+    std::size_t dies() const { return pool_.size(); }
+
+  private:
+    struct Pending {
+        SolveRequest req;
+        std::promise<SolveResponse> promise;
+        std::uint64_t seq = 0;
+        std::uint64_t pattern = 0; ///< sparsityHash(*req.a)
+        std::size_t n = 0;
+        std::chrono::steady_clock::time_point submitted_at;
+        bool has_deadline = false;
+        std::chrono::steady_clock::time_point deadline_at;
+        // Stamped by the scheduler.
+        std::size_t die = SIZE_MAX;
+        bool affine_hit = false;
+        std::size_t exec_order = SIZE_MAX;
+    };
+
+    void schedulerLoop();
+    /** Deterministic routing of one drained round; returns per-die
+     *  execution lists. */
+    std::vector<std::vector<Pending>>
+    routeRound(std::vector<Pending> round);
+    void dispatchRound(std::vector<std::vector<Pending>> by_die);
+    void executeRequest(Pending &p);
+    std::future<SolveResponse> rejectNow(RequestStatus status,
+                                         std::string reason);
+
+    analog::DiePool &pool_;
+    ServiceOptions opts_;
+    ThreadPool workers_; ///< dispatch pool (scheduler participates)
+
+    mutable std::mutex mu_;       ///< queue + lifecycle state
+    std::condition_variable cv_;  ///< scheduler wakeups
+    std::condition_variable cv_idle_; ///< drain() wakeups
+    std::deque<Pending> queue_;
+    bool accepting_ = true;
+    bool stopping_ = false;
+    bool paused_ = false;
+    bool round_in_flight_ = false;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t rr_cursor_ = 0; ///< round-robin routing state
+    std::size_t exec_counter_ = 0;
+    std::vector<std::size_t> die_lifetime_requests_; ///< load balance
+
+    mutable std::mutex metrics_mu_;
+    ServiceMetrics counters_; ///< latency fields unused; see tracker
+    QuantileTracker latency_;
+    RunningStats latency_running_;
+
+    std::thread scheduler_;
+};
+
+} // namespace aa::service
+
+#endif // AA_SERVICE_SERVICE_HH

@@ -102,6 +102,29 @@ TEST(Reuse, RefinementPassesCollapseToDeltaTraffic)
     EXPECT_EQ(solver.cacheStats().misses, 1u);
 }
 
+TEST(Reuse, ProgramCacheCapacityOptionBoundsResidency)
+{
+    // One-slot program memory: alternating two patterns evicts and
+    // recompiles every solve — the contended regime the service
+    // bench runs its round-robin baseline in.
+    AnalogSolverOptions opts = quietOptions();
+    opts.program_cache_capacity = 1;
+    AnalogLinearSolver solver(opts);
+    EXPECT_EQ(solver.programCache().capacity(), 1u);
+
+    la::DenseMatrix dense =
+        la::DenseMatrix::fromRows({{4.0, -1.0}, {-1.0, 3.0}});
+    la::DenseMatrix diag =
+        la::DenseMatrix::fromRows({{2.0, 0.0}, {0.0, 3.0}});
+    la::Vector b{1.0, 2.0};
+    solver.solve(dense, b);
+    solver.solve(diag, b);  // evicts dense
+    solver.solve(dense, b); // recompile
+    EXPECT_EQ(solver.cacheStats().misses, 3u);
+    EXPECT_EQ(solver.cacheStats().hits, 0u);
+    EXPECT_EQ(solver.cacheStats().evictions, 2u);
+}
+
 TEST(Reuse, PhaseReportAccountsTheSolve)
 {
     la::DenseMatrix a =

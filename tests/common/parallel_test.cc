@@ -88,6 +88,70 @@ TEST(Parallel, FirstExceptionPropagates)
     EXPECT_EQ(count.load(), 10);
 }
 
+TEST(Parallel, WorkerIndexedExceptionPropagates)
+{
+    // The worker-indexed path is what the analog scheduler and the
+    // solve service dispatch through; a throwing task must surface
+    // here, not std::terminate the process.
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelForWorkers(
+            64,
+            [](std::size_t, std::size_t i) {
+                if (i == 11)
+                    throw std::runtime_error("worker task failed");
+            }),
+        std::runtime_error);
+
+    // And the caller thread (worker 0) throwing is no different.
+    EXPECT_THROW(pool.parallelForWorkers(
+                     1,
+                     [](std::size_t worker, std::size_t) {
+                         if (worker == 0)
+                             throw std::runtime_error("caller task");
+                     }),
+                 std::runtime_error);
+
+    std::atomic<int> count{0};
+    pool.parallelForWorkers(
+        10, [&](std::size_t, std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 10);
+}
+
+TEST(Parallel, EveryTaskThrowingReportsExactlyOne)
+{
+    ThreadPool pool(4);
+    try {
+        pool.parallelFor(32, [](std::size_t i) {
+            throw std::runtime_error("task " + std::to_string(i));
+        });
+        FAIL() << "expected a propagated exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_EQ(std::string(e.what()).rfind("task ", 0), 0u);
+    }
+}
+
+TEST(Parallel, BatchAfterShutdownRunsInline)
+{
+    // A service draining its teardown path may still push one last
+    // batch after the workers are gone; it must complete inline on
+    // the caller instead of deadlocking on dead workers.
+    ThreadPool pool(4);
+    pool.shutdownWorkers();
+    std::vector<std::size_t> workers(8, 99);
+    pool.parallelForWorkers(workers.size(),
+                            [&](std::size_t worker, std::size_t i) {
+                                workers[i] = worker;
+                            });
+    for (std::size_t w : workers)
+        EXPECT_EQ(w, 0u); // all ran on the caller
+
+    pool.shutdownWorkers(); // idempotent
+    std::atomic<int> count{0};
+    pool.parallelFor(5, [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 5);
+}
+
 TEST(Parallel, WorkerIndexedCoversEveryIndexOnce)
 {
     ThreadPool pool(4);

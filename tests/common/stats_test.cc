@@ -49,6 +49,42 @@ TEST(RunningStats, NegativeValuesTrackExtrema)
     EXPECT_DOUBLE_EQ(s.mean(), 0.0);
 }
 
+TEST(QuantileTracker, EmptyIsZero)
+{
+    QuantileTracker q;
+    EXPECT_EQ(q.count(), 0u);
+    EXPECT_EQ(q.retained(), 0u);
+    EXPECT_EQ(q.quantile(0.5), 0.0);
+    EXPECT_EQ(q.max(), 0.0);
+}
+
+TEST(QuantileTracker, NearestRankQuantiles)
+{
+    QuantileTracker q;
+    for (int i = 1; i <= 100; ++i)
+        q.add(static_cast<double>(i));
+    EXPECT_EQ(q.count(), 100u);
+    EXPECT_EQ(q.quantile(0.50), 50.0);
+    EXPECT_EQ(q.quantile(0.95), 95.0);
+    EXPECT_EQ(q.quantile(0.99), 99.0);
+    EXPECT_EQ(q.quantile(1.0), 100.0);
+    EXPECT_EQ(q.quantile(0.0), 1.0);
+    EXPECT_EQ(q.max(), 100.0);
+}
+
+TEST(QuantileTracker, WindowSlidesOverOldSamples)
+{
+    QuantileTracker q(10);
+    for (int i = 0; i < 10; ++i)
+        q.add(1000.0); // will all be overwritten
+    for (int i = 1; i <= 10; ++i)
+        q.add(static_cast<double>(i));
+    EXPECT_EQ(q.count(), 20u);
+    EXPECT_EQ(q.retained(), 10u);
+    EXPECT_EQ(q.quantile(1.0), 10.0); // the spike aged out
+    EXPECT_EQ(q.quantile(0.5), 5.0);
+}
+
 TEST(FitLine, ExactLine)
 {
     std::vector<double> xs = {1, 2, 3, 4, 5};

@@ -202,5 +202,51 @@ TEST(Cache, GeometryIsPartOfTheKey)
     EXPECT_EQ(cache.stats().hits, 0u);
 }
 
+TEST(Cache, ContainsIsObservational)
+{
+    chip::Chip chip(testConfig());
+    ProgramCache cache(2);
+    auto dense = spd2x2();
+    auto diag = la::DenseMatrix::fromRows({{1.0, 0.0}, {0.0, 1.0}});
+
+    EXPECT_FALSE(cache.contains(sparsityHash(dense), dense.rows()));
+    cache.fetch(dense, chip); // MRU: dense
+    cache.fetch(diag, chip);  // MRU: diag, LRU: dense
+    EXPECT_TRUE(cache.contains(sparsityHash(dense), dense.rows()));
+    EXPECT_TRUE(cache.contains(sparsityHash(diag), diag.rows()));
+
+    // Probing must not refresh LRU order or bump the counters: after
+    // many contains(dense) calls, dense is still the eviction victim.
+    CacheStats before = cache.stats();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_TRUE(
+            cache.contains(sparsityHash(dense), dense.rows()));
+    EXPECT_EQ(cache.stats().hits, before.hits);
+    EXPECT_EQ(cache.stats().misses, before.misses);
+
+    auto tri = la::DenseMatrix::fromRows({{1.0, 0.2}, {0.0, 1.0}});
+    cache.fetch(tri, chip); // evicts dense despite the probes
+    EXPECT_FALSE(cache.contains(sparsityHash(dense), dense.rows()));
+    EXPECT_TRUE(cache.contains(sparsityHash(diag), diag.rows()));
+}
+
+TEST(Cache, KeysListsResidentsMostRecentFirst)
+{
+    chip::Chip chip(testConfig());
+    ProgramCache cache;
+    auto dense = spd2x2();
+    auto diag = la::DenseMatrix::fromRows({{1.0, 0.0}, {0.0, 1.0}});
+    cache.fetch(dense, chip);
+    cache.fetch(diag, chip);
+
+    auto keys = cache.keys();
+    ASSERT_EQ(keys.size(), 2u);
+    EXPECT_EQ(keys[0].pattern, sparsityHash(diag));
+    EXPECT_EQ(keys[1].pattern, sparsityHash(dense));
+    EXPECT_EQ(keys[0].n, 2u);
+    EXPECT_EQ(keys[0].geometry,
+              geometryKeyOf(chip.config().geometry));
+}
+
 } // namespace
 } // namespace aa::compiler

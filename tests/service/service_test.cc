@@ -1,0 +1,451 @@
+/**
+ * @file
+ * Solve-request service: the determinism contract (a trace through
+ * the service is bit-identical to driving a die directly in the
+ * stamped execution order), admission control and backpressure,
+ * priority and deadline handling, cache-affine routing vs the
+ * round-robin baseline, and metrics accounting. The TSan leg of
+ * tools/check.sh runs this binary at AASIM_THREADS=1 and =4.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aa/analog/die_pool.hh"
+#include "aa/analog/refine.hh"
+#include "aa/common/logging.hh"
+#include "aa/service/service.hh"
+
+namespace aa::service {
+namespace {
+
+const bool g_quiet = [] {
+    setLogLevel(LogLevel::Quiet);
+    return true;
+}();
+
+analog::AnalogSolverOptions
+quietOptions()
+{
+    analog::AnalogSolverOptions opts;
+    opts.spec.variation.enabled = false;
+    opts.spec.adc_noise_sigma = 0.0;
+    opts.auto_calibrate = false;
+    return opts;
+}
+
+/** Pattern A: a dense 2x2 SPD system. */
+std::shared_ptr<const la::DenseMatrix>
+matrixA()
+{
+    return std::make_shared<const la::DenseMatrix>(
+        la::DenseMatrix::fromRows({{4.0, -1.0}, {-1.0, 3.0}}));
+}
+
+/** Pattern B: a tridiagonal 3x3 SPD system (distinct hash and n). */
+std::shared_ptr<const la::DenseMatrix>
+matrixB()
+{
+    return std::make_shared<const la::DenseMatrix>(
+        la::DenseMatrix::fromRows({{4.0, -1.0, 0.0},
+                                   {-1.0, 4.0, -1.0},
+                                   {0.0, -1.0, 4.0}}));
+}
+
+SolveRequest
+request(std::shared_ptr<const la::DenseMatrix> a, la::Vector b,
+        int priority = 0)
+{
+    SolveRequest r;
+    r.a = std::move(a);
+    r.b = std::move(b);
+    r.priority = priority;
+    return r;
+}
+
+/** An alternating A/B trace with per-request RHS variants. */
+std::vector<SolveRequest>
+mixedTrace(std::size_t count)
+{
+    auto a = matrixA();
+    auto b = matrixB();
+    std::vector<SolveRequest> trace;
+    for (std::size_t i = 0; i < count; ++i) {
+        double f = 1.0 + 0.125 * static_cast<double>(i);
+        if (i % 2 == 0)
+            trace.push_back(request(a, la::Vector{f, 2.0 * f}));
+        else
+            trace.push_back(
+                request(b, la::Vector{f, 0.5 * f, -f}));
+    }
+    return trace;
+}
+
+TEST(Service, TraceIsBitIdenticalToDirectDie)
+{
+    // Two single-die pools from the same base options are identical
+    // fabrication corners: one backs the service, the other replays
+    // the stamped execution order directly on the solver API.
+    analog::DiePool service_pool(1, quietOptions());
+    analog::DiePool direct_pool(1, quietOptions());
+
+    ServiceOptions sopts;
+    sopts.start_paused = true; // queue the whole trace as one round
+    SolveService svc(service_pool, sopts);
+
+    auto trace = mixedTrace(6);
+    std::vector<std::future<SolveResponse>> futures;
+    for (auto &req : trace)
+        futures.push_back(svc.submit(SolveRequest(req)));
+    svc.resume();
+    svc.drain();
+
+    std::vector<SolveResponse> responses;
+    for (auto &f : futures)
+        responses.push_back(f.get());
+    svc.stop();
+
+    // Replay directly in the service's stamped execution order; every
+    // response must match bit for bit.
+    std::vector<std::size_t> order(responses.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t x, std::size_t y) {
+                  return responses[x].exec_order <
+                         responses[y].exec_order;
+              });
+    for (std::size_t idx : order) {
+        const SolveResponse &r = responses[idx];
+        ASSERT_EQ(r.status, RequestStatus::Ok);
+        auto direct =
+            direct_pool.die(0).solve(*trace[idx].a, trace[idx].b);
+        ASSERT_EQ(r.u.size(), direct.u.size());
+        for (std::size_t i = 0; i < r.u.size(); ++i)
+            EXPECT_EQ(r.u[i], direct.u[i])
+                << "request " << idx << " component " << i;
+        EXPECT_EQ(r.attempts, direct.attempts);
+    }
+}
+
+TEST(Service, BatchingGroupsCompatibleRequests)
+{
+    analog::DiePool pool(1, quietOptions());
+    ServiceOptions sopts;
+    sopts.start_paused = true;
+    SolveService svc(pool, sopts);
+
+    auto a = matrixA();
+    auto b = matrixB();
+    auto f0 = svc.submit(request(a, {1.0, 2.0}));
+    auto f1 = svc.submit(request(b, {1.0, 0.0, 1.0}));
+    auto f2 = svc.submit(request(a, {0.5, 1.0}));
+    svc.resume();
+    svc.drain();
+    svc.stop();
+
+    SolveResponse r0 = f0.get(), r1 = f1.get(), r2 = f2.get();
+    // Pattern A's two requests run back to back on the one live
+    // configuration; B runs after the group.
+    EXPECT_EQ(r0.exec_order, 0u);
+    EXPECT_EQ(r2.exec_order, 1u);
+    EXPECT_EQ(r1.exec_order, 2u);
+    // The grouped second A request reuses the compiled structure.
+    EXPECT_EQ(r2.phases.cache_hits, 1u);
+    EXPECT_TRUE(r2.phases.structure_reused);
+
+    auto report = pool.report();
+    EXPECT_EQ(report.total().cache_misses, 2u); // one per pattern
+    EXPECT_EQ(report.total().solves, 3u);
+}
+
+TEST(Service, AffinityRoutesPatternsToWarmDies)
+{
+    analog::DiePool pool(2, quietOptions());
+    ServiceOptions sopts;
+    sopts.start_paused = true;
+    SolveService svc(pool, sopts);
+
+    auto submitRound = [&] {
+        std::vector<std::future<SolveResponse>> fs;
+        for (auto &req : mixedTrace(4))
+            fs.push_back(svc.submit(std::move(req)));
+        return fs;
+    };
+
+    // Cold round: the two pattern groups land on distinct dies.
+    auto round1 = submitRound();
+    svc.resume();
+    svc.drain();
+    std::size_t die_a = round1[0].get().die;
+    std::size_t die_b = round1[1].get().die;
+    EXPECT_NE(die_a, die_b);
+    EXPECT_EQ(round1[2].get().die, die_a);
+    EXPECT_EQ(round1[3].get().die, die_b);
+
+    // Warm round: every request is routed back to the die holding its
+    // compiled structure, and nothing recompiles.
+    svc.pause();
+    auto round2 = submitRound();
+    svc.resume();
+    svc.drain();
+    for (std::size_t i = 0; i < round2.size(); ++i) {
+        SolveResponse r = round2[i].get();
+        EXPECT_TRUE(r.affine_hit) << "request " << i;
+        EXPECT_EQ(r.die, i % 2 == 0 ? die_a : die_b);
+        EXPECT_EQ(r.phases.cache_misses, 0u);
+    }
+    svc.stop();
+
+    ServiceMetrics m = svc.metrics();
+    EXPECT_EQ(m.cache_misses, 2u); // one compile per pattern, ever
+    EXPECT_EQ(m.affinity_hits, 4u);
+    EXPECT_EQ(m.completed, 8u);
+}
+
+TEST(Service, AffinityBeatsRoundRobinOnMixedPatterns)
+{
+    // The acceptance workload: a steady alternating two-pattern
+    // stream over a 3-die pool. Affine routing pins each pattern to
+    // one warm die; round-robin re-ships structures every request.
+    const std::size_t kRequests = 24;
+    auto runMode = [&](bool affine) {
+        analog::DiePool pool(3, quietOptions());
+        ServiceOptions sopts;
+        sopts.cache_affinity = affine;
+        SolveService svc(pool, sopts);
+        std::vector<std::future<SolveResponse>> fs;
+        for (auto &req : mixedTrace(kRequests))
+            fs.push_back(svc.submit(std::move(req)));
+        for (auto &f : fs)
+            EXPECT_EQ(f.get().status, RequestStatus::Ok);
+        svc.stop();
+        return svc.metrics();
+    };
+
+    ServiceMetrics affine = runMode(true);
+    ServiceMetrics rr = runMode(false);
+    EXPECT_EQ(affine.completed, kRequests);
+    EXPECT_EQ(rr.completed, kRequests);
+
+    // Strictly higher steady-state hit ratio: affinity compiles each
+    // pattern once; round-robin compiles it on every die it touches.
+    EXPECT_GT(affine.cacheHitRatio(), rr.cacheHitRatio());
+    EXPECT_EQ(affine.cache_misses, 2u);
+    EXPECT_GT(rr.cache_misses, affine.cache_misses);
+    // And the affine stream pays less configuration traffic, since a
+    // warm die only rebinds values on its live structure.
+    EXPECT_LT(affine.config_bytes, rr.config_bytes);
+}
+
+TEST(Service, BackpressureRejectsWhenQueueIsFull)
+{
+    analog::DiePool pool(1, quietOptions());
+    ServiceOptions sopts;
+    sopts.queue_capacity = 2;
+    sopts.start_paused = true;
+    SolveService svc(pool, sopts);
+
+    auto a = matrixA();
+    auto f0 = svc.submit(request(a, {1.0, 2.0}));
+    auto f1 = svc.submit(request(a, {2.0, 1.0}));
+    auto f2 = svc.submit(request(a, {3.0, 3.0}));
+
+    // The overflow request is rejected immediately, with a reason.
+    ASSERT_EQ(f2.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    SolveResponse r2 = f2.get();
+    EXPECT_EQ(r2.status, RequestStatus::RejectedQueueFull);
+    EXPECT_NE(r2.reason.find("capacity 2"), std::string::npos);
+
+    svc.resume();
+    svc.drain();
+    EXPECT_EQ(f0.get().status, RequestStatus::Ok);
+    EXPECT_EQ(f1.get().status, RequestStatus::Ok);
+    svc.stop();
+
+    ServiceMetrics m = svc.metrics();
+    EXPECT_EQ(m.rejected_full, 1u);
+    EXPECT_EQ(m.submitted, 2u);
+    EXPECT_EQ(m.queue_peak, 2u);
+    EXPECT_EQ(m.queue_depth, 0u);
+}
+
+TEST(Service, SubmitAfterStopIsRejected)
+{
+    analog::DiePool pool(1, quietOptions());
+    SolveService svc(pool);
+    svc.stop();
+    auto f = svc.submit(request(matrixA(), {1.0, 2.0}));
+    SolveResponse r = f.get();
+    EXPECT_EQ(r.status, RequestStatus::RejectedShutdown);
+    EXPECT_EQ(svc.metrics().rejected_shutdown, 1u);
+}
+
+TEST(Service, MalformedRequestsAreRejected)
+{
+    analog::DiePool pool(1, quietOptions());
+    SolveService svc(pool);
+
+    SolveRequest null_matrix;
+    null_matrix.b = la::Vector{1.0};
+    EXPECT_EQ(svc.submit(std::move(null_matrix)).get().status,
+              RequestStatus::RejectedInvalid);
+
+    auto mismatched = request(matrixA(), {1.0, 2.0, 3.0});
+    EXPECT_EQ(svc.submit(std::move(mismatched)).get().status,
+              RequestStatus::RejectedInvalid);
+
+    auto bad_warm_start = request(matrixA(), {1.0, 2.0});
+    bad_warm_start.u0 = la::Vector{1.0, 2.0, 3.0};
+    EXPECT_EQ(svc.submit(std::move(bad_warm_start)).get().status,
+              RequestStatus::RejectedInvalid);
+
+    svc.stop();
+    EXPECT_EQ(svc.metrics().rejected_invalid, 3u);
+    EXPECT_EQ(svc.metrics().submitted, 0u);
+}
+
+TEST(Service, PriorityOrdersExecutionWithinARound)
+{
+    analog::DiePool pool(1, quietOptions());
+    ServiceOptions sopts;
+    sopts.start_paused = true;
+    SolveService svc(pool, sopts);
+
+    auto low = svc.submit(request(matrixA(), {1.0, 2.0}, 0));
+    auto high = svc.submit(request(matrixB(), {1.0, 0.0, 1.0}, 5));
+    svc.resume();
+    svc.drain();
+    svc.stop();
+
+    EXPECT_LT(high.get().exec_order, low.get().exec_order);
+}
+
+TEST(Service, DeadlineExpiredInQueueSkipsTheSolve)
+{
+    analog::DiePool pool(1, quietOptions());
+    ServiceOptions sopts;
+    sopts.start_paused = true;
+    SolveService svc(pool, sopts);
+
+    auto req = request(matrixA(), {1.0, 2.0});
+    req.deadline_seconds = 1e-4;
+    auto f = svc.submit(std::move(req));
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    svc.resume();
+    svc.drain();
+    svc.stop();
+
+    SolveResponse r = f.get();
+    EXPECT_EQ(r.status, RequestStatus::DeadlineExpired);
+    EXPECT_TRUE(r.u.empty()); // never reached a die
+    EXPECT_EQ(svc.metrics().deadline_expired, 1u);
+    EXPECT_EQ(pool.report().total().solves, 0u);
+}
+
+TEST(Service, RefinementMeetsToleranceAndCountsRetries)
+{
+    analog::DiePool pool(1, quietOptions());
+    SolveService svc(pool);
+
+    auto a = matrixA();
+    auto req = request(a, {1.0, 2.0});
+    req.tolerance = 1e-8;
+    req.max_refine_passes = 6;
+    SolveResponse r = svc.submit(std::move(req)).get();
+    svc.stop();
+
+    ASSERT_EQ(r.status, RequestStatus::Ok);
+    EXPECT_TRUE(r.converged);
+    EXPECT_LE(r.residual, 1e-8);
+    EXPECT_GE(r.refine_passes, 2u); // ADC floor forces extra passes
+    EXPECT_EQ(svc.metrics().retries, r.refine_passes - 1);
+
+    // The digital cross-check.
+    la::Vector residual = req.b; // moved-from above; rebuild
+    residual = la::Vector{1.0, 2.0} - a->apply(r.u);
+    EXPECT_LE(la::norm2(residual), 1e-8 * la::norm2(la::Vector{1.0, 2.0}));
+}
+
+TEST(Service, ThreadCountDoesNotChangeResults)
+{
+    // Same trace, same seeds, dispatch concurrency 1 vs. 4: every
+    // response must be bitwise identical (per-die sequences are fixed
+    // by the deterministic router; threads only overlap dies).
+    auto runWith = [&](std::size_t threads) {
+        analog::DiePool pool(3, quietOptions());
+        ServiceOptions sopts;
+        sopts.threads = threads;
+        sopts.start_paused = true;
+        SolveService svc(pool, sopts);
+        std::vector<std::future<SolveResponse>> fs;
+        for (auto &req : mixedTrace(9))
+            fs.push_back(svc.submit(std::move(req)));
+        svc.resume();
+        svc.drain();
+        svc.stop();
+        std::vector<SolveResponse> rs;
+        for (auto &f : fs)
+            rs.push_back(f.get());
+        return rs;
+    };
+
+    auto serial = runWith(1);
+    auto threaded = runWith(4);
+    ASSERT_EQ(serial.size(), threaded.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].die, threaded[i].die);
+        EXPECT_EQ(serial[i].exec_order, threaded[i].exec_order);
+        ASSERT_EQ(serial[i].u.size(), threaded[i].u.size());
+        for (std::size_t j = 0; j < serial[i].u.size(); ++j)
+            EXPECT_EQ(serial[i].u[j], threaded[i].u[j])
+                << "request " << i << " component " << j;
+    }
+}
+
+TEST(Service, MetricsAccountForTheWholeStream)
+{
+    analog::DiePool pool(2, quietOptions());
+    SolveService svc(pool);
+    std::vector<std::future<SolveResponse>> fs;
+    for (auto &req : mixedTrace(12))
+        fs.push_back(svc.submit(std::move(req)));
+    for (auto &f : fs)
+        EXPECT_EQ(f.get().status, RequestStatus::Ok);
+    svc.drain();
+    svc.stop();
+
+    ServiceMetrics m = svc.metrics();
+    EXPECT_EQ(m.submitted, 12u);
+    EXPECT_EQ(m.completed, 12u);
+    EXPECT_EQ(m.ok, 12u);
+    EXPECT_EQ(m.queue_depth, 0u);
+    EXPECT_GE(m.batches, 1u);
+
+    std::size_t die_requests = 0;
+    double busy = 0.0;
+    for (const DieServiceStats &d : m.dies) {
+        die_requests += d.requests;
+        busy += d.busy_seconds;
+    }
+    EXPECT_EQ(die_requests, 12u);
+    EXPECT_GT(busy, 0.0);
+
+    EXPECT_GT(m.latency_p50, 0.0);
+    EXPECT_LE(m.latency_p50, m.latency_p95);
+    EXPECT_LE(m.latency_p95, m.latency_p99);
+    EXPECT_LE(m.latency_p99, m.latency_max);
+
+    // The pool-level report sees the same work (the service records
+    // its usage through DiePool::recordUsage).
+    EXPECT_EQ(pool.report().total().solves, 12u);
+}
+
+} // namespace
+} // namespace aa::service

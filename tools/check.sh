@@ -7,10 +7,35 @@
 #      lifetime/UB bugs after pipeline work (compiler + analog, plus
 #      the circuit plan-equivalence oracle).
 #   3. tsan: ThreadSanitizer build of the thread pool and multi-die
-#      scheduler suites (common + analog + decompose_parallel).
-# Usage: tools/check.sh [--tier1-only]
+#      scheduler suites (common + analog + decompose_parallel +
+#      service).
+# The --service leg runs just the solve-request service checks: its
+# gtest binary under TSan at AASIM_THREADS=1 and =4, then the
+# cache-affine vs round-robin throughput benchmark, recorded into
+# BENCH_service.json.
+# Usage: tools/check.sh [--tier1-only | --service]
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--service" ]]; then
+    echo "== service (TSan) =="
+    cmake --preset tsan >/dev/null
+    cmake --build build-tsan -j"$(nproc)" --target service_test
+    for threads in 1 4; do
+        echo "-- service_test @ AASIM_THREADS=$threads"
+        AASIM_THREADS=$threads \
+            ./build-tsan/tests/service_test --gtest_brief=1
+    done
+    echo "== service throughput (BENCH_service.json) =="
+    cmake -B build -S . >/dev/null
+    cmake --build build -j"$(nproc)" --target service_gbench
+    AASIM_THREADS=4 ./build/bench/service_gbench \
+        --benchmark_min_time=2 \
+        --benchmark_out=BENCH_service.json \
+        --benchmark_out_format=json
+    echo "check.sh: service leg green"
+    exit 0
+fi
 
 echo "== tier-1 =="
 cmake -B build -S . >/dev/null
@@ -36,8 +61,10 @@ done
 echo "== sanitize (TSan) =="
 cmake --preset tsan >/dev/null
 cmake --build build-tsan -j"$(nproc)" \
-    --target common_test analog_test decompose_parallel_test
-for t in common_test analog_test decompose_parallel_test; do
+    --target common_test analog_test decompose_parallel_test \
+             service_test
+for t in common_test analog_test decompose_parallel_test \
+         service_test; do
     for threads in 1 4; do
         AASIM_THREADS=$threads \
             ./build-tsan/tests/"$t" --gtest_brief=1
