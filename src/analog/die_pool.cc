@@ -1,9 +1,29 @@
 #include "aa/analog/die_pool.hh"
 
+#include <algorithm>
+#include <cmath>
+
 #include "aa/analog/refine.hh"
 #include "aa/common/logging.hh"
+#include "aa/fault/fault.hh"
 
 namespace aa::analog {
+
+const char *
+name(DieState state)
+{
+    switch (state) {
+      case DieState::Healthy:
+        return "healthy";
+      case DieState::Quarantined:
+        return "quarantined";
+      case DieState::Probation:
+        return "probation";
+      case DieState::Dead:
+        return "dead";
+    }
+    return "unknown";
+}
 
 DieUsage
 PoolReport::total() const
@@ -19,7 +39,9 @@ PoolReport::total() const
     return t;
 }
 
-DiePool::DiePool(std::size_t dies, AnalogSolverOptions base)
+DiePool::DiePool(std::size_t dies, AnalogSolverOptions base,
+                 DieHealthPolicy health_policy)
+    : policy_(health_policy)
 {
     fatalIf(dies == 0, "DiePool: need at least one die");
     solvers.reserve(dies);
@@ -33,6 +55,8 @@ DiePool::DiePool(std::size_t dies, AnalogSolverOptions base)
             std::make_unique<AnalogLinearSolver>(opts));
     }
     usage_.resize(dies);
+    health_.resize(dies);
+    injectors_.resize(dies);
 }
 
 AnalogLinearSolver &
@@ -170,6 +194,147 @@ DiePool::recordUsage(std::size_t k, std::size_t solves,
     u.solves += solves;
     u.analog_seconds += analog_seconds;
     u.phases.add(phases);
+}
+
+void
+DiePool::recordSuccess(std::size_t k)
+{
+    fatalIf(k >= health_.size(), "DiePool: die ", k, " of ",
+            health_.size());
+    DieHealth &h = health_[k];
+    h.consecutive_failures = 0;
+    ++h.successes;
+    if (h.state == DieState::Probation) {
+        debugLog("die pool: die ", k, " passed probation");
+        h.state = DieState::Healthy;
+    }
+}
+
+void
+DiePool::quarantine(std::size_t k)
+{
+    DieHealth &h = health_[k];
+    ++h.quarantines;
+    // Cooldown doubles (by default) with every re-quarantine, capped:
+    // a die that keeps failing probation spends most rounds benched.
+    double len = static_cast<double>(policy_.cooldown_rounds) *
+                 std::pow(policy_.cooldown_growth,
+                          static_cast<double>(h.quarantines - 1));
+    h.cooldown_remaining = static_cast<std::size_t>(std::min(
+        len, static_cast<double>(policy_.max_cooldown_rounds)));
+    h.state = DieState::Quarantined;
+    h.consecutive_failures = 0;
+    inform("die pool: quarantining die ", k, " for ",
+           h.cooldown_remaining, " rounds (quarantine #",
+           h.quarantines, ")");
+}
+
+void
+DiePool::recordFailure(std::size_t k, bool dead)
+{
+    fatalIf(k >= health_.size(), "DiePool: die ", k, " of ",
+            health_.size());
+    DieHealth &h = health_[k];
+    ++h.failures;
+    ++h.consecutive_failures;
+    if (dead) {
+        if (h.state != DieState::Dead)
+            inform("die pool: die ", k, " is dead");
+        h.state = DieState::Dead;
+        return;
+    }
+    if (h.state == DieState::Dead)
+        return;
+    // Requests already in flight when the die tripped keep failing
+    // on the bench; one quarantine is enough — re-benching would
+    // extend the cooldown and double-count the event.
+    if (h.state == DieState::Quarantined)
+        return;
+    // A probation probe exists to answer one question; failing it
+    // re-benches immediately. Healthy dies get the full streak.
+    if (h.state == DieState::Probation ||
+        h.consecutive_failures >= policy_.quarantine_after)
+        quarantine(k);
+}
+
+bool
+DiePool::dieAvailable(std::size_t k) const
+{
+    fatalIf(k >= health_.size(), "DiePool: die ", k, " of ",
+            health_.size());
+    return health_[k].state == DieState::Healthy ||
+           health_[k].state == DieState::Probation;
+}
+
+std::vector<std::size_t>
+DiePool::availableDies() const
+{
+    std::vector<std::size_t> out;
+    for (std::size_t k = 0; k < health_.size(); ++k)
+        if (dieAvailable(k))
+            out.push_back(k);
+    return out;
+}
+
+std::vector<BlockSolverFn>
+DiePool::availableBlockSolvers()
+{
+    std::vector<BlockSolverFn> bank;
+    for (std::size_t k : availableDies())
+        bank.push_back(dieSolver(k));
+    return bank;
+}
+
+void
+DiePool::tickRound()
+{
+    for (std::size_t k = 0; k < health_.size(); ++k) {
+        DieHealth &h = health_[k];
+        if (h.state != DieState::Quarantined)
+            continue;
+        if (h.cooldown_remaining > 0)
+            --h.cooldown_remaining;
+        if (h.cooldown_remaining == 0) {
+            debugLog("die pool: die ", k, " enters probation");
+            h.state = DieState::Probation;
+        }
+    }
+}
+
+const DieHealth &
+DiePool::health(std::size_t k) const
+{
+    fatalIf(k >= health_.size(), "DiePool: die ", k, " of ",
+            health_.size());
+    return health_[k];
+}
+
+void
+DiePool::attachFaultInjector(
+    std::size_t k, std::shared_ptr<fault::FaultInjector> injector)
+{
+    fatalIf(k >= solvers.size(), "DiePool: die ", k, " of ",
+            solvers.size());
+    injectors_[k] = std::move(injector);
+    solvers[k]->setFaultInjector(injectors_[k].get());
+}
+
+fault::FaultInjector *
+DiePool::faultInjector(std::size_t k) const
+{
+    fatalIf(k >= injectors_.size(), "DiePool: die ", k, " of ",
+            injectors_.size());
+    return injectors_[k].get();
+}
+
+std::size_t
+DiePool::faultsSeen() const
+{
+    std::size_t total = 0;
+    for (const auto &inj : injectors_)
+        if (inj)
+            total += inj->firedCount();
+    return total;
 }
 
 PoolReport

@@ -31,6 +31,10 @@
 #include "aa/analog/decompose.hh"
 #include "aa/analog/solver.hh"
 
+namespace aa::fault {
+class FaultInjector;
+}
+
 namespace aa::analog {
 
 /** What one die did since construction (or the last resetUsage()). */
@@ -49,6 +53,36 @@ struct PoolReport {
     DieUsage total() const;     ///< summed over dies
 };
 
+/** When a die gets benched and when it is allowed back. */
+struct DieHealthPolicy {
+    /** Consecutive verification failures before quarantine. */
+    std::size_t quarantine_after = 3;
+    /** Scheduler rounds a first quarantine lasts. */
+    std::size_t cooldown_rounds = 4;
+    /** Each re-quarantine multiplies the cooldown by this. */
+    double cooldown_growth = 2.0;
+    std::size_t max_cooldown_rounds = 64;
+};
+
+/**
+ * Health state machine of one die:
+ * Healthy -> (quarantine_after consecutive failures) -> Quarantined
+ * -> (cooldown expires) -> Probation -> success -> Healthy, or
+ * failure -> Quarantined again with a grown cooldown. Dead is
+ * terminal: a die that stopped answering is never readmitted.
+ */
+enum class DieState { Healthy, Quarantined, Probation, Dead };
+const char *name(DieState state);
+
+struct DieHealth {
+    DieState state = DieState::Healthy;
+    std::size_t consecutive_failures = 0;
+    std::size_t failures = 0;    ///< lifetime verification failures
+    std::size_t successes = 0;   ///< lifetime verified solves
+    std::size_t quarantines = 0; ///< times benched
+    std::size_t cooldown_remaining = 0; ///< rounds until probation
+};
+
 /** A pool of independently fabricated dies. */
 class DiePool
 {
@@ -57,7 +91,8 @@ class DiePool
      * Create `dies` solvers sharing the electrical spec of `base`
      * but with distinct die seeds derived from base.die_seed.
      */
-    DiePool(std::size_t dies, AnalogSolverOptions base = {});
+    DiePool(std::size_t dies, AnalogSolverOptions base = {},
+            DieHealthPolicy health_policy = {});
 
     std::size_t size() const { return solvers.size(); }
     AnalogLinearSolver &die(std::size_t k);
@@ -116,6 +151,51 @@ class DiePool
                      double analog_seconds,
                      const SolvePhaseReport &phases);
 
+    // --- health tracking -----------------------------------------
+    // Same ownership contract as usage_: recordSuccess/recordFailure
+    // for die k may only be called by the one task currently driving
+    // die k; availableDies/tickRound run between dispatch rounds.
+
+    /** A verified solve on die k: clears the failure streak, and a
+     *  die on probation earns its way back to Healthy. */
+    void recordSuccess(std::size_t k);
+
+    /** A failed (unverifiable) solve on die k; dead=true marks the
+     *  die permanently lost (it stopped answering). Enough
+     *  consecutive failures — or any failure on probation —
+     *  quarantines it with an exponentially growing cooldown. */
+    void recordFailure(std::size_t k, bool dead = false);
+
+    /** May the scheduler route work to die k this round? Healthy and
+     *  Probation dies yes; Quarantined and Dead no. */
+    bool dieAvailable(std::size_t k) const;
+
+    /** Routable dies, ascending index. */
+    std::vector<std::size_t> availableDies() const;
+
+    /** Pinned block solvers for the routable dies only (the
+     *  decomposition bank a fault-aware caller should use). */
+    std::vector<BlockSolverFn> availableBlockSolvers();
+
+    /** End of a scheduling round: cooldowns tick down, expired
+     *  quarantines move to probation. Deterministic — health evolves
+     *  with rounds, never wall clock. */
+    void tickRound();
+
+    const DieHealth &health(std::size_t k) const;
+    const DieHealthPolicy &healthPolicy() const { return policy_; }
+
+    /**
+     * Attach a fault injector to die k; the pool shares ownership so
+     * the injector outlives any chip regrow. Null detaches.
+     */
+    void attachFaultInjector(
+        std::size_t k, std::shared_ptr<fault::FaultInjector> injector);
+    fault::FaultInjector *faultInjector(std::size_t k) const;
+
+    /** Total fault events fired across all attached injectors. */
+    std::size_t faultsSeen() const;
+
     /** Per-die and pool-level usage/cache report. */
     PoolReport report() const;
 
@@ -126,8 +206,13 @@ class DiePool
     double totalAnalogSeconds() const;
 
   private:
+    void quarantine(std::size_t k);
+
     std::vector<std::unique_ptr<AnalogLinearSolver>> solvers;
     std::vector<DieUsage> usage_;
+    std::vector<DieHealth> health_;
+    std::vector<std::shared_ptr<fault::FaultInjector>> injectors_;
+    DieHealthPolicy policy_;
     std::mutex cursor_mu; ///< guards the round-robin cursor
     std::size_t cursor = 0;
 };

@@ -6,6 +6,7 @@
 
 #include "aa/common/logging.hh"
 #include "aa/compiler/scaling.hh"
+#include "aa/fault/fault.hh"
 
 namespace {
 
@@ -49,6 +50,7 @@ AnalogLinearSolver::ensureCapacity(
            "-macroblock die (", cfg.geometry.integrators(),
            " integrators)");
     chip_ = std::make_unique<chip::Chip>(cfg);
+    chip_->setFaultInjector(injector_); // injector follows the solver
     driver_ = std::make_unique<isa::AcceleratorDriver>(*chip_);
     // A fresh die carries no configuration: forget what was live on
     // the old one. Cached structures stay valid (block ids are
@@ -250,9 +252,8 @@ AnalogLinearSolver::solve(const la::DenseMatrix &a, const la::Vector &b,
         break;
     }
 
-    fatalIf(u_hat.empty(),
-            "AnalogLinearSolver: every attempt overflowed; matrix may "
-            "not be positive definite");
+    if (u_hat.empty())
+        throw SolveRangeError();
 
     if (hinted) {
         // final sigma / hint is exact in fp for pure doublings, so
@@ -271,6 +272,77 @@ AnalogLinearSolver::solve(const la::DenseMatrix &a, const la::Vector &b,
     out.phases.cache_misses =
         cache_.stats().misses - cache_before.misses;
     return out;
+}
+
+void
+AnalogLinearSolver::setFaultInjector(fault::FaultInjector *injector)
+{
+    injector_ = injector;
+    if (chip_)
+        chip_->setFaultInjector(injector);
+}
+
+void
+AnalogLinearSolver::recover()
+{
+    if (!driver_)
+        return;
+    // Forget every shortcut the host would otherwise take: the shadow
+    // file (so persisted corrupt registers get genuinely rewritten),
+    // the live-structure pointer (so the crossbar reconfigures), and
+    // the range memory (its doubling record came from a run that can
+    // no longer be trusted). Then recalibrate, which also repairs a
+    // calibration-loss fault.
+    driver_->resetShadow();
+    last_structure_.reset();
+    range_memory_.clear();
+    sticky_solution_scale = 0.0;
+    driver_->init(); // throws DieDeadError through transact if dead
+}
+
+VerifiedSolveOutcome
+AnalogLinearSolver::solveVerified(const la::DenseMatrix &a,
+                                  const la::Vector &b,
+                                  const la::Vector &u0,
+                                  const VerifyOptions &verify)
+{
+    VerifiedSolveOutcome v;
+    const double b_norm = la::norm2(b);
+    AnalogSolveOutcome folded; // bookkeeping from rejected tries
+    for (std::size_t rep = 0;; ++rep) {
+        try {
+            AnalogSolveOutcome out = solve(a, b, u0);
+            // Believe nothing until the digital residual agrees.
+            la::Vector r = a.apply(out.u);
+            for (std::size_t i = 0; i < r.size(); ++i)
+                r[i] = b[i] - r[i];
+            v.rel_residual = b_norm > 0.0 ? la::norm2(r) / b_norm
+                                          : la::norm2(r);
+            out.attempts += folded.attempts;
+            out.overflow_retries += folded.overflow_retries;
+            out.underrange_retries += folded.underrange_retries;
+            out.analog_seconds += folded.analog_seconds;
+            out.phases.add(folded.phases);
+            v.outcome = std::move(out);
+            if (v.rel_residual <= verify.rel_residual) {
+                v.ok = true;
+                v.reason.clear();
+                return v;
+            }
+            folded = v.outcome; // keep bookkeeping for the next try
+            v.reason = "residual check failed (rel residual " +
+                       std::to_string(v.rel_residual) + " > " +
+                       std::to_string(verify.rel_residual) + ")";
+        } catch (const SolveRangeError &err) {
+            v.reason = err.what();
+        }
+        if (rep >= verify.max_recoveries)
+            return v; // ok stays false; reason says why
+        ++v.recoveries;
+        debugLog("analog solve: verification failed (", v.reason,
+                 "), recovering (", v.recoveries, ")");
+        recover(); // DieDeadError propagates: nothing local helps
+    }
 }
 
 std::size_t

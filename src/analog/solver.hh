@@ -15,6 +15,8 @@
 #define AA_ANALOG_SOLVER_HH
 
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <unordered_map>
 
 #include "aa/chip/chip.hh"
@@ -24,7 +26,28 @@
 #include "aa/la/dense_matrix.hh"
 #include "aa/la/vector.hh"
 
+namespace aa::fault {
+class FaultInjector;
+}
+
 namespace aa::analog {
+
+/**
+ * Every retry attempt of a solve latched a range-overflow exception.
+ * On a healthy die this means the matrix is not positive definite;
+ * under fault injection a corrupted or drifting gain produces the
+ * same symptom on a perfectly good problem — so it must be a
+ * recoverable error (re-route, fall back), never process death.
+ */
+class SolveRangeError : public std::runtime_error
+{
+  public:
+    SolveRangeError()
+        : std::runtime_error(
+              "analog solve: every attempt overflowed the dynamic "
+              "range")
+    {}
+};
 
 /** Solver configuration. */
 struct AnalogSolverOptions {
@@ -78,6 +101,17 @@ struct SolvePhaseReport {
     }
 };
 
+/** Acceptance policy for residual-verified solves. */
+struct VerifyOptions {
+    /** Accept when ||b - A u|| / ||b|| is at or below this. The
+     *  prototype's 8-bit readout bounds a clean solve near 1/2^8;
+     *  faults push it orders of magnitude past that. */
+    double rel_residual = 0.05;
+    /** Local repairs (recalibrate + full reprogram) before giving
+     *  the die up as unhealthy. */
+    std::size_t max_recoveries = 2;
+};
+
 /** Outcome of one analog solve. */
 struct AnalogSolveOutcome {
     la::Vector u;            ///< solution in problem units
@@ -89,6 +123,16 @@ struct AnalogSolveOutcome {
     double solution_scale = 1.0; ///< final sigma used
     double gain_scale = 1.0;     ///< final s used
     SolvePhaseReport phases;     ///< per-phase time/traffic breakdown
+};
+
+/** An analog solve whose answer was checked against the digital
+ *  residual before being believed. */
+struct VerifiedSolveOutcome {
+    AnalogSolveOutcome outcome;
+    bool ok = false;            ///< residual under the threshold
+    double rel_residual = 0.0;  ///< last measured ||b - A u|| / ||b||
+    std::size_t recoveries = 0; ///< local repairs performed
+    std::string reason;         ///< why not ok (empty when ok)
 };
 
 /**
@@ -109,6 +153,39 @@ class AnalogLinearSolver
     AnalogSolveOutcome solve(const la::DenseMatrix &a,
                              const la::Vector &b,
                              const la::Vector &u0 = {});
+
+    /**
+     * Solve and verify the readout against the digital residual
+     * before returning it. A failed check (or a range-overflow
+     * exhaustion) triggers local recovery — shadow reset, full
+     * reprogram, recalibration — and a retry, up to
+     * VerifyOptions::max_recoveries. Never ok=false silently: the
+     * outcome says whether the answer deserves trust. DieDeadError
+     * propagates (nothing local repairs a dead die).
+     */
+    VerifiedSolveOutcome solveVerified(const la::DenseMatrix &a,
+                                       const la::Vector &b,
+                                       const la::Vector &u0 = {},
+                                       const VerifyOptions &verify = {});
+
+    /**
+     * Attach a fault injector to this die (null detaches). Wired to
+     * the chip's device-side hooks and the driver's liveness check;
+     * survives a regrow (the injector follows the solver, not the
+     * chip instance). The caller keeps the injector alive.
+     */
+    void setFaultInjector(fault::FaultInjector *injector);
+    fault::FaultInjector *faultInjector() const { return injector_; }
+
+    /**
+     * Forget all host-side state that lets reconfiguration take
+     * shortcuts: shadow registers, live-structure tracking, range
+     * memory. The next solve reships and relatches everything —
+     * repairing transient config corruption — and init() re-runs
+     * calibration. The program cache survives (structures are
+     * geometry-derived, not device state).
+     */
+    void recover();
 
     /**
      * Seed the next solve's solution scale (sigma); consumed by that
@@ -162,6 +239,7 @@ class AnalogLinearSolver
     std::unordered_map<std::uint64_t, double> range_memory_;
     double total_analog_s = 0.0;
     double sticky_solution_scale = 0.0; ///< reuse across solves
+    fault::FaultInjector *injector_ = nullptr;
 };
 
 } // namespace aa::analog

@@ -3,9 +3,12 @@
 #include <cmath>
 #include <limits>
 
+#include <algorithm>
+
 #include "aa/chip/calibration.hh"
 #include "aa/circuit/nonideal.hh"
 #include "aa/common/logging.hh"
+#include "aa/fault/fault.hh"
 
 namespace aa::chip {
 
@@ -124,6 +127,8 @@ Chip::init()
            " output stages with ", report.measurements,
            " ADC measurements");
     calibrated_ = true;
+    if (injector_)
+        injector_->onInit(); // fresh trims repair a calibration loss
 }
 
 void
@@ -149,6 +154,12 @@ Chip::setIntInitial(BlockId integrator, double value)
     checkKind(integrator, BlockKind::Integrator, "integrator");
     fatalIf(std::fabs(value) > cfg.spec.linear_range,
             "setIntInitial: |", value, "| exceeds full scale");
+    // Corruption happens below the host's validity check — a flipped
+    // register bit saturates at the hardware range, it never faults.
+    if (injector_)
+        value = std::clamp(injector_->onValueWrite(value),
+                           -cfg.spec.linear_range,
+                           cfg.spec.linear_range);
     net.params(integrator).ic = value;
 }
 
@@ -159,6 +170,9 @@ Chip::setMulGain(BlockId multiplier, double gain)
     fatalIf(std::fabs(gain) > cfg.spec.max_gain,
             "setMulGain: |", gain, "| exceeds the multiplier range ",
             cfg.spec.max_gain, "; scale the problem (Section VI-D)");
+    if (injector_)
+        gain = std::clamp(injector_->onGainWrite(gain),
+                          -cfg.spec.max_gain, cfg.spec.max_gain);
     net.params(multiplier).gain = gain;
 }
 
@@ -197,6 +211,8 @@ Chip::setDacConstant(BlockId dac_id, double value)
     checkKind(dac_id, BlockKind::Dac, "DAC");
     fatalIf(std::fabs(value) > 1.0,
             "setDacConstant: |", value, "| exceeds the DAC range");
+    if (injector_)
+        value = std::clamp(injector_->onValueWrite(value), -1.0, 1.0);
     net.params(dac_id).level = value;
 }
 
@@ -227,6 +243,8 @@ Chip::execStart()
     fatalIf(timeout_cycles == 0 && steady_tol <= 0.0,
             "execStart: no timeout set and steady detection off; "
             "computation would never stop");
+    if (injector_)
+        injector_->onExecWindow(); // may arm faults or throw death
 
     circuit::RunOptions opts;
     opts.timeout = timeout_cycles > 0
@@ -338,7 +356,11 @@ Chip::analogAvg(BlockId adc_block, std::size_t samples)
 {
     checkKind(adc_block, BlockKind::Adc, "ADC");
     fatalIf(!ran, "analogAvg before any execStart");
-    return sim.adcReadAveraged(adc_block, samples);
+    double v = sim.adcReadAveraged(adc_block, samples);
+    if (injector_)
+        v = injector_->onReadout(adcOrdinal(adc_block), adc.size(),
+                                 v);
+    return v;
 }
 
 double
@@ -346,7 +368,20 @@ Chip::readAdc(BlockId adc_block)
 {
     checkKind(adc_block, BlockKind::Adc, "ADC");
     fatalIf(!ran, "readAdc before any execStart");
-    return sim.adcRead(adc_block);
+    double v = sim.adcRead(adc_block);
+    if (injector_)
+        v = injector_->onReadout(adcOrdinal(adc_block), adc.size(),
+                                 v);
+    return v;
+}
+
+std::size_t
+Chip::adcOrdinal(BlockId adc_block) const
+{
+    for (std::size_t i = 0; i < adc.size(); ++i)
+        if (adc[i].v == adc_block.v)
+            return i;
+    panic("adcOrdinal: block #", adc_block.v, " is not an ADC");
 }
 
 std::vector<std::uint8_t>

@@ -28,6 +28,10 @@
 #include "aa/circuit/simulator.hh"
 #include "aa/circuit/spec.hh"
 
+namespace aa::fault {
+class FaultInjector;
+}
+
 namespace aa::chip {
 
 using circuit::BlockId;
@@ -189,10 +193,25 @@ class Chip
     circuit::Simulator &simulator() { return sim; }
     const circuit::Simulator &simulator() const { return sim; }
 
+    /**
+     * Attach a fault injector (null detaches). The chip consults it
+     * at the device-side hook points — exec windows, config value
+     * writes, readouts — so injected nonidealities land exactly where
+     * the physical failure would. Disabled (the default) costs one
+     * pointer test per hook. The caller keeps the injector alive.
+     */
+    void setFaultInjector(fault::FaultInjector *injector)
+    {
+        injector_ = injector;
+    }
+    fault::FaultInjector *faultInjector() const { return injector_; }
+
   private:
     void buildNetlist();
     void checkKind(BlockId id, circuit::BlockKind kind,
                    const char *what) const;
+    /** Index of an ADC block in resource order (fault-unit ids). */
+    std::size_t adcOrdinal(BlockId adc_block) const;
 
     ChipConfig cfg;
     circuit::Netlist net;
@@ -212,6 +231,7 @@ class Chip
     bool calibrated_ = false;
     bool ran = false;
     std::uint8_t parallel_reg = 0;
+    fault::FaultInjector *injector_ = nullptr;
 };
 
 } // namespace aa::chip

@@ -1,0 +1,270 @@
+#include "aa/fault/fault.hh"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+#include "aa/common/logging.hh"
+#include "aa/common/rng.hh"
+
+namespace aa::fault {
+
+const char *
+name(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::StuckIntegrator:
+        return "stuck-integrator";
+      case FaultKind::GainDrift:
+        return "gain-drift";
+      case FaultKind::AdcSaturation:
+        return "adc-saturation";
+      case FaultKind::CalibrationLoss:
+        return "calibration-loss";
+      case FaultKind::ConfigCorruption:
+        return "config-corruption";
+      case FaultKind::DieDeath:
+        return "die-death";
+    }
+    return "unknown-fault";
+}
+
+FaultPlan &
+FaultPlan::add(FaultEvent event)
+{
+    events_.push_back(event);
+    std::stable_sort(events_.begin(), events_.end(),
+                     [](const FaultEvent &x, const FaultEvent &y) {
+                         return x.at_exec < y.at_exec;
+                     });
+    return *this;
+}
+
+FaultPlan
+FaultPlan::sample(std::uint64_t seed, const FaultRates &rates,
+                  std::size_t horizon_execs)
+{
+    FaultPlan plan;
+    Rng rng(seed ^ 0x4641554c54ull); // "FAULT"
+    struct KindRate {
+        FaultKind kind;
+        double rate;
+    };
+    const KindRate table[] = {
+        {FaultKind::StuckIntegrator, rates.stuck_integrator},
+        {FaultKind::GainDrift, rates.gain_drift},
+        {FaultKind::AdcSaturation, rates.adc_saturation},
+        {FaultKind::CalibrationLoss, rates.calibration_loss},
+        {FaultKind::ConfigCorruption, rates.config_corruption},
+        {FaultKind::DieDeath, rates.die_death},
+    };
+    for (std::size_t w = 0; w < horizon_execs; ++w) {
+        for (const KindRate &kr : table) {
+            // Draw the event parameters unconditionally so the
+            // stream position (and hence every later event) does not
+            // depend on which probabilities fired.
+            double p = rng.uniform(0.0, 1.0);
+            auto unit = static_cast<std::size_t>(
+                rng.uniformInt(0, 1023));
+            auto dur = static_cast<std::size_t>(
+                rng.uniformInt(1, 4));
+            double mag = rng.uniform(0.0, 1.0);
+            if (p >= kr.rate || kr.rate <= 0.0)
+                continue;
+            FaultEvent e;
+            e.kind = kr.kind;
+            e.at_exec = w;
+            e.unit = unit;
+            switch (kr.kind) {
+              case FaultKind::StuckIntegrator:
+                e.duration = dur;
+                e.magnitude = 2.0 * mag - 1.0; // stuck level in [-1,1]
+                break;
+              case FaultKind::GainDrift:
+                e.duration = dur;
+                // +-20% multiplicative drift, never exactly zero.
+                e.magnitude = 0.8 + 0.4 * mag;
+                break;
+              case FaultKind::AdcSaturation:
+                e.duration = dur;
+                e.magnitude = 0.05 + 0.4 * mag; // clip level
+                break;
+              case FaultKind::CalibrationLoss:
+                e.duration = 0; // until re-init
+                e.magnitude = 0.05 + 0.2 * mag; // read offset
+                break;
+              case FaultKind::ConfigCorruption:
+                e.duration = 1;
+                e.magnitude = mag;
+                break;
+              case FaultKind::DieDeath:
+                e.duration = 0;
+                e.magnitude = 0.0;
+                break;
+            }
+            plan.add(e);
+        }
+    }
+    return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : schedule_(plan.events())
+{}
+
+void
+FaultInjector::record(const FaultEvent &event)
+{
+    std::lock_guard<std::mutex> lock(record_mu_);
+    fired_.push_back(
+        {event.kind, exec_index_, event.unit, event.magnitude});
+}
+
+void
+FaultInjector::onExecWindow()
+{
+    // Expire timed faults first: an event armed at window w with
+    // duration d covers windows [w, w + d).
+    active_.erase(
+        std::remove_if(active_.begin(), active_.end(),
+                       [&](const Active &a) {
+                           return a.expires_at != 0 &&
+                                  exec_index_ >= a.expires_at;
+                       }),
+        active_.end());
+
+    while (next_event_ < schedule_.size() &&
+           schedule_[next_event_].at_exec <= exec_index_) {
+        const FaultEvent &e = schedule_[next_event_++];
+        record(e);
+        switch (e.kind) {
+          case FaultKind::DieDeath:
+            dead_ = true;
+            break;
+          case FaultKind::ConfigCorruption:
+            corrupt_pending_ = true;
+            corrupt_unit_ = e.unit;
+            break;
+          case FaultKind::CalibrationLoss:
+            decalibrated_ = true;
+            decal_offset_ = e.magnitude;
+            break;
+          default: {
+            Active a;
+            a.event = e;
+            a.expires_at =
+                e.duration ? exec_index_ + e.duration : 0;
+            active_.push_back(a);
+            break;
+          }
+        }
+    }
+    ++exec_index_;
+    if (dead_)
+        throw DieDeadError();
+}
+
+bool
+FaultInjector::activeOf(FaultKind kind, const Active *&out) const
+{
+    for (const Active &a : active_) {
+        if (a.event.kind == kind) {
+            out = &a;
+            return true;
+        }
+    }
+    return false;
+}
+
+double
+FaultInjector::onValueWrite(double value)
+{
+    ++write_index_;
+    if (!corrupt_pending_)
+        return value;
+    corrupt_pending_ = false;
+    // One transient bit flip in the shipped f32 payload: the host's
+    // shadow register still believes the intended value, so simply
+    // re-binding the same parameter is suppressed as a no-op — only
+    // a shadow reset (or rewriting a different value) repairs it.
+    auto bits = std::bit_cast<std::uint32_t>(
+        static_cast<float>(value));
+    bits ^= 1u << (16 + corrupt_unit_ % 6); // high mantissa bits
+    float corrupted = std::bit_cast<float>(bits);
+    debugLog("fault: config write corrupted ", value, " -> ",
+             corrupted);
+    return corrupted;
+}
+
+double
+FaultInjector::onGainWrite(double gain)
+{
+    double v = onValueWrite(gain);
+    const Active *a = nullptr;
+    if (activeOf(FaultKind::GainDrift, a))
+        v *= a->event.magnitude;
+    return v;
+}
+
+double
+FaultInjector::onReadout(std::size_t ordinal, std::size_t count,
+                         double value) const
+{
+    if (count == 0)
+        return value;
+    const Active *a = nullptr;
+    if (activeOf(FaultKind::StuckIntegrator, a) &&
+        a->event.unit % count == ordinal)
+        return a->event.magnitude;
+    if (activeOf(FaultKind::AdcSaturation, a) &&
+        a->event.unit % count == ordinal)
+        value = std::clamp(value, -a->event.magnitude,
+                           a->event.magnitude);
+    if (decalibrated_)
+        value += decal_offset_;
+    return value;
+}
+
+void
+FaultInjector::onInit()
+{
+    decalibrated_ = false;
+    decal_offset_ = 0.0;
+}
+
+void
+FaultInjector::checkAlive() const
+{
+    if (dead_)
+        throw DieDeadError();
+}
+
+std::vector<FaultRecord>
+FaultInjector::fired() const
+{
+    std::lock_guard<std::mutex> lock(record_mu_);
+    return fired_;
+}
+
+std::size_t
+FaultInjector::firedCount() const
+{
+    std::lock_guard<std::mutex> lock(record_mu_);
+    return fired_.size();
+}
+
+std::string
+FaultInjector::chainString() const
+{
+    std::vector<FaultRecord> records = fired();
+    std::ostringstream os;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        if (i)
+            os << ' ';
+        os << name(records[i].kind) << '@' << records[i].exec_index
+           << '#' << records[i].unit;
+    }
+    return os.str();
+}
+
+} // namespace aa::fault

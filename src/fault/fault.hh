@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Deterministic fault injection for the accelerator model.
+ *
+ * The paper's exception story (Section III-B) covers the *expected*
+ * analog failure — range overflow — but a deployed pool of dies also
+ * sees the nonidealities real analog arrays degrade through: stuck
+ * integrators, VGA gain drift, ADC saturation, lost calibration,
+ * corrupted configuration writes, and outright die death. This layer
+ * makes every one of those injectable at a precise, reproducible
+ * point in a solve.
+ *
+ * Determinism contract: a FaultPlan is a pure function of its seed
+ * and rates. The FaultInjector fires events on *die-local operation
+ * counters* (execStart windows, config value writes) — never on wall
+ * clock — so the same plan against the same request trace produces
+ * the same failure chain at any host thread count, and a chaos test
+ * can assert bit-identical failure handling run over run.
+ *
+ * Cost when disabled: production code holds a null injector pointer
+ * and pays one pointer test per hook site; no fault code is reached.
+ *
+ * Threading: the mutating hooks (onExecWindow, onValueWrite, ...)
+ * are called only from the thread driving the attached die — the
+ * same single-owner rule every die already obeys. The fired-record
+ * log is mutex-guarded so metrics threads may read it concurrently.
+ */
+
+#ifndef AA_FAULT_FAULT_HH
+#define AA_FAULT_FAULT_HH
+
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace aa::fault {
+
+/** The injectable failure modes. */
+enum class FaultKind {
+    StuckIntegrator,  ///< an integrator's readout pinned at a rail
+    GainDrift,        ///< multiplicative error on VGA gain writes
+    AdcSaturation,    ///< one ADC clips at a fraction of full scale
+    CalibrationLoss,  ///< trims lost: offset on reads until re-init
+    ConfigCorruption, ///< one config write lands with a flipped bit
+    DieDeath,         ///< the die goes dark; every command throws
+};
+
+/** Stable short name (failure chains, logs, test diffs). */
+const char *name(FaultKind kind);
+
+/**
+ * One scheduled fault. `at_exec` counts execStart windows on the die
+ * (0 = the first run after attach); timed faults stay active for
+ * `duration` windows (0 = forever). `unit` selects the victim
+ * resource by `unit % resource_count` at the hook site; `magnitude`
+ * is kind-specific (stuck level, drift factor, clip level, offset).
+ */
+struct FaultEvent {
+    FaultKind kind = FaultKind::DieDeath;
+    std::size_t at_exec = 0;
+    std::size_t duration = 1;
+    std::size_t unit = 0;
+    double magnitude = 0.0;
+};
+
+/** Evidence that an event armed (the "faults seen" log). */
+struct FaultRecord {
+    FaultKind kind;
+    std::size_t exec_index; ///< window in which the event armed
+    std::size_t unit;
+    double magnitude;
+};
+
+/** Per-kind probability that a window arms one event of that kind. */
+struct FaultRates {
+    double stuck_integrator = 0.0;
+    double gain_drift = 0.0;
+    double adc_saturation = 0.0;
+    double calibration_loss = 0.0;
+    double config_corruption = 0.0;
+    double die_death = 0.0;
+};
+
+/**
+ * A deterministic fault schedule for one die. Build explicitly via
+ * add() for targeted tests, or sample() for seeded chaos sweeps.
+ */
+class FaultPlan
+{
+  public:
+    FaultPlan() = default;
+
+    /** Append one event (kept sorted by at_exec internally). */
+    FaultPlan &add(FaultEvent event);
+
+    /**
+     * Sample a plan: for each exec window in [0, horizon) and each
+     * kind, arm an event with the kind's probability; unit, timed
+     * duration, and magnitude are drawn from the same stream. The
+     * result depends only on (seed, rates, horizon).
+     */
+    static FaultPlan sample(std::uint64_t seed, const FaultRates &rates,
+                            std::size_t horizon_execs);
+
+    const std::vector<FaultEvent> &events() const { return events_; }
+    bool empty() const { return events_.empty(); }
+
+  private:
+    std::vector<FaultEvent> events_;
+};
+
+/** Thrown when a command reaches a die that has died. */
+class DieDeadError : public std::runtime_error
+{
+  public:
+    DieDeadError() : std::runtime_error("die dead: link dark") {}
+};
+
+/**
+ * The live injector attached to one die (chip + driver). Counts the
+ * die's operations, arms the plan's events at their trigger points,
+ * and transforms values at the hook sites while faults are active.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(FaultPlan plan);
+
+    // --- device-side hooks (called by chip::Chip) -----------------
+    /**
+     * A new execStart window begins: arm events scheduled for this
+     * window, expire timed faults, and throw DieDeadError if a death
+     * has armed.
+     */
+    void onExecWindow();
+
+    /** Transform one config value write (DAC level, initial
+     *  condition): flips a mantissa bit while a corruption is
+     *  pending. Counts the write either way. */
+    double onValueWrite(double value);
+
+    /** Transform one VGA gain write: corruption plus drift. */
+    double onGainWrite(double gain);
+
+    /**
+     * Transform one readout sample from ADC `ordinal` of `count`:
+     * stuck pin, clip, or calibration offset, whichever is active
+     * and owns the unit.
+     */
+    double onReadout(std::size_t ordinal, std::size_t count,
+                     double value) const;
+
+    /** Calibration ran: clears an active CalibrationLoss. */
+    void onInit();
+
+    // --- host-side hooks (called by isa::AcceleratorDriver) -------
+    bool dead() const { return dead_; }
+    /** Throw DieDeadError when the die has died. */
+    void checkAlive() const;
+
+    // --- observability (any thread) -------------------------------
+    std::vector<FaultRecord> fired() const;
+    std::size_t firedCount() const;
+    /** Compact "kind@exec#unit" chain, one token per armed event. */
+    std::string chainString() const;
+
+  private:
+    struct Active {
+        FaultEvent event;
+        std::size_t expires_at; ///< first window it is inactive
+    };
+
+    bool activeOf(FaultKind kind, const Active *&out) const;
+    void record(const FaultEvent &event);
+
+    std::vector<FaultEvent> schedule_; ///< sorted by at_exec
+    std::size_t next_event_ = 0;
+    std::vector<Active> active_;
+    std::size_t exec_index_ = 0;   ///< windows begun so far
+    std::size_t write_index_ = 0;  ///< config value writes seen
+    bool corrupt_pending_ = false; ///< next write gets the bit flip
+    std::size_t corrupt_unit_ = 0;
+    bool decalibrated_ = false;
+    double decal_offset_ = 0.0;
+    bool dead_ = false;
+
+    mutable std::mutex record_mu_; ///< guards fired_ only
+    std::vector<FaultRecord> fired_;
+};
+
+} // namespace aa::fault
+
+#endif // AA_FAULT_FAULT_HH

@@ -4,6 +4,7 @@
 
 #include "aa/circuit/nonideal.hh"
 #include "aa/common/logging.hh"
+#include "aa/fault/fault.hh"
 
 namespace aa::isa {
 
@@ -164,6 +165,10 @@ AcceleratorDriver::AcceleratorDriver(chip::Chip &chip)
 Response
 AcceleratorDriver::transact(Command cmd)
 {
+    // A dead die answers nothing: fail the transaction before any
+    // bytes go on the wire (or into the trace/byte accounting).
+    if (fault::FaultInjector *inj = chip_.faultInjector())
+        inj->checkAlive();
     trace_.push_back(cmd);
     auto frame = link_.hostToDevice(encodeCommand(cmd));
     if (isConfigOpcode(cmd.op)) {

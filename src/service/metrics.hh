@@ -40,13 +40,27 @@ struct ServiceMetrics {
     std::size_t queue_depth = 0;       ///< waiting right now
     std::size_t queue_peak = 0;        ///< high-water mark
 
-    // Completion.
-    std::size_t completed = 0;        ///< futures fulfilled
+    // Completion. A request fulfils exactly one of completed /
+    // deadline_expired: giving up on a deadline — whether still
+    // queued or mid retry chain — is not a completion.
+    std::size_t completed = 0;        ///< answered (Ok or Failed)
     std::size_t ok = 0;               ///< status Ok
     std::size_t deadline_expired = 0; ///< gave up on the deadline
     std::size_t failed = 0;           ///< execution threw
     std::size_t retries = 0;          ///< refinement passes beyond
                                       ///< each request's first solve
+
+    // Resilience: the fault-injection / degradation story.
+    std::size_t faults_seen = 0;     ///< injector events fired (pool)
+    std::size_t analog_failures = 0; ///< unverifiable analog solves
+    std::size_t recoveries = 0;      ///< local repairs that then
+                                     ///< passed verification
+    std::size_t reroutes = 0;        ///< requests requeued to try
+                                     ///< a different die
+    std::size_t quarantines = 0;     ///< dies benched by health
+                                     ///< tracking (lifetime)
+    std::size_t fallbacks = 0;       ///< answers served by digital
+                                     ///< CG (degraded responses)
 
     // Scheduling.
     std::size_t batches = 0;        ///< scheduling rounds dispatched

@@ -6,6 +6,9 @@
 #include "aa/analog/refine.hh"
 #include "aa/common/logging.hh"
 #include "aa/compiler/program.hh"
+#include "aa/fault/fault.hh"
+#include "aa/la/operator.hh"
+#include "aa/solver/iterative.hh"
 
 namespace aa::service {
 
@@ -140,6 +143,9 @@ SolveService::schedulerLoop()
         }
 
         dispatchRound(routeRound(std::move(round)));
+        // Health evolves with rounds, never wall clock: quarantine
+        // cooldowns tick here, where no worker is touching the pool.
+        pool_.tickRound();
 
         {
             std::lock_guard<std::mutex> lock(mu_);
@@ -149,13 +155,13 @@ SolveService::schedulerLoop()
     }
 }
 
-std::vector<std::vector<SolveService::Pending>>
+SolveService::RoutePlan
 SolveService::routeRound(std::vector<Pending> round)
 {
     // Deterministic round order: priority first, submission order
     // within a priority. Everything downstream (grouping, routing,
-    // exec_order stamps) derives from this ordering and from cache
-    // residency — never from timing.
+    // exec_order stamps) derives from this ordering, from cache
+    // residency, and from pool health — never from timing.
     std::stable_sort(round.begin(), round.end(),
                      [](const Pending &x, const Pending &y) {
                          if (x.req.priority != y.req.priority)
@@ -163,7 +169,18 @@ SolveService::routeRound(std::vector<Pending> round)
                          return x.seq < y.seq;
                      });
 
-    std::vector<std::vector<Pending>> by_die(pool_.size());
+    RoutePlan plan;
+    plan.by_die.resize(pool_.size());
+
+    // Only healthy/probation dies take work this round; with none
+    // left the whole round goes to the digital-fallback lane — the
+    // service keeps answering with every die down.
+    std::vector<std::size_t> avail = pool_.availableDies();
+    if (avail.empty()) {
+        plan.fallback = std::move(round);
+        return plan;
+    }
+
     std::vector<std::size_t> round_load(pool_.size(), 0);
 
     auto assign = [&](Pending &&p, std::size_t die) {
@@ -171,74 +188,111 @@ SolveService::routeRound(std::vector<Pending> round)
         p.affine_hit = pool_.dieHasPattern(die, p.pattern, p.n);
         ++round_load[die];
         ++die_lifetime_requests_[die];
-        by_die[die].push_back(std::move(p));
+        plan.by_die[die].push_back(std::move(p));
     };
+
+    // Retry-chain requests carry per-request die exclusions, so they
+    // route individually after the fresh traffic.
+    std::vector<Pending> fresh;
+    std::vector<Pending> retries;
+    for (Pending &p : round)
+        (p.tried.empty() ? fresh : retries).push_back(std::move(p));
 
     if (!opts_.cache_affinity) {
         // Affinity-blind baseline: spray requests die by die.
-        for (Pending &p : round)
+        for (Pending &p : fresh)
             assign(std::move(p),
-                   static_cast<std::size_t>(rr_cursor_++ %
-                                            pool_.size()));
-        return by_die;
-    }
-
-    // Group compatible requests (same sparsity pattern and size) so
-    // one die runs the whole group back to back on one live
-    // configuration.
-    struct Group {
-        std::uint64_t pattern;
-        std::size_t n;
-        std::vector<Pending> members;
-    };
-    std::vector<Group> groups;
-    std::unordered_map<std::uint64_t, std::size_t> group_of;
-    for (Pending &p : round) {
-        std::uint64_t key = p.pattern * 1099511628211ULL ^ p.n;
-        auto it = group_of.find(key);
-        if (it == group_of.end()) {
-            group_of.emplace(key, groups.size());
-            groups.push_back({p.pattern, p.n, {}});
-            groups.back().members.push_back(std::move(p));
-        } else {
-            groups[it->second].members.push_back(std::move(p));
-        }
-    }
-
-    for (Group &g : groups) {
-        // Prefer a die that already holds the compiled structure;
-        // among those (or among all dies on a cold pattern), pick the
-        // least-loaded, breaking ties toward the lowest index.
-        std::vector<std::size_t> candidates =
-            pool_.diesWithPattern(g.pattern, g.n);
-        bool cold = candidates.empty();
-        if (cold) {
-            candidates.resize(pool_.size());
-            for (std::size_t k = 0; k < pool_.size(); ++k)
-                candidates[k] = k;
-        }
-        std::size_t best = candidates.front();
-        auto load = [&](std::size_t k) {
-            // Cold patterns also weigh lifetime traffic so repeated
-            // cold misses spread across the pool instead of piling
-            // onto die 0.
-            return round_load[k] +
-                   (cold ? die_lifetime_requests_[k] : 0);
+                   avail[static_cast<std::size_t>(rr_cursor_++ %
+                                                  avail.size())]);
+    } else {
+        // Group compatible requests (same sparsity pattern and size)
+        // so one die runs the whole group back to back on one live
+        // configuration.
+        struct Group {
+            std::uint64_t pattern;
+            std::size_t n;
+            std::vector<Pending> members;
         };
-        for (std::size_t k : candidates)
-            if (load(k) < load(best))
-                best = k;
-        for (Pending &p : g.members)
-            assign(std::move(p), best);
+        std::vector<Group> groups;
+        std::unordered_map<std::uint64_t, std::size_t> group_of;
+        for (Pending &p : fresh) {
+            std::uint64_t key = p.pattern * 1099511628211ULL ^ p.n;
+            auto it = group_of.find(key);
+            if (it == group_of.end()) {
+                group_of.emplace(key, groups.size());
+                groups.push_back({p.pattern, p.n, {}});
+                groups.back().members.push_back(std::move(p));
+            } else {
+                groups[it->second].members.push_back(std::move(p));
+            }
+        }
+
+        for (Group &g : groups) {
+            // Prefer a routable die that already holds the compiled
+            // structure; among those (or among all routable dies on a
+            // cold pattern), pick the least-loaded, breaking ties
+            // toward the lowest index.
+            std::vector<std::size_t> resident =
+                pool_.diesWithPattern(g.pattern, g.n);
+            std::vector<std::size_t> candidates;
+            for (std::size_t k : avail)
+                if (std::find(resident.begin(), resident.end(), k) !=
+                    resident.end())
+                    candidates.push_back(k);
+            bool cold = candidates.empty();
+            if (cold)
+                candidates = avail;
+            std::size_t best = candidates.front();
+            auto load = [&](std::size_t k) {
+                // Cold patterns also weigh lifetime traffic so
+                // repeated cold misses spread across the pool instead
+                // of piling onto die 0.
+                return round_load[k] +
+                       (cold ? die_lifetime_requests_[k] : 0);
+            };
+            for (std::size_t k : candidates)
+                if (load(k) < load(best))
+                    best = k;
+            for (Pending &p : g.members)
+                assign(std::move(p), best);
+        }
     }
-    return by_die;
+
+    for (Pending &p : retries) {
+        // Least-loaded routable die this request has not burned yet,
+        // preferring residency; none left means the chain is out of
+        // hardware to try.
+        std::vector<std::size_t> eligible;
+        for (std::size_t k : avail)
+            if (std::find(p.tried.begin(), p.tried.end(), k) ==
+                p.tried.end())
+                eligible.push_back(k);
+        if (eligible.empty()) {
+            plan.fallback.push_back(std::move(p));
+            continue;
+        }
+        std::vector<std::size_t> resident;
+        for (std::size_t k : eligible)
+            if (pool_.dieHasPattern(k, p.pattern, p.n))
+                resident.push_back(k);
+        const std::vector<std::size_t> &pick =
+            resident.empty() ? eligible : resident;
+        std::size_t best = pick.front();
+        for (std::size_t k : pick)
+            if (round_load[k] < round_load[best])
+                best = k;
+        assign(std::move(p), best);
+    }
+    return plan;
 }
 
 void
-SolveService::dispatchRound(std::vector<std::vector<Pending>> by_die)
+SolveService::dispatchRound(RoutePlan plan)
 {
     // Stamp global execution slots in die-index order — deterministic
-    // at any thread count — and collect the active dies.
+    // at any thread count — and collect the active dies. The fallback
+    // lane executes after the die-routed traffic, in round order.
+    std::vector<std::vector<Pending>> &by_die = plan.by_die;
     std::vector<std::size_t> active;
     for (std::size_t k = 0; k < by_die.size(); ++k) {
         if (by_die[k].empty())
@@ -247,17 +301,24 @@ SolveService::dispatchRound(std::vector<std::vector<Pending>> by_die)
         for (Pending &p : by_die[k])
             p.exec_order = exec_counter_++;
     }
-    if (active.empty())
-        return;
+    for (Pending &p : plan.fallback)
+        p.exec_order = exec_counter_++;
 
-    // One task per active die; a die's requests run sequentially in
-    // stamped order, so per-die state (solver, usage slot) is never
-    // shared across threads.
-    workers_.parallelForWorkers(
-        active.size(), [&](std::size_t, std::size_t i) {
-            for (Pending &p : by_die[active[i]])
-                executeRequest(p);
-        });
+    if (!active.empty()) {
+        // One task per active die; a die's requests run sequentially
+        // in stamped order, so per-die state (solver, usage slot,
+        // health slot) is never shared across threads.
+        workers_.parallelForWorkers(
+            active.size(), [&](std::size_t, std::size_t i) {
+                for (Pending &p : by_die[active[i]])
+                    executeRequest(p);
+            });
+    }
+
+    // Fallback requests never touch a die; the scheduler thread runs
+    // them itself (digital CG), sequentially and deterministically.
+    for (Pending &p : plan.fallback)
+        executeRequest(p);
 }
 
 void
@@ -268,106 +329,291 @@ SolveService::executeRequest(Pending &p)
     r.die = p.die;
     r.affine_hit = p.affine_hit;
     r.exec_order = p.exec_order;
+    r.reroutes = p.reroutes;
+    r.failure_chain = p.chain;
+    // Work already spent on dies this chain burned through.
+    r.attempts = p.prior_attempts;
+    r.analog_seconds = p.prior_analog_seconds;
+    r.phases = p.prior_phases;
     r.queue_seconds =
         std::chrono::duration<double>(t_start - p.submitted_at)
             .count();
 
-    std::size_t solves = 0;
     if (p.has_deadline && Clock::now() >= p.deadline_at) {
         r.status = RequestStatus::DeadlineExpired;
-        r.reason = "deadline expired while queued";
-    } else {
-        analog::AnalogLinearSolver &die = pool_.die(p.die);
-        try {
-            if (p.req.tolerance > 0.0) {
-                analog::RefineOptions ro;
-                ro.tolerance = p.req.tolerance;
-                ro.max_passes = 1 + p.req.max_refine_passes;
-                ro.record_history = false;
-                if (p.has_deadline) {
-                    auto deadline = p.deadline_at;
-                    ro.keep_going = [deadline] {
-                        return Clock::now() < deadline;
-                    };
-                }
-                analog::RefineOutcome out =
-                    analog::refineSolve(die, *p.req.a, p.req.b, ro);
-                double bnorm = la::norm2(p.req.b);
-                r.u = std::move(out.u);
-                r.converged = out.converged;
-                r.residual = out.final_residual /
-                             (bnorm > 0.0 ? bnorm : 1.0);
-                r.refine_passes = out.passes;
-                r.analog_seconds = out.analog_seconds;
-                r.phases = out.phases;
-                solves = out.passes;
-                if (!out.converged && p.has_deadline &&
-                    Clock::now() >= p.deadline_at) {
-                    r.status = RequestStatus::DeadlineExpired;
-                    r.reason = "deadline expired mid-refinement";
-                }
-            } else {
-                analog::AnalogSolveOutcome out =
-                    die.solve(*p.req.a, p.req.b, p.req.u0);
-                r.u = std::move(out.u);
-                r.converged = out.converged;
-                r.attempts = out.attempts;
-                r.refine_passes = 1;
-                r.analog_seconds = out.analog_seconds;
-                r.phases = out.phases;
-                solves = 1;
-            }
-            pool_.recordUsage(p.die, solves, r.analog_seconds,
-                              r.phases);
-        } catch (const std::exception &e) {
-            r.status = RequestStatus::Failed;
-            r.reason = e.what();
-        } catch (...) {
-            r.status = RequestStatus::Failed;
-            r.reason = "unknown exception";
-        }
+        r.reason = p.chain.empty()
+                       ? "deadline expired while queued"
+                       : "deadline expired during retry chain";
+        finishRequest(p, r, 0, t_start);
+        return;
     }
 
+    if (p.die == SIZE_MAX) {
+        // The router found no die this request may still run on.
+        finishWithFallback(p, r);
+        finishRequest(p, r, 0, t_start);
+        return;
+    }
+
+    std::size_t solves = 0;
+    analog::AnalogLinearSolver &die = pool_.die(p.die);
+    try {
+        if (p.req.tolerance > 0.0) {
+            analog::RefineOptions ro;
+            ro.tolerance = p.req.tolerance;
+            ro.max_passes = 1 + p.req.max_refine_passes;
+            ro.record_history = false;
+            if (p.has_deadline) {
+                auto deadline = p.deadline_at;
+                ro.keep_going = [deadline] {
+                    return Clock::now() < deadline;
+                };
+            }
+            analog::RefineOutcome out =
+                analog::refineSolve(die, *p.req.a, p.req.b, ro);
+            double bnorm = la::norm2(p.req.b);
+            r.u = std::move(out.u);
+            r.converged = out.converged;
+            r.residual =
+                out.final_residual / (bnorm > 0.0 ? bnorm : 1.0);
+            r.refine_passes = out.passes;
+            r.analog_seconds += out.analog_seconds;
+            r.phases.add(out.phases);
+            solves = out.passes;
+            pool_.recordUsage(p.die, solves, out.analog_seconds,
+                              out.phases);
+            if (!out.converged && p.has_deadline &&
+                Clock::now() >= p.deadline_at) {
+                r.status = RequestStatus::DeadlineExpired;
+                r.reason = "deadline expired mid-refinement";
+            } else if (opts_.residual_verify &&
+                       r.residual > opts_.verify_rel_residual) {
+                // Refinement measures residuals by construction; a
+                // result this far off means the die is lying, not
+                // that the tolerance was ambitious.
+                handleAnalogFailure(
+                    p, r,
+                    "residual check failed (rel residual " +
+                        std::to_string(r.residual) + ")",
+                    /*dead=*/false, t_start);
+                return;
+            } else {
+                r.verified = r.residual <= opts_.verify_rel_residual;
+                pool_.recordSuccess(p.die);
+            }
+        } else if (opts_.residual_verify) {
+            analog::VerifyOptions vo;
+            vo.rel_residual = opts_.verify_rel_residual;
+            vo.max_recoveries = opts_.max_die_recoveries;
+            analog::VerifiedSolveOutcome v =
+                die.solveVerified(*p.req.a, p.req.b, p.req.u0, vo);
+            solves = 1 + v.recoveries;
+            r.residual = v.rel_residual;
+            r.attempts += v.outcome.attempts;
+            r.analog_seconds += v.outcome.analog_seconds;
+            r.phases.add(v.outcome.phases);
+            pool_.recordUsage(p.die, solves,
+                              v.outcome.analog_seconds,
+                              v.outcome.phases);
+            if (!v.ok) {
+                handleAnalogFailure(p, r, v.reason, /*dead=*/false,
+                                    t_start);
+                return;
+            }
+            if (v.recoveries > 0) {
+                std::lock_guard<std::mutex> mlock(metrics_mu_);
+                counters_.recoveries += v.recoveries;
+            }
+            r.u = std::move(v.outcome.u);
+            r.converged = v.outcome.converged;
+            r.refine_passes = 1;
+            r.verified = true;
+            pool_.recordSuccess(p.die);
+        } else {
+            // Legacy raw path: whatever the ADCs said is the answer.
+            analog::AnalogSolveOutcome out =
+                die.solve(*p.req.a, p.req.b, p.req.u0);
+            r.u = std::move(out.u);
+            r.converged = out.converged;
+            r.attempts += out.attempts;
+            r.refine_passes = 1;
+            r.analog_seconds += out.analog_seconds;
+            r.phases.add(out.phases);
+            solves = 1;
+            pool_.recordUsage(p.die, solves, out.analog_seconds,
+                              out.phases);
+        }
+    } catch (const fault::DieDeadError &e) {
+        handleAnalogFailure(p, r, e.what(), /*dead=*/true, t_start);
+        return;
+    } catch (const analog::SolveRangeError &e) {
+        handleAnalogFailure(p, r, e.what(), /*dead=*/false, t_start);
+        return;
+    } catch (const std::exception &e) {
+        r.status = RequestStatus::Failed;
+        r.reason = e.what();
+    } catch (...) {
+        r.status = RequestStatus::Failed;
+        r.reason = "unknown exception";
+    }
+
+    finishRequest(p, r, solves, t_start);
+}
+
+void
+SolveService::handleAnalogFailure(Pending &p, SolveResponse &r,
+                                  const std::string &why, bool dead,
+                                  Clock::time_point exec_start)
+{
+    // Health first: this worker owns die p.die for the round, so its
+    // health slot is safe to read back for the quarantine edge.
+    std::size_t q_before = pool_.health(p.die).quarantines;
+    pool_.recordFailure(p.die, dead);
+    bool benched = pool_.health(p.die).quarantines > q_before;
+    {
+        std::lock_guard<std::mutex> mlock(metrics_mu_);
+        ++counters_.analog_failures;
+        if (benched)
+            ++counters_.quarantines;
+    }
+
+    if (!p.chain.empty())
+        p.chain += "; ";
+    p.chain += detail::concat("die ", p.die, ": ", why);
+    r.failure_chain = p.chain;
+
+    if (p.has_deadline && Clock::now() >= p.deadline_at) {
+        r.status = RequestStatus::DeadlineExpired;
+        r.reason = "deadline expired during retry chain";
+        finishRequest(p, r, 0, exec_start);
+        return;
+    }
+
+    p.tried.push_back(p.die);
+    if (p.reroutes < opts_.max_reroutes &&
+        p.tried.size() < pool_.size()) {
+        // Hand the request back to the scheduler: the next round
+        // routes it to a die this chain has not burned (or to the
+        // fallback lane if none is routable). Re-routing at round
+        // boundaries keeps one-task-per-die intact.
+        ++p.reroutes;
+        {
+            std::lock_guard<std::mutex> mlock(metrics_mu_);
+            ++counters_.reroutes;
+        }
+        p.prior_attempts = r.attempts;
+        p.prior_analog_seconds = r.analog_seconds;
+        p.prior_phases = r.phases;
+        requeue(std::move(p));
+        return; // promise unset: the request lives on
+    }
+
+    finishWithFallback(p, r);
+    finishRequest(p, r, 0, exec_start);
+}
+
+void
+SolveService::finishWithFallback(Pending &p, SolveResponse &r)
+{
+    r.reroutes = p.reroutes;
+    r.failure_chain = p.chain;
+    if (!opts_.digital_fallback) {
+        r.status = RequestStatus::Failed;
+        r.reason = p.chain.empty() ? "no routable die" : p.chain;
+        return;
+    }
+    la::DenseOperator op(*p.req.a);
+    solver::IterOptions io;
+    io.max_iters = opts_.fallback_max_iters;
+    io.criterion = solver::Criterion::RelativeResidual;
+    io.tol = p.req.tolerance > 0.0 ? p.req.tolerance
+                                   : opts_.fallback_tolerance;
+    if (!p.req.u0.empty())
+        io.x0 = p.req.u0;
+    solver::IterResult cg =
+        solver::conjugateGradient(op, p.req.b, io);
+    double bnorm = la::norm2(p.req.b);
+    r.u = std::move(cg.x);
+    r.converged = cg.converged;
+    r.residual = cg.final_residual / (bnorm > 0.0 ? bnorm : 1.0);
+    r.degraded = true;
+    r.verified = true; // CG's exit residual is a digital measurement
+    r.status = RequestStatus::Ok;
+    r.reason = p.chain.empty()
+                   ? "no routable die; digital fallback"
+                   : "analog attempts exhausted; digital fallback";
+}
+
+void
+SolveService::finishRequest(Pending &p, SolveResponse &r,
+                            std::size_t solves,
+                            Clock::time_point exec_start)
+{
     r.service_seconds = secondsSince(p.submitted_at);
-    double busy = secondsSince(t_start);
+    double busy = secondsSince(exec_start);
 
     {
         std::lock_guard<std::mutex> mlock(metrics_mu_);
-        ++counters_.completed;
+        // A request fulfils exactly one of completed/expired: giving
+        // up on a deadline — queued or mid retry chain — is not a
+        // completion.
         switch (r.status) {
         case RequestStatus::Ok:
+            ++counters_.completed;
             ++counters_.ok;
             break;
         case RequestStatus::DeadlineExpired:
             ++counters_.deadline_expired;
             break;
         case RequestStatus::Failed:
+            ++counters_.completed;
             ++counters_.failed;
             break;
         default:
+            ++counters_.completed;
             break;
         }
         if (r.refine_passes > 1)
             counters_.retries += r.refine_passes - 1;
-        if (r.affine_hit)
-            ++counters_.affinity_hits;
-        else
-            ++counters_.affinity_misses;
+        if (r.degraded)
+            ++counters_.fallbacks;
         counters_.cache_hits += r.phases.cache_hits;
         counters_.cache_misses += r.phases.cache_misses;
         counters_.config_bytes += r.phases.config_bytes;
-        DieServiceStats &d = counters_.dies[p.die];
-        ++d.requests;
-        d.solves += solves;
-        d.affine_routed += r.affine_hit ? 1 : 0;
-        d.busy_seconds += busy;
-        d.cache_hits += r.phases.cache_hits;
-        d.cache_misses += r.phases.cache_misses;
+        if (p.die != SIZE_MAX) {
+            if (r.affine_hit)
+                ++counters_.affinity_hits;
+            else
+                ++counters_.affinity_misses;
+            DieServiceStats &d = counters_.dies[p.die];
+            ++d.requests;
+            d.solves += solves;
+            d.affine_routed += r.affine_hit ? 1 : 0;
+            d.busy_seconds += busy;
+            d.cache_hits += r.phases.cache_hits;
+            d.cache_misses += r.phases.cache_misses;
+        }
         latency_.add(r.service_seconds);
         latency_running_.add(r.service_seconds);
     }
 
     p.promise.set_value(std::move(r));
+}
+
+void
+SolveService::requeue(Pending p)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        // Bypasses the admission capacity check: the request was
+        // admitted once and the queue slot it freed covers it.
+        queue_.push_back(std::move(p));
+        std::lock_guard<std::mutex> mlock(metrics_mu_);
+        counters_.queue_depth = queue_.size();
+        counters_.queue_peak =
+            std::max(counters_.queue_peak, queue_.size());
+    }
+    cv_.notify_all();
 }
 
 void
@@ -421,6 +667,9 @@ SolveService::metrics() const
 {
     std::lock_guard<std::mutex> mlock(metrics_mu_);
     ServiceMetrics m = counters_;
+    // Injector counters are internally locked, so reading them from
+    // here is safe at any time.
+    m.faults_seen = pool_.faultsSeen();
     m.latency_p50 = latency_.quantile(0.50);
     m.latency_p95 = latency_.quantile(0.95);
     m.latency_p99 = latency_.quantile(0.99);

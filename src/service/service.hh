@@ -92,7 +92,18 @@ struct SolveResponse {
 
     la::Vector u;           ///< best solution (may be partial)
     bool converged = false; ///< tolerance met (or solver settled)
-    double residual = 0.0;  ///< relative L2 residual (tolerance > 0)
+    double residual = 0.0;  ///< relative L2 residual when measured
+
+    /** The answer came from the digital CG fallback, not a die —
+     *  correct, but without the analog speedup. */
+    bool degraded = false;
+    /** The answer passed a digital residual check before delivery. */
+    bool verified = false;
+    /** Dies tried beyond the first routing decision. */
+    std::size_t reroutes = 0;
+    /** Per-die failure history ("die 2: <why>; ..."), empty when the
+     *  first attempt succeeded. Deterministic for a given seed. */
+    std::string failure_chain;
 
     std::size_t die = SIZE_MAX;     ///< die that executed the request
     bool affine_hit = false;        ///< structure was resident there
@@ -123,6 +134,31 @@ struct ServiceOptions {
     bool start_paused = false;
     /** Latency samples retained for the percentile window. */
     std::size_t latency_window = 4096;
+
+    // --- resilience ----------------------------------------------
+    /** Check tolerance==0 analog answers against the digital
+     *  residual before returning them (tolerance>0 refinement
+     *  measures residuals by construction). Off = the raw legacy
+     *  path: whatever the ADCs said is the answer. */
+    bool residual_verify = true;
+    /** Acceptance bar for the check: ||b - A u|| / ||b|| at or
+     *  under this is a verified answer. Loose by design — it
+     *  catches faults (which are orders of magnitude off), not
+     *  ADC quantization. */
+    double verify_rel_residual = 0.2;
+    /** Local repairs (recalibrate + full reprogram) per die before
+     *  the request gives that die up. */
+    std::size_t max_die_recoveries = 1;
+    /** Re-routes to a different die before falling back. */
+    std::size_t max_reroutes = 2;
+    /** When analog attempts are exhausted (or no die is routable),
+     *  answer with digital CG and mark the response degraded
+     *  instead of failing it. */
+    bool digital_fallback = true;
+    std::size_t fallback_max_iters = 10000;
+    /** Residual target of the fallback CG (also used when the
+     *  request's own tolerance is 0). */
+    double fallback_tolerance = 1e-10;
 };
 
 /**
@@ -163,6 +199,8 @@ class SolveService
     std::size_t dies() const { return pool_.size(); }
 
   private:
+    using Clock = std::chrono::steady_clock;
+
     struct Pending {
         SolveRequest req;
         std::promise<SolveResponse> promise;
@@ -176,17 +214,43 @@ class SolveService
         std::size_t die = SIZE_MAX;
         bool affine_hit = false;
         std::size_t exec_order = SIZE_MAX;
+        // Retry-chain state (survives requeues).
+        std::vector<std::size_t> tried; ///< dies that failed this req
+        std::string chain;              ///< failure chain so far
+        std::size_t reroutes = 0;
+        std::size_t prior_attempts = 0;
+        double prior_analog_seconds = 0.0;
+        analog::SolvePhaseReport prior_phases;
+    };
+
+    /** Routing decision for one drained round. */
+    struct RoutePlan {
+        std::vector<std::vector<Pending>> by_die;
+        /** Unroutable requests (no eligible die): fallback lane. */
+        std::vector<Pending> fallback;
     };
 
     void schedulerLoop();
-    /** Deterministic routing of one drained round; returns per-die
-     *  execution lists. */
-    std::vector<std::vector<Pending>>
-    routeRound(std::vector<Pending> round);
-    void dispatchRound(std::vector<std::vector<Pending>> by_die);
+    /** Deterministic routing of one drained round. */
+    RoutePlan routeRound(std::vector<Pending> round);
+    void dispatchRound(RoutePlan plan);
     void executeRequest(Pending &p);
+    /** Analog failed on p.die: record health/metrics and either
+     *  requeue for another die, fall back, or fail/expire. */
+    void handleAnalogFailure(Pending &p, SolveResponse &r,
+                             const std::string &why, bool dead,
+                             Clock::time_point exec_start);
+    /** Answer with digital CG (degraded) or Failed when disabled. */
+    void finishWithFallback(Pending &p, SolveResponse &r);
+    void finishRequest(Pending &p, SolveResponse &r,
+                       std::size_t solves,
+                       Clock::time_point exec_start);
     std::future<SolveResponse> rejectNow(RequestStatus status,
                                          std::string reason);
+    /** Put a request back in the queue for the next round (retry on
+     *  a different die). Keeps its seq, so ordering stays a pure
+     *  function of submission order. */
+    void requeue(Pending p);
 
     analog::DiePool &pool_;
     ServiceOptions opts_;

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * DiePool health state machine properties: consecutive verification
+ * failures bench a die, cooldowns evolve with scheduler rounds (never
+ * wall clock), probation is a single-probe readmission, re-quarantine
+ * cooldowns grow exponentially up to a cap, and a dead die is never
+ * routed again.
+ */
+
+#include <gtest/gtest.h>
+
+#include "aa/analog/die_pool.hh"
+#include "aa/common/logging.hh"
+#include "aa/fault/fault.hh"
+
+namespace aa::analog {
+namespace {
+
+const bool g_quiet = [] {
+    setLogLevel(LogLevel::Quiet);
+    return true;
+}();
+
+AnalogSolverOptions
+quietOptions()
+{
+    AnalogSolverOptions opts;
+    opts.spec.variation.enabled = false;
+    opts.spec.adc_noise_sigma = 0.0;
+    opts.auto_calibrate = false;
+    return opts;
+}
+
+TEST(Quarantine, ConsecutiveFailuresBenchTheDie)
+{
+    DiePool pool(2, quietOptions());
+    const DieHealthPolicy &policy = pool.healthPolicy();
+    ASSERT_GE(policy.quarantine_after, 2u);
+
+    // One failure short of the threshold: still routable.
+    for (std::size_t i = 0; i + 1 < policy.quarantine_after; ++i)
+        pool.recordFailure(0);
+    EXPECT_TRUE(pool.dieAvailable(0));
+    EXPECT_EQ(pool.health(0).state, DieState::Healthy);
+
+    // The K-th consecutive failure quarantines.
+    pool.recordFailure(0);
+    EXPECT_FALSE(pool.dieAvailable(0));
+    EXPECT_EQ(pool.health(0).state, DieState::Quarantined);
+    EXPECT_EQ(pool.health(0).quarantines, 1u);
+    EXPECT_EQ(pool.health(0).cooldown_remaining,
+              policy.cooldown_rounds);
+
+    // The healthy die keeps the pool routable.
+    EXPECT_EQ(pool.availableDies(), std::vector<std::size_t>{1});
+    EXPECT_EQ(pool.availableBlockSolvers().size(), 1u);
+}
+
+TEST(Quarantine, SuccessResetsTheFailureStreak)
+{
+    DiePool pool(1, quietOptions());
+    const std::size_t k = pool.healthPolicy().quarantine_after;
+    for (std::size_t round = 0; round < 3; ++round) {
+        for (std::size_t i = 0; i + 1 < k; ++i)
+            pool.recordFailure(0);
+        pool.recordSuccess(0);
+    }
+    // 3 * (K-1) failures, but never K consecutive: still healthy.
+    EXPECT_TRUE(pool.dieAvailable(0));
+    EXPECT_EQ(pool.health(0).state, DieState::Healthy);
+    EXPECT_EQ(pool.health(0).consecutive_failures, 0u);
+}
+
+TEST(Quarantine, CooldownExpiryGrantsProbationThenHealth)
+{
+    DiePool pool(1, quietOptions());
+    const DieHealthPolicy &policy = pool.healthPolicy();
+    for (std::size_t i = 0; i < policy.quarantine_after; ++i)
+        pool.recordFailure(0);
+    ASSERT_EQ(pool.health(0).state, DieState::Quarantined);
+
+    // Not routable for the whole cooldown.
+    for (std::size_t r = 0; r < policy.cooldown_rounds; ++r) {
+        EXPECT_FALSE(pool.dieAvailable(0)) << "round " << r;
+        pool.tickRound();
+    }
+    // Cooldown spent: one probe allowed.
+    EXPECT_EQ(pool.health(0).state, DieState::Probation);
+    EXPECT_TRUE(pool.dieAvailable(0));
+
+    // The probe verifies: fully readmitted.
+    pool.recordSuccess(0);
+    EXPECT_EQ(pool.health(0).state, DieState::Healthy);
+}
+
+TEST(Quarantine, ProbationFailureRequarantinesWithGrownCooldown)
+{
+    DiePool pool(1, quietOptions());
+    const DieHealthPolicy &policy = pool.healthPolicy();
+    for (std::size_t i = 0; i < policy.quarantine_after; ++i)
+        pool.recordFailure(0);
+    for (std::size_t r = 0; r < policy.cooldown_rounds; ++r)
+        pool.tickRound();
+    ASSERT_EQ(pool.health(0).state, DieState::Probation);
+
+    // One failed probe is enough — no second streak required.
+    pool.recordFailure(0);
+    EXPECT_EQ(pool.health(0).state, DieState::Quarantined);
+    EXPECT_EQ(pool.health(0).quarantines, 2u);
+    std::size_t grown = static_cast<std::size_t>(
+        static_cast<double>(policy.cooldown_rounds) *
+        policy.cooldown_growth);
+    EXPECT_EQ(pool.health(0).cooldown_remaining, grown);
+}
+
+TEST(Quarantine, CooldownGrowthIsCapped)
+{
+    DieHealthPolicy policy;
+    policy.quarantine_after = 1;
+    policy.cooldown_rounds = 4;
+    policy.cooldown_growth = 4.0;
+    policy.max_cooldown_rounds = 10;
+    DiePool pool(1, quietOptions(), policy);
+
+    pool.recordFailure(0); // first quarantine: 4 rounds
+    EXPECT_EQ(pool.health(0).cooldown_remaining, 4u);
+    for (std::size_t r = 0; r < 4; ++r)
+        pool.tickRound();
+    pool.recordFailure(0); // would be 16; capped at 10
+    EXPECT_EQ(pool.health(0).cooldown_remaining, 10u);
+    for (std::size_t r = 0; r < 10; ++r)
+        pool.tickRound();
+    pool.recordFailure(0); // still capped
+    EXPECT_EQ(pool.health(0).cooldown_remaining, 10u);
+}
+
+TEST(Quarantine, DeadDieIsNeverReadmitted)
+{
+    DiePool pool(2, quietOptions());
+    pool.recordFailure(1, /*dead=*/true);
+    EXPECT_EQ(pool.health(1).state, DieState::Dead);
+    EXPECT_FALSE(pool.dieAvailable(1));
+
+    // No number of rounds resurrects it.
+    for (std::size_t r = 0; r < 200; ++r)
+        pool.tickRound();
+    EXPECT_EQ(pool.health(1).state, DieState::Dead);
+    EXPECT_FALSE(pool.dieAvailable(1));
+    EXPECT_EQ(pool.availableDies(), std::vector<std::size_t>{0});
+}
+
+TEST(Quarantine, HealthEvolutionIsDeterministic)
+{
+    // Two pools fed the identical record/tick sequence land in the
+    // identical state — health is a pure function of the sequence.
+    auto drive = [](DiePool &pool) {
+        pool.recordFailure(0);
+        pool.recordFailure(0);
+        pool.recordSuccess(0);
+        for (int i = 0; i < 5; ++i)
+            pool.recordFailure(0);
+        for (int i = 0; i < 3; ++i)
+            pool.tickRound();
+    };
+    DiePool p1(1, quietOptions());
+    DiePool p2(1, quietOptions());
+    drive(p1);
+    drive(p2);
+    EXPECT_EQ(p1.health(0).state, p2.health(0).state);
+    EXPECT_EQ(p1.health(0).failures, p2.health(0).failures);
+    EXPECT_EQ(p1.health(0).quarantines, p2.health(0).quarantines);
+    EXPECT_EQ(p1.health(0).cooldown_remaining,
+              p2.health(0).cooldown_remaining);
+}
+
+TEST(Quarantine, AttachedInjectorDeathReachesTheSolver)
+{
+    // Integration with the fault layer: a DieDeath scheduled for the
+    // first exec window makes the solve throw (never return a wrong
+    // answer), and the pool's fault log sees the event.
+    DiePool pool(1, quietOptions());
+    fault::FaultPlan plan;
+    plan.add({fault::FaultKind::DieDeath, 0, 0, 0, 0.0});
+    pool.attachFaultInjector(
+        0, std::make_shared<fault::FaultInjector>(plan));
+
+    la::DenseMatrix a =
+        la::DenseMatrix::fromRows({{4.0, -1.0}, {-1.0, 3.0}});
+    la::Vector b{1.0, 2.0};
+    EXPECT_THROW(pool.die(0).solve(a, b), fault::DieDeadError);
+    EXPECT_GE(pool.faultsSeen(), 1u);
+}
+
+} // namespace
+} // namespace aa::analog

@@ -4,6 +4,7 @@
 #include "aa/analog/solver.hh"
 #include "aa/la/direct.hh"
 #include "aa/pde/poisson.hh"
+#include "common/trace_matcher.hh"
 
 namespace aa::analog {
 namespace {
@@ -32,11 +33,14 @@ TEST(Reuse, CachedStructureSolveIsBitwiseIdentical)
     EXPECT_EQ(second.phases.cache_hits, 1u);
     EXPECT_TRUE(second.phases.structure_reused);
 
-    // A fresh solver (same die seed) compiles from scratch.
+    // A fresh solver (same die seed) compiles from scratch — and its
+    // structural trace must match the warm solver's first solve
+    // exactly (same compile, same config traffic).
     AnalogLinearSolver cold(quietOptions());
     auto fresh = cold.solve(a, b);
     EXPECT_EQ(fresh.phases.cache_misses, 1u);
     EXPECT_FALSE(fresh.phases.structure_reused);
+    EXPECT_TRUE(testutil::phasesMatch(first.phases, fresh.phases));
 
     ASSERT_EQ(second.u.size(), fresh.u.size());
     for (std::size_t i = 0; i < fresh.u.size(); ++i) {

@@ -1,0 +1,115 @@
+#include "common/trace_matcher.hh"
+
+#include <sstream>
+
+namespace aa::testutil {
+
+namespace {
+
+/** Split a "; "- or space-joined chain into its elements. The two
+ *  chain grammars in the tree are the service failure chain
+ *  ("die 0: why; die 2: why") and the injector chain
+ *  ("kind@exec#unit kind@exec#unit"). */
+std::vector<std::string>
+chainElements(const std::string &chain)
+{
+    std::vector<std::string> out;
+    const bool semis = chain.find(';') != std::string::npos;
+    std::string::size_type pos = 0;
+    while (pos < chain.size()) {
+        std::string::size_type end =
+            semis ? chain.find(';', pos) : chain.find(' ', pos);
+        if (end == std::string::npos)
+            end = chain.size();
+        std::string elem = chain.substr(pos, end - pos);
+        // Trim the one leading space "; " separators leave behind.
+        while (!elem.empty() && elem.front() == ' ')
+            elem.erase(elem.begin());
+        if (!elem.empty())
+            out.push_back(std::move(elem));
+        pos = end + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+phaseSignature(const analog::SolvePhaseReport &p)
+{
+    std::ostringstream os;
+    os << "config_bytes=" << p.config_bytes
+       << " cache_hits=" << p.cache_hits
+       << " cache_misses=" << p.cache_misses
+       << " reused=" << (p.structure_reused ? "yes" : "no");
+    return os.str();
+}
+
+::testing::AssertionResult
+phasesMatch(const analog::SolvePhaseReport &expected,
+            const analog::SolvePhaseReport &actual)
+{
+    std::ostringstream diff;
+    auto field = [&diff](const char *name, auto want, auto got) {
+        if (want != got)
+            diff << "  " << name << ": expected " << want << ", got "
+                 << got << "\n";
+    };
+    field("config_bytes", expected.config_bytes, actual.config_bytes);
+    field("cache_hits", expected.cache_hits, actual.cache_hits);
+    field("cache_misses", expected.cache_misses, actual.cache_misses);
+    field("structure_reused", expected.structure_reused,
+          actual.structure_reused);
+    if (diff.str().empty())
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << "phase reports diverge:\n"
+           << diff.str() << "  expected: " << phaseSignature(expected)
+           << "\n  actual:   " << phaseSignature(actual);
+}
+
+::testing::AssertionResult
+phaseSequenceMatches(const std::vector<analog::SolvePhaseReport> &expected,
+                     const std::vector<analog::SolvePhaseReport> &actual)
+{
+    if (expected.size() != actual.size())
+        return ::testing::AssertionFailure()
+               << "trace length diverges: expected " << expected.size()
+               << " solves, got " << actual.size();
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        ::testing::AssertionResult r =
+            phasesMatch(expected[i], actual[i]);
+        if (!r)
+            return ::testing::AssertionFailure()
+                   << "solve " << i << " of " << expected.size()
+                   << " diverges:\n"
+                   << r.message();
+    }
+    return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult
+chainsMatch(const std::string &expected, const std::string &actual)
+{
+    if (expected == actual)
+        return ::testing::AssertionSuccess();
+    std::vector<std::string> want = chainElements(expected);
+    std::vector<std::string> got = chainElements(actual);
+    std::size_t n = want.size() < got.size() ? want.size() : got.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (want[i] != got[i])
+            return ::testing::AssertionFailure()
+                   << "chains diverge at element " << i
+                   << ":\n  expected: \"" << want[i]
+                   << "\"\n  actual:   \"" << got[i]
+                   << "\"\nfull expected: \"" << expected
+                   << "\"\nfull actual:   \"" << actual << "\"";
+    }
+    return ::testing::AssertionFailure()
+           << "chains diverge in length (" << want.size() << " vs "
+           << got.size() << " elements) after a common prefix"
+           << "\nfull expected: \"" << expected << "\"\nfull actual:   \""
+           << actual << "\"";
+}
+
+} // namespace aa::testutil

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Golden-trace matchers for test assertions over solve outcomes.
+ *
+ * Two solve paths that claim bit-identity (service vs direct die,
+ * threads=1 vs threads=4, replay vs original) should agree on the
+ * *structural* story of each solve — config traffic, cache hits,
+ * structure reuse — and on fault failure chains. Raw EXPECT_EQ walls
+ * bury which field diverged; these matchers compare whole reports and
+ * print a readable field-by-field diff on mismatch. Wall-clock phase
+ * timings are deliberately excluded: they are never reproducible.
+ */
+
+#ifndef AA_TESTS_COMMON_TRACE_MATCHER_HH
+#define AA_TESTS_COMMON_TRACE_MATCHER_HH
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aa/analog/solver.hh"
+
+namespace aa::testutil {
+
+/** One-line structural summary of a phase report (no wall clock):
+ *  "config_bytes=184 cache_hits=1 cache_misses=0 reused=yes". */
+std::string phaseSignature(const analog::SolvePhaseReport &p);
+
+/** Compare the structural fields of two phase reports; on mismatch
+ *  the failure message names each diverging field with both values. */
+::testing::AssertionResult
+phasesMatch(const analog::SolvePhaseReport &expected,
+            const analog::SolvePhaseReport &actual);
+
+/** Compare two sequences of phase reports (for example one per solve
+ *  of a replayed trace); reports length divergence and the first
+ *  mismatching entry with its index and both signatures. */
+::testing::AssertionResult
+phaseSequenceMatches(const std::vector<analog::SolvePhaseReport> &expected,
+                     const std::vector<analog::SolvePhaseReport> &actual);
+
+/** Compare failure chains ("die 0: ...; die 2: ..." or an injector's
+ *  "kind@exec#unit ..." string): reports the first diverging element
+ *  and its position instead of two walls of text. */
+::testing::AssertionResult chainsMatch(const std::string &expected,
+                                       const std::string &actual);
+
+} // namespace aa::testutil
+
+#endif // AA_TESTS_COMMON_TRACE_MATCHER_HH

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Chaos suite: seeded fault sweeps over the full service stack. The
+ * invariants under ANY injected fault:
+ *
+ *   1. No silent wrong answers — every Ok response is either
+ *      residual-verified analog or an explicitly degraded digital
+ *      fallback, and its solution independently satisfies the
+ *      matching residual bar.
+ *   2. Determinism — the same seed reproduces the same per-die fault
+ *      chains, per-request failure chains, routing, and bit-identical
+ *      solutions, at any dispatch thread count.
+ *
+ * The TSan leg of tools/check.sh replays this binary at
+ * AASIM_THREADS=1 and =4 (the suite also pins explicit thread counts
+ * internally for the 1-vs-4 comparison).
+ */
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aa/analog/die_pool.hh"
+#include "aa/common/logging.hh"
+#include "aa/fault/fault.hh"
+#include "aa/service/service.hh"
+#include "common/trace_matcher.hh"
+
+namespace aa::service {
+namespace {
+
+const bool g_quiet = [] {
+    setLogLevel(LogLevel::Quiet);
+    return true;
+}();
+
+analog::AnalogSolverOptions
+quietOptions()
+{
+    analog::AnalogSolverOptions opts;
+    opts.spec.variation.enabled = false;
+    opts.spec.adc_noise_sigma = 0.0;
+    opts.auto_calibrate = false;
+    return opts;
+}
+
+std::shared_ptr<const la::DenseMatrix>
+matrixA()
+{
+    return std::make_shared<const la::DenseMatrix>(
+        la::DenseMatrix::fromRows({{4.0, -1.0}, {-1.0, 3.0}}));
+}
+
+std::shared_ptr<const la::DenseMatrix>
+matrixB()
+{
+    return std::make_shared<const la::DenseMatrix>(
+        la::DenseMatrix::fromRows({{4.0, -1.0, 0.0},
+                                   {-1.0, 4.0, -1.0},
+                                   {0.0, -1.0, 4.0}}));
+}
+
+std::vector<SolveRequest>
+mixedTrace(std::size_t count)
+{
+    auto a = matrixA();
+    auto b = matrixB();
+    std::vector<SolveRequest> trace;
+    for (std::size_t i = 0; i < count; ++i) {
+        double f = 1.0 + 0.125 * static_cast<double>(i);
+        SolveRequest r;
+        if (i % 2 == 0) {
+            r.a = a;
+            r.b = la::Vector{f, 2.0 * f};
+        } else {
+            r.a = b;
+            r.b = la::Vector{f, 0.5 * f, -f};
+        }
+        trace.push_back(std::move(r));
+    }
+    return trace;
+}
+
+double
+relResidual(const la::DenseMatrix &a, const la::Vector &b,
+            const la::Vector &u)
+{
+    la::Vector r = b - a.apply(u);
+    return la::norm2(r) / la::norm2(b);
+}
+
+/** Everything a chaos run should reproduce bit for bit. */
+struct RunResult {
+    std::vector<SolveRequest> trace; ///< what was submitted
+    std::vector<SolveResponse> responses; ///< in submission order
+    std::vector<std::string> die_chains;  ///< injector logs, by die
+    ServiceMetrics metrics;
+};
+
+RunResult
+runScenario(const std::vector<fault::FaultPlan> &plans,
+            std::size_t threads, std::size_t requests)
+{
+    RunResult out;
+    analog::DiePool pool(plans.size(), quietOptions());
+    for (std::size_t k = 0; k < plans.size(); ++k)
+        pool.attachFaultInjector(
+            k, std::make_shared<fault::FaultInjector>(plans[k]));
+
+    ServiceOptions sopts;
+    sopts.threads = threads;
+    sopts.start_paused = true;
+    SolveService svc(pool, sopts);
+
+    out.trace = mixedTrace(requests);
+    std::vector<std::future<SolveResponse>> futures;
+    for (const SolveRequest &req : out.trace)
+        futures.push_back(svc.submit(SolveRequest(req)));
+    svc.resume();
+    svc.drain();
+    svc.stop();
+    for (auto &f : futures)
+        out.responses.push_back(f.get());
+    for (std::size_t k = 0; k < pool.size(); ++k)
+        out.die_chains.push_back(
+            pool.faultInjector(k)->chainString());
+    out.metrics = svc.metrics();
+    return out;
+}
+
+/** The no-silent-wrong-answer invariant over one run. */
+void
+expectAllAnswersAccountable(const RunResult &run)
+{
+    ASSERT_EQ(run.responses.size(), run.trace.size());
+    for (std::size_t i = 0; i < run.responses.size(); ++i) {
+        const SolveResponse &r = run.responses[i];
+        // No deadlines and fallback enabled: everything is answered.
+        ASSERT_EQ(r.status, RequestStatus::Ok)
+            << "request " << i << ": " << r.reason;
+        EXPECT_TRUE(r.degraded || r.verified)
+            << "request " << i << " returned unaccountable answer";
+        // Independently recompute the residual the service claims.
+        double bar = r.degraded ? 1e-6 : 0.2 + 1e-9;
+        EXPECT_LE(relResidual(*run.trace[i].a, run.trace[i].b, r.u),
+                  bar)
+            << "request " << i
+            << (r.degraded ? " (degraded)" : " (verified analog)")
+            << " chain: " << r.failure_chain;
+    }
+}
+
+/** Bit-identity of two runs of the same scenario. */
+void
+expectRunsIdentical(const RunResult &x, const RunResult &y)
+{
+    ASSERT_EQ(x.die_chains.size(), y.die_chains.size());
+    for (std::size_t k = 0; k < x.die_chains.size(); ++k)
+        EXPECT_TRUE(testutil::chainsMatch(x.die_chains[k],
+                                          y.die_chains[k]))
+            << "die " << k;
+
+    ASSERT_EQ(x.responses.size(), y.responses.size());
+    for (std::size_t i = 0; i < x.responses.size(); ++i) {
+        const SolveResponse &a = x.responses[i];
+        const SolveResponse &b = y.responses[i];
+        EXPECT_EQ(a.status, b.status) << "request " << i;
+        EXPECT_EQ(a.die, b.die) << "request " << i;
+        EXPECT_EQ(a.exec_order, b.exec_order) << "request " << i;
+        EXPECT_EQ(a.degraded, b.degraded) << "request " << i;
+        EXPECT_EQ(a.verified, b.verified) << "request " << i;
+        EXPECT_EQ(a.reroutes, b.reroutes) << "request " << i;
+        EXPECT_TRUE(testutil::chainsMatch(a.failure_chain,
+                                          b.failure_chain))
+            << "request " << i;
+        ASSERT_EQ(a.u.size(), b.u.size()) << "request " << i;
+        for (std::size_t j = 0; j < a.u.size(); ++j)
+            EXPECT_EQ(a.u[j], b.u[j])
+                << "request " << i << " component " << j;
+    }
+
+    EXPECT_EQ(x.metrics.faults_seen, y.metrics.faults_seen);
+    EXPECT_EQ(x.metrics.analog_failures, y.metrics.analog_failures);
+    EXPECT_EQ(x.metrics.recoveries, y.metrics.recoveries);
+    EXPECT_EQ(x.metrics.reroutes, y.metrics.reroutes);
+    EXPECT_EQ(x.metrics.quarantines, y.metrics.quarantines);
+    EXPECT_EQ(x.metrics.fallbacks, y.metrics.fallbacks);
+    EXPECT_EQ(x.metrics.completed, y.metrics.completed);
+    EXPECT_EQ(x.metrics.ok, y.metrics.ok);
+}
+
+fault::FaultRates
+chaosRates()
+{
+    fault::FaultRates r;
+    r.stuck_integrator = 0.05;
+    r.gain_drift = 0.05;
+    r.adc_saturation = 0.05;
+    r.calibration_loss = 0.03;
+    r.config_corruption = 0.05;
+    r.die_death = 0.01;
+    return r;
+}
+
+std::vector<fault::FaultPlan>
+sampledPlans(std::uint64_t seed, std::size_t dies)
+{
+    std::vector<fault::FaultPlan> plans;
+    for (std::size_t k = 0; k < dies; ++k)
+        plans.push_back(
+            fault::FaultPlan::sample(seed * 131 + k, chaosRates(), 64));
+    return plans;
+}
+
+TEST(Chaos, SingleFaultScenariosNeverGiveSilentWrongAnswers)
+{
+    // One explicit fault on die 0 of a two-die pool, every kind in
+    // turn; die 1 stays clean. Whatever the kind does — pin a
+    // readout, clip an ADC, corrupt a write, kill the die — the
+    // stream must come back verified or explicitly degraded.
+    struct Scenario {
+        const char *label;
+        fault::FaultEvent event;
+    };
+    const Scenario scenarios[] = {
+        {"stuck", {fault::FaultKind::StuckIntegrator, 1, 2, 0, -0.8}},
+        {"drift", {fault::FaultKind::GainDrift, 1, 2, 0, 1.35}},
+        {"saturation", {fault::FaultKind::AdcSaturation, 1, 2, 0, 0.1}},
+        {"decal", {fault::FaultKind::CalibrationLoss, 1, 0, 0, 0.15}},
+        {"corrupt", {fault::FaultKind::ConfigCorruption, 1, 1, 2, 0.0}},
+        {"death", {fault::FaultKind::DieDeath, 1, 0, 0, 0.0}},
+    };
+    for (const Scenario &s : scenarios) {
+        SCOPED_TRACE(s.label);
+        std::vector<fault::FaultPlan> plans(2);
+        plans[0].add(s.event);
+        RunResult run = runScenario(plans, 2, 8);
+        EXPECT_GE(run.metrics.faults_seen, 1u); // the fault armed
+        expectAllAnswersAccountable(run);
+    }
+}
+
+TEST(Chaos, IdenticalSeedReproducesTheFailureChainBitForBit)
+{
+    for (std::uint64_t seed : {3ull, 29ull}) {
+        SCOPED_TRACE(seed);
+        std::vector<fault::FaultPlan> plans = sampledPlans(seed, 3);
+        RunResult first = runScenario(plans, 2, 10);
+        RunResult second = runScenario(plans, 2, 10);
+        expectAllAnswersAccountable(first);
+        expectRunsIdentical(first, second);
+    }
+}
+
+TEST(Chaos, ThreadCountDoesNotChangeFailureHandling)
+{
+    std::vector<fault::FaultPlan> plans = sampledPlans(17, 3);
+    RunResult serial = runScenario(plans, 1, 10);
+    RunResult threaded = runScenario(plans, 4, 10);
+    expectAllAnswersAccountable(serial);
+    expectAllAnswersAccountable(threaded);
+    expectRunsIdentical(serial, threaded);
+}
+
+} // namespace
+} // namespace aa::service

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * FaultPlan / FaultInjector unit properties: sampling is a pure
+ * function of (seed, rates, horizon); each fault kind transforms
+ * exactly the hook it models; timed faults expire on exec windows;
+ * the fired-record chain is stable and readable.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "aa/common/logging.hh"
+#include "aa/fault/fault.hh"
+
+namespace aa::fault {
+namespace {
+
+const bool g_quiet = [] {
+    setLogLevel(LogLevel::Quiet);
+    return true;
+}();
+
+FaultRates
+someRates()
+{
+    FaultRates r;
+    r.stuck_integrator = 0.10;
+    r.gain_drift = 0.10;
+    r.adc_saturation = 0.10;
+    r.calibration_loss = 0.05;
+    r.config_corruption = 0.10;
+    r.die_death = 0.02;
+    return r;
+}
+
+TEST(FaultPlan, SampleIsAPureFunctionOfSeed)
+{
+    FaultPlan p1 = FaultPlan::sample(42, someRates(), 64);
+    FaultPlan p2 = FaultPlan::sample(42, someRates(), 64);
+    ASSERT_EQ(p1.events().size(), p2.events().size());
+    EXPECT_FALSE(p1.empty()); // these rates over 64 windows must fire
+    for (std::size_t i = 0; i < p1.events().size(); ++i) {
+        const FaultEvent &a = p1.events()[i];
+        const FaultEvent &b = p2.events()[i];
+        EXPECT_EQ(a.kind, b.kind) << "event " << i;
+        EXPECT_EQ(a.at_exec, b.at_exec) << "event " << i;
+        EXPECT_EQ(a.duration, b.duration) << "event " << i;
+        EXPECT_EQ(a.unit, b.unit) << "event " << i;
+        EXPECT_EQ(a.magnitude, b.magnitude) << "event " << i;
+    }
+}
+
+TEST(FaultPlan, DifferentSeedsGiveDifferentSchedules)
+{
+    FaultPlan p1 = FaultPlan::sample(1, someRates(), 128);
+    FaultPlan p2 = FaultPlan::sample(2, someRates(), 128);
+    bool differ = p1.events().size() != p2.events().size();
+    for (std::size_t i = 0;
+         !differ && i < p1.events().size(); ++i)
+        differ = p1.events()[i].kind != p2.events()[i].kind ||
+                 p1.events()[i].at_exec != p2.events()[i].at_exec ||
+                 p1.events()[i].unit != p2.events()[i].unit;
+    EXPECT_TRUE(differ);
+}
+
+TEST(FaultPlan, ZeroRatesSampleNothing)
+{
+    EXPECT_TRUE(FaultPlan::sample(7, FaultRates{}, 256).empty());
+}
+
+TEST(FaultPlan, EventsStaySortedByExecWindow)
+{
+    FaultPlan plan;
+    plan.add({FaultKind::GainDrift, 9, 1, 0, 1.1});
+    plan.add({FaultKind::StuckIntegrator, 2, 1, 0, 0.5});
+    plan.add({FaultKind::AdcSaturation, 5, 1, 0, 0.2});
+    ASSERT_EQ(plan.events().size(), 3u);
+    EXPECT_EQ(plan.events()[0].at_exec, 2u);
+    EXPECT_EQ(plan.events()[1].at_exec, 5u);
+    EXPECT_EQ(plan.events()[2].at_exec, 9u);
+
+    FaultPlan sampled = FaultPlan::sample(5, someRates(), 128);
+    for (std::size_t i = 1; i < sampled.events().size(); ++i)
+        EXPECT_LE(sampled.events()[i - 1].at_exec,
+                  sampled.events()[i].at_exec);
+}
+
+TEST(FaultInjector, StuckIntegratorPinsOnlyItsUnitWhileActive)
+{
+    FaultPlan plan;
+    plan.add({FaultKind::StuckIntegrator, 0, 1, 1, 0.5});
+    FaultInjector inj(plan);
+
+    inj.onExecWindow(); // window 0: fault active
+    EXPECT_EQ(inj.onReadout(1, 2, 0.123), 0.5);
+    EXPECT_EQ(inj.onReadout(0, 2, 0.123), 0.123);
+
+    inj.onExecWindow(); // window 1: duration 1 expired
+    EXPECT_EQ(inj.onReadout(1, 2, 0.123), 0.123);
+    EXPECT_EQ(inj.firedCount(), 1u);
+}
+
+TEST(FaultInjector, AdcSaturationClampsSymmetrically)
+{
+    FaultPlan plan;
+    plan.add({FaultKind::AdcSaturation, 0, 2, 0, 0.25});
+    FaultInjector inj(plan);
+    inj.onExecWindow();
+    EXPECT_EQ(inj.onReadout(0, 1, 0.9), 0.25);
+    EXPECT_EQ(inj.onReadout(0, 1, -0.9), -0.25);
+    EXPECT_EQ(inj.onReadout(0, 1, 0.1), 0.1);
+}
+
+TEST(FaultInjector, CalibrationLossOffsetsReadsUntilReinit)
+{
+    FaultPlan plan;
+    plan.add({FaultKind::CalibrationLoss, 0, 0, 0, 0.1});
+    FaultInjector inj(plan);
+    inj.onExecWindow();
+    EXPECT_DOUBLE_EQ(inj.onReadout(0, 2, 0.2), 0.3);
+    EXPECT_DOUBLE_EQ(inj.onReadout(1, 2, 0.2), 0.3); // every ADC
+    inj.onInit(); // recalibration repairs the trims
+    EXPECT_EQ(inj.onReadout(0, 2, 0.2), 0.2);
+}
+
+TEST(FaultInjector, ConfigCorruptionFlipsExactlyOneWrite)
+{
+    FaultPlan plan;
+    plan.add({FaultKind::ConfigCorruption, 0, 1, 3, 0.0});
+    FaultInjector inj(plan);
+    inj.onExecWindow();
+    double corrupted = inj.onValueWrite(0.5);
+    EXPECT_NE(corrupted, 0.5);
+    EXPECT_TRUE(std::isfinite(corrupted)); // mantissa bit, not exponent
+    EXPECT_EQ(inj.onValueWrite(0.5), 0.5); // one-shot
+}
+
+TEST(FaultInjector, GainDriftMultipliesGainWrites)
+{
+    FaultPlan plan;
+    plan.add({FaultKind::GainDrift, 0, 1, 0, 0.9});
+    FaultInjector inj(plan);
+    inj.onExecWindow();
+    EXPECT_DOUBLE_EQ(inj.onGainWrite(1.0), 0.9);
+    EXPECT_EQ(inj.onValueWrite(1.0), 1.0); // non-gain writes untouched
+}
+
+TEST(FaultInjector, DieDeathThrowsOnEveryCommand)
+{
+    FaultPlan plan;
+    plan.add({FaultKind::DieDeath, 1, 0, 0, 0.0});
+    FaultInjector inj(plan);
+    inj.onExecWindow(); // window 0: still alive
+    EXPECT_FALSE(inj.dead());
+    EXPECT_THROW(inj.onExecWindow(), DieDeadError); // window 1: dark
+    EXPECT_TRUE(inj.dead());
+    EXPECT_THROW(inj.checkAlive(), DieDeadError);
+    EXPECT_EQ(inj.firedCount(), 1u);
+}
+
+TEST(FaultInjector, ChainStringIsStableAndReadable)
+{
+    FaultPlan plan;
+    plan.add({FaultKind::StuckIntegrator, 0, 1, 2, 0.5});
+    plan.add({FaultKind::DieDeath, 2, 0, 0, 0.0});
+    FaultInjector inj(plan);
+    inj.onExecWindow();
+    inj.onExecWindow();
+    EXPECT_THROW(inj.onExecWindow(), DieDeadError);
+    EXPECT_EQ(inj.chainString(),
+              "stuck-integrator@0#2 die-death@2#0");
+}
+
+} // namespace
+} // namespace aa::fault

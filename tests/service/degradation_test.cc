@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Service degradation path: when analog capacity disappears — dies
+ * dead, dies quarantined, or fallback disabled — the service must
+ * still answer every request honestly: digital CG marked degraded,
+ * or an explicit failure carrying the per-die chain. Plus the
+ * deadline-classification regression: giving up on a deadline is
+ * never counted as a completion.
+ */
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aa/analog/die_pool.hh"
+#include "aa/common/logging.hh"
+#include "aa/fault/fault.hh"
+#include "aa/service/service.hh"
+
+namespace aa::service {
+namespace {
+
+const bool g_quiet = [] {
+    setLogLevel(LogLevel::Quiet);
+    return true;
+}();
+
+analog::AnalogSolverOptions
+quietOptions()
+{
+    analog::AnalogSolverOptions opts;
+    opts.spec.variation.enabled = false;
+    opts.spec.adc_noise_sigma = 0.0;
+    opts.auto_calibrate = false;
+    return opts;
+}
+
+std::shared_ptr<const la::DenseMatrix>
+matrixA()
+{
+    return std::make_shared<const la::DenseMatrix>(
+        la::DenseMatrix::fromRows({{4.0, -1.0}, {-1.0, 3.0}}));
+}
+
+/** Kill every die in the pool on its first exec window. */
+void
+killAllDies(analog::DiePool &pool)
+{
+    for (std::size_t k = 0; k < pool.size(); ++k) {
+        fault::FaultPlan plan;
+        plan.add({fault::FaultKind::DieDeath, 0, 0, 0, 0.0});
+        pool.attachFaultInjector(
+            k, std::make_shared<fault::FaultInjector>(plan));
+    }
+}
+
+double
+relResidual(const la::DenseMatrix &a, const la::Vector &b,
+            const la::Vector &u)
+{
+    la::Vector r = b - a.apply(u);
+    return la::norm2(r) / la::norm2(b);
+}
+
+TEST(Degradation, TotalDieDeathStillAnswersEveryRequest)
+{
+    // 100% die death: the pool goes dark on first contact, yet every
+    // response arrives (no hangs), is Ok, degraded, and correct.
+    analog::DiePool pool(2, quietOptions());
+    killAllDies(pool);
+    ServiceOptions sopts;
+    sopts.start_paused = true;
+    SolveService svc(pool, sopts);
+
+    auto a = matrixA();
+    const std::size_t kRequests = 6;
+    std::vector<la::Vector> rhs;
+    std::vector<std::future<SolveResponse>> futures;
+    for (std::size_t i = 0; i < kRequests; ++i) {
+        SolveRequest req;
+        req.a = a;
+        req.b = la::Vector{1.0 + 0.25 * static_cast<double>(i), 2.0};
+        rhs.push_back(req.b);
+        futures.push_back(svc.submit(std::move(req)));
+    }
+    svc.resume();
+    svc.drain();
+    svc.stop();
+
+    for (std::size_t i = 0; i < kRequests; ++i) {
+        SolveResponse r = futures[i].get();
+        ASSERT_EQ(r.status, RequestStatus::Ok) << r.reason;
+        EXPECT_TRUE(r.degraded) << "request " << i;
+        EXPECT_TRUE(r.verified) << "request " << i;
+        EXPECT_TRUE(r.converged) << "request " << i;
+        EXPECT_LE(relResidual(*a, rhs[i], r.u), 1e-8)
+            << "request " << i;
+    }
+
+    // Both dies are terminally dead.
+    EXPECT_EQ(pool.health(0).state, analog::DieState::Dead);
+    EXPECT_EQ(pool.health(1).state, analog::DieState::Dead);
+    EXPECT_TRUE(pool.availableDies().empty());
+
+    ServiceMetrics m = svc.metrics();
+    EXPECT_EQ(m.completed, kRequests);
+    EXPECT_EQ(m.ok, kRequests);
+    EXPECT_EQ(m.failed, 0u);
+    EXPECT_EQ(m.deadline_expired, 0u);
+    EXPECT_EQ(m.fallbacks, kRequests); // every answer was digital
+    EXPECT_GE(m.analog_failures, 1u);  // the deaths were observed
+    EXPECT_GE(m.faults_seen, 2u);      // one death event per die
+}
+
+TEST(Degradation, FallbackDisabledFailsLoudlyWithTheChain)
+{
+    analog::DiePool pool(1, quietOptions());
+    killAllDies(pool);
+    ServiceOptions sopts;
+    sopts.digital_fallback = false;
+    SolveService svc(pool, sopts);
+
+    SolveRequest req;
+    req.a = matrixA();
+    req.b = la::Vector{1.0, 2.0};
+    SolveResponse r = svc.submit(std::move(req)).get();
+    svc.stop();
+
+    // Never a silent wrong answer: with no fallback the request
+    // fails explicitly and names the die that died.
+    EXPECT_EQ(r.status, RequestStatus::Failed);
+    EXPECT_FALSE(r.degraded);
+    EXPECT_NE(r.failure_chain.find("die 0"), std::string::npos);
+    ServiceMetrics m = svc.metrics();
+    EXPECT_EQ(m.failed, 1u);
+    EXPECT_EQ(m.completed, 1u);
+    EXPECT_EQ(m.ok, 0u);
+}
+
+TEST(Degradation, StuckDiesAreQuarantinedAndTheStreamDegrades)
+{
+    // Both dies pinned wrong forever: verification rejects every
+    // analog answer, health tracking benches both dies, and the
+    // whole stream degrades to digital CG — all Ok, none silent.
+    analog::DiePool pool(2, quietOptions());
+    for (std::size_t k = 0; k < pool.size(); ++k) {
+        fault::FaultPlan plan;
+        plan.add(
+            {fault::FaultKind::StuckIntegrator, 0, 0, 0, -1.0});
+        pool.attachFaultInjector(
+            k, std::make_shared<fault::FaultInjector>(plan));
+    }
+    ServiceOptions sopts;
+    sopts.start_paused = true;
+    sopts.max_die_recoveries = 0; // keep the failures cheap
+    SolveService svc(pool, sopts);
+
+    auto a = matrixA();
+    const std::size_t kRequests = 6;
+    std::vector<la::Vector> rhs;
+    std::vector<std::future<SolveResponse>> futures;
+    for (std::size_t i = 0; i < kRequests; ++i) {
+        SolveRequest req;
+        req.a = a;
+        req.b = la::Vector{1.0 + 0.25 * static_cast<double>(i), 2.0};
+        rhs.push_back(req.b);
+        futures.push_back(svc.submit(std::move(req)));
+    }
+    svc.resume();
+    svc.drain();
+    svc.stop();
+
+    for (std::size_t i = 0; i < kRequests; ++i) {
+        SolveResponse r = futures[i].get();
+        ASSERT_EQ(r.status, RequestStatus::Ok) << r.reason;
+        EXPECT_TRUE(r.degraded) << "request " << i;
+        EXPECT_LE(relResidual(*a, rhs[i], r.u), 1e-8)
+            << "request " << i;
+        EXPECT_FALSE(r.failure_chain.empty()) << "request " << i;
+    }
+
+    ServiceMetrics m = svc.metrics();
+    EXPECT_EQ(m.fallbacks, kRequests);
+    EXPECT_GE(m.analog_failures, 2u * pool.healthPolicy()
+                                          .quarantine_after);
+    EXPECT_EQ(m.quarantines, 2u); // both dies benched
+    EXPECT_GE(m.reroutes, 1u);
+    EXPECT_EQ(m.ok, kRequests);
+}
+
+TEST(Degradation, DeadlineExpiryIsClassifiedExpiredNotCompleted)
+{
+    // The regression: a request that gives up on its deadline —
+    // queued or mid retry chain — must count as deadline_expired,
+    // never as completed.
+    analog::DiePool pool(1, quietOptions());
+    ServiceOptions sopts;
+    sopts.start_paused = true;
+    SolveService svc(pool, sopts);
+
+    SolveRequest req;
+    req.a = matrixA();
+    req.b = la::Vector{1.0, 2.0};
+    req.deadline_seconds = 1e-3;
+    auto f = svc.submit(std::move(req));
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    svc.resume();
+    svc.drain();
+    svc.stop();
+
+    SolveResponse r = f.get();
+    ASSERT_EQ(r.status, RequestStatus::DeadlineExpired);
+    ServiceMetrics m = svc.metrics();
+    EXPECT_EQ(m.deadline_expired, 1u);
+    EXPECT_EQ(m.completed, 0u); // the bug counted it here too
+    EXPECT_EQ(m.ok, 0u);
+    EXPECT_EQ(m.failed, 0u);
+}
+
+TEST(Degradation, DeadlineExpiryDuringRetryChainIsNotACompletion)
+{
+    // Same classification through the retry-chain path: the single
+    // die fails verification, and by the time the failure is handled
+    // the deadline has passed. Timing decides *which* path gives up
+    // (queued / retry chain / fallback still in budget); the
+    // accounting invariant must hold on every path: exactly one of
+    // completed / deadline_expired, never both.
+    analog::DiePool pool(1, quietOptions());
+    fault::FaultPlan plan;
+    plan.add({fault::FaultKind::StuckIntegrator, 0, 0, 0, -1.0});
+    pool.attachFaultInjector(
+        0, std::make_shared<fault::FaultInjector>(plan));
+    ServiceOptions sopts;
+    sopts.max_die_recoveries = 1; // recovery recalibrates: slow path
+    SolveService svc(pool, sopts);
+
+    SolveRequest req;
+    req.a = matrixA();
+    req.b = la::Vector{1.0, 2.0};
+    req.deadline_seconds = 2e-3;
+    SolveResponse r = svc.submit(std::move(req)).get();
+    svc.stop();
+
+    ServiceMetrics m = svc.metrics();
+    EXPECT_EQ(m.completed + m.deadline_expired, 1u);
+    if (r.status == RequestStatus::DeadlineExpired) {
+        EXPECT_EQ(m.deadline_expired, 1u);
+        EXPECT_EQ(m.completed, 0u);
+        EXPECT_NE(r.reason.find("deadline"), std::string::npos);
+    } else {
+        // Machine beat the deadline: the answer must still be
+        // accountable, not silent.
+        ASSERT_EQ(r.status, RequestStatus::Ok);
+        EXPECT_TRUE(r.degraded);
+        EXPECT_EQ(m.completed, 1u);
+        EXPECT_EQ(m.deadline_expired, 0u);
+    }
+}
+
+} // namespace
+} // namespace aa::service

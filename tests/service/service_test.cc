@@ -20,6 +20,7 @@
 #include "aa/analog/refine.hh"
 #include "aa/common/logging.hh"
 #include "aa/service/service.hh"
+#include "common/trace_matcher.hh"
 
 namespace aa::service {
 namespace {
@@ -130,6 +131,10 @@ TEST(Service, TraceIsBitIdenticalToDirectDie)
             EXPECT_EQ(r.u[i], direct.u[i])
                 << "request " << idx << " component " << i;
         EXPECT_EQ(r.attempts, direct.attempts);
+        // The structural solve trace must match too: same config
+        // traffic, same cache behaviour, request by request.
+        EXPECT_TRUE(testutil::phasesMatch(direct.phases, r.phases))
+            << "request " << idx;
     }
 }
 
@@ -406,6 +411,12 @@ TEST(Service, ThreadCountDoesNotChangeResults)
         for (std::size_t j = 0; j < serial[i].u.size(); ++j)
             EXPECT_EQ(serial[i].u[j], threaded[i].u[j])
                 << "request " << i << " component " << j;
+        EXPECT_TRUE(testutil::phasesMatch(serial[i].phases,
+                                          threaded[i].phases))
+            << "request " << i;
+        EXPECT_TRUE(testutil::chainsMatch(serial[i].failure_chain,
+                                          threaded[i].failure_chain))
+            << "request " << i;
     }
 }
 

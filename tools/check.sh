@@ -10,21 +10,44 @@
 #      scheduler suites (common + analog + decompose_parallel +
 #      service).
 # The --service leg runs just the solve-request service checks: its
-# gtest binary under TSan at AASIM_THREADS=1 and =4, then the
-# cache-affine vs round-robin throughput benchmark, recorded into
-# BENCH_service.json.
-# Usage: tools/check.sh [--tier1-only | --service]
+# gtest binary and the chaos suite under TSan at AASIM_THREADS=1 and
+# =4, then the cache-affine vs round-robin throughput benchmark,
+# recorded into BENCH_service.json.
+# The --coverage leg builds the coverage preset, runs the fault /
+# service / analog suites, and gates src/fault and src/service at 85%
+# line coverage via tools/coverage.py (emits coverage.xml).
+# Usage: tools/check.sh [--tier1-only | --service | --coverage]
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--coverage" ]]; then
+    echo "== coverage (gcov) =="
+    cmake --preset coverage >/dev/null
+    cmake --build build-coverage -j"$(nproc)" \
+        --target chaos_test service_test analog_test
+    find build-coverage -name '*.gcda' -delete
+    for t in chaos_test service_test analog_test; do
+        echo "-- $t"
+        ./build-coverage/tests/"$t" --gtest_brief=1
+    done
+    python3 tools/coverage.py --build build-coverage \
+        --xml build-coverage/coverage.xml \
+        --gate src/fault:85 --gate src/service:85
+    echo "check.sh: coverage leg green"
+    exit 0
+fi
 
 if [[ "${1:-}" == "--service" ]]; then
     echo "== service (TSan) =="
     cmake --preset tsan >/dev/null
-    cmake --build build-tsan -j"$(nproc)" --target service_test
-    for threads in 1 4; do
-        echo "-- service_test @ AASIM_THREADS=$threads"
-        AASIM_THREADS=$threads \
-            ./build-tsan/tests/service_test --gtest_brief=1
+    cmake --build build-tsan -j"$(nproc)" \
+        --target service_test chaos_test
+    for t in service_test chaos_test; do
+        for threads in 1 4; do
+            echo "-- $t @ AASIM_THREADS=$threads"
+            AASIM_THREADS=$threads \
+                ./build-tsan/tests/"$t" --gtest_brief=1
+        done
     done
     echo "== service throughput (BENCH_service.json) =="
     cmake -B build -S . >/dev/null
@@ -53,8 +76,10 @@ fi
 echo "== sanitize (ASan/UBSan) =="
 cmake --preset sanitize >/dev/null
 cmake --build build-sanitize -j"$(nproc)" \
-    --target compiler_test analog_test circuit_test
-for t in compiler_test analog_test circuit_test; do
+    --target compiler_test analog_test circuit_test chaos_test \
+             service_test
+for t in compiler_test analog_test circuit_test chaos_test \
+         service_test; do
     ./build-sanitize/tests/"$t" --gtest_brief=1
 done
 
@@ -62,9 +87,9 @@ echo "== sanitize (TSan) =="
 cmake --preset tsan >/dev/null
 cmake --build build-tsan -j"$(nproc)" \
     --target common_test analog_test decompose_parallel_test \
-             service_test
+             service_test chaos_test
 for t in common_test analog_test decompose_parallel_test \
-         service_test; do
+         service_test chaos_test; do
     for threads in 1 4; do
         AASIM_THREADS=$threads \
             ./build-tsan/tests/"$t" --gtest_brief=1

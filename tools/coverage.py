@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Aggregate gcov line coverage and gate directories on a minimum.
+
+The coverage preset builds with --coverage; running the test binaries
+drops .gcda counters next to the objects. This script walks the build
+tree, asks `gcov --json-format --stdout` for per-line counts, merges
+them per source file, writes a Cobertura-style coverage.xml (for CI
+viewers), prints a per-directory summary, and exits nonzero when a
+gated directory is under its threshold.
+
+Stdlib only — the container has no gcovr.
+
+Usage:
+  tools/coverage.py --build build-coverage --xml coverage.xml \
+      --gate src/fault:85 --gate src/service:85
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import xml.etree.ElementTree as ET
+
+
+def find_gcda(build_dir):
+    for dirpath, _dirnames, filenames in os.walk(build_dir):
+        for fn in filenames:
+            if fn.endswith(".gcda"):
+                yield os.path.join(dirpath, fn)
+
+
+def gcov_json_docs(gcda_path):
+    """Run gcov on one .gcda and yield the parsed JSON documents."""
+    proc = subprocess.run(
+        ["gcov", "--json-format", "--stdout", gcda_path],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        check=False,
+    )
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            yield json.loads(line)
+        except json.JSONDecodeError:
+            continue
+
+
+def collect(build_dir, root):
+    """Merge line counts: {relative source path: {line: hits}}."""
+    merged = {}
+    root = os.path.realpath(root)
+    for gcda in find_gcda(build_dir):
+        for doc in gcov_json_docs(gcda):
+            cwd = doc.get("current_working_directory", "")
+            for f in doc.get("files", []):
+                path = f.get("file", "")
+                if not os.path.isabs(path):
+                    path = os.path.join(cwd, path)
+                path = os.path.realpath(path)
+                if not path.startswith(root + os.sep):
+                    continue
+                rel = os.path.relpath(path, root)
+                lines = merged.setdefault(rel, {})
+                for ln in f.get("lines", []):
+                    num = ln.get("line_number")
+                    count = ln.get("count", 0)
+                    if num is None:
+                        continue
+                    lines[num] = max(lines.get(num, 0), count)
+    return merged
+
+
+def rate(lines):
+    total = len(lines)
+    hit = sum(1 for c in lines.values() if c > 0)
+    return (hit, total, (hit / total) if total else 1.0)
+
+
+def dir_rate(merged, prefix):
+    lines = {}
+    prefix = prefix.rstrip("/") + "/"
+    for rel, file_lines in merged.items():
+        if rel.startswith(prefix):
+            for num, count in file_lines.items():
+                lines[(rel, num)] = count
+    return rate(lines)
+
+
+def write_cobertura(merged, root, xml_path):
+    hit_all, total_all, rate_all = rate(
+        {
+            (rel, num): count
+            for rel, lines in merged.items()
+            for num, count in lines.items()
+        }
+    )
+    cov = ET.Element(
+        "coverage",
+        {
+            "line-rate": f"{rate_all:.4f}",
+            "lines-covered": str(hit_all),
+            "lines-valid": str(total_all),
+            "branch-rate": "0",
+            "version": "1",
+            "timestamp": "0",
+        },
+    )
+    sources = ET.SubElement(cov, "sources")
+    ET.SubElement(sources, "source").text = root
+    packages = ET.SubElement(cov, "packages")
+
+    by_dir = {}
+    for rel in sorted(merged):
+        by_dir.setdefault(os.path.dirname(rel), []).append(rel)
+    for dirname, files in sorted(by_dir.items()):
+        _h, _t, drate = dir_rate(merged, dirname) if dirname else rate(
+            {
+                (rel, num): count
+                for rel in files
+                for num, count in merged[rel].items()
+            }
+        )
+        pkg = ET.SubElement(
+            packages,
+            "package",
+            {"name": dirname or ".", "line-rate": f"{drate:.4f}"},
+        )
+        classes = ET.SubElement(pkg, "classes")
+        for rel in files:
+            _fh, _ft, frate = rate(merged[rel])
+            cls = ET.SubElement(
+                classes,
+                "class",
+                {
+                    "name": os.path.basename(rel),
+                    "filename": rel,
+                    "line-rate": f"{frate:.4f}",
+                },
+            )
+            lines_el = ET.SubElement(cls, "lines")
+            for num in sorted(merged[rel]):
+                ET.SubElement(
+                    lines_el,
+                    "line",
+                    {"number": str(num), "hits": str(merged[rel][num])},
+                )
+    ET.ElementTree(cov).write(
+        xml_path, encoding="utf-8", xml_declaration=True
+    )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build", required=True, help="build tree with .gcda")
+    ap.add_argument("--root", default=".", help="repository root")
+    ap.add_argument("--xml", default="", help="write coverage.xml here")
+    ap.add_argument(
+        "--gate",
+        action="append",
+        default=[],
+        metavar="DIR:PCT",
+        help="fail if DIR line coverage < PCT (repeatable)",
+    )
+    args = ap.parse_args()
+
+    root = os.path.realpath(args.root)
+    merged = collect(args.build, root)
+    if not merged:
+        print("coverage.py: no coverage data found under", args.build)
+        return 2
+
+    if args.xml:
+        write_cobertura(merged, root, args.xml)
+        print(f"coverage.py: wrote {args.xml}")
+
+    failed = False
+    for gate in args.gate:
+        dirname, _, pct = gate.rpartition(":")
+        threshold = float(pct)
+        hit, total, r = dir_rate(merged, dirname)
+        status = "ok" if r * 100.0 >= threshold else "FAIL"
+        if status == "FAIL":
+            failed = True
+        print(
+            f"coverage.py: {dirname}: {hit}/{total} lines "
+            f"({r * 100.0:.1f}%) >= {threshold:.0f}% ... {status}"
+        )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
