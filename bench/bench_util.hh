@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <cstring>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "aa/common/logging.hh"
@@ -19,6 +20,68 @@
 #include "aa/common/table.hh"
 
 namespace aa::bench {
+
+/**
+ * CMake build type this translation unit was compiled under
+ * (RelWithDebInfo, Debug, ...). Injected by bench/CMakeLists.txt;
+ * "unknown" means the binary was built outside the CMake tree.
+ */
+inline const char *
+buildType()
+{
+#ifdef AA_BUILD_TYPE
+    return AA_BUILD_TYPE;
+#else
+    return "unknown";
+#endif
+}
+
+/** Compiler id + version, e.g. "gcc 12.2.0" or "clang 15.0.7". */
+inline std::string
+compilerId()
+{
+#if defined(__clang__)
+    return std::string("clang ") + std::to_string(__clang_major__) +
+           "." + std::to_string(__clang_minor__) + "." +
+           std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+    return std::string("gcc ") + std::to_string(__GNUC__) + "." +
+           std::to_string(__GNUC_MINOR__) + "." +
+           std::to_string(__GNUC_PATCHLEVEL__);
+#else
+    return "unknown";
+#endif
+}
+
+/** The effective CXX flags the bench objects were compiled with. */
+inline const char *
+buildFlags()
+{
+#ifdef AA_CXX_FLAGS
+    return AA_CXX_FLAGS;
+#else
+    return "unknown";
+#endif
+}
+
+/**
+ * Record the build provenance of *this* binary into a bench artifact
+ * via the caller-supplied add(key, value) sink (the gbench binaries
+ * pass benchmark::AddCustomContext). google-benchmark's own
+ * "library_build_type" context key describes how *libbenchmark* was
+ * built (debug on this system), not our code, which is why a past
+ * BENCH_kernels.json read as a debug capture despite -O2 objects —
+ * these keys make the artifact's real optimization level auditable,
+ * and tools/check.sh warns when aasim_build_type reads Debug.
+ */
+template <typename AddFn>
+inline void
+recordBuildContext(AddFn &&add)
+{
+    add("aasim_build_type", std::string(buildType()));
+    add("aasim_compiler", compilerId());
+    add("aasim_cxx_flags", std::string(buildFlags()));
+}
 
 /** True when the binary was invoked with --tsv. */
 inline bool

@@ -24,6 +24,7 @@
 
 #include "aa/analog/decompose.hh"
 #include "aa/analog/die_pool.hh"
+#include "bench_util.hh"
 #include "aa/chip/chip.hh"
 #include "aa/circuit/plan.hh"
 #include "aa/circuit/simulator.hh"
@@ -99,6 +100,10 @@ using namespace aa;
  * before/after speedup alongside the live BM_Rhs* numbers.
  */
 const bool g_baseline_context = [] {
+    aa::bench::recordBuildContext(
+        [](const char *k, const std::string &v) {
+            benchmark::AddCustomContext(k, v);
+        });
     benchmark::AddCustomContext("preplan_rhs_ideal_32_ns_per_eval",
                                 "260641");
     benchmark::AddCustomContext(

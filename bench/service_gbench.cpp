@@ -32,10 +32,19 @@
 #include "aa/common/logging.hh"
 #include "aa/pde/poisson.hh"
 #include "aa/service/service.hh"
+#include "bench_util.hh"
 
 namespace {
 
 using namespace aa;
+
+const bool g_build_context = [] {
+    aa::bench::recordBuildContext(
+        [](const char *k, const std::string &v) {
+            benchmark::AddCustomContext(k, v);
+        });
+    return true;
+}();
 
 constexpr std::size_t kDies = 3;
 constexpr std::size_t kBurst = 24; ///< requests per timed iteration

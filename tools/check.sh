@@ -20,6 +20,24 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Bench artifacts must come from an optimized build: every gbench
+# binary stamps aasim_build_type into its JSON context (the
+# "library_build_type" key describes the system libbenchmark, not our
+# code). Warn on Debug captures or pre-stamp artifacts.
+warn_debug_bench() {
+    local f
+    for f in BENCH_*.json; do
+        [[ -e "$f" ]] || continue
+        if grep -q '"aasim_build_type": "Debug"' "$f"; then
+            echo "WARNING: $f was captured from a Debug build;" \
+                 "re-record it from the RelWithDebInfo preset" >&2
+        elif ! grep -q '"aasim_build_type"' "$f"; then
+            echo "WARNING: $f has no aasim_build_type context" \
+                 "(stale capture predating the build stamp)" >&2
+        fi
+    done
+}
+
 if [[ "${1:-}" == "--coverage" ]]; then
     echo "== coverage (gcov) =="
     cmake --preset coverage >/dev/null
@@ -56,6 +74,7 @@ if [[ "${1:-}" == "--service" ]]; then
         --benchmark_min_time=2 \
         --benchmark_out=BENCH_service.json \
         --benchmark_out_format=json
+    warn_debug_bench
     echo "check.sh: service leg green"
     exit 0
 fi
@@ -68,6 +87,7 @@ for threads in 1 4; do
     AASIM_THREADS=$threads \
         ctest --test-dir build -L tier1 --output-on-failure -j"$(nproc)"
 done
+warn_debug_bench
 
 if [[ "${1:-}" == "--tier1-only" ]]; then
     exit 0
@@ -84,12 +104,15 @@ for t in compiler_test analog_test circuit_test chaos_test \
 done
 
 echo "== sanitize (TSan) =="
+# circuit_test rides along for the SoA plan-equivalence oracle and
+# analog_test for solveBatch bit-identity: batched dispatch must stay
+# deterministic at any AASIM_THREADS.
 cmake --preset tsan >/dev/null
 cmake --build build-tsan -j"$(nproc)" \
-    --target common_test analog_test decompose_parallel_test \
-             service_test chaos_test
-for t in common_test analog_test decompose_parallel_test \
-         service_test chaos_test; do
+    --target common_test circuit_test analog_test \
+             decompose_parallel_test service_test chaos_test
+for t in common_test circuit_test analog_test \
+         decompose_parallel_test service_test chaos_test; do
     for threads in 1 4; do
         AASIM_THREADS=$threads \
             ./build-tsan/tests/"$t" --gtest_brief=1
