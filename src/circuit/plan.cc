@@ -39,6 +39,32 @@ isComb(BlockKind kind)
     }
 }
 
+/**
+ * applyStage, reading the error factors from the workspace's SoA
+ * stage lanes at position p instead of gathering an OutputStage
+ * struct. The floating-point expression shape (and the ge1 = 1 +
+ * gain_err pre-add) is byte-for-byte the one applyStage evaluates,
+ * so lane results are bit-identical to the AoS walker's.
+ */
+inline double
+applyLanes(const PlanWorkspace &ws, std::size_t p,
+           const AnalogSpec &spec, double raw, bool &overflow,
+           bool monitored)
+{
+    double v = raw * ws.st_ge1[p] * ws.st_tg[p] + ws.st_off[p] +
+               ws.st_toff[p];
+    v = v - ws.st_cub[p] * v * v * v /
+                (monitored ? 1.0
+                           : spec.branch_clip_range *
+                                 spec.branch_clip_range);
+    if (!monitored)
+        return std::clamp(v, -spec.branch_clip_range,
+                          spec.branch_clip_range);
+    if (std::fabs(v) > spec.linear_range)
+        overflow = true;
+    return std::clamp(v, -spec.clip_range, spec.clip_range);
+}
+
 } // namespace
 
 EvalPlan::EvalPlan(const Netlist &net, const AnalogSpec &spec)
@@ -218,6 +244,134 @@ EvalPlan::EvalPlan(const Netlist &net, const AnalogSpec &spec)
         lv.lut_end = u32(lut_ops.size());
         levels.push_back(lv);
     }
+
+    buildSoaTables();
+}
+
+void
+EvalPlan::buildSoaTables()
+{
+    auto u32 = [](std::size_t v) { return static_cast<PlanIdx>(v); };
+
+    in_off32.resize(in_offsets.size());
+    for (std::size_t i = 0; i < in_offsets.size(); ++i)
+        in_off32[i] = u32(in_offsets[i]);
+    in_src32.resize(in_srcs.size());
+    for (std::size_t i = 0; i < in_srcs.size(); ++i)
+        in_src32[i] = u32(in_srcs[i]);
+
+    auto fanin1 = [&](PlanIdx row) {
+        return in_offsets[row + 1] - in_offsets[row] == 1;
+    };
+    auto soleSrc = [&](PlanIdx row) {
+        return u32(in_srcs[in_offsets[row]]);
+    };
+
+    // Partition each level's ops into the unit-source lanes (flat
+    // gather-multiply-scatter, no CSR indirection) and the
+    // multi-source CSR lanes. Ops within one level are independent —
+    // a comb->comb edge forces distinct levels — so splitting a
+    // level's emission order is observation-equivalent; each op's own
+    // arithmetic (and the multi lane's summation order) is unchanged.
+    for (const LevelSlice &lv : levels) {
+        SoaSlice s;
+        s.gu0 = u32(gu_out.size());
+        s.gm0 = u32(gm_out.size());
+        for (PlanIdx k = lv.gain_begin; k < lv.gain_end; ++k) {
+            const GainOp &op = gain_ops[k];
+            if (fanin1(op.in)) {
+                gu_out.push_back(op.out);
+                gu_src.push_back(soleSrc(op.in));
+                gu_op.push_back(k);
+            } else {
+                gm_out.push_back(op.out);
+                gm_row.push_back(op.in);
+                gm_op.push_back(k);
+            }
+        }
+        s.gu1 = u32(gu_out.size());
+        s.gm1 = u32(gm_out.size());
+
+        s.vu0 = u32(vu_out.size());
+        s.vm0 = u32(vm_out.size());
+        for (PlanIdx k = lv.var_begin; k < lv.var_end; ++k) {
+            const MulVarOp &op = var_ops[k];
+            if (fanin1(op.in0) && fanin1(op.in1)) {
+                vu_out.push_back(op.out);
+                vu_src0.push_back(soleSrc(op.in0));
+                vu_src1.push_back(soleSrc(op.in1));
+            } else {
+                vm_out.push_back(op.out);
+                vm_row0.push_back(op.in0);
+                vm_row1.push_back(op.in1);
+            }
+        }
+        s.vu1 = u32(vu_out.size());
+        s.vm1 = u32(vm_out.size());
+
+        s.fu0 = u32(fu_out.size());
+        s.fm0 = u32(fm_out.size());
+        for (PlanIdx k = lv.fan_begin; k < lv.fan_end; ++k) {
+            const FanOp &op = fan_ops[k];
+            if (fanin1(op.in)) {
+                fu_out.push_back(op.out);
+                fu_src.push_back(soleSrc(op.in));
+            } else {
+                fm_out.push_back(op.out);
+                fm_row.push_back(op.in);
+            }
+        }
+        s.fu1 = u32(fu_out.size());
+        s.fm1 = u32(fm_out.size());
+
+        s.lu0 = u32(lu_out.size());
+        s.lm0 = u32(lm_out.size());
+        for (PlanIdx k = lv.lut_begin; k < lv.lut_end; ++k) {
+            const LutOp &op = lut_ops[k];
+            if (fanin1(op.in)) {
+                lu_out.push_back(op.out);
+                lu_src.push_back(soleSrc(op.in));
+                lu_op.push_back(k);
+            } else {
+                lm_out.push_back(op.out);
+                lm_row.push_back(op.in);
+                lm_op.push_back(k);
+            }
+        }
+        s.lu1 = u32(lu_out.size());
+        s.lm1 = u32(lm_out.size());
+
+        soa_levels.push_back(s);
+    }
+
+    // Stage-lane position map: family by family, so every sweep reads
+    // its error lanes sequentially.
+    sb_gu = 0;
+    sb_gm = sb_gu + u32(gu_out.size());
+    sb_vu = sb_gm + u32(gm_out.size());
+    sb_vm = sb_vu + u32(vu_out.size());
+    sb_fu = sb_vm + u32(vm_out.size());
+    sb_fm = sb_fu + u32(fu_out.size());
+    sb_lu = sb_fm + u32(fm_out.size());
+    sb_lm = sb_lu + u32(lu_out.size());
+    sb_dac = sb_lm + u32(lm_out.size());
+    sb_ext = sb_dac + u32(dac_ops.size());
+    sb_integ = sb_ext + u32(extin_ops.size());
+
+    stage_out.clear();
+    stage_out.reserve(sb_integ + integ_ops.size());
+    for (const auto &v :
+         {std::cref(gu_out), std::cref(gm_out), std::cref(vu_out),
+          std::cref(vm_out), std::cref(fu_out), std::cref(fm_out),
+          std::cref(lu_out), std::cref(lm_out)})
+        stage_out.insert(stage_out.end(), v.get().begin(),
+                         v.get().end());
+    for (const DacOp &op : dac_ops)
+        stage_out.push_back(op.out);
+    for (const ExtInOp &op : extin_ops)
+        stage_out.push_back(op.out);
+    for (const IntegOp &op : integ_ops)
+        stage_out.push_back(op.out);
 }
 
 void
@@ -257,6 +411,40 @@ EvalPlan::refreshParams(const Netlist &net, const AnalogSpec &spec,
         const auto &fn = net.params(BlockId{extin_ops[i].blk}).ext_in;
         ws.ext[i] = fn ? &fn : nullptr;
     }
+
+    // Mirror the gain snapshot into the SoA lane orders.
+    ws.gain_u.resize(gu_op.size());
+    for (std::size_t j = 0; j < gu_op.size(); ++j)
+        ws.gain_u[j] = ws.gain[gu_op[j]];
+    ws.gain_m.resize(gm_op.size());
+    for (std::size_t j = 0; j < gm_op.size(); ++j)
+        ws.gain_m[j] = ws.gain[gm_op[j]];
+}
+
+void
+EvalPlan::refreshStages(const std::vector<OutputStage> &stages,
+                        PlanWorkspace &ws) const
+{
+    const std::size_t n = stage_out.size();
+    ws.st_ge1.resize(n);
+    ws.st_tg.resize(n);
+    ws.st_off.resize(n);
+    ws.st_toff.resize(n);
+    ws.st_cub.resize(n);
+    bool ident = true;
+    for (std::size_t p = 0; p < n; ++p) {
+        const OutputStage &s = stages[stage_out[p]];
+        ws.st_ge1[p] = 1.0 + s.gain_err;
+        ws.st_tg[p] = s.trim_gain;
+        ws.st_off[p] = s.offset;
+        ws.st_toff[p] = s.trim_offset;
+        ws.st_cub[p] = s.cubic;
+        ident = ident && s.gain_err == 0.0 && s.trim_gain == 1.0 &&
+                s.offset == 0.0 && s.trim_offset == 0.0 &&
+                s.cubic == 0.0;
+    }
+    ws.stages_identity = ident;
+    ws.stages_valid = true;
 }
 
 double
@@ -352,10 +540,10 @@ EvalPlan::checkSinks(const la::Vector &vals, const AnalogSpec &spec,
 }
 
 void
-EvalPlan::evalIdealPorts(double t, const la::Vector &y,
-                         const std::vector<OutputStage> &stages,
-                         const AnalogSpec &spec,
-                         PlanWorkspace &ws) const
+EvalPlan::evalIdealPortsAos(double t, const la::Vector &y,
+                            const std::vector<OutputStage> &stages,
+                            const AnalogSpec &spec,
+                            PlanWorkspace &ws) const
 {
     // Integrator outputs come straight from the state vector.
     for (std::size_t k = 0; k < integ_flats.size(); ++k)
@@ -366,13 +554,13 @@ EvalPlan::evalIdealPorts(double t, const la::Vector &y,
 }
 
 void
-EvalPlan::rhsIdeal(double t, const la::Vector &y, la::Vector &dydt,
-                   const std::vector<OutputStage> &stages,
-                   const AnalogSpec &spec,
-                   std::vector<std::uint8_t> &latches,
-                   PlanWorkspace &ws) const
+EvalPlan::rhsIdealAos(double t, const la::Vector &y, la::Vector &dydt,
+                      const std::vector<OutputStage> &stages,
+                      const AnalogSpec &spec,
+                      std::vector<std::uint8_t> &latches,
+                      PlanWorkspace &ws) const
 {
-    evalIdealPorts(t, y, stages, spec, ws);
+    evalIdealPortsAos(t, y, stages, spec, ws);
     for (std::size_t k = 0; k < integ_ops.size(); ++k)
         dydt[k] = integDeriv(integ_ops[k], y[k], ws.vals, stages,
                              spec, latches);
@@ -380,12 +568,12 @@ EvalPlan::rhsIdeal(double t, const la::Vector &y, la::Vector &dydt,
 }
 
 void
-EvalPlan::rhsBandwidth(double t, const la::Vector &y,
-                       la::Vector &dydt,
-                       const std::vector<OutputStage> &stages,
-                       const AnalogSpec &spec,
-                       std::vector<std::uint8_t> &latches,
-                       PlanWorkspace &ws) const
+EvalPlan::rhsBandwidthAos(double t, const la::Vector &y,
+                          la::Vector &dydt,
+                          const std::vector<OutputStage> &stages,
+                          const AnalogSpec &spec,
+                          std::vector<std::uint8_t> &latches,
+                          PlanWorkspace &ws) const
 {
     double lag = spec.lagRate();
     for (const IntegOp &op : integ_ops)
@@ -439,6 +627,395 @@ EvalPlan::rhsBandwidth(double t, const la::Vector &y,
         dydt[op.out] = lag * (target - y[op.out]);
     }
     checkSinks(y, spec, latches);
+}
+
+// ---- SoA stage-table sweeps ------------------------------------
+// Ident = every output stage is identity (variation disabled, no
+// trims): the stage transfer reduces to the range clamp and the
+// whole lane math disappears. The non-Ident branch reads the error
+// lanes sequentially (SoA position order) via applyLanes.
+
+template <bool Ident>
+void
+EvalPlan::evalSoaSources(double t, la::Vector &vals,
+                         const AnalogSpec &spec,
+                         const PlanWorkspace &ws) const
+{
+    const double bc = spec.branch_clip_range;
+    bool ovf = false; // branch stages are unmonitored; never set
+    for (std::size_t i = 0; i < dac_ops.size(); ++i) {
+        double raw = ws.dac[i];
+        if constexpr (Ident)
+            vals[dac_ops[i].out] = std::clamp(raw, -bc, bc);
+        else
+            vals[dac_ops[i].out] = applyLanes(ws, sb_dac + i, spec,
+                                              raw, ovf, false);
+    }
+    for (std::size_t i = 0; i < extin_ops.size(); ++i) {
+        double raw = ws.ext[i] ? (*ws.ext[i])(t) : 0.0;
+        if constexpr (Ident)
+            vals[extin_ops[i].out] = std::clamp(raw, -bc, bc);
+        else
+            vals[extin_ops[i].out] = applyLanes(ws, sb_ext + i, spec,
+                                                raw, ovf, false);
+    }
+}
+
+template <bool Ident>
+void
+EvalPlan::evalSoaLevel(const SoaSlice &s, la::Vector &vals,
+                       const AnalogSpec &spec,
+                       const PlanWorkspace &ws) const
+{
+    const double bc = spec.branch_clip_range;
+    double *v = vals.data();
+    bool ovf = false;
+
+    {
+        const PlanIdx *out = gu_out.data();
+        const PlanIdx *src = gu_src.data();
+        const double *g = ws.gain_u.data();
+        // Outputs written by a level are never read by it, so the
+        // gather and scatter never alias within the loop.
+#pragma omp simd
+        for (PlanIdx j = s.gu0; j < s.gu1; ++j) {
+            double r = g[j] * v[src[j]];
+            if constexpr (Ident)
+                v[out[j]] = std::clamp(r, -bc, bc);
+            else
+                v[out[j]] =
+                    applyLanes(ws, sb_gu + j, spec, r, ovf, false);
+        }
+    }
+    for (PlanIdx j = s.gm0; j < s.gm1; ++j) {
+        double r = ws.gain_m[j] * inputSum32(gm_row[j], vals);
+        if constexpr (Ident)
+            v[gm_out[j]] = std::clamp(r, -bc, bc);
+        else
+            v[gm_out[j]] =
+                applyLanes(ws, sb_gm + j, spec, r, ovf, false);
+    }
+
+    {
+        const PlanIdx *out = vu_out.data();
+        const PlanIdx *s0 = vu_src0.data();
+        const PlanIdx *s1 = vu_src1.data();
+#pragma omp simd
+        for (PlanIdx j = s.vu0; j < s.vu1; ++j) {
+            double r = v[s0[j]] * v[s1[j]];
+            if constexpr (Ident)
+                v[out[j]] = std::clamp(r, -bc, bc);
+            else
+                v[out[j]] =
+                    applyLanes(ws, sb_vu + j, spec, r, ovf, false);
+        }
+    }
+    for (PlanIdx j = s.vm0; j < s.vm1; ++j) {
+        double r = inputSum32(vm_row0[j], vals) *
+                   inputSum32(vm_row1[j], vals);
+        if constexpr (Ident)
+            v[vm_out[j]] = std::clamp(r, -bc, bc);
+        else
+            v[vm_out[j]] =
+                applyLanes(ws, sb_vm + j, spec, r, ovf, false);
+    }
+
+    {
+        const PlanIdx *out = fu_out.data();
+        const PlanIdx *src = fu_src.data();
+#pragma omp simd
+        for (PlanIdx j = s.fu0; j < s.fu1; ++j) {
+            double r = v[src[j]];
+            if constexpr (Ident)
+                v[out[j]] = std::clamp(r, -bc, bc);
+            else
+                v[out[j]] =
+                    applyLanes(ws, sb_fu + j, spec, r, ovf, false);
+        }
+    }
+    for (PlanIdx j = s.fm0; j < s.fm1; ++j) {
+        double r = inputSum32(fm_row[j], vals);
+        if constexpr (Ident)
+            v[fm_out[j]] = std::clamp(r, -bc, bc);
+        else
+            v[fm_out[j]] =
+                applyLanes(ws, sb_fm + j, spec, r, ovf, false);
+    }
+
+    for (PlanIdx j = s.lu0; j < s.lu1; ++j) {
+        const auto &table = ws.lut[lu_op[j]];
+        double r = table.empty()
+                       ? 0.0
+                       : lutEvalQuantized(table, v[lu_src[j]]);
+        if constexpr (Ident)
+            v[lu_out[j]] = std::clamp(r, -bc, bc);
+        else
+            v[lu_out[j]] =
+                applyLanes(ws, sb_lu + j, spec, r, ovf, false);
+    }
+    for (PlanIdx j = s.lm0; j < s.lm1; ++j) {
+        const auto &table = ws.lut[lm_op[j]];
+        double r = table.empty()
+                       ? 0.0
+                       : lutEvalQuantized(table,
+                                          inputSum32(lm_row[j], vals));
+        if constexpr (Ident)
+            v[lm_out[j]] = std::clamp(r, -bc, bc);
+        else
+            v[lm_out[j]] =
+                applyLanes(ws, sb_lm + j, spec, r, ovf, false);
+    }
+}
+
+template <bool Ident>
+void
+EvalPlan::rhsIdealSoa(double t, const la::Vector &y, la::Vector &dydt,
+                      const AnalogSpec &spec,
+                      std::vector<std::uint8_t> &latches,
+                      PlanWorkspace &ws) const
+{
+    for (std::size_t k = 0; k < integ_flats.size(); ++k)
+        ws.vals[integ_flats[k]] = y[k];
+    evalSoaSources<Ident>(t, ws.vals, spec, ws);
+    for (const SoaSlice &s : soa_levels)
+        evalSoaLevel<Ident>(s, ws.vals, spec, ws);
+
+    const double rate = spec.integratorRate();
+    const double clip = spec.clip_range;
+    const double lin = spec.linear_range;
+    for (std::size_t k = 0; k < integ_ops.size(); ++k) {
+        const IntegOp &op = integ_ops[k];
+        bool ovf = false;
+        double drive;
+        if constexpr (Ident) {
+            drive = inputSum32(op.in, ws.vals);
+            if (std::fabs(drive) > lin)
+                ovf = true;
+            drive = std::clamp(drive, -clip, clip);
+        } else {
+            drive = applyLanes(ws, sb_integ + k, spec,
+                               inputSum32(op.in, ws.vals), ovf, true);
+        }
+        if (ovf)
+            latches[op.blk] = 1;
+        double state = y[k];
+        if (std::fabs(state) > lin)
+            latches[op.blk] = 1;
+        double d = rate * drive;
+        // Saturated integrators stop accumulating outward.
+        if ((state >= clip && d > 0.0) || (state <= -clip && d < 0.0))
+            d = 0.0;
+        dydt[k] = d;
+    }
+    for (const SinkOp &op : sink_ops) {
+        if (std::fabs(inputSum32(op.in, ws.vals)) > lin)
+            latches[op.blk] = 1;
+    }
+}
+
+template <bool Ident>
+void
+EvalPlan::rhsBandwidthSoa(double t, const la::Vector &y,
+                          la::Vector &dydt, const AnalogSpec &spec,
+                          std::vector<std::uint8_t> &latches,
+                          PlanWorkspace &ws) const
+{
+    const double lag = spec.lagRate();
+    const double bc = spec.branch_clip_range;
+    const double rate = spec.integratorRate();
+    const double clip = spec.clip_range;
+    const double lin = spec.linear_range;
+    const double *yy = y.data();
+    double *dd = dydt.data();
+
+    for (std::size_t k = 0; k < integ_ops.size(); ++k) {
+        const IntegOp &op = integ_ops[k];
+        bool ovf = false;
+        double drive;
+        if constexpr (Ident) {
+            drive = inputSum32(op.in, y);
+            if (std::fabs(drive) > lin)
+                ovf = true;
+            drive = std::clamp(drive, -clip, clip);
+        } else {
+            drive = applyLanes(ws, sb_integ + k, spec,
+                               inputSum32(op.in, y), ovf, true);
+        }
+        if (ovf)
+            latches[op.blk] = 1;
+        double state = yy[op.out];
+        if (std::fabs(state) > lin)
+            latches[op.blk] = 1;
+        double d = rate * drive;
+        if ((state >= clip && d > 0.0) || (state <= -clip && d < 0.0))
+            d = 0.0;
+        dd[op.out] = d;
+    }
+
+    bool ovf = false;
+    for (std::size_t i = 0; i < dac_ops.size(); ++i) {
+        std::size_t f = dac_ops[i].out;
+        double raw = ws.dac[i];
+        double target =
+            Ident ? std::clamp(raw, -bc, bc)
+                  : applyLanes(ws, sb_dac + i, spec, raw, ovf, false);
+        dd[f] = lag * (target - yy[f]);
+    }
+    for (std::size_t i = 0; i < extin_ops.size(); ++i) {
+        std::size_t f = extin_ops[i].out;
+        double raw = ws.ext[i] ? (*ws.ext[i])(t) : 0.0;
+        double target =
+            Ident ? std::clamp(raw, -bc, bc)
+                  : applyLanes(ws, sb_ext + i, spec, raw, ovf, false);
+        dd[f] = lag * (target - yy[f]);
+    }
+
+    // Every port is a state: the comb lanes read y directly and level
+    // order is moot, so each family sweeps its whole lane flat.
+    {
+        const PlanIdx *out = gu_out.data();
+        const PlanIdx *src = gu_src.data();
+        const double *g = ws.gain_u.data();
+#pragma omp simd
+        for (std::size_t j = 0; j < gu_out.size(); ++j) {
+            double r = g[j] * yy[src[j]];
+            double target =
+                Ident ? std::clamp(r, -bc, bc)
+                      : applyLanes(ws, sb_gu + j, spec, r, ovf,
+                                   false);
+            dd[out[j]] = lag * (target - yy[out[j]]);
+        }
+    }
+    for (std::size_t j = 0; j < gm_out.size(); ++j) {
+        double r = ws.gain_m[j] * inputSum32(gm_row[j], y);
+        double target =
+            Ident ? std::clamp(r, -bc, bc)
+                  : applyLanes(ws, sb_gm + j, spec, r, ovf, false);
+        dd[gm_out[j]] = lag * (target - yy[gm_out[j]]);
+    }
+    {
+        const PlanIdx *out = vu_out.data();
+        const PlanIdx *s0 = vu_src0.data();
+        const PlanIdx *s1 = vu_src1.data();
+#pragma omp simd
+        for (std::size_t j = 0; j < vu_out.size(); ++j) {
+            double r = yy[s0[j]] * yy[s1[j]];
+            double target =
+                Ident ? std::clamp(r, -bc, bc)
+                      : applyLanes(ws, sb_vu + j, spec, r, ovf,
+                                   false);
+            dd[out[j]] = lag * (target - yy[out[j]]);
+        }
+    }
+    for (std::size_t j = 0; j < vm_out.size(); ++j) {
+        double r =
+            inputSum32(vm_row0[j], y) * inputSum32(vm_row1[j], y);
+        double target =
+            Ident ? std::clamp(r, -bc, bc)
+                  : applyLanes(ws, sb_vm + j, spec, r, ovf, false);
+        dd[vm_out[j]] = lag * (target - yy[vm_out[j]]);
+    }
+    {
+        const PlanIdx *out = fu_out.data();
+        const PlanIdx *src = fu_src.data();
+#pragma omp simd
+        for (std::size_t j = 0; j < fu_out.size(); ++j) {
+            double r = yy[src[j]];
+            double target =
+                Ident ? std::clamp(r, -bc, bc)
+                      : applyLanes(ws, sb_fu + j, spec, r, ovf,
+                                   false);
+            dd[out[j]] = lag * (target - yy[out[j]]);
+        }
+    }
+    for (std::size_t j = 0; j < fm_out.size(); ++j) {
+        double r = inputSum32(fm_row[j], y);
+        double target =
+            Ident ? std::clamp(r, -bc, bc)
+                  : applyLanes(ws, sb_fm + j, spec, r, ovf, false);
+        dd[fm_out[j]] = lag * (target - yy[fm_out[j]]);
+    }
+    for (std::size_t j = 0; j < lu_out.size(); ++j) {
+        const auto &table = ws.lut[lu_op[j]];
+        double r = table.empty()
+                       ? 0.0
+                       : lutEvalQuantized(table, yy[lu_src[j]]);
+        double target =
+            Ident ? std::clamp(r, -bc, bc)
+                  : applyLanes(ws, sb_lu + j, spec, r, ovf, false);
+        dd[lu_out[j]] = lag * (target - yy[lu_out[j]]);
+    }
+    for (std::size_t j = 0; j < lm_out.size(); ++j) {
+        const auto &table = ws.lut[lm_op[j]];
+        double r = table.empty()
+                       ? 0.0
+                       : lutEvalQuantized(table,
+                                          inputSum32(lm_row[j], y));
+        double target =
+            Ident ? std::clamp(r, -bc, bc)
+                  : applyLanes(ws, sb_lm + j, spec, r, ovf, false);
+        dd[lm_out[j]] = lag * (target - yy[lm_out[j]]);
+    }
+
+    for (const SinkOp &op : sink_ops) {
+        if (std::fabs(inputSum32(op.in, y)) > lin)
+            latches[op.blk] = 1;
+    }
+}
+
+void
+EvalPlan::evalIdealPorts(double t, const la::Vector &y,
+                         const std::vector<OutputStage> &stages,
+                         const AnalogSpec &spec,
+                         PlanWorkspace &ws) const
+{
+    (void)stages; // stage lanes carry the snapshot (refreshStages)
+    panicIf(!ws.stages_valid,
+            "EvalPlan: refreshStages must run before SoA evaluation");
+    for (std::size_t k = 0; k < integ_flats.size(); ++k)
+        ws.vals[integ_flats[k]] = y[k];
+    if (ws.stages_identity) {
+        evalSoaSources<true>(t, ws.vals, spec, ws);
+        for (const SoaSlice &s : soa_levels)
+            evalSoaLevel<true>(s, ws.vals, spec, ws);
+    } else {
+        evalSoaSources<false>(t, ws.vals, spec, ws);
+        for (const SoaSlice &s : soa_levels)
+            evalSoaLevel<false>(s, ws.vals, spec, ws);
+    }
+}
+
+void
+EvalPlan::rhsIdeal(double t, const la::Vector &y, la::Vector &dydt,
+                   const std::vector<OutputStage> &stages,
+                   const AnalogSpec &spec,
+                   std::vector<std::uint8_t> &latches,
+                   PlanWorkspace &ws) const
+{
+    (void)stages;
+    panicIf(!ws.stages_valid,
+            "EvalPlan: refreshStages must run before SoA evaluation");
+    if (ws.stages_identity)
+        rhsIdealSoa<true>(t, y, dydt, spec, latches, ws);
+    else
+        rhsIdealSoa<false>(t, y, dydt, spec, latches, ws);
+}
+
+void
+EvalPlan::rhsBandwidth(double t, const la::Vector &y,
+                       la::Vector &dydt,
+                       const std::vector<OutputStage> &stages,
+                       const AnalogSpec &spec,
+                       std::vector<std::uint8_t> &latches,
+                       PlanWorkspace &ws) const
+{
+    (void)stages;
+    panicIf(!ws.stages_valid,
+            "EvalPlan: refreshStages must run before SoA evaluation");
+    if (ws.stages_identity)
+        rhsBandwidthSoa<true>(t, y, dydt, spec, latches, ws);
+    else
+        rhsBandwidthSoa<false>(t, y, dydt, spec, latches, ws);
 }
 
 } // namespace aa::circuit

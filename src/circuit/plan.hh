@@ -15,10 +15,25 @@
  *    DAC, external input, integrator, sink) grouped by topological
  *    level, so SimMode::Ideal evaluation is a sequence of typed
  *    linear sweeps with no per-port switch dispatch.
+ *  - SoA stage tables (built once at plan compile, section 5g of
+ *    DESIGN.md): per kind per topo level, the single-source ops are
+ *    re-packed into contiguous out/src index lanes with their
+ *    coefficient and output-stage error lanes alongside, so each
+ *    level is a flat gather-multiply-scatter loop annotated
+ *    `#pragma omp simd` (no intrinsics; ops inside one level never
+ *    read each other's outputs, which is exactly the no-dependency
+ *    promise the pragma makes). Multi-source ops keep a (32-bit) CSR
+ *    row walk in a separate lane so summation order — and therefore
+ *    every bit of the result — matches the AoS walker.
  *  - A per-simulator PlanWorkspace holding snapshotted parameters
  *    (gains, pre-quantized DAC levels and LUT tables) plus the port
  *    value scratch vector, so RHS evaluation performs zero heap
  *    allocations after construction.
+ *
+ * The pre-SoA typed-op walker is retained as rhsIdealAos /
+ * rhsBandwidthAos: together with Simulator::evalRhsReference it is
+ * the bit-exactness oracle the plan-equivalence suite sweeps the SoA
+ * path against.
  *
  * Thread-safety contract: an EvalPlan is immutable after construction
  * and may be shared across threads; each thread needs its own
@@ -115,6 +130,26 @@ struct PlanWorkspace {
     std::vector<std::vector<double>> lut; ///< per LutOp, pre-quantized
     /** Per ExtInOp: the netlist's stimulus (null when unset). */
     std::vector<const std::function<double(double)> *> ext;
+
+    // SoA coefficient lanes, aligned with the plan's re-packed
+    // unit-/multi-source gain orders (filled by refreshParams).
+    std::vector<double> gain_u, gain_m;
+
+    /**
+     * Output-stage error lanes in SoA op position order (one position
+     * per producing op; see EvalPlan's stage_out map). Split into the
+     * exact factors applyStage reads — ge1 = 1 + gain_err, trim gain,
+     * offset, trim offset, cubic — and applied in applyStage's
+     * floating-point evaluation order, so the lane path is
+     * bit-identical to the AoS walker. Filled by refreshStages; a
+     * Simulator re-syncs them whenever its stages mutate.
+     */
+    std::vector<double> st_ge1, st_tg, st_off, st_toff, st_cub;
+    /** All stages identity (no variation, no trims): the SoA sweeps
+     *  skip stage math entirely (a clamp is all that remains). */
+    bool stages_identity = false;
+    /** refreshStages has run for the current plan. */
+    bool stages_valid = false;
 };
 
 /** The compiled evaluation plan. See the file comment for layout. */
@@ -184,29 +219,66 @@ class EvalPlan
                        PlanWorkspace &ws) const;
 
     /**
+     * Re-snapshot output-stage errors/trims into the workspace's SoA
+     * stage lanes (and recompute the identity flag). Must run before
+     * the SoA eval paths whenever `stages` mutated; Simulator tracks
+     * this with a dirty flag so the hot loop never pays for it.
+     */
+    void refreshStages(const std::vector<OutputStage> &stages,
+                       PlanWorkspace &ws) const;
+
+    /**
      * Fill ws.vals with every flat output-port value implied by the
      * Ideal-mode state vector y (integrator states). Zero-alloc.
+     * Uses the SoA stage lanes (ws.stages_valid must hold).
      */
     void evalIdealPorts(double t, const la::Vector &y,
                         const std::vector<OutputStage> &stages,
                         const AnalogSpec &spec,
                         PlanWorkspace &ws) const;
 
-    /** Ideal-mode RHS over integrator states. Zero-alloc. */
+    /** Ideal-mode RHS over integrator states, via the SoA stage
+     *  tables. Zero-alloc; requires ws.stages_valid. */
     void rhsIdeal(double t, const la::Vector &y, la::Vector &dydt,
                   const std::vector<OutputStage> &stages,
                   const AnalogSpec &spec,
                   std::vector<std::uint8_t> &latches,
                   PlanWorkspace &ws) const;
 
-    /** Bandwidth-mode RHS over per-port lag states. Zero-alloc. */
+    /** Bandwidth-mode RHS over per-port lag states, via the SoA
+     *  stage tables. Zero-alloc; requires ws.stages_valid. */
     void rhsBandwidth(double t, const la::Vector &y, la::Vector &dydt,
                       const std::vector<OutputStage> &stages,
                       const AnalogSpec &spec,
                       std::vector<std::uint8_t> &latches,
                       PlanWorkspace &ws) const;
 
+    /** The pre-SoA typed-op walker (bit-exactness oracle). */
+    void rhsIdealAos(double t, const la::Vector &y, la::Vector &dydt,
+                     const std::vector<OutputStage> &stages,
+                     const AnalogSpec &spec,
+                     std::vector<std::uint8_t> &latches,
+                     PlanWorkspace &ws) const;
+
+    /** Bandwidth-mode pre-SoA walker (bit-exactness oracle). */
+    void rhsBandwidthAos(double t, const la::Vector &y,
+                         la::Vector &dydt,
+                         const std::vector<OutputStage> &stages,
+                         const AnalogSpec &spec,
+                         std::vector<std::uint8_t> &latches,
+                         PlanWorkspace &ws) const;
+
   private:
+    /** Per-level SoA lane slices: [xu0, xu1) indexes the unit-source
+     *  (fan-in exactly 1) lanes of kind x, [xm0, xm1) the
+     *  multi-source CSR lanes. */
+    struct SoaSlice {
+        PlanIdx gu0 = 0, gu1 = 0, gm0 = 0, gm1 = 0;
+        PlanIdx vu0 = 0, vu1 = 0, vm0 = 0, vm1 = 0;
+        PlanIdx fu0 = 0, fu1 = 0, fm0 = 0, fm1 = 0;
+        PlanIdx lu0 = 0, lu1 = 0, lm0 = 0, lm1 = 0;
+    };
+
     double integDeriv(const IntegOp &op, double state,
                       const la::Vector &vals,
                       const std::vector<OutputStage> &stages,
@@ -223,6 +295,42 @@ class EvalPlan
                      const PlanWorkspace &ws) const;
     void checkSinks(const la::Vector &vals, const AnalogSpec &spec,
                     std::vector<std::uint8_t> &latches) const;
+    void evalIdealPortsAos(double t, const la::Vector &y,
+                           const std::vector<OutputStage> &stages,
+                           const AnalogSpec &spec,
+                           PlanWorkspace &ws) const;
+
+    void buildSoaTables();
+
+    /** 32-bit CSR sum; bit-identical to inputSum (same source order,
+     *  same 0.0 seed). */
+    double
+    inputSum32(PlanIdx row, const la::Vector &vals) const
+    {
+        double acc = 0.0;
+        for (PlanIdx j = in_off32[row]; j < in_off32[row + 1]; ++j)
+            acc += vals[in_src32[j]];
+        return acc;
+    }
+
+    template <bool Ident>
+    void evalSoaSources(double t, la::Vector &vals,
+                        const AnalogSpec &spec,
+                        const PlanWorkspace &ws) const;
+    template <bool Ident>
+    void evalSoaLevel(const SoaSlice &s, la::Vector &vals,
+                      const AnalogSpec &spec,
+                      const PlanWorkspace &ws) const;
+    template <bool Ident>
+    void rhsIdealSoa(double t, const la::Vector &y, la::Vector &dydt,
+                     const AnalogSpec &spec,
+                     std::vector<std::uint8_t> &latches,
+                     PlanWorkspace &ws) const;
+    template <bool Ident>
+    void rhsBandwidthSoa(double t, const la::Vector &y,
+                         la::Vector &dydt, const AnalogSpec &spec,
+                         std::vector<std::uint8_t> &latches,
+                         PlanWorkspace &ws) const;
 
     std::size_t num_blocks = 0;
 
@@ -249,6 +357,35 @@ class EvalPlan
 
     /** Flat outputs of integrators = Ideal-mode state layout. */
     std::vector<std::size_t> integ_flats;
+
+    // ---- SoA stage tables (built once by buildSoaTables) ---------
+    // 32-bit mirror of the CSR fan-in (ports are checked < 2^32).
+    std::vector<PlanIdx> in_off32, in_src32;
+    // Gain: unit lanes carry the single source directly; *_op maps
+    // back to the AoS op index (coefficient + LUT table lookup).
+    std::vector<PlanIdx> gu_out, gu_src, gu_op;
+    std::vector<PlanIdx> gm_out, gm_row, gm_op;
+    // Variable multiply: unit = both inputs have fan-in 1.
+    std::vector<PlanIdx> vu_out, vu_src0, vu_src1;
+    std::vector<PlanIdx> vm_out, vm_row0, vm_row1;
+    // Fanout copies.
+    std::vector<PlanIdx> fu_out, fu_src;
+    std::vector<PlanIdx> fm_out, fm_row;
+    // LUTs.
+    std::vector<PlanIdx> lu_out, lu_src, lu_op;
+    std::vector<PlanIdx> lm_out, lm_row, lm_op;
+    std::vector<SoaSlice> soa_levels;
+
+    /**
+     * Flat output port of each SoA op position; positions are laid
+     * out family by family ([gu][gm][vu][vm][fu][fm][lu][lm][dac]
+     * [ext][integ]) with per-family bases below, so the workspace's
+     * stage lanes are read sequentially inside every sweep.
+     */
+    std::vector<PlanIdx> stage_out;
+    PlanIdx sb_gu = 0, sb_gm = 0, sb_vu = 0, sb_vm = 0;
+    PlanIdx sb_fu = 0, sb_fm = 0, sb_lu = 0, sb_lm = 0;
+    PlanIdx sb_dac = 0, sb_ext = 0, sb_integ = 0;
 
     bool has_comb_cycle = false;
 };

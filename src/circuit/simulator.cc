@@ -345,10 +345,21 @@ Simulator::initialState() const
 void
 Simulator::evalRhs(double t, const la::Vector &y, la::Vector &dydt)
 {
+    syncStages();
     if (spec_.mode == SimMode::Bandwidth)
         plan_.rhsBandwidth(t, y, dydt, stages, spec_, latches, ws_);
     else
         plan_.rhsIdeal(t, y, dydt, stages, spec_, latches, ws_);
+}
+
+void
+Simulator::evalRhsAos(double t, const la::Vector &y, la::Vector &dydt)
+{
+    if (spec_.mode == SimMode::Bandwidth)
+        plan_.rhsBandwidthAos(t, y, dydt, stages, spec_, latches,
+                              ws_);
+    else
+        plan_.rhsIdealAos(t, y, dydt, stages, spec_, latches, ws_);
 }
 
 void
@@ -418,6 +429,7 @@ Simulator::portValuesInto(double t, const la::Vector &y,
         std::copy(y.begin(), y.end(), vals.begin());
         return;
     }
+    syncStages();
     plan_.evalIdealPorts(t, y, stages, spec_, ws_);
     std::copy(ws_.vals.begin(), ws_.vals.end(), vals.begin());
 }
@@ -444,6 +456,7 @@ Simulator::inputValueAt(PortRef in, double t, const la::Vector &y)
     std::size_t row = plan_.flatInput(in);
     if (spec_.mode == SimMode::Bandwidth)
         return plan_.inputSum(row, y);
+    syncStages();
     plan_.evalIdealPorts(t, y, stages, spec_, ws_);
     return plan_.inputSum(row, ws_.vals);
 }
@@ -537,6 +550,9 @@ Simulator::dcTransfer(BlockId block, double in0, double in1,
 OutputStage &
 Simulator::stage(PortRef out)
 {
+    // A mutable ref may be written through at any time; re-snapshot
+    // the SoA stage lanes before the next evaluation.
+    stages_dirty_ = true;
     return stages[flatOutput(out)];
 }
 
@@ -556,6 +572,7 @@ Simulator::refreshWiring()
     panicIf(plan_.outPortCount() != stages.size(),
             "refreshWiring: output ports changed; the die is fixed");
     plan_.initWorkspace(net, spec_, ws_);
+    stages_dirty_ = true; // the SoA position map was rebuilt
     has_run = false;
 }
 
@@ -565,6 +582,7 @@ Simulator::setTrimCodes(PortRef out, int offset_code, int gain_code)
     OutputStage &s = stages[flatOutput(out)];
     s.trim_offset = trimOffsetFromCode(spec_, offset_code);
     s.trim_gain = trimGainFromCode(spec_, gain_code);
+    stages_dirty_ = true;
 }
 
 } // namespace aa::circuit

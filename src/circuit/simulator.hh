@@ -136,6 +136,14 @@ class Simulator
                           la::Vector &dydt);
 
     /**
+     * The plan's AoS typed-op walker (the pre-SoA production path),
+     * kept as a second oracle between evalRhs (SoA stage tables) and
+     * evalRhsReference (netlist block walk). Zero allocations, same
+     * workspace; only for the plan-equivalence sweeps.
+     */
+    void evalRhsAos(double t, const la::Vector &y, la::Vector &dydt);
+
+    /**
      * Read an ADC: quantizes the sampled node (plus per-sample input
      * noise) to the spec's adc_bits. Returns the digital code.
      */
@@ -190,6 +198,18 @@ class Simulator
     std::size_t flatOutput(PortRef out) const;
     la::Vector initialState() const;
 
+    /** Re-snapshot output stages into the plan's SoA lanes when a
+     *  stage()/setTrimCodes edit (or a plan rebuild) invalidated
+     *  them. Cheap flag check on the hot path. */
+    void
+    syncStages()
+    {
+        if (stages_dirty_) {
+            plan_.refreshStages(stages, ws_);
+            stages_dirty_ = false;
+        }
+    }
+
     const Netlist &net;
     AnalogSpec spec_;
     Rng rng;
@@ -200,6 +220,7 @@ class Simulator
     std::vector<OutputStage> stages; ///< flat output port -> errors
 
     mutable std::vector<std::uint8_t> latches; ///< per block
+    bool stages_dirty_ = true; ///< SoA stage lanes need a re-snapshot
     la::Vector last_state;
     la::Vector last_port_values; ///< per flat output, at run end
     double last_time = 0.0;

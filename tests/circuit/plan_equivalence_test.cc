@@ -4,11 +4,15 @@
  * block-walk evaluator it replaced.
  *
  * Random netlists covering every block kind are evaluated through
- * both Simulator::evalRhs (the plan) and Simulator::evalRhsReference
+ * Simulator::evalRhs (the SoA stage tables), Simulator::evalRhsAos
+ * (the retained typed-op walker) and Simulator::evalRhsReference
  * (the pre-plan oracle, rebuilt from the netlist on every call) at
  * random state snapshots — including out-of-range states that fire
- * the overflow comparators. The derivatives must agree to 1e-15 and
- * the exception latches must be identical.
+ * the overflow comparators. All three derivatives must agree
+ * pairwise to 1e-15 and the exception latches must be identical.
+ * (Exact bitwise SoA == AoS equality is deliberately not asserted:
+ * the identity-stage fast path may return -0.0 where the generic
+ * applyStage's `+ 0.0` terms normalize it to +0.0.)
  */
 
 #include <cmath>
@@ -141,28 +145,39 @@ expectPlanMatchesReference(std::uint64_t seed, SimMode mode)
 
     Simulator sim(net, spec, /*die_seed=*/seed * 7919 + 13);
     la::Vector y(sim.stateCount());
-    la::Vector d_plan(sim.stateCount());
+    la::Vector d_soa(sim.stateCount());
+    la::Vector d_aos(sim.stateCount());
     la::Vector d_ref(sim.stateCount());
 
     for (int trial = 0; trial < 10; ++trial) {
         // The last trials push states past the clip range so overflow
-        // latches must fire (identically) on both paths.
+        // latches must fire (identically) on all paths.
         double scale = trial < 7 ? 0.9 : 3.0;
         for (std::size_t i = 0; i < y.size(); ++i)
             y[i] = uniform(rng, -scale, scale);
         double t = uniform(rng, 0.0, 1.0);
 
         sim.clearExceptions();
-        sim.evalRhs(t, y, d_plan);
-        std::vector<std::uint8_t> latch_plan = sim.exceptionLatches();
+        sim.evalRhs(t, y, d_soa);
+        std::vector<std::uint8_t> latch_soa = sim.exceptionLatches();
+
+        sim.clearExceptions();
+        sim.evalRhsAos(t, y, d_aos);
+        std::vector<std::uint8_t> latch_aos = sim.exceptionLatches();
 
         sim.clearExceptions();
         sim.evalRhsReference(t, y, d_ref);
         std::vector<std::uint8_t> latch_ref = sim.exceptionLatches();
 
-        EXPECT_LE(la::maxAbsDiff(d_plan, d_ref), 1e-15)
+        EXPECT_LE(la::maxAbsDiff(d_soa, d_ref), 1e-15)
             << "seed " << seed << " trial " << trial;
-        EXPECT_EQ(latch_plan, latch_ref)
+        EXPECT_LE(la::maxAbsDiff(d_aos, d_ref), 1e-15)
+            << "seed " << seed << " trial " << trial;
+        EXPECT_LE(la::maxAbsDiff(d_soa, d_aos), 1e-15)
+            << "seed " << seed << " trial " << trial;
+        EXPECT_EQ(latch_soa, latch_ref)
+            << "seed " << seed << " trial " << trial;
+        EXPECT_EQ(latch_aos, latch_ref)
             << "seed " << seed << " trial " << trial;
         if (trial >= 7) {
             EXPECT_TRUE(sim.anyException())
@@ -193,13 +208,19 @@ TEST(PlanEquivalence, IdealVariationDisabled)
 
     Simulator sim(net, spec, 1);
     la::Vector y(sim.stateCount()), a(sim.stateCount()),
-        b(sim.stateCount());
+        b(sim.stateCount()), c(sim.stateCount());
     for (std::size_t i = 0; i < y.size(); ++i)
         y[i] = uniform(rng, -0.8, 0.8);
+    // Variation disabled means every output stage is the identity:
+    // this exercises the SoA tables' clamp-only fast path.
     sim.evalRhs(0.25, y, a);
+    sim.clearExceptions();
+    sim.evalRhsAos(0.25, y, c);
     sim.clearExceptions();
     sim.evalRhsReference(0.25, y, b);
     EXPECT_LE(la::maxAbsDiff(a, b), 1e-15);
+    EXPECT_LE(la::maxAbsDiff(c, b), 1e-15);
+    EXPECT_LE(la::maxAbsDiff(a, c), 1e-15);
 }
 
 TEST(PlanEquivalence, SurvivesParamEditAndRewire)
@@ -244,6 +265,47 @@ TEST(PlanEquivalence, SurvivesParamEditAndRewire)
     sim.clearExceptions();
     sim.evalRhsReference(0.0, y, b);
     EXPECT_LE(la::maxAbsDiff(a, b), 1e-15);
+}
+
+TEST(PlanEquivalence, SoaTracksStageEdits)
+{
+    // stage()/setTrimCodes mutate output stages after the workspace
+    // snapshot; the SoA lanes must be re-synced lazily (not stale)
+    // and must then match both oracles, which read the stage structs
+    // directly.
+    std::mt19937_64 rng(99);
+    Netlist net = randomNetlist(rng);
+    AnalogSpec spec = prototypeSpec();
+    spec.mode = SimMode::Ideal;
+    Simulator sim(net, spec, 5);
+
+    la::Vector y(sim.stateCount()), a(sim.stateCount()),
+        b(sim.stateCount()), c(sim.stateCount());
+    for (std::size_t i = 0; i < y.size(); ++i)
+        y[i] = uniform(rng, -0.7, 0.7);
+
+    // Knock a few stages well away from identity.
+    std::size_t edited = 0;
+    for (std::size_t i = 0; i < net.numBlocks() && edited < 3; ++i) {
+        BlockId id{i};
+        if (net.outputCount(id) == 0)
+            continue; // sinks (ADC, ExtOut) have no output stage
+        OutputStage &st = sim.stage(net.out(id));
+        st.offset += 0.05;
+        st.gain_err -= 0.08;
+        st.cubic += 0.02;
+        ++edited;
+    }
+    ASSERT_EQ(edited, 3u);
+
+    sim.clearExceptions();
+    sim.evalRhs(0.5, y, a);
+    sim.clearExceptions();
+    sim.evalRhsAos(0.5, y, c);
+    sim.clearExceptions();
+    sim.evalRhsReference(0.5, y, b);
+    EXPECT_LE(la::maxAbsDiff(a, b), 1e-15);
+    EXPECT_LE(la::maxAbsDiff(c, b), 1e-15);
 }
 
 } // namespace
