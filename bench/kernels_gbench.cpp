@@ -470,6 +470,55 @@ BM_ConfigureDelta(benchmark::State &state)
 BENCHMARK(BM_ConfigureDelta)->Arg(2)->Arg(3);
 
 /**
+ * One K-member solveBatch per iteration: a Poisson system (n = 9)
+ * with K scaled right-hand sides, the service's steady multi-RHS
+ * workload. Member 0 walks the canonical unhinted ladder (on this
+ * system: a floored first rung, an underrange retry, a rung walk of
+ * delta traffic); members after it start from the derived range
+ * hint, land the working rung in one attempt, and ship nothing. So
+ * config_bytes_per_rhs — the steady-state delta traffic averaged
+ * over the batch — must fall as ~1/K (the amortization the JSON
+ * artifact records), while items_per_second rises with the skipped
+ * retries and the once-per-batch structure fetch + eigen analysis.
+ */
+void
+BM_SolveBatch(benchmark::State &state)
+{
+    setLogLevel(LogLevel::Quiet);
+    std::size_t k = static_cast<std::size_t>(state.range(0));
+    auto prob = pde::assemblePoisson(
+        2, 2, [](double x, double y, double) { return x + 2.0 * y; });
+    la::DenseMatrix a = prob.a.toDense();
+    std::vector<la::Vector> bs;
+    bs.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+        la::Vector b(prob.b.size());
+        la::scale(1.0 + 0.0625 * static_cast<double>(i % 7), prob.b,
+                  b);
+        bs.push_back(std::move(b));
+    }
+
+    analog::AnalogSolverOptions opts;
+    opts.spec.variation.enabled = false;
+    opts.spec.adc_noise_sigma = 0.0;
+    opts.auto_calibrate = false;
+    analog::AnalogLinearSolver solver(opts);
+    auto warm = solver.solveBatch(a, bs); // compile + first bind here
+
+    std::size_t bytes0 = solver.configBytes();
+    for (auto _ : state) {
+        auto outs = solver.solveBatch(a, bs);
+        benchmark::DoNotOptimize(outs.data());
+    }
+    double total = static_cast<double>(state.iterations()) *
+                   static_cast<double>(k);
+    state.counters["config_bytes_per_rhs"] =
+        static_cast<double>(solver.configBytes() - bytes0) / total;
+    state.SetItemsProcessed(static_cast<std::int64_t>(total));
+}
+BENCHMARK(BM_SolveBatch)->Arg(1)->Arg(4)->Arg(16);
+
+/**
  * One full decomposed solve per iteration through a pre-compiled
  * BlockJacobiScheduler: a 2D Poisson problem cut into strips, one
  * strip block per sweep task, four dies with a fixed seed. The

@@ -101,7 +101,8 @@ submitBurstAndDrain(service::SolveService &svc, const Workload &work)
 }
 
 void
-serviceThroughputBenchmark(benchmark::State &state, bool affinity)
+serviceThroughputBenchmark(benchmark::State &state, bool affinity,
+                           bool batch = false)
 {
     setLogLevel(LogLevel::Quiet);
     Workload work;
@@ -116,6 +117,7 @@ serviceThroughputBenchmark(benchmark::State &state, bool affinity)
 
     service::ServiceOptions sopts;
     sopts.cache_affinity = affinity;
+    sopts.batch_multi_rhs = batch;
     sopts.queue_capacity = kBurst * 2;
     service::SolveService svc(pool, sopts);
 
@@ -144,6 +146,15 @@ serviceThroughputBenchmark(benchmark::State &state, bool affinity)
         static_cast<double>(m.affinity_hits - base.affinity_hits) /
         static_cast<double>(requests ? requests : 1);
     state.counters["latency_p95_us"] = m.latency_p95 * 1e6;
+    if (batch) {
+        std::size_t batched =
+            m.rhs_batched_requests - base.rhs_batched_requests;
+        state.counters["rhs_batched_ratio"] =
+            static_cast<double>(batched) /
+            static_cast<double>(requests ? requests : 1);
+        state.counters["rhs_batches"] = static_cast<double>(
+            m.rhs_batches - base.rhs_batches);
+    }
     state.counters["dies"] = static_cast<double>(kDies);
     state.SetItemsProcessed(
         static_cast<std::int64_t>(state.iterations()) *
@@ -169,6 +180,22 @@ BM_ServiceThroughputRoundRobin(benchmark::State &state)
     serviceThroughputBenchmark(state, false);
 }
 BENCHMARK(BM_ServiceThroughputRoundRobin)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/** The affine scheduler with batch_multi_rhs on: each die's grouped
+ *  same-pattern run executes as one solveBatch, paying the cache
+ *  fetch and eigen analysis once per group, and members after the
+ *  first reuse the range the first member's ladder discovered —
+ *  one attempt, no config bytes for this workload's scaled RHS.
+ *  Compare items_per_second and config_bytes_per_req against the
+ *  affine lane for the amortization. */
+void
+BM_ServiceThroughputBatched(benchmark::State &state)
+{
+    serviceThroughputBenchmark(state, true, true);
+}
+BENCHMARK(BM_ServiceThroughputBatched)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

@@ -31,6 +31,7 @@ PoolReport::total() const
     DieUsage t;
     for (const DieUsage &d : dies) {
         t.solves += d.solves;
+        t.batches += d.batches;
         t.analog_seconds += d.analog_seconds;
         t.phases.add(d.phases);
         t.cache_hits += d.cache_hits;
@@ -194,6 +195,15 @@ DiePool::recordUsage(std::size_t k, std::size_t solves,
     u.solves += solves;
     u.analog_seconds += analog_seconds;
     u.phases.add(phases);
+}
+
+void
+DiePool::recordBatchUsage(std::size_t k, std::size_t members,
+                          double analog_seconds,
+                          const SolvePhaseReport &phases)
+{
+    recordUsage(k, members, analog_seconds, phases);
+    ++usage_[k].batches;
 }
 
 void

@@ -40,6 +40,9 @@ namespace aa::analog {
 /** What one die did since construction (or the last resetUsage()). */
 struct DieUsage {
     std::size_t solves = 0;        ///< accelerator runs issued
+    /** Multi-RHS batches dispatched (each batch is one configure
+     *  amortized over its members; members count under solves). */
+    std::size_t batches = 0;
     double analog_seconds = 0.0;   ///< analog compute time
     SolvePhaseReport phases;       ///< per-phase host time/traffic
     /** Program-cache counters (lifetime totals, from the die). */
@@ -150,6 +153,16 @@ class DiePool
     void recordUsage(std::size_t k, std::size_t solves,
                      double analog_seconds,
                      const SolvePhaseReport &phases);
+
+    /**
+     * Account one K-member solveBatch run on die(k): K solves, one
+     * batch. The phases argument is the members' reports already
+     * folded together (the shared structure fetch sits in member 0's,
+     * so the sum is the batch's true total).
+     */
+    void recordBatchUsage(std::size_t k, std::size_t members,
+                          double analog_seconds,
+                          const SolvePhaseReport &phases);
 
     // --- health tracking -----------------------------------------
     // Same ownership contract as usage_: recordSuccess/recordFailure

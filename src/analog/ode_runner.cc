@@ -71,8 +71,12 @@ AnalogOdeSolver::simulate(const la::DenseMatrix &a, const la::Vector &b,
     for (std::size_t attempt = 0; attempt < run_opts.max_attempts;
          ++attempt) {
         ++wave.attempts;
-        compiler::ScaledSystem scaled =
-            compiler::scaleSystem(neg_a, b, u0, opts.spec, sigma);
+        // The solution bound is the run's *contract* (waveform samples
+        // are only meaningful inside it): always honor it, stretching
+        // time if the forcing vector would overrun the DAC range.
+        compiler::ScaledSystem scaled = compiler::scaleSystem(
+            neg_a, b, u0, opts.spec, sigma,
+            compiler::BiasPolicy::StretchTime);
         // Dynamics runs are legitimately non-SPD; the diagonal rate
         // bound (expect_spd = false) is O(n) per attempt.
         compiler::ParameterBinding binding(

@@ -58,4 +58,87 @@ refineSolve(AnalogLinearSolver &solver, const la::DenseMatrix &a,
     return out;
 }
 
+std::vector<RefineOutcome>
+refineSolveBatch(AnalogLinearSolver &solver, const la::DenseMatrix &a,
+                 const std::vector<la::Vector> &bs,
+                 const RefineOptions &opts)
+{
+    fatalIf(bs.empty(), "refineSolveBatch: empty batch");
+    for (const la::Vector &b : bs)
+        fatalIf(a.rows() != a.cols() || a.rows() != b.size(),
+                "refineSolveBatch: dimension mismatch");
+
+    const std::size_t count = bs.size();
+    std::vector<RefineOutcome> outs(count);
+    std::vector<la::Vector> residuals(bs);
+    std::vector<double> bnorms(count);
+    std::vector<char> active(count, 1);
+    for (std::size_t k = 0; k < count; ++k) {
+        outs[k].u = la::Vector(bs[k].size());
+        bnorms[k] = la::norm2(bs[k]);
+        if (bnorms[k] == 0.0)
+            bnorms[k] = 1.0;
+    }
+
+    std::vector<std::size_t> members; // active indices, pass-local
+    std::vector<la::Vector> pass_rhs;
+    std::vector<double> pass_hints;
+    for (std::size_t pass = 0; pass < opts.max_passes; ++pass) {
+        members.clear();
+        pass_rhs.clear();
+        pass_hints.clear();
+        for (std::size_t k = 0; k < count; ++k) {
+            if (!active[k])
+                continue;
+            RefineOutcome &out = outs[k];
+            out.final_residual = la::norm2(residuals[k]);
+            if (opts.record_history && pass > 0)
+                out.residual_history.push_back(out.final_residual);
+            if (out.final_residual <= opts.tolerance * bnorms[k]) {
+                out.converged = true;
+                active[k] = 0;
+                continue;
+            }
+            double peak = la::normInf(residuals[k]);
+            members.push_back(k);
+            pass_rhs.push_back(residuals[k]);
+            pass_hints.push_back(
+                peak > 0.0
+                    ? std::max(peak / std::max(a.maxAbs(), 1e-12),
+                               1e-9)
+                    : 0.0);
+        }
+        if (members.empty())
+            break;
+        if (pass > 0 && opts.keep_going && !opts.keep_going())
+            break; // deadline: keep what has accumulated so far
+
+        // One batch per pass: the structure fetch and eigen analysis
+        // are shared; members bind back to back on the live program.
+        auto pass_outs =
+            solver.solveBatch(a, pass_rhs, {}, pass_hints);
+        for (std::size_t i = 0; i < members.size(); ++i) {
+            std::size_t k = members[i];
+            RefineOutcome &out = outs[k];
+            out.phases.add(pass_outs[i].phases);
+            out.analog_seconds += pass_outs[i].analog_seconds;
+            la::axpy(1.0, pass_outs[i].u, out.u);
+            if (opts.record_history)
+                out.config_bytes_history.push_back(
+                    pass_outs[i].phases.config_bytes);
+            ++out.passes;
+            residuals[k] = bs[k] - a.apply(out.u);
+        }
+    }
+    for (std::size_t k = 0; k < count; ++k) {
+        RefineOutcome &out = outs[k];
+        out.final_residual = la::norm2(bs[k] - a.apply(out.u));
+        if (opts.record_history)
+            out.residual_history.push_back(out.final_residual);
+        out.converged =
+            out.final_residual <= opts.tolerance * bnorms[k];
+    }
+    return outs;
+}
+
 } // namespace aa::analog

@@ -64,6 +64,24 @@ RefineOutcome refineSolve(AnalogLinearSolver &solver,
                           const la::DenseMatrix &a, const la::Vector &b,
                           const RefineOptions &opts = {});
 
+/**
+ * Refine K right-hand sides of one matrix in lockstep: each pass
+ * batches the still-active members' residual systems through
+ * solveBatch, so the structure fetch and eigen analysis are paid once
+ * per pass (not once per member) and the members' near-identical
+ * residual ranges bind onto the same stretched gain plane — config
+ * traffic per member collapses the same way batched raw solves do.
+ *
+ * Members converge independently: one reaching tolerance drops out of
+ * later passes while the rest continue. Per-member numerics follow
+ * the same hint/re-scale path as refineSolve; keep_going (when set)
+ * gates whole passes, like the single-RHS loop.
+ */
+std::vector<RefineOutcome>
+refineSolveBatch(AnalogLinearSolver &solver, const la::DenseMatrix &a,
+                 const std::vector<la::Vector> &bs,
+                 const RefineOptions &opts = {});
+
 } // namespace aa::analog
 
 #endif // AA_ANALOG_REFINE_HH

@@ -70,34 +70,123 @@ AnalogLinearSolver::solve(const la::DenseMatrix &a, const la::Vector &b,
 
     ensureCapacity(compiler::demandOf(a, b));
 
-    AnalogSolveOutcome out;
-    std::size_t config_bytes_before = driver_->configBytes();
     compiler::CacheStats cache_before = cache_.stats();
 
     // Structure depends only on the pattern and the geometry — shared
     // across every attempt of this solve (and, via the cache, across
     // solves of the same pattern).
     auto t_compile = Clock::now();
-    std::shared_ptr<const compiler::CompiledStructure> structure =
-        cache_.fetch(a, *chip_);
-    out.phases.compile_seconds += secondsSince(t_compile);
+    SolveShared shared;
+    shared.structure = cache_.fetch(a, *chip_);
+    double fetch_seconds = secondsSince(t_compile);
 
     // A scale hint (set by refinement) is consumed once; block
     // sequences with wildly different magnitudes (domain
     // decomposition strips) must each rediscover their own range.
-    bool hinted = sticky_solution_scale > 0.0;
     double hint = sticky_solution_scale;
-    double sigma = hinted ? hint : opts.initial_solution_scale;
     sticky_solution_scale = 0.0;
+
+    AnalogSolveOutcome out = solveOne(a, b, u0, hint, shared);
+    out.phases.compile_seconds += fetch_seconds;
+    out.phases.cache_hits = cache_.stats().hits - cache_before.hits;
+    out.phases.cache_misses =
+        cache_.stats().misses - cache_before.misses;
+    return out;
+}
+
+std::vector<AnalogSolveOutcome>
+AnalogLinearSolver::solveBatch(const la::DenseMatrix &a,
+                               const std::vector<la::Vector> &bs,
+                               const std::vector<la::Vector> &u0s,
+                               const std::vector<double> &scale_hints)
+{
+    fatalIf(bs.empty(), "AnalogLinearSolver::solveBatch: empty batch");
+    fatalIf(!u0s.empty() && u0s.size() != bs.size(),
+            "AnalogLinearSolver::solveBatch: u0 count mismatch");
+    fatalIf(!scale_hints.empty() && scale_hints.size() != bs.size(),
+            "AnalogLinearSolver::solveBatch: hint count mismatch");
+    for (const la::Vector &b : bs) {
+        fatalIf(a.rows() != a.cols() || a.rows() != b.size(),
+                "AnalogLinearSolver::solveBatch: dimension mismatch");
+        fatalIf(b.empty(),
+                "AnalogLinearSolver::solveBatch: empty system");
+    }
+
+    ensureCapacity(compiler::demandOf(a, bs.front()));
+
+    compiler::CacheStats cache_before = cache_.stats();
+
+    // One fetch, one eigen analysis (inside SolveShared) for the
+    // whole batch; members 1..K-1 pay neither.
+    auto t_compile = Clock::now();
+    SolveShared shared;
+    shared.structure = cache_.fetch(a, *chip_);
+    double fetch_seconds = secondsSince(t_compile);
+
+    std::vector<AnalogSolveOutcome> outs;
+    outs.reserve(bs.size());
+    static const la::Vector no_u0;
+    double prev_sigma = 0.0, prev_bpeak = 0.0;
+    for (std::size_t k = 0; k < bs.size(); ++k) {
+        double hint = 0.0;
+        if (!scale_hints.empty()) {
+            hint = scale_hints[k];
+        } else if (k == 0) {
+            hint = sticky_solution_scale; // like the 1st of K solves
+            sticky_solution_scale = 0.0;
+        } else if (prev_sigma > 0.0 && prev_bpeak > 0.0) {
+            // Derived range reuse: the previous member's ladder ended
+            // on a working rung; rescaling its sigma by the RHS
+            // magnitude ratio reproduces that rung exactly for a
+            // proportional right-hand side (the pow2 stretch and
+            // b_s = b / (s sigma) are both ratio-invariant), so the
+            // member binds the registers the die already holds and
+            // runs once. Non-proportional members start from an
+            // informed guess and let the ladder correct from there.
+            double bpeak = la::normInf(bs[k]);
+            if (bpeak > 0.0)
+                hint = prev_sigma * (bpeak / prev_bpeak);
+        }
+        outs.push_back(solveOne(a, bs[k],
+                                u0s.empty() ? no_u0 : u0s[k], hint,
+                                shared));
+        prev_sigma = outs.back().solution_scale;
+        prev_bpeak = la::normInf(bs[k]);
+    }
+
+    // Batch-shared compile work lands on member 0 (so per-member
+    // phase reports still sum to the batch's true totals).
+    outs.front().phases.compile_seconds += fetch_seconds;
+    outs.front().phases.cache_hits =
+        cache_.stats().hits - cache_before.hits;
+    outs.front().phases.cache_misses =
+        cache_.stats().misses - cache_before.misses;
+    return outs;
+}
+
+AnalogSolveOutcome
+AnalogLinearSolver::solveOne(const la::DenseMatrix &a,
+                             const la::Vector &b, const la::Vector &u0,
+                             double hint, SolveShared &shared)
+{
+    AnalogSolveOutcome out;
+    std::size_t config_bytes_before = driver_->configBytes();
+    const std::shared_ptr<const compiler::CompiledStructure>
+        &structure = shared.structure;
+
+    bool hinted = hint > 0.0;
+    double sigma = hinted ? hint : opts.initial_solution_scale;
     bool saw_overflow = false;
     double overflow_growth = 2.0;
 
     // lambdaMin(A / s) = lambdaMin(A) / s: run the eigen analysis on
     // the first attempt's scaled matrix only and rescale for retries
-    // instead of re-running the power iteration.
-    bool have_lambda = false;
-    double lambda_ref = 0.0;
-    double s_ref = 1.0;
+    // instead of re-running the power iteration. The reference lives
+    // in SolveShared so a batch pays for it exactly once.
+    bool &have_lambda = shared.have_lambda;
+    double &lambda_ref = shared.lambda_ref;
+    double &s_ref = shared.s_ref;
+    auto t_compile = Clock::now();
 
     // Range-memory fast start. A residual-magnitude hint keeps b_s at
     // full DAC scale, so the first attempt overflows whenever
@@ -121,27 +210,46 @@ AnalogLinearSolver::solve(const la::DenseMatrix &a, const la::Vector &b,
             sigma *= 2.0;          // the ladder's second rung, exactly
             saw_overflow = true;   // presumed (validated below)
             overflow_growth = 4.0; // ladder state after one latch
-            // Keep the eigen analysis bit-identical to the canonical
-            // ladder: reference the raw-hint scaling, not the
-            // fast-started one.
-            t_compile = Clock::now();
-            compiler::ScaledSystem canon =
-                compiler::scaleSystem(a, b, u0, opts.spec, hint);
-            lambda_ref = compiler::estimateConvergenceRate(
-                canon.a, /*expect_spd=*/true);
-            s_ref = canon.plan.gain_scale;
-            have_lambda = true;
-            out.phases.compile_seconds += secondsSince(t_compile);
+            if (!have_lambda) {
+                // Keep the eigen analysis bit-identical to the
+                // canonical ladder: reference the raw-hint scaling,
+                // not the fast-started one. (A / s is independent of
+                // sigma, so a lambda shared from an earlier batch
+                // member is the same number already.)
+                t_compile = Clock::now();
+                compiler::ScaledSystem canon = compiler::scaleSystem(
+                    a, b, u0, opts.spec, hint,
+                    compiler::BiasPolicy::StretchTime);
+                lambda_ref = compiler::estimateConvergenceRate(
+                    canon.a, /*expect_spd=*/true);
+                s_ref = canon.plan.gain_scale;
+                have_lambda = true;
+                out.phases.compile_seconds += secondsSince(t_compile);
+            }
         }
     }
 
     la::Vector u_hat;
     compiler::ScalingPlan plan;
+    // An unhinted opening rung floors sigma on the DAC range (gains
+    // stay a pure function of A — the cheap-rebind default for fresh
+    // and batched traffic). Every other sigma is *informed* — a
+    // caller's hint, or a retry derived from a real readout or latch
+    // — so those rungs honor it exactly and stretch time instead
+    // when b would not fit.
+    bool first_rung = true;
     for (std::size_t attempt = 0; attempt < opts.max_attempts;
          ++attempt) {
+        compiler::ScaledSystem scaled = compiler::scaleSystem(
+            a, b, u0, opts.spec, sigma,
+            first_rung && !hinted ? compiler::BiasPolicy::FloorSigma
+                                  : compiler::BiasPolicy::StretchTime);
+        first_rung = false;
+        // Adopt the effective sigma (FloorSigma may have raised it)
+        // so the retry ladder and range memory track what actually
+        // ran, not what was asked for.
+        sigma = scaled.plan.solution_scale;
         ++out.attempts;
-        compiler::ScaledSystem scaled =
-            compiler::scaleSystem(a, b, u0, opts.spec, sigma);
 
         double lambda;
         if (!have_lambda) {
@@ -225,6 +333,7 @@ AnalogLinearSolver::solve(const la::DenseMatrix &a, const la::Vector &b,
                 debugLog("analog solve: fast start unproven (peak ",
                          peak, "), replaying from the hint");
                 sigma = hint;
+                first_rung = true; // replay opens the canonical ladder
                 saw_overflow = false;
                 overflow_growth = 2.0;
                 continue;
@@ -268,9 +377,8 @@ AnalogLinearSolver::solve(const la::DenseMatrix &a, const la::Vector &b,
     out.gain_scale = plan.gain_scale;
     out.phases.config_bytes =
         driver_->configBytes() - config_bytes_before;
-    out.phases.cache_hits = cache_.stats().hits - cache_before.hits;
-    out.phases.cache_misses =
-        cache_.stats().misses - cache_before.misses;
+    // Cache hit/miss attribution lives in solve()/solveBatch(): the
+    // fetch is per-solve there but per-batch here.
     return out;
 }
 

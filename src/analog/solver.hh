@@ -18,6 +18,7 @@
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "aa/chip/chip.hh"
 #include "aa/compiler/mapper.hh"
@@ -155,6 +156,43 @@ class AnalogLinearSolver
                              const la::Vector &u0 = {});
 
     /**
+     * Solve A u_k = b_k for K right-hand sides back to back on the
+     * one configured die. The structure is fetched (and the eigen
+     * analysis run) once for the whole batch; since the gain scale
+     * depends only on A, every member binds identical multiplier
+     * registers and the shadow file reduces each rebind to the DAC
+     * biases — configuration traffic amortizes to ~1/K per member.
+     *
+     * Member 0 is bit-identical to a solo solve(a, bs[0], u0s[0]) —
+     * it walks the canonical re-scaling ladder, consuming a sticky
+     * solution-scale hint (setSolutionScaleHint) if one is set.
+     * Members after it reuse the range the ladder just discovered:
+     * each starts from the derived hint sigma_prev * |b_k| / |b_prev|
+     * (infinity norms), which for a right-hand side proportional to
+     * its predecessor reproduces the working rung exactly — the
+     * pow2 gain stretch and b_s = b / (s sigma) are ratio-invariant
+     * — so the member binds the registers the die already holds,
+     * runs once, and ships no configuration bytes. Non-proportional
+     * members treat it as an informed first rung and let the ladder
+     * correct; each member k is exactly solve(a, bs[k], u0s[k])
+     * under that hint (same code path as a hinted sequential solve).
+     * When scale_hints is non-empty it overrides the derivation and
+     * gives every member its caller-chosen hint (the refinement
+     * path), 0.0 meaning the canonical unhinted ladder.
+     *
+     * Outcomes carry per-member phase breakdowns; the batch-shared
+     * compile work (structure fetch, cache hit/miss) is attributed
+     * to member 0. Throws SolveRangeError if any member exhausts its
+     * attempts; members before it completed, members after it did
+     * not run.
+     */
+    std::vector<AnalogSolveOutcome>
+    solveBatch(const la::DenseMatrix &a,
+               const std::vector<la::Vector> &bs,
+               const std::vector<la::Vector> &u0s = {},
+               const std::vector<double> &scale_hints = {});
+
+    /**
      * Solve and verify the readout against the digital residual
      * before returning it. A failed check (or a range-overflow
      * exhaustion) triggers local recovery — shadow reset, full
@@ -223,6 +261,27 @@ class AnalogLinearSolver
 
   private:
     void ensureCapacity(const compiler::ResourceDemand &demand);
+
+    /**
+     * State one batch's members share: the compiled structure and
+     * the convergence-rate analysis. lambdaMin(A / s) is independent
+     * of sigma (s reads only A), so one power iteration serves every
+     * member and every retry — rescaled by s_ref / s, which is 1 in
+     * practice but kept for form.
+     */
+    struct SolveShared {
+        std::shared_ptr<const compiler::CompiledStructure> structure;
+        bool have_lambda = false;
+        double lambda_ref = 0.0;
+        double s_ref = 1.0;
+    };
+
+    /** One member's full retry ladder against a fetched structure.
+     *  `hint` > 0 seeds sigma (a consumed scale hint). */
+    AnalogSolveOutcome solveOne(const la::DenseMatrix &a,
+                                const la::Vector &b,
+                                const la::Vector &u0, double hint,
+                                SolveShared &shared);
 
     AnalogSolverOptions opts;
     std::unique_ptr<chip::Chip> chip_;

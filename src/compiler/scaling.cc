@@ -10,7 +10,7 @@ namespace aa::compiler {
 ScaledSystem
 scaleSystem(const la::DenseMatrix &a, const la::Vector &b,
             const la::Vector &u0, const circuit::AnalogSpec &spec,
-            double solution_scale)
+            double solution_scale, BiasPolicy policy)
 {
     fatalIf(a.rows() != a.cols() || a.rows() != b.size(),
             "scaleSystem: dimension mismatch");
@@ -20,28 +20,55 @@ scaleSystem(const la::DenseMatrix &a, const la::Vector &b,
             "scaleSystem: solution scale must be positive");
 
     ScaledSystem out;
-    out.plan.solution_scale = solution_scale;
 
-    // s must pull every |a_ij| under the gain range and every
-    // |b_i / sigma| under the DAC range. Keep a small headroom so
-    // quantized gains do not land exactly on the rail.
+    // s depends on A alone: pull every |a_ij| under the gain range
+    // (with a small headroom so quantized gains do not land exactly
+    // on the rail). Keeping b out of s makes the programmed gains a
+    // pure function of (A, spec) — every right-hand side of the same
+    // matrix binds onto identical multiplier registers, so the
+    // driver's shadow file suppresses the whole gain plane on
+    // rebinds; only the DAC biases travel.
     constexpr double headroom = 0.95;
     double s = 1.0;
     if (a.maxAbs() > 0.0)
         s = std::max(s, a.maxAbs() / (headroom * spec.max_gain));
-    double b_peak = la::normInf(b) / solution_scale;
-    if (b_peak > 0.0)
-        s = std::max(s, b_peak / headroom);
+
+    // The bias range constrains the pair: b_s = b / (s * sigma) must
+    // stay inside the DAC range. Under FloorSigma a large b raises
+    // the solution scale to b_peak / (headroom * s) — pinning b_s at
+    // full DAC scale while s stays pure in A. Under StretchTime the
+    // requested sigma is honored and s grows instead, by an exact
+    // power of two so repeated stretches land on identical gain
+    // values (and the scaled-RHS ratio b_s stays fp-clean).
+    double sigma = solution_scale;
+    double b_peak = la::normInf(b);
+    if (b_peak > headroom * s * sigma) {
+        if (policy == BiasPolicy::FloorSigma) {
+            sigma = b_peak / (headroom * s);
+        } else {
+            // A caller-derived sigma (solveBatch's ratio hint, a
+            // refinement pass) can land `needed` a few ulps past 1
+            // or past a power of two; an unguarded ceil would then
+            // stretch the whole gain plane over rounding noise. The
+            // DAC headroom (b_s trigger is at 0.95 of full scale)
+            // absorbs an epsilon excess for free.
+            double needed = b_peak / (headroom * s * sigma);
+            if (needed > 1.0 + 1e-9)
+                s *= std::exp2(
+                    std::ceil(std::log2(needed) - 1e-9));
+        }
+    }
     out.plan.gain_scale = s;
+    out.plan.solution_scale = sigma;
 
     out.a = a;
     out.a *= 1.0 / s;
-    la::scale(1.0 / (s * solution_scale), b, out.b);
+    la::scale(1.0 / (s * sigma), b, out.b);
 
     if (u0.empty()) {
         out.u0 = la::Vector(b.size());
     } else {
-        la::scale(1.0 / solution_scale, u0, out.u0);
+        la::scale(1.0 / sigma, u0, out.u0);
         // The integrator IC DAC clamps at full scale; a guess outside
         // the range is clipped (the run will still converge).
         for (std::size_t i = 0; i < out.u0.size(); ++i)

@@ -13,6 +13,14 @@
  *
  * The closed form u(t) = A^-1 b + c e^(-At) is invariant under this
  * transformation, which is what makes the trick sound.
+ *
+ * The split of responsibilities is deliberate: s is a function of A
+ * (and the spec) alone, while a right-hand side too large for the
+ * DAC range raises sigma instead. Programmed gains are therefore
+ * identical across every RHS of the same matrix, which is what lets
+ * batched multi-RHS solves (and steady-state service traffic) rebind
+ * only the DAC biases through the shadow-register delta path
+ * (DESIGN.md 5g).
  */
 
 #ifndef AA_COMPILER_SCALING_HH
@@ -43,21 +51,47 @@ struct ScaledSystem {
 };
 
 /**
- * Choose s (and fold in a caller-provided sigma) so the system fits
- * the hardware ranges, then apply it. `solution_scale` starts at the
- * caller's estimate of max|u| (>= 1 keeps the solution in range); the
- * exception-driven retry loop in aa_analog raises it when overflow
- * latches fire and lowers it when the dynamic range is underused.
+ * What to do when b exceeds the DAC range at the requested sigma —
+ * the one place the two knobs trade off against each other.
+ */
+enum class BiasPolicy {
+    /**
+     * Raise sigma to the floor b_peak / (0.95 * s) that pins b_s at
+     * full DAC scale. s stays a pure function of (A, spec), so every
+     * RHS of the same matrix binds identical multiplier registers —
+     * the cheap-rebind default for first attempts and batched traffic.
+     * Costs readout resolution when max|u| is well below the floor.
+     */
+    FloorSigma,
+    /**
+     * Honor the requested sigma exactly and stretch time instead:
+     * raise s by the next power of two that brings b inside the DAC
+     * range. Retries that *need* a smaller sigma (precision) use
+     * this; the power-of-two quantization keeps the stretched gain
+     * plane drawn from a tiny discrete set, so repeated passes at
+     * similar ranges still shadow-suppress their gain writes.
+     */
+    StretchTime,
+};
+
+/**
+ * Choose s from A, fold in a caller-provided sigma, and apply both.
+ * `solution_scale` starts at the caller's estimate of max|u| (>= 1
+ * keeps the solution in range); the exception-driven retry loop in
+ * aa_analog raises it when overflow latches fire and lowers it when
+ * the dynamic range is underused.
  *
- * s is not a free parameter: the 0.95 headroom deliberately puts b_s
- * near full DAC scale, so any s above the range-derived minimum
- * wastes DAC codes and costs readout precision. The retry loop must
- * therefore re-derive s per sigma rather than holding it monotone.
+ * sigma is not fully free: a right-hand side beyond the DAC range at
+ * the requested sigma forces a choice, resolved per `policy` — raise
+ * sigma (FloorSigma, the default) or raise s (StretchTime). Either
+ * way the returned plan holds the effective values; callers iterating
+ * on sigma should adopt plan.solution_scale.
  */
 ScaledSystem scaleSystem(const la::DenseMatrix &a, const la::Vector &b,
                          const la::Vector &u0,
                          const circuit::AnalogSpec &spec,
-                         double solution_scale = 1.0);
+                         double solution_scale = 1.0,
+                         BiasPolicy policy = BiasPolicy::FloorSigma);
 
 /** Map a scaled readout back to problem units: u = sigma * u_hat. */
 la::Vector unscaleSolution(const la::Vector &u_hat,

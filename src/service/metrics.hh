@@ -25,6 +25,8 @@ struct DieServiceStats {
     std::size_t requests = 0;      ///< requests executed on this die
     std::size_t solves = 0;        ///< accelerator runs (incl. passes)
     std::size_t affine_routed = 0; ///< requests routed by residency
+    std::size_t rhs_batched = 0;   ///< requests answered via a
+                                   ///< multi-RHS batch on this die
     double busy_seconds = 0.0;     ///< wall time executing requests
     std::size_t cache_hits = 0;    ///< ProgramCache hits (this die)
     std::size_t cache_misses = 0;  ///< ProgramCache compiles
@@ -67,6 +69,12 @@ struct ServiceMetrics {
     std::size_t affinity_hits = 0;  ///< requests landing on a die with
                                     ///< their structure resident
     std::size_t affinity_misses = 0;
+    // Multi-RHS batching (ServiceOptions::batch_multi_rhs): same-
+    // matrix runs folded into one solveBatch call, paying the
+    // structure fetch and eigen analysis once per batch.
+    std::size_t rhs_batches = 0;          ///< solveBatch calls issued
+    std::size_t rhs_batched_requests = 0; ///< requests answered
+                                          ///< through such a batch
 
     // Aggregated ProgramCache traffic of executed requests.
     std::size_t cache_hits = 0;

@@ -310,8 +310,7 @@ SolveService::dispatchRound(RoutePlan plan)
         // health slot) is never shared across threads.
         workers_.parallelForWorkers(
             active.size(), [&](std::size_t, std::size_t i) {
-                for (Pending &p : by_die[active[i]])
-                    executeRequest(p);
+                executeDie(by_die[active[i]]);
             });
     }
 
@@ -319,6 +318,140 @@ SolveService::dispatchRound(RoutePlan plan)
     // them itself (digital CG), sequentially and deterministically.
     for (Pending &p : plan.fallback)
         executeRequest(p);
+}
+
+void
+SolveService::executeDie(std::vector<Pending> &list)
+{
+    if (!opts_.batch_multi_rhs) {
+        for (Pending &p : list)
+            executeRequest(p);
+        return;
+    }
+    // Segment the stamped order into maximal runs of batchable
+    // requests sharing one matrix object. Contiguity is free here:
+    // affinity routing groups same-pattern traffic back to back, and
+    // honoring the stamped order keeps execution deterministic.
+    std::size_t i = 0;
+    while (i < list.size()) {
+        std::size_t j = i + 1;
+        if (batchable(list[i]))
+            while (j < list.size() && batchable(list[j]) &&
+                   list[j].req.a.get() == list[i].req.a.get())
+                ++j;
+        if (j - i >= 2)
+            executeBatch(list, i, j);
+        else
+            executeRequest(list[i]);
+        i = j;
+    }
+}
+
+bool
+SolveService::batchable(const Pending &p) const
+{
+    // tolerance>0 runs the refinement loop (its own batching lives in
+    // refineSolveBatch); deadlines need per-request expiry checks
+    // between solves. Both run solo.
+    return p.req.tolerance == 0.0 && !p.has_deadline;
+}
+
+void
+SolveService::executeBatch(std::vector<Pending> &list,
+                           std::size_t begin, std::size_t end)
+{
+    auto t_start = Clock::now();
+    const std::size_t count = end - begin;
+    const la::DenseMatrix &a = *list[begin].req.a;
+
+    std::vector<la::Vector> bs;
+    std::vector<la::Vector> u0s;
+    bs.reserve(count);
+    u0s.reserve(count);
+    for (std::size_t k = begin; k < end; ++k) {
+        bs.push_back(list[k].req.b);
+        u0s.push_back(list[k].req.u0); // empty = no warm start
+    }
+
+    analog::AnalogLinearSolver &die = pool_.die(list[begin].die);
+    std::vector<analog::AnalogSolveOutcome> outs;
+    try {
+        outs = die.solveBatch(a, bs, u0s);
+    } catch (...) {
+        // An exception aborts the whole call before any member has an
+        // answer (a range error on one member, or the die dying).
+        // Re-run every member solo: executeRequest owns the recovery,
+        // reroute, and fallback machinery per request. Costs repeated
+        // analog work only on fault paths.
+        for (std::size_t k = begin; k < end; ++k)
+            executeRequest(list[k]);
+        return;
+    }
+
+    // One batch on the die's books: K solves, one configure.
+    double batch_analog = 0.0;
+    analog::SolvePhaseReport batch_phases;
+    for (const analog::AnalogSolveOutcome &out : outs) {
+        batch_analog += out.analog_seconds;
+        batch_phases.add(out.phases);
+    }
+    pool_.recordBatchUsage(list[begin].die, count, batch_analog,
+                           batch_phases);
+
+    std::size_t delivered = 0;
+    for (std::size_t k = begin; k < end; ++k) {
+        Pending &p = list[k];
+        analog::AnalogSolveOutcome &out = outs[k - begin];
+        SolveResponse r;
+        r.die = p.die;
+        r.affine_hit = p.affine_hit;
+        r.exec_order = p.exec_order;
+        r.reroutes = p.reroutes;
+        r.failure_chain = p.chain;
+        r.attempts = p.prior_attempts + out.attempts;
+        r.analog_seconds = p.prior_analog_seconds + out.analog_seconds;
+        r.phases = p.prior_phases;
+        r.phases.add(out.phases);
+        r.queue_seconds =
+            std::chrono::duration<double>(t_start - p.submitted_at)
+                .count();
+
+        if (opts_.residual_verify) {
+            // Same digital check as solveVerified, same norm.
+            const double b_norm = la::norm2(p.req.b);
+            la::Vector res = a.apply(out.u);
+            for (std::size_t i = 0; i < res.size(); ++i)
+                res[i] = p.req.b[i] - res[i];
+            r.residual = b_norm > 0.0 ? la::norm2(res) / b_norm
+                                      : la::norm2(res);
+            if (r.residual > opts_.verify_rel_residual) {
+                // Fold the rejected work into the request and send it
+                // through the solo verified path on this die — that
+                // path owns local recovery, then the reroute chain.
+                // The batch check is a filter, not a health event.
+                p.prior_attempts = r.attempts;
+                p.prior_analog_seconds = r.analog_seconds;
+                p.prior_phases = r.phases;
+                executeRequest(p);
+                continue;
+            }
+            r.verified = true;
+            pool_.recordSuccess(p.die);
+        }
+        r.u = std::move(out.u);
+        r.converged = out.converged;
+        r.refine_passes = 1;
+        ++delivered;
+        // busy_seconds per member measures from the batch's start —
+        // members overlap, so per-die busy time counts shared wall
+        // clock once per member, like sequential execution would.
+        finishRequest(p, r, /*solves=*/1, t_start);
+    }
+
+    std::lock_guard<std::mutex> mlock(metrics_mu_);
+    ++counters_.rhs_batches;
+    counters_.rhs_batched_requests += delivered;
+    counters_.dies[list[begin].die].rhs_batched += delivered;
 }
 
 void

@@ -126,6 +126,19 @@ struct ServiceOptions {
     /** Route by ProgramCache residency (false = round-robin, the
      *  affinity-blind baseline the bench compares against). */
     bool cache_affinity = true;
+    /** Fold contiguous same-matrix tolerance==0 requests on a die
+     *  into one solveBatch call: the structure fetch and eigen
+     *  analysis are paid once per batch, and members after the first
+     *  start from the derived range hint (the previous member's
+     *  sigma scaled by the RHS-peak ratio), so scaled right-hand
+     *  sides rebind onto the live registers in one attempt and ship
+     *  zero config bytes. The batch's first member is bit-identical
+     *  to the unbatched path; later members agree at round-off level
+     *  (they unscale by an ulps-different sigma) while skipping the
+     *  unhinted ladder's range-discovery retries. Requests with
+     *  deadlines or tolerance>0 always run solo. Off by default:
+     *  the legacy one-call-per-request execution path. */
+    bool batch_multi_rhs = false;
     /** Dispatch concurrency across dies: 0 = AASIM_THREADS default;
      *  always capped to the pool size. */
     std::size_t threads = 0;
@@ -234,6 +247,19 @@ class SolveService
     /** Deterministic routing of one drained round. */
     RoutePlan routeRound(std::vector<Pending> round);
     void dispatchRound(RoutePlan plan);
+    /** Run one die's stamped request list: with batch_multi_rhs on,
+     *  contiguous batchable same-matrix runs go through
+     *  executeBatch; everything else executes solo, in order. */
+    void executeDie(std::vector<Pending> &list);
+    /** May this request join a multi-RHS batch? */
+    bool batchable(const Pending &p) const;
+    /** Execute list[begin, end) as one solveBatch on their shared
+     *  die. Members failing the digital residual check (or an
+     *  exception aborting the whole batch) fall out to
+     *  executeRequest — the solo verified path with local recovery
+     *  and the reroute chain. */
+    void executeBatch(std::vector<Pending> &list, std::size_t begin,
+                      std::size_t end);
     void executeRequest(Pending &p);
     /** Analog failed on p.die: record health/metrics and either
      *  requeue for another die, fall back, or fail/expire. */

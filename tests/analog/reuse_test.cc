@@ -60,11 +60,20 @@ TEST(Reuse, SecondSolveShipsOnlyDeltas)
     la::Vector b{1.0, 2.0};
     AnalogLinearSolver solver(quietOptions());
     auto first = solver.solve(a, b);
-    la::Vector b2{0.5, 1.0};
+    // A genuinely different direction rebinds only the DAC biases —
+    // a fraction of the full program (gains are a pure function of
+    // A, so the multiplier plane never reships).
+    la::Vector b2{2.0, 1.0};
     auto second = solver.solve(a, b2);
     EXPECT_GT(second.phases.config_bytes, 0u);
     EXPECT_LT(second.phases.config_bytes * 2,
               first.phases.config_bytes);
+    // A *scaled* RHS is the degenerate best case: the bias floor
+    // pins b_s at full DAC scale, so f * b2 binds bit-identical
+    // registers and the shadow file suppresses every write.
+    la::Vector b3{1.0, 0.5};
+    auto third = solver.solve(a, b3);
+    EXPECT_EQ(third.phases.config_bytes, 0u);
 }
 
 TEST(Reuse, RefinementPassesCollapseToDeltaTraffic)

@@ -1,0 +1,317 @@
+/**
+ * @file
+ * solveBatch contract tests. The contract is exact and replayable:
+ * member 0 is bit-identical to a solo solve (canonical ladder, sticky
+ * hint honored); member k > 0 is bit-identical to a solo solve hinted
+ * with sigma_{k-1} * |b_k| / |b_{k-1}| — the derived range reuse that
+ * lets a proportional right-hand side rebind the registers the die
+ * already holds, run once, and ship zero config bytes. Batch-shared
+ * work (structure fetch, eigen analysis) is paid once and attributed
+ * to member 0.
+ */
+
+#include <gtest/gtest.h>
+
+#include "aa/analog/refine.hh"
+#include "aa/analog/solver.hh"
+#include "aa/la/direct.hh"
+#include "common/trace_matcher.hh"
+
+namespace aa::analog {
+namespace {
+
+AnalogSolverOptions
+quietOptions()
+{
+    AnalogSolverOptions opts;
+    opts.spec.variation.enabled = false;
+    opts.spec.adc_noise_sigma = 0.0;
+    opts.auto_calibrate = false;
+    return opts;
+}
+
+la::DenseMatrix
+testMatrix()
+{
+    return la::DenseMatrix::fromRows({{4.0, -1.0, 0.0},
+                                      {-1.0, 3.0, -1.0},
+                                      {0.0, -1.0, 2.0}});
+}
+
+/** RHS set mixing directions and magnitudes: a base vector, a scaled
+ *  copy (the zero-delta rebind case), a different direction, and one
+ *  small enough to trip the underrange retry. */
+std::vector<la::Vector>
+testRhs()
+{
+    return {la::Vector{1.0, 2.0, 0.5}, la::Vector{0.5, 1.0, 0.25},
+            la::Vector{-2.0, 0.5, 1.0}, la::Vector{0.01, 0.005, 0.0}};
+}
+
+/**
+ * The batch's documented sequential equivalent: member 0 solo (any
+ * sticky hint the caller set is consumed there), member k > 0 solo
+ * under the derived hint sigma_{k-1} * |b_k| / |b_{k-1}|.
+ */
+std::vector<AnalogSolveOutcome>
+sequentialReplay(AnalogLinearSolver &solver, const la::DenseMatrix &a,
+                 const std::vector<la::Vector> &bs,
+                 const std::vector<la::Vector> &u0s = {})
+{
+    std::vector<AnalogSolveOutcome> outs;
+    for (std::size_t k = 0; k < bs.size(); ++k) {
+        if (k > 0) {
+            double prev = la::normInf(bs[k - 1]);
+            double cur = la::normInf(bs[k]);
+            if (outs.back().solution_scale > 0.0 && prev > 0.0 &&
+                cur > 0.0)
+                solver.setSolutionScaleHint(
+                    outs.back().solution_scale * (cur / prev));
+        }
+        outs.push_back(solver.solve(
+            a, bs[k], u0s.empty() ? la::Vector{} : u0s[k]));
+    }
+    return outs;
+}
+
+void
+expectOutcomesIdentical(const AnalogSolveOutcome &seq,
+                        const AnalogSolveOutcome &bat, std::size_t k)
+{
+    ASSERT_EQ(seq.u.size(), bat.u.size()) << "member " << k;
+    for (std::size_t i = 0; i < seq.u.size(); ++i)
+        EXPECT_EQ(seq.u[i], bat.u[i])
+            << "member " << k << " component " << i;
+    EXPECT_EQ(seq.converged, bat.converged) << "member " << k;
+    EXPECT_EQ(seq.attempts, bat.attempts) << "member " << k;
+    EXPECT_EQ(seq.overflow_retries, bat.overflow_retries)
+        << "member " << k;
+    EXPECT_EQ(seq.underrange_retries, bat.underrange_retries)
+        << "member " << k;
+    EXPECT_EQ(seq.solution_scale, bat.solution_scale) << "member " << k;
+    EXPECT_EQ(seq.gain_scale, bat.gain_scale) << "member " << k;
+    // The die sees the same register evolution either way, so the
+    // delta traffic per member is identical too.
+    EXPECT_EQ(seq.phases.config_bytes, bat.phases.config_bytes)
+        << "member " << k;
+    EXPECT_EQ(seq.phases.structure_reused, bat.phases.structure_reused)
+        << "member " << k;
+}
+
+TEST(SolveBatch, MatchesSequentialReplayBitForBit)
+{
+    la::DenseMatrix a = testMatrix();
+    std::vector<la::Vector> bs = testRhs();
+
+    AnalogLinearSolver sequential(quietOptions());
+    auto seq = sequentialReplay(sequential, a, bs);
+
+    AnalogLinearSolver batched(quietOptions());
+    auto bat = batched.solveBatch(a, bs);
+
+    ASSERT_EQ(bat.size(), bs.size());
+    for (std::size_t k = 0; k < bs.size(); ++k)
+        expectOutcomesIdentical(seq[k], bat[k], k);
+
+    // Sequential pays one cache fetch per solve (1 miss + K-1 hits);
+    // the batch fetches once, attributed to member 0.
+    EXPECT_EQ(bat[0].phases.cache_misses, 1u);
+    for (std::size_t k = 0; k < bs.size(); ++k) {
+        EXPECT_EQ(bat[k].phases.cache_hits, 0u) << "member " << k;
+        if (k > 0) {
+            EXPECT_EQ(bat[k].phases.cache_misses, 0u)
+                << "member " << k;
+        }
+    }
+    EXPECT_EQ(batched.cacheStats().hits + batched.cacheStats().misses,
+              1u);
+    EXPECT_EQ(sequential.cacheStats().hits, bs.size() - 1);
+}
+
+TEST(SolveBatch, BatchOfOneEqualsSolve)
+{
+    la::DenseMatrix a = testMatrix();
+    la::Vector b{1.0, 2.0, 0.5};
+
+    AnalogLinearSolver single(quietOptions());
+    auto one = single.solve(a, b);
+
+    AnalogLinearSolver batched(quietOptions());
+    auto bat = batched.solveBatch(a, {b});
+
+    ASSERT_EQ(bat.size(), 1u);
+    expectOutcomesIdentical(one, bat[0], 0);
+    // K=1 even keeps the full structural story: one miss, no hits.
+    EXPECT_TRUE(testutil::phasesMatch(one.phases, bat[0].phases));
+}
+
+TEST(SolveBatch, ScaledRhsMembersShipZeroConfigBytes)
+{
+    // The workload batching exists for: one matrix, right-hand sides
+    // differing by a scalar. The derived hint reproduces member 0's
+    // working rung exactly (the stretch and b_s = b / (s sigma) are
+    // both ratio-invariant), so members past the first bind
+    // bit-identical registers — the shadow file suppresses every
+    // write.
+    la::DenseMatrix a = testMatrix();
+    la::Vector b0{1.0, 2.0, 0.5};
+    std::vector<la::Vector> bs;
+    for (double f : {1.0, 1.25, 0.75, 2.0}) {
+        la::Vector b(b0.size());
+        for (std::size_t i = 0; i < b0.size(); ++i)
+            b[i] = f * b0[i];
+        bs.push_back(std::move(b));
+    }
+
+    AnalogLinearSolver solver(quietOptions());
+    auto outs = solver.solveBatch(a, bs);
+    ASSERT_EQ(outs.size(), bs.size());
+    EXPECT_GT(outs[0].phases.config_bytes, 0u); // first pays setup
+    for (std::size_t k = 1; k < outs.size(); ++k) {
+        EXPECT_EQ(outs[k].phases.config_bytes, 0u) << "member " << k;
+        EXPECT_TRUE(outs[k].phases.structure_reused) << "member " << k;
+        // The derived hint lands each member on the working rung
+        // directly: one accelerator run, no ladder.
+        EXPECT_EQ(outs[k].attempts, 1u) << "member " << k;
+    }
+    // Solutions still scale with f, exactly.
+    la::Vector exact = la::solveDense(a, b0);
+    for (std::size_t k = 0; k < outs.size(); ++k) {
+        double f = outs[k].solution_scale / outs[0].solution_scale;
+        for (std::size_t i = 0; i < exact.size(); ++i)
+            EXPECT_NEAR(outs[k].u[i], f * outs[0].u[i], 1e-12)
+                << "member " << k << " component " << i;
+    }
+}
+
+TEST(SolveBatch, PerMemberHintsMatchHintedSequential)
+{
+    la::DenseMatrix a = testMatrix();
+    std::vector<la::Vector> bs = testRhs();
+    std::vector<double> hints{0.8, 0.4, 0.9, 0.004};
+
+    AnalogLinearSolver sequential(quietOptions());
+    std::vector<AnalogSolveOutcome> seq;
+    for (std::size_t k = 0; k < bs.size(); ++k) {
+        sequential.setSolutionScaleHint(hints[k]);
+        seq.push_back(sequential.solve(a, bs[k]));
+    }
+
+    AnalogLinearSolver batched(quietOptions());
+    auto bat = batched.solveBatch(a, bs, {}, hints);
+
+    ASSERT_EQ(bat.size(), bs.size());
+    for (std::size_t k = 0; k < bs.size(); ++k)
+        expectOutcomesIdentical(seq[k], bat[k], k);
+}
+
+TEST(SolveBatch, StickyHintSeedsMemberZeroOnly)
+{
+    la::DenseMatrix a = testMatrix();
+    std::vector<la::Vector> bs = {la::Vector{1.0, 2.0, 0.5},
+                                  la::Vector{1.0, 2.0, 0.5}};
+
+    AnalogLinearSolver sequential(quietOptions());
+    sequential.setSolutionScaleHint(0.8);
+    auto seq = sequentialReplay(sequential, a, bs);
+
+    AnalogLinearSolver batched(quietOptions());
+    batched.setSolutionScaleHint(0.8);
+    auto bat = batched.solveBatch(a, bs);
+
+    ASSERT_EQ(bat.size(), 2u);
+    for (std::size_t k = 0; k < bs.size(); ++k)
+        expectOutcomesIdentical(seq[k], bat[k], k);
+}
+
+TEST(SolveBatch, InitialGuessesAreAppliedPerMember)
+{
+    la::DenseMatrix a = testMatrix();
+    std::vector<la::Vector> bs = {la::Vector{1.0, 2.0, 0.5},
+                                  la::Vector{-2.0, 0.5, 1.0}};
+    std::vector<la::Vector> u0s = {la::Vector{0.2, 0.5, 0.2},
+                                   la::Vector{-0.5, 0.1, 0.4}};
+
+    AnalogLinearSolver sequential(quietOptions());
+    auto seq = sequentialReplay(sequential, a, bs, u0s);
+
+    AnalogLinearSolver batched(quietOptions());
+    auto bat = batched.solveBatch(a, bs, u0s);
+
+    ASSERT_EQ(bat.size(), bs.size());
+    for (std::size_t k = 0; k < bs.size(); ++k)
+        expectOutcomesIdentical(seq[k], bat[k], k);
+}
+
+TEST(RefineSolveBatch, MatchesSequentialRefinement)
+{
+    // Lockstep refinement: each pass batches the still-active
+    // members' residual systems. The numbers a member sees are a pure
+    // function of (A, its b, its hint), so per-member convergence is
+    // bit-identical to refining that member alone — the batch only
+    // changes who pays the per-pass structure fetch.
+    la::DenseMatrix a = testMatrix();
+    std::vector<la::Vector> bs = {la::Vector{1.0, 2.0, 0.5},
+                                  la::Vector{-2.0, 0.5, 1.0},
+                                  la::Vector{0.25, 0.5, 0.125}};
+    RefineOptions ro;
+    ro.tolerance = 1e-10;
+    ro.max_passes = 12;
+
+    std::vector<RefineOutcome> seq;
+    for (const la::Vector &b : bs) {
+        AnalogLinearSolver solver(quietOptions());
+        seq.push_back(refineSolve(solver, a, b, ro));
+    }
+
+    AnalogLinearSolver batched(quietOptions());
+    auto bat = refineSolveBatch(batched, a, bs, ro);
+
+    ASSERT_EQ(bat.size(), bs.size());
+    for (std::size_t k = 0; k < bs.size(); ++k) {
+        EXPECT_TRUE(bat[k].converged) << "member " << k;
+        EXPECT_EQ(seq[k].converged, bat[k].converged) << "member " << k;
+        EXPECT_EQ(seq[k].passes, bat[k].passes) << "member " << k;
+        ASSERT_EQ(seq[k].u.size(), bat[k].u.size());
+        for (std::size_t i = 0; i < seq[k].u.size(); ++i)
+            EXPECT_EQ(seq[k].u[i], bat[k].u[i])
+                << "member " << k << " component " << i;
+        EXPECT_EQ(seq[k].final_residual, bat[k].final_residual)
+            << "member " << k;
+    }
+
+    // Per-pass economics: one fetch per pass covers every member (1
+    // miss on the first pass, then hits), and after the first pass
+    // the refinement hint pins the stretched gain plane, so later
+    // passes ship only bias deltas.
+    std::size_t total_passes = 0;
+    for (const RefineOutcome &out : bat)
+        total_passes = std::max(total_passes, out.passes);
+    EXPECT_EQ(batched.cacheStats().misses, 1u);
+    EXPECT_EQ(batched.cacheStats().hits, total_passes - 1);
+    const auto &bytes = bat[0].config_bytes_history;
+    ASSERT_GE(bytes.size(), 2u);
+    for (std::size_t p = 2; p < bytes.size(); ++p)
+        EXPECT_LT(bytes[p], bytes[0]) << "pass " << p;
+}
+
+TEST(SolveBatchDeath, RejectsMalformedBatches)
+{
+    la::DenseMatrix a = testMatrix();
+    AnalogLinearSolver solver(quietOptions());
+    EXPECT_EXIT((void)solver.solveBatch(a, {}),
+                ::testing::ExitedWithCode(1), "empty batch");
+    EXPECT_EXIT((void)solver.solveBatch(
+                    a, {la::Vector{1.0, 2.0, 0.5}, la::Vector{1.0}}),
+                ::testing::ExitedWithCode(1), "dimension mismatch");
+    EXPECT_EXIT((void)solver.solveBatch(a, {la::Vector{1.0, 2.0, 0.5}},
+                                        {la::Vector{0.0, 0.0, 0.0},
+                                         la::Vector{0.0, 0.0, 0.0}}),
+                ::testing::ExitedWithCode(1), "u0 count");
+    EXPECT_EXIT((void)solver.solveBatch(a, {la::Vector{1.0, 2.0, 0.5}},
+                                        {}, {0.5, 0.5}),
+                ::testing::ExitedWithCode(1), "hint count");
+}
+
+} // namespace
+} // namespace aa::analog

@@ -71,13 +71,18 @@ TEST(Scaling, TimeFactorEqualsGainScale)
     EXPECT_NEAR(out.plan.gain_scale, 100.0 / 9.5, 1e-12);
 }
 
-TEST(Scaling, BiasAloneCanForceScaling)
+TEST(Scaling, BiasAloneRaisesSolutionScaleNotGain)
 {
     auto a = la::DenseMatrix::fromRows({{1, 0}, {0, 1}});
     la::Vector b{5.0, 0.0}; // bias beyond the DAC range
     auto out = scaleSystem(a, b, {}, spec());
-    EXPECT_GT(out.plan.gain_scale, 1.0);
+    // b never touches s: gains stay a pure function of (A, spec) so
+    // rebinding a new RHS ships no multiplier writes. The DAC range
+    // floors sigma instead, pinning b_s at full scale.
+    EXPECT_DOUBLE_EQ(out.plan.gain_scale, 1.0);
+    EXPECT_GT(out.plan.solution_scale, 1.0);
     EXPECT_LE(la::normInf(out.b), 1.0);
+    EXPECT_NEAR(la::normInf(out.b), 0.95, 1e-12);
 }
 
 TEST(Scaling, InitialGuessScaledAndClipped)

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -418,6 +419,110 @@ TEST(Service, ThreadCountDoesNotChangeResults)
                                           threaded[i].failure_chain))
             << "request " << i;
     }
+}
+
+TEST(Service, BatchedResponsesAgreeAndAmortizeConfig)
+{
+    // batch_multi_rhs folds each die's contiguous same-matrix runs
+    // into one solveBatch call. Member 0 of every batch is
+    // bit-identical to the solo path; members after it start from the
+    // derived range hint (sigma_prev scaled by the RHS-peak ratio),
+    // so proportional group members reproduce the discovered rung in
+    // one attempt and ship no config bytes. Answers agree with the
+    // solo path at round-off level (the sigma they unscale by
+    // differs only in its last ulps); what changes is the cost:
+    // fewer attempts, strictly less config traffic.
+    //
+    // The pattern is chosen stiff (diagonal 8) so its floored first
+    // rung underranges: every unhinted solo solve pays a scale-up
+    // retry and re-ships the rung walk, which is exactly the traffic
+    // the derived hints eliminate.
+    auto stiff = std::make_shared<const la::DenseMatrix>(
+        la::DenseMatrix::fromRows({{8.0, -1.0}, {-1.0, 8.0}}));
+    auto trace = [&] {
+        std::vector<SolveRequest> t;
+        for (std::size_t i = 0; i < 8; ++i) {
+            double f = 1.0 + 0.125 * static_cast<double>(i);
+            t.push_back(request(stiff, la::Vector{f, 2.0 * f}));
+        }
+        return t;
+    };
+
+    struct Run {
+        std::vector<SolveResponse> responses;
+        ServiceMetrics metrics;
+        analog::PoolReport report;
+    };
+    auto runWith = [&](bool batch) {
+        analog::DiePool pool(1, quietOptions());
+        ServiceOptions sopts;
+        sopts.start_paused = true; // one round: groups stay contiguous
+        sopts.batch_multi_rhs = batch;
+        SolveService svc(pool, sopts);
+        std::vector<std::future<SolveResponse>> fs;
+        for (auto &req : trace())
+            fs.push_back(svc.submit(std::move(req)));
+        svc.resume();
+        svc.drain();
+        Run run;
+        for (auto &f : fs)
+            run.responses.push_back(f.get());
+        run.metrics = svc.metrics();
+        svc.stop();
+        run.report = pool.report();
+        return run;
+    };
+
+    Run solo = runWith(false);
+    Run batched = runWith(true);
+    ASSERT_EQ(solo.responses.size(), batched.responses.size());
+    std::size_t solo_attempts = 0, batched_attempts = 0;
+    for (std::size_t i = 0; i < solo.responses.size(); ++i) {
+        const SolveResponse &s = solo.responses[i];
+        const SolveResponse &b = batched.responses[i];
+        ASSERT_EQ(s.status, RequestStatus::Ok) << "request " << i;
+        ASSERT_EQ(b.status, RequestStatus::Ok) << "request " << i;
+        EXPECT_EQ(s.die, b.die) << "request " << i;
+        EXPECT_EQ(s.exec_order, b.exec_order) << "request " << i;
+        ASSERT_EQ(s.u.size(), b.u.size());
+        for (std::size_t j = 0; j < s.u.size(); ++j) {
+            if (b.exec_order == 0) {
+                // The batch's first member IS the solo solve.
+                EXPECT_EQ(s.u[j], b.u[j]) << "component " << j;
+            } else {
+                EXPECT_NEAR(s.u[j], b.u[j],
+                            1e-12 *
+                                std::max(1.0, std::fabs(s.u[j])))
+                    << "request " << i << " component " << j;
+            }
+        }
+        EXPECT_LE(b.attempts, s.attempts) << "request " << i;
+        EXPECT_EQ(s.converged, b.converged) << "request " << i;
+        EXPECT_EQ(s.verified, b.verified) << "request " << i;
+        solo_attempts += s.attempts;
+        batched_attempts += b.attempts;
+    }
+
+    // Derived hints let the later batch members skip the unhinted
+    // ladder's range discovery: fewer total attempts, strictly less
+    // delta traffic on the wire.
+    EXPECT_LT(batched_attempts, solo_attempts);
+    EXPECT_LT(batched.metrics.config_bytes,
+              solo.metrics.config_bytes);
+
+    // One pattern, one die, one round: a single batch of eight.
+    EXPECT_EQ(solo.metrics.rhs_batches, 0u);
+    EXPECT_EQ(batched.metrics.rhs_batches, 1u);
+    EXPECT_EQ(batched.metrics.rhs_batched_requests, 8u);
+    EXPECT_EQ(batched.report.total().batches, 1u);
+    EXPECT_EQ(batched.report.total().solves, 8u);
+
+    // The batch also amortizes the per-request cache fetch (1 miss
+    // + 7 hits collapse to the 1 miss) and the eigen analysis.
+    EXPECT_EQ(solo.metrics.cache_misses, 1u);
+    EXPECT_EQ(solo.metrics.cache_hits, 7u);
+    EXPECT_EQ(batched.metrics.cache_misses, 1u);
+    EXPECT_EQ(batched.metrics.cache_hits, 0u);
 }
 
 TEST(Service, MetricsAccountForTheWholeStream)
