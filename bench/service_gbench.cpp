@@ -32,6 +32,7 @@
 #include "aa/common/logging.hh"
 #include "aa/pde/poisson.hh"
 #include "aa/service/service.hh"
+#include "aa/service/shard.hh"
 #include "bench_util.hh"
 
 namespace {
@@ -196,6 +197,217 @@ BM_ServiceThroughputBatched(benchmark::State &state)
     serviceThroughputBenchmark(state, true, true);
 }
 BENCHMARK(BM_ServiceThroughputBatched)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// --- sharded fleet -----------------------------------------------
+
+constexpr std::size_t kPatterns = 8;
+constexpr std::size_t kFleetBurst = kPatterns; ///< 1 req/pattern
+constexpr std::size_t kDiesPerRack = 2;
+
+/** Eight distinct 1D Poisson patterns (n = 4..11): far more
+ *  patterns than a single rack's dies can keep resident at
+ *  program_cache_capacity = 1, so an under-provisioned fleet
+ *  recompiles and re-ships structures all day while a 4-rack fleet
+ *  reaches one-warm-die-per-pattern steady state. */
+struct FleetWorkload {
+    std::vector<std::shared_ptr<const la::DenseMatrix>> mats;
+    std::vector<la::Vector> rhs;
+
+    FleetWorkload()
+    {
+        for (std::size_t p = 0; p < kPatterns; ++p) {
+            auto sys = pde::assemblePoisson(
+                1, 4 + p,
+                [](double x, double, double) { return 1.0 + x; });
+            mats.push_back(std::make_shared<const la::DenseMatrix>(
+                sys.a.toDense()));
+            rhs.push_back(sys.b);
+        }
+    }
+
+    service::SolveRequest
+    request(std::size_t i) const
+    {
+        service::SolveRequest r;
+        std::size_t p = i % kPatterns;
+        double f = 1.0 + 0.0625 * static_cast<double>(i % 7);
+        r.a = mats[p];
+        r.b = rhs[p];
+        la::scale(f, r.b, r.b);
+        return r;
+    }
+};
+
+void
+submitFleetBurstAndDrain(service::ShardedSolveService &fleet,
+                         const FleetWorkload &work)
+{
+    std::vector<std::future<service::SolveResponse>> futures;
+    futures.reserve(kFleetBurst);
+    for (std::size_t i = 0; i < kFleetBurst; ++i)
+        futures.push_back(fleet.submit(work.request(i)));
+    fleet.drain();
+    for (auto &f : futures)
+        benchmark::DoNotOptimize(f.get().u.data());
+}
+
+/** Identical eight-pattern bursts against fleets of 1/2/4 racks
+ *  (2 dies each, 1-slot program caches). Residency is the lever:
+ *  more racks means more warm caches, fewer recompiles, and less
+ *  config traffic per request — which is CPU work saved even on a
+ *  single host core. Wall-clock scaling beyond that needs
+ *  cores >= racks (same caveat as the multi-die benches). */
+void
+shardedThroughputBenchmark(benchmark::State &state, std::size_t racks)
+{
+    setLogLevel(LogLevel::Quiet);
+    FleetWorkload work;
+
+    analog::AnalogSolverOptions die_opts;
+    die_opts.spec.variation.enabled = false;
+    die_opts.spec.adc_noise_sigma = 0.0;
+    die_opts.auto_calibrate = false;
+    die_opts.die_seed = 40;
+    die_opts.program_cache_capacity = 2;
+
+    service::FleetOptions fopts;
+    fopts.racks = racks;
+    fopts.dies_per_rack = kDiesPerRack;
+    fopts.shard.admission_capacity = kFleetBurst * 2;
+    service::ShardedSolveService fleet(die_opts, fopts);
+
+    submitFleetBurstAndDrain(fleet, work); // warm-up
+    service::FleetMetrics base = fleet.metrics();
+
+    for (auto _ : state)
+        submitFleetBurstAndDrain(fleet, work);
+
+    service::FleetMetrics m = fleet.metrics();
+    std::size_t hits = m.cache_hits - base.cache_hits;
+    std::size_t misses = m.cache_misses - base.cache_misses;
+    std::size_t lookups = hits + misses;
+    std::size_t requests = m.completed - base.completed;
+    state.counters["steady_cache_hit_ratio"] =
+        static_cast<double>(hits) /
+        static_cast<double>(lookups ? lookups : 1);
+    state.counters["config_bytes_per_req"] =
+        static_cast<double>(m.config_bytes - base.config_bytes) /
+        static_cast<double>(requests ? requests : 1);
+    state.counters["replications"] =
+        static_cast<double>(m.replications);
+    state.counters["migrations"] = static_cast<double>(m.migrations);
+    state.counters["racks"] = static_cast<double>(racks);
+    state.counters["dies"] =
+        static_cast<double>(racks * kDiesPerRack);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(kFleetBurst));
+    fleet.stop();
+}
+
+void
+BM_ServiceSharded1Racks(benchmark::State &state)
+{
+    shardedThroughputBenchmark(state, 1);
+}
+BENCHMARK(BM_ServiceSharded1Racks)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void
+BM_ServiceSharded2Racks(benchmark::State &state)
+{
+    shardedThroughputBenchmark(state, 2);
+}
+BENCHMARK(BM_ServiceSharded2Racks)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void
+BM_ServiceSharded4Racks(benchmark::State &state)
+{
+    shardedThroughputBenchmark(state, 4);
+}
+BENCHMARK(BM_ServiceSharded4Racks)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/** Weighted-fair admission under flood: tenant "batch" (weight 1)
+ *  submits 2.5x its share every burst while "interactive" (weight 3)
+ *  stays inside its quota. The gate must keep interactive's
+ *  completions at its full submission rate and bounce the overflow
+ *  with RejectedQuota — starvation would show up as
+ *  interactive_completed_ratio < 1. */
+void
+BM_ServiceTenantFairness(benchmark::State &state)
+{
+    setLogLevel(LogLevel::Quiet);
+    Workload work;
+
+    analog::AnalogSolverOptions die_opts;
+    die_opts.spec.variation.enabled = false;
+    die_opts.spec.adc_noise_sigma = 0.0;
+    die_opts.auto_calibrate = false;
+    die_opts.die_seed = 40;
+    die_opts.program_cache_capacity = 1;
+
+    service::FleetOptions fopts;
+    fopts.racks = 1;
+    fopts.dies_per_rack = kDiesPerRack;
+    fopts.shard.admission_capacity = 16; // quotas: 12 / 4
+    fopts.shard.tenants = {{"interactive", 3.0}, {"batch", 1.0}};
+    service::ShardedSolveService fleet(die_opts, fopts);
+
+    const std::size_t kBatchFlood = 10;
+    const std::size_t kInteractive = 4;
+    std::size_t interactive_sent = 0, interactive_done = 0;
+    std::size_t quota_bounced = 0, completed = 0;
+
+    auto burst = [&] {
+        std::vector<std::future<service::SolveResponse>> futures;
+        // The flood lands first every burst; fairness means the
+        // interactive tenant still gets its full share.
+        for (std::size_t i = 0; i < kBatchFlood; ++i) {
+            auto r = work.request(i);
+            r.tenant = "batch";
+            futures.push_back(fleet.submit(std::move(r)));
+        }
+        for (std::size_t i = 0; i < kInteractive; ++i) {
+            auto r = work.request(i);
+            r.tenant = "interactive";
+            futures.push_back(fleet.submit(std::move(r)));
+            ++interactive_sent;
+        }
+        fleet.drain();
+        for (std::size_t i = 0; i < futures.size(); ++i) {
+            service::SolveResponse r = futures[i].get();
+            if (r.status == service::RequestStatus::Ok) {
+                ++completed;
+                if (i >= kBatchFlood)
+                    ++interactive_done;
+            } else if (r.status ==
+                       service::RequestStatus::RejectedQuota) {
+                ++quota_bounced;
+            }
+        }
+    };
+
+    burst(); // warm-up
+    for (auto _ : state)
+        burst();
+
+    state.counters["interactive_completed_ratio"] =
+        static_cast<double>(interactive_done) /
+        static_cast<double>(interactive_sent ? interactive_sent : 1);
+    state.counters["quota_rejects_per_burst"] =
+        static_cast<double>(quota_bounced) /
+        static_cast<double>(state.iterations() + 1);
+    state.SetItemsProcessed(static_cast<std::int64_t>(completed));
+    fleet.stop();
+}
+BENCHMARK(BM_ServiceTenantFairness)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

@@ -1,0 +1,293 @@
+/**
+ * @file
+ * The sharded solve fleet, end to end: four racks of accelerator
+ * dies behind one front door. Requests route to a rack by consistent
+ * hashing on their sparsity pattern, each rack's weighted-fair gate
+ * keeps a flooding tenant inside its quota, and a heat-driven
+ * placement policy replicates hot programs ahead of demand and
+ * migrates placements off quarantined dies without recompiling.
+ *
+ * The demo pushes mixed-pattern multi-tenant traffic through a
+ * 4-rack fleet, prints the routing table, the per-shard heat map,
+ * the per-tenant admission ledger, and the placement event log
+ * (replications and migrations), then benches a die mid-stream to
+ * show a placement migrating off it. It closes with the fleet cost
+ * table from the paper's Table-2 component model: solves/s per mm^2
+ * and per W against rack count.
+ *
+ * Build & run:   ./build/examples/fleet_server
+ */
+
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "aa/common/logging.hh"
+#include "aa/compiler/program.hh"
+#include "aa/cost/model.hh"
+#include "aa/la/direct.hh"
+#include "aa/pde/poisson.hh"
+#include "aa/service/shard.hh"
+
+namespace {
+
+using namespace aa;
+
+constexpr std::size_t kRacks = 4;
+constexpr std::size_t kDiesPerRack = 2;
+constexpr std::size_t kPatterns = 6;
+constexpr std::size_t kN = 8; ///< every pattern is an 8x8 system
+
+struct Pattern {
+    std::shared_ptr<const la::DenseMatrix> a;
+    la::Vector b;
+    std::uint64_t hash = 0;
+    std::size_t band = 0;
+};
+
+/** Six SPD banded 8x8 systems, band offset d = 1..6: same size (so
+ *  every die's chip geometry matches and placements can migrate
+ *  anywhere on a rack) but distinct sparsity patterns, so each gets
+ *  its own hash, its own ring position, and its own compiled
+ *  structure. */
+std::vector<Pattern>
+makePatterns()
+{
+    std::vector<Pattern> ps;
+    for (std::size_t d = 1; d <= kPatterns; ++d) {
+        la::DenseMatrix a(kN, kN);
+        for (std::size_t i = 0; i < kN; ++i) {
+            a(i, i) = 4.0;
+            if (i + d < kN) {
+                a(i, i + d) = -1.0;
+                a(i + d, i) = -1.0;
+            }
+        }
+        Pattern pat;
+        pat.a = std::make_shared<const la::DenseMatrix>(std::move(a));
+        pat.b = la::Vector(kN, 1.0);
+        for (std::size_t i = 0; i < kN; ++i)
+            pat.b[i] = 1.0 + 0.125 * static_cast<double>(i);
+        pat.hash = compiler::sparsityHash(*pat.a);
+        pat.band = d;
+        ps.push_back(std::move(pat));
+    }
+    return ps;
+}
+
+service::SolveRequest
+requestFor(const Pattern &p, const char *tenant, std::size_t i)
+{
+    service::SolveRequest r;
+    r.a = p.a;
+    r.b = p.b;
+    r.tenant = tenant;
+    la::scale(1.0 + 0.0625 * static_cast<double>(i % 5), r.b, r.b);
+    return r;
+}
+
+void
+settle(std::vector<std::future<service::SolveResponse>> &futures)
+{
+    for (auto &f : futures)
+        f.get();
+    futures.clear();
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace aa;
+
+    setLogLevel(LogLevel::Quiet); // the printfs below tell the story
+
+    analog::AnalogSolverOptions die_opts;
+    die_opts.die_seed = 11;
+    die_opts.program_cache_capacity = 2;
+
+    service::FleetOptions fopts;
+    fopts.racks = kRacks;
+    fopts.dies_per_rack = kDiesPerRack;
+    fopts.shard.admission_capacity = 64;
+    fopts.shard.tenants = {{"cfd", 3.0}, {"ml", 1.0}};
+    // Make the hot pattern's second copy visible within a few
+    // rounds: at ~6 req/round steady heat, wanted replicas =
+    // 1 + floor((6 - 3) / 2) = 2.
+    fopts.shard.placement.hot_threshold = 3.0;
+    fopts.shard.placement.per_replica_heat = 2.0;
+    service::ShardedSolveService fleet(die_opts, fopts);
+
+    std::vector<Pattern> patterns = makePatterns();
+
+    std::printf("fleet: %zu racks x %zu dies, 2-slot program "
+                "caches, tenants cfd(w=3) ml(w=1)\n\n",
+                kRacks, kDiesPerRack);
+    std::printf("consistent-hash routing table (8x8 banded "
+                "systems, band offset d):\n");
+    std::printf("%-9s %-4s %-18s %s\n", "pattern", "d", "hash",
+                "rack");
+    for (std::size_t p = 0; p < patterns.size(); ++p)
+        std::printf("%-9zu %-4zu %016llx %zu\n", p,
+                    patterns[p].band,
+                    static_cast<unsigned long long>(patterns[p].hash),
+                    fleet.rackOf(patterns[p].hash));
+
+    // Mixed-tenant traffic: pattern 0 is hot (every tenant hammers
+    // it), the rest see light traffic. Several drained bursts give
+    // the round-boundary rebalancer heat to act on.
+    std::vector<std::future<service::SolveResponse>> futures;
+    for (std::size_t round = 0; round < 6; ++round) {
+        for (std::size_t i = 0; i < 6; ++i)
+            futures.push_back(fleet.submit(
+                requestFor(patterns[0], i % 2 ? "ml" : "cfd", i)));
+        for (std::size_t p = 1; p < patterns.size(); ++p)
+            futures.push_back(fleet.submit(
+                requestFor(patterns[p], "cfd", round)));
+        fleet.drain();
+        settle(futures);
+    }
+
+    service::FleetMetrics m = fleet.metrics();
+    std::printf("\nper-shard heat map after %zu requests:\n",
+                m.submitted);
+    std::printf("%-5s %-9s %-4s %-8s %-9s %s\n", "rack", "pattern",
+                "n", "heat", "replicas", "dies");
+    for (const auto &s : m.shards)
+        for (const auto &h : s.heat)
+            std::printf("%-5zu %08llx… %-4zu %-8.2f %-9zu %zu\n",
+                        s.rack,
+                        static_cast<unsigned long long>(h.pattern >>
+                                                        32),
+                        h.n, h.heat, h.replicas,
+                        kDiesPerRack);
+
+    std::printf("\nplacement event log:\n");
+    for (std::size_t r = 0; r < fleet.racks(); ++r)
+        for (const auto &e : fleet.shard(r).drainPlacementEvents())
+            std::printf("  rack %zu: %s\n", r, e.c_str());
+
+    // Act one: bench the hot pattern's home die. Three consecutive
+    // verification failures quarantine it — but the replica placed
+    // ahead of demand is already live on the other die, so the
+    // rebalancer only sheds the stranded copy and traffic never
+    // misses the cache.
+    std::size_t hot_rack = fleet.rackOf(patterns[0].hash);
+    service::Shard &shard = fleet.shard(hot_rack);
+    shard.pause();
+    for (std::size_t i = 0; i < 3; ++i)
+        shard.pool().recordFailure(0);
+    shard.resume();
+    std::printf("\nbenched die 0 of rack %zu (hot pattern's home); "
+                "driving one more round...\n",
+                hot_rack);
+    for (std::size_t i = 0; i < 4; ++i)
+        futures.push_back(
+            fleet.submit(requestFor(patterns[0], "cfd", i)));
+    fleet.drain();
+    settle(futures);
+    for (const auto &e : shard.drainPlacementEvents())
+        std::printf("  rack %zu: %s\n", hot_rack, e.c_str());
+    std::printf("the ahead-of-demand replica took over: the benched "
+                "copy is shed,\nnothing recompiles, no request "
+                "missed the cache.\n");
+
+    // Act two: bench a die on the rack holding several single-copy
+    // patterns. The next round's rebalance re-homes the stranded
+    // placements onto the healthy die — compiled structures are
+    // host-side, so the migration ships no recompile either.
+    std::vector<std::vector<std::size_t>> owned(kRacks);
+    for (std::size_t p = 1; p < patterns.size(); ++p)
+        owned[fleet.rackOf(patterns[p].hash)].push_back(p);
+    std::size_t cold_rack = 0;
+    for (std::size_t r = 0; r < kRacks; ++r)
+        if (owned[r].size() > owned[cold_rack].size())
+            cold_rack = r;
+    service::Shard &cold = fleet.shard(cold_rack);
+    cold.pause();
+    for (std::size_t i = 0; i < 3; ++i)
+        cold.pool().recordFailure(0);
+    cold.resume();
+    std::printf("\nbenched die 0 of rack %zu (%zu single-copy "
+                "patterns); one round later:\n",
+                cold_rack, owned[cold_rack].size());
+    // Drive a pattern living on the healthy die: the round ticks,
+    // and the rebalancer re-homes the placements stranded on die 0
+    // (which saw no traffic this round, so nothing demand-compiled).
+    std::size_t drive_p = owned[cold_rack][0];
+    for (std::size_t p : owned[cold_rack])
+        if (!cold.pool().dieHasPattern(0, patterns[p].hash,
+                                       patterns[p].b.size())) {
+            drive_p = p;
+            break;
+        }
+    futures.push_back(
+        fleet.submit(requestFor(patterns[drive_p], "cfd", 0)));
+    fleet.drain();
+    settle(futures);
+    std::printf("migration log:\n");
+    for (const auto &e : cold.drainPlacementEvents())
+        std::printf("  rack %zu: %s\n", cold_rack, e.c_str());
+
+    // Act three: tenant "ml" (weight 1, quota 16 of 64 in-flight)
+    // floods the hot rack while it is paused. The gate admits up to
+    // the quota and bounces the rest with RejectedQuota — "cfd"
+    // capacity stays untouched.
+    shard.pause();
+    std::size_t flood_ok = 0, flood_bounced = 0;
+    for (std::size_t i = 0; i < 24; ++i)
+        futures.push_back(
+            fleet.submit(requestFor(patterns[0], "ml", i)));
+    shard.resume();
+    fleet.drain();
+    for (auto &f : futures) {
+        service::SolveResponse r = f.get();
+        if (r.status == service::RequestStatus::Ok)
+            ++flood_ok;
+        else if (r.status == service::RequestStatus::RejectedQuota)
+            ++flood_bounced;
+    }
+    futures.clear();
+    std::printf("\nml floods 24 requests at rack %zu: %zu admitted, "
+                "%zu rejected-quota\n",
+                hot_rack, flood_ok, flood_bounced);
+
+    std::printf("\nper-tenant admission (rack %zu):\n", hot_rack);
+    std::printf("%-8s %-7s %-6s %-10s %-9s %s\n", "tenant", "weight",
+                "quota", "submitted", "admitted", "rejected-quota");
+    for (const auto &t : shard.tenantStats())
+        std::printf("%-8s %-7.1f %-6zu %-10zu %-9zu %zu\n",
+                    t.name.c_str(), t.weight, t.quota, t.submitted,
+                    t.admitted, t.rejected_quota);
+
+    m = fleet.metrics();
+    std::printf("\nfleet counters: %zu submitted, %zu ok, "
+                "cache hit ratio %.3f,\n%zu placements, "
+                "%zu replications, %zu migrations, %zu sheds\n",
+                m.submitted, m.ok, m.cacheHitRatio(), m.placements,
+                m.replications, m.migrations, m.sheds);
+    fleet.stop();
+
+    // Fleet economics from the paper's Table-2 component model: the
+    // density metrics are per-die constants; racks buy throughput
+    // linearly until rack overhead eats the W-density.
+    std::printf("\nfleet cost model (320 KHz design, 2D Poisson "
+                "l=30, 25 W/rack overhead):\n");
+    std::printf("%-6s %-6s %-12s %-10s %-12s %s\n", "racks", "dies",
+                "area (mm^2)", "power (W)", "solves/s",
+                "per mm^2 / per W");
+    cost::AcceleratorDesign design = cost::design320kHz();
+    cost::PoissonShape shape{2, 30};
+    for (std::size_t racks : {1, 2, 4, 8}) {
+        cost::FleetCost c = cost::fleetCost(
+            design, shape, {racks, kDiesPerRack, 25.0});
+        std::printf("%-6zu %-6zu %-12.1f %-10.2f %-12.1f "
+                    "%.3f / %.1f\n",
+                    racks, c.dies, c.total_area_mm2, c.total_power_w,
+                    c.solves_per_second, c.solvesPerSecondPerMm2(),
+                    c.solvesPerSecondPerWatt());
+    }
+    return 0;
+}

@@ -45,6 +45,8 @@ statusName(service::RequestStatus s)
         return "rejected-shutdown";
     case service::RequestStatus::RejectedInvalid:
         return "rejected-invalid";
+    case service::RequestStatus::RejectedQuota:
+        return "rejected-quota";
     case service::RequestStatus::DeadlineExpired:
         return "deadline-expired";
     case service::RequestStatus::Failed:

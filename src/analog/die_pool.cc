@@ -184,6 +184,51 @@ DiePool::diesWithPattern(std::uint64_t pattern_hash,
     return out;
 }
 
+std::uint64_t
+DiePool::dieGeometryKey(std::size_t k) const
+{
+    fatalIf(k >= solvers.size(), "DiePool: die ", k, " of ",
+            solvers.size());
+    return solvers[k]->geometryKey();
+}
+
+bool
+DiePool::installPattern(
+    std::size_t k,
+    std::shared_ptr<const compiler::CompiledStructure> cs, bool pin)
+{
+    fatalIf(k >= solvers.size(), "DiePool: die ", k, " of ",
+            solvers.size());
+    return solvers[k]->installStructure(std::move(cs), pin);
+}
+
+bool
+DiePool::replicatePattern(std::size_t dst,
+                          std::uint64_t pattern_hash, std::size_t n)
+{
+    fatalIf(dst >= solvers.size(), "DiePool: die ", dst, " of ",
+            solvers.size());
+    if (solvers[dst]->programCache().contains(pattern_hash, n))
+        return false;
+    for (std::size_t src = 0; src < solvers.size(); ++src) {
+        if (src == dst)
+            continue;
+        auto cs = solvers[src]->programCache().peek(pattern_hash, n);
+        if (cs && solvers[dst]->installStructure(std::move(cs)))
+            return true;
+    }
+    return false;
+}
+
+std::size_t
+DiePool::dropPattern(std::size_t k, std::uint64_t pattern_hash,
+                     std::size_t n)
+{
+    fatalIf(k >= solvers.size(), "DiePool: die ", k, " of ",
+            solvers.size());
+    return solvers[k]->dropStructure(pattern_hash, n);
+}
+
 void
 DiePool::recordUsage(std::size_t k, std::size_t solves,
                      double analog_seconds,

@@ -100,17 +100,22 @@ class DiePool
     std::size_t size() const { return solvers.size(); }
     AnalogLinearSolver &die(std::size_t k);
 
-    /** Next die in round-robin order. The cursor is mutex-guarded,
-     *  so concurrent handout is safe; see the file comment for the
-     *  aliasing caveat. */
+    /** DEPRECATED legacy round-robin path — nextDie()/blockSolver()/
+     *  refinedBlockSolver() survive only for old single-threaded
+     *  callers and their tests. Routing is owned by the service's
+     *  placement layer now; dieSolver(k)/blockSolvers() (explicitly
+     *  pinned dies) are the supported entry points, and new code
+     *  must not grow round-robin call sites. The cursor is
+     *  mutex-guarded, so concurrent handout is safe; see the file
+     *  comment for the aliasing caveat. */
     AnalogLinearSolver &nextDie();
 
     /** Block solver that dispatches each call to the next die
-     *  (kept for the legacy path). */
+     *  (deprecated with nextDie(); see above). */
     BlockSolverFn blockSolver();
 
     /** Block solver with Algorithm-2 boosting on each die
-     *  (single-threaded use only; kept for the legacy path). */
+     *  (single-threaded use only; deprecated with nextDie()). */
     BlockSolverFn refinedBlockSolver(std::size_t refine_passes = 2,
                                      double tolerance = 1e-6);
 
@@ -143,6 +148,38 @@ class DiePool
     /** Dies whose cache holds (pattern_hash, n), ascending index. */
     std::vector<std::size_t>
     diesWithPattern(std::uint64_t pattern_hash, std::size_t n) const;
+
+    // --- explicit placement --------------------------------------
+    // The placement layer's primitives. Same ownership contract as
+    // availableDies()/tickRound(): call between dispatch rounds,
+    // while no worker is driving a die.
+
+    /** Geometry key of die k's chip (0 until its first solve builds
+     *  one). Structures replicate only across equal geometries. */
+    std::uint64_t dieGeometryKey(std::size_t k) const;
+
+    /** Prefetch-install a compiled structure into die k's program
+     *  cache (pinned by default); false on geometry mismatch. */
+    bool installPattern(
+        std::size_t k,
+        std::shared_ptr<const compiler::CompiledStructure> cs,
+        bool pin = true);
+
+    /**
+     * Replicate (pattern_hash, n) onto die dst: copy the compiled
+     * structure out of any die whose cache holds it — compiled
+     * structures are host-side and survive quarantine, so a benched
+     * die can still seed its replacement — and install it pinned.
+     * Returns false when dst already holds the pattern or no
+     * geometry-compatible source exists.
+     */
+    bool replicatePattern(std::size_t dst,
+                          std::uint64_t pattern_hash, std::size_t n);
+
+    /** Drop (pattern_hash, n) from die k's cache (placement shed);
+     *  returns entries removed. */
+    std::size_t dropPattern(std::size_t k, std::uint64_t pattern_hash,
+                            std::size_t n);
 
     /**
      * Account solves run directly on die(k) — the solve service calls

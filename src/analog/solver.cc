@@ -453,6 +453,37 @@ AnalogLinearSolver::solveVerified(const la::DenseMatrix &a,
     }
 }
 
+std::uint64_t
+AnalogLinearSolver::geometryKey() const
+{
+    return chip_ ? compiler::geometryKeyOf(chip_->config().geometry)
+                 : 0;
+}
+
+bool
+AnalogLinearSolver::installStructure(
+    std::shared_ptr<const compiler::CompiledStructure> cs, bool pin)
+{
+    if (!cs)
+        return false;
+    // A die that has built its chip only accepts structures compiled
+    // for that geometry; a die with no chip yet takes the structure
+    // on faith (fetch keys include geometry, so a mismatched install
+    // simply never hits).
+    if (chip_ && cs->geometryKey() !=
+                     compiler::geometryKeyOf(chip_->config().geometry))
+        return false;
+    cache_.install(std::move(cs), pin);
+    return true;
+}
+
+std::size_t
+AnalogLinearSolver::dropStructure(std::uint64_t pattern_hash,
+                                  std::size_t n)
+{
+    return cache_.erase(pattern_hash, n);
+}
+
 std::size_t
 AnalogLinearSolver::configBytes() const
 {

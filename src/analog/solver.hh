@@ -255,6 +255,29 @@ class AnalogLinearSolver
         return cache_;
     }
 
+    /** Geometry key of the die's current chip; compiled structures
+     *  are valid on any die of equal geometry, which is what lets
+     *  the placement layer replicate them across a pool. */
+    std::uint64_t geometryKey() const;
+
+    /**
+     * Install a compiled structure into this die's program cache —
+     * the placement layer's explicit prefetch: the next solve of the
+     * pattern starts from a cache hit instead of a compile. Returns
+     * false (and installs nothing) when the structure was compiled
+     * for a different chip geometry than this die's. `pin` protects
+     * the entry from LRU eviction by demand traffic.
+     */
+    bool installStructure(
+        std::shared_ptr<const compiler::CompiledStructure> cs,
+        bool pin = true);
+
+    /** Drop (pattern_hash, n) from the program cache (placement
+     *  shed); returns entries removed. Device state is untouched —
+     *  a later solve of the pattern recompiles and reconfigures. */
+    std::size_t dropStructure(std::uint64_t pattern_hash,
+                              std::size_t n);
+
     const AnalogSolverOptions &options() const { return opts; }
     chip::Chip &chipRef();
     isa::AcceleratorDriver &driverRef();

@@ -329,25 +329,96 @@ ProgramCache::fetch(const la::DenseMatrix &a, const chip::Chip &chip)
     if (it != index.end()) {
         ++stats_.hits;
         lru.splice(lru.begin(), lru, it->second);
-        return lru.front().second;
+        return lru.front().structure;
     }
     ++stats_.misses;
     auto structure = std::make_shared<const CompiledStructure>(a, chip);
-    lru.emplace_front(key, structure);
+    lru.push_front(Entry{key, structure, false});
     index[key] = lru.begin();
-    if (lru.size() > capacity_) {
-        index.erase(lru.back().first);
-        lru.pop_back();
-        ++stats_.evictions;
-    }
+    evictIfOver();
     return structure;
+}
+
+void
+ProgramCache::evictIfOver()
+{
+    if (lru.size() <= capacity_)
+        return;
+    // Walk from the cold end; the first unpinned entry goes. A cache
+    // full of pins overflows instead of breaking a placement.
+    for (auto it = std::prev(lru.end());; --it) {
+        if (!it->pinned) {
+            index.erase(it->key);
+            lru.erase(it);
+            ++stats_.evictions;
+            return;
+        }
+        if (it == lru.begin())
+            return;
+    }
+}
+
+void
+ProgramCache::install(std::shared_ptr<const CompiledStructure> cs,
+                      bool pin)
+{
+    fatalIf(!cs, "ProgramCache::install: null structure");
+    Key key{cs->patternHash(), cs->geometryKey(), cs->numVars()};
+    auto it = index.find(key);
+    if (it != index.end()) {
+        it->second->pinned = pin;
+        lru.splice(lru.begin(), lru, it->second);
+        return;
+    }
+    ++stats_.installs;
+    lru.push_front(Entry{key, std::move(cs), pin});
+    index[key] = lru.begin();
+    evictIfOver();
+}
+
+std::shared_ptr<const CompiledStructure>
+ProgramCache::peek(std::uint64_t pattern_hash, std::size_t n) const
+{
+    for (const Entry &e : lru)
+        if (e.key.pattern == pattern_hash && e.key.n == n)
+            return e.structure;
+    return nullptr;
+}
+
+std::size_t
+ProgramCache::pin(std::uint64_t pattern_hash, std::size_t n,
+                  bool pinned)
+{
+    std::size_t touched = 0;
+    for (Entry &e : lru)
+        if (e.key.pattern == pattern_hash && e.key.n == n) {
+            e.pinned = pinned;
+            ++touched;
+        }
+    return touched;
+}
+
+std::size_t
+ProgramCache::erase(std::uint64_t pattern_hash, std::size_t n)
+{
+    std::size_t removed = 0;
+    for (auto it = lru.begin(); it != lru.end();) {
+        if (it->key.pattern == pattern_hash && it->key.n == n) {
+            index.erase(it->key);
+            it = lru.erase(it);
+            ++removed;
+        } else {
+            ++it;
+        }
+    }
+    return removed;
 }
 
 bool
 ProgramCache::contains(std::uint64_t pattern_hash, std::size_t n) const
 {
     for (const Entry &e : lru)
-        if (e.first.pattern == pattern_hash && e.first.n == n)
+        if (e.key.pattern == pattern_hash && e.key.n == n)
             return true;
     return false;
 }
@@ -358,7 +429,8 @@ ProgramCache::keys() const
     std::vector<CacheKeyView> out;
     out.reserve(lru.size());
     for (const Entry &e : lru)
-        out.push_back({e.first.pattern, e.first.geometry, e.first.n});
+        out.push_back(
+            {e.key.pattern, e.key.geometry, e.key.n, e.pinned});
     return out;
 }
 

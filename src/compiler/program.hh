@@ -185,6 +185,9 @@ struct CacheStats {
     std::size_t hits = 0;
     std::size_t misses = 0;
     std::size_t evictions = 0;
+    /** Structures installed from outside (placement/replication),
+     *  as opposed to compiled on a fetch() miss. */
+    std::size_t installs = 0;
 };
 
 /** One resident cache entry's key, exposed for affinity queries. */
@@ -192,13 +195,19 @@ struct CacheKeyView {
     std::uint64_t pattern = 0;
     std::uint64_t geometry = 0;
     std::size_t n = 0;
+    bool pinned = false; ///< excluded from LRU eviction
 };
 
 /**
  * LRU cache of compiled structures keyed by (pattern hash, n,
  * geometry). Block ids are deterministic per geometry, so a cached
  * structure stays valid for any chip instance of equal geometry —
- * including a rebuilt die after regrow shrinks back.
+ * including a rebuilt die after regrow shrinks back, or a *different
+ * die* of equal geometry: the placement layer replicates hot
+ * structures across dies by install()ing one die's entry into
+ * another die's cache. Pinned entries (explicit placements) are
+ * never chosen for LRU eviction, so demand traffic cannot silently
+ * evict a placement the policy is counting on.
  */
 class ProgramCache
 {
@@ -223,6 +232,32 @@ class ProgramCache
      *  contains(). */
     std::vector<CacheKeyView> keys() const;
 
+    /**
+     * Install an externally compiled structure (the placement layer's
+     * replication/prefetch path). The entry becomes most recently
+     * used; `pin` marks it exempt from LRU eviction. Re-installing a
+     * resident key refreshes its LRU position and pin bit. Eviction
+     * on overflow skips pinned entries; when every entry is pinned
+     * the cache temporarily exceeds capacity rather than break a
+     * placement.
+     */
+    void install(std::shared_ptr<const CompiledStructure> cs,
+                 bool pin = true);
+
+    /** MRU-first resident structure for (pattern_hash, n) under any
+     *  geometry; observational like contains(). Null when absent. */
+    std::shared_ptr<const CompiledStructure>
+    peek(std::uint64_t pattern_hash, std::size_t n) const;
+
+    /** Pin/unpin a resident (pattern_hash, n) under every geometry;
+     *  returns entries touched. */
+    std::size_t pin(std::uint64_t pattern_hash, std::size_t n,
+                    bool pinned = true);
+
+    /** Drop (pattern_hash, n) under every geometry (placement shed);
+     *  returns entries removed. Not counted as an eviction. */
+    std::size_t erase(std::uint64_t pattern_hash, std::size_t n);
+
     const CacheStats &stats() const { return stats_; }
     std::size_t size() const { return lru.size(); }
     std::size_t capacity() const { return capacity_; }
@@ -238,8 +273,15 @@ class ProgramCache
     struct KeyHash {
         std::size_t operator()(const Key &k) const;
     };
-    using Entry =
-        std::pair<Key, std::shared_ptr<const CompiledStructure>>;
+    struct Entry {
+        Key key;
+        std::shared_ptr<const CompiledStructure> structure;
+        bool pinned = false;
+    };
+
+    /** Evict the least-recently-used unpinned entry if the cache
+     *  overflowed; no-op when all entries are pinned. */
+    void evictIfOver();
 
     std::size_t capacity_;
     std::list<Entry> lru; ///< front = most recently used

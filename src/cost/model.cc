@@ -156,6 +156,42 @@ AcceleratorDesign::maxGridPoints(std::size_t dim,
     return PoissonShape{dim, lo}.gridPoints();
 }
 
+double
+FleetCost::solvesPerSecondPerMm2() const
+{
+    return total_area_mm2 > 0.0 ? solves_per_second / total_area_mm2
+                                : 0.0;
+}
+
+double
+FleetCost::solvesPerSecondPerWatt() const
+{
+    return total_power_w > 0.0 ? solves_per_second / total_power_w
+                               : 0.0;
+}
+
+FleetCost
+fleetCost(const AcceleratorDesign &design, const PoissonShape &shape,
+          const FleetSpec &spec)
+{
+    FleetCost cost;
+    UnitCounts units = design.unitsFor(shape);
+    cost.dies = spec.racks * spec.dies_per_rack;
+    cost.die_area_mm2 = design.areaMm2(units);
+    cost.die_power_w = design.powerWatts(units);
+    cost.total_area_mm2 =
+        cost.die_area_mm2 * static_cast<double>(cost.dies);
+    cost.total_power_w =
+        cost.die_power_w * static_cast<double>(cost.dies) +
+        spec.rack_overhead_w * static_cast<double>(spec.racks);
+    cost.solve_seconds = design.solveTimeSeconds(shape);
+    cost.solves_per_second =
+        cost.solve_seconds > 0.0
+            ? static_cast<double>(cost.dies) / cost.solve_seconds
+            : 0.0;
+    return cost;
+}
+
 AcceleratorDesign
 prototypeDesign()
 {

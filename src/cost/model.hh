@@ -110,6 +110,42 @@ class AcceleratorDesign
     ComponentTable table;
 };
 
+/**
+ * Fleet sizing for the sharded service's cost story: racks of dies,
+ * every die an instance of one AcceleratorDesign sized for one
+ * problem shape. Extends the paper's per-die Table-II accounting to
+ * deployment scale — total silicon and power grow linearly with
+ * racks × dies, while service throughput grows with the same factor
+ * (each die sustains 1/solve-time solves per second), so the
+ * *density* metrics (solves/s per mm², per W) are invariant in fleet
+ * size and expose the per-die design point as the thing to optimize.
+ */
+struct FleetSpec {
+    std::size_t racks = 1;
+    std::size_t dies_per_rack = 1;
+    /** Host/interconnect overhead charged per rack, watts (the part
+     *  of a deployment Table II does not see). */
+    double rack_overhead_w = 0.0;
+};
+
+/** Priced-out fleet for one design point and problem shape. */
+struct FleetCost {
+    std::size_t dies = 0;      ///< racks * dies_per_rack
+    double die_area_mm2 = 0.0; ///< one die's inventory area
+    double die_power_w = 0.0;  ///< one die's max-activity power
+    double total_area_mm2 = 0.0;
+    double total_power_w = 0.0; ///< dies + per-rack overhead
+    double solve_seconds = 0.0; ///< one solve on one die
+    /** Fleet-wide sustained throughput: dies / solve_seconds. */
+    double solves_per_second = 0.0;
+    double solvesPerSecondPerMm2() const;
+    double solvesPerSecondPerWatt() const;
+};
+
+/** Price a fleet of `spec` running `shape` on `design` dies. */
+FleetCost fleetCost(const AcceleratorDesign &design,
+                    const PoissonShape &shape, const FleetSpec &spec);
+
 /** The paper's four design points (20/80/320 KHz, 1.3 MHz). */
 AcceleratorDesign prototypeDesign(); ///< 20 KHz, 8-bit ADC
 AcceleratorDesign design80kHz();

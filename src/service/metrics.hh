@@ -32,13 +32,21 @@ struct DieServiceStats {
     std::size_t cache_misses = 0;  ///< ProgramCache compiles
 };
 
-/** Snapshot of the service's counters and latency distribution. */
-struct ServiceMetrics {
+/**
+ * The service's live counter block. SolveService holds exactly this
+ * as its internal state — no dead fields — and metrics() assembles
+ * the full ServiceMetrics snapshot from it plus the latency trackers
+ * and the pool's injector counters. That assembly is the single
+ * source of truth for a snapshot; nothing else writes latency or
+ * fault fields.
+ */
+struct ServiceCounters {
     // Admission.
     std::size_t submitted = 0;         ///< accepted into the queue
     std::size_t rejected_full = 0;     ///< bounced: queue at capacity
     std::size_t rejected_shutdown = 0; ///< bounced: service stopping
     std::size_t rejected_invalid = 0;  ///< bounced: malformed request
+    std::size_t rejected_quota = 0;    ///< bounced: tenant over quota
     std::size_t queue_depth = 0;       ///< waiting right now
     std::size_t queue_peak = 0;        ///< high-water mark
 
@@ -53,7 +61,6 @@ struct ServiceMetrics {
                                       ///< each request's first solve
 
     // Resilience: the fault-injection / degradation story.
-    std::size_t faults_seen = 0;     ///< injector events fired (pool)
     std::size_t analog_failures = 0; ///< unverifiable analog solves
     std::size_t recoveries = 0;      ///< local repairs that then
                                      ///< passed verification
@@ -81,14 +88,23 @@ struct ServiceMetrics {
     std::size_t cache_misses = 0;
     std::size_t config_bytes = 0; ///< config traffic shipped
 
+    std::vector<DieServiceStats> dies; ///< by die index
+};
+
+/** Snapshot of the service's counters and latency distribution:
+ *  the counter block plus the fields only snapshot assembly fills
+ *  (latency percentiles, pool-side fault counts). */
+struct ServiceMetrics : ServiceCounters {
+    /** Injector events fired across the pool (read from the
+     *  injectors at snapshot time, never counted by the service). */
+    std::size_t faults_seen = 0;
+
     // Submit-to-completion latency over the recent window (seconds).
     double latency_p50 = 0.0;
     double latency_p95 = 0.0;
     double latency_p99 = 0.0;
     double latency_max = 0.0;
     double latency_mean = 0.0;
-
-    std::vector<DieServiceStats> dies; ///< by die index
 
     /** Hits / (hits + misses); 1.0 when the cache saw no traffic. */
     double

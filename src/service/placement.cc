@@ -1,0 +1,268 @@
+#include "aa/service/placement.hh"
+
+#include <algorithm>
+
+#include "aa/common/logging.hh"
+
+namespace aa::service {
+
+namespace {
+
+/** splitmix64 finalizer: cheap, well-dispersed 64-bit mixing. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+/** Heat-table key for (pattern, n) — same fold as the router's
+ *  grouping key. */
+std::uint64_t
+heatKey(std::uint64_t pattern, std::size_t n)
+{
+    return pattern * 1099511628211ULL ^ n;
+}
+
+} // namespace
+
+ConsistentHashRing::ConsistentHashRing(std::size_t vnodes)
+    : vnodes_(vnodes ? vnodes : 1)
+{
+}
+
+void
+ConsistentHashRing::addRack(std::size_t rack)
+{
+    for (const auto &pt : points_)
+        if (pt.second == rack)
+            return; // already a member
+    for (std::size_t i = 0; i < vnodes_; ++i)
+        points_.emplace_back(mix64(mix64(rack + 1) + i), rack);
+    std::sort(points_.begin(), points_.end());
+    ++racks_;
+}
+
+void
+ConsistentHashRing::removeRack(std::size_t rack)
+{
+    std::size_t before = points_.size();
+    points_.erase(std::remove_if(points_.begin(), points_.end(),
+                                 [rack](const auto &pt) {
+                                     return pt.second == rack;
+                                 }),
+                  points_.end());
+    if (points_.size() != before)
+        --racks_;
+}
+
+std::size_t
+ConsistentHashRing::owner(std::uint64_t key) const
+{
+    fatalIf(points_.empty(), "ConsistentHashRing: no racks");
+    // First point at or after the (re-dispersed) key; wrap to the
+    // ring's first point past the top.
+    std::uint64_t h = mix64(key);
+    auto it = std::lower_bound(
+        points_.begin(), points_.end(), h,
+        [](const auto &pt, std::uint64_t v) { return pt.first < v; });
+    if (it == points_.end())
+        it = points_.begin();
+    return it->second;
+}
+
+PlacementPolicy::PlacementPolicy(PlacementOptions opts) : opts_(opts)
+{
+}
+
+void
+PlacementPolicy::record(std::uint64_t pattern, std::size_t n)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::uint64_t key = heatKey(pattern, n);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+        index_.emplace(key, entries_.size());
+        entries_.push_back({pattern, n, 1.0});
+    } else {
+        entries_[it->second].heat += 1.0;
+    }
+}
+
+std::size_t
+PlacementPolicy::replicasWanted(double heat) const
+{
+    if (heat < opts_.hot_threshold)
+        return 0;
+    double extra = (heat - opts_.hot_threshold) /
+                   std::max(opts_.per_replica_heat, 1e-9);
+    std::size_t wanted = 1 + static_cast<std::size_t>(extra);
+    return std::min(wanted, opts_.max_replicas);
+}
+
+void
+PlacementPolicy::logEvent(std::string event)
+{
+    if (opts_.max_events == 0)
+        return;
+    if (events_.size() >= opts_.max_events)
+        events_.erase(events_.begin());
+    events_.push_back(std::move(event));
+}
+
+void
+PlacementPolicy::rebalance(analog::DiePool &pool)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.rebalances;
+
+    // Cool every pattern; forget the ones the decay has buried. The
+    // index is rebuilt because surviving entries keep their relative
+    // (first-seen) order but not their slots.
+    for (Entry &e : entries_)
+        e.heat *= opts_.heat_decay;
+    std::vector<Entry> kept;
+    kept.reserve(entries_.size());
+    for (Entry &e : entries_)
+        if (e.heat >= opts_.evict_below)
+            kept.push_back(e);
+    entries_ = std::move(kept);
+    index_.clear();
+    for (std::size_t i = 0; i < entries_.size(); ++i)
+        index_.emplace(heatKey(entries_[i].pattern, entries_[i].n), i);
+
+    std::vector<std::size_t> avail = pool.availableDies();
+    if (avail.empty())
+        return; // nowhere to place; benched caches stay as they are
+
+    std::vector<char> is_avail(pool.size(), 0);
+    for (std::size_t k : avail)
+        is_avail[k] = 1;
+
+    // Placement load: tracked patterns resident per die. Seeded once,
+    // maintained as installs/sheds land below.
+    std::vector<std::size_t> load(pool.size(), 0);
+    for (const Entry &e : entries_)
+        for (std::size_t k : pool.diesWithPattern(e.pattern, e.n))
+            ++load[k];
+
+    // Least-loaded available die not already in `resident`; ties go
+    // to the lowest index (avail is ascending). SIZE_MAX = none.
+    auto pickTarget =
+        [&](const std::vector<std::size_t> &resident) -> std::size_t {
+        std::size_t best = SIZE_MAX;
+        for (std::size_t k : avail) {
+            if (std::find(resident.begin(), resident.end(), k) !=
+                resident.end())
+                continue;
+            if (best == SIZE_MAX || load[k] < load[best])
+                best = k;
+        }
+        return best;
+    };
+
+    // Re-home placements stranded on benched dies. The compiled
+    // structures are host-side, so a quarantined (or even dead) die
+    // still seeds its replacement; after the copy lands, the benched
+    // placement is shed. A pattern that already has an available
+    // copy just sheds — its traffic is already served.
+    for (const Entry &e : entries_) {
+        std::vector<std::size_t> resident =
+            pool.diesWithPattern(e.pattern, e.n);
+        bool has_avail_copy = false;
+        for (std::size_t k : resident)
+            if (is_avail[k])
+                has_avail_copy = true;
+        for (std::size_t k : resident) {
+            if (is_avail[k])
+                continue;
+            if (!has_avail_copy) {
+                std::size_t dst = pickTarget(resident);
+                if (dst != SIZE_MAX &&
+                    pool.replicatePattern(dst, e.pattern, e.n)) {
+                    ++stats_.migrations;
+                    ++stats_.placements;
+                    ++load[dst];
+                    has_avail_copy = true;
+                    logEvent(detail::concat("migrate p=", e.pattern,
+                                            " n=", e.n, " die ", k,
+                                            " -> ", dst));
+                }
+            }
+            if (has_avail_copy && pool.dropPattern(k, e.pattern, e.n)) {
+                ++stats_.sheds;
+                if (load[k])
+                    --load[k];
+                logEvent(detail::concat("shed p=", e.pattern,
+                                        " n=", e.n, " die ", k));
+            }
+        }
+    }
+
+    // Replicate hot patterns ahead of demand. replicatePattern finds
+    // its own source, so a pattern that has never compiled anywhere
+    // simply fails the first copy and stays demand-loaded.
+    for (const Entry &e : entries_) {
+        std::size_t wanted =
+            std::min(replicasWanted(e.heat), avail.size());
+        if (wanted == 0)
+            continue;
+        for (;;) {
+            std::vector<std::size_t> resident =
+                pool.diesWithPattern(e.pattern, e.n);
+            std::size_t current = 0;
+            for (std::size_t k : resident)
+                if (is_avail[k])
+                    ++current;
+            if (current >= wanted)
+                break;
+            std::size_t dst = pickTarget(resident);
+            if (dst == SIZE_MAX ||
+                !pool.replicatePattern(dst, e.pattern, e.n))
+                break;
+            ++stats_.replications;
+            ++stats_.placements;
+            ++load[dst];
+            logEvent(detail::concat("replicate p=", e.pattern,
+                                    " n=", e.n, " -> die ", dst,
+                                    " heat=", e.heat));
+        }
+    }
+}
+
+PlacementStats
+PlacementPolicy::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+std::vector<PatternHeat>
+PlacementPolicy::heatMap(const analog::DiePool &pool) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<PatternHeat> map;
+    map.reserve(entries_.size());
+    for (const Entry &e : entries_) {
+        PatternHeat row;
+        row.pattern = e.pattern;
+        row.n = e.n;
+        row.heat = e.heat;
+        row.replicas = pool.diesWithPattern(e.pattern, e.n).size();
+        map.push_back(row);
+    }
+    return map;
+}
+
+std::vector<std::string>
+PlacementPolicy::drainEvents()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> out = std::move(events_);
+    events_.clear();
+    return out;
+}
+
+} // namespace aa::service

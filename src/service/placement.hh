@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Explicit program placement for the sharded solve fleet. Two pieces:
+ *
+ * ConsistentHashRing — stable request routing across racks. Each rack
+ * contributes many virtual points on a 64-bit ring; a request's
+ * sparsity-pattern hash is owned by the first point at or after it.
+ * Adding or removing one rack of N moves only the keys that hashed
+ * into the arcs its points covered (~1/N of traffic); every other
+ * pattern keeps its shard, and with it its warm program caches.
+ *
+ * PlacementPolicy — the shard's placement brain, replacing emergent
+ * cache affinity with decisions taken ahead of demand. It tracks
+ * per-pattern heat (bumped at admission, decayed once per scheduling
+ * round), replicates hot compiled structures onto additional dies
+ * *before* the traffic lands there, re-homes placements off
+ * quarantined/dead dies (the compiled structures are host-side and
+ * survive a benched chip), and sheds placements the heat no longer
+ * justifies. All pool mutations happen inside rebalance(), which the
+ * service's on_round_end hook runs on the scheduler thread at round
+ * boundaries — the one moment no worker is driving a die, matching
+ * DiePool's ownership contract.
+ *
+ * Determinism: decisions are pure functions of the recorded request
+ * stream and pool health — entries iterate in first-seen order,
+ * targets pick the least-placed available die with the lowest index,
+ * and nothing reads the clock.
+ */
+
+#ifndef AA_SERVICE_PLACEMENT_HH
+#define AA_SERVICE_PLACEMENT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "aa/analog/die_pool.hh"
+
+namespace aa::service {
+
+/**
+ * Consistent hashing over rack indices with virtual nodes. Not
+ * thread-safe; the sharded front door mutates it only at
+ * construction (membership changes mid-run would need external
+ * synchronization anyway — routing must stay a pure function).
+ */
+class ConsistentHashRing
+{
+  public:
+    /** vnodes = virtual points per rack; more points, smoother load
+     *  split and smaller movement bound (at O(vnodes·racks) memory). */
+    explicit ConsistentHashRing(std::size_t vnodes = 64);
+
+    void addRack(std::size_t rack);
+    void removeRack(std::size_t rack);
+
+    /** Rack owning `key` (a sparsity-pattern hash). The ring must be
+     *  non-empty. Pure: same key + membership, same owner. */
+    std::size_t owner(std::uint64_t key) const;
+
+    std::size_t racks() const { return racks_; }
+    bool empty() const { return points_.empty(); }
+
+  private:
+    /** (ring position, rack) sorted by position. */
+    std::vector<std::pair<std::uint64_t, std::size_t>> points_;
+    std::size_t vnodes_;
+    std::size_t racks_ = 0;
+};
+
+/** Placement tuning knobs. */
+struct PlacementOptions {
+    /** Per-round multiplier on every pattern's heat: recent traffic
+     *  dominates, idle patterns cool toward eviction. */
+    double heat_decay = 0.5;
+    /** Heat at which a pattern earns its first guaranteed placement
+     *  (and becomes a replication candidate). */
+    double hot_threshold = 3.0;
+    /** Extra heat per additional replica beyond the first. */
+    double per_replica_heat = 6.0;
+    /** Replicas per pattern at most (counting the original). */
+    std::size_t max_replicas = 2;
+    /** Heat below which a tracked pattern is forgotten. */
+    double evict_below = 0.05;
+    /** Bounded migration/replication event log (0 = keep none). */
+    std::size_t max_events = 64;
+};
+
+/** Lifetime counters of one policy instance. */
+struct PlacementStats {
+    std::size_t placements = 0;   ///< structures installed by policy
+    std::size_t replications = 0; ///< ahead-of-demand extra copies
+    std::size_t migrations = 0;   ///< re-homed off a benched die
+    std::size_t sheds = 0;        ///< placements dropped from dies
+    std::size_t rebalances = 0;   ///< rebalance() rounds run
+};
+
+/** One row of the heat map snapshot. */
+struct PatternHeat {
+    std::uint64_t pattern = 0;
+    std::size_t n = 0;
+    double heat = 0.0;
+    std::size_t replicas = 0; ///< dies currently holding it
+};
+
+/**
+ * Heat-driven placement policy for one shard's DiePool. Internally
+ * locked: record() may race in from submitter threads while
+ * rebalance() runs on the scheduler thread.
+ */
+class PlacementPolicy
+{
+  public:
+    explicit PlacementPolicy(PlacementOptions opts = {});
+
+    /** Account one admitted request for (pattern, n): heat += 1. */
+    void record(std::uint64_t pattern, std::size_t n);
+
+    /**
+     * One placement round against the pool, in order: decay heats
+     * and forget cold patterns; re-home tracked placements off
+     * quarantined/dead dies onto available ones (migration = copy to
+     * the least-placed available die, then shed the benched copy);
+     * replicate hot patterns onto additional available dies ahead of
+     * demand. Call only at a round boundary (the service's
+     * on_round_end hook) — it mutates die program caches.
+     */
+    void rebalance(analog::DiePool &pool);
+
+    PlacementStats stats() const;
+
+    /** Tracked patterns in first-seen order, replica counts read
+     *  from the pool. Round-boundary read, like rebalance(). */
+    std::vector<PatternHeat> heatMap(const analog::DiePool &pool) const;
+
+    /** Drain the bounded event log ("replicate p=… -> die 2", …). */
+    std::vector<std::string> drainEvents();
+
+  private:
+    struct Entry {
+        std::uint64_t pattern;
+        std::size_t n;
+        double heat = 0.0;
+    };
+
+    /** Replicas the current heat justifies (0 for cold patterns). */
+    std::size_t replicasWanted(double heat) const;
+    void logEvent(std::string event);
+
+    PlacementOptions opts_;
+    mutable std::mutex mu_;
+    std::vector<Entry> entries_; ///< first-seen order (determinism)
+    std::unordered_map<std::uint64_t, std::size_t> index_;
+    PlacementStats stats_;
+    std::vector<std::string> events_;
+};
+
+} // namespace aa::service
+
+#endif // AA_SERVICE_PLACEMENT_HH

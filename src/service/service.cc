@@ -24,6 +24,18 @@ secondsSince(Clock::time_point t0)
 
 } // namespace
 
+std::future<SolveResponse>
+rejectedFuture(RequestStatus status, std::string reason)
+{
+    SolveResponse r;
+    r.status = status;
+    r.reason = std::move(reason);
+    std::promise<SolveResponse> p;
+    auto fut = p.get_future();
+    p.set_value(std::move(r));
+    return fut;
+}
+
 SolveService::SolveService(analog::DiePool &pool, ServiceOptions opts)
     : pool_(pool), opts_(opts),
       workers_(std::min(opts.threads ? opts.threads
@@ -47,13 +59,7 @@ SolveService::~SolveService()
 std::future<SolveResponse>
 SolveService::rejectNow(RequestStatus status, std::string reason)
 {
-    SolveResponse r;
-    r.status = status;
-    r.reason = std::move(reason);
-    std::promise<SolveResponse> p;
-    auto fut = p.get_future();
-    p.set_value(std::move(r));
-    return fut;
+    return rejectedFuture(status, std::move(reason));
 }
 
 std::future<SolveResponse>
@@ -117,6 +123,7 @@ SolveService::schedulerLoop()
 {
     for (;;) {
         std::vector<Pending> round;
+        std::size_t round_no = 0;
         {
             std::unique_lock<std::mutex> lock(mu_);
             cv_.wait(lock, [&] {
@@ -139,13 +146,17 @@ SolveService::schedulerLoop()
             round_in_flight_ = true;
             std::lock_guard<std::mutex> mlock(metrics_mu_);
             counters_.queue_depth = queue_.size();
-            ++counters_.batches;
+            round_no = ++counters_.batches;
         }
 
         dispatchRound(routeRound(std::move(round)));
         // Health evolves with rounds, never wall clock: quarantine
         // cooldowns tick here, where no worker is touching the pool.
         pool_.tickRound();
+        // Round-boundary hook: the placement layer rebalances here,
+        // on the scheduler thread, while no worker drives a die.
+        if (opts_.on_round_end)
+            opts_.on_round_end(round_no);
 
         {
             std::lock_guard<std::mutex> lock(mu_);
@@ -158,14 +169,18 @@ SolveService::schedulerLoop()
 SolveService::RoutePlan
 SolveService::routeRound(std::vector<Pending> round)
 {
-    // Deterministic round order: priority first, submission order
-    // within a priority. Everything downstream (grouping, routing,
-    // exec_order stamps) derives from this ordering, from cache
-    // residency, and from pool health — never from timing.
+    // Deterministic round order: priority first, then the fair rank
+    // stamped at admission (0 for every direct caller, so the legacy
+    // order — submission order within a priority — is unchanged),
+    // then submission order. Everything downstream (grouping,
+    // routing, exec_order stamps) derives from this ordering, from
+    // cache residency, and from pool health — never from timing.
     std::stable_sort(round.begin(), round.end(),
                      [](const Pending &x, const Pending &y) {
                          if (x.req.priority != y.req.priority)
                              return x.req.priority > y.req.priority;
+                         if (x.req.fair_rank != y.req.fair_rank)
+                             return x.req.fair_rank < y.req.fair_rank;
                          return x.seq < y.seq;
                      });
 
@@ -730,6 +745,10 @@ SolveService::finishRequest(Pending &p, SolveResponse &r,
         latency_running_.add(r.service_seconds);
     }
 
+    // Completion hook (shard quota release) runs outside the metrics
+    // lock, before the caller's future is unblocked.
+    if (opts_.on_complete)
+        opts_.on_complete(p.req, r);
     p.promise.set_value(std::move(r));
 }
 
@@ -799,7 +818,8 @@ ServiceMetrics
 SolveService::metrics() const
 {
     std::lock_guard<std::mutex> mlock(metrics_mu_);
-    ServiceMetrics m = counters_;
+    ServiceMetrics m;
+    static_cast<ServiceCounters &>(m) = counters_;
     // Injector counters are internally locked, so reading them from
     // here is safe at any time.
     m.faults_seen = pool_.faultsSeen();

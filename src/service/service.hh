@@ -36,6 +36,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -58,6 +59,7 @@ enum class RequestStatus {
     RejectedQueueFull, ///< bounced at admission: queue at capacity
     RejectedShutdown,  ///< bounced at admission: service stopping
     RejectedInvalid,   ///< bounced at admission: malformed request
+    RejectedQuota,     ///< bounced at admission: tenant over quota
     DeadlineExpired,   ///< deadline passed before/while solving
     Failed,            ///< execution threw; see `reason`
 };
@@ -83,6 +85,17 @@ struct SolveRequest {
     double deadline_seconds = 0.0;
     /** Higher runs earlier within a scheduling round. */
     int priority = 0;
+
+    /** Tenant the request bills to; empty = the default tenant. The
+     *  sharded front door's admission gate enforces per-tenant
+     *  weighted quotas on it (the field is free-form here — a plain
+     *  SolveService ignores it beyond ordering, below). */
+    std::string tenant;
+    /** Weighted-fair-queueing virtual finish time, stamped by the
+     *  shard admission gate; drained rounds order by (priority,
+     *  fair_rank, seq). Direct callers leave it 0, which preserves
+     *  the legacy pure (priority, seq) order bit for bit. */
+    double fair_rank = 0.0;
 };
 
 /** Completion of one request, delivered through its future. */
@@ -172,7 +185,25 @@ struct ServiceOptions {
     /** Residual target of the fallback CG (also used when the
      *  request's own tolerance is 0). */
     double fallback_tolerance = 1e-10;
+
+    // --- fleet hooks ---------------------------------------------
+    /** Called at the end of every scheduling round — after dispatch
+     *  and the pool's health tick, from the scheduler thread, while
+     *  no worker is touching the pool. The placement layer hangs its
+     *  rebalancer here. Argument: rounds dispatched so far. */
+    std::function<void(std::size_t)> on_round_end;
+    /** Called once per finished request, just before its future is
+     *  fulfilled (from whichever dispatch thread ran it). The shard
+     *  admission gate releases tenant quota slots here. Rejected-at-
+     *  admission requests never reach it. */
+    std::function<void(const SolveRequest &, const SolveResponse &)>
+        on_complete;
 };
+
+/** An already-rejected response future (admission gates use this to
+ *  bounce without touching a scheduler). */
+std::future<SolveResponse> rejectedFuture(RequestStatus status,
+                                          std::string reason);
 
 /**
  * The service. Owns a scheduler thread and a dispatch ThreadPool;
@@ -296,7 +327,7 @@ class SolveService
     std::vector<std::size_t> die_lifetime_requests_; ///< load balance
 
     mutable std::mutex metrics_mu_;
-    ServiceMetrics counters_; ///< latency fields unused; see tracker
+    ServiceCounters counters_; ///< live counters; metrics() snapshots
     QuantileTracker latency_;
     RunningStats latency_running_;
 

@@ -1,0 +1,323 @@
+#include "aa/service/shard.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "aa/common/logging.hh"
+#include "aa/compiler/program.hh"
+
+namespace aa::service {
+
+Shard::Shard(std::size_t dies, analog::AnalogSolverOptions base,
+             ShardOptions opts, analog::DieHealthPolicy health_policy)
+    : opts_(std::move(opts)), pool_(dies, base, health_policy),
+      placement_(opts_.placement)
+{
+    fatalIf(opts_.admission_capacity == 0,
+            "Shard: admission capacity must be positive");
+    for (const TenantWeight &tw : opts_.tenants) {
+        if (tenants_.count(tw.name))
+            continue;
+        Tenant slot;
+        slot.weight = tw.weight > 0.0 ? tw.weight : 1.0;
+        tenant_order_.push_back(tw.name);
+        tenants_.emplace(tw.name, slot);
+        total_weight_ += slot.weight;
+    }
+
+    // The gate owns admission: anything it admits must never bounce
+    // off the inner queue, so the inner bound matches the gate's
+    // (queued <= in-flight <= admission_capacity). User hooks still
+    // run, after the shard's own.
+    ServiceOptions sopts = opts_.service;
+    sopts.queue_capacity = opts_.admission_capacity;
+    auto user_round = opts_.service.on_round_end;
+    sopts.on_round_end = [this, user_round](std::size_t round) {
+        placement_.rebalance(pool_);
+        if (user_round)
+            user_round(round);
+    };
+    auto user_complete = opts_.service.on_complete;
+    sopts.on_complete = [this, user_complete](
+                            const SolveRequest &req,
+                            const SolveResponse &resp) {
+        onComplete(req, resp);
+        if (user_complete)
+            user_complete(req, resp);
+    };
+    service_ = std::make_unique<SolveService>(pool_, sopts);
+}
+
+Shard::~Shard()
+{
+    stop();
+}
+
+std::size_t
+Shard::quotaOf(const Tenant &t) const
+{
+    if (total_weight_ <= 0.0)
+        return opts_.admission_capacity;
+    double share = static_cast<double>(opts_.admission_capacity) *
+                   t.weight / total_weight_;
+    std::size_t quota = static_cast<std::size_t>(share);
+    return std::max<std::size_t>(quota, 1);
+}
+
+Shard::Tenant &
+Shard::tenantSlot(const std::string &name)
+{
+    auto it = tenants_.find(name);
+    if (it != tenants_.end())
+        return it->second;
+    Tenant slot; // undeclared tenants weigh 1.0
+    tenant_order_.push_back(name);
+    total_weight_ += slot.weight;
+    return tenants_.emplace(name, slot).first->second;
+}
+
+std::future<SolveResponse>
+Shard::submit(SolveRequest req)
+{
+    // Malformed requests fall through to the inner service's
+    // validation — its rejected_invalid counter stays the single
+    // source of truth, and no gate slot is involved.
+    if (!req.a || req.a->rows() == 0 ||
+        req.a->rows() != req.a->cols() ||
+        req.a->rows() != req.b.size() ||
+        (!req.u0.empty() && req.u0.size() != req.b.size()))
+        return service_->submit(std::move(req));
+
+    std::uint64_t pattern = compiler::sparsityHash(*req.a);
+    {
+        std::lock_guard<std::mutex> lock(gate_mu_);
+        if (!accepting_) {
+            ++gate_rejected_shutdown_;
+            return rejectedFuture(RequestStatus::RejectedShutdown,
+                                  "shard is shutting down");
+        }
+        Tenant &t = tenantSlot(req.tenant);
+        ++t.submitted;
+        if (in_flight_ >= opts_.admission_capacity) {
+            ++gate_rejected_full_;
+            return rejectedFuture(
+                RequestStatus::RejectedQueueFull,
+                detail::concat("shard at capacity (",
+                               opts_.admission_capacity,
+                               " in flight)"));
+        }
+        std::size_t quota = quotaOf(t);
+        if (t.in_flight >= quota) {
+            ++t.rejected_quota;
+            ++gate_rejected_quota_;
+            return rejectedFuture(
+                RequestStatus::RejectedQuota,
+                detail::concat("tenant '", req.tenant,
+                               "' over quota (", quota,
+                               " in flight)"));
+        }
+        // Weighted virtual finish time: a tenant's k-th admission
+        // ranks at k/weight, so a drained round interleaves tenants
+        // in proportion to weight. Single-tenant streams get ranks
+        // monotone in seq — the legacy order, bit for bit.
+        req.fair_rank = static_cast<double>(t.admitted) / t.weight;
+        ++t.admitted;
+        ++t.in_flight;
+        ++in_flight_;
+        placement_.record(pattern, req.a->rows());
+    }
+    return service_->submit(std::move(req));
+}
+
+void
+Shard::onComplete(const SolveRequest &req, const SolveResponse &)
+{
+    std::lock_guard<std::mutex> lock(gate_mu_);
+    Tenant &t = tenantSlot(req.tenant);
+    ++t.completed;
+    if (t.in_flight)
+        --t.in_flight;
+    if (in_flight_)
+        --in_flight_;
+}
+
+void
+Shard::drain()
+{
+    service_->drain();
+}
+
+void
+Shard::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(gate_mu_);
+        accepting_ = false;
+    }
+    service_->stop();
+}
+
+void
+Shard::pause()
+{
+    service_->pause();
+}
+
+void
+Shard::resume()
+{
+    service_->resume();
+}
+
+ServiceMetrics
+Shard::metrics() const
+{
+    ServiceMetrics m = service_->metrics();
+    std::lock_guard<std::mutex> lock(gate_mu_);
+    // Gate-bounced requests never reached the inner service; fold
+    // them in so "submitted" counts everything presented to the
+    // shard, same as the inner counter does for its own rejections.
+    m.submitted += gate_rejected_full_ + gate_rejected_quota_ +
+                   gate_rejected_shutdown_;
+    m.rejected_full += gate_rejected_full_;
+    m.rejected_quota += gate_rejected_quota_;
+    m.rejected_shutdown += gate_rejected_shutdown_;
+    return m;
+}
+
+std::vector<TenantStats>
+Shard::tenantStats() const
+{
+    std::lock_guard<std::mutex> lock(gate_mu_);
+    std::vector<TenantStats> out;
+    out.reserve(tenant_order_.size());
+    for (const std::string &name : tenant_order_) {
+        const Tenant &t = tenants_.at(name);
+        TenantStats row;
+        row.name = name;
+        row.weight = t.weight;
+        row.quota = quotaOf(t);
+        row.submitted = t.submitted;
+        row.admitted = t.admitted;
+        row.rejected_quota = t.rejected_quota;
+        row.completed = t.completed;
+        row.in_flight = t.in_flight;
+        out.push_back(std::move(row));
+    }
+    return out;
+}
+
+double
+FleetMetrics::cacheHitRatio() const
+{
+    std::size_t total = cache_hits + cache_misses;
+    return total ? static_cast<double>(cache_hits) /
+                       static_cast<double>(total)
+                 : 1.0;
+}
+
+double
+FleetMetrics::affinityHitRatio() const
+{
+    std::size_t total = affinity_hits + affinity_misses;
+    return total ? static_cast<double>(affinity_hits) /
+                       static_cast<double>(total)
+                 : 1.0;
+}
+
+ShardedSolveService::ShardedSolveService(
+    analog::AnalogSolverOptions base, FleetOptions opts,
+    analog::DieHealthPolicy health_policy)
+    : ring_(opts.vnodes)
+{
+    std::size_t racks = opts.racks ? opts.racks : 1;
+    std::size_t dies = opts.dies_per_rack ? opts.dies_per_rack : 1;
+    shards_.reserve(racks);
+    for (std::size_t r = 0; r < racks; ++r) {
+        ring_.addRack(r);
+        // Racks are independently fabricated hardware: each derives
+        // its own die-seed lineage so process variation differs
+        // across the fleet, not just within a rack.
+        analog::AnalogSolverOptions rack_base = base;
+        rack_base.die_seed =
+            base.die_seed + (static_cast<std::uint64_t>(r) << 32);
+        shards_.push_back(std::make_unique<Shard>(
+            dies, rack_base, opts.shard, health_policy));
+    }
+}
+
+std::future<SolveResponse>
+ShardedSolveService::submit(SolveRequest req)
+{
+    if (!req.a)
+        return rejectedFuture(RequestStatus::RejectedInvalid,
+                              "malformed request (null matrix)");
+    std::uint64_t pattern = compiler::sparsityHash(*req.a);
+    return shards_[ring_.owner(pattern)]->submit(std::move(req));
+}
+
+void
+ShardedSolveService::drain()
+{
+    for (auto &s : shards_)
+        s->drain();
+}
+
+void
+ShardedSolveService::stop()
+{
+    for (auto &s : shards_)
+        s->stop();
+}
+
+void
+ShardedSolveService::pause()
+{
+    for (auto &s : shards_)
+        s->pause();
+}
+
+void
+ShardedSolveService::resume()
+{
+    for (auto &s : shards_)
+        s->resume();
+}
+
+FleetMetrics
+ShardedSolveService::metrics() const
+{
+    FleetMetrics fleet;
+    fleet.shards.reserve(shards_.size());
+    for (std::size_t r = 0; r < shards_.size(); ++r) {
+        const Shard &s = *shards_[r];
+        ShardSnapshot snap;
+        snap.rack = r;
+        snap.service = s.metrics();
+        snap.placement = s.placementStats();
+        snap.heat = s.heatMap();
+        snap.tenants = s.tenantStats();
+
+        fleet.submitted += snap.service.submitted;
+        fleet.completed += snap.service.completed;
+        fleet.ok += snap.service.ok;
+        fleet.failed += snap.service.failed;
+        fleet.fallbacks += snap.service.fallbacks;
+        fleet.rejected_full += snap.service.rejected_full;
+        fleet.rejected_quota += snap.service.rejected_quota;
+        fleet.placements += snap.placement.placements;
+        fleet.replications += snap.placement.replications;
+        fleet.migrations += snap.placement.migrations;
+        fleet.sheds += snap.placement.sheds;
+        fleet.cache_hits += snap.service.cache_hits;
+        fleet.cache_misses += snap.service.cache_misses;
+        fleet.affinity_hits += snap.service.affinity_hits;
+        fleet.affinity_misses += snap.service.affinity_misses;
+        fleet.config_bytes += snap.service.config_bytes;
+
+        fleet.shards.push_back(std::move(snap));
+    }
+    return fleet;
+}
+
+} // namespace aa::service

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * The sharded solve fleet: N racks (each a DiePool + SolveService +
+ * PlacementPolicy bundle, a Shard) behind one front door. Requests
+ * route to a rack by consistent hashing on their sparsity-pattern
+ * hash, so a pattern's whole request stream lands on the rack whose
+ * dies hold its compiled structure — and keeps landing there when
+ * racks join or leave, because the ring moves only ~1/N of patterns
+ * per membership change.
+ *
+ * Each shard guards its service with a weighted-fair admission gate:
+ * tenants get in-flight quotas proportional to their declared
+ * weights (unknown tenants weigh 1), a flooding tenant bounces with
+ * RejectedQuota instead of starving everyone else, and admitted
+ * requests carry a weighted-fair rank so a round drains tenants in
+ * proportion to weight rather than arrival order.
+ *
+ * Determinism contract (inherited from SolveService and extended):
+ * routing is a pure function of (tenant, priority, seq, residency,
+ * heat) — the ring hashes the pattern, the gate's quotas and ranks
+ * depend only on the admission sequence, and placement depends only
+ * on recorded traffic and pool health. A 1-rack fleet with weights
+ * absent degenerates to a plain SolveService: every fair rank is
+ * monotone in seq, the gate only rejects what the service would
+ * have, and traces stay bit-identical.
+ */
+
+#ifndef AA_SERVICE_SHARD_HH
+#define AA_SERVICE_SHARD_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "aa/analog/die_pool.hh"
+#include "aa/service/placement.hh"
+#include "aa/service/service.hh"
+
+namespace aa::service {
+
+/** A tenant's declared share of a shard's admission capacity. */
+struct TenantWeight {
+    std::string name;
+    double weight = 1.0;
+};
+
+/** One tenant's view of a shard's admission gate. */
+struct TenantStats {
+    std::string name;
+    double weight = 1.0;
+    std::size_t quota = 0; ///< current in-flight allowance
+    std::size_t submitted = 0;
+    std::size_t admitted = 0;
+    std::size_t rejected_quota = 0;
+    std::size_t completed = 0;
+    std::size_t in_flight = 0;
+};
+
+/** Per-shard configuration. */
+struct ShardOptions {
+    /** Inner service config. Its queue_capacity is overridden to
+     *  admission_capacity: the gate owns admission, and anything it
+     *  admits must never bounce off the inner queue. */
+    ServiceOptions service;
+    PlacementOptions placement;
+    /** Declared tenants; weights scale their share of
+     *  admission_capacity. Undeclared tenants weigh 1.0. */
+    std::vector<TenantWeight> tenants;
+    /** In-flight requests the gate admits at most (the shard's
+     *  backpressure bound, replacing the inner queue bound). */
+    std::size_t admission_capacity = 64;
+};
+
+/**
+ * One rack: a DiePool it owns, the SolveService driving it, the
+ * placement policy rebalancing it at round boundaries, and the
+ * weighted-fair admission gate in front. submit() may be called from
+ * any thread.
+ */
+class Shard
+{
+  public:
+    Shard(std::size_t dies, analog::AnalogSolverOptions base = {},
+          ShardOptions opts = {},
+          analog::DieHealthPolicy health_policy = {});
+    ~Shard(); ///< stop()
+
+    Shard(const Shard &) = delete;
+    Shard &operator=(const Shard &) = delete;
+
+    /**
+     * Gate + forward. Rejections: RejectedQuota when the tenant is
+     * at its weighted in-flight quota, RejectedQueueFull when the
+     * shard is at admission_capacity, RejectedShutdown after stop();
+     * malformed requests fall through to the inner service's
+     * validation (so its rejected_invalid counter stays the single
+     * source of truth).
+     */
+    std::future<SolveResponse> submit(SolveRequest req);
+
+    void drain();
+    void stop();
+    void pause();
+    void resume();
+
+    /** Inner service snapshot plus the gate's own rejection
+     *  counters folded in (the inner service never sees what the
+     *  gate bounced). */
+    ServiceMetrics metrics() const;
+    PlacementStats placementStats() const { return placement_.stats(); }
+    std::vector<PatternHeat> heatMap() const
+    {
+        return placement_.heatMap(pool_);
+    }
+    /** Tenants in first-seen order (declared ones first). */
+    std::vector<TenantStats> tenantStats() const;
+    std::vector<std::string> drainPlacementEvents()
+    {
+        return placement_.drainEvents();
+    }
+
+    analog::DiePool &pool() { return pool_; }
+    const analog::DiePool &pool() const { return pool_; }
+    SolveService &service() { return *service_; }
+
+  private:
+    struct Tenant {
+        double weight = 1.0;
+        std::size_t submitted = 0;
+        std::size_t admitted = 0;
+        std::size_t rejected_quota = 0;
+        std::size_t completed = 0;
+        std::size_t in_flight = 0;
+    };
+
+    /** In-flight quota of a tenant under the current population:
+     *  max(1, floor(capacity * weight / total_weight)). */
+    std::size_t quotaOf(const Tenant &t) const;
+    Tenant &tenantSlot(const std::string &name);
+    void onComplete(const SolveRequest &req, const SolveResponse &r);
+
+    ShardOptions opts_;
+    analog::DiePool pool_;
+    PlacementPolicy placement_;
+    std::unique_ptr<SolveService> service_;
+
+    mutable std::mutex gate_mu_;
+    bool accepting_ = true;
+    std::size_t in_flight_ = 0;
+    std::size_t gate_rejected_full_ = 0;
+    std::size_t gate_rejected_quota_ = 0;
+    std::size_t gate_rejected_shutdown_ = 0;
+    double total_weight_ = 0.0;
+    std::vector<std::string> tenant_order_; ///< first-seen order
+    std::unordered_map<std::string, Tenant> tenants_;
+};
+
+/** Per-rack slice of a fleet metrics snapshot. */
+struct ShardSnapshot {
+    std::size_t rack = 0;
+    ServiceMetrics service;
+    PlacementStats placement;
+    std::vector<PatternHeat> heat;
+    std::vector<TenantStats> tenants;
+};
+
+/** Fleet-wide rollup plus the per-rack slices it was built from. */
+struct FleetMetrics {
+    std::vector<ShardSnapshot> shards;
+
+    // Rollups across racks.
+    std::size_t submitted = 0;
+    std::size_t completed = 0;
+    std::size_t ok = 0;
+    std::size_t failed = 0;
+    std::size_t fallbacks = 0;
+    std::size_t rejected_full = 0;
+    std::size_t rejected_quota = 0;
+    std::size_t placements = 0;
+    std::size_t replications = 0;
+    std::size_t migrations = 0;
+    std::size_t sheds = 0;
+    std::size_t cache_hits = 0;
+    std::size_t cache_misses = 0;
+    std::size_t affinity_hits = 0;
+    std::size_t affinity_misses = 0;
+    std::size_t config_bytes = 0;
+
+    double cacheHitRatio() const;
+    double affinityHitRatio() const;
+};
+
+/** Fleet sizing and shared per-shard config. */
+struct FleetOptions {
+    std::size_t racks = 1;
+    std::size_t dies_per_rack = 1;
+    /** Virtual points per rack on the routing ring. */
+    std::size_t vnodes = 64;
+    ShardOptions shard; ///< applied to every rack
+};
+
+/**
+ * The fleet front door: owns the racks and the routing ring.
+ * submit() hashes the request's sparsity pattern, asks the ring for
+ * the owning rack, and hands the request to that shard's gate. With
+ * racks=1 the ring is a constant function and the fleet degenerates
+ * to a single Shard.
+ */
+class ShardedSolveService
+{
+  public:
+    ShardedSolveService(analog::AnalogSolverOptions base = {},
+                        FleetOptions opts = {},
+                        analog::DieHealthPolicy health_policy = {});
+
+    ShardedSolveService(const ShardedSolveService &) = delete;
+    ShardedSolveService &operator=(const ShardedSolveService &) =
+        delete;
+
+    std::future<SolveResponse> submit(SolveRequest req);
+
+    /** The rack a pattern hash routes to — pure, exposed so tests
+     *  and tools can predict placement. */
+    std::size_t rackOf(std::uint64_t pattern_hash) const
+    {
+        return ring_.owner(pattern_hash);
+    }
+
+    std::size_t racks() const { return shards_.size(); }
+    Shard &shard(std::size_t rack) { return *shards_[rack]; }
+    const Shard &shard(std::size_t rack) const
+    {
+        return *shards_[rack];
+    }
+
+    void drain();
+    void stop();
+    void pause();
+    void resume();
+
+    FleetMetrics metrics() const;
+
+  private:
+    ConsistentHashRing ring_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+} // namespace aa::service
+
+#endif // AA_SERVICE_SHARD_HH

@@ -178,6 +178,51 @@ TEST(GpuModel, EnergyPerFma)
                 225e-12 * 10.0 * 1000 * 100, 1e-15);
 }
 
+TEST(Fleet, ScalesLinearlyInRacksAndDies)
+{
+    AcceleratorDesign design = design320kHz();
+    PoissonShape shape{2, 30};
+    FleetCost one = fleetCost(design, shape, {1, 1, 0.0});
+    FleetCost fleet = fleetCost(design, shape, {4, 3, 0.0});
+    EXPECT_EQ(fleet.dies, 12u);
+    EXPECT_NEAR(fleet.total_area_mm2, 12.0 * one.total_area_mm2,
+                1e-9);
+    EXPECT_NEAR(fleet.total_power_w, 12.0 * one.total_power_w, 1e-9);
+    EXPECT_NEAR(fleet.solves_per_second, 12.0 * one.solves_per_second,
+                1e-9 * fleet.solves_per_second);
+}
+
+TEST(Fleet, DensityMetricsInvariantInFleetSize)
+{
+    // solves/s per mm^2 and per W depend on the die design point,
+    // not on how many of them the fleet deploys (overhead = 0).
+    AcceleratorDesign design = design80kHz();
+    PoissonShape shape{2, 20};
+    FleetCost one = fleetCost(design, shape, {1, 1, 0.0});
+    FleetCost fleet = fleetCost(design, shape, {8, 2, 0.0});
+    EXPECT_NEAR(fleet.solvesPerSecondPerMm2(),
+                one.solvesPerSecondPerMm2(),
+                1e-12 * one.solvesPerSecondPerMm2());
+    EXPECT_NEAR(fleet.solvesPerSecondPerWatt(),
+                one.solvesPerSecondPerWatt(),
+                1e-12 * one.solvesPerSecondPerWatt());
+}
+
+TEST(Fleet, RackOverheadLowersPowerDensity)
+{
+    AcceleratorDesign design = design80kHz();
+    PoissonShape shape{2, 20};
+    FleetCost lean = fleetCost(design, shape, {4, 2, 0.0});
+    FleetCost loaded = fleetCost(design, shape, {4, 2, 25.0});
+    EXPECT_NEAR(loaded.total_power_w, lean.total_power_w + 100.0,
+                1e-9);
+    EXPECT_LT(loaded.solvesPerSecondPerWatt(),
+              lean.solvesPerSecondPerWatt());
+    EXPECT_NEAR(loaded.solvesPerSecondPerMm2(),
+                lean.solvesPerSecondPerMm2(),
+                1e-12 * lean.solvesPerSecondPerMm2());
+}
+
 TEST(DesignDeath, BadBandwidthFatal)
 {
     EXPECT_EXIT(AcceleratorDesign(0.0), ::testing::ExitedWithCode(1),

@@ -1,0 +1,465 @@
+/**
+ * @file
+ * The sharded fleet's contracts: a 1-rack/1-die fleet is
+ * bit-identical to a plain SolveService; the consistent-hash ring
+ * moves a bounded fraction of patterns on membership changes and
+ * only onto the joining rack; weighted-fair admission lets no tenant
+ * starve another (and drains tenants interleaved, not
+ * arrival-ordered); heat-driven placement replicates hot programs
+ * ahead of demand; and placements migrate off quarantined dies with
+ * zero recompiles. The TSan --fleet leg of tools/check.sh runs this
+ * binary at AASIM_THREADS=1 and =4.
+ */
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aa/analog/die_pool.hh"
+#include "aa/common/logging.hh"
+#include "aa/compiler/program.hh"
+#include "aa/service/placement.hh"
+#include "aa/service/shard.hh"
+#include "aa/service/service.hh"
+#include "common/trace_matcher.hh"
+
+namespace aa::service {
+namespace {
+
+const bool g_quiet = [] {
+    setLogLevel(LogLevel::Quiet);
+    return true;
+}();
+
+analog::AnalogSolverOptions
+quietOptions()
+{
+    analog::AnalogSolverOptions opts;
+    opts.spec.variation.enabled = false;
+    opts.spec.adc_noise_sigma = 0.0;
+    opts.auto_calibrate = false;
+    return opts;
+}
+
+/** Pattern A: a dense 2x2 SPD system. */
+std::shared_ptr<const la::DenseMatrix>
+matrixA()
+{
+    return std::make_shared<const la::DenseMatrix>(
+        la::DenseMatrix::fromRows({{4.0, -1.0}, {-1.0, 3.0}}));
+}
+
+/** Pattern B: a tridiagonal 3x3 SPD system (distinct hash and n). */
+std::shared_ptr<const la::DenseMatrix>
+matrixB()
+{
+    return std::make_shared<const la::DenseMatrix>(
+        la::DenseMatrix::fromRows({{4.0, -1.0, 0.0},
+                                   {-1.0, 4.0, -1.0},
+                                   {0.0, -1.0, 4.0}}));
+}
+
+SolveRequest
+request(std::shared_ptr<const la::DenseMatrix> a, la::Vector b,
+        std::string tenant = "")
+{
+    SolveRequest r;
+    r.a = std::move(a);
+    r.b = std::move(b);
+    r.tenant = std::move(tenant);
+    return r;
+}
+
+std::vector<SolveRequest>
+mixedTrace(std::size_t count)
+{
+    auto a = matrixA();
+    auto b = matrixB();
+    std::vector<SolveRequest> trace;
+    for (std::size_t i = 0; i < count; ++i) {
+        double f = 1.0 + 0.125 * static_cast<double>(i);
+        if (i % 2 == 0)
+            trace.push_back(request(a, la::Vector{f, 2.0 * f}));
+        else
+            trace.push_back(request(b, la::Vector{f, 0.5 * f, -f}));
+    }
+    return trace;
+}
+
+TEST(Fleet, SingleRackTraceIsBitIdenticalToPlainService)
+{
+    // The degeneracy contract: one rack, one die, and the sharded
+    // front door must execute a trace exactly like today's plain
+    // SolveService — same dies, same execution slots, same bits,
+    // same structural phase traces.
+    analog::DiePool plain_pool(1, quietOptions());
+    ServiceOptions sopts;
+    sopts.start_paused = true;
+    SolveService plain(plain_pool, sopts);
+
+    FleetOptions fopts;
+    fopts.racks = 1;
+    fopts.dies_per_rack = 1;
+    fopts.shard.service.start_paused = true;
+    ShardedSolveService fleet(quietOptions(), fopts);
+
+    auto trace = mixedTrace(6);
+    std::vector<std::future<SolveResponse>> pf, ff;
+    for (auto &req : trace) {
+        pf.push_back(plain.submit(SolveRequest(req)));
+        ff.push_back(fleet.submit(SolveRequest(req)));
+    }
+    plain.resume();
+    plain.drain();
+    plain.stop();
+    fleet.resume();
+    fleet.drain();
+    fleet.stop();
+
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        SolveResponse p = pf[i].get();
+        SolveResponse f = ff[i].get();
+        ASSERT_EQ(p.status, RequestStatus::Ok) << "request " << i;
+        ASSERT_EQ(f.status, RequestStatus::Ok) << "request " << i;
+        EXPECT_EQ(p.die, f.die) << "request " << i;
+        EXPECT_EQ(p.exec_order, f.exec_order) << "request " << i;
+        EXPECT_EQ(p.attempts, f.attempts) << "request " << i;
+        ASSERT_EQ(p.u.size(), f.u.size());
+        for (std::size_t j = 0; j < p.u.size(); ++j)
+            EXPECT_EQ(p.u[j], f.u[j])
+                << "request " << i << " component " << j;
+        EXPECT_TRUE(testutil::phasesMatch(p.phases, f.phases))
+            << "request " << i;
+    }
+}
+
+TEST(Fleet, RoutesPatternsToTheOwningRack)
+{
+    FleetOptions fopts;
+    fopts.racks = 4;
+    fopts.dies_per_rack = 1;
+    ShardedSolveService fleet(quietOptions(), fopts);
+
+    std::uint64_t ha = compiler::sparsityHash(*matrixA());
+    std::uint64_t hb = compiler::sparsityHash(*matrixB());
+    std::size_t rack_a = fleet.rackOf(ha);
+    std::size_t rack_b = fleet.rackOf(hb);
+    // Routing is pure: asking again gives the same answer.
+    EXPECT_EQ(fleet.rackOf(ha), rack_a);
+    EXPECT_EQ(fleet.rackOf(hb), rack_b);
+
+    std::vector<std::future<SolveResponse>> fs;
+    for (auto &req : mixedTrace(8))
+        fs.push_back(fleet.submit(std::move(req)));
+    for (auto &f : fs)
+        EXPECT_EQ(f.get().status, RequestStatus::Ok);
+    fleet.stop();
+
+    // Each pattern's whole stream landed on its owning rack.
+    std::vector<std::size_t> expect(fleet.racks(), 0);
+    expect[rack_a] += 4;
+    expect[rack_b] += 4;
+    FleetMetrics m = fleet.metrics();
+    EXPECT_EQ(m.submitted, 8u);
+    EXPECT_EQ(m.completed, 8u);
+    for (std::size_t r = 0; r < fleet.racks(); ++r)
+        EXPECT_EQ(m.shards[r].service.submitted, expect[r])
+            << "rack " << r;
+}
+
+TEST(Ring, MembershipChangeMovesBoundedFractionOntoNewRack)
+{
+    const std::size_t kKeys = 4096;
+    ConsistentHashRing ring(64);
+    for (std::size_t r = 0; r < 4; ++r)
+        ring.addRack(r);
+
+    std::vector<std::size_t> before(kKeys);
+    for (std::size_t k = 0; k < kKeys; ++k)
+        before[k] = ring.owner(k * 2654435761ULL);
+
+    // Adding rack 4: every moved key moves TO the new rack (no
+    // reshuffling between survivors), and the moved fraction is
+    // near 1/5 — well under the 2/5 bound we assert.
+    ring.addRack(4);
+    std::size_t moved = 0;
+    for (std::size_t k = 0; k < kKeys; ++k) {
+        std::size_t owner = ring.owner(k * 2654435761ULL);
+        if (owner != before[k]) {
+            ++moved;
+            EXPECT_EQ(owner, 4u) << "key " << k
+                                 << " moved between old racks";
+        }
+    }
+    EXPECT_GT(moved, 0u);
+    EXPECT_LT(moved, kKeys * 2 / 5);
+
+    // Removing it restores the exact previous assignment.
+    ring.removeRack(4);
+    for (std::size_t k = 0; k < kKeys; ++k)
+        ASSERT_EQ(ring.owner(k * 2654435761ULL), before[k])
+            << "key " << k;
+}
+
+TEST(Shard, FloodingTenantCannotStarveTheOther)
+{
+    // Both tenants declared at weight 1 on a capacity-8 gate: each
+    // is entitled to 4 in-flight slots. Bob floods 10 requests; the
+    // quota bounces 6 of them immediately, alice's 4 all admit, and
+    // the round interleaves the two tenants by weighted-fair rank
+    // instead of draining bob first.
+    ShardOptions opts;
+    opts.admission_capacity = 8;
+    opts.tenants = {{"alice", 1.0}, {"bob", 1.0}};
+    opts.service.start_paused = true;
+    Shard shard(1, quietOptions(), opts);
+
+    auto a = matrixA();
+    std::vector<std::future<SolveResponse>> bob, alice;
+    for (std::size_t i = 0; i < 10; ++i)
+        bob.push_back(shard.submit(
+            request(a, {1.0 + 0.1 * i, 2.0}, "bob")));
+    for (std::size_t i = 0; i < 4; ++i)
+        alice.push_back(shard.submit(
+            request(a, {3.0 + 0.1 * i, 1.0}, "alice")));
+    shard.resume();
+    shard.drain();
+    shard.stop();
+
+    std::size_t bob_ok = 0, bob_quota = 0;
+    std::vector<std::size_t> bob_exec;
+    for (auto &f : bob) {
+        SolveResponse r = f.get();
+        if (r.status == RequestStatus::Ok) {
+            ++bob_ok;
+            bob_exec.push_back(r.exec_order);
+        } else {
+            EXPECT_EQ(r.status, RequestStatus::RejectedQuota);
+            EXPECT_NE(r.reason.find("bob"), std::string::npos);
+            ++bob_quota;
+        }
+    }
+    EXPECT_EQ(bob_ok, 4u);
+    EXPECT_EQ(bob_quota, 6u);
+
+    // Both tenants progress; weighted-fair ranks interleave them
+    // (bob's k-th admission at slot 2k, alice's at 2k+1) even
+    // though every bob request was submitted first.
+    for (std::size_t i = 0; i < alice.size(); ++i) {
+        SolveResponse r = alice[i].get();
+        ASSERT_EQ(r.status, RequestStatus::Ok) << "alice " << i;
+        EXPECT_EQ(r.exec_order, 2 * i + 1) << "alice " << i;
+    }
+    std::sort(bob_exec.begin(), bob_exec.end());
+    for (std::size_t i = 0; i < bob_exec.size(); ++i)
+        EXPECT_EQ(bob_exec[i], 2 * i) << "bob " << i;
+
+    std::vector<TenantStats> tenants = shard.tenantStats();
+    ASSERT_EQ(tenants.size(), 2u);
+    EXPECT_EQ(tenants[0].name, "alice");
+    EXPECT_EQ(tenants[0].quota, 4u);
+    EXPECT_EQ(tenants[0].admitted, 4u);
+    EXPECT_EQ(tenants[0].completed, 4u);
+    EXPECT_EQ(tenants[0].rejected_quota, 0u);
+    EXPECT_EQ(tenants[1].name, "bob");
+    EXPECT_EQ(tenants[1].admitted, 4u);
+    EXPECT_EQ(tenants[1].completed, 4u);
+    EXPECT_EQ(tenants[1].rejected_quota, 6u);
+    EXPECT_EQ(tenants[1].in_flight, 0u);
+
+    ServiceMetrics m = shard.metrics();
+    EXPECT_EQ(m.rejected_quota, 6u);
+    EXPECT_EQ(m.completed, 8u);
+}
+
+TEST(Shard, HotPatternReplicatesAheadOfDemand)
+{
+    // A hot pattern earns a second copy without the second die ever
+    // seeing its traffic: the policy installs the compiled structure
+    // at a round boundary, and no recompile ever happens.
+    ShardOptions opts;
+    opts.service.start_paused = true;
+    opts.placement.heat_decay = 0.9;
+    opts.placement.hot_threshold = 2.0;
+    opts.placement.per_replica_heat = 1.0;
+    opts.placement.max_replicas = 2;
+    Shard shard(2, quietOptions(), opts);
+
+    auto a = matrixA();
+    std::uint64_t ha = compiler::sparsityHash(*a);
+    std::vector<std::future<SolveResponse>> fs;
+    for (std::size_t i = 0; i < 6; ++i)
+        fs.push_back(
+            shard.submit(request(a, {1.0 + 0.1 * i, 2.0})));
+    shard.resume();
+    shard.drain();
+    for (auto &f : fs)
+        EXPECT_EQ(f.get().status, RequestStatus::Ok);
+
+    // One round of 6 requests: heat 6 * 0.9 = 5.4 after the decay,
+    // well past the threshold — the round-end rebalance replicated
+    // the structure onto the idle die.
+    PlacementStats stats = shard.placementStats();
+    EXPECT_EQ(stats.replications, 1u);
+    EXPECT_EQ(stats.placements, 1u);
+    EXPECT_EQ(stats.migrations, 0u);
+    EXPECT_TRUE(shard.pool().dieHasPattern(0, ha, 2));
+    EXPECT_TRUE(shard.pool().dieHasPattern(1, ha, 2));
+
+    std::vector<PatternHeat> heat = shard.heatMap();
+    ASSERT_EQ(heat.size(), 1u);
+    EXPECT_EQ(heat[0].pattern, ha);
+    EXPECT_EQ(heat[0].replicas, 2u);
+    EXPECT_GT(heat[0].heat, opts.placement.hot_threshold);
+
+    // The copy is a real cache entry, not a recompile: the whole
+    // shard still paid exactly one compile for the pattern.
+    shard.stop();
+    EXPECT_EQ(shard.metrics().cache_misses, 1u);
+
+    std::vector<std::string> events = shard.drainPlacementEvents();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_NE(events[0].find("replicate"), std::string::npos);
+}
+
+TEST(Placement, MigratesOffBenchedDieAndCopyHitsWithoutRecompile)
+{
+    // Unit-level migration: die 0 holds a warm pattern, gets
+    // quarantined, and the policy re-homes the compiled structure
+    // onto die 1 (chip-less, so any geometry installs). The copy is
+    // a real cache entry — die 1's first solve of the pattern hits
+    // without compiling.
+    analog::DiePool pool(2, quietOptions());
+    PlacementOptions popts;
+    popts.heat_decay = 0.9;
+    popts.hot_threshold = 2.0;
+    popts.per_replica_heat = 100.0; // single copy wanted
+    popts.max_replicas = 1;
+    PlacementPolicy policy(popts);
+
+    auto a = matrixA();
+    std::uint64_t ha = compiler::sparsityHash(*a);
+    pool.die(0).solve(*a, {1.0, 2.0});
+    for (std::size_t i = 0; i < 3; ++i)
+        policy.record(ha, 2);
+    policy.rebalance(pool); // healthy pool: decay only, no motion
+    EXPECT_EQ(policy.stats().migrations, 0u);
+    ASSERT_TRUE(pool.dieHasPattern(0, ha, 2));
+
+    for (std::size_t i = 0; i < 3; ++i)
+        pool.recordFailure(0);
+    ASSERT_FALSE(pool.dieAvailable(0));
+
+    policy.rebalance(pool);
+    PlacementStats stats = policy.stats();
+    EXPECT_EQ(stats.migrations, 1u);
+    EXPECT_EQ(stats.sheds, 1u);
+    EXPECT_EQ(stats.replications, 0u);
+    EXPECT_FALSE(pool.dieHasPattern(0, ha, 2));
+    EXPECT_TRUE(pool.dieHasPattern(1, ha, 2));
+
+    std::vector<std::string> events = policy.drainEvents();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_NE(events[0].find("migrate"), std::string::npos);
+    EXPECT_NE(events[1].find("shed"), std::string::npos);
+
+    // The migrated structure serves die 1's first solve of the
+    // pattern: zero compiles, a cache hit on a die that never saw
+    // this pattern's traffic before.
+    auto out = pool.die(1).solve(*a, {2.0, 1.0});
+    EXPECT_EQ(out.phases.cache_misses, 0u);
+    EXPECT_GE(out.phases.cache_hits, 1u);
+}
+
+TEST(Shard, ShedsStalePlacementOffQuarantinedDie)
+{
+    ShardOptions opts;
+    opts.service.start_paused = true;
+    opts.placement.heat_decay = 0.9;
+    opts.placement.hot_threshold = 2.0;
+    opts.placement.per_replica_heat = 100.0;
+    opts.placement.max_replicas = 1;
+    Shard shard(2, quietOptions(), opts);
+
+    auto a = matrixA();
+    std::uint64_t ha = compiler::sparsityHash(*a);
+
+    // Round 1: warm pattern A on die 0.
+    std::vector<std::future<SolveResponse>> round1;
+    for (std::size_t i = 0; i < 3; ++i)
+        round1.push_back(
+            shard.submit(request(a, {1.0 + 0.1 * i, 2.0})));
+    shard.resume();
+    shard.drain();
+    for (auto &f : round1)
+        EXPECT_EQ(f.get().status, RequestStatus::Ok);
+    ASSERT_TRUE(shard.pool().dieHasPattern(0, ha, 2));
+
+    // Bench die 0 between rounds (the round-boundary ownership
+    // window): three consecutive verification failures quarantine it.
+    shard.pause();
+    for (std::size_t i = 0; i < 3; ++i)
+        shard.pool().recordFailure(0);
+    ASSERT_FALSE(shard.pool().dieAvailable(0));
+
+    // Round 2: A's traffic reroutes to the surviving die (which
+    // demand-loads the pattern), and the round-end rebalance sheds
+    // the stale placement off the benched die.
+    auto fa = shard.submit(request(a, {2.0, 1.0}));
+    shard.resume();
+    shard.drain();
+    SolveResponse ra = fa.get();
+    EXPECT_EQ(ra.status, RequestStatus::Ok);
+    EXPECT_EQ(ra.die, 1u);
+
+    PlacementStats stats = shard.placementStats();
+    EXPECT_GE(stats.sheds, 1u);
+    EXPECT_FALSE(shard.pool().dieHasPattern(0, ha, 2));
+    EXPECT_TRUE(shard.pool().dieHasPattern(1, ha, 2));
+    shard.stop();
+}
+
+TEST(Fleet, ThreadCountDoesNotChangeResults)
+{
+    // 2 racks x 2 dies, dispatch concurrency 1 vs 4: every response
+    // bitwise identical (the ring, the gates, and the per-rack
+    // routers are all timing-blind).
+    auto runWith = [&](std::size_t threads) {
+        FleetOptions fopts;
+        fopts.racks = 2;
+        fopts.dies_per_rack = 2;
+        fopts.shard.service.threads = threads;
+        fopts.shard.service.start_paused = true;
+        ShardedSolveService fleet(quietOptions(), fopts);
+        std::vector<std::future<SolveResponse>> fs;
+        for (auto &req : mixedTrace(12))
+            fs.push_back(fleet.submit(std::move(req)));
+        fleet.resume();
+        fleet.drain();
+        fleet.stop();
+        std::vector<SolveResponse> rs;
+        for (auto &f : fs)
+            rs.push_back(f.get());
+        return rs;
+    };
+
+    auto serial = runWith(1);
+    auto threaded = runWith(4);
+    ASSERT_EQ(serial.size(), threaded.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].die, threaded[i].die);
+        EXPECT_EQ(serial[i].exec_order, threaded[i].exec_order);
+        ASSERT_EQ(serial[i].u.size(), threaded[i].u.size());
+        for (std::size_t j = 0; j < serial[i].u.size(); ++j)
+            EXPECT_EQ(serial[i].u[j], threaded[i].u[j])
+                << "request " << i << " component " << j;
+        EXPECT_TRUE(testutil::phasesMatch(serial[i].phases,
+                                          threaded[i].phases))
+            << "request " << i;
+    }
+}
+
+} // namespace
+} // namespace aa::service

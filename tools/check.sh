@@ -13,10 +13,15 @@
 # gtest binary and the chaos suite under TSan at AASIM_THREADS=1 and
 # =4, then the cache-affine vs round-robin throughput benchmark,
 # recorded into BENCH_service.json.
+# The --fleet leg covers the sharded fleet: shard_test under TSan at
+# AASIM_THREADS=1 and =4, then the sharded rack-scaling and tenant-
+# fairness benchmarks, recorded into BENCH_service.json alongside the
+# single-pool scenarios.
 # The --coverage leg builds the coverage preset, runs the fault /
-# service / analog suites, and gates src/fault and src/service at 85%
-# line coverage via tools/coverage.py (emits coverage.xml).
-# Usage: tools/check.sh [--tier1-only | --service | --coverage]
+# service / fleet / analog suites, and gates src/fault and
+# src/service at 85% line coverage via tools/coverage.py (emits
+# coverage.xml).
+# Usage: tools/check.sh [--tier1-only | --service | --fleet | --coverage]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -42,9 +47,9 @@ if [[ "${1:-}" == "--coverage" ]]; then
     echo "== coverage (gcov) =="
     cmake --preset coverage >/dev/null
     cmake --build build-coverage -j"$(nproc)" \
-        --target chaos_test service_test analog_test
+        --target chaos_test service_test shard_test analog_test
     find build-coverage -name '*.gcda' -delete
-    for t in chaos_test service_test analog_test; do
+    for t in chaos_test service_test shard_test analog_test; do
         echo "-- $t"
         ./build-coverage/tests/"$t" --gtest_brief=1
     done
@@ -79,6 +84,30 @@ if [[ "${1:-}" == "--service" ]]; then
     exit 0
 fi
 
+if [[ "${1:-}" == "--fleet" ]]; then
+    echo "== fleet (TSan) =="
+    cmake --preset tsan >/dev/null
+    cmake --build build-tsan -j"$(nproc)" --target shard_test
+    for threads in 1 4; do
+        echo "-- shard_test @ AASIM_THREADS=$threads"
+        AASIM_THREADS=$threads \
+            ./build-tsan/tests/shard_test --gtest_brief=1
+    done
+    echo "== fleet throughput (BENCH_service.json) =="
+    # The sharded scenarios live in service_gbench; re-record the
+    # whole artifact so the single-pool and fleet lanes always come
+    # from the same build.
+    cmake -B build -S . >/dev/null
+    cmake --build build -j"$(nproc)" --target service_gbench
+    AASIM_THREADS=4 ./build/bench/service_gbench \
+        --benchmark_min_time=2 \
+        --benchmark_out=BENCH_service.json \
+        --benchmark_out_format=json
+    warn_debug_bench
+    echo "check.sh: fleet leg green"
+    exit 0
+fi
+
 echo "== tier-1 =="
 cmake -B build -S . >/dev/null
 cmake --build build -j"$(nproc)"
@@ -97,9 +126,9 @@ echo "== sanitize (ASan/UBSan) =="
 cmake --preset sanitize >/dev/null
 cmake --build build-sanitize -j"$(nproc)" \
     --target compiler_test analog_test circuit_test chaos_test \
-             service_test
+             service_test shard_test
 for t in compiler_test analog_test circuit_test chaos_test \
-         service_test; do
+         service_test shard_test; do
     ./build-sanitize/tests/"$t" --gtest_brief=1
 done
 
@@ -110,9 +139,11 @@ echo "== sanitize (TSan) =="
 cmake --preset tsan >/dev/null
 cmake --build build-tsan -j"$(nproc)" \
     --target common_test circuit_test analog_test \
-             decompose_parallel_test service_test chaos_test
+             decompose_parallel_test service_test shard_test \
+             chaos_test
 for t in common_test circuit_test analog_test \
-         decompose_parallel_test service_test chaos_test; do
+         decompose_parallel_test service_test shard_test \
+         chaos_test; do
     for threads in 1 4; do
         AASIM_THREADS=$threads \
             ./build-tsan/tests/"$t" --gtest_brief=1
