@@ -163,6 +163,58 @@ BM_CsrApply2D(benchmark::State &state)
 }
 BENCHMARK(BM_CsrApply2D)->Arg(16)->Arg(32)->Arg(64);
 
+/**
+ * The EvalPlan's CSR gather-sum (circuit::csrGatherSum) on a
+ * synthetic fan-in table shaped like a compiled netlist: mostly
+ * short rows (fanout/gain taps) with a tail of wide integrator rows.
+ * This is the RHS's memory-bound inner loop; items_per_second counts
+ * gathered sources. The unroll keeps one accumulator chain, so the
+ * kernel stays bit-identical to the naive walk (the plan-equivalence
+ * suite enforces that) — the win is index-load ILP and prefetch,
+ * not reassociation.
+ */
+void
+BM_GatherCsr(benchmark::State &state)
+{
+    std::size_t rows = static_cast<std::size_t>(state.range(0));
+    std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+    auto next = [&seed] {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        return seed;
+    };
+    std::vector<circuit::PlanIdx> offsets(rows + 1, 0);
+    std::vector<circuit::PlanIdx> srcs;
+    std::size_t values = rows * 4;
+    for (std::size_t r = 0; r < rows; ++r) {
+        // 7 of 8 rows are narrow (1..4 sources); every 8th is a wide
+        // accumulation row (16..47), like an integrator's fan-in.
+        std::size_t fanin = (r % 8 == 7) ? 16 + next() % 32
+                                         : 1 + next() % 4;
+        for (std::size_t j = 0; j < fanin; ++j)
+            srcs.push_back(
+                static_cast<circuit::PlanIdx>(next() % values));
+        offsets[r + 1] = static_cast<circuit::PlanIdx>(srcs.size());
+    }
+    la::Vector vals(values);
+    for (std::size_t i = 0; i < values; ++i)
+        vals[i] = 1.0 / static_cast<double>(i + 1);
+
+    for (auto _ : state) {
+        double sum = 0.0;
+        for (std::size_t r = 0; r < rows; ++r)
+            sum += circuit::csrGatherSum(srcs.data(), offsets[r],
+                                         offsets[r + 1],
+                                         vals.data());
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(srcs.size()));
+}
+BENCHMARK(BM_GatherCsr)->Arg(1024)->Arg(16384);
+
 void
 BM_CgSolve2D(benchmark::State &state)
 {

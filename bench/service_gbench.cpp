@@ -103,7 +103,8 @@ submitBurstAndDrain(service::SolveService &svc, const Workload &work)
 
 void
 serviceThroughputBenchmark(benchmark::State &state, bool affinity,
-                           bool batch = false)
+                           bool batch = false, bool pipeline = false,
+                           std::size_t pipeline_depth = 2)
 {
     setLogLevel(LogLevel::Quiet);
     Workload work;
@@ -119,6 +120,8 @@ serviceThroughputBenchmark(benchmark::State &state, bool affinity,
     service::ServiceOptions sopts;
     sopts.cache_affinity = affinity;
     sopts.batch_multi_rhs = batch;
+    sopts.pipeline = pipeline;
+    sopts.pipeline_depth = pipeline_depth;
     sopts.queue_capacity = kBurst * 2;
     service::SolveService svc(pool, sopts);
 
@@ -131,6 +134,22 @@ serviceThroughputBenchmark(benchmark::State &state, bool affinity,
         submitBurstAndDrain(svc, work);
 
     service::ServiceMetrics m = svc.metrics();
+    // Die duty cycle over the timed window: integrate-seconds per
+    // die-wall-second. The pipeline exists to raise this (one host
+    // core simulating every die serializes the gains; see
+    // EXPERIMENTS.md for the caveat).
+    double window = m.wall_seconds - base.wall_seconds;
+    double integrate = 0.0;
+    for (std::size_t k = 0; k < m.dies.size(); ++k)
+        integrate += m.dies[k].integrate_seconds -
+                     base.dies[k].integrate_seconds;
+    state.counters["die_occupancy"] =
+        window > 0.0
+            ? integrate / (window * static_cast<double>(kDies))
+            : 0.0;
+    if (pipeline)
+        state.counters["pipeline_depth"] =
+            static_cast<double>(pipeline_depth);
     std::size_t hits = m.cache_hits - base.cache_hits;
     std::size_t misses = m.cache_misses - base.cache_misses;
     std::size_t lookups = hits + misses;
@@ -197,6 +216,27 @@ BM_ServiceThroughputBatched(benchmark::State &state)
     serviceThroughputBenchmark(state, true, true);
 }
 BENCHMARK(BM_ServiceThroughputBatched)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/** The affine scheduler with pipelined per-die execution: persistent
+ *  stager/executor pairs overlap off-die binding work (scaling,
+ *  eigen analysis, staged config deltas) with on-die integration,
+ *  and the CG fallback runs on its own lane. Same burst, same pool —
+ *  compare items_per_second and die_occupancy against the barriered
+ *  affine lane. The arg sweeps pipeline_depth (per-die FIFO bound);
+ *  EXPERIMENTS.md records the occupancy-vs-depth table. */
+void
+BM_ServicePipelined(benchmark::State &state)
+{
+    serviceThroughputBenchmark(
+        state, true, false, true,
+        static_cast<std::size_t>(state.range(0)));
+}
+BENCHMARK(BM_ServicePipelined)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

@@ -170,7 +170,7 @@ DiePool::dieHasPattern(std::size_t k, std::uint64_t pattern_hash,
 {
     fatalIf(k >= solvers.size(), "DiePool: die ", k, " of ",
             solvers.size());
-    return solvers[k]->programCache().contains(pattern_hash, n);
+    return solvers[k]->hasPattern(pattern_hash, n);
 }
 
 std::vector<std::size_t>
@@ -179,7 +179,7 @@ DiePool::diesWithPattern(std::uint64_t pattern_hash,
 {
     std::vector<std::size_t> out;
     for (std::size_t k = 0; k < solvers.size(); ++k)
-        if (solvers[k]->programCache().contains(pattern_hash, n))
+        if (solvers[k]->hasPattern(pattern_hash, n))
             out.push_back(k);
     return out;
 }
@@ -208,12 +208,12 @@ DiePool::replicatePattern(std::size_t dst,
 {
     fatalIf(dst >= solvers.size(), "DiePool: die ", dst, " of ",
             solvers.size());
-    if (solvers[dst]->programCache().contains(pattern_hash, n))
+    if (solvers[dst]->hasPattern(pattern_hash, n))
         return false;
     for (std::size_t src = 0; src < solvers.size(); ++src) {
         if (src == dst)
             continue;
-        auto cs = solvers[src]->programCache().peek(pattern_hash, n);
+        auto cs = solvers[src]->peekStructure(pattern_hash, n);
         if (cs && solvers[dst]->installStructure(std::move(cs)))
             return true;
     }
@@ -236,6 +236,7 @@ DiePool::recordUsage(std::size_t k, std::size_t solves,
 {
     fatalIf(k >= solvers.size(), "DiePool: die ", k, " of ",
             solvers.size());
+    std::lock_guard<std::mutex> lock(state_mu_);
     DieUsage &u = usage_[k];
     u.solves += solves;
     u.analog_seconds += analog_seconds;
@@ -247,8 +248,14 @@ DiePool::recordBatchUsage(std::size_t k, std::size_t members,
                           double analog_seconds,
                           const SolvePhaseReport &phases)
 {
-    recordUsage(k, members, analog_seconds, phases);
-    ++usage_[k].batches;
+    fatalIf(k >= solvers.size(), "DiePool: die ", k, " of ",
+            solvers.size());
+    std::lock_guard<std::mutex> lock(state_mu_);
+    DieUsage &u = usage_[k];
+    u.solves += members;
+    u.analog_seconds += analog_seconds;
+    u.phases.add(phases);
+    ++u.batches;
 }
 
 void
@@ -256,6 +263,7 @@ DiePool::recordSuccess(std::size_t k)
 {
     fatalIf(k >= health_.size(), "DiePool: die ", k, " of ",
             health_.size());
+    std::lock_guard<std::mutex> lock(state_mu_);
     DieHealth &h = health_[k];
     h.consecutive_failures = 0;
     ++h.successes;
@@ -266,7 +274,7 @@ DiePool::recordSuccess(std::size_t k)
 }
 
 void
-DiePool::quarantine(std::size_t k)
+DiePool::quarantineLocked(std::size_t k)
 {
     DieHealth &h = health_[k];
     ++h.quarantines;
@@ -284,32 +292,37 @@ DiePool::quarantine(std::size_t k)
            h.quarantines, ")");
 }
 
-void
+bool
 DiePool::recordFailure(std::size_t k, bool dead)
 {
     fatalIf(k >= health_.size(), "DiePool: die ", k, " of ",
             health_.size());
+    std::lock_guard<std::mutex> lock(state_mu_);
     DieHealth &h = health_[k];
     ++h.failures;
     ++h.consecutive_failures;
     if (dead) {
-        if (h.state != DieState::Dead)
+        bool was_dead = h.state == DieState::Dead;
+        if (!was_dead)
             inform("die pool: die ", k, " is dead");
         h.state = DieState::Dead;
-        return;
+        return !was_dead;
     }
     if (h.state == DieState::Dead)
-        return;
+        return false;
     // Requests already in flight when the die tripped keep failing
     // on the bench; one quarantine is enough — re-benching would
     // extend the cooldown and double-count the event.
     if (h.state == DieState::Quarantined)
-        return;
+        return false;
     // A probation probe exists to answer one question; failing it
     // re-benches immediately. Healthy dies get the full streak.
     if (h.state == DieState::Probation ||
-        h.consecutive_failures >= policy_.quarantine_after)
-        quarantine(k);
+        h.consecutive_failures >= policy_.quarantine_after) {
+        quarantineLocked(k);
+        return true;
+    }
+    return false;
 }
 
 bool
@@ -317,16 +330,17 @@ DiePool::dieAvailable(std::size_t k) const
 {
     fatalIf(k >= health_.size(), "DiePool: die ", k, " of ",
             health_.size());
-    return health_[k].state == DieState::Healthy ||
-           health_[k].state == DieState::Probation;
+    std::lock_guard<std::mutex> lock(state_mu_);
+    return dieAvailableLocked(k);
 }
 
 std::vector<std::size_t>
 DiePool::availableDies() const
 {
+    std::lock_guard<std::mutex> lock(state_mu_);
     std::vector<std::size_t> out;
     for (std::size_t k = 0; k < health_.size(); ++k)
-        if (dieAvailable(k))
+        if (dieAvailableLocked(k))
             out.push_back(k);
     return out;
 }
@@ -343,6 +357,7 @@ DiePool::availableBlockSolvers()
 void
 DiePool::tickRound()
 {
+    std::lock_guard<std::mutex> lock(state_mu_);
     for (std::size_t k = 0; k < health_.size(); ++k) {
         DieHealth &h = health_[k];
         if (h.state != DieState::Quarantined)
@@ -396,9 +411,12 @@ PoolReport
 DiePool::report() const
 {
     PoolReport rep;
-    rep.dies = usage_;
+    {
+        std::lock_guard<std::mutex> lock(state_mu_);
+        rep.dies = usage_;
+    }
     for (std::size_t k = 0; k < solvers.size(); ++k) {
-        const compiler::CacheStats &cs = solvers[k]->cacheStats();
+        const compiler::CacheStats cs = solvers[k]->cacheStats();
         rep.dies[k].cache_hits = cs.hits;
         rep.dies[k].cache_misses = cs.misses;
     }
@@ -408,6 +426,7 @@ DiePool::report() const
 void
 DiePool::resetUsage()
 {
+    std::lock_guard<std::mutex> lock(state_mu_);
     usage_.assign(solvers.size(), DieUsage{});
 }
 

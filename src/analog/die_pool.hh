@@ -139,8 +139,9 @@ class DiePool
     /**
      * True when die k's program cache holds a compiled structure for
      * (pattern_hash, n) under any geometry. Read-only (LRU order and
-     * counters untouched); call only while die k is not mid-solve —
-     * the solve service queries between dispatch rounds.
+     * counters untouched); safe to call while die k is mid-solve —
+     * the query goes through the solver's locked accessor, so the
+     * pipelined service can route while executors run.
      */
     bool dieHasPattern(std::size_t k, std::uint64_t pattern_hash,
                        std::size_t n) const;
@@ -202,9 +203,11 @@ class DiePool
                           const SolvePhaseReport &phases);
 
     // --- health tracking -----------------------------------------
-    // Same ownership contract as usage_: recordSuccess/recordFailure
-    // for die k may only be called by the one task currently driving
-    // die k; availableDies/tickRound run between dispatch rounds.
+    // Usage and health records are guarded by an internal lock, so
+    // per-die executors may record concurrently with each other and
+    // with the scheduler's availableDies/tickRound — the pipelined
+    // dispatch contract (records still land at well-defined points:
+    // a die's executor records between its own solves).
 
     /** A verified solve on die k: clears the failure streak, and a
      *  die on probation earns its way back to Healthy. */
@@ -213,8 +216,11 @@ class DiePool
     /** A failed (unverifiable) solve on die k; dead=true marks the
      *  die permanently lost (it stopped answering). Enough
      *  consecutive failures — or any failure on probation —
-     *  quarantines it with an exponentially growing cooldown. */
-    void recordFailure(std::size_t k, bool dead = false);
+     *  quarantines it with an exponentially growing cooldown.
+     *  Returns true when THIS call benched the die (quarantined or
+     *  marked it dead) — the atomic read-back concurrent callers
+     *  need for bench accounting. */
+    bool recordFailure(std::size_t k, bool dead = false);
 
     /** May the scheduler route work to die k this round? Healthy and
      *  Probation dies yes; Quarantined and Dead no. */
@@ -256,9 +262,17 @@ class DiePool
     double totalAnalogSeconds() const;
 
   private:
-    void quarantine(std::size_t k);
+    void quarantineLocked(std::size_t k);
+    bool dieAvailableLocked(std::size_t k) const
+    {
+        return health_[k].state == DieState::Healthy ||
+               health_[k].state == DieState::Probation;
+    }
 
     std::vector<std::unique_ptr<AnalogLinearSolver>> solvers;
+    /** Guards usage_ and health_ against concurrent per-die
+     *  executors and the routing scheduler (pipelined dispatch). */
+    mutable std::mutex state_mu_;
     std::vector<DieUsage> usage_;
     std::vector<DieHealth> health_;
     std::vector<std::shared_ptr<fault::FaultInjector>> injectors_;

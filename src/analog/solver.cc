@@ -23,7 +23,10 @@ secondsSince(Clock::time_point t0)
 namespace aa::analog {
 
 AnalogLinearSolver::AnalogLinearSolver(AnalogSolverOptions options)
-    : opts(std::move(options)), cache_(opts.program_cache_capacity)
+    : opts(std::move(options)),
+      struct_mu_(std::make_unique<std::mutex>()),
+      cache_mu_(std::make_unique<std::mutex>()),
+      cache_(opts.program_cache_capacity)
 {}
 
 AnalogLinearSolver::~AnalogLinearSolver() = default;
@@ -36,6 +39,7 @@ void
 AnalogLinearSolver::ensureCapacity(
     const compiler::ResourceDemand &demand)
 {
+    std::lock_guard<std::mutex> lk(*struct_mu_);
     if (chip_ && demand.fitsOn(chip_->config().geometry))
         return;
     fatalIf(chip_ && !opts.allow_regrow,
@@ -54,8 +58,10 @@ AnalogLinearSolver::ensureCapacity(
     driver_ = std::make_unique<isa::AcceleratorDriver>(*chip_);
     // A fresh die carries no configuration: forget what was live on
     // the old one. Cached structures stay valid (block ids are
-    // deterministic per geometry) but must be re-shipped.
+    // deterministic per geometry) but must be re-shipped. Prepared
+    // solves staged against the old die die with it.
     last_structure_.reset();
+    ++generation_;
     if (opts.auto_calibrate)
         driver_->init();
 }
@@ -70,14 +76,22 @@ AnalogLinearSolver::solve(const la::DenseMatrix &a, const la::Vector &b,
 
     ensureCapacity(compiler::demandOf(a, b));
 
-    compiler::CacheStats cache_before = cache_.stats();
-
     // Structure depends only on the pattern and the geometry — shared
     // across every attempt of this solve (and, via the cache, across
     // solves of the same pattern).
+    // Hit/miss attribution happens inside the fetch's own critical
+    // section: a wider window would charge this solve for fetches a
+    // concurrent pipeline stager makes on the same die.
+    compiler::CacheStats fetch_delta;
     auto t_compile = Clock::now();
     SolveShared shared;
-    shared.structure = cache_.fetch(a, *chip_);
+    {
+        std::lock_guard<std::mutex> ck(*cache_mu_);
+        compiler::CacheStats before = cache_.stats();
+        shared.structure = cache_.fetch(a, *chip_);
+        fetch_delta.hits = cache_.stats().hits - before.hits;
+        fetch_delta.misses = cache_.stats().misses - before.misses;
+    }
     double fetch_seconds = secondsSince(t_compile);
 
     // A scale hint (set by refinement) is consumed once; block
@@ -88,9 +102,8 @@ AnalogLinearSolver::solve(const la::DenseMatrix &a, const la::Vector &b,
 
     AnalogSolveOutcome out = solveOne(a, b, u0, hint, shared);
     out.phases.compile_seconds += fetch_seconds;
-    out.phases.cache_hits = cache_.stats().hits - cache_before.hits;
-    out.phases.cache_misses =
-        cache_.stats().misses - cache_before.misses;
+    out.phases.cache_hits = fetch_delta.hits;
+    out.phases.cache_misses = fetch_delta.misses;
     return out;
 }
 
@@ -114,13 +127,20 @@ AnalogLinearSolver::solveBatch(const la::DenseMatrix &a,
 
     ensureCapacity(compiler::demandOf(a, bs.front()));
 
-    compiler::CacheStats cache_before = cache_.stats();
-
     // One fetch, one eigen analysis (inside SolveShared) for the
-    // whole batch; members 1..K-1 pay neither.
+    // whole batch; members 1..K-1 pay neither. Attribution stays
+    // inside the fetch's critical section so a concurrent stager's
+    // fetches are never charged to this batch.
+    compiler::CacheStats fetch_delta;
     auto t_compile = Clock::now();
     SolveShared shared;
-    shared.structure = cache_.fetch(a, *chip_);
+    {
+        std::lock_guard<std::mutex> ck(*cache_mu_);
+        compiler::CacheStats before = cache_.stats();
+        shared.structure = cache_.fetch(a, *chip_);
+        fetch_delta.hits = cache_.stats().hits - before.hits;
+        fetch_delta.misses = cache_.stats().misses - before.misses;
+    }
     double fetch_seconds = secondsSince(t_compile);
 
     std::vector<AnalogSolveOutcome> outs;
@@ -157,17 +177,16 @@ AnalogLinearSolver::solveBatch(const la::DenseMatrix &a,
     // Batch-shared compile work lands on member 0 (so per-member
     // phase reports still sum to the batch's true totals).
     outs.front().phases.compile_seconds += fetch_seconds;
-    outs.front().phases.cache_hits =
-        cache_.stats().hits - cache_before.hits;
-    outs.front().phases.cache_misses =
-        cache_.stats().misses - cache_before.misses;
+    outs.front().phases.cache_hits = fetch_delta.hits;
+    outs.front().phases.cache_misses = fetch_delta.misses;
     return outs;
 }
 
 AnalogSolveOutcome
 AnalogLinearSolver::solveOne(const la::DenseMatrix &a,
                              const la::Vector &b, const la::Vector &u0,
-                             double hint, SolveShared &shared)
+                             double hint, SolveShared &shared,
+                             PreparedSolve *prepared)
 {
     AnalogSolveOutcome out;
     std::size_t config_bytes_before = driver_->configBytes();
@@ -240,40 +259,80 @@ AnalogLinearSolver::solveOne(const la::DenseMatrix &a,
     bool first_rung = true;
     for (std::size_t attempt = 0; attempt < opts.max_attempts;
          ++attempt) {
-        compiler::ScaledSystem scaled = compiler::scaleSystem(
-            a, b, u0, opts.spec, sigma,
-            first_rung && !hinted ? compiler::BiasPolicy::FloorSigma
-                                  : compiler::BiasPolicy::StretchTime);
-        first_rung = false;
-        // Adopt the effective sigma (FloorSigma may have raised it)
-        // so the retry ladder and range memory track what actually
-        // ran, not what was asked for.
-        sigma = scaled.plan.solution_scale;
-        ++out.attempts;
-
+        compiler::ScalingPlan attempt_plan;
         double lambda;
-        if (!have_lambda) {
-            t_compile = Clock::now();
-            lambda_ref = compiler::estimateConvergenceRate(
-                scaled.a, /*expect_spd=*/true);
-            out.phases.compile_seconds += secondsSince(t_compile);
-            s_ref = scaled.plan.gain_scale;
-            lambda = lambda_ref;
-            have_lambda = true;
-        } else {
-            lambda = lambda_ref * (s_ref / scaled.plan.gain_scale);
-        }
+        if (prepared && attempt == 0) {
+            // Prepared fast path: scaling, eigen analysis, binding,
+            // and the config delta already happened off-thread.
+            // sigma is the effective opening rung the canonical
+            // FloorSigma attempt would have adopted; the ladder
+            // continues from here exactly as if attempt 0 had run
+            // the serial stages.
+            first_rung = false;
+            sigma = prepared->sigma;
+            attempt_plan = prepared->binding.plan();
+            lambda = lambda_ref * (s_ref / attempt_plan.gain_scale);
+            ++out.attempts;
 
-        auto t_configure = Clock::now();
-        compiler::ParameterBinding binding(*structure, scaled, lambda);
-        if (structure.get() != last_structure_.get()) {
-            structure->configureStructure(*driver_);
-            last_structure_ = structure;
+            auto t_configure = Clock::now();
+            bool want_structure =
+                structure.get() != last_structure_.get();
+            // The staged delta only fits if the preparer predicted
+            // the live structure right AND nothing reconfigured the
+            // die since (the driver's epoch check). Otherwise fall
+            // back to the canonical direct configuration — same
+            // wire traffic, no overlap.
+            bool flushed =
+                prepared->staged_structure == want_structure &&
+                driver_->flushStaged(prepared->staged);
+            if (want_structure) {
+                if (!flushed)
+                    structure->configureStructure(*driver_);
+                last_structure_ = structure;
+            } else {
+                out.phases.structure_reused = true;
+            }
+            if (!flushed)
+                prepared->binding.apply(*structure, *driver_);
+            out.phases.configure_seconds +=
+                secondsSince(t_configure);
         } else {
-            out.phases.structure_reused = true;
+            compiler::ScaledSystem scaled = compiler::scaleSystem(
+                a, b, u0, opts.spec, sigma,
+                first_rung && !hinted
+                    ? compiler::BiasPolicy::FloorSigma
+                    : compiler::BiasPolicy::StretchTime);
+            first_rung = false;
+            // Adopt the effective sigma (FloorSigma may have raised
+            // it) so the retry ladder and range memory track what
+            // actually ran, not what was asked for.
+            sigma = scaled.plan.solution_scale;
+            attempt_plan = scaled.plan;
+            ++out.attempts;
+
+            if (!have_lambda) {
+                t_compile = Clock::now();
+                lambda_ref = compiler::estimateConvergenceRate(
+                    scaled.a, /*expect_spd=*/true);
+                out.phases.compile_seconds += secondsSince(t_compile);
+                s_ref = scaled.plan.gain_scale;
+                have_lambda = true;
+            }
+            lambda = lambda_ref * (s_ref / scaled.plan.gain_scale);
+
+            auto t_configure = Clock::now();
+            compiler::ParameterBinding binding(*structure, scaled,
+                                               lambda);
+            if (structure.get() != last_structure_.get()) {
+                structure->configureStructure(*driver_);
+                last_structure_ = structure;
+            } else {
+                out.phases.structure_reused = true;
+            }
+            binding.apply(*structure, *driver_);
+            out.phases.configure_seconds +=
+                secondsSince(t_configure);
         }
-        binding.apply(*structure, *driver_);
-        out.phases.configure_seconds += secondsSince(t_configure);
 
         // Stop when every element's drift implies a residual error
         // below half an ADC LSB (the readout cannot see more).
@@ -320,7 +379,7 @@ AnalogLinearSolver::solveOne(const la::DenseMatrix &a,
         auto t_readout = Clock::now();
         u_hat = structure->readSolution(*driver_, opts.adc_samples);
         out.phases.readout_seconds += secondsSince(t_readout);
-        plan = scaled.plan;
+        plan = attempt_plan;
         out.converged = er.steady;
 
         double peak = la::normInf(u_hat);
@@ -382,6 +441,107 @@ AnalogLinearSolver::solveOne(const la::DenseMatrix &a,
     return out;
 }
 
+PreparedSolve
+AnalogLinearSolver::prepareSolve(
+    const la::DenseMatrix &a, const la::Vector &b,
+    const la::Vector &u0,
+    const compiler::CompiledStructure *predicted_live)
+{
+    PreparedSolve prep;
+    if (a.rows() != a.cols() || a.rows() != b.size() || b.empty())
+        return prep;
+    if (!u0.empty() && u0.size() != b.size())
+        return prep;
+
+    // The heavy, pure host math first — no die state touched, no
+    // lock held. These are exactly the stages the canonical unhinted
+    // attempt 0 would run (FloorSigma at the initial scale), so the
+    // consumer continues the ladder bit-identically.
+    auto t_compile = Clock::now();
+    compiler::ScaledSystem scaled = compiler::scaleSystem(
+        a, b, u0, opts.spec, opts.initial_solution_scale,
+        compiler::BiasPolicy::FloorSigma);
+    prep.sigma = scaled.plan.solution_scale;
+    prep.lambda_ref = compiler::estimateConvergenceRate(
+        scaled.a, /*expect_spd=*/true);
+    prep.s_ref = scaled.plan.gain_scale;
+    prep.phases.compile_seconds += secondsSince(t_compile);
+
+    std::lock_guard<std::mutex> lk(*struct_mu_);
+    // A preparer never regrows: a problem that does not fit the
+    // current die (or a die not built yet) takes the cold path on
+    // the executor instead.
+    if (!chip_ ||
+        !compiler::demandOf(a, b).fitsOn(chip_->config().geometry))
+        return prep;
+
+    auto t_fetch = Clock::now();
+    {
+        std::lock_guard<std::mutex> ck(*cache_mu_);
+        compiler::CacheStats before = cache_.stats();
+        prep.structure = cache_.fetch(a, *chip_);
+        prep.phases.cache_hits = cache_.stats().hits - before.hits;
+        prep.phases.cache_misses =
+            cache_.stats().misses - before.misses;
+    }
+    prep.phases.compile_seconds += secondsSince(t_fetch);
+
+    auto t_configure = Clock::now();
+    prep.binding = compiler::ParameterBinding(*prep.structure, scaled,
+                                              prep.lambda_ref);
+    prep.staged_structure = prep.structure.get() != predicted_live;
+    driver_->beginStaging(prep.staged);
+    if (prep.staged_structure)
+        prep.structure->configureStructure(*driver_);
+    prep.binding.apply(*prep.structure, *driver_);
+    driver_->endStaging();
+    prep.phases.configure_seconds += secondsSince(t_configure);
+
+    prep.generation = generation_;
+    prep.valid = true;
+    return prep;
+}
+
+AnalogSolveOutcome
+AnalogLinearSolver::solvePrepared(const la::DenseMatrix &a,
+                                  const la::Vector &b,
+                                  const la::Vector &u0,
+                                  PreparedSolve &&prepared)
+{
+    fatalIf(a.rows() != a.cols() || a.rows() != b.size(),
+            "AnalogLinearSolver::solve: dimension mismatch");
+    fatalIf(b.empty(), "AnalogLinearSolver::solve: empty system");
+
+    ensureCapacity(compiler::demandOf(a, b));
+
+    bool usable;
+    {
+        std::lock_guard<std::mutex> lk(*struct_mu_);
+        usable = prepared.valid && prepared.generation == generation_;
+    }
+    // A pending solution-scale hint means the caller wants the hinted
+    // ladder, which the preparation (unhinted by construction) did
+    // not stage. Fall back wholesale — identical result, no overlap.
+    if (!usable || sticky_solution_scale != 0.0)
+        return solve(a, b, u0);
+
+    SolveShared shared;
+    shared.structure = prepared.structure;
+    shared.have_lambda = true;
+    shared.lambda_ref = prepared.lambda_ref;
+    shared.s_ref = prepared.s_ref;
+
+    AnalogSolveOutcome out = solveOne(a, b, u0, 0.0, shared,
+                                      &prepared);
+    // The prepared host work is real solve work — fold it into the
+    // phase report exactly where the serial path would have spent it.
+    out.phases.compile_seconds += prepared.phases.compile_seconds;
+    out.phases.configure_seconds += prepared.phases.configure_seconds;
+    out.phases.cache_hits = prepared.phases.cache_hits;
+    out.phases.cache_misses = prepared.phases.cache_misses;
+    return out;
+}
+
 void
 AnalogLinearSolver::setFaultInjector(fault::FaultInjector *injector)
 {
@@ -412,14 +572,20 @@ VerifiedSolveOutcome
 AnalogLinearSolver::solveVerified(const la::DenseMatrix &a,
                                   const la::Vector &b,
                                   const la::Vector &u0,
-                                  const VerifyOptions &verify)
+                                  const VerifyOptions &verify,
+                                  PreparedSolve *prepared)
 {
     VerifiedSolveOutcome v;
     const double b_norm = la::norm2(b);
     AnalogSolveOutcome folded; // bookkeeping from rejected tries
     for (std::size_t rep = 0;; ++rep) {
         try {
-            AnalogSolveOutcome out = solve(a, b, u0);
+            // Only the first try can consume the prepared stages; a
+            // recovery retry reconfigures from scratch by design.
+            AnalogSolveOutcome out =
+                rep == 0 && prepared
+                    ? solvePrepared(a, b, u0, std::move(*prepared))
+                    : solve(a, b, u0);
             // Believe nothing until the digital residual agrees.
             la::Vector r = a.apply(out.u);
             for (std::size_t i = 0; i < r.size(); ++i)
@@ -456,6 +622,7 @@ AnalogLinearSolver::solveVerified(const la::DenseMatrix &a,
 std::uint64_t
 AnalogLinearSolver::geometryKey() const
 {
+    std::lock_guard<std::mutex> lk(*struct_mu_);
     return chip_ ? compiler::geometryKeyOf(chip_->config().geometry)
                  : 0;
 }
@@ -466,6 +633,7 @@ AnalogLinearSolver::installStructure(
 {
     if (!cs)
         return false;
+    std::lock_guard<std::mutex> lk(*struct_mu_);
     // A die that has built its chip only accepts structures compiled
     // for that geometry; a die with no chip yet takes the structure
     // on faith (fetch keys include geometry, so a mismatched install
@@ -473,6 +641,7 @@ AnalogLinearSolver::installStructure(
     if (chip_ && cs->geometryKey() !=
                      compiler::geometryKeyOf(chip_->config().geometry))
         return false;
+    std::lock_guard<std::mutex> ck(*cache_mu_);
     cache_.install(std::move(cs), pin);
     return true;
 }
@@ -481,6 +650,7 @@ std::size_t
 AnalogLinearSolver::dropStructure(std::uint64_t pattern_hash,
                                   std::size_t n)
 {
+    std::lock_guard<std::mutex> ck(*cache_mu_);
     return cache_.erase(pattern_hash, n);
 }
 

@@ -15,6 +15,7 @@
 #define AA_ANALOG_SOLVER_HH
 
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
@@ -137,6 +138,32 @@ struct VerifiedSolveOutcome {
 };
 
 /**
+ * The host-side half of one solve, computed off the die's execution
+ * thread: scaling + eigen analysis, structure fetch, parameter
+ * binding, and the staged configuration delta. Built by
+ * prepareSolve() (typically while the die integrates the previous
+ * request) and consumed by solvePrepared(). An invalid or stale
+ * prepared solve is harmless — the consumer falls back to the
+ * canonical path, so the result is identical either way; only the
+ * overlap is lost.
+ */
+struct PreparedSolve {
+    bool valid = false;
+    /** Die generation (regrow counter) the delta was staged for. */
+    std::uint64_t generation = 0;
+    std::shared_ptr<const compiler::CompiledStructure> structure;
+    compiler::ParameterBinding binding;
+    isa::StagedConfig staged;
+    /** The staged delta includes the crossbar reconfiguration (the
+     *  preparer predicted the structure would not be live). */
+    bool staged_structure = false;
+    double sigma = 1.0;      ///< effective opening solution scale
+    double lambda_ref = 0.0; ///< convergence estimate of scaled A
+    double s_ref = 1.0;      ///< gain scale the estimate refers to
+    SolvePhaseReport phases; ///< host work spent preparing
+};
+
+/**
  * Owns one accelerator die (chip + driver) and solves systems on it.
  * The die persists across solves: calibration happens once, and
  * domain decomposition reuses the same hardware for every block —
@@ -204,7 +231,41 @@ class AnalogLinearSolver
     VerifiedSolveOutcome solveVerified(const la::DenseMatrix &a,
                                        const la::Vector &b,
                                        const la::Vector &u0 = {},
-                                       const VerifyOptions &verify = {});
+                                       const VerifyOptions &verify = {},
+                                       PreparedSolve *prepared = nullptr);
+
+    /**
+     * Run the host-side stages of solve(a, b, u0) without touching
+     * the die: scale + eigen-analyze the system, fetch the compiled
+     * structure, bind parameters, and diff the configuration against
+     * the shadow register file into a staged buffer. Safe to call
+     * from a thread other than the die's executor while the die
+     * integrates — nothing goes over the wire. `predicted_live` is
+     * the structure the caller expects to be live on the die when the
+     * prepared solve executes (null = expect a reconfigure); a wrong
+     * prediction is corrected at consume time at the cost of the
+     * overlap. Returns an invalid PreparedSolve (consume falls back
+     * to the canonical path) when the problem is malformed, does not
+     * fit the current die, or no die has been built yet.
+     */
+    PreparedSolve prepareSolve(
+        const la::DenseMatrix &a, const la::Vector &b,
+        const la::Vector &u0 = {},
+        const compiler::CompiledStructure *predicted_live = nullptr);
+
+    /**
+     * Consume a PreparedSolve: flush the staged configuration delta
+     * (or rebind directly when it went stale) and run the canonical
+     * retry ladder from the prepared opening rung. Bit-identical to
+     * solve(a, b, u0) for the same inputs — the prepared stages are
+     * the same computation, just earlier and off-thread. Falls back
+     * to solve() wholesale when the prepared solve is invalid, was
+     * built for a regrown die, or a solution-scale hint is pending.
+     */
+    AnalogSolveOutcome solvePrepared(const la::DenseMatrix &a,
+                                     const la::Vector &b,
+                                     const la::Vector &u0,
+                                     PreparedSolve &&prepared);
 
     /**
      * Attach a fault injector to this die (null detaches). Wired to
@@ -243,13 +304,33 @@ class AnalogLinearSolver
      *  config-class commands over the SPI link — delta traffic, since
      *  the driver's shadow registers suppress unchanged writes). */
     std::size_t configBytes() const;
-    /** Program-cache counters (structure compiles vs reuses). */
-    const compiler::CacheStats &cacheStats() const
+    /** Program-cache counters (structure compiles vs reuses). By
+     *  value under the cache lock: safe against a concurrent fetch
+     *  on the die's executor thread. */
+    compiler::CacheStats cacheStats() const
     {
+        std::lock_guard<std::mutex> lk(*cache_mu_);
         return cache_.stats();
     }
+    /** Residency query without touching LRU order — the locked
+     *  equivalent of programCache().contains() for schedulers that
+     *  run concurrently with this die's executor. */
+    bool hasPattern(std::uint64_t pattern_hash, std::size_t n) const
+    {
+        std::lock_guard<std::mutex> lk(*cache_mu_);
+        return cache_.contains(pattern_hash, n);
+    }
+    /** Locked peek (no LRU touch); null when not resident. */
+    std::shared_ptr<const compiler::CompiledStructure>
+    peekStructure(std::uint64_t pattern_hash, std::size_t n) const
+    {
+        std::lock_guard<std::mutex> lk(*cache_mu_);
+        return cache_.peek(pattern_hash, n);
+    }
     /** Read-only view of the die's program cache; contains()/keys()
-     *  let a scheduler query residency without touching LRU order. */
+     *  let tests inspect residency without touching LRU order. Not
+     *  synchronized — only for quiescent dies (use hasPattern /
+     *  peekStructure while an executor may be running). */
     const compiler::ProgramCache &programCache() const
     {
         return cache_;
@@ -300,13 +381,26 @@ class AnalogLinearSolver
     };
 
     /** One member's full retry ladder against a fetched structure.
-     *  `hint` > 0 seeds sigma (a consumed scale hint). */
+     *  `hint` > 0 seeds sigma (a consumed scale hint). `prepared`,
+     *  when non-null, supplies attempt 0's scaling/binding and the
+     *  staged config delta (the pipelined fast path). */
     AnalogSolveOutcome solveOne(const la::DenseMatrix &a,
                                 const la::Vector &b,
                                 const la::Vector &u0, double hint,
-                                SolveShared &shared);
+                                SolveShared &shared,
+                                PreparedSolve *prepared = nullptr);
 
     AnalogSolverOptions opts;
+    // Lock order: struct_mu_ -> cache_mu_ -> (driver's shadow_mu_).
+    // struct_mu_ guards the chip/driver instance pointers and the
+    // regrow generation counter against off-thread prepareSolve();
+    // cache_mu_ guards the program cache against scheduler residency
+    // queries. unique_ptr so the solver stays movable.
+    std::unique_ptr<std::mutex> struct_mu_;
+    std::unique_ptr<std::mutex> cache_mu_;
+    /** Bumped when a regrow rebuilds chip + driver: prepared solves
+     *  staged against the old die are rejected at consume time. */
+    std::uint64_t generation_ = 0;
     std::unique_ptr<chip::Chip> chip_;
     std::unique_ptr<isa::AcceleratorDriver> driver_;
     compiler::ProgramCache cache_;

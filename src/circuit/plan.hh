@@ -57,6 +57,42 @@ namespace aa::circuit {
 /** Compact index type for op records (cache-friendly). */
 using PlanIdx = std::uint32_t;
 
+/**
+ * Sum vals over one CSR row: sum of vals[src[j]] for j in [b, e).
+ *
+ * The gather is the RHS's memory-bound inner loop; the 4-way unroll
+ * exposes the four index loads to the pipeline while keeping a
+ * SINGLE accumulator chain — floating-point adds stay in exactly the
+ * source order, so the result is bit-identical to the naive walk
+ * (the equivalence suite sweeps this against the AoS oracle). The
+ * prefetch targets the indirection's next cache lines; it is a hint
+ * and never reads past the index array's end.
+ */
+inline double
+csrGatherSum(const PlanIdx *src, PlanIdx b, PlanIdx e,
+             const double *v)
+{
+    double acc = 0.0;
+    PlanIdx j = b;
+#if defined(__GNUC__) || defined(__clang__)
+    if (e - j >= 16)
+        __builtin_prefetch(src + j + 16, 0, 1);
+#endif
+    for (; j + 4 <= e; j += 4) {
+#if defined(__GNUC__) || defined(__clang__)
+        if (j + 20 <= e)
+            __builtin_prefetch(src + j + 20, 0, 1);
+#endif
+        acc += v[src[j]];
+        acc += v[src[j + 1]];
+        acc += v[src[j + 2]];
+        acc += v[src[j + 3]];
+    }
+    for (; j < e; ++j)
+        acc += v[src[j]];
+    return acc;
+}
+
 /** out = gain * sum(in); gain snapshot lives in PlanWorkspace. */
 struct GainOp {
     PlanIdx out; ///< flat output port
@@ -303,14 +339,12 @@ class EvalPlan
     void buildSoaTables();
 
     /** 32-bit CSR sum; bit-identical to inputSum (same source order,
-     *  same 0.0 seed). */
+     *  same 0.0 seed) — csrGatherSum keeps one accumulator chain. */
     double
     inputSum32(PlanIdx row, const la::Vector &vals) const
     {
-        double acc = 0.0;
-        for (PlanIdx j = in_off32[row]; j < in_off32[row + 1]; ++j)
-            acc += vals[in_src32[j]];
-        return acc;
+        return csrGatherSum(in_src32.data(), in_off32[row],
+                            in_off32[row + 1], vals.data());
     }
 
     template <bool Ident>

@@ -194,12 +194,34 @@ AcceleratorDriver::shadowMatches(
     }
     it->second = bits;
     cfg_dirty_ = true;
+    ++shadow_epoch_;
+    return false;
+}
+
+bool
+AcceleratorDriver::stagedProbe(
+    const std::unordered_map<std::uint32_t, std::uint32_t> &regs,
+    std::unordered_map<std::uint32_t, std::uint32_t> &staged,
+    std::uint32_t block, float value)
+{
+    auto bits = std::bit_cast<std::uint32_t>(value);
+    if (auto it = staged.find(block); it != staged.end()) {
+        if (it->second == bits)
+            return true;
+        it->second = bits;
+        return false;
+    }
+    if (auto it = regs.find(block);
+        it != regs.end() && it->second == bits)
+        return true;
+    staged.emplace(block, bits);
     return false;
 }
 
 void
 AcceleratorDriver::resetShadow()
 {
+    std::lock_guard<std::mutex> lk(shadow_mu_);
     conn_shadow_.clear();
     ic_shadow_.clear();
     gain_shadow_.clear();
@@ -208,6 +230,115 @@ AcceleratorDriver::resetShadow()
     have_timeout_ = false;
     timeout_shadow_ = 0;
     cfg_dirty_ = true;
+    ++shadow_epoch_;
+}
+
+void
+AcceleratorDriver::beginStaging(StagedConfig &buf)
+{
+    std::lock_guard<std::mutex> lk(shadow_mu_);
+    fatalIf(staging_ != nullptr,
+            "beginStaging: a staging session is already active");
+    buf.cmds_.clear();
+    buf.wants_commit_ = false;
+    buf.epoch_ = shadow_epoch_;
+    staging_ = &buf;
+    staging_tid_ = std::this_thread::get_id();
+    staging_cleared_ = false;
+    staged_conns_.clear();
+    staged_ic_.clear();
+    staged_gain_.clear();
+    staged_dac_.clear();
+    staged_lut_.clear();
+    staged_have_timeout_ = false;
+    staged_timeout_ = 0;
+}
+
+void
+AcceleratorDriver::endStaging()
+{
+    std::lock_guard<std::mutex> lk(shadow_mu_);
+    staging_ = nullptr;
+}
+
+void
+AcceleratorDriver::applyToShadowLocked(const Command &cmd)
+{
+    switch (cmd.op) {
+      case Opcode::SetConn:
+        conn_shadow_.insert(
+            connKey(PortRef{BlockId{cmd.block}, cmd.port},
+                    PortRef{BlockId{cmd.block2}, cmd.port2}));
+        break;
+      case Opcode::SetIntInitial:
+        ic_shadow_[cmd.block] =
+            std::bit_cast<std::uint32_t>(cmd.value);
+        break;
+      case Opcode::SetMulGain:
+        gain_shadow_[cmd.block] =
+            std::bit_cast<std::uint32_t>(cmd.value);
+        break;
+      case Opcode::SetDacConstant:
+        dac_shadow_[cmd.block] =
+            std::bit_cast<std::uint32_t>(cmd.value);
+        break;
+      case Opcode::SetFunction:
+        lut_shadow_[cmd.block] = cmd.table;
+        break;
+      case Opcode::SetTimeout:
+        have_timeout_ = true;
+        timeout_shadow_ = cmd.count;
+        break;
+      case Opcode::ClearConfig:
+        conn_shadow_.clear();
+        break;
+      default:
+        break;
+    }
+}
+
+bool
+AcceleratorDriver::flushStaged(StagedConfig &buf)
+{
+    {
+        std::lock_guard<std::mutex> lk(shadow_mu_);
+        // Another thread may be mid-staging its own buffer: fine —
+        // if this flush ships anything, the epoch bump below stales
+        // that buffer. Flushing from inside one's own session is a
+        // programming error.
+        fatalIf(stagingHere(),
+                "flushStaged: staging session still active");
+        if (buf.epoch_ != shadow_epoch_)
+            return false; // stale delta — caller rebinds directly
+    }
+    for (const Command &cmd : buf.cmds_) {
+        {
+            std::lock_guard<std::mutex> lk(shadow_mu_);
+            applyToShadowLocked(cmd);
+            cfg_dirty_ = true;
+        }
+        transact(cmd);
+    }
+    if (buf.wants_commit_) {
+        bool ship;
+        {
+            std::lock_guard<std::mutex> lk(shadow_mu_);
+            ship = cfg_dirty_;
+            if (ship)
+                cfg_dirty_ = false;
+            else
+                ++shadow_stats_.skipped;
+        }
+        if (ship)
+            transact(make(Opcode::CfgCommit));
+    }
+    if (!buf.cmds_.empty()) {
+        std::lock_guard<std::mutex> lk(shadow_mu_);
+        ++shadow_epoch_;
+    }
+    buf.cmds_.clear();
+    buf.wants_commit_ = false;
+    return true;
 }
 
 void
@@ -240,16 +371,31 @@ AcceleratorDriver::execStop()
 void
 AcceleratorDriver::setConn(PortRef from, PortRef to)
 {
-    if (!conn_shadow_.insert(connKey(from, to)).second) {
-        ++shadow_stats_.skipped;
-        return;
-    }
-    cfg_dirty_ = true;
+    const std::uint64_t key = connKey(from, to);
     Command cmd = make(Opcode::SetConn);
     cmd.block = static_cast<std::uint16_t>(from.block.v);
     cmd.port = static_cast<std::uint8_t>(from.port);
     cmd.block2 = static_cast<std::uint16_t>(to.block.v);
     cmd.port2 = static_cast<std::uint8_t>(to.port);
+    {
+        std::lock_guard<std::mutex> lk(shadow_mu_);
+        if (stagingHere()) {
+            bool present =
+                staged_conns_.count(key) != 0 ||
+                (!staging_cleared_ && conn_shadow_.count(key) != 0);
+            if (present)
+                return;
+            staged_conns_.insert(key);
+            staging_->cmds_.push_back(cmd);
+            return;
+        }
+        if (!conn_shadow_.insert(key).second) {
+            ++shadow_stats_.skipped;
+            return;
+        }
+        cfg_dirty_ = true;
+        ++shadow_epoch_;
+    }
     transact(cmd);
 }
 
@@ -259,8 +405,17 @@ AcceleratorDriver::setIntInitial(BlockId integrator, double value)
     Command cmd = make(Opcode::SetIntInitial);
     cmd.block = static_cast<std::uint16_t>(integrator.v);
     cmd.value = static_cast<float>(value);
-    if (shadowMatches(ic_shadow_, cmd.block, cmd.value))
-        return;
+    {
+        std::lock_guard<std::mutex> lk(shadow_mu_);
+        if (stagingHere()) {
+            if (!stagedProbe(ic_shadow_, staged_ic_, cmd.block,
+                             cmd.value))
+                staging_->cmds_.push_back(cmd);
+            return;
+        }
+        if (shadowMatches(ic_shadow_, cmd.block, cmd.value))
+            return;
+    }
     transact(cmd);
 }
 
@@ -270,8 +425,17 @@ AcceleratorDriver::setMulGain(BlockId multiplier, double gain)
     Command cmd = make(Opcode::SetMulGain);
     cmd.block = static_cast<std::uint16_t>(multiplier.v);
     cmd.value = static_cast<float>(gain);
-    if (shadowMatches(gain_shadow_, cmd.block, cmd.value))
-        return;
+    {
+        std::lock_guard<std::mutex> lk(shadow_mu_);
+        if (stagingHere()) {
+            if (!stagedProbe(gain_shadow_, staged_gain_, cmd.block,
+                             cmd.value))
+                staging_->cmds_.push_back(cmd);
+            return;
+        }
+        if (shadowMatches(gain_shadow_, cmd.block, cmd.value))
+            return;
+    }
     transact(cmd);
 }
 
@@ -291,13 +455,34 @@ AcceleratorDriver::setFunction(BlockId lut,
         cmd.table[i] = static_cast<std::uint8_t>(
             circuit::quantizeCode(fn(x), spec.lut_bits));
     }
-    auto [it, inserted] = lut_shadow_.try_emplace(cmd.block, cmd.table);
-    if (!inserted && it->second == cmd.table) {
-        ++shadow_stats_.skipped;
-        return;
+    {
+        std::lock_guard<std::mutex> lk(shadow_mu_);
+        if (stagingHere()) {
+            if (auto it = staged_lut_.find(cmd.block);
+                it != staged_lut_.end()) {
+                if (it->second == cmd.table)
+                    return;
+                it->second = cmd.table;
+            } else {
+                auto sh = lut_shadow_.find(cmd.block);
+                if (sh != lut_shadow_.end() &&
+                    sh->second == cmd.table)
+                    return;
+                staged_lut_.emplace(cmd.block, cmd.table);
+            }
+            staging_->cmds_.push_back(cmd);
+            return;
+        }
+        auto [it, inserted] =
+            lut_shadow_.try_emplace(cmd.block, cmd.table);
+        if (!inserted && it->second == cmd.table) {
+            ++shadow_stats_.skipped;
+            return;
+        }
+        it->second = cmd.table;
+        cfg_dirty_ = true;
+        ++shadow_epoch_;
     }
-    it->second = cmd.table;
-    cfg_dirty_ = true;
     transact(cmd);
 }
 
@@ -307,46 +492,92 @@ AcceleratorDriver::setDacConstant(BlockId dac, double value)
     Command cmd = make(Opcode::SetDacConstant);
     cmd.block = static_cast<std::uint16_t>(dac.v);
     cmd.value = static_cast<float>(value);
-    if (shadowMatches(dac_shadow_, cmd.block, cmd.value))
-        return;
+    {
+        std::lock_guard<std::mutex> lk(shadow_mu_);
+        if (stagingHere()) {
+            if (!stagedProbe(dac_shadow_, staged_dac_, cmd.block,
+                             cmd.value))
+                staging_->cmds_.push_back(cmd);
+            return;
+        }
+        if (shadowMatches(dac_shadow_, cmd.block, cmd.value))
+            return;
+    }
     transact(cmd);
 }
 
 void
 AcceleratorDriver::setTimeout(std::uint32_t ctrl_clock_cycles)
 {
-    if (have_timeout_ && timeout_shadow_ == ctrl_clock_cycles) {
-        ++shadow_stats_.skipped;
-        return;
-    }
-    have_timeout_ = true;
-    timeout_shadow_ = ctrl_clock_cycles;
-    cfg_dirty_ = true;
     Command cmd = make(Opcode::SetTimeout);
     cmd.count = ctrl_clock_cycles;
+    {
+        std::lock_guard<std::mutex> lk(shadow_mu_);
+        if (stagingHere()) {
+            bool known = staged_have_timeout_
+                             ? staged_timeout_ == ctrl_clock_cycles
+                             : have_timeout_ &&
+                                   timeout_shadow_ ==
+                                       ctrl_clock_cycles;
+            if (known)
+                return;
+            staged_have_timeout_ = true;
+            staged_timeout_ = ctrl_clock_cycles;
+            staging_->cmds_.push_back(cmd);
+            return;
+        }
+        if (have_timeout_ && timeout_shadow_ == ctrl_clock_cycles) {
+            ++shadow_stats_.skipped;
+            return;
+        }
+        have_timeout_ = true;
+        timeout_shadow_ = ctrl_clock_cycles;
+        cfg_dirty_ = true;
+        ++shadow_epoch_;
+    }
     transact(cmd);
 }
 
 void
 AcceleratorDriver::cfgCommit()
 {
-    // Nothing changed since the last commit: the latched device
-    // configuration is already current, so skip the (expensive)
-    // re-latch round trip entirely.
-    if (!cfg_dirty_) {
-        ++shadow_stats_.skipped;
-        return;
+    {
+        std::lock_guard<std::mutex> lk(shadow_mu_);
+        if (stagingHere()) {
+            // Deferred: whether a commit actually ships is decided
+            // against the live dirty flag at flushStaged() time.
+            staging_->wants_commit_ = true;
+            return;
+        }
+        // Nothing changed since the last commit: the latched device
+        // configuration is already current, so skip the (expensive)
+        // re-latch round trip entirely.
+        if (!cfg_dirty_) {
+            ++shadow_stats_.skipped;
+            return;
+        }
+        cfg_dirty_ = false;
     }
     transact(make(Opcode::CfgCommit));
-    cfg_dirty_ = false;
 }
 
 void
 AcceleratorDriver::clearConfig()
 {
-    conn_shadow_.clear();
-    cfg_dirty_ = true;
-    transact(make(Opcode::ClearConfig));
+    Command cmd = make(Opcode::ClearConfig);
+    {
+        std::lock_guard<std::mutex> lk(shadow_mu_);
+        if (stagingHere()) {
+            staging_->cmds_.push_back(cmd);
+            staging_cleared_ = true;
+            staged_conns_.clear();
+            return;
+        }
+        conn_shadow_.clear();
+        cfg_dirty_ = true;
+        ++shadow_epoch_;
+    }
+    transact(cmd);
 }
 
 void

@@ -21,6 +21,8 @@
 #define AA_ISA_DRIVER_HH
 
 #include <functional>
+#include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -50,6 +52,33 @@ class DeviceEndpoint
 struct ShadowStats {
     std::size_t shipped = 0; ///< config commands that hit the wire
     std::size_t skipped = 0; ///< suppressed as already-programmed
+};
+
+/**
+ * A prepared-write buffer: configuration commands diffed against the
+ * shadow register file without touching the wire.
+ *
+ * Between beginStaging/endStaging the driver's set* calls become
+ * read-only probes — commands whose value differs from the shadow are
+ * recorded here instead of shipped, and the shadow itself is never
+ * mutated. flushStaged() later replays the recorded delta in one
+ * burst (ending in the usual single cfgCommit). The buffer carries
+ * the shadow epoch it was diffed against: if any direct configuration
+ * happened in between, the delta is stale and flushStaged() refuses,
+ * letting the caller rebind against the live shadow instead.
+ */
+class StagedConfig
+{
+  public:
+    /** Anything to ship (delta commands or a pending commit)? */
+    bool pending() const { return !cmds_.empty() || wants_commit_; }
+    const std::vector<Command> &commands() const { return cmds_; }
+
+  private:
+    friend class AcceleratorDriver;
+    std::vector<Command> cmds_;
+    std::uint64_t epoch_ = 0;
+    bool wants_commit_ = false;
 };
 
 /** Host-side typed API over the SPI link. */
@@ -102,14 +131,59 @@ class AcceleratorDriver
      *  untouched). */
     void resetShadow();
 
+    // --- staged configuration -------------------------------------
+    /**
+     * Enter staging mode: until endStaging(), configuration set*
+     * calls **from the staging thread** diff against the shadow
+     * read-only and record their delta into `buf` instead of shipping
+     * it. Safe to run from a thread other than the one executing on
+     * the die — the shadow is only read (under lock), never written,
+     * and another thread's direct set* calls still ship normally
+     * (each direct mutation bumps the shadow epoch, so the staged
+     * delta simply goes stale). Staging must not nest.
+     */
+    void beginStaging(StagedConfig &buf);
+    void endStaging();
+
+    /**
+     * Ship a staged delta: replay the recorded commands over the wire
+     * (mirroring them into the shadow) and issue the deferred
+     * cfgCommit. Returns false without touching the wire when the
+     * shadow changed since the delta was staged — the caller must
+     * then re-apply its configuration directly.
+     */
+    bool flushStaged(StagedConfig &buf);
+
   private:
     Response transact(Command cmd);
 
     /** True when (block -> f32 bits of value) is already programmed;
-     *  records the value otherwise. */
+     *  records the value otherwise. Caller holds shadow_mu_. */
     bool shadowMatches(
         std::unordered_map<std::uint32_t, std::uint32_t> &regs,
         std::uint32_t block, float value);
+
+    /** Staged probe of a float register: consult this session's
+     *  staged writes first, then the live shadow, read-only. Returns
+     *  true when the value is already (or already staged to be)
+     *  programmed; records the staged value otherwise. Caller holds
+     *  shadow_mu_ and staging is active. */
+    bool stagedProbe(
+        const std::unordered_map<std::uint32_t, std::uint32_t> &regs,
+        std::unordered_map<std::uint32_t, std::uint32_t> &staged,
+        std::uint32_t block, float value);
+
+    /** Mirror one staged command into the shadow (flush path). */
+    void applyToShadowLocked(const Command &cmd);
+
+    /** Is the calling thread the owner of the active staging
+     *  session? Caller holds shadow_mu_. Other threads' config
+     *  writes bypass the staging redirect entirely. */
+    bool stagingHere() const
+    {
+        return staging_ != nullptr &&
+               staging_tid_ == std::this_thread::get_id();
+    }
 
     chip::Chip &chip_;
     DeviceEndpoint endpoint;
@@ -118,6 +192,10 @@ class AcceleratorDriver
 
     // Shadow register file. Values survive ClearConfig (the device
     // drops only connections); everything resets with resetShadow().
+    // Guarded by shadow_mu_ so an off-die staging thread can probe it
+    // while the die's executor mutates it; the wire path (transact)
+    // stays single-threaded per die.
+    mutable std::mutex shadow_mu_;
     std::unordered_set<std::uint64_t> conn_shadow_;
     std::unordered_map<std::uint32_t, std::uint32_t> ic_shadow_;
     std::unordered_map<std::uint32_t, std::uint32_t> gain_shadow_;
@@ -127,6 +205,26 @@ class AcceleratorDriver
     bool have_timeout_ = false;
     std::uint32_t timeout_shadow_ = 0;
     bool cfg_dirty_ = true; ///< something to latch at cfgCommit
+    /** Bumped on every shadow mutation; staged deltas are valid only
+     *  while the epoch they were diffed against is still current. */
+    std::uint64_t shadow_epoch_ = 0;
+
+    // Active staging session (null when not staging). The staged_*
+    // mirrors track what the session has recorded so repeated staged
+    // writes diff against their own pending values, exactly like the
+    // serial path diffs against the live shadow.
+    StagedConfig *staging_ = nullptr;
+    std::thread::id staging_tid_;  ///< thread that began the session
+    bool staging_cleared_ = false; ///< session staged a ClearConfig
+    std::unordered_set<std::uint64_t> staged_conns_;
+    std::unordered_map<std::uint32_t, std::uint32_t> staged_ic_;
+    std::unordered_map<std::uint32_t, std::uint32_t> staged_gain_;
+    std::unordered_map<std::uint32_t, std::uint32_t> staged_dac_;
+    std::unordered_map<std::uint32_t, std::vector<std::uint8_t>>
+        staged_lut_;
+    bool staged_have_timeout_ = false;
+    std::uint32_t staged_timeout_ = 0;
+
     std::size_t config_bytes_ = 0;
     ShadowStats shadow_stats_;
 };

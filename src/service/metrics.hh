@@ -28,6 +28,10 @@ struct DieServiceStats {
     std::size_t rhs_batched = 0;   ///< requests answered via a
                                    ///< multi-RHS batch on this die
     double busy_seconds = 0.0;     ///< wall time executing requests
+    /** Host wall time inside execStart..readExp — the die actually
+     *  integrating. integrate_seconds / service wall seconds is the
+     *  die's duty cycle, the number pipelining exists to raise. */
+    double integrate_seconds = 0.0;
     std::size_t cache_hits = 0;    ///< ProgramCache hits (this die)
     std::size_t cache_misses = 0;  ///< ProgramCache compiles
 };
@@ -99,6 +103,10 @@ struct ServiceMetrics : ServiceCounters {
      *  injectors at snapshot time, never counted by the service). */
     std::size_t faults_seen = 0;
 
+    /** Wall seconds since the service started (snapshot time). The
+     *  denominator of the duty-cycle metrics below. */
+    double wall_seconds = 0.0;
+
     // Submit-to-completion latency over the recent window (seconds).
     double latency_p50 = 0.0;
     double latency_p95 = 0.0;
@@ -124,6 +132,31 @@ struct ServiceMetrics : ServiceCounters {
         return total ? static_cast<double>(affinity_hits) /
                            static_cast<double>(total)
                      : 1.0;
+    }
+
+    /** Die k's duty cycle: fraction of the service's wall time it
+     *  spent integrating (0 when the service just started). */
+    double
+    dieOccupancy(std::size_t k) const
+    {
+        if (k >= dies.size() || wall_seconds <= 0.0)
+            return 0.0;
+        return dies[k].integrate_seconds / wall_seconds;
+    }
+
+    /** Mean duty cycle across the pool's dies — the headline
+     *  pipelining metric; higher means better overlap of digital
+     *  work with analog integration. */
+    double
+    poolOccupancy() const
+    {
+        if (dies.empty() || wall_seconds <= 0.0)
+            return 0.0;
+        double total = 0.0;
+        for (const DieServiceStats &d : dies)
+            total += d.integrate_seconds;
+        return total /
+               (wall_seconds * static_cast<double>(dies.size()));
     }
 };
 

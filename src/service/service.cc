@@ -46,8 +46,27 @@ SolveService::SolveService(analog::DiePool &pool, ServiceOptions opts)
 {
     fatalIf(opts_.queue_capacity == 0,
             "SolveService: queue capacity must be positive");
+    fatalIf(opts_.pipeline && opts_.pipeline_depth == 0,
+            "SolveService: pipeline depth must be positive");
     counters_.dies.resize(pool_.size());
     paused_ = opts_.start_paused;
+    started_at_ = Clock::now();
+    if (opts_.pipeline) {
+        residency_.resize(pool_.size());
+        lanes_.reserve(pool_.size());
+        for (std::size_t k = 0; k < pool_.size(); ++k) {
+            residency_[k].capacity = std::max<std::size_t>(
+                1, pool_.die(k).options().program_cache_capacity);
+            lanes_.push_back(std::make_unique<DieLane>());
+        }
+        for (std::size_t k = 0; k < pool_.size(); ++k) {
+            lanes_[k]->stager =
+                std::thread([this, k] { stagerLoop(k); });
+            lanes_[k]->executor =
+                std::thread([this, k] { executorLoop(k); });
+        }
+        fb_.worker = std::thread([this] { fallbackLoop(); });
+    }
     scheduler_ = std::thread([this] { schedulerLoop(); });
 }
 
@@ -130,7 +149,18 @@ SolveService::schedulerLoop()
                 return stopping_ || (!paused_ && !queue_.empty());
             });
             if (queue_.empty()) {
-                if (stopping_)
+                if (!stopping_)
+                    continue;
+                // Pipelined requests may still requeue themselves
+                // (reroute chains): hold on until every in-flight
+                // request either finished or came back for routing.
+                if (pipeline_inflight_ == 0)
+                    return;
+                cv_.wait(lock, [&] {
+                    return !queue_.empty() ||
+                           pipeline_inflight_ == 0;
+                });
+                if (queue_.empty())
                     return;
                 continue;
             }
@@ -198,9 +228,28 @@ SolveService::routeRound(std::vector<Pending> round)
 
     std::vector<std::size_t> round_load(pool_.size(), 0);
 
+    // Pipelined routing queries the scheduler's residency model —
+    // snapshotted here so every group in the round sees the same
+    // pre-round state (the barriered round granularity) — because
+    // the live program caches are mutating under the executors while
+    // this runs. Assignments touch the live model for the next
+    // round. Barriered routing keeps the live pool queries (and
+    // their bit-identical legacy behavior).
+    std::vector<ResidencyModel> res_snap;
+    if (opts_.pipeline)
+        res_snap = residency_;
+    auto resident_on = [&](std::size_t k, std::uint64_t pattern,
+                           std::size_t n) {
+        return opts_.pipeline
+                   ? res_snap[k].contains(pattern, n)
+                   : pool_.dieHasPattern(k, pattern, n);
+    };
+
     auto assign = [&](Pending &&p, std::size_t die) {
         p.die = die;
-        p.affine_hit = pool_.dieHasPattern(die, p.pattern, p.n);
+        p.affine_hit = resident_on(die, p.pattern, p.n);
+        if (opts_.pipeline)
+            residency_[die].touch(p.pattern, p.n);
         ++round_load[die];
         ++die_lifetime_requests_[die];
         plan.by_die[die].push_back(std::move(p));
@@ -247,12 +296,9 @@ SolveService::routeRound(std::vector<Pending> round)
             // structure; among those (or among all routable dies on a
             // cold pattern), pick the least-loaded, breaking ties
             // toward the lowest index.
-            std::vector<std::size_t> resident =
-                pool_.diesWithPattern(g.pattern, g.n);
             std::vector<std::size_t> candidates;
             for (std::size_t k : avail)
-                if (std::find(resident.begin(), resident.end(), k) !=
-                    resident.end())
+                if (resident_on(k, g.pattern, g.n))
                     candidates.push_back(k);
             bool cold = candidates.empty();
             if (cold)
@@ -288,7 +334,7 @@ SolveService::routeRound(std::vector<Pending> round)
         }
         std::vector<std::size_t> resident;
         for (std::size_t k : eligible)
-            if (pool_.dieHasPattern(k, p.pattern, p.n))
+            if (resident_on(k, p.pattern, p.n))
                 resident.push_back(k);
         const std::vector<std::size_t> &pick =
             resident.empty() ? eligible : resident;
@@ -319,20 +365,66 @@ SolveService::dispatchRound(RoutePlan plan)
     for (Pending &p : plan.fallback)
         p.exec_order = exec_counter_++;
 
-    if (!active.empty()) {
-        // One task per active die; a die's requests run sequentially
-        // in stamped order, so per-die state (solver, usage slot,
-        // health slot) is never shared across threads.
-        workers_.parallelForWorkers(
-            active.size(), [&](std::size_t, std::size_t i) {
-                executeDie(by_die[active[i]]);
+    if (opts_.pipeline) {
+        // Count every request as in flight before any lane can touch
+        // it, so drain()/stop() never observe a false idle between
+        // the pushes below.
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            for (std::size_t k : active)
+                for (Pending &p : by_die[k]) {
+                    p.in_pipeline = true;
+                    ++pipeline_inflight_;
+                }
+            for (Pending &p : plan.fallback) {
+                p.in_pipeline = true;
+                ++pipeline_inflight_;
+            }
+        }
+        for (std::size_t k : active) {
+            DieLane &lane = *lanes_[k];
+            std::unique_lock<std::mutex> lock(lane.mu);
+            // Bounded FIFO: the scheduler, not the lane, absorbs
+            // backpressure when a die falls behind.
+            lane.cv.wait(lock, [&] {
+                return lane.rounds.size() < opts_.pipeline_depth;
             });
+            lane.rounds.push_back(std::move(by_die[k]));
+            lane.cv.notify_all();
+        }
+        if (!plan.fallback.empty()) {
+            {
+                std::lock_guard<std::mutex> lock(fb_.mu);
+                for (Pending &p : plan.fallback)
+                    fb_.q.push_back(std::move(p));
+            }
+            fb_.cv.notify_all();
+        }
+        return;
     }
 
-    // Fallback requests never touch a die; the scheduler thread runs
-    // them itself (digital CG), sequentially and deterministically.
-    for (Pending &p : plan.fallback)
-        executeRequest(p);
+    // Barriered dispatch: one task per active die — a die's requests
+    // run sequentially in stamped order, so per-die state (solver,
+    // usage slot, health slot) is never shared across threads — plus
+    // one task for the fallback lane, so a slow digital-CG chain no
+    // longer serializes after the dies at thread counts above one.
+    // At AASIM_THREADS=1 tasks run inline in index order (dies, then
+    // fallback), exactly the legacy sequential trace.
+    std::size_t tasks =
+        active.size() + (plan.fallback.empty() ? 0 : 1);
+    if (tasks) {
+        workers_.parallelForWorkers(
+            tasks, [&](std::size_t, std::size_t i) {
+                if (i < active.size()) {
+                    executeDie(by_die[active[i]]);
+                    return;
+                }
+                // Fallback requests never touch a die: digital CG,
+                // sequentially and deterministically in round order.
+                for (Pending &p : plan.fallback)
+                    executeRequest(p);
+            });
+    }
 }
 
 void
@@ -470,7 +562,124 @@ SolveService::executeBatch(std::vector<Pending> &list,
 }
 
 void
-SolveService::executeRequest(Pending &p)
+SolveService::stagerLoop(std::size_t k)
+{
+    DieLane &lane = *lanes_[k];
+    // The structure predicted to be live on the die when the next
+    // staged unit executes: the previous prepared unit's, unknown
+    // (null) after a batch. A wrong prediction costs only the
+    // overlap — solveOne corrects it against the live shadow.
+    const compiler::CompiledStructure *predicted_live = nullptr;
+    for (;;) {
+        std::vector<Pending> list;
+        {
+            std::unique_lock<std::mutex> lock(lane.mu);
+            lane.cv.wait(lock, [&] {
+                return lane.rounds_closed || !lane.rounds.empty();
+            });
+            if (lane.rounds.empty()) {
+                lane.units_closed = true;
+                lane.cv.notify_all();
+                return;
+            }
+            list = std::move(lane.rounds.front());
+            lane.rounds.pop_front();
+            lane.cv.notify_all(); // unblock the scheduler's push
+        }
+        // Segment the stamped order exactly like the barriered
+        // executeDie: maximal runs of batchable same-matrix requests
+        // become one batch unit, everything else a solo unit.
+        std::size_t i = 0;
+        while (i < list.size()) {
+            std::size_t j = i + 1;
+            if (opts_.batch_multi_rhs && batchable(list[i]))
+                while (j < list.size() && batchable(list[j]) &&
+                       list[j].req.a.get() == list[i].req.a.get())
+                    ++j;
+            ExecUnit u;
+            u.is_batch = j - i >= 2;
+            u.items.reserve(j - i);
+            for (std::size_t t = i; t < j; ++t)
+                u.items.push_back(std::move(list[t]));
+            i = j;
+            if (u.is_batch) {
+                predicted_live = nullptr;
+            } else {
+                // Prepare the host-side half off-die while the
+                // executor integrates earlier units. Only the
+                // tolerance==0 no-deadline path consumes a prep;
+                // anything going wrong here simply loses the overlap
+                // (executeRequest runs the canonical path).
+                Pending &p = u.items.front();
+                if (p.req.tolerance == 0.0 && !p.has_deadline &&
+                    !p.force_fallback) {
+                    try {
+                        u.prep = pool_.die(k).prepareSolve(
+                            *p.req.a, p.req.b, p.req.u0,
+                            predicted_live);
+                        u.has_prep = u.prep.valid;
+                    } catch (...) {
+                        u.has_prep = false;
+                    }
+                    predicted_live =
+                        u.has_prep ? u.prep.structure.get() : nullptr;
+                }
+            }
+            std::unique_lock<std::mutex> lock(lane.mu);
+            lane.cv.wait(lock, [&] {
+                return lane.units.size() < opts_.pipeline_depth;
+            });
+            lane.units.push_back(std::move(u));
+            lane.cv.notify_all();
+        }
+    }
+}
+
+void
+SolveService::executorLoop(std::size_t k)
+{
+    DieLane &lane = *lanes_[k];
+    for (;;) {
+        ExecUnit u;
+        {
+            std::unique_lock<std::mutex> lock(lane.mu);
+            lane.cv.wait(lock, [&] {
+                return lane.units_closed || !lane.units.empty();
+            });
+            if (lane.units.empty())
+                return;
+            u = std::move(lane.units.front());
+            lane.units.pop_front();
+            lane.cv.notify_all(); // unblock the stager's push
+        }
+        if (u.is_batch)
+            executeBatch(u.items, 0, u.items.size());
+        else
+            executeRequest(u.items.front(),
+                           u.has_prep ? &u.prep : nullptr);
+    }
+}
+
+void
+SolveService::fallbackLoop()
+{
+    for (;;) {
+        Pending p;
+        {
+            std::unique_lock<std::mutex> lock(fb_.mu);
+            fb_.cv.wait(lock,
+                        [&] { return fb_.closed || !fb_.q.empty(); });
+            if (fb_.q.empty())
+                return;
+            p = std::move(fb_.q.front());
+            fb_.q.pop_front();
+        }
+        executeRequest(p);
+    }
+}
+
+void
+SolveService::executeRequest(Pending &p, analog::PreparedSolve *prep)
 {
     auto t_start = Clock::now();
     SolveResponse r;
@@ -496,8 +705,10 @@ SolveService::executeRequest(Pending &p)
         return;
     }
 
-    if (p.die == SIZE_MAX) {
-        // The router found no die this request may still run on.
+    if (p.die == SIZE_MAX || p.force_fallback) {
+        // The router found no die this request may still run on (or
+        // its retry chain exhausted analog attempts and the fallback
+        // lane inherited it).
         finishWithFallback(p, r);
         finishRequest(p, r, 0, t_start);
         return;
@@ -553,8 +764,8 @@ SolveService::executeRequest(Pending &p)
             analog::VerifyOptions vo;
             vo.rel_residual = opts_.verify_rel_residual;
             vo.max_recoveries = opts_.max_die_recoveries;
-            analog::VerifiedSolveOutcome v =
-                die.solveVerified(*p.req.a, p.req.b, p.req.u0, vo);
+            analog::VerifiedSolveOutcome v = die.solveVerified(
+                *p.req.a, p.req.b, p.req.u0, vo, prep);
             solves = 1 + v.recoveries;
             r.residual = v.rel_residual;
             r.attempts += v.outcome.attempts;
@@ -580,7 +791,9 @@ SolveService::executeRequest(Pending &p)
         } else {
             // Legacy raw path: whatever the ADCs said is the answer.
             analog::AnalogSolveOutcome out =
-                die.solve(*p.req.a, p.req.b, p.req.u0);
+                prep ? die.solvePrepared(*p.req.a, p.req.b, p.req.u0,
+                                         std::move(*prep))
+                     : die.solve(*p.req.a, p.req.b, p.req.u0);
             r.u = std::move(out.u);
             r.converged = out.converged;
             r.attempts += out.attempts;
@@ -613,11 +826,10 @@ SolveService::handleAnalogFailure(Pending &p, SolveResponse &r,
                                   const std::string &why, bool dead,
                                   Clock::time_point exec_start)
 {
-    // Health first: this worker owns die p.die for the round, so its
-    // health slot is safe to read back for the quarantine edge.
-    std::size_t q_before = pool_.health(p.die).quarantines;
-    pool_.recordFailure(p.die, dead);
-    bool benched = pool_.health(p.die).quarantines > q_before;
+    // Health first. recordFailure reports the bench edge itself —
+    // the atomic read-back concurrent per-die executors need (a
+    // before/after read of the health slot would race).
+    bool benched = pool_.recordFailure(p.die, dead);
     {
         std::lock_guard<std::mutex> mlock(metrics_mu_);
         ++counters_.analog_failures;
@@ -654,6 +866,23 @@ SolveService::handleAnalogFailure(Pending &p, SolveResponse &r,
         p.prior_phases = r.phases;
         requeue(std::move(p));
         return; // promise unset: the request lives on
+    }
+
+    if (opts_.pipeline) {
+        // Exhausted chain: hand it to the digital-CG lane so this
+        // die's executor moves straight on to its next unit instead
+        // of grinding a CG solve — a degraded request must never
+        // stall a healthy die.
+        p.prior_attempts = r.attempts;
+        p.prior_analog_seconds = r.analog_seconds;
+        p.prior_phases = r.phases;
+        p.force_fallback = true;
+        {
+            std::lock_guard<std::mutex> lock(fb_.mu);
+            fb_.q.push_back(std::move(p));
+        }
+        fb_.cv.notify_all();
+        return; // promise unset: the fallback lane answers
     }
 
     finishWithFallback(p, r);
@@ -738,6 +967,11 @@ SolveService::finishRequest(Pending &p, SolveResponse &r,
             d.solves += solves;
             d.affine_routed += r.affine_hit ? 1 : 0;
             d.busy_seconds += busy;
+            // Only this request's own integration time — prior_phases
+            // carries run_seconds already billed to the dies the
+            // retry chain burned through.
+            d.integrate_seconds +=
+                r.phases.run_seconds - p.prior_phases.run_seconds;
             d.cache_hits += r.phases.cache_hits;
             d.cache_misses += r.phases.cache_misses;
         }
@@ -750,6 +984,16 @@ SolveService::finishRequest(Pending &p, SolveResponse &r,
     if (opts_.on_complete)
         opts_.on_complete(p.req, r);
     p.promise.set_value(std::move(r));
+
+    if (p.in_pipeline) {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            p.in_pipeline = false;
+            --pipeline_inflight_;
+        }
+        cv_.notify_all();
+        cv_idle_.notify_all();
+    }
 }
 
 void
@@ -757,6 +1001,13 @@ SolveService::requeue(Pending p)
 {
     {
         std::lock_guard<std::mutex> lock(mu_);
+        // Leaving the pipeline for the scheduler queue: the handoff
+        // is atomic with the push, so the stopping scheduler never
+        // sees (empty queue, zero in flight) while a reroute exists.
+        if (p.in_pipeline) {
+            p.in_pipeline = false;
+            --pipeline_inflight_;
+        }
         // Bypasses the admission capacity check: the request was
         // admitted once and the queue slot it freed covers it.
         queue_.push_back(std::move(p));
@@ -773,7 +1024,8 @@ SolveService::drain()
 {
     std::unique_lock<std::mutex> lock(mu_);
     cv_idle_.wait(lock, [&] {
-        return (queue_.empty() || paused_) && !round_in_flight_;
+        return (queue_.empty() || paused_) && !round_in_flight_ &&
+               pipeline_inflight_ == 0;
     });
 }
 
@@ -794,6 +1046,30 @@ SolveService::stop()
     cv_.notify_all();
     if (scheduler_.joinable())
         scheduler_.join();
+    // The scheduler exits only once the queue is empty AND no
+    // pipelined request is in flight, so the lanes below are idle;
+    // closing them just retires the threads. Executors push
+    // exhausted chains to the fallback lane, so it closes last.
+    for (auto &lane : lanes_) {
+        {
+            std::lock_guard<std::mutex> lock(lane->mu);
+            lane->rounds_closed = true;
+        }
+        lane->cv.notify_all();
+    }
+    for (auto &lane : lanes_)
+        if (lane->stager.joinable())
+            lane->stager.join();
+    for (auto &lane : lanes_)
+        if (lane->executor.joinable())
+            lane->executor.join();
+    {
+        std::lock_guard<std::mutex> lock(fb_.mu);
+        fb_.closed = true;
+    }
+    fb_.cv.notify_all();
+    if (fb_.worker.joinable())
+        fb_.worker.join();
     workers_.shutdownWorkers();
 }
 
@@ -823,6 +1099,7 @@ SolveService::metrics() const
     // Injector counters are internally locked, so reading them from
     // here is safe at any time.
     m.faults_seen = pool_.faultsSeen();
+    m.wall_seconds = secondsSince(started_at_);
     m.latency_p50 = latency_.quantile(0.50);
     m.latency_p95 = latency_.quantile(0.95);
     m.latency_p99 = latency_.quantile(0.99);

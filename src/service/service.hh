@@ -27,6 +27,14 @@
  * pool's dies via ThreadPool::parallelForWorkers — one task per die,
  * so a die's solver is never entered concurrently. metrics() may be
  * called any time; PoolReport should be read after drain()/stop().
+ *
+ * Pipelined mode (ServiceOptions::pipeline) swaps the round barrier
+ * for persistent per-die stager/executor thread pairs fed by bounded
+ * FIFOs, plus a dedicated digital-CG lane. A die's solver is still
+ * driven by exactly one executor thread; the stager only runs the
+ * solver's prepare path, which is safe concurrently by design
+ * (read-only config probes, internally locked caches). See
+ * DESIGN.md 5i.
  */
 
 #ifndef AA_SERVICE_SERVICE_HH
@@ -155,6 +163,27 @@ struct ServiceOptions {
     /** Dispatch concurrency across dies: 0 = AASIM_THREADS default;
      *  always capped to the pool size. */
     std::size_t threads = 0;
+    /** Pipelined per-die execution: replace the round-barriered
+     *  fan-out with persistent per-die stager/executor thread pairs
+     *  fed by bounded FIFO queues. While a die integrates request k,
+     *  its stager runs the digital half of request k+1 off-die
+     *  (scaling, eigen analysis, structure fetch, parameter binding,
+     *  staged config delta), so the die goes straight back to
+     *  integrating — the duty-cycle story of DESIGN.md 5i. Routing
+     *  stays deterministic: affinity queries go against the
+     *  scheduler's own residency model instead of the (now
+     *  concurrently mutating) program caches, and each die's FIFO
+     *  order is still a pure function of (priority, fair_rank, seq,
+     *  residency). Digital-CG fallbacks run on their own lane so a
+     *  degraded request never blocks a healthy die. Off by default:
+     *  the legacy barriered dispatch, bit-identical to previous
+     *  releases at one die and AASIM_THREADS=1. */
+    bool pipeline = false;
+    /** Bounded depth of each die's round and unit FIFOs (how far a
+     *  stager may run ahead of its executor). Depth 1 still overlaps
+     *  staging with integration; deeper queues smooth uneven rounds
+     *  at the cost of staler staged deltas. */
+    std::size_t pipeline_depth = 2;
     /** Construct with the scheduler paused; tests and benches build a
      *  full queue, then resume() to dispatch it as one round. */
     bool start_paused = false;
@@ -265,6 +294,9 @@ class SolveService
         std::size_t prior_attempts = 0;
         double prior_analog_seconds = 0.0;
         analog::SolvePhaseReport prior_phases;
+        // Pipelined-dispatch state.
+        bool in_pipeline = false;     ///< counted in pipeline_inflight_
+        bool force_fallback = false;  ///< exhausted chain: CG lane
     };
 
     /** Routing decision for one drained round. */
@@ -272,6 +304,75 @@ class SolveService
         std::vector<std::vector<Pending>> by_die;
         /** Unroutable requests (no eligible die): fallback lane. */
         std::vector<Pending> fallback;
+    };
+
+    /** One unit of die work in the pipelined path: a multi-RHS batch
+     *  or a solo request, the latter optionally carrying its already-
+     *  prepared host-side half (built by the stager while the die's
+     *  executor integrated the previous unit). */
+    struct ExecUnit {
+        std::vector<Pending> items;
+        bool is_batch = false;
+        bool has_prep = false;
+        analog::PreparedSolve prep;
+    };
+
+    /** Per-die pipeline lane: the scheduler pushes routed rounds in
+     *  (bounded), the stager turns them into ExecUnits — running
+     *  prepareSolve off-die — and the executor consumes units in
+     *  FIFO order, so a die's requests still execute sequentially in
+     *  the stamped order. */
+    struct DieLane {
+        std::mutex mu;
+        std::condition_variable cv;
+        std::deque<std::vector<Pending>> rounds;
+        std::deque<ExecUnit> units;
+        bool rounds_closed = false;
+        bool units_closed = false;
+        std::thread stager;
+        std::thread executor;
+    };
+
+    /** The digital-CG lane: exhausted retry chains and unroutable
+     *  requests execute here, off every die's critical path. */
+    struct FallbackLane {
+        std::mutex mu;
+        std::condition_variable cv;
+        std::deque<Pending> q;
+        bool closed = false;
+        std::thread worker;
+    };
+
+    /** The scheduler's deterministic model of one die's program-cache
+     *  residency (MRU at the front, trimmed to the cache capacity).
+     *  The pipelined router queries this instead of the live caches —
+     *  which executors are mutating concurrently — so affinity stays
+     *  a pure function of the assignment history. */
+    struct ResidencyModel {
+        std::size_t capacity = 1;
+        std::vector<std::pair<std::uint64_t, std::size_t>> entries;
+        bool
+        contains(std::uint64_t pattern, std::size_t n) const
+        {
+            for (const auto &e : entries)
+                if (e.first == pattern && e.second == n)
+                    return true;
+            return false;
+        }
+        void
+        touch(std::uint64_t pattern, std::size_t n)
+        {
+            for (std::size_t i = 0; i < entries.size(); ++i)
+                if (entries[i].first == pattern &&
+                    entries[i].second == n) {
+                    entries.erase(entries.begin() +
+                                  static_cast<std::ptrdiff_t>(i));
+                    break;
+                }
+            entries.insert(entries.begin(), {pattern, n});
+            if (entries.size() > capacity)
+                entries.resize(capacity);
+        }
     };
 
     void schedulerLoop();
@@ -291,7 +392,17 @@ class SolveService
      *  and the reroute chain. */
     void executeBatch(std::vector<Pending> &list, std::size_t begin,
                       std::size_t end);
-    void executeRequest(Pending &p);
+    /** Execute one request; a non-null prep is the stager's already-
+     *  built host-side half (consumed only on the tolerance==0
+     *  paths; inert — an unused prep needs no cleanup). */
+    void executeRequest(Pending &p,
+                        analog::PreparedSolve *prep = nullptr);
+    /** Pipelined threads (per die): segment rounds into units and
+     *  prepare solos off-die / consume units in FIFO order. */
+    void stagerLoop(std::size_t k);
+    void executorLoop(std::size_t k);
+    /** Digital-CG lane worker. */
+    void fallbackLoop();
     /** Analog failed on p.die: record health/metrics and either
      *  requeue for another die, fall back, or fail/expire. */
     void handleAnalogFailure(Pending &p, SolveResponse &r,
@@ -325,11 +436,22 @@ class SolveService
     std::uint64_t rr_cursor_ = 0; ///< round-robin routing state
     std::size_t exec_counter_ = 0;
     std::vector<std::size_t> die_lifetime_requests_; ///< load balance
+    /** Requests handed to pipeline lanes and not yet finished or
+     *  requeued (guarded by mu_); drain()/stop() wait on it. */
+    std::size_t pipeline_inflight_ = 0;
+    /** Scheduler-thread-only routing state (pipelined mode). */
+    std::vector<ResidencyModel> residency_;
 
     mutable std::mutex metrics_mu_;
     ServiceCounters counters_; ///< live counters; metrics() snapshots
     QuantileTracker latency_;
     RunningStats latency_running_;
+    Clock::time_point started_at_; ///< occupancy denominator origin
+
+    /** Pipeline lanes (empty when opts_.pipeline is off). Created
+     *  before — and torn down after — the scheduler thread. */
+    std::vector<std::unique_ptr<DieLane>> lanes_;
+    FallbackLane fb_;
 
     std::thread scheduler_;
 };

@@ -225,6 +225,14 @@ FleetMetrics::affinityHitRatio() const
                  : 1.0;
 }
 
+double
+FleetMetrics::occupancy() const
+{
+    return die_wall_seconds > 0.0
+               ? integrate_seconds / die_wall_seconds
+               : 0.0;
+}
+
 ShardedSolveService::ShardedSolveService(
     analog::AnalogSolverOptions base, FleetOptions opts,
     analog::DieHealthPolicy health_policy)
@@ -314,6 +322,11 @@ ShardedSolveService::metrics() const
         fleet.affinity_hits += snap.service.affinity_hits;
         fleet.affinity_misses += snap.service.affinity_misses;
         fleet.config_bytes += snap.service.config_bytes;
+        for (const DieServiceStats &d : snap.service.dies)
+            fleet.integrate_seconds += d.integrate_seconds;
+        fleet.die_wall_seconds +=
+            snap.service.wall_seconds *
+            static_cast<double>(snap.service.dies.size());
 
         fleet.shards.push_back(std::move(snap));
     }

@@ -190,9 +190,18 @@ struct FleetMetrics {
     std::size_t affinity_hits = 0;
     std::size_t affinity_misses = 0;
     std::size_t config_bytes = 0;
+    /** Seconds the fleet's dies spent integrating (summed across
+     *  racks and dies). */
+    double integrate_seconds = 0.0;
+    /** Die-seconds of wall time: each rack's service wall clock
+     *  times its die count — the occupancy denominator. */
+    double die_wall_seconds = 0.0;
 
     double cacheHitRatio() const;
     double affinityHitRatio() const;
+    /** Fleet-wide mean die duty cycle — the headline pipelining
+     *  metric rolled up across racks (0 when nothing ran). */
+    double occupancy() const;
 };
 
 /** Fleet sizing and shared per-shard config. */

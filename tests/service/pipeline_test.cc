@@ -1,0 +1,488 @@
+/**
+ * @file
+ * Pipelined per-die execution: determinism and liveness. The core
+ * contract under test is that ServiceOptions::pipeline changes only
+ * *when* work happens (stager/executor overlap, the digital-CG
+ * lane), never *what* a healthy request stream computes: responses
+ * are bit-identical to the barriered dispatch, run to run and at any
+ * die count, because routing queries the scheduler's residency model
+ * and the prepared-solve path replays the exact canonical ladder.
+ *
+ * Accepted, documented divergences (not asserted equal here): the
+ * shadow register file's skipped-write statistics differ on the
+ * staged-flush path, and under fault churn the pipelined service may
+ * interleave retry rounds differently than the barrier would — the
+ * per-request *outcomes* still match where asserted below.
+ *
+ * The TSan leg of tools/check.sh runs this binary at AASIM_THREADS=1
+ * and =4; the --fleet leg runs the sharded passthrough test.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aa/analog/die_pool.hh"
+#include "aa/common/logging.hh"
+#include "aa/fault/fault.hh"
+#include "aa/la/vector.hh"
+#include "aa/service/service.hh"
+#include "aa/service/shard.hh"
+
+namespace aa::service {
+namespace {
+
+const bool g_quiet = [] {
+    setLogLevel(LogLevel::Quiet);
+    return true;
+}();
+
+analog::AnalogSolverOptions
+quietOptions()
+{
+    analog::AnalogSolverOptions opts;
+    opts.spec.variation.enabled = false;
+    opts.spec.adc_noise_sigma = 0.0;
+    opts.auto_calibrate = false;
+    return opts;
+}
+
+/** Pattern A: a dense 2x2 SPD system. */
+std::shared_ptr<const la::DenseMatrix>
+matrixA()
+{
+    return std::make_shared<const la::DenseMatrix>(
+        la::DenseMatrix::fromRows({{4.0, -1.0}, {-1.0, 3.0}}));
+}
+
+/** Pattern B: a tridiagonal 3x3 SPD system (distinct hash and n). */
+std::shared_ptr<const la::DenseMatrix>
+matrixB()
+{
+    return std::make_shared<const la::DenseMatrix>(
+        la::DenseMatrix::fromRows({{4.0, -1.0, 0.0},
+                                   {-1.0, 4.0, -1.0},
+                                   {0.0, -1.0, 4.0}}));
+}
+
+/** A large 1-D Laplacian: cheap to route, slow to CG to 1e-10 —
+ *  the fallback lane's grinding wheel. */
+std::shared_ptr<const la::DenseMatrix>
+matrixLaplacian(std::size_t n)
+{
+    la::DenseMatrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        m(i, i) = 2.0;
+        if (i + 1 < n) {
+            m(i, i + 1) = -1.0;
+            m(i + 1, i) = -1.0;
+        }
+    }
+    return std::make_shared<const la::DenseMatrix>(std::move(m));
+}
+
+SolveRequest
+request(std::shared_ptr<const la::DenseMatrix> a, la::Vector b)
+{
+    SolveRequest r;
+    r.a = std::move(a);
+    r.b = std::move(b);
+    return r;
+}
+
+/** An alternating A/B trace with per-request RHS variants. */
+std::vector<SolveRequest>
+mixedTrace(std::size_t count)
+{
+    auto a = matrixA();
+    auto b = matrixB();
+    std::vector<SolveRequest> trace;
+    for (std::size_t i = 0; i < count; ++i) {
+        double f = 1.0 + 0.125 * static_cast<double>(i);
+        if (i % 2 == 0)
+            trace.push_back(request(a, la::Vector{f, 2.0 * f}));
+        else
+            trace.push_back(request(b, la::Vector{f, 0.5 * f, -f}));
+    }
+    return trace;
+}
+
+/** Queue the whole trace while paused, dispatch, collect responses
+ *  in submission order. */
+std::vector<SolveResponse>
+runTrace(analog::DiePool &pool, ServiceOptions sopts,
+         const std::vector<SolveRequest> &trace)
+{
+    sopts.start_paused = true;
+    SolveService svc(pool, sopts);
+    std::vector<std::future<SolveResponse>> futures;
+    futures.reserve(trace.size());
+    for (const SolveRequest &req : trace)
+        futures.push_back(svc.submit(SolveRequest(req)));
+    svc.resume();
+    svc.drain();
+    std::vector<SolveResponse> out;
+    out.reserve(futures.size());
+    for (auto &f : futures)
+        out.push_back(f.get());
+    svc.stop();
+    return out;
+}
+
+/** Everything that must be a pure function of the request stream —
+ *  the full response minus wall-clock timing. */
+void
+expectSameResponse(const SolveResponse &x, const SolveResponse &y,
+                   std::size_t i)
+{
+    EXPECT_EQ(x.status, y.status) << "request " << i;
+    EXPECT_EQ(x.converged, y.converged) << "request " << i;
+    EXPECT_EQ(x.degraded, y.degraded) << "request " << i;
+    EXPECT_EQ(x.verified, y.verified) << "request " << i;
+    EXPECT_EQ(x.die, y.die) << "request " << i;
+    EXPECT_EQ(x.affine_hit, y.affine_hit) << "request " << i;
+    EXPECT_EQ(x.exec_order, y.exec_order) << "request " << i;
+    EXPECT_EQ(x.attempts, y.attempts) << "request " << i;
+    EXPECT_EQ(x.refine_passes, y.refine_passes) << "request " << i;
+    EXPECT_EQ(x.reroutes, y.reroutes) << "request " << i;
+    EXPECT_EQ(x.failure_chain, y.failure_chain) << "request " << i;
+    EXPECT_EQ(x.residual, y.residual) << "request " << i;
+    EXPECT_EQ(x.phases.config_bytes, y.phases.config_bytes)
+        << "request " << i;
+    EXPECT_EQ(x.phases.cache_hits, y.phases.cache_hits)
+        << "request " << i;
+    EXPECT_EQ(x.phases.cache_misses, y.phases.cache_misses)
+        << "request " << i;
+    ASSERT_EQ(x.u.size(), y.u.size()) << "request " << i;
+    for (std::size_t j = 0; j < x.u.size(); ++j)
+        EXPECT_EQ(x.u[j], y.u[j])
+            << "request " << i << " component " << j;
+}
+
+TEST(Pipeline, HealthyTrafficBitIdenticalToBarrieredDispatch)
+{
+    // The tentpole contract: pipelining must not change a single bit
+    // of what a healthy stream computes — same solutions, routing,
+    // execution slots, config traffic, cache behavior — at one die
+    // and across a pool, over multiple scheduling rounds.
+    for (std::size_t dies : {std::size_t{1}, std::size_t{3}}) {
+        analog::DiePool barriered_pool(dies, quietOptions());
+        analog::DiePool pipelined_pool(dies, quietOptions());
+        auto trace = mixedTrace(10);
+
+        ServiceOptions barriered;
+        barriered.max_batch = 4; // three rounds: 4 + 4 + 2
+        std::vector<SolveResponse> base =
+            runTrace(barriered_pool, barriered, trace);
+
+        ServiceOptions pipelined = barriered;
+        pipelined.pipeline = true;
+        std::vector<SolveResponse> piped =
+            runTrace(pipelined_pool, pipelined, trace);
+
+        ASSERT_EQ(base.size(), piped.size());
+        for (std::size_t i = 0; i < base.size(); ++i) {
+            expectSameResponse(base[i], piped[i], i);
+            EXPECT_EQ(piped[i].status, RequestStatus::Ok)
+                << "dies=" << dies << " request " << i;
+        }
+    }
+}
+
+TEST(Pipeline, RunToRunDeterminism)
+{
+    // Two identical pipelined services over identical pools must
+    // produce identical response streams — scheduling is a pure
+    // function of the drained rounds, never of thread timing.
+    ServiceOptions sopts;
+    sopts.pipeline = true;
+    sopts.max_batch = 3;
+    auto trace = mixedTrace(9);
+
+    analog::DiePool pool1(2, quietOptions());
+    std::vector<SolveResponse> first = runTrace(pool1, sopts, trace);
+    analog::DiePool pool2(2, quietOptions());
+    std::vector<SolveResponse> second = runTrace(pool2, sopts, trace);
+
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i)
+        expectSameResponse(first[i], second[i], i);
+}
+
+TEST(Pipeline, PipelineDepthDoesNotChangeResults)
+{
+    // Depth only trades staged-delta staleness against smoothing;
+    // results are depth-invariant.
+    auto trace = mixedTrace(8);
+    std::vector<std::vector<SolveResponse>> runs;
+    for (std::size_t depth : {std::size_t{1}, std::size_t{4}}) {
+        ServiceOptions sopts;
+        sopts.pipeline = true;
+        sopts.pipeline_depth = depth;
+        sopts.max_batch = 4;
+        analog::DiePool pool(2, quietOptions());
+        runs.push_back(runTrace(pool, sopts, trace));
+    }
+    ASSERT_EQ(runs[0].size(), runs[1].size());
+    for (std::size_t i = 0; i < runs[0].size(); ++i)
+        expectSameResponse(runs[0][i], runs[1][i], i);
+}
+
+TEST(Pipeline, MultiRhsBatchesMatchBarrieredDispatch)
+{
+    // Batch segmentation moved from executeDie into the stager; the
+    // units it forms — and their outcomes — must match the barriered
+    // batcher exactly.
+    auto a = matrixA();
+    std::vector<SolveRequest> trace;
+    for (std::size_t i = 0; i < 8; ++i) {
+        double f = 1.0 + 0.25 * static_cast<double>(i);
+        trace.push_back(request(a, la::Vector{f, -0.5 * f}));
+    }
+
+    ServiceOptions barriered;
+    barriered.batch_multi_rhs = true;
+    analog::DiePool pool_base(1, quietOptions());
+    std::vector<SolveResponse> base =
+        runTrace(pool_base, barriered, trace);
+
+    ServiceOptions pipelined = barriered;
+    pipelined.pipeline = true;
+    analog::DiePool pool_piped(1, quietOptions());
+    std::vector<SolveResponse> piped =
+        runTrace(pool_piped, pipelined, trace);
+
+    ASSERT_EQ(base.size(), piped.size());
+    for (std::size_t i = 0; i < base.size(); ++i)
+        expectSameResponse(base[i], piped[i], i);
+}
+
+TEST(Pipeline, FailureChainsMatchBarrieredDispatch)
+{
+    // One die pinned wrong forever: every analog answer fails
+    // verification, the chain exhausts immediately (nowhere to
+    // reroute), and the digital-CG lane answers. Chains, statuses,
+    // and CG solutions must match the barriered service bit for bit.
+    auto pinDie = [](analog::DiePool &pool) {
+        fault::FaultPlan plan;
+        plan.add({fault::FaultKind::StuckIntegrator, 0, 0, 0, -1.0});
+        pool.attachFaultInjector(
+            0, std::make_shared<fault::FaultInjector>(plan));
+    };
+    auto a = matrixA();
+    std::vector<SolveRequest> trace;
+    for (std::size_t i = 0; i < 5; ++i)
+        trace.push_back(request(
+            a, la::Vector{1.0 + 0.25 * static_cast<double>(i), 2.0}));
+
+    ServiceOptions barriered;
+    barriered.max_die_recoveries = 0;
+    analog::DiePool pool_base(1, quietOptions());
+    pinDie(pool_base);
+    std::vector<SolveResponse> base =
+        runTrace(pool_base, barriered, trace);
+
+    ServiceOptions pipelined = barriered;
+    pipelined.pipeline = true;
+    analog::DiePool pool_piped(1, quietOptions());
+    pinDie(pool_piped);
+    std::vector<SolveResponse> piped =
+        runTrace(pool_piped, pipelined, trace);
+
+    ASSERT_EQ(base.size(), piped.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        EXPECT_EQ(base[i].status, piped[i].status) << i;
+        EXPECT_EQ(base[i].degraded, piped[i].degraded) << i;
+        EXPECT_EQ(base[i].failure_chain, piped[i].failure_chain)
+            << i;
+        EXPECT_EQ(base[i].reroutes, piped[i].reroutes) << i;
+        ASSERT_EQ(base[i].u.size(), piped[i].u.size()) << i;
+        for (std::size_t j = 0; j < base[i].u.size(); ++j)
+            EXPECT_EQ(base[i].u[j], piped[i].u[j]) << i;
+        EXPECT_TRUE(piped[i].degraded) << i;
+    }
+}
+
+TEST(Pipeline, FallbackLaneDoesNotStallHealthyDie)
+{
+    // The PR-5 stall, pipelined edition: a quarantine-triggered CG
+    // fallback on die 0 must not delay die 1's in-flight analog
+    // stream beyond one round. Die 0 dies on first contact; its four
+    // big requests exhaust (max_reroutes=0) onto the fallback lane,
+    // where their CG solves grind for many milliseconds — while die
+    // 1 keeps answering small solves from the next round. At least
+    // one round-2 die-1 completion must land before the last CG
+    // does; if the fallback lane serialized with dispatch, round 2
+    // could not start until every CG finished.
+    analog::DiePool pool(2, quietOptions());
+    {
+        fault::FaultPlan plan;
+        plan.add({fault::FaultKind::DieDeath, 0, 0, 0, 0.0});
+        pool.attachFaultInjector(
+            0, std::make_shared<fault::FaultInjector>(plan));
+    }
+
+    struct Tag {
+        std::size_t rows;
+        double b0;
+    };
+    std::mutex order_mu;
+    std::vector<Tag> completion_order;
+
+    ServiceOptions sopts;
+    sopts.pipeline = true;
+    sopts.start_paused = true;
+    sopts.max_reroutes = 0;
+    sopts.max_batch = 5; // round 1: the 4 big + 1 small
+    sopts.on_complete = [&](const SolveRequest &req,
+                            const SolveResponse &) {
+        std::lock_guard<std::mutex> lock(order_mu);
+        completion_order.push_back({req.a->rows(), req.b[0]});
+    };
+    SolveService svc(pool, sopts);
+
+    const std::size_t kBig = 128;
+    auto big = matrixLaplacian(kBig);
+    auto small = matrixB();
+    std::vector<std::future<SolveResponse>> futures;
+    // Round 1: the doomed big group (cold-routes to die 0) plus one
+    // small request establishing die 1's lane.
+    for (std::size_t i = 0; i < 4; ++i) {
+        la::Vector b(kBig, 0.0);
+        b[0] = 1.0 + static_cast<double>(i);
+        futures.push_back(svc.submit(request(big, std::move(b))));
+    }
+    futures.push_back(svc.submit(request(small, {1.0, 0.5, -1.0})));
+    // Round 2: die 1's healthy stream (b0 >= 100 marks round 2).
+    for (std::size_t i = 0; i < 6; ++i) {
+        double f = 100.0 + static_cast<double>(i);
+        futures.push_back(
+            svc.submit(request(small, {f, 0.5 * f, -f})));
+    }
+    svc.resume();
+    svc.drain();
+    svc.stop();
+
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        SolveResponse r = futures[i].get();
+        ASSERT_EQ(r.status, RequestStatus::Ok) << i << ": "
+                                               << r.reason;
+        if (i < 4) {
+            EXPECT_TRUE(r.degraded) << i;
+            EXPECT_EQ(r.die, 0u) << i;
+        } else {
+            EXPECT_FALSE(r.degraded) << i;
+            EXPECT_EQ(r.die, 1u) << i;
+        }
+    }
+
+    std::size_t last_big = 0;
+    std::size_t first_round2_small = completion_order.size();
+    for (std::size_t i = 0; i < completion_order.size(); ++i) {
+        if (completion_order[i].rows == kBig)
+            last_big = i;
+        else if (completion_order[i].b0 >= 100.0 &&
+                 i < first_round2_small)
+            first_round2_small = i;
+    }
+    EXPECT_LT(first_round2_small, last_big)
+        << "die 1's round-2 stream waited for the fallback lane";
+}
+
+TEST(Pipeline, StopMidStreamCompletesEveryFuture)
+{
+    // stop() while lanes are mid-flight: everything admitted must
+    // still resolve — the scheduler drains reroutes, the lanes
+    // drain their FIFOs, and no promise is abandoned.
+    analog::DiePool pool(2, quietOptions());
+    ServiceOptions sopts;
+    sopts.pipeline = true;
+    SolveService svc(pool, sopts);
+    auto trace = mixedTrace(12);
+    std::vector<std::future<SolveResponse>> futures;
+    for (auto &req : trace)
+        futures.push_back(svc.submit(SolveRequest(req)));
+    svc.stop();
+    for (auto &f : futures) {
+        SolveResponse r = f.get();
+        EXPECT_TRUE(r.status == RequestStatus::Ok ||
+                    r.status == RequestStatus::RejectedShutdown);
+    }
+}
+
+TEST(Pipeline, OccupancyMetricsAccumulate)
+{
+    // The duty-cycle metric the pipeline exists to raise: integrate
+    // seconds accumulate per die and the occupancy helpers read them
+    // against the service's wall clock.
+    analog::DiePool pool(2, quietOptions());
+    ServiceOptions sopts;
+    sopts.pipeline = true;
+    std::vector<SolveResponse> rs =
+        runTrace(pool, sopts, mixedTrace(8));
+    for (const SolveResponse &r : rs)
+        ASSERT_EQ(r.status, RequestStatus::Ok) << r.reason;
+
+    // Metrics were snapshotted inside runTrace's service; take a
+    // fresh service over the same pool just to exercise the helper
+    // math deterministically instead: build one here.
+    analog::DiePool pool2(1, quietOptions());
+    ServiceOptions sopts2;
+    sopts2.pipeline = true;
+    sopts2.start_paused = true;
+    SolveService svc(pool2, sopts2);
+    std::vector<std::future<SolveResponse>> futures;
+    for (auto &req : mixedTrace(6))
+        futures.push_back(svc.submit(std::move(req)));
+    svc.resume();
+    svc.drain();
+    ServiceMetrics m = svc.metrics();
+    svc.stop();
+    for (auto &f : futures)
+        EXPECT_EQ(f.get().status, RequestStatus::Ok);
+
+    EXPECT_GT(m.wall_seconds, 0.0);
+    double total_integrate = 0.0;
+    for (const DieServiceStats &d : m.dies)
+        total_integrate += d.integrate_seconds;
+    EXPECT_GT(total_integrate, 0.0);
+    EXPECT_GT(m.dieOccupancy(0), 0.0);
+    EXPECT_GT(m.poolOccupancy(), 0.0);
+    EXPECT_LE(m.poolOccupancy(), 1.0);
+}
+
+TEST(Pipeline, ShardedFleetPassesPipelineThrough)
+{
+    // ShardOptions.service is a full ServiceOptions: a fleet can run
+    // every rack pipelined, and the fleet rollup reports occupancy.
+    FleetOptions fopts;
+    fopts.racks = 2;
+    fopts.dies_per_rack = 2;
+    fopts.shard.service.pipeline = true;
+    ShardedSolveService fleet(quietOptions(), fopts);
+
+    auto trace = mixedTrace(10);
+    std::vector<std::future<SolveResponse>> futures;
+    for (auto &req : trace)
+        futures.push_back(fleet.submit(std::move(req)));
+    fleet.drain();
+    FleetMetrics m = fleet.metrics();
+    fleet.stop();
+
+    for (auto &f : futures)
+        EXPECT_EQ(f.get().status, RequestStatus::Ok);
+    EXPECT_EQ(m.completed, trace.size());
+    EXPECT_GT(m.die_wall_seconds, 0.0);
+    EXPECT_GT(m.integrate_seconds, 0.0);
+    EXPECT_GT(m.occupancy(), 0.0);
+    EXPECT_LE(m.occupancy(), 1.0);
+}
+
+} // namespace
+} // namespace aa::service

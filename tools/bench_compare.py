@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON artifacts and warn on regressions.
+
+Usage: bench_compare.py BASELINE.json NEW.json [--threshold 0.15]
+
+For every benchmark name present in both files, the throughput rate is
+items_per_second when recorded, else 1/real_time. A drop larger than
+the threshold prints a WARNING line; the exit code stays 0 either way
+(this is a tripwire for tools/check.sh, not a gate — single-core CI
+containers are too noisy to fail a build on wall clock). Unreadable
+inputs exit 2 so a broken wiring never masquerades as a quiet pass.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rates(path):
+    """Map benchmark name -> throughput rate (higher is better)."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    rates = {}
+    for b in doc.get("benchmarks", []):
+        # Aggregate rows (mean/median/stddev) would double-count the
+        # underlying iterations; compare plain runs only.
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b.get("name")
+        if not name:
+            continue
+        rate = b.get("items_per_second")
+        if not rate:
+            real = b.get("real_time")
+            rate = 1.0 / real if real else None
+        if rate:
+            rates[name] = rate
+    return rates
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("new")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="fractional throughput drop that warns "
+                         "(default 0.15)")
+    args = ap.parse_args()
+
+    try:
+        base = load_rates(args.baseline)
+        new = load_rates(args.new)
+    except (OSError, ValueError) as e:
+        print(f"bench_compare: cannot read inputs: {e}",
+              file=sys.stderr)
+        return 2
+
+    common = sorted(set(base) & set(new))
+    if not common:
+        print("bench_compare: no common benchmarks to compare",
+              file=sys.stderr)
+        return 0
+
+    regressions = 0
+    for name in common:
+        b, n = base[name], new[name]
+        if b <= 0:
+            continue
+        delta = (n - b) / b
+        if delta < -args.threshold:
+            regressions += 1
+            print(f"WARNING: {name}: throughput {b:.3g} -> {n:.3g} "
+                  f"({delta * 100:+.1f}%)", file=sys.stderr)
+    print(f"bench_compare: {len(common)} benchmarks compared, "
+          f"{regressions} regressed beyond "
+          f"{args.threshold * 100:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

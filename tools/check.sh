@@ -27,8 +27,10 @@ cd "$(dirname "$0")/.."
 
 # Bench artifacts must come from an optimized build: every gbench
 # binary stamps aasim_build_type into its JSON context (the
-# "library_build_type" key describes the system libbenchmark, not our
-# code). Warn on Debug captures or pre-stamp artifacts.
+# "library_build_type" key describes libbenchmark itself). Warn on
+# Debug captures of our code, a debug timing library (configure with
+# -DAA_BENCHMARK_SOURCE_DIR=<checkout> to sub-build it in Release),
+# or pre-stamp artifacts.
 warn_debug_bench() {
     local f
     for f in BENCH_*.json; do
@@ -40,16 +42,41 @@ warn_debug_bench() {
             echo "WARNING: $f has no aasim_build_type context" \
                  "(stale capture predating the build stamp)" >&2
         fi
+        if grep -q '"library_build_type": "debug"' "$f"; then
+            echo "WARNING: $f was timed with a debug libbenchmark;" \
+                 "configure with -DAA_BENCHMARK_SOURCE_DIR=<checkout>" \
+                 "for a Release timing library" >&2
+        fi
     done
+}
+
+# Re-record a bench artifact, then diff throughput against the prior
+# capture: bench_compare.py warns (never fails) on >15% regressions.
+record_service_bench() {
+    local prev=""
+    if [[ -e BENCH_service.json ]]; then
+        prev="$(mktemp)"
+        cp BENCH_service.json "$prev"
+    fi
+    AASIM_THREADS=4 ./build/bench/service_gbench \
+        --benchmark_min_time=2 \
+        --benchmark_out=BENCH_service.json \
+        --benchmark_out_format=json
+    if [[ -n "$prev" ]]; then
+        python3 tools/bench_compare.py "$prev" BENCH_service.json || true
+        rm -f "$prev"
+    fi
 }
 
 if [[ "${1:-}" == "--coverage" ]]; then
     echo "== coverage (gcov) =="
     cmake --preset coverage >/dev/null
     cmake --build build-coverage -j"$(nproc)" \
-        --target chaos_test service_test shard_test analog_test
+        --target chaos_test service_test pipeline_test shard_test \
+                 analog_test
     find build-coverage -name '*.gcda' -delete
-    for t in chaos_test service_test shard_test analog_test; do
+    for t in chaos_test service_test pipeline_test shard_test \
+             analog_test; do
         echo "-- $t"
         ./build-coverage/tests/"$t" --gtest_brief=1
     done
@@ -64,8 +91,8 @@ if [[ "${1:-}" == "--service" ]]; then
     echo "== service (TSan) =="
     cmake --preset tsan >/dev/null
     cmake --build build-tsan -j"$(nproc)" \
-        --target service_test chaos_test
-    for t in service_test chaos_test; do
+        --target service_test pipeline_test chaos_test
+    for t in service_test pipeline_test chaos_test; do
         for threads in 1 4; do
             echo "-- $t @ AASIM_THREADS=$threads"
             AASIM_THREADS=$threads \
@@ -75,10 +102,7 @@ if [[ "${1:-}" == "--service" ]]; then
     echo "== service throughput (BENCH_service.json) =="
     cmake -B build -S . >/dev/null
     cmake --build build -j"$(nproc)" --target service_gbench
-    AASIM_THREADS=4 ./build/bench/service_gbench \
-        --benchmark_min_time=2 \
-        --benchmark_out=BENCH_service.json \
-        --benchmark_out_format=json
+    record_service_bench
     warn_debug_bench
     echo "check.sh: service leg green"
     exit 0
@@ -87,11 +111,14 @@ fi
 if [[ "${1:-}" == "--fleet" ]]; then
     echo "== fleet (TSan) =="
     cmake --preset tsan >/dev/null
-    cmake --build build-tsan -j"$(nproc)" --target shard_test
-    for threads in 1 4; do
-        echo "-- shard_test @ AASIM_THREADS=$threads"
-        AASIM_THREADS=$threads \
-            ./build-tsan/tests/shard_test --gtest_brief=1
+    cmake --build build-tsan -j"$(nproc)" \
+        --target shard_test pipeline_test
+    for t in shard_test pipeline_test; do
+        for threads in 1 4; do
+            echo "-- $t @ AASIM_THREADS=$threads"
+            AASIM_THREADS=$threads \
+                ./build-tsan/tests/"$t" --gtest_brief=1
+        done
     done
     echo "== fleet throughput (BENCH_service.json) =="
     # The sharded scenarios live in service_gbench; re-record the
@@ -99,10 +126,7 @@ if [[ "${1:-}" == "--fleet" ]]; then
     # from the same build.
     cmake -B build -S . >/dev/null
     cmake --build build -j"$(nproc)" --target service_gbench
-    AASIM_THREADS=4 ./build/bench/service_gbench \
-        --benchmark_min_time=2 \
-        --benchmark_out=BENCH_service.json \
-        --benchmark_out_format=json
+    record_service_bench
     warn_debug_bench
     echo "check.sh: fleet leg green"
     exit 0
@@ -126,9 +150,9 @@ echo "== sanitize (ASan/UBSan) =="
 cmake --preset sanitize >/dev/null
 cmake --build build-sanitize -j"$(nproc)" \
     --target compiler_test analog_test circuit_test chaos_test \
-             service_test shard_test
+             service_test pipeline_test shard_test
 for t in compiler_test analog_test circuit_test chaos_test \
-         service_test shard_test; do
+         service_test pipeline_test shard_test; do
     ./build-sanitize/tests/"$t" --gtest_brief=1
 done
 
@@ -139,11 +163,11 @@ echo "== sanitize (TSan) =="
 cmake --preset tsan >/dev/null
 cmake --build build-tsan -j"$(nproc)" \
     --target common_test circuit_test analog_test \
-             decompose_parallel_test service_test shard_test \
-             chaos_test
+             decompose_parallel_test service_test pipeline_test \
+             shard_test chaos_test
 for t in common_test circuit_test analog_test \
-         decompose_parallel_test service_test shard_test \
-         chaos_test; do
+         decompose_parallel_test service_test pipeline_test \
+         shard_test chaos_test; do
     for threads in 1 4; do
         AASIM_THREADS=$threads \
             ./build-tsan/tests/"$t" --gtest_brief=1
