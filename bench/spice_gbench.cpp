@@ -1,0 +1,273 @@
+/**
+ * @file
+ * SPICE front-end microbenchmarks: deck parsing, MNA assembly, and
+ * circuit matrices through the analog solve path — then a mixed
+ * stencil + circuit service workload with the per-die program-cache
+ * hit/miss/eviction counters recorded as benchmark counters.
+ *
+ * The mixed-service lanes are the headline: a circuit matrix is just
+ * another sparsity structure to the ProgramCache, so a pool serving
+ * both workload families at program_cache_capacity = 1 thrashes
+ * exactly as the eviction counter says it does, while capacity 2
+ * holds one structure of each family resident per die. The JSON
+ * artifact (BENCH_spice.json) records steady_cache_hit_ratio and
+ * steady_cache_evictions for both regimes.
+ */
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "aa/analog/die_pool.hh"
+#include "aa/analog/refine.hh"
+#include "aa/analog/solver.hh"
+#include "aa/common/logging.hh"
+#include "aa/la/vector.hh"
+#include "aa/pde/poisson.hh"
+#include "aa/service/service.hh"
+#include "aa/spice/generate.hh"
+#include "aa/spice/mna.hh"
+#include "aa/spice/netlist.hh"
+#include "bench_util.hh"
+
+namespace {
+
+using namespace aa;
+
+const bool g_build_context = [] {
+    aa::bench::recordBuildContext(
+        [](const char *k, const std::string &v) {
+            benchmark::AddCustomContext(k, v);
+        });
+    return true;
+}();
+
+/** Parse throughput on a generated grid deck (components/sec). */
+void
+BM_SpiceParse(benchmark::State &state)
+{
+    setLogLevel(LogLevel::Quiet);
+    spice::GridSpec spec;
+    spec.rows = spec.cols = static_cast<std::size_t>(state.range(0));
+    std::string deck = spice::gridDeck(spec);
+    std::size_t components = 0;
+    for (auto _ : state) {
+        spice::ParseResult r = spice::parseNetlistString(deck);
+        benchmark::DoNotOptimize(r.netlist.components.data());
+        components = r.netlist.components.size();
+    }
+    state.counters["components"] = static_cast<double>(components);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(components));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(deck.size()));
+}
+BENCHMARK(BM_SpiceParse)->Arg(4)->Arg(8)->Arg(16);
+
+/** Parse + assemble: deck text to the reduced SPD system G v = i. */
+void
+BM_SpiceAssemble(benchmark::State &state)
+{
+    setLogLevel(LogLevel::Quiet);
+    spice::GridSpec spec;
+    spec.rows = spec.cols = static_cast<std::size_t>(state.range(0));
+    std::string deck = spice::gridDeck(spec);
+    std::size_t unknowns = 0, nnz = 0;
+    for (auto _ : state) {
+        spice::AssembleResult r = spice::assembleDeck(deck, {});
+        benchmark::DoNotOptimize(r.system.g.rows());
+        unknowns = r.system.g.rows();
+        nnz = r.system.g.nnz();
+    }
+    state.counters["unknowns"] = static_cast<double>(unknowns);
+    state.counters["nnz"] = static_cast<double>(nnz);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SpiceAssemble)->Arg(4)->Arg(8)->Arg(16);
+
+analog::AnalogSolverOptions
+quietDie()
+{
+    analog::AnalogSolverOptions opts;
+    opts.spec.variation.enabled = false;
+    opts.spec.adc_noise_sigma = 0.0;
+    opts.auto_calibrate = false;
+    opts.die_seed = 40;
+    return opts;
+}
+
+/** One verified analog solve of the grid MNA system. Circuit systems
+ *  run at the single-run relative-residual floor (~0.2 here — the
+ *  RHS norm is far below ||G|| ||v||), so verification accepts 0.5;
+ *  the refine lane below is where tolerance is bought. */
+void
+BM_SpiceAnalogSolve(benchmark::State &state)
+{
+    setLogLevel(LogLevel::Quiet);
+    spice::AssembleResult r =
+        spice::assembleDeck(spice::gridDeck({3, 3}), {});
+    la::DenseMatrix g = r.system.g.toDense();
+
+    analog::AnalogLinearSolver solver(quietDie());
+    analog::VerifyOptions vopts;
+    vopts.rel_residual = 0.5;
+    for (auto _ : state) {
+        auto out = solver.solveVerified(g, r.system.i, {}, vopts);
+        benchmark::DoNotOptimize(out.outcome.u.data());
+    }
+    state.counters["unknowns"] = static_cast<double>(g.rows());
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SpiceAnalogSolve);
+
+/** Algorithm-2 refinement of the same system to 1e-8 — the
+ *  node-voltages-match-digital acceptance path. */
+void
+BM_SpiceRefine(benchmark::State &state)
+{
+    setLogLevel(LogLevel::Quiet);
+    spice::AssembleResult r =
+        spice::assembleDeck(spice::gridDeck({3, 3}), {});
+    la::DenseMatrix g = r.system.g.toDense();
+
+    analog::AnalogLinearSolver solver(quietDie());
+    analog::RefineOptions ropts;
+    ropts.tolerance = 1e-8;
+    std::size_t passes = 0;
+    for (auto _ : state) {
+        auto out = analog::refineSolve(solver, g, r.system.i, ropts);
+        benchmark::DoNotOptimize(out.u.data());
+        passes = out.passes;
+    }
+    state.counters["refine_passes"] = static_cast<double>(passes);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SpiceRefine);
+
+// --- mixed stencil + circuit service traffic ----------------------
+
+constexpr std::size_t kBurst = 24;
+
+/** Interleaved traffic: a 2D Poisson stencil (n = 9) and the RC-grid
+ *  MNA system (n = 9 after reduction) — same order, different
+ *  sparsity structure and three-decades-smaller coefficients, so the
+ *  two families share nothing in the program cache. */
+struct MixedWorkload {
+    std::shared_ptr<const la::DenseMatrix> stencil, circuit;
+    la::Vector b_stencil, b_circuit;
+
+    MixedWorkload()
+    {
+        auto p = pde::assemblePoisson(
+            2, 3, [](double x, double y, double) { return x + y; });
+        stencil =
+            std::make_shared<const la::DenseMatrix>(p.a.toDense());
+        b_stencil = p.b;
+
+        spice::AssembleResult r =
+            spice::assembleDeck(spice::gridDeck({3, 3}), {});
+        circuit = std::make_shared<const la::DenseMatrix>(
+            r.system.g.toDense());
+        b_circuit = r.system.i;
+    }
+
+    service::SolveRequest
+    request(std::size_t i) const
+    {
+        service::SolveRequest r;
+        double f = 1.0 + 0.0625 * static_cast<double>(i % 7);
+        if (i % 2 == 0) {
+            r.a = stencil;
+            r.b = b_stencil;
+        } else {
+            r.a = circuit;
+            r.b = b_circuit;
+        }
+        la::scale(f, r.b, r.b);
+        return r;
+    }
+};
+
+/** Mixed traffic at the given per-die program-cache capacity, on
+ *  ONE die with requests serialized (submit + drain each): a multi-
+ *  die pool would home each family on its own die, and a paused
+ *  burst coalesces same-pattern requests into one group — both hide
+ *  the capacity pressure this lane exists to measure. At capacity 1
+ *  every request evicts the other family's program (hit ratio 0,
+ *  one eviction per request); at capacity 2 both structures stay
+ *  resident and steady-state evictions are zero. */
+void
+mixedServiceBenchmark(benchmark::State &state, std::size_t capacity)
+{
+    setLogLevel(LogLevel::Quiet);
+    MixedWorkload work;
+
+    analog::AnalogSolverOptions die_opts = quietDie();
+    die_opts.program_cache_capacity = capacity;
+    analog::DiePool pool(1, die_opts);
+
+    service::ServiceOptions sopts;
+    sopts.queue_capacity = kBurst * 2;
+    service::SolveService svc(pool, sopts);
+
+    auto burst = [&] {
+        for (std::size_t i = 0; i < kBurst; ++i) {
+            auto f = svc.submit(work.request(i));
+            svc.drain();
+            benchmark::DoNotOptimize(f.get().u.data());
+        }
+    };
+
+    burst(); // warm-up: first-touch compiles land here
+    service::ServiceMetrics base = svc.metrics();
+
+    for (auto _ : state)
+        burst();
+
+    service::ServiceMetrics m = svc.metrics();
+    std::size_t hits = m.cache_hits - base.cache_hits;
+    std::size_t misses = m.cache_misses - base.cache_misses;
+    std::size_t lookups = hits + misses;
+    state.counters["steady_cache_hit_ratio"] =
+        static_cast<double>(hits) /
+        static_cast<double>(lookups ? lookups : 1);
+    state.counters["steady_cache_misses"] =
+        static_cast<double>(misses);
+    state.counters["steady_cache_evictions"] = static_cast<double>(
+        m.cache_evictions - base.cache_evictions);
+    state.counters["cache_capacity"] = static_cast<double>(capacity);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(kBurst));
+    svc.stop();
+}
+
+void
+BM_ServiceMixedThrash(benchmark::State &state)
+{
+    mixedServiceBenchmark(state, 1);
+}
+// UseRealTime: the submitting thread blocks in drain() while the
+// dies work (same rationale as service_gbench).
+BENCHMARK(BM_ServiceMixedThrash)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void
+BM_ServiceMixedResident(benchmark::State &state)
+{
+    mixedServiceBenchmark(state, 2);
+}
+BENCHMARK(BM_ServiceMixedResident)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+} // namespace

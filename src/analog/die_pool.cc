@@ -36,6 +36,7 @@ PoolReport::total() const
         t.phases.add(d.phases);
         t.cache_hits += d.cache_hits;
         t.cache_misses += d.cache_misses;
+        t.cache_evictions += d.cache_evictions;
     }
     return t;
 }
@@ -419,6 +420,7 @@ DiePool::report() const
         const compiler::CacheStats cs = solvers[k]->cacheStats();
         rep.dies[k].cache_hits = cs.hits;
         rep.dies[k].cache_misses = cs.misses;
+        rep.dies[k].cache_evictions = cs.evictions;
     }
     return rep;
 }

@@ -48,6 +48,7 @@ struct DieUsage {
     /** Program-cache counters (lifetime totals, from the die). */
     std::size_t cache_hits = 0;
     std::size_t cache_misses = 0;
+    std::size_t cache_evictions = 0;
 };
 
 /** Pool-level aggregation of every die's usage. */

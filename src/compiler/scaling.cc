@@ -29,9 +29,30 @@ scaleSystem(const la::DenseMatrix &a, const la::Vector &b,
     // driver's shadow file suppresses the whole gain plane on
     // rebinds; only the DAC biases travel.
     constexpr double headroom = 0.95;
+    /** Coefficient floor below which the gain plane is scaled up. */
+    constexpr double kScaleUpBelow = 0.25;
     double s = 1.0;
-    if (a.maxAbs() > 0.0)
-        s = std::max(s, a.maxAbs() / (headroom * spec.max_gain));
+    if (a.maxAbs() > headroom * spec.max_gain) {
+        s = a.maxAbs() / (headroom * spec.max_gain);
+    } else if (a.maxAbs() > 0.0 && a.maxAbs() < kScaleUpBelow) {
+        // Gain scale-UP (s < 1): coefficients far below the gain
+        // range leave the feedback too weak to hold the integrators
+        // against the DAC's half-LSB bias (256 codes across [-1, 1]
+        // cannot represent 0), so every attempt rails and latches no
+        // matter how large sigma grows. Circuit matrices are the
+        // canonical case: milli-siemens conductances sit 3-4 decades
+        // under the stencil coefficients. Multiply the gains up by
+        // an exact power of two that lands max|a| in the top octave
+        // of the gain range; the flow also converges faster by the
+        // same factor (timeFactor < 1). The trigger is conservative:
+        // every pre-existing workload programs max|a| >= 0.6, every
+        // MNA assembly (DC conductances or backward-Euler companions
+        // at practical dt) lands under 0.25, and matrices in
+        // [kScaleUpBelow, headroom * max_gain] keep s = 1 so
+        // existing plans and traces are untouched.
+        double up = (headroom * spec.max_gain) / a.maxAbs();
+        s = std::exp2(-std::floor(std::log2(up)));
+    }
 
     // The bias range constrains the pair: b_s = b / (s * sigma) must
     // stay inside the DAC range. Under FloorSigma a large b raises

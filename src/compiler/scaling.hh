@@ -6,7 +6,11 @@
  * range (or biases outside the DAC range) is programmed as
  * A_s = A / s, b_s = b / (s * sigma), where
  *  - s ("gain scale") compresses coefficients into the usable gain
- *    range at the price of stretching solve time by s, and
+ *    range at the price of stretching solve time by s — or, for
+ *    matrices whose coefficients sit far BELOW the range (circuit
+ *    conductances in siemens), expands them (s < 1, an exact power
+ *    of two) so the feedback is strong enough to hold the
+ *    integrators against quantized-DAC bias, and
  *  - sigma ("solution scale") shrinks the computed solution
  *    u_hat = u / sigma into the +/-1 signal range; the host multiplies
  *    the readout by sigma.

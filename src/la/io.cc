@@ -119,17 +119,42 @@ readVectorMarketFile(const std::string &path)
 }
 
 void
-writeMatrixMarket(const CsrMatrix &m, std::ostream &out)
+writeMatrixMarket(const CsrMatrix &m, std::ostream &out,
+                  bool symmetric)
 {
-    out << "%%MatrixMarket matrix coordinate real general\n";
-    out << m.rows() << " " << m.cols() << " " << m.nnz() << "\n";
+    std::size_t entries = m.nnz();
+    if (symmetric) {
+        fatalIf(m.rows() != m.cols(),
+                "matrix market: symmetric output needs a square "
+                "matrix, got ",
+                m.rows(), "x", m.cols());
+        entries = 0;
+        for (std::size_t i = 0; i < m.rows(); ++i) {
+            auto cols = m.rowCols(i);
+            auto vals = m.rowVals(i);
+            for (std::size_t k = 0; k < cols.size(); ++k) {
+                fatalIf(vals[k] != m.at(cols[k], i),
+                        "matrix market: entry (", i + 1, ",",
+                        cols[k] + 1,
+                        ") breaks symmetry; write as general");
+                if (cols[k] <= i)
+                    ++entries;
+            }
+        }
+    }
+    out << "%%MatrixMarket matrix coordinate real "
+        << (symmetric ? "symmetric" : "general") << "\n";
+    out << m.rows() << " " << m.cols() << " " << entries << "\n";
     out << std::setprecision(17);
     for (std::size_t i = 0; i < m.rows(); ++i) {
         auto cols = m.rowCols(i);
         auto vals = m.rowVals(i);
-        for (std::size_t k = 0; k < cols.size(); ++k)
+        for (std::size_t k = 0; k < cols.size(); ++k) {
+            if (symmetric && cols[k] > i)
+                continue; // upper triangle is implied
             out << i + 1 << " " << cols[k] + 1 << " " << vals[k]
                 << "\n";
+        }
     }
     out.flush();
 }

@@ -29,8 +29,16 @@ CsrMatrix readMatrixMarketFile(const std::string &path);
 Vector readVectorMarket(std::istream &in);
 Vector readVectorMarketFile(const std::string &path);
 
-/** Write a CSR matrix as Matrix Market coordinate/general. */
-void writeMatrixMarket(const CsrMatrix &m, std::ostream &out);
+/**
+ * Write a CSR matrix in Matrix Market coordinate format. With
+ * `symmetric` the file stores only the lower triangle under the
+ * `symmetric` banner — half the size for the SPD systems MNA
+ * assembly and the stencil family produce, and the storage SuiteSparse
+ * circuit sets ship in. fatal()s if `symmetric` is requested for a
+ * matrix that is not numerically symmetric.
+ */
+void writeMatrixMarket(const CsrMatrix &m, std::ostream &out,
+                       bool symmetric = false);
 
 /** Write a vector as a Matrix Market dense array. */
 void writeVectorMarket(const Vector &v, std::ostream &out);

@@ -34,6 +34,10 @@ struct DieServiceStats {
     double integrate_seconds = 0.0;
     std::size_t cache_hits = 0;    ///< ProgramCache hits (this die)
     std::size_t cache_misses = 0;  ///< ProgramCache compiles
+    /** ProgramCache evictions on this die (lifetime; read from the
+     *  die at snapshot time — capacity-pressure truth, so a trace
+     *  that should thrash or should hold can be asserted exactly). */
+    std::size_t cache_evictions = 0;
 };
 
 /**
@@ -106,6 +110,11 @@ struct ServiceMetrics : ServiceCounters {
     /** Wall seconds since the service started (snapshot time). The
      *  denominator of the duty-cycle metrics below. */
     double wall_seconds = 0.0;
+
+    /** ProgramCache evictions summed over the pool (snapshot-read
+     *  from the dies, like faults_seen — the service never counts
+     *  evictions itself). */
+    std::size_t cache_evictions = 0;
 
     // Submit-to-completion latency over the recent window (seconds).
     double latency_p50 = 0.0;

@@ -1099,6 +1099,14 @@ SolveService::metrics() const
     // Injector counters are internally locked, so reading them from
     // here is safe at any time.
     m.faults_seen = pool_.faultsSeen();
+    // Eviction counts live in the dies' program caches; snapshot
+    // them here so per-die and pool totals reconcile exactly.
+    for (std::size_t k = 0; k < pool_.size(); ++k) {
+        std::size_t ev = pool_.die(k).cacheStats().evictions;
+        if (k < m.dies.size())
+            m.dies[k].cache_evictions = ev;
+        m.cache_evictions += ev;
+    }
     m.wall_seconds = secondsSince(started_at_);
     m.latency_p50 = latency_.quantile(0.50);
     m.latency_p95 = latency_.quantile(0.95);

@@ -1,0 +1,192 @@
+#include "aa/spice/generate.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "aa/common/rng.hh"
+
+namespace aa::spice {
+
+std::string
+formatSpiceValue(double value)
+{
+    struct Suffix {
+        double mult;
+        const char *text;
+    };
+    // Largest first; "meg" instead of bare m-for-mega (SPICE's m is
+    // milli).
+    static const Suffix suffixes[] = {
+        {1e12, "t"}, {1e9, "g"},   {1e6, "meg"}, {1e3, "k"},
+        {1.0, ""},   {1e-3, "m"},  {1e-6, "u"},  {1e-9, "n"},
+        {1e-12, "p"}, {1e-15, "f"},
+    };
+    char buf[48];
+    double mag = std::abs(value);
+    if (mag != 0.0) {
+        for (const Suffix &s : suffixes) {
+            double scaled = value / s.mult;
+            double m = std::abs(scaled);
+            if (m >= 1.0 && m < 1000.0) {
+                std::snprintf(buf, sizeof buf, "%.9g%s", scaled,
+                              s.text);
+                return buf;
+            }
+        }
+    }
+    std::snprintf(buf, sizeof buf, "%.9g", value);
+    return buf;
+}
+
+std::string
+ladderDeck(const LadderSpec &spec)
+{
+    std::ostringstream os;
+    os << "* rc ladder: " << spec.sections << " sections, r="
+       << spec.r_ohms << " growth=" << spec.r_growth << "\n";
+    os << "vdrive in 0 dc " << formatSpiceValue(spec.drive_volts)
+       << "\n";
+    double r = spec.r_ohms;
+    std::string prev = "in";
+    for (std::size_t k = 1; k <= spec.sections; ++k) {
+        std::string tap = "n" + std::to_string(k);
+        os << "r" << k << " " << prev << " " << tap << " "
+           << formatSpiceValue(r) << "\n";
+        os << "c" << k << " " << tap << " 0 "
+           << formatSpiceValue(spec.c_farads) << "\n";
+        prev = tap;
+        r *= spec.r_growth;
+    }
+    os << ".end\n";
+    return os.str();
+}
+
+std::string
+gridDeck(const GridSpec &spec)
+{
+    std::ostringstream os;
+    os << "* resistor grid " << spec.rows << "x" << spec.cols << "\n";
+    auto node = [](std::size_t r, std::size_t c) {
+        return "n" + std::to_string(r) + "_" + std::to_string(c);
+    };
+    std::size_t comp = 0;
+    for (std::size_t r = 0; r < spec.rows; ++r)
+        for (std::size_t c = 0; c < spec.cols; ++c) {
+            if (c + 1 < spec.cols)
+                os << "rh" << ++comp << " " << node(r, c) << " "
+                   << node(r, c + 1) << " "
+                   << formatSpiceValue(spec.r_h_ohms) << "\n";
+            if (r + 1 < spec.rows)
+                os << "rv" << ++comp << " " << node(r, c) << " "
+                   << node(r + 1, c) << " "
+                   << formatSpiceValue(spec.r_v_ohms) << "\n";
+            if (spec.c_farads > 0.0)
+                os << "cg" << r << "_" << c << " " << node(r, c)
+                   << " 0 " << formatSpiceValue(spec.c_farads)
+                   << "\n";
+        }
+    os << "ranchor " << node(0, 0) << " 0 "
+       << formatSpiceValue(spec.r_anchor_ohms) << "\n";
+    os << "iload 0 " << node(spec.rows - 1, spec.cols - 1) << " dc "
+       << formatSpiceValue(spec.inject_amps) << "\n";
+    os << ".end\n";
+    return os.str();
+}
+
+std::string
+meshDeck(const MeshSpec &spec)
+{
+    std::ostringstream os;
+    os << "* subckt pi-cell mesh, " << spec.cells << " cells\n";
+    os << ".subckt picell a b\n";
+    os << "r1 a mid " << formatSpiceValue(spec.r_ohms) << "\n";
+    os << "r2 mid b " << formatSpiceValue(spec.r_ohms) << "\n";
+    os << "cmid mid 0 " << formatSpiceValue(spec.c_farads) << "\n";
+    os << ".ends\n";
+    os << "vdrive n0 0 dc " << formatSpiceValue(spec.drive_volts)
+       << "\n";
+    for (std::size_t k = 0; k < spec.cells; ++k)
+        os << "x" << k << " n" << k << " n" << k + 1 << " picell\n";
+    // Long-range bracing makes the pattern non-banded.
+    for (std::size_t k = 0; k + 3 <= spec.cells; ++k)
+        os << "rbrace" << k << " n" << k << " n" << k + 3 << " "
+           << formatSpiceValue(spec.r_brace_ohms) << "\n";
+    os << "rload n" << spec.cells << " 0 "
+       << formatSpiceValue(2.0 * spec.r_ohms) << "\n";
+    os << ".end\n";
+    return os.str();
+}
+
+std::string
+randomDeck(const RandomSpec &spec)
+{
+    Rng rng(spec.seed ^ 0x5eed5eedull);
+    std::ostringstream os;
+    os << "* random topology, seed " << spec.seed << ", "
+       << spec.nodes << " nodes\n";
+    auto node = [](std::size_t k) {
+        return k == 0 ? std::string("0")
+                      : "n" + std::to_string(k);
+    };
+    double log_lo = std::log(spec.r_min_ohms);
+    double log_hi = std::log(spec.r_max_ohms);
+    auto resistance = [&] {
+        return std::exp(rng.uniform(log_lo, log_hi));
+    };
+    std::vector<std::size_t> degree(spec.nodes + 1, 0);
+    std::size_t comp = 0;
+    // Spanning tree rooted at ground: node k attaches to a uniform
+    // earlier node, so the network is always connected to ground.
+    for (std::size_t k = 1; k <= spec.nodes; ++k) {
+        std::size_t parent = static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<std::int64_t>(k) - 1));
+        os << "rt" << ++comp << " " << node(k) << " " << node(parent)
+           << " " << formatSpiceValue(resistance()) << "\n";
+        ++degree[k];
+        ++degree[parent];
+    }
+    // Chords: random extra edges (self-edges redrawn as ground ties).
+    for (std::size_t e = 0; e < spec.extra_edges; ++e) {
+        std::size_t a = static_cast<std::size_t>(rng.uniformInt(
+            1, static_cast<std::int64_t>(spec.nodes)));
+        std::size_t b = static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(spec.nodes)));
+        if (a == b)
+            b = 0;
+        os << "rx" << ++comp << " " << node(a) << " " << node(b)
+           << " " << formatSpiceValue(resistance()) << "\n";
+        ++degree[a];
+        ++degree[b];
+    }
+    for (std::size_t s = 0; s < spec.sources; ++s) {
+        std::size_t at = static_cast<std::size_t>(rng.uniformInt(
+            1, static_cast<std::int64_t>(spec.nodes)));
+        os << "isrc" << s << " 0 " << node(at) << " dc "
+           << formatSpiceValue(spec.drive_amps *
+                               (1.0 + 0.5 * static_cast<double>(s)))
+           << "\n";
+        ++degree[at];
+    }
+    for (std::size_t c = 0; c < spec.capacitors; ++c) {
+        std::size_t at = static_cast<std::size_t>(rng.uniformInt(
+            1, static_cast<std::int64_t>(spec.nodes)));
+        os << "cx" << c << " " << node(at) << " 0 "
+           << formatSpiceValue(1e-9 *
+                               (1.0 + static_cast<double>(c)))
+           << "\n";
+        ++degree[at];
+    }
+    // Leaf taming: the parser (rightly) rejects single-connection
+    // nodes, so tree leaves that drew no chord/source/cap get a
+    // high-value bleed resistor to ground.
+    for (std::size_t k = 1; k <= spec.nodes; ++k)
+        if (degree[k] < 2)
+            os << "rbleed" << k << " " << node(k) << " 0 "
+               << formatSpiceValue(spec.r_max_ohms) << "\n";
+    os << ".end\n";
+    return os.str();
+}
+
+} // namespace aa::spice

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Deterministic SPICE deck generators. Tests and benches need circuit
+ * workloads without external files, and they need the *parser* in the
+ * loop (not hand-built component lists) — so every generator emits
+ * actual deck text, engineering suffixes and all, and callers run it
+ * through parseNetlist/assembleDeck like any user deck.
+ *
+ * All generators are pure functions of their spec (the random
+ * topology of a seed), so a (generator, spec) pair is a reproducible
+ * workload name: the same deck text, the same interned node order,
+ * the same sparsityHash, every time, on every run.
+ *
+ * The electrical shapes are chosen to make the reduced MNA system
+ * symmetric positive definite (a ground anchor always exists), which
+ * is what the analog gradient flow requires, while spanning the wide
+ * component-value ranges (ohms to megaohms) that push the range-
+ * scaling/exception ladder harder than any unit-coefficient stencil.
+ */
+
+#ifndef AA_SPICE_GENERATE_HH
+#define AA_SPICE_GENERATE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace aa::spice {
+
+/** RC ladder: V source -> series R chain, C to ground per tap. */
+struct LadderSpec {
+    std::size_t sections = 8; ///< taps (= non-source unknowns in DC)
+    double r_ohms = 1e3;      ///< series resistance per section
+    double c_farads = 2.2e-6; ///< tap capacitance
+    double drive_volts = 1.0; ///< grounded source at the input
+    /** Geometric per-section resistance growth (1.0 = uniform);
+     *  > 1 stretches the entry dynamic range section by section. */
+    double r_growth = 1.0;
+};
+std::string ladderDeck(const LadderSpec &spec = {});
+
+/** Resistor grid: rows x cols nodes, neighbor resistors, a ground-
+ *  anchor resistor at one corner, current injection at the other. */
+struct GridSpec {
+    std::size_t rows = 4;
+    std::size_t cols = 4;
+    double r_h_ohms = 1e3;     ///< horizontal edges
+    double r_v_ohms = 2.2e3;   ///< vertical edges
+    double r_anchor_ohms = 470.0; ///< corner (0,0) to ground
+    double c_farads = 1e-6;    ///< per-node capacitance to ground
+    double inject_amps = 1e-3; ///< into the far corner
+};
+std::string gridDeck(const GridSpec &spec = {});
+
+/** Chained subcircuit mesh: every cell is a `.subckt` pi-section
+ *  instance (internal node and all), plus long-range bracing
+ *  resistors across the chain — exercises subckt flattening and
+ *  produces an irregular banded-plus-skips pattern. */
+struct MeshSpec {
+    std::size_t cells = 6;
+    double r_ohms = 1.5e3;  ///< pi-section series resistance
+    double c_farads = 1e-7; ///< pi-section midpoint capacitance
+    double r_brace_ohms = 47e3; ///< node j to node j+3 bracing
+    double drive_volts = 2.5;
+};
+std::string meshDeck(const MeshSpec &spec = {});
+
+/** Seeded random topology: a resistor spanning tree rooted at ground
+ *  (always connected, so the reduced system is SPD), random chord
+ *  resistors, log-uniform values in [r_min, r_max], current-source
+ *  drives, and capacitors sprinkled on random nodes. */
+struct RandomSpec {
+    std::uint64_t seed = 1;
+    std::size_t nodes = 12;       ///< non-ground nodes
+    std::size_t extra_edges = 8;  ///< chords beyond the tree
+    double r_min_ohms = 10.0;
+    double r_max_ohms = 1e6;      ///< 5 decades of dynamic range
+    std::size_t sources = 2;      ///< current-source drives
+    double drive_amps = 1e-3;
+    std::size_t capacitors = 4;
+};
+std::string randomDeck(const RandomSpec &spec = {});
+
+/**
+ * Format a value the way deck authors write it: engineering suffix
+ * (`2.2k`, `470n`) when one fits, plain scientific otherwise.
+ * Round-trips through parseSpiceValue.
+ */
+std::string formatSpiceValue(double value);
+
+} // namespace aa::spice
+
+#endif // AA_SPICE_GENERATE_HH

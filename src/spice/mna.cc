@@ -1,0 +1,388 @@
+#include "aa/spice/mna.hh"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+namespace aa::spice {
+
+namespace {
+
+constexpr std::size_t kNoUnknown = SIZE_MAX;
+
+/** Union-find over node ids for the ground-connectivity check. */
+class DisjointSet
+{
+  public:
+    explicit DisjointSet(std::size_t n) : parent_(n)
+    {
+        for (std::size_t k = 0; k < n; ++k)
+            parent_[k] = k;
+    }
+
+    std::size_t
+    find(std::size_t a)
+    {
+        while (parent_[a] != a) {
+            parent_[a] = parent_[parent_[a]];
+            a = parent_[a];
+        }
+        return a;
+    }
+
+    void
+    unite(std::size_t a, std::size_t b)
+    {
+        parent_[find(a)] = find(b);
+    }
+
+  private:
+    std::vector<std::size_t> parent_;
+};
+
+/** Is this component a voltage constraint in the given mode? */
+bool
+isVoltageLike(const Component &c, AnalysisMode mode)
+{
+    if (c.kind == ComponentKind::VoltageSource)
+        return true;
+    return c.kind == ComponentKind::Inductor &&
+           mode == AnalysisMode::Dc; // ideal short = 0 V source
+}
+
+/** Constraint value of a voltage-like component. */
+double
+constraintVolts(const Component &c)
+{
+    return c.kind == ComponentKind::VoltageSource ? c.value : 0.0;
+}
+
+/** Conductance this component stamps in the given mode; 0 = none. */
+double
+conductanceOf(const Component &c, const MnaOptions &opts)
+{
+    switch (c.kind) {
+    case ComponentKind::Resistor:
+        return 1.0 / c.value;
+    case ComponentKind::Capacitor:
+        return opts.mode == AnalysisMode::Transient
+                   ? c.value / opts.dt
+                   : 0.0;
+    case ComponentKind::Inductor:
+        return opts.mode == AnalysisMode::Transient
+                   ? opts.dt / c.value
+                   : 0.0;
+    default:
+        return 0.0;
+    }
+}
+
+class Assembler
+{
+  public:
+    Assembler(const Netlist &netlist, const MnaOptions &opts)
+        : nl_(netlist), opts_(opts)
+    {}
+
+    AssembleResult
+    run()
+    {
+        std::size_t nodes = nl_.node_names.size(); // incl. ground
+        pinned_.assign(nodes, false);
+        pin_volts_.assign(nodes, 0.0);
+        pinned_[0] = true; // ground
+
+        if (opts_.reduce)
+            propagatePins();
+        if (errors_ == 0)
+            numberUnknowns();
+        if (errors_ == 0)
+            stamp();
+        if (errors_ == 0)
+            checkAnchored();
+        result_.ok = errors_ == 0;
+        if (!result_.ok)
+            result_.system = MnaSystem{};
+        return std::move(result_);
+    }
+
+  private:
+    void
+    error(std::size_t line, std::string msg)
+    {
+        ++errors_;
+        result_.diagnostics.push_back(
+            {Diagnostic::Severity::Error, line, std::move(msg)});
+    }
+
+    /**
+     * Reduce mode: fixpoint over voltage-like components — any with
+     * one known endpoint pins the other. Left-over floating sources
+     * and conflicting pins are errors.
+     */
+    void
+    propagatePins()
+    {
+        std::vector<const Component *> vlike;
+        for (const Component &c : nl_.components)
+            if (isVoltageLike(c, opts_.mode))
+                vlike.push_back(&c);
+
+        auto pin = [&](std::size_t node, double volts,
+                       const Component &why) {
+            if (node == 0) {
+                if (std::abs(volts) > 0.0)
+                    error(why.line,
+                          "'" + why.name +
+                              "' forces ground to " +
+                              std::to_string(volts) + " V");
+                return;
+            }
+            if (pinned_[node]) {
+                if (std::abs(pin_volts_[node] - volts) > 1e-12)
+                    error(why.line,
+                          "node '" + nl_.node_names[node] +
+                              "' pinned to conflicting voltages by "
+                              "'" +
+                              why.name + "'");
+                return;
+            }
+            pinned_[node] = true;
+            pin_volts_[node] = volts;
+        };
+
+        std::vector<bool> done(vlike.size(), false);
+        bool progress = true;
+        while (progress) {
+            progress = false;
+            for (std::size_t k = 0; k < vlike.size(); ++k) {
+                if (done[k])
+                    continue;
+                const Component &c = *vlike[k];
+                bool pos_known = pinned_[c.node_pos];
+                bool neg_known = pinned_[c.node_neg];
+                if (!pos_known && !neg_known)
+                    continue;
+                double e = constraintVolts(c);
+                if (pos_known && neg_known) {
+                    double gap = pin_volts_[c.node_pos] -
+                                 pin_volts_[c.node_neg] - e;
+                    if (std::abs(gap) > 1e-12)
+                        error(c.line,
+                              "'" + c.name +
+                                  "' conflicts with voltages "
+                                  "already pinned on its nodes");
+                } else if (pos_known) {
+                    pin(c.node_neg, pin_volts_[c.node_pos] - e, c);
+                } else {
+                    pin(c.node_pos, pin_volts_[c.node_neg] + e, c);
+                }
+                done[k] = true;
+                progress = true;
+            }
+        }
+        for (std::size_t k = 0; k < vlike.size(); ++k)
+            if (!done[k])
+                error(vlike[k]->line,
+                      "'" + vlike[k]->name +
+                          "' floats relative to ground; reduced "
+                          "assembly cannot eliminate it (use full "
+                          "MNA: reduce = false)");
+    }
+
+    void
+    numberUnknowns()
+    {
+        MnaSystem &sys = result_.system;
+        std::size_t nodes = nl_.node_names.size();
+        sys.unknown_of_node.assign(nodes, kNoUnknown);
+        sys.fixed_voltage.assign(nodes, 0.0);
+        for (std::size_t id = 1; id < nodes; ++id) {
+            if (opts_.reduce && pinned_[id]) {
+                sys.fixed_voltage[id] = pin_volts_[id];
+                continue;
+            }
+            sys.unknown_of_node[id] = sys.unknown_names.size();
+            sys.unknown_names.push_back(nl_.node_names[id]);
+        }
+        sys.node_unknowns = sys.unknown_names.size();
+        if (!opts_.reduce) {
+            for (const Component &c : nl_.components)
+                if (isVoltageLike(c, opts_.mode)) {
+                    branch_of_.emplace_back(
+                        &c, sys.unknown_names.size());
+                    sys.unknown_names.push_back("i(" + c.name + ")");
+                }
+        }
+        sys.branch_unknowns =
+            sys.unknown_names.size() - sys.node_unknowns;
+        sys.reduced = opts_.reduce;
+        if (sys.unknowns() == 0)
+            error(0, "deck has no unknowns (every node is ground or "
+                     "pinned by a source); nothing to solve");
+    }
+
+    void
+    stamp()
+    {
+        MnaSystem &sys = result_.system;
+        std::size_t n = sys.unknowns();
+        std::vector<la::Triplet> trip;
+        trip.reserve(4 * nl_.components.size());
+        la::Vector rhs(n);
+
+        auto u_of = [&](std::size_t node) {
+            return sys.unknown_of_node[node];
+        };
+        auto volts_of = [&](std::size_t node) {
+            return node == 0 ? 0.0 : sys.fixed_voltage[node];
+        };
+
+        for (const Component &c : nl_.components) {
+            double y = conductanceOf(c, opts_);
+            if (y != 0.0 && c.node_pos != c.node_neg) {
+                std::size_t up = u_of(c.node_pos);
+                std::size_t un = u_of(c.node_neg);
+                if (up != kNoUnknown)
+                    trip.push_back({up, up, y});
+                if (un != kNoUnknown)
+                    trip.push_back({un, un, y});
+                if (up != kNoUnknown && un != kNoUnknown) {
+                    trip.push_back({up, un, -y});
+                    trip.push_back({un, up, -y});
+                } else if (up != kNoUnknown) {
+                    rhs[up] += y * volts_of(c.node_neg);
+                } else if (un != kNoUnknown) {
+                    rhs[un] += y * volts_of(c.node_pos);
+                }
+            }
+            if (c.kind == ComponentKind::CurrentSource) {
+                std::size_t up = u_of(c.node_pos);
+                std::size_t un = u_of(c.node_neg);
+                if (up != kNoUnknown)
+                    rhs[up] -= c.value;
+                if (un != kNoUnknown)
+                    rhs[un] += c.value;
+            }
+        }
+        // Branch rows (full MNA): +- 1 couplings and the source EMF.
+        for (auto [cp, row] : branch_of_) {
+            const Component &c = *cp;
+            std::size_t up = u_of(c.node_pos);
+            std::size_t un = u_of(c.node_neg);
+            if (up != kNoUnknown) {
+                trip.push_back({up, row, 1.0});
+                trip.push_back({row, up, 1.0});
+            }
+            if (un != kNoUnknown) {
+                trip.push_back({un, row, -1.0});
+                trip.push_back({row, un, -1.0});
+            }
+            rhs[row] = constraintVolts(c);
+        }
+
+        sys.g = la::CsrMatrix::fromTriplets(n, n, std::move(trip));
+        sys.i = std::move(rhs);
+    }
+
+    /**
+     * Every node-voltage unknown must reach a known voltage (ground
+     * or a pinned node) through components that actually constrain
+     * it — conductances and voltage-like branches. Current sources
+     * inject into a floating island without fixing its potential:
+     * that island's sub-block of G is singular.
+     */
+    void
+    checkAnchored()
+    {
+        MnaSystem &sys = result_.system;
+        std::size_t nodes = nl_.node_names.size();
+        DisjointSet ds(nodes);
+        for (const Component &c : nl_.components) {
+            bool connects = conductanceOf(c, opts_) != 0.0 ||
+                            isVoltageLike(c, opts_.mode);
+            if (connects)
+                ds.unite(c.node_pos, c.node_neg);
+        }
+        std::vector<bool> anchored(nodes, false);
+        for (std::size_t id = 0; id < nodes; ++id)
+            if (id == 0 || (opts_.reduce && pinned_[id]))
+                anchored[ds.find(id)] = true;
+        std::vector<std::size_t> first_line(nodes, 0);
+        for (const Component &c : nl_.components)
+            for (std::size_t node : {c.node_pos, c.node_neg})
+                if (!first_line[node])
+                    first_line[node] = c.line;
+        for (std::size_t id = 1; id < nodes; ++id) {
+            if (sys.unknown_of_node[id] == kNoUnknown)
+                continue;
+            if (!anchored[ds.find(id)])
+                error(first_line[id],
+                      "node '" + nl_.node_names[id] +
+                          "' has no conductive path to a known "
+                          "voltage (floating island)");
+        }
+    }
+
+    const Netlist &nl_;
+    MnaOptions opts_;
+    AssembleResult result_;
+    std::vector<bool> pinned_;      ///< per node id (reduce mode)
+    std::vector<double> pin_volts_; ///< per node id
+    std::vector<std::pair<const Component *, std::size_t>> branch_of_;
+    std::size_t errors_ = 0;
+};
+
+} // namespace
+
+la::Vector
+MnaSystem::nodeVoltages(const la::Vector &u) const
+{
+    std::size_t nodes =
+        unknown_of_node.empty() ? 0 : unknown_of_node.size() - 1;
+    la::Vector v(nodes);
+    for (std::size_t id = 1; id <= nodes; ++id) {
+        std::size_t k = unknown_of_node[id];
+        v[id - 1] = k == kNoUnknown ? fixed_voltage[id] : u[k];
+    }
+    return v;
+}
+
+std::string
+AssembleResult::summary() const
+{
+    std::ostringstream os;
+    for (std::size_t k = 0; k < diagnostics.size(); ++k) {
+        if (k)
+            os << "\n";
+        os << diagnostics[k].str();
+    }
+    return os.str();
+}
+
+AssembleResult
+assembleMna(const Netlist &netlist, const MnaOptions &opts)
+{
+    return Assembler(netlist, opts).run();
+}
+
+AssembleResult
+assembleDeck(const std::string &deck_text, const MnaOptions &opts)
+{
+    ParseResult parsed = parseNetlistString(deck_text);
+    if (!parsed.ok) {
+        AssembleResult r;
+        r.diagnostics = std::move(parsed.diagnostics);
+        return r;
+    }
+    AssembleResult r = assembleMna(parsed.netlist, opts);
+    // Keep parser warnings visible next to assembler findings.
+    r.diagnostics.insert(r.diagnostics.begin(),
+                         parsed.diagnostics.begin(),
+                         parsed.diagnostics.end());
+    return r;
+}
+
+} // namespace aa::spice

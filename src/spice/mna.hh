@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Modified nodal analysis: turn a parsed netlist into the sparse
+ * linear system G v = i the accelerator solves.
+ *
+ * Two assembly shapes, chosen by MnaOptions::reduce:
+ *
+ *  - **Reduced** (default): voltage sources that pin a node relative
+ *    to ground (directly, or through a chain of sources) are
+ *    eliminated — the pinned node's voltage is known, its conductance
+ *    column moves to the right-hand side, and no branch-current rows
+ *    exist. For a connected conductive network the result is
+ *    symmetric positive definite, which is exactly what the analog
+ *    gradient flow du/dt = i - G v needs to converge. A source that
+ *    floats relative to ground cannot be reduced and is reported as
+ *    a Diagnostic (use full MNA for those decks).
+ *
+ *  - **Full MNA** (reduce = false): every voltage source (and, in DC,
+ *    every inductor — an ideal short) contributes a branch-current
+ *    unknown and a constraint row. The system is symmetric but
+ *    indefinite (a saddle point); it is the interchange/export shape
+ *    and the digital-LU ground truth, not the analog path.
+ *
+ * Analysis modes: Dc opens capacitors and shorts inductors;
+ * Transient stamps the backward-Euler companion conductances C/dt
+ * and dt/L (history currents taken as zero — this assembles the
+ * timestep *matrix*, the quantity the accelerator is programmed
+ * with; an actual time loop would rebind only the RHS each step).
+ *
+ * Stamps (SPICE sign conventions):
+ *  - conductance y between p and n: G[p,p]+=y, G[n,n]+=y,
+ *    G[p,n]-=y, G[n,p]-=y (ground rows/columns dropped);
+ *  - current source `I p n J`: J flows from p through the source to
+ *    n, so i[p]-=J, i[n]+=J;
+ *  - voltage source `V p n E` (full MNA): branch row k couples
+ *    +v_p -v_n = E with ±1 entries, symmetric across the diagonal.
+ *
+ * Determinism: unknown ordering is node-id order (= first-appearance
+ * order in the deck) followed by branch order (= component order),
+ * so re-assembling a re-parse of the same deck yields a bit-identical
+ * CSR pattern and the same compiler::sparsityHash.
+ *
+ * Assembly never crashes on a bad deck: structural problems (floating
+ * sources, source loops pinning a node twice, islands with no
+ * conductive path to a known voltage) come back as Diagnostics with
+ * the offending component's deck line.
+ */
+
+#ifndef AA_SPICE_MNA_HH
+#define AA_SPICE_MNA_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "aa/la/csr_matrix.hh"
+#include "aa/la/vector.hh"
+#include "aa/spice/netlist.hh"
+
+namespace aa::spice {
+
+/** What the companion models should do with C and L. */
+enum class AnalysisMode {
+    Dc,        ///< capacitors open, inductors short
+    Transient, ///< backward-Euler companions: C/dt and dt/L
+};
+
+/** Assembly configuration. */
+struct MnaOptions {
+    AnalysisMode mode = AnalysisMode::Dc;
+    /** Companion timestep (Transient mode only). */
+    double dt = 1e-6;
+    /** Eliminate ground-referenced voltage sources (SPD shape) vs
+     *  keep branch rows (full MNA, indefinite). */
+    bool reduce = true;
+};
+
+/** The assembled system G v = i plus the index bookkeeping needed to
+ *  go from solution vector entries back to named node voltages. */
+struct MnaSystem {
+    la::CsrMatrix g; ///< square, unknowns() x unknowns()
+    la::Vector i;    ///< right-hand side
+
+    /** Unknown index -> human name: node names first, then
+     *  "i(vsource)" branch currents (full MNA only). */
+    std::vector<std::string> unknown_names;
+    std::size_t node_unknowns = 0;
+    std::size_t branch_unknowns = 0;
+    bool reduced = false;
+
+    /** Per netlist node id: index into the solution vector, or
+     *  SIZE_MAX when the node's voltage is known (ground, or pinned
+     *  by an eliminated source — see fixed_voltage). */
+    std::vector<std::size_t> unknown_of_node;
+    /** Per netlist node id: the known voltage of eliminated nodes
+     *  (0.0 for ground); only meaningful where unknown_of_node is
+     *  SIZE_MAX. */
+    std::vector<double> fixed_voltage;
+
+    std::size_t
+    unknowns() const
+    {
+        return node_unknowns + branch_unknowns;
+    }
+
+    /**
+     * Expand a solution of G v = i into per-node voltages, indexed by
+     * netlist node id - 1 (ground excluded): eliminated nodes report
+     * their pinned voltage, the rest read from u.
+     */
+    la::Vector nodeVoltages(const la::Vector &u) const;
+};
+
+/** Assembly outcome: the system (valid when ok) + findings. */
+struct AssembleResult {
+    MnaSystem system;
+    std::vector<Diagnostic> diagnostics;
+    bool ok = false;
+
+    std::string summary() const;
+};
+
+/** Assemble G v = i from a flattened netlist. */
+AssembleResult assembleMna(const Netlist &netlist,
+                           const MnaOptions &opts = {});
+
+/**
+ * Parse + assemble in one step — the common front door. Parser
+ * diagnostics and assembler diagnostics land in the same list; ok
+ * requires both stages clean.
+ */
+AssembleResult assembleDeck(const std::string &deck_text,
+                            const MnaOptions &opts = {});
+
+} // namespace aa::spice
+
+#endif // AA_SPICE_MNA_HH

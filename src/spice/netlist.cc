@@ -1,0 +1,567 @@
+#include "aa/spice/netlist.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace aa::spice {
+
+const char *
+name(ComponentKind kind)
+{
+    switch (kind) {
+    case ComponentKind::Resistor: return "resistor";
+    case ComponentKind::Capacitor: return "capacitor";
+    case ComponentKind::Inductor: return "inductor";
+    case ComponentKind::VoltageSource: return "voltage source";
+    case ComponentKind::CurrentSource: return "current source";
+    }
+    return "component";
+}
+
+std::string
+Diagnostic::str() const
+{
+    std::ostringstream os;
+    os << (severity == Severity::Error ? "error" : "warning");
+    if (line)
+        os << ": line " << line;
+    os << ": " << message;
+    return os.str();
+}
+
+std::size_t
+ParseResult::errorCount() const
+{
+    std::size_t n = 0;
+    for (const Diagnostic &d : diagnostics)
+        if (d.severity == Diagnostic::Severity::Error)
+            ++n;
+    return n;
+}
+
+std::string
+ParseResult::summary() const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+        if (i)
+            os << "\n";
+        os << diagnostics[i].str();
+    }
+    return os.str();
+}
+
+bool
+parseSpiceValue(const std::string &token, double *out)
+{
+    if (token.empty())
+        return false;
+    const char *begin = token.c_str();
+    char *end = nullptr;
+    double v = std::strtod(begin, &end);
+    if (end == begin)
+        return false; // no leading number at all
+    // Engineering suffix; anything after it is unit text ("kOhm").
+    std::string rest;
+    for (const char *p = end; *p; ++p)
+        rest.push_back(
+            static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+    double mult = 1.0;
+    if (!rest.empty()) {
+        if (rest.rfind("meg", 0) == 0)
+            mult = 1e6; // before 'm': "meg" outranks milli
+        else if (rest[0] == 'f')
+            mult = 1e-15;
+        else if (rest[0] == 'p')
+            mult = 1e-12;
+        else if (rest[0] == 'n')
+            mult = 1e-9;
+        else if (rest[0] == 'u')
+            mult = 1e-6;
+        else if (rest[0] == 'm')
+            mult = 1e-3;
+        else if (rest[0] == 'k')
+            mult = 1e3;
+        else if (rest[0] == 'g')
+            mult = 1e9;
+        else if (rest[0] == 't')
+            mult = 1e12;
+    }
+    *out = v * mult;
+    return true;
+}
+
+namespace {
+
+/** One logical deck line (continuations joined), tokenized. */
+struct Card {
+    std::size_t line = 0; ///< first physical line of the card
+    std::vector<std::string> tokens;
+};
+
+std::string
+lowered(const std::string &s)
+{
+    std::string out = s;
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) {
+                       return static_cast<char>(std::tolower(c));
+                   });
+    return out;
+}
+
+bool
+isGroundName(const std::string &lower)
+{
+    return lower == "0" || lower == "gnd" || lower == "ground";
+}
+
+/** A `.subckt` body: ports + the cards between the delimiters. */
+struct SubcktDef {
+    std::size_t line = 0;
+    std::vector<std::string> ports; ///< lowercase port node names
+    std::vector<Card> body;
+};
+
+/** Everything the parsing pass accumulates before expansion. */
+struct DeckSource {
+    std::string title;
+    std::vector<Card> top;
+    std::unordered_map<std::string, SubcktDef> subckts;
+};
+
+class Parser
+{
+  public:
+    explicit Parser(std::istream &in) : in_(in) {}
+
+    ParseResult
+    run()
+    {
+        readCards();
+        if (result_.errorCount() == 0)
+            expand();
+        if (result_.errorCount() == 0)
+            validate();
+        result_.ok = result_.errorCount() == 0;
+        return std::move(result_);
+    }
+
+  private:
+    void
+    error(std::size_t line, std::string msg)
+    {
+        result_.diagnostics.push_back(
+            {Diagnostic::Severity::Error, line, std::move(msg)});
+    }
+
+    void
+    warning(std::size_t line, std::string msg)
+    {
+        result_.diagnostics.push_back(
+            {Diagnostic::Severity::Warning, line, std::move(msg)});
+    }
+
+    /** Strip `;` / `$` inline comments from a physical line. */
+    static std::string
+    stripInlineComment(const std::string &line)
+    {
+        std::size_t cut = line.find_first_of(";$");
+        return cut == std::string::npos ? line : line.substr(0, cut);
+    }
+
+    /**
+     * Phase 1: physical lines -> logical cards. The title line, `*`
+     * comment lines, `+` continuations and the `.subckt`/`.ends`/
+     * `.end` structure are all resolved here.
+     */
+    void
+    readCards()
+    {
+        std::string phys;
+        std::size_t lineno = 0;
+        bool have_title = false;
+        bool saw_end = false;
+        std::vector<Card> cards;
+
+        Card pending; // card being continued
+        auto flush = [&] {
+            if (!pending.tokens.empty())
+                cards.push_back(std::move(pending));
+            pending = Card{};
+        };
+
+        while (std::getline(in_, phys)) {
+            ++lineno;
+            if (!phys.empty() && phys.back() == '\r')
+                phys.pop_back();
+            if (!have_title) {
+                src_.title = phys;
+                have_title = true;
+                continue;
+            }
+            if (!phys.empty() && phys[0] == '*')
+                continue; // comment line
+            std::string body = stripInlineComment(phys);
+            std::istringstream toks(body);
+            std::string tok;
+            std::vector<std::string> tokens;
+            while (toks >> tok)
+                tokens.push_back(lowered(tok));
+            if (tokens.empty())
+                continue;
+            if (tokens[0][0] == '+') {
+                if (pending.tokens.empty()) {
+                    error(lineno, "continuation line with nothing to "
+                                  "continue");
+                    continue;
+                }
+                tokens[0].erase(0, 1); // "+rest" glues a token
+                for (auto &t : tokens)
+                    if (!t.empty())
+                        pending.tokens.push_back(std::move(t));
+                continue;
+            }
+            flush();
+            pending.line = lineno;
+            pending.tokens = std::move(tokens);
+            if (pending.tokens[0] == ".end") {
+                pending = Card{};
+                saw_end = true;
+                break;
+            }
+        }
+        flush();
+        if (!have_title)
+            error(0, "empty deck (no title line)");
+        if (!saw_end)
+            error(lineno ? lineno : 1,
+                  "missing .end (deck ends at line " +
+                      std::to_string(lineno) + ")");
+
+        // Phase 1b: peel `.subckt` blocks out of the card stream.
+        SubcktDef def;
+        std::string def_name;
+        bool in_def = false;
+        for (Card &c : cards) {
+            const std::string &head = c.tokens[0];
+            if (head == ".subckt") {
+                if (in_def) {
+                    error(c.line,
+                          "nested .subckt definition (close '" +
+                              def_name + "' with .ends first)");
+                    continue;
+                }
+                if (c.tokens.size() < 3) {
+                    error(c.line, ".subckt needs a name and at least "
+                                  "one port");
+                    continue;
+                }
+                in_def = true;
+                def = SubcktDef{};
+                def.line = c.line;
+                def_name = c.tokens[1];
+                def.ports.assign(c.tokens.begin() + 2,
+                                 c.tokens.end());
+                continue;
+            }
+            if (head == ".ends") {
+                if (!in_def) {
+                    error(c.line, ".ends without a matching .subckt");
+                    continue;
+                }
+                in_def = false;
+                std::size_t def_line = def.line;
+                if (!src_.subckts.emplace(def_name, std::move(def))
+                         .second)
+                    error(def_line, "duplicate .subckt definition '" +
+                                        def_name + "'");
+                continue;
+            }
+            if (in_def)
+                def.body.push_back(std::move(c));
+            else
+                src_.top.push_back(std::move(c));
+        }
+        if (in_def)
+            error(def.line,
+                  ".subckt '" + def_name + "' never closed (.ends)");
+    }
+
+    std::size_t
+    internNode(const std::string &lower_name)
+    {
+        if (isGroundName(lower_name))
+            return 0;
+        auto [it, fresh] =
+            node_ids_.emplace(lower_name, node_names_.size());
+        if (fresh)
+            node_names_.push_back(lower_name);
+        return it->second;
+    }
+
+    /** Map a body node through an instance's port/prefix scheme. */
+    static std::string
+    scopedNode(const std::string &node,
+               const std::unordered_map<std::string, std::string>
+                   &port_map,
+               const std::string &prefix)
+    {
+        if (isGroundName(node))
+            return node; // ground is global
+        auto it = port_map.find(node);
+        if (it != port_map.end())
+            return it->second;
+        return prefix + node;
+    }
+
+    /**
+     * Phase 2: expand X cards (depth-first, recursion-checked) and
+     * turn every component card into a flattened Component. Node
+     * interning happens here, in flattened-deck order, which is what
+     * makes re-parses produce identical indices.
+     */
+    void
+    expandCards(const std::vector<Card> &cards,
+                const std::unordered_map<std::string, std::string>
+                    &port_map,
+                const std::string &prefix,
+                std::vector<std::string> &active)
+    {
+        for (const Card &c : cards) {
+            const std::string &head = c.tokens[0];
+            if (head[0] == '.') {
+                warning(c.line,
+                        "directive '" + head + "' ignored");
+                continue;
+            }
+            if (head[0] == 'x') {
+                expandInstance(c, port_map, prefix, active);
+                continue;
+            }
+            parseComponent(c, port_map, prefix);
+        }
+    }
+
+    void
+    expandInstance(const Card &c,
+                   const std::unordered_map<std::string, std::string>
+                       &outer_ports,
+                   const std::string &prefix,
+                   std::vector<std::string> &active)
+    {
+        if (c.tokens.size() < 3) {
+            error(c.line, "subcircuit instance needs nodes and a "
+                          ".subckt name");
+            return;
+        }
+        const std::string &sub_name = c.tokens.back();
+        auto it = src_.subckts.find(sub_name);
+        if (it == src_.subckts.end()) {
+            error(c.line, "unknown .subckt '" + sub_name + "'");
+            return;
+        }
+        const SubcktDef &def = it->second;
+        std::size_t given = c.tokens.size() - 2;
+        if (given != def.ports.size()) {
+            error(c.line, "instance '" + c.tokens[0] + "' passes " +
+                              std::to_string(given) + " nodes but '" +
+                              sub_name + "' declares " +
+                              std::to_string(def.ports.size()) +
+                              " ports");
+            return;
+        }
+        if (std::find(active.begin(), active.end(), sub_name) !=
+            active.end()) {
+            error(c.line, "recursive .subckt instantiation of '" +
+                              sub_name + "'");
+            return;
+        }
+        std::unordered_map<std::string, std::string> port_map;
+        for (std::size_t p = 0; p < def.ports.size(); ++p)
+            port_map[def.ports[p]] =
+                scopedNode(c.tokens[1 + p], outer_ports, prefix);
+        active.push_back(sub_name);
+        expandCards(def.body, port_map,
+                    prefix + c.tokens[0] + ".", active);
+        active.pop_back();
+    }
+
+    void
+    parseComponent(const Card &c,
+                   const std::unordered_map<std::string, std::string>
+                       &port_map,
+                   const std::string &prefix)
+    {
+        ComponentKind kind;
+        switch (c.tokens[0][0]) {
+        case 'r': kind = ComponentKind::Resistor; break;
+        case 'c': kind = ComponentKind::Capacitor; break;
+        case 'l': kind = ComponentKind::Inductor; break;
+        case 'v': kind = ComponentKind::VoltageSource; break;
+        case 'i': kind = ComponentKind::CurrentSource; break;
+        default:
+            error(c.line, "unknown card '" + c.tokens[0] +
+                              "' (supported: R C L V I X .subckt)");
+            return;
+        }
+        if (c.tokens.size() < 4) {
+            error(c.line, std::string(name(kind)) + " '" +
+                              c.tokens[0] +
+                              "' needs two nodes and a value");
+            return;
+        }
+        std::size_t value_at = 3;
+        if ((kind == ComponentKind::VoltageSource ||
+             kind == ComponentKind::CurrentSource) &&
+            c.tokens[3] == "dc") {
+            if (c.tokens.size() < 5) {
+                error(c.line, "source '" + c.tokens[0] +
+                                  "' has DC keyword but no value");
+                return;
+            }
+            value_at = 4;
+        }
+        double value = 0.0;
+        if (!parseSpiceValue(c.tokens[value_at], &value)) {
+            error(c.line, "malformed value '" + c.tokens[value_at] +
+                              "' on '" + c.tokens[0] + "'");
+            return;
+        }
+        if (c.tokens.size() > value_at + 1)
+            warning(c.line, "trailing tokens on '" + c.tokens[0] +
+                                "' ignored");
+
+        Component comp;
+        comp.kind = kind;
+        comp.name = prefix + c.tokens[0];
+        comp.line = c.line;
+        comp.value = value;
+        std::string pos = scopedNode(c.tokens[1], port_map, prefix);
+        std::string neg = scopedNode(c.tokens[2], port_map, prefix);
+
+        if (!names_.insert(comp.name).second) {
+            error(c.line,
+                  "duplicate component name '" + comp.name + "'");
+            return;
+        }
+        if (kind == ComponentKind::Resistor && value == 0.0) {
+            error(c.line, "zero-valued resistor '" + comp.name +
+                              "' (infinite conductance)");
+            return;
+        }
+        if ((kind == ComponentKind::Resistor ||
+             kind == ComponentKind::Inductor) &&
+            value < 0.0) {
+            error(c.line, std::string(name(kind)) + " '" + comp.name +
+                              "' has negative value");
+            return;
+        }
+        if (kind == ComponentKind::Capacitor && value < 0.0) {
+            error(c.line, "capacitor '" + comp.name +
+                              "' has negative value");
+            return;
+        }
+        if (kind == ComponentKind::Inductor && value == 0.0) {
+            error(c.line, "zero-valued inductor '" + comp.name + "'");
+            return;
+        }
+        if (pos == neg) {
+            if (kind == ComponentKind::VoltageSource &&
+                value != 0.0) {
+                error(c.line, "voltage source '" + comp.name +
+                                  "' shorts a node to itself");
+                return;
+            }
+            warning(c.line, "'" + comp.name +
+                                "' connects a node to itself "
+                                "(no effect)");
+        }
+        comp.node_pos = internNode(pos);
+        comp.node_neg = internNode(neg);
+        netlist_.components.push_back(std::move(comp));
+    }
+
+    void
+    expand()
+    {
+        node_names_.push_back("0"); // ground is always id 0
+        std::vector<std::string> active;
+        expandCards(src_.top, {}, "", active);
+        netlist_.title = src_.title;
+        netlist_.node_names = node_names_;
+        result_.netlist = std::move(netlist_);
+    }
+
+    /** Whole-deck structural checks on the flattened netlist. */
+    void
+    validate()
+    {
+        const Netlist &nl = result_.netlist;
+        if (nl.components.empty()) {
+            error(0, "deck has no components");
+            return;
+        }
+        // Terminal counts per node; a non-ground node with a single
+        // connection has a singular MNA row (dangling).
+        std::vector<std::size_t> touches(nl.node_names.size(), 0);
+        std::vector<std::size_t> first_line(nl.node_names.size(), 0);
+        for (const Component &c : nl.components) {
+            for (std::size_t node : {c.node_pos, c.node_neg}) {
+                ++touches[node];
+                if (!first_line[node])
+                    first_line[node] = c.line;
+            }
+        }
+        if (touches[0] == 0)
+            error(0, "no component connects to ground (node 0)");
+        for (std::size_t k = 1; k < touches.size(); ++k)
+            if (touches[k] < 2)
+                error(first_line[k],
+                      "dangling node '" + nl.node_names[k] +
+                          "' (single connection)");
+    }
+
+    std::istream &in_;
+    DeckSource src_;
+    Netlist netlist_;
+    ParseResult result_;
+    std::unordered_map<std::string, std::size_t> node_ids_;
+    std::vector<std::string> node_names_;
+    std::unordered_set<std::string> names_;
+};
+
+} // namespace
+
+ParseResult
+parseNetlist(std::istream &in)
+{
+    return Parser(in).run();
+}
+
+ParseResult
+parseNetlistString(const std::string &text)
+{
+    std::istringstream in(text);
+    return parseNetlist(in);
+}
+
+ParseResult
+parseNetlistFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        ParseResult r;
+        r.diagnostics.push_back({Diagnostic::Severity::Error, 0,
+                                 "cannot open '" + path + "'"});
+        return r;
+    }
+    return parseNetlist(in);
+}
+
+} // namespace aa::spice

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * SPICE-style netlist front end: the deck model and the parser.
+ *
+ * This is the entry point of the circuit workload family — the first
+ * irregular-sparsity producer the reproduction serves (everything
+ * before it was a structured Poisson stencil). A deck is parsed into
+ * a flat component list over an interned node table; spice/mna.hh
+ * turns that into the modified-nodal-analysis system G v = i the
+ * accelerator solves.
+ *
+ * Dialect (the subset circuit matrices need, not a full simulator):
+ *  - first line is the title (classic SPICE), `.end` terminates;
+ *  - components: `Rxxx n+ n- value`, `Cxxx`, `Lxxx`,
+ *    `Vxxx n+ n- [DC] value`, `Ixxx n+ n- [DC] value`;
+ *  - `.subckt NAME port...` / `.ends` definitions and `Xinst
+ *    node... NAME` instantiation, flattened with `inst.` prefixes on
+ *    internal nodes and component names (nesting allowed, recursion
+ *    rejected);
+ *  - engineering suffixes (`1k`, `2.2u`, `3meg`); trailing unit text
+ *    (`10kOhm`) is ignored as in SPICE;
+ *  - `*` comment lines, `;` / `$ ` inline comments, `+` line
+ *    continuations;
+ *  - ground is node `0` (aliases `gnd`, `ground`).
+ *
+ * Error contract: the parser NEVER crashes on malformed input. Every
+ * problem — unknown card, bad value, duplicate component name,
+ * zero-valued resistor, dangling node, missing ground or `.end` —
+ * becomes a Diagnostic carrying the 1-based source line, and
+ * ParseResult::ok says whether the deck is usable. Diagnostics are
+ * deterministic: same deck text, same list.
+ *
+ * Determinism contract: non-ground nodes are interned in first-
+ * appearance order of the flattened deck, so re-parsing the same text
+ * always yields the same node indices, the same assembled CSR
+ * pattern, and therefore the same compiler::sparsityHash — which is
+ * what lets the service's program cache recognize repeat circuit
+ * traffic.
+ */
+
+#ifndef AA_SPICE_NETLIST_HH
+#define AA_SPICE_NETLIST_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace aa::spice {
+
+/** Component classes the MNA assembler can stamp. */
+enum class ComponentKind {
+    Resistor,      ///< R: conductance stamp
+    Capacitor,     ///< C: open in DC, C/dt companion in transient
+    Inductor,      ///< L: short (branch) in DC, dt/L in transient
+    VoltageSource, ///< V: branch row (or node elimination)
+    CurrentSource, ///< I: RHS injection
+};
+
+const char *name(ComponentKind kind);
+
+/** One flattened two-terminal component. */
+struct Component {
+    ComponentKind kind = ComponentKind::Resistor;
+    std::string name;         ///< hierarchical, e.g. "x2.r1"
+    std::size_t node_pos = 0; ///< interned node id (0 = ground)
+    std::size_t node_neg = 0;
+    double value = 0.0;       ///< ohms / farads / henries / V / A
+    std::size_t line = 0;     ///< 1-based deck line (diagnostics)
+};
+
+/** A parsed, flattened deck. Node id 0 is always ground; non-ground
+ *  nodes are 1..nodeCount() in first-appearance order. */
+struct Netlist {
+    std::string title;
+    std::vector<Component> components;
+    /** Interned node names; node_names[0] == "0" (ground). */
+    std::vector<std::string> node_names;
+
+    /** Non-ground node count (the MNA node-voltage unknowns). */
+    std::size_t
+    nodeCount() const
+    {
+        return node_names.empty() ? 0 : node_names.size() - 1;
+    }
+};
+
+/** One parser or assembler finding, anchored to a deck line. */
+struct Diagnostic {
+    enum class Severity { Warning, Error };
+    Severity severity = Severity::Error;
+    std::size_t line = 0; ///< 1-based; 0 = whole-deck finding
+    std::string message;
+
+    /** "error: line 12: duplicate component name 'r1'" */
+    std::string str() const;
+};
+
+/** Outcome of a parse: the deck (possibly partial) + findings. */
+struct ParseResult {
+    Netlist netlist;
+    std::vector<Diagnostic> diagnostics;
+    /** True when no Error-severity diagnostic was produced. */
+    bool ok = false;
+
+    std::size_t errorCount() const;
+    /** All diagnostics joined with newlines (log/exception text). */
+    std::string summary() const;
+};
+
+/** Parse a deck from a stream. Never throws on malformed input. */
+ParseResult parseNetlist(std::istream &in);
+
+/** Parse a deck held in a string (generated decks, tests). */
+ParseResult parseNetlistString(const std::string &text);
+
+/** Parse a deck file; a missing file is an Error diagnostic. */
+ParseResult parseNetlistFile(const std::string &path);
+
+/**
+ * Parse one SPICE number with engineering suffix (`1k`, `2.2u`,
+ * `3meg`, `10kOhm`). Returns false (and leaves *out untouched) on
+ * malformed input. Suffixes: f p n u m k meg g t, case-insensitive;
+ * anything after a recognized suffix (or after the number when no
+ * suffix matches) is ignored, per SPICE convention.
+ */
+bool parseSpiceValue(const std::string &token, double *out);
+
+} // namespace aa::spice
+
+#endif // AA_SPICE_NETLIST_HH

@@ -1,3 +1,5 @@
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "aa/compiler/scaling.hh"
@@ -34,6 +36,46 @@ TEST(Scaling, LargeCoefficientsCompressed)
     EXPECT_GT(out.plan.gain_scale, 1.0);
     EXPECT_LE(out.a.maxAbs(), 10.0);
     EXPECT_LE(la::normInf(out.b), 1.0);
+}
+
+TEST(Scaling, TinyCoefficientsScaledUp)
+{
+    // Circuit matrices arrive in siemens — 3-4 decades below the
+    // gain range. s < 1 (an exact power of two) expands them into
+    // the top octave so the feedback can overpower quantized-DAC
+    // bias; solve time shrinks by the same factor.
+    auto a = la::DenseMatrix::fromRows(
+        {{2e-3, -1e-3}, {-1e-3, 2e-3}});
+    la::Vector b{1e-3, 0.0};
+    auto out = scaleSystem(a, b, {}, spec());
+    EXPECT_LT(out.plan.gain_scale, 1.0);
+    double s = out.plan.gain_scale;
+    EXPECT_DOUBLE_EQ(std::exp2(std::round(std::log2(s))), s);
+    EXPECT_GT(out.a.maxAbs(), 0.95 * 10.0 / 2.0); // top octave
+    EXPECT_LE(out.a.maxAbs(), 0.95 * 10.0);
+    EXPECT_LT(out.plan.timeFactor(), 1.0);
+    // The DAC floor still pins b_s at full scale via sigma.
+    EXPECT_LE(la::normInf(out.b), 1.0);
+
+    // Soundness: u = sigma * (A_s^-1 b_s) exactly.
+    la::Vector exact = la::solveDense(a, b);
+    la::Vector recovered =
+        unscaleSolution(la::solveDense(out.a, out.b), out.plan);
+    EXPECT_LT(la::maxAbsDiff(recovered, exact), 1e-9);
+}
+
+TEST(Scaling, UnitRangeCoefficientsKeepUnitScale)
+{
+    // The scale-up rung triggers strictly below max|a| = 0.25:
+    // anything in [0.25, headroom * max_gain] keeps s = 1, so
+    // existing stencil and ODE plans (and their golden traces) are
+    // untouched.
+    for (double m : {0.25, 0.6, 1.0, 4.0}) {
+        auto a = la::DenseMatrix::fromRows({{m, 0.0}, {0.0, m}});
+        la::Vector b{0.1, 0.1};
+        auto out = scaleSystem(a, b, {}, spec());
+        EXPECT_DOUBLE_EQ(out.plan.gain_scale, 1.0) << m;
+    }
 }
 
 TEST(Scaling, SolutionInvariantUnderGainScale)

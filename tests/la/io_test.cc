@@ -69,6 +69,38 @@ TEST(MatrixMarket, RoundTripWritesAndReads)
             EXPECT_DOUBLE_EQ(back.at(i, j), m.at(i, j));
 }
 
+TEST(MatrixMarket, SymmetricWriteStoresLowerTriangleOnly)
+{
+    // The 1D Poisson 3-point pattern on 4 points: 10 nnz, of which
+    // the 3 superdiagonal entries are implied — 7 stored.
+    auto m = CsrMatrix::fromTriplets(
+        4, 4,
+        {{0, 0, 2.0}, {0, 1, -1.0}, {1, 0, -1.0}, {1, 1, 2.0},
+         {1, 2, -1.0}, {2, 1, -1.0}, {2, 2, 2.0}, {2, 3, -1.0},
+         {3, 2, -1.0}, {3, 3, 2.0}});
+    std::stringstream buf;
+    writeMatrixMarket(m, buf, /*symmetric=*/true);
+    std::string text = buf.str();
+    EXPECT_NE(text.find("coordinate real symmetric"),
+              std::string::npos);
+    EXPECT_NE(text.find("4 4 7\n"), std::string::npos);
+
+    CsrMatrix back = readMatrixMarket(buf);
+    EXPECT_EQ(back.nnz(), m.nnz());
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = 0; j < 4; ++j)
+            EXPECT_DOUBLE_EQ(back.at(i, j), m.at(i, j));
+}
+
+TEST(MatrixMarketDeath, SymmetricWriteOfAsymmetricFatal)
+{
+    auto m = CsrMatrix::fromTriplets(2, 2,
+                                     {{0, 1, 1.0}, {1, 0, 2.0}});
+    std::stringstream buf;
+    EXPECT_EXIT(writeMatrixMarket(m, buf, /*symmetric=*/true),
+                ::testing::ExitedWithCode(1), "symmetry");
+}
+
 TEST(MatrixMarket, CaseInsensitiveBanner)
 {
     std::istringstream in(

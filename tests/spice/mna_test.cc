@@ -1,0 +1,294 @@
+/**
+ * @file
+ * MNA assembly correctness: hand-computable circuits against both
+ * assembly shapes, SPD guarantees for the reduced form, physics sanity
+ * (current conservation), and the determinism contract — identical
+ * sparsityHash across re-parses, distinct from a stencil's at equal n.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "aa/compiler/program.hh"
+#include "aa/la/direct.hh"
+#include "aa/la/io.hh"
+#include "aa/la/vector.hh"
+#include "aa/pde/poisson.hh"
+#include "aa/spice/generate.hh"
+#include "aa/spice/mna.hh"
+
+namespace aa::spice {
+namespace {
+
+const MnaOptions kReduced{};
+const MnaOptions kFull{AnalysisMode::Dc, 1e-6, /*reduce=*/false};
+
+TEST(Mna, VoltageDividerReduced)
+{
+    AssembleResult r = assembleDeck("divider\n"
+                                    "v1 in 0 dc 10\n"
+                                    "r1 in mid 1k\n"
+                                    "r2 mid 0 1k\n"
+                                    ".end\n",
+                                    kReduced);
+    ASSERT_TRUE(r.ok) << r.summary();
+    const MnaSystem &s = r.system;
+    // "in" is pinned by v1; only "mid" is unknown.
+    ASSERT_EQ(s.unknowns(), 1u);
+    EXPECT_EQ(s.branch_unknowns, 0u);
+    EXPECT_EQ(s.unknown_names[0], "mid");
+    EXPECT_NEAR(s.g.at(0, 0), 2e-3, 1e-15);
+    EXPECT_NEAR(s.i[0], 10.0 * 1e-3, 1e-15);
+
+    la::Vector u = la::solveDense(s.g.toDense(), s.i);
+    EXPECT_NEAR(u[0], 5.0, 1e-12);
+
+    la::Vector v = s.nodeVoltages(u);
+    ASSERT_EQ(v.size(), 2u); // in, mid in first-appearance order
+    EXPECT_NEAR(v[0], 10.0, 1e-12);
+    EXPECT_NEAR(v[1], 5.0, 1e-12);
+}
+
+TEST(Mna, VoltageDividerFullMna)
+{
+    AssembleResult r = assembleDeck("divider\n"
+                                    "v1 in 0 dc 10\n"
+                                    "r1 in mid 1k\n"
+                                    "r2 mid 0 1k\n"
+                                    ".end\n",
+                                    kFull);
+    ASSERT_TRUE(r.ok) << r.summary();
+    const MnaSystem &s = r.system;
+    ASSERT_EQ(s.unknowns(), 3u); // in, mid, i(v1)
+    EXPECT_EQ(s.branch_unknowns, 1u);
+    EXPECT_EQ(s.unknown_names[2], "i(v1)");
+    EXPECT_TRUE(s.g.isSymmetric());
+    // Saddle point: indefinite, so Cholesky must refuse it.
+    EXPECT_FALSE(la::Cholesky::factor(s.g.toDense()).has_value());
+
+    la::Vector u = la::solveDense(s.g.toDense(), s.i);
+    EXPECT_NEAR(u[0], 10.0, 1e-9);
+    EXPECT_NEAR(u[1], 5.0, 1e-9);
+    // KCL at "in": (v_in - v_mid)/1k + i_branch = 0.
+    EXPECT_NEAR(u[2], -5e-3, 1e-12);
+}
+
+TEST(Mna, CurrentSourceInjection)
+{
+    AssembleResult r = assembleDeck("injection\n"
+                                    "i1 0 out dc 2m\n"
+                                    "r1 out 0 1k\n"
+                                    ".end\n",
+                                    kReduced);
+    ASSERT_TRUE(r.ok) << r.summary();
+    // `I 0 out`: current flows from ground through the source into
+    // out, so i[out] = +2 mA and v = i R = 2 V.
+    ASSERT_EQ(r.system.unknowns(), 1u);
+    EXPECT_NEAR(r.system.i[0], 2e-3, 1e-15);
+    la::Vector u = la::solveDense(r.system.g.toDense(), r.system.i);
+    EXPECT_NEAR(u[0], 2.0, 1e-12);
+}
+
+TEST(Mna, InductorIsDcShort)
+{
+    // v1 -> l1 (short) -> r2 -> rload: b sits at the source voltage
+    // through the inductor, then a 1k/1k divider gives v_c = 1.
+    std::string deck = "inductor dc\n"
+                       "v1 a 0 dc 2\n"
+                       "l1 a b 1m\n"
+                       "r2 b c 1k\n"
+                       "rload c 0 1k\n"
+                       ".end\n";
+    AssembleResult red = assembleDeck(deck, kReduced);
+    ASSERT_TRUE(red.ok) << red.summary();
+    ASSERT_EQ(red.system.unknowns(), 1u); // a and b both pinned
+    la::Vector ur =
+        la::solveDense(red.system.g.toDense(), red.system.i);
+    la::Vector vr = red.system.nodeVoltages(ur);
+    ASSERT_EQ(vr.size(), 3u);
+    EXPECT_NEAR(vr[0], 2.0, 1e-12); // a
+    EXPECT_NEAR(vr[1], 2.0, 1e-12); // b, pinned through the short
+    EXPECT_NEAR(vr[2], 1.0, 1e-12); // c
+
+    AssembleResult full = assembleDeck(deck, kFull);
+    ASSERT_TRUE(full.ok) << full.summary();
+    // Branch unknowns for v1 AND the DC-short inductor.
+    ASSERT_EQ(full.system.branch_unknowns, 2u);
+    la::Vector uf =
+        la::solveDense(full.system.g.toDense(), full.system.i);
+    la::Vector vf = full.system.nodeVoltages(uf);
+    for (std::size_t k = 0; k < 3; ++k)
+        EXPECT_NEAR(vf[k], vr[k], 1e-9) << k;
+}
+
+TEST(Mna, TransientCompanionsConduct)
+{
+    // In transient mode the ladder caps become C/dt conductances, so
+    // taps no longer float at the drive voltage.
+    MnaOptions tr;
+    tr.mode = AnalysisMode::Transient;
+    tr.dt = 1e-6;
+    AssembleResult r = assembleDeck(
+        ladderDeck({/*sections=*/3, /*r_ohms=*/1e3,
+                    /*c_farads=*/1e-6, /*drive_volts=*/1.0}),
+        tr);
+    ASSERT_TRUE(r.ok) << r.summary();
+    ASSERT_EQ(r.system.unknowns(), 3u);
+    // C/dt = 1 S dwarfs the 1 mS series conductance: SPD and strongly
+    // diagonally dominant.
+    EXPECT_TRUE(r.system.g.isSymmetric());
+    EXPECT_TRUE(r.system.g.isDiagonallyDominant());
+    ASSERT_TRUE(la::Cholesky::factor(r.system.g.toDense()));
+    la::Vector u = la::solveDense(r.system.g.toDense(), r.system.i);
+    for (std::size_t k = 0; k < u.size(); ++k) {
+        EXPECT_GT(u[k], 0.0);
+        EXPECT_LT(u[k], 1.0); // strictly attenuated below the drive
+    }
+}
+
+TEST(Mna, DcLadderFloatsAtDriveVoltage)
+{
+    // DC: caps open, no load current, every tap = drive voltage.
+    AssembleResult r = assembleDeck(
+        ladderDeck({/*sections=*/5, /*r_ohms=*/2.2e3,
+                    /*c_farads=*/1e-6, /*drive_volts=*/3.3}),
+        kReduced);
+    ASSERT_TRUE(r.ok) << r.summary();
+    la::Vector u = la::solveDense(r.system.g.toDense(), r.system.i);
+    la::Vector v = r.system.nodeVoltages(u);
+    for (std::size_t k = 0; k < v.size(); ++k)
+        EXPECT_NEAR(v[k], 3.3, 1e-9) << k;
+}
+
+TEST(Mna, GridCurrentConservation)
+{
+    // The anchor resistor is the grid's only DC path to ground, so
+    // the whole injected current exits through it:
+    // v(anchor node) = I * R_anchor exactly.
+    GridSpec spec;
+    spec.rows = 3;
+    spec.cols = 3;
+    AssembleResult r = assembleDeck(gridDeck(spec), kReduced);
+    ASSERT_TRUE(r.ok) << r.summary();
+    ASSERT_EQ(r.system.unknowns(), 9u);
+    EXPECT_TRUE(r.system.g.isSymmetric());
+    ASSERT_TRUE(la::Cholesky::factor(r.system.g.toDense()));
+
+    la::Vector u = la::solveDense(r.system.g.toDense(), r.system.i);
+    // Node n0_0 is interned first (the generator emits it first).
+    EXPECT_EQ(r.system.unknown_names[0], "n0_0");
+    EXPECT_NEAR(u[0], spec.inject_amps * spec.r_anchor_ohms, 1e-9);
+}
+
+TEST(Mna, ReducedMatchesFullOnRandomTopology)
+{
+    std::string deck = randomDeck({/*seed=*/11, /*nodes=*/14,
+                                   /*extra_edges=*/10,
+                                   /*r_min_ohms=*/100.0,
+                                   /*r_max_ohms=*/1e5});
+    AssembleResult red = assembleDeck(deck, kReduced);
+    AssembleResult full = assembleDeck(deck, kFull);
+    ASSERT_TRUE(red.ok) << red.summary();
+    ASSERT_TRUE(full.ok) << full.summary();
+    la::Vector vr = red.system.nodeVoltages(
+        la::solveDense(red.system.g.toDense(), red.system.i));
+    la::Vector vf = full.system.nodeVoltages(
+        la::solveDense(full.system.g.toDense(), full.system.i));
+    ASSERT_EQ(vr.size(), vf.size());
+    double scale = normInf(vr);
+    for (std::size_t k = 0; k < vr.size(); ++k)
+        EXPECT_NEAR(vr[k], vf[k], 1e-9 * scale) << k;
+}
+
+TEST(Mna, AllGeneratedDecksReducedSpd)
+{
+    for (const std::string &deck :
+         {ladderDeck({}), gridDeck({}), meshDeck({}),
+          randomDeck({5, 16, 12})}) {
+        AssembleResult r = assembleDeck(deck, kReduced);
+        ASSERT_TRUE(r.ok) << r.summary() << "\n" << deck;
+        EXPECT_TRUE(r.system.g.isSymmetric());
+        EXPECT_TRUE(la::Cholesky::factor(r.system.g.toDense()))
+            << "not SPD:\n"
+            << deck;
+    }
+}
+
+TEST(Mna, SparsityHashStableAcrossReparses)
+{
+    std::string deck = meshDeck({/*cells=*/8});
+    AssembleResult a = assembleDeck(deck, kReduced);
+    AssembleResult b = assembleDeck(deck, kReduced);
+    ASSERT_TRUE(a.ok) << a.summary();
+    ASSERT_TRUE(b.ok);
+    EXPECT_EQ(compiler::sparsityHash(a.system.g.toDense()),
+              compiler::sparsityHash(b.system.g.toDense()));
+    // Same nnz positions AND values: bit-identical dense forms.
+    la::DenseMatrix da = a.system.g.toDense();
+    la::DenseMatrix db = b.system.g.toDense();
+    ASSERT_EQ(da.rows(), db.rows());
+    EXPECT_EQ(da.frobeniusDiff(db), 0.0);
+}
+
+TEST(Mna, CircuitHashDiffersFromStencilAtMatchedN)
+{
+    // A 3x3 resistor grid and the 2D l=3 Poisson stencil are both
+    // n = 9, but the circuit's anchor/injection pattern is different
+    // irregular sparsity — the service's program cache must treat
+    // them as distinct programs.
+    AssembleResult circuit =
+        assembleDeck(gridDeck({3, 3}), kReduced);
+    ASSERT_TRUE(circuit.ok) << circuit.summary();
+    pde::PoissonProblem stencil = pde::assemblePoisson(2, 3);
+    ASSERT_EQ(circuit.system.unknowns(), stencil.a.rows());
+    EXPECT_NE(compiler::sparsityHash(circuit.system.g.toDense()),
+              compiler::sparsityHash(stencil.a.toDense()));
+}
+
+TEST(Mna, WideValueRangeSurvivesAssembly)
+{
+    // 5 decades of resistance: entries span ~1e-6..1e-1 S. Assembly
+    // must keep them exact (no normalization at this layer — range
+    // handling is the compiler's job).
+    AssembleResult r = assembleDeck("wide range\n"
+                                    "i1 0 a dc 1m\n"
+                                    "rbig a b 1meg\n"
+                                    "rsmall b 0 10\n"
+                                    "rmid a 0 10k\n"
+                                    "rx b a 22k\n"
+                                    ".end\n",
+                                    kReduced);
+    ASSERT_TRUE(r.ok) << r.summary();
+    EXPECT_NEAR(r.system.g.at(0, 0), 1e-6 + 1e-4 + 1.0 / 22e3,
+                1e-18);
+    EXPECT_NEAR(r.system.g.at(1, 1), 1e-6 + 0.1 + 1.0 / 22e3,
+                1e-12);
+}
+
+TEST(Mna, DeckToMatrixMarketRoundTrip)
+{
+    // The interchange path: an assembled deck exports as a symmetric
+    // .mtx (the storage SuiteSparse circuit sets use) and reloads
+    // bit-exactly — so external circuit matrices and generated decks
+    // flow through one loader.
+    AssembleResult r = assembleDeck(gridDeck({3, 3}), {});
+    ASSERT_TRUE(r.ok) << r.summary();
+    ASSERT_TRUE(r.system.g.isSymmetric());
+
+    std::stringstream buf;
+    la::writeMatrixMarket(r.system.g, buf, /*symmetric=*/true);
+    la::CsrMatrix back = la::readMatrixMarket(buf);
+    ASSERT_EQ(back.rows(), r.system.g.rows());
+    EXPECT_EQ(back.nnz(), r.system.g.nnz());
+    EXPECT_EQ(back.toDense().frobeniusDiff(r.system.g.toDense()),
+              0.0);
+    // The sparsity hash — the program-cache key — survives the trip.
+    EXPECT_EQ(compiler::sparsityHash(back.toDense()),
+              compiler::sparsityHash(r.system.g.toDense()));
+}
+
+} // namespace
+} // namespace aa::spice

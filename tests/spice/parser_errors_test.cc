@@ -1,0 +1,368 @@
+/**
+ * @file
+ * Parser and assembler error paths (satellite: structured diagnostics,
+ * never a crash). Every malformed deck here must come back as
+ * Diagnostics carrying 1-based line numbers — the whole file runs
+ * under ASan/UBSan in the sanitize leg of tools/check.sh, so any
+ * out-of-bounds or UB on these paths fails loudly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "aa/spice/mna.hh"
+#include "aa/spice/netlist.hh"
+
+namespace aa::spice {
+namespace {
+
+bool
+hasError(const std::vector<Diagnostic> &diags,
+         const std::string &needle, std::size_t line = 0)
+{
+    for (const Diagnostic &d : diags) {
+        if (d.severity != Diagnostic::Severity::Error)
+            continue;
+        if (d.message.find(needle) == std::string::npos)
+            continue;
+        if (line != 0 && d.line != line)
+            continue;
+        return true;
+    }
+    return false;
+}
+
+std::string
+joined(const ParseResult &r)
+{
+    return r.summary();
+}
+
+TEST(ParserErrors, MissingEnd)
+{
+    ParseResult r = parseNetlistString("no terminator\n"
+                                       "r1 a 0 1k\n"
+                                       "r2 a 0 2k\n");
+    EXPECT_FALSE(r.ok);
+    EXPECT_TRUE(hasError(r.diagnostics, ".end")) << joined(r);
+}
+
+TEST(ParserErrors, EmptyDeck)
+{
+    ParseResult r = parseNetlistString("");
+    EXPECT_FALSE(r.ok);
+    ParseResult r2 = parseNetlistString("title only\n.end\n");
+    EXPECT_FALSE(r2.ok);
+    EXPECT_TRUE(hasError(r2.diagnostics, "no components"))
+        << joined(r2);
+}
+
+TEST(ParserErrors, DuplicateComponentName)
+{
+    ParseResult r = parseNetlistString("dupes\n"
+                                       "r1 a 0 1k\n"
+                                       "r1 a 0 2k\n"
+                                       ".end\n");
+    EXPECT_FALSE(r.ok);
+    EXPECT_TRUE(hasError(r.diagnostics, "duplicate", 3)) << joined(r);
+}
+
+TEST(ParserErrors, ZeroValuedResistor)
+{
+    ParseResult r = parseNetlistString("short circuit\n"
+                                       "v1 a 0 dc 1\n"
+                                       "r1 a 0 0\n"
+                                       ".end\n");
+    EXPECT_FALSE(r.ok);
+    EXPECT_TRUE(hasError(r.diagnostics, "zero", 3)) << joined(r);
+}
+
+TEST(ParserErrors, NegativeComponentValues)
+{
+    ParseResult r = parseNetlistString("negatives\n"
+                                       "r1 a 0 -1k\n"
+                                       "c1 a 0 -1u\n"
+                                       "r2 a 0 1k\n"
+                                       ".end\n");
+    EXPECT_FALSE(r.ok);
+    EXPECT_TRUE(hasError(r.diagnostics, "negative", 2)) << joined(r);
+    EXPECT_TRUE(hasError(r.diagnostics, "negative", 3)) << joined(r);
+}
+
+TEST(ParserErrors, DanglingNode)
+{
+    // "stub" is touched by exactly one terminal.
+    ParseResult r = parseNetlistString("dangler\n"
+                                       "v1 a 0 dc 1\n"
+                                       "r1 a b 1k\n"
+                                       "r2 b 0 1k\n"
+                                       "r3 b stub 5k\n"
+                                       ".end\n");
+    EXPECT_FALSE(r.ok);
+    EXPECT_TRUE(hasError(r.diagnostics, "dangling", 5)) << joined(r);
+}
+
+TEST(ParserErrors, NoGroundNode)
+{
+    ParseResult r = parseNetlistString("floating world\n"
+                                       "r1 a b 1k\n"
+                                       "r2 b a 2k\n"
+                                       ".end\n");
+    EXPECT_FALSE(r.ok);
+    EXPECT_TRUE(hasError(r.diagnostics, "ground")) << joined(r);
+}
+
+TEST(ParserErrors, MalformedValue)
+{
+    ParseResult r = parseNetlistString("bad value\n"
+                                       "r1 a 0 lots\n"
+                                       "r2 a 0 1k\n"
+                                       ".end\n");
+    EXPECT_FALSE(r.ok);
+    EXPECT_TRUE(hasError(r.diagnostics, "value", 2)) << joined(r);
+}
+
+TEST(ParserErrors, MissingFields)
+{
+    ParseResult r = parseNetlistString("short card\n"
+                                       "r1 a\n"
+                                       "r2 a 0 1k\n"
+                                       ".end\n");
+    EXPECT_FALSE(r.ok);
+    EXPECT_TRUE(hasError(r.diagnostics, "", 2)) << joined(r);
+}
+
+TEST(ParserErrors, UnknownComponentLetter)
+{
+    ParseResult r = parseNetlistString("transistor deck\n"
+                                       "q1 c b e model\n"
+                                       "r1 a 0 1k\n"
+                                       "r2 a 0 1k\n"
+                                       ".end\n");
+    EXPECT_FALSE(r.ok);
+    EXPECT_TRUE(hasError(r.diagnostics, "unknown card", 2))
+        << joined(r);
+}
+
+TEST(ParserErrors, UnknownDirective)
+{
+    ParseResult r = parseNetlistString("directive deck\n"
+                                       "r1 a 0 1k\n"
+                                       "r2 a 0 1k\n"
+                                       ".tran 1u 1m\n"
+                                       ".end\n");
+    // Unsupported dot-cards are warnings, not errors: the deck's
+    // topology is still fully usable.
+    EXPECT_TRUE(r.ok) << joined(r);
+    bool warned = false;
+    for (const Diagnostic &d : r.diagnostics)
+        if (d.severity == Diagnostic::Severity::Warning && d.line == 4)
+            warned = true;
+    EXPECT_TRUE(warned) << joined(r);
+}
+
+TEST(ParserErrors, VoltageSourceSelfLoop)
+{
+    ParseResult r = parseNetlistString("self loop\n"
+                                       "v1 a a dc 5\n"
+                                       "r1 a 0 1k\n"
+                                       "r2 a 0 1k\n"
+                                       ".end\n");
+    EXPECT_FALSE(r.ok);
+    EXPECT_TRUE(hasError(r.diagnostics, "shorts", 2)) << joined(r);
+}
+
+TEST(ParserErrors, UnknownSubckt)
+{
+    ParseResult r = parseNetlistString("missing def\n"
+                                       "v1 in 0 dc 1\n"
+                                       "x1 in out nosuchthing\n"
+                                       "rload out 0 1k\n"
+                                       ".end\n");
+    EXPECT_FALSE(r.ok);
+    EXPECT_TRUE(hasError(r.diagnostics, "nosuchthing", 3))
+        << joined(r);
+}
+
+TEST(ParserErrors, SubcktPortMismatch)
+{
+    ParseResult r = parseNetlistString("port arity\n"
+                                       ".subckt two a b\n"
+                                       "r1 a b 1k\n"
+                                       ".ends\n"
+                                       "v1 in 0 dc 1\n"
+                                       "x1 in mid out two\n"
+                                       "rload out 0 1k\n"
+                                       ".end\n");
+    EXPECT_FALSE(r.ok);
+    EXPECT_TRUE(hasError(r.diagnostics, "port", 6)) << joined(r);
+}
+
+TEST(ParserErrors, RecursiveSubckt)
+{
+    ParseResult r = parseNetlistString("infinite circuit\n"
+                                       ".subckt loop a b\n"
+                                       "r1 a b 1k\n"
+                                       "x1 a b loop\n"
+                                       ".ends\n"
+                                       "v1 in 0 dc 1\n"
+                                       "xtop in out loop\n"
+                                       "rload out 0 1k\n"
+                                       ".end\n");
+    EXPECT_FALSE(r.ok);
+    EXPECT_TRUE(hasError(r.diagnostics, "recursive")) << joined(r);
+}
+
+TEST(ParserErrors, UnclosedSubckt)
+{
+    ParseResult r = parseNetlistString("unclosed\n"
+                                       ".subckt open a b\n"
+                                       "r1 a b 1k\n"
+                                       "v1 in 0 dc 1\n"
+                                       ".end\n");
+    EXPECT_FALSE(r.ok);
+    EXPECT_TRUE(hasError(r.diagnostics, ".ends", 2)) << joined(r);
+}
+
+TEST(ParserErrors, StrayEnds)
+{
+    ParseResult r = parseNetlistString("stray\n"
+                                       "r1 a 0 1k\n"
+                                       ".ends\n"
+                                       "r2 a 0 1k\n"
+                                       ".end\n");
+    EXPECT_FALSE(r.ok);
+    EXPECT_TRUE(hasError(r.diagnostics, ".ends", 3)) << joined(r);
+}
+
+TEST(ParserErrors, DiagnosticStrFormat)
+{
+    ParseResult r = parseNetlistString("dupes\n"
+                                       "r1 a 0 1k\n"
+                                       "r1 a 0 2k\n"
+                                       ".end\n");
+    ASSERT_FALSE(r.ok);
+    ASSERT_FALSE(r.diagnostics.empty());
+    std::string s = r.diagnostics.front().str();
+    EXPECT_NE(s.find("error"), std::string::npos) << s;
+    EXPECT_NE(s.find("line 3"), std::string::npos) << s;
+}
+
+TEST(ParserErrors, GarbageNeverCrashes)
+{
+    // Adversarial inputs: every one must produce diagnostics, not UB.
+    const char *decks[] = {
+        "\n",
+        "+ continuation with no card\n.end\n",
+        "title\n+ leading continuation\n.end\n",
+        "t\nr\n.end\n",
+        "t\nr1\n.end\n",
+        "t\n.subckt\n.ends\n.end\n",
+        "t\n.subckt s\n.ends\n.end\n",
+        "t\nx1 a b\n.end\n",
+        "t\nv1 a 0 dc\n.end\n",
+        "t\nr1 a 0 1k extra tokens here\n.end\n",
+        "t\n.subckt s a a\nr1 a 0 1k\n.ends\nx1 b s\n.end\n",
+        "t\n\x01\x02\x03 binary junk\n.end\n",
+        "t\nr1 \t a \t 0 \t 1k\n.end\n",
+    };
+    for (const char *deck : decks) {
+        ParseResult r = parseNetlistString(deck);
+        // Must return; ok may be either way for the benign ones, but
+        // diagnostics must be self-consistent.
+        EXPECT_EQ(r.ok, r.errorCount() == 0u) << deck;
+    }
+}
+
+TEST(AssembleErrors, FloatingVoltageSourceReduced)
+{
+    // v2 floats between two non-ground nodes with no source chain to
+    // ground: the reduced (SPD) shape cannot express it.
+    std::string deck = "floating source\n"
+                       "i1 0 a dc 1m\n"
+                       "r1 a b 1k\n"
+                       "v2 b c dc 2\n"
+                       "r2 c 0 1k\n"
+                       "r3 a 0 10k\n"
+                       ".end\n";
+    AssembleResult red = assembleDeck(deck, {});
+    EXPECT_FALSE(red.ok);
+    bool found = false;
+    for (const Diagnostic &d : red.diagnostics)
+        if (d.message.find("float") != std::string::npos &&
+            d.line == 4)
+            found = true;
+    EXPECT_TRUE(found) << red.summary();
+
+    // Full MNA handles it fine.
+    MnaOptions full;
+    full.reduce = false;
+    AssembleResult f = assembleDeck(deck, full);
+    EXPECT_TRUE(f.ok) << f.summary();
+    EXPECT_EQ(f.system.branch_unknowns, 1u);
+}
+
+TEST(AssembleErrors, ConflictingPins)
+{
+    // Two grounded sources disagree about node a.
+    AssembleResult r = assembleDeck("conflict\n"
+                                    "v1 a 0 dc 1\n"
+                                    "v2 a 0 dc 2\n"
+                                    "r1 a 0 1k\n"
+                                    ".end\n",
+                                    {});
+    EXPECT_FALSE(r.ok);
+    bool found = false;
+    for (const Diagnostic &d : r.diagnostics)
+        if (d.message.find("conflict") != std::string::npos)
+            found = true;
+    EXPECT_TRUE(found) << r.summary();
+}
+
+TEST(AssembleErrors, IslandWithoutConductivePath)
+{
+    // a-b hangs off ground only through a current source and, in DC,
+    // an open capacitor: no conductive anchor, so DC assembly must
+    // reject it — but the transient companion (C/dt) conducts, so the
+    // same deck assembles clean in Transient mode.
+    std::string deck = "island\n"
+                       "i1 0 a dc 1m\n"
+                       "r1 a b 1k\n"
+                       "c1 b 0 1u\n"
+                       "c2 a 0 2u\n"
+                       ".end\n";
+    AssembleResult dc = assembleDeck(deck, {});
+    EXPECT_FALSE(dc.ok);
+    bool found = false;
+    for (const Diagnostic &d : dc.diagnostics)
+        if (d.message.find("no conductive path") != std::string::npos)
+            found = true;
+    EXPECT_TRUE(found) << dc.summary();
+
+    MnaOptions tr;
+    tr.mode = AnalysisMode::Transient;
+    tr.dt = 1e-6;
+    AssembleResult t = assembleDeck(deck, tr);
+    EXPECT_TRUE(t.ok) << t.summary();
+    EXPECT_EQ(t.system.unknowns(), 2u);
+}
+
+TEST(AssembleErrors, AllNodesPinnedIsDegenerate)
+{
+    // Every node pinned by a source: nothing left to solve for.
+    AssembleResult r = assembleDeck("all pinned\n"
+                                    "v1 a 0 dc 1\n"
+                                    "r1 a 0 1k\n"
+                                    ".end\n",
+                                    {});
+    EXPECT_FALSE(r.ok);
+    bool found = false;
+    for (const Diagnostic &d : r.diagnostics)
+        if (d.message.find("no unknowns") != std::string::npos)
+            found = true;
+    EXPECT_TRUE(found) << r.summary();
+}
+
+} // namespace
+} // namespace aa::spice

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * SPICE netlist parser: dialect features (title, comments,
+ * continuations, unit suffixes, subckt flattening) and the
+ * deterministic node-interning contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "aa/spice/generate.hh"
+#include "aa/spice/netlist.hh"
+
+namespace aa::spice {
+namespace {
+
+TEST(SpiceValue, EngineeringSuffixes)
+{
+    double v = 0.0;
+    EXPECT_TRUE(parseSpiceValue("1k", &v));
+    EXPECT_DOUBLE_EQ(v, 1e3);
+    EXPECT_TRUE(parseSpiceValue("2.2u", &v));
+    EXPECT_DOUBLE_EQ(v, 2.2e-6);
+    EXPECT_TRUE(parseSpiceValue("3meg", &v));
+    EXPECT_DOUBLE_EQ(v, 3e6);
+    EXPECT_TRUE(parseSpiceValue("3MEG", &v));
+    EXPECT_DOUBLE_EQ(v, 3e6);
+    EXPECT_TRUE(parseSpiceValue("4.7m", &v));
+    EXPECT_DOUBLE_EQ(v, 4.7e-3); // m is milli, not mega
+    EXPECT_TRUE(parseSpiceValue("100p", &v));
+    EXPECT_DOUBLE_EQ(v, 100e-12);
+    EXPECT_TRUE(parseSpiceValue("1.5f", &v));
+    EXPECT_DOUBLE_EQ(v, 1.5e-15);
+    EXPECT_TRUE(parseSpiceValue("2n", &v));
+    EXPECT_DOUBLE_EQ(v, 2e-9);
+    EXPECT_TRUE(parseSpiceValue("6g", &v));
+    EXPECT_DOUBLE_EQ(v, 6e9);
+    EXPECT_TRUE(parseSpiceValue("0.5t", &v));
+    EXPECT_DOUBLE_EQ(v, 0.5e12);
+}
+
+TEST(SpiceValue, UnitTextAfterSuffixIgnored)
+{
+    double v = 0.0;
+    EXPECT_TRUE(parseSpiceValue("10kohm", &v));
+    EXPECT_DOUBLE_EQ(v, 10e3);
+    EXPECT_TRUE(parseSpiceValue("100nF", &v));
+    EXPECT_DOUBLE_EQ(v, 100e-9);
+    EXPECT_TRUE(parseSpiceValue("5volts", &v));
+    EXPECT_DOUBLE_EQ(v, 5.0);
+}
+
+TEST(SpiceValue, PlainAndScientific)
+{
+    double v = 0.0;
+    EXPECT_TRUE(parseSpiceValue("470", &v));
+    EXPECT_DOUBLE_EQ(v, 470.0);
+    EXPECT_TRUE(parseSpiceValue("1e3", &v));
+    EXPECT_DOUBLE_EQ(v, 1e3);
+    EXPECT_TRUE(parseSpiceValue("-2.5e-4", &v));
+    EXPECT_DOUBLE_EQ(v, -2.5e-4);
+}
+
+TEST(SpiceValue, RejectsNonNumbers)
+{
+    double v = 123.0;
+    EXPECT_FALSE(parseSpiceValue("abc", &v));
+    EXPECT_FALSE(parseSpiceValue("", &v));
+    EXPECT_FALSE(parseSpiceValue("k1", &v));
+    EXPECT_DOUBLE_EQ(v, 123.0); // untouched on failure
+}
+
+TEST(SpiceValue, FormatRoundTrips)
+{
+    for (double value : {2.2e-6, 1e3, 4.7e6, 470.0, 1.5e-12, 0.33}) {
+        double back = 0.0;
+        ASSERT_TRUE(parseSpiceValue(formatSpiceValue(value), &back))
+            << formatSpiceValue(value);
+        EXPECT_NEAR(back, value, 1e-9 * value);
+    }
+}
+
+TEST(Parser, BasicDeck)
+{
+    ParseResult r = parseNetlistString("voltage divider\n"
+                                       "v1 in 0 dc 10\n"
+                                       "r1 in mid 1k\n"
+                                       "r2 mid 0 1k\n"
+                                       ".end\n");
+    ASSERT_TRUE(r.ok) << r.summary();
+    EXPECT_EQ(r.netlist.title, "voltage divider");
+    ASSERT_EQ(r.netlist.components.size(), 3u);
+    EXPECT_EQ(r.netlist.nodeCount(), 2u); // in, mid
+    const Component &v1 = r.netlist.components[0];
+    EXPECT_EQ(v1.kind, ComponentKind::VoltageSource);
+    EXPECT_EQ(v1.name, "v1");
+    EXPECT_DOUBLE_EQ(v1.value, 10.0);
+    EXPECT_EQ(v1.line, 2u);
+    EXPECT_EQ(r.netlist.components[1].node_pos, 1u); // "in"
+    EXPECT_EQ(r.netlist.components[1].node_neg, 2u); // "mid"
+    EXPECT_EQ(r.netlist.components[2].node_neg, 0u); // ground
+}
+
+TEST(Parser, CommentsAndBlankLines)
+{
+    ParseResult r = parseNetlistString(
+        "comment deck\n"
+        "* a full-line comment\n"
+        "\n"
+        "r1 a 0 1k ; inline comment\n"
+        "r2 a 0 2k $ dollar comment\n"
+        "* another\n"
+        ".end\n");
+    ASSERT_TRUE(r.ok) << r.summary();
+    EXPECT_EQ(r.netlist.components.size(), 2u);
+}
+
+TEST(Parser, LineContinuations)
+{
+    ParseResult r = parseNetlistString("continuation deck\n"
+                                       "r1 a\n"
+                                       "+ 0\n"
+                                       "+ 1k\n"
+                                       "r2 a 0 2.2k\n"
+                                       ".end\n");
+    ASSERT_TRUE(r.ok) << r.summary();
+    ASSERT_EQ(r.netlist.components.size(), 2u);
+    EXPECT_DOUBLE_EQ(r.netlist.components[0].value, 1e3);
+    EXPECT_EQ(r.netlist.components[0].line, 2u); // card starts there
+}
+
+TEST(Parser, GroundAliases)
+{
+    ParseResult r = parseNetlistString("ground names\n"
+                                       "r1 a gnd 1k\n"
+                                       "r2 a GND 2k\n"
+                                       "r3 a ground 3k\n"
+                                       "r4 a 0 4k\n"
+                                       ".end\n");
+    ASSERT_TRUE(r.ok) << r.summary();
+    for (const Component &c : r.netlist.components)
+        EXPECT_EQ(c.node_neg, 0u) << c.name;
+    EXPECT_EQ(r.netlist.nodeCount(), 1u);
+}
+
+TEST(Parser, CaseInsensitive)
+{
+    ParseResult r = parseNetlistString("case deck\n"
+                                       "R1 A B 1K\n"
+                                       "r2 b 0 2k\n"
+                                       "V1 a 0 DC 5\n"
+                                       ".END\n");
+    ASSERT_TRUE(r.ok) << r.summary();
+    EXPECT_EQ(r.netlist.components[0].name, "r1");
+    // A and a intern to the same node.
+    EXPECT_EQ(r.netlist.components[0].node_pos,
+              r.netlist.components[2].node_pos);
+}
+
+TEST(Parser, SourceWithoutDcKeyword)
+{
+    ParseResult r = parseNetlistString("plain source\n"
+                                       "i1 0 a 1m\n"
+                                       "r1 a 0 1k\n"
+                                       ".end\n");
+    ASSERT_TRUE(r.ok) << r.summary();
+    EXPECT_DOUBLE_EQ(r.netlist.components[0].value, 1e-3);
+}
+
+TEST(Parser, SubcktFlattening)
+{
+    ParseResult r = parseNetlistString(
+        "subckt deck\n"
+        ".subckt divider top out\n"
+        "r1 top out 1k\n"
+        "r2 out 0 1k\n"
+        ".ends\n"
+        "v1 in 0 dc 6\n"
+        "x1 in tap divider\n"
+        "x2 tap tap2 divider\n"
+        ".end\n");
+    ASSERT_TRUE(r.ok) << r.summary();
+    // 1 source + 2 instances x 2 resistors.
+    ASSERT_EQ(r.netlist.components.size(), 5u);
+    EXPECT_EQ(r.netlist.components[1].name, "x1.r1");
+    EXPECT_EQ(r.netlist.components[3].name, "x2.r1");
+    // Ports map to caller nodes: x1.r1 runs in -> tap.
+    const Component &x1r1 = r.netlist.components[1];
+    const Component &x2r1 = r.netlist.components[3];
+    EXPECT_EQ(x1r1.node_neg, x2r1.node_pos); // shared "tap"
+    // nodes: in, tap, tap2 (no internal nodes in this subckt).
+    EXPECT_EQ(r.netlist.nodeCount(), 3u);
+}
+
+TEST(Parser, SubcktInternalNodesArePrefixed)
+{
+    ParseResult r = parseNetlistString("internal nodes\n"
+                                       ".subckt pi a b\n"
+                                       "r1 a mid 1k\n"
+                                       "r2 mid b 1k\n"
+                                       "c1 mid 0 1n\n"
+                                       ".ends\n"
+                                       "v1 in 0 dc 1\n"
+                                       "x1 in out pi\n"
+                                       "rload out 0 10k\n"
+                                       ".end\n");
+    ASSERT_TRUE(r.ok) << r.summary();
+    bool found = false;
+    for (std::size_t k = 0; k < r.netlist.node_names.size(); ++k)
+        if (r.netlist.node_names[k] == "x1.mid")
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST(Parser, NestedSubcktInstantiation)
+{
+    ParseResult r = parseNetlistString("nested\n"
+                                       ".subckt leaf a b\n"
+                                       "r1 a b 1k\n"
+                                       ".ends\n"
+                                       ".subckt pair a b\n"
+                                       "x1 a m leaf\n"
+                                       "x2 m b leaf\n"
+                                       ".ends\n"
+                                       "v1 in 0 dc 1\n"
+                                       "xtop in out pair\n"
+                                       "rload out 0 1k\n"
+                                       ".end\n");
+    ASSERT_TRUE(r.ok) << r.summary();
+    ASSERT_EQ(r.netlist.components.size(), 4u);
+    EXPECT_EQ(r.netlist.components[1].name, "xtop.x1.r1");
+    EXPECT_EQ(r.netlist.components[2].name, "xtop.x2.r1");
+}
+
+TEST(Parser, ContentAfterEndIgnored)
+{
+    ParseResult r = parseNetlistString("end deck\n"
+                                       "r1 a 0 1k\n"
+                                       "r2 a 0 2k\n"
+                                       ".end\n"
+                                       "r3 b 0 junk_not_parsed\n");
+    ASSERT_TRUE(r.ok) << r.summary();
+    EXPECT_EQ(r.netlist.components.size(), 2u);
+}
+
+TEST(Parser, DeterministicNodeInterning)
+{
+    std::string deck = randomDeck({/*seed=*/7, /*nodes=*/10});
+    ParseResult a = parseNetlistString(deck);
+    ParseResult b = parseNetlistString(deck);
+    ASSERT_TRUE(a.ok) << a.summary();
+    ASSERT_TRUE(b.ok);
+    ASSERT_EQ(a.netlist.node_names, b.netlist.node_names);
+    ASSERT_EQ(a.netlist.components.size(),
+              b.netlist.components.size());
+    for (std::size_t k = 0; k < a.netlist.components.size(); ++k) {
+        EXPECT_EQ(a.netlist.components[k].node_pos,
+                  b.netlist.components[k].node_pos);
+        EXPECT_EQ(a.netlist.components[k].node_neg,
+                  b.netlist.components[k].node_neg);
+        EXPECT_EQ(a.netlist.components[k].value,
+                  b.netlist.components[k].value);
+    }
+}
+
+TEST(Generate, DecksAreDeterministic)
+{
+    EXPECT_EQ(randomDeck({42, 15, 10}), randomDeck({42, 15, 10}));
+    EXPECT_NE(randomDeck({42, 15, 10}), randomDeck({43, 15, 10}));
+    EXPECT_EQ(gridDeck({3, 4}), gridDeck({3, 4}));
+    EXPECT_EQ(ladderDeck({6}), ladderDeck({6}));
+    EXPECT_EQ(meshDeck({5}), meshDeck({5}));
+}
+
+TEST(Generate, AllGeneratorsParseClean)
+{
+    for (const std::string &deck :
+         {ladderDeck({8}), gridDeck({4, 5}), meshDeck({6}),
+          randomDeck({3, 20, 12})}) {
+        ParseResult r = parseNetlistString(deck);
+        EXPECT_TRUE(r.ok) << r.summary() << "\n" << deck;
+        EXPECT_EQ(r.errorCount(), 0u);
+    }
+}
+
+TEST(Generate, MeshUsesSubcktInternals)
+{
+    ParseResult r = parseNetlistString(meshDeck({4}));
+    ASSERT_TRUE(r.ok) << r.summary();
+    std::size_t mids = 0;
+    for (const std::string &n : r.netlist.node_names)
+        if (n.size() > 4 && n.substr(n.size() - 4) == ".mid")
+            ++mids;
+    EXPECT_EQ(mids, 4u); // one internal node per cell
+}
+
+} // namespace
+} // namespace aa::spice

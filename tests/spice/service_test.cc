@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Circuit matrices as service traffic, mixed with the stencil family
+ * at matched n: hash separation in the program cache, exact hit and
+ * eviction accounting under capacity pressure, affinity routing back
+ * to the warm die, and thread-count bit-identity of a mixed trace.
+ * The TSan leg of tools/check.sh runs this binary at AASIM_THREADS=1
+ * and =4.
+ */
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aa/analog/die_pool.hh"
+#include "aa/common/logging.hh"
+#include "aa/compiler/program.hh"
+#include "aa/pde/poisson.hh"
+#include "aa/service/service.hh"
+#include "aa/spice/generate.hh"
+#include "aa/spice/mna.hh"
+#include "common/trace_matcher.hh"
+
+namespace aa::service {
+namespace {
+
+const bool g_quiet = [] {
+    setLogLevel(LogLevel::Quiet);
+    return true;
+}();
+
+analog::AnalogSolverOptions
+quietOptions()
+{
+    analog::AnalogSolverOptions opts;
+    opts.spec.variation.enabled = false;
+    opts.spec.adc_noise_sigma = 0.0;
+    opts.auto_calibrate = false;
+    return opts;
+}
+
+/** The circuit workload: a 3x3 RC-grid deck through the full SPICE
+ *  front end (parse -> reduced MNA), n = 9. */
+struct CircuitWorkload {
+    std::shared_ptr<const la::DenseMatrix> a;
+    la::Vector b;
+};
+
+CircuitWorkload
+circuitWorkload()
+{
+    spice::AssembleResult r =
+        spice::assembleDeck(spice::gridDeck({3, 3}), {});
+    EXPECT_TRUE(r.ok) << r.summary();
+    return {std::make_shared<const la::DenseMatrix>(
+                r.system.g.toDense()),
+            r.system.i};
+}
+
+/** The stencil workload at the same n: 2D Poisson, l = 3, n = 9. */
+CircuitWorkload
+stencilWorkload()
+{
+    pde::PoissonProblem p = pde::assemblePoisson(
+        2, 3, [](double, double, double) { return 1.0; });
+    return {std::make_shared<const la::DenseMatrix>(p.a.toDense()),
+            p.b};
+}
+
+SolveRequest
+request(const CircuitWorkload &w, double rhs_scale = 1.0)
+{
+    SolveRequest r;
+    r.a = w.a;
+    r.b = rhs_scale * w.b;
+    return r;
+}
+
+TEST(SpiceService, MatchedSizeDistinctPrograms)
+{
+    CircuitWorkload circuit = circuitWorkload();
+    CircuitWorkload stencil = stencilWorkload();
+    ASSERT_EQ(circuit.a->rows(), stencil.a->rows());
+    // Same n, different irregular sparsity: the cache key must not
+    // collide or the router would alias the two programs.
+    EXPECT_NE(compiler::sparsityHash(*circuit.a),
+              compiler::sparsityHash(*stencil.a));
+}
+
+/** Run an alternating circuit/stencil trace one request per round
+ *  (submit + drain each), so the router cannot group same-pattern
+ *  requests and the cache sees a genuinely irregular pattern swap on
+ *  every request. */
+void
+runAlternating(SolveService &svc, const CircuitWorkload &circuit,
+               const CircuitWorkload &stencil, std::size_t requests)
+{
+    for (std::size_t i = 0; i < requests; ++i) {
+        auto f = svc.submit(request(
+            i % 2 == 0 ? circuit : stencil,
+            1.0 + 0.25 * static_cast<double>(i)));
+        svc.drain();
+        EXPECT_EQ(f.get().status, RequestStatus::Ok) << i;
+    }
+}
+
+TEST(SpiceService, CapacityOneThrashesWithExactCounts)
+{
+    // One die whose program cache holds a single structure, fed an
+    // alternating circuit/stencil trace one round at a time: every
+    // request must evict the other pattern, so the counters are
+    // exact — N misses, 0 hits, N-1 evictions.
+    auto opts = quietOptions();
+    opts.program_cache_capacity = 1;
+    analog::DiePool pool(1, opts);
+    SolveService svc(pool, {});
+
+    const std::size_t kRequests = 8;
+    CircuitWorkload circuit = circuitWorkload();
+    CircuitWorkload stencil = stencilWorkload();
+    runAlternating(svc, circuit, stencil, kRequests);
+    svc.stop();
+
+    ServiceMetrics m = svc.metrics();
+    EXPECT_EQ(m.completed, kRequests);
+    EXPECT_EQ(m.cache_misses, kRequests);
+    EXPECT_EQ(m.cache_hits, 0u);
+    // The first compile fills the empty slot; each of the other N-1
+    // compiles evicts its predecessor.
+    EXPECT_EQ(m.cache_evictions, kRequests - 1u);
+    // Per-die stats must reconcile exactly with the totals.
+    ASSERT_EQ(m.dies.size(), 1u);
+    EXPECT_EQ(m.dies[0].cache_misses, kRequests);
+    EXPECT_EQ(m.dies[0].cache_hits, 0u);
+    EXPECT_EQ(m.dies[0].cache_evictions, kRequests - 1u);
+    EXPECT_EQ(m.dies[0].requests, kRequests);
+}
+
+TEST(SpiceService, CapacityTwoHoldsBothPatterns)
+{
+    // The identical trace, capacity 2: after the two cold compiles
+    // every request hits and nothing is ever evicted — the counter
+    // story inverts exactly.
+    auto opts = quietOptions();
+    opts.program_cache_capacity = 2;
+    analog::DiePool pool(1, opts);
+    SolveService svc(pool, {});
+
+    const std::size_t kRequests = 8;
+    CircuitWorkload circuit = circuitWorkload();
+    CircuitWorkload stencil = stencilWorkload();
+    runAlternating(svc, circuit, stencil, kRequests);
+    svc.stop();
+
+    ServiceMetrics m = svc.metrics();
+    EXPECT_EQ(m.cache_misses, 2u); // one compile per pattern, ever
+    EXPECT_EQ(m.cache_hits, kRequests - 2u);
+    EXPECT_EQ(m.cache_evictions, 0u);
+    ASSERT_EQ(m.dies.size(), 1u);
+    EXPECT_EQ(m.dies[0].cache_evictions, 0u);
+}
+
+TEST(SpiceService, AffinityKeepsCircuitAndStencilOnWarmDies)
+{
+    analog::DiePool pool(2, quietOptions());
+    ServiceOptions sopts;
+    sopts.start_paused = true;
+    SolveService svc(pool, sopts);
+
+    CircuitWorkload circuit = circuitWorkload();
+    CircuitWorkload stencil = stencilWorkload();
+    auto submitRound = [&] {
+        std::vector<std::future<SolveResponse>> fs;
+        for (std::size_t i = 0; i < 4; ++i)
+            fs.push_back(svc.submit(request(
+                i % 2 == 0 ? circuit : stencil,
+                1.0 + 0.5 * static_cast<double>(i))));
+        return fs;
+    };
+
+    // Cold round: the two pattern groups land on distinct dies.
+    auto round1 = submitRound();
+    svc.resume();
+    svc.drain();
+    std::size_t die_c = round1[0].get().die;
+    std::size_t die_s = round1[1].get().die;
+    EXPECT_NE(die_c, die_s);
+
+    // Warm round: circuit traffic goes back to the circuit die,
+    // stencil to the stencil die, zero recompiles.
+    svc.pause();
+    auto round2 = submitRound();
+    svc.resume();
+    svc.drain();
+    for (std::size_t i = 0; i < round2.size(); ++i) {
+        SolveResponse r = round2[i].get();
+        EXPECT_TRUE(r.affine_hit) << "request " << i;
+        EXPECT_EQ(r.die, i % 2 == 0 ? die_c : die_s) << i;
+        EXPECT_EQ(r.phases.cache_misses, 0u) << i;
+    }
+    svc.stop();
+
+    ServiceMetrics m = svc.metrics();
+    EXPECT_EQ(m.cache_misses, 2u);
+    EXPECT_EQ(m.affinity_hits, 4u);
+    EXPECT_EQ(m.completed, 8u);
+}
+
+TEST(SpiceService, CircuitAnswersAreCorrectThroughTheService)
+{
+    // The service path must agree with the deck's digital solution,
+    // to refinement tolerance.
+    spice::AssembleResult asm_r =
+        spice::assembleDeck(spice::gridDeck({3, 3}), {});
+    ASSERT_TRUE(asm_r.ok) << asm_r.summary();
+    auto a = std::make_shared<const la::DenseMatrix>(
+        asm_r.system.g.toDense());
+
+    analog::DiePool pool(1, quietOptions());
+    SolveService svc(pool, {});
+    SolveRequest req;
+    req.a = a;
+    req.b = asm_r.system.i;
+    req.tolerance = 1e-8;
+    req.max_refine_passes = 20;
+    SolveResponse r = svc.submit(std::move(req)).get();
+    svc.stop();
+
+    ASSERT_EQ(r.status, RequestStatus::Ok);
+    EXPECT_TRUE(r.converged);
+    EXPECT_LE(r.residual, 1e-8);
+    // The residual bound was verified by the service; spot-check the
+    // expansion to node voltages against the physics.
+    la::Vector v = asm_r.system.nodeVoltages(r.u);
+    ASSERT_EQ(v.size(), 9u);
+    // All injected current leaves through the anchor: v(n0_0) = IR.
+    EXPECT_NEAR(v[0], 1e-3 * 470.0, 1e-4);
+}
+
+TEST(SpiceService, MixedTraceBitIdenticalAcrossThreadCounts)
+{
+    // The acceptance gate: a mixed stencil+circuit trace through a
+    // 3-die pool produces bitwise-identical responses at dispatch
+    // concurrency 1 and 4.
+    CircuitWorkload circuit = circuitWorkload();
+    CircuitWorkload stencil = stencilWorkload();
+    auto runWith = [&](std::size_t threads) {
+        analog::DiePool pool(3, quietOptions());
+        ServiceOptions sopts;
+        sopts.threads = threads;
+        sopts.start_paused = true;
+        SolveService svc(pool, sopts);
+        std::vector<std::future<SolveResponse>> fs;
+        for (std::size_t i = 0; i < 9; ++i)
+            fs.push_back(svc.submit(request(
+                i % 3 == 0 ? stencil : circuit,
+                1.0 + 0.125 * static_cast<double>(i))));
+        svc.resume();
+        svc.drain();
+        svc.stop();
+        std::vector<SolveResponse> rs;
+        for (auto &f : fs)
+            rs.push_back(f.get());
+        return rs;
+    };
+
+    auto serial = runWith(1);
+    auto threaded = runWith(4);
+    ASSERT_EQ(serial.size(), threaded.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].die, threaded[i].die) << i;
+        EXPECT_EQ(serial[i].exec_order, threaded[i].exec_order) << i;
+        ASSERT_EQ(serial[i].u.size(), threaded[i].u.size());
+        for (std::size_t j = 0; j < serial[i].u.size(); ++j)
+            EXPECT_EQ(serial[i].u[j], threaded[i].u[j])
+                << "request " << i << " component " << j;
+        EXPECT_TRUE(testutil::phasesMatch(serial[i].phases,
+                                          threaded[i].phases))
+            << "request " << i;
+    }
+}
+
+} // namespace
+} // namespace aa::service

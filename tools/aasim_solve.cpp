@@ -13,6 +13,15 @@
  *   aasim_solve --matrix A.mtx [--rhs b.mtx] [--out u.mtx]
  *               [--bandwidth HZ] [--adc-bits N] [--die-seed S]
  *               [--refine TOL] [--block-vars K] [--quiet]
+ *   aasim_solve --netlist deck.sp [--transient DT] [...]
+ *
+ * --netlist parses a SPICE deck and assembles the (reduced, SPD)
+ * MNA system G v = i in place of --matrix/--rhs; --transient uses
+ * the backward-Euler companion matrix at step DT instead of DC.
+ * --dump-matrix P additionally exports the system being solved as
+ * Matrix Market: the matrix to P (symmetric storage when it is),
+ * the right-hand side to P with "_b" before the extension — the
+ * deck-to-.mtx bridge for external tools.
  *
  * Without --rhs, b defaults to all ones. Exits nonzero on failure.
  */
@@ -21,6 +30,7 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 
 #include "aa/analog/decompose.hh"
@@ -29,13 +39,17 @@
 #include "aa/common/logging.hh"
 #include "aa/la/direct.hh"
 #include "aa/la/io.hh"
+#include "aa/spice/mna.hh"
 
 namespace {
 
 struct Args {
     std::string matrix;
+    std::string netlist;
     std::string rhs;
     std::string out;
+    std::string dump_matrix;
+    std::optional<double> transient_dt;
     double bandwidth = 20e3;
     std::size_t adc_bits = 8;
     std::uint64_t die_seed = 1;
@@ -52,7 +66,9 @@ usage()
            "                   [--out u.mtx] [--bandwidth HZ]\n"
            "                   [--adc-bits N] [--die-seed S]\n"
            "                   [--refine TOL] [--block-vars K]\n"
-           "                   [--quiet]\n";
+           "                   [--quiet]\n"
+           "       aasim_solve --netlist deck.sp [--transient DT]\n"
+           "                   [--dump-matrix out.mtx] [...]\n";
 }
 
 Args
@@ -67,6 +83,12 @@ parseArgs(int argc, char **argv)
         };
         if (flag == "--matrix") {
             args.matrix = next();
+        } else if (flag == "--netlist") {
+            args.netlist = next();
+        } else if (flag == "--transient") {
+            args.transient_dt = std::stod(next());
+        } else if (flag == "--dump-matrix") {
+            args.dump_matrix = next();
         } else if (flag == "--rhs") {
             args.rhs = next();
         } else if (flag == "--out") {
@@ -92,7 +114,8 @@ parseArgs(int argc, char **argv)
             std::exit(2);
         }
     }
-    if (args.matrix.empty()) {
+    if (args.matrix.empty() == args.netlist.empty()) {
+        // Exactly one input source: a matrix file or a deck.
         usage();
         std::exit(2);
     }
@@ -109,16 +132,58 @@ main(int argc, char **argv)
     if (args.quiet)
         setLogLevel(LogLevel::Quiet);
 
-    la::CsrMatrix a = la::readMatrixMarketFile(args.matrix);
+    la::CsrMatrix a;
+    la::Vector b;
+    if (!args.netlist.empty()) {
+        std::ifstream deck(args.netlist);
+        fatalIf(!deck, "aasim_solve: cannot open ", args.netlist);
+        std::ostringstream text;
+        text << deck.rdbuf();
+        spice::MnaOptions mopts;
+        if (args.transient_dt) {
+            mopts.mode = spice::AnalysisMode::Transient;
+            mopts.dt = *args.transient_dt;
+        }
+        spice::AssembleResult asm_r =
+            spice::assembleDeck(text.str(), mopts);
+        if (!asm_r.ok) {
+            std::cerr << asm_r.summary() << "\n";
+            return 1;
+        }
+        for (const spice::Diagnostic &d : asm_r.diagnostics)
+            std::cerr << d.str() << "\n";
+        a = asm_r.system.g;
+        b = args.rhs.empty() ? asm_r.system.i
+                             : la::readVectorMarketFile(args.rhs);
+        std::cerr << "assembled " << args.netlist << ": "
+                  << a.rows() << " unknowns, " << a.nnz()
+                  << " nonzeros\n";
+    } else {
+        a = la::readMatrixMarketFile(args.matrix);
+        b = args.rhs.empty() ? la::Vector(a.rows(), 1.0)
+                             : la::readVectorMarketFile(args.rhs);
+    }
     fatalIf(a.rows() != a.cols(), "aasim_solve: matrix must be "
                                   "square, got ",
             a.rows(), "x", a.cols());
-    la::Vector b = args.rhs.empty()
-                       ? la::Vector(a.rows(), 1.0)
-                       : la::readVectorMarketFile(args.rhs);
     fatalIf(b.size() != a.rows(),
             "aasim_solve: rhs size ", b.size(), " != matrix order ",
             a.rows());
+
+    if (!args.dump_matrix.empty()) {
+        std::ofstream mf(args.dump_matrix);
+        fatalIf(!mf, "aasim_solve: cannot open ", args.dump_matrix);
+        la::writeMatrixMarket(a, mf, a.isSymmetric());
+        std::string bpath = args.dump_matrix;
+        std::size_t dot = bpath.rfind('.');
+        bpath.insert(dot == std::string::npos ? bpath.size() : dot,
+                     "_b");
+        std::ofstream bf(bpath);
+        fatalIf(!bf, "aasim_solve: cannot open ", bpath);
+        la::writeVectorMarket(b, bf);
+        std::cerr << "wrote " << args.dump_matrix << " and " << bpath
+                  << "\n";
+    }
 
     analog::AnalogSolverOptions opts;
     opts.spec.bandwidth_hz = args.bandwidth;

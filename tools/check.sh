@@ -17,11 +17,15 @@
 # AASIM_THREADS=1 and =4, then the sharded rack-scaling and tenant-
 # fairness benchmarks, recorded into BENCH_service.json alongside the
 # single-pool scenarios.
+# The --spice leg covers the SPICE/MNA front end: spice_test under
+# TSan at AASIM_THREADS=1 and =4 (the mixed circuit+stencil service
+# trace must stay bit-identical), then the parse/assemble/solve and
+# mixed-cache benchmarks, recorded into BENCH_spice.json.
 # The --coverage leg builds the coverage preset, runs the fault /
-# service / fleet / analog suites, and gates src/fault and
-# src/service at 85% line coverage via tools/coverage.py (emits
-# coverage.xml).
-# Usage: tools/check.sh [--tier1-only | --service | --fleet | --coverage]
+# service / fleet / spice / analog suites, and gates src/fault,
+# src/service, and src/spice at 85% line coverage via
+# tools/coverage.py (emits coverage.xml).
+# Usage: tools/check.sh [--tier1-only | --service | --fleet | --spice | --coverage]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -68,21 +72,57 @@ record_service_bench() {
     fi
 }
 
+# Same re-record + compare flow for the SPICE bench artifact.
+record_spice_bench() {
+    local prev=""
+    if [[ -e BENCH_spice.json ]]; then
+        prev="$(mktemp)"
+        cp BENCH_spice.json "$prev"
+    fi
+    AASIM_THREADS=4 ./build/bench/spice_gbench \
+        --benchmark_min_time=2 \
+        --benchmark_out=BENCH_spice.json \
+        --benchmark_out_format=json
+    if [[ -n "$prev" ]]; then
+        python3 tools/bench_compare.py "$prev" BENCH_spice.json || true
+        rm -f "$prev"
+    fi
+}
+
+if [[ "${1:-}" == "--spice" ]]; then
+    echo "== spice (TSan) =="
+    cmake --preset tsan >/dev/null
+    cmake --build build-tsan -j"$(nproc)" --target spice_test
+    for threads in 1 4; do
+        echo "-- spice_test @ AASIM_THREADS=$threads"
+        AASIM_THREADS=$threads \
+            ./build-tsan/tests/spice_test --gtest_brief=1
+    done
+    echo "== spice front end (BENCH_spice.json) =="
+    cmake -B build -S . >/dev/null
+    cmake --build build -j"$(nproc)" --target spice_gbench
+    record_spice_bench
+    warn_debug_bench
+    echo "check.sh: spice leg green"
+    exit 0
+fi
+
 if [[ "${1:-}" == "--coverage" ]]; then
     echo "== coverage (gcov) =="
     cmake --preset coverage >/dev/null
     cmake --build build-coverage -j"$(nproc)" \
         --target chaos_test service_test pipeline_test shard_test \
-                 analog_test
+                 analog_test spice_test
     find build-coverage -name '*.gcda' -delete
     for t in chaos_test service_test pipeline_test shard_test \
-             analog_test; do
+             analog_test spice_test; do
         echo "-- $t"
         ./build-coverage/tests/"$t" --gtest_brief=1
     done
     python3 tools/coverage.py --build build-coverage \
         --xml build-coverage/coverage.xml \
-        --gate src/fault:85 --gate src/service:85
+        --gate src/fault:85 --gate src/service:85 \
+        --gate src/spice:85
     echo "check.sh: coverage leg green"
     exit 0
 fi
@@ -150,9 +190,9 @@ echo "== sanitize (ASan/UBSan) =="
 cmake --preset sanitize >/dev/null
 cmake --build build-sanitize -j"$(nproc)" \
     --target compiler_test analog_test circuit_test chaos_test \
-             service_test pipeline_test shard_test
+             service_test pipeline_test shard_test spice_test
 for t in compiler_test analog_test circuit_test chaos_test \
-         service_test pipeline_test shard_test; do
+         service_test pipeline_test shard_test spice_test; do
     ./build-sanitize/tests/"$t" --gtest_brief=1
 done
 
@@ -164,10 +204,10 @@ cmake --preset tsan >/dev/null
 cmake --build build-tsan -j"$(nproc)" \
     --target common_test circuit_test analog_test \
              decompose_parallel_test service_test pipeline_test \
-             shard_test chaos_test
+             shard_test chaos_test spice_test
 for t in common_test circuit_test analog_test \
          decompose_parallel_test service_test pipeline_test \
-         shard_test chaos_test; do
+         shard_test chaos_test spice_test; do
     for threads in 1 4; do
         AASIM_THREADS=$threads \
             ./build-tsan/tests/"$t" --gtest_brief=1

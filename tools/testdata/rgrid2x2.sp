@@ -1,0 +1,9 @@
+* 2x2 resistive grid with a corner current injection.
+* Small enough to eyeball: 4 nodes, node n11 grounded through rg.
+r12 n11 n12 1k
+r13 n11 n21 1k
+r24 n12 n22 1k
+r34 n21 n22 1k
+rg  n11 0   1k
+i1  0 n22 1m
+.end
