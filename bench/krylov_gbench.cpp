@@ -1,0 +1,165 @@
+/**
+ * @file
+ * The analog-preconditioned Krylov lane's head-to-head (records
+ * BENCH_krylov.json): FGMRES with one unrefined analog solve per
+ * apply against unpreconditioned host FGMRES on convection-diffusion
+ * (the system the pure gradient-flow mapping cannot serve at all),
+ * and flexible CG both ways on the controlled-kappa SPD family.
+ *
+ * The headline counters are iteration counts, not wall time: the
+ * simulator charges integration wall time per analog apply, so the
+ * crossover story in EXPERIMENTS.md is "how many outer iterations
+ * does one cheap ~8-bit analog apply save", with
+ * precond_iteration_ratio >= 2 the acceptance bar for the lane.
+ */
+
+#include <cstdint>
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "aa/analog/solver.hh"
+#include "aa/common/logging.hh"
+#include "aa/la/dense_matrix.hh"
+#include "aa/la/generate.hh"
+#include "aa/la/operator.hh"
+#include "aa/pde/convection.hh"
+#include "aa/solver/krylov.hh"
+#include "bench_util.hh"
+
+namespace {
+
+using namespace aa;
+
+const bool g_build_context = [] {
+    aa::bench::recordBuildContext(
+        [](const char *k, const std::string &v) {
+            benchmark::AddCustomContext(k, v);
+        });
+    return true;
+}();
+
+analog::AnalogSolverOptions
+quietDie()
+{
+    analog::AnalogSolverOptions opts;
+    opts.spec.variation.enabled = false;
+    opts.spec.adc_noise_sigma = 0.0;
+    opts.auto_calibrate = false;
+    opts.die_seed = 40;
+    return opts;
+}
+
+/** Analog-preconditioned FGMRES on convection-diffusion at cell
+ *  Peclet 0.8 — one unrefined analog solve per outer apply. */
+void
+BM_PrecondFgmresConvection(benchmark::State &state)
+{
+    setLogLevel(LogLevel::Quiet);
+    pde::ConvectionDiffusionProblem p = pde::convectionBenchmark(
+        2, static_cast<std::size_t>(state.range(0)), 0.8, 7);
+    la::DenseMatrix a = p.a.toDense();
+
+    analog::AnalogLinearSolver solver(quietDie());
+    analog::PrecondSolveOptions popts;
+    popts.tolerance = 1e-8;
+    analog::PreconditionedSolveOutcome out;
+    for (auto _ : state) {
+        out = solver.solvePreconditioned(a, p.b, popts);
+        benchmark::DoNotOptimize(out.u.data());
+    }
+    state.counters["unknowns"] = static_cast<double>(a.rows());
+    state.counters["outer_iterations"] =
+        static_cast<double>(out.iterations);
+    state.counters["precond_applies"] =
+        static_cast<double>(out.precond_applies);
+    state.counters["converged"] = out.converged ? 1.0 : 0.0;
+    state.counters["analog_seconds_per_solve"] = out.analog_seconds;
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PrecondFgmresConvection)->Arg(4)->Arg(6);
+
+/** The same systems through unpreconditioned host FGMRES — the
+ *  iteration count the analog preconditioner must at least halve. */
+void
+BM_HostFgmresConvection(benchmark::State &state)
+{
+    setLogLevel(LogLevel::Quiet);
+    pde::ConvectionDiffusionProblem p = pde::convectionBenchmark(
+        2, static_cast<std::size_t>(state.range(0)), 0.8, 7);
+    la::DenseMatrix a = p.a.toDense();
+    la::DenseOperator op(a);
+
+    solver::KrylovOptions o;
+    o.tol = 1e-8;
+    solver::KrylovResult r;
+    for (auto _ : state) {
+        r = solver::fgmres(op, p.b, solver::identityPreconditioner(),
+                           o);
+        benchmark::DoNotOptimize(r.x.data());
+    }
+    state.counters["unknowns"] = static_cast<double>(a.rows());
+    state.counters["iterations"] = static_cast<double>(r.iterations);
+    state.counters["converged"] = r.converged ? 1.0 : 0.0;
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HostFgmresConvection)->Arg(4)->Arg(6);
+
+/** Flexible CG with the analog preconditioner on the controlled-
+ *  kappa SPD family (range arg = kappa). */
+void
+BM_PrecondCgSpd(benchmark::State &state)
+{
+    setLogLevel(LogLevel::Quiet);
+    const double kappa = static_cast<double>(state.range(0));
+    la::DenseMatrix a = la::spdLogSpectrum(16, kappa, 11);
+    la::Vector b = la::seededRhs(16, 13);
+
+    analog::AnalogLinearSolver solver(quietDie());
+    analog::PrecondSolveOptions popts;
+    popts.tolerance = 1e-8;
+    analog::PreconditionedSolveOutcome out;
+    for (auto _ : state) {
+        out = solver.solvePreconditioned(a, b, popts);
+        benchmark::DoNotOptimize(out.u.data());
+    }
+    state.counters["kappa"] = kappa;
+    state.counters["outer_iterations"] =
+        static_cast<double>(out.iterations);
+    state.counters["precond_applies"] =
+        static_cast<double>(out.precond_applies);
+    state.counters["converged"] = out.converged ? 1.0 : 0.0;
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PrecondCgSpd)->Arg(20)->Arg(100);
+
+/** Unpreconditioned host CG on the same SPD instances. */
+void
+BM_HostCgSpd(benchmark::State &state)
+{
+    setLogLevel(LogLevel::Quiet);
+    const double kappa = static_cast<double>(state.range(0));
+    la::DenseMatrix a = la::spdLogSpectrum(16, kappa, 11);
+    la::Vector b = la::seededRhs(16, 13);
+    la::DenseOperator op(a);
+
+    solver::KrylovOptions o;
+    o.tol = 1e-8;
+    solver::KrylovResult r;
+    for (auto _ : state) {
+        r = solver::flexibleCg(op, b,
+                               solver::identityPreconditioner(), o);
+        benchmark::DoNotOptimize(r.x.data());
+    }
+    state.counters["kappa"] = kappa;
+    state.counters["iterations"] = static_cast<double>(r.iterations);
+    state.counters["converged"] = r.converged ? 1.0 : 0.0;
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HostCgSpd)->Arg(20)->Arg(100);
+
+} // namespace

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * AnalogLinearSolver::solvePreconditioned — the analog-preconditioned
+ * Krylov lane. The host runs the outer iteration (flexible CG /
+ * FGMRES, src/solver/krylov.hh); this file supplies the inner
+ * preconditioner: one unrefined analog solve per apply against a
+ * SolveShared context that persists across the whole outer loop, so
+ * the structure fetch and eigen analysis happen once and each apply
+ * is a pure rebind-of-b with a derived range hint — the solveBatch
+ * amortization, applied to a residual sequence instead of a batch.
+ */
+
+#include <chrono>
+#include <cmath>
+
+#include "aa/analog/solver.hh"
+#include "aa/common/logging.hh"
+#include "aa/la/operator.hh"
+#include "aa/solver/krylov.hh"
+
+namespace aa::analog {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+} // namespace
+
+PreconditionedSolveOutcome
+AnalogLinearSolver::solvePreconditioned(const la::DenseMatrix &a,
+                                        const la::Vector &b,
+                                        const PrecondSolveOptions &popts)
+{
+    fatalIf(a.rows() != a.cols() || a.rows() != b.size(),
+            "AnalogLinearSolver::solvePreconditioned: dimension "
+            "mismatch");
+    fatalIf(b.empty(),
+            "AnalogLinearSolver::solvePreconditioned: empty system");
+
+    ensureCapacity(compiler::demandOf(a, b));
+
+    PreconditionedSolveOutcome out;
+
+    // One structure fetch for the entire outer iteration, with
+    // hit/miss attribution inside the fetch's own critical section
+    // (same discipline as solve()/solveBatch()).
+    compiler::CacheStats fetch_delta;
+    auto t_compile = Clock::now();
+    SolveShared shared;
+    {
+        std::lock_guard<std::mutex> ck(*cache_mu_);
+        compiler::CacheStats before = cache_.stats();
+        shared.structure = cache_.fetch(a, *chip_);
+        fetch_delta.hits = cache_.stats().hits - before.hits;
+        fetch_delta.misses = cache_.stats().misses - before.misses;
+    }
+    out.phases.compile_seconds += secondsSince(t_compile);
+    out.phases.cache_hits = fetch_delta.hits;
+    out.phases.cache_misses = fetch_delta.misses;
+
+    // A sticky solution-scale hint is a contract with the *next
+    // solve*; consume it for the first apply like solve() would.
+    double prev_sigma = sticky_solution_scale;
+    sticky_solution_scale = 0.0;
+    double prev_rpeak = 0.0;
+
+    static const la::Vector no_u0;
+    solver::PrecondFn analog_apply = [&](const la::Vector &r,
+                                         la::Vector &z) {
+        ++out.precond_applies;
+        const double rpeak = la::normInf(r);
+        if (rpeak == 0.0) {
+            z = r; // exact residual: nothing to precondition
+            return true;
+        }
+        // Derived range reuse across applies: the Krylov residual
+        // sequence shrinks roughly geometrically, so the previous
+        // apply's working rung rescaled by the residual-peak ratio
+        // is the right opening rung — a proportional rebind lands in
+        // one attempt and ships only DAC-bias deltas.
+        double hint = 0.0;
+        if (prev_sigma > 0.0 && prev_rpeak > 0.0)
+            hint = prev_sigma * (rpeak / prev_rpeak);
+        else if (prev_sigma > 0.0)
+            hint = prev_sigma;
+        try {
+            AnalogSolveOutcome o = solveOne(a, r, no_u0, hint, shared);
+            out.analog_seconds += o.analog_seconds;
+            out.phases.add(o.phases);
+            prev_sigma = o.solution_scale;
+            prev_rpeak = rpeak;
+            z = std::move(o.u);
+            return true;
+        } catch (const SolveRangeError &) {
+            // This apply is unservable at any scale the ladder
+            // tried; the outer iteration continues with z = r. The
+            // recorded range state is no longer trustworthy.
+            ++out.precond_fallbacks;
+            prev_sigma = 0.0;
+            prev_rpeak = 0.0;
+            return false;
+        }
+        // DieDeadError (and anything else) propagates: the caller
+        // owns rerouting and degradation.
+    };
+
+    const bool symmetric = a.isSymmetric();
+    const bool use_cg =
+        popts.method == PrecondSolveOptions::Method::Cg ||
+        (popts.method == PrecondSolveOptions::Method::Auto &&
+         symmetric);
+    out.used_fgmres = !use_cg;
+
+    la::DenseOperator op(a);
+    solver::KrylovOptions ko;
+    ko.max_iters = popts.max_iters;
+    ko.tol = popts.tolerance;
+    ko.restart = popts.restart;
+    ko.record_residuals = popts.record_history;
+    ko.keep_going = popts.keep_going;
+    solver::KrylovResult kr =
+        use_cg ? solver::flexibleCg(op, b, analog_apply, ko)
+               : solver::fgmres(op, b, analog_apply, ko);
+
+    out.u = std::move(kr.x);
+    out.converged = kr.converged;
+    out.iterations = kr.iterations;
+    out.restarts = kr.restarts;
+    out.stop_detail = kr.converged ? std::string() : kr.stop_detail;
+    if (!kr.converged && out.stop_detail.empty())
+        out.stop_detail =
+            kr.stop == solver::KrylovStop::MaxIterations
+                ? "krylov iteration budget exhausted"
+                : "krylov did not converge";
+    const double bnorm = la::norm2(b);
+    out.final_residual =
+        kr.final_residual / (bnorm > 0.0 ? bnorm : 1.0);
+    out.residual_history = std::move(kr.residual_history);
+    return out;
+}
+
+} // namespace aa::analog

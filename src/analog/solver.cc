@@ -475,15 +475,21 @@ AnalogLinearSolver::prepareSolve(
         !compiler::demandOf(a, b).fitsOn(chip_->config().geometry))
         return prep;
 
+    // Observational lookup only: a prepare must never move the LRU
+    // order or claim the hit/miss — preps race the executor (and can
+    // be discarded on a generation bump), so attribution here would
+    // depend on stager/executor interleaving. The consumer's
+    // execute-time fetch owns the attribution, taking this privately
+    // compiled structure as a donor on a miss.
     auto t_fetch = Clock::now();
     {
         std::lock_guard<std::mutex> ck(*cache_mu_);
-        compiler::CacheStats before = cache_.stats();
-        prep.structure = cache_.fetch(a, *chip_);
-        prep.phases.cache_hits = cache_.stats().hits - before.hits;
-        prep.phases.cache_misses =
-            cache_.stats().misses - before.misses;
+        prep.structure = cache_.lookup(a, *chip_);
     }
+    if (!prep.structure)
+        prep.structure =
+            std::make_shared<const compiler::CompiledStructure>(
+                a, *chip_);
     prep.phases.compile_seconds += secondsSince(t_fetch);
 
     auto t_configure = Clock::now();
@@ -526,7 +532,21 @@ AnalogLinearSolver::solvePrepared(const la::DenseMatrix &a,
         return solve(a, b, u0);
 
     SolveShared shared;
-    shared.structure = prepared.structure;
+    // The canonical structure fetch happens here, on the executor, in
+    // stamped order — the prepare only donated a compile. A hit hands
+    // back the resident object (pointer-identical to what the
+    // unprepared path would use, which the live-structure check
+    // relies on); a miss installs the donor.
+    {
+        std::lock_guard<std::mutex> ck(*cache_mu_);
+        compiler::CacheStats before = cache_.stats();
+        shared.structure = cache_.fetch(a, *chip_, prepared.structure);
+        prepared.phases.cache_hits =
+            cache_.stats().hits - before.hits;
+        prepared.phases.cache_misses =
+            cache_.stats().misses - before.misses;
+    }
+    prepared.structure = shared.structure;
     shared.have_lambda = true;
     shared.lambda_ref = prepared.lambda_ref;
     shared.s_ref = prepared.s_ref;

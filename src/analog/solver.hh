@@ -14,6 +14,7 @@
 #ifndef AA_ANALOG_SOLVER_HH
 #define AA_ANALOG_SOLVER_HH
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -127,6 +128,55 @@ struct AnalogSolveOutcome {
     SolvePhaseReport phases;     ///< per-phase time/traffic breakdown
 };
 
+/** Options for the analog-preconditioned Krylov path. */
+struct PrecondSolveOptions {
+    /** Convergence target ||b - A u||_2 <= tolerance * ||b||_2. */
+    double tolerance = 1e-8;
+    /** Outer Krylov iterations (= analog preconditioner applies on
+     *  the happy path). */
+    std::size_t max_iters = 200;
+    /** FGMRES restart length (ignored on the CG path). */
+    std::size_t restart = 30;
+    /** Which outer iteration to run; Auto picks CG for symmetric
+     *  matrices and FGMRES otherwise. */
+    enum class Method { Auto, Cg, Fgmres } method = Method::Auto;
+    /** Record the outer residual history. */
+    bool record_history = false;
+    /** Checked between outer iterations; false = stop (deadline
+     *  gating, like RefineOptions::keep_going). */
+    std::function<bool()> keep_going;
+};
+
+/**
+ * Outcome of solvePreconditioned: host-side Krylov wrapped around
+ * analog preconditioner applies. `converged` is a digital fact —
+ * the outer loop recomputes ||b - A u|| at exit.
+ */
+struct PreconditionedSolveOutcome {
+    la::Vector u;
+    bool converged = false;
+    bool used_fgmres = false;     ///< else flexible CG
+    std::size_t iterations = 0;   ///< outer Krylov iterations
+    std::size_t restarts = 0;     ///< FGMRES cycles beyond the first
+    /** Relative ||b - A u||_2 / ||b||_2 at exit. */
+    double final_residual = 0.0;
+    /** Why the outer loop stopped when not converged (stable text
+     *  for failure chains; empty on convergence). */
+    std::string stop_detail;
+
+    std::size_t precond_applies = 0;   ///< analog applies attempted
+    /** Applies the analog ladder could not serve (range exhaustion):
+     *  the outer iteration used z = r instead. All-fallback outcomes
+     *  carried no analog contribution at all. */
+    std::size_t precond_fallbacks = 0;
+
+    double analog_seconds = 0.0; ///< integration time across applies
+    /** Summed phase/config-byte accounting across every apply; the
+     *  structure fetch and eigen analysis appear exactly once. */
+    SolvePhaseReport phases;
+    std::vector<double> residual_history;
+};
+
 /** An analog solve whose answer was checked against the digital
  *  residual before being believed. */
 struct VerifiedSolveOutcome {
@@ -218,6 +268,36 @@ class AnalogLinearSolver
                const std::vector<la::Vector> &bs,
                const std::vector<la::Vector> &u0s = {},
                const std::vector<double> &scale_hints = {});
+
+    /**
+     * Host-side Krylov iteration (flexible CG for symmetric A,
+     * FGMRES(m) otherwise) with this die as the preconditioner: each
+     * apply z ~= A^{-1} r is one *unrefined* analog solve. The
+     * compiled structure is fetched — and the eigen analysis run —
+     * once for the whole outer iteration, and every apply after the
+     * first starts from the derived range hint
+     * sigma_prev * |r_k| / |r_prev| (infinity norms), exactly the
+     * solveBatch recipe: Krylov residuals shrink roughly
+     * geometrically, so each apply rebinds only the DAC biases of a
+     * proportionally-scaled right-hand side and configuration
+     * traffic amortizes to ~zero per iteration.
+     *
+     * The flexible outer iterations are what make this sound: the
+     * analog apply is nonstationary (re-scaling ladder, range
+     * memory, ADC quantization differ per apply), which plain
+     * right-preconditioned GMRES does not tolerate. An apply whose
+     * ladder exhausts its attempts (SolveRangeError) degrades that
+     * iteration to z = r and is counted in precond_fallbacks;
+     * DieDeadError propagates — a dead die cannot answer.
+     *
+     * This opens the systems the pure du/dt = b - A u mapping cannot
+     * serve: nonsymmetric operators (convection-diffusion) and
+     * badly-conditioned SPD systems where refinement's contraction
+     * stalls near the ADC noise floor.
+     */
+    PreconditionedSolveOutcome
+    solvePreconditioned(const la::DenseMatrix &a, const la::Vector &b,
+                        const PrecondSolveOptions &popts = {});
 
     /**
      * Solve and verify the readout against the digital residual

@@ -125,7 +125,11 @@ estimateConvergenceRate(const la::DenseMatrix &a_scaled,
 {
     if (expect_spd && la::Cholesky::factor(a_scaled).has_value())
         return la::smallestEigenvalueSpd(a_scaled).value;
-    if (expect_spd) {
+    if (expect_spd && a_scaled.isSymmetric()) {
+        // Symmetric but indefinite is a genuine surprise. Plain
+        // asymmetry is not: the preconditioned Krylov lane runs
+        // nonsymmetric systems through the accelerator on purpose
+        // and owns their convergence story.
         warn("SleMapping: scaled matrix is not SPD; the gradient "
              "flow may not converge. Using a diagonal rate bound.");
     }
@@ -337,6 +341,39 @@ ProgramCache::fetch(const la::DenseMatrix &a, const chip::Chip &chip)
     index[key] = lru.begin();
     evictIfOver();
     return structure;
+}
+
+std::shared_ptr<const CompiledStructure>
+ProgramCache::fetch(const la::DenseMatrix &a, const chip::Chip &chip,
+                    std::shared_ptr<const CompiledStructure> donor)
+{
+    Key key{sparsityHash(a), geometryKeyOf(chip.config().geometry),
+            a.rows()};
+    auto it = index.find(key);
+    if (it != index.end()) {
+        ++stats_.hits;
+        lru.splice(lru.begin(), lru, it->second);
+        return lru.front().structure;
+    }
+    ++stats_.misses;
+    if (!donor || donor->patternHash() != key.pattern ||
+        donor->geometryKey() != key.geometry ||
+        donor->numVars() != key.n)
+        donor = std::make_shared<const CompiledStructure>(a, chip);
+    lru.push_front(Entry{key, donor, false});
+    index[key] = lru.begin();
+    evictIfOver();
+    return donor;
+}
+
+std::shared_ptr<const CompiledStructure>
+ProgramCache::lookup(const la::DenseMatrix &a,
+                     const chip::Chip &chip) const
+{
+    Key key{sparsityHash(a), geometryKeyOf(chip.config().geometry),
+            a.rows()};
+    auto it = index.find(key);
+    return it != index.end() ? it->second->structure : nullptr;
 }
 
 void

@@ -220,6 +220,27 @@ class ProgramCache
     fetch(const la::DenseMatrix &a, const chip::Chip &chip);
 
     /**
+     * fetch(), except a miss installs `donor` — compiled off-thread
+     * (the pipeline stager's prepare path) for exactly this key —
+     * instead of compiling inline. Counted as a plain miss: the
+     * compile happened, just elsewhere. A null or mismatched donor
+     * falls back to compiling. Keeping all stats/LRU mutations on
+     * this call (the executor) rather than at prepare time makes
+     * hit/miss attribution a pure function of the stamped execution
+     * order, never of stager/executor interleaving.
+     */
+    std::shared_ptr<const CompiledStructure>
+    fetch(const la::DenseMatrix &a, const chip::Chip &chip,
+          std::shared_ptr<const CompiledStructure> donor);
+
+    /** Observational exact-key lookup for the prepare path: the
+     *  resident structure for (pattern of a, chip geometry), or null.
+     *  Touches neither the LRU order nor the counters, like
+     *  contains(). */
+    std::shared_ptr<const CompiledStructure>
+    lookup(const la::DenseMatrix &a, const chip::Chip &chip) const;
+
+    /**
      * True when a structure for (pattern_hash, n) is resident under
      * any geometry. Purely observational: unlike fetch(), it touches
      * neither the LRU order nor the hit/miss counters, so a scheduler

@@ -1,0 +1,90 @@
+#include "aa/la/generate.hh"
+
+#include <cmath>
+
+#include "aa/common/logging.hh"
+#include "aa/common/rng.hh"
+
+namespace aa::la {
+
+DenseMatrix
+spdLogSpectrum(std::size_t n, double kappa, std::uint64_t seed)
+{
+    fatalIf(n == 0, "spdLogSpectrum: n must be positive");
+    fatalIf(kappa < 1.0, "spdLogSpectrum: kappa must be >= 1");
+
+    DenseMatrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double t = n > 1 ? static_cast<double>(i) /
+                               static_cast<double>(n - 1)
+                         : 0.0;
+        a(i, i) = std::pow(kappa, -t);
+    }
+
+    // Similarity by a few seeded Householder reflections
+    // H = I - 2 w w^T: A <- H A H keeps the spectrum exactly and
+    // fills the matrix in. Three reflections already make every
+    // entry generically nonzero.
+    Rng rng(seed);
+    Vector w(n), t(n);
+    for (std::size_t pass = 0; pass < 3; ++pass) {
+        double norm = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            w[i] = rng.gaussian(0.0, 1.0);
+            norm += w[i] * w[i];
+        }
+        norm = std::sqrt(norm);
+        if (norm == 0.0)
+            continue;
+        for (std::size_t i = 0; i < n; ++i)
+            w[i] /= norm;
+
+        // t = A w, s = w^T t;  A <- A - 2 w t^T - 2 t w^T + 4 s w w^T
+        double s = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            double acc = 0.0;
+            for (std::size_t j = 0; j < n; ++j)
+                acc += a(i, j) * w[j];
+            t[i] = acc;
+        }
+        for (std::size_t i = 0; i < n; ++i)
+            s += w[i] * t[i];
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t j = 0; j < n; ++j)
+                a(i, j) += -2.0 * w[i] * t[j] - 2.0 * t[i] * w[j] +
+                           4.0 * s * w[i] * w[j];
+    }
+
+    // Exact symmetry by construction can drift at the last ulp;
+    // average the halves so isSymmetric() holds bit-tight.
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i + 1; j < n; ++j) {
+            double m = 0.5 * (a(i, j) + a(j, i));
+            a(i, j) = m;
+            a(j, i) = m;
+        }
+    return a;
+}
+
+Vector
+seededRhs(std::size_t n, std::uint64_t seed)
+{
+    fatalIf(n == 0, "seededRhs: n must be positive");
+    Rng rng(seed);
+    Vector b(n);
+    double norm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        b[i] = rng.gaussian(0.0, 1.0);
+        norm += b[i] * b[i];
+    }
+    norm = std::sqrt(norm);
+    if (norm == 0.0) {
+        b[0] = 1.0;
+        return b;
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        b[i] /= norm;
+    return b;
+}
+
+} // namespace aa::la

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Deterministic dense test-matrix generators with controlled
+ * conditioning.
+ *
+ * The refinement-vs-preconditioning study (EXPERIMENTS.md) needs SPD
+ * systems whose condition number is an *input*, not an accident of
+ * discretization: spdLogSpectrum builds A = Q D Q^T with D's
+ * eigenvalues log-spaced across [1/kappa, 1] and Q a seeded product
+ * of Householder reflections, so kappa(A) = kappa exactly (up to
+ * round-off) and the same (n, kappa, seed) reproduces the same matrix
+ * bit for bit on a given platform. Entries are generically all
+ * nonzero, so sparsityHash depends only on n — every instance of a
+ * size shares one CompiledStructure in the program cache.
+ */
+
+#ifndef AA_LA_GENERATE_HH
+#define AA_LA_GENERATE_HH
+
+#include <cstdint>
+
+#include "aa/la/dense_matrix.hh"
+#include "aa/la/vector.hh"
+
+namespace aa::la {
+
+/**
+ * Dense SPD matrix with eigenvalues lambda_i = kappa^{-i/(n-1)},
+ * i = 0..n-1 (log-spaced in [1/kappa, 1], so ||A||_2 = 1 and
+ * cond_2(A) = kappa), rotated by a seeded orthogonal similarity.
+ * kappa >= 1; n >= 1 (n == 1 gives the 1x1 identity).
+ */
+DenseMatrix spdLogSpectrum(std::size_t n, double kappa,
+                           std::uint64_t seed);
+
+/** Seeded right-hand side: unit-2-norm vector of gaussian draws. */
+Vector seededRhs(std::size_t n, std::uint64_t seed);
+
+} // namespace aa::la
+
+#endif // AA_LA_GENERATE_HH

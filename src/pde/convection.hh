@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Convection-diffusion discretization: the repo's first *nonsymmetric*
+ * workload family.
+ *
+ *     -eps * laplacian(u) + v . grad(u) = f   on the unit domain,
+ *
+ * Dirichlet data on the boundary, second-order central differences on
+ * a StructuredGrid. The diffusion part reproduces the Poisson stencil
+ * (symmetric); the first-order convection term adds +-v_a/(2h) to the
+ * off-diagonal pairs, which breaks symmetry — A's eigenvalues move
+ * off the real axis, so the accelerator's du/dt = b - A u gradient
+ * flow spirals instead of descending and the pure analog(+refinement)
+ * lane stalls. This is exactly the workload the analog-preconditioned
+ * FGMRES lane exists for (DESIGN.md 5k).
+ *
+ * The discrete operator stays a (complex-)positive-stable M-matrix
+ * while the cell Peclet number Pe_h = |v| h / (2 eps) is at or below
+ * 1; convectionBenchmark() is parameterized directly by Pe_h so tests
+ * can dial nonsymmetry from "almost SPD" to "central scheme at its
+ * stability edge" deterministically.
+ */
+
+#ifndef AA_PDE_CONVECTION_HH
+#define AA_PDE_CONVECTION_HH
+
+#include <array>
+#include <cstdint>
+
+#include "aa/la/csr_matrix.hh"
+#include "aa/la/vector.hh"
+#include "aa/pde/grid.hh"
+#include "aa/pde/poisson.hh"
+
+namespace aa::pde {
+
+/** A discretized convection-diffusion problem: A u = b, A nonsym. */
+struct ConvectionDiffusionProblem {
+    StructuredGrid grid;
+    la::CsrMatrix a;
+    la::Vector b;
+    double diffusion = 1.0;             ///< eps
+    std::array<double, 3> velocity{};   ///< v (constant field)
+};
+
+/**
+ * Assemble -eps laplacian(u) + v . grad(u) = f with Dirichlet data g.
+ * Diagonal 2 dim eps / h^2; the axis-a neighbor pair carries
+ * -eps/h^2 -+ v_a/(2h) (minus side gets the +v term). Boundary
+ * neighbors fold their coefficient times g into b.
+ */
+ConvectionDiffusionProblem
+assembleConvectionDiffusion(std::size_t dim, std::size_t l,
+                            double diffusion,
+                            const std::array<double, 3> &velocity,
+                            const SourceFn &f = zeroSource(),
+                            const BoundaryFn &g = zeroBoundary());
+
+/**
+ * Deterministic benchmark instance: a unit-magnitude velocity
+ * direction drawn from `seed`, diffusion fixed at 1, and the velocity
+ * magnitude chosen so the cell Peclet number |v| h / (2 eps) equals
+ * `cell_peclet`. Source f = 1 (nonzero rhs), zero boundary. The same
+ * (dim, l, cell_peclet, seed) always builds the same matrix bit for
+ * bit, and the sparsity pattern — hence sparsityHash — depends on
+ * (dim, l) only.
+ */
+ConvectionDiffusionProblem convectionBenchmark(std::size_t dim,
+                                               std::size_t l,
+                                               double cell_peclet,
+                                               std::uint64_t seed);
+
+} // namespace aa::pde
+
+#endif // AA_PDE_CONVECTION_HH

@@ -79,6 +79,25 @@ struct ServiceCounters {
     std::size_t fallbacks = 0;       ///< answers served by digital
                                      ///< CG (degraded responses)
 
+    // Lane accounting. Every Ok answer claims exactly ONE of the
+    // four lane counters (they mirror SolveResponse::lane), so
+    //   lane_analog + lane_refined + lane_precond + lane_digital == ok
+    // holds at all times — the same mutual-exclusion discipline as
+    // completed/deadline_expired above, asserted by the shared
+    // property harness. Non-Ok responses claim no lane.
+    std::size_t lane_analog = 0;  ///< single verified (or raw) solve
+    std::size_t lane_refined = 0; ///< Algorithm-2 refinement path
+    std::size_t lane_precond = 0; ///< analog-preconditioned Krylov
+    std::size_t lane_digital = 0; ///< digital fallback (== degraded)
+
+    // Precond-lane detail (analog-preconditioned Krylov).
+    std::size_t precond_attempts = 0; ///< lane entries, incl. failed
+    std::size_t precond_failures = 0; ///< entries that fell through
+                                      ///< to the next ladder lane
+    std::size_t krylov_iterations = 0; ///< outer iterations, summed
+    std::size_t precond_applies = 0;   ///< analog M^-1 applies,
+                                       ///< summed over lane entries
+
     // Scheduling.
     std::size_t batches = 0;        ///< scheduling rounds dispatched
     std::size_t affinity_hits = 0;  ///< requests landing on a die with

@@ -9,6 +9,7 @@
 #include "aa/fault/fault.hh"
 #include "aa/la/operator.hh"
 #include "aa/solver/iterative.hh"
+#include "aa/solver/krylov.hh"
 
 namespace aa::service {
 
@@ -98,6 +99,9 @@ SolveService::submit(SolveRequest req)
     Pending p;
     p.pattern = compiler::sparsityHash(*req.a);
     p.n = req.a->rows();
+    // Lane selection reads the matrix's symmetry; stamp it once at
+    // admission (A is immutable behind the shared_ptr).
+    p.symmetric = req.a->isSymmetric();
     p.submitted_at = Clock::now();
     if (req.deadline_seconds > 0.0) {
         p.has_deadline = true;
@@ -256,11 +260,18 @@ SolveService::routeRound(std::vector<Pending> round)
     };
 
     // Retry-chain requests carry per-request die exclusions, so they
-    // route individually after the fresh traffic.
+    // route individually after the fresh traffic. Digital-only
+    // requests never touch a die: straight to the fallback lane, in
+    // round order.
     std::vector<Pending> fresh;
     std::vector<Pending> retries;
-    for (Pending &p : round)
+    for (Pending &p : round) {
+        if (p.req.lane == LanePreference::DigitalOnly) {
+            plan.fallback.push_back(std::move(p));
+            continue;
+        }
         (p.tried.empty() ? fresh : retries).push_back(std::move(p));
+    }
 
     if (!opts_.cache_affinity) {
         // Affinity-blind baseline: spray requests die by die.
@@ -548,6 +559,7 @@ SolveService::executeBatch(std::vector<Pending> &list,
         r.u = std::move(out.u);
         r.converged = out.converged;
         r.refine_passes = 1;
+        r.lane = SolveLane::Analog;
         ++delivered;
         // busy_seconds per member measures from the batch's start —
         // members overlap, so per-die busy time counts shared wall
@@ -714,6 +726,14 @@ SolveService::executeRequest(Pending &p, analog::PreparedSolve *prep)
         return;
     }
 
+    if (wantsPrecond(p)) {
+        // Analog-preconditioned Krylov rung: entered directly by
+        // explicit preference or nonsymmetric Auto traffic, or via
+        // the ladder's stage flag after the verified chain exhausted.
+        executePrecond(p, r, t_start);
+        return;
+    }
+
     std::size_t solves = 0;
     analog::AnalogLinearSolver &die = pool_.die(p.die);
     try {
@@ -760,6 +780,7 @@ SolveService::executeRequest(Pending &p, analog::PreparedSolve *prep)
                 r.verified = r.residual <= opts_.verify_rel_residual;
                 pool_.recordSuccess(p.die);
             }
+            r.lane = SolveLane::AnalogRefined;
         } else if (opts_.residual_verify) {
             analog::VerifyOptions vo;
             vo.rel_residual = opts_.verify_rel_residual;
@@ -787,6 +808,7 @@ SolveService::executeRequest(Pending &p, analog::PreparedSolve *prep)
             r.converged = v.outcome.converged;
             r.refine_passes = 1;
             r.verified = true;
+            r.lane = SolveLane::Analog;
             pool_.recordSuccess(p.die);
         } else {
             // Legacy raw path: whatever the ADCs said is the answer.
@@ -798,6 +820,7 @@ SolveService::executeRequest(Pending &p, analog::PreparedSolve *prep)
             r.converged = out.converged;
             r.attempts += out.attempts;
             r.refine_passes = 1;
+            r.lane = SolveLane::Analog;
             r.analog_seconds += out.analog_seconds;
             r.phases.add(out.phases);
             solves = 1;
@@ -819,6 +842,119 @@ SolveService::executeRequest(Pending &p, analog::PreparedSolve *prep)
     }
 
     finishRequest(p, r, solves, t_start);
+}
+
+bool
+SolveService::wantsPrecond(const Pending &p) const
+{
+    switch (p.req.lane) {
+    case LanePreference::PrecondKrylov:
+        // An explicit lane preference overrides the service option.
+        return true;
+    case LanePreference::AnalogOnly:
+    case LanePreference::DigitalOnly:
+        return false;
+    case LanePreference::Auto:
+        break;
+    }
+    if (!opts_.precond_lane)
+        return false;
+    // Either the ladder inserted the stage after the verified chain
+    // exhausted, or the system is nonsymmetric — gradient-flow
+    // convergence needs SPD, so Auto skips the doomed pure-analog
+    // rung and opens at this one.
+    return p.precond_stage || !p.symmetric;
+}
+
+void
+SolveService::executePrecond(Pending &p, SolveResponse &r,
+                             Clock::time_point t_start)
+{
+    p.precond_tried = true;
+    {
+        std::lock_guard<std::mutex> mlock(metrics_mu_);
+        ++counters_.precond_attempts;
+    }
+    analog::AnalogLinearSolver &die = pool_.die(p.die);
+    analog::PrecondSolveOptions po;
+    po.tolerance = p.req.tolerance > 0.0 ? p.req.tolerance
+                                         : opts_.precond_tolerance;
+    po.max_iters = opts_.precond_max_iters;
+    po.restart = opts_.precond_restart;
+    if (p.has_deadline) {
+        auto deadline = p.deadline_at;
+        po.keep_going = [deadline] {
+            return Clock::now() < deadline;
+        };
+    }
+    try {
+        analog::PreconditionedSolveOutcome out =
+            die.solvePreconditioned(*p.req.a, p.req.b, po);
+        r.attempts += out.precond_applies;
+        r.analog_seconds += out.analog_seconds;
+        r.phases.add(out.phases);
+        r.krylov_iterations = out.iterations;
+        r.precond_applies = out.precond_applies;
+        pool_.recordUsage(p.die, out.precond_applies,
+                          out.analog_seconds, out.phases);
+        {
+            std::lock_guard<std::mutex> mlock(metrics_mu_);
+            counters_.krylov_iterations += out.iterations;
+            counters_.precond_applies += out.precond_applies;
+        }
+        // The lane claims the answer only when the outer iteration
+        // converged (its exit residual is a digital measurement) AND
+        // the analog side actually contributed — all applies falling
+        // back means the loop ran effectively unpreconditioned on a
+        // die that cannot range this system.
+        bool analog_helped =
+            out.precond_applies == 0 ||
+            out.precond_fallbacks < out.precond_applies;
+        if (out.converged && analog_helped) {
+            r.u = std::move(out.u);
+            r.converged = true;
+            r.residual = out.final_residual;
+            r.refine_passes = 1;
+            r.verified = true;
+            r.lane = SolveLane::AnalogPrecond;
+            pool_.recordSuccess(p.die);
+            finishRequest(p, r, out.precond_applies, t_start);
+            return;
+        }
+        {
+            std::lock_guard<std::mutex> mlock(metrics_mu_);
+            ++counters_.precond_failures;
+        }
+        if (!out.converged && p.has_deadline &&
+            Clock::now() >= p.deadline_at) {
+            r.status = RequestStatus::DeadlineExpired;
+            r.reason = "deadline expired mid-krylov";
+            finishRequest(p, r, out.precond_applies, t_start);
+            return;
+        }
+        std::string why = "precond krylov: ";
+        why += analog_helped ? out.stop_detail
+                             : "every analog apply fell back";
+        handleAnalogFailure(p, r, why, /*dead=*/false, t_start);
+    } catch (const fault::DieDeadError &e) {
+        {
+            std::lock_guard<std::mutex> mlock(metrics_mu_);
+            ++counters_.precond_failures;
+        }
+        handleAnalogFailure(
+            p, r, detail::concat("precond krylov: ", e.what()),
+            /*dead=*/true, t_start);
+    } catch (const std::exception &e) {
+        // Still one resolved lane entry: every precond_attempts tick
+        // ends in exactly one of lane_precond / precond_failures.
+        {
+            std::lock_guard<std::mutex> mlock(metrics_mu_);
+            ++counters_.precond_failures;
+        }
+        r.status = RequestStatus::Failed;
+        r.reason = e.what();
+        finishRequest(p, r, 0, t_start);
+    }
 }
 
 void
@@ -868,6 +1004,23 @@ SolveService::handleAnalogFailure(Pending &p, SolveResponse &r,
         return; // promise unset: the request lives on
     }
 
+    if (opts_.precond_lane && !p.precond_tried &&
+        p.req.lane == LanePreference::Auto &&
+        opts_.max_reroutes > 0) {
+        // Ladder rung between the exhausted analog chain and digital
+        // fallback: one analog-preconditioned Krylov attempt, run
+        // inline — we are already on this die's executor, so
+        // one-task-per-die holds, and the rung's position in the
+        // die's op stream is deterministic at any thread count (a
+        // requeue would land at a timing-dependent round boundary
+        // under pipelined dispatch). A zero reroute budget means "no
+        // further analog attempts": such a service degrades
+        // immediately, skipping this rung too.
+        p.precond_stage = true;
+        executePrecond(p, r, exec_start);
+        return;
+    }
+
     if (opts_.pipeline) {
         // Exhausted chain: hand it to the digital-CG lane so this
         // die's executor moves straight on to its next unit instead
@@ -900,21 +1053,42 @@ SolveService::finishWithFallback(Pending &p, SolveResponse &r)
         return;
     }
     la::DenseOperator op(*p.req.a);
-    solver::IterOptions io;
-    io.max_iters = opts_.fallback_max_iters;
-    io.criterion = solver::Criterion::RelativeResidual;
-    io.tol = p.req.tolerance > 0.0 ? p.req.tolerance
-                                   : opts_.fallback_tolerance;
-    if (!p.req.u0.empty())
-        io.x0 = p.req.u0;
-    solver::IterResult cg =
-        solver::conjugateGradient(op, p.req.b, io);
-    double bnorm = la::norm2(p.req.b);
-    r.u = std::move(cg.x);
-    r.converged = cg.converged;
-    r.residual = cg.final_residual / (bnorm > 0.0 ? bnorm : 1.0);
+    const double tol = p.req.tolerance > 0.0
+                           ? p.req.tolerance
+                           : opts_.fallback_tolerance;
+    const double bnorm = la::norm2(p.req.b);
+    if (p.symmetric) {
+        solver::IterOptions io;
+        io.max_iters = opts_.fallback_max_iters;
+        io.criterion = solver::Criterion::RelativeResidual;
+        io.tol = tol;
+        if (!p.req.u0.empty())
+            io.x0 = p.req.u0;
+        solver::IterResult cg =
+            solver::conjugateGradient(op, p.req.b, io);
+        r.u = std::move(cg.x);
+        r.converged = cg.converged;
+        r.residual =
+            cg.final_residual / (bnorm > 0.0 ? bnorm : 1.0);
+    } else {
+        // CG's short recurrence needs SPD; nonsymmetric systems
+        // degrade to restarted FGMRES with an identity precond.
+        solver::KrylovOptions ko;
+        ko.max_iters = opts_.fallback_max_iters;
+        ko.tol = tol;
+        if (!p.req.u0.empty())
+            ko.x0 = p.req.u0;
+        solver::KrylovResult g = solver::fgmres(
+            op, p.req.b, solver::identityPreconditioner(), ko);
+        r.u = std::move(g.x);
+        r.converged = g.converged;
+        r.residual =
+            g.final_residual / (bnorm > 0.0 ? bnorm : 1.0);
+        r.krylov_iterations = g.iterations;
+    }
     r.degraded = true;
-    r.verified = true; // CG's exit residual is a digital measurement
+    r.verified = true; // the exit residual is a digital measurement
+    r.lane = SolveLane::DigitalCg;
     r.status = RequestStatus::Ok;
     r.reason = p.chain.empty()
                    ? "no routable die; digital fallback"
@@ -938,6 +1112,27 @@ SolveService::finishRequest(Pending &p, SolveResponse &r,
         case RequestStatus::Ok:
             ++counters_.completed;
             ++counters_.ok;
+            // Every Ok answer claims exactly one lane counter
+            // (metrics.hh invariant: the four lanes sum to ok).
+            switch (r.lane) {
+            case SolveLane::Analog:
+                ++counters_.lane_analog;
+                break;
+            case SolveLane::AnalogRefined:
+                ++counters_.lane_refined;
+                break;
+            case SolveLane::AnalogPrecond:
+                ++counters_.lane_precond;
+                break;
+            case SolveLane::DigitalCg:
+                ++counters_.lane_digital;
+                break;
+            case SolveLane::None:
+                // Unreachable: every Ok-producing path stamps a
+                // lane. Claim analog so the invariant still holds.
+                ++counters_.lane_analog;
+                break;
+            }
             break;
         case RequestStatus::DeadlineExpired:
             ++counters_.deadline_expired;

@@ -72,6 +72,33 @@ enum class RequestStatus {
     Failed,            ///< execution threw; see `reason`
 };
 
+/**
+ * Which rung of the degradation ladder answered a request (recorded
+ * in SolveResponse and, mutually exclusively, in ServiceMetrics).
+ */
+enum class SolveLane {
+    None,          ///< no answer produced (rejected/expired/failed)
+    Analog,        ///< single verified (or raw) analog solve
+    AnalogRefined, ///< Algorithm-2 refinement on a die
+    AnalogPrecond, ///< analog-preconditioned Krylov (CG/FGMRES)
+    DigitalCg,     ///< host-side digital fallback (degraded)
+};
+
+/** Caller's lane preference: where on the ladder a request starts. */
+enum class LanePreference {
+    /** The full ladder: verified analog (refined when tolerance>0),
+     *  reroute chain, analog-preconditioned Krylov, digital CG.
+     *  Nonsymmetric matrices skip the doomed pure-analog rung and
+     *  start at the preconditioned lane. */
+    Auto,
+    /** Never enter the preconditioned lane (legacy ladder). */
+    AnalogOnly,
+    /** Start at the analog-preconditioned Krylov lane. */
+    PrecondKrylov,
+    /** Answer digitally without touching a die (always degraded). */
+    DigitalOnly,
+};
+
 /** One asynchronous solve job. */
 struct SolveRequest {
     /** System matrix (SPD for convergence); shared so many requests
@@ -93,6 +120,8 @@ struct SolveRequest {
     double deadline_seconds = 0.0;
     /** Higher runs earlier within a scheduling round. */
     int priority = 0;
+    /** Ladder entry point; Auto for almost everyone. */
+    LanePreference lane = LanePreference::Auto;
 
     /** Tenant the request bills to; empty = the default tenant. The
      *  sharded front door's admission gate enforces per-tenant
@@ -114,6 +143,15 @@ struct SolveResponse {
     la::Vector u;           ///< best solution (may be partial)
     bool converged = false; ///< tolerance met (or solver settled)
     double residual = 0.0;  ///< relative L2 residual when measured
+
+    /** Which ladder lane produced the answer (None when no answer
+     *  was produced). */
+    SolveLane lane = SolveLane::None;
+    /** Outer Krylov iterations (preconditioned or digital-fallback
+     *  FGMRES; 0 on the plain analog/CG paths). */
+    std::size_t krylov_iterations = 0;
+    /** Analog preconditioner applies this answer consumed. */
+    std::size_t precond_applies = 0;
 
     /** The answer came from the digital CG fallback, not a die —
      *  correct, but without the analog speedup. */
@@ -215,6 +253,22 @@ struct ServiceOptions {
      *  request's own tolerance is 0). */
     double fallback_tolerance = 1e-10;
 
+    // --- analog-preconditioned Krylov lane (DESIGN.md 5k) --------
+    /** Enable the ladder's middle lane: host-side flexible CG /
+     *  FGMRES with an unrefined analog solve as the preconditioner.
+     *  Entered by nonsymmetric Auto requests directly, by explicit
+     *  LanePreference::PrecondKrylov, and by exhausted analog retry
+     *  chains on their way down to digital CG. */
+    bool precond_lane = true;
+    /** Outer-iteration budget; exhaustion falls through to the next
+     *  ladder lane. Each iteration is one analog apply, so this also
+     *  bounds die time per lane entry. */
+    std::size_t precond_max_iters = 64;
+    /** FGMRES restart length for the lane's nonsymmetric path. */
+    std::size_t precond_restart = 30;
+    /** Residual target when the request's own tolerance is 0. */
+    double precond_tolerance = 1e-8;
+
     // --- fleet hooks ---------------------------------------------
     /** Called at the end of every scheduling round — after dispatch
      *  and the pool's health tick, from the scheduler thread, while
@@ -283,6 +337,8 @@ class SolveService
         std::chrono::steady_clock::time_point submitted_at;
         bool has_deadline = false;
         std::chrono::steady_clock::time_point deadline_at;
+        /** Stamped at admission (A never changes after submit). */
+        bool symmetric = true;
         // Stamped by the scheduler.
         std::size_t die = SIZE_MAX;
         bool affine_hit = false;
@@ -291,6 +347,11 @@ class SolveService
         std::vector<std::size_t> tried; ///< dies that failed this req
         std::string chain;              ///< failure chain so far
         std::size_t reroutes = 0;
+        /** This visit runs the analog-preconditioned Krylov lane. */
+        bool precond_stage = false;
+        /** The lane has been entered once already (one shot per
+         *  request keeps the ladder finite and deterministic). */
+        bool precond_tried = false;
         std::size_t prior_attempts = 0;
         double prior_analog_seconds = 0.0;
         analog::SolvePhaseReport prior_phases;
@@ -397,6 +458,13 @@ class SolveService
      *  paths; inert — an unused prep needs no cleanup). */
     void executeRequest(Pending &p,
                         analog::PreparedSolve *prep = nullptr);
+    /** Should this visit of p run the preconditioned lane? */
+    bool wantsPrecond(const Pending &p) const;
+    /** Run the analog-preconditioned Krylov lane on p.die. Returns
+     *  through finishRequest on success; failure goes through
+     *  handleAnalogFailure (reroute / next ladder lane). */
+    void executePrecond(Pending &p, SolveResponse &r,
+                        Clock::time_point t_start);
     /** Pipelined threads (per die): segment rounds into units and
      *  prepare solos off-die / consume units in FIFO order. */
     void stagerLoop(std::size_t k);

@@ -311,6 +311,12 @@ ShardedSolveService::metrics() const
         fleet.ok += snap.service.ok;
         fleet.failed += snap.service.failed;
         fleet.fallbacks += snap.service.fallbacks;
+        fleet.lane_analog += snap.service.lane_analog;
+        fleet.lane_refined += snap.service.lane_refined;
+        fleet.lane_precond += snap.service.lane_precond;
+        fleet.lane_digital += snap.service.lane_digital;
+        fleet.krylov_iterations += snap.service.krylov_iterations;
+        fleet.precond_applies += snap.service.precond_applies;
         fleet.rejected_full += snap.service.rejected_full;
         fleet.rejected_quota += snap.service.rejected_quota;
         fleet.placements += snap.placement.placements;

@@ -179,6 +179,15 @@ struct FleetMetrics {
     std::size_t ok = 0;
     std::size_t failed = 0;
     std::size_t fallbacks = 0;
+    /** Lane rollups: mutually exclusive per Ok answer, so across the
+     *  fleet lane_analog + lane_refined + lane_precond + lane_digital
+     *  == ok (the per-rack ServiceCounters invariant, summed). */
+    std::size_t lane_analog = 0;
+    std::size_t lane_refined = 0;
+    std::size_t lane_precond = 0;
+    std::size_t lane_digital = 0;
+    std::size_t krylov_iterations = 0;
+    std::size_t precond_applies = 0;
     std::size_t rejected_full = 0;
     std::size_t rejected_quota = 0;
     std::size_t placements = 0;

@@ -1,0 +1,307 @@
+#include "aa/solver/krylov.hh"
+
+#include <cmath>
+
+#include "aa/common/logging.hh"
+
+namespace aa::solver {
+
+namespace {
+
+/** Relative-residual denominator: ||b||, or 1 for a zero rhs. */
+double
+residualScale(const Vector &b)
+{
+    double bnorm = la::norm2(b);
+    return bnorm > 0.0 ? bnorm : 1.0;
+}
+
+Vector
+startVector(const KrylovOptions &opts, std::size_t n)
+{
+    if (opts.x0.empty())
+        return Vector(n);
+    fatalIf(opts.x0.size() != n, "KrylovOptions::x0 size mismatch");
+    return opts.x0;
+}
+
+/** ||b - A x||_2, freshly computed. */
+double
+trueResidual(const LinearOperator &a, const Vector &b, const Vector &x,
+             Vector &scratch)
+{
+    a.apply(x, scratch);
+    double r2 = 0.0;
+    for (std::size_t i = 0; i < b.size(); ++i) {
+        double ri = b[i] - scratch[i];
+        r2 += ri * ri;
+    }
+    return std::sqrt(r2);
+}
+
+/** Run the preconditioner; z = r when the apply reports failure. */
+void
+applyPrecond(const PrecondFn &precond, const Vector &r, Vector &z,
+             KrylovResult &res)
+{
+    ++res.precond_applies;
+    if (!precond(r, z)) {
+        ++res.precond_failures;
+        z = r;
+    }
+}
+
+} // namespace
+
+PrecondFn
+identityPreconditioner()
+{
+    return [](const Vector &r, Vector &z) {
+        z = r;
+        return true;
+    };
+}
+
+PrecondFn
+jacobiPreconditioner(const LinearOperator &a)
+{
+    Vector d = a.diagonal();
+    for (std::size_t i = 0; i < d.size(); ++i)
+        fatalIf(d[i] == 0.0,
+                "jacobiPreconditioner: zero diagonal at row ", i);
+    return [d = std::move(d)](const Vector &r, Vector &z) {
+        z.resize(r.size());
+        for (std::size_t i = 0; i < r.size(); ++i)
+            z[i] = r[i] / d[i];
+        return true;
+    };
+}
+
+KrylovResult
+flexibleCg(const LinearOperator &a, const Vector &b,
+           const PrecondFn &precond, const KrylovOptions &opts)
+{
+    const std::size_t n = a.size();
+    fatalIf(b.size() != n, "flexibleCg: rhs size mismatch");
+    KrylovResult res;
+    res.x = startVector(opts, n);
+    const double target = opts.tol * residualScale(b);
+
+    Vector r(n), scratch;
+    a.apply(res.x, scratch);
+    for (std::size_t i = 0; i < n; ++i)
+        r[i] = b[i] - scratch[i];
+    double rnorm = la::norm2(r);
+    if (opts.record_residuals)
+        res.residual_history.push_back(rnorm);
+    if (rnorm <= target) {
+        // Tolerance already met at entry: zero iterations, no
+        // preconditioner traffic.
+        res.converged = true;
+        res.stop = KrylovStop::Converged;
+        res.final_residual = rnorm;
+        return res;
+    }
+
+    Vector z(n);
+    applyPrecond(precond, r, z, res);
+    Vector p = z;
+    Vector ap(n), r_prev = r;
+    double rz = la::dot(r, z);
+    if (rz <= 0.0) {
+        res.stop = KrylovStop::Breakdown;
+        res.stop_detail = "indefinite preconditioned residual";
+        res.final_residual = rnorm;
+        return res;
+    }
+
+    for (std::size_t it = 0; it < opts.max_iters; ++it) {
+        if (opts.keep_going && !opts.keep_going()) {
+            res.stop = KrylovStop::Interrupted;
+            res.stop_detail = "interrupted by keep_going";
+            break;
+        }
+        a.apply(p, ap);
+        const double pap = la::dot(p, ap);
+        if (pap <= 0.0) {
+            // Zero/negative curvature: the operator is not SPD along
+            // p (or the flexible beta produced a dead direction).
+            res.stop = KrylovStop::Breakdown;
+            res.stop_detail = "zero-curvature direction";
+            break;
+        }
+        const double alpha = rz / pap;
+        la::axpy(alpha, p, res.x);
+        r_prev = r;
+        la::axpy(-alpha, ap, r);
+        ++res.iterations;
+        rnorm = la::norm2(r);
+        if (opts.record_residuals)
+            res.residual_history.push_back(rnorm);
+        if (rnorm <= target) {
+            res.converged = true;
+            res.stop = KrylovStop::Converged;
+            break;
+        }
+        applyPrecond(precond, r, z, res);
+        // Polak-Ribiere (flexible) beta: z' (r - r_prev) instead of
+        // z' r, so a preconditioner that moved between applies does
+        // not poison the direction update.
+        double rz_next = la::dot(r, z);
+        double beta = (rz_next - la::dot(r_prev, z)) / rz;
+        rz = rz_next;
+        if (rz <= 0.0) {
+            res.stop = KrylovStop::Breakdown;
+            res.stop_detail = "indefinite preconditioned residual";
+            break;
+        }
+        if (beta < 0.0)
+            beta = 0.0; // restart: steepest-descent step
+        la::xpby(z, beta, p);
+    }
+
+    res.final_residual = trueResidual(a, b, res.x, scratch);
+    res.converged = res.final_residual <= target;
+    if (res.converged)
+        res.stop = KrylovStop::Converged;
+    return res;
+}
+
+KrylovResult
+fgmres(const LinearOperator &a, const Vector &b,
+       const PrecondFn &precond, const KrylovOptions &opts)
+{
+    const std::size_t n = a.size();
+    fatalIf(b.size() != n, "fgmres: rhs size mismatch");
+    const std::size_t m = std::max<std::size_t>(1, opts.restart);
+    KrylovResult res;
+    res.x = startVector(opts, n);
+    const double target = opts.tol * residualScale(b);
+
+    Vector r(n), scratch;
+    a.apply(res.x, scratch);
+    for (std::size_t i = 0; i < n; ++i)
+        r[i] = b[i] - scratch[i];
+    double rnorm = la::norm2(r);
+    if (opts.record_residuals)
+        res.residual_history.push_back(rnorm);
+    if (rnorm <= target) {
+        res.converged = true;
+        res.stop = KrylovStop::Converged;
+        res.final_residual = rnorm;
+        return res;
+    }
+
+    // Arnoldi workspace, sized for one restart cycle: the m+1 Krylov
+    // basis vectors V, the m preconditioned vectors Z (the flexible
+    // part — FGMRES reconstructs x from the *actual* applies, so M
+    // may change freely between iterations), the Hessenberg columns,
+    // and the Givens rotations that keep the least-squares residual
+    // available for free each step.
+    std::vector<Vector> v(m + 1), z(m);
+    std::vector<std::vector<double>> h(m);
+    std::vector<double> cs(m), sn(m), g(m + 1);
+    Vector w(n);
+
+    bool interrupted = false;
+    std::size_t cycle = 0;
+    while (res.iterations < opts.max_iters && !interrupted) {
+        // Cycle setup from the *true* residual of the current x.
+        a.apply(res.x, scratch);
+        for (std::size_t i = 0; i < n; ++i)
+            r[i] = b[i] - scratch[i];
+        rnorm = la::norm2(r);
+        if (rnorm <= target)
+            break;
+        // Count the restart only once the cycle is actually going to
+        // iterate: the final pass through this loop is just the
+        // convergence verification and runs no Arnoldi steps.
+        if (cycle > 0)
+            ++res.restarts;
+        ++cycle;
+        la::scale(1.0 / rnorm, r, v[0]);
+        std::fill(g.begin(), g.end(), 0.0);
+        g[0] = rnorm;
+
+        std::size_t j = 0;
+        for (; j < m && res.iterations < opts.max_iters; ++j) {
+            if (opts.keep_going && !opts.keep_going()) {
+                interrupted = true;
+                res.stop = KrylovStop::Interrupted;
+                res.stop_detail = "interrupted by keep_going";
+                break;
+            }
+            applyPrecond(precond, v[j], z[j], res);
+            a.apply(z[j], w);
+            ++res.iterations;
+
+            // Modified Gram-Schmidt against the basis so far.
+            h[j].assign(j + 2, 0.0);
+            for (std::size_t i = 0; i <= j; ++i) {
+                h[j][i] = la::dot(w, v[i]);
+                la::axpy(-h[j][i], v[i], w);
+            }
+            double wnorm = la::norm2(w);
+            h[j][j + 1] = wnorm;
+            bool happy = wnorm <= 1e-14 * rnorm;
+            if (!happy)
+                la::scale(1.0 / wnorm, w, v[j + 1]);
+
+            // Apply the accumulated Givens rotations to the new
+            // column, then zero its subdiagonal with a fresh one.
+            for (std::size_t i = 0; i < j; ++i) {
+                double t = cs[i] * h[j][i] + sn[i] * h[j][i + 1];
+                h[j][i + 1] =
+                    -sn[i] * h[j][i] + cs[i] * h[j][i + 1];
+                h[j][i] = t;
+            }
+            double denom = std::hypot(h[j][j], h[j][j + 1]);
+            if (denom == 0.0) {
+                // Fully degenerate column (z_j in the span already
+                // and w vanished): nothing to rotate, basis is done.
+                ++j;
+                break;
+            }
+            cs[j] = h[j][j] / denom;
+            sn[j] = h[j][j + 1] / denom;
+            h[j][j] = denom;
+            h[j][j + 1] = 0.0;
+            g[j + 1] = -sn[j] * g[j];
+            g[j] *= cs[j];
+
+            double est = std::abs(g[j + 1]);
+            if (opts.record_residuals)
+                res.residual_history.push_back(est);
+            if (happy || est <= target) {
+                // Happy breakdown: the Krylov space is invariant and
+                // the projected solve is exact — take the update and
+                // let the true-residual check below confirm it.
+                ++j;
+                break;
+            }
+        }
+
+        // x += Z_j y with H y = g by back substitution.
+        if (j > 0) {
+            std::vector<double> y(j, 0.0);
+            for (std::size_t ii = j; ii-- > 0;) {
+                double s = g[ii];
+                for (std::size_t kk = ii + 1; kk < j; ++kk)
+                    s -= h[kk][ii] * y[kk];
+                y[ii] = s / h[ii][ii];
+            }
+            for (std::size_t kk = 0; kk < j; ++kk)
+                la::axpy(y[kk], z[kk], res.x);
+        }
+    }
+
+    res.final_residual = trueResidual(a, b, res.x, scratch);
+    res.converged = res.final_residual <= target;
+    if (res.converged)
+        res.stop = KrylovStop::Converged;
+    else if (!interrupted && res.iterations >= opts.max_iters)
+        res.stop = KrylovStop::MaxIterations;
+    return res;
+}
+
+} // namespace aa::solver

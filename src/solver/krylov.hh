@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Preconditioned Krylov solvers with pluggable — and possibly
+ * nonstationary — preconditioners: flexible preconditioned CG for
+ * SPD systems and flexible GMRES(m) for nonsymmetric ones.
+ *
+ * The preconditioner is a callback z ~= M^{-1} r. The intended M is a
+ * single unrefined analog solve (aa/analog/precond.hh): cheap, ~8-bit
+ * accurate, and *different every apply* — the re-scaling ladder, range
+ * memory, and ADC quantization make the effective operator vary from
+ * iteration to iteration. That nonstationarity is why the flexible
+ * variants are implemented here: classic right-preconditioned GMRES
+ * reconstructs x from M^{-1} V_m y and silently loses optimality when
+ * M moves between iterations, while FGMRES stores the actual
+ * preconditioned vectors Z_m = [z_1 .. z_m] and minimizes over their
+ * span, so each apply may be any operator at all (Saad '93). CG
+ * likewise uses the Polak-Ribiere (flexible) beta, which re-orthogonalizes
+ * against the previous residual instead of trusting a fixed M.
+ *
+ * A failed apply (the callback returns false) is not fatal: the
+ * iteration falls back to z = r — an identity apply — and the result
+ * is still checked against the true residual at exit. The solvers
+ * never report converged without ||b - A x|| actually meeting the
+ * target: no silent wrong answers, matching the service contract.
+ */
+
+#ifndef AA_SOLVER_KRYLOV_HH
+#define AA_SOLVER_KRYLOV_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "aa/la/operator.hh"
+#include "aa/la/vector.hh"
+
+namespace aa::solver {
+
+using la::LinearOperator;
+using la::Vector;
+
+/**
+ * One preconditioner application z ~= M^{-1} r. Return false when the
+ * apply could not run (analog range exhaustion, die fault): the
+ * caller substitutes z = r for that iteration and keeps going.
+ * Exceptions propagate — a dead die must abort the whole solve, not
+ * degrade it silently.
+ */
+using PrecondFn = std::function<bool(const Vector &r, Vector &z)>;
+
+/** z = r: turns the flexible solvers into plain CG / GMRES(m). */
+PrecondFn identityPreconditioner();
+
+/** z = D^{-1} r from the operator's diagonal (classic Jacobi). */
+PrecondFn jacobiPreconditioner(const LinearOperator &a);
+
+/** Why the iteration stopped. */
+enum class KrylovStop {
+    Converged,     ///< relative residual met the tolerance
+    MaxIterations, ///< iteration budget exhausted
+    Breakdown,     ///< short recurrence died; see `stop_detail`
+    Interrupted,   ///< keep_going() said stop (deadline)
+};
+
+/** Options shared by the Krylov solvers. */
+struct KrylovOptions {
+    std::size_t max_iters = 500; ///< total inner iterations
+    /** Convergence target ||b - A x||_2 <= tol * ||b||_2. */
+    double tol = 1e-8;
+    /** FGMRES restart length m (ignored by CG). */
+    std::size_t restart = 30;
+    /** Record the residual norm after every iteration. */
+    bool record_residuals = false;
+    /** Starting guess; zero vector when empty. */
+    Vector x0;
+    /** Checked between iterations; false = stop where we are
+     *  (deadline gating, like RefineOptions::keep_going). */
+    std::function<bool()> keep_going;
+};
+
+/** Outcome of a Krylov solve. */
+struct KrylovResult {
+    Vector x;
+    bool converged = false;
+    std::size_t iterations = 0; ///< inner iterations (matvecs)
+    std::size_t restarts = 0;   ///< FGMRES cycles beyond the first
+    KrylovStop stop = KrylovStop::MaxIterations;
+    std::string stop_detail;    ///< stable text for failure chains
+    /** ||b - A x||_2 at exit, explicitly recomputed — never the
+     *  recurrence estimate, so `converged` is a digital fact. */
+    double final_residual = 0.0;
+
+    std::size_t precond_applies = 0;  ///< callback invocations
+    std::size_t precond_failures = 0; ///< applies that returned false
+
+    std::vector<double> residual_history;
+};
+
+/**
+ * Flexible preconditioned conjugate gradients (Polak-Ribiere beta).
+ * Requires an SPD operator; an indefinite direction (p'Ap <= 0) or
+ * indefinite preconditioned residual (r'z <= 0) stops with
+ * KrylovStop::Breakdown — the caller's cue to fall through to the
+ * next ladder lane rather than iterate on garbage.
+ */
+KrylovResult flexibleCg(const LinearOperator &a, const Vector &b,
+                        const PrecondFn &precond,
+                        const KrylovOptions &opts = {});
+
+/**
+ * Flexible GMRES(m), right-preconditioned, modified Gram-Schmidt
+ * Arnoldi with Givens rotations. Handles nonsymmetric systems and
+ * arbitrary (nonstationary) preconditioners. A happy breakdown
+ * (h_{j+1,j} ~ 0) solves the projected system exactly and exits
+ * through the normal convergence check.
+ */
+KrylovResult fgmres(const LinearOperator &a, const Vector &b,
+                    const PrecondFn &precond,
+                    const KrylovOptions &opts = {});
+
+} // namespace aa::solver
+
+#endif // AA_SOLVER_KRYLOV_HH

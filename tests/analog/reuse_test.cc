@@ -4,6 +4,7 @@
 #include "aa/analog/solver.hh"
 #include "aa/la/direct.hh"
 #include "aa/pde/poisson.hh"
+#include "common/solve_properties.hh"
 #include "common/trace_matcher.hh"
 
 namespace aa::analog {
@@ -12,11 +13,7 @@ namespace {
 AnalogSolverOptions
 quietOptions()
 {
-    AnalogSolverOptions opts;
-    opts.spec.variation.enabled = false;
-    opts.spec.adc_noise_sigma = 0.0;
-    opts.auto_calibrate = false;
-    return opts;
+    return testutil::quietSolverOptions();
 }
 
 TEST(Reuse, CachedStructureSolveIsBitwiseIdentical)
@@ -42,12 +39,9 @@ TEST(Reuse, CachedStructureSolveIsBitwiseIdentical)
     EXPECT_FALSE(fresh.phases.structure_reused);
     EXPECT_TRUE(testutil::phasesMatch(first.phases, fresh.phases));
 
-    ASSERT_EQ(second.u.size(), fresh.u.size());
-    for (std::size_t i = 0; i < fresh.u.size(); ++i) {
-        // Bitwise: the cached program must change nothing numeric.
-        EXPECT_EQ(second.u[i], fresh.u[i]) << "component " << i;
-        EXPECT_EQ(first.u[i], fresh.u[i]) << "component " << i;
-    }
+    // Bitwise: the cached program must change nothing numeric.
+    testutil::expectSolutionsBitEqual(fresh.u, second.u, "second");
+    testutil::expectSolutionsBitEqual(fresh.u, first.u, "first");
     EXPECT_EQ(second.attempts, fresh.attempts);
     EXPECT_EQ(second.gain_scale, fresh.gain_scale);
     EXPECT_EQ(second.solution_scale, fresh.solution_scale);

@@ -10,11 +10,14 @@
  * to member 0.
  */
 
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "aa/analog/refine.hh"
 #include "aa/analog/solver.hh"
 #include "aa/la/direct.hh"
+#include "common/solve_properties.hh"
 #include "common/trace_matcher.hh"
 
 namespace aa::analog {
@@ -23,11 +26,7 @@ namespace {
 AnalogSolverOptions
 quietOptions()
 {
-    AnalogSolverOptions opts;
-    opts.spec.variation.enabled = false;
-    opts.spec.adc_noise_sigma = 0.0;
-    opts.auto_calibrate = false;
-    return opts;
+    return testutil::quietSolverOptions();
 }
 
 la::DenseMatrix
@@ -78,10 +77,8 @@ void
 expectOutcomesIdentical(const AnalogSolveOutcome &seq,
                         const AnalogSolveOutcome &bat, std::size_t k)
 {
-    ASSERT_EQ(seq.u.size(), bat.u.size()) << "member " << k;
-    for (std::size_t i = 0; i < seq.u.size(); ++i)
-        EXPECT_EQ(seq.u[i], bat.u[i])
-            << "member " << k << " component " << i;
+    testutil::expectSolutionsBitEqual(
+        seq.u, bat.u, "member " + std::to_string(k));
     EXPECT_EQ(seq.converged, bat.converged) << "member " << k;
     EXPECT_EQ(seq.attempts, bat.attempts) << "member " << k;
     EXPECT_EQ(seq.overflow_retries, bat.overflow_retries)
@@ -272,10 +269,8 @@ TEST(RefineSolveBatch, MatchesSequentialRefinement)
         EXPECT_TRUE(bat[k].converged) << "member " << k;
         EXPECT_EQ(seq[k].converged, bat[k].converged) << "member " << k;
         EXPECT_EQ(seq[k].passes, bat[k].passes) << "member " << k;
-        ASSERT_EQ(seq[k].u.size(), bat[k].u.size());
-        for (std::size_t i = 0; i < seq[k].u.size(); ++i)
-            EXPECT_EQ(seq[k].u[i], bat[k].u[i])
-                << "member " << k << " component " << i;
+        testutil::expectSolutionsBitEqual(
+            seq[k].u, bat[k].u, "member " + std::to_string(k));
         EXPECT_EQ(seq[k].final_residual, bat[k].final_residual)
             << "member " << k;
     }

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Shared solve-property harness: the invariants every lane of the
+ * service's degradation ladder must satisfy, extracted from the
+ * per-suite copies that used to live in tests/{analog,service,fault,
+ * spice} so each suite asserts the same discipline with the same
+ * failure messages.
+ *
+ * The three properties:
+ *
+ *   1. **Never a silent wrong answer** — every Ok response is either
+ *      residual-verified analog (raw, refined, or preconditioned
+ *      Krylov) or an explicitly degraded digital fallback, and its
+ *      solution independently satisfies the matching residual bar
+ *      when recomputed digitally.
+ *   2. **Bit identity / thread-count invariance** — the same trace
+ *      through the same scenario produces bitwise-identical
+ *      responses, failure chains and counters at any dispatch thread
+ *      count (barriered mode; pipelined mode's accepted divergences
+ *      are documented in tests/service/pipeline_test.cc).
+ *   3. **Lane-counter exclusivity** — every Ok answer claims exactly
+ *      one of the four lane counters, so their sum equals `ok`
+ *      (metrics.hh's mutual-exclusion discipline).
+ *
+ * Plus the workload matrix the properties are checked over: the
+ * symmetric stencil family (Poisson), an irregular circuit matrix
+ * through the SPICE front end, the nonsymmetric convection-diffusion
+ * family, and a controlled-condition-number dense SPD instance. All
+ * instances are small (n <= 9, moderate kappa) because simulated
+ * analog integration time scales with the condition number.
+ */
+
+#ifndef AA_TESTS_COMMON_SOLVE_PROPERTIES_HH
+#define AA_TESTS_COMMON_SOLVE_PROPERTIES_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aa/analog/solver.hh"
+#include "aa/fault/fault.hh"
+#include "aa/service/service.hh"
+
+namespace aa::testutil {
+
+/** The analog options every deterministic suite runs under: no
+ *  process variation, no ADC noise, no auto-calibration. */
+analog::AnalogSolverOptions quietSolverOptions();
+
+/** ||b - A u||_2 / ||b||_2 — the independent recomputation used to
+ *  audit what a response claims. */
+double relResidual(const la::DenseMatrix &a, const la::Vector &b,
+                   const la::Vector &u);
+
+/** Assert two solutions agree bit for bit, with the diverging
+ *  component named. `what` prefixes the failure message. */
+void expectSolutionsBitEqual(const la::Vector &expected,
+                             const la::Vector &actual,
+                             const std::string &what);
+
+// --- the workload matrix -----------------------------------------
+
+/** One system of the property matrix. */
+struct Workload {
+    std::string name;
+    std::shared_ptr<const la::DenseMatrix> a;
+    la::Vector b;
+    bool symmetric = true;
+    /** ADC resolution to run the scenario's dies at; 0 = the spec
+     *  default. The ill-conditioned instance pairs moderate kappa
+     *  with a coarse ADC: what the ladder reacts to is quantization
+     *  error amplified by kappa, and integration time scales with
+     *  kappa — so low-kappa x coarse-ADC buys the same verify-bar
+     *  failure at a fraction of the tier-1 runtime. */
+    std::size_t adc_bits = 0;
+};
+
+/** 2D Poisson stencil, l = 3 (n = 9): the paper's core workload. */
+Workload stencilWorkload();
+/** 3x3 RC-grid deck through the SPICE front end (n = 9): irregular
+ *  symmetric sparsity at the same size as the stencil. */
+Workload circuitWorkload();
+/** Convection-diffusion at cell Peclet 0.8 (n = 9): nonsymmetric —
+ *  the pure-analog lane's gradient flow spirals, the preconditioned
+ *  FGMRES lane's reason to exist. */
+Workload convectionWorkload();
+/** Dense SPD with log-spaced spectrum, kappa = 20, driven through a
+ *  4-bit ADC (n = 8): the raw analog answer deterministically fails
+ *  the 0.2 verify bar, so the ladder's lower rungs must answer. */
+Workload illConditionedWorkload();
+
+/** All four, in the order above. */
+std::vector<Workload> workloadMatrix();
+
+// --- lane cases ---------------------------------------------------
+
+/** One ladder entry point to drive a workload through. */
+struct LaneCase {
+    std::string name;
+    service::LanePreference lane = service::LanePreference::Auto;
+    double tolerance = 0.0;   ///< request tolerance (0 = raw path)
+    bool batch = false;       ///< run under batch_multi_rhs
+};
+
+/** The registered lane cases: auto ladder, verified-analog-refined,
+ *  analog-preconditioned Krylov, digital, and solveBatch. */
+std::vector<LaneCase> laneMatrix();
+
+// --- trace running ------------------------------------------------
+
+/** Scenario knobs for one service run. */
+struct ServiceRunSpec {
+    std::size_t dies = 2;
+    std::size_t threads = 2;
+    service::ServiceOptions service;       ///< threads overridden
+    /** Per-die analog options (quiet defaults). */
+    analog::AnalogSolverOptions solver = quietSolverOptions();
+    std::vector<fault::FaultPlan> plans;   ///< by die; may be short
+};
+
+/** Everything a run must reproduce bit for bit. */
+struct ServiceRunResult {
+    std::vector<service::SolveRequest> trace;
+    std::vector<service::SolveResponse> responses;
+    std::vector<std::string> die_chains; ///< injector logs, by die
+    service::ServiceMetrics metrics;
+};
+
+/** `count` requests of one workload through one lane, RHS scaled
+ *  per request so every solve is distinct but deterministic. */
+std::vector<service::SolveRequest>
+laneTrace(const Workload &w, const LaneCase &lane, std::size_t count);
+
+/** Run a trace through a paused-submit/resume/drain service round
+ *  trip and collect the reproducibility surface. */
+ServiceRunResult runServiceTrace(
+    const std::vector<service::SolveRequest> &trace,
+    const ServiceRunSpec &spec);
+
+// --- the properties -----------------------------------------------
+
+/** Property 1 over one run: every response Ok, every Ok answer
+ *  verified or explicitly degraded, and its residual independently
+ *  at or under the matching bar (request tolerance when the lane
+ *  claimed convergence against one, else the raw-verify/fallback
+ *  bar). */
+void expectAllAnswersAccountable(const ServiceRunResult &run);
+
+/** Property 2, single response: the outcome fields two runs of the
+ *  same scenario must agree on bit for bit (status, routing, lane,
+ *  accounting, failure chain, and every solution component). */
+void expectResponseOutcomeIdentical(const service::SolveResponse &a,
+                                    const service::SolveResponse &b,
+                                    const std::string &what);
+
+/** Property 2 over two whole runs: per-die fault chains, every
+ *  response outcome, and the deterministic counters. */
+void expectRunsIdentical(const ServiceRunResult &x,
+                         const ServiceRunResult &y);
+
+/** Property 3: lane_analog + lane_refined + lane_precond +
+ *  lane_digital == ok, lane_digital == fallbacks, and the precond
+ *  counters' internal consistency. */
+void expectLaneCountersExclusive(const service::ServiceMetrics &m);
+
+/** Per-die fault plans sampled from one seed (chaos rates). */
+std::vector<fault::FaultPlan> sampledFaultPlans(std::uint64_t seed,
+                                                std::size_t dies);
+
+} // namespace aa::testutil
+
+#endif // AA_TESTS_COMMON_SOLVE_PROPERTIES_HH

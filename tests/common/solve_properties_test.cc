@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The property harness instantiated: every (workload x lane) pair of
+ * the matrix — symmetric stencil, SPICE circuit, nonsymmetric
+ * convection-diffusion, controlled-kappa ill-conditioned SPD, each
+ * through the auto ladder, verified-analog refinement, the
+ * analog-preconditioned Krylov lane, the digital lane, and
+ * solveBatch — is held to the three shared properties:
+ * accountability (never a silent wrong answer), thread-count
+ * invariance (bit identity at dispatch concurrency 1 vs 4), and
+ * failure-chain stability under injected faults. Lane counters must
+ * partition `ok` in every scenario.
+ *
+ * The TSan leg of tools/check.sh replays this binary at
+ * AASIM_THREADS=1 and =4 (thread counts are also pinned explicitly
+ * for the 1-vs-4 comparisons).
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aa/common/logging.hh"
+#include "common/solve_properties.hh"
+
+namespace aa::testutil {
+namespace {
+
+const bool g_quiet = [] {
+    setLogLevel(LogLevel::Quiet);
+    return true;
+}();
+
+struct PropertyCase {
+    Workload workload;
+    LaneCase lane;
+};
+
+std::vector<PropertyCase>
+allCases()
+{
+    std::vector<PropertyCase> cases;
+    for (const Workload &w : workloadMatrix())
+        for (const LaneCase &l : laneMatrix())
+            cases.push_back({w, l});
+    return cases;
+}
+
+std::string
+caseName(const ::testing::TestParamInfo<PropertyCase> &info)
+{
+    return info.param.workload.name + "_" + info.param.lane.name;
+}
+
+class SolveProperty : public ::testing::TestWithParam<PropertyCase>
+{
+  protected:
+    /** Scenario defaults shared by every property: small pool, no
+     *  deadlines, cheap failure handling (recovery recalibration and
+     *  deep retry chains are covered by the chaos suite — here the
+     *  doomed workloads should reach the lower ladder rungs fast,
+     *  because simulated integration time scales with kappa). */
+    ServiceRunSpec
+    spec(std::size_t threads) const
+    {
+        ServiceRunSpec s;
+        s.dies = 2;
+        s.threads = threads;
+        s.service.max_die_recoveries = 0;
+        s.service.max_reroutes = 1;
+        s.service.precond_max_iters = 12;
+        s.service.batch_multi_rhs = GetParam().lane.batch;
+        if (GetParam().workload.adc_bits)
+            s.solver.spec.adc_bits = GetParam().workload.adc_bits;
+        return s;
+    }
+
+    std::vector<service::SolveRequest>
+    trace(std::size_t count = 3) const
+    {
+        auto t = laneTrace(GetParam().workload, GetParam().lane, count);
+        for (service::SolveRequest &r : t)
+            r.max_refine_passes = 2; // keep doomed chains cheap
+        return t;
+    }
+};
+
+TEST_P(SolveProperty, AnswersAreAccountable)
+{
+    ServiceRunResult run = runServiceTrace(trace(), spec(2));
+    expectAllAnswersAccountable(run);
+    expectLaneCountersExclusive(run.metrics);
+}
+
+TEST_P(SolveProperty, ThreadCountInvariance)
+{
+    ServiceRunResult serial = runServiceTrace(trace(), spec(1));
+    ServiceRunResult threaded = runServiceTrace(trace(), spec(4));
+    expectRunsIdentical(serial, threaded);
+}
+
+TEST_P(SolveProperty, FailureChainsStableUnderFaults)
+{
+    // A seeded fault plan on each die; whatever breaks, the stream
+    // stays accountable and the failure story replays bit for bit at
+    // any thread count.
+    std::vector<fault::FaultPlan> plans = sampledFaultPlans(17, 2);
+    ServiceRunSpec one = spec(1);
+    one.plans = plans;
+    ServiceRunSpec four = spec(4);
+    four.plans = plans;
+    ServiceRunResult serial = runServiceTrace(trace(), one);
+    ServiceRunResult threaded = runServiceTrace(trace(), four);
+    expectAllAnswersAccountable(serial);
+    expectLaneCountersExclusive(serial.metrics);
+    expectRunsIdentical(serial, threaded);
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, SolveProperty,
+                         ::testing::ValuesIn(allCases()), caseName);
+
+} // namespace
+} // namespace aa::testutil

@@ -11,9 +11,11 @@
  *      chains, per-request failure chains, routing, and bit-identical
  *      solutions, at any dispatch thread count.
  *
- * The TSan leg of tools/check.sh replays this binary at
- * AASIM_THREADS=1 and =4 (the suite also pins explicit thread counts
- * internally for the 1-vs-4 comparison).
+ * Both invariants (and the lane-counter exclusivity that rides along)
+ * are asserted through the shared property harness in
+ * tests/common/solve_properties.hh. The TSan leg of tools/check.sh
+ * replays this binary at AASIM_THREADS=1 and =4 (the suite also pins
+ * explicit thread counts internally for the 1-vs-4 comparison).
  */
 
 #include <memory>
@@ -21,11 +23,10 @@
 
 #include <gtest/gtest.h>
 
-#include "aa/analog/die_pool.hh"
 #include "aa/common/logging.hh"
 #include "aa/fault/fault.hh"
 #include "aa/service/service.hh"
-#include "common/trace_matcher.hh"
+#include "common/solve_properties.hh"
 
 namespace aa::service {
 namespace {
@@ -34,16 +35,6 @@ const bool g_quiet = [] {
     setLogLevel(LogLevel::Quiet);
     return true;
 }();
-
-analog::AnalogSolverOptions
-quietOptions()
-{
-    analog::AnalogSolverOptions opts;
-    opts.spec.variation.enabled = false;
-    opts.spec.adc_noise_sigma = 0.0;
-    opts.auto_calibrate = false;
-    return opts;
-}
 
 std::shared_ptr<const la::DenseMatrix>
 matrixA()
@@ -82,135 +73,15 @@ mixedTrace(std::size_t count)
     return trace;
 }
 
-double
-relResidual(const la::DenseMatrix &a, const la::Vector &b,
-            const la::Vector &u)
-{
-    la::Vector r = b - a.apply(u);
-    return la::norm2(r) / la::norm2(b);
-}
-
-/** Everything a chaos run should reproduce bit for bit. */
-struct RunResult {
-    std::vector<SolveRequest> trace; ///< what was submitted
-    std::vector<SolveResponse> responses; ///< in submission order
-    std::vector<std::string> die_chains;  ///< injector logs, by die
-    ServiceMetrics metrics;
-};
-
-RunResult
+testutil::ServiceRunResult
 runScenario(const std::vector<fault::FaultPlan> &plans,
             std::size_t threads, std::size_t requests)
 {
-    RunResult out;
-    analog::DiePool pool(plans.size(), quietOptions());
-    for (std::size_t k = 0; k < plans.size(); ++k)
-        pool.attachFaultInjector(
-            k, std::make_shared<fault::FaultInjector>(plans[k]));
-
-    ServiceOptions sopts;
-    sopts.threads = threads;
-    sopts.start_paused = true;
-    SolveService svc(pool, sopts);
-
-    out.trace = mixedTrace(requests);
-    std::vector<std::future<SolveResponse>> futures;
-    for (const SolveRequest &req : out.trace)
-        futures.push_back(svc.submit(SolveRequest(req)));
-    svc.resume();
-    svc.drain();
-    svc.stop();
-    for (auto &f : futures)
-        out.responses.push_back(f.get());
-    for (std::size_t k = 0; k < pool.size(); ++k)
-        out.die_chains.push_back(
-            pool.faultInjector(k)->chainString());
-    out.metrics = svc.metrics();
-    return out;
-}
-
-/** The no-silent-wrong-answer invariant over one run. */
-void
-expectAllAnswersAccountable(const RunResult &run)
-{
-    ASSERT_EQ(run.responses.size(), run.trace.size());
-    for (std::size_t i = 0; i < run.responses.size(); ++i) {
-        const SolveResponse &r = run.responses[i];
-        // No deadlines and fallback enabled: everything is answered.
-        ASSERT_EQ(r.status, RequestStatus::Ok)
-            << "request " << i << ": " << r.reason;
-        EXPECT_TRUE(r.degraded || r.verified)
-            << "request " << i << " returned unaccountable answer";
-        // Independently recompute the residual the service claims.
-        double bar = r.degraded ? 1e-6 : 0.2 + 1e-9;
-        EXPECT_LE(relResidual(*run.trace[i].a, run.trace[i].b, r.u),
-                  bar)
-            << "request " << i
-            << (r.degraded ? " (degraded)" : " (verified analog)")
-            << " chain: " << r.failure_chain;
-    }
-}
-
-/** Bit-identity of two runs of the same scenario. */
-void
-expectRunsIdentical(const RunResult &x, const RunResult &y)
-{
-    ASSERT_EQ(x.die_chains.size(), y.die_chains.size());
-    for (std::size_t k = 0; k < x.die_chains.size(); ++k)
-        EXPECT_TRUE(testutil::chainsMatch(x.die_chains[k],
-                                          y.die_chains[k]))
-            << "die " << k;
-
-    ASSERT_EQ(x.responses.size(), y.responses.size());
-    for (std::size_t i = 0; i < x.responses.size(); ++i) {
-        const SolveResponse &a = x.responses[i];
-        const SolveResponse &b = y.responses[i];
-        EXPECT_EQ(a.status, b.status) << "request " << i;
-        EXPECT_EQ(a.die, b.die) << "request " << i;
-        EXPECT_EQ(a.exec_order, b.exec_order) << "request " << i;
-        EXPECT_EQ(a.degraded, b.degraded) << "request " << i;
-        EXPECT_EQ(a.verified, b.verified) << "request " << i;
-        EXPECT_EQ(a.reroutes, b.reroutes) << "request " << i;
-        EXPECT_TRUE(testutil::chainsMatch(a.failure_chain,
-                                          b.failure_chain))
-            << "request " << i;
-        ASSERT_EQ(a.u.size(), b.u.size()) << "request " << i;
-        for (std::size_t j = 0; j < a.u.size(); ++j)
-            EXPECT_EQ(a.u[j], b.u[j])
-                << "request " << i << " component " << j;
-    }
-
-    EXPECT_EQ(x.metrics.faults_seen, y.metrics.faults_seen);
-    EXPECT_EQ(x.metrics.analog_failures, y.metrics.analog_failures);
-    EXPECT_EQ(x.metrics.recoveries, y.metrics.recoveries);
-    EXPECT_EQ(x.metrics.reroutes, y.metrics.reroutes);
-    EXPECT_EQ(x.metrics.quarantines, y.metrics.quarantines);
-    EXPECT_EQ(x.metrics.fallbacks, y.metrics.fallbacks);
-    EXPECT_EQ(x.metrics.completed, y.metrics.completed);
-    EXPECT_EQ(x.metrics.ok, y.metrics.ok);
-}
-
-fault::FaultRates
-chaosRates()
-{
-    fault::FaultRates r;
-    r.stuck_integrator = 0.05;
-    r.gain_drift = 0.05;
-    r.adc_saturation = 0.05;
-    r.calibration_loss = 0.03;
-    r.config_corruption = 0.05;
-    r.die_death = 0.01;
-    return r;
-}
-
-std::vector<fault::FaultPlan>
-sampledPlans(std::uint64_t seed, std::size_t dies)
-{
-    std::vector<fault::FaultPlan> plans;
-    for (std::size_t k = 0; k < dies; ++k)
-        plans.push_back(
-            fault::FaultPlan::sample(seed * 131 + k, chaosRates(), 64));
-    return plans;
+    testutil::ServiceRunSpec spec;
+    spec.dies = plans.size();
+    spec.threads = threads;
+    spec.plans = plans;
+    return testutil::runServiceTrace(mixedTrace(requests), spec);
 }
 
 TEST(Chaos, SingleFaultScenariosNeverGiveSilentWrongAnswers)
@@ -235,9 +106,10 @@ TEST(Chaos, SingleFaultScenariosNeverGiveSilentWrongAnswers)
         SCOPED_TRACE(s.label);
         std::vector<fault::FaultPlan> plans(2);
         plans[0].add(s.event);
-        RunResult run = runScenario(plans, 2, 8);
+        testutil::ServiceRunResult run = runScenario(plans, 2, 8);
         EXPECT_GE(run.metrics.faults_seen, 1u); // the fault armed
-        expectAllAnswersAccountable(run);
+        testutil::expectAllAnswersAccountable(run);
+        testutil::expectLaneCountersExclusive(run.metrics);
     }
 }
 
@@ -245,22 +117,92 @@ TEST(Chaos, IdenticalSeedReproducesTheFailureChainBitForBit)
 {
     for (std::uint64_t seed : {3ull, 29ull}) {
         SCOPED_TRACE(seed);
-        std::vector<fault::FaultPlan> plans = sampledPlans(seed, 3);
-        RunResult first = runScenario(plans, 2, 10);
-        RunResult second = runScenario(plans, 2, 10);
-        expectAllAnswersAccountable(first);
-        expectRunsIdentical(first, second);
+        std::vector<fault::FaultPlan> plans =
+            testutil::sampledFaultPlans(seed, 3);
+        testutil::ServiceRunResult first = runScenario(plans, 2, 10);
+        testutil::ServiceRunResult second = runScenario(plans, 2, 10);
+        testutil::expectAllAnswersAccountable(first);
+        testutil::expectRunsIdentical(first, second);
     }
 }
 
 TEST(Chaos, ThreadCountDoesNotChangeFailureHandling)
 {
-    std::vector<fault::FaultPlan> plans = sampledPlans(17, 3);
-    RunResult serial = runScenario(plans, 1, 10);
-    RunResult threaded = runScenario(plans, 4, 10);
-    expectAllAnswersAccountable(serial);
-    expectAllAnswersAccountable(threaded);
-    expectRunsIdentical(serial, threaded);
+    std::vector<fault::FaultPlan> plans =
+        testutil::sampledFaultPlans(17, 3);
+    testutil::ServiceRunResult serial = runScenario(plans, 1, 10);
+    testutil::ServiceRunResult threaded = runScenario(plans, 4, 10);
+    testutil::expectAllAnswersAccountable(serial);
+    testutil::expectAllAnswersAccountable(threaded);
+    testutil::expectRunsIdentical(serial, threaded);
+}
+
+TEST(Chaos, FaultsDuringPreconditionerAppliesStayAccountable)
+{
+    // The preconditioned-Krylov lane under fire: a nonsymmetric
+    // stream (Auto routes it straight to the lane, so every analog
+    // op is a preconditioner apply) against one die that pins an
+    // integrator and one that dies mid-run. Whatever each apply
+    // returns, the outer FGMRES measures its exit residual digitally
+    // — the stream must come back accountable with a stable failure
+    // story at any thread count.
+    testutil::Workload w = testutil::convectionWorkload();
+    auto trace = testutil::laneTrace(
+        w, {"auto", LanePreference::Auto, 1e-8, false}, 6);
+
+    testutil::ServiceRunSpec spec;
+    spec.dies = 2;
+    spec.service.precond_max_iters = 12;
+    fault::FaultPlan stuck;
+    stuck.add({fault::FaultKind::StuckIntegrator, 1, 2, 0, -0.8});
+    fault::FaultPlan death;
+    death.add({fault::FaultKind::DieDeath, 3, 0, 0, 0.0});
+    spec.plans = {stuck, death};
+
+    spec.threads = 1;
+    testutil::ServiceRunResult serial =
+        testutil::runServiceTrace(trace, spec);
+    spec.threads = 4;
+    testutil::ServiceRunResult threaded =
+        testutil::runServiceTrace(trace, spec);
+
+    EXPECT_GE(serial.metrics.faults_seen, 1u);
+    EXPECT_GE(serial.metrics.precond_attempts, 1u);
+    testutil::expectAllAnswersAccountable(serial);
+    testutil::expectLaneCountersExclusive(serial.metrics);
+    testutil::expectRunsIdentical(serial, threaded);
+}
+
+TEST(Chaos, DeadDieMidKrylovReroutesWithTheChainRecorded)
+{
+    // Die 0 dies on its very first exec window; preconditioned
+    // requests must either reroute to die 1 (chain names die 0) or
+    // degrade — never hang, never answer silently.
+    testutil::Workload w = testutil::convectionWorkload();
+    auto trace = testutil::laneTrace(
+        w, {"precond", LanePreference::PrecondKrylov, 1e-8, false},
+        4);
+
+    testutil::ServiceRunSpec spec;
+    spec.dies = 2;
+    spec.service.precond_max_iters = 12;
+    fault::FaultPlan death;
+    death.add({fault::FaultKind::DieDeath, 0, 0, 0, 0.0});
+    spec.plans = {death, {}};
+
+    testutil::ServiceRunResult run =
+        testutil::runServiceTrace(trace, spec);
+    testutil::expectAllAnswersAccountable(run);
+    testutil::expectLaneCountersExclusive(run.metrics);
+    // The dead die shows up in at least one failure chain, and the
+    // stream still got analog-preconditioned answers from die 1.
+    bool chain_names_die0 = false;
+    for (const SolveResponse &r : run.responses)
+        if (r.failure_chain.find("die 0") != std::string::npos)
+            chain_names_die0 = true;
+    EXPECT_TRUE(chain_names_die0);
+    EXPECT_GE(run.metrics.lane_precond, 1u);
+    EXPECT_GE(run.metrics.reroutes, 1u);
 }
 
 } // namespace

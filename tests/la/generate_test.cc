@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The controlled-conditioning generator contract. spdLogSpectrum's
+ * whole reason to exist is that its three knobs are exact:
+ * (n, kappa, seed) reproduces the matrix bit for bit, kappa(A) IS
+ * kappa (not "roughly"), and the sparsity pattern — hence the program
+ * cache's sparsityHash — depends on n alone, so every instance of a
+ * size shares one CompiledStructure no matter how ill-conditioned.
+ */
+
+#include <gtest/gtest.h>
+
+#include "aa/compiler/program.hh"
+#include "aa/la/eigen.hh"
+#include "aa/la/generate.hh"
+#include "aa/la/operator.hh"
+
+namespace aa::la {
+namespace {
+
+TEST(Generate, SameKnobsReproduceTheMatrixBitForBit)
+{
+    DenseMatrix a = spdLogSpectrum(8, 20.0, 11);
+    DenseMatrix b = spdLogSpectrum(8, 20.0, 11);
+    ASSERT_EQ(a.rows(), b.rows());
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            EXPECT_EQ(a(i, j), b(i, j)) << i << "," << j;
+
+    Vector r1 = seededRhs(8, 13);
+    Vector r2 = seededRhs(8, 13);
+    ASSERT_EQ(r1.size(), r2.size());
+    for (std::size_t i = 0; i < r1.size(); ++i)
+        EXPECT_EQ(r1[i], r2[i]) << i;
+}
+
+TEST(Generate, DifferentSeedsRotateDifferently)
+{
+    DenseMatrix a = spdLogSpectrum(8, 20.0, 11);
+    DenseMatrix b = spdLogSpectrum(8, 20.0, 12);
+    bool any_differ = false;
+    for (std::size_t i = 0; i < a.rows() && !any_differ; ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            if (a(i, j) != b(i, j)) {
+                any_differ = true;
+                break;
+            }
+    EXPECT_TRUE(any_differ);
+}
+
+TEST(Generate, ConditionNumberIsTheRequestedKappa)
+{
+    for (double kappa : {5.0, 20.0, 200.0}) {
+        SCOPED_TRACE(kappa);
+        DenseMatrix a = spdLogSpectrum(10, kappa, 3);
+        EXPECT_TRUE(a.isSymmetric());
+        // ||A||_2 = 1 by construction (spectrum in [1/kappa, 1]).
+        DenseOperator op(a);
+        EigenEstimate lmax = largestEigenvalue(op);
+        ASSERT_TRUE(lmax.converged);
+        EXPECT_NEAR(lmax.value, 1.0, 1e-6);
+        EXPECT_NEAR(conditionNumberSpd(a), kappa, kappa * 1e-6);
+    }
+}
+
+TEST(Generate, SizeOneIsTheIdentity)
+{
+    DenseMatrix a = spdLogSpectrum(1, 100.0, 7);
+    ASSERT_EQ(a.rows(), 1u);
+    EXPECT_EQ(a(0, 0), 1.0);
+}
+
+TEST(Generate, SparsityHashDependsOnSizeAlone)
+{
+    // Dense by construction: conditioning and rotation must not
+    // change the pattern, so the program cache compiles one
+    // structure per size across a whole kappa sweep.
+    std::uint64_t h = compiler::sparsityHash(spdLogSpectrum(8, 20.0, 11));
+    EXPECT_EQ(h, compiler::sparsityHash(spdLogSpectrum(8, 500.0, 99)));
+    EXPECT_EQ(h, compiler::sparsityHash(spdLogSpectrum(8, 2.0, 1)));
+    EXPECT_NE(h, compiler::sparsityHash(spdLogSpectrum(9, 20.0, 11)));
+}
+
+TEST(Generate, SeededRhsIsUnitNorm)
+{
+    for (std::uint64_t seed : {1ull, 13ull, 97ull}) {
+        SCOPED_TRACE(seed);
+        Vector b = seededRhs(8, seed);
+        EXPECT_NEAR(norm2(b), 1.0, 1e-12);
+    }
+    // Distinct seeds give distinct directions.
+    Vector x = seededRhs(8, 13);
+    Vector y = seededRhs(8, 14);
+    bool any_differ = false;
+    for (std::size_t i = 0; i < x.size(); ++i)
+        if (x[i] != y[i])
+            any_differ = true;
+    EXPECT_TRUE(any_differ);
+}
+
+} // namespace
+} // namespace aa::la

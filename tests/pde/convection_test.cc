@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Convection-diffusion assembly contract: the zero-velocity limit IS
+ * the Poisson matrix, the cell Peclet knob sets |v| h / (2 eps)
+ * exactly, the same (dim, l, cell_peclet, seed) rebuilds the system
+ * bit for bit, and the sparsity pattern — hence the program cache's
+ * sparsityHash — depends on (dim, l) only, so a whole Peclet sweep
+ * shares one CompiledStructure per grid.
+ */
+
+#include <array>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "aa/compiler/program.hh"
+#include "aa/la/dense_matrix.hh"
+#include "aa/pde/convection.hh"
+#include "aa/pde/poisson.hh"
+
+namespace aa::pde {
+namespace {
+
+TEST(Convection, ZeroVelocityIsExactlyThePoissonMatrix)
+{
+    auto f = [](double, double, double) { return 1.0; };
+    ConvectionDiffusionProblem cd =
+        assembleConvectionDiffusion(2, 3, 1.0, {0.0, 0.0, 0.0}, f);
+    PoissonProblem poisson = assemblePoisson(2, 3, f);
+
+    la::DenseMatrix a = cd.a.toDense();
+    la::DenseMatrix p = poisson.a.toDense();
+    ASSERT_EQ(a.rows(), p.rows());
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            EXPECT_EQ(a(i, j), p(i, j)) << i << "," << j;
+    ASSERT_EQ(cd.b.size(), poisson.b.size());
+    for (std::size_t i = 0; i < cd.b.size(); ++i)
+        EXPECT_EQ(cd.b[i], poisson.b[i]) << i;
+}
+
+TEST(Convection, BenchmarkRebuildsBitForBitFromItsKnobs)
+{
+    ConvectionDiffusionProblem x = convectionBenchmark(2, 3, 0.8, 7);
+    ConvectionDiffusionProblem y = convectionBenchmark(2, 3, 0.8, 7);
+    la::DenseMatrix a = x.a.toDense();
+    la::DenseMatrix b = y.a.toDense();
+    ASSERT_EQ(a.rows(), b.rows());
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            EXPECT_EQ(a(i, j), b(i, j)) << i << "," << j;
+    for (std::size_t i = 0; i < x.b.size(); ++i)
+        EXPECT_EQ(x.b[i], y.b[i]) << i;
+}
+
+TEST(Convection, PositivePecletBreaksSymmetry)
+{
+    ConvectionDiffusionProblem p = convectionBenchmark(2, 3, 0.8, 7);
+    EXPECT_FALSE(p.a.toDense().isSymmetric());
+    // The symmetric part of every neighbor pair is still the
+    // diffusion coefficient: a_ij + a_ji = -2 eps / h^2.
+    const double h = p.grid.spacing();
+    la::DenseMatrix a = p.a.toDense();
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = i + 1; j < a.cols(); ++j)
+            if (a(i, j) != 0.0) {
+                EXPECT_NEAR(a(i, j) + a(j, i),
+                            -2.0 * p.diffusion / (h * h), 1e-9)
+                    << i << "," << j;
+            }
+}
+
+TEST(Convection, CellPecletSetsTheVelocityMagnitudeExactly)
+{
+    for (double pe : {0.1, 0.8, 1.0}) {
+        SCOPED_TRACE(pe);
+        ConvectionDiffusionProblem p =
+            convectionBenchmark(2, 3, pe, 7);
+        double vmag = std::sqrt(p.velocity[0] * p.velocity[0] +
+                                p.velocity[1] * p.velocity[1] +
+                                p.velocity[2] * p.velocity[2]);
+        double h = p.grid.spacing();
+        EXPECT_NEAR(vmag * h / (2.0 * p.diffusion), pe, 1e-12);
+    }
+}
+
+TEST(Convection, SparsityHashDependsOnGridAlone)
+{
+    // Peclet and seed move the values, never the pattern: one
+    // compiled structure serves the whole benchmark family per grid.
+    std::uint64_t h = compiler::sparsityHash(
+        convectionBenchmark(2, 3, 0.8, 7).a.toDense());
+    EXPECT_EQ(h, compiler::sparsityHash(
+                     convectionBenchmark(2, 3, 0.4, 99).a.toDense()));
+    EXPECT_EQ(h, compiler::sparsityHash(
+                     convectionBenchmark(2, 3, 0.0, 7).a.toDense()));
+    EXPECT_NE(h, compiler::sparsityHash(
+                     convectionBenchmark(2, 4, 0.8, 7).a.toDense()));
+    EXPECT_NE(h, compiler::sparsityHash(
+                     convectionBenchmark(1, 3, 0.8, 7).a.toDense()));
+}
+
+} // namespace
+} // namespace aa::pde

@@ -19,6 +19,7 @@
 #include "aa/common/logging.hh"
 #include "aa/fault/fault.hh"
 #include "aa/service/service.hh"
+#include "common/solve_properties.hh"
 
 namespace aa::service {
 namespace {
@@ -27,16 +28,6 @@ const bool g_quiet = [] {
     setLogLevel(LogLevel::Quiet);
     return true;
 }();
-
-analog::AnalogSolverOptions
-quietOptions()
-{
-    analog::AnalogSolverOptions opts;
-    opts.spec.variation.enabled = false;
-    opts.spec.adc_noise_sigma = 0.0;
-    opts.auto_calibrate = false;
-    return opts;
-}
 
 std::shared_ptr<const la::DenseMatrix>
 matrixA()
@@ -57,19 +48,11 @@ killAllDies(analog::DiePool &pool)
     }
 }
 
-double
-relResidual(const la::DenseMatrix &a, const la::Vector &b,
-            const la::Vector &u)
-{
-    la::Vector r = b - a.apply(u);
-    return la::norm2(r) / la::norm2(b);
-}
-
 TEST(Degradation, TotalDieDeathStillAnswersEveryRequest)
 {
     // 100% die death: the pool goes dark on first contact, yet every
     // response arrives (no hangs), is Ok, degraded, and correct.
-    analog::DiePool pool(2, quietOptions());
+    analog::DiePool pool(2, testutil::quietSolverOptions());
     killAllDies(pool);
     ServiceOptions sopts;
     sopts.start_paused = true;
@@ -96,7 +79,7 @@ TEST(Degradation, TotalDieDeathStillAnswersEveryRequest)
         EXPECT_TRUE(r.degraded) << "request " << i;
         EXPECT_TRUE(r.verified) << "request " << i;
         EXPECT_TRUE(r.converged) << "request " << i;
-        EXPECT_LE(relResidual(*a, rhs[i], r.u), 1e-8)
+        EXPECT_LE(testutil::relResidual(*a, rhs[i], r.u), 1e-8)
             << "request " << i;
     }
 
@@ -113,11 +96,14 @@ TEST(Degradation, TotalDieDeathStillAnswersEveryRequest)
     EXPECT_EQ(m.fallbacks, kRequests); // every answer was digital
     EXPECT_GE(m.analog_failures, 1u);  // the deaths were observed
     EXPECT_GE(m.faults_seen, 2u);      // one death event per die
+    // Every answer claims exactly the digital lane.
+    testutil::expectLaneCountersExclusive(m);
+    EXPECT_EQ(m.lane_digital, kRequests);
 }
 
 TEST(Degradation, FallbackDisabledFailsLoudlyWithTheChain)
 {
-    analog::DiePool pool(1, quietOptions());
+    analog::DiePool pool(1, testutil::quietSolverOptions());
     killAllDies(pool);
     ServiceOptions sopts;
     sopts.digital_fallback = false;
@@ -138,6 +124,8 @@ TEST(Degradation, FallbackDisabledFailsLoudlyWithTheChain)
     EXPECT_EQ(m.failed, 1u);
     EXPECT_EQ(m.completed, 1u);
     EXPECT_EQ(m.ok, 0u);
+    // A Failed response claims no lane; the partition stays exact.
+    testutil::expectLaneCountersExclusive(m);
 }
 
 TEST(Degradation, StuckDiesAreQuarantinedAndTheStreamDegrades)
@@ -145,7 +133,7 @@ TEST(Degradation, StuckDiesAreQuarantinedAndTheStreamDegrades)
     // Both dies pinned wrong forever: verification rejects every
     // analog answer, health tracking benches both dies, and the
     // whole stream degrades to digital CG — all Ok, none silent.
-    analog::DiePool pool(2, quietOptions());
+    analog::DiePool pool(2, testutil::quietSolverOptions());
     for (std::size_t k = 0; k < pool.size(); ++k) {
         fault::FaultPlan plan;
         plan.add(
@@ -177,7 +165,7 @@ TEST(Degradation, StuckDiesAreQuarantinedAndTheStreamDegrades)
         SolveResponse r = futures[i].get();
         ASSERT_EQ(r.status, RequestStatus::Ok) << r.reason;
         EXPECT_TRUE(r.degraded) << "request " << i;
-        EXPECT_LE(relResidual(*a, rhs[i], r.u), 1e-8)
+        EXPECT_LE(testutil::relResidual(*a, rhs[i], r.u), 1e-8)
             << "request " << i;
         EXPECT_FALSE(r.failure_chain.empty()) << "request " << i;
     }
@@ -189,6 +177,7 @@ TEST(Degradation, StuckDiesAreQuarantinedAndTheStreamDegrades)
     EXPECT_EQ(m.quarantines, 2u); // both dies benched
     EXPECT_GE(m.reroutes, 1u);
     EXPECT_EQ(m.ok, kRequests);
+    testutil::expectLaneCountersExclusive(m);
 }
 
 TEST(Degradation, DeadlineExpiryIsClassifiedExpiredNotCompleted)
@@ -196,7 +185,7 @@ TEST(Degradation, DeadlineExpiryIsClassifiedExpiredNotCompleted)
     // The regression: a request that gives up on its deadline —
     // queued or mid retry chain — must count as deadline_expired,
     // never as completed.
-    analog::DiePool pool(1, quietOptions());
+    analog::DiePool pool(1, testutil::quietSolverOptions());
     ServiceOptions sopts;
     sopts.start_paused = true;
     SolveService svc(pool, sopts);
@@ -228,7 +217,7 @@ TEST(Degradation, DeadlineExpiryDuringRetryChainIsNotACompletion)
     // (queued / retry chain / fallback still in budget); the
     // accounting invariant must hold on every path: exactly one of
     // completed / deadline_expired, never both.
-    analog::DiePool pool(1, quietOptions());
+    analog::DiePool pool(1, testutil::quietSolverOptions());
     fault::FaultPlan plan;
     plan.add({fault::FaultKind::StuckIntegrator, 0, 0, 0, -1.0});
     pool.attachFaultInjector(

@@ -21,6 +21,7 @@
 #include "aa/analog/refine.hh"
 #include "aa/common/logging.hh"
 #include "aa/service/service.hh"
+#include "common/solve_properties.hh"
 #include "common/trace_matcher.hh"
 
 namespace aa::service {
@@ -127,10 +128,8 @@ TEST(Service, TraceIsBitIdenticalToDirectDie)
         ASSERT_EQ(r.status, RequestStatus::Ok);
         auto direct =
             direct_pool.die(0).solve(*trace[idx].a, trace[idx].b);
-        ASSERT_EQ(r.u.size(), direct.u.size());
-        for (std::size_t i = 0; i < r.u.size(); ++i)
-            EXPECT_EQ(r.u[i], direct.u[i])
-                << "request " << idx << " component " << i;
+        testutil::expectSolutionsBitEqual(
+            direct.u, r.u, "request " + std::to_string(idx));
         EXPECT_EQ(r.attempts, direct.attempts);
         // The structural solve trace must match too: same config
         // traffic, same cache behaviour, request by request.
@@ -408,10 +407,9 @@ TEST(Service, ThreadCountDoesNotChangeResults)
     for (std::size_t i = 0; i < serial.size(); ++i) {
         EXPECT_EQ(serial[i].die, threaded[i].die);
         EXPECT_EQ(serial[i].exec_order, threaded[i].exec_order);
-        ASSERT_EQ(serial[i].u.size(), threaded[i].u.size());
-        for (std::size_t j = 0; j < serial[i].u.size(); ++j)
-            EXPECT_EQ(serial[i].u[j], threaded[i].u[j])
-                << "request " << i << " component " << j;
+        testutil::expectSolutionsBitEqual(
+            serial[i].u, threaded[i].u,
+            "request " + std::to_string(i));
         EXPECT_TRUE(testutil::phasesMatch(serial[i].phases,
                                           threaded[i].phases))
             << "request " << i;

@@ -23,6 +23,7 @@
 #include "aa/service/placement.hh"
 #include "aa/service/shard.hh"
 #include "aa/service/service.hh"
+#include "common/solve_properties.hh"
 #include "common/trace_matcher.hh"
 
 namespace aa::service {
@@ -126,10 +127,8 @@ TEST(Fleet, SingleRackTraceIsBitIdenticalToPlainService)
         EXPECT_EQ(p.die, f.die) << "request " << i;
         EXPECT_EQ(p.exec_order, f.exec_order) << "request " << i;
         EXPECT_EQ(p.attempts, f.attempts) << "request " << i;
-        ASSERT_EQ(p.u.size(), f.u.size());
-        for (std::size_t j = 0; j < p.u.size(); ++j)
-            EXPECT_EQ(p.u[j], f.u[j])
-                << "request " << i << " component " << j;
+        testutil::expectSolutionsBitEqual(
+            p.u, f.u, "request " + std::to_string(i));
         EXPECT_TRUE(testutil::phasesMatch(p.phases, f.phases))
             << "request " << i;
     }
@@ -451,10 +450,9 @@ TEST(Fleet, ThreadCountDoesNotChangeResults)
     for (std::size_t i = 0; i < serial.size(); ++i) {
         EXPECT_EQ(serial[i].die, threaded[i].die);
         EXPECT_EQ(serial[i].exec_order, threaded[i].exec_order);
-        ASSERT_EQ(serial[i].u.size(), threaded[i].u.size());
-        for (std::size_t j = 0; j < serial[i].u.size(); ++j)
-            EXPECT_EQ(serial[i].u[j], threaded[i].u[j])
-                << "request " << i << " component " << j;
+        testutil::expectSolutionsBitEqual(
+            serial[i].u, threaded[i].u,
+            "request " + std::to_string(i));
         EXPECT_TRUE(testutil::phasesMatch(serial[i].phases,
                                           threaded[i].phases))
             << "request " << i;

@@ -1,0 +1,392 @@
+/**
+ * @file
+ * Edge cases of the flexible Krylov solvers — the paths a healthy
+ * convergence run never visits. Tolerance already met at entry, zero
+ * right-hand sides, happy breakdown (invariant Krylov subspace),
+ * zero-curvature CG directions on indefinite operators, indefinite
+ * preconditioned residuals, FGMRES restart boundaries, max-iteration
+ * fall-through, failed preconditioner applies, keep_going
+ * interruption, and the nonstationary-preconditioner case that is
+ * FGMRES's reason to exist. Every exit path must leave `converged`
+ * equal to the *recomputed* true residual's verdict — never the
+ * recurrence estimate's.
+ */
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aa/la/dense_matrix.hh"
+#include "aa/la/operator.hh"
+#include "aa/la/vector.hh"
+#include "aa/solver/krylov.hh"
+
+namespace aa::solver {
+namespace {
+
+la::DenseMatrix
+laplacian1d(std::size_t n)
+{
+    la::DenseMatrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        m(i, i) = 2.0;
+        if (i + 1 < n) {
+            m(i, i + 1) = -1.0;
+            m(i + 1, i) = -1.0;
+        }
+    }
+    return m;
+}
+
+/** Nonsymmetric convection-like tridiagonal: -1.2 / 2 / -0.8. */
+la::DenseMatrix
+upwound1d(std::size_t n)
+{
+    la::DenseMatrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        m(i, i) = 2.0;
+        if (i + 1 < n) {
+            m(i, i + 1) = -0.8;
+            m(i + 1, i) = -1.2;
+        }
+    }
+    return m;
+}
+
+Vector
+ones(std::size_t n)
+{
+    Vector b(n);
+    for (std::size_t i = 0; i < n; ++i)
+        b[i] = 1.0;
+    return b;
+}
+
+double
+trueRel(const la::DenseMatrix &a, const Vector &b, const Vector &x)
+{
+    Vector r = b - a.apply(x);
+    return la::norm2(r) / la::norm2(b);
+}
+
+// --- tolerance at entry -------------------------------------------
+
+TEST(Krylov, ToleranceMetAtEntryCostsNothing)
+{
+    la::DenseMatrix a = laplacian1d(6);
+    Vector xstar = ones(6);
+    Vector b = a.apply(xstar);
+    la::DenseOperator op(a);
+
+    KrylovOptions o;
+    o.x0 = xstar; // exact solution as the starting guess
+    for (auto *solve : {&flexibleCg, &fgmres}) {
+        KrylovResult r = solve(op, b, identityPreconditioner(), o);
+        EXPECT_TRUE(r.converged);
+        EXPECT_EQ(r.stop, KrylovStop::Converged);
+        EXPECT_EQ(r.iterations, 0u);
+        EXPECT_EQ(r.precond_applies, 0u); // no preconditioner traffic
+        EXPECT_EQ(r.restarts, 0u);
+    }
+}
+
+TEST(Krylov, ZeroRhsConvergesToZeroImmediately)
+{
+    la::DenseMatrix a = laplacian1d(5);
+    la::DenseOperator op(a);
+    Vector b(5); // all zeros; residual scale falls back to 1
+
+    for (auto *solve : {&flexibleCg, &fgmres}) {
+        KrylovResult r = solve(op, b, identityPreconditioner(), {});
+        EXPECT_TRUE(r.converged);
+        EXPECT_EQ(r.iterations, 0u);
+        EXPECT_EQ(r.final_residual, 0.0);
+        for (std::size_t i = 0; i < r.x.size(); ++i)
+            EXPECT_EQ(r.x[i], 0.0) << i;
+    }
+}
+
+// --- breakdown paths ----------------------------------------------
+
+TEST(Krylov, HappyBreakdownExitsEarlyAndExactly)
+{
+    // b lives in a 2-dimensional invariant subspace of a diagonal
+    // operator with two distinct eigenvalues among b's support: the
+    // Arnoldi basis dies at j = 2 (happy breakdown) and the projected
+    // solve is already exact.
+    la::DenseMatrix a(4, 4);
+    a(0, 0) = 2.0;
+    a(1, 1) = 2.0;
+    a(2, 2) = 3.0;
+    a(3, 3) = 5.0;
+    la::DenseOperator op(a);
+    Vector b{1.0, 1.0, 1.0, 0.0}; // eigenvalues {2, 3} represented
+
+    KrylovResult r = fgmres(op, b, identityPreconditioner(), {});
+    EXPECT_TRUE(r.converged);
+    EXPECT_EQ(r.stop, KrylovStop::Converged);
+    EXPECT_LE(r.iterations, 2u); // dimension of the Krylov space
+    EXPECT_EQ(r.restarts, 0u);
+    EXPECT_LE(trueRel(a, b, r.x), 1e-12);
+}
+
+TEST(Krylov, IdentityOperatorConvergesInOneIteration)
+{
+    la::DenseMatrix a(3, 3);
+    for (std::size_t i = 0; i < 3; ++i)
+        a(i, i) = 1.0;
+    la::DenseOperator op(a);
+    Vector b{1.0, -2.0, 3.0};
+
+    KrylovResult r = fgmres(op, b, identityPreconditioner(), {});
+    EXPECT_TRUE(r.converged);
+    EXPECT_EQ(r.iterations, 1u);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_NEAR(r.x[i], b[i], 1e-12);
+}
+
+TEST(Krylov, CgStopsOnZeroCurvatureInsteadOfIterating)
+{
+    // Indefinite diagonal: the first direction p = b has p'Ap < 0.
+    // CG must refuse to take the step — Breakdown, not a garbage x.
+    la::DenseMatrix a(2, 2);
+    a(0, 0) = 1.0;
+    a(1, 1) = -1.0;
+    la::DenseOperator op(a);
+    Vector b{0.0, 1.0};
+
+    KrylovResult r = flexibleCg(op, b, identityPreconditioner(), {});
+    EXPECT_FALSE(r.converged);
+    EXPECT_EQ(r.stop, KrylovStop::Breakdown);
+    EXPECT_EQ(r.stop_detail, "zero-curvature direction");
+    EXPECT_EQ(r.iterations, 0u);
+    // x untouched: the solver hands back the starting guess.
+    for (std::size_t i = 0; i < r.x.size(); ++i)
+        EXPECT_EQ(r.x[i], 0.0) << i;
+}
+
+TEST(Krylov, CgStopsOnIndefinitePreconditionedResidual)
+{
+    // A preconditioner that flips the residual's sign makes r'z < 0
+    // at entry: flexible CG cannot trust the direction at all.
+    la::DenseMatrix a = laplacian1d(4);
+    la::DenseOperator op(a);
+    PrecondFn flip = [](const Vector &r, Vector &z) {
+        z.resize(r.size());
+        for (std::size_t i = 0; i < r.size(); ++i)
+            z[i] = -r[i];
+        return true;
+    };
+
+    KrylovResult r = flexibleCg(op, ones(4), flip, {});
+    EXPECT_FALSE(r.converged);
+    EXPECT_EQ(r.stop, KrylovStop::Breakdown);
+    EXPECT_EQ(r.stop_detail, "indefinite preconditioned residual");
+    EXPECT_EQ(r.iterations, 0u);
+    EXPECT_EQ(r.precond_applies, 1u);
+}
+
+// --- restart boundaries -------------------------------------------
+
+TEST(Krylov, FgmresRestartsAndStillConverges)
+{
+    la::DenseMatrix a = upwound1d(12);
+    la::DenseOperator op(a);
+    Vector b = ones(12);
+
+    KrylovOptions o;
+    o.restart = 3; // far below the Krylov dimension needed
+    o.tol = 1e-10;
+    KrylovResult r = fgmres(op, b, identityPreconditioner(), o);
+    EXPECT_TRUE(r.converged);
+    EXPECT_GE(r.restarts, 1u);
+    EXPECT_LE(trueRel(a, b, r.x), 1e-10);
+
+    // A full-length cycle needs no restart for the same system.
+    KrylovOptions full;
+    full.restart = 12;
+    full.tol = 1e-10;
+    KrylovResult f = fgmres(op, b, identityPreconditioner(), full);
+    EXPECT_TRUE(f.converged);
+    EXPECT_EQ(f.restarts, 0u);
+    // Restarting costs iterations, never correctness.
+    EXPECT_GE(r.iterations, f.iterations);
+}
+
+TEST(Krylov, RestartZeroIsClampedToCycleLengthOne)
+{
+    la::DenseMatrix a = upwound1d(6);
+    la::DenseOperator op(a);
+    KrylovOptions o;
+    o.restart = 0; // degenerate input: runs as FGMRES(1)
+    o.tol = 1e-8;
+    o.max_iters = 2000;
+    KrylovResult r = fgmres(op, ones(6), identityPreconditioner(), o);
+    EXPECT_TRUE(r.converged);
+    EXPECT_EQ(r.restarts + 1, r.iterations); // one iteration per cycle
+}
+
+// --- max-iteration fall-through -----------------------------------
+
+TEST(Krylov, MaxIterationsReportsHonestResidual)
+{
+    la::DenseMatrix a = laplacian1d(20);
+    la::DenseOperator op(a);
+    Vector b = ones(20);
+
+    KrylovOptions o;
+    o.max_iters = 3;
+    o.tol = 1e-12;
+    for (auto *solve : {&flexibleCg, &fgmres}) {
+        KrylovResult r = solve(op, b, identityPreconditioner(), o);
+        EXPECT_FALSE(r.converged);
+        EXPECT_EQ(r.stop, KrylovStop::MaxIterations);
+        EXPECT_EQ(r.iterations, 3u);
+        // final_residual is the recomputed truth, not an estimate.
+        Vector res = b - a.apply(r.x);
+        EXPECT_NEAR(r.final_residual, la::norm2(res),
+                    1e-12 * la::norm2(b));
+    }
+}
+
+// --- preconditioner failure and interruption ----------------------
+
+TEST(Krylov, FailedAppliesFallBackToIdentityBitForBit)
+{
+    la::DenseMatrix a = laplacian1d(8);
+    la::DenseOperator op(a);
+    Vector b = ones(8);
+    PrecondFn broken = [](const Vector &, Vector &) { return false; };
+
+    for (auto *solve : {&flexibleCg, &fgmres}) {
+        KrylovResult bad = solve(op, b, broken, {});
+        KrylovResult id = solve(op, b, identityPreconditioner(), {});
+        EXPECT_TRUE(bad.converged);
+        EXPECT_EQ(bad.precond_failures, bad.precond_applies);
+        EXPECT_GE(bad.precond_failures, 1u);
+        EXPECT_EQ(id.precond_failures, 0u);
+        // z = r substitution IS the identity preconditioner: the two
+        // runs must be the same solve, bit for bit.
+        EXPECT_EQ(bad.iterations, id.iterations);
+        ASSERT_EQ(bad.x.size(), id.x.size());
+        for (std::size_t i = 0; i < bad.x.size(); ++i)
+            EXPECT_EQ(bad.x[i], id.x[i]) << i;
+    }
+}
+
+TEST(Krylov, KeepGoingFalseInterruptsWithoutLying)
+{
+    la::DenseMatrix a = laplacian1d(20);
+    la::DenseOperator op(a);
+    Vector b = ones(20);
+
+    KrylovOptions o;
+    o.tol = 1e-12;
+    o.keep_going = [] { return false; }; // deadline already blown
+    for (auto *solve : {&flexibleCg, &fgmres}) {
+        KrylovResult r = solve(op, b, identityPreconditioner(), o);
+        EXPECT_FALSE(r.converged);
+        EXPECT_EQ(r.stop, KrylovStop::Interrupted);
+        EXPECT_EQ(r.stop_detail, "interrupted by keep_going");
+        EXPECT_EQ(r.iterations, 0u);
+    }
+}
+
+// --- the flexible part --------------------------------------------
+
+TEST(Krylov, NonstationaryPreconditionerStillConverges)
+{
+    // The analog preconditioner's defining property: a different
+    // operator every apply. Alternate M^{-1} = 0.5 I and 2 I — classic
+    // right-GMRES loses optimality here; the flexible variants must
+    // still converge and must still verify the true residual.
+    la::DenseMatrix a = upwound1d(10);
+    la::DenseOperator op(a);
+    Vector b = ones(10);
+
+    int calls = 0;
+    PrecondFn wobble = [&calls](const Vector &r, Vector &z) {
+        double s = (calls++ % 2 == 0) ? 0.5 : 2.0;
+        z.resize(r.size());
+        for (std::size_t i = 0; i < r.size(); ++i)
+            z[i] = s * r[i];
+        return true;
+    };
+
+    KrylovOptions o;
+    o.tol = 1e-10;
+    KrylovResult r = fgmres(op, b, wobble, o);
+    EXPECT_TRUE(r.converged);
+    EXPECT_EQ(r.precond_applies, r.iterations);
+    EXPECT_LE(trueRel(a, b, r.x), 1e-10);
+}
+
+TEST(Krylov, JacobiCutsIterationsOnSkewedDiagonals)
+{
+    // Diagonal spread 1..4096: identity-preconditioned CG grinds;
+    // Jacobi solves it essentially at once.
+    const std::size_t n = 12;
+    la::DenseMatrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        a(i, i) = std::pow(2.0, static_cast<double>(i));
+    la::DenseOperator op(a);
+    Vector b = ones(n);
+
+    KrylovOptions o;
+    o.tol = 1e-10;
+    KrylovResult id = flexibleCg(op, b, identityPreconditioner(), o);
+    KrylovResult jac = flexibleCg(op, b, jacobiPreconditioner(op), o);
+    EXPECT_TRUE(jac.converged);
+    EXPECT_TRUE(id.converged);
+    EXPECT_LT(jac.iterations, id.iterations);
+    EXPECT_LE(jac.iterations, 2u);
+}
+
+TEST(Krylov, ResidualHistoryStartsAtTheEntryResidual)
+{
+    la::DenseMatrix a = laplacian1d(8);
+    la::DenseOperator op(a);
+    Vector b = ones(8);
+
+    KrylovOptions o;
+    o.record_residuals = true;
+    KrylovResult r = flexibleCg(op, b, identityPreconditioner(), o);
+    ASSERT_FALSE(r.residual_history.empty());
+    EXPECT_EQ(r.residual_history.front(), la::norm2(b));
+    EXPECT_EQ(r.residual_history.size(), r.iterations + 1);
+    // CG's recurrence norm at exit agrees with the recomputed truth.
+    EXPECT_NEAR(r.residual_history.back(), r.final_residual,
+                1e-10 * la::norm2(b));
+}
+
+TEST(Krylov, StartingGuessIsHonored)
+{
+    la::DenseMatrix a = laplacian1d(10);
+    la::DenseOperator op(a);
+    Vector xstar = ones(10);
+    Vector b = a.apply(xstar);
+
+    KrylovOptions cold;
+    cold.tol = 1e-10;
+    KrylovOptions warm = cold;
+    warm.x0 = xstar;
+    // Perturb along one eigenvector of the 1-D Laplacian
+    // (sin(k pi (i+1) / (n+1)), k = 1): the warm residual's Krylov
+    // space is one-dimensional, so the warm solve finishes in a
+    // single iteration while the cold one iterates.
+    for (std::size_t i = 0; i < warm.x0.size(); ++i)
+        warm.x0[i] += 1e-3 * std::sin(M_PI * (i + 1.0) / 11.0);
+
+    for (auto *solve : {&flexibleCg, &fgmres}) {
+        KrylovResult c = solve(op, b, identityPreconditioner(), cold);
+        KrylovResult w = solve(op, b, identityPreconditioner(), warm);
+        EXPECT_TRUE(c.converged);
+        EXPECT_TRUE(w.converged);
+        EXPECT_LT(w.iterations, c.iterations);
+    }
+}
+
+} // namespace
+} // namespace aa::solver

@@ -16,10 +16,10 @@
 #include "aa/analog/die_pool.hh"
 #include "aa/common/logging.hh"
 #include "aa/compiler/program.hh"
-#include "aa/pde/poisson.hh"
 #include "aa/service/service.hh"
 #include "aa/spice/generate.hh"
 #include "aa/spice/mna.hh"
+#include "common/solve_properties.hh"
 #include "common/trace_matcher.hh"
 
 namespace aa::service {
@@ -30,46 +30,13 @@ const bool g_quiet = [] {
     return true;
 }();
 
-analog::AnalogSolverOptions
-quietOptions()
-{
-    analog::AnalogSolverOptions opts;
-    opts.spec.variation.enabled = false;
-    opts.spec.adc_noise_sigma = 0.0;
-    opts.auto_calibrate = false;
-    return opts;
-}
-
-/** The circuit workload: a 3x3 RC-grid deck through the full SPICE
- *  front end (parse -> reduced MNA), n = 9. */
-struct CircuitWorkload {
-    std::shared_ptr<const la::DenseMatrix> a;
-    la::Vector b;
-};
-
-CircuitWorkload
-circuitWorkload()
-{
-    spice::AssembleResult r =
-        spice::assembleDeck(spice::gridDeck({3, 3}), {});
-    EXPECT_TRUE(r.ok) << r.summary();
-    return {std::make_shared<const la::DenseMatrix>(
-                r.system.g.toDense()),
-            r.system.i};
-}
-
-/** The stencil workload at the same n: 2D Poisson, l = 3, n = 9. */
-CircuitWorkload
-stencilWorkload()
-{
-    pde::PoissonProblem p = pde::assemblePoisson(
-        2, 3, [](double, double, double) { return 1.0; });
-    return {std::make_shared<const la::DenseMatrix>(p.a.toDense()),
-            p.b};
-}
+/** The circuit and stencil workloads (both n = 9) come from the
+ *  shared property harness; this suite adds the cache/affinity and
+ *  bit-identity stories specific to mixed SPICE traffic. */
+using testutil::Workload;
 
 SolveRequest
-request(const CircuitWorkload &w, double rhs_scale = 1.0)
+request(const Workload &w, double rhs_scale = 1.0)
 {
     SolveRequest r;
     r.a = w.a;
@@ -79,8 +46,8 @@ request(const CircuitWorkload &w, double rhs_scale = 1.0)
 
 TEST(SpiceService, MatchedSizeDistinctPrograms)
 {
-    CircuitWorkload circuit = circuitWorkload();
-    CircuitWorkload stencil = stencilWorkload();
+    Workload circuit = testutil::circuitWorkload();
+    Workload stencil = testutil::stencilWorkload();
     ASSERT_EQ(circuit.a->rows(), stencil.a->rows());
     // Same n, different irregular sparsity: the cache key must not
     // collide or the router would alias the two programs.
@@ -93,8 +60,8 @@ TEST(SpiceService, MatchedSizeDistinctPrograms)
  *  requests and the cache sees a genuinely irregular pattern swap on
  *  every request. */
 void
-runAlternating(SolveService &svc, const CircuitWorkload &circuit,
-               const CircuitWorkload &stencil, std::size_t requests)
+runAlternating(SolveService &svc, const Workload &circuit,
+               const Workload &stencil, std::size_t requests)
 {
     for (std::size_t i = 0; i < requests; ++i) {
         auto f = svc.submit(request(
@@ -111,14 +78,14 @@ TEST(SpiceService, CapacityOneThrashesWithExactCounts)
     // alternating circuit/stencil trace one round at a time: every
     // request must evict the other pattern, so the counters are
     // exact — N misses, 0 hits, N-1 evictions.
-    auto opts = quietOptions();
+    auto opts = testutil::quietSolverOptions();
     opts.program_cache_capacity = 1;
     analog::DiePool pool(1, opts);
     SolveService svc(pool, {});
 
     const std::size_t kRequests = 8;
-    CircuitWorkload circuit = circuitWorkload();
-    CircuitWorkload stencil = stencilWorkload();
+    Workload circuit = testutil::circuitWorkload();
+    Workload stencil = testutil::stencilWorkload();
     runAlternating(svc, circuit, stencil, kRequests);
     svc.stop();
 
@@ -142,14 +109,14 @@ TEST(SpiceService, CapacityTwoHoldsBothPatterns)
     // The identical trace, capacity 2: after the two cold compiles
     // every request hits and nothing is ever evicted — the counter
     // story inverts exactly.
-    auto opts = quietOptions();
+    auto opts = testutil::quietSolverOptions();
     opts.program_cache_capacity = 2;
     analog::DiePool pool(1, opts);
     SolveService svc(pool, {});
 
     const std::size_t kRequests = 8;
-    CircuitWorkload circuit = circuitWorkload();
-    CircuitWorkload stencil = stencilWorkload();
+    Workload circuit = testutil::circuitWorkload();
+    Workload stencil = testutil::stencilWorkload();
     runAlternating(svc, circuit, stencil, kRequests);
     svc.stop();
 
@@ -163,13 +130,13 @@ TEST(SpiceService, CapacityTwoHoldsBothPatterns)
 
 TEST(SpiceService, AffinityKeepsCircuitAndStencilOnWarmDies)
 {
-    analog::DiePool pool(2, quietOptions());
+    analog::DiePool pool(2, testutil::quietSolverOptions());
     ServiceOptions sopts;
     sopts.start_paused = true;
     SolveService svc(pool, sopts);
 
-    CircuitWorkload circuit = circuitWorkload();
-    CircuitWorkload stencil = stencilWorkload();
+    Workload circuit = testutil::circuitWorkload();
+    Workload stencil = testutil::stencilWorkload();
     auto submitRound = [&] {
         std::vector<std::future<SolveResponse>> fs;
         for (std::size_t i = 0; i < 4; ++i)
@@ -217,7 +184,7 @@ TEST(SpiceService, CircuitAnswersAreCorrectThroughTheService)
     auto a = std::make_shared<const la::DenseMatrix>(
         asm_r.system.g.toDense());
 
-    analog::DiePool pool(1, quietOptions());
+    analog::DiePool pool(1, testutil::quietSolverOptions());
     SolveService svc(pool, {});
     SolveRequest req;
     req.a = a;
@@ -243,10 +210,10 @@ TEST(SpiceService, MixedTraceBitIdenticalAcrossThreadCounts)
     // The acceptance gate: a mixed stencil+circuit trace through a
     // 3-die pool produces bitwise-identical responses at dispatch
     // concurrency 1 and 4.
-    CircuitWorkload circuit = circuitWorkload();
-    CircuitWorkload stencil = stencilWorkload();
+    Workload circuit = testutil::circuitWorkload();
+    Workload stencil = testutil::stencilWorkload();
     auto runWith = [&](std::size_t threads) {
-        analog::DiePool pool(3, quietOptions());
+        analog::DiePool pool(3, testutil::quietSolverOptions());
         ServiceOptions sopts;
         sopts.threads = threads;
         sopts.start_paused = true;
@@ -269,12 +236,9 @@ TEST(SpiceService, MixedTraceBitIdenticalAcrossThreadCounts)
     auto threaded = runWith(4);
     ASSERT_EQ(serial.size(), threaded.size());
     for (std::size_t i = 0; i < serial.size(); ++i) {
-        EXPECT_EQ(serial[i].die, threaded[i].die) << i;
-        EXPECT_EQ(serial[i].exec_order, threaded[i].exec_order) << i;
-        ASSERT_EQ(serial[i].u.size(), threaded[i].u.size());
-        for (std::size_t j = 0; j < serial[i].u.size(); ++j)
-            EXPECT_EQ(serial[i].u[j], threaded[i].u[j])
-                << "request " << i << " component " << j;
+        testutil::expectResponseOutcomeIdentical(
+            serial[i], threaded[i],
+            "request " + std::to_string(i));
         EXPECT_TRUE(testutil::phasesMatch(serial[i].phases,
                                           threaded[i].phases))
             << "request " << i;

@@ -21,11 +21,16 @@
 # TSan at AASIM_THREADS=1 and =4 (the mixed circuit+stencil service
 # trace must stay bit-identical), then the parse/assemble/solve and
 # mixed-cache benchmarks, recorded into BENCH_spice.json.
+# The --krylov leg covers the preconditioned-Krylov lane: krylov_test
+# and the solve-property harness under TSan at AASIM_THREADS=1 and =4
+# (every lane of the ladder must stay bit-identical), then the
+# analog-preconditioned vs host Krylov iteration-crossover benchmark,
+# recorded into BENCH_krylov.json.
 # The --coverage leg builds the coverage preset, runs the fault /
-# service / fleet / spice / analog suites, and gates src/fault,
-# src/service, and src/spice at 85% line coverage via
-# tools/coverage.py (emits coverage.xml).
-# Usage: tools/check.sh [--tier1-only | --service | --fleet | --spice | --coverage]
+# service / fleet / spice / analog / krylov suites, and gates
+# src/fault, src/service, src/spice, and src/solver at 85% line
+# coverage via tools/coverage.py (emits coverage.xml).
+# Usage: tools/check.sh [--tier1-only | --service | --fleet | --spice | --krylov | --coverage]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -107,22 +112,62 @@ if [[ "${1:-}" == "--spice" ]]; then
     exit 0
 fi
 
+# Same re-record + compare flow for the Krylov crossover artifact.
+record_krylov_bench() {
+    local prev=""
+    if [[ -e BENCH_krylov.json ]]; then
+        prev="$(mktemp)"
+        cp BENCH_krylov.json "$prev"
+    fi
+    AASIM_THREADS=4 ./build/bench/krylov_gbench \
+        --benchmark_min_time=2 \
+        --benchmark_out=BENCH_krylov.json \
+        --benchmark_out_format=json
+    if [[ -n "$prev" ]]; then
+        python3 tools/bench_compare.py "$prev" BENCH_krylov.json || true
+        rm -f "$prev"
+    fi
+}
+
+if [[ "${1:-}" == "--krylov" ]]; then
+    echo "== krylov (TSan) =="
+    cmake --preset tsan >/dev/null
+    cmake --build build-tsan -j"$(nproc)" \
+        --target krylov_test solve_properties_test
+    for t in krylov_test solve_properties_test; do
+        for threads in 1 4; do
+            echo "-- $t @ AASIM_THREADS=$threads"
+            AASIM_THREADS=$threads \
+                ./build-tsan/tests/"$t" --gtest_brief=1
+        done
+    done
+    echo "== krylov crossover (BENCH_krylov.json) =="
+    cmake -B build -S . >/dev/null
+    cmake --build build -j"$(nproc)" --target krylov_gbench
+    record_krylov_bench
+    warn_debug_bench
+    echo "check.sh: krylov leg green"
+    exit 0
+fi
+
 if [[ "${1:-}" == "--coverage" ]]; then
     echo "== coverage (gcov) =="
     cmake --preset coverage >/dev/null
     cmake --build build-coverage -j"$(nproc)" \
         --target chaos_test service_test pipeline_test shard_test \
-                 analog_test spice_test
+                 analog_test spice_test krylov_test solver_test \
+                 solve_properties_test
     find build-coverage -name '*.gcda' -delete
     for t in chaos_test service_test pipeline_test shard_test \
-             analog_test spice_test; do
+             analog_test spice_test krylov_test solver_test \
+             solve_properties_test; do
         echo "-- $t"
         ./build-coverage/tests/"$t" --gtest_brief=1
     done
     python3 tools/coverage.py --build build-coverage \
         --xml build-coverage/coverage.xml \
         --gate src/fault:85 --gate src/service:85 \
-        --gate src/spice:85
+        --gate src/spice:85 --gate src/solver:85
     echo "check.sh: coverage leg green"
     exit 0
 fi
@@ -190,9 +235,11 @@ echo "== sanitize (ASan/UBSan) =="
 cmake --preset sanitize >/dev/null
 cmake --build build-sanitize -j"$(nproc)" \
     --target compiler_test analog_test circuit_test chaos_test \
-             service_test pipeline_test shard_test spice_test
+             service_test pipeline_test shard_test spice_test \
+             krylov_test solve_properties_test
 for t in compiler_test analog_test circuit_test chaos_test \
-         service_test pipeline_test shard_test spice_test; do
+         service_test pipeline_test shard_test spice_test \
+         krylov_test solve_properties_test; do
     ./build-sanitize/tests/"$t" --gtest_brief=1
 done
 
@@ -204,10 +251,12 @@ cmake --preset tsan >/dev/null
 cmake --build build-tsan -j"$(nproc)" \
     --target common_test circuit_test analog_test \
              decompose_parallel_test service_test pipeline_test \
-             shard_test chaos_test spice_test
+             shard_test chaos_test spice_test \
+             solve_properties_test
 for t in common_test circuit_test analog_test \
          decompose_parallel_test service_test pipeline_test \
-         shard_test chaos_test spice_test; do
+         shard_test chaos_test spice_test \
+         solve_properties_test; do
     for threads in 1 4; do
         AASIM_THREADS=$threads \
             ./build-tsan/tests/"$t" --gtest_brief=1
